@@ -1,0 +1,64 @@
+// Ablation (§5 "alternate recovery mechanisms"): compares every recovery
+// scheme the paper evaluates or proposes — coin-flip, fresh-random,
+// first-hop-biased, no-revisit, bounded-switch, counter header and
+// in-network deflection — on identical failure sets.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/experiments.h"
+
+namespace splice {
+namespace {
+
+int run(const Flags& flags) {
+  const Graph g = bench::load_topology_flag(flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int trials = static_cast<int>(flags.get_int("trials", 40));
+  const double p = flags.get_double("p", 0.05);
+  const SliceId k = static_cast<SliceId>(flags.get_int("k", 5));
+
+  bench::banner("Recovery-scheme ablation",
+                "§4.3 schemes plus the §5 proposals, identical failure sets");
+  std::cout << "k=" << k << " p=" << p << " trials=" << trials
+            << " retry budget 5\n\n";
+
+  Table table({"scheme", "unrecovered", "reliability_bound", "mean_trials",
+               "mean_stretch", "two_hop_loops"});
+  for (const auto scheme :
+       {RecoveryScheme::kEndSystemCoinFlip, RecoveryScheme::kEndSystemFresh,
+        RecoveryScheme::kEndSystemFirstHopBiased,
+        RecoveryScheme::kEndSystemNoRevisit,
+        RecoveryScheme::kEndSystemBoundedSwitches,
+        RecoveryScheme::kEndSystemCounter,
+        RecoveryScheme::kNetworkDeflection}) {
+    RecoveryExperimentConfig cfg;
+    cfg.k_values = {k};
+    cfg.p_values = {p};
+    cfg.trials = trials;
+    cfg.seed = seed;  // identical failure sets across schemes
+    cfg.perturbation = bench::perturbation_from_flags(flags);
+    cfg.recovery.scheme = scheme;
+    const auto points = run_recovery_experiment(g, cfg);
+    for (const auto& pt : points) {
+      table.add_row({to_string(scheme), fmt_double(pt.frac_unrecovered, 5),
+                     fmt_double(pt.frac_disconnected, 5),
+                     fmt_double(pt.mean_trials, 2),
+                     fmt_double(pt.mean_stretch, 3),
+                     fmt_double(pt.two_hop_loop_rate, 4)});
+    }
+  }
+  bench::emit(flags, table);
+  std::cout << "\nreading: the reliability_bound column is the same for all "
+               "end-system schemes (identical failure sets); differences in "
+               "'unrecovered' isolate the scheme's search effectiveness. "
+               "network-deflection needs no retries but can dead-end.\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

@@ -1,0 +1,62 @@
+// Appendix A (Theorem A.1): the number of slices needed for near-optimal
+// connectivity scales like log n. Sweeps synthetic Waxman backbones of
+// growing size and reports the smallest k whose mean disconnection is
+// within tolerance of the underlying graph's, next to a log2(n) reference.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/experiments.h"
+
+namespace splice {
+namespace {
+
+int run(const Flags& flags) {
+  ScalingConfig cfg;
+  cfg.trials = static_cast<int>(flags.get_int("trials", 40));
+  cfg.p = flags.get_double("p", 0.05);
+  cfg.max_k = static_cast<SliceId>(flags.get_int("max-k", 24));
+  cfg.tolerance = flags.get_double("tolerance", 0.005);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  cfg.perturbation = bench::perturbation_from_flags(flags);
+  if (flags.has("sizes")) {
+    cfg.sizes.clear();
+    std::string spec = flags.get_string("sizes", "");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      cfg.sizes.push_back(static_cast<NodeId>(
+          std::stol(spec.substr(pos, comma - pos))));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  bench::banner("Slices needed vs. graph size",
+                "Appendix A, Theorem A.1 — k for near-optimal connectivity "
+                "scales as O(log n)");
+  std::cout << "failure p=" << cfg.p << " trials=" << cfg.trials
+            << " tolerance=" << cfg.tolerance << " (additive)\n\n";
+
+  const auto points = run_scaling_experiment(cfg);
+  Table table({"n", "links", "k_needed", "log2(n)", "best_possible",
+               "achieved"});
+  for (const auto& pt : points) {
+    table.add_row({fmt_int(pt.n), fmt_int(pt.edges), fmt_int(pt.k_needed),
+                   fmt_double(std::log2(static_cast<double>(pt.n)), 2),
+                   fmt_double(pt.best_possible, 5),
+                   fmt_double(pt.achieved, 5)});
+  }
+  bench::emit(flags, table);
+  std::cout << "\ntheorem: k_needed should grow no faster than c * log n; "
+               "compare the k_needed column against log2(n).\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

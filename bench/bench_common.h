@@ -1,0 +1,60 @@
+// Shared plumbing for the experiment binaries: flag conventions, table
+// printing, optional CSV output.
+//
+// Common flags across benches:
+//   --topo=<geant|sprint|abilene|figure1|path>   topology (default sprint)
+//   --trials=N                                   Monte Carlo trials
+//   --seed=N                                     base RNG seed
+//   --perturb=<none|uniform|degree>              perturbation kind
+//   --a=X --b=Y                                  Weight(a, b) endpoints
+//   --csv=path                                   also write the table as CSV
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "graph/io.h"
+#include "routing/perturbation.h"
+#include "topo/datasets.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace splice::bench {
+
+/// Loads --topo: registry name first, then a filesystem path.
+inline Graph load_topology_flag(const Flags& flags,
+                                const std::string& fallback = "sprint") {
+  const std::string name = flags.get_string("topo", fallback);
+  for (const auto& known : topo::registry_names()) {
+    if (name == known) return topo::by_name(name);
+  }
+  return load_topology(name);
+}
+
+inline PerturbationConfig perturbation_from_flags(const Flags& flags) {
+  PerturbationConfig cfg;
+  cfg.kind = parse_perturbation_kind(flags.get_string("perturb", "degree"));
+  cfg.a = flags.get_double("a", 0.0);
+  cfg.b = flags.get_double("b", 3.0);
+  return cfg;
+}
+
+/// Prints the table and honors --csv.
+inline void emit(const Flags& flags, const Table& table) {
+  table.print(std::cout);
+  if (const auto csv = flags.get("csv")) {
+    if (write_file(*csv, table.to_csv())) {
+      std::cout << "\n[csv written to " << *csv << "]\n";
+    } else {
+      std::cerr << "failed to write csv: " << *csv << "\n";
+    }
+  }
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==== " << title << " ====\n"
+            << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace splice::bench

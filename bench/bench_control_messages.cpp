@@ -1,0 +1,54 @@
+// Message-complexity measurement: the paper claims splicing needs only a
+// linear increase in routing messages (§1, §4.2) and that multi-topology
+// routing (§3.1.2) provides the control plane "in practice". Floods the
+// real topologies and counts LSA transmissions for (a) k separate routing
+// instances and (b) multi-topology encoding, plus the per-failure reflood
+// cost that splicing's zero-message data-plane recovery avoids (§6).
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "routing/flooding.h"
+
+namespace splice {
+namespace {
+
+int run(const Flags& flags) {
+  const Graph g = bench::load_topology_flag(flags);
+
+  bench::banner("Control-plane message complexity",
+                "§1/§4.2 linear-messages claim; §3.1.2 multi-topology "
+                "routing; §6 zero-message recovery");
+  std::cout << "topology=" << flags.get_string("topo", "sprint") << " ("
+            << g.node_count() << " nodes / " << g.edge_count()
+            << " links)\n\n";
+
+  Table table({"k", "separate-instance msgs", "multi-topology msgs",
+               "convergence ms", "reflood msgs / link failure"});
+  for (SliceId k : {1, 2, 3, 5, 10}) {
+    const FloodStats sep =
+        simulate_full_flood(g, k, FloodEncoding::kSeparateInstances);
+    const FloodStats mt =
+        simulate_full_flood(g, k, FloodEncoding::kMultiTopology);
+    const FloodStats refl = simulate_failure_reflood(
+        g, k, FloodEncoding::kSeparateInstances, 0);
+    table.add_row({fmt_int(k), fmt_int(sep.messages), fmt_int(mt.messages),
+                   fmt_double(sep.convergence_ms, 1),
+                   fmt_int(refl.messages)});
+  }
+  bench::emit(flags, table);
+  std::cout << "\nreading: separate instances cost exactly k x the baseline "
+               "messages (linear, as claimed); RFC 4915-style MT encoding "
+               "makes the count independent of k. Splicing recovery itself "
+               "(bit re-randomization / deflection) sends ZERO control "
+               "messages — the reflood column is what a reconverging IGP "
+               "pays per failure and splicing does not.\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

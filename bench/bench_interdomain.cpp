@@ -1,0 +1,118 @@
+// §5 "extensions to interdomain routing": spliced BGP on a hierarchical
+// AS topology. Reproduces the Figure 3 shape at the AS level — fraction of
+// AS pairs disconnected vs. AS-link failure probability, for k installed
+// routes in {1, 2, 3} — plus recovery-by-bits statistics.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "interdomain/as_graph.h"
+#include "interdomain/bgp.h"
+#include "interdomain/bgp_dynamics.h"
+#include "sim/failure.h"
+#include "util/stats.h"
+
+namespace splice {
+namespace {
+
+int run(const Flags& flags) {
+  AsHierarchyConfig hcfg;
+  hcfg.tier1 = static_cast<int>(flags.get_int("tier1", 4));
+  hcfg.tier2 = static_cast<int>(flags.get_int("tier2", 12));
+  hcfg.stubs = static_cast<int>(flags.get_int("stubs", 32));
+  hcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const AsGraph g = make_as_hierarchy(hcfg);
+  const SliceId k_max = static_cast<SliceId>(flags.get_int("k", 3));
+  const int trials = static_cast<int>(flags.get_int("trials", 200));
+  const BgpSplicer bgp(g, BgpConfig{k_max, 0});
+
+  bench::banner("Spliced BGP reliability",
+                "§5 'extensions to interdomain routing' — k best routes in "
+                "the FIB, accessed by forwarding bits, no extra BGP "
+                "messages");
+  std::cout << "AS topology: " << g.as_count() << " ASes, " << g.link_count()
+            << " relationship links (tier1=" << hcfg.tier1
+            << " tier2=" << hcfg.tier2 << " stubs=" << hcfg.stubs << ")\n\n";
+
+  Table table({"curve", "p", "frac_AS_pairs_disconnected"});
+  Rng rng(hcfg.seed ^ 0xbb9b);
+  for (double p : {0.0, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10}) {
+    std::vector<OnlineStats> per_k(static_cast<std::size_t>(k_max));
+    for (int t = 0; t < trials; ++t) {
+      const auto alive = sample_alive_mask(
+          static_cast<EdgeId>(g.link_count()), p, rng);
+      for (SliceId k = 1; k <= k_max; ++k) {
+        per_k[static_cast<std::size_t>(k - 1)].add(
+            bgp.disconnected_fraction(alive, k));
+      }
+    }
+    for (SliceId k = 1; k <= k_max; ++k) {
+      table.add_row({"k=" + std::to_string(k) +
+                         (k == 1 ? " (classic BGP)" : " (spliced)"),
+                     fmt_double(p, 2),
+                     fmt_double(per_k[static_cast<std::size_t>(k - 1)].mean(),
+                                5)});
+    }
+  }
+  bench::emit(flags, table);
+
+  // Recovery by re-randomizing interdomain forwarding bits.
+  std::cout << "\nRecovery by bits (p=0.05, up to 5 fresh headers):\n\n";
+  OnlineStats trials_to_recover;
+  long long broken = 0;
+  long long recovered = 0;
+  for (int t = 0; t < std::max(1, trials / 4); ++t) {
+    const auto alive =
+        sample_alive_mask(static_cast<EdgeId>(g.link_count()), 0.05, rng);
+    for (AsId src = 0; src < g.as_count(); src += 3) {
+      for (AsId dst = 0; dst < g.as_count(); dst += 5) {
+        if (src == dst) continue;
+        if (bgp.forward(src, dst, SpliceHeader{}, alive).has_value())
+          continue;  // primary route fine
+        ++broken;
+        for (int attempt = 1; attempt <= 5; ++attempt) {
+          const auto header = SpliceHeader::random(k_max, 20, rng);
+          if (bgp.forward(src, dst, header, alive).has_value()) {
+            ++recovered;
+            trials_to_recover.add(static_cast<double>(attempt));
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::cout << "primary-route failures: " << broken << "; recovered by bits: "
+            << recovered << " ("
+            << fmt_percent(broken > 0 ? static_cast<double>(recovered) /
+                                            static_cast<double>(broken)
+                                      : 0.0)
+            << "), mean trials " << fmt_double(trials_to_recover.mean(), 2)
+            << "\n";
+
+  // BGP churn comparison: what a reconverging BGP pays per link failure
+  // (best-route changes = lower bound on UPDATE messages), versus spliced
+  // FIBs that ride through the failure with zero control traffic.
+  OnlineStats churn;
+  OnlineStats rounds;
+  for (AsLinkId l = 0; l < g.link_count(); l += 3) {
+    const ConvergenceStats s = measure_failure_reconvergence(g, l);
+    churn.add(static_cast<double>(s.route_changes));
+    rounds.add(static_cast<double>(s.rounds));
+  }
+  std::cout << "\nBGP reconvergence churn per link failure (sampled): mean "
+            << fmt_double(churn.mean(), 1) << " best-route changes over "
+            << fmt_double(rounds.mean(), 1)
+            << " rounds — spliced FIBs deliver through the same failures "
+               "with 0 UPDATEs.\n"
+            << "\npaper §5: a spliced BGP provides access to multiple "
+               "interdomain paths without additional communication among "
+               "BGP routers.\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

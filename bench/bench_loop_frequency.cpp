@@ -1,0 +1,57 @@
+// §4.4: forwarding-loop frequency. Measures, over recovery-path traces,
+// how often two-hop loops and any-node revisits occur as a function of k,
+// and shows that the loop-avoiding header generators eliminate persistent
+// loops at a small recovery cost.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/experiments.h"
+
+namespace splice {
+namespace {
+
+int run(const Flags& flags) {
+  const Graph g = bench::load_topology_flag(flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int trials = static_cast<int>(flags.get_int("trials", 50));
+  const double p = flags.get_double("p", 0.05);
+
+  bench::banner("Forwarding-loop frequency",
+                "§4.4 — 2-hop loops ~1/100 recoveries at k=2, ~1/10 at "
+                "larger k; loop-free header generators remove them");
+
+  Table table({"scheme", "k", "two_hop_loop_rate", "revisit_rate",
+               "unrecovered"});
+  for (const auto scheme : {RecoveryScheme::kEndSystemCoinFlip,
+                            RecoveryScheme::kEndSystemFresh,
+                            RecoveryScheme::kEndSystemNoRevisit,
+                            RecoveryScheme::kEndSystemBoundedSwitches}) {
+    RecoveryExperimentConfig cfg;
+    cfg.k_values = {2, 3, 5};
+    cfg.p_values = {p};
+    cfg.trials = trials;
+    cfg.seed = seed;
+    cfg.perturbation = bench::perturbation_from_flags(flags);
+    cfg.recovery.scheme = scheme;
+    for (const auto& pt : run_recovery_experiment(g, cfg)) {
+      table.add_row({to_string(scheme), fmt_int(pt.k),
+                     fmt_double(pt.two_hop_loop_rate, 4),
+                     fmt_double(pt.revisit_rate, 4),
+                     fmt_double(pt.frac_unrecovered, 5)});
+    }
+  }
+  bench::emit(flags, table);
+  std::cout << "\npaper §4.4: loops >2 hops are extremely rare; two-hop "
+               "loops about 1 per 100 trials for k=2 and about 1 in 10 for "
+               "higher k. No-revisit headers are persistent-loop-free by "
+               "construction, at the cost of restricting recovery paths.\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

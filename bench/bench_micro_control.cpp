@@ -1,0 +1,88 @@
+// Control-plane microbenchmarks (google-benchmark): per-slice SPT
+// construction, k-instance control-plane builds, FIB materialization and
+// spliced-union reliability queries — the costs paid at (re)configuration
+// time, which the paper argues grow only linearly in k.
+#include <benchmark/benchmark.h>
+
+#include "routing/multi_instance.h"
+#include "sim/failure.h"
+#include "splicing/reliability.h"
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+void BM_SingleSliceSptBuild(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoutingInstance(g, g.weights()));
+  }
+}
+BENCHMARK(BM_SingleSliceSptBuild);
+
+void BM_ControlPlaneBuild(benchmark::State& state) {
+  const auto k = static_cast<SliceId>(state.range(0));
+  const Graph g = topo::sprint();
+  ControlPlaneConfig cfg;
+  cfg.slices = k;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiInstanceRouting(g, cfg));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_ControlPlaneBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Complexity(
+    benchmark::oN);
+
+void BM_FibMaterialization(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  ControlPlaneConfig cfg;
+  cfg.slices = 5;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  const MultiInstanceRouting mir(g, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mir.build_fibs());
+  }
+}
+BENCHMARK(BM_FibMaterialization);
+
+void BM_SplicerFullBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    SplicerConfig cfg;
+    cfg.slices = 5;
+    benchmark::DoNotOptimize(Splicer(topo::sprint(), cfg));
+  }
+}
+BENCHMARK(BM_SplicerFullBuild);
+
+void BM_ReliabilityTrial(benchmark::State& state) {
+  const auto k = static_cast<SliceId>(state.range(0));
+  const Graph g = topo::sprint();
+  ControlPlaneConfig cfg;
+  cfg.slices = k;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  const MultiInstanceRouting mir(g, cfg);
+  const SplicedReliabilityAnalyzer analyzer(g, mir);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto alive = sample_alive_mask(g.edge_count(), 0.05, rng);
+    benchmark::DoNotOptimize(analyzer.disconnected_pairs(k, alive));
+  }
+}
+BENCHMARK(BM_ReliabilityTrial)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_PerturbationDraw(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  const PerturbationConfig cfg{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perturb_weights(g, cfg, rng));
+  }
+}
+BENCHMARK(BM_PerturbationDraw);
+
+}  // namespace
+}  // namespace splice
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Data-plane microbenchmarks (google-benchmark): per-hop header operations,
+// Algorithm 1 FIB lookups, full packet forwards, header generation —
+// the costs a router/end host pays per packet under path splicing.
+#include <benchmark/benchmark.h>
+
+#include "dataplane/network.h"
+#include "routing/multi_instance.h"
+#include "splicing/recovery.h"
+#include "topo/datasets.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+struct Env {
+  explicit Env(SliceId k)
+      : g(topo::sprint()),
+        mir(g, ControlPlaneConfig{
+                   k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false}),
+        fibs(mir.build_fibs()),
+        net(g, fibs) {}
+
+  Graph g;
+  MultiInstanceRouting mir;
+  FibSet fibs;
+  DataPlaneNetwork net;
+};
+
+void BM_HeaderPop(benchmark::State& state) {
+  const auto k = static_cast<SliceId>(state.range(0));
+  Rng rng(1);
+  const SpliceHeader header = SpliceHeader::random(k, 20, rng);
+  for (auto _ : state) {
+    SpliceHeader h = header;
+    while (auto s = h.pop()) benchmark::DoNotOptimize(*s);
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_HeaderPop)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HeaderRandomGeneration(benchmark::State& state) {
+  const auto k = static_cast<SliceId>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpliceHeader::random(k, 20, rng));
+  }
+}
+BENCHMARK(BM_HeaderRandomGeneration)->Arg(2)->Arg(8);
+
+void BM_HeaderCoinFlipMutation(benchmark::State& state) {
+  Rng rng(3);
+  const SpliceHeader base = SpliceHeader::random(8, 20, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.mutate_coinflip(rng));
+  }
+}
+BENCHMARK(BM_HeaderCoinFlipMutation);
+
+void BM_FibLookup(benchmark::State& state) {
+  const Env env(8);
+  Rng rng(4);
+  const auto n = static_cast<std::uint64_t>(env.g.node_count());
+  for (auto _ : state) {
+    const auto s = static_cast<SliceId>(rng.below(8));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    const auto d = static_cast<NodeId>(rng.below(n));
+    benchmark::DoNotOptimize(env.fibs.lookup(s, v, d));
+  }
+}
+BENCHMARK(BM_FibLookup);
+
+void BM_ForwardPacket(benchmark::State& state) {
+  const auto k = static_cast<SliceId>(state.range(0));
+  const Env env(k);
+  Rng rng(5);
+  const auto n = static_cast<std::uint64_t>(env.g.node_count());
+  std::int64_t hops = 0;
+  for (auto _ : state) {
+    Packet p;
+    p.src = static_cast<NodeId>(rng.below(n));
+    p.dst = static_cast<NodeId>(rng.below(n));
+    if (p.src == p.dst) p.dst = (p.dst + 1) % static_cast<NodeId>(n);
+    p.header = SpliceHeader::random(k, 20, rng);
+    const Delivery d = env.net.forward(p);
+    hops += d.hop_count();
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(hops);  // items = hops forwarded
+}
+BENCHMARK(BM_ForwardPacket)->Arg(1)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_RecoveryEpisode(benchmark::State& state) {
+  Env env(5);
+  // Fail 8 random links so some recoveries actually retry.
+  Rng fail_rng(6);
+  for (int i = 0; i < 8; ++i) {
+    env.net.set_link_state(
+        static_cast<EdgeId>(fail_rng.below(
+            static_cast<std::uint64_t>(env.g.edge_count()))),
+        false);
+  }
+  Rng rng(7);
+  const auto n = static_cast<std::uint64_t>(env.g.node_count());
+  for (auto _ : state) {
+    const auto src = static_cast<NodeId>(rng.below(n));
+    auto dst = static_cast<NodeId>(rng.below(n));
+    if (src == dst) dst = (dst + 1) % static_cast<NodeId>(n);
+    benchmark::DoNotOptimize(
+        attempt_recovery(env.net, src, dst, RecoveryConfig{}, rng));
+  }
+}
+BENCHMARK(BM_RecoveryEpisode);
+
+}  // namespace
+}  // namespace splice
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Graph-substrate microbenchmarks (google-benchmark): the primitives every
+// experiment leans on — Dijkstra, reachability, min cut, max flow, random
+// generation — measured on the evaluation topologies.
+#include <benchmark/benchmark.h>
+
+#include "graph/connectivity.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "graph/maxflow.h"
+#include "graph/mincut.h"
+#include "routing/perturbation.h"
+#include "sim/failure.h"
+#include "topo/datasets.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+void BM_DijkstraSprint(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, src));
+    src = (src + 1) % g.node_count();
+  }
+}
+BENCHMARK(BM_DijkstraSprint);
+
+void BM_DijkstraWithOverridesAndMask(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  Rng rng(1);
+  const PerturbationConfig cfg{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  const auto weights = perturb_weights(g, cfg, rng);
+  const auto alive = sample_alive_mask(g.edge_count(), 0.05, rng);
+  DijkstraOptions opts;
+  opts.weight_override = weights;
+  opts.edge_alive = alive;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, 0, opts));
+  }
+}
+BENCHMARK(BM_DijkstraWithOverridesAndMask);
+
+void BM_DijkstraScaling(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Graph g = waxman(n, 0.9, 0.15, 7);
+  make_connected(g, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, 0));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DijkstraScaling)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+void BM_ReachabilityUnderMask(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  Rng rng(2);
+  const auto alive = sample_alive_mask(g.edge_count(), 0.1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reachable_nodes(g, 0, alive));
+  }
+}
+BENCHMARK(BM_ReachabilityUnderMask);
+
+void BM_DisconnectedPairCount(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  Rng rng(3);
+  const auto alive = sample_alive_mask(g.edge_count(), 0.1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disconnected_ordered_pairs(g, alive));
+  }
+}
+BENCHMARK(BM_DisconnectedPairCount);
+
+void BM_StoerWagnerMinCut(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(global_min_cut(g));
+  }
+}
+BENCHMARK(BM_StoerWagnerMinCut);
+
+void BM_DinicPairConnectivity(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  Rng rng(4);
+  const auto n = static_cast<std::uint64_t>(g.node_count());
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.below(n));
+    auto t = static_cast<NodeId>(rng.below(n));
+    if (s == t) t = (t + 1) % g.node_count();
+    benchmark::DoNotOptimize(pair_edge_connectivity(g, s, t));
+  }
+}
+BENCHMARK(BM_DinicPairConnectivity);
+
+void BM_WaxmanGeneration(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(waxman(n, 0.9, 0.15, seed++));
+  }
+}
+BENCHMARK(BM_WaxmanGeneration)->Arg(64)->Arg(256);
+
+void BM_FailureMaskSampling(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_alive_mask(84, 0.05, rng));
+  }
+}
+BENCHMARK(BM_FailureMaskSampling);
+
+}  // namespace
+}  // namespace splice
+
+BENCHMARK_MAIN();

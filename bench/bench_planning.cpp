@@ -1,0 +1,83 @@
+// Deployment-planning report: link criticality ranking (residual single
+// points of failure under splicing — Figure 1's cut argument, quantified
+// per link) and the slice-budget advisor ("how many slices for X%
+// reliability at my design failure rate?").
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/advisor.h"
+#include "bench_common.h"
+#include "util/parallel.h"
+
+namespace splice {
+namespace {
+
+int run(const Flags& flags) {
+  const Graph g = bench::load_topology_flag(flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto k = static_cast<SliceId>(flags.get_int("k", 5));
+
+  bench::banner("Planning report",
+                "link criticality under splicing + slice-budget advice");
+
+  ControlPlaneConfig ccfg;
+  ccfg.slices = k;
+  ccfg.perturbation = bench::perturbation_from_flags(flags);
+  ccfg.seed = seed;
+  const MultiInstanceRouting mir(g, ccfg);
+
+  std::cout << "Top-10 critical links (single-link failures, k=" << k
+            << "):\n\n";
+  Table crit({"link", "pairs cut (spliced)", "pairs cut (single path)",
+              "pairs cut (physical floor)", "splicing gap"});
+  const auto ranking = rank_link_criticality(g, mir, k);
+  for (std::size_t i = 0; i < ranking.size() && i < 10; ++i) {
+    const auto& c = ranking[i];
+    const Edge& e = g.edge(c.edge);
+    crit.add_row({g.name(e.u) + "--" + g.name(e.v),
+                  fmt_int(c.pairs_cut_spliced),
+                  fmt_int(c.pairs_cut_single_path),
+                  fmt_int(c.pairs_cut_physical),
+                  fmt_int(c.pairs_cut_spliced - c.pairs_cut_physical)});
+  }
+  bench::emit(flags, crit);
+
+  SliceBudgetConfig bcfg;
+  bcfg.target_disconnected = flags.get_double("target", 0.01);
+  bcfg.p = flags.get_double("p", 0.03);
+  bcfg.trials = static_cast<int>(flags.get_int("trials", 300));
+  bcfg.max_k = static_cast<SliceId>(flags.get_int("max-k", 16));
+  bcfg.perturbation = ccfg.perturbation;
+  bcfg.seed = seed;
+  bcfg.threads = static_cast<int>(
+      flags.get_int("threads", default_thread_count()));
+  const SliceBudgetResult budget = advise_slice_budget(g, bcfg);
+
+  std::cout << "\nSlice budget for <= " << fmt_percent(bcfg.target_disconnected)
+            << " disconnected pairs at p=" << bcfg.p << ":\n\n";
+  Table curve({"k", "mean disconnected"});
+  for (std::size_t i = 0; i < budget.per_k.size(); ++i) {
+    curve.add_row({fmt_int(static_cast<long long>(i) + 1),
+                   fmt_double(budget.per_k[i], 5)});
+  }
+  curve.print(std::cout);
+  if (budget.k <= bcfg.max_k) {
+    std::cout << "\nrecommended k = " << budget.k << " (achieves "
+              << fmt_percent(budget.achieved) << "; best possible "
+              << fmt_percent(budget.best_possible) << ")\n";
+  } else {
+    std::cout << "\ntarget unreachable within k <= " << bcfg.max_k
+              << " (best possible at this p is "
+              << fmt_percent(budget.best_possible)
+              << "; the target is below the physical floor or needs more "
+                 "slices)\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

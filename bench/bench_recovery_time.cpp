@@ -1,0 +1,115 @@
+// Recovery-time extension: converts §4.3's "trials" into wall-clock
+// milliseconds with a propagation-delay + retransmission-timeout model, and
+// compares the three strategies: serial retries, the paper's parallel-burst
+// suggestion ("these trials could be run in parallel"), and in-network
+// deflection. Prints mean/median/p95 recovery time among recovered pairs.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "routing/multi_instance.h"
+#include "sim/event_sim.h"
+#include "sim/failure.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+
+namespace splice {
+namespace {
+
+const char* strategy_name(RecoveryStrategy s) {
+  switch (s) {
+    case RecoveryStrategy::kSerial:
+      return "serial (retry per RTO)";
+    case RecoveryStrategy::kParallelBurst:
+      return "parallel burst";
+    case RecoveryStrategy::kNetworkDeflection:
+      return "network deflection";
+  }
+  return "?";
+}
+
+int run(const Flags& flags) {
+  const Graph g = bench::load_topology_flag(flags);
+  const auto k = static_cast<SliceId>(flags.get_int("k", 5));
+  const int trials = static_cast<int>(flags.get_int("trials", 30));
+  const double p = flags.get_double("p", 0.05);
+  const double rto = flags.get_double("rto", 200.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{k, bench::perturbation_from_flags(flags), seed,
+                            false});
+  const FibSet fibs = mir.build_fibs();
+  DataPlaneNetwork net(g, fibs);
+
+  bench::banner("Recovery time (wall clock)",
+                "extension of §4.3 — trials -> milliseconds; parallel "
+                "trials as the paper suggests");
+  std::cout << "topology=" << flags.get_string("topo", "sprint") << " k=" << k
+            << " p=" << p << " RTO=" << rto << "ms trials=" << trials
+            << "\n\n";
+
+  Table table({"strategy", "recovered", "mean ms", "p50 ms", "p95 ms",
+               "mean packets"});
+  std::vector<std::pair<std::string, Histogram>> cdfs;
+  for (auto strategy :
+       {RecoveryStrategy::kSerial, RecoveryStrategy::kParallelBurst,
+        RecoveryStrategy::kNetworkDeflection}) {
+    TimingConfig cfg;
+    cfg.strategy = strategy;
+    cfg.rto_ms = rto;
+    Rng mask_rng(seed ^ 0x713e);
+    Rng rng(seed ^ 0xd00d);
+    std::vector<double> times;
+    OnlineStats packets;
+    Histogram hist(0.0, 6.0 * rto, 12);
+    long long broken = 0;
+    long long recovered = 0;
+    for (int t = 0; t < trials; ++t) {
+      const auto alive = sample_alive_mask(g.edge_count(), p, mask_rng);
+      net.set_link_mask(alive);
+      for (NodeId src = 0; src < g.node_count(); src += 2) {
+        for (NodeId dst = 0; dst < g.node_count(); dst += 3) {
+          if (src == dst) continue;
+          const RecoveryTiming rt =
+              simulate_recovery_timing(net, src, dst, cfg, rng);
+          if (rt.initially_connected) continue;
+          ++broken;
+          if (rt.recovered) {
+            ++recovered;
+            times.push_back(rt.completion_ms);
+            packets.add(static_cast<double>(rt.packets_sent));
+            hist.add(rt.completion_ms);
+          }
+        }
+      }
+    }
+    const SampleSummary s = summarize(times);
+    table.add_row({strategy_name(strategy),
+                   fmt_percent(broken > 0 ? static_cast<double>(recovered) /
+                                                static_cast<double>(broken)
+                                          : 0.0),
+                   fmt_double(s.mean, 1), fmt_double(s.p50, 1),
+                   fmt_double(s.p95, 1), fmt_double(packets.mean(), 2)});
+    cdfs.emplace_back(strategy_name(strategy), hist);
+  }
+  bench::emit(flags, table);
+
+  for (const auto& [name, hist] : cdfs) {
+    std::cout << "\nrecovery-time distribution — " << name
+              << " (ms range, count, CDF):\n"
+              << hist.render(24);
+  }
+  std::cout << "\nreading: serial recovery pays ~RTO per failed trial; the "
+               "parallel burst collapses that to one RTO + the best spliced "
+               "RTT; network deflection reacts at propagation speed and "
+               "needs no sender timeout at all.\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

@@ -1,0 +1,126 @@
+// §5 traffic experiments: (a) steady-state load balance across routing
+// modes and demand models ("automatic load balancing"), and (b) the
+// failure-shift dispersion experiment ("selfish-routing effects") — when a
+// hot link fails and affected sources re-randomize, displaced traffic
+// should spread out rather than pile onto one backup path.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "traffic/capacity.h"
+#include "traffic/demand.h"
+#include "traffic/load.h"
+
+namespace splice {
+namespace {
+
+const char* mode_name(SliceSelection mode) {
+  switch (mode) {
+    case SliceSelection::kPinnedShortest:
+      return "single-path";
+    case SliceSelection::kHashSpread:
+      return "hash-spread";
+    case SliceSelection::kRandomHeaders:
+      return "random-headers";
+  }
+  return "?";
+}
+
+int run(const Flags& flags) {
+  const Graph g = bench::load_topology_flag(flags);
+  SplicerConfig scfg;
+  scfg.slices = static_cast<SliceId>(flags.get_int("k", 5));
+  scfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  scfg.perturbation = bench::perturbation_from_flags(flags);
+  Splicer splicer(Graph(g), scfg);
+  Rng rng(scfg.seed ^ 0x7aff1c);
+
+  bench::banner("Traffic balance and failure-shift dispersion",
+                "§5 'interactions with traffic engineering' and "
+                "'selfish-routing effects'");
+
+  // (a) Steady-state balance.
+  Table balance({"demand model", "routing mode", "max load", "mean load",
+                 "imbalance(max/mean)", "undelivered"});
+  struct Model {
+    const char* name;
+    TrafficMatrix tm;
+  };
+  Model models[] = {{"uniform", uniform_demands(g)},
+                    {"gravity", gravity_demands(g)},
+                    {"hotspot(4x10)", hotspot_demands(g, 4, 10.0, scfg.seed)}};
+  for (const Model& model : models) {
+    for (const auto mode :
+         {SliceSelection::kPinnedShortest, SliceSelection::kHashSpread,
+          SliceSelection::kRandomHeaders}) {
+      const LinkLoads loads = route_demands(splicer, model.tm, mode, rng);
+      const SampleSummary s = loads.summary();
+      balance.add_row({model.name, mode_name(mode), fmt_double(s.max, 0),
+                       fmt_double(s.mean, 1),
+                       fmt_double(loads.imbalance(), 2),
+                       fmt_double(loads.undelivered, 1)});
+    }
+  }
+  bench::emit(flags, balance);
+
+  // (b) Failure-shift dispersion: fail each of the 5 hottest links in turn.
+  std::cout << "\nFailure-shift dispersion (uniform demands, single-path "
+               "steady state, displaced flows re-randomize):\n\n";
+  const TrafficMatrix tm = uniform_demands(g);
+  const LinkLoads pinned =
+      route_demands(splicer, tm, SliceSelection::kPinnedShortest, rng);
+  std::vector<EdgeId> by_load(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    by_load[static_cast<std::size_t>(e)] = e;
+  std::sort(by_load.begin(), by_load.end(), [&](EdgeId a, EdgeId b) {
+    return pinned.load[static_cast<std::size_t>(a)] >
+           pinned.load[static_cast<std::size_t>(b)];
+  });
+
+  Table shift({"failed link", "displaced demand", "lost", "concentration",
+               "max link increase"});
+  for (int i = 0; i < 5 && i < static_cast<int>(by_load.size()); ++i) {
+    const EdgeId e = by_load[static_cast<std::size_t>(i)];
+    const FailureShift fs = measure_failure_shift(
+        splicer, tm, SliceSelection::kPinnedShortest, e, rng);
+    shift.add_row({g.name(g.edge(e).u) + "--" + g.name(g.edge(e).v),
+                   fmt_double(fs.displaced_demand, 0),
+                   fmt_percent(fs.lost_fraction),
+                   fmt_double(fs.concentration, 3),
+                   fmt_double(fs.max_link_increase, 0)});
+  }
+  shift.print(std::cout);
+  std::cout << "\nreading: concentration is a Herfindahl index over links "
+               "(1 = all displaced demand on one backup link, 1/#links = "
+               "perfect dispersion). Random re-randomization keeps it low — "
+               "§5's argument that splicing disperses post-failure traffic.\n";
+
+  // (c) Utilization spike: provision each mode at 2x headroom, fail the
+  // hottest link, report the worst post-failure utilization.
+  std::cout << "\nPost-failure utilization spike (provisioned at 2x "
+               "headroom, hottest link fails):\n\n";
+  Table spike({"steady-state mode", "max utilization after failure",
+               "overloaded links", "undelivered demand"});
+  for (const auto mode :
+       {SliceSelection::kPinnedShortest, SliceSelection::kHashSpread,
+        SliceSelection::kRandomHeaders}) {
+    const UtilizationReport r = failure_utilization_spike(
+        splicer, tm, mode, 2.0, by_load.front(), rng);
+    spike.add_row({mode_name(mode), fmt_double(r.max_utilization, 2),
+                   fmt_int(r.overloaded_links),
+                   fmt_double(r.undelivered, 0)});
+  }
+  spike.print(std::cout);
+  std::cout << "\nreading: steady utilization is 1/headroom = 0.50 in every "
+               "mode by construction; the spike shows how hard the failure "
+               "hits the worst link under each routing discipline.\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

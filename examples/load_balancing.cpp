@@ -1,0 +1,98 @@
+// Load balancing (§5 "interactions with traffic engineering"): path
+// splicing spreads traffic across the network even without failures when
+// sources pick their initial slice by Hash(src, dst) (Algorithm 1). This
+// example routes a uniform all-pairs demand matrix three ways and compares
+// per-link utilization:
+//   (a) single shortest path (k = 1),
+//   (b) splicing with hash-spread initial slices,
+//   (c) splicing with fully random per-hop headers.
+//
+//   ./load_balancing --topo=sprint --slices=5
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace splice;
+
+namespace {
+
+/// Routes one unit of demand per ordered pair; returns per-link load.
+std::vector<double> route_demands(const Splicer& splicer, int mode, Rng& rng) {
+  const Graph& g = splicer.graph();
+  std::vector<double> load(static_cast<std::size_t>(g.edge_count()), 0.0);
+  for (NodeId src = 0; src < g.node_count(); ++src) {
+    for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+      if (src == dst) continue;
+      SpliceHeader header;
+      switch (mode) {
+        case 0:  // single shortest path
+          header = splicer.make_pinned_header(0);
+          break;
+        case 1:  // hash-spread: empty header, Algorithm 1 default slice
+          header = SpliceHeader{};
+          break;
+        case 2:  // random per-hop slices
+          header = splicer.make_random_header(rng);
+          break;
+        default:
+          break;
+      }
+      const Delivery d = splicer.send(src, dst, header);
+      if (!d.delivered()) continue;
+      for (const HopRecord& hop : d.hops) {
+        load[static_cast<std::size_t>(hop.edge)] += 1.0;
+      }
+    }
+  }
+  return load;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  SplicerConfig cfg;
+  cfg.slices = static_cast<SliceId>(flags.get_int("slices", 5));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const Splicer splicer(topo::by_name(flags.get_string("topo", "sprint")),
+                        cfg);
+  Rng rng(cfg.seed ^ 0x10ad);
+
+  std::cout << "uniform all-pairs demand on "
+            << flags.get_string("topo", "sprint") << ", k=" << cfg.slices
+            << "\n\n";
+
+  Table table({"routing mode", "max link load", "mean load", "p95 load",
+               "stddev", "max/mean (imbalance)"});
+  const char* names[] = {"single shortest path (k=1)",
+                         "splicing, hash-spread slices",
+                         "splicing, random headers"};
+  double imbalance[3] = {0, 0, 0};
+  for (int mode = 0; mode < 3; ++mode) {
+    const auto load = route_demands(splicer, mode, rng);
+    const SampleSummary s = summarize(load);
+    imbalance[mode] = s.max / std::max(1.0, s.mean);
+    table.add_row({names[mode], fmt_double(s.max, 0), fmt_double(s.mean, 1),
+                   fmt_double(s.p95, 0), fmt_double(s.stddev, 1),
+                   fmt_double(imbalance[mode], 2)});
+  }
+  table.print(std::cout);
+
+  // Spliced paths are slightly longer than shortest paths, so total carried
+  // load (the mean column) rises; the relevant metric is how evenly that
+  // load spreads, i.e. the max/mean imbalance ratio.
+  std::cout << "\nload imbalance (max/mean): single path "
+            << fmt_double(imbalance[0], 2) << " -> splicing "
+            << fmt_double(imbalance[1], 2) << " (hash-spread), "
+            << fmt_double(imbalance[2], 2) << " (random headers)\n"
+            << "§5: \"this 'automatic' load balancing might mitigate the "
+               "need for tuning that is necessary with today's routing "
+               "protocols\"\n";
+  return 0;
+}

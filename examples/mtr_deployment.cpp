@@ -1,0 +1,73 @@
+// MTR deployment generation (§3.1.2 deployment path): build a splicing
+// control plane for a topology, render the multi-topology routing
+// configuration an operator would push to routers, audit it by parsing it
+// back, and report the control-plane cost of the deployment.
+//
+//   ./mtr_deployment --topo=geant --slices=4 [--out=geant.mtr]
+#include <iostream>
+
+#include "routing/flooding.h"
+#include "routing/mtr_config.h"
+#include "topo/datasets.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace splice;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string topo_name = flags.get_string("topo", "geant");
+  const Graph g = topo::by_name(topo_name);
+  ControlPlaneConfig cfg;
+  cfg.slices = static_cast<SliceId>(flags.get_int("slices", 4));
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const MultiInstanceRouting mir(g, cfg);
+
+  // Render the deployment.
+  const MtrDeployment deployment =
+      extract_mtr_deployment(g, mir, topo_name + "-splice");
+  const std::string config = render_mtr_config(g, deployment);
+
+  std::cout << "generated multi-topology configuration for " << topo_name
+            << " (" << cfg.slices << " slices):\n\n";
+  // Show the head of the config; full text optionally written to --out.
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < config.size() && shown < 12; ++i) {
+    std::cout << config[i];
+    if (config[i] == '\n') ++shown;
+  }
+  std::cout << "  ... (" << config.size() << " bytes total)\n\n";
+
+  if (const auto out = flags.get("out")) {
+    if (write_file(*out, config)) {
+      std::cout << "full configuration written to " << *out << "\n\n";
+    } else {
+      std::cerr << "could not write " << *out << "\n";
+      return 1;
+    }
+  }
+
+  // Audit: parse back and verify equivalence.
+  const MtrDeployment reparsed = parse_mtr_config(g, config);
+  std::cout << "round-trip audit: "
+            << (deployments_equivalent(deployment, reparsed) ? "OK"
+                                                             : "MISMATCH!")
+            << "\n\n";
+
+  // Control-plane cost summary.
+  Table cost({"metric", "separate instances", "multi-topology (RFC 4915)"});
+  const FloodStats sep =
+      simulate_full_flood(g, cfg.slices, FloodEncoding::kSeparateInstances);
+  const FloodStats mt =
+      simulate_full_flood(g, cfg.slices, FloodEncoding::kMultiTopology);
+  cost.add_row({"cold-start LSA transmissions", fmt_int(sep.messages),
+                fmt_int(mt.messages)});
+  cost.add_row({"flooding convergence (ms)", fmt_double(sep.convergence_ms, 1),
+                fmt_double(mt.convergence_ms, 1)});
+  cost.print(std::cout);
+  std::cout << "\n§3.1.2: \"Multi-topology routing provides much of the "
+               "control-plane function that would be needed to support path "
+               "splicing in practice.\"\n";
+  return 0;
+}

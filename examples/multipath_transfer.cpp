@@ -1,0 +1,106 @@
+// Multipath bulk transfer (§5 "other applications"): instead of reacting
+// to failures, deliberately stripe one flow across several spliced paths
+// at once. Uses the path enumerator to find link-disjoint spliced paths,
+// synthesizes the forwarding-bit header for each (the Algorithm 1
+// inverse), and compares aggregate capacity against the single-path
+// baseline and the graph's max-flow ceiling.
+//
+//   ./multipath_transfer --topo=sprint --slices=8 --src=Seattle --dst=Miami
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "graph/maxflow.h"
+#include "splicing/metrics.h"
+#include "splicing/path_enum.h"
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace splice;
+
+namespace {
+
+/// Greedy link-disjoint selection from the enumerated candidates.
+std::vector<std::vector<NodeId>> pick_disjoint(
+    const Graph& g, const std::vector<std::vector<NodeId>>& candidates) {
+  std::vector<std::vector<NodeId>> chosen;
+  std::vector<char> used(static_cast<std::size_t>(g.edge_count()), 0);
+  for (const auto& path : candidates) {
+    bool clash = false;
+    std::vector<EdgeId> edges;
+    for (std::size_t i = 0; i + 1 < path.size() && !clash; ++i) {
+      const EdgeId e = g.find_edge(path[i], path[i + 1]);
+      clash = e == kInvalidEdge || used[static_cast<std::size_t>(e)];
+      edges.push_back(e);
+    }
+    if (clash) continue;
+    for (EdgeId e : edges) used[static_cast<std::size_t>(e)] = 1;
+    chosen.push_back(path);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  SplicerConfig cfg;
+  cfg.slices = static_cast<SliceId>(flags.get_int("slices", 8));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const Splicer splicer(topo::by_name(flags.get_string("topo", "sprint")),
+                        cfg);
+  const Graph& g = splicer.graph();
+
+  const NodeId src = flags.has("src")
+                         ? g.find_node(flags.get_string("src", ""))
+                         : g.find_node("Seattle");
+  const NodeId dst = flags.has("dst")
+                         ? g.find_node(flags.get_string("dst", ""))
+                         : g.find_node("Miami");
+  if (src == kInvalidNode || dst == kInvalidNode) {
+    std::cerr << "unknown --src/--dst node name\n";
+    return 1;
+  }
+  std::cout << "striping " << g.name(src) << " -> " << g.name(dst)
+            << " across spliced paths (k=" << cfg.slices << ")\n\n";
+
+  // Enumerate candidates, shortest (fewest hops) first, then greedily pick
+  // a link-disjoint subset.
+  PathEnumOptions opts;
+  opts.max_paths = 2000;
+  auto candidates = enumerate_spliced_paths(splicer, src, dst, opts);
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  const auto disjoint = pick_disjoint(g, candidates);
+
+  const ShortestPathOracle oracle(g);
+  Table table({"subflow", "path", "hops", "stretch"});
+  int idx = 0;
+  for (const auto& path : disjoint) {
+    const auto header = header_for_path(splicer, path);
+    if (!header.has_value()) continue;
+    // Verify the header really realizes the path before advertising it.
+    const Delivery d = splicer.send(src, dst, *header);
+    if (!d.delivered() || d.hops.size() + 1 != path.size()) continue;
+    std::string pretty = g.name(path.front());
+    for (std::size_t i = 1; i < path.size(); ++i)
+      pretty += ">" + g.name(path[i]);
+    double cost = 0.0;
+    for (const HopRecord& hop : d.hops) cost += g.edge(hop.edge).weight;
+    table.add_row({fmt_int(++idx), pretty,
+                   fmt_int(static_cast<long long>(path.size() - 1)),
+                   fmt_double(cost / oracle.distance(src, dst), 2)});
+  }
+  table.print(std::cout);
+
+  const int ceiling = pair_edge_connectivity(g, src, dst);
+  std::cout << "\nconcurrent link-disjoint subflows: " << idx
+            << " (single-path routing: 1; graph max-flow ceiling: "
+            << ceiling << ")\n"
+            << "§5: hosts \"achieve throughput that approaches the capacity "
+               "of the underlying graph\" by splicing disjoint paths "
+               "simultaneously.\n";
+  return idx > 1 ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+// Ops debugging session: when a spliced network misbehaves, what tools does
+// an operator have? This example walks the full kit on a staged incident:
+//   1. a background of spliced traffic recorded into a TraceLog,
+//   2. an unannounced double link failure,
+//   3. log forensics (dead ends, deflections, loop markers),
+//   4. spliced-path enumeration for an affected pair ("what options remain"),
+//   5. header synthesis to pin traffic onto a chosen detour,
+//   6. the criticality report showing whether the incident was predictable.
+//
+//   ./network_debugging --topo=sprint --slices=5
+#include <iostream>
+
+#include "analysis/advisor.h"
+#include "dataplane/trace_log.h"
+#include "splicing/path_enum.h"
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace splice;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  SplicerConfig cfg;
+  cfg.slices = static_cast<SliceId>(flags.get_int("slices", 5));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  Splicer splicer(topo::by_name(flags.get_string("topo", "sprint")), cfg);
+  const Graph& g = splicer.graph();
+  Rng rng(cfg.seed ^ 0xdeb);
+
+  // 1. Background traffic, all healthy.
+  TraceLog healthy(g);
+  for (NodeId s = 0; s < g.node_count(); s += 5) {
+    for (NodeId t = 0; t < g.node_count(); t += 7) {
+      if (s == t) continue;
+      healthy.record(s, t, splicer.send(s, t, splicer.make_random_header(rng)));
+    }
+  }
+  std::cout << "healthy baseline: " << healthy.delivered() << "/"
+            << healthy.size() << " delivered, "
+            << healthy.total_hops() << " total hops\n";
+
+  // 2. Incident: fail the two most loaded-looking links on the NYC side.
+  const EdgeId cut1 = g.find_edge(g.find_node("NewYork"), g.find_node("Chicago"));
+  const EdgeId cut2 = g.find_edge(g.find_node("Pennsauken"), g.find_node("NewYork"));
+  splicer.network().set_link_state(cut1, false);
+  splicer.network().set_link_state(cut2, false);
+  std::cout << "\nINCIDENT: NewYork--Chicago and Pennsauken--NewYork are "
+               "down\n\n";
+
+  // 3. Re-run the background and read the log.
+  TraceLog incident(g);
+  for (NodeId s = 0; s < g.node_count(); s += 5) {
+    for (NodeId t = 0; t < g.node_count(); t += 7) {
+      if (s == t) continue;
+      incident.record(s, t, splicer.send(s, t, splicer.make_random_header(rng)));
+    }
+  }
+  std::cout << "incident log summary: " << incident.delivered() << "/"
+            << incident.size() << " delivered, " << incident.dead_ends()
+            << " dead ends\n";
+  // Show one failing record verbatim.
+  for (const std::string& line : incident.lines()) {
+    if (line.rfind("DEAD_END", 0) == 0) {
+      std::cout << "  sample: " << line << "\n";
+      break;
+    }
+  }
+
+  // 4. Find an affected pair (slice-0 path used a cut link) that still has
+  //    surviving spliced options, and enumerate them.
+  PathEnumOptions opts;
+  opts.max_paths = 5;
+  opts.edge_alive.assign(static_cast<std::size_t>(g.edge_count()), 1);
+  opts.edge_alive[static_cast<std::size_t>(cut1)] = 0;
+  opts.edge_alive[static_cast<std::size_t>(cut2)] = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::vector<std::vector<NodeId>> options;
+  for (NodeId s = 0; s < g.node_count() && src == kInvalidNode; ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s == t) continue;
+      // Affected: the normal path crossed a cut link.
+      bool affected = false;
+      NodeId cur = s;
+      while (cur != t) {
+        const EdgeId e =
+            splicer.control_plane().slice(0).next_hop_edge(cur, t);
+        affected |= e == cut1 || e == cut2;
+        cur = splicer.control_plane().slice(0).next_hop(cur, t);
+      }
+      if (!affected) continue;
+      options = enumerate_spliced_paths(splicer, s, t, opts);
+      if (!options.empty()) {
+        src = s;
+        dst = t;
+        break;
+      }
+    }
+  }
+  if (src == kInvalidNode) {
+    std::cout << "\nno affected pair has surviving spliced options\n";
+    return 1;
+  }
+  std::cout << "\nsurviving spliced options " << g.name(src) << " -> "
+            << g.name(dst) << " (showing up to 5):\n";
+  for (const auto& path : options) {
+    std::cout << "  ";
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      std::cout << (i ? ">" : "") << g.name(path[i]);
+    }
+    std::cout << "\n";
+  }
+
+  // 5. Pin traffic to the first surviving option.
+  if (!options.empty()) {
+    if (const auto header = header_for_path(splicer, options.front())) {
+      const Delivery pinned = splicer.send(src, dst, *header);
+      std::cout << "\npinned detour: "
+                << format_trace(g, src, dst, pinned) << "\n";
+    }
+  }
+
+  // 6. Hindsight: was this predictable? Criticality top-5.
+  std::cout << "\ncriticality report (top 5, k=" << cfg.slices << "):\n";
+  const auto ranking =
+      rank_link_criticality(g, splicer.control_plane(), cfg.slices);
+  Table crit({"link", "pairs cut if it fails alone"});
+  for (std::size_t i = 0; i < ranking.size() && i < 5; ++i) {
+    const Edge& e = g.edge(ranking[i].edge);
+    crit.add_row({g.name(e.u) + "--" + g.name(e.v),
+                  fmt_int(ranking[i].pairs_cut_spliced)});
+  }
+  crit.print(std::cout);
+  return 0;
+}

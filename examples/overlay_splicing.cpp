@@ -1,0 +1,102 @@
+// Overlay splicing (§5 "other applications"): apply path splicing to a
+// RON-style overlay. A subset of underlay nodes form a full-mesh overlay
+// whose virtual-link weights are the measured underlay latencies. When
+// underlay failures break a virtual link's measured path, the link is down
+// until the overlay re-probes — and overlay splicing recovers inside that
+// window by deflecting across other overlay nodes, with zero probe traffic.
+//
+//   ./overlay_splicing --topo=sprint --overlay-size=12 --slices=4 --p=0.08
+#include <iostream>
+
+#include "overlay/overlay.h"
+#include "sim/failure.h"
+#include "splicing/recovery.h"
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace splice;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const Graph underlay = topo::by_name(flags.get_string("topo", "sprint"));
+  const auto overlay_size =
+      static_cast<std::size_t>(flags.get_int("overlay-size", 12));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  const OverlayMapping mapping =
+      build_overlay(underlay, pick_overlay_members(underlay, overlay_size));
+  std::cout << "overlay of " << mapping.overlay.node_count() << " nodes / "
+            << mapping.overlay.edge_count() << " virtual links over "
+            << flags.get_string("topo", "sprint") << "\n\n";
+
+  // Overlay splicer on the intact latencies. The overlay is a clique, so
+  // all degree sums are equal and degree-based perturbation degenerates to
+  // a constant; use a strong uniform perturbation instead so slices
+  // actually discover relay routes that beat the direct virtual link.
+  SplicerConfig cfg;
+  cfg.slices = static_cast<SliceId>(flags.get_int("slices", 4));
+  cfg.seed = seed;
+  cfg.perturbation = {PerturbationKind::kUniform, 0.0,
+                      flags.get_double("b", 6.0)};
+  Splicer overlay_splicer(Graph(mapping.overlay), cfg);
+
+  // Fail underlay links; RON semantics mark the virtual links whose
+  // measured path broke as down until the next re-probe.
+  Rng rng(seed ^ 0x0e1a11);
+  const double p = flags.get_double("p", 0.08);
+  const auto underlay_alive = sample_alive_mask(underlay.edge_count(), p, rng);
+  const auto vlink_alive =
+      virtual_link_liveness(underlay, mapping, underlay_alive);
+  int dead_vlinks = 0;
+  for (char a : vlink_alive) dead_vlinks += a ? 0 : 1;
+  overlay_splicer.network().set_link_mask(vlink_alive);
+  std::cout << "underlay failure p=" << p << " kills " << dead_vlinks << "/"
+            << mapping.overlay.edge_count() << " virtual links\n\n";
+
+  // Compare direct virtual link vs spliced overlay recovery for all pairs,
+  // with both the end-system and the in-network scheme.
+  long long broken_direct = 0;
+  long long unrecovered_es = 0;
+  long long unrecovered_net = 0;
+  long long pairs = 0;
+  Rng rec_rng(seed ^ 0x42);
+  RecoveryConfig net_cfg;
+  net_cfg.scheme = RecoveryScheme::kNetworkDeflection;
+  for (NodeId s = 0; s < overlay_splicer.graph().node_count(); ++s) {
+    for (NodeId t = 0; t < overlay_splicer.graph().node_count(); ++t) {
+      if (s == t) continue;
+      ++pairs;
+      const RecoveryResult es = attempt_recovery(
+          overlay_splicer.network(), s, t, RecoveryConfig{}, rec_rng);
+      const RecoveryResult nw = attempt_recovery(
+          overlay_splicer.network(), s, t, net_cfg, rec_rng);
+      broken_direct += es.initially_connected ? 0 : 1;
+      unrecovered_es += es.delivered ? 0 : 1;
+      unrecovered_net += nw.delivered ? 0 : 1;
+    }
+  }
+
+  Table table({"metric", "value"});
+  table.add_row({"overlay pairs", fmt_int(pairs)});
+  table.add_row({"pairs with broken primary overlay path",
+                 fmt_int(broken_direct)});
+  table.add_row({"pairs unrecovered (end-system splicing)",
+                 fmt_int(unrecovered_es)});
+  table.add_row({"pairs unrecovered (network deflection)",
+                 fmt_int(unrecovered_net)});
+  table.print(std::cout);
+
+  // What re-probing would eventually restore, for context.
+  const OverlayMapping reprobed =
+      reprobe_overlay(underlay, mapping, underlay_alive);
+  std::cout << "\nafter a full re-probe the overlay would have "
+            << reprobed.overlay.edge_count() << "/"
+            << mapping.overlay.edge_count()
+            << " virtual links again — splicing bridges the gap without "
+               "waiting for it.\n"
+            << "§5: \"Applying path splicing to overlay routes may improve "
+               "fault tolerance and capacity.\"\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "analysis/advisor.h"
+
+#include <algorithm>
+
+#include "graph/connectivity.h"
+#include "sim/failure.h"
+#include "util/assert.h"
+#include "util/parallel.h"
+
+namespace splice {
+
+std::vector<LinkCriticality> rank_link_criticality(
+    const Graph& g, const MultiInstanceRouting& mir, SliceId k,
+    UnionSemantics semantics) {
+  SPLICE_EXPECTS(k >= 1 && k <= mir.slice_count());
+  const SplicedReliabilityAnalyzer analyzer(g, mir);
+  std::vector<LinkCriticality> out;
+  out.reserve(static_cast<std::size_t>(g.edge_count()));
+  std::vector<char> alive(static_cast<std::size_t>(g.edge_count()), 1);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    alive[static_cast<std::size_t>(e)] = 0;
+    LinkCriticality c;
+    c.edge = e;
+    c.pairs_cut_spliced = analyzer.disconnected_pairs(k, alive, semantics);
+    c.pairs_cut_single_path =
+        analyzer.disconnected_pairs(1, alive, semantics);
+    c.pairs_cut_physical = disconnected_ordered_pairs(g, alive);
+    out.push_back(c);
+    alive[static_cast<std::size_t>(e)] = 1;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LinkCriticality& a, const LinkCriticality& b) {
+              if (a.pairs_cut_spliced != b.pairs_cut_spliced)
+                return a.pairs_cut_spliced > b.pairs_cut_spliced;
+              return a.edge < b.edge;
+            });
+  return out;
+}
+
+SliceBudgetResult advise_slice_budget(const Graph& g,
+                                      const SliceBudgetConfig& cfg) {
+  SPLICE_EXPECTS(cfg.max_k >= 1);
+  SPLICE_EXPECTS(cfg.trials >= 1);
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{cfg.max_k, cfg.perturbation, cfg.seed, false});
+  const SplicedReliabilityAnalyzer analyzer(g, mir);
+
+  struct Acc {
+    std::vector<double> per_k_sum;
+    double best_sum = 0.0;
+    int trials = 0;
+  };
+  const auto run_trial = [&](int trial, Acc& acc) {
+    if (acc.per_k_sum.empty())
+      acc.per_k_sum.assign(static_cast<std::size_t>(cfg.max_k), 0.0);
+    Rng rng(hash_mix(cfg.seed ^ 0xad715e0ULL,
+                     static_cast<std::uint64_t>(trial)));
+    const auto alive = sample_alive_mask(g.edge_count(), cfg.p, rng);
+    for (SliceId k = 1; k <= cfg.max_k; ++k) {
+      acc.per_k_sum[static_cast<std::size_t>(k - 1)] +=
+          analyzer.disconnected_fraction(k, alive);
+    }
+    acc.best_sum += static_cast<double>(disconnected_ordered_pairs(g, alive)) /
+                    static_cast<double>(total_ordered_pairs(g));
+    ++acc.trials;
+  };
+  const Acc merged = parallel_trials<Acc>(
+      cfg.trials, cfg.threads, run_trial, [](Acc& into, const Acc& from) {
+        if (into.per_k_sum.empty())
+          into.per_k_sum.assign(from.per_k_sum.size(), 0.0);
+        for (std::size_t i = 0; i < from.per_k_sum.size(); ++i)
+          into.per_k_sum[i] += from.per_k_sum[i];
+        into.best_sum += from.best_sum;
+        into.trials += from.trials;
+      });
+
+  SliceBudgetResult result;
+  const auto trials = static_cast<double>(std::max(1, merged.trials));
+  result.best_possible = merged.best_sum / trials;
+  result.per_k.reserve(static_cast<std::size_t>(cfg.max_k));
+  result.k = cfg.max_k + 1;
+  for (SliceId k = 1; k <= cfg.max_k; ++k) {
+    const double frac =
+        merged.per_k_sum[static_cast<std::size_t>(k - 1)] / trials;
+    result.per_k.push_back(frac);
+    if (result.k > cfg.max_k && frac <= cfg.target_disconnected) {
+      result.k = k;
+      result.achieved = frac;
+    }
+  }
+  if (result.k > cfg.max_k && !result.per_k.empty()) {
+    result.achieved = result.per_k.back();
+  }
+  return result;
+}
+
+}  // namespace splice

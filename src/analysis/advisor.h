@@ -1,0 +1,68 @@
+// Operator-facing planning tools built on the splicing analyzers — the
+// layer a network team adopting path splicing would actually drive:
+//
+//  * Link criticality ranking: which links, when they fail alone, cut the
+//    most (spliced) connectivity? Surfaces the residual single points of
+//    failure that even splicing cannot mask (Figure 1's cut argument).
+//  * Slice-budget advisor: the smallest k whose spliced reliability meets
+//    an operator target at a design failure rate — the "how many slices do
+//    I deploy?" question §4.2's log-n analysis answers asymptotically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/perturbation.h"
+#include "splicing/reliability.h"
+
+namespace splice {
+
+struct LinkCriticality {
+  EdgeId edge = kInvalidEdge;
+  /// Ordered pairs disconnected when only this link fails, with splicing
+  /// (the configured k) in place.
+  long long pairs_cut_spliced = 0;
+  /// The same under plain shortest-path routing (k = 1).
+  long long pairs_cut_single_path = 0;
+  /// Pairs physically disconnected (graph cut): the irreducible floor.
+  long long pairs_cut_physical = 0;
+};
+
+/// Ranks every link by pairs_cut_spliced (descending, ties by edge id).
+/// Links whose spliced impact equals the physical floor are fully masked
+/// except for the inevitable; links above the floor are splicing gaps.
+std::vector<LinkCriticality> rank_link_criticality(
+    const Graph& g, const MultiInstanceRouting& mir, SliceId k,
+    UnionSemantics semantics = UnionSemantics::kUndirectedLinks);
+
+struct SliceBudgetConfig {
+  /// Acceptable mean disconnected-pair fraction at the design point.
+  double target_disconnected = 0.01;
+  /// Design failure probability.
+  double p = 0.03;
+  int trials = 300;
+  SliceId max_k = 16;
+  PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  std::uint64_t seed = 1;
+  int threads = 1;
+};
+
+struct SliceBudgetResult {
+  /// Smallest k meeting the target; max_k + 1 when unreachable.
+  SliceId k = 0;
+  /// Mean disconnected fraction at that k.
+  double achieved = 0.0;
+  /// Best possible (underlying graph) at the design point — if the target
+  /// is below this, no routing scheme can meet it.
+  double best_possible = 0.0;
+  /// Achieved fraction for every k in [1, max_k] (index k-1), so callers
+  /// can plot the whole budget curve.
+  std::vector<double> per_k;
+};
+
+/// Monte Carlo search for the smallest slice budget meeting the target.
+SliceBudgetResult advise_slice_budget(const Graph& g,
+                                      const SliceBudgetConfig& cfg);
+
+}  // namespace splice

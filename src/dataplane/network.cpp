@@ -1,0 +1,136 @@
+#include "dataplane/network.h"
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace splice {
+
+DataPlaneNetwork::DataPlaneNetwork(const Graph& g, const FibSet& fibs)
+    : graph_(&g),
+      fibs_(&fibs),
+      link_alive_(static_cast<std::size_t>(g.edge_count()), 1) {
+  SPLICE_EXPECTS(fibs.node_count() == g.node_count());
+}
+
+void DataPlaneNetwork::restore_all_links() {
+  std::fill(link_alive_.begin(), link_alive_.end(), 1);
+}
+
+void DataPlaneNetwork::set_link_state(EdgeId e, bool alive) {
+  SPLICE_EXPECTS(e >= 0 && static_cast<std::size_t>(e) < link_alive_.size());
+  link_alive_[static_cast<std::size_t>(e)] = alive ? 1 : 0;
+}
+
+void DataPlaneNetwork::set_link_mask(std::span<const char> alive) {
+  SPLICE_EXPECTS(alive.size() == link_alive_.size());
+  link_alive_.assign(alive.begin(), alive.end());
+}
+
+SliceId DataPlaneNetwork::default_slice(NodeId src, NodeId dst) const noexcept {
+  const auto k = static_cast<std::uint64_t>(fibs_->slice_count());
+  return static_cast<SliceId>(hash_mix(static_cast<std::uint64_t>(src),
+                                       static_cast<std::uint64_t>(dst)) %
+                              k);
+}
+
+Delivery DataPlaneNetwork::forward(const Packet& packet,
+                                   const ForwardingPolicy& policy) const {
+  SPLICE_EXPECTS(graph_->valid_node(packet.src));
+  SPLICE_EXPECTS(graph_->valid_node(packet.dst));
+
+  Delivery out;
+  if (packet.src == packet.dst) {
+    out.outcome = ForwardOutcome::kDelivered;
+    return out;
+  }
+
+  const SliceId k = fibs_->slice_count();
+  SpliceHeader header = packet.header;  // consumed copy
+  CounterHeader counter = packet.counter;
+  SliceId current = default_slice(packet.src, packet.dst);
+  NodeId node = packet.src;
+  int ttl = packet.ttl;
+
+  while (ttl-- > 0) {
+    // Algorithm 1: read the rightmost lg(k) bits if any remain; otherwise
+    // apply the exhaust policy.
+    SliceId slice = current;
+    if (const auto popped = header.pop(); popped.has_value()) {
+      // Headers are opaque; defensive mod protects against bit patterns
+      // that encode a value >= k when k is not a power of two.
+      slice = static_cast<SliceId>(*popped % k);
+    } else if (policy.exhaust == ExhaustPolicy::kHashDefault) {
+      slice = default_slice(packet.src, packet.dst);
+    }
+    // Counter-based deflection (§5): a non-zero counter overrides the slice
+    // deterministically and decrements.
+    if (counter.active()) slice = counter.deflect(slice, k);
+
+    FibEntry entry = fibs_->lookup(slice, node, packet.dst);
+    bool deflected = false;
+    const bool usable = entry.valid() && link_alive(entry.edge);
+    if (!usable) {
+      if (policy.local_recovery == LocalRecovery::kDeflect) {
+        // Network-based recovery (§4.3): scan the other forwarding tables
+        // for a next hop whose incident link is alive.
+        for (SliceId s = 0; s < k && !deflected; ++s) {
+          if (s == slice) continue;
+          const FibEntry alt = fibs_->lookup(s, node, packet.dst);
+          if (alt.valid() && link_alive(alt.edge)) {
+            entry = alt;
+            slice = s;
+            deflected = true;
+          }
+        }
+      }
+      if (!deflected) {
+        out.outcome = ForwardOutcome::kDeadEnd;
+        return out;
+      }
+    }
+
+    out.hops.push_back(HopRecord{node, entry.next_hop, entry.edge, slice,
+                                 deflected});
+    node = entry.next_hop;
+    current = slice;
+    if (node == packet.dst) {
+      out.outcome = ForwardOutcome::kDelivered;
+      return out;
+    }
+  }
+  out.outcome = ForwardOutcome::kTtlExpired;
+  return out;
+}
+
+Weight trace_cost(const Graph& g, const Delivery& d) {
+  Weight cost = 0.0;
+  for (const HopRecord& hop : d.hops) cost += g.edge(hop.edge).weight;
+  return cost;
+}
+
+int count_node_revisits(const Delivery& d) {
+  int revisits = 0;
+  std::vector<NodeId> seen;
+  seen.reserve(d.hops.size() + 1);
+  auto visit = [&](NodeId v) {
+    for (NodeId s : seen) {
+      if (s == v) {
+        ++revisits;
+        return;
+      }
+    }
+    seen.push_back(v);
+  };
+  if (!d.hops.empty()) visit(d.hops.front().node);
+  for (const HopRecord& hop : d.hops) visit(hop.next);
+  return revisits;
+}
+
+bool has_two_hop_loop(const Delivery& d) {
+  for (std::size_t i = 0; i + 1 < d.hops.size(); ++i) {
+    if (d.hops[i].node == d.hops[i + 1].next) return true;
+  }
+  return false;
+}
+
+}  // namespace splice

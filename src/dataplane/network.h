@@ -1,0 +1,93 @@
+// Packet-level data-plane simulator.
+//
+// Holds the shared topology, the k forwarding tables produced by the control
+// plane, and per-link up/down state. forward() walks a packet hop by hop
+// exactly as Algorithm 1 prescribes: pop lg(k) forwarding bits to pick the
+// slice, look up the per-slice next hop for the destination, and hand the
+// packet over; on header exhaustion apply the configured policy; optionally
+// perform network-based recovery (local deflection to a slice whose next
+// hop is reachable over an alive link) when the selected next hop's link is
+// down.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dataplane/packet.h"
+#include "graph/graph.h"
+#include "routing/fib.h"
+
+namespace splice {
+
+/// What a node does when the splicing header has no bits left (§4.4
+/// discusses both behaviors).
+enum class ExhaustPolicy {
+  /// Remain in the slice used for the previous hop (paper's §4.4 reading:
+  /// "traffic will remain in its current tree en route to the destination").
+  kStayInCurrent,
+  /// Re-derive the default slice from Hash(src, dst) every hop (literal
+  /// Algorithm 1 fallback).
+  kHashDefault,
+};
+
+/// Whether intermediate nodes may deflect around locally failed links.
+enum class LocalRecovery {
+  kNone,     ///< drop to dead end when the chosen slice's link is down
+  kDeflect,  ///< §4.3 network-based recovery: try other slices' next hops
+};
+
+struct ForwardingPolicy {
+  ExhaustPolicy exhaust = ExhaustPolicy::kStayInCurrent;
+  LocalRecovery local_recovery = LocalRecovery::kNone;
+};
+
+class DataPlaneNetwork {
+ public:
+  /// The network keeps references: graph and fibs must outlive it.
+  DataPlaneNetwork(const Graph& g, const FibSet& fibs);
+
+  const Graph& graph() const noexcept { return *graph_; }
+  SliceId slice_count() const noexcept { return fibs_->slice_count(); }
+
+  /// Marks every link alive.
+  void restore_all_links();
+
+  /// Sets one link's liveness.
+  void set_link_state(EdgeId e, bool alive);
+
+  /// Installs a full liveness mask (indexed by edge id; 1 = alive).
+  void set_link_mask(std::span<const char> alive);
+
+  bool link_alive(EdgeId e) const noexcept {
+    SPLICE_EXPECTS(e >= 0 &&
+                   static_cast<std::size_t>(e) < link_alive_.size());
+    return link_alive_[static_cast<std::size_t>(e)] != 0;
+  }
+
+  std::span<const char> link_mask() const noexcept { return link_alive_; }
+
+  /// Default slice for a flow with no forwarding bits: Hash(src, dst) mod k.
+  SliceId default_slice(NodeId src, NodeId dst) const noexcept;
+
+  /// Forwards one packet from packet.src toward packet.dst; returns the
+  /// full trace. Does not mutate the network.
+  Delivery forward(const Packet& packet,
+                   const ForwardingPolicy& policy = {}) const;
+
+ private:
+  const Graph* graph_;
+  const FibSet* fibs_;
+  std::vector<char> link_alive_;
+};
+
+/// Path latency under original graph weights for a delivery trace.
+Weight trace_cost(const Graph& g, const Delivery& d);
+
+/// Number of revisited nodes in the trace (0 for loop-free paths).
+int count_node_revisits(const Delivery& d);
+
+/// True iff the trace contains a two-hop loop (u -> v -> u), the loop type
+/// §4.4 reports as the common case.
+bool has_two_hop_loop(const Delivery& d);
+
+}  // namespace splice

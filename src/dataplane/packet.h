@@ -1,0 +1,52 @@
+// Packet model for the splicing data plane simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/splice_header.h"
+#include "graph/types.h"
+
+namespace splice {
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// The splicing shim header; an empty header means "no forwarding bits"
+  /// and every hop uses the default slice (Algorithm 1's Hash(src, dst)).
+  SpliceHeader header;
+  /// Optional counter-based deflection header (§5 alternate encoding);
+  /// inactive (0) unless the sender arms it.
+  CounterHeader counter;
+  /// Hop budget; the simulator drops the packet when it reaches 0.
+  int ttl = 255;
+};
+
+/// Why forwarding terminated.
+enum class ForwardOutcome {
+  kDelivered,    ///< reached dst
+  kDeadEnd,      ///< some hop had no usable next hop (failed links, no FIB)
+  kTtlExpired,   ///< hop budget exhausted (persistent loop or long detour)
+};
+
+/// One hop of the forwarding trace.
+struct HopRecord {
+  NodeId node = kInvalidNode;   ///< node that forwarded
+  NodeId next = kInvalidNode;   ///< neighbor it forwarded to
+  EdgeId edge = kInvalidEdge;   ///< link used
+  SliceId slice = 0;            ///< forwarding table consulted
+  bool deflected = false;       ///< network-based recovery changed the slice
+};
+
+/// Complete result of forwarding one packet.
+struct Delivery {
+  ForwardOutcome outcome = ForwardOutcome::kDeadEnd;
+  std::vector<HopRecord> hops;
+
+  bool delivered() const noexcept {
+    return outcome == ForwardOutcome::kDelivered;
+  }
+  int hop_count() const noexcept { return static_cast<int>(hops.size()); }
+};
+
+}  // namespace splice

@@ -1,0 +1,196 @@
+#include "dataplane/splice_header.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace splice {
+
+int bits_per_hop(SliceId k) noexcept {
+  SPLICE_EXPECTS(k >= 1);
+  int bits = 0;
+  SliceId capacity = 1;
+  while (capacity < k) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+std::uint32_t BitStream::peek(int width) const noexcept {
+  SPLICE_EXPECTS(width >= 0 && width <= 32);
+  if (width == 0) return 0;
+  const std::uint64_t mask = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+  return static_cast<std::uint32_t>(lo_ & mask);
+}
+
+void BitStream::shift(int width) noexcept {
+  SPLICE_EXPECTS(width >= 0 && width <= 64);
+  if (width == 0) return;
+  if (width == 64) {
+    lo_ = hi_;
+    hi_ = 0;
+    return;
+  }
+  lo_ = (lo_ >> width) | (hi_ << (64 - width));
+  hi_ >>= width;
+}
+
+std::uint32_t BitStream::pop(int width) noexcept {
+  const std::uint32_t v = peek(width);
+  shift(width);
+  return v;
+}
+
+void BitStream::set_slot(int slot, int width, std::uint32_t value) noexcept {
+  SPLICE_EXPECTS(slot >= 0 && width >= 0 && width <= 32);
+  if (width == 0) return;
+  const int pos = slot * width;
+  SPLICE_EXPECTS(pos + width <= 128);
+  const std::uint64_t mask = (1ULL << width) - 1;
+  const auto v = static_cast<std::uint64_t>(value) & mask;
+  if (pos < 64) {
+    lo_ &= ~(mask << pos);
+    lo_ |= v << pos;
+    if (pos + width > 64) {
+      // Straddles the word boundary.
+      const int spill = pos + width - 64;
+      const std::uint64_t hi_mask = (1ULL << spill) - 1;
+      hi_ &= ~hi_mask;
+      hi_ |= v >> (width - spill);
+    }
+  } else {
+    const int hpos = pos - 64;
+    hi_ &= ~(mask << hpos);
+    hi_ |= v << hpos;
+  }
+}
+
+SpliceHeader::SpliceHeader(SliceId k, int hops) : k_(k), hops_(hops) {
+  SPLICE_EXPECTS(k >= 1);
+  SPLICE_EXPECTS(hops >= 0);
+  SPLICE_EXPECTS(bits_per_hop(k) * hops <= 128);
+}
+
+SpliceHeader SpliceHeader::random(SliceId k, int hops, Rng& rng) {
+  SpliceHeader h(k, hops);
+  const int bpp = bits_per_hop(k);
+  if (bpp == 0) return h;
+  for (int i = 0; i < hops; ++i) {
+    h.bits_.set_slot(i, bpp, static_cast<std::uint32_t>(
+                                 rng.below(static_cast<std::uint64_t>(k))));
+  }
+  return h;
+}
+
+SpliceHeader SpliceHeader::from_slices(SliceId k,
+                                       std::span<const SliceId> slices) {
+  SpliceHeader h(k, static_cast<int>(slices.size()));
+  const int bpp = bits_per_hop(k);
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    SPLICE_EXPECTS(slices[i] >= 0 && slices[i] < k);
+    if (bpp > 0)
+      h.bits_.set_slot(static_cast<int>(i), bpp,
+                       static_cast<std::uint32_t>(slices[i]));
+  }
+  return h;
+}
+
+SpliceHeader SpliceHeader::mutate_coinflip(Rng& rng,
+                                           double flip_probability) const {
+  SPLICE_EXPECTS(cursor_ == 0);  // mutate full headers, not consumed ones
+  std::vector<SliceId> seq = slices();
+  for (SliceId& s : seq) {
+    if (k_ > 1 && rng.bernoulli(flip_probability)) {
+      // Select a *different* slice uniformly.
+      const auto other = static_cast<SliceId>(
+          rng.below(static_cast<std::uint64_t>(k_ - 1)));
+      s = other >= s ? other + 1 : other;
+    }
+  }
+  return from_slices(k_, seq);
+}
+
+SpliceHeader SpliceHeader::mutate_first_hop_biased(Rng& rng, double p0,
+                                                   double decay) const {
+  SPLICE_EXPECTS(cursor_ == 0);
+  SPLICE_EXPECTS(p0 >= 0.0 && p0 <= 1.0);
+  SPLICE_EXPECTS(decay > 0.0 && decay <= 1.0);
+  std::vector<SliceId> seq = slices();
+  double p = p0;
+  for (SliceId& s : seq) {
+    if (k_ > 1 && rng.bernoulli(p)) {
+      const auto other = static_cast<SliceId>(
+          rng.below(static_cast<std::uint64_t>(k_ - 1)));
+      s = other >= s ? other + 1 : other;
+    }
+    p *= decay;
+  }
+  return from_slices(k_, seq);
+}
+
+SpliceHeader SpliceHeader::random_no_revisit(SliceId k, int hops, Rng& rng) {
+  // Draw a random permutation of slices and random segment boundaries; the
+  // sequence walks the permutation left to right, so a slice, once left, is
+  // never revisited and persistent loops are impossible (§4.4).
+  std::vector<SliceId> order(static_cast<std::size_t>(k));
+  for (SliceId s = 0; s < k; ++s) order[static_cast<std::size_t>(s)] = s;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  std::vector<SliceId> seq(static_cast<std::size_t>(hops));
+  std::size_t segment = 0;
+  for (int i = 0; i < hops; ++i) {
+    seq[static_cast<std::size_t>(i)] = order[segment];
+    // Advance to the next slice with probability 1/2 while any remain.
+    if (segment + 1 < order.size() && rng.coin()) ++segment;
+  }
+  return from_slices(k, seq);
+}
+
+SpliceHeader SpliceHeader::random_bounded_switches(SliceId k, int hops,
+                                                   int max_switches,
+                                                   Rng& rng) {
+  SPLICE_EXPECTS(max_switches >= 0);
+  std::vector<SliceId> seq(static_cast<std::size_t>(hops));
+  SliceId cur = static_cast<SliceId>(rng.below(static_cast<std::uint64_t>(k)));
+  int switches = 0;
+  for (int i = 0; i < hops; ++i) {
+    if (k > 1 && switches < max_switches && rng.coin()) {
+      const auto other = static_cast<SliceId>(
+          rng.below(static_cast<std::uint64_t>(k - 1)));
+      cur = other >= cur ? other + 1 : other;
+      ++switches;
+    }
+    seq[static_cast<std::size_t>(i)] = cur;
+  }
+  return from_slices(k, seq);
+}
+
+std::optional<SliceId> SpliceHeader::pop() {
+  if (k_ <= 1) return std::nullopt;
+  if (cursor_ >= hops_) return std::nullopt;
+  ++cursor_;
+  return static_cast<SliceId>(bits_.pop(bits_per_hop(k_)));
+}
+
+std::vector<SliceId> SpliceHeader::slices() const {
+  std::vector<SliceId> out;
+  out.reserve(static_cast<std::size_t>(remaining_hops()));
+  BitStream copy = bits_;
+  const int bpp = bits_per_hop(k_);
+  for (int i = cursor_; i < hops_; ++i) {
+    out.push_back(bpp == 0 ? 0 : static_cast<SliceId>(copy.pop(bpp)));
+  }
+  return out;
+}
+
+SliceId CounterHeader::deflect(SliceId current, SliceId k) noexcept {
+  SPLICE_EXPECTS(k >= 1);
+  if (value_ == 0 || k == 1) return current;
+  const SliceId offset = static_cast<SliceId>(value_ % static_cast<std::uint32_t>(k - 1)) + 1;
+  --value_;
+  return static_cast<SliceId>((current + offset) % k);
+}
+
+}  // namespace splice

@@ -1,0 +1,144 @@
+// The splicing shim header (§3.2): a packed stream of "forwarding bits"
+// placed between the network and transport headers. Each hop reads the
+// rightmost lg(k) bits to select one of k forwarding tables, then shifts the
+// stream right by lg(k) so the next hop does the same (Algorithm 1).
+//
+// The bits are opaque — end systems re-randomize them without knowing the
+// topology. This module also implements the recovery-oriented generators the
+// paper evaluates or proposes:
+//   * uniform random bits (initial headers and naive recovery),
+//   * per-hop coin-flip mutation (end-system recovery, §4.3),
+//   * never-revisit-a-slice sequences (loop-free variant, §4.4),
+//   * bounded-switch sequences (loop-limiting variant, §4.4),
+//   * first-hop-biased mutation (§5, "flip early hops with higher
+//     probability"),
+// and the counter-based alternate encoding sketched in §5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace splice {
+
+/// Bits needed per hop for k slices: ceil(log2(k)); 0 when k == 1.
+int bits_per_hop(SliceId k) noexcept;
+
+/// 128-bit little-endian bit stream with the shift/mask primitives of
+/// Algorithm 1. Capacity: 128 bits = 20 hops x up to 6 bits (k <= 64).
+class BitStream {
+ public:
+  BitStream() = default;
+
+  /// True iff every remaining bit is zero (the `fwdbits > 0` test).
+  bool all_zero() const noexcept { return lo_ == 0 && hi_ == 0; }
+
+  /// Reads the rightmost `width` bits without shifting.
+  std::uint32_t peek(int width) const noexcept;
+
+  /// Shifts right by `width` bits.
+  void shift(int width) noexcept;
+
+  /// Reads and shifts in one step.
+  std::uint32_t pop(int width) noexcept;
+
+  /// Appends `width` bits of `value` at position `slot * width`.
+  void set_slot(int slot, int width, std::uint32_t value) noexcept;
+
+  std::uint64_t lo() const noexcept { return lo_; }
+  std::uint64_t hi() const noexcept { return hi_; }
+
+  friend bool operator==(const BitStream&, const BitStream&) = default;
+
+ private:
+  std::uint64_t lo_ = 0;
+  std::uint64_t hi_ = 0;
+};
+
+/// The shim header: a bit stream plus the slice-count geometry needed to
+/// interpret it. `hops` is the number of splice-capable hops encoded; the
+/// paper's experiments use 20.
+class SpliceHeader {
+ public:
+  static constexpr int kDefaultHops = 20;
+
+  /// Empty header: no forwarding bits; every hop falls back to the default
+  /// (hash-selected) slice.
+  SpliceHeader() = default;
+
+  /// Header for k slices and `hops` splice points, all slots zero.
+  SpliceHeader(SliceId k, int hops);
+
+  /// Uniform random slice per hop — the naive recovery generator.
+  static SpliceHeader random(SliceId k, int hops, Rng& rng);
+
+  /// Header encoding an explicit per-hop slice sequence.
+  static SpliceHeader from_slices(SliceId k, std::span<const SliceId> slices);
+
+  /// End-system recovery (§4.3): per hop, toss a coin; on heads replace that
+  /// hop's slice with a different uniformly chosen one.
+  SpliceHeader mutate_coinflip(Rng& rng, double flip_probability = 0.5) const;
+
+  /// First-hop-biased mutation (§5): hop i flips with probability
+  /// p0 * decay^i, so early hops change more often.
+  SpliceHeader mutate_first_hop_biased(Rng& rng, double p0 = 0.9,
+                                       double decay = 0.7) const;
+
+  /// Sequence that never returns to a previously *left* slice (§4.4):
+  /// guarantees no persistent forwarding loop. At most min(k, hops) distinct
+  /// slices are used, in segments.
+  static SpliceHeader random_no_revisit(SliceId k, int hops, Rng& rng);
+
+  /// Sequence with at most `max_switches` slice changes (§4.4).
+  static SpliceHeader random_bounded_switches(SliceId k, int hops,
+                                              int max_switches, Rng& rng);
+
+  /// Per-hop pop, Algorithm 1: returns the slice for this hop, or nullopt
+  /// when the stream is exhausted (all remaining bits zero and no hops
+  /// remain — callers then apply their exhaust policy).
+  std::optional<SliceId> pop();
+
+  /// Decodes the remaining per-hop slice values (without consuming).
+  std::vector<SliceId> slices() const;
+
+  SliceId slice_count() const noexcept { return k_; }
+  int hops() const noexcept { return hops_; }
+  int remaining_hops() const noexcept { return hops_ - cursor_; }
+  bool has_bits() const noexcept { return k_ > 1 && remaining_hops() > 0; }
+
+  /// Size of the header's bit payload in bits — the overhead metric.
+  int bit_size() const noexcept { return bits_per_hop(k_) * hops_; }
+
+  friend bool operator==(const SpliceHeader&, const SpliceHeader&) = default;
+
+ private:
+  SliceId k_ = 1;
+  int hops_ = 0;
+  int cursor_ = 0;  // hops already consumed
+  BitStream bits_;
+};
+
+/// Counter-based alternate encoding (§5): the header carries one number; a
+/// hop that sees a non-zero value deflects deterministically (slice index
+/// derived from the value) and decrements it.
+class CounterHeader {
+ public:
+  CounterHeader() = default;
+  explicit CounterHeader(std::uint32_t value) : value_(value) {}
+
+  std::uint32_t value() const noexcept { return value_; }
+  bool active() const noexcept { return value_ > 0; }
+
+  /// Consumes one deflection: returns the slice to use at this hop for a
+  /// node currently on `current` of k slices, and decrements the counter.
+  SliceId deflect(SliceId current, SliceId k) noexcept;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace splice

@@ -1,0 +1,169 @@
+#include "dataplane/trace_log.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "dataplane/network.h"
+#include "util/assert.h"
+
+namespace splice {
+
+namespace {
+
+const char* outcome_token(ForwardOutcome o) {
+  switch (o) {
+    case ForwardOutcome::kDelivered:
+      return "DELIVERED";
+    case ForwardOutcome::kDeadEnd:
+      return "DEAD_END";
+    case ForwardOutcome::kTtlExpired:
+      return "TTL_EXPIRED";
+  }
+  return "?";
+}
+
+ForwardOutcome parse_outcome(const std::string& tok) {
+  if (tok == "DELIVERED") return ForwardOutcome::kDelivered;
+  if (tok == "DEAD_END") return ForwardOutcome::kDeadEnd;
+  if (tok == "TTL_EXPIRED") return ForwardOutcome::kTtlExpired;
+  throw std::invalid_argument("unknown trace outcome: " + tok);
+}
+
+std::string node_label(const Graph& g, NodeId v) {
+  return g.name(v).empty() ? std::to_string(v) : g.name(v);
+}
+
+/// Splits "a,b,c" into tokens (empty input -> empty list).
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) out.push_back(tok);
+  return out;
+}
+
+/// Value of "key=value" if the token has that key.
+bool take_kv(const std::string& token, const char* key, std::string& value) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) return false;
+  value = token.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+std::string format_trace(const Graph& g, NodeId src, NodeId dst,
+                         const Delivery& d) {
+  SPLICE_EXPECTS(g.valid_node(src));
+  SPLICE_EXPECTS(g.valid_node(dst));
+  std::ostringstream out;
+  out << outcome_token(d.outcome) << " src=" << node_label(g, src)
+      << " dst=" << node_label(g, dst) << " hops=" << d.hop_count()
+      << " cost=" << trace_cost(g, d);
+
+  out << " slices=";
+  for (std::size_t i = 0; i < d.hops.size(); ++i) {
+    if (i) out << ',';
+    out << d.hops[i].slice;
+  }
+
+  out << " path=" << node_label(g, src);
+  for (const HopRecord& hop : d.hops) out << '-' << node_label(g, hop.next);
+
+  bool any_deflected = false;
+  for (const HopRecord& hop : d.hops) any_deflected |= hop.deflected;
+  if (any_deflected) {
+    out << " deflected=";
+    bool first = true;
+    for (std::size_t i = 0; i < d.hops.size(); ++i) {
+      if (!d.hops[i].deflected) continue;
+      if (!first) out << ',';
+      out << i;
+      first = false;
+    }
+  }
+  return out.str();
+}
+
+ParsedTrace parse_trace(const std::string& line) {
+  std::istringstream in(line);
+  std::string tok;
+  if (!(in >> tok)) throw std::invalid_argument("empty trace line");
+  ParsedTrace t;
+  t.outcome = parse_outcome(tok);
+
+  std::string value;
+  bool saw_src = false;
+  bool saw_dst = false;
+  bool saw_path = false;
+  while (in >> tok) {
+    if (take_kv(tok, "src", value)) {
+      t.src = value;
+      saw_src = true;
+    } else if (take_kv(tok, "dst", value)) {
+      t.dst = value;
+      saw_dst = true;
+    } else if (take_kv(tok, "hops", value)) {
+      t.hops = std::stoi(value);
+    } else if (take_kv(tok, "cost", value)) {
+      t.cost = std::stod(value);
+    } else if (take_kv(tok, "slices", value)) {
+      for (const std::string& s : split_csv(value)) {
+        t.slices.push_back(static_cast<SliceId>(std::stol(s)));
+      }
+    } else if (take_kv(tok, "path", value)) {
+      std::stringstream ps(value);
+      std::string node;
+      while (std::getline(ps, node, '-')) t.path.push_back(node);
+      saw_path = true;
+    } else if (take_kv(tok, "deflected", value)) {
+      for (const std::string& s : split_csv(value)) {
+        t.deflected_hops.push_back(std::stoi(s));
+      }
+    } else {
+      throw std::invalid_argument("unknown trace token: " + tok);
+    }
+  }
+  if (!saw_src || !saw_dst || !saw_path) {
+    throw std::invalid_argument("trace line missing src/dst/path");
+  }
+  if (static_cast<int>(t.slices.size()) != t.hops ||
+      static_cast<int>(t.path.size()) != t.hops + 1) {
+    throw std::invalid_argument("trace line inconsistent hop counts");
+  }
+  return t;
+}
+
+void TraceLog::record(NodeId src, NodeId dst, const Delivery& d) {
+  lines_.push_back(format_trace(*graph_, src, dst, d));
+  switch (d.outcome) {
+    case ForwardOutcome::kDelivered:
+      ++delivered_;
+      break;
+    case ForwardOutcome::kDeadEnd:
+      ++dead_ends_;
+      break;
+    case ForwardOutcome::kTtlExpired:
+      ++ttl_expired_;
+      break;
+  }
+  total_hops_ += d.hop_count();
+  for (const HopRecord& hop : d.hops) deflections_ += hop.deflected ? 1 : 0;
+}
+
+std::string TraceLog::render() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  std::ostringstream summary;
+  summary << "# traces=" << lines_.size() << " delivered=" << delivered_
+          << " dead_ends=" << dead_ends_ << " ttl_expired=" << ttl_expired_
+          << " total_hops=" << total_hops_
+          << " deflections=" << deflections_ << "\n";
+  out += summary.str();
+  return out;
+}
+
+}  // namespace splice

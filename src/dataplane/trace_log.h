@@ -1,0 +1,73 @@
+// Human- and machine-readable forwarding traces.
+//
+// Splicing's opaque bits make "why did this packet go that way?" a real
+// operational question; this module renders Delivery traces as one-line
+// records (with slice annotations and deflection markers), batches them in
+// a TraceLog with summary statistics, and parses records back — so traces
+// can be logged, diffed and replayed in tooling.
+//
+// Record grammar (one line):
+//   <outcome> src=<name> dst=<name> hops=<n> cost=<w> slices=<s0,s1,...>
+//     path=<n0>-<n1>-...-<nk> [deflected=<i,j,...>]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dataplane/packet.h"
+#include "graph/graph.h"
+
+namespace splice {
+
+/// Renders one delivery as a single-line record. Node names fall back to
+/// ids for unnamed nodes. `src` is required because a zero-hop delivery
+/// carries no node information of its own.
+std::string format_trace(const Graph& g, NodeId src, NodeId dst,
+                         const Delivery& d);
+
+/// Parses a record produced by format_trace back into its structural
+/// parts. Throws std::invalid_argument on malformed input.
+struct ParsedTrace {
+  ForwardOutcome outcome = ForwardOutcome::kDeadEnd;
+  std::string src;
+  std::string dst;
+  int hops = 0;
+  double cost = 0.0;
+  std::vector<SliceId> slices;
+  std::vector<std::string> path;       ///< node names, src..last
+  std::vector<int> deflected_hops;     ///< indices of deflected hops
+};
+
+ParsedTrace parse_trace(const std::string& line);
+
+/// Accumulates traces and derives summary statistics.
+class TraceLog {
+ public:
+  explicit TraceLog(const Graph& g) : graph_(&g) {}
+
+  void record(NodeId src, NodeId dst, const Delivery& d);
+
+  std::size_t size() const noexcept { return lines_.size(); }
+  const std::vector<std::string>& lines() const noexcept { return lines_; }
+
+  long long delivered() const noexcept { return delivered_; }
+  long long dead_ends() const noexcept { return dead_ends_; }
+  long long ttl_expired() const noexcept { return ttl_expired_; }
+  long long total_hops() const noexcept { return total_hops_; }
+  long long deflections() const noexcept { return deflections_; }
+
+  /// Full log text: one record per line plus a trailing summary line.
+  std::string render() const;
+
+ private:
+  const Graph* graph_;
+  std::vector<std::string> lines_;
+  long long delivered_ = 0;
+  long long dead_ends_ = 0;
+  long long ttl_expired_ = 0;
+  long long total_hops_ = 0;
+  long long deflections_ = 0;
+};
+
+}  // namespace splice

@@ -1,0 +1,52 @@
+#include "graph/bellman_ford.h"
+
+#include "util/assert.h"
+
+namespace splice {
+
+std::vector<Weight> bellman_ford_distances(const Graph& g, NodeId source,
+                                           std::span<const Weight> weight_override,
+                                           std::span<const char> edge_alive) {
+  SPLICE_EXPECTS(g.valid_node(source));
+  const auto n = static_cast<std::size_t>(g.node_count());
+  const auto m = static_cast<std::size_t>(g.edge_count());
+  SPLICE_EXPECTS(weight_override.empty() || weight_override.size() == m);
+  SPLICE_EXPECTS(edge_alive.empty() || edge_alive.size() == m);
+
+  std::vector<Weight> dist(n, kInfiniteWeight);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+
+  auto weight_of = [&](EdgeId e) -> Weight {
+    return weight_override.empty()
+               ? g.edge(e).weight
+               : weight_override[static_cast<std::size_t>(e)];
+  };
+  auto alive = [&](EdgeId e) -> bool {
+    return edge_alive.empty() || edge_alive[static_cast<std::size_t>(e)] != 0;
+  };
+
+  // Undirected relaxation; at most n-1 passes, early exit when stable.
+  for (std::size_t pass = 0; pass + 1 < n || n == 1; ++pass) {
+    bool changed = false;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (!alive(e)) continue;
+      const Edge& edge = g.edge(e);
+      const Weight w = weight_of(e);
+      SPLICE_ASSERT(w >= 0.0);
+      auto& du = dist[static_cast<std::size_t>(edge.u)];
+      auto& dv = dist[static_cast<std::size_t>(edge.v)];
+      if (du + w < dv) {
+        dv = du + w;
+        changed = true;
+      }
+      if (dv + w < du) {
+        du = dv + w;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace splice

@@ -1,0 +1,22 @@
+// Bellman–Ford shortest paths. Asymptotically slower than Dijkstra; kept as
+// an independent oracle so tests can cross-check Dijkstra (including under
+// weight overrides and failed-edge masks) against a second implementation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace splice {
+
+/// Distances from `source` using Bellman–Ford relaxation. Same override /
+/// mask semantics as DijkstraOptions. Weights must be non-negative (the
+/// library never produces negative perturbed weights).
+std::vector<Weight> bellman_ford_distances(
+    const Graph& g, NodeId source,
+    std::span<const Weight> weight_override = {},
+    std::span<const char> edge_alive = {});
+
+}  // namespace splice

@@ -1,0 +1,99 @@
+#include "graph/connectivity.h"
+
+#include "util/assert.h"
+
+namespace splice {
+
+namespace {
+
+bool edge_ok(std::span<const char> mask, EdgeId e) noexcept {
+  return mask.empty() || mask[static_cast<std::size_t>(e)] != 0;
+}
+
+}  // namespace
+
+std::vector<char> reachable_nodes(const Graph& g, NodeId source,
+                                  std::span<const char> edge_alive) {
+  SPLICE_EXPECTS(g.valid_node(source));
+  SPLICE_EXPECTS(edge_alive.empty() ||
+                 edge_alive.size() == static_cast<std::size_t>(g.edge_count()));
+  std::vector<char> seen(static_cast<std::size_t>(g.node_count()), 0);
+  std::vector<NodeId> stack{source};
+  seen[static_cast<std::size_t>(source)] = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const Incidence& inc : g.neighbors(u)) {
+      if (!edge_ok(edge_alive, inc.edge)) continue;
+      auto& mark = seen[static_cast<std::size_t>(inc.neighbor)];
+      if (!mark) {
+        mark = 1;
+        stack.push_back(inc.neighbor);
+      }
+    }
+  }
+  return seen;
+}
+
+bool connected(const Graph& g, NodeId u, NodeId v,
+               std::span<const char> edge_alive) {
+  SPLICE_EXPECTS(g.valid_node(v));
+  if (u == v) return true;
+  const auto seen = reachable_nodes(g, u, edge_alive);
+  return seen[static_cast<std::size_t>(v)] != 0;
+}
+
+bool is_connected(const Graph& g, std::span<const char> edge_alive) {
+  if (g.node_count() <= 1) return true;
+  const auto seen = reachable_nodes(g, 0, edge_alive);
+  for (char s : seen) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+int connected_components(const Graph& g, std::vector<int>& component,
+                         std::span<const char> edge_alive) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  component.assign(n, -1);
+  int next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (component[static_cast<std::size_t>(start)] != -1) continue;
+    const int id = next++;
+    component[static_cast<std::size_t>(start)] = id;
+    stack.assign(1, start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const Incidence& inc : g.neighbors(u)) {
+        if (!edge_ok(edge_alive, inc.edge)) continue;
+        auto& c = component[static_cast<std::size_t>(inc.neighbor)];
+        if (c == -1) {
+          c = id;
+          stack.push_back(inc.neighbor);
+        }
+      }
+    }
+  }
+  return next;
+}
+
+long long disconnected_ordered_pairs(const Graph& g,
+                                     std::span<const char> edge_alive) {
+  std::vector<int> component;
+  const int k = connected_components(g, component, edge_alive);
+  std::vector<long long> size(static_cast<std::size_t>(k), 0);
+  for (int c : component) ++size[static_cast<std::size_t>(c)];
+  const long long n = g.node_count();
+  long long connected_pairs = 0;
+  for (long long s : size) connected_pairs += s * (s - 1);
+  return n * (n - 1) - connected_pairs;
+}
+
+long long total_ordered_pairs(const Graph& g) noexcept {
+  const long long n = g.node_count();
+  return n * (n - 1);
+}
+
+}  // namespace splice

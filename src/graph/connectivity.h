@@ -1,0 +1,40 @@
+// Undirected connectivity queries: BFS reachability, connected components,
+// and pairwise connectivity under a failed-edge mask. These implement the
+// "best possible" reliability baseline of §4.2 — the connectivity of the
+// underlying graph itself after failures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace splice {
+
+/// Membership vector of nodes reachable from `source` over alive edges.
+/// An empty `edge_alive` mask means every edge is alive.
+std::vector<char> reachable_nodes(const Graph& g, NodeId source,
+                                  std::span<const char> edge_alive = {});
+
+/// True iff u and v are connected over alive edges.
+bool connected(const Graph& g, NodeId u, NodeId v,
+               std::span<const char> edge_alive = {});
+
+/// True iff all nodes are mutually connected over alive edges.
+bool is_connected(const Graph& g, std::span<const char> edge_alive = {});
+
+/// component[v] = dense component index; returns number of components.
+int connected_components(const Graph& g, std::vector<int>& component,
+                         std::span<const char> edge_alive = {});
+
+/// Number of ordered (s, t), s != t, pairs that are *disconnected* over
+/// alive edges. This is the quantity Figures 3–5 plot (as a fraction).
+/// Computed per component in O(n + m).
+long long disconnected_ordered_pairs(const Graph& g,
+                                     std::span<const char> edge_alive = {});
+
+/// Total number of ordered pairs, n * (n - 1).
+long long total_ordered_pairs(const Graph& g) noexcept;
+
+}  // namespace splice

@@ -1,0 +1,58 @@
+#include "graph/digraph.h"
+
+#include <vector>
+
+namespace splice {
+
+std::vector<char> reachable_from(const Digraph& g, NodeId source) {
+  SPLICE_EXPECTS(g.valid_node(source));
+  std::vector<char> seen(static_cast<std::size_t>(g.node_count()), 0);
+  std::vector<NodeId> stack{source};
+  seen[static_cast<std::size_t>(source)] = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : g.successors(u)) {
+      auto& mark = seen[static_cast<std::size_t>(v)];
+      if (!mark) {
+        mark = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+bool has_directed_path(const Digraph& g, NodeId source, NodeId target) {
+  SPLICE_EXPECTS(g.valid_node(target));
+  if (source == target) return true;
+  const auto seen = reachable_from(g, source);
+  return seen[static_cast<std::size_t>(target)] != 0;
+}
+
+std::vector<char> can_reach(const Digraph& g, NodeId target) {
+  SPLICE_EXPECTS(g.valid_node(target));
+  // Build reverse adjacency once, then BFS from target.
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<std::vector<NodeId>> rev(n);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v : g.successors(u)) rev[static_cast<std::size_t>(v)].push_back(u);
+  }
+  std::vector<char> seen(n, 0);
+  std::vector<NodeId> stack{target};
+  seen[static_cast<std::size_t>(target)] = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId p : rev[static_cast<std::size_t>(u)]) {
+      auto& mark = seen[static_cast<std::size_t>(p)];
+      if (!mark) {
+        mark = 1;
+        stack.push_back(p);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace splice

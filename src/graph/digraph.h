@@ -1,0 +1,72 @@
+// Simple directed graph used for spliced forwarding unions: for a fixed
+// destination, the union over slices of next-hop arcs forms a directed graph
+// whose reachability determines spliced connectivity (§4.2 of the paper).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/assert.h"
+
+namespace splice {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(NodeId n) : out_(static_cast<std::size_t>(n)) {}
+
+  NodeId node_count() const noexcept {
+    return static_cast<NodeId>(out_.size());
+  }
+
+  /// Adds arc u -> v. Duplicate arcs are allowed (callers dedup when needed).
+  void add_arc(NodeId u, NodeId v) {
+    SPLICE_EXPECTS(valid_node(u));
+    SPLICE_EXPECTS(valid_node(v));
+    out_[static_cast<std::size_t>(u)].push_back(v);
+    ++arc_count_;
+  }
+
+  /// Adds arc u -> v only if not already present (linear in out-degree;
+  /// out-degrees here are bounded by the slice count k, so this is cheap).
+  bool add_arc_unique(NodeId u, NodeId v) {
+    SPLICE_EXPECTS(valid_node(u));
+    SPLICE_EXPECTS(valid_node(v));
+    auto& arcs = out_[static_cast<std::size_t>(u)];
+    for (NodeId w : arcs) {
+      if (w == v) return false;
+    }
+    arcs.push_back(v);
+    ++arc_count_;
+    return true;
+  }
+
+  std::span<const NodeId> successors(NodeId u) const noexcept {
+    SPLICE_EXPECTS(valid_node(u));
+    return out_[static_cast<std::size_t>(u)];
+  }
+
+  std::size_t arc_count() const noexcept { return arc_count_; }
+
+  bool valid_node(NodeId v) const noexcept {
+    return v >= 0 && v < node_count();
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::size_t arc_count_ = 0;
+};
+
+/// Set of nodes reachable from `source` following arcs forward. Returned as
+/// a boolean membership vector indexed by node id.
+std::vector<char> reachable_from(const Digraph& g, NodeId source);
+
+/// True iff a directed path source -> target exists.
+bool has_directed_path(const Digraph& g, NodeId source, NodeId target);
+
+/// Set of nodes that can reach `target` (reverse reachability).
+std::vector<char> can_reach(const Digraph& g, NodeId target);
+
+}  // namespace splice

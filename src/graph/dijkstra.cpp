@@ -1,0 +1,85 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace splice {
+
+std::vector<NodeId> ShortestPaths::path_to(NodeId v) const {
+  SPLICE_EXPECTS(v >= 0 && static_cast<std::size_t>(v) < dist.size());
+  if (!reached(v)) return {};
+  std::vector<NodeId> path;
+  for (NodeId cur = v; cur != kInvalidNode;
+       cur = parent[static_cast<std::size_t>(cur)]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  SPLICE_ENSURES(path.front() == source);
+  return path;
+}
+
+ShortestPaths dijkstra(const Graph& g, NodeId source,
+                       const DijkstraOptions& opts) {
+  SPLICE_EXPECTS(g.valid_node(source));
+  const auto n = static_cast<std::size_t>(g.node_count());
+  const auto m = static_cast<std::size_t>(g.edge_count());
+  SPLICE_EXPECTS(opts.weight_override.empty() ||
+                 opts.weight_override.size() == m);
+  SPLICE_EXPECTS(opts.edge_alive.empty() || opts.edge_alive.size() == m);
+
+  ShortestPaths out;
+  out.source = source;
+  out.dist.assign(n, kInfiniteWeight);
+  out.parent.assign(n, kInvalidNode);
+  out.parent_edge.assign(n, kInvalidEdge);
+
+  auto weight_of = [&](EdgeId e) -> Weight {
+    return opts.weight_override.empty()
+               ? g.edge(e).weight
+               : opts.weight_override[static_cast<std::size_t>(e)];
+  };
+  auto alive = [&](EdgeId e) -> bool {
+    return opts.edge_alive.empty() ||
+           opts.edge_alive[static_cast<std::size_t>(e)] != 0;
+  };
+
+  using Entry = std::pair<Weight, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  out.dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > out.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (const Incidence& inc : g.neighbors(u)) {
+      if (!alive(inc.edge)) continue;
+      const Weight w = weight_of(inc.edge);
+      SPLICE_ASSERT(w >= 0.0);
+      const Weight nd = d + w;
+      auto& dv = out.dist[static_cast<std::size_t>(inc.neighbor)];
+      const bool improves = nd < dv;
+      const bool tie_break =
+          opts.deterministic_ties && nd == dv &&
+          out.parent[static_cast<std::size_t>(inc.neighbor)] != kInvalidNode &&
+          u < out.parent[static_cast<std::size_t>(inc.neighbor)];
+      if (improves || tie_break) {
+        dv = nd;
+        out.parent[static_cast<std::size_t>(inc.neighbor)] = u;
+        out.parent_edge[static_cast<std::size_t>(inc.neighbor)] = inc.edge;
+        if (improves) heap.emplace(nd, inc.neighbor);
+      }
+    }
+  }
+  return out;
+}
+
+Weight shortest_distance(const Graph& g, NodeId s, NodeId t) {
+  SPLICE_EXPECTS(g.valid_node(t));
+  const auto sp = dijkstra(g, s);
+  return sp.dist[static_cast<std::size_t>(t)];
+}
+
+}  // namespace splice

@@ -1,0 +1,51 @@
+// Dijkstra single-source shortest paths over a Graph, with support for
+// (a) overriding edge weights with an external weight vector — this is how
+//     routing slices evaluate perturbed weights without copying the graph —
+// (b) masking out failed edges, for post-failure "best possible" analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace splice {
+
+/// Result of a single-source shortest-path computation.
+struct ShortestPaths {
+  NodeId source = kInvalidNode;
+  /// dist[v] — shortest distance from source; kInfiniteWeight if unreachable.
+  std::vector<Weight> dist;
+  /// parent[v] — predecessor of v on a shortest path from source;
+  /// kInvalidNode for the source and unreachable nodes.
+  std::vector<NodeId> parent;
+  /// parent_edge[v] — the edge used to enter v; kInvalidEdge as above.
+  std::vector<EdgeId> parent_edge;
+
+  bool reached(NodeId v) const noexcept {
+    return dist[static_cast<std::size_t>(v)] < kInfiniteWeight;
+  }
+
+  /// Reconstructs the node sequence source..v (empty if unreachable).
+  std::vector<NodeId> path_to(NodeId v) const;
+};
+
+struct DijkstraOptions {
+  /// Per-edge weights overriding Graph weights; empty ⇒ use graph weights.
+  std::span<const Weight> weight_override;
+  /// Per-edge alive mask; empty ⇒ all edges alive. 0 means failed/removed.
+  std::span<const char> edge_alive;
+  /// Deterministic tie-breaking: among equal-distance relaxations prefer the
+  /// lower predecessor id, making trees reproducible across platforms.
+  bool deterministic_ties = true;
+};
+
+/// Runs Dijkstra from `source`. Weights must be non-negative.
+ShortestPaths dijkstra(const Graph& g, NodeId source,
+                       const DijkstraOptions& opts = {});
+
+/// Convenience: shortest distance between two nodes (graph weights).
+Weight shortest_distance(const Graph& g, NodeId s, NodeId t);
+
+}  // namespace splice

@@ -1,0 +1,197 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/connectivity.h"
+#include "util/assert.h"
+
+namespace splice {
+
+Graph erdos_renyi(NodeId n, double p, std::uint64_t seed) {
+  SPLICE_EXPECTS(n >= 0);
+  SPLICE_EXPECTS(p >= 0.0 && p <= 1.0);
+  Graph g(n);
+  Rng rng(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v, 1.0);
+    }
+  }
+  return g;
+}
+
+Graph waxman(NodeId n, double alpha, double beta, std::uint64_t seed) {
+  SPLICE_EXPECTS(n >= 0);
+  SPLICE_EXPECTS(alpha > 0.0 && beta > 0.0);
+  Graph g(n);
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    x[static_cast<std::size_t>(v)] = rng.uniform();
+    y[static_cast<std::size_t>(v)] = rng.uniform();
+  }
+  const double l_max = std::sqrt(2.0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+      const double dy = y[static_cast<std::size_t>(u)] - y[static_cast<std::size_t>(v)];
+      const double d = std::sqrt(dx * dx + dy * dy);
+      if (rng.bernoulli(alpha * std::exp(-d / (beta * l_max)))) {
+        // Latency-like weight in ~[1, 10].
+        g.add_edge(u, v, 1.0 + 9.0 * d / l_max);
+      }
+    }
+  }
+  return g;
+}
+
+Graph barabasi_albert(NodeId n, int m, std::uint64_t seed) {
+  SPLICE_EXPECTS(m >= 1);
+  SPLICE_EXPECTS(n > m);
+  Graph g(n);
+  Rng rng(seed);
+  // Seed clique of m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) g.add_edge(u, v, 1.0);
+  }
+  // Endpoint pool: each node appears once per incident edge, so sampling
+  // uniformly from the pool is preferential attachment.
+  std::vector<NodeId> pool;
+  for (const Edge& e : g.edges()) {
+    pool.push_back(e.u);
+    pool.push_back(e.v);
+  }
+  for (NodeId v = static_cast<NodeId>(m) + 1; v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (static_cast<int>(targets.size()) < m) {
+      const NodeId t = pool[rng.below(pool.size())];
+      if (t != v && std::find(targets.begin(), targets.end(), t) == targets.end())
+        targets.push_back(t);
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t, 1.0);
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph ring(NodeId n) {
+  SPLICE_EXPECTS(n >= 3);
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n, 1.0);
+  return g;
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  SPLICE_EXPECTS(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), 1.0);
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), 1.0);
+    }
+  }
+  return g;
+}
+
+Graph complete(NodeId n) {
+  SPLICE_EXPECTS(n >= 1);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v, 1.0);
+  }
+  return g;
+}
+
+Graph random_tree(NodeId n, std::uint64_t seed) {
+  SPLICE_EXPECTS(n >= 1);
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1, 1.0);
+    return g;
+  }
+  // Decode a random Prüfer sequence.
+  Rng rng(seed);
+  std::vector<NodeId> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& p : prufer) p = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+  std::vector<int> degree(static_cast<std::size_t>(n), 1);
+  for (NodeId p : prufer) ++degree[static_cast<std::size_t>(p)];
+  // Repeatedly attach the smallest leaf to the next sequence element.
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  NodeId leaf_ptr = 0;
+  auto next_leaf = [&]() {
+    while (degree[static_cast<std::size_t>(leaf_ptr)] != 1 ||
+           used[static_cast<std::size_t>(leaf_ptr)])
+      ++leaf_ptr;
+    return leaf_ptr;
+  };
+  NodeId leaf = next_leaf();
+  for (NodeId p : prufer) {
+    g.add_edge(leaf, p, 1.0);
+    used[static_cast<std::size_t>(leaf)] = 1;
+    if (--degree[static_cast<std::size_t>(p)] == 1 && p < leaf_ptr) {
+      leaf = p;  // p became a leaf below the pointer; use it immediately
+    } else {
+      leaf = next_leaf();
+    }
+  }
+  // Join the last two remaining leaves.
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!used[static_cast<std::size_t>(v)] &&
+        degree[static_cast<std::size_t>(v)] == 1) {
+      (a == kInvalidNode ? a : b) = v;
+    }
+  }
+  SPLICE_ASSERT(a != kInvalidNode && b != kInvalidNode);
+  g.add_edge(a, b, 1.0);
+  return g;
+}
+
+Graph figure1_two_paths(NodeId path_len) {
+  SPLICE_EXPECTS(path_len >= 1);
+  Graph g;
+  const NodeId s = g.add_node("s");
+  const NodeId t = g.add_node("t");
+  for (int path = 0; path < 2; ++path) {
+    NodeId prev = s;
+    for (NodeId i = 0; i < path_len; ++i) {
+      const NodeId mid = g.add_node();
+      g.add_edge(prev, mid, 1.0);
+      prev = mid;
+    }
+    g.add_edge(prev, t, 1.0);
+  }
+  return g;
+}
+
+int make_connected(Graph& g, std::uint64_t seed) {
+  if (g.node_count() <= 1) return 0;
+  Rng rng(seed);
+  int added = 0;
+  std::vector<int> component;
+  while (connected_components(g, component) > 1) {
+    // Join a random node of component 0 with a random node outside it.
+    std::vector<NodeId> inside;
+    std::vector<NodeId> outside;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      (component[static_cast<std::size_t>(v)] == 0 ? inside : outside)
+          .push_back(v);
+    }
+    const NodeId u = inside[rng.below(inside.size())];
+    const NodeId v = outside[rng.below(outside.size())];
+    g.add_edge(u, v, 1.0);
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace splice

@@ -1,0 +1,49 @@
+// Synthetic topology generators. Used for the Appendix A scaling experiment
+// (slice count vs. graph size) and for property tests that need families of
+// graphs with controlled structure. All generators are deterministic given
+// the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace splice {
+
+/// G(n, p) Erdős–Rényi random graph; unit weights.
+Graph erdos_renyi(NodeId n, double p, std::uint64_t seed);
+
+/// Waxman random graph on uniformly random points in the unit square:
+/// P(edge) = alpha * exp(-d / (beta * L_max)). Weights = Euclidean distance
+/// scaled to ~[1, 10] (latency-like), mimicking ISP backbone geometry.
+Graph waxman(NodeId n, double alpha, double beta, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment with `m` edges per new node;
+/// unit weights. Degree distribution is heavy-tailed like router graphs.
+Graph barabasi_albert(NodeId n, int m, std::uint64_t seed);
+
+/// Cycle of n nodes (unit weights). Edge connectivity exactly 2.
+Graph ring(NodeId n);
+
+/// rows x cols grid (unit weights).
+Graph grid(NodeId rows, NodeId cols);
+
+/// Complete graph on n nodes (unit weights).
+Graph complete(NodeId n);
+
+/// Uniform random spanning tree on n nodes (random Prüfer sequence);
+/// unit weights. Edge connectivity exactly 1.
+Graph random_tree(NodeId n, std::uint64_t seed);
+
+/// The two-disjoint-paths example of the paper's Figure 1: s and t joined
+/// by two vertex-disjoint paths of `path_len` intermediate nodes each.
+/// Node 0 is s, node 1 is t.
+Graph figure1_two_paths(NodeId path_len = 2);
+
+/// Adds uniformly random extra edges until the graph is connected (used to
+/// repair sparse random graphs so experiments always run on connected
+/// topologies). Returns the number of edges added.
+int make_connected(Graph& g, std::uint64_t seed);
+
+}  // namespace splice

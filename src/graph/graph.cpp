@@ -1,0 +1,71 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace splice {
+
+NodeId Graph::add_node(std::string name) {
+  adjacency_.emplace_back();
+  names_.push_back(std::move(name));
+  return node_count() - 1;
+}
+
+NodeId Graph::add_nodes(NodeId count) {
+  SPLICE_EXPECTS(count >= 0);
+  const NodeId first = node_count();
+  for (NodeId i = 0; i < count; ++i) add_node();
+  return first;
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
+  SPLICE_EXPECTS(valid_node(u));
+  SPLICE_EXPECTS(valid_node(v));
+  SPLICE_EXPECTS(u != v);
+  SPLICE_EXPECTS(w > 0.0);
+  const auto e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, w});
+  adjacency_[static_cast<std::size_t>(u)].push_back(Incidence{e, v});
+  adjacency_[static_cast<std::size_t>(v)].push_back(Incidence{e, u});
+  return e;
+}
+
+void Graph::set_name(NodeId v, std::string name) {
+  SPLICE_EXPECTS(valid_node(v));
+  names_[static_cast<std::size_t>(v)] = std::move(name);
+}
+
+NodeId Graph::find_node(std::string_view name) const noexcept {
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (names_[static_cast<std::size_t>(v)] == name) return v;
+  }
+  return kInvalidNode;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const noexcept {
+  if (!valid_node(u) || !valid_node(v)) return kInvalidEdge;
+  for (const Incidence& inc : neighbors(u)) {
+    if (inc.neighbor == v) return inc.edge;
+  }
+  return kInvalidEdge;
+}
+
+std::vector<Weight> Graph::weights() const {
+  std::vector<Weight> out;
+  out.reserve(edges_.size());
+  for (const Edge& e : edges_) out.push_back(e.weight);
+  return out;
+}
+
+void Graph::set_weight(EdgeId e, Weight w) {
+  SPLICE_EXPECTS(e >= 0 && e < edge_count());
+  SPLICE_EXPECTS(w > 0.0);
+  edges_[static_cast<std::size_t>(e)].weight = w;
+}
+
+Weight Graph::total_weight() const noexcept {
+  Weight sum = 0.0;
+  for (const Edge& e : edges_) sum += e.weight;
+  return sum;
+}
+
+}  // namespace splice

@@ -1,0 +1,114 @@
+// Weighted undirected graph: the "base" network topology of the paper.
+//
+// Nodes are dense 0-based ids with optional human-readable names (PoP
+// names for the embedded ISP topologies). Edges are undirected with a
+// strictly positive weight (the IGP link metric). Parallel edges are
+// permitted (ISP topologies occasionally have them); self-loops are not.
+//
+// The graph is value-semantic and cheap to copy for topology sizes in this
+// problem domain (tens to a few thousand nodes).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/assert.h"
+
+namespace splice {
+
+/// One undirected link of the topology.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  Weight weight = 1.0;
+
+  /// The endpoint that is not `from`. Precondition: `from` is an endpoint.
+  NodeId other(NodeId from) const noexcept {
+    SPLICE_EXPECTS(from == u || from == v);
+    return from == u ? v : u;
+  }
+};
+
+/// Adjacency record: an incident edge and the neighbor it leads to.
+struct Incidence {
+  EdgeId edge = kInvalidEdge;
+  NodeId neighbor = kInvalidNode;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `n` unnamed nodes and no edges.
+  explicit Graph(NodeId n) { add_nodes(n); }
+
+  /// Appends one node; returns its id.
+  NodeId add_node(std::string name = {});
+
+  /// Appends `count` unnamed nodes; returns the id of the first.
+  NodeId add_nodes(NodeId count);
+
+  /// Adds an undirected edge (u, v) with weight `w > 0`; returns its id.
+  /// Self-loops are rejected.
+  EdgeId add_edge(NodeId u, NodeId v, Weight w = 1.0);
+
+  NodeId node_count() const noexcept {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+  EdgeId edge_count() const noexcept {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  const Edge& edge(EdgeId e) const noexcept {
+    SPLICE_EXPECTS(e >= 0 && e < edge_count());
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// Incident edges (and neighbors) of `v`.
+  std::span<const Incidence> neighbors(NodeId v) const noexcept {
+    SPLICE_EXPECTS(valid_node(v));
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+
+  /// Number of incident edges (counts parallel edges).
+  int degree(NodeId v) const noexcept {
+    return static_cast<int>(neighbors(v).size());
+  }
+
+  const std::string& name(NodeId v) const noexcept {
+    SPLICE_EXPECTS(valid_node(v));
+    return names_[static_cast<std::size_t>(v)];
+  }
+  void set_name(NodeId v, std::string name);
+
+  /// Finds a node by name; kInvalidNode when absent. Linear scan — intended
+  /// for topology construction and tests, not hot paths.
+  NodeId find_node(std::string_view name) const noexcept;
+
+  /// Finds some edge between u and v (kInvalidEdge when none exists).
+  EdgeId find_edge(NodeId u, NodeId v) const noexcept;
+
+  bool valid_node(NodeId v) const noexcept {
+    return v >= 0 && v < node_count();
+  }
+
+  /// Weights of all edges in edge-id order (the "original" L of §3.1.1).
+  std::vector<Weight> weights() const;
+
+  /// Replaces the weight of one edge (used by topology loaders).
+  void set_weight(EdgeId e, Weight w);
+
+  /// Sum of all edge weights.
+  Weight total_weight() const noexcept;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Incidence>> adjacency_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace splice

@@ -1,0 +1,118 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace splice {
+
+namespace {
+
+bool is_number(const std::string& tok) {
+  if (tok.empty()) return false;
+  for (char c : tok) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Graph read_topology(std::istream& in) {
+  Graph g;
+  std::map<std::string, NodeId> by_name;
+
+  auto resolve = [&](const std::string& tok, int line_no) -> NodeId {
+    if (const auto it = by_name.find(tok); it != by_name.end())
+      return it->second;
+    if (is_number(tok)) {
+      const auto id = static_cast<NodeId>(std::stol(tok));
+      if (id < 0)
+        throw TopologyParseError("negative node id at line " +
+                                 std::to_string(line_no));
+      while (g.node_count() <= id) g.add_node();
+      return id;
+    }
+    const NodeId id = g.add_node(tok);
+    by_name.emplace(tok, id);
+    return id;
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank line
+
+    if (first == "node") {
+      std::string name;
+      if (!(ls >> name))
+        throw TopologyParseError("'node' without a name at line " +
+                                 std::to_string(line_no));
+      if (by_name.contains(name))
+        throw TopologyParseError("duplicate node '" + name + "' at line " +
+                                 std::to_string(line_no));
+      by_name.emplace(name, g.add_node(name));
+      continue;
+    }
+
+    std::string u_tok;
+    std::string v_tok;
+    double w = 1.0;
+    if (first == "edge") {
+      if (!(ls >> u_tok >> v_tok))
+        throw TopologyParseError("'edge' needs two endpoints at line " +
+                                 std::to_string(line_no));
+    } else {
+      u_tok = first;
+      if (!(ls >> v_tok))
+        throw TopologyParseError("edge line needs two endpoints at line " +
+                                 std::to_string(line_no));
+    }
+    if (!(ls >> w)) w = 1.0;
+    if (w <= 0.0)
+      throw TopologyParseError("non-positive weight at line " +
+                               std::to_string(line_no));
+    const NodeId u = resolve(u_tok, line_no);
+    const NodeId v = resolve(v_tok, line_no);
+    if (u == v)
+      throw TopologyParseError("self-loop at line " + std::to_string(line_no));
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+Graph parse_topology(const std::string& text) {
+  std::istringstream in(text);
+  return read_topology(in);
+}
+
+Graph load_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TopologyParseError("cannot open topology file: " + path);
+  return read_topology(in);
+}
+
+std::string write_topology(const Graph& g) {
+  std::ostringstream out;
+  out.precision(17);  // round-trip double precision
+  out << "# nodes=" << g.node_count() << " edges=" << g.edge_count() << "\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!g.name(v).empty()) out << "node " << g.name(v) << "\n";
+  }
+  for (const Edge& e : g.edges()) {
+    const std::string& nu = g.name(e.u);
+    const std::string& nv = g.name(e.v);
+    out << "edge " << (nu.empty() ? std::to_string(e.u) : nu) << ' '
+        << (nv.empty() ? std::to_string(e.v) : nv) << ' ' << e.weight << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace splice

@@ -1,0 +1,41 @@
+// Topology serialization.
+//
+// The native format is a line-oriented edge list:
+//
+//   # comment
+//   node <name>                  (optional; declares nodes in id order)
+//   edge <u> <v> <weight>        (u, v are node names or numeric ids)
+//
+// plus a compact whitespace form `u v w` per line for quick fixtures. This
+// is the format the embedded GEANT/Sprint datasets use and what
+// examples/custom_topology_study consumes.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace splice {
+
+/// Error thrown on malformed topology input.
+class TopologyParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses the native topology format from a stream. Throws
+/// TopologyParseError on malformed input.
+Graph read_topology(std::istream& in);
+
+/// Parses from a string (convenience for embedded datasets and tests).
+Graph parse_topology(const std::string& text);
+
+/// Loads from a file path; throws TopologyParseError if unreadable.
+Graph load_topology(const std::string& path);
+
+/// Serializes in the native format (stable round-trip with read_topology).
+std::string write_topology(const Graph& g);
+
+}  // namespace splice

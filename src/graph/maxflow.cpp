@@ -1,0 +1,111 @@
+#include "graph/maxflow.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace splice {
+
+FlowNetwork::FlowNetwork(NodeId n)
+    : head_(static_cast<std::size_t>(n), -1) {
+  SPLICE_EXPECTS(n >= 0);
+}
+
+void FlowNetwork::add_arc(NodeId u, NodeId v, int cap) {
+  SPLICE_EXPECTS(u >= 0 && u < node_count());
+  SPLICE_EXPECTS(v >= 0 && v < node_count());
+  SPLICE_EXPECTS(cap >= 0);
+  arcs_.push_back(Arc{v, cap, head_[static_cast<std::size_t>(u)]});
+  head_[static_cast<std::size_t>(u)] = static_cast<int>(arcs_.size()) - 1;
+  arcs_.push_back(Arc{u, 0, head_[static_cast<std::size_t>(v)]});
+  head_[static_cast<std::size_t>(v)] = static_cast<int>(arcs_.size()) - 1;
+}
+
+void FlowNetwork::add_undirected_unit(NodeId u, NodeId v) {
+  // For undirected unit-capacity flow, a pair of opposing arcs where each
+  // serves as the other's residual models capacity 1 in each direction.
+  SPLICE_EXPECTS(u >= 0 && u < node_count());
+  SPLICE_EXPECTS(v >= 0 && v < node_count());
+  arcs_.push_back(Arc{v, 1, head_[static_cast<std::size_t>(u)]});
+  head_[static_cast<std::size_t>(u)] = static_cast<int>(arcs_.size()) - 1;
+  arcs_.push_back(Arc{u, 1, head_[static_cast<std::size_t>(v)]});
+  head_[static_cast<std::size_t>(v)] = static_cast<int>(arcs_.size()) - 1;
+}
+
+bool FlowNetwork::bfs_levels(NodeId s, NodeId t) {
+  level_.assign(head_.size(), -1);
+  std::queue<NodeId> q;
+  level_[static_cast<std::size_t>(s)] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (int a = head_[static_cast<std::size_t>(u)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap > 0 && level_[static_cast<std::size_t>(arc.to)] == -1) {
+        level_[static_cast<std::size_t>(arc.to)] =
+            level_[static_cast<std::size_t>(u)] + 1;
+        q.push(arc.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] != -1;
+}
+
+int FlowNetwork::dfs_augment(NodeId u, NodeId t, int pushed) {
+  if (u == t) return pushed;
+  for (int& a = iter_[static_cast<std::size_t>(u)]; a != -1;
+       a = arcs_[static_cast<std::size_t>(a)].next) {
+    Arc& arc = arcs_[static_cast<std::size_t>(a)];
+    if (arc.cap <= 0 || level_[static_cast<std::size_t>(arc.to)] !=
+                            level_[static_cast<std::size_t>(u)] + 1)
+      continue;
+    const int got = dfs_augment(arc.to, t, std::min(pushed, arc.cap));
+    if (got > 0) {
+      arc.cap -= got;
+      arcs_[static_cast<std::size_t>(a ^ 1)].cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+long long FlowNetwork::max_flow(NodeId s, NodeId t) {
+  SPLICE_EXPECTS(s >= 0 && s < node_count());
+  SPLICE_EXPECTS(t >= 0 && t < node_count());
+  SPLICE_EXPECTS(s != t);
+  long long flow = 0;
+  while (bfs_levels(s, t)) {
+    iter_ = head_;
+    while (true) {
+      const int got = dfs_augment(s, t, std::numeric_limits<int>::max());
+      if (got == 0) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+int pair_edge_connectivity(const Graph& g, NodeId s, NodeId t) {
+  SPLICE_EXPECTS(g.valid_node(s));
+  SPLICE_EXPECTS(g.valid_node(t));
+  SPLICE_EXPECTS(s != t);
+  FlowNetwork net(g.node_count());
+  for (const Edge& e : g.edges()) net.add_undirected_unit(e.u, e.v);
+  return static_cast<int>(net.max_flow(s, t));
+}
+
+int pair_arc_connectivity(const Digraph& g, NodeId s, NodeId t) {
+  SPLICE_EXPECTS(g.valid_node(s));
+  SPLICE_EXPECTS(g.valid_node(t));
+  SPLICE_EXPECTS(s != t);
+  FlowNetwork net(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v : g.successors(u)) net.add_arc(u, v, 1);
+  }
+  return static_cast<int>(net.max_flow(s, t));
+}
+
+}  // namespace splice

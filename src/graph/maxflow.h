@@ -1,0 +1,56 @@
+// Dinic max-flow, used for pairwise edge connectivity χ(s,t): the number of
+// edge-disjoint paths between two nodes. This is the per-pair analogue of
+// the min-cut bound and drives the Appendix A connectivity analysis — the
+// connectivity of the spliced union is compared against χ of the underlying
+// graph (optionally restricted to bounded-stretch subgraphs).
+#pragma once
+
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace splice {
+
+/// Max-flow network with integer capacities (sufficient for connectivity).
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(NodeId n);
+
+  /// Adds a directed arc u->v with capacity `cap` (and a residual arc).
+  void add_arc(NodeId u, NodeId v, int cap);
+
+  /// Adds an undirected unit edge: capacity 1 in both directions.
+  void add_undirected_unit(NodeId u, NodeId v);
+
+  /// Computes max flow s->t (Dinic). Destroys current flow state; may be
+  /// called once per instance.
+  long long max_flow(NodeId s, NodeId t);
+
+  NodeId node_count() const noexcept {
+    return static_cast<NodeId>(head_.size());
+  }
+
+ private:
+  struct Arc {
+    NodeId to;
+    int cap;
+    int next;  // intrusive singly-linked adjacency
+  };
+
+  bool bfs_levels(NodeId s, NodeId t);
+  int dfs_augment(NodeId u, NodeId t, int pushed);
+
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+/// Number of edge-disjoint undirected paths between s and t in g.
+int pair_edge_connectivity(const Graph& g, NodeId s, NodeId t);
+
+/// Number of arc-disjoint directed paths s -> t in a digraph (used to
+/// measure the connectivity of spliced forwarding unions, Appendix A).
+int pair_arc_connectivity(const Digraph& g, NodeId s, NodeId t);
+
+}  // namespace splice

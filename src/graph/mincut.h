@@ -1,0 +1,28 @@
+// Global minimum cut (Stoer–Wagner). The size of the minimum cut of the
+// underlying topology bounds the reliability any routing scheme can achieve
+// (Figure 1's argument: splicing only disconnects s from t when a full cut
+// fails), so the analysis tooling reports it alongside reliability curves.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+#include <vector>
+
+namespace splice {
+
+struct MinCutResult {
+  /// Total weight of the minimum cut (sum of crossing edge weights).
+  Weight weight = kInfiniteWeight;
+  /// One side of the cut, as original node ids.
+  std::vector<NodeId> partition;
+};
+
+/// Stoer–Wagner global min cut on the weighted graph. Precondition: at least
+/// two nodes. For a disconnected graph the result has weight 0.
+MinCutResult global_min_cut(const Graph& g);
+
+/// Global *edge* connectivity: min cut with every edge counted as weight 1.
+int edge_connectivity(const Graph& g);
+
+}  // namespace splice

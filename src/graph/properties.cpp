@@ -1,0 +1,61 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+
+#include "graph/connectivity.h"
+#include "graph/dijkstra.h"
+#include "graph/mincut.h"
+
+namespace splice {
+
+TopologyStats topology_stats(const Graph& g) {
+  TopologyStats s;
+  s.nodes = g.node_count();
+  s.edges = g.edge_count();
+  if (s.nodes == 0) return s;
+
+  int min_deg = g.degree(0);
+  int max_deg = g.degree(0);
+  long long deg_sum = 0;
+  for (NodeId v = 0; v < s.nodes; ++v) {
+    const int d = g.degree(v);
+    min_deg = std::min(min_deg, d);
+    max_deg = std::max(max_deg, d);
+    deg_sum += d;
+  }
+  s.min_degree = min_deg;
+  s.max_degree = max_deg;
+  s.avg_degree = static_cast<double>(deg_sum) / static_cast<double>(s.nodes);
+  s.connected = is_connected(g);
+  s.edge_connectivity = s.nodes >= 2 ? edge_connectivity(g) : 0;
+
+  Weight diameter = 0.0;
+  int hop_diameter = 0;
+  for (NodeId src = 0; src < s.nodes; ++src) {
+    const ShortestPaths sp = dijkstra(g, src);
+    for (NodeId dst = 0; dst < s.nodes; ++dst) {
+      if (dst == src) continue;
+      const Weight d = sp.dist[static_cast<std::size_t>(dst)];
+      diameter = std::max(diameter, d);
+      if (d < kInfiniteWeight) {
+        int hops = 0;
+        for (NodeId cur = dst; cur != src;
+             cur = sp.parent[static_cast<std::size_t>(cur)])
+          ++hops;
+        hop_diameter = std::max(hop_diameter, hops);
+      }
+    }
+  }
+  s.diameter = diameter;
+  s.hop_diameter = hop_diameter;
+  return s;
+}
+
+std::vector<int> degree_sequence(const Graph& g) {
+  std::vector<int> deg(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    deg[static_cast<std::size_t>(v)] = g.degree(v);
+  return deg;
+}
+
+}  // namespace splice

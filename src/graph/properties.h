@@ -1,0 +1,34 @@
+// Descriptive topology statistics reported by the analysis tools and used
+// to sanity-check the embedded datasets against the paper's figures
+// (GEANT: 23 nodes / 37 links, Sprint: 52 nodes / 84 links).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace splice {
+
+struct TopologyStats {
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+  double avg_degree = 0.0;
+  int min_degree = 0;
+  int max_degree = 0;
+  /// Weighted diameter (max pairwise shortest-path distance); infinite when
+  /// disconnected.
+  Weight diameter = 0.0;
+  /// Hop diameter (max pairwise hop count of weighted shortest paths).
+  int hop_diameter = 0;
+  /// Global edge connectivity (min #edges whose removal disconnects).
+  int edge_connectivity = 0;
+  bool connected = false;
+};
+
+TopologyStats topology_stats(const Graph& g);
+
+/// Degree of each node, indexed by node id.
+std::vector<int> degree_sequence(const Graph& g);
+
+}  // namespace splice

@@ -1,0 +1,27 @@
+// Fundamental identifier and weight types shared across the graph, routing
+// and splicing layers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace splice {
+
+/// Index of a node within a Graph. Dense, 0-based.
+using NodeId = std::int32_t;
+
+/// Index of an (undirected) edge within a Graph. Dense, 0-based.
+using EdgeId = std::int32_t;
+
+/// Link weight (IGP metric / latency). Strictly positive for real links.
+using Weight = double;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+inline constexpr Weight kInfiniteWeight =
+    std::numeric_limits<Weight>::infinity();
+
+/// Index of a routing slice (one perturbed routing-protocol instance).
+using SliceId = std::int32_t;
+
+}  // namespace splice

@@ -1,0 +1,92 @@
+#include "interdomain/as_graph.h"
+
+namespace splice {
+
+AsId AsGraph::add_as() {
+  adjacency_.emplace_back();
+  return as_count() - 1;
+}
+
+AsLinkId AsGraph::add_customer_provider(AsId customer, AsId provider) {
+  SPLICE_EXPECTS(valid(customer));
+  SPLICE_EXPECTS(valid(provider));
+  SPLICE_EXPECTS(customer != provider);
+  const auto l = static_cast<AsLinkId>(links_.size());
+  links_.push_back(AsLink{customer, provider, AsRelation::kCustomerProvider});
+  adjacency_[static_cast<std::size_t>(customer)].push_back(
+      AsIncidence{l, provider, NeighborKind::kProvider});
+  adjacency_[static_cast<std::size_t>(provider)].push_back(
+      AsIncidence{l, customer, NeighborKind::kCustomer});
+  return l;
+}
+
+AsLinkId AsGraph::add_peering(AsId a, AsId b) {
+  SPLICE_EXPECTS(valid(a));
+  SPLICE_EXPECTS(valid(b));
+  SPLICE_EXPECTS(a != b);
+  const auto l = static_cast<AsLinkId>(links_.size());
+  links_.push_back(AsLink{a, b, AsRelation::kPeerPeer});
+  adjacency_[static_cast<std::size_t>(a)].push_back(
+      AsIncidence{l, b, NeighborKind::kPeer});
+  adjacency_[static_cast<std::size_t>(b)].push_back(
+      AsIncidence{l, a, NeighborKind::kPeer});
+  return l;
+}
+
+AsGraph make_as_hierarchy(const AsHierarchyConfig& cfg) {
+  SPLICE_EXPECTS(cfg.tier1 >= 1);
+  SPLICE_EXPECTS(cfg.tier2 >= 0);
+  SPLICE_EXPECTS(cfg.stubs >= 0);
+  SPLICE_EXPECTS(cfg.tier2 == 0 || cfg.tier2_uplinks >= 1);
+  SPLICE_EXPECTS(cfg.stubs == 0 || cfg.stub_uplinks >= 1);
+  AsGraph g;
+  Rng rng(cfg.seed);
+
+  std::vector<AsId> tier1;
+  for (int i = 0; i < cfg.tier1; ++i) tier1.push_back(g.add_as());
+  // Tier-1 full peer mesh (the transit-free core).
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      g.add_peering(tier1[i], tier1[j]);
+    }
+  }
+
+  auto pick_distinct = [&](const std::vector<AsId>& pool, int want,
+                           std::vector<AsId>& out) {
+    out.clear();
+    const int n = std::min<int>(want, static_cast<int>(pool.size()));
+    while (static_cast<int>(out.size()) < n) {
+      const AsId cand = pool[rng.below(pool.size())];
+      bool dup = false;
+      for (AsId c : out) dup |= c == cand;
+      if (!dup) out.push_back(cand);
+    }
+  };
+
+  std::vector<AsId> tier2;
+  std::vector<AsId> picks;
+  for (int i = 0; i < cfg.tier2; ++i) {
+    const AsId v = g.add_as();
+    tier2.push_back(v);
+    pick_distinct(tier1, cfg.tier2_uplinks, picks);
+    for (AsId p : picks) g.add_customer_provider(v, p);
+  }
+  // Tier-2 lateral peering.
+  for (std::size_t i = 0; i < tier2.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier2.size(); ++j) {
+      if (rng.bernoulli(cfg.tier2_peering_probability)) {
+        g.add_peering(tier2[i], tier2[j]);
+      }
+    }
+  }
+
+  const std::vector<AsId>& stub_providers = tier2.empty() ? tier1 : tier2;
+  for (int i = 0; i < cfg.stubs; ++i) {
+    const AsId v = g.add_as();
+    pick_distinct(stub_providers, cfg.stub_uplinks, picks);
+    for (AsId p : picks) g.add_customer_provider(v, p);
+  }
+  return g;
+}
+
+}  // namespace splice

@@ -1,0 +1,105 @@
+// AS-level topology substrate for the §5 interdomain-splicing extension.
+//
+// An AsGraph is a multigraph of autonomous systems whose links carry a
+// business relationship: customer-provider (the customer pays) or
+// peer-peer (settlement-free). Routing policy (Gao-Rexford) derives from
+// these relationships, so the generator produces the standard Internet
+// hierarchy: a clique of tier-1 providers, multi-homed mid-tier transit
+// ASes, peering links among the mid tier, and stub customer ASes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace splice {
+
+using AsId = std::int32_t;
+using AsLinkId = std::int32_t;
+
+inline constexpr AsId kInvalidAs = -1;
+inline constexpr AsLinkId kInvalidAsLink = -1;
+
+enum class AsRelation {
+  kCustomerProvider,  ///< `a` is the customer, `b` the provider
+  kPeerPeer,          ///< settlement-free peers
+};
+
+struct AsLink {
+  AsId a = kInvalidAs;
+  AsId b = kInvalidAs;
+  AsRelation relation = AsRelation::kPeerPeer;
+
+  AsId other(AsId from) const noexcept {
+    SPLICE_EXPECTS(from == a || from == b);
+    return from == a ? b : a;
+  }
+};
+
+/// How a neighbor relates to *this* AS across one link.
+enum class NeighborKind {
+  kCustomer,  ///< the neighbor pays us
+  kPeer,
+  kProvider,  ///< we pay the neighbor
+};
+
+struct AsIncidence {
+  AsLinkId link = kInvalidAsLink;
+  AsId neighbor = kInvalidAs;
+  NeighborKind kind = NeighborKind::kPeer;
+};
+
+class AsGraph {
+ public:
+  AsGraph() = default;
+
+  AsId add_as();
+  /// Adds a relationship link; `customer` pays `provider`.
+  AsLinkId add_customer_provider(AsId customer, AsId provider);
+  AsLinkId add_peering(AsId a, AsId b);
+
+  AsId as_count() const noexcept {
+    return static_cast<AsId>(adjacency_.size());
+  }
+  AsLinkId link_count() const noexcept {
+    return static_cast<AsLinkId>(links_.size());
+  }
+
+  const AsLink& link(AsLinkId l) const noexcept {
+    SPLICE_EXPECTS(l >= 0 && l < link_count());
+    return links_[static_cast<std::size_t>(l)];
+  }
+
+  std::span<const AsIncidence> neighbors(AsId v) const noexcept {
+    SPLICE_EXPECTS(valid(v));
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+
+  bool valid(AsId v) const noexcept { return v >= 0 && v < as_count(); }
+
+ private:
+  std::vector<AsLink> links_;
+  std::vector<std::vector<AsIncidence>> adjacency_;
+};
+
+/// Generator parameters for a hierarchical Internet-like AS topology.
+struct AsHierarchyConfig {
+  int tier1 = 4;          ///< clique of transit-free providers
+  int tier2 = 12;         ///< regional transit ASes
+  int stubs = 32;         ///< edge/customer ASes
+  int tier2_uplinks = 2;  ///< providers per tier-2 AS (multihoming)
+  int stub_uplinks = 2;   ///< providers per stub AS
+  double tier2_peering_probability = 0.3;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the hierarchy: tier-1 full peer mesh; each tier-2 buys transit
+/// from `tier2_uplinks` random tier-1s and peers with some tier-2 siblings;
+/// each stub buys transit from `stub_uplinks` random tier-2s.
+AsGraph make_as_hierarchy(const AsHierarchyConfig& cfg);
+
+}  // namespace splice

@@ -1,0 +1,316 @@
+#include "interdomain/bgp.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace splice {
+
+namespace {
+
+int preference_rank(NeighborKind learned_from) noexcept {
+  switch (learned_from) {
+    case NeighborKind::kCustomer:
+      return 0;  // most preferred: the customer pays us
+    case NeighborKind::kPeer:
+      return 1;
+    case NeighborKind::kProvider:
+      return 2;
+  }
+  return 3;
+}
+
+/// The relationship of `self` as seen from the neighbor across the same
+/// link (customer <-> provider mirror; peer is symmetric).
+NeighborKind mirrored(NeighborKind self_view_of_neighbor) noexcept {
+  switch (self_view_of_neighbor) {
+    case NeighborKind::kCustomer:
+      return NeighborKind::kProvider;
+    case NeighborKind::kPeer:
+      return NeighborKind::kPeer;
+    case NeighborKind::kProvider:
+      return NeighborKind::kCustomer;
+  }
+  return NeighborKind::kPeer;
+}
+
+bool path_contains(const std::vector<AsId>& path, AsId v) noexcept {
+  return std::find(path.begin(), path.end(), v) != path.end();
+}
+
+}  // namespace
+
+bool prefer_route(const BgpRoute& lhs, const BgpRoute& rhs) noexcept {
+  const int lr = preference_rank(lhs.learned_from);
+  const int rr = preference_rank(rhs.learned_from);
+  if (lr != rr) return lr < rr;
+  if (lhs.path_length() != rhs.path_length())
+    return lhs.path_length() < rhs.path_length();
+  return lhs.next_hop < rhs.next_hop;
+}
+
+bool may_export(NeighborKind learned_from, NeighborKind to) noexcept {
+  // Customer routes are exported to everyone (they generate revenue);
+  // peer- and provider-learned routes only to customers (no free transit).
+  if (learned_from == NeighborKind::kCustomer) return true;
+  return to == NeighborKind::kCustomer;
+}
+
+bool is_valley_free(const AsGraph& g, std::span<const AsId> path) noexcept {
+  if (path.size() <= 1) return true;
+  // Phase machine: 0 = climbing (customer->provider), 1 = after the single
+  // allowed peer step or at the summit, 2 = descending.
+  int phase = 0;
+  bool peer_used = false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const AsId from = path[i];
+    const AsId to = path[i + 1];
+    if (!g.valid(from) || !g.valid(to)) return false;
+    // Find the relationship of `to` as seen from `from`.
+    NeighborKind kind = NeighborKind::kPeer;
+    bool found = false;
+    for (const AsIncidence& inc : g.neighbors(from)) {
+      if (inc.neighbor == to) {
+        kind = inc.kind;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;  // not adjacent
+    switch (kind) {
+      case NeighborKind::kProvider:  // up step
+        if (phase != 0) return false;
+        break;
+      case NeighborKind::kPeer:  // lateral step, at most once
+        if (phase == 2 || peer_used) return false;
+        peer_used = true;
+        phase = 1;
+        break;
+      case NeighborKind::kCustomer:  // down step
+        phase = 2;
+        break;
+    }
+  }
+  return true;
+}
+
+BgpSplicer::BgpSplicer(const AsGraph& g, const BgpConfig& cfg)
+    : graph_(&g), cfg_(cfg) {
+  SPLICE_EXPECTS(cfg.k >= 1);
+  const auto n = static_cast<std::size_t>(g.as_count());
+  fib_.assign(n * n, {});
+  for (AsId dst = 0; dst < g.as_count(); ++dst) converge(dst);
+}
+
+void BgpSplicer::converge(AsId dst) {
+  const AsGraph& g = *graph_;
+  const AsId n = g.as_count();
+  const int rounds =
+      cfg_.max_rounds > 0 ? cfg_.max_rounds : 2 * static_cast<int>(n) + 4;
+
+  // best[v]: the route v currently advertises (its single BGP best).
+  std::vector<std::optional<BgpRoute>> best(static_cast<std::size_t>(n));
+  // The destination originates its own prefix; it behaves like a customer
+  // route for export purposes (advertised to everyone).
+  BgpRoute origin;
+  origin.next_hop = dst;
+  origin.learned_from = NeighborKind::kCustomer;
+  best[static_cast<std::size_t>(dst)] = origin;
+
+  // Collects the policy-valid candidate routes of `v` given current bests.
+  auto candidates_of = [&](AsId v, std::vector<BgpRoute>& out) {
+    out.clear();
+    for (const AsIncidence& inc : g.neighbors(v)) {
+      const auto& adv = best[static_cast<std::size_t>(inc.neighbor)];
+      if (!adv.has_value()) continue;
+      // Would the neighbor export its best to v? The neighbor sees v as
+      // mirrored(inc.kind).
+      if (inc.neighbor != dst &&
+          !may_export(adv->learned_from, mirrored(inc.kind)))
+        continue;
+      // Loop prevention: v must not already be on the path.
+      if (path_contains(adv->as_path, v) || adv->next_hop == v) continue;
+      BgpRoute r;
+      r.next_hop = inc.neighbor;
+      r.via_link = inc.link;
+      r.learned_from = inc.kind;
+      r.as_path.reserve(adv->as_path.size() + 1);
+      r.as_path.push_back(inc.neighbor);
+      r.as_path.insert(r.as_path.end(), adv->as_path.begin(),
+                       adv->as_path.end());
+      if (path_contains(r.as_path, v)) continue;
+      out.push_back(std::move(r));
+    }
+  };
+
+  std::vector<BgpRoute> cand;
+  for (int round = 0; round < rounds; ++round) {
+    bool changed = false;
+    for (AsId v = 0; v < n; ++v) {
+      if (v == dst) continue;
+      candidates_of(v, cand);
+      std::optional<BgpRoute> pick;
+      for (BgpRoute& r : cand) {
+        if (!pick.has_value() || prefer_route(r, *pick)) pick = std::move(r);
+      }
+      auto& cur = best[static_cast<std::size_t>(v)];
+      const bool differs =
+          pick.has_value() != cur.has_value() ||
+          (pick.has_value() &&
+           (pick->next_hop != cur->next_hop || pick->as_path != cur->as_path));
+      if (differs) {
+        cur = std::move(pick);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Install the k best candidates (one per advertising neighbor) per AS.
+  for (AsId v = 0; v < n; ++v) {
+    if (v == dst) continue;
+    candidates_of(v, cand);
+    std::sort(cand.begin(), cand.end(),
+              [](const BgpRoute& a, const BgpRoute& b) {
+                return prefer_route(a, b);
+              });
+    auto& slot = fib_[index(v, dst)];
+    slot.assign(cand.begin(),
+                cand.begin() + std::min<std::size_t>(
+                                   cand.size(),
+                                   static_cast<std::size_t>(cfg_.k)));
+  }
+}
+
+std::span<const BgpRoute> BgpSplicer::routes(AsId node, AsId dst) const noexcept {
+  return fib_[index(node, dst)];
+}
+
+const BgpRoute* BgpSplicer::best_route(AsId node, AsId dst) const noexcept {
+  const auto& slot = fib_[index(node, dst)];
+  return slot.empty() ? nullptr : &slot.front();
+}
+
+std::optional<std::vector<AsId>> BgpSplicer::forward(
+    AsId src, AsId dst, SpliceHeader header, std::span<const char> link_alive,
+    bool deflect, int ttl) const {
+  SPLICE_EXPECTS(graph_->valid(src));
+  SPLICE_EXPECTS(graph_->valid(dst));
+  SPLICE_EXPECTS(link_alive.empty() ||
+                 link_alive.size() ==
+                     static_cast<std::size_t>(graph_->link_count()));
+  auto alive = [&](AsLinkId l) {
+    return link_alive.empty() || link_alive[static_cast<std::size_t>(l)] != 0;
+  };
+
+  std::vector<AsId> path{src};
+  AsId node = src;
+  std::uint32_t current = 0;
+  while (node != dst && ttl-- > 0) {
+    const auto& slot = fib_[index(node, dst)];
+    if (slot.empty()) return std::nullopt;
+    if (const auto bits = header.pop(); bits.has_value()) {
+      current = static_cast<std::uint32_t>(*bits);
+    }
+    const auto want =
+        static_cast<std::size_t>(current % static_cast<std::uint32_t>(slot.size()));
+    const BgpRoute* chosen = nullptr;
+    if (alive(slot[want].via_link)) {
+      chosen = &slot[want];
+    } else if (deflect) {
+      for (const BgpRoute& r : slot) {
+        if (alive(r.via_link)) {
+          chosen = &r;
+          break;
+        }
+      }
+    }
+    if (chosen == nullptr) return std::nullopt;
+    node = chosen->next_hop;
+    path.push_back(node);
+  }
+  if (node != dst) return std::nullopt;
+  return path;
+}
+
+bool BgpSplicer::spliced_connected(AsId src, AsId dst,
+                                   std::span<const char> link_alive,
+                                   SliceId use_k) const {
+  SPLICE_EXPECTS(graph_->valid(src));
+  SPLICE_EXPECTS(graph_->valid(dst));
+  if (src == dst) return true;
+  const SliceId limit = use_k == 0 ? cfg_.k : use_k;
+  auto alive = [&](AsLinkId l) {
+    return link_alive.empty() || link_alive[static_cast<std::size_t>(l)] != 0;
+  };
+  std::vector<char> seen(static_cast<std::size_t>(graph_->as_count()), 0);
+  std::vector<AsId> stack{src};
+  seen[static_cast<std::size_t>(src)] = 1;
+  while (!stack.empty()) {
+    const AsId u = stack.back();
+    stack.pop_back();
+    const auto& slot = fib_[index(u, dst)];
+    const auto take = std::min<std::size_t>(
+        slot.size(), static_cast<std::size_t>(limit));
+    for (std::size_t i = 0; i < take; ++i) {
+      const BgpRoute& r = slot[i];
+      if (!alive(r.via_link)) continue;
+      if (r.next_hop == dst) return true;
+      auto& mark = seen[static_cast<std::size_t>(r.next_hop)];
+      if (!mark) {
+        mark = 1;
+        stack.push_back(r.next_hop);
+      }
+    }
+  }
+  return false;
+}
+
+double BgpSplicer::disconnected_fraction(std::span<const char> link_alive,
+                                         SliceId use_k) const {
+  const AsId n = graph_->as_count();
+  if (n < 2) return 0.0;
+  const SliceId limit = use_k == 0 ? cfg_.k : use_k;
+  auto alive = [&](AsLinkId l) {
+    return link_alive.empty() || link_alive[static_cast<std::size_t>(l)] != 0;
+  };
+  long long disconnected = 0;
+  std::vector<std::vector<AsId>> rev(static_cast<std::size_t>(n));
+  std::vector<char> seen;
+  std::vector<AsId> stack;
+  for (AsId dst = 0; dst < n; ++dst) {
+    for (auto& r : rev) r.clear();
+    for (AsId v = 0; v < n; ++v) {
+      if (v == dst) continue;
+      const auto& slot = fib_[index(v, dst)];
+      const auto take = std::min<std::size_t>(
+          slot.size(), static_cast<std::size_t>(limit));
+      for (std::size_t i = 0; i < take; ++i) {
+        if (alive(slot[i].via_link)) {
+          rev[static_cast<std::size_t>(slot[i].next_hop)].push_back(v);
+        }
+      }
+    }
+    seen.assign(static_cast<std::size_t>(n), 0);
+    seen[static_cast<std::size_t>(dst)] = 1;
+    stack.assign(1, dst);
+    while (!stack.empty()) {
+      const AsId u = stack.back();
+      stack.pop_back();
+      for (AsId p : rev[static_cast<std::size_t>(u)]) {
+        auto& mark = seen[static_cast<std::size_t>(p)];
+        if (!mark) {
+          mark = 1;
+          stack.push_back(p);
+        }
+      }
+    }
+    for (AsId src = 0; src < n; ++src) {
+      if (src != dst && !seen[static_cast<std::size_t>(src)]) ++disconnected;
+    }
+  }
+  const auto total = static_cast<double>(n) * (static_cast<double>(n) - 1.0);
+  return static_cast<double>(disconnected) / total;
+}
+
+}  // namespace splice

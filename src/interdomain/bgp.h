@@ -1,0 +1,125 @@
+// Spliced BGP (§5 "extensions to interdomain routing").
+//
+// A path-vector protocol with Gao-Rexford policy runs to convergence: each
+// AS advertises one best route per destination to the neighbors its export
+// policy allows. Spliced BGP then installs not just the single best route
+// but the *k best* policy-valid candidates (one per advertising neighbor)
+// into k forwarding-table slots — "the BGP decision process could be
+// modified to select k best routes to a destination and install them in
+// the forwarding tables. These alternate routes can be accessed with the
+// forwarding bits ... without requiring any additional communication among
+// BGP routers."
+//
+// The data plane mirrors intradomain splicing: at each AS hop the
+// forwarding bits select which of the installed routes' next hops to use;
+// a failed AS link can be routed around by re-randomizing the bits (end
+// systems) or deflecting locally (routers).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dataplane/splice_header.h"
+#include "interdomain/as_graph.h"
+
+namespace splice {
+
+/// One candidate route at an AS toward a destination.
+struct BgpRoute {
+  AsId next_hop = kInvalidAs;
+  AsLinkId via_link = kInvalidAsLink;
+  /// How the route was learned; drives preference and export policy.
+  NeighborKind learned_from = NeighborKind::kProvider;
+  /// AS path from this AS to the destination (starts at next_hop's AS,
+  /// ends at the destination).
+  std::vector<AsId> as_path;
+
+  int path_length() const noexcept {
+    return static_cast<int>(as_path.size());
+  }
+};
+
+/// Gao-Rexford preference: customer-learned > peer-learned >
+/// provider-learned; then shorter AS path; then lower next-hop id.
+/// Returns true when `lhs` is strictly preferred over `rhs`.
+bool prefer_route(const BgpRoute& lhs, const BgpRoute& rhs) noexcept;
+
+/// May a route learned from `learned_from` be exported to a neighbor of
+/// kind `to`? (Gao-Rexford: customer routes go to everyone; peer/provider
+/// routes only to customers.)
+bool may_export(NeighborKind learned_from, NeighborKind to) noexcept;
+
+/// Checks the valley-free property of an AS-level path (node sequence):
+/// some number of customer->provider "up" steps, at most one peer step,
+/// then only provider->customer "down" steps. Gao-Rexford-compliant BGP
+/// best paths are always valley-free; *spliced composite* paths may not
+/// be — they only concatenate individually-installed (policy-valid)
+/// routes, which is exactly the §5 trade-off this predicate makes
+/// measurable. Unknown adjacencies make the path invalid (returns false).
+bool is_valley_free(const AsGraph& g, std::span<const AsId> path) noexcept;
+
+struct BgpConfig {
+  /// Routes installed per (AS, destination) FIB entry — the paper's k.
+  SliceId k = 3;
+  /// Iteration cap for the decision-process fixpoint (Gao-Rexford
+  /// economics guarantee convergence well before as_count() rounds).
+  int max_rounds = 0;  ///< 0 = 2 * as_count() + 4
+};
+
+/// Runs policy routing to convergence and installs k-route FIBs.
+class BgpSplicer {
+ public:
+  BgpSplicer(const AsGraph& g, const BgpConfig& cfg);
+
+  const AsGraph& graph() const noexcept { return *graph_; }
+  SliceId k() const noexcept { return cfg_.k; }
+
+  /// Installed routes of `node` toward `dst`, best first (may be empty if
+  /// policy leaves the destination unreachable; size <= k).
+  std::span<const BgpRoute> routes(AsId node, AsId dst) const noexcept;
+
+  /// The single best route (BGP's classic choice), if any.
+  const BgpRoute* best_route(AsId node, AsId dst) const noexcept;
+
+  /// Data-plane forwarding: walks the k-route FIBs from src toward dst,
+  /// using the splicing header to pick a route slot at every AS hop
+  /// (slot = bits mod installed-route count). `link_alive` masks failed AS
+  /// links (empty = all alive). `deflect` enables network-based recovery:
+  /// an AS whose selected route crosses a dead link tries its other
+  /// installed routes. Returns the AS-level path (src..dst) or nullopt.
+  std::optional<std::vector<AsId>> forward(
+      AsId src, AsId dst, SpliceHeader header,
+      std::span<const char> link_alive = {}, bool deflect = false,
+      int ttl = 64) const;
+
+  /// True iff some assignment of forwarding bits delivers src -> dst under
+  /// the mask: directed reachability over installed-route next hops.
+  bool spliced_connected(AsId src, AsId dst,
+                         std::span<const char> link_alive = {},
+                         SliceId use_k = 0) const;
+
+  /// Fraction of ordered AS pairs with no surviving spliced route, using
+  /// the first `use_k` route slots (0 = all k). The interdomain analogue
+  /// of the Figure 3 metric.
+  double disconnected_fraction(std::span<const char> link_alive = {},
+                               SliceId use_k = 0) const;
+
+ private:
+  std::size_t index(AsId node, AsId dst) const noexcept {
+    SPLICE_EXPECTS(graph_->valid(node));
+    SPLICE_EXPECTS(graph_->valid(dst));
+    return static_cast<std::size_t>(node) *
+               static_cast<std::size_t>(graph_->as_count()) +
+           static_cast<std::size_t>(dst);
+  }
+
+  void converge(AsId dst);
+
+  const AsGraph* graph_;
+  BgpConfig cfg_;
+  /// fib_[node * n + dst] = up to k best routes, best first.
+  std::vector<std::vector<BgpRoute>> fib_;
+};
+
+}  // namespace splice

@@ -1,0 +1,147 @@
+#include "interdomain/bgp_dynamics.h"
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace splice {
+
+namespace {
+
+NeighborKind mirrored(NeighborKind self_view_of_neighbor) noexcept {
+  switch (self_view_of_neighbor) {
+    case NeighborKind::kCustomer:
+      return NeighborKind::kProvider;
+    case NeighborKind::kPeer:
+      return NeighborKind::kPeer;
+    case NeighborKind::kProvider:
+      return NeighborKind::kCustomer;
+  }
+  return NeighborKind::kPeer;
+}
+
+bool path_contains(const std::vector<AsId>& path, AsId v) noexcept {
+  return std::find(path.begin(), path.end(), v) != path.end();
+}
+
+/// Synchronous Gao-Rexford decision process over `g` with a link mask.
+/// `best` is the warm-start state (per destination, per AS); the function
+/// iterates to a fixpoint and accumulates rounds/changes into `stats`.
+void run_to_fixpoint(const AsGraph& g, std::span<const char> link_alive,
+                     std::vector<std::vector<std::optional<BgpRoute>>>& best,
+                     ConvergenceStats& stats) {
+  const AsId n = g.as_count();
+  auto alive = [&](AsLinkId l) {
+    return link_alive.empty() || link_alive[static_cast<std::size_t>(l)] != 0;
+  };
+
+  const int max_rounds = 4 * static_cast<int>(n) + 8;
+  for (int round = 0; round < max_rounds; ++round) {
+    long long changes_this_round = 0;
+    // Synchronous: decisions in round r see round r-1's advertisements.
+    auto previous = best;
+    for (AsId dst = 0; dst < n; ++dst) {
+      auto& best_dst = best[static_cast<std::size_t>(dst)];
+      const auto& prev_dst = previous[static_cast<std::size_t>(dst)];
+      for (AsId v = 0; v < n; ++v) {
+        if (v == dst) continue;
+        std::optional<BgpRoute> pick;
+        for (const AsIncidence& inc : g.neighbors(v)) {
+          if (!alive(inc.link)) continue;
+          const auto& adv = prev_dst[static_cast<std::size_t>(inc.neighbor)];
+          if (!adv.has_value()) continue;
+          if (inc.neighbor != dst &&
+              !may_export(adv->learned_from, mirrored(inc.kind)))
+            continue;
+          if (path_contains(adv->as_path, v) || adv->next_hop == v) continue;
+          BgpRoute r;
+          r.next_hop = inc.neighbor;
+          r.via_link = inc.link;
+          r.learned_from = inc.kind;
+          r.as_path.reserve(adv->as_path.size() + 1);
+          r.as_path.push_back(inc.neighbor);
+          r.as_path.insert(r.as_path.end(), adv->as_path.begin(),
+                           adv->as_path.end());
+          if (path_contains(r.as_path, v)) continue;
+          if (!pick.has_value() || prefer_route(r, *pick)) pick = std::move(r);
+        }
+        auto& cur = best_dst[static_cast<std::size_t>(v)];
+        const bool differs =
+            pick.has_value() != cur.has_value() ||
+            (pick.has_value() && (pick->next_hop != cur->next_hop ||
+                                  pick->as_path != cur->as_path));
+        if (differs) {
+          cur = std::move(pick);
+          ++changes_this_round;
+        }
+      }
+    }
+    if (changes_this_round == 0) break;
+    stats.route_changes += changes_this_round;
+    ++stats.rounds;
+  }
+
+  for (AsId dst = 0; dst < n; ++dst) {
+    for (AsId v = 0; v < n; ++v) {
+      if (v == dst) continue;
+      if (!best[static_cast<std::size_t>(dst)][static_cast<std::size_t>(v)]
+               .has_value())
+        ++stats.unreachable_pairs;
+    }
+  }
+}
+
+std::vector<std::vector<std::optional<BgpRoute>>> origin_state(
+    const AsGraph& g) {
+  const auto n = static_cast<std::size_t>(g.as_count());
+  std::vector<std::vector<std::optional<BgpRoute>>> best(
+      n, std::vector<std::optional<BgpRoute>>(n));
+  for (AsId dst = 0; dst < g.as_count(); ++dst) {
+    BgpRoute origin;
+    origin.next_hop = dst;
+    origin.learned_from = NeighborKind::kCustomer;
+    best[static_cast<std::size_t>(dst)][static_cast<std::size_t>(dst)] =
+        origin;
+  }
+  return best;
+}
+
+}  // namespace
+
+ConvergenceStats measure_cold_convergence(const AsGraph& g) {
+  ConvergenceStats stats;
+  auto best = origin_state(g);
+  run_to_fixpoint(g, {}, best, stats);
+  return stats;
+}
+
+ConvergenceStats measure_failure_reconvergence(const AsGraph& g,
+                                               AsLinkId link) {
+  SPLICE_EXPECTS(link >= 0 && link < g.link_count());
+  // Converge intact first (not counted).
+  auto best = origin_state(g);
+  ConvergenceStats warmup;
+  run_to_fixpoint(g, {}, best, warmup);
+
+  // Fail the link; routes through it are withdrawn immediately.
+  std::vector<char> alive(static_cast<std::size_t>(g.link_count()), 1);
+  alive[static_cast<std::size_t>(link)] = 0;
+  ConvergenceStats stats;
+  for (AsId dst = 0; dst < g.as_count(); ++dst) {
+    for (AsId v = 0; v < g.as_count(); ++v) {
+      auto& cur =
+          best[static_cast<std::size_t>(dst)][static_cast<std::size_t>(v)];
+      if (cur.has_value() && v != dst && cur->via_link == link) {
+        cur.reset();
+        ++stats.route_changes;  // the withdrawal itself
+      }
+    }
+  }
+  run_to_fixpoint(g, alive, best, stats);
+  return stats;
+}
+
+}  // namespace splice

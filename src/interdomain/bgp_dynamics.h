@@ -1,0 +1,38 @@
+// BGP convergence dynamics: the §6 argument at the interdomain level.
+//
+// When an AS link fails, classic BGP withdraws and re-advertises routes
+// until the decision process stabilizes ("path exploration"); every
+// intermediate step is an UPDATE message and a window of potential
+// blackholing. Spliced BGP rides out the same failure on the k routes
+// already installed — zero UPDATEs until the operator chooses to
+// reconverge. This module runs the synchronous decision process round by
+// round and counts both the rounds and the per-AS best-route changes
+// (a lower bound on UPDATE traffic) triggered by a link failure.
+#pragma once
+
+#include "interdomain/as_graph.h"
+#include "interdomain/bgp.h"
+
+namespace splice {
+
+struct ConvergenceStats {
+  /// Synchronous rounds until no best route changes.
+  int rounds = 0;
+  /// Total best-route changes across all (AS, destination) pairs — each
+  /// implies at least one UPDATE to every export-eligible neighbor.
+  long long route_changes = 0;
+  /// ASes that lost reachability to some destination permanently.
+  long long unreachable_pairs = 0;
+};
+
+/// Runs the Gao-Rexford decision process from cold start on the full graph
+/// and returns its convergence cost (baseline).
+ConvergenceStats measure_cold_convergence(const AsGraph& g);
+
+/// Starting from the converged state of the intact graph, fails `link` and
+/// measures the re-convergence cost: rounds and route changes until the
+/// decision process stabilizes on the degraded graph.
+ConvergenceStats measure_failure_reconvergence(const AsGraph& g,
+                                               AsLinkId link);
+
+}  // namespace splice

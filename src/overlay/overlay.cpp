@@ -1,0 +1,88 @@
+#include "overlay/overlay.h"
+
+#include <algorithm>
+
+#include "graph/dijkstra.h"
+#include "util/assert.h"
+
+namespace splice {
+
+std::vector<NodeId> pick_overlay_members(const Graph& underlay,
+                                         std::size_t count) {
+  SPLICE_EXPECTS(count >= 1);
+  std::vector<NodeId> members;
+  const auto n = static_cast<std::size_t>(underlay.node_count());
+  const std::size_t stride = std::max<std::size_t>(1, n / count);
+  for (NodeId v = 0; v < underlay.node_count() && members.size() < count;
+       v += static_cast<NodeId>(stride)) {
+    members.push_back(v);
+  }
+  return members;
+}
+
+namespace {
+
+/// Shared construction: overlay graph + measured paths over the (possibly
+/// masked) underlay.
+OverlayMapping build_with_mask(const Graph& underlay,
+                               std::vector<NodeId> members,
+                               std::span<const char> underlay_alive) {
+  OverlayMapping m;
+  m.members = std::move(members);
+  for (const NodeId v : m.members) {
+    SPLICE_EXPECTS(underlay.valid_node(v));
+    m.overlay.add_node(underlay.name(v));
+  }
+  DijkstraOptions opts;
+  opts.edge_alive = underlay_alive;
+  for (std::size_t i = 0; i < m.members.size(); ++i) {
+    const ShortestPaths sp = dijkstra(underlay, m.members[i], opts);
+    for (std::size_t j = i + 1; j < m.members.size(); ++j) {
+      const NodeId target = m.members[j];
+      if (!sp.reached(target)) continue;
+      const Weight d = sp.dist[static_cast<std::size_t>(target)];
+      if (d <= 0.0) continue;
+      m.overlay.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), d);
+      m.measured_paths.push_back(sp.path_to(target));
+    }
+  }
+  SPLICE_ENSURES(m.measured_paths.size() ==
+                 static_cast<std::size_t>(m.overlay.edge_count()));
+  return m;
+}
+
+}  // namespace
+
+OverlayMapping build_overlay(const Graph& underlay,
+                             std::vector<NodeId> members) {
+  return build_with_mask(underlay, std::move(members), {});
+}
+
+std::vector<char> virtual_link_liveness(const Graph& underlay,
+                                        const OverlayMapping& mapping,
+                                        std::span<const char> underlay_alive) {
+  SPLICE_EXPECTS(underlay_alive.size() ==
+                 static_cast<std::size_t>(underlay.edge_count()));
+  std::vector<char> alive(
+      static_cast<std::size_t>(mapping.overlay.edge_count()), 1);
+  for (EdgeId e = 0; e < mapping.overlay.edge_count(); ++e) {
+    const auto& path = mapping.measured_paths[static_cast<std::size_t>(e)];
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const EdgeId ue = underlay.find_edge(path[i], path[i + 1]);
+      SPLICE_ASSERT(ue != kInvalidEdge);
+      if (!underlay_alive[static_cast<std::size_t>(ue)]) {
+        alive[static_cast<std::size_t>(e)] = 0;
+        break;
+      }
+    }
+  }
+  return alive;
+}
+
+OverlayMapping reprobe_overlay(const Graph& underlay,
+                               const OverlayMapping& mapping,
+                               std::span<const char> underlay_alive) {
+  return build_with_mask(underlay, mapping.members, underlay_alive);
+}
+
+}  // namespace splice

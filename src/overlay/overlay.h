@@ -1,0 +1,57 @@
+// Overlay-network substrate for the §5 "other applications" discussion:
+// applying path splicing to RON-style overlay routing.
+//
+// An overlay is a subset of underlay nodes joined by virtual links whose
+// weights are the measured underlay latencies (we compute them exactly
+// instead of probing). RON semantics for failures: a virtual link is *down*
+// while the underlay path it was measured over is broken, until the overlay
+// re-probes — which is precisely the window in which overlay splicing
+// recovers by deflecting across other overlay nodes with zero measurement
+// traffic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace splice {
+
+/// An overlay graph plus the bookkeeping to map it back to the underlay.
+struct OverlayMapping {
+  /// members[i] = underlay node backing overlay node i.
+  std::vector<NodeId> members;
+  /// The overlay graph: clique over members, weights = underlay latency.
+  Graph overlay;
+  /// measured_path[e] = underlay node sequence the virtual link's latency
+  /// was measured over (the current underlay shortest path).
+  std::vector<std::vector<NodeId>> measured_paths;
+};
+
+/// Picks `count` overlay members spread deterministically across the
+/// underlay node-id space.
+std::vector<NodeId> pick_overlay_members(const Graph& underlay,
+                                         std::size_t count);
+
+/// Builds the full-mesh overlay over `members`: one virtual link per pair
+/// that is connected in the underlay, weighted by underlay shortest-path
+/// latency, with the measured path recorded.
+OverlayMapping build_overlay(const Graph& underlay,
+                             std::vector<NodeId> members);
+
+/// RON failure semantics: virtual link e is alive iff every underlay link
+/// of its measured path survives `underlay_alive`. Returns the overlay
+/// edge-liveness mask.
+std::vector<char> virtual_link_liveness(const Graph& underlay,
+                                        const OverlayMapping& mapping,
+                                        std::span<const char> underlay_alive);
+
+/// Re-measures every virtual link on the surviving underlay (the
+/// "after re-probing" state): returns a fresh mapping whose weights and
+/// measured paths reflect `underlay_alive`; virtual links between
+/// underlay-disconnected members are omitted.
+OverlayMapping reprobe_overlay(const Graph& underlay,
+                               const OverlayMapping& mapping,
+                               std::span<const char> underlay_alive);
+
+}  // namespace splice

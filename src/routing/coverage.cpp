@@ -1,0 +1,109 @@
+#include "routing/coverage.h"
+
+#include <set>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace splice {
+
+namespace {
+
+/// Key of one directed forwarding arc in the union toward a destination.
+using ArcKey = std::uint64_t;
+
+ArcKey arc_key(NodeId dst, NodeId from, NodeId to) noexcept {
+  return (static_cast<ArcKey>(dst) << 40) |
+         (static_cast<ArcKey>(from) << 20) | static_cast<ArcKey>(to);
+}
+
+/// Inserts every (dst, from->to) arc of `inst` into `covered`; returns how
+/// many were new.
+long long add_coverage(const Graph& g, const RoutingInstance& inst,
+                       std::set<ArcKey>& covered) {
+  long long added = 0;
+  for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == dst) continue;
+      const NodeId nh = inst.next_hop(v, dst);
+      if (nh == kInvalidNode) continue;
+      added += covered.insert(arc_key(dst, v, nh)).second ? 1 : 0;
+    }
+  }
+  return added;
+}
+
+/// Counts how many (dst, arc) pairs of `inst` are NOT yet in `covered`,
+/// without mutating it.
+long long marginal_coverage(const Graph& g, const RoutingInstance& inst,
+                            const std::set<ArcKey>& covered) {
+  long long fresh = 0;
+  for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == dst) continue;
+      const NodeId nh = inst.next_hop(v, dst);
+      if (nh == kInvalidNode) continue;
+      fresh += covered.contains(arc_key(dst, v, nh)) ? 0 : 1;
+    }
+  }
+  return fresh;
+}
+
+}  // namespace
+
+std::vector<std::vector<Weight>> choose_coverage_aware_weights(
+    const Graph& g, const CoverageSliceConfig& cfg) {
+  SPLICE_EXPECTS(cfg.slices >= 1);
+  SPLICE_EXPECTS(cfg.candidates_per_slice >= 1);
+
+  std::vector<std::vector<Weight>> chosen;
+  chosen.emplace_back();  // slice 0: original weights
+
+  std::set<ArcKey> covered;
+  {
+    const RoutingInstance base(g, g.weights());
+    add_coverage(g, base, covered);
+  }
+
+  Rng master(cfg.seed);
+  for (SliceId s = 1; s < cfg.slices; ++s) {
+    std::vector<Weight> best_weights;
+    long long best_gain = -1;
+    for (int c = 0; c < cfg.candidates_per_slice; ++c) {
+      Rng cand_rng = master.fork(
+          static_cast<std::uint64_t>(s) * 1000 + static_cast<std::uint64_t>(c));
+      std::vector<Weight> weights =
+          perturb_weights(g, cfg.perturbation, cand_rng);
+      const RoutingInstance inst(g, weights);
+      const long long gain = marginal_coverage(g, inst, covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_weights = std::move(weights);
+      }
+    }
+    SPLICE_ASSERT(!best_weights.empty());
+    const RoutingInstance winner(g, best_weights);
+    add_coverage(g, winner, covered);
+    chosen.push_back(std::move(best_weights));
+  }
+  return chosen;
+}
+
+MultiInstanceRouting build_coverage_aware_control_plane(
+    const Graph& g, const CoverageSliceConfig& cfg) {
+  return MultiInstanceRouting(g, choose_coverage_aware_weights(g, cfg));
+}
+
+long long count_covered_arcs(const Graph& g, const MultiInstanceRouting& mir,
+                             SliceId k) {
+  SPLICE_EXPECTS(k >= 1 && k <= mir.slice_count());
+  std::set<ArcKey> covered;
+  long long total = 0;
+  for (SliceId s = 0; s < k; ++s) {
+    total += add_coverage(g, mir.slice(s), covered);
+  }
+  return total;
+}
+
+}  // namespace splice

@@ -1,0 +1,49 @@
+// Coverage-aware slice construction (§5 "alternate slicing mechanisms").
+//
+// "We expect that path splicing might perform even better if each slice
+// were configured with some consideration of the edges in the underlying
+// graph that were already covered by other slices."
+//
+// This module implements that idea as a greedy candidate search: slice 0
+// routes on the original weights; each subsequent slice draws several
+// independent perturbation candidates and keeps the one that adds the most
+// *new* forwarding arcs to the per-destination spliced unions — i.e. the
+// candidate with the least overlap with everything already deployed. The
+// result plugs into MultiInstanceRouting like any other weight assignment,
+// so every analyzer, data plane and experiment runs unchanged on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/multi_instance.h"
+#include "routing/perturbation.h"
+
+namespace splice {
+
+struct CoverageSliceConfig {
+  SliceId slices = 5;
+  /// Perturbation candidates drawn per slice; the best-covering one wins.
+  int candidates_per_slice = 8;
+  PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  std::uint64_t seed = 1;
+};
+
+/// Chooses the per-slice weight vectors greedily by marginal coverage.
+/// Element 0 is empty (original weights); elements 1..k-1 are the chosen
+/// perturbed vectors. Feed the result to MultiInstanceRouting.
+std::vector<std::vector<Weight>> choose_coverage_aware_weights(
+    const Graph& g, const CoverageSliceConfig& cfg);
+
+/// Convenience: the fully built control plane.
+MultiInstanceRouting build_coverage_aware_control_plane(
+    const Graph& g, const CoverageSliceConfig& cfg);
+
+/// Diagnostic: the number of distinct (destination, forwarding-arc) pairs
+/// covered by the union of the given instances' trees — the quantity the
+/// greedy search maximizes marginally.
+long long count_covered_arcs(const Graph& g, const MultiInstanceRouting& mir,
+                             SliceId k);
+
+}  // namespace splice

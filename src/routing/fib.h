@@ -1,0 +1,70 @@
+// Forwarding information base for the splicing data plane: the k per-slice
+// forwarding tables every node holds (Figure 2 of the paper), flattened for
+// O(1) per-hop lookup by Algorithm 1.
+#pragma once
+
+#include <vector>
+
+#include "graph/types.h"
+#include "util/assert.h"
+
+namespace splice {
+
+/// One forwarding entry: the neighbor to hand the packet to and the
+/// underlying link used (the link id lets the data plane check liveness).
+struct FibEntry {
+  NodeId next_hop = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+
+  bool valid() const noexcept { return next_hop != kInvalidNode; }
+};
+
+/// The k forwarding tables of all nodes: lookup(slice, node, dst).
+class FibSet {
+ public:
+  FibSet(SliceId slices, NodeId nodes)
+      : slices_(slices),
+        nodes_(nodes),
+        entries_(static_cast<std::size_t>(slices) *
+                 static_cast<std::size_t>(nodes) *
+                 static_cast<std::size_t>(nodes)) {
+    SPLICE_EXPECTS(slices >= 1);
+    SPLICE_EXPECTS(nodes >= 0);
+  }
+
+  SliceId slice_count() const noexcept { return slices_; }
+  NodeId node_count() const noexcept { return nodes_; }
+
+  const FibEntry& lookup(SliceId slice, NodeId node, NodeId dst) const noexcept {
+    return entries_[index(slice, node, dst)];
+  }
+
+  void set(SliceId slice, NodeId node, NodeId dst, FibEntry entry) noexcept {
+    entries_[index(slice, node, dst)] = entry;
+  }
+
+  /// Total number of installed (valid) entries — the routing-state metric
+  /// the paper argues grows only linearly in k.
+  std::size_t installed_entries() const noexcept {
+    std::size_t count = 0;
+    for (const FibEntry& e : entries_) count += e.valid() ? 1 : 0;
+    return count;
+  }
+
+ private:
+  std::size_t index(SliceId slice, NodeId node, NodeId dst) const noexcept {
+    SPLICE_EXPECTS(slice >= 0 && slice < slices_);
+    SPLICE_EXPECTS(node >= 0 && node < nodes_);
+    SPLICE_EXPECTS(dst >= 0 && dst < nodes_);
+    return (static_cast<std::size_t>(slice) * static_cast<std::size_t>(nodes_) +
+            static_cast<std::size_t>(node)) *
+               static_cast<std::size_t>(nodes_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  SliceId slices_;
+  NodeId nodes_;
+  std::vector<FibEntry> entries_;
+};
+
+}  // namespace splice

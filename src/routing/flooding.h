@@ -1,0 +1,62 @@
+// Link-state flooding simulation.
+//
+// The paper's scalability argument (§1, §4.2) is that path splicing costs
+// only a *linear* increase in routing messages: either k routing-protocol
+// instances flood in parallel (k times the messages), or — with
+// multi-topology encoding (§3.1.2, RFC 4915) — each LSA carries all k
+// per-topology costs and the message count does not grow at all.
+//
+// This module simulates standard reliable flooding over the data-plane
+// topology with per-link propagation delays (EventQueue), counts every
+// link-state message until the network quiesces, and verifies that every
+// node's link-state database converges to the full topology view. It also
+// simulates the re-flood triggered by a link failure, which is exactly the
+// control-plane cost that splicing's data-plane recovery avoids (§6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/event_queue.h"
+
+namespace splice {
+
+/// One flooded link-state advertisement: `origin`'s adjacency snapshot.
+/// `instance` identifies which routing process flooded it (0..k-1 for
+/// per-slice flooding; always 0 for multi-topology encoding).
+struct Lsa {
+  NodeId origin = kInvalidNode;
+  std::uint32_t sequence = 0;
+  SliceId instance = 0;
+};
+
+/// How the k slices share the flooding machinery.
+enum class FloodEncoding {
+  kSeparateInstances,  ///< one flood per slice: messages scale with k
+  kMultiTopology,      ///< one flood, k costs per LSA: messages constant
+};
+
+struct FloodStats {
+  /// Total LSA transmissions over links (the message-complexity metric).
+  long long messages = 0;
+  /// Simulated time until the last LSDB update.
+  SimTime convergence_ms = 0.0;
+  /// True iff every node learned every origin's latest LSA (per instance).
+  bool converged = false;
+};
+
+/// Simulates cold-start flooding: every node originates its LSA(s) at t=0
+/// and floods reliably (forward to all neighbors except the sender; drop
+/// duplicates by (origin, instance, sequence)).
+FloodStats simulate_full_flood(const Graph& g, SliceId slices,
+                               FloodEncoding encoding);
+
+/// Simulates the incremental re-flood after `failed_edge` goes down: its
+/// two endpoints originate fresh LSAs (per instance), which flood over the
+/// surviving links.
+FloodStats simulate_failure_reflood(const Graph& g, SliceId slices,
+                                    FloodEncoding encoding,
+                                    EdgeId failed_edge);
+
+}  // namespace splice

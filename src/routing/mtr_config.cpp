@@ -1,0 +1,165 @@
+#include "routing/mtr_config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace splice {
+
+namespace {
+
+/// Interface naming: "<uName>--<vName>" with node ids as fallback for
+/// unnamed nodes; stable per edge id.
+std::string interface_name(const Graph& g, EdgeId e) {
+  const Edge& edge = g.edge(e);
+  const std::string u =
+      g.name(edge.u).empty() ? "n" + std::to_string(edge.u) : g.name(edge.u);
+  const std::string v =
+      g.name(edge.v).empty() ? "n" + std::to_string(edge.v) : g.name(edge.v);
+  return u + "--" + v;
+}
+
+}  // namespace
+
+MtrDeployment extract_mtr_deployment(const Graph& g,
+                                     const MultiInstanceRouting& mir,
+                                     std::string domain) {
+  MtrDeployment d;
+  d.router_domain = std::move(domain);
+  for (SliceId s = 0; s < mir.slice_count(); ++s) {
+    MtrTopology topo;
+    topo.slice = s;
+    // Slice 0 on original weights maps to the default topology (MT-ID 0).
+    const auto w = mir.slice(s).weights();
+    bool is_default = true;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (w[static_cast<std::size_t>(e)] != g.edge(e).weight) {
+        is_default = false;
+        break;
+      }
+    }
+    topo.mt_id = is_default && s == 0 ? 0 : kMtrBaseId + s;
+    topo.cost.assign(w.begin(), w.end());
+    d.topologies.push_back(std::move(topo));
+  }
+  return d;
+}
+
+std::string render_mtr_config(const Graph& g, const MtrDeployment& d) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "! path-splicing multi-topology deployment\n";
+  out << "router-domain " << d.router_domain << "\n";
+  for (const MtrTopology& topo : d.topologies) {
+    SPLICE_EXPECTS(topo.cost.size() ==
+                   static_cast<std::size_t>(g.edge_count()));
+    out << "topology slice-" << topo.slice << " mt-id " << topo.mt_id << "\n";
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      out << " interface " << interface_name(g, e) << " cost "
+          << topo.cost[static_cast<std::size_t>(e)] << "\n";
+    }
+  }
+  return out.str();
+}
+
+MtrDeployment parse_mtr_config(const Graph& g, const std::string& text) {
+  MtrDeployment d;
+  std::istringstream in(text);
+  std::string line;
+  MtrTopology* current = nullptr;
+  int line_no = 0;
+
+  // Interface-name -> edge-id lookup built once.
+  std::vector<std::string> names(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    names[static_cast<std::size_t>(e)] = interface_name(g, e);
+  auto edge_of = [&](const std::string& name) -> EdgeId {
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (names[static_cast<std::size_t>(e)] == name) return e;
+    }
+    return kInvalidEdge;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '!') continue;
+    if (word == "router-domain") {
+      ls >> d.router_domain;
+      continue;
+    }
+    if (word == "topology") {
+      std::string slice_label;
+      std::string mt_kw;
+      int mt_id = 0;
+      if (!(ls >> slice_label >> mt_kw >> mt_id) || mt_kw != "mt-id" ||
+          slice_label.rfind("slice-", 0) != 0) {
+        throw std::invalid_argument("bad topology line " +
+                                    std::to_string(line_no));
+      }
+      MtrTopology topo;
+      topo.slice =
+          static_cast<SliceId>(std::stol(slice_label.substr(6)));
+      topo.mt_id = mt_id;
+      topo.cost.assign(static_cast<std::size_t>(g.edge_count()), 0.0);
+      d.topologies.push_back(std::move(topo));
+      current = &d.topologies.back();
+      continue;
+    }
+    if (word == "interface") {
+      if (current == nullptr)
+        throw std::invalid_argument("interface outside topology at line " +
+                                    std::to_string(line_no));
+      std::string name;
+      std::string cost_kw;
+      double cost = 0.0;
+      if (!(ls >> name >> cost_kw >> cost) || cost_kw != "cost" ||
+          cost <= 0.0) {
+        throw std::invalid_argument("bad interface line " +
+                                    std::to_string(line_no));
+      }
+      const EdgeId e = edge_of(name);
+      if (e == kInvalidEdge)
+        throw std::invalid_argument("unknown interface '" + name +
+                                    "' at line " + std::to_string(line_no));
+      current->cost[static_cast<std::size_t>(e)] = cost;
+      continue;
+    }
+    throw std::invalid_argument("unknown directive '" + word + "' at line " +
+                                std::to_string(line_no));
+  }
+  // Every topology must cover every interface.
+  for (const MtrTopology& topo : d.topologies) {
+    for (double c : topo.cost) {
+      if (c <= 0.0)
+        throw std::invalid_argument("topology slice-" +
+                                    std::to_string(topo.slice) +
+                                    " is missing interface costs");
+    }
+  }
+  return d;
+}
+
+bool deployments_equivalent(const MtrDeployment& a, const MtrDeployment& b) {
+  if (a.router_domain != b.router_domain) return false;
+  if (a.topologies.size() != b.topologies.size()) return false;
+  for (std::size_t i = 0; i < a.topologies.size(); ++i) {
+    const MtrTopology& ta = a.topologies[i];
+    const MtrTopology& tb = b.topologies[i];
+    if (ta.slice != tb.slice || ta.mt_id != tb.mt_id ||
+        ta.cost.size() != tb.cost.size())
+      return false;
+    for (std::size_t e = 0; e < ta.cost.size(); ++e) {
+      const double scale = std::max({std::fabs(ta.cost[e]),
+                                     std::fabs(tb.cost[e]), 1.0});
+      if (std::fabs(ta.cost[e] - tb.cost[e]) > 1e-9 * scale) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace splice

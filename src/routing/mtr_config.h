@@ -1,0 +1,63 @@
+// Multi-topology-routing deployment rendering (§3.1.2).
+//
+// "Cisco routers already support multi-topology routing [RFC 4915] ...
+// Multi-topology routing provides much of the control-plane function that
+// would be needed to support path splicing in practice."
+//
+// This module turns a splicing control plane into the per-router
+// configuration an operator would push: one routing topology per slice
+// (MT-ID), with that slice's perturbed cost on every interface. The format
+// is a vendor-neutral, line-oriented config that round-trips through the
+// parser below, so configurations can be generated, audited, diffed and
+// re-ingested by tooling.
+//
+//   topology slice-3 mt-id 35
+//    interface Atlanta--Chicago cost 9.42
+//    ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/multi_instance.h"
+
+namespace splice {
+
+/// Per-slice rendered topology configuration.
+struct MtrTopology {
+  SliceId slice = 0;
+  int mt_id = 0;  ///< RFC 4915 MT-ID carried in the IGP
+  /// cost[e] = this topology's cost for edge e (indexed by edge id).
+  std::vector<Weight> cost;
+};
+
+struct MtrDeployment {
+  std::string router_domain;  ///< free-form label, e.g. topology name
+  std::vector<MtrTopology> topologies;
+};
+
+/// Base MT-ID for generated slices. MT-ID 0 is the standard topology;
+/// RFC 4915 reserves 1-31, so generated slices start above that range.
+inline constexpr int kMtrBaseId = 32;
+
+/// Extracts the deployment from a built control plane: topology i carries
+/// slice i's weight vector and MT-ID kMtrBaseId + i (slice 0, when
+/// unperturbed, is rendered as MT-ID 0 — the default topology).
+MtrDeployment extract_mtr_deployment(const Graph& g,
+                                     const MultiInstanceRouting& mir,
+                                     std::string domain = "splice");
+
+/// Renders the deployment as the line-oriented config text.
+std::string render_mtr_config(const Graph& g, const MtrDeployment& d);
+
+/// Parses config text back into a deployment (interface names must match
+/// the graph's node names). Throws std::invalid_argument on malformed
+/// input or unknown interfaces.
+MtrDeployment parse_mtr_config(const Graph& g, const std::string& text);
+
+/// Structural equality check used by audit tooling (costs compared within
+/// 1e-9 relative tolerance).
+bool deployments_equivalent(const MtrDeployment& a, const MtrDeployment& b);
+
+}  // namespace splice

@@ -1,0 +1,50 @@
+#include "routing/multi_instance.h"
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace splice {
+
+MultiInstanceRouting::MultiInstanceRouting(const Graph& g,
+                                           const ControlPlaneConfig& cfg)
+    : cfg_(cfg) {
+  SPLICE_EXPECTS(cfg.slices >= 1);
+  instances_.reserve(static_cast<std::size_t>(cfg.slices));
+  Rng master(cfg.seed);
+  for (SliceId s = 0; s < cfg.slices; ++s) {
+    Rng slice_rng = master.fork(static_cast<std::uint64_t>(s));
+    const bool plain = s == 0 && !cfg.perturb_first_slice;
+    std::vector<Weight> weights =
+        plain ? g.weights() : perturb_weights(g, cfg.perturbation, slice_rng);
+    instances_.emplace_back(g, std::move(weights));
+  }
+}
+
+MultiInstanceRouting::MultiInstanceRouting(
+    const Graph& g, std::vector<std::vector<Weight>> slice_weights) {
+  SPLICE_EXPECTS(!slice_weights.empty());
+  cfg_.slices = static_cast<SliceId>(slice_weights.size());
+  instances_.reserve(slice_weights.size());
+  for (auto& weights : slice_weights) {
+    instances_.emplace_back(g, std::move(weights));
+  }
+}
+
+FibSet MultiInstanceRouting::build_fibs() const {
+  SPLICE_EXPECTS(!instances_.empty());
+  const NodeId n = instances_.front().node_count();
+  FibSet fibs(slice_count(), n);
+  for (SliceId s = 0; s < slice_count(); ++s) {
+    const RoutingInstance& inst = slice(s);
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId dst = 0; dst < n; ++dst) {
+        if (v == dst) continue;
+        fibs.set(s, v, dst,
+                 FibEntry{inst.next_hop(v, dst), inst.next_hop_edge(v, dst)});
+      }
+    }
+  }
+  return fibs;
+}
+
+}  // namespace splice

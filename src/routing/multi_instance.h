@@ -1,0 +1,60 @@
+// The path-splicing control plane (§3.1): k routing-protocol instances over
+// one topology, each with its own perturbed link weights, materialized into
+// a FibSet the data plane can forward on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/fib.h"
+#include "routing/perturbation.h"
+#include "routing/routing_instance.h"
+
+namespace splice {
+
+struct ControlPlaneConfig {
+  /// Number of slices k (>= 1).
+  SliceId slices = 2;
+  PerturbationConfig perturbation;
+  /// Seed for all weight perturbations (slice i uses an independent stream
+  /// forked from this).
+  std::uint64_t seed = 1;
+  /// When false (default, matching the paper's evaluation), slice 0 routes
+  /// on the *original* weights so that k=1 is "normal" shortest-path
+  /// routing; perturbed slices start at index 1.
+  bool perturb_first_slice = false;
+};
+
+/// Builds and owns the k routing instances.
+class MultiInstanceRouting {
+ public:
+  MultiInstanceRouting(const Graph& g, const ControlPlaneConfig& cfg);
+
+  /// Builds from explicit per-slice weight vectors (each indexed by edge
+  /// id; an empty vector means the graph's original weights). Used by
+  /// alternate slicing mechanisms (§5) that choose weights deliberately
+  /// rather than by independent random perturbation.
+  MultiInstanceRouting(const Graph& g,
+                       std::vector<std::vector<Weight>> slice_weights);
+
+  SliceId slice_count() const noexcept {
+    return static_cast<SliceId>(instances_.size());
+  }
+
+  const RoutingInstance& slice(SliceId s) const noexcept {
+    SPLICE_EXPECTS(s >= 0 && s < slice_count());
+    return instances_[static_cast<std::size_t>(s)];
+  }
+
+  const ControlPlaneConfig& config() const noexcept { return cfg_; }
+
+  /// Flattens every slice's next hops into forwarding tables.
+  FibSet build_fibs() const;
+
+ private:
+  ControlPlaneConfig cfg_;
+  std::vector<RoutingInstance> instances_;
+};
+
+}  // namespace splice

@@ -1,0 +1,94 @@
+#include "routing/perturbation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace splice {
+
+PerturbationKind parse_perturbation_kind(const std::string& name) {
+  if (name == "none") return PerturbationKind::kNone;
+  if (name == "uniform") return PerturbationKind::kUniform;
+  if (name == "degree" || name == "degree-based")
+    return PerturbationKind::kDegreeBased;
+  throw std::invalid_argument("unknown perturbation kind: " + name);
+}
+
+std::string to_string(PerturbationKind kind) {
+  switch (kind) {
+    case PerturbationKind::kNone:
+      return "none";
+    case PerturbationKind::kUniform:
+      return "uniform";
+    case PerturbationKind::kDegreeBased:
+      return "degree";
+  }
+  return "?";
+}
+
+std::vector<double> perturbation_multipliers(const Graph& g,
+                                             const PerturbationConfig& cfg) {
+  const auto m = static_cast<std::size_t>(g.edge_count());
+  std::vector<double> mult(m, 0.0);
+  switch (cfg.kind) {
+    case PerturbationKind::kNone:
+      break;
+    case PerturbationKind::kUniform:
+      std::fill(mult.begin(), mult.end(), cfg.b);
+      break;
+    case PerturbationKind::kDegreeBased: {
+      // f_ab: linear in degree(i)+degree(j), normalized over the observed
+      // degree-sum range so the multipliers span exactly [a, b].
+      int min_sum = 0;
+      int max_sum = 0;
+      bool first = true;
+      std::vector<int> sums(m, 0);
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        const Edge& edge = g.edge(e);
+        const int s = g.degree(edge.u) + g.degree(edge.v);
+        sums[static_cast<std::size_t>(e)] = s;
+        if (first || s < min_sum) min_sum = s;
+        if (first || s > max_sum) max_sum = s;
+        first = false;
+      }
+      for (std::size_t e = 0; e < m; ++e) {
+        const double t =
+            max_sum == min_sum
+                ? 0.5
+                : static_cast<double>(sums[e] - min_sum) /
+                      static_cast<double>(max_sum - min_sum);
+        mult[e] = cfg.a + (cfg.b - cfg.a) * t;
+      }
+      break;
+    }
+  }
+  return mult;
+}
+
+std::vector<Weight> perturb_weights(const Graph& g,
+                                    const PerturbationConfig& cfg, Rng& rng) {
+  SPLICE_EXPECTS(cfg.a >= 0.0);
+  SPLICE_EXPECTS(cfg.b >= cfg.a);
+  const auto mult = perturbation_multipliers(g, cfg);
+  std::vector<Weight> out(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Weight l = g.edge(e).weight;
+    const double w = mult[static_cast<std::size_t>(e)];
+    out[static_cast<std::size_t>(e)] = l + w * rng.uniform(0.0, l);
+  }
+  return out;
+}
+
+std::vector<Weight> perturb_weights_signed(const Graph& g, double c, Rng& rng) {
+  SPLICE_EXPECTS(c >= 0.0 && c < 1.0);
+  std::vector<Weight> out(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Weight l = g.edge(e).weight;
+    out[static_cast<std::size_t>(e)] = l + rng.uniform(-c * l, c * l);
+    SPLICE_ENSURES(out[static_cast<std::size_t>(e)] > 0.0);
+  }
+  return out;
+}
+
+}  // namespace splice

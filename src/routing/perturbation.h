@@ -1,0 +1,58 @@
+// Link-weight perturbation strategies (§3.1.1).
+//
+// Each slice draws one perturbed weight per link:
+//
+//   L'(i,j) = L(i,j) + Weight(a,b,i,j) * Random(0, L(i,j))
+//
+// where Weight(a,b,i,j) is a per-link multiplier and Random(0,L) is uniform.
+// The paper's "degree-based" strategy makes the multiplier a linear function
+// f_ab of degree(i)+degree(j) ranging over [a,b], so that links incident to
+// hubs are perturbed more; the "uniform" strategy uses a constant multiplier.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace splice {
+
+enum class PerturbationKind {
+  /// No perturbation: slice uses the original weights (plain shortest paths).
+  kNone,
+  /// Constant multiplier b for every link: L' = L + b * Random(0, L).
+  kUniform,
+  /// Degree-based multiplier f_ab(degree(i) + degree(j)) in [a, b].
+  kDegreeBased,
+};
+
+struct PerturbationConfig {
+  PerturbationKind kind = PerturbationKind::kDegreeBased;
+  /// Multiplier range endpoints — the paper's Weight(a, b). The headline
+  /// Sprint results (Fig. 3) use Weight(0, 3).
+  double a = 0.0;
+  double b = 3.0;
+};
+
+/// Parses "none" / "uniform" / "degree"; throws std::invalid_argument
+/// otherwise.
+PerturbationKind parse_perturbation_kind(const std::string& name);
+std::string to_string(PerturbationKind kind);
+
+/// Per-link multipliers Weight(a,b,i,j), indexed by edge id. Deterministic
+/// (no randomness): the random part of the perturbation is Random(0, L).
+std::vector<double> perturbation_multipliers(const Graph& g,
+                                             const PerturbationConfig& cfg);
+
+/// Draws one perturbed weight vector (indexed by edge id) for a slice.
+/// Perturbed weights are symmetric per link and satisfy
+///   L <= L' <= L * (1 + multiplier).
+std::vector<Weight> perturb_weights(const Graph& g,
+                                    const PerturbationConfig& cfg, Rng& rng);
+
+/// Appendix-B-style *signed* uniform perturbation in [-c*L, c*L] around L,
+/// clamped to stay strictly positive. Used by the stretch-bound experiment.
+std::vector<Weight> perturb_weights_signed(const Graph& g, double c, Rng& rng);
+
+}  // namespace splice

@@ -1,0 +1,76 @@
+#include "routing/routing_instance.h"
+
+#include "util/assert.h"
+
+namespace splice {
+
+RoutingInstance::RoutingInstance(const Graph& g, std::vector<Weight> weights)
+    : n_(g.node_count()), weights_(std::move(weights)) {
+  SPLICE_EXPECTS(weights_.empty() ||
+                 weights_.size() == static_cast<std::size_t>(g.edge_count()));
+  if (weights_.empty()) weights_ = g.weights();
+
+  const auto cells = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  next_hop_.assign(cells, kInvalidNode);
+  next_edge_.assign(cells, kInvalidEdge);
+  dist_.assign(cells, kInfiniteWeight);
+
+  DijkstraOptions opts;
+  opts.weight_override = weights_;
+  for (NodeId dst = 0; dst < n_; ++dst) {
+    // Tree rooted at the destination; a node's next hop toward dst is its
+    // parent in this tree (weights are symmetric).
+    const ShortestPaths sp = dijkstra(g, dst, opts);
+    for (NodeId v = 0; v < n_; ++v) {
+      const std::size_t cell = index(v, dst);
+      dist_[cell] = sp.dist[static_cast<std::size_t>(v)];
+      if (v != dst && sp.reached(v)) {
+        next_hop_[cell] = sp.parent[static_cast<std::size_t>(v)];
+        next_edge_[cell] = sp.parent_edge[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+}
+
+std::vector<NodeId> RoutingInstance::path(NodeId src, NodeId dst) const {
+  SPLICE_EXPECTS(src >= 0 && src < n_);
+  SPLICE_EXPECTS(dst >= 0 && dst < n_);
+  std::vector<NodeId> out;
+  NodeId cur = src;
+  out.push_back(cur);
+  while (cur != dst) {
+    cur = next_hop(cur, dst);
+    if (cur == kInvalidNode) return {};
+    out.push_back(cur);
+    // Next-hop chains of a shortest-path tree cannot loop; cap defensively.
+    SPLICE_ASSERT(out.size() <= static_cast<std::size_t>(n_));
+  }
+  return out;
+}
+
+Weight RoutingInstance::path_cost_original(const Graph& g, NodeId src,
+                                           NodeId dst) const {
+  const auto nodes = path(src, dst);
+  if (nodes.empty() && src != dst) return kInfiniteWeight;
+  Weight cost = 0.0;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const EdgeId e = next_hop_edge(nodes[i], dst);
+    SPLICE_ASSERT(e != kInvalidEdge);
+    cost += g.edge(e).weight;
+  }
+  return cost;
+}
+
+std::vector<EdgeId> RoutingInstance::tree_edges(NodeId dst) const {
+  SPLICE_EXPECTS(dst >= 0 && dst < n_);
+  std::vector<EdgeId> out;
+  out.reserve(static_cast<std::size_t>(n_));
+  for (NodeId v = 0; v < n_; ++v) {
+    if (v == dst) continue;
+    const EdgeId e = next_hop_edge(v, dst);
+    if (e != kInvalidEdge) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace splice

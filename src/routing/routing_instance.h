@@ -1,0 +1,73 @@
+// One routing-protocol instance ("slice", §3.1.2): a link-state process
+// that computes, for a fixed weight assignment over the shared topology, a
+// shortest-path tree toward every destination, and exposes the resulting
+// next hops — i.e. the contents of one forwarding table.
+//
+// Link weights are symmetric, so the tree toward destination t is obtained
+// from a single Dijkstra rooted at t; next_hop(v, t) is v's parent-direction
+// neighbor in that tree.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace splice {
+
+class RoutingInstance {
+ public:
+  /// Computes all shortest-path trees eagerly (n Dijkstra runs).
+  /// `weights` is indexed by edge id; empty means graph weights.
+  RoutingInstance(const Graph& g, std::vector<Weight> weights);
+
+  NodeId node_count() const noexcept { return n_; }
+
+  /// Next hop of `node` toward `dst` (kInvalidNode when node == dst or dst
+  /// unreachable in this slice).
+  NodeId next_hop(NodeId node, NodeId dst) const noexcept {
+    return next_hop_[index(node, dst)];
+  }
+
+  /// Underlying edge used for that next hop (kInvalidEdge as above).
+  EdgeId next_hop_edge(NodeId node, NodeId dst) const noexcept {
+    return next_edge_[index(node, dst)];
+  }
+
+  /// Distance from `node` to `dst` under this slice's perturbed weights.
+  Weight distance(NodeId node, NodeId dst) const noexcept {
+    return dist_[index(node, dst)];
+  }
+
+  /// The perturbed weight vector this slice routes on.
+  std::span<const Weight> weights() const noexcept { return weights_; }
+
+  /// Path node sequence src..dst following next hops (empty if unreachable).
+  std::vector<NodeId> path(NodeId src, NodeId dst) const;
+
+  /// Path length under the *original* graph weights (the paper's stretch
+  /// numerator); kInfiniteWeight if unreachable.
+  Weight path_cost_original(const Graph& g, NodeId src, NodeId dst) const;
+
+  /// Edge ids of the tree toward `dst` (up to n-1 edges).
+  std::vector<EdgeId> tree_edges(NodeId dst) const;
+
+ private:
+  std::size_t index(NodeId node, NodeId dst) const noexcept {
+    SPLICE_EXPECTS(node >= 0 && node < n_);
+    SPLICE_EXPECTS(dst >= 0 && dst < n_);
+    return static_cast<std::size_t>(node) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  NodeId n_ = 0;
+  std::vector<Weight> weights_;
+  // Flattened [node][dst] tables.
+  std::vector<NodeId> next_hop_;
+  std::vector<EdgeId> next_edge_;
+  std::vector<Weight> dist_;
+};
+
+}  // namespace splice

@@ -1,0 +1,63 @@
+// Discrete-event recovery-time simulation.
+//
+// §4.3 measures recovery in *trials* and notes the trials "could be run in
+// parallel". This module converts trials into wall-clock time with a
+// simple but honest timing model:
+//   * link propagation delay = link weight, interpreted in milliseconds
+//     (the embedded topologies use latency-derived weights);
+//   * a delivered packet triggers an ACK that retraces the path, so the
+//     sender learns of success after one path RTT;
+//   * a dropped packet is silent — the sender detects failure only by
+//     retransmission timeout (RTO);
+//   * end-system recovery strategies: SERIAL (send one header, wait RTO,
+//     re-randomize, repeat) and PARALLEL (send a burst of differently
+//     spliced copies at once, succeed at the first ACK);
+//   * network deflection needs no sender action: recovery time is just the
+//     (detoured) path RTT.
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/network.h"
+#include "util/event_queue.h"
+#include "util/rng.h"
+
+namespace splice {
+
+enum class RecoveryStrategy {
+  kSerial,             ///< one attempt per RTO (paper's sequential trials)
+  kParallelBurst,      ///< all attempts at t=0 ("trials run in parallel")
+  kNetworkDeflection,  ///< routers deflect; single send
+};
+
+struct TimingConfig {
+  RecoveryStrategy strategy = RecoveryStrategy::kSerial;
+  /// Retransmission timeout before the sender tries a new header.
+  SimTime rto_ms = 200.0;
+  /// Attempt budget after (and including) the first spliced retry.
+  int max_attempts = 5;
+  int header_hops = 20;
+  int ttl = 255;
+};
+
+struct RecoveryTiming {
+  bool initially_connected = false;
+  bool recovered = false;
+  /// Time from first transmission until the sender holds an ACK.
+  SimTime completion_ms = 0.0;
+  /// Packets transmitted (initial + retries / burst copies).
+  int packets_sent = 0;
+};
+
+/// Simulates one recovery episode for (src, dst) on the given (failed)
+/// network: initial slice-0 packet, then the configured strategy. The
+/// header for attempt i is an independent uniformly random splicing of the
+/// network's slices.
+RecoveryTiming simulate_recovery_timing(const DataPlaneNetwork& net,
+                                        NodeId src, NodeId dst,
+                                        const TimingConfig& cfg, Rng& rng);
+
+/// One-way propagation delay of a delivered trace (sum of link weights).
+SimTime trace_delay_ms(const Graph& g, const Delivery& d);
+
+}  // namespace splice

@@ -1,0 +1,63 @@
+#include "sim/exact.h"
+
+#include <cmath>
+
+#include "graph/connectivity.h"
+#include "util/assert.h"
+
+namespace splice {
+
+namespace {
+
+/// Iterates every failure subset, weighting by p^|failed| (1-p)^|alive|,
+/// and accumulates `metric(alive_mask)`.
+template <typename Metric>
+double enumerate_subsets(const Graph& g, double p, Metric&& metric) {
+  SPLICE_EXPECTS(p >= 0.0 && p <= 1.0);
+  SPLICE_EXPECTS(g.edge_count() <= kMaxExactEdges);
+  const int m = g.edge_count();
+  const auto subsets = 1ULL << m;
+  std::vector<char> alive(static_cast<std::size_t>(m), 1);
+  double total = 0.0;
+  for (std::uint64_t bits = 0; bits < subsets; ++bits) {
+    int failed = 0;
+    for (int e = 0; e < m; ++e) {
+      const bool dead = (bits >> e) & 1ULL;
+      alive[static_cast<std::size_t>(e)] = dead ? 0 : 1;
+      failed += dead ? 1 : 0;
+    }
+    const double prob = std::pow(p, failed) * std::pow(1.0 - p, m - failed);
+    if (prob == 0.0) continue;
+    total += prob * metric(alive);
+  }
+  return total;
+}
+
+}  // namespace
+
+double exact_disconnected_fraction(const Graph& g, double p) {
+  const auto total_pairs = static_cast<double>(total_ordered_pairs(g));
+  if (total_pairs == 0.0) return 0.0;
+  return enumerate_subsets(g, p, [&](const std::vector<char>& alive) {
+    return static_cast<double>(disconnected_ordered_pairs(g, alive)) /
+           total_pairs;
+  });
+}
+
+double exact_reliability(const Graph& g, double p) {
+  return enumerate_subsets(g, p, [&](const std::vector<char>& alive) {
+    return is_connected(g, alive) ? 1.0 : 0.0;
+  });
+}
+
+double exact_spliced_disconnected_fraction(const Graph& g,
+                                           const MultiInstanceRouting& mir,
+                                           SliceId k, double p,
+                                           UnionSemantics semantics) {
+  const SplicedReliabilityAnalyzer analyzer(g, mir);
+  return enumerate_subsets(g, p, [&](const std::vector<char>& alive) {
+    return analyzer.disconnected_fraction(k, alive, semantics);
+  });
+}
+
+}  // namespace splice

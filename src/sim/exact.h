@@ -1,0 +1,34 @@
+// Exact reliability by exhaustive failure-subset enumeration.
+//
+// For small graphs (<= ~20 edges) the Definition 2.1 quantities can be
+// computed exactly: sum over all 2^m failure subsets of
+// P(subset) * metric(surviving graph). This anchors the Monte Carlo
+// estimators — tests require the sampled curves to converge to these
+// values — and lets examples print provably-correct numbers on the
+// Figure 1 fixture.
+#pragma once
+
+#include "graph/graph.h"
+#include "routing/multi_instance.h"
+#include "splicing/reliability.h"
+
+namespace splice {
+
+/// Maximum edge count accepted by the exact enumerators.
+inline constexpr EdgeId kMaxExactEdges = 24;
+
+/// Exact E[fraction of ordered pairs disconnected] when every edge fails
+/// independently with probability p. Exponential in edge count; guarded by
+/// kMaxExactEdges.
+double exact_disconnected_fraction(const Graph& g, double p);
+
+/// Exact P(graph stays connected) — Definition 2.1.
+double exact_reliability(const Graph& g, double p);
+
+/// Exact E[fraction of ordered pairs disconnected] for the spliced union
+/// of the first k slices of `mir`, under the chosen semantics.
+double exact_spliced_disconnected_fraction(
+    const Graph& g, const MultiInstanceRouting& mir, SliceId k, double p,
+    UnionSemantics semantics = UnionSemantics::kUndirectedLinks);
+
+}  // namespace splice

@@ -1,0 +1,527 @@
+#include "sim/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataplane/network.h"
+#include "graph/connectivity.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "routing/multi_instance.h"
+#include "sim/failure.h"
+#include "splicing/metrics.h"
+#include "splicing/reliability.h"
+#include "util/assert.h"
+#include "util/parallel.h"
+
+namespace splice {
+
+namespace {
+
+/// Forwarding tables restricted to the first k slices of a control plane.
+FibSet build_fibs_subset(const Graph& g, const MultiInstanceRouting& mir,
+                         SliceId k) {
+  SPLICE_EXPECTS(k >= 1 && k <= mir.slice_count());
+  const NodeId n = g.node_count();
+  FibSet fibs(k, n);
+  for (SliceId s = 0; s < k; ++s) {
+    const RoutingInstance& inst = mir.slice(s);
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId dst = 0; dst < n; ++dst) {
+        if (v == dst) continue;
+        fibs.set(s, v, dst,
+                 FibEntry{inst.next_hop(v, dst), inst.next_hop_edge(v, dst)});
+      }
+    }
+  }
+  return fibs;
+}
+
+SliceId max_of(const std::vector<SliceId>& ks) {
+  SPLICE_EXPECTS(!ks.empty());
+  return *std::max_element(ks.begin(), ks.end());
+}
+
+}  // namespace
+
+ReliabilityCurves run_reliability_experiment(const Graph& g,
+                                             const ReliabilityConfig& cfg) {
+  SPLICE_EXPECTS(cfg.trials >= 1);
+  const std::vector<double> p_values =
+      cfg.p_values.empty() ? paper_p_grid() : cfg.p_values;
+  const SliceId k_max = max_of(cfg.k_values);
+
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{k_max, cfg.perturbation, cfg.seed,
+                            cfg.perturb_first_slice});
+  const SplicedReliabilityAnalyzer analyzer(g, mir);
+
+  ReliabilityCurves out;
+
+  for (double p : p_values) {
+    struct Acc {
+      std::vector<OnlineStats> per_k;
+      OnlineStats best;
+    };
+    const auto run_trial = [&](int trial, Acc& acc) {
+      if (acc.per_k.empty()) acc.per_k.resize(cfg.k_values.size());
+      // Trial randomness is a pure function of (seed, p, trial) so the
+      // Monte Carlo loop parallelizes deterministically.
+      Rng trial_rng(hash_mix(cfg.seed ^ 0xfa11fa11ULL,
+                             static_cast<std::uint64_t>(trial),
+                             static_cast<std::uint64_t>(p * 1e6)));
+      // One failure set per trial, shared across every k (§4.2).
+      std::vector<char> dead_nodes;
+      std::vector<char> alive;
+      switch (cfg.failure) {
+        case FailureKind::kLink:
+          alive = sample_alive_mask(g.edge_count(), p, trial_rng);
+          break;
+        case FailureKind::kNode:
+          alive = sample_node_failure_mask(g, p, trial_rng, &dead_nodes);
+          break;
+        case FailureKind::kLengthWeighted:
+          alive = sample_length_weighted_mask(g, p, trial_rng);
+          break;
+      }
+
+      // Under node failures, pairs with a dead endpoint are excluded: a
+      // dead node is disconnected from everything by definition, and no
+      // routing scheme is chargeable for it. `dead_pairs` is the count of
+      // ordered pairs involving at least one dead node (all of which every
+      // metric reports disconnected, since all their links are down).
+      long long dead_pairs = 0;
+      long long live_total = total_ordered_pairs(g);
+      if (cfg.failure == FailureKind::kNode) {
+        long long dead = 0;
+        for (char d : dead_nodes) dead += d ? 1 : 0;
+        const long long n = g.node_count();
+        dead_pairs = n * (n - 1) - (n - dead) * (n - dead - 1);
+        live_total = (n - dead) * (n - dead - 1);
+      }
+      if (live_total > 0) {
+        for (std::size_t i = 0; i < cfg.k_values.size(); ++i) {
+          const long long disc =
+              analyzer.disconnected_pairs(cfg.k_values[i], alive,
+                                          cfg.semantics) -
+              dead_pairs;
+          acc.per_k[i].add(static_cast<double>(disc) /
+                           static_cast<double>(live_total));
+        }
+        const double best_frac =
+            static_cast<double>(disconnected_ordered_pairs(g, alive) -
+                                dead_pairs) /
+            static_cast<double>(live_total);
+        acc.best.add(best_frac);
+      }
+    };
+    const Acc merged = parallel_trials<Acc>(
+        cfg.trials, cfg.threads, run_trial, [](Acc& into, const Acc& from) {
+          if (into.per_k.empty()) into.per_k.resize(from.per_k.size());
+          for (std::size_t i = 0; i < from.per_k.size(); ++i)
+            into.per_k[i].merge(from.per_k[i]);
+          into.best.merge(from.best);
+        });
+
+    for (std::size_t i = 0; i < cfg.k_values.size(); ++i) {
+      const OnlineStats stats =
+          merged.per_k.empty() ? OnlineStats{} : merged.per_k[i];
+      out.points.push_back(ReliabilityPoint{cfg.k_values[i], p, stats.mean(),
+                                            stats.ci95_halfwidth()});
+    }
+    out.best_possible.push_back(ReliabilityPoint{
+        0, p, merged.best.mean(), merged.best.ci95_halfwidth()});
+  }
+  return out;
+}
+
+std::vector<RecoveryPoint> run_recovery_experiment(
+    const Graph& g, const RecoveryExperimentConfig& cfg) {
+  SPLICE_EXPECTS(cfg.trials >= 1);
+  const std::vector<double> p_values =
+      cfg.p_values.empty() ? paper_p_grid() : cfg.p_values;
+  const SliceId k_max = max_of(cfg.k_values);
+
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{k_max, cfg.perturbation, cfg.seed,
+                            cfg.perturb_first_slice});
+  const SplicedReliabilityAnalyzer analyzer(g, mir);
+  const ShortestPathOracle oracle(g);
+
+  // One forwarding-table set and data-plane network per k.
+  std::vector<FibSet> fibs;
+  fibs.reserve(cfg.k_values.size());
+  for (SliceId k : cfg.k_values) fibs.push_back(build_fibs_subset(g, mir, k));
+  std::vector<DataPlaneNetwork> nets;
+  nets.reserve(cfg.k_values.size());
+  for (const FibSet& f : fibs) nets.emplace_back(g, f);
+
+  const NodeId n = g.node_count();
+  std::vector<RecoveryPoint> out;
+  Rng master(cfg.seed ^ 0x4ec04e41ULL);
+
+  for (double p : p_values) {
+    // Accumulators per k.
+    struct Acc {
+      long long pairs = 0;
+      long long initial_broken = 0;
+      long long unrecovered = 0;
+      long long disconnected = 0;
+      OnlineStats trials;
+      OnlineStats stretch;
+      OnlineStats hop_inflation;
+      std::vector<double> stretches;
+      long long recovered_paths = 0;
+      long long two_hop_loops = 0;
+      long long revisits = 0;
+    };
+    std::vector<Acc> acc(cfg.k_values.size());
+
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      Rng trial_rng = master.fork(static_cast<std::uint64_t>(trial) * 999983 +
+                                  static_cast<std::uint64_t>(p * 1e6));
+      std::vector<char> dead_nodes;
+      std::vector<char> alive;
+      switch (cfg.failure) {
+        case FailureKind::kLink:
+          alive = sample_alive_mask(g.edge_count(), p, trial_rng);
+          break;
+        case FailureKind::kNode:
+          alive = sample_node_failure_mask(g, p, trial_rng, &dead_nodes);
+          break;
+        case FailureKind::kLengthWeighted:
+          alive = sample_length_weighted_mask(g, p, trial_rng);
+          break;
+      }
+      auto endpoint_dead = [&](NodeId v) {
+        return !dead_nodes.empty() &&
+               dead_nodes[static_cast<std::size_t>(v)] != 0;
+      };
+
+      // Sampled or exhaustive ordered pair set, shared across k.
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      if (cfg.pair_sample > 0) {
+        pairs.reserve(static_cast<std::size_t>(cfg.pair_sample));
+        while (static_cast<int>(pairs.size()) < cfg.pair_sample) {
+          const auto s = static_cast<NodeId>(
+              trial_rng.below(static_cast<std::uint64_t>(n)));
+          const auto t = static_cast<NodeId>(
+              trial_rng.below(static_cast<std::uint64_t>(n)));
+          if (s != t) pairs.emplace_back(s, t);
+        }
+      }
+
+      for (std::size_t ki = 0; ki < cfg.k_values.size(); ++ki) {
+        const SliceId k = cfg.k_values[ki];
+        DataPlaneNetwork& net = nets[ki];
+        net.set_link_mask(alive);
+        Acc& a = acc[ki];
+
+        RecoveryConfig rcfg = cfg.recovery;
+        rcfg.header_hops =
+            std::min(rcfg.header_hops, 128 / std::max(1, bits_per_hop(k)));
+
+        auto run_pair = [&](NodeId src, NodeId dst,
+                            const std::vector<char>& reach_dst_set) {
+          ++a.pairs;
+          const bool spliced_ok =
+              reach_dst_set[static_cast<std::size_t>(src)] != 0;
+          if (!spliced_ok) ++a.disconnected;
+
+          Rng pair_rng = trial_rng.fork(
+              static_cast<std::uint64_t>(src) * 131071 +
+              static_cast<std::uint64_t>(dst) + static_cast<std::uint64_t>(k));
+          RecoveryResult r;
+          if (k == 1) {
+            // "No splicing": a broken shortest path cannot be recovered.
+            Packet probe;
+            probe.src = src;
+            probe.dst = dst;
+            probe.ttl = rcfg.ttl;
+            const Delivery d = net.forward(probe, ForwardingPolicy{});
+            r.initially_connected = d.delivered();
+            r.delivered = d.delivered();
+            if (d.delivered()) r.delivery = d;
+          } else {
+            r = attempt_recovery(net, src, dst, rcfg, pair_rng);
+          }
+
+          if (!r.initially_connected) {
+            ++a.initial_broken;
+            if (!r.delivered) {
+              ++a.unrecovered;
+            } else {
+              // Recovered after an initial failure: collect §4.3 metrics.
+              if (r.trials_used > 0)
+                a.trials.add(static_cast<double>(r.trials_used));
+              const Weight base = oracle.distance(src, dst);
+              const int base_hops = oracle.hops(src, dst);
+              if (base > 0.0 && base < kInfiniteWeight) {
+                const double st = trace_stretch(g, r.delivery, base);
+                a.stretch.add(st);
+                a.stretches.push_back(st);
+              }
+              if (base_hops > 0)
+                a.hop_inflation.add(
+                    trace_hop_inflation(r.delivery, base_hops));
+              ++a.recovered_paths;
+              if (has_two_hop_loop(r.delivery)) ++a.two_hop_loops;
+              if (count_node_revisits(r.delivery) > 0) ++a.revisits;
+            }
+          }
+        };
+
+        if (cfg.pair_sample > 0) {
+          // Group sampled pairs by destination to share reverse BFS runs.
+          for (const auto& [src, dst] : pairs) {
+            if (endpoint_dead(src) || endpoint_dead(dst)) continue;
+            const auto reach =
+                analyzer.reachable_sources(dst, k, alive, cfg.semantics);
+            run_pair(src, dst, reach);
+          }
+        } else {
+          for (NodeId dst = 0; dst < n; ++dst) {
+            if (endpoint_dead(dst)) continue;
+            const auto reach =
+                analyzer.reachable_sources(dst, k, alive, cfg.semantics);
+            for (NodeId src = 0; src < n; ++src) {
+              if (src != dst && !endpoint_dead(src)) run_pair(src, dst, reach);
+            }
+          }
+        }
+      }
+    }
+
+    for (std::size_t ki = 0; ki < cfg.k_values.size(); ++ki) {
+      const Acc& a = acc[ki];
+      RecoveryPoint pt;
+      pt.k = cfg.k_values[ki];
+      pt.p = p;
+      const auto pairs = static_cast<double>(std::max<long long>(1, a.pairs));
+      pt.frac_unrecovered = static_cast<double>(a.unrecovered) / pairs;
+      pt.frac_disconnected = static_cast<double>(a.disconnected) / pairs;
+      pt.frac_initial_broken = static_cast<double>(a.initial_broken) / pairs;
+      pt.mean_trials = a.trials.mean();
+      pt.mean_stretch = a.stretch.mean();
+      pt.mean_hop_inflation = a.hop_inflation.mean();
+      pt.p99_stretch = percentile(a.stretches, 99.0);
+      const auto rec =
+          static_cast<double>(std::max<long long>(1, a.recovered_paths));
+      pt.two_hop_loop_rate = static_cast<double>(a.two_hop_loops) / rec;
+      pt.revisit_rate = static_cast<double>(a.revisits) / rec;
+      out.push_back(pt);
+    }
+  }
+  return out;
+}
+
+std::vector<SliceStretchRow> run_slice_stretch_census(
+    const Graph& g, SliceId slices, const PerturbationConfig& perturbation,
+    std::uint64_t seed, bool perturb_first_slice) {
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{slices, perturbation, seed, perturb_first_slice});
+  std::vector<SliceStretchRow> out;
+  for (SliceId s = 0; s < slices; ++s) {
+    const auto stretches = slice_stretches(g, mir.slice(s));
+    out.push_back(SliceStretchRow{s, summarize(stretches)});
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> run_scaling_experiment(const ScalingConfig& cfg) {
+  std::vector<ScalingPoint> out;
+  Rng master(cfg.seed);
+  for (NodeId n : cfg.sizes) {
+    // Waxman geometry scaled so average degree stays roughly constant.
+    Graph g = waxman(n, 0.9, 4.0 / static_cast<double>(n) + 0.03,
+                     master.fork(static_cast<std::uint64_t>(n))());
+    make_connected(g, master.fork(static_cast<std::uint64_t>(n) + 1)());
+
+    const MultiInstanceRouting mir(
+        g, ControlPlaneConfig{cfg.max_k, cfg.perturbation,
+                              master.fork(static_cast<std::uint64_t>(n) + 2)(),
+                              false});
+    const SplicedReliabilityAnalyzer analyzer(g, mir);
+
+    // Shared failure masks across all k.
+    std::vector<std::vector<char>> masks;
+    masks.reserve(static_cast<std::size_t>(cfg.trials));
+    Rng mask_rng = master.fork(static_cast<std::uint64_t>(n) + 3);
+    for (int t = 0; t < cfg.trials; ++t)
+      masks.push_back(sample_alive_mask(g.edge_count(), cfg.p, mask_rng));
+
+    double best_mean = 0.0;
+    for (const auto& mask : masks) {
+      best_mean += static_cast<double>(disconnected_ordered_pairs(g, mask)) /
+                   static_cast<double>(total_ordered_pairs(g));
+    }
+    best_mean /= static_cast<double>(cfg.trials);
+
+    ScalingPoint pt;
+    pt.n = n;
+    pt.edges = g.edge_count();
+    pt.best_possible = best_mean;
+    pt.k_needed = cfg.max_k + 1;
+    for (SliceId k = 1; k <= cfg.max_k; ++k) {
+      double mean = 0.0;
+      for (const auto& mask : masks)
+        mean += analyzer.disconnected_fraction(k, mask);
+      mean /= static_cast<double>(cfg.trials);
+      if (mean <= best_mean + cfg.tolerance) {
+        pt.k_needed = k;
+        pt.achieved = mean;
+        break;
+      }
+      pt.achieved = mean;
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<StretchBoundPoint> run_stretch_bound_experiment(
+    const Graph& g, const StretchBoundConfig& cfg) {
+  SPLICE_EXPECTS(cfg.c >= 0.0 && cfg.c < 1.0);
+  Rng rng(cfg.seed);
+  const NodeId n = g.node_count();
+
+  // Sample random shortest paths (their original edge-weight vectors L).
+  std::vector<std::vector<Weight>> paths;
+  int guard = cfg.path_samples * 20;
+  while (static_cast<int>(paths.size()) < cfg.path_samples && guard-- > 0) {
+    const auto s =
+        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto t =
+        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (s == t) continue;
+    const ShortestPaths sp = dijkstra(g, s);
+    if (!sp.reached(t)) continue;
+    std::vector<Weight> lengths;
+    for (NodeId cur = t; cur != s;
+         cur = sp.parent[static_cast<std::size_t>(cur)]) {
+      lengths.push_back(
+          g.edge(sp.parent_edge[static_cast<std::size_t>(cur)]).weight);
+    }
+    if (lengths.size() >= 2) paths.push_back(std::move(lengths));
+  }
+
+  std::vector<StretchBoundPoint> out;
+  for (double r : cfg.r_values) {
+    long long violations = 0;
+    long long samples = 0;
+    for (const auto& lengths : paths) {
+      double l1 = 0.0;
+      double l2sq = 0.0;
+      for (Weight w : lengths) {
+        l1 += w;
+        l2sq += w * w;
+      }
+      const double threshold = r * cfg.c / std::sqrt(3.0) * std::sqrt(l2sq);
+      for (int draw = 0; draw < cfg.perturbation_samples; ++draw) {
+        double x = 0.0;
+        for (Weight w : lengths) x += w + rng.uniform(-cfg.c * w, cfg.c * w);
+        ++samples;
+        if (std::abs(x - l1) >= threshold) ++violations;
+      }
+    }
+    StretchBoundPoint pt;
+    pt.r = r;
+    pt.empirical_violation =
+        samples == 0 ? 0.0
+                     : static_cast<double>(violations) /
+                           static_cast<double>(samples);
+    pt.bound = 1.0 / (r * r);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<DiversityPoint> run_diversity_experiment(
+    const Graph& g, const std::vector<SliceId>& k_values,
+    const PerturbationConfig& perturbation, std::uint64_t seed) {
+  const SliceId k_max = max_of(k_values);
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{k_max, perturbation, seed, false});
+  const NodeId n = g.node_count();
+  const int horizon = 2 * n;  // walk-length cap for the diversity proxy
+
+  std::vector<DiversityPoint> out;
+  for (SliceId k : k_values) {
+    DiversityPoint pt;
+    pt.k = k;
+    pt.fib_entries = static_cast<std::size_t>(k) *
+                     static_cast<std::size_t>(n) *
+                     static_cast<std::size_t>(n - 1);
+    double arcs_total = 0.0;
+    double links_total = 0.0;
+    double log_paths_total = 0.0;
+    long long log_paths_count = 0;
+
+    for (NodeId dst = 0; dst < n; ++dst) {
+      // Forward arcs of the union toward dst, plus distinct link census.
+      std::vector<std::vector<NodeId>> succ(static_cast<std::size_t>(n));
+      std::vector<char> link_seen(static_cast<std::size_t>(g.edge_count()), 0);
+      std::size_t arcs = 0;
+      for (SliceId s = 0; s < k; ++s) {
+        const RoutingInstance& inst = mir.slice(s);
+        for (NodeId v = 0; v < n; ++v) {
+          if (v == dst) continue;
+          const NodeId nh = inst.next_hop(v, dst);
+          if (nh == kInvalidNode) continue;
+          auto& list = succ[static_cast<std::size_t>(v)];
+          if (std::find(list.begin(), list.end(), nh) == list.end()) {
+            list.push_back(nh);
+            ++arcs;
+          }
+          link_seen[static_cast<std::size_t>(inst.next_hop_edge(v, dst))] = 1;
+        }
+      }
+      arcs_total += static_cast<double>(arcs);
+      for (char seen : link_seen) links_total += seen ? 1.0 : 0.0;
+
+      // Walk-count diversity proxy: number of <= horizon-hop walks v -> dst
+      // in the union, in log domain to avoid overflow.
+      std::vector<double> reach_now(static_cast<std::size_t>(n), 0.0);
+      std::vector<double> total(static_cast<std::size_t>(n), 0.0);
+      reach_now[static_cast<std::size_t>(dst)] = 1.0;
+      std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+      for (int h = 0; h < horizon; ++h) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (NodeId v = 0; v < n; ++v) {
+          double sum = 0.0;
+          for (NodeId u : succ[static_cast<std::size_t>(v)])
+            sum += reach_now[static_cast<std::size_t>(u)];
+          next[static_cast<std::size_t>(v)] = sum;
+        }
+        for (NodeId v = 0; v < n; ++v) {
+          total[static_cast<std::size_t>(v)] +=
+              next[static_cast<std::size_t>(v)];
+          // Renormalization guard: clip to avoid inf for large k.
+          if (total[static_cast<std::size_t>(v)] > 1e290)
+            total[static_cast<std::size_t>(v)] = 1e290;
+          if (next[static_cast<std::size_t>(v)] > 1e290)
+            next[static_cast<std::size_t>(v)] = 1e290;
+        }
+        std::swap(reach_now, next);
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == dst) continue;
+        const double walks = total[static_cast<std::size_t>(v)];
+        if (walks > 0.0) {
+          log_paths_total += std::log10(walks);
+          ++log_paths_count;
+        }
+      }
+    }
+    pt.mean_union_arcs = arcs_total / static_cast<double>(n);
+    pt.mean_union_links = links_total / static_cast<double>(n);
+    pt.log10_paths =
+        log_paths_count == 0
+            ? 0.0
+            : log_paths_total / static_cast<double>(log_paths_count);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace splice

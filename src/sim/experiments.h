@@ -1,0 +1,194 @@
+// Experiment harnesses reproducing the paper's evaluation (§4, Appendices
+// A/B). Each harness is a pure function of (topology, config) returning
+// structured results that the bench binaries print as the paper's series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/perturbation.h"
+#include "splicing/recovery.h"
+#include "splicing/reliability.h"
+#include "util/stats.h"
+
+namespace splice {
+
+// ---------------------------------------------------------------------------
+// Reliability curves (Figure 3).
+// ---------------------------------------------------------------------------
+
+/// What fails with probability p: individual links (the paper's headline
+/// model, §4.1), whole nodes (all incident links die; pairs whose endpoint
+/// died are excluded from the accounting — no routing scheme can help a
+/// dead host), or links weighted by length (long-haul fiber has more
+/// exposure; p is the mean per-link probability).
+enum class FailureKind { kLink, kNode, kLengthWeighted };
+
+struct ReliabilityConfig {
+  std::vector<SliceId> k_values{1, 2, 3, 4, 5, 10};
+  std::vector<double> p_values;  ///< empty => paper_p_grid()
+  int trials = 1000;
+  PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  std::uint64_t seed = 1;
+  bool perturb_first_slice = false;
+  /// §4.2 evaluates connectivity of the union *graph* (undirected); the
+  /// directed variant measures exact forwarding reachability instead.
+  UnionSemantics semantics = UnionSemantics::kUndirectedLinks;
+  FailureKind failure = FailureKind::kLink;
+  /// Worker threads for the Monte Carlo loop (1 = sequential). Results are
+  /// reproducible for a fixed thread count; each trial's randomness comes
+  /// only from (seed, p, trial index).
+  int threads = 1;
+};
+
+struct ReliabilityPoint {
+  SliceId k = 0;  ///< 0 encodes the "best possible" (underlying graph) curve
+  double p = 0.0;
+  double mean_disconnected = 0.0;  ///< avg fraction of ordered pairs cut off
+  double ci95 = 0.0;
+};
+
+struct ReliabilityCurves {
+  std::vector<ReliabilityPoint> points;  ///< spliced curves, one per (k, p)
+  std::vector<ReliabilityPoint> best_possible;  ///< one per p, k = 0
+};
+
+/// Monte Carlo reliability curves with failure sets shared across k (§4.2).
+ReliabilityCurves run_reliability_experiment(const Graph& g,
+                                             const ReliabilityConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Recovery (Figures 4 and 5, plus the §4.3 scalars and §4.4 loop rates).
+// ---------------------------------------------------------------------------
+
+struct RecoveryExperimentConfig {
+  std::vector<SliceId> k_values{1, 3, 5};
+  std::vector<double> p_values;  ///< empty => paper_p_grid()
+  int trials = 100;
+  RecoveryConfig recovery;  ///< scheme, retry budget, header hops...
+  PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  std::uint64_t seed = 1;
+  bool perturb_first_slice = false;
+  /// 0 = evaluate every ordered pair; otherwise sample this many pairs per
+  /// trial (keeps large sweeps fast without biasing the estimate).
+  int pair_sample = 0;
+  /// Semantics of the "(reliability)" companion curve (Figs. 4-5 use the
+  /// §4.2 undirected-union construction).
+  UnionSemantics semantics = UnionSemantics::kUndirectedLinks;
+  /// Link failures (paper) or whole-node failures; under node failures,
+  /// pairs with a dead endpoint are skipped entirely.
+  FailureKind failure = FailureKind::kLink;
+};
+
+struct RecoveryPoint {
+  SliceId k = 0;
+  double p = 0.0;
+  /// Fraction of pairs still disconnected after recovery — the "(recovery)"
+  /// curve of Figs. 4/5.
+  double frac_unrecovered = 0.0;
+  /// Fraction with no spliced path at all — the "(reliability)" curve.
+  double frac_disconnected = 0.0;
+  /// Fraction whose initial (slice-0 / no-splicing) path was broken — the
+  /// k = 1 "no splicing" curve when k == 1.
+  double frac_initial_broken = 0.0;
+  /// Mean retries among pairs that failed initially but recovered.
+  double mean_trials = 0.0;
+  /// Mean latency stretch of recovered paths (vs. original shortest paths).
+  double mean_stretch = 0.0;
+  /// Mean hop inflation of recovered paths.
+  double mean_hop_inflation = 0.0;
+  /// 99th-percentile stretch of recovered paths.
+  double p99_stretch = 0.0;
+  /// Fraction of recovered paths containing a two-hop loop (§4.4).
+  double two_hop_loop_rate = 0.0;
+  /// Fraction of recovered paths revisiting any node (loops of any length).
+  double revisit_rate = 0.0;
+};
+
+std::vector<RecoveryPoint> run_recovery_experiment(
+    const Graph& g, const RecoveryExperimentConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Per-slice stretch census (§4.3: "99% of all paths in each tree have
+// stretch of less than 2.6").
+// ---------------------------------------------------------------------------
+
+struct SliceStretchRow {
+  SliceId slice = 0;
+  SampleSummary stretch;
+};
+
+std::vector<SliceStretchRow> run_slice_stretch_census(
+    const Graph& g, SliceId slices, const PerturbationConfig& perturbation,
+    std::uint64_t seed, bool perturb_first_slice = false);
+
+// ---------------------------------------------------------------------------
+// Appendix A: slices needed for near-optimal reliability vs. graph size.
+// ---------------------------------------------------------------------------
+
+struct ScalingConfig {
+  std::vector<NodeId> sizes{25, 50, 100, 200, 400};
+  double p = 0.05;
+  int trials = 50;
+  /// Near-optimal means: mean disconnected fraction within this additive
+  /// tolerance of the best possible.
+  double tolerance = 0.005;
+  SliceId max_k = 32;
+  PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  std::uint64_t seed = 7;
+};
+
+struct ScalingPoint {
+  NodeId n = 0;
+  EdgeId edges = 0;
+  SliceId k_needed = 0;  ///< max_k + 1 when tolerance was never met
+  double best_possible = 0.0;
+  double achieved = 0.0;
+};
+
+std::vector<ScalingPoint> run_scaling_experiment(const ScalingConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Appendix B: empirical check of the Theorem B.1 concentration bound.
+// ---------------------------------------------------------------------------
+
+struct StretchBoundConfig {
+  double c = 0.5;                     ///< perturbations uniform in [-cL, cL]
+  std::vector<double> r_values{1.5, 2.0, 3.0};
+  int path_samples = 200;             ///< random (s, t) pairs
+  int perturbation_samples = 200;     ///< perturbation draws per path
+  std::uint64_t seed = 11;
+};
+
+struct StretchBoundPoint {
+  double r = 0.0;
+  /// Empirical P(|X - ||L||_1| >= r * c/sqrt(3) * ||L||_2).
+  double empirical_violation = 0.0;
+  /// Chebyshev bound 1 / r^2.
+  double bound = 0.0;
+};
+
+std::vector<StretchBoundPoint> run_stretch_bound_experiment(
+    const Graph& g, const StretchBoundConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Path-diversity growth: distinct arcs (and reachable path multiplicity) of
+// the spliced union as k grows — the "exponential diversity for linear
+// state" claim of §1/§4.2, plus the linear state metric itself.
+// ---------------------------------------------------------------------------
+
+struct DiversityPoint {
+  SliceId k = 0;
+  double mean_union_arcs = 0.0;      ///< arcs in the spliced union per dst
+  double mean_union_links = 0.0;     ///< distinct underlying links per dst
+  double log10_paths = 0.0;          ///< log10(#distinct spliced s->t walks
+                                     ///< of bounded length), averaged
+  std::size_t fib_entries = 0;       ///< installed routing state (linear)
+};
+
+std::vector<DiversityPoint> run_diversity_experiment(
+    const Graph& g, const std::vector<SliceId>& k_values,
+    const PerturbationConfig& perturbation, std::uint64_t seed);
+
+}  // namespace splice

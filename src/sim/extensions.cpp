@@ -1,0 +1,220 @@
+#include "sim/extensions.h"
+
+#include <algorithm>
+
+#include "dataplane/network.h"
+#include "graph/connectivity.h"
+#include "graph/maxflow.h"
+#include "routing/multi_instance.h"
+#include "sim/failure.h"
+#include "splicing/recovery.h"
+#include "util/assert.h"
+
+namespace splice {
+
+std::vector<ConnectivityCurvePoint> run_connectivity_curve(
+    const Graph& g, const ConnectivityCurveConfig& cfg) {
+  SPLICE_EXPECTS(cfg.trials >= 1);
+  SPLICE_EXPECTS(!cfg.k_values.empty());
+  const std::vector<double> p_values =
+      cfg.p_values.empty() ? paper_p_grid() : cfg.p_values;
+  const SliceId k_max =
+      *std::max_element(cfg.k_values.begin(), cfg.k_values.end());
+
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{k_max, cfg.perturbation, cfg.seed, false});
+  const SplicedReliabilityAnalyzer analyzer(g, mir);
+
+  std::vector<ConnectivityCurvePoint> out;
+  Rng master(cfg.seed ^ 0xdef21ULL);
+  for (double p : p_values) {
+    std::vector<long long> connected_trials(cfg.k_values.size(), 0);
+    long long graph_connected = 0;
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      const auto alive = sample_alive_mask(g.edge_count(), p, master);
+      if (is_connected(g, alive)) ++graph_connected;
+      for (std::size_t i = 0; i < cfg.k_values.size(); ++i) {
+        if (analyzer.disconnected_pairs(cfg.k_values[i], alive) == 0)
+          ++connected_trials[i];
+      }
+    }
+    out.push_back(ConnectivityCurvePoint{
+        0, p,
+        static_cast<double>(graph_connected) /
+            static_cast<double>(cfg.trials)});
+    for (std::size_t i = 0; i < cfg.k_values.size(); ++i) {
+      out.push_back(ConnectivityCurvePoint{
+          cfg.k_values[i], p,
+          static_cast<double>(connected_trials[i]) /
+              static_cast<double>(cfg.trials)});
+    }
+  }
+  return out;
+}
+
+std::vector<ReconvergencePoint> run_reconvergence_experiment(
+    const Graph& g, const ReconvergenceConfig& cfg) {
+  SPLICE_EXPECTS(cfg.trials >= 1);
+  SPLICE_EXPECTS(cfg.k >= 1);
+  const std::vector<double> p_values =
+      cfg.p_values.empty() ? paper_p_grid() : cfg.p_values;
+
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{cfg.k, cfg.perturbation, cfg.seed, false});
+  const FibSet fibs = mir.build_fibs();
+  DataPlaneNetwork net(g, fibs);
+
+  RecoveryConfig rcfg;
+  rcfg.max_trials = cfg.recovery_trials;
+
+  std::vector<ReconvergencePoint> out;
+  Rng master(cfg.seed ^ 0x4ec0ULL);
+  for (double p : p_values) {
+    long long pairs = 0;
+    long long broken = 0;
+    long long reconv_fixed = 0;
+    long long splice_fixed = 0;
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      Rng trial_rng = master.fork(static_cast<std::uint64_t>(trial) * 7919 +
+                                  static_cast<std::uint64_t>(p * 1e6));
+      const auto alive = sample_alive_mask(g.edge_count(), p, trial_rng);
+      net.set_link_mask(alive);
+      for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+        // What a reconverged IGP could reach: plain connectivity of the
+        // surviving graph toward dst.
+        const auto surviving = reachable_nodes(g, dst, alive);
+        for (NodeId src = 0; src < g.node_count(); ++src) {
+          if (src == dst) continue;
+          ++pairs;
+          const RecoveryResult r =
+              attempt_recovery(net, src, dst, rcfg, trial_rng);
+          if (r.initially_connected) continue;  // path survived
+          ++broken;
+          const bool reconv = surviving[static_cast<std::size_t>(src)] != 0;
+          reconv_fixed += reconv ? 1 : 0;
+          // Count splicing fixes only where reconvergence would also fix —
+          // splicing cannot beat physical connectivity, but guard anyway.
+          if (r.delivered && reconv) ++splice_fixed;
+        }
+      }
+    }
+    ReconvergencePoint pt;
+    pt.p = p;
+    pt.frac_broken =
+        pairs == 0 ? 0.0
+                   : static_cast<double>(broken) / static_cast<double>(pairs);
+    pt.reconvergence_fixes =
+        broken == 0 ? 0.0
+                    : static_cast<double>(reconv_fixed) /
+                          static_cast<double>(broken);
+    pt.splicing_fixes =
+        broken == 0 ? 0.0
+                    : static_cast<double>(splice_fixed) /
+                          static_cast<double>(broken);
+    pt.coverage_of_reconvergence =
+        reconv_fixed == 0 ? 1.0
+                          : static_cast<double>(splice_fixed) /
+                                static_cast<double>(reconv_fixed);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<ThroughputPoint> run_throughput_experiment(
+    const Graph& g, const ThroughputConfig& cfg) {
+  SPLICE_EXPECTS(!cfg.k_values.empty());
+  const SliceId k_max =
+      *std::max_element(cfg.k_values.begin(), cfg.k_values.end());
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{k_max, cfg.perturbation, cfg.seed, false});
+  const NodeId n = g.node_count();
+
+  // Sample the evaluation pairs once, shared across all k.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  if (cfg.pair_sample <= 0) {
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        if (s != t) pairs.emplace_back(s, t);
+      }
+    }
+  } else {
+    Rng rng(cfg.seed ^ 0x7310ULL);
+    while (static_cast<int>(pairs.size()) < cfg.pair_sample) {
+      const auto s =
+          static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+      const auto t =
+          static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+      if (s != t) pairs.emplace_back(s, t);
+    }
+  }
+
+  // Spliced capacity for one (pair, k): max flow over union arcs toward t,
+  // where each undirected link contributes capacity 1 shared between its
+  // two directions (modeled exactly by opposing arcs that act as each
+  // other's residual when both directions are in the union).
+  auto spliced_capacity = [&](NodeId s, NodeId t, SliceId k) -> int {
+    // Direction census per link: bit 0 = (u -> v), bit 1 = (v -> u).
+    std::vector<unsigned char> dir(static_cast<std::size_t>(g.edge_count()),
+                                   0);
+    for (SliceId slice = 0; slice < k; ++slice) {
+      const RoutingInstance& inst = mir.slice(slice);
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == t) continue;
+        const NodeId nh = inst.next_hop(v, t);
+        if (nh == kInvalidNode) continue;
+        const EdgeId e = inst.next_hop_edge(v, t);
+        dir[static_cast<std::size_t>(e)] |=
+            (v == g.edge(e).u) ? 1u : 2u;
+      }
+    }
+    FlowNetwork net(n);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& edge = g.edge(e);
+      switch (dir[static_cast<std::size_t>(e)]) {
+        case 1:
+          net.add_arc(edge.u, edge.v, 1);
+          break;
+        case 2:
+          net.add_arc(edge.v, edge.u, 1);
+          break;
+        case 3:
+          net.add_undirected_unit(edge.u, edge.v);
+          break;
+        default:
+          break;
+      }
+    }
+    return static_cast<int>(net.max_flow(s, t));
+  };
+
+  std::vector<ThroughputPoint> out;
+  for (SliceId k : cfg.k_values) {
+    ThroughputPoint pt;
+    pt.k = k;
+    double ratio_sum = 0.0;
+    double spliced_sum = 0.0;
+    double graph_sum = 0.0;
+    long long full = 0;
+    for (const auto& [s, t] : pairs) {
+      const int graph_cap = pair_edge_connectivity(g, s, t);
+      const int spliced_cap = spliced_capacity(s, t, k);
+      SPLICE_ASSERT(spliced_cap <= graph_cap);
+      spliced_sum += spliced_cap;
+      graph_sum += graph_cap;
+      if (graph_cap > 0) {
+        ratio_sum += static_cast<double>(spliced_cap) /
+                     static_cast<double>(graph_cap);
+        full += spliced_cap == graph_cap ? 1 : 0;
+      }
+    }
+    const auto count = static_cast<double>(pairs.size());
+    pt.mean_capacity_ratio = ratio_sum / count;
+    pt.frac_full_capacity = static_cast<double>(full) / count;
+    pt.mean_spliced_capacity = spliced_sum / count;
+    pt.mean_graph_capacity = graph_sum / count;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace splice

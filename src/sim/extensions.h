@@ -1,0 +1,115 @@
+// Extension experiments beyond the paper's §4 evaluation:
+//
+//  * The literal Definition 2.1/2.2 reliability curve — the probability the
+//    (spliced) graph stays *fully connected* as edges fail — alongside the
+//    pair-fraction metric Figures 3-5 plot.
+//  * The §6 reconvergence study: "path splicing may provide enough
+//    reliability from link and node failures to permit dynamic routing to
+//    react much more slowly to failures, and, in some settings, may even
+//    eliminate the need for dynamic routing altogether." We quantify this:
+//    of the pairs a full IGP reconvergence would repair, what fraction
+//    does splicing repair *instantly* (no routing-protocol reaction at
+//    all)?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/perturbation.h"
+#include "splicing/reliability.h"
+
+namespace splice {
+
+// ---------------------------------------------------------------------------
+// Definition 2.1/2.2: reliability = P(graph remains connected).
+// ---------------------------------------------------------------------------
+
+struct ConnectivityCurveConfig {
+  std::vector<SliceId> k_values{1, 3, 5};
+  std::vector<double> p_values;  ///< empty => paper_p_grid()
+  int trials = 400;
+  PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  std::uint64_t seed = 1;
+};
+
+struct ConnectivityCurvePoint {
+  SliceId k = 0;  ///< 0 = the underlying graph itself
+  double p = 0.0;
+  /// Estimated R(p): probability that every pair stays (spliced-)connected.
+  double reliability = 0.0;
+};
+
+/// Monte Carlo estimate of the Definition 2.2 reliability curve for the
+/// underlying graph (k = 0 rows) and for spliced unions (per k), with
+/// failure sets shared across all curves.
+std::vector<ConnectivityCurvePoint> run_connectivity_curve(
+    const Graph& g, const ConnectivityCurveConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// §6: splicing vs. IGP reconvergence.
+// ---------------------------------------------------------------------------
+
+struct ReconvergenceConfig {
+  SliceId k = 5;
+  std::vector<double> p_values;  ///< empty => paper_p_grid()
+  int trials = 60;
+  int recovery_trials = 5;
+  PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  std::uint64_t seed = 1;
+};
+
+struct ReconvergencePoint {
+  double p = 0.0;
+  /// Fraction of ordered pairs whose pre-failure shortest path broke.
+  double frac_broken = 0.0;
+  /// Of the broken pairs, fraction a full IGP reconvergence (recomputing
+  /// shortest paths on the surviving graph) would repair — the ceiling.
+  double reconvergence_fixes = 0.0;
+  /// Of the broken pairs, fraction splicing repairs with *no* control-plane
+  /// reaction (end-system re-randomization on the stale FIBs).
+  double splicing_fixes = 0.0;
+  /// splicing_fixes / reconvergence_fixes (1.0 = dynamic routing adds
+  /// nothing that splicing didn't already deliver instantly).
+  double coverage_of_reconvergence = 0.0;
+};
+
+std::vector<ReconvergencePoint> run_reconvergence_experiment(
+    const Graph& g, const ReconvergenceConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// §5 multipath throughput: "End hosts could set splicing bits in packets to
+// simultaneously use disjoint paths ... allowing hosts to achieve
+// throughput that approaches the capacity of the underlying graph."
+// ---------------------------------------------------------------------------
+
+struct ThroughputConfig {
+  std::vector<SliceId> k_values{1, 2, 3, 5, 10};
+  /// Ordered pairs sampled per k (0 = all pairs).
+  int pair_sample = 200;
+  PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  std::uint64_t seed = 1;
+};
+
+struct ThroughputPoint {
+  SliceId k = 0;
+  /// Mean over pairs of (max concurrent spliced flow) / (graph max flow),
+  /// unit link capacities. 1.0 = splicing exposes the full cut capacity.
+  double mean_capacity_ratio = 0.0;
+  /// Fraction of pairs whose spliced capacity equals the graph capacity.
+  double frac_full_capacity = 0.0;
+  /// Mean spliced capacity in link-disjoint path units.
+  double mean_spliced_capacity = 0.0;
+  /// Mean underlying-graph capacity (same for every k; repeated for
+  /// convenience).
+  double mean_graph_capacity = 0.0;
+};
+
+/// For sampled (s, t) pairs, computes the maximum number of concurrent
+/// unit-capacity flows routable along spliced-union arcs toward t (max flow
+/// in the union digraph with per-link shared capacities) and compares it to
+/// the underlying graph's s-t edge connectivity.
+std::vector<ThroughputPoint> run_throughput_experiment(
+    const Graph& g, const ThroughputConfig& cfg);
+
+}  // namespace splice

@@ -1,0 +1,104 @@
+#include "sim/failure.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace splice {
+
+std::vector<char> sample_alive_mask(EdgeId edges, double p, Rng& rng) {
+  SPLICE_EXPECTS(edges >= 0);
+  SPLICE_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<char> alive(static_cast<std::size_t>(edges), 1);
+  for (auto& a : alive) {
+    if (rng.bernoulli(p)) a = 0;
+  }
+  return alive;
+}
+
+std::vector<char> sample_length_weighted_mask(const Graph& g, double p_mean,
+                                              Rng& rng) {
+  SPLICE_EXPECTS(p_mean >= 0.0 && p_mean <= 1.0);
+  std::vector<char> alive(static_cast<std::size_t>(g.edge_count()), 1);
+  if (g.edge_count() == 0) return alive;
+  const Weight mean_weight = g.total_weight() /
+                             static_cast<Weight>(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const double p =
+        std::min(1.0, p_mean * g.edge(e).weight / mean_weight);
+    if (rng.bernoulli(p)) alive[static_cast<std::size_t>(e)] = 0;
+  }
+  return alive;
+}
+
+std::vector<char> sample_node_failure_mask(const Graph& g, double p, Rng& rng,
+                                           std::vector<char>* failed_nodes) {
+  SPLICE_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<char> node_dead(static_cast<std::size_t>(g.node_count()), 0);
+  for (auto& dead : node_dead) dead = rng.bernoulli(p) ? 1 : 0;
+  std::vector<char> alive(static_cast<std::size_t>(g.edge_count()), 1);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (node_dead[static_cast<std::size_t>(edge.u)] ||
+        node_dead[static_cast<std::size_t>(edge.v)]) {
+      alive[static_cast<std::size_t>(e)] = 0;
+    }
+  }
+  if (failed_nodes != nullptr) *failed_nodes = std::move(node_dead);
+  return alive;
+}
+
+std::vector<char> fail_random_edges(EdgeId edges, int count, Rng& rng) {
+  SPLICE_EXPECTS(count >= 0 && count <= edges);
+  std::vector<char> alive(static_cast<std::size_t>(edges), 1);
+  int failed = 0;
+  while (failed < count) {
+    const auto e = rng.below(static_cast<std::uint64_t>(edges));
+    if (alive[e]) {
+      alive[e] = 0;
+      ++failed;
+    }
+  }
+  return alive;
+}
+
+SrlgModel srlg_by_shared_endpoint(const Graph& g) {
+  SrlgModel model;
+  model.groups.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::vector<EdgeId> group;
+    for (const Incidence& inc : g.neighbors(v)) group.push_back(inc.edge);
+    if (group.size() >= 2) model.groups.push_back(std::move(group));
+  }
+  return model;
+}
+
+std::vector<char> sample_srlg_mask(const Graph& g, const SrlgModel& model,
+                                   double group_p, double independent_p,
+                                   Rng& rng) {
+  SPLICE_EXPECTS(group_p >= 0.0 && group_p <= 1.0);
+  SPLICE_EXPECTS(independent_p >= 0.0 && independent_p <= 1.0);
+  auto alive = sample_alive_mask(g.edge_count(), independent_p, rng);
+  for (const auto& group : model.groups) {
+    if (!rng.bernoulli(group_p)) continue;
+    for (EdgeId e : group) {
+      SPLICE_EXPECTS(e >= 0 && e < g.edge_count());
+      alive[static_cast<std::size_t>(e)] = 0;
+    }
+  }
+  return alive;
+}
+
+int failed_count(const std::vector<char>& alive) noexcept {
+  int n = 0;
+  for (char a : alive) n += a ? 0 : 1;
+  return n;
+}
+
+std::vector<double> paper_p_grid() {
+  std::vector<double> p;
+  for (int i = 0; i <= 10; ++i) p.push_back(static_cast<double>(i) / 100.0);
+  return p;
+}
+
+}  // namespace splice

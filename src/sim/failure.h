@@ -1,0 +1,63 @@
+// Bernoulli link-failure model (§4.1): each edge fails independently with
+// probability p. A sampled mask is shared across all slice counts within a
+// trial, exactly as the paper evaluates ("we fail the same set of links for
+// different values of k").
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace splice {
+
+/// Samples a liveness mask (1 = alive) failing each edge with probability p.
+std::vector<char> sample_alive_mask(EdgeId edges, double p, Rng& rng);
+
+/// Node-failure model: fails each *node* independently with probability p;
+/// returns the edge liveness mask in which every link incident to a failed
+/// node is down (and, optionally via `failed_nodes`, which nodes died).
+/// Source/destination nodes of a measurement are conventionally excluded by
+/// callers — a dead endpoint is trivially disconnected.
+std::vector<char> sample_node_failure_mask(const Graph& g, double p, Rng& rng,
+                                           std::vector<char>* failed_nodes = nullptr);
+
+/// Length-weighted failure model: each link fails with probability
+/// proportional to its weight (long-haul fiber has more exposure — more
+/// route-miles of backhoe risk), scaled so the *average* per-link failure
+/// probability equals `p_mean` (per-link values clamped to [0, 1]).
+std::vector<char> sample_length_weighted_mask(const Graph& g, double p_mean,
+                                              Rng& rng);
+
+/// Fails exactly the `count` given-or-random edges (for targeted-failure
+/// tests and examples); returns the mask.
+std::vector<char> fail_random_edges(EdgeId edges, int count, Rng& rng);
+
+/// Shared-risk link groups: links that share fate (same conduit, same
+/// building, same fiber path). Bernoulli independence overstates the value
+/// of path diversity when backup paths share risk with primaries; this
+/// model quantifies that.
+struct SrlgModel {
+  /// groups[i] = edge ids sharing risk group i. A link may appear in
+  /// several groups; links in no group only fail independently.
+  std::vector<std::vector<EdgeId>> groups;
+};
+
+/// Builds an endpoint-sharing SRLG model: one group per node containing
+/// its incident links (models conduit/building sharing at each PoP).
+SrlgModel srlg_by_shared_endpoint(const Graph& g);
+
+/// Samples a liveness mask under the SRLG model: each *group* fails with
+/// probability `group_p` (killing all member links), and each link
+/// additionally fails independently with probability `independent_p`.
+std::vector<char> sample_srlg_mask(const Graph& g, const SrlgModel& model,
+                                   double group_p, double independent_p,
+                                   Rng& rng);
+
+/// Number of failed edges in a mask.
+int failed_count(const std::vector<char>& alive) noexcept;
+
+/// The p grid of Figures 3-5: {0, 0.01, ..., 0.10}.
+std::vector<double> paper_p_grid();
+
+}  // namespace splice

@@ -1,0 +1,166 @@
+#include "sim/transient.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace splice {
+
+namespace {
+
+/// Forwards one packet over mixed old/new tables. `updated[v]` says whether
+/// node v already installed the post-failure tables. With `spliced` the
+/// packet may deflect to any slice whose next hop crosses a live link;
+/// without it, slice 0 only (plain routing).
+enum class Outcome { kDelivered, kBlackhole, kLoop };
+
+Outcome forward_mixed(const MultiInstanceRouting& before,
+                      const MultiInstanceRouting& after,
+                      const std::vector<char>& updated, EdgeId dead_edge,
+                      bool spliced, SliceId k, NodeId src, NodeId dst,
+                      int ttl) {
+  NodeId node = src;
+  while (node != dst) {
+    if (ttl-- <= 0) return Outcome::kLoop;
+    const MultiInstanceRouting& tables =
+        updated[static_cast<std::size_t>(node)] ? after : before;
+    const SliceId limit = spliced ? k : 1;
+    NodeId next = kInvalidNode;
+    for (SliceId s = 0; s < limit && next == kInvalidNode; ++s) {
+      const NodeId nh = tables.slice(s).next_hop(node, dst);
+      if (nh == kInvalidNode) continue;
+      const EdgeId e = tables.slice(s).next_hop_edge(node, dst);
+      if (e == dead_edge) continue;  // link is down
+      next = nh;
+    }
+    if (next == kInvalidNode) return Outcome::kBlackhole;
+    node = next;
+  }
+  return Outcome::kDelivered;
+}
+
+}  // namespace
+
+std::vector<TransientPoint> run_transient_experiment(
+    const Graph& g, const TransientConfig& cfg) {
+  SPLICE_EXPECTS(cfg.slices >= 1);
+  SPLICE_EXPECTS(cfg.time_samples >= 1);
+  SPLICE_EXPECTS(cfg.failures >= 1);
+  const NodeId n = g.node_count();
+
+  // Pre-failure control plane, shared by all failure events.
+  const MultiInstanceRouting before(
+      g, ControlPlaneConfig{cfg.slices, cfg.perturbation, cfg.seed, false});
+
+  // Accumulators per sampled instant.
+  struct Acc {
+    long long plain_delivered = 0;
+    long long plain_loops = 0;
+    long long plain_blackholes = 0;
+    long long spliced_delivered = 0;
+    long long spliced_loops = 0;
+    long long spliced_blackholes = 0;
+    long long samples = 0;
+  };
+  std::vector<Acc> acc(static_cast<std::size_t>(cfg.time_samples));
+
+  Rng master(cfg.seed ^ 0x7245);
+  for (int f = 0; f < cfg.failures; ++f) {
+    const auto dead_edge = static_cast<EdgeId>(
+        master.below(static_cast<std::uint64_t>(g.edge_count())));
+
+    // Post-failure control plane: each slice keeps its perturbed weights
+    // except that the dead link's weight is inflated beyond any path cost,
+    // so no reconverged tree uses it. (If the failure physically cuts the
+    // graph, the inflated link may still appear in a tree; forward_mixed
+    // refuses to cross it and correctly reports a blackhole.)
+    std::vector<std::vector<Weight>> after_weights;
+    after_weights.reserve(static_cast<std::size_t>(cfg.slices));
+    for (SliceId s = 0; s < cfg.slices; ++s) {
+      std::vector<Weight> w(before.slice(s).weights().begin(),
+                            before.slice(s).weights().end());
+      w[static_cast<std::size_t>(dead_edge)] = 1e18;
+      after_weights.push_back(std::move(w));
+    }
+    const MultiInstanceRouting after(g, std::move(after_weights));
+
+    // Per-node update times, uniform in the window.
+    std::vector<double> update_time(static_cast<std::size_t>(n));
+    for (auto& t : update_time) t = master.uniform();
+
+    for (int ti = 0; ti < cfg.time_samples; ++ti) {
+      const double t = (static_cast<double>(ti) + 0.5) /
+                       static_cast<double>(cfg.time_samples);
+      std::vector<char> updated(static_cast<std::size_t>(n));
+      for (NodeId v = 0; v < n; ++v) {
+        updated[static_cast<std::size_t>(v)] =
+            update_time[static_cast<std::size_t>(v)] <= t ? 1 : 0;
+      }
+
+      auto sample_pair = [&](NodeId src, NodeId dst) {
+        Acc& a = acc[static_cast<std::size_t>(ti)];
+        ++a.samples;
+        switch (forward_mixed(before, after, updated, dead_edge, false,
+                              cfg.slices, src, dst, cfg.ttl)) {
+          case Outcome::kDelivered:
+            ++a.plain_delivered;
+            break;
+          case Outcome::kLoop:
+            ++a.plain_loops;
+            break;
+          case Outcome::kBlackhole:
+            ++a.plain_blackholes;
+            break;
+        }
+        switch (forward_mixed(before, after, updated, dead_edge, true,
+                              cfg.slices, src, dst, cfg.ttl)) {
+          case Outcome::kDelivered:
+            ++a.spliced_delivered;
+            break;
+          case Outcome::kLoop:
+            ++a.spliced_loops;
+            break;
+          case Outcome::kBlackhole:
+            ++a.spliced_blackholes;
+            break;
+        }
+      };
+
+      if (cfg.pair_sample <= 0) {
+        for (NodeId src = 0; src < n; ++src) {
+          for (NodeId dst = 0; dst < n; ++dst) {
+            if (src != dst) sample_pair(src, dst);
+          }
+        }
+      } else {
+        for (int i = 0; i < cfg.pair_sample; ++i) {
+          const auto src =
+              static_cast<NodeId>(master.below(static_cast<std::uint64_t>(n)));
+          auto dst =
+              static_cast<NodeId>(master.below(static_cast<std::uint64_t>(n)));
+          if (src == dst) dst = (dst + 1) % n;
+          sample_pair(src, dst);
+        }
+      }
+    }
+  }
+
+  std::vector<TransientPoint> out;
+  for (int ti = 0; ti < cfg.time_samples; ++ti) {
+    const Acc& a = acc[static_cast<std::size_t>(ti)];
+    const auto total = static_cast<double>(std::max<long long>(1, a.samples));
+    TransientPoint pt;
+    pt.t = (static_cast<double>(ti) + 0.5) /
+           static_cast<double>(cfg.time_samples);
+    pt.plain_delivered = static_cast<double>(a.plain_delivered) / total;
+    pt.plain_loops = static_cast<double>(a.plain_loops) / total;
+    pt.plain_blackholes = static_cast<double>(a.plain_blackholes) / total;
+    pt.spliced_delivered = static_cast<double>(a.spliced_delivered) / total;
+    pt.spliced_loops = static_cast<double>(a.spliced_loops) / total;
+    pt.spliced_blackholes = static_cast<double>(a.spliced_blackholes) / total;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace splice

@@ -1,0 +1,65 @@
+// Transient forwarding during routing convergence — the paper's §6 open
+// question, simulated:
+//
+//   "an important open question concerns the interactions of path splicing
+//    with the convergence of the routing protocol, which could affect
+//    forwarding-table entries at the same time as path splicing is
+//    re-routing traffic."
+//
+// After a link failure, routers install their reconverged FIBs at
+// different moments; until the last one updates, the network forwards on a
+// *mixture* of old and new tables, which is where classic IGPs suffer
+// micro-loops and blackholes. This module simulates that window: each
+// node draws an update time uniform in [0, T]; a packet sent at time t is
+// forwarded, hop by hop, by each node's old or new table according to
+// whether that node has updated. It measures delivery/loop/blackhole rates
+// through the window for plain shortest-path routing versus splicing
+// (stale-slice deflection active), quantifying §6's suggestion that
+// splicing lets convergence be slow — or even unnecessary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/multi_instance.h"
+#include "routing/perturbation.h"
+#include "util/rng.h"
+
+namespace splice {
+
+struct TransientConfig {
+  SliceId slices = 5;
+  PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  std::uint64_t seed = 1;
+  /// Update times are drawn uniform in [0, 1] (normalized window); packets
+  /// are sampled at `time_samples` evenly spaced instants across it.
+  int time_samples = 8;
+  /// Ordered pairs sampled per (failure, instant); 0 = all pairs.
+  int pair_sample = 150;
+  /// Link failures simulated (each is a single-link event).
+  int failures = 20;
+  int ttl = 64;
+};
+
+struct TransientPoint {
+  /// Normalized time within the convergence window [0, 1].
+  double t = 0.0;
+  /// Plain shortest-path routing on mixed old/new tables.
+  double plain_delivered = 0.0;
+  double plain_loops = 0.0;      ///< TTL expiry = persistent micro-loop
+  double plain_blackholes = 0.0; ///< dead end at the failed link
+  /// Splicing: same mixed tables, deflection to any live slice allowed.
+  double spliced_delivered = 0.0;
+  double spliced_loops = 0.0;
+  double spliced_blackholes = 0.0;
+};
+
+/// Runs the §6 transient study on `g`: for each sampled single-link
+/// failure, build the pre-failure and post-failure control planes, draw
+/// per-node update times, and sample forwarding outcomes through the
+/// window. Results are averaged over failures and pairs per instant.
+std::vector<TransientPoint> run_transient_experiment(
+    const Graph& g, const TransientConfig& cfg);
+
+}  // namespace splice

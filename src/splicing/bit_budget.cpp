@@ -1,0 +1,99 @@
+#include "splicing/bit_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataplane/splice_header.h"
+#include "util/assert.h"
+
+namespace splice {
+
+namespace {
+
+constexpr double kLog2E = 1.4426950408889634;
+
+/// log2(n!) via lgamma.
+double log2_factorial(int n) {
+  SPLICE_EXPECTS(n >= 0);
+  return std::lgamma(static_cast<double>(n) + 1.0) * kLog2E;
+}
+
+/// log2(C(n, r)); -inf when r out of range.
+double log2_choose(int n, int r) {
+  if (r < 0 || r > n) return -std::numeric_limits<double>::infinity();
+  return log2_factorial(n) - log2_factorial(r) - log2_factorial(n - r);
+}
+
+/// log2(P(n, r)) = log2(n! / (n-r)!).
+double log2_permutations(int n, int r) {
+  if (r < 0 || r > n) return -std::numeric_limits<double>::infinity();
+  return log2_factorial(n) - log2_factorial(n - r);
+}
+
+/// log2(2^a + 2^b) with -inf handling.
+double log2_add(double a, double b) {
+  if (std::isinf(a) && a < 0) return b;
+  if (std::isinf(b) && b < 0) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log2(1.0 + std::exp2(lo - hi));
+}
+
+}  // namespace
+
+int full_header_bits(SliceId k, int hops) noexcept {
+  SPLICE_EXPECTS(k >= 1);
+  SPLICE_EXPECTS(hops >= 0);
+  return bits_per_hop(k) * hops;
+}
+
+double full_header_log2_paths(SliceId k, int hops) noexcept {
+  SPLICE_EXPECTS(k >= 1);
+  SPLICE_EXPECTS(hops >= 0);
+  return static_cast<double>(hops) * std::log2(static_cast<double>(k));
+}
+
+int counter_header_bits(std::uint32_t max_value) noexcept {
+  int bits = 0;
+  while ((1ULL << bits) < static_cast<unsigned long long>(max_value) + 1ULL) {
+    ++bits;
+  }
+  return bits;
+}
+
+double no_revisit_log2_sequences(SliceId k, int hops) noexcept {
+  SPLICE_EXPECTS(k >= 1);
+  SPLICE_EXPECTS(hops >= 1);
+  // Sum over m = number of distinct slices used, in order: P(k, m) ordered
+  // slice choices x C(hops-1, m-1) segment boundaries.
+  double total = -std::numeric_limits<double>::infinity();
+  const int m_max = std::min<int>(k, hops);
+  for (int m = 1; m <= m_max; ++m) {
+    const double term =
+        log2_permutations(static_cast<int>(k), m) + log2_choose(hops - 1, m - 1);
+    total = log2_add(total, term);
+  }
+  return total;
+}
+
+double bounded_switch_log2_sequences(SliceId k, int hops,
+                                     int max_switches) noexcept {
+  SPLICE_EXPECTS(k >= 1);
+  SPLICE_EXPECTS(hops >= 1);
+  SPLICE_EXPECTS(max_switches >= 0);
+  // Sum over j switches: C(hops-1, j) switch positions x k starting slices
+  // x (k-1)^j new-slice choices.
+  double total = -std::numeric_limits<double>::infinity();
+  const int j_max = std::min(max_switches, hops - 1);
+  for (int j = 0; j <= j_max; ++j) {
+    double term = log2_choose(hops - 1, j) + std::log2(static_cast<double>(k));
+    if (j > 0) {
+      if (k == 1) continue;  // no different slice to switch to
+      term += static_cast<double>(j) * std::log2(static_cast<double>(k - 1));
+    }
+    total = log2_add(total, term);
+  }
+  return total;
+}
+
+}  // namespace splice

@@ -1,0 +1,43 @@
+// Splicing-header overhead analysis (§3.2 encoding; §5 "the forwarding
+// bits are simply reduced to a single number" and §4.4's observation that
+// no-revisit schemes need far fewer distinct headers).
+//
+// Computes, for each encoding the paper discusses, the exact or
+// information-theoretic header size in bits as a function of the slice
+// count k and splice-point budget h, plus the size of the path space each
+// encoding can address. This quantifies the §3.2 trade-off: opaque
+// fixed-width bits are simple and fully general; restricted schemes
+// (bounded switches, no-revisit, counter) shrink the header by orders of
+// magnitude at the cost of path-space coverage.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace splice {
+
+/// The §3.2 baseline: ceil(lg k) bits for each of h splice points.
+int full_header_bits(SliceId k, int hops) noexcept;
+
+/// Addressable headers of the full encoding: k^h, returned as log2 to
+/// avoid overflow (0 when k == 1).
+double full_header_log2_paths(SliceId k, int hops) noexcept;
+
+/// Counter encoding (§5): a single integer in [0, max_value]; the hop that
+/// sees a non-zero value deflects deterministically and decrements.
+int counter_header_bits(std::uint32_t max_value) noexcept;
+
+/// Exact number of no-revisit slice sequences of length h over k slices
+/// (§4.4): sequences that never return to a previously *left* slice —
+/// i.e. an ordered selection of segments. Returned as log2 of the count.
+/// This is the information-theoretic size of an optimal no-revisit header.
+double no_revisit_log2_sequences(SliceId k, int hops) noexcept;
+
+/// Information-theoretic bits for a bounded-switch header: choose at most
+/// `max_switches` switch positions among h-1 boundaries, a starting slice,
+/// and a (different) slice per switch. log2 of the count.
+double bounded_switch_log2_sequences(SliceId k, int hops,
+                                     int max_switches) noexcept;
+
+}  // namespace splice

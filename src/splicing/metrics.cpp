@@ -1,0 +1,64 @@
+#include "splicing/metrics.h"
+
+#include "dataplane/network.h"
+#include "graph/dijkstra.h"
+#include "util/assert.h"
+
+namespace splice {
+
+double trace_stretch(const Graph& g, const Delivery& d, Weight shortest) {
+  SPLICE_EXPECTS(d.delivered());
+  SPLICE_EXPECTS(shortest > 0.0 && shortest < kInfiniteWeight);
+  return trace_cost(g, d) / shortest;
+}
+
+double trace_hop_inflation(const Delivery& d, int shortest_hops) {
+  SPLICE_EXPECTS(d.delivered());
+  SPLICE_EXPECTS(shortest_hops > 0);
+  return static_cast<double>(d.hop_count()) /
+         static_cast<double>(shortest_hops);
+}
+
+std::vector<double> slice_stretches(const Graph& g,
+                                    const RoutingInstance& slice) {
+  const NodeId n = slice.node_count();
+  const ShortestPathOracle oracle(g);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const Weight base = oracle.distance(s, t);
+      if (base <= 0.0 || base >= kInfiniteWeight) continue;
+      const Weight cost = slice.path_cost_original(g, s, t);
+      if (cost >= kInfiniteWeight) continue;
+      out.push_back(cost / base);
+    }
+  }
+  return out;
+}
+
+ShortestPathOracle::ShortestPathOracle(const Graph& g) : n_(g.node_count()) {
+  const auto cells =
+      static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  dist_.assign(cells, kInfiniteWeight);
+  hops_.assign(cells, -1);
+  for (NodeId src = 0; src < n_; ++src) {
+    const ShortestPaths sp = dijkstra(g, src);
+    for (NodeId dst = 0; dst < n_; ++dst) {
+      const auto cell =
+          static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+          static_cast<std::size_t>(dst);
+      dist_[cell] = sp.dist[static_cast<std::size_t>(dst)];
+      if (sp.reached(dst)) {
+        int hops = 0;
+        for (NodeId cur = dst; cur != src;
+             cur = sp.parent[static_cast<std::size_t>(cur)])
+          ++hops;
+        hops_[cell] = hops;
+      }
+    }
+  }
+}
+
+}  // namespace splice

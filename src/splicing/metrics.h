@@ -1,0 +1,51 @@
+// Path-quality metrics: stretch (§2 "small stretch" goal), hop inflation,
+// and the per-slice stretch census quoted in §4.3 ("in any particular
+// slice, 99% of all paths have stretch of less than 2.6").
+#pragma once
+
+#include <vector>
+
+#include "dataplane/packet.h"
+#include "graph/graph.h"
+#include "routing/multi_instance.h"
+
+namespace splice {
+
+/// Stretch of a delivered trace: (trace latency under original weights) /
+/// (shortest-path latency under original weights). Requires src != dst and
+/// a delivered trace. `shortest` is d(src, dst) with original weights.
+double trace_stretch(const Graph& g, const Delivery& d, Weight shortest);
+
+/// Hop inflation: trace hops / shortest-path hop count.
+double trace_hop_inflation(const Delivery& d, int shortest_hops);
+
+/// All pairwise path stretches of one slice measured against original-
+/// weight shortest paths: for every ordered reachable pair (s, t), the cost
+/// of the slice's path evaluated with *original* weights divided by the true
+/// shortest distance.
+std::vector<double> slice_stretches(const Graph& g,
+                                    const RoutingInstance& slice);
+
+/// Pairwise original-weight shortest distances (flattened [src][dst]) —
+/// the baseline denominator shared by stretch computations.
+class ShortestPathOracle {
+ public:
+  explicit ShortestPathOracle(const Graph& g);
+
+  Weight distance(NodeId src, NodeId dst) const noexcept {
+    return dist_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(dst)];
+  }
+  int hops(NodeId src, NodeId dst) const noexcept {
+    return hops_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(dst)];
+  }
+  NodeId node_count() const noexcept { return n_; }
+
+ private:
+  NodeId n_;
+  std::vector<Weight> dist_;
+  std::vector<int> hops_;
+};
+
+}  // namespace splice

@@ -1,0 +1,108 @@
+#include "splicing/path_enum.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace splice {
+
+std::vector<std::vector<NodeId>> enumerate_spliced_paths(
+    const Splicer& splicer, NodeId src, NodeId dst,
+    const PathEnumOptions& opts) {
+  const Graph& g = splicer.graph();
+  SPLICE_EXPECTS(g.valid_node(src));
+  SPLICE_EXPECTS(g.valid_node(dst));
+  SPLICE_EXPECTS(opts.max_paths >= 0);
+  const SliceId k = opts.use_k == 0 ? splicer.slice_count() : opts.use_k;
+  SPLICE_EXPECTS(k >= 1 && k <= splicer.slice_count());
+  const int max_hops =
+      opts.max_hops > 0 ? opts.max_hops : 2 * g.node_count();
+
+  // Per-node candidate next hops: the union of the k slices' next hops
+  // toward dst, deduplicated, in ascending slice order (deterministic).
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<std::vector<NodeId>> succ(n);
+  for (SliceId s = 0; s < k; ++s) {
+    const RoutingInstance& inst = splicer.control_plane().slice(s);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == dst) continue;
+      const NodeId nh = inst.next_hop(v, dst);
+      if (nh == kInvalidNode) continue;
+      const EdgeId e = inst.next_hop_edge(v, dst);
+      if (!opts.edge_alive.empty() &&
+          !opts.edge_alive[static_cast<std::size_t>(e)])
+        continue;
+      auto& list = succ[static_cast<std::size_t>(v)];
+      if (std::find(list.begin(), list.end(), nh) == list.end())
+        list.push_back(nh);
+    }
+  }
+
+  std::vector<std::vector<NodeId>> out;
+  if (src == dst) {
+    out.push_back({src});
+    return out;
+  }
+
+  std::vector<NodeId> stack{src};
+  std::vector<char> on_path(n, 0);
+  on_path[static_cast<std::size_t>(src)] = 1;
+
+  // Iterative DFS with per-depth successor cursors.
+  std::vector<std::size_t> cursor{0};
+  while (!stack.empty() &&
+         static_cast<int>(out.size()) < opts.max_paths) {
+    const NodeId u = stack.back();
+    auto& cur = cursor.back();
+    const auto& nexts = succ[static_cast<std::size_t>(u)];
+    if (cur >= nexts.size() ||
+        static_cast<int>(stack.size()) > max_hops) {
+      // Backtrack.
+      on_path[static_cast<std::size_t>(u)] = 0;
+      stack.pop_back();
+      cursor.pop_back();
+      continue;
+    }
+    const NodeId v = nexts[cur++];
+    if (v == dst) {
+      std::vector<NodeId> path = stack;
+      path.push_back(dst);
+      out.push_back(std::move(path));
+      continue;
+    }
+    if (on_path[static_cast<std::size_t>(v)]) continue;  // keep it simple
+    stack.push_back(v);
+    cursor.push_back(0);
+    on_path[static_cast<std::size_t>(v)] = 1;
+  }
+  return out;
+}
+
+std::optional<SpliceHeader> header_for_path(const Splicer& splicer,
+                                            std::span<const NodeId> path) {
+  SPLICE_EXPECTS(path.size() >= 1);
+  const NodeId dst = path.back();
+  const auto hops = static_cast<int>(path.size()) - 1;
+  if (hops > splicer.config().header_hops) return std::nullopt;
+
+  std::vector<SliceId> slices;
+  slices.reserve(static_cast<std::size_t>(splicer.config().header_hops));
+  for (int i = 0; i < hops; ++i) {
+    const NodeId from = path[static_cast<std::size_t>(i)];
+    const NodeId to = path[static_cast<std::size_t>(i) + 1];
+    SliceId found = -1;
+    for (SliceId s = 0; s < splicer.slice_count() && found < 0; ++s) {
+      if (splicer.control_plane().slice(s).next_hop(from, dst) == to)
+        found = s;
+    }
+    if (found < 0) return std::nullopt;
+    slices.push_back(found);
+  }
+  // Pad with the final slice so header exhaustion keeps the packet on the
+  // last tree (it is already at the destination by then anyway).
+  while (static_cast<int>(slices.size()) < splicer.config().header_hops)
+    slices.push_back(slices.empty() ? 0 : slices.back());
+  return SpliceHeader::from_slices(splicer.slice_count(), slices);
+}
+
+}  // namespace splice

@@ -1,0 +1,46 @@
+// Spliced-path enumeration.
+//
+// The spliced union toward a destination offers an exponentially large set
+// of paths (§1). This module makes them tangible: it enumerates distinct
+// *simple* spliced paths for a pair (bounded by count and length, since
+// exhaustive enumeration is exponential by design), and reconstructs, for
+// any concrete path, a forwarding-bit header that realizes it — the
+// inverse of Algorithm 1, useful for debugging and for deliberate
+// multipath scheduling (§5).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dataplane/splice_header.h"
+#include "splicing/splicer.h"
+
+namespace splice {
+
+struct PathEnumOptions {
+  /// Stop after this many paths.
+  int max_paths = 100;
+  /// Skip paths longer than this many hops (0 = 2 * node count).
+  int max_hops = 0;
+  /// Restrict to the first k slices (0 = all).
+  SliceId use_k = 0;
+  /// Only traverse arcs whose underlying link is alive in this mask
+  /// (empty = all alive).
+  std::vector<char> edge_alive;
+};
+
+/// All (bounded) simple paths src -> dst through the spliced union:
+/// depth-first enumeration in deterministic (slice-id, hop) order. Each
+/// element is the node sequence src..dst.
+std::vector<std::vector<NodeId>> enumerate_spliced_paths(
+    const Splicer& splicer, NodeId src, NodeId dst,
+    const PathEnumOptions& opts = {});
+
+/// Builds a header realizing `path` (a node sequence src..dst): for each
+/// hop, picks the lowest slice whose next hop matches. Returns nullopt if
+/// some hop is not realizable from any slice, or the path needs more hops
+/// than the splicer's configured header capacity.
+std::optional<SpliceHeader> header_for_path(const Splicer& splicer,
+                                            std::span<const NodeId> path);
+
+}  // namespace splice

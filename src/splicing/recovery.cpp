@@ -1,0 +1,143 @@
+#include "splicing/recovery.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace splice {
+
+std::string to_string(RecoveryScheme scheme) {
+  switch (scheme) {
+    case RecoveryScheme::kEndSystemCoinFlip:
+      return "end-system-coinflip";
+    case RecoveryScheme::kEndSystemFresh:
+      return "end-system-fresh";
+    case RecoveryScheme::kEndSystemNoRevisit:
+      return "end-system-no-revisit";
+    case RecoveryScheme::kEndSystemBoundedSwitches:
+      return "end-system-bounded-switches";
+    case RecoveryScheme::kEndSystemFirstHopBiased:
+      return "end-system-first-hop-biased";
+    case RecoveryScheme::kEndSystemCounter:
+      return "end-system-counter";
+    case RecoveryScheme::kNetworkDeflection:
+      return "network-deflection";
+  }
+  return "?";
+}
+
+RecoveryScheme parse_recovery_scheme(const std::string& name) {
+  if (name == "end-system-coinflip" || name == "coinflip")
+    return RecoveryScheme::kEndSystemCoinFlip;
+  if (name == "end-system-fresh" || name == "fresh")
+    return RecoveryScheme::kEndSystemFresh;
+  if (name == "end-system-no-revisit" || name == "no-revisit")
+    return RecoveryScheme::kEndSystemNoRevisit;
+  if (name == "end-system-bounded-switches" || name == "bounded")
+    return RecoveryScheme::kEndSystemBoundedSwitches;
+  if (name == "end-system-first-hop-biased" || name == "first-hop")
+    return RecoveryScheme::kEndSystemFirstHopBiased;
+  if (name == "end-system-counter" || name == "counter")
+    return RecoveryScheme::kEndSystemCounter;
+  if (name == "network-deflection" || name == "network")
+    return RecoveryScheme::kNetworkDeflection;
+  throw std::invalid_argument("unknown recovery scheme: " + name);
+}
+
+namespace {
+
+SpliceHeader pinned_slice0(SliceId k, int hops) {
+  const std::vector<SliceId> zeros(static_cast<std::size_t>(hops), 0);
+  return SpliceHeader::from_slices(k, zeros);
+}
+
+}  // namespace
+
+RecoveryResult attempt_recovery(const DataPlaneNetwork& net, NodeId src,
+                                NodeId dst, const RecoveryConfig& cfg,
+                                Rng& rng) {
+  SPLICE_EXPECTS(cfg.max_trials >= 0);
+  const SliceId k = net.slice_count();
+  RecoveryResult result;
+
+  // Initial attempt: normal shortest-path forwarding (slice 0 everywhere).
+  Packet initial;
+  initial.src = src;
+  initial.dst = dst;
+  initial.header = pinned_slice0(k, cfg.header_hops);
+  initial.ttl = cfg.ttl;
+
+  ForwardingPolicy initial_policy;
+  initial_policy.exhaust = ExhaustPolicy::kStayInCurrent;
+  // Network deflection protects even the first packet — that is the whole
+  // scheme (routers react, senders don't).
+  if (cfg.scheme == RecoveryScheme::kNetworkDeflection)
+    initial_policy.local_recovery = LocalRecovery::kDeflect;
+
+  Delivery d = net.forward(initial, initial_policy);
+  if (d.delivered()) {
+    result.initially_connected =
+        cfg.scheme != RecoveryScheme::kNetworkDeflection ||
+        // With deflection on, "initially connected" means no deflection was
+        // needed anywhere along the path.
+        std::none_of(d.hops.begin(), d.hops.end(),
+                     [](const HopRecord& h) { return h.deflected; });
+    result.delivered = true;
+    result.delivery = std::move(d);
+    return result;
+  }
+
+  if (cfg.scheme == RecoveryScheme::kNetworkDeflection) {
+    // Routers already tried everything they could; the packet dead-ended.
+    return result;
+  }
+
+  // End-system retries.
+  SpliceHeader previous = pinned_slice0(k, cfg.header_hops);
+  for (int trial = 1; trial <= cfg.max_trials; ++trial) {
+    SpliceHeader next;
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.ttl = cfg.ttl;
+    switch (cfg.scheme) {
+      case RecoveryScheme::kEndSystemCoinFlip:
+        next = previous.mutate_coinflip(rng, cfg.flip_probability);
+        break;
+      case RecoveryScheme::kEndSystemFresh:
+        next = SpliceHeader::random(k, cfg.header_hops, rng);
+        break;
+      case RecoveryScheme::kEndSystemNoRevisit:
+        next = SpliceHeader::random_no_revisit(k, cfg.header_hops, rng);
+        break;
+      case RecoveryScheme::kEndSystemBoundedSwitches:
+        next = SpliceHeader::random_bounded_switches(k, cfg.header_hops,
+                                                     cfg.max_switches, rng);
+        break;
+      case RecoveryScheme::kEndSystemFirstHopBiased:
+        next = previous.mutate_first_hop_biased(rng);
+        break;
+      case RecoveryScheme::kEndSystemCounter:
+        p.counter = CounterHeader(static_cast<std::uint32_t>(trial));
+        next = pinned_slice0(k, cfg.header_hops);
+        break;
+      case RecoveryScheme::kNetworkDeflection:
+        SPLICE_ASSERT(false);  // handled above
+        break;
+    }
+    p.header = next;
+    result.trials_used = trial;
+    Delivery attempt = net.forward(p, ForwardingPolicy{});
+    if (attempt.delivered()) {
+      result.delivered = true;
+      result.delivery = std::move(attempt);
+      return result;
+    }
+    previous = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace splice

@@ -1,0 +1,75 @@
+// Failure-recovery schemes (§4.3 and §5).
+//
+// End-system recovery: the sender notices its path is broken and retries
+// with re-randomized forwarding bits — coin-flip mutation of the previous
+// header in the paper's experiment; we also implement the fresh-random,
+// never-revisit, bounded-switch and first-hop-biased generators discussed
+// in §4.4/§5, plus the counter-header scheme.
+//
+// Network-based recovery: intermediate nodes deflect locally to another
+// slice whose next hop is reachable over an alive link (no sender retries).
+#pragma once
+
+#include <string>
+
+#include "dataplane/network.h"
+#include "util/rng.h"
+
+namespace splice {
+
+enum class RecoveryScheme {
+  /// Re-randomize by flipping each hop's slice with probability 1/2,
+  /// starting from the previous header (paper's end-system scheme).
+  kEndSystemCoinFlip,
+  /// Draw an entirely fresh uniform header each trial.
+  kEndSystemFresh,
+  /// Fresh header that never revisits a slice (loop-free variant, §4.4).
+  kEndSystemNoRevisit,
+  /// Fresh header with at most `max_switches` slice changes (§4.4).
+  kEndSystemBoundedSwitches,
+  /// Coin-flip with higher flip probability on early hops (§5).
+  kEndSystemFirstHopBiased,
+  /// Counter header: arm the §5 single-number encoding with trial index.
+  kEndSystemCounter,
+  /// In-network deflection by routers; a single send, no retries.
+  kNetworkDeflection,
+};
+
+std::string to_string(RecoveryScheme scheme);
+RecoveryScheme parse_recovery_scheme(const std::string& name);
+
+struct RecoveryConfig {
+  RecoveryScheme scheme = RecoveryScheme::kEndSystemCoinFlip;
+  /// Retry budget after the initial failed attempt; the paper deems a pair
+  /// recoverable when five or fewer trials suffice.
+  int max_trials = 5;
+  /// Splice points in generated headers (paper: 20).
+  int header_hops = 20;
+  /// Per-hop flip probability of the coin-flip scheme.
+  double flip_probability = 0.5;
+  /// Switch budget of kEndSystemBoundedSwitches.
+  int max_switches = 3;
+  /// TTL for every attempt.
+  int ttl = 255;
+};
+
+struct RecoveryResult {
+  /// Did the *initial* (slice-0 / default path) attempt already succeed?
+  bool initially_connected = false;
+  /// Did any attempt (initial or retry) deliver?
+  bool delivered = false;
+  /// Number of retries used after the initial failure (0 when the initial
+  /// attempt succeeded; counts only attempts actually sent).
+  int trials_used = 0;
+  /// The successful delivery trace (valid only when delivered).
+  Delivery delivery;
+};
+
+/// Runs one recovery episode for (src, dst) on the given (possibly failed)
+/// network. The initial attempt forwards on slice 0 — normal shortest-path
+/// routing; retries follow the configured scheme.
+RecoveryResult attempt_recovery(const DataPlaneNetwork& net, NodeId src,
+                                NodeId dst, const RecoveryConfig& cfg,
+                                Rng& rng);
+
+}  // namespace splice

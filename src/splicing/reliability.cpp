@@ -1,0 +1,122 @@
+#include "splicing/reliability.h"
+
+#include "util/assert.h"
+
+namespace splice {
+
+SplicedReliabilityAnalyzer::SplicedReliabilityAnalyzer(
+    const Graph& g, const MultiInstanceRouting& mir)
+    : n_(g.node_count()), k_max_(mir.slice_count()) {
+  adj_.assign(static_cast<std::size_t>(n_),
+              std::vector<std::vector<Adj>>(static_cast<std::size_t>(n_)));
+  for (NodeId dst = 0; dst < n_; ++dst) {
+    auto& adj_dst = adj_[static_cast<std::size_t>(dst)];
+    for (SliceId s = 0; s < k_max_; ++s) {
+      const RoutingInstance& inst = mir.slice(s);
+      for (NodeId v = 0; v < n_; ++v) {
+        if (v == dst) continue;
+        const NodeId nh = inst.next_hop(v, dst);
+        if (nh == kInvalidNode) continue;
+        const EdgeId e = inst.next_hop_edge(v, dst);
+        // Dedup identical arcs installed by multiple slices: keep the
+        // lowest slice index so first-k queries see each arc at the
+        // earliest k where some slice provides it. (Slices are processed in
+        // ascending order, so the first occurrence wins.)
+        auto& at_head = adj_dst[static_cast<std::size_t>(nh)];
+        bool duplicate = false;
+        for (const Adj& a : at_head) {
+          if (a.incoming && a.other == v && a.edge == e) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        at_head.push_back(Adj{v, e, s, true});
+        adj_dst[static_cast<std::size_t>(v)].push_back(Adj{nh, e, s, false});
+      }
+    }
+  }
+}
+
+void SplicedReliabilityAnalyzer::reach_dst(NodeId dst, SliceId k,
+                                           std::span<const char> edge_alive,
+                                           UnionSemantics semantics,
+                                           std::vector<char>& seen,
+                                           std::vector<NodeId>& stack) const {
+  const bool undirected = semantics == UnionSemantics::kUndirectedLinks;
+  seen.assign(static_cast<std::size_t>(n_), 0);
+  seen[static_cast<std::size_t>(dst)] = 1;
+  stack.assign(1, dst);
+  const auto& adj_dst = adj_[static_cast<std::size_t>(dst)];
+  // BFS outward from dst. In directed semantics we may only cross arcs
+  // whose forward direction points toward dst's side (incoming arcs,
+  // walked in reverse); in undirected semantics any surviving union link
+  // may be crossed.
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const Adj& a : adj_dst[static_cast<std::size_t>(u)]) {
+      if (a.slice >= k) continue;
+      if (!undirected && !a.incoming) continue;
+      if (!edge_alive.empty() &&
+          !edge_alive[static_cast<std::size_t>(a.edge)])
+        continue;
+      auto& mark = seen[static_cast<std::size_t>(a.other)];
+      if (!mark) {
+        mark = 1;
+        stack.push_back(a.other);
+      }
+    }
+  }
+}
+
+long long SplicedReliabilityAnalyzer::disconnected_pairs(
+    SliceId k, std::span<const char> edge_alive,
+    UnionSemantics semantics) const {
+  SPLICE_EXPECTS(k >= 1 && k <= k_max_);
+  long long disconnected = 0;
+  std::vector<char> seen;
+  std::vector<NodeId> stack;
+  for (NodeId dst = 0; dst < n_; ++dst) {
+    reach_dst(dst, k, edge_alive, semantics, seen, stack);
+    for (NodeId src = 0; src < n_; ++src) {
+      if (src != dst && !seen[static_cast<std::size_t>(src)]) ++disconnected;
+    }
+  }
+  return disconnected;
+}
+
+double SplicedReliabilityAnalyzer::disconnected_fraction(
+    SliceId k, std::span<const char> edge_alive,
+    UnionSemantics semantics) const {
+  const long long total =
+      static_cast<long long>(n_) * (static_cast<long long>(n_) - 1);
+  if (total == 0) return 0.0;
+  return static_cast<double>(disconnected_pairs(k, edge_alive, semantics)) /
+         static_cast<double>(total);
+}
+
+std::vector<char> SplicedReliabilityAnalyzer::reachable_sources(
+    NodeId dst, SliceId k, std::span<const char> edge_alive,
+    UnionSemantics semantics) const {
+  SPLICE_EXPECTS(dst >= 0 && dst < n_);
+  SPLICE_EXPECTS(k >= 1 && k <= k_max_);
+  std::vector<char> seen;
+  std::vector<NodeId> stack;
+  reach_dst(dst, k, edge_alive, semantics, seen, stack);
+  return seen;
+}
+
+bool SplicedReliabilityAnalyzer::connected(NodeId src, NodeId dst, SliceId k,
+                                           std::span<const char> edge_alive,
+                                           UnionSemantics semantics) const {
+  SPLICE_EXPECTS(src >= 0 && src < n_);
+  SPLICE_EXPECTS(dst >= 0 && dst < n_);
+  if (src == dst) return true;
+  std::vector<char> seen;
+  std::vector<NodeId> stack;
+  reach_dst(dst, k, edge_alive, semantics, seen, stack);
+  return seen[static_cast<std::size_t>(src)] != 0;
+}
+
+}  // namespace splice

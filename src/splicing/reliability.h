@@ -1,0 +1,88 @@
+// Reliability analysis of spliced routing (§2 definitions, §4.2 method).
+//
+// For a destination t, the spliced graph is the union over slices of each
+// node's next-hop arc toward t. Two reachability semantics are supported:
+//
+//  * kUndirectedLinks — a pair (s, t) is connected iff s reaches t over the
+//    surviving *links* of the union, ignoring arc direction. This is the
+//    paper's §4.2 construction ("taking the union of k link-perturbed
+//    shortest-path trees" and testing connectivity in the resulting graph);
+//    it reproduces Figure 3 and the "(reliability)" curves of Figures 4-5.
+//  * kDirectedForwarding — s must reach t following arcs forward, i.e. there
+//    exists a forwarding-bit assignment that delivers. Strictly stronger;
+//    actual data-plane recovery converges to this bound, not the undirected
+//    one (the gap between the two is visible in Figs. 4-5 as the distance
+//    between the "(recovery)" and "(reliability)" curves).
+//
+// The analyzer precomputes, per destination, the union adjacency annotated
+// with slice index and underlying link, so a Monte Carlo trial answers "how
+// many ordered pairs are disconnected with the first k slices under this
+// failure mask?" with one BFS per destination.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "routing/multi_instance.h"
+
+namespace splice {
+
+enum class UnionSemantics {
+  kUndirectedLinks,     ///< paper's §4.2 reliability construction
+  kDirectedForwarding,  ///< exact forwarding reachability
+};
+
+class SplicedReliabilityAnalyzer {
+ public:
+  SplicedReliabilityAnalyzer(const Graph& g, const MultiInstanceRouting& mir);
+
+  NodeId node_count() const noexcept { return n_; }
+  SliceId slice_count() const noexcept { return k_max_; }
+
+  /// Number of ordered (s, t) pairs with no surviving spliced path using the
+  /// first `k` slices, under the liveness mask (1 = alive; empty = all
+  /// alive).
+  long long disconnected_pairs(
+      SliceId k, std::span<const char> edge_alive = {},
+      UnionSemantics semantics = UnionSemantics::kUndirectedLinks) const;
+
+  /// Fraction of ordered pairs disconnected (0 when the graph has < 2
+  /// nodes).
+  double disconnected_fraction(
+      SliceId k, std::span<const char> edge_alive = {},
+      UnionSemantics semantics = UnionSemantics::kUndirectedLinks) const;
+
+  /// Connectivity of one pair using the first k slices under the mask.
+  bool connected(
+      NodeId src, NodeId dst, SliceId k, std::span<const char> edge_alive = {},
+      UnionSemantics semantics = UnionSemantics::kUndirectedLinks) const;
+
+  /// Membership vector of sources with a surviving spliced path to `dst`
+  /// (dst itself is marked). One BFS; use this to answer many
+  /// same-destination queries per failure mask.
+  std::vector<char> reachable_sources(
+      NodeId dst, SliceId k, std::span<const char> edge_alive = {},
+      UnionSemantics semantics = UnionSemantics::kUndirectedLinks) const;
+
+ private:
+  struct Adj {
+    NodeId other;    ///< the node on the far side of this union arc
+    EdgeId edge;     ///< underlying undirected link
+    SliceId slice;   ///< smallest slice index that installs the arc
+    bool incoming;   ///< true when the forward arc points *into* this node
+  };
+
+  void reach_dst(NodeId dst, SliceId k, std::span<const char> edge_alive,
+                 UnionSemantics semantics, std::vector<char>& seen,
+                 std::vector<NodeId>& stack) const;
+
+  NodeId n_ = 0;
+  SliceId k_max_ = 0;
+  /// adj_[dst][node] = union arcs incident to `node` in the union toward
+  /// dst, both directions listed.
+  std::vector<std::vector<std::vector<Adj>>> adj_;
+};
+
+}  // namespace splice

@@ -1,0 +1,71 @@
+#include "splicing/splicer.h"
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace splice {
+
+Splicer::Splicer(Graph topology, SplicerConfig cfg)
+    : graph_(std::move(topology)),
+      cfg_(cfg),
+      control_(std::make_unique<MultiInstanceRouting>(
+          graph_, ControlPlaneConfig{cfg.slices, cfg.perturbation, cfg.seed,
+                                     cfg.perturb_first_slice})),
+      fibs_(control_->build_fibs()),
+      network_(graph_, fibs_) {
+  SPLICE_EXPECTS(cfg_.slices >= 1);
+  SPLICE_EXPECTS(cfg_.header_hops >= 0);
+  SPLICE_EXPECTS(bits_per_hop(cfg_.slices) * cfg_.header_hops <= 128);
+}
+
+Delivery Splicer::send(NodeId src, NodeId dst, const SpliceHeader& header,
+                       const ForwardingPolicy& policy) const {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.header = header;
+  return network_.forward(p, policy);
+}
+
+SpliceHeader Splicer::make_random_header(Rng& rng) const {
+  return SpliceHeader::random(cfg_.slices, cfg_.header_hops, rng);
+}
+
+SpliceHeader Splicer::make_pinned_header(SliceId slice) const {
+  SPLICE_EXPECTS(slice >= 0 && slice < cfg_.slices);
+  std::vector<SliceId> seq(static_cast<std::size_t>(cfg_.header_hops), slice);
+  return SpliceHeader::from_slices(cfg_.slices, seq);
+}
+
+Digraph Splicer::spliced_union(NodeId dst, SliceId k,
+                               std::span<const char> edge_alive) const {
+  SPLICE_EXPECTS(graph_.valid_node(dst));
+  SPLICE_EXPECTS(k >= 1 && k <= cfg_.slices);
+  SPLICE_EXPECTS(edge_alive.empty() ||
+                 edge_alive.size() ==
+                     static_cast<std::size_t>(graph_.edge_count()));
+  Digraph u(graph_.node_count());
+  for (SliceId s = 0; s < k; ++s) {
+    const RoutingInstance& inst = control_->slice(s);
+    for (NodeId v = 0; v < graph_.node_count(); ++v) {
+      if (v == dst) continue;
+      const NodeId nh = inst.next_hop(v, dst);
+      if (nh == kInvalidNode) continue;
+      const EdgeId e = inst.next_hop_edge(v, dst);
+      if (!edge_alive.empty() && !edge_alive[static_cast<std::size_t>(e)])
+        continue;
+      u.add_arc_unique(v, nh);
+    }
+  }
+  return u;
+}
+
+bool Splicer::spliced_connected(NodeId src, NodeId dst, SliceId k,
+                                std::span<const char> edge_alive) const {
+  if (src == dst) return true;
+  const Digraph u = spliced_union(dst, k, edge_alive);
+  return has_directed_path(u, src, dst);
+}
+
+}  // namespace splice

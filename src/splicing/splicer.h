@@ -1,0 +1,90 @@
+// Splicer: the top-level public API of the library.
+//
+// A Splicer owns one topology, runs the k-instance splicing control plane
+// over it (perturbed link weights -> per-slice shortest-path trees ->
+// forwarding tables), and exposes a data-plane network that forwards
+// packets by the splicing header semantics of Algorithm 1. This is the
+// object the examples and experiment harnesses construct.
+//
+//   Splicer splicer(topo::sprint(), {.slices = 5});
+//   Rng rng(42);
+//   auto header = splicer.make_random_header(rng);
+//   Delivery d = splicer.send(src, dst, header);
+#pragma once
+
+#include <memory>
+
+#include "dataplane/network.h"
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "routing/multi_instance.h"
+
+namespace splice {
+
+struct SplicerConfig {
+  /// Number of routing slices, k >= 1.
+  SliceId slices = 5;
+  /// Link-weight perturbation used for slices >= 1 (slice 0 stays
+  /// unperturbed unless perturb_first_slice). Default: the paper's headline
+  /// degree-based Weight(0, 3).
+  PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  /// Seed for all randomized control-plane state.
+  std::uint64_t seed = 1;
+  /// When true, slice 0 is perturbed too (paper default: false, so k = 1
+  /// is exactly "normal" shortest-path routing).
+  bool perturb_first_slice = false;
+  /// Splice points encoded in generated headers (paper uses 20).
+  int header_hops = SpliceHeader::kDefaultHops;
+};
+
+class Splicer {
+ public:
+  /// Builds the full control plane (k * n Dijkstra runs) and forwarding
+  /// tables. The Splicer owns a private copy of the topology.
+  Splicer(Graph topology, SplicerConfig cfg);
+
+  const Graph& graph() const noexcept { return graph_; }
+  const SplicerConfig& config() const noexcept { return cfg_; }
+  SliceId slice_count() const noexcept { return cfg_.slices; }
+
+  const MultiInstanceRouting& control_plane() const noexcept {
+    return *control_;
+  }
+  const FibSet& fibs() const noexcept { return fibs_; }
+
+  /// Mutable data plane: fail/restore links here.
+  DataPlaneNetwork& network() noexcept { return network_; }
+  const DataPlaneNetwork& network() const noexcept { return network_; }
+
+  /// Sends one packet with the given header; convenience over network().
+  Delivery send(NodeId src, NodeId dst, const SpliceHeader& header = {},
+                const ForwardingPolicy& policy = {}) const;
+
+  /// Header with a uniformly random slice for each of header_hops hops.
+  SpliceHeader make_random_header(Rng& rng) const;
+
+  /// Header pinned to a single slice for every hop (slice 0 reproduces
+  /// "normal" shortest-path forwarding).
+  SpliceHeader make_pinned_header(SliceId slice) const;
+
+  /// Directed union toward `dst` of the first `k` slices' trees, keeping
+  /// only arcs whose underlying link is alive (empty mask = all alive).
+  /// This is the spliced graph whose reachability bounds what any header
+  /// can achieve (§4.2).
+  Digraph spliced_union(NodeId dst, SliceId k,
+                        std::span<const char> edge_alive = {}) const;
+
+  /// True iff some spliced path src -> dst exists using the first k slices
+  /// under the mask (reachability in the spliced union).
+  bool spliced_connected(NodeId src, NodeId dst, SliceId k,
+                         std::span<const char> edge_alive = {}) const;
+
+ private:
+  Graph graph_;
+  SplicerConfig cfg_;
+  std::unique_ptr<MultiInstanceRouting> control_;
+  FibSet fibs_;
+  DataPlaneNetwork network_;
+};
+
+}  // namespace splice

@@ -1,0 +1,309 @@
+#include "topo/datasets.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace splice::topo {
+
+namespace {
+
+struct Pop {
+  const char* name;
+  double lat;
+  double lon;
+};
+
+struct Link {
+  int u;
+  int v;
+};
+
+/// Great-circle distance in kilometres (haversine).
+double haversine_km(double lat1, double lon1, double lat2, double lon2) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+  const double p1 = lat1 * kDegToRad;
+  const double p2 = lat2 * kDegToRad;
+  const double dp = (lat2 - lat1) * kDegToRad;
+  const double dl = (lon2 - lon1) * kDegToRad;
+  const double a = std::sin(dp / 2) * std::sin(dp / 2) +
+                   std::cos(p1) * std::cos(p2) * std::sin(dl / 2) *
+                       std::sin(dl / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(a)));
+}
+
+/// Builds a graph from PoP and link tables; weight = latency-like metric
+/// derived from great-circle distance (1 + km/100), mirroring Rocketfuel's
+/// latency-derived weights.
+template <std::size_t N, std::size_t M>
+Graph build(const Pop (&pops)[N], const Link (&links)[M]) {
+  Graph g;
+  for (const Pop& p : pops) g.add_node(p.name);
+  for (const Link& l : links) {
+    SPLICE_ASSERT(l.u >= 0 && l.u < static_cast<int>(N));
+    SPLICE_ASSERT(l.v >= 0 && l.v < static_cast<int>(N));
+    const double km = haversine_km(pops[l.u].lat, pops[l.u].lon,
+                                   pops[l.v].lat, pops[l.v].lon);
+    g.add_edge(l.u, l.v, 1.0 + km / 100.0);
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph geant() {
+  // Reconstruction of the 2004-era GEANT European research backbone.
+  enum : int {
+    AT, BE, CH, CY, CZ, DE, ES, FR, GR, HR, HU, IE,
+    IL, IT, LU, NL, NY, PL, PT, SE, SI, SK, UK,
+  };
+  static constexpr Pop pops[] = {
+      {"AT-Vienna", 48.21, 16.37},    {"BE-Brussels", 50.85, 4.35},
+      {"CH-Geneva", 46.20, 6.15},     {"CY-Nicosia", 35.17, 33.36},
+      {"CZ-Prague", 50.08, 14.43},    {"DE-Frankfurt", 50.11, 8.68},
+      {"ES-Madrid", 40.42, -3.70},    {"FR-Paris", 48.86, 2.35},
+      {"GR-Athens", 37.98, 23.73},    {"HR-Zagreb", 45.81, 15.98},
+      {"HU-Budapest", 47.50, 19.04},  {"IE-Dublin", 53.35, -6.26},
+      {"IL-TelAviv", 32.08, 34.78},   {"IT-Milan", 45.46, 9.19},
+      {"LU-Luxembourg", 49.61, 6.13}, {"NL-Amsterdam", 52.37, 4.90},
+      {"US-NewYork", 40.71, -74.01},  {"PL-Poznan", 52.41, 16.93},
+      {"PT-Lisbon", 38.72, -9.14},    {"SE-Stockholm", 59.33, 18.07},
+      {"SI-Ljubljana", 46.06, 14.51}, {"SK-Bratislava", 48.15, 17.11},
+      {"UK-London", 51.51, -0.13},
+  };
+  static constexpr Link links[] = {
+      {AT, CH}, {AT, CZ}, {AT, DE}, {AT, HU}, {AT, SI}, {AT, SK}, {AT, IT},
+      {BE, FR}, {BE, NL}, {CH, DE}, {CH, FR}, {CH, IT}, {CZ, DE}, {CZ, PL},
+      {CZ, SK}, {DE, NL}, {DE, SE}, {DE, IT}, {DE, NY}, {DE, LU}, {ES, FR},
+      {ES, IT}, {ES, PT}, {FR, UK}, {FR, LU}, {GR, IT}, {HR, SI}, {HR, HU},
+      {HU, SK}, {IE, UK}, {IE, NY}, {IL, IT}, {IL, CY}, {CY, GR}, {NL, UK},
+      {SE, PL}, {PT, UK},
+  };
+  Graph g = build(pops, links);
+  SPLICE_ENSURES(g.node_count() == 23);
+  SPLICE_ENSURES(g.edge_count() == 37);
+  return g;
+}
+
+Graph sprint() {
+  // Reconstruction of the Sprint (AS1239) PoP-level backbone as inferred by
+  // Rocketfuel: 52 PoPs, 84 links. US long-haul mesh plus trans-oceanic
+  // links to Europe, Asia and Australia.
+  enum : int {
+    SEA, PDX, SAC, SFO, SJC, STK, LAX, ANA, SAN, PHX, SLC, DEN, CYS,
+    ABQ, MCI, ICT, TUL, DFW, FTW, HOU, MSY, ATL, ORL, MIA, BNA, STL,
+    CHI, MKE, DTW, IND, CLE, PIT, PNS, NYC, BOS, SPR, WDC, RDU, ROA,
+    RIC, HNL, TYO, HKG, SIN, SYD, LON, PAR, BRU, AMS, FRA, CPH, STO,
+  };
+  static constexpr Pop pops[] = {
+      {"Seattle", 47.61, -122.33},     {"Portland", 45.52, -122.68},
+      {"Sacramento", 38.58, -121.49},  {"SanFrancisco", 37.77, -122.42},
+      {"SanJose", 37.34, -121.89},     {"Stockton", 37.96, -121.29},
+      {"LosAngeles", 34.05, -118.24},  {"Anaheim", 33.84, -117.91},
+      {"SanDiego", 32.72, -117.16},    {"Phoenix", 33.45, -112.07},
+      {"SaltLakeCity", 40.76, -111.89},{"Denver", 39.74, -104.99},
+      {"Cheyenne", 41.14, -104.82},    {"Albuquerque", 35.08, -106.65},
+      {"KansasCity", 39.10, -94.58},   {"Wichita", 37.69, -97.34},
+      {"Tulsa", 36.15, -95.99},        {"Dallas", 32.78, -96.80},
+      {"FortWorth", 32.76, -97.33},    {"Houston", 29.76, -95.37},
+      {"NewOrleans", 29.95, -90.07},   {"Atlanta", 33.75, -84.39},
+      {"Orlando", 28.54, -81.38},      {"Miami", 25.76, -80.19},
+      {"Nashville", 36.16, -86.78},    {"StLouis", 38.63, -90.20},
+      {"Chicago", 41.88, -87.63},      {"Milwaukee", 43.04, -87.91},
+      {"Detroit", 42.33, -83.05},      {"Indianapolis", 39.77, -86.16},
+      {"Cleveland", 41.50, -81.69},    {"Pittsburgh", 40.44, -80.00},
+      {"Pennsauken", 39.96, -75.06},   {"NewYork", 40.71, -74.01},
+      {"Boston", 42.36, -71.06},       {"Springfield", 42.10, -72.59},
+      {"Washington", 38.91, -77.04},   {"Raleigh", 35.78, -78.64},
+      {"Roanoke", 37.27, -79.94},      {"Richmond", 37.54, -77.44},
+      {"PearlCity", 21.40, -157.97},   {"Tokyo", 35.68, 139.69},
+      {"HongKong", 22.32, 114.17},     {"Singapore", 1.35, 103.82},
+      {"Sydney", -33.87, 151.21},      {"London", 51.51, -0.13},
+      {"Paris", 48.86, 2.35},          {"Brussels", 50.85, 4.35},
+      {"Amsterdam", 52.37, 4.90},      {"Frankfurt", 50.11, 8.68},
+      {"Copenhagen", 55.68, 12.57},    {"Stockholm", 59.33, 18.07},
+  };
+  static constexpr Link links[] = {
+      // West coast.
+      {SEA, PDX}, {SEA, CHI}, {SEA, SLC}, {SEA, SJC}, {PDX, SAC},
+      {SAC, SFO}, {SAC, STK}, {SFO, SJC}, {SJC, STK}, {SJC, LAX},
+      {STK, LAX}, {LAX, ANA}, {ANA, SAN}, {LAX, PHX}, {PHX, SAN},
+      {PHX, ABQ},
+      // Mountain / central.
+      {SLC, DEN}, {SLC, STK}, {DEN, CYS}, {CYS, CHI}, {DEN, MCI},
+      {ABQ, DFW}, {MCI, ICT}, {ICT, TUL}, {TUL, DFW}, {MCI, STL},
+      {MCI, CHI}, {MCI, DFW},
+      // South.
+      {DFW, FTW}, {FTW, HOU}, {DFW, HOU}, {HOU, MSY}, {MSY, ATL},
+      {DFW, ATL}, {ATL, ORL}, {ORL, MIA}, {ATL, MIA}, {ATL, BNA},
+      {BNA, STL},
+      // Midwest.
+      {STL, CHI}, {STL, IND}, {IND, CHI}, {CHI, MKE}, {CHI, DTW},
+      {DTW, CLE}, {CLE, PIT},
+      // East.
+      {PIT, PNS}, {PNS, NYC}, {PNS, WDC}, {NYC, BOS}, {BOS, SPR},
+      {SPR, NYC}, {NYC, CHI}, {WDC, ATL}, {WDC, RDU}, {RDU, ATL},
+      {ROA, WDC}, {ROA, RDU}, {RIC, WDC}, {RIC, RDU}, {CHI, ATL},
+      {NYC, WDC},
+      // Transcontinental long-haul.
+      {LAX, DFW}, {SJC, CHI},
+      // Pacific.
+      {HNL, SJC}, {HNL, LAX}, {TYO, SEA}, {TYO, SJC}, {TYO, HKG},
+      {HKG, SIN}, {SIN, TYO}, {SYD, LAX}, {SYD, SJC},
+      // Atlantic + Europe.
+      {LON, NYC}, {LON, WDC}, {LON, PAR}, {PAR, BRU}, {BRU, AMS},
+      {AMS, LON}, {AMS, FRA}, {FRA, PAR}, {FRA, CPH}, {CPH, STO},
+      {STO, AMS},
+  };
+  Graph g = build(pops, links);
+  SPLICE_ENSURES(g.node_count() == 52);
+  SPLICE_ENSURES(g.edge_count() == 84);
+  return g;
+}
+
+Graph abilene() {
+  enum : int { SEA, SNV, LAX, DEN, MCI, HOU, IND, CHI, ATL, WDC, NYC };
+  static constexpr Pop pops[] = {
+      {"Seattle", 47.61, -122.33},   {"Sunnyvale", 37.37, -122.04},
+      {"LosAngeles", 34.05, -118.24},{"Denver", 39.74, -104.99},
+      {"KansasCity", 39.10, -94.58}, {"Houston", 29.76, -95.37},
+      {"Indianapolis", 39.77, -86.16},{"Chicago", 41.88, -87.63},
+      {"Atlanta", 33.75, -84.39},    {"Washington", 38.91, -77.04},
+      {"NewYork", 40.71, -74.01},
+  };
+  static constexpr Link links[] = {
+      {SEA, SNV}, {SEA, DEN}, {SNV, LAX}, {SNV, DEN}, {LAX, HOU},
+      {DEN, MCI}, {MCI, HOU}, {MCI, IND}, {HOU, ATL}, {IND, CHI},
+      {IND, ATL}, {CHI, NYC}, {ATL, WDC}, {NYC, WDC},
+  };
+  Graph g = build(pops, links);
+  SPLICE_ENSURES(g.node_count() == 11);
+  SPLICE_ENSURES(g.edge_count() == 14);
+  return g;
+}
+
+Graph exodus() {
+  // Reconstruction of the Exodus Communications (AS3967) PoP backbone as
+  // Rocketfuel mapped it: data-center metros in clusters (Bay Area, LA,
+  // Chicagoland, Boston, NYC, northern Virginia) over a sparse national
+  // core, plus London and Tokyo.
+  enum : int {
+    SCL, PAO, SFO, ELS, IRV, SEA, AUS, DFW, CHI, OAK, ATL,
+    MIA, TPA, BOS, WAL, NYC, JCY, STE, HER, TOR, LON, TYO,
+  };
+  static constexpr Pop pops[] = {
+      {"SantaClara", 37.35, -121.95}, {"PaloAlto", 37.44, -122.14},
+      {"SanFrancisco", 37.77, -122.42},{"ElSegundo", 33.92, -118.42},
+      {"Irvine", 33.68, -117.83},     {"Seattle", 47.61, -122.33},
+      {"Austin", 30.27, -97.74},      {"Dallas", 32.78, -96.80},
+      {"Chicago", 41.88, -87.63},     {"OakBrook", 41.85, -87.95},
+      {"Atlanta", 33.75, -84.39},     {"Miami", 25.76, -80.19},
+      {"Tampa", 27.95, -82.46},       {"Boston", 42.36, -71.06},
+      {"Waltham", 42.38, -71.24},     {"NewYork", 40.71, -74.01},
+      {"JerseyCity", 40.73, -74.07},  {"Sterling", 39.01, -77.43},
+      {"Herndon", 38.97, -77.39},     {"Toronto", 43.65, -79.38},
+      {"London", 51.51, -0.13},       {"Tokyo", 35.68, 139.69},
+  };
+  static constexpr Link links[] = {
+      // Bay Area cluster.
+      {SCL, PAO}, {SCL, SFO}, {PAO, SFO},
+      // LA cluster + west.
+      {ELS, IRV}, {SCL, ELS}, {PAO, IRV}, {SCL, SEA}, {SFO, SEA},
+      // Texas.
+      {AUS, DFW}, {ELS, DFW}, {IRV, AUS},
+      // Midwest + Canada.
+      {DFW, CHI}, {CHI, OAK}, {OAK, TOR}, {TOR, NYC}, {CHI, NYC},
+      {PAO, CHI},
+      // Southeast.
+      {DFW, ATL}, {ATL, MIA}, {MIA, TPA}, {ATL, TPA}, {ATL, STE},
+      // Northeast clusters.
+      {BOS, WAL}, {BOS, NYC}, {WAL, NYC}, {NYC, JCY}, {JCY, STE},
+      {STE, HER}, {HER, NYC}, {ELS, ATL},
+      // Transcontinental + international.
+      {SFO, NYC}, {NYC, LON}, {JCY, LON}, {SCL, TYO}, {SEA, TYO},
+      {CHI, STE}, {OAK, DFW},
+  };
+  Graph g = build(pops, links);
+  SPLICE_ENSURES(g.node_count() == 22);
+  SPLICE_ENSURES(g.edge_count() == 37);
+  return g;
+}
+
+Graph abovenet() {
+  // Reconstruction of the AboveNet/MFN (AS6461) PoP backbone: a denser
+  // national mesh than Exodus, a European triangle and a Tokyo leg.
+  enum : int {
+    SJC, PAO, SFO, LAX, SEA, PHX, DEN, DFW, HOU, CHI, STL,
+    ATL, MIA, WDC, VIE, PHL, NYC, BOS, LON, AMS, FRA, TYO,
+  };
+  static constexpr Pop pops[] = {
+      {"SanJose", 37.34, -121.89},   {"PaloAlto", 37.44, -122.14},
+      {"SanFrancisco", 37.77, -122.42},{"LosAngeles", 34.05, -118.24},
+      {"Seattle", 47.61, -122.33},   {"Phoenix", 33.45, -112.07},
+      {"Denver", 39.74, -104.99},    {"Dallas", 32.78, -96.80},
+      {"Houston", 29.76, -95.37},    {"Chicago", 41.88, -87.63},
+      {"StLouis", 38.63, -90.20},    {"Atlanta", 33.75, -84.39},
+      {"Miami", 25.76, -80.19},      {"Washington", 38.91, -77.04},
+      {"Vienna", 38.90, -77.26},     {"Philadelphia", 39.95, -75.17},
+      {"NewYork", 40.71, -74.01},    {"Boston", 42.36, -71.06},
+      {"London", 51.51, -0.13},      {"Amsterdam", 52.37, 4.90},
+      {"Frankfurt", 50.11, 8.68},    {"Tokyo", 35.68, 139.69},
+  };
+  static constexpr Link links[] = {
+      // West.
+      {SJC, PAO}, {PAO, SFO}, {SJC, SFO}, {SJC, LAX}, {SFO, LAX},
+      {SJC, SEA}, {SFO, SEA}, {LAX, PHX}, {PHX, DFW}, {SJC, DEN},
+      {DEN, CHI}, {DEN, DFW},
+      // South / central.
+      {DFW, HOU}, {DFW, CHI}, {HOU, ATL}, {DFW, ATL}, {CHI, STL},
+      {STL, DFW}, {STL, ATL},
+      // East.
+      {ATL, MIA}, {MIA, WDC}, {ATL, WDC}, {WDC, VIE}, {WDC, PHL},
+      {PHL, NYC}, {NYC, BOS}, {CHI, NYC}, {CHI, WDC}, {VIE, NYC},
+      {BOS, CHI},
+      // Transcontinental.
+      {SJC, CHI}, {LAX, DFW}, {SFO, NYC},
+      // Europe + Asia.
+      {NYC, LON}, {WDC, LON}, {LON, AMS}, {AMS, FRA}, {LON, FRA},
+      {NYC, AMS}, {SJC, TYO}, {SEA, TYO}, {LAX, TYO},
+  };
+  Graph g = build(pops, links);
+  SPLICE_ENSURES(g.node_count() == 22);
+  SPLICE_ENSURES(g.edge_count() == 42);
+  return g;
+}
+
+Graph figure1() {
+  Graph g;
+  const NodeId s = g.add_node("s");
+  const NodeId t = g.add_node("t");
+  const NodeId a1 = g.add_node("a1");
+  const NodeId a2 = g.add_node("a2");
+  const NodeId b1 = g.add_node("b1");
+  const NodeId b2 = g.add_node("b2");
+  g.add_edge(s, a1, 1.0);
+  g.add_edge(a1, a2, 1.0);
+  g.add_edge(a2, t, 1.0);
+  g.add_edge(s, b1, 1.0);
+  g.add_edge(b1, b2, 1.0);
+  g.add_edge(b2, t, 1.0);
+  return g;
+}
+
+std::vector<std::string> registry_names() {
+  return {"geant", "sprint", "abilene", "exodus", "abovenet", "figure1"};
+}
+
+Graph by_name(const std::string& name) {
+  if (name == "geant") return geant();
+  if (name == "sprint") return sprint();
+  if (name == "abilene") return abilene();
+  if (name == "exodus") return exodus();
+  if (name == "abovenet") return abovenet();
+  if (name == "figure1") return figure1();
+  throw std::out_of_range("unknown topology: " + name);
+}
+
+}  // namespace splice::topo

@@ -1,0 +1,51 @@
+// Embedded evaluation topologies.
+//
+// The paper evaluates on (1) the GEANT European research backbone
+// (23 nodes / 37 links) and (2) the Sprint North-American backbone as
+// inferred by Rocketfuel (52 nodes / 84 links). Neither raw dataset ships
+// offline, so this module embeds reconstructions built from the published
+// PoP maps: node = PoP with geographic coordinates, link weights
+// proportional to great-circle latency (Rocketfuel's inferred weights are
+// latency-derived as well). DESIGN.md documents the substitution; the
+// reproduction depends on size, degree structure and weighted-shortest-path
+// geometry, all of which the reconstructions preserve.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace splice::topo {
+
+/// GEANT backbone reconstruction: exactly 23 nodes and 37 links.
+Graph geant();
+
+/// Sprint (Rocketfuel AS1239) backbone reconstruction: exactly 52 nodes and
+/// 84 links.
+Graph sprint();
+
+/// Small hand-checkable fixture: the two-disjoint-paths graph of Figure 1.
+Graph figure1();
+
+/// Abilene/Internet2 backbone (11 nodes / 14 links) — a third real-world
+/// topology used by the extension experiments and examples.
+Graph abilene();
+
+/// Exodus Communications (Rocketfuel AS3967) PoP-level reconstruction:
+/// 22 PoPs, 37 links. Data-center-centric footprint: coastal metro
+/// clusters joined by a sparse national core plus London/Tokyo.
+Graph exodus();
+
+/// AboveNet/MFN (Rocketfuel AS6461) PoP-level reconstruction: 22 PoPs,
+/// 42 links. Denser mesh than Exodus, with a European triangle.
+Graph abovenet();
+
+/// Names of all registry topologies.
+std::vector<std::string> registry_names();
+
+/// Looks up a topology by registry name ("geant", "sprint", "abilene",
+/// "figure1"). Throws std::out_of_range for unknown names.
+Graph by_name(const std::string& name);
+
+}  // namespace splice::topo

@@ -1,0 +1,91 @@
+#include "traffic/capacity.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace splice {
+
+CapacityPlan provision_capacities(const LinkLoads& baseline, double headroom,
+                                  double floor) {
+  SPLICE_EXPECTS(headroom >= 1.0);
+  SPLICE_EXPECTS(floor > 0.0);
+  CapacityPlan plan;
+  plan.reserve(baseline.load.size());
+  for (double load : baseline.load) {
+    plan.push_back(std::max(floor, load * headroom));
+  }
+  return plan;
+}
+
+UtilizationReport evaluate_utilization(const LinkLoads& loads,
+                                       const CapacityPlan& capacities) {
+  SPLICE_EXPECTS(loads.load.size() == capacities.size());
+  UtilizationReport r;
+  r.utilization.reserve(loads.load.size());
+  double sum = 0.0;
+  for (std::size_t e = 0; e < loads.load.size(); ++e) {
+    SPLICE_EXPECTS(capacities[e] > 0.0);
+    const double u = loads.load[e] / capacities[e];
+    r.utilization.push_back(u);
+    r.max_utilization = std::max(r.max_utilization, u);
+    sum += u;
+    r.overloaded_links += u > 1.0 ? 1 : 0;
+  }
+  r.mean_utilization =
+      loads.load.empty() ? 0.0 : sum / static_cast<double>(loads.load.size());
+  r.undelivered = loads.undelivered;
+  return r;
+}
+
+UtilizationReport failure_utilization_spike(Splicer& splicer,
+                                            const TrafficMatrix& demands,
+                                            SliceSelection steady_mode,
+                                            double headroom, EdgeId edge,
+                                            Rng& rng) {
+  const Graph& g = splicer.graph();
+  SPLICE_EXPECTS(edge >= 0 && edge < g.edge_count());
+
+  // Provision for the steady state.
+  const LinkLoads baseline = route_demands(splicer, demands, steady_mode, rng);
+  const CapacityPlan capacities = provision_capacities(baseline, headroom);
+
+  // Fail the link and re-route everything: flows that still deliver with
+  // their steady headers keep them; broken flows re-randomize up to 5x.
+  splicer.network().set_link_state(edge, false);
+  LinkLoads degraded;
+  degraded.load.assign(static_cast<std::size_t>(g.edge_count()), 0.0);
+  for (NodeId src = 0; src < g.node_count(); ++src) {
+    for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+      const double demand = src == dst ? 0.0 : demands.demand(src, dst);
+      if (demand <= 0.0) continue;
+      SpliceHeader header;
+      switch (steady_mode) {
+        case SliceSelection::kPinnedShortest:
+          header = splicer.make_pinned_header(0);
+          break;
+        case SliceSelection::kHashSpread:
+          header = SpliceHeader{};
+          break;
+        case SliceSelection::kRandomHeaders:
+          header = splicer.make_random_header(rng);
+          break;
+      }
+      Delivery d = splicer.send(src, dst, header);
+      for (int attempt = 0; attempt < 5 && !d.delivered(); ++attempt) {
+        d = splicer.send(src, dst, splicer.make_random_header(rng));
+      }
+      if (!d.delivered()) {
+        degraded.undelivered += demand;
+        continue;
+      }
+      for (const HopRecord& hop : d.hops) {
+        degraded.load[static_cast<std::size_t>(hop.edge)] += demand;
+      }
+    }
+  }
+  splicer.network().set_link_state(edge, true);
+  return evaluate_utilization(degraded, capacities);
+}
+
+}  // namespace splice

@@ -1,0 +1,54 @@
+// Link capacities and utilization analysis (§5 "interactions with traffic
+// engineering", quantified).
+//
+// Operators care about *utilization*, not raw load: a provisioned network
+// carries its demand with headroom, and the interesting question is how
+// much of that headroom splicing consumes in steady state (spliced paths
+// are longer) versus how much it saves after failures (displaced traffic
+// disperses instead of piling onto one backup). This module provisions
+// capacities from a baseline load, evaluates utilization under any routing
+// mode, and measures the post-failure utilization spike.
+#pragma once
+
+#include <vector>
+
+#include "splicing/splicer.h"
+#include "traffic/demand.h"
+#include "traffic/load.h"
+
+namespace splice {
+
+/// Per-link capacities, indexed by edge id.
+using CapacityPlan = std::vector<double>;
+
+/// Provisions each link at `headroom` times its baseline load (plus a small
+/// floor so zero-load links are not zero-capacity) — the standard
+/// "provision to peak with headroom" rule.
+CapacityPlan provision_capacities(const LinkLoads& baseline, double headroom,
+                                  double floor = 1.0);
+
+struct UtilizationReport {
+  /// load / capacity per link.
+  std::vector<double> utilization;
+  double max_utilization = 0.0;
+  double mean_utilization = 0.0;
+  /// Links with utilization > 1 (overloaded).
+  int overloaded_links = 0;
+  /// Demand that could not be delivered at all.
+  double undelivered = 0.0;
+};
+
+UtilizationReport evaluate_utilization(const LinkLoads& loads,
+                                       const CapacityPlan& capacities);
+
+/// Post-failure utilization spike: provisions for `steady_mode` at the
+/// given headroom, fails `edge`, re-routes (displaced flows re-randomize
+/// up to 5 headers), and reports utilization on the degraded network.
+/// Restores the splicer's network state before returning.
+UtilizationReport failure_utilization_spike(Splicer& splicer,
+                                            const TrafficMatrix& demands,
+                                            SliceSelection steady_mode,
+                                            double headroom, EdgeId edge,
+                                            Rng& rng);
+
+}  // namespace splice

@@ -1,0 +1,73 @@
+#include "traffic/demand.h"
+
+#include <algorithm>
+
+namespace splice {
+
+double TrafficMatrix::total() const noexcept {
+  double sum = 0.0;
+  for (double d : demand_) sum += d;
+  return sum;
+}
+
+void TrafficMatrix::normalize_total(double target) {
+  SPLICE_EXPECTS(target >= 0.0);
+  const double current = total();
+  if (current <= 0.0) return;
+  const double scale = target / current;
+  for (double& d : demand_) d *= scale;
+}
+
+TrafficMatrix uniform_demands(const Graph& g) {
+  TrafficMatrix tm(g.node_count());
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s != t) tm.set_demand(s, t, 1.0);
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix gravity_demands(const Graph& g) {
+  TrafficMatrix tm(g.node_count());
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s != t) {
+        tm.set_demand(s, t, static_cast<double>(g.degree(s)) *
+                                static_cast<double>(g.degree(t)));
+      }
+    }
+  }
+  const auto n = static_cast<double>(g.node_count());
+  tm.normalize_total(n * (n - 1.0));
+  return tm;
+}
+
+TrafficMatrix hotspot_demands(const Graph& g, int hotspots, double weight,
+                              std::uint64_t seed) {
+  SPLICE_EXPECTS(hotspots >= 0 && hotspots <= g.node_count());
+  SPLICE_EXPECTS(weight >= 1.0);
+  // Choose distinct hotspot destinations.
+  Rng rng(seed);
+  std::vector<char> hot(static_cast<std::size_t>(g.node_count()), 0);
+  int chosen = 0;
+  while (chosen < hotspots) {
+    const auto v = rng.below(static_cast<std::uint64_t>(g.node_count()));
+    if (!hot[v]) {
+      hot[v] = 1;
+      ++chosen;
+    }
+  }
+  TrafficMatrix tm(g.node_count());
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s != t)
+        tm.set_demand(s, t, hot[static_cast<std::size_t>(t)] ? weight : 1.0);
+    }
+  }
+  const auto n = static_cast<double>(g.node_count());
+  tm.normalize_total(n * (n - 1.0));
+  return tm;
+}
+
+}  // namespace splice

@@ -1,0 +1,68 @@
+// Traffic demand matrices for the §5 traffic-engineering experiments:
+// uniform all-pairs, gravity-model (demand proportional to endpoint
+// "masses", here node degrees — a standard proxy for PoP size), and
+// hotspot matrices that concentrate demand on a few popular destinations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace splice {
+
+/// Dense origin-destination demand matrix (flattened [src][dst]).
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(NodeId nodes)
+      : n_(nodes),
+        demand_(static_cast<std::size_t>(nodes) *
+                    static_cast<std::size_t>(nodes),
+                0.0) {}
+
+  NodeId node_count() const noexcept { return n_; }
+
+  double demand(NodeId src, NodeId dst) const noexcept {
+    return demand_[index(src, dst)];
+  }
+  void set_demand(NodeId src, NodeId dst, double amount) noexcept {
+    SPLICE_EXPECTS(amount >= 0.0);
+    demand_[index(src, dst)] = amount;
+  }
+  void add_demand(NodeId src, NodeId dst, double amount) noexcept {
+    SPLICE_EXPECTS(amount >= 0.0);
+    demand_[index(src, dst)] += amount;
+  }
+
+  /// Sum of all demands.
+  double total() const noexcept;
+
+  /// Scales every entry so that total() == target (no-op if total is 0).
+  void normalize_total(double target);
+
+ private:
+  std::size_t index(NodeId src, NodeId dst) const noexcept {
+    SPLICE_EXPECTS(src >= 0 && src < n_);
+    SPLICE_EXPECTS(dst >= 0 && dst < n_);
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  NodeId n_;
+  std::vector<double> demand_;
+};
+
+/// One unit between every ordered pair.
+TrafficMatrix uniform_demands(const Graph& g);
+
+/// Gravity model: demand(s, t) proportional to degree(s) * degree(t),
+/// normalized so the total equals n * (n - 1) (comparable to uniform).
+TrafficMatrix gravity_demands(const Graph& g);
+
+/// Hotspot model: `hotspots` destinations receive `weight`x the demand of
+/// everyone else (e.g. popular content PoPs).
+TrafficMatrix hotspot_demands(const Graph& g, int hotspots, double weight,
+                              std::uint64_t seed);
+
+}  // namespace splice

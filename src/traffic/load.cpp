@@ -1,0 +1,149 @@
+#include "traffic/load.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace splice {
+
+namespace {
+
+SpliceHeader header_for(const Splicer& splicer, SliceSelection mode,
+                        Rng& rng) {
+  switch (mode) {
+    case SliceSelection::kPinnedShortest:
+      return splicer.make_pinned_header(0);
+    case SliceSelection::kHashSpread:
+      return SpliceHeader{};  // Algorithm 1 falls back to Hash(src, dst)
+    case SliceSelection::kRandomHeaders:
+      return splicer.make_random_header(rng);
+  }
+  return SpliceHeader{};
+}
+
+}  // namespace
+
+double LinkLoads::max_load() const {
+  double m = 0.0;
+  for (double l : load) m = std::max(m, l);
+  return m;
+}
+
+double LinkLoads::imbalance() const {
+  if (load.empty()) return 0.0;
+  double sum = 0.0;
+  for (double l : load) sum += l;
+  const double mean = sum / static_cast<double>(load.size());
+  return mean <= 0.0 ? 0.0 : max_load() / mean;
+}
+
+LinkLoads route_demands(const Splicer& splicer, const TrafficMatrix& demands,
+                        SliceSelection mode, Rng& rng) {
+  const Graph& g = splicer.graph();
+  SPLICE_EXPECTS(demands.node_count() == g.node_count());
+  LinkLoads out;
+  out.load.assign(static_cast<std::size_t>(g.edge_count()), 0.0);
+  for (NodeId src = 0; src < g.node_count(); ++src) {
+    for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+      const double demand = src == dst ? 0.0 : demands.demand(src, dst);
+      if (demand <= 0.0) continue;
+      const Delivery d =
+          splicer.send(src, dst, header_for(splicer, mode, rng));
+      if (!d.delivered()) {
+        out.undelivered += demand;
+        continue;
+      }
+      for (const HopRecord& hop : d.hops) {
+        out.load[static_cast<std::size_t>(hop.edge)] += demand;
+      }
+    }
+  }
+  return out;
+}
+
+FailureShift measure_failure_shift(Splicer& splicer,
+                                   const TrafficMatrix& demands,
+                                   SliceSelection steady_mode, EdgeId edge,
+                                   Rng& rng) {
+  const Graph& g = splicer.graph();
+  SPLICE_EXPECTS(edge >= 0 && edge < g.edge_count());
+  FailureShift out;
+  out.failed_edge = edge;
+
+  // Pass 1: steady state — find the flows crossing `edge` and the baseline
+  // per-link loads.
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    double demand;
+  };
+  std::vector<Flow> displaced;
+  std::vector<double> baseline(static_cast<std::size_t>(g.edge_count()), 0.0);
+  for (NodeId src = 0; src < g.node_count(); ++src) {
+    for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+      const double demand = src == dst ? 0.0 : demands.demand(src, dst);
+      if (demand <= 0.0) continue;
+      const Delivery d =
+          splicer.send(src, dst, header_for(splicer, steady_mode, rng));
+      if (!d.delivered()) continue;
+      bool crosses = false;
+      for (const HopRecord& hop : d.hops) {
+        baseline[static_cast<std::size_t>(hop.edge)] += demand;
+        crosses |= hop.edge == edge;
+      }
+      if (crosses) {
+        displaced.push_back(Flow{src, dst, demand});
+        out.displaced_demand += demand;
+      }
+    }
+  }
+
+  // Pass 2: fail the link; displaced flows re-randomize (up to 5 fresh
+  // headers, the paper's retry budget) and we accumulate where they land.
+  splicer.network().set_link_state(edge, false);
+  std::vector<double> shifted(static_cast<std::size_t>(g.edge_count()), 0.0);
+  double lost = 0.0;
+  for (const Flow& flow : displaced) {
+    Delivery recovered;
+    bool ok = false;
+    for (int attempt = 0; attempt < 5 && !ok; ++attempt) {
+      recovered =
+          splicer.send(flow.src, flow.dst, splicer.make_random_header(rng));
+      ok = recovered.delivered();
+    }
+    if (!ok) {
+      lost += flow.demand;
+      continue;
+    }
+    for (const HopRecord& hop : recovered.hops) {
+      shifted[static_cast<std::size_t>(hop.edge)] += flow.demand;
+    }
+  }
+  splicer.network().set_link_state(edge, true);
+
+  out.lost_fraction =
+      out.displaced_demand <= 0.0 ? 0.0 : lost / out.displaced_demand;
+
+  // Concentration of the shifted load (Herfindahl index over links).
+  double total_shifted = 0.0;
+  for (double l : shifted) total_shifted += l;
+  if (total_shifted > 0.0) {
+    double hhi = 0.0;
+    for (double l : shifted) {
+      const double share = l / total_shifted;
+      hhi += share * share;
+    }
+    out.concentration = hhi;
+  }
+
+  // Largest per-link increase vs. baseline.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (e == edge) continue;
+    out.max_link_increase =
+        std::max(out.max_link_increase,
+                 shifted[static_cast<std::size_t>(e)]);
+  }
+  return out;
+}
+
+}  // namespace splice

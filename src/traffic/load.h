@@ -1,0 +1,67 @@
+// Link-load analysis under spliced routing (§5 "interactions with traffic
+// engineering" and "selfish-routing effects").
+//
+// Routes a demand matrix through a Splicer under a configurable
+// slice-selection mode and accumulates per-link load. Also implements the
+// §5 failure-shift experiment: when a link fails and affected flows
+// re-randomize their forwarding bits, does the displaced traffic disperse
+// across the topology (splicing's claim) or pile onto one backup path
+// (the selfish-routing worry)?
+#pragma once
+
+#include <vector>
+
+#include "splicing/splicer.h"
+#include "traffic/demand.h"
+#include "util/stats.h"
+
+namespace splice {
+
+/// How senders choose forwarding bits for steady-state traffic.
+enum class SliceSelection {
+  kPinnedShortest,  ///< everyone on slice 0 (plain shortest-path routing)
+  kHashSpread,      ///< no bits: Algorithm 1's Hash(src, dst) default slice
+  kRandomHeaders,   ///< fresh uniform per-hop forwarding bits per flow
+};
+
+struct LinkLoads {
+  /// Load per edge id (sum of demand crossing the link, either direction).
+  std::vector<double> load;
+  /// Demand that could not be delivered (dead ends under failures).
+  double undelivered = 0.0;
+
+  SampleSummary summary() const { return summarize(load); }
+  double max_load() const;
+  /// Max/mean imbalance ratio (1.0 = perfectly even; 0 links -> 0).
+  double imbalance() const;
+};
+
+/// Routes every demand through the splicer's current network state.
+LinkLoads route_demands(const Splicer& splicer, const TrafficMatrix& demands,
+                        SliceSelection mode, Rng& rng);
+
+/// §5 failure-shift experiment result for one failed link.
+struct FailureShift {
+  EdgeId failed_edge = kInvalidEdge;
+  /// Demand that was crossing the failed link before the failure.
+  double displaced_demand = 0.0;
+  /// Fraction of displaced demand that could not be re-delivered.
+  double lost_fraction = 0.0;
+  /// Herfindahl-style concentration of where displaced demand landed:
+  /// sum over links of (share of displaced load)^2. 1.0 = all on one
+  /// link (worst selfish-routing outcome), 1/m = perfectly dispersed.
+  double concentration = 1.0;
+  /// Largest per-link load increase caused by re-routing.
+  double max_link_increase = 0.0;
+};
+
+/// Fails `edge`, re-routes the flows that crossed it using end-system
+/// re-randomization (fresh random headers), and reports where the
+/// displaced demand went. The splicer's network state is restored before
+/// returning.
+FailureShift measure_failure_shift(Splicer& splicer,
+                                   const TrafficMatrix& demands,
+                                   SliceSelection steady_mode, EdgeId edge,
+                                   Rng& rng);
+
+}  // namespace splice

@@ -1,0 +1,33 @@
+// Lightweight contract-checking macros in the spirit of the C++ Core
+// Guidelines' Expects()/Ensures() (GSL). We keep them always-on: every check
+// in this library guards an invariant whose violation would silently corrupt
+// an experiment, and the checks are off the hot paths that matter.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace splice::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace splice::detail
+
+#define SPLICE_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::splice::detail::contract_violation("Precondition", #cond,     \
+                                                 __FILE__, __LINE__))
+
+#define SPLICE_ENSURES(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::splice::detail::contract_violation("Postcondition", #cond,    \
+                                                 __FILE__, __LINE__))
+
+#define SPLICE_ASSERT(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::splice::detail::contract_violation("Invariant", #cond,        \
+                                                 __FILE__, __LINE__))

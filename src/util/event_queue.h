@@ -1,0 +1,62 @@
+// Minimal discrete-event engine: schedule callbacks at simulated times and
+// run to quiescence. Shared by the recovery-timing simulator and the
+// link-state flooding simulator. Header-only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace splice {
+
+/// Simulation clock in milliseconds.
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  void schedule(SimTime at, Callback cb) {
+    SPLICE_EXPECTS(at >= now_);
+    heap_.push(Event{at, next_seq_++, std::move(cb)});
+  }
+
+  /// Runs until no events remain or the horizon is reached; returns the
+  /// time of the last executed event.
+  SimTime run(SimTime horizon = 1e12) {
+    while (!heap_.empty()) {
+      Event ev = heap_.top();
+      heap_.pop();
+      if (ev.at > horizon) break;
+      now_ = ev.at;
+      ++executed_;
+      ev.cb(now_);
+    }
+    return now_;
+  }
+
+  SimTime now() const noexcept { return now_; }
+  std::size_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tiebreak for simultaneous events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace splice

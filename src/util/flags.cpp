@@ -1,0 +1,70 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace splice {
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_.emplace(std::string(arg.substr(0, eq)),
+                      std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // `--name value` if the next token isn't itself a flag, else boolean.
+    if (i + 1 < argc) {
+      std::string_view next = argv[i + 1];
+      if (!next.starts_with("--")) {
+        values_.emplace(std::string(arg), std::string(next));
+        ++i;
+        continue;
+      }
+    }
+    values_.emplace(std::string(arg), "true");
+  }
+}
+
+std::optional<std::string> Flags::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+}  // namespace splice

@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for the experiment binaries:
+// `--name=value` / `--name value` / bare `--flag` booleans. No global state;
+// each binary constructs a Flags from (argc, argv) and queries typed getters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace splice {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// Value of --name, if given.
+  std::optional<std::string> get(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  bool has(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Name of the binary (argv[0]).
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace splice

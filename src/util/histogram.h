@@ -1,0 +1,93 @@
+// Fixed-bin histogram with CDF rendering, used by the timing benches to
+// print distribution rows (the recovery-time CDFs) without external
+// plotting. Header-only.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace splice {
+
+class Histogram {
+ public:
+  /// `lo`/`hi` bound the binned range; samples outside are clamped into the
+  /// first/last bin (they still count).
+  Histogram(double lo, double hi, int bins)
+      : lo_(lo), hi_(hi), counts_(static_cast<std::size_t>(bins), 0) {
+    SPLICE_EXPECTS(bins >= 1);
+    SPLICE_EXPECTS(hi > lo);
+  }
+
+  void add(double x) noexcept {
+    const double t = (x - lo_) / (hi_ - lo_);
+    const auto bins = static_cast<long long>(counts_.size());
+    auto idx = static_cast<long long>(std::floor(t * static_cast<double>(bins)));
+    idx = std::clamp<long long>(idx, 0, bins - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  long long total() const noexcept { return total_; }
+  int bins() const noexcept { return static_cast<int>(counts_.size()); }
+
+  /// Lower edge of bin i.
+  double bin_lo(int i) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  double bin_hi(int i) const noexcept { return bin_lo(i + 1); }
+  long long count(int i) const noexcept {
+    SPLICE_EXPECTS(i >= 0 && i < bins());
+    return counts_[static_cast<std::size_t>(i)];
+  }
+
+  /// Cumulative fraction of samples at or below bin i's upper edge.
+  double cdf_at(int i) const noexcept {
+    SPLICE_EXPECTS(i >= 0 && i < bins());
+    long long cum = 0;
+    for (int b = 0; b <= i; ++b) cum += counts_[static_cast<std::size_t>(b)];
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(cum) /
+                             static_cast<double>(total_);
+  }
+
+  /// Smallest bin upper edge whose CDF reaches `q` in [0, 1]; hi_ if never.
+  double quantile_edge(double q) const noexcept {
+    SPLICE_EXPECTS(q >= 0.0 && q <= 1.0);
+    for (int i = 0; i < bins(); ++i) {
+      if (cdf_at(i) >= q) return bin_hi(i);
+    }
+    return hi_;
+  }
+
+  /// Renders "lo-hi count cdf" rows; `bar_width` adds an ASCII bar column.
+  std::string render(int bar_width = 30) const {
+    std::string out;
+    long long max_count = 1;
+    for (long long c : counts_) max_count = std::max(max_count, c);
+    char buf[160];
+    for (int i = 0; i < bins(); ++i) {
+      const int bar = static_cast<int>(
+          static_cast<double>(count(i)) / static_cast<double>(max_count) *
+          bar_width);
+      std::snprintf(buf, sizeof(buf), "%10.1f-%-10.1f %8lld  %5.1f%%  ",
+                    bin_lo(i), bin_hi(i), count(i), cdf_at(i) * 100.0);
+      out += buf;
+      out.append(static_cast<std::size_t>(bar), '#');
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<long long> counts_;
+  long long total_ = 0;
+};
+
+}  // namespace splice

@@ -1,0 +1,130 @@
+// Deterministic, explicitly-seeded random number generation.
+//
+// Every randomized component of the library (link-weight perturbations,
+// failure sampling, forwarding-bit generation) takes an explicit 64-bit seed
+// so that experiments are reproducible bit-for-bit across runs and machines.
+// We implement xoshiro256** seeded via SplitMix64 rather than relying on
+// <random> engines whose streams are unspecified across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace splice {
+
+/// SplitMix64 step: used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of up to three values; used e.g. for the
+/// Hash(src, dst) default-slice selection of Algorithm 1.
+constexpr std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b = 0,
+                                 std::uint64_t c = 0) noexcept {
+  std::uint64_t s = a * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
+  std::uint64_t h = splitmix64(s);
+  s ^= b + 0x632be59bd9b4e019ULL;
+  h ^= splitmix64(s);
+  s ^= c + 0xd1342543de82ef95ULL;
+  h ^= splitmix64(s);
+  return h;
+}
+
+/// xoshiro256** — small, fast, high-quality PRNG with a reproducible stream.
+/// Satisfies UniformRandomBitGenerator, so it also works with <random> and
+/// std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Matches the paper's Random(0, L(i,j)).
+  double uniform(double lo, double hi) noexcept {
+    SPLICE_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire reduction).
+  std::uint64_t below(std::uint64_t n) noexcept {
+    SPLICE_EXPECTS(n > 0);
+    // Debiased multiply-shift.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    SPLICE_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Fair coin, as used by the paper's end-system recovery scheme.
+  bool coin() noexcept { return ((*this)() >> 63) != 0; }
+
+  /// Derive an independent child generator (for per-slice / per-trial
+  /// streams) without correlating with the parent stream.
+  Rng fork(std::uint64_t salt) noexcept {
+    return Rng{hash_mix((*this)(), salt, 0x5deece66dULL)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace splice

@@ -1,0 +1,103 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace splice {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double OnlineStats::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::min() const noexcept { return min_; }
+
+double OnlineStats::max() const noexcept { return max_; }
+
+double OnlineStats::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile(std::span<const double> samples, double q) {
+  SPLICE_EXPECTS(q >= 0.0 && q <= 100.0);
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  return sum / static_cast<double>(samples.size());
+}
+
+SampleSummary summarize(std::span<const double> samples) {
+  SampleSummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  OnlineStats acc;
+  for (double x : samples) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p50 = percentile(samples, 50.0);
+  s.p95 = percentile(samples, 95.0);
+  s.p99 = percentile(samples, 99.0);
+  return s;
+}
+
+std::string to_string(const SampleSummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.4f sd=%.4f min=%.4f p50=%.4f p95=%.4f p99=%.4f "
+                "max=%.4f",
+                s.count, s.mean, s.stddev, s.min, s.p50, s.p95, s.p99, s.max);
+  return buf;
+}
+
+}  // namespace splice

@@ -1,0 +1,63 @@
+// Small statistics toolkit used by the experiment harnesses: streaming
+// moments (Welford), percentiles, and normal-approximation confidence
+// intervals for the averaged reliability/recovery curves.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace splice {
+
+/// Streaming mean/variance accumulator (Welford's algorithm). Numerically
+/// stable; O(1) space regardless of sample count.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation, q in [0, 100].
+/// Copies and sorts; intended for end-of-run reporting, not hot loops.
+double percentile(std::span<const double> samples, double q);
+
+/// Arithmetic mean of a sample set (0 when empty).
+double mean_of(std::span<const double> samples) noexcept;
+
+/// Five-number-style summary used in EXPERIMENTS.md tables.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+SampleSummary summarize(std::span<const double> samples);
+
+/// Render a summary as a one-line human-readable string.
+std::string to_string(const SampleSummary& s);
+
+}  // namespace splice

@@ -1,0 +1,45 @@
+// Plain-text table and CSV writers used by the benchmark harnesses to print
+// the rows/series of each paper table and figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splice {
+
+/// Accumulates rows of string cells and renders them as an aligned
+/// fixed-width text table (for terminal output) or as CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Renders with columns padded to their widest cell.
+  std::string to_text() const;
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helpers for formatting numeric cells consistently.
+std::string fmt_double(double v, int precision = 4);
+std::string fmt_percent(double fraction, int precision = 2);
+std::string fmt_int(long long v);
+
+/// Writes `content` to `path`, creating parent-less files only; returns
+/// false (and leaves the filesystem untouched) on failure.
+bool write_file(const std::string& path, std::string_view content);
+
+}  // namespace splice

@@ -1,0 +1,135 @@
+// Advisor tests: criticality ranking correctness and slice-budget search.
+#include "analysis/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+MultiInstanceRouting make_mir(const Graph& g, SliceId k) {
+  ControlPlaneConfig cfg;
+  cfg.slices = k;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  cfg.seed = 17;
+  return MultiInstanceRouting(g, cfg);
+}
+
+TEST(Criticality, CoversEveryLinkSortedByImpact) {
+  const Graph g = topo::geant();
+  const auto mir = make_mir(g, 4);
+  const auto ranking = rank_link_criticality(g, mir, 4);
+  ASSERT_EQ(ranking.size(), 37u);
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].pairs_cut_spliced,
+              ranking[i].pairs_cut_spliced);
+  }
+  // Every edge appears exactly once.
+  std::vector<char> seen(37, 0);
+  for (const auto& c : ranking) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(c.edge)]);
+    seen[static_cast<std::size_t>(c.edge)] = 1;
+  }
+}
+
+TEST(Criticality, SplicingBetweenPhysicalAndSinglePath) {
+  const Graph g = topo::sprint();
+  const auto mir = make_mir(g, 5);
+  for (const auto& c : rank_link_criticality(g, mir, 5)) {
+    EXPECT_GE(c.pairs_cut_spliced, c.pairs_cut_physical);
+    EXPECT_LE(c.pairs_cut_spliced, c.pairs_cut_single_path);
+  }
+}
+
+TEST(Criticality, BridgeIsMostCritical) {
+  // Two triangles joined by one bridge: the bridge cuts 3*3*2 = 18 ordered
+  // pairs physically; no triangle edge cuts anything.
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 0, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 1.0);
+  g.add_edge(5, 3, 1.0);
+  const EdgeId bridge = g.add_edge(2, 3, 1.0);
+  const auto mir = make_mir(g, 3);
+  const auto ranking = rank_link_criticality(g, mir, 3);
+  EXPECT_EQ(ranking.front().edge, bridge);
+  EXPECT_EQ(ranking.front().pairs_cut_physical, 18);
+  EXPECT_EQ(ranking.front().pairs_cut_spliced, 18);
+  // With 3 slices on a triangle, non-bridge failures are fully masked.
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_EQ(ranking[i].pairs_cut_physical, 0);
+  }
+}
+
+TEST(Criticality, MoreSlicesNeverIncreaseImpact) {
+  const Graph g = topo::sprint();
+  const auto mir = make_mir(g, 5);
+  const auto k2 = rank_link_criticality(g, mir, 2);
+  const auto k5 = rank_link_criticality(g, mir, 5);
+  // Compare per edge (re-index by edge id).
+  std::vector<long long> cut2(84), cut5(84);
+  for (const auto& c : k2) cut2[static_cast<std::size_t>(c.edge)] = c.pairs_cut_spliced;
+  for (const auto& c : k5) cut5[static_cast<std::size_t>(c.edge)] = c.pairs_cut_spliced;
+  for (std::size_t e = 0; e < 84; ++e) EXPECT_LE(cut5[e], cut2[e]);
+}
+
+TEST(Advisor, FindsBudgetOnSprint) {
+  SliceBudgetConfig cfg;
+  cfg.target_disconnected = 0.02;
+  cfg.p = 0.03;
+  cfg.trials = 120;
+  cfg.max_k = 10;
+  const SliceBudgetResult r = advise_slice_budget(topo::sprint(), cfg);
+  ASSERT_EQ(r.per_k.size(), 10u);
+  EXPECT_GE(r.k, 2);       // one slice is surely not enough at 2%
+  EXPECT_LE(r.k, 10);      // ten surely suffice on Sprint at p=0.03
+  EXPECT_LE(r.achieved, cfg.target_disconnected);
+  EXPECT_GE(r.achieved, r.best_possible - 1e-12);
+  // Budget curve is monotone nonincreasing.
+  for (std::size_t i = 1; i < r.per_k.size(); ++i) {
+    EXPECT_LE(r.per_k[i], r.per_k[i - 1] + 1e-12);
+  }
+}
+
+TEST(Advisor, ImpossibleTargetReportsMaxKPlusOne) {
+  SliceBudgetConfig cfg;
+  cfg.target_disconnected = 0.0;  // below the physical floor at p>0
+  cfg.p = 0.1;
+  cfg.trials = 40;
+  cfg.max_k = 4;
+  const SliceBudgetResult r = advise_slice_budget(topo::geant(), cfg);
+  EXPECT_EQ(r.k, 5);
+  EXPECT_GT(r.best_possible, 0.0);
+}
+
+TEST(Advisor, TrivialTargetNeedsOneSlice) {
+  SliceBudgetConfig cfg;
+  cfg.target_disconnected = 1.0;
+  cfg.p = 0.05;
+  cfg.trials = 20;
+  cfg.max_k = 4;
+  const SliceBudgetResult r = advise_slice_budget(topo::geant(), cfg);
+  EXPECT_EQ(r.k, 1);
+}
+
+TEST(Advisor, ThreadedMatchesSequential) {
+  SliceBudgetConfig seq;
+  seq.trials = 60;
+  seq.max_k = 5;
+  seq.threads = 1;
+  SliceBudgetConfig par = seq;
+  par.threads = 4;
+  const auto a = advise_slice_budget(topo::geant(), seq);
+  const auto b = advise_slice_budget(topo::geant(), par);
+  EXPECT_EQ(a.k, b.k);
+  for (std::size_t i = 0; i < a.per_k.size(); ++i) {
+    EXPECT_NEAR(a.per_k[i], b.per_k[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace splice

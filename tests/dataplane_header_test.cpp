@@ -1,0 +1,276 @@
+// Splicing shim header tests: bit packing, Algorithm 1 pop/shift semantics,
+// mutation schemes, loop-avoiding generators, counter encoding.
+#include "dataplane/splice_header.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace splice {
+namespace {
+
+TEST(BitsPerHop, PowersAndNonPowers) {
+  EXPECT_EQ(bits_per_hop(1), 0);
+  EXPECT_EQ(bits_per_hop(2), 1);
+  EXPECT_EQ(bits_per_hop(3), 2);
+  EXPECT_EQ(bits_per_hop(4), 2);
+  EXPECT_EQ(bits_per_hop(5), 3);
+  EXPECT_EQ(bits_per_hop(8), 3);
+  EXPECT_EQ(bits_per_hop(9), 4);
+  EXPECT_EQ(bits_per_hop(16), 4);
+  EXPECT_EQ(bits_per_hop(64), 6);
+}
+
+TEST(BitStream, SetAndPeek) {
+  BitStream b;
+  b.set_slot(0, 3, 5);
+  EXPECT_EQ(b.peek(3), 5u);
+  b.set_slot(1, 3, 2);
+  EXPECT_EQ(b.peek(3), 5u);  // slot 0 still first
+  b.shift(3);
+  EXPECT_EQ(b.peek(3), 2u);
+}
+
+TEST(BitStream, PopIsPeekPlusShift) {
+  BitStream b;
+  b.set_slot(0, 2, 3);
+  b.set_slot(1, 2, 1);
+  EXPECT_EQ(b.pop(2), 3u);
+  EXPECT_EQ(b.pop(2), 1u);
+  EXPECT_TRUE(b.all_zero());
+}
+
+TEST(BitStream, CrossesWordBoundary) {
+  BitStream b;
+  // 3-bit slots: slot 21 occupies bits 63..65, straddling the u64 boundary.
+  b.set_slot(21, 3, 0b101);
+  for (int i = 0; i < 21; ++i) b.shift(3);
+  EXPECT_EQ(b.peek(3), 0b101u);
+}
+
+TEST(BitStream, HighWordSlots) {
+  BitStream b;
+  b.set_slot(30, 4, 0xA);  // bits 120..123
+  for (int i = 0; i < 30; ++i) b.shift(4);
+  EXPECT_EQ(b.pop(4), 0xAu);
+}
+
+TEST(BitStream, OverwriteSlot) {
+  BitStream b;
+  b.set_slot(2, 4, 0xF);
+  b.set_slot(2, 4, 0x3);
+  b.shift(8);
+  EXPECT_EQ(b.peek(4), 0x3u);
+}
+
+TEST(BitStream, Shift64) {
+  BitStream b;
+  b.set_slot(20, 3, 7);  // bit 60..62
+  b.shift(64);
+  EXPECT_TRUE(b.all_zero());
+  BitStream c;
+  c.set_slot(16, 4, 9);  // bits 64..67 (hi word)
+  c.shift(64);
+  EXPECT_EQ(c.peek(4), 9u);
+}
+
+TEST(SpliceHeader, EmptyHeaderPopsNothing) {
+  SpliceHeader h;
+  EXPECT_FALSE(h.pop().has_value());
+  EXPECT_FALSE(h.has_bits());
+  EXPECT_EQ(h.bit_size(), 0);
+}
+
+TEST(SpliceHeader, SingleSliceHeaderHasNoBits) {
+  SpliceHeader h(1, 20);
+  EXPECT_EQ(h.bit_size(), 0);
+  EXPECT_FALSE(h.pop().has_value());
+}
+
+TEST(SpliceHeader, FromSlicesRoundTrip) {
+  const std::vector<SliceId> seq{0, 3, 1, 2, 2, 0, 3, 1};
+  SpliceHeader h = SpliceHeader::from_slices(4, seq);
+  EXPECT_EQ(h.slices(), seq);
+  for (SliceId expected : seq) {
+    const auto got = h.pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, expected);
+  }
+  EXPECT_FALSE(h.pop().has_value());
+}
+
+TEST(SpliceHeader, PopConsumesExactlyHops) {
+  Rng rng(1);
+  SpliceHeader h = SpliceHeader::random(4, 20, rng);
+  EXPECT_EQ(h.remaining_hops(), 20);
+  int pops = 0;
+  while (h.pop().has_value()) ++pops;
+  EXPECT_EQ(pops, 20);
+}
+
+TEST(SpliceHeader, RandomValuesAreInRange) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    SpliceHeader h = SpliceHeader::random(5, 20, rng);
+    for (SliceId s : h.slices()) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 5);
+    }
+  }
+}
+
+TEST(SpliceHeader, RandomCoversAllSlices) {
+  Rng rng(3);
+  std::set<SliceId> seen;
+  for (int trial = 0; trial < 20; ++trial) {
+    for (SliceId s : SpliceHeader::random(6, 20, rng).slices()) seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(SpliceHeader, BitSizeMatchesGeometry) {
+  EXPECT_EQ(SpliceHeader(4, 20).bit_size(), 40);  // 2 bits x 20 hops
+  EXPECT_EQ(SpliceHeader(5, 20).bit_size(), 60);  // 3 bits x 20 hops
+  EXPECT_EQ(SpliceHeader(2, 20).bit_size(), 20);
+}
+
+TEST(SpliceHeader, CoinFlipMutationFlipsAboutHalf) {
+  Rng rng(4);
+  const SpliceHeader base = SpliceHeader::from_slices(
+      4, std::vector<SliceId>(20, 0));
+  int flipped = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    const SpliceHeader mutated = base.mutate_coinflip(rng, 0.5);
+    for (SliceId s : mutated.slices()) flipped += s != 0 ? 1 : 0;
+  }
+  const double rate = static_cast<double>(flipped) / (trials * 20);
+  EXPECT_NEAR(rate, 0.5, 0.03);
+}
+
+TEST(SpliceHeader, CoinFlipAlwaysPicksDifferentSlice) {
+  Rng rng(5);
+  const SpliceHeader base =
+      SpliceHeader::from_slices(3, std::vector<SliceId>(20, 2));
+  const SpliceHeader mutated = base.mutate_coinflip(rng, 1.0);
+  for (SliceId s : mutated.slices()) EXPECT_NE(s, 2);
+}
+
+TEST(SpliceHeader, CoinFlipZeroProbabilityIsIdentity) {
+  Rng rng(6);
+  const SpliceHeader base =
+      SpliceHeader::from_slices(4, std::vector<SliceId>{1, 2, 3, 0, 1});
+  EXPECT_EQ(base.mutate_coinflip(rng, 0.0), base);
+}
+
+TEST(SpliceHeader, CoinFlipWithOneSliceIsIdentity) {
+  Rng rng(7);
+  const SpliceHeader base = SpliceHeader(1, 20);
+  EXPECT_EQ(base.mutate_coinflip(rng, 1.0), base);
+}
+
+TEST(SpliceHeader, FirstHopBiasedFlipsEarlyHopsMore) {
+  Rng rng(8);
+  const SpliceHeader base =
+      SpliceHeader::from_slices(4, std::vector<SliceId>(20, 0));
+  int first_flips = 0;
+  int last_flips = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const auto seq = base.mutate_first_hop_biased(rng).slices();
+    first_flips += seq.front() != 0 ? 1 : 0;
+    last_flips += seq.back() != 0 ? 1 : 0;
+  }
+  EXPECT_GT(first_flips, 4 * last_flips);
+}
+
+TEST(SpliceHeader, NoRevisitNeverReturnsToLeftSlice) {
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto seq = SpliceHeader::random_no_revisit(5, 20, rng).slices();
+    std::set<SliceId> left;
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      if (seq[i] != seq[i - 1]) {
+        left.insert(seq[i - 1]);
+        EXPECT_FALSE(left.contains(seq[i]))
+            << "revisited slice " << seq[i] << " at hop " << i;
+      }
+    }
+  }
+}
+
+TEST(SpliceHeader, BoundedSwitchesRespectsBudget) {
+  Rng rng(10);
+  for (int budget : {0, 1, 2, 3}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto seq =
+          SpliceHeader::random_bounded_switches(4, 20, budget, rng).slices();
+      int switches = 0;
+      for (std::size_t i = 1; i < seq.size(); ++i)
+        switches += seq[i] != seq[i - 1] ? 1 : 0;
+      EXPECT_LE(switches, budget);
+    }
+  }
+}
+
+TEST(CounterHeader, InactiveByDefault) {
+  CounterHeader c;
+  EXPECT_FALSE(c.active());
+  EXPECT_EQ(c.deflect(2, 5), 2);  // no-op when zero
+}
+
+TEST(CounterHeader, DeflectsAndDecrements) {
+  CounterHeader c(3);
+  const SliceId s = c.deflect(0, 4);
+  EXPECT_NE(s, 0);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(CounterHeader, DrainsToInactive) {
+  CounterHeader c(2);
+  (void)c.deflect(0, 4);
+  (void)c.deflect(1, 4);
+  EXPECT_FALSE(c.active());
+  EXPECT_EQ(c.deflect(1, 4), 1);
+}
+
+TEST(CounterHeader, SingleSliceNoDeflection) {
+  CounterHeader c(5);
+  EXPECT_EQ(c.deflect(0, 1), 0);
+}
+
+// Property: header geometry x slice-count sweep — encode/decode identity.
+struct GeomParam {
+  SliceId k;
+  int hops;
+  std::uint64_t seed;
+};
+
+class HeaderRoundTrip : public ::testing::TestWithParam<GeomParam> {};
+
+TEST_P(HeaderRoundTrip, EncodeDecodeIdentity) {
+  const auto [k, hops, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<SliceId> seq(static_cast<std::size_t>(hops));
+  for (auto& s : seq)
+    s = static_cast<SliceId>(rng.below(static_cast<std::uint64_t>(k)));
+  SpliceHeader h = SpliceHeader::from_slices(k, seq);
+  EXPECT_EQ(h.slices(), seq);
+  for (SliceId expected : seq) {
+    auto got = h.pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HeaderRoundTrip,
+    ::testing::Values(GeomParam{2, 20, 1}, GeomParam{3, 20, 2},
+                      GeomParam{4, 20, 3}, GeomParam{5, 20, 4},
+                      GeomParam{8, 20, 5}, GeomParam{10, 20, 6},
+                      GeomParam{16, 20, 7}, GeomParam{32, 20, 8},
+                      GeomParam{64, 21, 9}, GeomParam{2, 128, 10},
+                      GeomParam{4, 64, 11}, GeomParam{16, 32, 12}));
+
+}  // namespace
+}  // namespace splice

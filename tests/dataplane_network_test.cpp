@@ -1,0 +1,323 @@
+// Data-plane forwarding engine tests: Algorithm 1 semantics, link failures,
+// exhaust policies, network-based deflection, trace metrics.
+#include "dataplane/network.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/multi_instance.h"
+#include "topo/datasets.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+// Square topology where slice geometry is easy to reason about:
+//   0 -1- 1
+//   |     |
+//   3 -.- 2     all unit weights except where overridden per slice.
+struct SquareFixture {
+  SquareFixture() {
+    g.add_nodes(4);
+    e01 = g.add_edge(0, 1, 1.0);
+    e12 = g.add_edge(1, 2, 1.0);
+    e03 = g.add_edge(0, 3, 1.0);
+    e32 = g.add_edge(3, 2, 1.0);
+  }
+
+  /// Two hand-built slices: slice 0 routes 0->2 via 1; slice 1 via 3.
+  FibSet make_fibs() const {
+    FibSet fibs(2, 4);
+    // Destination 2, slice 0: go clockwise (0->1->2).
+    fibs.set(0, 0, 2, {1, e01});
+    fibs.set(0, 1, 2, {2, e12});
+    fibs.set(0, 3, 2, {2, e32});
+    // Destination 2, slice 1: go counter-clockwise (0->3->2).
+    fibs.set(1, 0, 2, {3, e03});
+    fibs.set(1, 1, 2, {2, e12});
+    fibs.set(1, 3, 2, {2, e32});
+    // Destination 0 entries for reverse traffic.
+    fibs.set(0, 1, 0, {0, e01});
+    fibs.set(0, 2, 0, {1, e12});
+    fibs.set(0, 3, 0, {0, e03});
+    fibs.set(1, 1, 0, {0, e01});
+    fibs.set(1, 2, 0, {3, e32});
+    fibs.set(1, 3, 0, {0, e03});
+    return fibs;
+  }
+
+  Graph g;
+  EdgeId e01, e12, e03, e32;
+};
+
+TEST(Network, DeliversToSelfImmediately) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  const DataPlaneNetwork net(f.g, fibs);
+  Packet p;
+  p.src = p.dst = 1;
+  const Delivery d = net.forward(p);
+  EXPECT_TRUE(d.delivered());
+  EXPECT_EQ(d.hop_count(), 0);
+}
+
+TEST(Network, FollowsSliceZero) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  const DataPlaneNetwork net(f.g, fibs);
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  p.header = SpliceHeader::from_slices(2, std::vector<SliceId>{0, 0, 0});
+  const Delivery d = net.forward(p);
+  ASSERT_TRUE(d.delivered());
+  ASSERT_EQ(d.hop_count(), 2);
+  EXPECT_EQ(d.hops[0].next, 1);
+  EXPECT_EQ(d.hops[1].next, 2);
+}
+
+TEST(Network, HeaderSelectsAlternateSlice) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  const DataPlaneNetwork net(f.g, fibs);
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  p.header = SpliceHeader::from_slices(2, std::vector<SliceId>{1, 1, 1});
+  const Delivery d = net.forward(p);
+  ASSERT_TRUE(d.delivered());
+  EXPECT_EQ(d.hops[0].next, 3);
+  EXPECT_EQ(d.hops[0].slice, 1);
+}
+
+TEST(Network, PerHopSliceSwitching) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  const DataPlaneNetwork net(f.g, fibs);
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  // First hop slice 1 (go to 3), then slice 0 at node 3 (still to 2).
+  p.header = SpliceHeader::from_slices(2, std::vector<SliceId>{1, 0});
+  const Delivery d = net.forward(p);
+  ASSERT_TRUE(d.delivered());
+  EXPECT_EQ(d.hops[0].slice, 1);
+  EXPECT_EQ(d.hops[1].slice, 0);
+}
+
+TEST(Network, DeadEndOnFailedLinkWithoutRecovery) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  DataPlaneNetwork net(f.g, fibs);
+  net.set_link_state(f.e01, false);
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  p.header = SpliceHeader::from_slices(2, std::vector<SliceId>{0, 0, 0});
+  const Delivery d = net.forward(p);
+  EXPECT_EQ(d.outcome, ForwardOutcome::kDeadEnd);
+}
+
+TEST(Network, DeflectionRecoversLocally) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  DataPlaneNetwork net(f.g, fibs);
+  net.set_link_state(f.e01, false);
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  p.header = SpliceHeader::from_slices(2, std::vector<SliceId>{0, 0, 0});
+  ForwardingPolicy policy;
+  policy.local_recovery = LocalRecovery::kDeflect;
+  const Delivery d = net.forward(p, policy);
+  ASSERT_TRUE(d.delivered());
+  EXPECT_TRUE(d.hops[0].deflected);
+  EXPECT_EQ(d.hops[0].slice, 1);
+  EXPECT_EQ(d.hops[0].next, 3);
+}
+
+TEST(Network, DeflectionDeadEndsWhenNoSliceWorks) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  DataPlaneNetwork net(f.g, fibs);
+  net.set_link_state(f.e01, false);
+  net.set_link_state(f.e03, false);
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  ForwardingPolicy policy;
+  policy.local_recovery = LocalRecovery::kDeflect;
+  const Delivery d = net.forward(p, policy);
+  EXPECT_EQ(d.outcome, ForwardOutcome::kDeadEnd);
+}
+
+TEST(Network, RestoreAllLinks) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  DataPlaneNetwork net(f.g, fibs);
+  net.set_link_state(f.e01, false);
+  EXPECT_FALSE(net.link_alive(f.e01));
+  net.restore_all_links();
+  EXPECT_TRUE(net.link_alive(f.e01));
+}
+
+TEST(Network, SetLinkMask) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  DataPlaneNetwork net(f.g, fibs);
+  std::vector<char> mask{1, 0, 1, 1};
+  net.set_link_mask(mask);
+  EXPECT_TRUE(net.link_alive(0));
+  EXPECT_FALSE(net.link_alive(1));
+}
+
+TEST(Network, DefaultSliceIsStablePerFlow) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  const DataPlaneNetwork net(f.g, fibs);
+  const SliceId s1 = net.default_slice(0, 2);
+  const SliceId s2 = net.default_slice(0, 2);
+  EXPECT_EQ(s1, s2);
+  EXPECT_GE(s1, 0);
+  EXPECT_LT(s1, 2);
+}
+
+TEST(Network, DefaultSliceSpreadsAcrossFlows) {
+  // Algorithm 1's Hash(src, dst) should not map every flow to one slice.
+  const Graph g = topo::sprint();
+  ControlPlaneConfig cfg;
+  cfg.slices = 4;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  const MultiInstanceRouting mir(g, cfg);
+  const FibSet fibs = mir.build_fibs();
+  const DataPlaneNetwork net(g, fibs);
+  std::vector<int> counts(4, 0);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s != t) ++counts[static_cast<std::size_t>(net.default_slice(s, t))];
+    }
+  }
+  for (int c : counts) EXPECT_GT(c, 400);  // ~663 expected per slice
+}
+
+TEST(Network, TtlExpiryOnForwardingLoop) {
+  // Adversarial FIB with a loop: 0 -> 1 -> 0 for destination 2.
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  FibSet fibs(1, 3);
+  fibs.set(0, 0, 2, {1, e01});
+  fibs.set(0, 1, 2, {0, e01});
+  const DataPlaneNetwork net(g, fibs);
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  p.ttl = 16;
+  const Delivery d = net.forward(p);
+  EXPECT_EQ(d.outcome, ForwardOutcome::kTtlExpired);
+  EXPECT_EQ(d.hop_count(), 16);
+}
+
+TEST(Network, ExhaustStayInCurrentKeepsLastSlice) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  const DataPlaneNetwork net(f.g, fibs);
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  // One-hop header pinning slice 1; second hop has no bits.
+  p.header = SpliceHeader::from_slices(2, std::vector<SliceId>{1});
+  ForwardingPolicy policy;
+  policy.exhaust = ExhaustPolicy::kStayInCurrent;
+  const Delivery d = net.forward(p, policy);
+  ASSERT_TRUE(d.delivered());
+  ASSERT_EQ(d.hop_count(), 2);
+  EXPECT_EQ(d.hops[1].slice, 1);  // stayed in slice 1
+}
+
+TEST(Network, ExhaustHashDefaultRederives) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  const DataPlaneNetwork net(f.g, fibs);
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  p.header = SpliceHeader::from_slices(2, std::vector<SliceId>{1});
+  ForwardingPolicy policy;
+  policy.exhaust = ExhaustPolicy::kHashDefault;
+  const Delivery d = net.forward(p, policy);
+  ASSERT_TRUE(d.delivered());
+  EXPECT_EQ(d.hops[1].slice, net.default_slice(0, 2));
+}
+
+TEST(Network, CounterHeaderDeflectsFirstHops) {
+  SquareFixture f;
+  const FibSet fibs = f.make_fibs();
+  const DataPlaneNetwork net(f.g, fibs);
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  p.header = SpliceHeader::from_slices(2, std::vector<SliceId>{0, 0, 0});
+  p.counter = CounterHeader(1);
+  const Delivery d = net.forward(p);
+  ASSERT_TRUE(d.delivered());
+  // Counter flipped the first hop from slice 0 to slice 1 (k=2).
+  EXPECT_EQ(d.hops[0].slice, 1);
+  EXPECT_EQ(d.hops[1].slice, 0);
+}
+
+TEST(TraceMetrics, CostAndLoops) {
+  SquareFixture f;
+  Delivery d;
+  d.outcome = ForwardOutcome::kDelivered;
+  d.hops.push_back({0, 1, f.e01, 0, false});
+  d.hops.push_back({1, 0, f.e01, 1, false});
+  d.hops.push_back({0, 3, f.e03, 1, false});
+  d.hops.push_back({3, 2, f.e32, 1, false});
+  EXPECT_DOUBLE_EQ(trace_cost(f.g, d), 4.0);
+  EXPECT_TRUE(has_two_hop_loop(d));
+  EXPECT_EQ(count_node_revisits(d), 1);  // node 0 revisited once
+}
+
+TEST(TraceMetrics, CleanPathHasNoLoops) {
+  SquareFixture f;
+  Delivery d;
+  d.outcome = ForwardOutcome::kDelivered;
+  d.hops.push_back({0, 1, f.e01, 0, false});
+  d.hops.push_back({1, 2, f.e12, 0, false});
+  EXPECT_FALSE(has_two_hop_loop(d));
+  EXPECT_EQ(count_node_revisits(d), 0);
+}
+
+// End-to-end sweep on a real control plane: every random header delivers on
+// an intact network (a spliced path always exists when no links fail).
+class IntactNetworkDelivery : public ::testing::TestWithParam<SliceId> {};
+
+TEST_P(IntactNetworkDelivery, RandomHeadersAlwaysDeliver) {
+  const SliceId k = GetParam();
+  const Graph g = topo::geant();
+  ControlPlaneConfig cfg;
+  cfg.slices = k;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  const MultiInstanceRouting mir(g, cfg);
+  const FibSet fibs = mir.build_fibs();
+  const DataPlaneNetwork net(g, fibs);
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    Packet p;
+    p.src = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(g.node_count())));
+    p.dst = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(g.node_count())));
+    if (p.src == p.dst) continue;
+    p.header = SpliceHeader::random(k, 20, rng);
+    const Delivery d = net.forward(p);
+    EXPECT_TRUE(d.delivered())
+        << "k=" << k << " src=" << p.src << " dst=" << p.dst;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceCounts, IntactNetworkDelivery,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,157 @@
+// Trace-log tests: formatting, parsing round-trip, log statistics.
+#include "dataplane/trace_log.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "routing/multi_instance.h"
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+struct TraceFixture {
+  TraceFixture() : splicer(topo::abilene(), SplicerConfig{.slices = 3, .seed = 2}) {}
+  Splicer splicer;
+};
+
+TEST(FormatTrace, DeliveredRecordFields) {
+  TraceFixture f;
+  const Graph& g = f.splicer.graph();
+  const Delivery d = f.splicer.send(0, 10, f.splicer.make_pinned_header(0));
+  ASSERT_TRUE(d.delivered());
+  const std::string line = format_trace(g, 0, 10, d);
+  EXPECT_NE(line.find("DELIVERED"), std::string::npos);
+  EXPECT_NE(line.find("src=Seattle"), std::string::npos);
+  EXPECT_NE(line.find("dst=NewYork"), std::string::npos);
+  EXPECT_NE(line.find("path=Seattle-"), std::string::npos);
+  EXPECT_EQ(line.find("deflected="), std::string::npos);
+}
+
+TEST(FormatTrace, ZeroHopDelivery) {
+  TraceFixture f;
+  const Delivery d = f.splicer.send(4, 4);
+  const std::string line = format_trace(f.splicer.graph(), 4, 4, d);
+  EXPECT_NE(line.find("hops=0"), std::string::npos);
+  EXPECT_NE(line.find("path=KansasCity"), std::string::npos);
+}
+
+TEST(FormatTrace, DeadEndAndDeflectionMarkers) {
+  TraceFixture f;
+  const Graph& g = f.splicer.graph();
+  const Delivery normal = f.splicer.send(0, 10, f.splicer.make_pinned_header(0));
+  ASSERT_TRUE(normal.delivered());
+  f.splicer.network().set_link_state(normal.hops[1].edge, false);
+
+  const Delivery dead =
+      f.splicer.send(0, 10, f.splicer.make_pinned_header(0));
+  if (!dead.delivered()) {
+    EXPECT_NE(format_trace(g, 0, 10, dead).find("DEAD_END"),
+              std::string::npos);
+  }
+  ForwardingPolicy deflect;
+  deflect.local_recovery = LocalRecovery::kDeflect;
+  const Delivery recovered =
+      f.splicer.send(0, 10, f.splicer.make_pinned_header(0), deflect);
+  if (recovered.delivered()) {
+    bool any = false;
+    for (const HopRecord& h : recovered.hops) any |= h.deflected;
+    if (any) {
+      EXPECT_NE(format_trace(g, 0, 10, recovered).find("deflected="),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(ParseTrace, RoundTripsFormattedRecords) {
+  TraceFixture f;
+  const Graph& g = f.splicer.graph();
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto src = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(g.node_count())));
+    auto dst = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(g.node_count())));
+    if (src == dst) dst = (dst + 1) % g.node_count();
+    const Delivery d = f.splicer.send(src, dst, f.splicer.make_random_header(rng));
+    const std::string line = format_trace(g, src, dst, d);
+    const ParsedTrace t = parse_trace(line);
+    EXPECT_EQ(t.outcome, d.outcome);
+    EXPECT_EQ(t.hops, d.hop_count());
+    EXPECT_EQ(t.src, g.name(src));
+    EXPECT_EQ(t.dst, g.name(dst));
+    ASSERT_EQ(t.slices.size(), d.hops.size());
+    for (std::size_t h = 0; h < d.hops.size(); ++h) {
+      EXPECT_EQ(t.slices[h], d.hops[h].slice);
+      EXPECT_EQ(t.path[h + 1], g.name(d.hops[h].next));
+    }
+  }
+}
+
+TEST(ParseTrace, RejectsMalformed) {
+  EXPECT_THROW(parse_trace(""), std::invalid_argument);
+  EXPECT_THROW(parse_trace("WAT src=a dst=b path=a"), std::invalid_argument);
+  EXPECT_THROW(parse_trace("DELIVERED src=a"), std::invalid_argument);
+  EXPECT_THROW(parse_trace("DELIVERED src=a dst=b hops=2 slices=0 path=a-b"),
+               std::invalid_argument);  // hop-count mismatch
+  EXPECT_THROW(
+      parse_trace("DELIVERED src=a dst=b hops=0 slices= path=a frob=1"),
+      std::invalid_argument);
+}
+
+TEST(TraceLog, AccumulatesStatistics) {
+  TraceFixture f;
+  const Graph& g = f.splicer.graph();
+  TraceLog log(g);
+  Rng rng(5);
+  int sent = 0;
+  for (NodeId src = 0; src < g.node_count(); ++src) {
+    for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+      if (src == dst) continue;
+      const Delivery d =
+          f.splicer.send(src, dst, f.splicer.make_random_header(rng));
+      log.record(src, dst, d);
+      ++sent;
+    }
+  }
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(sent));
+  EXPECT_EQ(log.delivered(), sent);  // intact network
+  EXPECT_EQ(log.dead_ends() + log.ttl_expired(), 0);
+  EXPECT_GT(log.total_hops(), sent);  // multi-hop network
+  const std::string rendered = log.render();
+  EXPECT_NE(rendered.find("# traces="), std::string::npos);
+  // Every line parses.
+  std::size_t start = 0;
+  int parsed = 0;
+  while (start < rendered.size()) {
+    const std::size_t end = rendered.find('\n', start);
+    const std::string line = rendered.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NO_THROW(parse_trace(line));
+      ++parsed;
+    }
+    start = end + 1;
+  }
+  EXPECT_EQ(parsed, sent);
+}
+
+TEST(TraceLog, CountsDeadEndsUnderFailures) {
+  TraceFixture f;
+  const Graph& g = f.splicer.graph();
+  // Isolate a node: all sends toward it dead-end.
+  for (const Incidence& inc : g.neighbors(5)) {
+    f.splicer.network().set_link_state(inc.edge, false);
+  }
+  TraceLog log(g);
+  for (NodeId src = 0; src < g.node_count(); ++src) {
+    if (src == 5) continue;
+    log.record(src, 5, f.splicer.send(src, 5, f.splicer.make_pinned_header(0)));
+  }
+  EXPECT_EQ(log.delivered(), 0);
+  EXPECT_EQ(log.dead_ends(), g.node_count() - 1);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,165 @@
+// Bit-for-bit determinism of every experiment harness: two runs with the
+// same configuration must produce identical results. This is the property
+// EXPERIMENTS.md promises and regression bisection depends on.
+#include <gtest/gtest.h>
+
+#include "analysis/advisor.h"
+#include "sim/event_sim.h"
+#include "sim/experiments.h"
+#include "sim/extensions.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+TEST(Determinism, ReliabilityExperiment) {
+  ReliabilityConfig cfg;
+  cfg.k_values = {1, 3};
+  cfg.p_values = {0.03, 0.08};
+  cfg.trials = 50;
+  const auto a = run_reliability_experiment(topo::geant(), cfg);
+  const auto b = run_reliability_experiment(topo::geant(), cfg);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].mean_disconnected, b.points[i].mean_disconnected);
+    EXPECT_EQ(a.points[i].ci95, b.points[i].ci95);
+  }
+  for (std::size_t i = 0; i < a.best_possible.size(); ++i) {
+    EXPECT_EQ(a.best_possible[i].mean_disconnected,
+              b.best_possible[i].mean_disconnected);
+  }
+}
+
+TEST(Determinism, RecoveryExperiment) {
+  RecoveryExperimentConfig cfg;
+  cfg.k_values = {3};
+  cfg.p_values = {0.05};
+  cfg.trials = 6;
+  cfg.pair_sample = 50;
+  const auto a = run_recovery_experiment(topo::sprint(), cfg);
+  const auto b = run_recovery_experiment(topo::sprint(), cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].frac_unrecovered, b[i].frac_unrecovered);
+    EXPECT_EQ(a[i].mean_trials, b[i].mean_trials);
+    EXPECT_EQ(a[i].mean_stretch, b[i].mean_stretch);
+    EXPECT_EQ(a[i].two_hop_loop_rate, b[i].two_hop_loop_rate);
+  }
+}
+
+TEST(Determinism, StretchCensus) {
+  const auto a = run_slice_stretch_census(
+      topo::geant(), 3, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 7);
+  const auto b = run_slice_stretch_census(
+      topo::geant(), 3, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stretch.mean, b[i].stretch.mean);
+    EXPECT_EQ(a[i].stretch.p99, b[i].stretch.p99);
+  }
+}
+
+TEST(Determinism, ScalingExperiment) {
+  ScalingConfig cfg;
+  cfg.sizes = {20, 30};
+  cfg.trials = 8;
+  cfg.max_k = 6;
+  const auto a = run_scaling_experiment(cfg);
+  const auto b = run_scaling_experiment(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].k_needed, b[i].k_needed);
+    EXPECT_EQ(a[i].achieved, b[i].achieved);
+    EXPECT_EQ(a[i].edges, b[i].edges);
+  }
+}
+
+TEST(Determinism, StretchBound) {
+  StretchBoundConfig cfg;
+  cfg.path_samples = 40;
+  cfg.perturbation_samples = 50;
+  const auto a = run_stretch_bound_experiment(topo::geant(), cfg);
+  const auto b = run_stretch_bound_experiment(topo::geant(), cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].empirical_violation, b[i].empirical_violation);
+  }
+}
+
+TEST(Determinism, DiversityExperiment) {
+  const auto a = run_diversity_experiment(
+      topo::geant(), {1, 3}, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 5);
+  const auto b = run_diversity_experiment(
+      topo::geant(), {1, 3}, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mean_union_arcs, b[i].mean_union_arcs);
+    EXPECT_EQ(a[i].log10_paths, b[i].log10_paths);
+  }
+}
+
+TEST(Determinism, ConnectivityCurveAndReconvergence) {
+  ConnectivityCurveConfig ccfg;
+  ccfg.k_values = {2};
+  ccfg.p_values = {0.04};
+  ccfg.trials = 30;
+  const auto c1 = run_connectivity_curve(topo::geant(), ccfg);
+  const auto c2 = run_connectivity_curve(topo::geant(), ccfg);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].reliability, c2[i].reliability);
+  }
+  ReconvergenceConfig rcfg;
+  rcfg.k = 3;
+  rcfg.p_values = {0.05};
+  rcfg.trials = 4;
+  const auto r1 = run_reconvergence_experiment(topo::geant(), rcfg);
+  const auto r2 = run_reconvergence_experiment(topo::geant(), rcfg);
+  EXPECT_EQ(r1[0].splicing_fixes, r2[0].splicing_fixes);
+}
+
+TEST(Determinism, ThroughputExperiment) {
+  ThroughputConfig cfg;
+  cfg.k_values = {2};
+  cfg.pair_sample = 30;
+  const auto a = run_throughput_experiment(topo::geant(), cfg);
+  const auto b = run_throughput_experiment(topo::geant(), cfg);
+  EXPECT_EQ(a[0].mean_capacity_ratio, b[0].mean_capacity_ratio);
+  EXPECT_EQ(a[0].frac_full_capacity, b[0].frac_full_capacity);
+}
+
+TEST(Determinism, SliceBudgetAdvisor) {
+  SliceBudgetConfig cfg;
+  cfg.trials = 40;
+  cfg.max_k = 5;
+  const auto a = advise_slice_budget(topo::geant(), cfg);
+  const auto b = advise_slice_budget(topo::geant(), cfg);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.per_k, b.per_k);
+}
+
+TEST(Determinism, RecoveryTimingSim) {
+  const Graph g = topo::geant();
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{
+             4, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 2, false});
+  const FibSet fibs = mir.build_fibs();
+  DataPlaneNetwork net(g, fibs);
+  net.set_link_state(0, false);
+  net.set_link_state(5, false);
+  TimingConfig cfg;
+  Rng a_rng(9);
+  Rng b_rng(9);
+  for (NodeId src = 0; src < g.node_count(); src += 4) {
+    for (NodeId dst = 0; dst < g.node_count(); dst += 5) {
+      if (src == dst) continue;
+      const RecoveryTiming a =
+          simulate_recovery_timing(net, src, dst, cfg, a_rng);
+      const RecoveryTiming b =
+          simulate_recovery_timing(net, src, dst, cfg, b_rng);
+      EXPECT_EQ(a.recovered, b.recovered);
+      EXPECT_EQ(a.completion_ms, b.completion_ms);
+      EXPECT_EQ(a.packets_sent, b.packets_sent);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,151 @@
+// Connectivity, components, disconnected-pair counting and union-find.
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/union_find.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+TEST(Connectivity, SingleNodeIsConnected) {
+  Graph g(1);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Connectivity, TwoIsolatedNodes) {
+  Graph g(2);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_FALSE(connected(g, 0, 1));
+  EXPECT_TRUE(connected(g, 0, 0));
+}
+
+TEST(Connectivity, PathGraph) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(connected(g, 0, 2));
+}
+
+TEST(Connectivity, MaskDisconnects) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const EdgeId bridge = g.add_edge(1, 2, 1.0);
+  std::vector<char> alive(2, 1);
+  alive[static_cast<std::size_t>(bridge)] = 0;
+  EXPECT_FALSE(is_connected(g, alive));
+  EXPECT_TRUE(connected(g, 0, 1, alive));
+  EXPECT_FALSE(connected(g, 0, 2, alive));
+}
+
+TEST(Connectivity, ComponentsLabeling) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  std::vector<int> comp;
+  EXPECT_EQ(connected_components(g, comp), 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+  EXPECT_NE(comp[4], comp[2]);
+}
+
+TEST(Connectivity, DisconnectedPairsFullyConnected) {
+  const Graph g = complete(5);
+  EXPECT_EQ(disconnected_ordered_pairs(g), 0);
+  EXPECT_EQ(total_ordered_pairs(g), 20);
+}
+
+TEST(Connectivity, DisconnectedPairsTwoComponents) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  // Components of size 2 and 2: connected ordered pairs = 2 + 2 = 4;
+  // total = 12; disconnected = 8.
+  EXPECT_EQ(disconnected_ordered_pairs(g), 8);
+}
+
+TEST(Connectivity, DisconnectedPairsAllIsolated) {
+  Graph g(3);
+  EXPECT_EQ(disconnected_ordered_pairs(g), 6);
+}
+
+TEST(Connectivity, ReachableNodesRespectsMask) {
+  const Graph g = ring(4);
+  std::vector<char> alive(4, 1);
+  alive[0] = 0;  // cut edge 0-1
+  alive[3] = 0;  // cut edge 3-0
+  const auto seen = reachable_nodes(g, 0, alive);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_FALSE(seen[1]);
+  EXPECT_FALSE(seen[2]);
+  EXPECT_FALSE(seen[3]);
+}
+
+// Property sweep: disconnected_ordered_pairs agrees with a per-pair BFS
+// count on random graphs with random masks.
+class PairCountProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PairCountProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const Graph g = erdos_renyi(12, 0.2, GetParam());
+  std::vector<char> alive(static_cast<std::size_t>(g.edge_count()));
+  for (auto& a : alive) a = rng.bernoulli(0.7) ? 1 : 0;
+
+  long long brute = 0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto seen = reachable_nodes(g, s, alive);
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s != t && !seen[static_cast<std::size_t>(t)]) ++brute;
+    }
+  }
+  EXPECT_EQ(disconnected_ordered_pairs(g, alive), brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairCountProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(UnionFind, BasicUnite) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.components(), 4u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_EQ(uf.components(), 3u);
+}
+
+TEST(UnionFind, ComponentSizes) {
+  UnionFind uf(5);
+  uf.unite(0, 1);
+  uf.unite(1, 2);
+  EXPECT_EQ(uf.component_size(0), 3u);
+  EXPECT_EQ(uf.component_size(3), 1u);
+}
+
+TEST(UnionFind, TransitiveUnion) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(0, 3));
+  EXPECT_EQ(uf.components(), 3u);
+}
+
+TEST(UnionFind, AgreesWithComponents) {
+  Rng rng(99);
+  const Graph g = erdos_renyi(20, 0.1, 99);
+  UnionFind uf(static_cast<std::size_t>(g.node_count()));
+  for (const Edge& e : g.edges())
+    uf.unite(static_cast<std::size_t>(e.u), static_cast<std::size_t>(e.v));
+  std::vector<int> comp;
+  const int n_comp = connected_components(g, comp);
+  EXPECT_EQ(uf.components(), static_cast<std::size_t>(n_comp));
+}
+
+}  // namespace
+}  // namespace splice

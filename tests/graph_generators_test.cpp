@@ -1,0 +1,133 @@
+// Generator invariants: node/edge counts, connectivity, determinism.
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/properties.h"
+
+namespace splice {
+namespace {
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  const Graph a = erdos_renyi(20, 0.3, 5);
+  const Graph b = erdos_renyi(20, 0.3, 5);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  EXPECT_EQ(erdos_renyi(10, 0.0, 1).edge_count(), 0);
+  EXPECT_EQ(erdos_renyi(10, 1.0, 1).edge_count(), 45);
+}
+
+TEST(Generators, ErdosRenyiEdgeDensity) {
+  const Graph g = erdos_renyi(100, 0.1, 7);
+  // E[m] = 0.1 * 4950 = 495; allow wide tolerance.
+  EXPECT_GT(g.edge_count(), 350);
+  EXPECT_LT(g.edge_count(), 650);
+}
+
+TEST(Generators, WaxmanWeightsPositive) {
+  const Graph g = waxman(50, 0.9, 0.2, 3);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_LE(e.weight, 10.0);
+  }
+}
+
+TEST(Generators, WaxmanDeterministic) {
+  const Graph a = waxman(30, 0.8, 0.15, 11);
+  const Graph b = waxman(30, 0.8, 0.15, 11);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+}
+
+TEST(Generators, BarabasiAlbertCounts) {
+  const int m = 2;
+  const NodeId n = 50;
+  const Graph g = barabasi_albert(n, m, 1);
+  EXPECT_EQ(g.node_count(), n);
+  // Seed clique of m+1=3 nodes has 3 edges; each of the other 47 adds 2.
+  EXPECT_EQ(g.edge_count(), 3 + (n - 3) * m);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BarabasiAlbertIsHeavyTailed) {
+  const Graph g = barabasi_albert(200, 2, 9);
+  const TopologyStats s = topology_stats(g);
+  // Hubs should substantially exceed the average degree.
+  EXPECT_GT(s.max_degree, 4 * static_cast<int>(s.avg_degree));
+}
+
+TEST(Generators, RingProperties) {
+  const Graph g = ring(7);
+  EXPECT_EQ(g.node_count(), 7);
+  EXPECT_EQ(g.edge_count(), 7);
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+TEST(Generators, GridProperties) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12);
+  EXPECT_EQ(g.edge_count(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CompleteProperties) {
+  const Graph g = complete(6);
+  EXPECT_EQ(g.edge_count(), 15);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5);
+}
+
+TEST(Generators, Figure1Topology) {
+  const Graph g = figure1_two_paths(2);
+  EXPECT_EQ(g.node_count(), 6);
+  EXPECT_EQ(g.edge_count(), 6);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2);  // s
+  EXPECT_EQ(g.degree(1), 2);  // t
+}
+
+TEST(Generators, MakeConnectedRepairs) {
+  Graph g(10);  // fully disconnected
+  const int added = make_connected(g, 5);
+  EXPECT_EQ(added, 9);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, MakeConnectedNoopWhenConnected) {
+  Graph g = ring(5);
+  EXPECT_EQ(make_connected(g, 1), 0);
+  EXPECT_EQ(g.edge_count(), 5);
+}
+
+// Property sweep: random trees are trees (n-1 edges, connected, acyclic by
+// edge count) for many sizes and seeds.
+struct TreeParam {
+  NodeId n;
+  std::uint64_t seed;
+};
+
+class RandomTreeProperty : public ::testing::TestWithParam<TreeParam> {};
+
+TEST_P(RandomTreeProperty, IsATree) {
+  const auto [n, seed] = GetParam();
+  const Graph g = random_tree(n, seed);
+  EXPECT_EQ(g.node_count(), n);
+  EXPECT_EQ(g.edge_count(), n - 1);
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomTreeProperty,
+    ::testing::Values(TreeParam{2, 1}, TreeParam{3, 2}, TreeParam{4, 3},
+                      TreeParam{5, 4}, TreeParam{8, 5}, TreeParam{16, 6},
+                      TreeParam{33, 7}, TreeParam{64, 8}, TreeParam{100, 9},
+                      TreeParam{200, 10}));
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,105 @@
+// Topology parser/serializer tests: formats, errors, round-trips.
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "topo/datasets.h"
+#include "util/table.h"
+
+namespace splice {
+namespace {
+
+TEST(TopologyIo, ParsesCompactEdgeList) {
+  const Graph g = parse_topology("0 1 2.5\n1 2\n");
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_DOUBLE_EQ(g.edge(0).weight, 2.5);
+  EXPECT_DOUBLE_EQ(g.edge(1).weight, 1.0);  // default weight
+}
+
+TEST(TopologyIo, ParsesNamedNodes) {
+  const Graph g = parse_topology(
+      "node atlanta\n"
+      "node boston\n"
+      "edge atlanta boston 3\n");
+  EXPECT_EQ(g.node_count(), 2);
+  EXPECT_EQ(g.find_node("atlanta"), 0);
+  EXPECT_EQ(g.find_node("boston"), 1);
+  EXPECT_DOUBLE_EQ(g.edge(0).weight, 3.0);
+}
+
+TEST(TopologyIo, ImplicitNodeCreationByName) {
+  const Graph g = parse_topology("edge a b 1\nedge b c 2\n");
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.find_node("c"), 2);
+}
+
+TEST(TopologyIo, CommentsAndBlankLines) {
+  const Graph g = parse_topology(
+      "# full line comment\n"
+      "\n"
+      "0 1 2 # trailing comment\n");
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_DOUBLE_EQ(g.edge(0).weight, 2.0);
+}
+
+TEST(TopologyIo, NumericIdsExtendGraph) {
+  const Graph g = parse_topology("0 5 1\n");
+  EXPECT_EQ(g.node_count(), 6);
+}
+
+TEST(TopologyIo, ThrowsOnSelfLoop) {
+  EXPECT_THROW(parse_topology("0 0 1\n"), TopologyParseError);
+}
+
+TEST(TopologyIo, ThrowsOnBadWeight) {
+  EXPECT_THROW(parse_topology("0 1 -2\n"), TopologyParseError);
+  EXPECT_THROW(parse_topology("0 1 0\n"), TopologyParseError);
+}
+
+TEST(TopologyIo, ThrowsOnDuplicateNode) {
+  EXPECT_THROW(parse_topology("node a\nnode a\n"), TopologyParseError);
+}
+
+TEST(TopologyIo, ThrowsOnIncompleteEdge) {
+  EXPECT_THROW(parse_topology("edge a\n"), TopologyParseError);
+  EXPECT_THROW(parse_topology("justonetoken\n"), TopologyParseError);
+}
+
+TEST(TopologyIo, ThrowsOnMissingNodeName) {
+  EXPECT_THROW(parse_topology("node\n"), TopologyParseError);
+}
+
+TEST(TopologyIo, ThrowsOnMissingFile) {
+  EXPECT_THROW(load_topology("/nonexistent/topo.txt"), TopologyParseError);
+}
+
+TEST(TopologyIo, RoundTripNamedGraph) {
+  const Graph original = topo::geant();
+  const Graph reparsed = parse_topology(write_topology(original));
+  ASSERT_EQ(reparsed.node_count(), original.node_count());
+  ASSERT_EQ(reparsed.edge_count(), original.edge_count());
+  for (EdgeId e = 0; e < original.edge_count(); ++e) {
+    EXPECT_EQ(reparsed.edge(e).u, original.edge(e).u);
+    EXPECT_EQ(reparsed.edge(e).v, original.edge(e).v);
+    EXPECT_NEAR(reparsed.edge(e).weight, original.edge(e).weight, 1e-6);
+  }
+  for (NodeId v = 0; v < original.node_count(); ++v) {
+    EXPECT_EQ(reparsed.name(v), original.name(v));
+  }
+}
+
+TEST(TopologyIo, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/splice_io_test.topo";
+  ASSERT_TRUE(write_file(path, write_topology(topo::abilene())));
+  const Graph g = load_topology(path);
+  EXPECT_EQ(g.node_count(), 11);
+  EXPECT_EQ(g.edge_count(), 14);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,87 @@
+// topology_stats / degree_sequence tests.
+#include "graph/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+TEST(Properties, EmptyGraph) {
+  const TopologyStats s = topology_stats(Graph{});
+  EXPECT_EQ(s.nodes, 0);
+  EXPECT_EQ(s.edges, 0);
+  EXPECT_FALSE(s.connected || s.nodes > 0);
+}
+
+TEST(Properties, SingleNode) {
+  const TopologyStats s = topology_stats(Graph(1));
+  EXPECT_EQ(s.nodes, 1);
+  EXPECT_TRUE(s.connected);
+  EXPECT_DOUBLE_EQ(s.diameter, 0.0);
+  EXPECT_EQ(s.hop_diameter, 0);
+}
+
+TEST(Properties, WeightedLine) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const TopologyStats s = topology_stats(g);
+  EXPECT_DOUBLE_EQ(s.diameter, 5.0);
+  EXPECT_EQ(s.hop_diameter, 2);
+  EXPECT_EQ(s.min_degree, 1);
+  EXPECT_EQ(s.max_degree, 2);
+  EXPECT_NEAR(s.avg_degree, 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.edge_connectivity, 1);
+  EXPECT_TRUE(s.connected);
+}
+
+TEST(Properties, DisconnectedDiameterInfinite) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const TopologyStats s = topology_stats(g);
+  EXPECT_FALSE(s.connected);
+  EXPECT_EQ(s.diameter, kInfiniteWeight);
+  EXPECT_EQ(s.edge_connectivity, 0);
+}
+
+TEST(Properties, RingValues) {
+  const TopologyStats s = topology_stats(ring(8));
+  EXPECT_EQ(s.edge_connectivity, 2);
+  EXPECT_EQ(s.hop_diameter, 4);
+  EXPECT_DOUBLE_EQ(s.diameter, 4.0);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+}
+
+TEST(Properties, CompleteGraphValues) {
+  const TopologyStats s = topology_stats(complete(5));
+  EXPECT_EQ(s.edge_connectivity, 4);
+  EXPECT_EQ(s.hop_diameter, 1);
+  EXPECT_DOUBLE_EQ(s.diameter, 1.0);
+}
+
+TEST(Properties, DegreeSequenceMatchesGraph) {
+  const Graph g = topo::geant();
+  const auto deg = degree_sequence(g);
+  ASSERT_EQ(deg.size(), 23u);
+  long long sum = 0;
+  for (int d : deg) sum += d;
+  EXPECT_EQ(sum, 2LL * g.edge_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(deg[static_cast<std::size_t>(v)], g.degree(v));
+  }
+}
+
+TEST(Properties, SprintHopDiameterIsBackboneLike) {
+  const TopologyStats s = topology_stats(topo::sprint());
+  // Weighted shortest paths across 52 PoPs plus trans-oceanic legs: hop
+  // diameter should be moderate (single digits to low teens).
+  EXPECT_GE(s.hop_diameter, 5);
+  EXPECT_LE(s.hop_diameter, 14);
+  EXPECT_TRUE(s.connected);
+}
+
+}  // namespace
+}  // namespace splice

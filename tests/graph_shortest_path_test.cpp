@@ -1,0 +1,207 @@
+// Dijkstra tests, cross-checked against Bellman–Ford on random graphs
+// (property-style TEST_P sweep), plus weight overrides and failure masks.
+#include <gtest/gtest.h>
+
+#include "graph/bellman_ford.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+Graph line_graph() {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  return g;
+}
+
+TEST(Dijkstra, LineGraphDistances) {
+  const Graph g = line_graph();
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(sp.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 3.0);
+  EXPECT_DOUBLE_EQ(sp.dist[3], 6.0);
+}
+
+TEST(Dijkstra, ParentsFormPathToSource) {
+  const Graph g = line_graph();
+  const ShortestPaths sp = dijkstra(g, 0);
+  const auto path = sp.path_to(3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 3);
+}
+
+TEST(Dijkstra, PathToUnreachableIsEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_FALSE(sp.reached(2));
+  EXPECT_TRUE(sp.path_to(2).empty());
+  EXPECT_EQ(sp.dist[2], kInfiniteWeight);
+}
+
+TEST(Dijkstra, PicksCheaperOfTwoRoutes) {
+  Graph g(3);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 2.0);
+  EXPECT_EQ(sp.parent[2], 1);
+}
+
+TEST(Dijkstra, WeightOverrideChangesRoute) {
+  Graph g(3);
+  const EdgeId direct = g.add_edge(0, 2, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  // Make the direct edge expensive via override only.
+  std::vector<Weight> w = g.weights();
+  w[static_cast<std::size_t>(direct)] = 100.0;
+  DijkstraOptions opts;
+  opts.weight_override = w;
+  const ShortestPaths sp = dijkstra(g, 0, opts);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 2.0);
+  // Original graph untouched.
+  EXPECT_DOUBLE_EQ(g.edge(direct).weight, 1.0);
+}
+
+TEST(Dijkstra, FailedEdgeMaskExcludesEdges) {
+  Graph g(3);
+  const EdgeId direct = g.add_edge(0, 2, 1.0);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 5.0);
+  std::vector<char> alive(3, 1);
+  alive[static_cast<std::size_t>(direct)] = 0;
+  DijkstraOptions opts;
+  opts.edge_alive = alive;
+  const ShortestPaths sp = dijkstra(g, 0, opts);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 10.0);
+}
+
+TEST(Dijkstra, MaskCanDisconnect) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  std::vector<char> alive{0};
+  DijkstraOptions opts;
+  opts.edge_alive = alive;
+  const ShortestPaths sp = dijkstra(g, 0, opts);
+  EXPECT_FALSE(sp.reached(1));
+}
+
+TEST(Dijkstra, SingleNodeGraph) {
+  Graph g(1);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[0], 0.0);
+  const auto path = sp.path_to(0);
+  ASSERT_EQ(path.size(), 1u);
+}
+
+TEST(Dijkstra, ParallelEdgesUseCheapest) {
+  Graph g(2);
+  g.add_edge(0, 1, 5.0);
+  const EdgeId cheap = g.add_edge(0, 1, 2.0);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[1], 2.0);
+  EXPECT_EQ(sp.parent_edge[1], cheap);
+}
+
+TEST(ShortestDistance, Convenience) {
+  const Graph g = line_graph();
+  EXPECT_DOUBLE_EQ(shortest_distance(g, 0, 3), 6.0);
+  EXPECT_DOUBLE_EQ(shortest_distance(g, 3, 0), 6.0);
+}
+
+TEST(BellmanFord, MatchesHandComputed) {
+  const Graph g = line_graph();
+  const auto dist = bellman_ford_distances(g, 0);
+  EXPECT_DOUBLE_EQ(dist[3], 6.0);
+}
+
+// Property: Dijkstra == Bellman–Ford on random graphs, with and without
+// weight overrides and failure masks.
+struct SweepParam {
+  NodeId n;
+  double edge_p;
+  std::uint64_t seed;
+};
+
+class ShortestPathAgreement : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ShortestPathAgreement, DijkstraMatchesBellmanFord) {
+  const auto [n, edge_p, seed] = GetParam();
+  Graph g = erdos_renyi(n, edge_p, seed);
+  Rng rng(seed ^ 0xabcdULL);
+  // Random positive weights.
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    g.set_weight(e, rng.uniform(0.5, 10.0));
+
+  for (NodeId src = 0; src < std::min<NodeId>(n, 5); ++src) {
+    const ShortestPaths sp = dijkstra(g, src);
+    const auto bf = bellman_ford_distances(g, src);
+    for (NodeId v = 0; v < n; ++v) {
+      if (bf[static_cast<std::size_t>(v)] == kInfiniteWeight) {
+        EXPECT_EQ(sp.dist[static_cast<std::size_t>(v)], kInfiniteWeight);
+      } else {
+        EXPECT_NEAR(sp.dist[static_cast<std::size_t>(v)],
+                    bf[static_cast<std::size_t>(v)], 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(ShortestPathAgreement, AgreesUnderOverridesAndMasks) {
+  const auto [n, edge_p, seed] = GetParam();
+  const Graph g = erdos_renyi(n, edge_p, seed);
+  if (g.edge_count() == 0) GTEST_SKIP();
+  Rng rng(seed ^ 0x9999ULL);
+  std::vector<Weight> override_w(static_cast<std::size_t>(g.edge_count()));
+  std::vector<char> alive(static_cast<std::size_t>(g.edge_count()));
+  for (std::size_t e = 0; e < override_w.size(); ++e) {
+    override_w[e] = rng.uniform(0.1, 5.0);
+    alive[e] = rng.bernoulli(0.8) ? 1 : 0;
+  }
+  DijkstraOptions opts;
+  opts.weight_override = override_w;
+  opts.edge_alive = alive;
+  const ShortestPaths sp = dijkstra(g, 0, opts);
+  const auto bf = bellman_ford_distances(g, 0, override_w, alive);
+  for (NodeId v = 0; v < n; ++v) {
+    if (bf[static_cast<std::size_t>(v)] == kInfiniteWeight) {
+      EXPECT_EQ(sp.dist[static_cast<std::size_t>(v)], kInfiniteWeight);
+    } else {
+      EXPECT_NEAR(sp.dist[static_cast<std::size_t>(v)],
+                  bf[static_cast<std::size_t>(v)], 1e-9);
+    }
+  }
+}
+
+TEST_P(ShortestPathAgreement, PathCostsMatchDistances) {
+  const auto [n, edge_p, seed] = GetParam();
+  const Graph g = erdos_renyi(n, edge_p, seed);
+  const ShortestPaths sp = dijkstra(g, 0);
+  for (NodeId v = 1; v < n; ++v) {
+    if (!sp.reached(v)) continue;
+    const auto path = sp.path_to(v);
+    Weight cost = 0.0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      cost += g.edge(sp.parent_edge[static_cast<std::size_t>(path[i])]).weight;
+    }
+    EXPECT_NEAR(cost, sp.dist[static_cast<std::size_t>(v)], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ShortestPathAgreement,
+    ::testing::Values(SweepParam{8, 0.3, 1}, SweepParam{8, 0.3, 2},
+                      SweepParam{16, 0.2, 3}, SweepParam{16, 0.4, 4},
+                      SweepParam{32, 0.15, 5}, SweepParam{32, 0.3, 6},
+                      SweepParam{48, 0.1, 7}, SweepParam{64, 0.08, 8}));
+
+}  // namespace
+}  // namespace splice

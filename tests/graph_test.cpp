@@ -1,0 +1,183 @@
+// Tests for the Graph and Digraph containers.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+
+namespace splice {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_FALSE(g.valid_node(0));
+}
+
+TEST(Graph, AddNodesAndNames) {
+  Graph g;
+  const NodeId a = g.add_node("alpha");
+  const NodeId b = g.add_node();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(g.name(a), "alpha");
+  EXPECT_EQ(g.name(b), "");
+  g.set_name(b, "beta");
+  EXPECT_EQ(g.name(b), "beta");
+  EXPECT_EQ(g.find_node("alpha"), a);
+  EXPECT_EQ(g.find_node("beta"), b);
+  EXPECT_EQ(g.find_node("gamma"), kInvalidNode);
+}
+
+TEST(Graph, AddNodesBulk) {
+  Graph g;
+  const NodeId first = g.add_nodes(5);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(g.node_count(), 5);
+  EXPECT_EQ(g.add_nodes(0), 5);  // no-op returns next id
+}
+
+TEST(Graph, AddEdgeUpdatesAdjacency) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_EQ(g.edge(e).u, 0);
+  EXPECT_EQ(g.edge(e).v, 1);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 2.5);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].neighbor, 1);
+  EXPECT_EQ(g.neighbors(0)[0].edge, e);
+  ASSERT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[0].neighbor, 0);
+  EXPECT_EQ(g.neighbors(2).size(), 0u);
+}
+
+TEST(Graph, DegreeCountsParallelEdges) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.edge_count(), 2);
+}
+
+TEST(Graph, EdgeOther) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  EXPECT_EQ(g.edge(e).other(0), 1);
+  EXPECT_EQ(g.edge(e).other(1), 0);
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  EXPECT_EQ(g.find_edge(0, 1), e);
+  EXPECT_EQ(g.find_edge(1, 0), e);
+  EXPECT_EQ(g.find_edge(0, 2), kInvalidEdge);
+}
+
+TEST(Graph, WeightsVectorAndSetWeight) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 4.0);
+  auto w = g.weights();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[1], 4.0);
+  g.set_weight(1, 6.0);
+  EXPECT_DOUBLE_EQ(g.edge(1).weight, 6.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 7.0);
+}
+
+TEST(Graph, CopyIsIndependent) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  Graph copy = g;
+  copy.add_node("extra");
+  copy.add_edge(0, 2, 1.0);
+  EXPECT_EQ(g.node_count(), 2);
+  EXPECT_EQ(copy.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_EQ(copy.edge_count(), 2);
+}
+
+TEST(GraphDeath, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(0, 0, 1.0), "Precondition");
+}
+
+TEST(GraphDeath, RejectsNonPositiveWeight) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(0, 1, 0.0), "Precondition");
+  EXPECT_DEATH(g.add_edge(0, 1, -1.0), "Precondition");
+}
+
+TEST(GraphDeath, RejectsInvalidEndpoint) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(0, 5, 1.0), "Precondition");
+}
+
+TEST(Digraph, AddArcAndSuccessors) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(0, 2);
+  d.add_arc(1, 2);
+  EXPECT_EQ(d.arc_count(), 3u);
+  EXPECT_EQ(d.successors(0).size(), 2u);
+  EXPECT_EQ(d.successors(2).size(), 0u);
+}
+
+TEST(Digraph, AddArcUniqueDedups) {
+  Digraph d(2);
+  EXPECT_TRUE(d.add_arc_unique(0, 1));
+  EXPECT_FALSE(d.add_arc_unique(0, 1));
+  EXPECT_EQ(d.arc_count(), 1u);
+}
+
+TEST(Digraph, ReachabilityFollowsDirection) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  EXPECT_TRUE(has_directed_path(d, 0, 2));
+  EXPECT_FALSE(has_directed_path(d, 2, 0));
+  EXPECT_TRUE(has_directed_path(d, 1, 1));  // trivially
+}
+
+TEST(Digraph, ReachableFromMarksAll) {
+  Digraph d(4);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  const auto seen = reachable_from(d, 0);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_FALSE(seen[3]);
+}
+
+TEST(Digraph, CanReachIsReverseReachability) {
+  Digraph d(4);
+  d.add_arc(0, 2);
+  d.add_arc(1, 2);
+  d.add_arc(2, 3);
+  const auto seen = can_reach(d, 3);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_TRUE(seen[3]);
+  const auto seen2 = can_reach(d, 0);
+  EXPECT_TRUE(seen2[0]);
+  EXPECT_FALSE(seen2[1]);
+}
+
+TEST(Digraph, HandlesCycles) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 0);
+  d.add_arc(1, 2);
+  EXPECT_TRUE(has_directed_path(d, 0, 2));
+  const auto seen = reachable_from(d, 0);
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,168 @@
+// Cross-module integration tests: full control-plane -> data-plane ->
+// recovery -> analysis pipelines on the paper's topologies, checking the
+// qualitative results of Table 1 end to end (at reduced trial counts).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/experiments.h"
+#include "sim/failure.h"
+#include "splicing/metrics.h"
+#include "splicing/recovery.h"
+#include "splicing/reliability.h"
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+TEST(Integration, Table1ReliabilityApproachesOptimal) {
+  // "The reliability achieved with random perturbations for <= 10 slices
+  // approaches the optimal that can be achieved by any routing algorithm."
+  ReliabilityConfig cfg;
+  cfg.k_values = {1, 10};
+  cfg.p_values = {0.05};
+  cfg.trials = 150;
+  const auto curves = run_reliability_experiment(topo::sprint(), cfg);
+  std::map<SliceId, double> by_k;
+  for (const auto& pt : curves.points) by_k[pt.k] = pt.mean_disconnected;
+  const double best = curves.best_possible.front().mean_disconnected;
+
+  // k=1 leaves a substantial reliability shortfall...
+  EXPECT_GT(by_k[1], 2.0 * best);
+  // ...k=10 nearly closes it.
+  EXPECT_LT(by_k[10] - best, 0.35 * (by_k[1] - best));
+}
+
+TEST(Integration, Table1RecoveryInAboutTwoTrials) {
+  // "An end host can typically recover in slightly more than two trials."
+  RecoveryExperimentConfig cfg;
+  cfg.k_values = {5};
+  cfg.p_values = {0.04};
+  cfg.trials = 25;
+  cfg.pair_sample = 120;
+  const auto points = run_recovery_experiment(topo::sprint(), cfg);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_GT(points[0].mean_trials, 1.0);
+  EXPECT_LT(points[0].mean_trials, 3.5);
+}
+
+TEST(Integration, Table1LoopsAreRare) {
+  // "Using two slices, loops occur in only about 1% of all cases."
+  RecoveryExperimentConfig cfg;
+  cfg.k_values = {2};
+  cfg.p_values = {0.05};
+  cfg.trials = 25;
+  cfg.pair_sample = 150;
+  const auto points = run_recovery_experiment(topo::sprint(), cfg);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_LT(points[0].two_hop_loop_rate, 0.15);
+}
+
+TEST(Integration, RecoveredStretchIsSmall) {
+  // §4.3: recovered paths ~1.3x delay, ~1.5x hops.
+  RecoveryExperimentConfig cfg;
+  cfg.k_values = {5};
+  cfg.p_values = {0.04};
+  cfg.trials = 25;
+  cfg.pair_sample = 120;
+  const auto points = run_recovery_experiment(topo::sprint(), cfg);
+  ASSERT_EQ(points.size(), 1u);
+  if (points[0].mean_stretch > 0.0) {
+    EXPECT_LT(points[0].mean_stretch, 2.2);
+    EXPECT_LT(points[0].mean_hop_inflation, 3.0);
+  }
+}
+
+TEST(Integration, EndSystemVsNetworkRecovery) {
+  // Both schemes must beat no-recovery; network-based recovery can dead-end
+  // so it may trail the 5-trial end-system scheme (§4.3's observation that
+  // its stretch and hop inflation are "slightly higher" and not all pairs
+  // are recoverable).
+  RecoveryExperimentConfig base;
+  base.k_values = {3};
+  base.p_values = {0.06};
+  base.trials = 20;
+  base.pair_sample = 150;
+  base.seed = 5;
+
+  auto end_system = base;
+  end_system.recovery.scheme = RecoveryScheme::kEndSystemCoinFlip;
+  auto network = base;
+  network.recovery.scheme = RecoveryScheme::kNetworkDeflection;
+
+  const auto es = run_recovery_experiment(topo::sprint(), end_system);
+  const auto nw = run_recovery_experiment(topo::sprint(), network);
+  ASSERT_EQ(es.size(), 1u);
+  ASSERT_EQ(nw.size(), 1u);
+  EXPECT_LT(es[0].frac_unrecovered, es[0].frac_initial_broken);
+  EXPECT_LT(nw[0].frac_unrecovered, nw[0].frac_initial_broken);
+}
+
+TEST(Integration, SplicerRecoveryOnLiveNetworkObject) {
+  // Exercise the full public API path: build a Splicer, fail links on its
+  // own network, recover, verify against its own reliability analyzer.
+  SplicerConfig cfg;
+  cfg.slices = 5;
+  cfg.seed = 77;
+  Splicer splicer(topo::geant(), cfg);
+  const SplicedReliabilityAnalyzer analyzer(splicer.graph(),
+                                            splicer.control_plane());
+  Rng rng(8);
+  const auto alive = sample_alive_mask(splicer.graph().edge_count(), 0.1, rng);
+  splicer.network().set_link_mask(alive);
+
+  int recovered = 0;
+  int feasible = 0;
+  for (NodeId src = 0; src < splicer.graph().node_count(); ++src) {
+    for (NodeId dst = 0; dst < splicer.graph().node_count(); ++dst) {
+      if (src == dst) continue;
+      RecoveryConfig rcfg;
+      const RecoveryResult r =
+          attempt_recovery(splicer.network(), src, dst, rcfg, rng);
+      const bool possible = analyzer.connected(
+          src, dst, 5, alive, UnionSemantics::kDirectedForwarding);
+      if (r.delivered) {
+        EXPECT_TRUE(possible) << src << "->" << dst;
+      }
+      feasible += possible ? 1 : 0;
+      recovered += r.delivered ? 1 : 0;
+    }
+  }
+  // Most feasible pairs should actually be recovered within 5 trials.
+  EXPECT_GT(recovered, feasible * 7 / 10);
+}
+
+TEST(Integration, GeantAndSprintCurvesHaveSameShape) {
+  // The paper only shows Sprint "due to space constraints"; both topologies
+  // must exhibit the same qualitative ordering.
+  ReliabilityConfig cfg;
+  cfg.k_values = {1, 5};
+  cfg.p_values = {0.06};
+  cfg.trials = 100;
+  for (const char* topo_name : {"geant", "sprint"}) {
+    const auto curves =
+        run_reliability_experiment(topo::by_name(topo_name), cfg);
+    std::map<SliceId, double> by_k;
+    for (const auto& pt : curves.points) by_k[pt.k] = pt.mean_disconnected;
+    EXPECT_LT(by_k[5], by_k[1]) << topo_name;
+  }
+}
+
+TEST(Integration, DiversityExponentialForLinearState) {
+  // §1's headline: exponential path diversity for linear state increase.
+  const auto points = run_diversity_experiment(
+      topo::sprint(), {1, 2, 3, 4, 5},
+      {PerturbationKind::kDegreeBased, 0.0, 3.0}, 3);
+  ASSERT_EQ(points.size(), 5u);
+  // State grows linearly...
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].fib_entries,
+              (i + 1) * points[0].fib_entries);
+  }
+  // ...while the walk count grows by orders of magnitude.
+  EXPECT_GT(points[4].log10_paths, points[1].log10_paths + 1.0);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,107 @@
+// BGP convergence-dynamics tests.
+#include "interdomain/bgp_dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/failure.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+AsGraph hierarchy(std::uint64_t seed = 1) {
+  AsHierarchyConfig cfg;
+  cfg.seed = seed;
+  return make_as_hierarchy(cfg);
+}
+
+TEST(ColdConvergence, ReachesEveryPair) {
+  const AsGraph g = hierarchy();
+  const ConvergenceStats s = measure_cold_convergence(g);
+  EXPECT_EQ(s.unreachable_pairs, 0);
+  EXPECT_GT(s.rounds, 0);
+  // At least one change per (AS, dst) pair to go from empty to converged.
+  EXPECT_GE(s.route_changes,
+            static_cast<long long>(g.as_count()) * (g.as_count() - 1));
+  // Gao-Rexford economics converge quickly — well under the 4n+8 cap.
+  EXPECT_LT(s.rounds, 2 * g.as_count());
+}
+
+TEST(ColdConvergence, Deterministic) {
+  const AsGraph g = hierarchy(3);
+  const ConvergenceStats a = measure_cold_convergence(g);
+  const ConvergenceStats b = measure_cold_convergence(g);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.route_changes, b.route_changes);
+}
+
+TEST(FailureReconvergence, CheaperThanColdStart) {
+  const AsGraph g = hierarchy();
+  const ConvergenceStats cold = measure_cold_convergence(g);
+  for (AsLinkId l = 0; l < g.link_count(); l += 7) {
+    const ConvergenceStats refl = measure_failure_reconvergence(g, l);
+    EXPECT_LT(refl.route_changes, cold.route_changes) << "link " << l;
+  }
+}
+
+TEST(FailureReconvergence, StubUplinkFailureIsExpensive) {
+  // Failing one of a multihomed stub's uplinks forces every AS that routed
+  // to the stub through it to change — route_changes must be nonzero.
+  const AsGraph g = hierarchy();
+  // Stubs are the last ASes added; their links are the last added too.
+  const AsLinkId stub_link = g.link_count() - 1;
+  const ConvergenceStats s = measure_failure_reconvergence(g, stub_link);
+  EXPECT_GT(s.route_changes, 0);
+  // Multihoming keeps everything reachable.
+  EXPECT_EQ(s.unreachable_pairs, 0);
+}
+
+TEST(FailureReconvergence, BarelyUsedLinksReconvergeCheaply) {
+  // Every link carries at least the direct best route between its own two
+  // endpoints (one change per direction when withdrawn), so the cheapest
+  // possible reconvergence is a handful of changes — some redundant
+  // tier-2 peering should hit that floor, far below the hierarchy-wide
+  // churn of a transit-link failure.
+  const AsGraph g = hierarchy();
+  long long min_changes = 1LL << 40;
+  long long max_changes = 0;
+  for (AsLinkId l = 0; l < g.link_count(); ++l) {
+    const long long c = measure_failure_reconvergence(g, l).route_changes;
+    min_changes = std::min(min_changes, c);
+    max_changes = std::max(max_changes, c);
+  }
+  EXPECT_LE(min_changes, 6);
+  EXPECT_GT(max_changes, 20 * min_changes);
+}
+
+TEST(FailureReconvergence, SplicedFibsRideThroughIt) {
+  // The point of the module: while classic BGP churns through
+  // `route_changes` updates, the k-route FIBs installed *before* the
+  // failure still deliver via forwarding bits for most pairs.
+  const AsGraph g = hierarchy();
+  const BgpSplicer bgp(g, BgpConfig{3, 0});
+  Rng rng(5);
+  int checked = 0;
+  int rode_through = 0;
+  for (AsLinkId l = 0; l < g.link_count(); l += 5) {
+    const ConvergenceStats churn = measure_failure_reconvergence(g, l);
+    if (churn.route_changes == 0) continue;
+    std::vector<char> alive(static_cast<std::size_t>(g.link_count()), 1);
+    alive[static_cast<std::size_t>(l)] = 0;
+    // Sample pairs: can the stale spliced FIBs still deliver?
+    for (int trial = 0; trial < 30; ++trial) {
+      const auto src = static_cast<AsId>(
+          rng.below(static_cast<std::uint64_t>(g.as_count())));
+      const auto dst = static_cast<AsId>(
+          rng.below(static_cast<std::uint64_t>(g.as_count())));
+      if (src == dst) continue;
+      ++checked;
+      rode_through += bgp.spliced_connected(src, dst, alive) ? 1 : 0;
+    }
+  }
+  ASSERT_GT(checked, 0);
+  EXPECT_GT(rode_through, checked * 9 / 10);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,347 @@
+// Interdomain (spliced BGP) tests: Gao-Rexford policy mechanics, k-route
+// FIBs, valley-free best paths, data-plane forwarding with bits, and the
+// k-vs-reliability analogue of Figure 3 at the AS level.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "interdomain/as_graph.h"
+#include "interdomain/bgp.h"
+#include "sim/failure.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+TEST(AsGraph, RelationshipBookkeeping) {
+  AsGraph g;
+  const AsId c = g.add_as();
+  const AsId p = g.add_as();
+  const AsId q = g.add_as();
+  g.add_customer_provider(c, p);
+  g.add_peering(p, q);
+  ASSERT_EQ(g.as_count(), 3);
+  ASSERT_EQ(g.link_count(), 2);
+  // c sees p as provider; p sees c as customer.
+  EXPECT_EQ(g.neighbors(c)[0].kind, NeighborKind::kProvider);
+  EXPECT_EQ(g.neighbors(p)[0].kind, NeighborKind::kCustomer);
+  EXPECT_EQ(g.neighbors(p)[1].kind, NeighborKind::kPeer);
+  EXPECT_EQ(g.neighbors(q)[0].kind, NeighborKind::kPeer);
+}
+
+TEST(AsGraph, HierarchyGeneratorShape) {
+  AsHierarchyConfig cfg;
+  cfg.tier1 = 3;
+  cfg.tier2 = 6;
+  cfg.stubs = 10;
+  const AsGraph g = make_as_hierarchy(cfg);
+  EXPECT_EQ(g.as_count(), 19);
+  // Tier-1 mesh contributes 3 peer links; each tier-2 has 2 uplinks; each
+  // stub 2 uplinks; plus random tier-2 peering.
+  EXPECT_GE(g.link_count(), 3 + 6 * 2 + 10 * 2);
+  // Stubs (last 10 ids) have only provider links.
+  for (AsId v = 9; v < 19; ++v) {
+    for (const AsIncidence& inc : g.neighbors(v)) {
+      EXPECT_EQ(inc.kind, NeighborKind::kProvider);
+    }
+  }
+}
+
+TEST(AsGraph, HierarchyDeterministic) {
+  AsHierarchyConfig cfg;
+  const AsGraph a = make_as_hierarchy(cfg);
+  const AsGraph b = make_as_hierarchy(cfg);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (AsLinkId l = 0; l < a.link_count(); ++l) {
+    EXPECT_EQ(a.link(l).a, b.link(l).a);
+    EXPECT_EQ(a.link(l).b, b.link(l).b);
+  }
+}
+
+TEST(Policy, PreferenceOrder) {
+  BgpRoute customer;
+  customer.learned_from = NeighborKind::kCustomer;
+  customer.as_path = {1, 2, 3};
+  BgpRoute peer;
+  peer.learned_from = NeighborKind::kPeer;
+  peer.as_path = {1};
+  BgpRoute provider;
+  provider.learned_from = NeighborKind::kProvider;
+  provider.as_path = {1};
+  // Customer beats peer and provider despite longer path.
+  EXPECT_TRUE(prefer_route(customer, peer));
+  EXPECT_TRUE(prefer_route(customer, provider));
+  EXPECT_TRUE(prefer_route(peer, provider));
+  // Same class: shorter path wins.
+  BgpRoute peer_long = peer;
+  peer_long.as_path = {1, 2};
+  EXPECT_TRUE(prefer_route(peer, peer_long));
+  // Full tiebreak: lower next hop.
+  BgpRoute a = peer;
+  a.next_hop = 1;
+  BgpRoute b = peer;
+  b.next_hop = 2;
+  EXPECT_TRUE(prefer_route(a, b));
+  EXPECT_FALSE(prefer_route(b, a));
+}
+
+TEST(Policy, ExportRules) {
+  using NK = NeighborKind;
+  // Customer-learned: export to everyone.
+  EXPECT_TRUE(may_export(NK::kCustomer, NK::kCustomer));
+  EXPECT_TRUE(may_export(NK::kCustomer, NK::kPeer));
+  EXPECT_TRUE(may_export(NK::kCustomer, NK::kProvider));
+  // Peer-/provider-learned: only to customers (no free transit).
+  EXPECT_TRUE(may_export(NK::kPeer, NK::kCustomer));
+  EXPECT_FALSE(may_export(NK::kPeer, NK::kPeer));
+  EXPECT_FALSE(may_export(NK::kPeer, NK::kProvider));
+  EXPECT_TRUE(may_export(NK::kProvider, NK::kCustomer));
+  EXPECT_FALSE(may_export(NK::kProvider, NK::kPeer));
+  EXPECT_FALSE(may_export(NK::kProvider, NK::kProvider));
+}
+
+/// Classic 4-AS fixture:
+///   T1a -peer- T1b  (tier 1 mesh)
+///   M (mid) customer of both T1a, T1b
+///   S (stub) customer of M
+struct SmallInternet {
+  SmallInternet() {
+    t1a = g.add_as();
+    t1b = g.add_as();
+    mid = g.add_as();
+    stub = g.add_as();
+    g.add_peering(t1a, t1b);
+    l_mid_a = g.add_customer_provider(mid, t1a);
+    l_mid_b = g.add_customer_provider(mid, t1b);
+    l_stub = g.add_customer_provider(stub, mid);
+  }
+  AsGraph g;
+  AsId t1a, t1b, mid, stub;
+  AsLinkId l_mid_a, l_mid_b, l_stub;
+};
+
+TEST(Bgp, ConvergesToValleyFreePaths) {
+  SmallInternet net;
+  const BgpSplicer bgp(net.g, BgpConfig{2, 0});
+  // Stub reaches t1a via its provider chain.
+  const BgpRoute* r = bgp.best_route(net.stub, net.t1a);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->next_hop, net.mid);
+  ASSERT_EQ(r->as_path.size(), 2u);
+  EXPECT_EQ(r->as_path[0], net.mid);
+  EXPECT_EQ(r->as_path[1], net.t1a);
+  // t1a reaches stub via its customer mid (customer route).
+  const BgpRoute* down = bgp.best_route(net.t1a, net.stub);
+  ASSERT_NE(down, nullptr);
+  EXPECT_EQ(down->next_hop, net.mid);
+  EXPECT_EQ(down->learned_from, NeighborKind::kCustomer);
+}
+
+TEST(Bgp, NoTransitThroughPeersForPeers) {
+  // t1a must NOT reach t1b's customers through a peer of a peer: with
+  // Gao-Rexford, a route learned from a peer is not exported to peers. In
+  // the small fixture everything is still reachable via valid paths, so
+  // test the export more directly: t1a's route to t1b must be the direct
+  // peering, never via mid (a customer route from mid would be exported,
+  // but mid's route to t1b is provider-learned so mid may not export it to
+  // its provider t1a).
+  SmallInternet net;
+  const BgpSplicer bgp(net.g, BgpConfig{3, 0});
+  const auto routes = bgp.routes(net.t1a, net.t1b);
+  ASSERT_FALSE(routes.empty());
+  for (const BgpRoute& r : routes) {
+    EXPECT_EQ(r.next_hop, net.t1b) << "valley route leaked";
+  }
+}
+
+TEST(Bgp, MultihomedAsInstallsMultipleRoutes) {
+  SmallInternet net;
+  const BgpSplicer bgp(net.g, BgpConfig{3, 0});
+  // mid is multihomed: two routes to each tier-1 (direct + via the other).
+  const auto routes = bgp.routes(net.mid, net.t1a);
+  EXPECT_GE(routes.size(), 2u);
+  EXPECT_EQ(routes.front().next_hop, net.t1a);  // direct provider route
+}
+
+TEST(Bgp, KLimitsInstalledRoutes) {
+  SmallInternet net;
+  const BgpSplicer one(net.g, BgpConfig{1, 0});
+  for (AsId v = 0; v < net.g.as_count(); ++v) {
+    for (AsId d = 0; d < net.g.as_count(); ++d) {
+      if (v != d) {
+        EXPECT_LE(one.routes(v, d).size(), 1u);
+      }
+    }
+  }
+}
+
+TEST(Bgp, ForwardFollowsBestByDefault) {
+  SmallInternet net;
+  const BgpSplicer bgp(net.g, BgpConfig{2, 0});
+  const auto path = bgp.forward(net.stub, net.t1a, SpliceHeader{});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<AsId>{net.stub, net.mid, net.t1a}));
+}
+
+TEST(Bgp, ForwardBitsSelectAlternateRoute) {
+  SmallInternet net;
+  const BgpSplicer bgp(net.g, BgpConfig{2, 0});
+  // mid -> t1a: slot 0 = direct; slot 1 = via t1b (peer of t1a? t1b's
+  // route to t1a is peer-learned and may only be exported to customers —
+  // mid IS t1b's customer, so it's valid).
+  const auto routes = bgp.routes(net.mid, net.t1a);
+  ASSERT_EQ(routes.size(), 2u);
+  SpliceHeader header =
+      SpliceHeader::from_slices(2, std::vector<SliceId>{1, 0, 0});
+  const auto path = bgp.forward(net.mid, net.t1a, header);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->at(1), routes[1].next_hop);
+}
+
+TEST(Bgp, FailedLinkDeadEndsWithoutDeflection) {
+  SmallInternet net;
+  const BgpSplicer bgp(net.g, BgpConfig{2, 0});
+  std::vector<char> alive(static_cast<std::size_t>(net.g.link_count()), 1);
+  alive[static_cast<std::size_t>(net.l_mid_a)] = 0;
+  const auto path =
+      bgp.forward(net.mid, net.t1a, SpliceHeader{}, alive, false);
+  EXPECT_FALSE(path.has_value());
+}
+
+TEST(Bgp, DeflectionUsesAlternateRoute) {
+  SmallInternet net;
+  const BgpSplicer bgp(net.g, BgpConfig{2, 0});
+  std::vector<char> alive(static_cast<std::size_t>(net.g.link_count()), 1);
+  alive[static_cast<std::size_t>(net.l_mid_a)] = 0;
+  const auto path =
+      bgp.forward(net.mid, net.t1a, SpliceHeader{}, alive, true);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<AsId>{net.mid, net.t1b, net.t1a}));
+}
+
+TEST(Bgp, SplicedConnectedMatchesForwardability) {
+  SmallInternet net;
+  const BgpSplicer bgp(net.g, BgpConfig{2, 0});
+  std::vector<char> alive(static_cast<std::size_t>(net.g.link_count()), 1);
+  alive[static_cast<std::size_t>(net.l_mid_a)] = 0;
+  EXPECT_TRUE(bgp.spliced_connected(net.mid, net.t1a, alive));
+  // Cut the stub's only uplink: nothing can reach it.
+  alive[static_cast<std::size_t>(net.l_stub)] = 0;
+  EXPECT_FALSE(bgp.spliced_connected(net.stub, net.t1a, alive));
+  EXPECT_FALSE(bgp.spliced_connected(net.t1b, net.stub, alive));
+}
+
+TEST(Bgp, IntactHierarchyFullyConnected) {
+  const AsGraph g = make_as_hierarchy(AsHierarchyConfig{});
+  const BgpSplicer bgp(g, BgpConfig{3, 0});
+  EXPECT_DOUBLE_EQ(bgp.disconnected_fraction(), 0.0);
+}
+
+// The interdomain analogue of Figure 3: more installed routes -> fewer
+// disconnected AS pairs under link failures, bounded below by k = all.
+class AsReliability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsReliability, MoreRoutesMoreReliability) {
+  AsHierarchyConfig hcfg;
+  hcfg.seed = GetParam();
+  const AsGraph g = make_as_hierarchy(hcfg);
+  const BgpSplicer bgp(g, BgpConfig{3, 0});
+  Rng rng(GetParam() ^ 0xa5a5);
+  double frac1 = 0.0;
+  double frac2 = 0.0;
+  double frac3 = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const auto alive = sample_alive_mask(
+        static_cast<EdgeId>(g.link_count()), 0.05, rng);
+    frac1 += bgp.disconnected_fraction(alive, 1);
+    frac2 += bgp.disconnected_fraction(alive, 2);
+    frac3 += bgp.disconnected_fraction(alive, 3);
+  }
+  EXPECT_LE(frac3, frac2 + 1e-9);
+  EXPECT_LE(frac2, frac1 + 1e-9);
+  EXPECT_LT(frac3, frac1);  // strictly better overall at this p
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsReliability, ::testing::Values(1, 2, 3, 4));
+
+TEST(ValleyFree, ClassifiesCanonicalShapes) {
+  SmallInternet net;
+  // up, up is fine: stub -> mid -> t1a.
+  EXPECT_TRUE(is_valley_free(
+      net.g, std::vector<AsId>{net.stub, net.mid, net.t1a}));
+  // up, peer, down: stub -> mid -> ... mid has no peers; use t1a-t1b peer.
+  EXPECT_TRUE(is_valley_free(
+      net.g, std::vector<AsId>{net.stub, net.mid, net.t1a, net.t1b}));
+  // down then up is a valley: t1a -> mid -> t1b.
+  EXPECT_FALSE(is_valley_free(
+      net.g, std::vector<AsId>{net.t1a, net.mid, net.t1b}));
+  // peer then peer: t1a -> t1b -> t1a... same peer twice via distinct hops
+  // requires a second peer link; emulate with t1b -> t1a -> t1b (peer x2).
+  EXPECT_FALSE(is_valley_free(
+      net.g, std::vector<AsId>{net.t1b, net.t1a, net.t1b}));
+  // Non-adjacent jump is invalid.
+  EXPECT_FALSE(
+      is_valley_free(net.g, std::vector<AsId>{net.stub, net.t1a}));
+  // Trivial paths are valley-free.
+  EXPECT_TRUE(is_valley_free(net.g, std::vector<AsId>{net.stub}));
+  EXPECT_TRUE(is_valley_free(net.g, std::vector<AsId>{}));
+}
+
+TEST(ValleyFree, AllBgpBestPathsAreValleyFree) {
+  // Protocol-correctness invariant: Gao-Rexford decision + export rules
+  // must yield valley-free best paths for EVERY pair on a hierarchy.
+  const AsGraph g = make_as_hierarchy(AsHierarchyConfig{});
+  const BgpSplicer bgp(g, BgpConfig{3, 0});
+  for (AsId src = 0; src < g.as_count(); ++src) {
+    for (AsId dst = 0; dst < g.as_count(); ++dst) {
+      if (src == dst) continue;
+      const BgpRoute* r = bgp.best_route(src, dst);
+      ASSERT_NE(r, nullptr) << src << "->" << dst;
+      std::vector<AsId> full{src};
+      full.insert(full.end(), r->as_path.begin(), r->as_path.end());
+      EXPECT_TRUE(is_valley_free(g, full)) << src << "->" << dst;
+    }
+  }
+}
+
+TEST(ValleyFree, EveryInstalledRouteIsValleyFree) {
+  // Not just the best route: every k-FIB entry is an advertised (hence
+  // policy-valid) route and must individually be valley-free.
+  const AsGraph g = make_as_hierarchy(AsHierarchyConfig{});
+  const BgpSplicer bgp(g, BgpConfig{3, 0});
+  for (AsId src = 0; src < g.as_count(); src += 2) {
+    for (AsId dst = 0; dst < g.as_count(); dst += 3) {
+      if (src == dst) continue;
+      for (const BgpRoute& r : bgp.routes(src, dst)) {
+        std::vector<AsId> full{src};
+        full.insert(full.end(), r.as_path.begin(), r.as_path.end());
+        EXPECT_TRUE(is_valley_free(g, full));
+      }
+    }
+  }
+}
+
+TEST(Bgp, ForwardTtlGuardsLoops) {
+  // Spliced interdomain paths could in principle loop across route slots;
+  // TTL must bound the walk.
+  const AsGraph g = make_as_hierarchy(AsHierarchyConfig{});
+  const BgpSplicer bgp(g, BgpConfig{3, 0});
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto src = static_cast<AsId>(
+        rng.below(static_cast<std::uint64_t>(g.as_count())));
+    const auto dst = static_cast<AsId>(
+        rng.below(static_cast<std::uint64_t>(g.as_count())));
+    if (src == dst) continue;
+    const auto header = SpliceHeader::random(3, 20, rng);
+    const auto path = bgp.forward(src, dst, header, {}, false, 64);
+    if (path.has_value()) {
+      EXPECT_LE(path->size(), 65u);
+      EXPECT_EQ(path->back(), dst);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,140 @@
+// Overlay-substrate tests: construction, RON failure semantics, re-probing,
+// and overlay splicing end-to-end.
+#include "overlay/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "sim/failure.h"
+#include "splicing/recovery.h"
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+TEST(OverlayMembers, SpreadAndBounds) {
+  const Graph g = topo::sprint();
+  const auto members = pick_overlay_members(g, 10);
+  EXPECT_EQ(members.size(), 10u);
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    EXPECT_GT(members[i], members[i - 1]);  // strictly spread
+  }
+  // Asking for more members than nodes caps at the node count.
+  EXPECT_EQ(pick_overlay_members(g, 500).size(),
+            static_cast<std::size_t>(g.node_count()));
+}
+
+TEST(OverlayBuild, CliqueOverMembersWithLatencyWeights) {
+  const Graph underlay = topo::sprint();
+  const auto mapping = build_overlay(underlay, pick_overlay_members(underlay, 8));
+  EXPECT_EQ(mapping.overlay.node_count(), 8);
+  // Connected underlay => full mesh: C(8,2) virtual links.
+  EXPECT_EQ(mapping.overlay.edge_count(), 28);
+  // Each virtual-link weight equals the underlay shortest-path latency.
+  for (EdgeId e = 0; e < mapping.overlay.edge_count(); ++e) {
+    const Edge& ve = mapping.overlay.edge(e);
+    const NodeId u = mapping.members[static_cast<std::size_t>(ve.u)];
+    const NodeId v = mapping.members[static_cast<std::size_t>(ve.v)];
+    EXPECT_NEAR(ve.weight, shortest_distance(underlay, u, v), 1e-9);
+    // Measured path endpoints match.
+    const auto& path = mapping.measured_paths[static_cast<std::size_t>(e)];
+    EXPECT_EQ(path.front(), u);
+    EXPECT_EQ(path.back(), v);
+  }
+}
+
+TEST(OverlayBuild, OverlayNamesComeFromUnderlay) {
+  const Graph underlay = topo::geant();
+  const auto mapping = build_overlay(underlay, {0, 5, 9});
+  EXPECT_EQ(mapping.overlay.name(0), underlay.name(0));
+  EXPECT_EQ(mapping.overlay.name(2), underlay.name(9));
+}
+
+TEST(VirtualLinkLiveness, IntactUnderlayKeepsAllLinks) {
+  const Graph underlay = topo::sprint();
+  const auto mapping = build_overlay(underlay, pick_overlay_members(underlay, 6));
+  const std::vector<char> all_alive(
+      static_cast<std::size_t>(underlay.edge_count()), 1);
+  const auto alive = virtual_link_liveness(underlay, mapping, all_alive);
+  for (char a : alive) EXPECT_TRUE(a);
+}
+
+TEST(VirtualLinkLiveness, BreaksExactlyMeasuredPaths) {
+  const Graph underlay = topo::sprint();
+  const auto mapping = build_overlay(underlay, pick_overlay_members(underlay, 6));
+  // Fail one underlay link; exactly the vlinks whose measured path crosses
+  // it must die.
+  std::vector<char> underlay_alive(
+      static_cast<std::size_t>(underlay.edge_count()), 1);
+  const EdgeId cut = 1;
+  underlay_alive[static_cast<std::size_t>(cut)] = 0;
+  const auto alive = virtual_link_liveness(underlay, mapping, underlay_alive);
+  for (EdgeId e = 0; e < mapping.overlay.edge_count(); ++e) {
+    bool crosses = false;
+    const auto& path = mapping.measured_paths[static_cast<std::size_t>(e)];
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      crosses |= underlay.find_edge(path[i], path[i + 1]) == cut;
+    }
+    EXPECT_EQ(alive[static_cast<std::size_t>(e)] == 0, crosses) << e;
+  }
+}
+
+TEST(Reprobe, RestoresConnectivityAtHigherLatency) {
+  const Graph underlay = topo::sprint();
+  const auto mapping = build_overlay(underlay, pick_overlay_members(underlay, 6));
+  Rng rng(5);
+  const auto underlay_alive = sample_alive_mask(underlay.edge_count(), 0.1, rng);
+  const auto reprobed = reprobe_overlay(underlay, mapping, underlay_alive);
+  // Re-probed virtual links can only be fewer (some pairs disconnected)...
+  EXPECT_LE(reprobed.overlay.edge_count(), mapping.overlay.edge_count());
+  // ...and never faster than the intact measurement.
+  for (EdgeId e = 0; e < reprobed.overlay.edge_count(); ++e) {
+    const Edge& ve = reprobed.overlay.edge(e);
+    const NodeId u = reprobed.members[static_cast<std::size_t>(ve.u)];
+    const NodeId v = reprobed.members[static_cast<std::size_t>(ve.v)];
+    EXPECT_GE(ve.weight, shortest_distance(underlay, u, v) - 1e-9);
+  }
+}
+
+TEST(OverlaySplicing, RecoversInsideReprobeWindow) {
+  // End-to-end §5 scenario as a library-level test: build overlay splicer,
+  // kill underlay links, mark dead vlinks, verify splicing recovers pairs
+  // whose direct vlink died but which remain overlay-connected.
+  const Graph underlay = topo::sprint();
+  auto mapping = build_overlay(underlay, pick_overlay_members(underlay, 10));
+  SplicerConfig cfg;
+  cfg.slices = 4;
+  cfg.seed = 3;
+  cfg.perturbation = {PerturbationKind::kUniform, 0.0, 6.0};
+  Splicer splicer(Graph(mapping.overlay), cfg);
+
+  Rng rng(7);
+  const auto underlay_alive =
+      sample_alive_mask(underlay.edge_count(), 0.08, rng);
+  const auto vlink_alive =
+      virtual_link_liveness(underlay, mapping, underlay_alive);
+  splicer.network().set_link_mask(vlink_alive);
+
+  int broken = 0;
+  int recovered = 0;
+  RecoveryConfig rcfg;
+  rcfg.scheme = RecoveryScheme::kNetworkDeflection;
+  for (NodeId s = 0; s < splicer.graph().node_count(); ++s) {
+    for (NodeId t = 0; t < splicer.graph().node_count(); ++t) {
+      if (s == t) continue;
+      const RecoveryResult r =
+          attempt_recovery(splicer.network(), s, t, rcfg, rng);
+      if (!r.initially_connected) {
+        ++broken;
+        recovered += r.delivered ? 1 : 0;
+      }
+    }
+  }
+  if (broken > 0) {
+    EXPECT_GT(recovered, broken / 2);
+  }
+}
+
+}  // namespace
+}  // namespace splice

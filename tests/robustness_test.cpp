@@ -1,0 +1,253 @@
+// Robustness and cross-validation properties:
+//  * topology parser survives arbitrary garbage (throws, never crashes),
+//  * forwarding traces are always internally consistent, for any header,
+//    any failure mask, any slice count,
+//  * the reliability analyzer agrees with a brute-force union construction
+//    on random graphs (not just the embedded topologies),
+//  * recovery never reports success without a genuinely delivered trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "routing/multi_instance.h"
+#include "sim/failure.h"
+#include "splicing/recovery.h"
+#include "splicing/reliability.h"
+#include "splicing/splicer.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parser fuzz: random token soup must parse or throw TopologyParseError.
+// ---------------------------------------------------------------------------
+
+std::string random_garbage(Rng& rng, int lines) {
+  static const char* tokens[] = {"node",  "edge", "0",    "1",   "-3",
+                                 "9999",  "a",    "b",    "#x",  "edge edge",
+                                 "1.5",   "-0.1", "nan",  "",    "\t",
+                                 "node a"};
+  std::string out;
+  for (int i = 0; i < lines; ++i) {
+    const int parts = static_cast<int>(rng.below(5));
+    for (int j = 0; j < parts; ++j) {
+      out += tokens[rng.below(std::size(tokens))];
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, NeverCrashes) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const std::string text = random_garbage(rng, 1 + static_cast<int>(rng.below(8)));
+    try {
+      const Graph g = parse_topology(text);
+      // If it parsed, the result must be internally consistent.
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        EXPECT_TRUE(g.valid_node(g.edge(e).u));
+        EXPECT_TRUE(g.valid_node(g.edge(e).v));
+        EXPECT_GT(g.edge(e).weight, 0.0);
+      }
+    } catch (const TopologyParseError&) {
+      // Expected for malformed inputs.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Forwarding trace invariants under arbitrary headers and failures.
+// ---------------------------------------------------------------------------
+
+struct TraceParam {
+  SliceId k;
+  double fail_p;
+  std::uint64_t seed;
+};
+
+class TraceInvariants : public ::testing::TestWithParam<TraceParam> {};
+
+TEST_P(TraceInvariants, TracesAreAlwaysConsistent) {
+  const auto [k, fail_p, seed] = GetParam();
+  Graph g = erdos_renyi(24, 0.18, seed);
+  make_connected(g, seed + 1);
+  SplicerConfig cfg;
+  cfg.slices = k;
+  cfg.seed = seed;
+  Splicer splicer(std::move(g), cfg);
+  const Graph& graph = splicer.graph();
+
+  Rng rng(seed ^ 0xf00d);
+  const auto alive = sample_alive_mask(graph.edge_count(), fail_p, rng);
+  splicer.network().set_link_mask(alive);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    Packet p;
+    p.src = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(graph.node_count())));
+    p.dst = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(graph.node_count())));
+    p.header = SpliceHeader::random(k, 20, rng);
+    p.ttl = 1 + static_cast<int>(rng.below(300));
+    ForwardingPolicy policy;
+    policy.exhaust = rng.coin() ? ExhaustPolicy::kStayInCurrent
+                                : ExhaustPolicy::kHashDefault;
+    policy.local_recovery =
+        rng.coin() ? LocalRecovery::kDeflect : LocalRecovery::kNone;
+    const Delivery d = splicer.network().forward(p, policy);
+
+    // Invariants that must hold for EVERY outcome:
+    NodeId cursor = p.src;
+    for (const HopRecord& hop : d.hops) {
+      EXPECT_EQ(hop.node, cursor) << "trace not contiguous";
+      const Edge& edge = graph.edge(hop.edge);
+      EXPECT_TRUE((edge.u == hop.node && edge.v == hop.next) ||
+                  (edge.v == hop.node && edge.u == hop.next))
+          << "hop uses a link not joining its endpoints";
+      EXPECT_TRUE(splicer.network().link_alive(hop.edge))
+          << "hop crossed a dead link";
+      EXPECT_GE(hop.slice, 0);
+      EXPECT_LT(hop.slice, k);
+      cursor = hop.next;
+    }
+    switch (d.outcome) {
+      case ForwardOutcome::kDelivered:
+        EXPECT_EQ(cursor, p.dst);
+        break;
+      case ForwardOutcome::kTtlExpired:
+        EXPECT_EQ(d.hop_count(), p.ttl);
+        break;
+      case ForwardOutcome::kDeadEnd:
+        EXPECT_NE(cursor, p.dst);
+        break;
+    }
+    EXPECT_LE(d.hop_count(), p.ttl);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TraceInvariants,
+    ::testing::Values(TraceParam{1, 0.0, 1}, TraceParam{2, 0.1, 2},
+                      TraceParam{3, 0.2, 3}, TraceParam{4, 0.05, 4},
+                      TraceParam{5, 0.3, 5}, TraceParam{8, 0.15, 6},
+                      TraceParam{16, 0.1, 7}, TraceParam{2, 0.5, 8}));
+
+// ---------------------------------------------------------------------------
+// Analyzer vs brute-force union reachability on random graphs.
+// ---------------------------------------------------------------------------
+
+class AnalyzerAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalyzerAgreement, MatchesBruteForceOnRandomGraphs) {
+  const std::uint64_t seed = GetParam();
+  Graph g = erdos_renyi(14, 0.25, seed);
+  make_connected(g, seed + 7);
+  const SliceId k_max = 3;
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{
+             k_max, {PerturbationKind::kUniform, 0.0, 3.0}, seed, false});
+  const SplicedReliabilityAnalyzer analyzer(g, mir);
+
+  Rng rng(seed ^ 0xbf);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto alive = sample_alive_mask(g.edge_count(), 0.25, rng);
+    for (SliceId k = 1; k <= k_max; ++k) {
+      // Brute force: materialize the union digraph per destination.
+      long long brute_directed = 0;
+      long long brute_undirected = 0;
+      for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+        Digraph u(g.node_count());
+        Graph links;  // undirected view of surviving union links
+        links.add_nodes(g.node_count());
+        for (SliceId s = 0; s < k; ++s) {
+          for (NodeId v = 0; v < g.node_count(); ++v) {
+            if (v == dst) continue;
+            const NodeId nh = mir.slice(s).next_hop(v, dst);
+            if (nh == kInvalidNode) continue;
+            const EdgeId e = mir.slice(s).next_hop_edge(v, dst);
+            if (!alive[static_cast<std::size_t>(e)]) continue;
+            u.add_arc_unique(v, nh);
+            if (links.find_edge(v, nh) == kInvalidEdge)
+              links.add_edge(v, nh, 1.0);
+          }
+        }
+        const auto reach_undir = reachable_nodes(links, dst);
+        for (NodeId src = 0; src < g.node_count(); ++src) {
+          if (src == dst) continue;
+          if (!has_directed_path(u, src, dst)) ++brute_directed;
+          if (!reach_undir[static_cast<std::size_t>(src)])
+            ++brute_undirected;
+        }
+      }
+      EXPECT_EQ(analyzer.disconnected_pairs(
+                    k, alive, UnionSemantics::kDirectedForwarding),
+                brute_directed)
+          << "k=" << k;
+      EXPECT_EQ(analyzer.disconnected_pairs(
+                    k, alive, UnionSemantics::kUndirectedLinks),
+                brute_undirected)
+          << "k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyzerAgreement,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Recovery soundness on random graphs.
+// ---------------------------------------------------------------------------
+
+class RecoverySoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoverySoundness, DeliveredMeansRealPath) {
+  const std::uint64_t seed = GetParam();
+  Graph g = waxman(20, 0.9, 0.3, seed);
+  make_connected(g, seed + 3);
+  SplicerConfig cfg;
+  cfg.slices = 4;
+  cfg.seed = seed;
+  Splicer splicer(std::move(g), cfg);
+  Rng rng(seed ^ 0x50f7);
+  const auto alive =
+      sample_alive_mask(splicer.graph().edge_count(), 0.2, rng);
+  splicer.network().set_link_mask(alive);
+
+  for (NodeId src = 0; src < splicer.graph().node_count(); src += 2) {
+    for (NodeId dst = 0; dst < splicer.graph().node_count(); dst += 3) {
+      if (src == dst) continue;
+      const RecoveryResult r =
+          attempt_recovery(splicer.network(), src, dst, RecoveryConfig{}, rng);
+      if (!r.delivered) continue;
+      // The returned trace must be a genuine alive path src -> dst.
+      ASSERT_TRUE(r.delivery.delivered());
+      if (r.delivery.hop_count() == 0) {
+        EXPECT_EQ(src, dst);
+        continue;
+      }
+      EXPECT_EQ(r.delivery.hops.front().node, src);
+      EXPECT_EQ(r.delivery.hops.back().next, dst);
+      for (const HopRecord& hop : r.delivery.hops) {
+        EXPECT_TRUE(alive[static_cast<std::size_t>(hop.edge)]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoverySoundness,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace splice

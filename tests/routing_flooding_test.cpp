@@ -1,0 +1,107 @@
+// Flooding-simulation tests: convergence, message counting, the linear-in-k
+// message-complexity claim, multi-topology encoding, failure refloods.
+#include "routing/flooding.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+TEST(Flooding, ColdStartConvergesOnLine) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const FloodStats s =
+      simulate_full_flood(g, 1, FloodEncoding::kSeparateInstances);
+  EXPECT_TRUE(s.converged);
+  // Known count for a 3-node line with reliable flooding:
+  // each LSA crosses each link at least once; duplicates bounce back once
+  // from the middle node. Just sanity-bound it.
+  EXPECT_GE(s.messages, 6);
+  EXPECT_LE(s.messages, 14);
+  EXPECT_GT(s.convergence_ms, 0.0);
+}
+
+TEST(Flooding, ColdStartConvergesOnRealTopologies) {
+  for (const auto& name : topo::registry_names()) {
+    const FloodStats s = simulate_full_flood(topo::by_name(name), 1,
+                                             FloodEncoding::kSeparateInstances);
+    EXPECT_TRUE(s.converged) << name;
+    EXPECT_GT(s.messages, 0) << name;
+  }
+}
+
+TEST(Flooding, MessagesScaleLinearlyInK) {
+  const Graph g = topo::geant();
+  const FloodStats k1 =
+      simulate_full_flood(g, 1, FloodEncoding::kSeparateInstances);
+  const FloodStats k3 =
+      simulate_full_flood(g, 3, FloodEncoding::kSeparateInstances);
+  const FloodStats k5 =
+      simulate_full_flood(g, 5, FloodEncoding::kSeparateInstances);
+  EXPECT_TRUE(k5.converged);
+  // Exactly linear: instances are independent copies of the same flood.
+  EXPECT_EQ(k3.messages, 3 * k1.messages);
+  EXPECT_EQ(k5.messages, 5 * k1.messages);
+}
+
+TEST(Flooding, MultiTopologyEncodingIsConstantInK) {
+  const Graph g = topo::sprint();
+  const FloodStats k1 = simulate_full_flood(g, 1, FloodEncoding::kMultiTopology);
+  const FloodStats k10 =
+      simulate_full_flood(g, 10, FloodEncoding::kMultiTopology);
+  EXPECT_TRUE(k10.converged);
+  EXPECT_EQ(k1.messages, k10.messages);
+}
+
+TEST(Flooding, FailureRefloodIsLocalizedAndSmall) {
+  const Graph g = topo::sprint();
+  const FloodStats cold =
+      simulate_full_flood(g, 1, FloodEncoding::kSeparateInstances);
+  const FloodStats refl =
+      simulate_failure_reflood(g, 1, FloodEncoding::kSeparateInstances, 0);
+  EXPECT_TRUE(refl.converged);
+  // Only two origins re-flood: far fewer messages than a cold start.
+  EXPECT_LT(refl.messages, cold.messages / 5);
+  EXPECT_GT(refl.messages, 0);
+}
+
+TEST(Flooding, FailureRefloodScalesWithInstances) {
+  const Graph g = topo::geant();
+  const FloodStats one =
+      simulate_failure_reflood(g, 1, FloodEncoding::kSeparateInstances, 3);
+  const FloodStats four =
+      simulate_failure_reflood(g, 4, FloodEncoding::kSeparateInstances, 3);
+  EXPECT_EQ(four.messages, 4 * one.messages);
+  const FloodStats mt =
+      simulate_failure_reflood(g, 4, FloodEncoding::kMultiTopology, 3);
+  EXPECT_EQ(mt.messages, one.messages);
+}
+
+TEST(Flooding, ConvergenceTimeReflectsDiameter) {
+  // On a weighted line, the farthest node hears the end node's LSA after
+  // the sum of link delays.
+  Graph g(4);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 7.0);
+  g.add_edge(2, 3, 11.0);
+  const FloodStats s =
+      simulate_full_flood(g, 1, FloodEncoding::kSeparateInstances);
+  EXPECT_GE(s.convergence_ms, 23.0 - 1e-9);
+}
+
+TEST(Flooding, DisconnectedRefloodStillReportsConverged) {
+  // Failing a ring edge keeps the ring connected; failing a tree edge cuts
+  // it — the reflood from both endpoints must still deliver to every node
+  // reachable from each endpoint and report converged.
+  const Graph tree = random_tree(8, 3);
+  const FloodStats s = simulate_failure_reflood(
+      tree, 1, FloodEncoding::kSeparateInstances, 0);
+  EXPECT_TRUE(s.converged);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,185 @@
+// RoutingInstance tests: next-hop correctness, tree structure, path
+// reconstruction, distances under perturbed weights.
+#include "routing/routing_instance.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "routing/perturbation.h"
+#include "topo/datasets.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+Graph diamond() {
+  // 0 - 1 - 3 (cost 2) and 0 - 2 - 3 (cost 5).
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  return g;
+}
+
+TEST(RoutingInstance, NextHopsFollowShortestPaths) {
+  const Graph g = diamond();
+  const RoutingInstance inst(g, g.weights());
+  EXPECT_EQ(inst.next_hop(0, 3), 1);
+  EXPECT_EQ(inst.next_hop(1, 3), 3);
+  EXPECT_EQ(inst.next_hop(2, 3), 3);
+  EXPECT_EQ(inst.next_hop(3, 0), 1);
+}
+
+TEST(RoutingInstance, SelfNextHopIsInvalid) {
+  const Graph g = diamond();
+  const RoutingInstance inst(g, g.weights());
+  EXPECT_EQ(inst.next_hop(2, 2), kInvalidNode);
+  EXPECT_EQ(inst.next_hop_edge(2, 2), kInvalidEdge);
+  EXPECT_DOUBLE_EQ(inst.distance(2, 2), 0.0);
+}
+
+TEST(RoutingInstance, UnreachableDestination) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const RoutingInstance inst(g, g.weights());
+  EXPECT_EQ(inst.next_hop(0, 2), kInvalidNode);
+  EXPECT_EQ(inst.distance(0, 2), kInfiniteWeight);
+  EXPECT_TRUE(inst.path(0, 2).empty());
+}
+
+TEST(RoutingInstance, EmptyWeightsMeansGraphWeights) {
+  const Graph g = diamond();
+  const RoutingInstance inst(g, {});
+  EXPECT_DOUBLE_EQ(inst.distance(0, 3), 2.0);
+}
+
+TEST(RoutingInstance, PathEndsAtDestination) {
+  const Graph g = topo::geant();
+  const RoutingInstance inst(g, g.weights());
+  const auto path = inst.path(0, 10);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 10);
+}
+
+TEST(RoutingInstance, PerturbedWeightsChangeDistances) {
+  const Graph g = diamond();
+  // Make the top route expensive.
+  std::vector<Weight> w = g.weights();
+  w[0] = 10.0;  // edge 0-1
+  const RoutingInstance inst(g, w);
+  EXPECT_EQ(inst.next_hop(0, 3), 2);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 3), 5.0);
+}
+
+TEST(RoutingInstance, PathCostOriginalUsesBaseWeights) {
+  const Graph g = diamond();
+  std::vector<Weight> w = g.weights();
+  w[0] = 10.0;  // force the 0-2-3 route in this slice
+  const RoutingInstance inst(g, w);
+  // Slice path 0-2-3 costs 5 under ORIGINAL weights (2+3), not perturbed.
+  EXPECT_DOUBLE_EQ(inst.path_cost_original(g, 0, 3), 5.0);
+}
+
+TEST(RoutingInstance, PathCostOriginalUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const RoutingInstance inst(g, g.weights());
+  EXPECT_EQ(inst.path_cost_original(g, 0, 2), kInfiniteWeight);
+}
+
+TEST(RoutingInstance, TreeEdgesFormSpanningTree) {
+  const Graph g = topo::sprint();
+  const RoutingInstance inst(g, g.weights());
+  for (NodeId dst : {0, 10, 25, 51}) {
+    const auto edges = inst.tree_edges(dst);
+    // Connected graph: every node except dst has a parent edge.
+    EXPECT_EQ(edges.size(), static_cast<std::size_t>(g.node_count() - 1));
+  }
+}
+
+TEST(RoutingInstance, TreeNextHopsConvergeOnDestination) {
+  const Graph g = topo::sprint();
+  Rng rng(5);
+  const auto w = perturb_weights(
+      g, PerturbationConfig{PerturbationKind::kDegreeBased, 0.0, 3.0}, rng);
+  const RoutingInstance inst(g, w);
+  for (NodeId dst = 0; dst < g.node_count(); dst += 7) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == dst) continue;
+      const auto path = inst.path(v, dst);
+      ASSERT_FALSE(path.empty()) << v << "->" << dst;
+      EXPECT_EQ(path.back(), dst);
+      EXPECT_LE(path.size(), static_cast<std::size_t>(g.node_count()));
+    }
+  }
+}
+
+TEST(RoutingInstance, DistancesMatchDijkstraUnderPerturbation) {
+  const Graph g = topo::geant();
+  Rng rng(6);
+  const auto w = perturb_weights(
+      g, PerturbationConfig{PerturbationKind::kUniform, 0.0, 2.0}, rng);
+  const RoutingInstance inst(g, w);
+  DijkstraOptions opts;
+  opts.weight_override = w;
+  for (NodeId dst : {0, 5, 11, 22}) {
+    const ShortestPaths sp = dijkstra(g, dst, opts);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_NEAR(inst.distance(v, dst), sp.dist[static_cast<std::size_t>(v)],
+                  1e-9);
+    }
+  }
+}
+
+TEST(RoutingInstance, NextHopDecreasesDistance) {
+  // The fundamental routing invariant: handing the packet to the next hop
+  // strictly decreases the (perturbed) distance to the destination.
+  const Graph g = topo::sprint();
+  Rng rng(7);
+  const auto w = perturb_weights(
+      g, PerturbationConfig{PerturbationKind::kDegreeBased, 0.0, 3.0}, rng);
+  const RoutingInstance inst(g, w);
+  for (NodeId dst = 0; dst < g.node_count(); dst += 5) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == dst) continue;
+      const NodeId nh = inst.next_hop(v, dst);
+      ASSERT_NE(nh, kInvalidNode);
+      EXPECT_LT(inst.distance(nh, dst), inst.distance(v, dst));
+    }
+  }
+}
+
+// Stretch property (§4.3 context): per-slice paths under perturbation
+// Weight(0, b) have original-weight stretch at most 1 + b.
+class SliceStretchBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(SliceStretchBound, StretchBoundedByOnePlusB) {
+  const double b = GetParam();
+  const Graph g = topo::geant();
+  Rng rng(8);
+  const auto w = perturb_weights(
+      g, PerturbationConfig{PerturbationKind::kUniform, 0.0, b}, rng);
+  const RoutingInstance inst(g, w);
+  const RoutingInstance base(g, g.weights());
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s == t) continue;
+      const Weight slice_cost = inst.path_cost_original(g, s, t);
+      const Weight best = base.distance(s, t);
+      // Perturbed weights w' satisfy w <= w' <= (1+b) w, so the slice path
+      // measured in original weights is at most (1+b) * shortest.
+      EXPECT_LE(slice_cost, (1.0 + b) * best + 1e-9);
+      EXPECT_GE(slice_cost, best - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BValues, SliceStretchBound,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,146 @@
+// MTR deployment rendering tests: extraction, MT-ID policy, round-trip,
+// error handling.
+#include "routing/mtr_config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+MultiInstanceRouting make_mir(const Graph& g, SliceId k,
+                              bool perturb_first = false) {
+  ControlPlaneConfig cfg;
+  cfg.slices = k;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  cfg.seed = 42;
+  cfg.perturb_first_slice = perturb_first;
+  return MultiInstanceRouting(g, cfg);
+}
+
+TEST(MtrConfig, ExtractionCoversEverySliceAndEdge) {
+  const Graph g = topo::geant();
+  const auto mir = make_mir(g, 4);
+  const MtrDeployment d = extract_mtr_deployment(g, mir);
+  ASSERT_EQ(d.topologies.size(), 4u);
+  for (const MtrTopology& t : d.topologies) {
+    EXPECT_EQ(t.cost.size(), static_cast<std::size_t>(g.edge_count()));
+    for (double c : t.cost) EXPECT_GT(c, 0.0);
+  }
+}
+
+TEST(MtrConfig, DefaultTopologyGetsMtIdZero) {
+  const Graph g = topo::geant();
+  const auto mir = make_mir(g, 3);
+  const MtrDeployment d = extract_mtr_deployment(g, mir);
+  EXPECT_EQ(d.topologies[0].mt_id, 0);       // unperturbed slice 0
+  EXPECT_EQ(d.topologies[1].mt_id, kMtrBaseId + 1);
+  EXPECT_EQ(d.topologies[2].mt_id, kMtrBaseId + 2);
+}
+
+TEST(MtrConfig, PerturbedFirstSliceGetsGeneratedId) {
+  const Graph g = topo::geant();
+  const auto mir = make_mir(g, 2, /*perturb_first=*/true);
+  const MtrDeployment d = extract_mtr_deployment(g, mir);
+  EXPECT_EQ(d.topologies[0].mt_id, kMtrBaseId);
+}
+
+TEST(MtrConfig, CostsMatchSliceWeights) {
+  const Graph g = topo::sprint();
+  const auto mir = make_mir(g, 3);
+  const MtrDeployment d = extract_mtr_deployment(g, mir);
+  for (SliceId s = 0; s < 3; ++s) {
+    const auto w = mir.slice(s).weights();
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_DOUBLE_EQ(
+          d.topologies[static_cast<std::size_t>(s)].cost[static_cast<std::size_t>(e)],
+          w[static_cast<std::size_t>(e)]);
+    }
+  }
+}
+
+TEST(MtrConfig, RenderParsesBack) {
+  const Graph g = topo::geant();
+  const auto mir = make_mir(g, 5);
+  const MtrDeployment d = extract_mtr_deployment(g, mir, "geant-prod");
+  const std::string text = render_mtr_config(g, d);
+  const MtrDeployment back = parse_mtr_config(g, text);
+  EXPECT_TRUE(deployments_equivalent(d, back));
+  EXPECT_EQ(back.router_domain, "geant-prod");
+}
+
+TEST(MtrConfig, RenderedTextHasExpectedStructure) {
+  const Graph g = topo::abilene();
+  const auto mir = make_mir(g, 2);
+  const std::string text =
+      render_mtr_config(g, extract_mtr_deployment(g, mir));
+  EXPECT_NE(text.find("router-domain splice"), std::string::npos);
+  EXPECT_NE(text.find("topology slice-0 mt-id 0"), std::string::npos);
+  EXPECT_NE(text.find("topology slice-1 mt-id 33"), std::string::npos);
+  EXPECT_NE(text.find("interface Seattle--Sunnyvale cost"),
+            std::string::npos);
+}
+
+TEST(MtrConfig, ParseRejectsUnknownInterface) {
+  const Graph g = topo::abilene();
+  const std::string text =
+      "router-domain x\n"
+      "topology slice-0 mt-id 0\n"
+      " interface Nowhere--Atlantis cost 3\n";
+  EXPECT_THROW(parse_mtr_config(g, text), std::invalid_argument);
+}
+
+TEST(MtrConfig, ParseRejectsBadDirectives) {
+  const Graph g = topo::abilene();
+  EXPECT_THROW(parse_mtr_config(g, "frobnicate everything\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_mtr_config(g, "topology nonsense\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_mtr_config(g, " interface Seattle--Sunnyvale cost 3\n"),
+      std::invalid_argument);
+  EXPECT_THROW(parse_mtr_config(
+                   g,
+                   "topology slice-0 mt-id 0\n"
+                   " interface Seattle--Sunnyvale cost -1\n"),
+               std::invalid_argument);
+}
+
+TEST(MtrConfig, ParseRejectsIncompleteTopology) {
+  const Graph g = topo::abilene();
+  // Declares a topology but covers only one of 14 interfaces.
+  const std::string text =
+      "topology slice-0 mt-id 0\n"
+      " interface Seattle--Sunnyvale cost 3\n";
+  EXPECT_THROW(parse_mtr_config(g, text), std::invalid_argument);
+}
+
+TEST(MtrConfig, EquivalenceDetectsDifferences) {
+  const Graph g = topo::abilene();
+  const auto mir = make_mir(g, 2);
+  MtrDeployment a = extract_mtr_deployment(g, mir);
+  MtrDeployment b = a;
+  EXPECT_TRUE(deployments_equivalent(a, b));
+  b.topologies[1].cost[3] += 0.5;
+  EXPECT_FALSE(deployments_equivalent(a, b));
+  b = a;
+  b.router_domain = "other";
+  EXPECT_FALSE(deployments_equivalent(a, b));
+  b = a;
+  b.topologies.pop_back();
+  EXPECT_FALSE(deployments_equivalent(a, b));
+}
+
+TEST(MtrConfig, CommentsAreIgnored) {
+  const Graph g = topo::abilene();
+  const auto mir = make_mir(g, 2);
+  std::string text = render_mtr_config(g, extract_mtr_deployment(g, mir));
+  text = "! a leading comment\n" + text + "! trailing\n";
+  EXPECT_NO_THROW(parse_mtr_config(g, text));
+}
+
+}  // namespace
+}  // namespace splice

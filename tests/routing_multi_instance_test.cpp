@@ -1,0 +1,142 @@
+// Multi-instance control plane and FIB materialization tests.
+#include "routing/multi_instance.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+ControlPlaneConfig sprint_cfg(SliceId k, std::uint64_t seed = 1) {
+  ControlPlaneConfig cfg;
+  cfg.slices = k;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(MultiInstance, BuildsRequestedSliceCount) {
+  const Graph g = topo::geant();
+  const MultiInstanceRouting mir(g, sprint_cfg(4));
+  EXPECT_EQ(mir.slice_count(), 4);
+}
+
+TEST(MultiInstance, SliceZeroIsUnperturbedByDefault) {
+  const Graph g = topo::geant();
+  const MultiInstanceRouting mir(g, sprint_cfg(3));
+  const auto w = mir.slice(0).weights();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(w[static_cast<std::size_t>(e)], g.edge(e).weight);
+  }
+}
+
+TEST(MultiInstance, PerturbFirstSliceFlag) {
+  const Graph g = topo::geant();
+  ControlPlaneConfig cfg = sprint_cfg(2);
+  cfg.perturb_first_slice = true;
+  const MultiInstanceRouting mir(g, cfg);
+  bool any_changed = false;
+  const auto w = mir.slice(0).weights();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    any_changed |= w[static_cast<std::size_t>(e)] != g.edge(e).weight;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(MultiInstance, SlicesHaveDistinctWeights) {
+  const Graph g = topo::sprint();
+  const MultiInstanceRouting mir(g, sprint_cfg(5));
+  for (SliceId a = 1; a < 5; ++a) {
+    for (SliceId b = a + 1; b < 5; ++b) {
+      const auto wa = mir.slice(a).weights();
+      const auto wb = mir.slice(b).weights();
+      bool differ = false;
+      for (std::size_t e = 0; e < wa.size(); ++e) differ |= wa[e] != wb[e];
+      EXPECT_TRUE(differ) << "slices " << a << " and " << b;
+    }
+  }
+}
+
+TEST(MultiInstance, DeterministicAcrossRebuilds) {
+  const Graph g = topo::geant();
+  const MultiInstanceRouting a(g, sprint_cfg(3, 77));
+  const MultiInstanceRouting b(g, sprint_cfg(3, 77));
+  for (SliceId s = 0; s < 3; ++s) {
+    const auto wa = a.slice(s).weights();
+    const auto wb = b.slice(s).weights();
+    for (std::size_t e = 0; e < wa.size(); ++e) EXPECT_EQ(wa[e], wb[e]);
+  }
+}
+
+TEST(MultiInstance, SeedChangesPerturbedSlices) {
+  const Graph g = topo::geant();
+  const MultiInstanceRouting a(g, sprint_cfg(2, 1));
+  const MultiInstanceRouting b(g, sprint_cfg(2, 2));
+  const auto wa = a.slice(1).weights();
+  const auto wb = b.slice(1).weights();
+  bool differ = false;
+  for (std::size_t e = 0; e < wa.size(); ++e) differ |= wa[e] != wb[e];
+  EXPECT_TRUE(differ);
+}
+
+TEST(MultiInstance, PrefixStability) {
+  // Slice i must be identical whether the control plane was built with k=3
+  // or k=5 — "first k slices" experiments depend on this.
+  const Graph g = topo::geant();
+  const MultiInstanceRouting small(g, sprint_cfg(3, 42));
+  const MultiInstanceRouting large(g, sprint_cfg(5, 42));
+  for (SliceId s = 0; s < 3; ++s) {
+    const auto ws = small.slice(s).weights();
+    const auto wl = large.slice(s).weights();
+    for (std::size_t e = 0; e < ws.size(); ++e) EXPECT_EQ(ws[e], wl[e]);
+  }
+}
+
+TEST(Fib, LookupMatchesInstances) {
+  const Graph g = topo::geant();
+  const MultiInstanceRouting mir(g, sprint_cfg(3));
+  const FibSet fibs = mir.build_fibs();
+  EXPECT_EQ(fibs.slice_count(), 3);
+  EXPECT_EQ(fibs.node_count(), g.node_count());
+  for (SliceId s = 0; s < 3; ++s) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      for (NodeId d = 0; d < g.node_count(); ++d) {
+        const FibEntry& e = fibs.lookup(s, v, d);
+        if (v == d) {
+          EXPECT_FALSE(e.valid());
+        } else {
+          EXPECT_EQ(e.next_hop, mir.slice(s).next_hop(v, d));
+          EXPECT_EQ(e.edge, mir.slice(s).next_hop_edge(v, d));
+        }
+      }
+    }
+  }
+}
+
+TEST(Fib, InstalledEntriesGrowLinearlyInK) {
+  // The paper's scalability claim: routing state is linear in k.
+  const Graph g = topo::geant();
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::size_t prev = 0;
+  for (SliceId k : {1, 2, 3, 4}) {
+    const MultiInstanceRouting mir(g, sprint_cfg(k));
+    const std::size_t entries = mir.build_fibs().installed_entries();
+    EXPECT_EQ(entries, static_cast<std::size_t>(k) * n * (n - 1));
+    EXPECT_GT(entries, prev);
+    prev = entries;
+  }
+}
+
+TEST(Fib, SetAndLookup) {
+  FibSet fibs(2, 3);
+  fibs.set(1, 0, 2, FibEntry{1, 0});
+  const FibEntry& e = fibs.lookup(1, 0, 2);
+  EXPECT_EQ(e.next_hop, 1);
+  EXPECT_EQ(e.edge, 0);
+  EXPECT_TRUE(e.valid());
+  EXPECT_FALSE(fibs.lookup(0, 0, 2).valid());
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,179 @@
+// Perturbation-strategy tests: the §3.1.1 bound L <= L' <= L*(1+mult),
+// degree-based multiplier shape, determinism, and the Appendix-B signed
+// variant.
+#include "routing/perturbation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+TEST(PerturbationKindParsing, RoundTrip) {
+  EXPECT_EQ(parse_perturbation_kind("none"), PerturbationKind::kNone);
+  EXPECT_EQ(parse_perturbation_kind("uniform"), PerturbationKind::kUniform);
+  EXPECT_EQ(parse_perturbation_kind("degree"), PerturbationKind::kDegreeBased);
+  EXPECT_EQ(parse_perturbation_kind("degree-based"),
+            PerturbationKind::kDegreeBased);
+  for (auto kind : {PerturbationKind::kNone, PerturbationKind::kUniform,
+                    PerturbationKind::kDegreeBased}) {
+    EXPECT_EQ(parse_perturbation_kind(to_string(kind)), kind);
+  }
+}
+
+TEST(PerturbationKindParsing, RejectsUnknown) {
+  EXPECT_THROW(parse_perturbation_kind("fancy"), std::invalid_argument);
+}
+
+TEST(Multipliers, NoneIsZero) {
+  const Graph g = topo::geant();
+  const auto mult = perturbation_multipliers(
+      g, PerturbationConfig{PerturbationKind::kNone, 0.0, 3.0});
+  for (double m : mult) EXPECT_DOUBLE_EQ(m, 0.0);
+}
+
+TEST(Multipliers, UniformIsConstantB) {
+  const Graph g = topo::geant();
+  const auto mult = perturbation_multipliers(
+      g, PerturbationConfig{PerturbationKind::kUniform, 0.0, 2.5});
+  for (double m : mult) EXPECT_DOUBLE_EQ(m, 2.5);
+}
+
+TEST(Multipliers, DegreeBasedSpansAtoB) {
+  const Graph g = topo::sprint();
+  const PerturbationConfig cfg{PerturbationKind::kDegreeBased, 0.5, 3.0};
+  const auto mult = perturbation_multipliers(g, cfg);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (double m : mult) {
+    EXPECT_GE(m, cfg.a - 1e-12);
+    EXPECT_LE(m, cfg.b + 1e-12);
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  // The extreme degree-sum links should hit the endpoints exactly.
+  EXPECT_NEAR(lo, cfg.a, 1e-12);
+  EXPECT_NEAR(hi, cfg.b, 1e-12);
+}
+
+TEST(Multipliers, DegreeBasedMonotoneInDegreeSum) {
+  const Graph g = topo::sprint();
+  const auto mult = perturbation_multipliers(
+      g, PerturbationConfig{PerturbationKind::kDegreeBased, 0.0, 3.0});
+  for (EdgeId e1 = 0; e1 < g.edge_count(); ++e1) {
+    for (EdgeId e2 = 0; e2 < g.edge_count(); ++e2) {
+      const int s1 = g.degree(g.edge(e1).u) + g.degree(g.edge(e1).v);
+      const int s2 = g.degree(g.edge(e2).u) + g.degree(g.edge(e2).v);
+      if (s1 < s2) {
+        EXPECT_LE(mult[static_cast<std::size_t>(e1)],
+                  mult[static_cast<std::size_t>(e2)] + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Multipliers, RegularGraphUsesMidpoint) {
+  const Graph g = ring(8);  // all degree sums equal
+  const auto mult = perturbation_multipliers(
+      g, PerturbationConfig{PerturbationKind::kDegreeBased, 1.0, 3.0});
+  for (double m : mult) EXPECT_DOUBLE_EQ(m, 2.0);
+}
+
+// Property sweep over kinds and parameter ranges: the §3.1.1 bound.
+struct BoundParam {
+  PerturbationKind kind;
+  double a;
+  double b;
+  std::uint64_t seed;
+};
+
+class PerturbationBound : public ::testing::TestWithParam<BoundParam> {};
+
+TEST_P(PerturbationBound, RespectsPaperBound) {
+  const auto param = GetParam();
+  const Graph g = topo::sprint();
+  const auto mult = perturbation_multipliers(
+      g, PerturbationConfig{param.kind, param.a, param.b});
+  Rng rng(param.seed);
+  const auto w =
+      perturb_weights(g, PerturbationConfig{param.kind, param.a, param.b}, rng);
+  ASSERT_EQ(w.size(), static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Weight l = g.edge(e).weight;
+    const auto idx = static_cast<std::size_t>(e);
+    EXPECT_GE(w[idx], l);  // perturbation only adds
+    EXPECT_LE(w[idx], l * (1.0 + mult[idx]) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndRanges, PerturbationBound,
+    ::testing::Values(
+        BoundParam{PerturbationKind::kNone, 0, 3, 1},
+        BoundParam{PerturbationKind::kUniform, 0, 1, 2},
+        BoundParam{PerturbationKind::kUniform, 0, 3, 3},
+        BoundParam{PerturbationKind::kDegreeBased, 0, 3, 4},
+        BoundParam{PerturbationKind::kDegreeBased, 0, 1, 5},
+        BoundParam{PerturbationKind::kDegreeBased, 1, 5, 6},
+        BoundParam{PerturbationKind::kDegreeBased, 0, 3, 7}));
+
+TEST(PerturbWeights, DeterministicPerSeed) {
+  const Graph g = topo::geant();
+  const PerturbationConfig cfg{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  Rng r1(9);
+  Rng r2(9);
+  EXPECT_EQ(perturb_weights(g, cfg, r1), perturb_weights(g, cfg, r2));
+}
+
+TEST(PerturbWeights, DifferentSeedsDiffer) {
+  const Graph g = topo::geant();
+  const PerturbationConfig cfg{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  Rng r1(9);
+  Rng r2(10);
+  EXPECT_NE(perturb_weights(g, cfg, r1), perturb_weights(g, cfg, r2));
+}
+
+TEST(PerturbWeights, NoneKindReturnsOriginal) {
+  const Graph g = topo::geant();
+  Rng rng(1);
+  const auto w = perturb_weights(
+      g, PerturbationConfig{PerturbationKind::kNone, 0.0, 0.0}, rng);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(w[static_cast<std::size_t>(e)], g.edge(e).weight);
+  }
+}
+
+TEST(SignedPerturbation, StaysWithinBand) {
+  const Graph g = topo::sprint();
+  Rng rng(3);
+  const double c = 0.4;
+  const auto w = perturb_weights_signed(g, c, rng);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Weight l = g.edge(e).weight;
+    const auto idx = static_cast<std::size_t>(e);
+    EXPECT_GE(w[idx], l * (1 - c) - 1e-9);
+    EXPECT_LE(w[idx], l * (1 + c) + 1e-9);
+    EXPECT_GT(w[idx], 0.0);
+  }
+}
+
+TEST(SignedPerturbation, MeanIsUnbiased) {
+  const Graph g = topo::geant();
+  Rng rng(4);
+  double sum_ratio = 0.0;
+  const int draws = 400;
+  for (int i = 0; i < draws; ++i) {
+    const auto w = perturb_weights_signed(g, 0.5, rng);
+    double tot = 0.0;
+    for (Weight x : w) tot += x;
+    sum_ratio += tot / g.total_weight();
+  }
+  EXPECT_NEAR(sum_ratio / draws, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,201 @@
+// Event-queue and recovery-timing tests.
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "routing/multi_instance.h"
+#include "sim/failure.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5.0, [&](SimTime) { order.push_back(2); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(1); });
+  q.schedule(9.0, [&](SimTime) { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&](SimTime) { order.push_back(1); });
+  q.schedule(2.0, [&](SimTime) { order.push_back(2); });
+  q.schedule(2.0, [&](SimTime) { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&](SimTime now) {
+    ++fired;
+    q.schedule(now + 1.0, [&](SimTime) { ++fired; });
+  });
+  const SimTime end = q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(end, 2.0);
+}
+
+TEST(EventQueue, HorizonStopsExecution) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&](SimTime) { ++fired; });
+  q.schedule(100.0, [&](SimTime) { ++fired; });
+  q.run(10.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueDeath, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(5.0, [&](SimTime now) {
+    // Scheduling before `now` must trip the precondition.
+    q.schedule(now - 1.0, [](SimTime) {});
+  });
+  EXPECT_DEATH(q.run(), "Precondition");
+}
+
+struct TimingFixture {
+  TimingFixture()
+      : g(topo::sprint()),
+        mir(g, ControlPlaneConfig{
+                   5, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 3, false}),
+        fibs(mir.build_fibs()),
+        net(g, fibs) {}
+
+  Graph g;
+  MultiInstanceRouting mir;
+  FibSet fibs;
+  DataPlaneNetwork net;
+  Rng rng{11};
+};
+
+TEST(RecoveryTiming, IntactPathIsOneRtt) {
+  TimingFixture f;
+  const NodeId src = f.g.find_node("Atlanta");
+  const NodeId dst = f.g.find_node("Seattle");
+  const RecoveryTiming t =
+      simulate_recovery_timing(f.net, src, dst, TimingConfig{}, f.rng);
+  EXPECT_TRUE(t.initially_connected);
+  EXPECT_TRUE(t.recovered);
+  EXPECT_EQ(t.packets_sent, 1);
+  // Completion = round trip of the slice-0 path.
+  const auto path_cost = f.mir.slice(0).path_cost_original(f.g, src, dst);
+  EXPECT_NEAR(t.completion_ms, 2.0 * path_cost, 1e-9);
+}
+
+TEST(RecoveryTiming, SerialRecoveryPaysRtoPerFailure) {
+  TimingFixture f;
+  const NodeId src = f.g.find_node("Atlanta");
+  const NodeId dst = f.g.find_node("Seattle");
+  const EdgeId first = f.mir.slice(0).next_hop_edge(src, dst);
+  f.net.set_link_state(first, false);
+  TimingConfig cfg;
+  cfg.rto_ms = 100.0;
+  int successes = 0;
+  for (int i = 0; i < 30; ++i) {
+    const RecoveryTiming t =
+        simulate_recovery_timing(f.net, src, dst, cfg, f.rng);
+    EXPECT_FALSE(t.initially_connected);
+    if (t.recovered) {
+      ++successes;
+      // At least one RTO elapsed before the successful retry.
+      EXPECT_GE(t.completion_ms, cfg.rto_ms);
+      EXPECT_GE(t.packets_sent, 2);
+    }
+  }
+  EXPECT_GT(successes, 20);
+}
+
+TEST(RecoveryTiming, ParallelBurstBeatsSerialOnAverage) {
+  TimingFixture f;
+  Rng mask_rng(21);
+  const auto alive = sample_alive_mask(f.g.edge_count(), 0.08, mask_rng);
+  f.net.set_link_mask(alive);
+
+  TimingConfig serial;
+  serial.strategy = RecoveryStrategy::kSerial;
+  TimingConfig burst;
+  burst.strategy = RecoveryStrategy::kParallelBurst;
+
+  double serial_total = 0.0;
+  double burst_total = 0.0;
+  int recovered_both = 0;
+  Rng rng_a(31);
+  Rng rng_b(31);
+  for (NodeId src = 0; src < f.g.node_count(); src += 3) {
+    for (NodeId dst = 0; dst < f.g.node_count(); dst += 4) {
+      if (src == dst) continue;
+      const RecoveryTiming ts =
+          simulate_recovery_timing(f.net, src, dst, serial, rng_a);
+      const RecoveryTiming tb =
+          simulate_recovery_timing(f.net, src, dst, burst, rng_b);
+      if (ts.initially_connected || !ts.recovered || !tb.recovered) continue;
+      serial_total += ts.completion_ms;
+      burst_total += tb.completion_ms;
+      ++recovered_both;
+      // Burst completion is bounded by one RTO + one (worst) RTT.
+      EXPECT_LE(tb.completion_ms, burst.rto_ms + 2.0 * 1000.0);
+    }
+  }
+  ASSERT_GT(recovered_both, 5);
+  EXPECT_LT(burst_total, serial_total);
+}
+
+TEST(RecoveryTiming, NetworkDeflectionNeedsNoRetries) {
+  TimingFixture f;
+  const NodeId src = f.g.find_node("Atlanta");
+  const NodeId dst = f.g.find_node("Seattle");
+  const EdgeId first = f.mir.slice(0).next_hop_edge(src, dst);
+  f.net.set_link_state(first, false);
+  TimingConfig cfg;
+  cfg.strategy = RecoveryStrategy::kNetworkDeflection;
+  const RecoveryTiming t =
+      simulate_recovery_timing(f.net, src, dst, cfg, f.rng);
+  EXPECT_TRUE(t.recovered);
+  EXPECT_FALSE(t.initially_connected);
+  EXPECT_EQ(t.packets_sent, 1);
+  // Faster than any sender-timeout scheme could possibly be.
+  EXPECT_LT(t.completion_ms, cfg.rto_ms);
+}
+
+TEST(RecoveryTiming, UnrecoverableReportsFailure) {
+  TimingFixture f;
+  const NodeId dst = 7;
+  for (const Incidence& inc : f.g.neighbors(dst)) {
+    f.net.set_link_state(inc.edge, false);
+  }
+  for (auto strategy :
+       {RecoveryStrategy::kSerial, RecoveryStrategy::kParallelBurst,
+        RecoveryStrategy::kNetworkDeflection}) {
+    TimingConfig cfg;
+    cfg.strategy = strategy;
+    const RecoveryTiming t =
+        simulate_recovery_timing(f.net, 0, dst, cfg, f.rng);
+    EXPECT_FALSE(t.recovered);
+    EXPECT_FALSE(t.initially_connected);
+  }
+}
+
+TEST(RecoveryTiming, TraceDelayMatchesWeights) {
+  TimingFixture f;
+  Packet p;
+  p.src = 0;
+  p.dst = 10;
+  const Delivery d = f.net.forward(p);
+  ASSERT_TRUE(d.delivered());
+  SimTime expect = 0.0;
+  for (const HopRecord& hop : d.hops) expect += f.g.edge(hop.edge).weight;
+  EXPECT_DOUBLE_EQ(trace_delay_ms(f.g, d), expect);
+}
+
+}  // namespace
+}  // namespace splice

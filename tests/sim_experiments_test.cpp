@@ -1,0 +1,289 @@
+// Experiment-harness tests on small configurations: shape invariants of
+// every curve the paper plots (monotone in k, bounded by best-possible,
+// zero at p=0), determinism, and the Appendix A/B harnesses.
+#include "sim/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+ReliabilityConfig small_reliability_cfg() {
+  ReliabilityConfig cfg;
+  cfg.k_values = {1, 2, 3};
+  cfg.p_values = {0.0, 0.05, 0.1};
+  cfg.trials = 40;
+  return cfg;
+}
+
+TEST(ReliabilityExperiment, ProducesFullGrid) {
+  const auto curves =
+      run_reliability_experiment(topo::geant(), small_reliability_cfg());
+  EXPECT_EQ(curves.points.size(), 9u);         // 3 k x 3 p
+  EXPECT_EQ(curves.best_possible.size(), 3u);  // one per p
+}
+
+TEST(ReliabilityExperiment, ZeroFailureMeansZeroDisconnection) {
+  const auto curves =
+      run_reliability_experiment(topo::geant(), small_reliability_cfg());
+  for (const auto& pt : curves.points) {
+    if (pt.p == 0.0) {
+      EXPECT_DOUBLE_EQ(pt.mean_disconnected, 0.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(curves.best_possible.front().mean_disconnected, 0.0);
+}
+
+TEST(ReliabilityExperiment, MonotoneInK) {
+  const auto curves =
+      run_reliability_experiment(topo::sprint(), small_reliability_cfg());
+  std::map<double, std::map<SliceId, double>> by_p;
+  for (const auto& pt : curves.points)
+    by_p[pt.p][pt.k] = pt.mean_disconnected;
+  for (const auto& [p, by_k] : by_p) {
+    double prev = 1.0;
+    for (const auto& [k, frac] : by_k) {
+      EXPECT_LE(frac, prev + 1e-12) << "p=" << p << " k=" << k;
+      prev = frac;
+    }
+  }
+}
+
+TEST(ReliabilityExperiment, BoundedByBestPossible) {
+  const auto curves =
+      run_reliability_experiment(topo::sprint(), small_reliability_cfg());
+  std::map<double, double> best;
+  for (const auto& pt : curves.best_possible) best[pt.p] = pt.mean_disconnected;
+  for (const auto& pt : curves.points) {
+    EXPECT_GE(pt.mean_disconnected, best[pt.p] - 1e-12);
+  }
+}
+
+TEST(ReliabilityExperiment, DeterministicPerSeed) {
+  const auto a =
+      run_reliability_experiment(topo::geant(), small_reliability_cfg());
+  const auto b =
+      run_reliability_experiment(topo::geant(), small_reliability_cfg());
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].mean_disconnected,
+                     b.points[i].mean_disconnected);
+  }
+}
+
+TEST(ReliabilityExperiment, MoreFailuresMoreDisconnection) {
+  const auto curves =
+      run_reliability_experiment(topo::sprint(), small_reliability_cfg());
+  // For each k, the curve should rise (statistically) from p=0 to p=0.1.
+  std::map<SliceId, std::map<double, double>> by_k;
+  for (const auto& pt : curves.points) by_k[pt.k][pt.p] = pt.mean_disconnected;
+  for (const auto& [k, curve] : by_k) {
+    EXPECT_LT(curve.at(0.0), curve.at(0.1)) << "k=" << k;
+  }
+}
+
+TEST(ReliabilityExperiment, NodeFailureModeBehaves) {
+  ReliabilityConfig cfg = small_reliability_cfg();
+  cfg.failure = FailureKind::kNode;
+  const auto curves = run_reliability_experiment(topo::sprint(), cfg);
+  EXPECT_EQ(curves.points.size(), 9u);
+  for (const auto& pt : curves.points) {
+    EXPECT_GE(pt.mean_disconnected, -1e-12);
+    EXPECT_LE(pt.mean_disconnected, 1.0 + 1e-12);
+    if (pt.p == 0.0) {
+      EXPECT_DOUBLE_EQ(pt.mean_disconnected, 0.0);
+    }
+  }
+  // Monotone in k under node failures too.
+  std::map<double, std::map<SliceId, double>> by_p;
+  for (const auto& pt : curves.points)
+    by_p[pt.p][pt.k] = pt.mean_disconnected;
+  for (const auto& [p, by_k] : by_p) {
+    double prev = 1.0;
+    for (const auto& [k, frac] : by_k) {
+      EXPECT_LE(frac, prev + 1e-12) << "p=" << p << " k=" << k;
+      prev = frac;
+    }
+  }
+}
+
+TEST(ReliabilityExperiment, DirectedSemanticsIsWeaker) {
+  ReliabilityConfig undirected = small_reliability_cfg();
+  ReliabilityConfig directed = small_reliability_cfg();
+  directed.semantics = UnionSemantics::kDirectedForwarding;
+  const auto u = run_reliability_experiment(topo::sprint(), undirected);
+  const auto d = run_reliability_experiment(topo::sprint(), directed);
+  ASSERT_EQ(u.points.size(), d.points.size());
+  for (std::size_t i = 0; i < u.points.size(); ++i) {
+    EXPECT_GE(d.points[i].mean_disconnected,
+              u.points[i].mean_disconnected - 1e-12);
+  }
+}
+
+RecoveryExperimentConfig small_recovery_cfg() {
+  RecoveryExperimentConfig cfg;
+  cfg.k_values = {1, 3};
+  cfg.p_values = {0.0, 0.08};
+  cfg.trials = 8;
+  cfg.pair_sample = 60;
+  return cfg;
+}
+
+TEST(RecoveryExperiment, ProducesFullGrid) {
+  const auto points =
+      run_recovery_experiment(topo::sprint(), small_recovery_cfg());
+  EXPECT_EQ(points.size(), 4u);  // 2 k x 2 p
+}
+
+TEST(RecoveryExperiment, RecoveryBoundedByReliability) {
+  // Unrecovered fraction can never drop below the spliced-disconnection
+  // fraction (you cannot recover a pair with no surviving spliced path),
+  // and never exceeds the initially-broken fraction.
+  const auto points =
+      run_recovery_experiment(topo::sprint(), small_recovery_cfg());
+  for (const auto& pt : points) {
+    EXPECT_GE(pt.frac_unrecovered, pt.frac_disconnected - 1e-12);
+    EXPECT_LE(pt.frac_unrecovered, pt.frac_initial_broken + 1e-12);
+  }
+}
+
+TEST(RecoveryExperiment, NoSplicingMeansNoRecovery) {
+  const auto points =
+      run_recovery_experiment(topo::sprint(), small_recovery_cfg());
+  for (const auto& pt : points) {
+    if (pt.k == 1) {
+      EXPECT_DOUBLE_EQ(pt.frac_unrecovered, pt.frac_initial_broken);
+    }
+  }
+}
+
+TEST(RecoveryExperiment, ZeroFailureAllConnected) {
+  const auto points =
+      run_recovery_experiment(topo::sprint(), small_recovery_cfg());
+  for (const auto& pt : points) {
+    if (pt.p == 0.0) {
+      EXPECT_DOUBLE_EQ(pt.frac_unrecovered, 0.0);
+      EXPECT_DOUBLE_EQ(pt.frac_initial_broken, 0.0);
+    }
+  }
+}
+
+TEST(RecoveryExperiment, StretchAtLeastOneWhenPresent) {
+  const auto points =
+      run_recovery_experiment(topo::sprint(), small_recovery_cfg());
+  for (const auto& pt : points) {
+    if (pt.mean_stretch > 0.0) {
+      EXPECT_GE(pt.mean_stretch, 1.0 - 1e-9);
+      EXPECT_GE(pt.p99_stretch, pt.mean_stretch - 1e-9);
+    }
+    if (pt.mean_trials > 0.0) {
+      EXPECT_GE(pt.mean_trials, 1.0);
+      EXPECT_LE(pt.mean_trials, 5.0);
+    }
+  }
+}
+
+TEST(RecoveryExperiment, NetworkSchemeRuns) {
+  RecoveryExperimentConfig cfg = small_recovery_cfg();
+  cfg.recovery.scheme = RecoveryScheme::kNetworkDeflection;
+  const auto points = run_recovery_experiment(topo::sprint(), cfg);
+  for (const auto& pt : points) {
+    EXPECT_GE(pt.frac_unrecovered, pt.frac_disconnected - 1e-12);
+  }
+}
+
+TEST(RecoveryExperiment, ExhaustivePairsWhenSampleZero) {
+  RecoveryExperimentConfig cfg = small_recovery_cfg();
+  cfg.pair_sample = 0;
+  cfg.p_values = {0.05};
+  cfg.trials = 2;
+  cfg.k_values = {2};
+  const auto points = run_recovery_experiment(topo::geant(), cfg);
+  ASSERT_EQ(points.size(), 1u);
+}
+
+TEST(RecoveryExperiment, NodeFailureModeBehaves) {
+  RecoveryExperimentConfig cfg = small_recovery_cfg();
+  cfg.failure = FailureKind::kNode;
+  const auto points = run_recovery_experiment(topo::sprint(), cfg);
+  ASSERT_EQ(points.size(), 4u);
+  for (const auto& pt : points) {
+    EXPECT_GE(pt.frac_unrecovered, pt.frac_disconnected - 1e-12);
+    EXPECT_LE(pt.frac_unrecovered, pt.frac_initial_broken + 1e-12);
+    if (pt.p == 0.0) {
+      EXPECT_DOUBLE_EQ(pt.frac_initial_broken, 0.0);
+    }
+  }
+}
+
+TEST(SliceStretchCensus, RowPerSlice) {
+  const auto rows = run_slice_stretch_census(
+      topo::geant(), 4, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NEAR(rows[0].stretch.mean, 1.0, 1e-9);  // slice 0 unperturbed
+  for (const auto& row : rows) {
+    EXPECT_GE(row.stretch.mean, 1.0 - 1e-9);
+    EXPECT_LE(row.stretch.p99, 4.0 + 1e-9);  // bound: 1 + b
+  }
+}
+
+TEST(ScalingExperiment, SmallSweepBehaves) {
+  ScalingConfig cfg;
+  cfg.sizes = {16, 32};
+  cfg.trials = 10;
+  cfg.max_k = 8;
+  const auto points = run_scaling_experiment(cfg);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& pt : points) {
+    EXPECT_GT(pt.edges, 0);
+    EXPECT_GE(pt.k_needed, 1);
+    EXPECT_LE(pt.k_needed, 9);
+    EXPECT_GE(pt.achieved, pt.best_possible - 1e-12);
+  }
+}
+
+TEST(StretchBoundExperiment, ChebyshevHolds) {
+  StretchBoundConfig cfg;
+  cfg.path_samples = 60;
+  cfg.perturbation_samples = 100;
+  const auto points = run_stretch_bound_experiment(topo::sprint(), cfg);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& pt : points) {
+    EXPECT_DOUBLE_EQ(pt.bound, 1.0 / (pt.r * pt.r));
+    // Theorem B.1: empirical violation probability is below the bound.
+    EXPECT_LE(pt.empirical_violation, pt.bound + 0.02);
+  }
+}
+
+TEST(StretchBoundExperiment, ViolationDecreasesWithR) {
+  StretchBoundConfig cfg;
+  cfg.r_values = {1.0, 2.0, 4.0};
+  cfg.path_samples = 60;
+  cfg.perturbation_samples = 100;
+  const auto points = run_stretch_bound_experiment(topo::sprint(), cfg);
+  EXPECT_GE(points[0].empirical_violation, points[1].empirical_violation);
+  EXPECT_GE(points[1].empirical_violation, points[2].empirical_violation);
+}
+
+TEST(DiversityExperiment, GrowsWithK) {
+  const auto points = run_diversity_experiment(
+      topo::geant(), {1, 2, 4}, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1);
+  ASSERT_EQ(points.size(), 3u);
+  // Arcs and walk counts grow with k; FIB state grows exactly linearly.
+  EXPECT_LT(points[0].mean_union_arcs, points[2].mean_union_arcs);
+  EXPECT_LE(points[0].log10_paths, points[2].log10_paths);
+  EXPECT_EQ(points[1].fib_entries, 2 * points[0].fib_entries);
+  EXPECT_EQ(points[2].fib_entries, 4 * points[0].fib_entries);
+  // k=1 tree: exactly one path to each destination.
+  EXPECT_NEAR(points[0].log10_paths, 0.0, 1e-9);
+  EXPECT_NEAR(points[0].mean_union_arcs,
+              static_cast<double>(topo::geant().node_count() - 1), 1e-9);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,165 @@
+// Tests for the extension experiments: Definition 2.2 connectivity curve
+// and the §6 reconvergence study.
+#include "sim/extensions.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+ConnectivityCurveConfig curve_cfg() {
+  ConnectivityCurveConfig cfg;
+  cfg.k_values = {1, 3};
+  cfg.p_values = {0.0, 0.02, 0.05};
+  cfg.trials = 60;
+  return cfg;
+}
+
+TEST(ConnectivityCurve, GridShape) {
+  const auto points = run_connectivity_curve(topo::geant(), curve_cfg());
+  // (1 graph row + 2 k rows) per p value.
+  EXPECT_EQ(points.size(), 9u);
+}
+
+TEST(ConnectivityCurve, PerfectAtZeroFailure) {
+  const auto points = run_connectivity_curve(topo::geant(), curve_cfg());
+  for (const auto& pt : points) {
+    if (pt.p == 0.0) {
+      EXPECT_DOUBLE_EQ(pt.reliability, 1.0);
+    }
+  }
+}
+
+TEST(ConnectivityCurve, BoundedByUnderlyingGraph) {
+  // R_spliced(p) <= R_graph(p): the spliced union is a subgraph construct.
+  const auto points = run_connectivity_curve(topo::sprint(), curve_cfg());
+  std::map<double, double> graph_r;
+  for (const auto& pt : points) {
+    if (pt.k == 0) graph_r[pt.p] = pt.reliability;
+  }
+  for (const auto& pt : points) {
+    if (pt.k != 0) {
+      EXPECT_LE(pt.reliability, graph_r[pt.p] + 1e-12);
+    }
+  }
+}
+
+TEST(ConnectivityCurve, MonotoneInKAndP) {
+  const auto points = run_connectivity_curve(topo::sprint(), curve_cfg());
+  std::map<double, std::map<SliceId, double>> by_p;
+  for (const auto& pt : points) by_p[pt.p][pt.k] = pt.reliability;
+  // More slices -> at least as reliable (shared failure sets).
+  for (auto& [p, by_k] : by_p) {
+    EXPECT_LE(by_k[1], by_k[3] + 1e-12) << "p=" << p;
+  }
+  // Higher p -> less reliable for the graph curve.
+  EXPECT_GE(by_p[0.0][0], by_p[0.05][0]);
+}
+
+ReconvergenceConfig reconv_cfg() {
+  ReconvergenceConfig cfg;
+  cfg.k = 4;
+  cfg.p_values = {0.03, 0.08};
+  cfg.trials = 6;
+  return cfg;
+}
+
+TEST(Reconvergence, CoherentFractions) {
+  const auto points = run_reconvergence_experiment(topo::sprint(), reconv_cfg());
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& pt : points) {
+    EXPECT_GE(pt.frac_broken, 0.0);
+    EXPECT_LE(pt.frac_broken, 1.0);
+    // Splicing cannot fix pairs that reconvergence (= physical
+    // connectivity) cannot.
+    EXPECT_LE(pt.splicing_fixes, pt.reconvergence_fixes + 1e-12);
+    EXPECT_GE(pt.coverage_of_reconvergence, 0.0);
+    EXPECT_LE(pt.coverage_of_reconvergence, 1.0 + 1e-12);
+  }
+}
+
+TEST(Reconvergence, SplicingCoversSubstantialReconvergenceShare) {
+  // The §6 claim: splicing alone repairs a substantial share of what a full
+  // reconvergence would repair — and strictly more with slices than
+  // without. (The ceiling counts pairs that are merely *physically*
+  // connected; the directed spliced union is strictly smaller, so coverage
+  // is well below 1 on sparse backbones.)
+  ReconvergenceConfig cfg = reconv_cfg();
+  cfg.p_values = {0.04};
+  cfg.trials = 10;
+  const auto with_slices = run_reconvergence_experiment(topo::sprint(), cfg);
+  ASSERT_EQ(with_slices.size(), 1u);
+  EXPECT_GT(with_slices[0].coverage_of_reconvergence, 0.25);
+
+  cfg.k = 1;
+  const auto no_slices = run_reconvergence_experiment(topo::sprint(), cfg);
+  // With one slice there is nothing to splice to; coverage collapses.
+  EXPECT_GT(with_slices[0].coverage_of_reconvergence,
+            no_slices[0].coverage_of_reconvergence + 0.15);
+}
+
+TEST(Reconvergence, BrokenGrowsWithP) {
+  const auto points = run_reconvergence_experiment(topo::sprint(), reconv_cfg());
+  EXPECT_LT(points[0].frac_broken, points[1].frac_broken);
+}
+
+TEST(Throughput, RatioBoundsAndMonotonicity) {
+  ThroughputConfig cfg;
+  cfg.k_values = {1, 3, 8};
+  cfg.pair_sample = 60;
+  const auto points = run_throughput_experiment(topo::sprint(), cfg);
+  ASSERT_EQ(points.size(), 3u);
+  double prev = 0.0;
+  for (const auto& pt : points) {
+    EXPECT_GT(pt.mean_capacity_ratio, 0.0);
+    EXPECT_LE(pt.mean_capacity_ratio, 1.0 + 1e-12);
+    EXPECT_LE(pt.mean_spliced_capacity, pt.mean_graph_capacity + 1e-12);
+    EXPECT_GE(pt.mean_capacity_ratio, prev - 1e-12);  // grows with k
+    prev = pt.mean_capacity_ratio;
+  }
+  // More slices should add real capacity on a meshy backbone.
+  EXPECT_GT(points[2].mean_spliced_capacity,
+            points[0].mean_spliced_capacity);
+}
+
+TEST(Throughput, SingleSliceIsOnePath) {
+  ThroughputConfig cfg;
+  cfg.k_values = {1};
+  cfg.pair_sample = 40;
+  const auto points = run_throughput_experiment(topo::geant(), cfg);
+  ASSERT_EQ(points.size(), 1u);
+  // One tree: exactly one path per pair.
+  EXPECT_NEAR(points[0].mean_spliced_capacity, 1.0, 1e-9);
+}
+
+TEST(Throughput, CompleteGraphCapacityGrowsSeveralFold) {
+  // On K6 every pair has capacity 5 but a single tree exposes 1 path;
+  // slices must multiply the usable capacity several-fold.
+  ThroughputConfig cfg;
+  cfg.k_values = {1, 8};
+  cfg.pair_sample = 0;  // all pairs of a small graph
+  cfg.perturbation = {PerturbationKind::kUniform, 0.0, 3.0};
+  const auto points = run_throughput_experiment(complete(6), cfg);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_NEAR(points[0].mean_spliced_capacity, 1.0, 1e-9);
+  EXPECT_GT(points[1].mean_spliced_capacity,
+            1.8 * points[0].mean_spliced_capacity);
+}
+
+TEST(Reconvergence, Deterministic) {
+  const auto a = run_reconvergence_experiment(topo::geant(), reconv_cfg());
+  const auto b = run_reconvergence_experiment(topo::geant(), reconv_cfg());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].splicing_fixes, b[i].splicing_fixes);
+    EXPECT_DOUBLE_EQ(a[i].frac_broken, b[i].frac_broken);
+  }
+}
+
+}  // namespace
+}  // namespace splice

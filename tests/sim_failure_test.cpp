@@ -1,0 +1,215 @@
+// Failure-model tests.
+#include "sim/failure.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/datasets.h"
+#include "util/stats.h"
+
+namespace splice {
+namespace {
+
+TEST(FailureModel, ZeroProbabilityFailsNothing) {
+  Rng rng(1);
+  const auto alive = sample_alive_mask(100, 0.0, rng);
+  EXPECT_EQ(failed_count(alive), 0);
+}
+
+TEST(FailureModel, OneProbabilityFailsEverything) {
+  Rng rng(2);
+  const auto alive = sample_alive_mask(100, 1.0, rng);
+  EXPECT_EQ(failed_count(alive), 100);
+}
+
+TEST(FailureModel, MatchesExpectedRate) {
+  Rng rng(3);
+  long long failed = 0;
+  const int trials = 200;
+  const EdgeId edges = 500;
+  for (int t = 0; t < trials; ++t) {
+    failed += failed_count(sample_alive_mask(edges, 0.05, rng));
+  }
+  const double rate =
+      static_cast<double>(failed) / (static_cast<double>(trials) * edges);
+  EXPECT_NEAR(rate, 0.05, 0.005);
+}
+
+TEST(FailureModel, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(sample_alive_mask(50, 0.3, a), sample_alive_mask(50, 0.3, b));
+}
+
+TEST(FailureModel, MaskSizeMatchesEdges) {
+  Rng rng(4);
+  EXPECT_EQ(sample_alive_mask(37, 0.1, rng).size(), 37u);
+  EXPECT_EQ(sample_alive_mask(0, 0.1, rng).size(), 0u);
+}
+
+TEST(FailRandomEdges, ExactCount) {
+  Rng rng(5);
+  for (int count : {0, 1, 5, 20}) {
+    const auto alive = fail_random_edges(20, count, rng);
+    EXPECT_EQ(failed_count(alive), count);
+  }
+}
+
+TEST(FailRandomEdges, DistinctEdges) {
+  Rng rng(6);
+  const auto alive = fail_random_edges(10, 10, rng);
+  EXPECT_EQ(failed_count(alive), 10);  // all failed exactly once
+}
+
+TEST(NodeFailures, ZeroProbabilityKeepsAllLinks) {
+  const Graph g = topo::geant();
+  Rng rng(1);
+  const auto alive = sample_node_failure_mask(g, 0.0, rng);
+  EXPECT_EQ(failed_count(alive), 0);
+}
+
+TEST(NodeFailures, FullProbabilityKillsAllLinks) {
+  const Graph g = topo::geant();
+  Rng rng(2);
+  std::vector<char> dead;
+  const auto alive = sample_node_failure_mask(g, 1.0, rng, &dead);
+  EXPECT_EQ(failed_count(alive), g.edge_count());
+  for (char d : dead) EXPECT_TRUE(d);
+}
+
+TEST(NodeFailures, DeadNodeKillsExactlyItsLinks) {
+  const Graph g = topo::sprint();
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<char> dead;
+    const auto alive = sample_node_failure_mask(g, 0.1, rng, &dead);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& edge = g.edge(e);
+      const bool expect_dead = dead[static_cast<std::size_t>(edge.u)] ||
+                               dead[static_cast<std::size_t>(edge.v)];
+      EXPECT_EQ(alive[static_cast<std::size_t>(e)] == 0, expect_dead)
+          << "edge " << e;
+    }
+  }
+}
+
+TEST(NodeFailures, MaskSizesMatchGraph) {
+  const Graph g = topo::abilene();
+  Rng rng(4);
+  std::vector<char> dead;
+  const auto alive = sample_node_failure_mask(g, 0.2, rng, &dead);
+  EXPECT_EQ(alive.size(), static_cast<std::size_t>(g.edge_count()));
+  EXPECT_EQ(dead.size(), static_cast<std::size_t>(g.node_count()));
+}
+
+TEST(Srlg, EndpointGroupsCoverHighDegreeNodes) {
+  const Graph g = topo::sprint();
+  const SrlgModel model = srlg_by_shared_endpoint(g);
+  // One group per node with degree >= 2.
+  int expected = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) expected += g.degree(v) >= 2;
+  EXPECT_EQ(model.groups.size(), static_cast<std::size_t>(expected));
+  for (const auto& group : model.groups) {
+    EXPECT_GE(group.size(), 2u);
+    for (EdgeId e : group) {
+      EXPECT_GE(e, 0);
+      EXPECT_LT(e, g.edge_count());
+    }
+  }
+}
+
+TEST(Srlg, GroupFailureKillsWholeGroup) {
+  const Graph g = topo::geant();
+  const SrlgModel model = srlg_by_shared_endpoint(g);
+  Rng rng(4);
+  const auto alive = sample_srlg_mask(g, model, 1.0, 0.0, rng);
+  // Every group fails => every link in any group is dead.
+  for (const auto& group : model.groups) {
+    for (EdgeId e : group) {
+      EXPECT_FALSE(alive[static_cast<std::size_t>(e)]);
+    }
+  }
+}
+
+TEST(Srlg, ZeroProbabilitiesKeepEverything) {
+  const Graph g = topo::geant();
+  const SrlgModel model = srlg_by_shared_endpoint(g);
+  Rng rng(5);
+  EXPECT_EQ(failed_count(sample_srlg_mask(g, model, 0.0, 0.0, rng)), 0);
+}
+
+TEST(Srlg, CorrelationFailsLinksInBursts) {
+  // With only group failures, failed-link counts should be burstier than
+  // an independent model of the same mean: measure the variance ratio.
+  const Graph g = topo::sprint();
+  const SrlgModel model = srlg_by_shared_endpoint(g);
+  Rng rng(6);
+  OnlineStats srlg_counts;
+  for (int t = 0; t < 600; ++t) {
+    srlg_counts.add(static_cast<double>(
+        failed_count(sample_srlg_mask(g, model, 0.01, 0.0, rng))));
+  }
+  const double mean = srlg_counts.mean();
+  OnlineStats indep_counts;
+  const double p_equiv = mean / g.edge_count();
+  for (int t = 0; t < 600; ++t) {
+    indep_counts.add(static_cast<double>(
+        failed_count(sample_alive_mask(g.edge_count(), p_equiv, rng))));
+  }
+  EXPECT_GT(srlg_counts.variance(), 2.0 * indep_counts.variance());
+}
+
+TEST(LengthWeighted, ZeroAndBounds) {
+  const Graph g = topo::sprint();
+  Rng rng(7);
+  EXPECT_EQ(failed_count(sample_length_weighted_mask(g, 0.0, rng)), 0);
+  const auto alive = sample_length_weighted_mask(g, 0.05, rng);
+  EXPECT_EQ(alive.size(), static_cast<std::size_t>(g.edge_count()));
+}
+
+TEST(LengthWeighted, MeanRateMatchesTarget) {
+  const Graph g = topo::sprint();
+  Rng rng(8);
+  long long failed = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    failed += failed_count(sample_length_weighted_mask(g, 0.05, rng));
+  }
+  const double rate = static_cast<double>(failed) /
+                      (static_cast<double>(trials) * g.edge_count());
+  // Clamping long links to p<=1 can only lower the realized mean slightly.
+  EXPECT_NEAR(rate, 0.05, 0.01);
+}
+
+TEST(LengthWeighted, LongLinksFailMoreOften) {
+  const Graph g = topo::sprint();
+  // Longest vs shortest link failure frequencies.
+  EdgeId longest = 0;
+  EdgeId shortest = 0;
+  for (EdgeId e = 1; e < g.edge_count(); ++e) {
+    if (g.edge(e).weight > g.edge(longest).weight) longest = e;
+    if (g.edge(e).weight < g.edge(shortest).weight) shortest = e;
+  }
+  Rng rng(9);
+  int long_fails = 0;
+  int short_fails = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    const auto alive = sample_length_weighted_mask(g, 0.03, rng);
+    long_fails += alive[static_cast<std::size_t>(longest)] ? 0 : 1;
+    short_fails += alive[static_cast<std::size_t>(shortest)] ? 0 : 1;
+  }
+  EXPECT_GT(long_fails, 5 * short_fails);
+}
+
+TEST(PaperGrid, MatchesFigureAxes) {
+  const auto grid = paper_p_grid();
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.10);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i] - grid[i - 1], 0.01, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,82 @@
+// Transient-convergence (§6) simulation tests.
+#include "sim/transient.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+TransientConfig small_cfg() {
+  TransientConfig cfg;
+  cfg.slices = 4;
+  cfg.time_samples = 4;
+  cfg.pair_sample = 80;
+  cfg.failures = 8;
+  return cfg;
+}
+
+TEST(Transient, FractionsAreCoherent) {
+  const auto points = run_transient_experiment(topo::sprint(), small_cfg());
+  ASSERT_EQ(points.size(), 4u);
+  for (const auto& pt : points) {
+    EXPECT_NEAR(pt.plain_delivered + pt.plain_loops + pt.plain_blackholes,
+                1.0, 1e-9);
+    EXPECT_NEAR(
+        pt.spliced_delivered + pt.spliced_loops + pt.spliced_blackholes, 1.0,
+        1e-9);
+    EXPECT_GE(pt.t, 0.0);
+    EXPECT_LE(pt.t, 1.0);
+  }
+}
+
+TEST(Transient, SplicingDeliversMoreThroughTheWindow) {
+  // The §6 claim: with stale-slice deflection, delivery through the mixed
+  // old/new window beats plain routing at every sampled instant.
+  const auto points = run_transient_experiment(topo::sprint(), small_cfg());
+  for (const auto& pt : points) {
+    EXPECT_GE(pt.spliced_delivered, pt.plain_delivered);
+  }
+  // And strictly better somewhere.
+  double gain = 0.0;
+  for (const auto& pt : points)
+    gain += pt.spliced_delivered - pt.plain_delivered;
+  EXPECT_GT(gain, 0.0);
+}
+
+TEST(Transient, PlainRoutingImprovesAsWindowCloses) {
+  // As more nodes update, plain delivery climbs toward 1 (single link
+  // failure on a mostly 2-connected graph).
+  TransientConfig cfg = small_cfg();
+  cfg.time_samples = 6;
+  const auto points = run_transient_experiment(topo::sprint(), cfg);
+  EXPECT_GT(points.back().plain_delivered,
+            points.front().plain_delivered);
+}
+
+TEST(Transient, Deterministic) {
+  const auto a = run_transient_experiment(topo::geant(), small_cfg());
+  const auto b = run_transient_experiment(topo::geant(), small_cfg());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].plain_delivered, b[i].plain_delivered);
+    EXPECT_EQ(a[i].spliced_delivered, b[i].spliced_delivered);
+    EXPECT_EQ(a[i].spliced_loops, b[i].spliced_loops);
+  }
+}
+
+TEST(Transient, ExhaustivePairsModeWorks) {
+  TransientConfig cfg = small_cfg();
+  cfg.pair_sample = 0;  // all pairs
+  cfg.failures = 2;
+  cfg.time_samples = 2;
+  const auto points = run_transient_experiment(topo::geant(), cfg);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& pt : points) {
+    EXPECT_GT(pt.plain_delivered, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace splice

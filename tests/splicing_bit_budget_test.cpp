@@ -1,0 +1,142 @@
+// Header bit-budget tests: exact small cases, bounds, cross-checks against
+// brute-force enumeration of the header generators.
+#include "splicing/bit_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "dataplane/splice_header.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+TEST(BitBudget, FullHeaderMatchesGeometry) {
+  EXPECT_EQ(full_header_bits(1, 20), 0);
+  EXPECT_EQ(full_header_bits(2, 20), 20);
+  EXPECT_EQ(full_header_bits(4, 20), 40);
+  EXPECT_EQ(full_header_bits(5, 20), 60);
+  EXPECT_NEAR(full_header_log2_paths(4, 20), 40.0, 1e-12);
+  EXPECT_NEAR(full_header_log2_paths(1, 20), 0.0, 1e-12);
+}
+
+TEST(BitBudget, CounterBits) {
+  EXPECT_EQ(counter_header_bits(0), 0);
+  EXPECT_EQ(counter_header_bits(1), 1);
+  EXPECT_EQ(counter_header_bits(5), 3);
+  EXPECT_EQ(counter_header_bits(255), 8);
+  EXPECT_EQ(counter_header_bits(256), 9);
+}
+
+// Brute-force count of no-revisit sequences for tiny (k, h).
+long long brute_no_revisit(SliceId k, int hops) {
+  long long count = 0;
+  std::vector<SliceId> seq(static_cast<std::size_t>(hops));
+  const auto total = static_cast<long long>(std::pow(k, hops));
+  for (long long code = 0; code < total; ++code) {
+    long long c = code;
+    for (int i = 0; i < hops; ++i) {
+      seq[static_cast<std::size_t>(i)] = static_cast<SliceId>(c % k);
+      c /= k;
+    }
+    std::set<SliceId> left;
+    bool ok = true;
+    for (int i = 1; i < hops && ok; ++i) {
+      if (seq[i] != seq[i - 1]) {
+        left.insert(seq[i - 1]);
+        ok = !left.contains(seq[i]);
+      }
+    }
+    count += ok ? 1 : 0;
+  }
+  return count;
+}
+
+TEST(BitBudget, NoRevisitMatchesBruteForce) {
+  for (SliceId k : {1, 2, 3, 4}) {
+    for (int hops : {1, 2, 3, 5, 7}) {
+      const double expect = std::log2(static_cast<double>(
+          brute_no_revisit(k, hops)));
+      EXPECT_NEAR(no_revisit_log2_sequences(k, hops), expect, 1e-9)
+          << "k=" << k << " hops=" << hops;
+    }
+  }
+}
+
+// Brute-force count of bounded-switch sequences.
+long long brute_bounded(SliceId k, int hops, int max_switches) {
+  long long count = 0;
+  std::vector<SliceId> seq(static_cast<std::size_t>(hops));
+  const auto total = static_cast<long long>(std::pow(k, hops));
+  for (long long code = 0; code < total; ++code) {
+    long long c = code;
+    for (int i = 0; i < hops; ++i) {
+      seq[static_cast<std::size_t>(i)] = static_cast<SliceId>(c % k);
+      c /= k;
+    }
+    int switches = 0;
+    for (int i = 1; i < hops; ++i) switches += seq[i] != seq[i - 1] ? 1 : 0;
+    count += switches <= max_switches ? 1 : 0;
+  }
+  return count;
+}
+
+TEST(BitBudget, BoundedSwitchMatchesBruteForce) {
+  for (SliceId k : {2, 3}) {
+    for (int hops : {2, 4, 6}) {
+      for (int s : {0, 1, 2, 3}) {
+        const double expect =
+            std::log2(static_cast<double>(brute_bounded(k, hops, s)));
+        EXPECT_NEAR(bounded_switch_log2_sequences(k, hops, s), expect, 1e-9)
+            << "k=" << k << " h=" << hops << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(BitBudget, RestrictedSchemesAreSmaller) {
+  // The §4.4/§5 point: restricted header schemes need far fewer bits than
+  // the general encoding at realistic parameters.
+  const SliceId k = 5;
+  const int hops = 20;
+  const double full = full_header_log2_paths(k, hops);
+  const double no_revisit = no_revisit_log2_sequences(k, hops);
+  const double bounded = bounded_switch_log2_sequences(k, hops, 3);
+  EXPECT_LT(no_revisit, full);
+  EXPECT_LT(bounded, full);
+  EXPECT_LT(counter_header_bits(5), full_header_bits(k, hops));
+  // ... while still exponential (orders of magnitude more options than a
+  // handful of precomputed backup paths).
+  EXPECT_GT(no_revisit, 10.0);
+  EXPECT_GT(bounded, 10.0);
+}
+
+TEST(BitBudget, GeneratedHeadersFitTheCountedSpaces) {
+  // Every sequence the generators emit belongs to the space the counters
+  // count: sanity coupling between the generators and the combinatorics.
+  Rng rng(3);
+  const SliceId k = 4;
+  const int hops = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto nr = SpliceHeader::random_no_revisit(k, hops, rng).slices();
+    std::set<SliceId> left;
+    for (std::size_t i = 1; i < nr.size(); ++i) {
+      if (nr[i] != nr[i - 1]) {
+        left.insert(nr[i - 1]);
+        ASSERT_FALSE(left.contains(nr[i]));
+      }
+    }
+    const auto bs =
+        SpliceHeader::random_bounded_switches(k, hops, 3, rng).slices();
+    int switches = 0;
+    for (std::size_t i = 1; i < bs.size(); ++i)
+      switches += bs[i] != bs[i - 1] ? 1 : 0;
+    ASSERT_LE(switches, 3);
+  }
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,119 @@
+// Metrics tests: stretch, hop inflation, per-slice stretch census, oracle.
+#include "splicing/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/multi_instance.h"
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+TEST(Oracle, MatchesKnownDistances) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(0, 3, 10.0);
+  const ShortestPathOracle oracle(g);
+  EXPECT_DOUBLE_EQ(oracle.distance(0, 3), 6.0);
+  EXPECT_EQ(oracle.hops(0, 3), 3);
+  EXPECT_DOUBLE_EQ(oracle.distance(3, 0), 6.0);
+  EXPECT_DOUBLE_EQ(oracle.distance(2, 2), 0.0);
+  EXPECT_EQ(oracle.hops(2, 2), 0);
+}
+
+TEST(Oracle, UnreachableIsInfinite) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const ShortestPathOracle oracle(g);
+  EXPECT_EQ(oracle.distance(0, 2), kInfiniteWeight);
+  EXPECT_EQ(oracle.hops(0, 2), -1);
+}
+
+TEST(Stretch, ShortestPathHasStretchOne) {
+  const Splicer splicer(topo::geant(), SplicerConfig{});
+  const ShortestPathOracle oracle(splicer.graph());
+  const Delivery d = splicer.send(2, 17, splicer.make_pinned_header(0));
+  ASSERT_TRUE(d.delivered());
+  EXPECT_NEAR(trace_stretch(splicer.graph(), d, oracle.distance(2, 17)), 1.0,
+              1e-9);
+}
+
+TEST(Stretch, DetourHasStretchAboveOne) {
+  // Force the slice-1 path; if it differs from shortest, stretch > 1.
+  SplicerConfig cfg;
+  cfg.slices = 5;
+  cfg.seed = 33;
+  const Splicer splicer(topo::sprint(), cfg);
+  const ShortestPathOracle oracle(splicer.graph());
+  int checked = 0;
+  for (NodeId src = 0; src < splicer.graph().node_count() && checked < 20;
+       src += 3) {
+    for (NodeId dst = 0; dst < splicer.graph().node_count() && checked < 20;
+         dst += 7) {
+      if (src == dst) continue;
+      const Delivery d = splicer.send(src, dst, splicer.make_pinned_header(4));
+      ASSERT_TRUE(d.delivered());
+      const double st =
+          trace_stretch(splicer.graph(), d, oracle.distance(src, dst));
+      EXPECT_GE(st, 1.0 - 1e-9);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 20);
+}
+
+TEST(HopInflation, MatchesTraceLength) {
+  const Splicer splicer(topo::geant(), SplicerConfig{});
+  const ShortestPathOracle oracle(splicer.graph());
+  const Delivery d = splicer.send(0, 9, splicer.make_pinned_header(0));
+  ASSERT_TRUE(d.delivered());
+  EXPECT_DOUBLE_EQ(trace_hop_inflation(d, oracle.hops(0, 9)), 1.0);
+}
+
+TEST(SliceStretches, UnperturbedSliceIsAllOnes) {
+  const Graph g = topo::geant();
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{
+             2, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false});
+  const auto stretches = slice_stretches(g, mir.slice(0));
+  EXPECT_EQ(stretches.size(), 23u * 22u);
+  for (double s : stretches) EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(SliceStretches, PerturbedSliceBoundedByOnePlusB) {
+  const Graph g = topo::sprint();
+  const double b = 3.0;
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{
+             4, {PerturbationKind::kDegreeBased, 0.0, b}, 5, false});
+  for (SliceId s = 1; s < 4; ++s) {
+    for (double st : slice_stretches(g, mir.slice(s))) {
+      EXPECT_GE(st, 1.0 - 1e-9);
+      EXPECT_LE(st, 1.0 + b + 1e-9);
+    }
+  }
+}
+
+TEST(SliceStretches, PaperScaleCheck) {
+  // §4.3: "In any particular slice, 99% of all paths in each tree have
+  // stretch of less than 2.6" — on our Sprint reconstruction with the
+  // paper's Weight(0,3) perturbation the same order must hold.
+  const Graph g = topo::sprint();
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{
+             5, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false});
+  for (SliceId s = 0; s < 5; ++s) {
+    const auto stretches = slice_stretches(g, mir.slice(s));
+    std::vector<double> sorted(stretches);
+    std::sort(sorted.begin(), sorted.end());
+    const double p99 = sorted[static_cast<std::size_t>(
+        0.99 * static_cast<double>(sorted.size()))];
+    EXPECT_LT(p99, 3.2) << "slice " << s;  // generous band around 2.6
+  }
+}
+
+}  // namespace
+}  // namespace splice

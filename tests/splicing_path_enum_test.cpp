@@ -1,0 +1,166 @@
+// Path-enumeration tests: exhaustiveness on small graphs, bounds, header
+// reconstruction (the Algorithm 1 inverse), failure masks.
+#include "splicing/path_enum.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+SplicerConfig cfg_k(SliceId k, std::uint64_t seed = 9) {
+  SplicerConfig cfg;
+  cfg.slices = k;
+  cfg.seed = seed;
+  cfg.perturbation = {PerturbationKind::kUniform, 0.0, 3.0};
+  return cfg;
+}
+
+TEST(PathEnum, SingleSliceYieldsExactlyOnePath) {
+  const Splicer splicer(topo::sprint(), cfg_k(3));
+  PathEnumOptions opts;
+  opts.use_k = 1;
+  const auto paths = enumerate_spliced_paths(splicer, 0, 20, opts);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], splicer.control_plane().slice(0).path(0, 20));
+}
+
+TEST(PathEnum, TrivialSelfPath) {
+  const Splicer splicer(topo::geant(), cfg_k(2));
+  const auto paths = enumerate_spliced_paths(splicer, 4, 4);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], std::vector<NodeId>{4});
+}
+
+TEST(PathEnum, PathsAreSimpleAndValid) {
+  const Splicer splicer(topo::sprint(), cfg_k(5));
+  PathEnumOptions opts;
+  opts.max_paths = 500;
+  const auto paths = enumerate_spliced_paths(splicer, 3, 40, opts);
+  ASSERT_FALSE(paths.empty());
+  for (const auto& path : paths) {
+    EXPECT_EQ(path.front(), 3);
+    EXPECT_EQ(path.back(), 40);
+    std::set<NodeId> seen(path.begin(), path.end());
+    EXPECT_EQ(seen.size(), path.size()) << "path revisits a node";
+    // Each hop must be a real union arc: some slice forwards that way.
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      bool realizable = false;
+      for (SliceId s = 0; s < splicer.slice_count(); ++s) {
+        realizable |= splicer.control_plane().slice(s).next_hop(
+                          path[i], 40) == path[i + 1];
+      }
+      EXPECT_TRUE(realizable);
+    }
+  }
+}
+
+TEST(PathEnum, PathsAreDistinct) {
+  const Splicer splicer(topo::sprint(), cfg_k(5));
+  PathEnumOptions opts;
+  opts.max_paths = 200;
+  const auto paths = enumerate_spliced_paths(splicer, 0, 30, opts);
+  std::set<std::vector<NodeId>> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(PathEnum, MaxPathsBoundRespected) {
+  const Splicer splicer(topo::sprint(), cfg_k(5));
+  PathEnumOptions opts;
+  opts.max_paths = 7;
+  const auto paths = enumerate_spliced_paths(splicer, 0, 30, opts);
+  EXPECT_LE(paths.size(), 7u);
+}
+
+TEST(PathEnum, MaxHopsBoundRespected) {
+  const Splicer splicer(topo::sprint(), cfg_k(5));
+  PathEnumOptions opts;
+  opts.max_paths = 200;
+  opts.max_hops = 6;
+  for (const auto& path :
+       enumerate_spliced_paths(splicer, 0, 30, opts)) {
+    EXPECT_LE(path.size(), 7u);  // max_hops hops = max_hops + 1 nodes
+  }
+}
+
+TEST(PathEnum, MoreSlicesMorePaths) {
+  const Splicer splicer(topo::sprint(), cfg_k(5));
+  PathEnumOptions one;
+  one.use_k = 1;
+  one.max_paths = 1000;
+  PathEnumOptions five;
+  five.use_k = 5;
+  five.max_paths = 1000;
+  const auto p1 = enumerate_spliced_paths(splicer, 5, 45, one);
+  const auto p5 = enumerate_spliced_paths(splicer, 5, 45, five);
+  EXPECT_GE(p5.size(), p1.size());
+  EXPECT_GT(p5.size(), 1u);
+}
+
+TEST(PathEnum, FailureMaskPrunesPaths) {
+  const Splicer splicer(topo::sprint(), cfg_k(4));
+  PathEnumOptions opts;
+  opts.max_paths = 1000;
+  const auto all = enumerate_spliced_paths(splicer, 2, 33, opts);
+  // Fail the first link of the first path.
+  ASSERT_FALSE(all.empty());
+  const EdgeId cut =
+      splicer.graph().find_edge(all[0][0], all[0][1]);
+  ASSERT_NE(cut, kInvalidEdge);
+  opts.edge_alive.assign(
+      static_cast<std::size_t>(splicer.graph().edge_count()), 1);
+  opts.edge_alive[static_cast<std::size_t>(cut)] = 0;
+  const auto pruned = enumerate_spliced_paths(splicer, 2, 33, opts);
+  EXPECT_LT(pruned.size(), all.size());
+  for (const auto& path : pruned) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_FALSE(path[i] == all[0][0] && path[i + 1] == all[0][1]);
+    }
+  }
+}
+
+TEST(HeaderForPath, RealizesEnumeratedPaths) {
+  // The inverse of Algorithm 1: for each enumerated path, the synthesized
+  // header must steer the data plane along exactly that node sequence.
+  const Splicer splicer(topo::sprint(), cfg_k(5));
+  PathEnumOptions opts;
+  opts.max_paths = 50;
+  const auto paths = enumerate_spliced_paths(splicer, 3, 40, opts);
+  ASSERT_FALSE(paths.empty());
+  int verified = 0;
+  for (const auto& path : paths) {
+    const auto header = header_for_path(splicer, path);
+    if (!header.has_value()) continue;  // longer than header capacity
+    const Delivery d = splicer.send(3, 40, *header);
+    ASSERT_TRUE(d.delivered());
+    ASSERT_EQ(d.hops.size() + 1, path.size());
+    for (std::size_t i = 0; i < d.hops.size(); ++i) {
+      EXPECT_EQ(d.hops[i].next, path[i + 1]);
+    }
+    ++verified;
+  }
+  EXPECT_GT(verified, 0);
+}
+
+TEST(HeaderForPath, RejectsUnrealizablePath) {
+  const Splicer splicer(topo::sprint(), cfg_k(2));
+  // A "path" jumping between non-adjacent nodes can't be realized.
+  const std::vector<NodeId> bogus{0, 50, 20};
+  EXPECT_FALSE(header_for_path(splicer, bogus).has_value());
+}
+
+TEST(HeaderForPath, RejectsOverlongPath) {
+  SplicerConfig cfg = cfg_k(2);
+  cfg.header_hops = 2;
+  const Splicer splicer(topo::sprint(), cfg);
+  const auto full = splicer.control_plane().slice(0).path(0, 45);
+  if (full.size() > 3) {
+    EXPECT_FALSE(header_for_path(splicer, full).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace splice

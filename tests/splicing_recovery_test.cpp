@@ -1,0 +1,275 @@
+// Recovery-scheme tests (§4.3): end-system coin-flip, network deflection,
+// loop-free variants, counter scheme; interplay with spliced connectivity.
+#include "splicing/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "routing/multi_instance.h"
+#include "sim/failure.h"
+#include "splicing/reliability.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+struct NetFixture {
+  explicit NetFixture(Graph graph, SliceId k, std::uint64_t seed = 1)
+      : g(std::move(graph)),
+        mir(g, ControlPlaneConfig{
+                   k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, seed, false}),
+        fibs(mir.build_fibs()),
+        net(g, fibs) {}
+
+  Graph g;
+  MultiInstanceRouting mir;
+  FibSet fibs;
+  DataPlaneNetwork net;
+};
+
+TEST(RecoverySchemeNames, RoundTrip) {
+  for (auto scheme :
+       {RecoveryScheme::kEndSystemCoinFlip, RecoveryScheme::kEndSystemFresh,
+        RecoveryScheme::kEndSystemNoRevisit,
+        RecoveryScheme::kEndSystemBoundedSwitches,
+        RecoveryScheme::kEndSystemFirstHopBiased,
+        RecoveryScheme::kEndSystemCounter,
+        RecoveryScheme::kNetworkDeflection}) {
+    EXPECT_EQ(parse_recovery_scheme(to_string(scheme)), scheme);
+  }
+  EXPECT_THROW(parse_recovery_scheme("psychic"), std::invalid_argument);
+}
+
+TEST(RecoverySchemeNames, ShortAliases) {
+  EXPECT_EQ(parse_recovery_scheme("coinflip"),
+            RecoveryScheme::kEndSystemCoinFlip);
+  EXPECT_EQ(parse_recovery_scheme("network"),
+            RecoveryScheme::kNetworkDeflection);
+}
+
+TEST(Recovery, IntactNetworkSucceedsImmediately) {
+  NetFixture f(topo::geant(), 3);
+  Rng rng(1);
+  const RecoveryResult r = attempt_recovery(f.net, 0, 12, RecoveryConfig{}, rng);
+  EXPECT_TRUE(r.initially_connected);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.trials_used, 0);
+}
+
+TEST(Recovery, SelfDeliveryTrivial) {
+  NetFixture f(topo::geant(), 2);
+  Rng rng(2);
+  const RecoveryResult r = attempt_recovery(f.net, 4, 4, RecoveryConfig{}, rng);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.delivery.hop_count(), 0);
+}
+
+TEST(Recovery, CoinFlipRecoversFromSingleFailure) {
+  // Fail the first link of the slice-0 path between a well-connected pair;
+  // with several slices and 5 trials the coin-flip scheme should recover.
+  NetFixture f(topo::sprint(), 5, 3);
+  const NodeId src = f.g.find_node("Atlanta");
+  const NodeId dst = f.g.find_node("Seattle");
+  ASSERT_NE(src, kInvalidNode);
+  ASSERT_NE(dst, kInvalidNode);
+  const EdgeId first = f.mir.slice(0).next_hop_edge(src, dst);
+  f.net.set_link_state(first, false);
+  int recovered = 0;
+  const int episodes = 50;
+  Rng rng(4);
+  for (int i = 0; i < episodes; ++i) {
+    const RecoveryResult r =
+        attempt_recovery(f.net, src, dst, RecoveryConfig{}, rng);
+    EXPECT_FALSE(r.initially_connected);
+    recovered += r.delivered ? 1 : 0;
+    if (r.delivered) {
+      EXPECT_GE(r.trials_used, 1);
+      EXPECT_LE(r.trials_used, 5);
+    }
+  }
+  EXPECT_GT(recovered, episodes * 8 / 10);
+}
+
+TEST(Recovery, NetworkDeflectionIsSingleShot) {
+  NetFixture f(topo::sprint(), 5, 3);
+  const NodeId src = f.g.find_node("Atlanta");
+  const NodeId dst = f.g.find_node("Seattle");
+  const EdgeId first = f.mir.slice(0).next_hop_edge(src, dst);
+  f.net.set_link_state(first, false);
+  RecoveryConfig cfg;
+  cfg.scheme = RecoveryScheme::kNetworkDeflection;
+  Rng rng(5);
+  const RecoveryResult r = attempt_recovery(f.net, src, dst, cfg, rng);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_FALSE(r.initially_connected);  // a deflection was required
+  EXPECT_EQ(r.trials_used, 0);          // no sender retries
+  bool any_deflect = false;
+  for (const HopRecord& h : r.delivery.hops) any_deflect |= h.deflected;
+  EXPECT_TRUE(any_deflect);
+}
+
+TEST(Recovery, NetworkDeflectionCleanPathCountsConnected) {
+  NetFixture f(topo::geant(), 3);
+  RecoveryConfig cfg;
+  cfg.scheme = RecoveryScheme::kNetworkDeflection;
+  Rng rng(6);
+  const RecoveryResult r = attempt_recovery(f.net, 1, 9, cfg, rng);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_TRUE(r.initially_connected);
+}
+
+TEST(Recovery, ImpossibleWhenNodeIsolated) {
+  // Fail every link incident to the destination: nothing can recover.
+  NetFixture f(topo::geant(), 4, 7);
+  const NodeId dst = 3;
+  for (const Incidence& inc : f.g.neighbors(dst))
+    f.net.set_link_state(inc.edge, false);
+  for (auto scheme :
+       {RecoveryScheme::kEndSystemCoinFlip, RecoveryScheme::kEndSystemFresh,
+        RecoveryScheme::kNetworkDeflection}) {
+    RecoveryConfig cfg;
+    cfg.scheme = scheme;
+    Rng rng(8);
+    const RecoveryResult r = attempt_recovery(f.net, 0, dst, cfg, rng);
+    EXPECT_FALSE(r.delivered) << to_string(scheme);
+  }
+}
+
+TEST(Recovery, TrialsNeverExceedBudget) {
+  NetFixture f(topo::sprint(), 3, 9);
+  Rng mask_rng(10);
+  const auto alive = sample_alive_mask(f.g.edge_count(), 0.15, mask_rng);
+  f.net.set_link_mask(alive);
+  RecoveryConfig cfg;
+  cfg.max_trials = 3;
+  Rng rng(11);
+  for (NodeId src = 0; src < f.g.node_count(); src += 5) {
+    for (NodeId dst = 0; dst < f.g.node_count(); dst += 7) {
+      if (src == dst) continue;
+      const RecoveryResult r = attempt_recovery(f.net, src, dst, cfg, rng);
+      EXPECT_LE(r.trials_used, 3);
+    }
+  }
+}
+
+TEST(Recovery, ZeroTrialBudgetMeansInitialOnly) {
+  NetFixture f(topo::sprint(), 3, 9);
+  const NodeId src = 0;
+  const NodeId dst = 20;
+  const EdgeId first = f.mir.slice(0).next_hop_edge(src, dst);
+  f.net.set_link_state(first, false);
+  RecoveryConfig cfg;
+  cfg.max_trials = 0;
+  Rng rng(12);
+  const RecoveryResult r = attempt_recovery(f.net, src, dst, cfg, rng);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.trials_used, 0);
+}
+
+TEST(Recovery, NoRevisitSchemeDeliversLoopFreePaths) {
+  NetFixture f(topo::sprint(), 5, 13);
+  Rng mask_rng(14);
+  const auto alive = sample_alive_mask(f.g.edge_count(), 0.1, mask_rng);
+  f.net.set_link_mask(alive);
+  RecoveryConfig cfg;
+  cfg.scheme = RecoveryScheme::kEndSystemNoRevisit;
+  Rng rng(15);
+  for (NodeId src = 0; src < f.g.node_count(); src += 3) {
+    for (NodeId dst = 0; dst < f.g.node_count(); dst += 9) {
+      if (src == dst) continue;
+      const RecoveryResult r = attempt_recovery(f.net, src, dst, cfg, rng);
+      if (r.delivered && !r.initially_connected) {
+        // No persistent loops: a trace may pass a node at most a bounded
+        // number of times, and no two-hop ping-pong beyond slice switches.
+        EXPECT_EQ(r.delivery.outcome, ForwardOutcome::kDelivered);
+        EXPECT_LE(r.delivery.hop_count(), 2 * f.g.node_count());
+      }
+    }
+  }
+}
+
+TEST(Recovery, CounterSchemeCanRecover) {
+  NetFixture f(topo::sprint(), 5, 16);
+  const NodeId src = f.g.find_node("Miami");
+  const NodeId dst = f.g.find_node("Boston");
+  const EdgeId first = f.mir.slice(0).next_hop_edge(src, dst);
+  f.net.set_link_state(first, false);
+  RecoveryConfig cfg;
+  cfg.scheme = RecoveryScheme::kEndSystemCounter;
+  Rng rng(17);
+  int recovered = 0;
+  for (int i = 0; i < 20; ++i) {
+    recovered +=
+        attempt_recovery(f.net, src, dst, cfg, rng).delivered ? 1 : 0;
+  }
+  EXPECT_GT(recovered, 0);
+}
+
+TEST(Recovery, RecoveryImpliesSplicedConnectivity) {
+  // Soundness: whenever any end-system scheme recovers, the spliced union
+  // must contain a surviving path (recovery cannot invent connectivity).
+  NetFixture f(topo::sprint(), 4, 18);
+  const SplicedReliabilityAnalyzer analyzer(f.g, f.mir);
+  Rng mask_rng(19);
+  Rng rng(20);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto alive = sample_alive_mask(f.g.edge_count(), 0.12, mask_rng);
+    f.net.set_link_mask(alive);
+    for (NodeId src = 0; src < f.g.node_count(); src += 7) {
+      for (NodeId dst = 0; dst < f.g.node_count(); dst += 5) {
+        if (src == dst) continue;
+        const RecoveryResult r =
+            attempt_recovery(f.net, src, dst, RecoveryConfig{}, rng);
+        if (r.delivered) {
+          EXPECT_TRUE(analyzer.connected(src, dst, 4, alive))
+              << src << "->" << dst;
+        }
+      }
+    }
+  }
+}
+
+// Sweep: every scheme respects the trial budget and returns coherent state.
+class SchemeSweep : public ::testing::TestWithParam<RecoveryScheme> {};
+
+TEST_P(SchemeSweep, CoherentResults) {
+  NetFixture f(topo::geant(), 4, 21);
+  Rng mask_rng(22);
+  const auto alive = sample_alive_mask(f.g.edge_count(), 0.15, mask_rng);
+  f.net.set_link_mask(alive);
+  RecoveryConfig cfg;
+  cfg.scheme = GetParam();
+  Rng rng(23);
+  for (NodeId src = 0; src < f.g.node_count(); src += 2) {
+    for (NodeId dst = 0; dst < f.g.node_count(); dst += 3) {
+      if (src == dst) continue;
+      const RecoveryResult r = attempt_recovery(f.net, src, dst, cfg, rng);
+      if (r.initially_connected) {
+        EXPECT_TRUE(r.delivered);
+        EXPECT_EQ(r.trials_used, 0);
+      }
+      if (r.delivered) {
+        EXPECT_EQ(r.delivery.outcome, ForwardOutcome::kDelivered);
+        if (r.delivery.hop_count() > 0) {
+          EXPECT_EQ(r.delivery.hops.back().next, dst);
+          EXPECT_EQ(r.delivery.hops.front().node, src);
+        }
+      }
+      EXPECT_LE(r.trials_used, cfg.max_trials);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeSweep,
+    ::testing::Values(RecoveryScheme::kEndSystemCoinFlip,
+                      RecoveryScheme::kEndSystemFresh,
+                      RecoveryScheme::kEndSystemNoRevisit,
+                      RecoveryScheme::kEndSystemBoundedSwitches,
+                      RecoveryScheme::kEndSystemFirstHopBiased,
+                      RecoveryScheme::kEndSystemCounter,
+                      RecoveryScheme::kNetworkDeflection));
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,192 @@
+// SplicedReliabilityAnalyzer tests: agreement with the Splicer's explicit
+// union construction, monotonicity in k, and bounds against the underlying
+// graph ("best possible") — the §4.2 relationships.
+#include "splicing/reliability.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "sim/failure.h"
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+struct Harness {
+  explicit Harness(Graph graph, SliceId k, std::uint64_t seed = 1)
+      : g(std::move(graph)),
+        mir(g, ControlPlaneConfig{
+                   k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, seed, false}),
+        analyzer(g, mir) {}
+
+  Graph g;
+  MultiInstanceRouting mir;
+  SplicedReliabilityAnalyzer analyzer;
+};
+
+TEST(ReliabilityAnalyzer, IntactGraphFullyConnected) {
+  Harness s(topo::geant(), 3);
+  EXPECT_EQ(s.analyzer.disconnected_pairs(1), 0);
+  EXPECT_EQ(s.analyzer.disconnected_pairs(3), 0);
+  EXPECT_DOUBLE_EQ(s.analyzer.disconnected_fraction(3), 0.0);
+}
+
+TEST(ReliabilityAnalyzer, ConnectedPairQueries) {
+  Harness s(topo::geant(), 2);
+  EXPECT_TRUE(s.analyzer.connected(0, 5, 2));
+  EXPECT_TRUE(s.analyzer.connected(3, 3, 1));  // self
+}
+
+TEST(ReliabilityAnalyzer, AllEdgesFailedDisconnectsEverything) {
+  Harness s(topo::geant(), 2);
+  const std::vector<char> alive(37, 0);
+  EXPECT_EQ(s.analyzer.disconnected_pairs(2, alive), 23LL * 22);
+  EXPECT_DOUBLE_EQ(s.analyzer.disconnected_fraction(2, alive), 1.0);
+}
+
+TEST(ReliabilityAnalyzer, MatchesSplicerUnionReachability) {
+  // The analyzer's incremental reverse-BFS must agree exactly with
+  // explicitly building the union digraph and running forward reachability.
+  const std::uint64_t seed = 21;
+  Harness s(topo::sprint(), 4, seed);
+  SplicerConfig scfg;
+  scfg.slices = 4;
+  scfg.seed = seed;
+  const Splicer splicer(Graph(s.g), scfg);
+
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto alive = sample_alive_mask(s.g.edge_count(), 0.08, rng);
+    for (SliceId k = 1; k <= 4; ++k) {
+      long long mismatch = 0;
+      for (NodeId dst = 0; dst < s.g.node_count(); dst += 5) {
+        const auto reach = s.analyzer.reachable_sources(
+            dst, k, alive, UnionSemantics::kDirectedForwarding);
+        for (NodeId src = 0; src < s.g.node_count(); ++src) {
+          if (src == dst) continue;
+          const bool a = reach[static_cast<std::size_t>(src)] != 0;
+          const bool b = splicer.spliced_connected(src, dst, k, alive);
+          mismatch += a != b ? 1 : 0;
+        }
+      }
+      EXPECT_EQ(mismatch, 0) << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+TEST(ReliabilityAnalyzer, DirectedIsStricterThanUndirected) {
+  // Forwarding reachability (directed arcs) can never connect more pairs
+  // than the paper's undirected union-graph construction.
+  Harness s(topo::sprint(), 5);
+  Rng rng(31);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto alive = sample_alive_mask(s.g.edge_count(), 0.1, rng);
+    for (SliceId k = 1; k <= 5; ++k) {
+      EXPECT_GE(s.analyzer.disconnected_pairs(
+                    k, alive, UnionSemantics::kDirectedForwarding),
+                s.analyzer.disconnected_pairs(
+                    k, alive, UnionSemantics::kUndirectedLinks));
+    }
+  }
+}
+
+TEST(ReliabilityAnalyzer, SemanticsAgreeForSingleSlice) {
+  // One tree: the unique path toward the destination is directed toward it,
+  // so both semantics coincide.
+  Harness s(topo::sprint(), 1);
+  Rng rng(32);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto alive = sample_alive_mask(s.g.edge_count(), 0.1, rng);
+    EXPECT_EQ(s.analyzer.disconnected_pairs(
+                  1, alive, UnionSemantics::kDirectedForwarding),
+              s.analyzer.disconnected_pairs(
+                  1, alive, UnionSemantics::kUndirectedLinks));
+  }
+}
+
+TEST(ReliabilityAnalyzer, MonotoneInK) {
+  Harness s(topo::sprint(), 5);
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto alive = sample_alive_mask(s.g.edge_count(), 0.1, rng);
+    long long prev = 1LL << 60;
+    for (SliceId k = 1; k <= 5; ++k) {
+      const long long now = s.analyzer.disconnected_pairs(k, alive);
+      EXPECT_LE(now, prev) << "k=" << k;
+      prev = now;
+    }
+  }
+}
+
+TEST(ReliabilityAnalyzer, NeverBeatsUnderlyingGraph) {
+  // Spliced connectivity is bounded by the underlying graph's connectivity
+  // on the surviving edges (§2: the reliability shortfall is nonnegative).
+  Harness s(topo::sprint(), 5);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto alive = sample_alive_mask(s.g.edge_count(), 0.08, rng);
+    const long long best = disconnected_ordered_pairs(s.g, alive);
+    for (SliceId k = 1; k <= 5; ++k) {
+      EXPECT_GE(s.analyzer.disconnected_pairs(k, alive), best);
+    }
+  }
+}
+
+TEST(ReliabilityAnalyzer, SingleSliceEqualsTreeSurvival) {
+  // With k=1 a pair is connected iff every edge of its slice-0 path toward
+  // the destination survives.
+  Harness s(topo::geant(), 1);
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto alive = sample_alive_mask(s.g.edge_count(), 0.1, rng);
+    for (NodeId dst = 0; dst < s.g.node_count(); dst += 4) {
+      const auto reach = s.analyzer.reachable_sources(dst, 1, alive);
+      for (NodeId src = 0; src < s.g.node_count(); ++src) {
+        if (src == dst) continue;
+        bool path_alive = true;
+        NodeId cur = src;
+        while (cur != dst) {
+          const EdgeId e = s.mir.slice(0).next_hop_edge(cur, dst);
+          ASSERT_NE(e, kInvalidEdge);
+          if (!alive[static_cast<std::size_t>(e)]) {
+            path_alive = false;
+            break;
+          }
+          cur = s.mir.slice(0).next_hop(cur, dst);
+        }
+        EXPECT_EQ(reach[static_cast<std::size_t>(src)] != 0, path_alive)
+            << src << "->" << dst;
+      }
+    }
+  }
+}
+
+TEST(ReliabilityAnalyzer, ReachableSourcesMarksDestination) {
+  Harness s(topo::geant(), 2);
+  const auto reach = s.analyzer.reachable_sources(7, 2);
+  EXPECT_TRUE(reach[7]);
+}
+
+// Property sweep: splicing on the ring cannot beat the ring's own 2-edge
+// connectivity — failing two edges always cuts some pair regardless of k.
+class RingBound : public ::testing::TestWithParam<SliceId> {};
+
+TEST_P(RingBound, TwoFailuresAlwaysCutThePingRing) {
+  const SliceId k = GetParam();
+  Graph ring_graph(6);
+  for (NodeId v = 0; v < 6; ++v)
+    ring_graph.add_edge(v, (v + 1) % 6, 1.0);
+  Harness s(std::move(ring_graph), k, 13);
+  std::vector<char> alive(6, 1);
+  alive[0] = 0;
+  alive[3] = 0;  // opposite edges: graph splits into two halves
+  const long long best = disconnected_ordered_pairs(s.g, alive);
+  EXPECT_GT(best, 0);
+  EXPECT_GE(s.analyzer.disconnected_pairs(k, alive), best);
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceCounts, RingBound, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace splice

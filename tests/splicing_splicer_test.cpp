@@ -1,0 +1,179 @@
+// Splicer public-API tests: construction, unions, header helpers, the
+// Figure 1 motivating example, and end-to-end sends.
+#include "splicing/splicer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/maxflow.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+SplicerConfig cfg_k(SliceId k, std::uint64_t seed = 1) {
+  SplicerConfig cfg;
+  cfg.slices = k;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Splicer, ConstructsWithDefaults) {
+  const Splicer splicer(topo::geant(), SplicerConfig{});
+  EXPECT_EQ(splicer.slice_count(), 5);
+  EXPECT_EQ(splicer.graph().node_count(), 23);
+  EXPECT_EQ(splicer.fibs().slice_count(), 5);
+}
+
+TEST(Splicer, SendDeliversOnIntactNetwork) {
+  const Splicer splicer(topo::geant(), cfg_k(3));
+  Rng rng(2);
+  const Delivery d = splicer.send(0, 12, splicer.make_random_header(rng));
+  EXPECT_TRUE(d.delivered());
+}
+
+TEST(Splicer, PinnedHeaderFollowsOneSlice) {
+  const Splicer splicer(topo::geant(), cfg_k(4));
+  const Delivery d = splicer.send(0, 12, splicer.make_pinned_header(0));
+  ASSERT_TRUE(d.delivered());
+  for (const HopRecord& hop : d.hops) EXPECT_EQ(hop.slice, 0);
+  // Pinned slice 0 = normal shortest path routing.
+  const auto expected = splicer.control_plane().slice(0).path(0, 12);
+  ASSERT_EQ(d.hops.size() + 1, expected.size());
+  for (std::size_t i = 0; i < d.hops.size(); ++i) {
+    EXPECT_EQ(d.hops[i].next, expected[i + 1]);
+  }
+}
+
+TEST(Splicer, UnionGrowsWithK) {
+  const Splicer splicer(topo::sprint(), cfg_k(5));
+  const NodeId dst = 10;
+  std::size_t prev = 0;
+  for (SliceId k = 1; k <= 5; ++k) {
+    const Digraph u = splicer.spliced_union(dst, k);
+    EXPECT_GE(u.arc_count(), prev);
+    prev = u.arc_count();
+  }
+  // With 5 slices there must be real extra diversity over one tree.
+  const Digraph u1 = splicer.spliced_union(dst, 1);
+  const Digraph u5 = splicer.spliced_union(dst, 5);
+  EXPECT_GT(u5.arc_count(), u1.arc_count());
+}
+
+TEST(Splicer, UnionWithK1IsATree) {
+  const Splicer splicer(topo::sprint(), cfg_k(3));
+  const Digraph u = splicer.spliced_union(7, 1);
+  // Tree toward dst: every node except dst has out-degree exactly 1.
+  for (NodeId v = 0; v < u.node_count(); ++v) {
+    EXPECT_EQ(u.successors(v).size(), v == 7 ? 0u : 1u);
+  }
+}
+
+TEST(Splicer, SplicedConnectedOnIntactGraph) {
+  const Splicer splicer(topo::geant(), cfg_k(2));
+  for (NodeId s = 0; s < splicer.graph().node_count(); s += 3) {
+    for (NodeId t = 0; t < splicer.graph().node_count(); t += 5) {
+      EXPECT_TRUE(splicer.spliced_connected(s, t, 2));
+    }
+  }
+}
+
+TEST(Splicer, SplicedConnectedRespectsMask) {
+  // Figure 1 example: fail one link on each disjoint path. With a single
+  // slice the pair disconnects; with both paths spliced it must survive
+  // when the failed links are on *different* segments covered by slices.
+  Graph g = topo::figure1();
+  // Force the two slices onto the two disjoint paths by weight choice:
+  // slice 0 (original weights) prefers path A; make path B attractive via
+  // a dedicated slice using perturb_first_slice=false + seed search is
+  // fragile here, so instead check the underlying-graph property that the
+  // splicer exposes: masking edges of one path keeps connectivity.
+  const Splicer splicer(std::move(g), cfg_k(2, 3));
+  std::vector<char> alive(6, 1);
+  // Edges 0..2 are path A (s-a1, a1-a2, a2-t); fail the middle of A.
+  alive[1] = 0;
+  // The spliced union may or may not contain path B arcs depending on the
+  // perturbation draw; the *underlying* graph stays connected, and k=2
+  // union connectivity must never exceed it.
+  const bool connected2 = splicer.spliced_connected(0, 1, 2, alive);
+  const bool connected1 = splicer.spliced_connected(0, 1, 1, alive);
+  EXPECT_GE(connected2, connected1);  // monotone in k
+}
+
+TEST(Splicer, ConnectivityMonotoneInK) {
+  const Splicer splicer(topo::sprint(), cfg_k(5, 4));
+  std::vector<char> alive(84, 1);
+  // Fail a batch of links.
+  for (EdgeId e = 0; e < 84; e += 7) alive[static_cast<std::size_t>(e)] = 0;
+  for (NodeId s = 0; s < 52; s += 9) {
+    for (NodeId t = 0; t < 52; t += 11) {
+      if (s == t) continue;
+      bool prev = false;
+      for (SliceId k = 1; k <= 5; ++k) {
+        const bool now = splicer.spliced_connected(s, t, k, alive);
+        EXPECT_GE(now, prev) << s << "->" << t << " k=" << k;
+        prev = now;
+      }
+    }
+  }
+}
+
+TEST(Splicer, Figure1SplicingBeatsSinglePath) {
+  // The paper's headline intuition (Figure 1): with both disjoint paths
+  // available through splicing, disconnection requires a full cut. Build a
+  // control plane where slice 1's perturbation actually discovers path B:
+  // we overweight path A so the perturbed slice flips to B.
+  Graph g = topo::figure1();
+  // Path A edges get weight 1.1 — slice 0 (original weights) deterministically
+  // picks the lighter path B, while perturbed slices flip to A with high
+  // probability. Then failing one B link leaves k=4 connected via A.
+  g.set_weight(0, 1.1);  // s-a1
+  g.set_weight(1, 1.1);  // a1-a2
+  g.set_weight(2, 1.1);  // a2-t
+  SplicerConfig cfg = cfg_k(4, 9);
+  cfg.perturbation = {PerturbationKind::kUniform, 0.0, 3.0};
+  const Splicer splicer(std::move(g), cfg);
+
+  // Slice 0 routes s->t over path B (edges 3,4,5). Fail one path-B link.
+  std::vector<char> alive(6, 1);
+  alive[4] = 0;
+  EXPECT_FALSE(splicer.spliced_connected(0, 1, 1, alive));
+  // With enough slices the union contains both paths; A survives. (The
+  // union of 4 perturbed trees on this 6-edge graph covers path A with
+  // overwhelming probability; seed fixed for determinism.)
+  EXPECT_TRUE(splicer.spliced_connected(0, 1, 4, alive));
+}
+
+TEST(Splicer, UnionConnectivityApproachesGraphConnectivity) {
+  // Appendix A flavor: the (s,t) arc connectivity of the spliced union
+  // grows toward the underlying graph's edge connectivity.
+  const Graph g = topo::geant();
+  const Splicer splicer(Graph(g), cfg_k(10, 5));
+  const NodeId s = g.find_node("PT-Lisbon");
+  const NodeId t = g.find_node("SE-Stockholm");
+  ASSERT_NE(s, kInvalidNode);
+  ASSERT_NE(t, kInvalidNode);
+  const int graph_conn = pair_edge_connectivity(g, s, t);
+  const Digraph u1 = splicer.spliced_union(t, 1);
+  const Digraph u10 = splicer.spliced_union(t, 10);
+  const int conn1 = pair_arc_connectivity(u1, s, t);
+  const int conn10 = pair_arc_connectivity(u10, s, t);
+  EXPECT_EQ(conn1, 1);  // a tree has exactly one path
+  EXPECT_GT(conn10, conn1);
+  EXPECT_LE(conn10, graph_conn);
+}
+
+TEST(SplicerDeath, RejectsZeroSlices) {
+  SplicerConfig cfg;
+  cfg.slices = 0;
+  EXPECT_DEATH(Splicer(topo::figure1(), cfg), "Precondition");
+}
+
+TEST(SplicerDeath, RejectsOversizedHeader) {
+  SplicerConfig cfg;
+  cfg.slices = 64;       // 6 bits per hop
+  cfg.header_hops = 40;  // 240 bits > 128
+  EXPECT_DEATH(Splicer(topo::figure1(), cfg), "Precondition");
+}
+
+}  // namespace
+}  // namespace splice

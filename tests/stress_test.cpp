@@ -1,0 +1,128 @@
+// Randomized chaos/stress test over the full stack: on random topologies,
+// apply random sequences of operations (fail/restore links, send packets
+// with arbitrary headers and policies, run recovery episodes, query the
+// analyzer) and continuously check cross-layer invariants. Each TEST_P
+// seed drives an independent scenario.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "sim/failure.h"
+#include "splicing/recovery.h"
+#include "splicing/reliability.h"
+#include "splicing/splicer.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+class ChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosTest, FullStackSurvivesRandomOperations) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  // Random connected topology and splicer geometry.
+  const auto n = static_cast<NodeId>(8 + rng.below(40));
+  Graph g = waxman(n, 0.9, 0.25, rng());
+  make_connected(g, rng());
+  SplicerConfig cfg;
+  cfg.slices = static_cast<SliceId>(1 + rng.below(8));
+  cfg.seed = rng();
+  if (rng.coin()) cfg.perturbation.kind = PerturbationKind::kUniform;
+  Splicer splicer(std::move(g), cfg);
+  const Graph& graph = splicer.graph();
+  const SplicedReliabilityAnalyzer analyzer(graph,
+                                            splicer.control_plane());
+
+  std::vector<char> alive(static_cast<std::size_t>(graph.edge_count()), 1);
+  long long delivered = 0;
+
+  for (int op = 0; op < 400; ++op) {
+    switch (rng.below(6)) {
+      case 0: {  // fail a random link
+        const auto e = static_cast<EdgeId>(
+            rng.below(static_cast<std::uint64_t>(graph.edge_count())));
+        alive[static_cast<std::size_t>(e)] = 0;
+        splicer.network().set_link_state(e, false);
+        break;
+      }
+      case 1: {  // restore a random link
+        const auto e = static_cast<EdgeId>(
+            rng.below(static_cast<std::uint64_t>(graph.edge_count())));
+        alive[static_cast<std::size_t>(e)] = 1;
+        splicer.network().set_link_state(e, true);
+        break;
+      }
+      case 2: {  // restore everything
+        std::fill(alive.begin(), alive.end(), 1);
+        splicer.network().restore_all_links();
+        break;
+      }
+      case 3: {  // send with an arbitrary header/policy
+        Packet p;
+        p.src = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(graph.node_count())));
+        p.dst = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(graph.node_count())));
+        p.header = SpliceHeader::random(cfg.slices, 20, rng);
+        p.ttl = 1 + static_cast<int>(rng.below(128));
+        if (rng.coin()) p.counter = CounterHeader(static_cast<std::uint32_t>(rng.below(6)));
+        ForwardingPolicy policy;
+        policy.local_recovery =
+            rng.coin() ? LocalRecovery::kDeflect : LocalRecovery::kNone;
+        const Delivery d = splicer.network().forward(p, policy);
+        // Invariant: a delivered trace only uses alive links and ends at
+        // the destination.
+        if (d.delivered()) {
+          ++delivered;
+          if (!d.hops.empty()) {
+            ASSERT_EQ(d.hops.back().next, p.dst);
+          }
+          for (const HopRecord& hop : d.hops) {
+            ASSERT_TRUE(alive[static_cast<std::size_t>(hop.edge)]);
+          }
+        }
+        break;
+      }
+      case 4: {  // recovery episode; soundness vs directed analyzer
+        const auto src = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(graph.node_count())));
+        const auto dst = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(graph.node_count())));
+        if (src == dst) break;
+        RecoveryConfig rcfg;
+        if (rng.coin()) rcfg.scheme = RecoveryScheme::kNetworkDeflection;
+        const RecoveryResult r =
+            attempt_recovery(splicer.network(), src, dst, rcfg, rng);
+        if (r.delivered && rcfg.scheme != RecoveryScheme::kNetworkDeflection) {
+          ASSERT_TRUE(analyzer.connected(
+              src, dst, cfg.slices, alive,
+              UnionSemantics::kDirectedForwarding))
+              << "recovered a pair the union says is unreachable";
+        }
+        break;
+      }
+      case 5: {  // analyzer consistency with physical connectivity
+        const long long spliced = analyzer.disconnected_pairs(
+            cfg.slices, alive, UnionSemantics::kUndirectedLinks);
+        const long long physical = disconnected_ordered_pairs(graph, alive);
+        ASSERT_GE(spliced, physical);
+        const long long directed = analyzer.disconnected_pairs(
+            cfg.slices, alive, UnionSemantics::kDirectedForwarding);
+        ASSERT_GE(directed, spliced);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // The scenario should have delivered *something* across 400 ops.
+  EXPECT_GT(delivered, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace splice

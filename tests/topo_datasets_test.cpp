@@ -1,0 +1,158 @@
+// Embedded dataset invariants: the sizes the paper quotes, connectivity,
+// weight sanity, registry behavior.
+#include "topo/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/connectivity.h"
+#include "graph/mincut.h"
+#include "graph/properties.h"
+
+namespace splice {
+namespace {
+
+TEST(Datasets, GeantMatchesPaperSize) {
+  const Graph g = topo::geant();
+  EXPECT_EQ(g.node_count(), 23);  // "23 nodes and 37 links" (§4.1)
+  EXPECT_EQ(g.edge_count(), 37);
+}
+
+TEST(Datasets, SprintMatchesPaperSize) {
+  const Graph g = topo::sprint();
+  EXPECT_EQ(g.node_count(), 52);  // "52 nodes and 84 links" (§4.1)
+  EXPECT_EQ(g.edge_count(), 84);
+}
+
+TEST(Datasets, AbileneSize) {
+  const Graph g = topo::abilene();
+  EXPECT_EQ(g.node_count(), 11);
+  EXPECT_EQ(g.edge_count(), 14);
+}
+
+TEST(Datasets, ExodusSize) {
+  const Graph g = topo::exodus();
+  EXPECT_EQ(g.node_count(), 22);
+  EXPECT_EQ(g.edge_count(), 37);
+}
+
+TEST(Datasets, AbovenetSize) {
+  const Graph g = topo::abovenet();
+  EXPECT_EQ(g.node_count(), 22);
+  EXPECT_EQ(g.edge_count(), 42);
+}
+
+TEST(Datasets, AbovenetDenserThanExodus) {
+  // Rocketfuel found MFN's backbone noticeably denser than Exodus's; the
+  // reconstructions preserve that ordering.
+  const Graph ex = topo::exodus();
+  const Graph ab = topo::abovenet();
+  const double ex_deg = 2.0 * ex.edge_count() / ex.node_count();
+  const double ab_deg = 2.0 * ab.edge_count() / ab.node_count();
+  EXPECT_GT(ab_deg, ex_deg);
+}
+
+TEST(Datasets, AllConnected) {
+  for (const auto& name : topo::registry_names()) {
+    EXPECT_TRUE(is_connected(topo::by_name(name))) << name;
+  }
+}
+
+TEST(Datasets, AllWeightsPositive) {
+  for (const auto& name : topo::registry_names()) {
+    const Graph g = topo::by_name(name);
+    for (const Edge& e : g.edges()) {
+      EXPECT_GT(e.weight, 0.0) << name;
+      EXPECT_LT(e.weight, 500.0) << name;  // sanity: ~<50,000 km
+    }
+  }
+}
+
+TEST(Datasets, AllNodesNamed) {
+  for (const auto& name : topo::registry_names()) {
+    const Graph g = topo::by_name(name);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_FALSE(g.name(v).empty()) << name << " node " << v;
+    }
+  }
+}
+
+TEST(Datasets, NoDuplicateLinks) {
+  for (const auto& name : topo::registry_names()) {
+    const Graph g = topo::by_name(name);
+    for (EdgeId e1 = 0; e1 < g.edge_count(); ++e1) {
+      for (EdgeId e2 = e1 + 1; e2 < g.edge_count(); ++e2) {
+        const bool same =
+            (g.edge(e1).u == g.edge(e2).u && g.edge(e1).v == g.edge(e2).v) ||
+            (g.edge(e1).u == g.edge(e2).v && g.edge(e1).v == g.edge(e2).u);
+        EXPECT_FALSE(same) << name << ": duplicate link " << e1 << "," << e2;
+      }
+    }
+  }
+}
+
+TEST(Datasets, SprintDegreeStructureIsBackboneLike) {
+  const TopologyStats s = topology_stats(topo::sprint());
+  // 2 * 84 / 52 ≈ 3.2 average degree, hubs well above that.
+  EXPECT_NEAR(s.avg_degree, 2.0 * 84 / 52, 1e-9);
+  EXPECT_GE(s.max_degree, 8);
+  EXPECT_GE(s.min_degree, 1);
+}
+
+TEST(Datasets, GeantLatencyWeightsLookEuropean) {
+  const Graph g = topo::geant();
+  // Intra-European link weights derived from distance should be modest;
+  // the transatlantic links (to US-NewYork) must be the heaviest.
+  const NodeId ny = g.find_node("US-NewYork");
+  ASSERT_NE(ny, kInvalidNode);
+  double max_weight = 0.0;
+  EdgeId max_edge = kInvalidEdge;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.edge(e).weight > max_weight) {
+      max_weight = g.edge(e).weight;
+      max_edge = e;
+    }
+  }
+  ASSERT_NE(max_edge, kInvalidEdge);
+  EXPECT_TRUE(g.edge(max_edge).u == ny || g.edge(max_edge).v == ny);
+}
+
+TEST(Datasets, SprintSurvivesSingleLinkFailureAtCore) {
+  // The reconstruction's 2-edge-connected core: removing any single link
+  // leaves at most the degree-1 stubs disconnected.
+  const Graph g = topo::sprint();
+  int stubs = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) stubs += g.degree(v) == 1;
+  std::vector<char> alive(static_cast<std::size_t>(g.edge_count()), 1);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    alive[static_cast<std::size_t>(e)] = 0;
+    std::vector<int> comp;
+    const int pieces = connected_components(g, comp, alive);
+    EXPECT_LE(pieces, 2) << "link " << e;
+    alive[static_cast<std::size_t>(e)] = 1;
+  }
+  EXPECT_LE(stubs, 2);
+}
+
+TEST(Datasets, RegistryRoundTrip) {
+  const auto names = topo::registry_names();
+  EXPECT_EQ(names.size(), 6u);
+  for (const auto& name : names) {
+    EXPECT_GT(topo::by_name(name).node_count(), 0) << name;
+  }
+}
+
+TEST(Datasets, RegistryRejectsUnknown) {
+  EXPECT_THROW(topo::by_name("arpanet"), std::out_of_range);
+}
+
+TEST(Datasets, Figure1HasTwoDisjointPaths) {
+  const Graph g = topo::figure1();
+  EXPECT_EQ(g.node_count(), 6);
+  EXPECT_EQ(g.edge_count(), 6);
+  EXPECT_EQ(edge_connectivity(g), 2);
+}
+
+}  // namespace
+}  // namespace splice

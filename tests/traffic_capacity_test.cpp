@@ -1,0 +1,109 @@
+// Capacity/utilization tests.
+#include "traffic/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+struct CapFixture {
+  CapFixture()
+      : splicer(topo::geant(), SplicerConfig{.slices = 4, .seed = 5}) {}
+  Splicer splicer;
+  Rng rng{9};
+};
+
+TEST(Provisioning, HeadroomAndFloor) {
+  LinkLoads loads;
+  loads.load = {10.0, 0.0, 4.0};
+  const CapacityPlan plan = provision_capacities(loads, 1.5, 2.0);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_DOUBLE_EQ(plan[0], 15.0);
+  EXPECT_DOUBLE_EQ(plan[1], 2.0);  // floor
+  EXPECT_DOUBLE_EQ(plan[2], 6.0);
+}
+
+TEST(Utilization, BasicMath) {
+  LinkLoads loads;
+  loads.load = {5.0, 20.0};
+  loads.undelivered = 3.0;
+  const UtilizationReport r = evaluate_utilization(loads, {10.0, 10.0});
+  EXPECT_DOUBLE_EQ(r.utilization[0], 0.5);
+  EXPECT_DOUBLE_EQ(r.utilization[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.max_utilization, 2.0);
+  EXPECT_DOUBLE_EQ(r.mean_utilization, 1.25);
+  EXPECT_EQ(r.overloaded_links, 1);
+  EXPECT_DOUBLE_EQ(r.undelivered, 3.0);
+}
+
+TEST(Utilization, SteadyStateMatchesHeadroom) {
+  // Provisioning at headroom h puts every loaded link at utilization 1/h.
+  CapFixture f;
+  const TrafficMatrix tm = uniform_demands(f.splicer.graph());
+  const LinkLoads loads =
+      route_demands(f.splicer, tm, SliceSelection::kPinnedShortest, f.rng);
+  const CapacityPlan plan = provision_capacities(loads, 2.0);
+  const UtilizationReport r = evaluate_utilization(loads, plan);
+  EXPECT_NEAR(r.max_utilization, 0.5, 1e-9);
+  EXPECT_EQ(r.overloaded_links, 0);
+}
+
+TEST(Utilization, FailureSpikeIsBoundedAndRestoresState) {
+  CapFixture f;
+  const Graph& g = f.splicer.graph();
+  const TrafficMatrix tm = uniform_demands(g);
+  // Find a loaded link to fail.
+  const LinkLoads base =
+      route_demands(f.splicer, tm, SliceSelection::kPinnedShortest, f.rng);
+  EdgeId hot = 0;
+  for (EdgeId e = 1; e < g.edge_count(); ++e) {
+    if (base.load[static_cast<std::size_t>(e)] >
+        base.load[static_cast<std::size_t>(hot)])
+      hot = e;
+  }
+  const UtilizationReport spike = failure_utilization_spike(
+      f.splicer, tm, SliceSelection::kPinnedShortest, 2.0, hot, f.rng);
+  // The failed link carries nothing afterwards.
+  EXPECT_DOUBLE_EQ(spike.utilization[static_cast<std::size_t>(hot)], 0.0);
+  // Some link absorbed extra traffic: max utilization above steady 0.5.
+  EXPECT_GT(spike.max_utilization, 0.5);
+  // Network state restored.
+  EXPECT_TRUE(f.splicer.network().link_alive(hot));
+}
+
+TEST(Utilization, HashSpreadSpikesLessThanSinglePath) {
+  // §5's operational claim at the utilization level: with demand spread
+  // across slices in steady state, the post-failure spike (relative to
+  // each mode's own provisioning) is no worse than single-path routing's,
+  // aggregated over the three hottest links.
+  CapFixture f;
+  const Graph& g = f.splicer.graph();
+  const TrafficMatrix tm = uniform_demands(g);
+  const LinkLoads base =
+      route_demands(f.splicer, tm, SliceSelection::kPinnedShortest, f.rng);
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    order[static_cast<std::size_t>(e)] = e;
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return base.load[static_cast<std::size_t>(a)] >
+           base.load[static_cast<std::size_t>(b)];
+  });
+  double single_total = 0.0;
+  double spread_total = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    single_total += failure_utilization_spike(
+                        f.splicer, tm, SliceSelection::kPinnedShortest, 2.0,
+                        order[static_cast<std::size_t>(i)], f.rng)
+                        .max_utilization;
+    spread_total += failure_utilization_spike(
+                        f.splicer, tm, SliceSelection::kHashSpread, 2.0,
+                        order[static_cast<std::size_t>(i)], f.rng)
+                        .max_utilization;
+  }
+  EXPECT_LE(spread_total, single_total * 1.25);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,185 @@
+// Traffic-engineering module tests: demand matrices, load accounting,
+// imbalance metrics, and the §5 failure-shift experiment.
+#include <gtest/gtest.h>
+
+#include "topo/datasets.h"
+#include "traffic/demand.h"
+#include "traffic/load.h"
+
+namespace splice {
+namespace {
+
+TEST(TrafficMatrix, SetAddGet) {
+  TrafficMatrix tm(3);
+  EXPECT_DOUBLE_EQ(tm.demand(0, 1), 0.0);
+  tm.set_demand(0, 1, 2.0);
+  tm.add_demand(0, 1, 1.5);
+  EXPECT_DOUBLE_EQ(tm.demand(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(tm.total(), 3.5);
+}
+
+TEST(TrafficMatrix, NormalizeTotal) {
+  TrafficMatrix tm(2);
+  tm.set_demand(0, 1, 4.0);
+  tm.set_demand(1, 0, 6.0);
+  tm.normalize_total(5.0);
+  EXPECT_DOUBLE_EQ(tm.total(), 5.0);
+  EXPECT_DOUBLE_EQ(tm.demand(0, 1), 2.0);
+}
+
+TEST(TrafficMatrix, NormalizeEmptyIsNoop) {
+  TrafficMatrix tm(2);
+  tm.normalize_total(5.0);
+  EXPECT_DOUBLE_EQ(tm.total(), 0.0);
+}
+
+TEST(Demands, UniformIsOnePerPair) {
+  const Graph g = topo::geant();
+  const TrafficMatrix tm = uniform_demands(g);
+  EXPECT_DOUBLE_EQ(tm.total(), 23.0 * 22.0);
+  EXPECT_DOUBLE_EQ(tm.demand(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(tm.demand(0, 1), 1.0);
+}
+
+TEST(Demands, GravityWeightsByDegree) {
+  const Graph g = topo::sprint();
+  const TrafficMatrix tm = gravity_demands(g);
+  // Same normalized total as uniform.
+  EXPECT_NEAR(tm.total(), 52.0 * 51.0, 1e-6);
+  // Chicago (hub) attracts more than Milwaukee (stub).
+  const NodeId chi = g.find_node("Chicago");
+  const NodeId mke = g.find_node("Milwaukee");
+  const NodeId sea = g.find_node("Seattle");
+  EXPECT_GT(tm.demand(sea, chi), tm.demand(sea, mke));
+}
+
+TEST(Demands, HotspotConcentratesOnChosen) {
+  const Graph g = topo::geant();
+  const TrafficMatrix tm = hotspot_demands(g, 2, 10.0, 5);
+  EXPECT_NEAR(tm.total(), 23.0 * 22.0, 1e-6);
+  // Column sums: exactly two destinations should dominate.
+  std::vector<double> col(static_cast<std::size_t>(g.node_count()), 0.0);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      col[static_cast<std::size_t>(t)] += tm.demand(s, t);
+    }
+  }
+  std::sort(col.begin(), col.end());
+  EXPECT_GT(col[col.size() - 2], 3.0 * col.front());
+}
+
+struct LoadFixture {
+  LoadFixture() : splicer(topo::geant(), SplicerConfig{.slices = 4, .seed = 3}) {}
+  Splicer splicer;
+  Rng rng{7};
+};
+
+TEST(RouteDemands, ConservesDeliveredDemandPerHop) {
+  LoadFixture f;
+  const TrafficMatrix tm = uniform_demands(f.splicer.graph());
+  const LinkLoads loads =
+      route_demands(f.splicer, tm, SliceSelection::kPinnedShortest, f.rng);
+  EXPECT_DOUBLE_EQ(loads.undelivered, 0.0);
+  // Total link-load = sum over pairs of demand * hops; all demands are 1 so
+  // it must equal the total hop count of all shortest paths >= #pairs.
+  double total = 0.0;
+  for (double l : loads.load) total += l;
+  EXPECT_GE(total, tm.total());
+}
+
+TEST(RouteDemands, PinnedShortestMatchesSliceZeroPaths) {
+  LoadFixture f;
+  const Graph& g = f.splicer.graph();
+  TrafficMatrix tm(g.node_count());
+  tm.set_demand(2, 9, 5.0);
+  const LinkLoads loads =
+      route_demands(f.splicer, tm, SliceSelection::kPinnedShortest, f.rng);
+  const auto path = f.splicer.control_plane().slice(0).path(2, 9);
+  double expected_links = static_cast<double>(path.size() - 1);
+  double loaded_links = 0.0;
+  for (double l : loads.load) {
+    if (l > 0.0) {
+      EXPECT_DOUBLE_EQ(l, 5.0);
+      ++loaded_links;
+    }
+  }
+  EXPECT_DOUBLE_EQ(loaded_links, expected_links);
+}
+
+TEST(RouteDemands, UndeliveredAccountsForDeadEnds) {
+  LoadFixture f;
+  const Graph& g = f.splicer.graph();
+  // Isolate node 3 by failing all its links.
+  for (const Incidence& inc : g.neighbors(3)) {
+    f.splicer.network().set_link_state(inc.edge, false);
+  }
+  TrafficMatrix tm(g.node_count());
+  tm.set_demand(0, 3, 2.0);
+  tm.set_demand(5, 7, 1.0);
+  const LinkLoads loads =
+      route_demands(f.splicer, tm, SliceSelection::kPinnedShortest, f.rng);
+  EXPECT_DOUBLE_EQ(loads.undelivered, 2.0);
+}
+
+TEST(RouteDemands, SplicingSpreadsLoad) {
+  LoadFixture f;
+  const TrafficMatrix tm = uniform_demands(f.splicer.graph());
+  const LinkLoads pinned =
+      route_demands(f.splicer, tm, SliceSelection::kPinnedShortest, f.rng);
+  const LinkLoads random =
+      route_demands(f.splicer, tm, SliceSelection::kRandomHeaders, f.rng);
+  // Random headers should not be more imbalanced than single-path by much;
+  // typically they're better.
+  EXPECT_LT(random.imbalance(), pinned.imbalance() * 1.3);
+}
+
+TEST(LinkLoads, ImbalanceDefinitions) {
+  LinkLoads l;
+  EXPECT_DOUBLE_EQ(l.imbalance(), 0.0);
+  l.load = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(l.imbalance(), 1.0);
+  l.load = {0.0, 0.0, 6.0};
+  EXPECT_DOUBLE_EQ(l.imbalance(), 3.0);
+  EXPECT_DOUBLE_EQ(l.max_load(), 6.0);
+}
+
+TEST(FailureShift, DisplacedDemandIsAccounted) {
+  LoadFixture f;
+  const Graph& g = f.splicer.graph();
+  const TrafficMatrix tm = uniform_demands(g);
+  // Pick a link on many shortest paths: the heaviest under pinned routing.
+  const LinkLoads pinned =
+      route_demands(f.splicer, tm, SliceSelection::kPinnedShortest, f.rng);
+  EdgeId hot = 0;
+  for (EdgeId e = 1; e < g.edge_count(); ++e) {
+    if (pinned.load[static_cast<std::size_t>(e)] >
+        pinned.load[static_cast<std::size_t>(hot)])
+      hot = e;
+  }
+  const FailureShift shift = measure_failure_shift(
+      f.splicer, tm, SliceSelection::kPinnedShortest, hot, f.rng);
+  EXPECT_EQ(shift.failed_edge, hot);
+  EXPECT_DOUBLE_EQ(shift.displaced_demand,
+                   pinned.load[static_cast<std::size_t>(hot)]);
+  EXPECT_GE(shift.lost_fraction, 0.0);
+  EXPECT_LE(shift.lost_fraction, 1.0);
+  // Herfindahl index is in (0, 1]; with many links absorbing the shift it
+  // should be well below 1 (dispersion, §5's claim).
+  EXPECT_GT(shift.concentration, 0.0);
+  EXPECT_LE(shift.concentration, 1.0);
+  EXPECT_LT(shift.concentration, 0.5);
+  // Network state restored.
+  EXPECT_TRUE(f.splicer.network().link_alive(hot));
+}
+
+TEST(FailureShift, NoTrafficNoShift) {
+  LoadFixture f;
+  TrafficMatrix tm(f.splicer.graph().node_count());
+  const FailureShift shift = measure_failure_shift(
+      f.splicer, tm, SliceSelection::kPinnedShortest, 0, f.rng);
+  EXPECT_DOUBLE_EQ(shift.displaced_demand, 0.0);
+  EXPECT_DOUBLE_EQ(shift.lost_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,72 @@
+// Tests for the CLI flag parser.
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace splice {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags f = make({"prog", "--k=5", "--p=0.05"});
+  EXPECT_EQ(f.get_int("k", 0), 5);
+  EXPECT_DOUBLE_EQ(f.get_double("p", 0.0), 0.05);
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags f = make({"prog", "--topo", "sprint"});
+  EXPECT_EQ(f.get_string("topo", ""), "sprint");
+}
+
+TEST(Flags, BareBoolean) {
+  const Flags f = make({"prog", "--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_FALSE(f.get_bool("quiet"));
+}
+
+TEST(Flags, BooleanBeforeAnotherFlag) {
+  const Flags f = make({"prog", "--verbose", "--k=2"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_EQ(f.get_int("k", 0), 2);
+}
+
+TEST(Flags, BoolSpellings) {
+  EXPECT_TRUE(make({"p", "--x=true"}).get_bool("x"));
+  EXPECT_TRUE(make({"p", "--x=1"}).get_bool("x"));
+  EXPECT_TRUE(make({"p", "--x=yes"}).get_bool("x"));
+  EXPECT_TRUE(make({"p", "--x=on"}).get_bool("x"));
+  EXPECT_FALSE(make({"p", "--x=false"}).get_bool("x", true));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const Flags f = make({"prog"});
+  EXPECT_EQ(f.get_int("k", 9), 9);
+  EXPECT_DOUBLE_EQ(f.get_double("p", 0.5), 0.5);
+  EXPECT_EQ(f.get_string("topo", "geant"), "geant");
+  EXPECT_FALSE(f.get("missing").has_value());
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = make({"prog", "input.txt", "--k=2", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(Flags, ProgramName) {
+  const Flags f = make({"bench_fig3"});
+  EXPECT_EQ(f.program(), "bench_fig3");
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  const Flags f = make({"prog", "--offset", "-3"});
+  EXPECT_EQ(f.get_int("offset", 0), -3);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,77 @@
+// Histogram/CDF tests.
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+TEST(Histogram, BinningBasics) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.total(), 3);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.count(2), 0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.total(), 2);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CdfMonotoneAndComplete) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  double prev = 0.0;
+  for (int i = 0; i < h.bins(); ++i) {
+    EXPECT_GE(h.cdf_at(i), prev);
+    prev = h.cdf_at(i);
+  }
+  EXPECT_DOUBLE_EQ(h.cdf_at(h.bins() - 1), 1.0);
+}
+
+TEST(Histogram, QuantileEdges) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.quantile_edge(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile_edge(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile_edge(0.05), 10.0);
+}
+
+TEST(Histogram, EmptyCdfIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.cdf_at(3), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile_edge(0.5), 1.0);  // never reached -> hi
+}
+
+TEST(Histogram, RenderContainsRows) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(6.0);
+  h.add(7.0);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find("#"), std::string::npos);
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace splice

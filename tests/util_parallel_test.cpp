@@ -1,0 +1,113 @@
+// Parallel trial-runner tests: correctness, determinism, equivalence with
+// the sequential path, and the threaded reliability experiment.
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "sim/experiments.h"
+#include "topo/datasets.h"
+#include "util/stats.h"
+
+namespace splice {
+namespace {
+
+TEST(ParallelTrials, CoversEveryTrialExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    std::vector<std::atomic<int>> hits(100);
+    struct Nothing {};
+    parallel_trials<Nothing>(
+        100, threads,
+        [&](int t, Nothing&) { hits[static_cast<std::size_t>(t)]++; },
+        [](Nothing&, const Nothing&) {});
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << threads;
+  }
+}
+
+TEST(ParallelTrials, SumMatchesSequential) {
+  auto run = [](int threads) {
+    struct Acc {
+      long long sum = 0;
+    };
+    const Acc acc = parallel_trials<Acc>(
+        1000, threads, [](int t, Acc& a) { a.sum += t * t; },
+        [](Acc& into, const Acc& from) { into.sum += from.sum; });
+    return acc.sum;
+  };
+  const long long expect = run(1);
+  for (int threads : {2, 3, 8}) EXPECT_EQ(run(threads), expect);
+}
+
+TEST(ParallelTrials, ZeroTrials) {
+  struct Acc {
+    int calls = 0;
+  };
+  const Acc acc = parallel_trials<Acc>(
+      0, 4, [](int, Acc& a) { ++a.calls; },
+      [](Acc& into, const Acc& from) { into.calls += from.calls; });
+  EXPECT_EQ(acc.calls, 0);
+}
+
+TEST(ParallelTrials, MoreThreadsThanTrials) {
+  struct Acc {
+    int calls = 0;
+  };
+  const Acc acc = parallel_trials<Acc>(
+      3, 16, [](int, Acc& a) { ++a.calls; },
+      [](Acc& into, const Acc& from) { into.calls += from.calls; });
+  EXPECT_EQ(acc.calls, 3);
+}
+
+TEST(ParallelTrials, OnlineStatsMergeAcrossWorkers) {
+  struct Acc {
+    OnlineStats stats;
+  };
+  auto run = [](int threads) {
+    return parallel_trials<Acc>(
+               500, threads,
+               [](int t, Acc& a) { a.stats.add(static_cast<double>(t)); },
+               [](Acc& into, const Acc& from) {
+                 into.stats.merge(from.stats);
+               })
+        .stats;
+  };
+  const OnlineStats seq = run(1);
+  const OnlineStats par = run(4);
+  EXPECT_EQ(par.count(), seq.count());
+  EXPECT_NEAR(par.mean(), seq.mean(), 1e-9);
+  EXPECT_NEAR(par.variance(), seq.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(par.min(), seq.min());
+  EXPECT_DOUBLE_EQ(par.max(), seq.max());
+}
+
+TEST(DefaultThreadCount, AtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(ThreadedReliability, MatchesSequentialMeans) {
+  // Per-trial randomness depends only on (seed, p, trial), so the threaded
+  // run must produce exactly the same set of per-trial samples — identical
+  // means up to floating-point merge order.
+  ReliabilityConfig seq;
+  seq.k_values = {1, 3};
+  seq.p_values = {0.05};
+  seq.trials = 60;
+  seq.threads = 1;
+  ReliabilityConfig par = seq;
+  par.threads = 4;
+  const auto a = run_reliability_experiment(topo::geant(), seq);
+  const auto b = run_reliability_experiment(topo::geant(), par);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_NEAR(a.points[i].mean_disconnected, b.points[i].mean_disconnected,
+                1e-12);
+  }
+  EXPECT_NEAR(a.best_possible[0].mean_disconnected,
+              b.best_possible[0].mean_disconnected, 1e-12);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,195 @@
+// Tests for the deterministic RNG layer: reproducibility, bounds,
+// distribution sanity, forking independence.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace splice {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashMix, IsStable) {
+  EXPECT_EQ(hash_mix(1, 2, 3), hash_mix(1, 2, 3));
+}
+
+TEST(HashMix, DiffersAcrossArguments) {
+  std::set<std::uint64_t> values;
+  for (std::uint64_t a = 0; a < 10; ++a) {
+    for (std::uint64_t b = 0; b < 10; ++b) {
+      values.insert(hash_mix(a, b));
+    }
+  }
+  EXPECT_EQ(values.size(), 100u);  // no collisions on this tiny domain
+}
+
+TEST(HashMix, ArgumentOrderMatters) {
+  EXPECT_NE(hash_mix(1, 2), hash_mix(2, 1));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(123);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRangeDegenerate) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.uniform(2.0, 2.0), 2.0);
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(8);
+  std::map<std::uint64_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(6)];
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, n / 6, n / 60) << "value " << value;
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CoinIsFair) {
+  Rng rng(12);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.coin() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(13);
+  Rng child = parent.fork(1);
+  Rng parent2(13);
+  (void)parent2.fork(1);
+  // The child stream should differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += child() == parent() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkDependsOnSalt) {
+  Rng a(14);
+  Rng b(14);
+  Rng child_a = a.fork(1);
+  Rng child_b = b.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += child_a() == child_b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,158 @@
+// Tests for OnlineStats (Welford), percentiles and summaries.
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(1);
+  OnlineStats whole;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(OnlineStats, Ci95ShrinksWithSamples) {
+  Rng rng(2);
+  OnlineStats small;
+  OnlineStats large;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    if (i < 100) small.add(x);
+    large.add(x);
+  }
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 7.0);
+}
+
+TEST(Percentile, EndpointsAreMinMax) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, MedianInterpolates) {
+  const std::vector<double> odd{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(odd, 50.0), 2.0);
+  const std::vector<double> even{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(even, 50.0), 2.5);
+}
+
+TEST(Percentile, DoesNotMutateInput) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  (void)percentile(v, 50.0);
+  EXPECT_EQ(v[0], 3.0);
+  EXPECT_EQ(v[1], 1.0);
+}
+
+TEST(MeanOf, Basic) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(Summarize, MatchesComponents) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const SampleSummary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, ToStringContainsFields) {
+  const std::vector<double> v{1.0, 2.0};
+  const std::string str = to_string(summarize(v));
+  EXPECT_NE(str.find("n=2"), std::string::npos);
+  EXPECT_NE(str.find("mean="), std::string::npos);
+}
+
+// Property-style sweep: p99 >= p95 >= p50 >= min for random samples.
+class PercentileOrderTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileOrderTest, QuantilesAreMonotone) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.uniform(0.0, 100.0));
+  const SampleSummary s = summarize(v);
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileOrderTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace splice

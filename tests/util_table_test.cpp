@@ -1,0 +1,86 @@
+// Tests for the text/CSV table writer and formatting helpers.
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace splice {
+namespace {
+
+TEST(Table, TextAlignsColumns) {
+  Table t({"k", "value"});
+  t.add_row({"1", "0.5"});
+  t.add_row({"10", "0.25"});
+  const std::string text = t.to_text();
+  // Header, rule, two rows.
+  int lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(text.find("k"), std::string::npos);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+}
+
+TEST(Table, RowsAndColumnsCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecials) {
+  Table t({"name", "note"});
+  t.add_row({"x,y", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_text());
+}
+
+TEST(Formatters, Double) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(Formatters, Percent) {
+  EXPECT_EQ(fmt_percent(0.5, 1), "50.0%");
+  EXPECT_EQ(fmt_percent(0.012345, 2), "1.23%");
+}
+
+TEST(Formatters, Int) {
+  EXPECT_EQ(fmt_int(42), "42");
+  EXPECT_EQ(fmt_int(-7), "-7");
+}
+
+TEST(WriteFile, RoundTrips) {
+  const std::string path = ::testing::TempDir() + "/splice_table_test.txt";
+  ASSERT_TRUE(write_file(path, "hello\nworld\n"));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFile, FailsOnBadPath) {
+  EXPECT_FALSE(write_file("/nonexistent-dir/xyz/file.txt", "x"));
+}
+
+}  // namespace
+}  // namespace splice
