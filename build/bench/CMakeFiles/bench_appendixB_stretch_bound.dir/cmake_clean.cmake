@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixB_stretch_bound.dir/bench_appendixB_stretch_bound.cpp.o"
+  "CMakeFiles/bench_appendixB_stretch_bound.dir/bench_appendixB_stretch_bound.cpp.o.d"
+  "bench_appendixB_stretch_bound"
+  "bench_appendixB_stretch_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixB_stretch_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

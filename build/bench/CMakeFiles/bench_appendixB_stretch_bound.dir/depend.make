@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_appendixB_stretch_bound.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_messages.dir/bench_control_messages.cpp.o"
+  "CMakeFiles/bench_control_messages.dir/bench_control_messages.cpp.o.d"
+  "bench_control_messages"
+  "bench_control_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

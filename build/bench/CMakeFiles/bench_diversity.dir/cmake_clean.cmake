@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diversity.dir/bench_diversity.cpp.o"
+  "CMakeFiles/bench_diversity.dir/bench_diversity.cpp.o.d"
+  "bench_diversity"
+  "bench_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

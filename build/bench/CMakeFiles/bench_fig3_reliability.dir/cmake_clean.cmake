@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_reliability.dir/bench_fig3_reliability.cpp.o"
+  "CMakeFiles/bench_fig3_reliability.dir/bench_fig3_reliability.cpp.o.d"
+  "bench_fig3_reliability"
+  "bench_fig3_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_end_system_recovery.dir/bench_fig4_end_system_recovery.cpp.o"
+  "CMakeFiles/bench_fig4_end_system_recovery.dir/bench_fig4_end_system_recovery.cpp.o.d"
+  "bench_fig4_end_system_recovery"
+  "bench_fig4_end_system_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_end_system_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interdomain.dir/bench_interdomain.cpp.o"
+  "CMakeFiles/bench_interdomain.dir/bench_interdomain.cpp.o.d"
+  "bench_interdomain"
+  "bench_interdomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interdomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

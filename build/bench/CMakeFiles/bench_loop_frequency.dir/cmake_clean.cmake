@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loop_frequency.dir/bench_loop_frequency.cpp.o"
+  "CMakeFiles/bench_loop_frequency.dir/bench_loop_frequency.cpp.o.d"
+  "bench_loop_frequency"
+  "bench_loop_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loop_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconvergence.dir/bench_reconvergence.cpp.o"
+  "CMakeFiles/bench_reconvergence.dir/bench_reconvergence.cpp.o.d"
+  "bench_reconvergence"
+  "bench_reconvergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconvergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

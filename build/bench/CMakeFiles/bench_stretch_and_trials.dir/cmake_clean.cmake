@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stretch_and_trials.dir/bench_stretch_and_trials.cpp.o"
+  "CMakeFiles/bench_stretch_and_trials.dir/bench_stretch_and_trials.cpp.o.d"
+  "bench_stretch_and_trials"
+  "bench_stretch_and_trials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stretch_and_trials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_capacity.dir/bench_throughput_capacity.cpp.o"
+  "CMakeFiles/bench_throughput_capacity.dir/bench_throughput_capacity.cpp.o.d"
+  "bench_throughput_capacity"
+  "bench_throughput_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

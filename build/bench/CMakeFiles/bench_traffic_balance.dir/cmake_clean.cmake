@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traffic_balance.dir/bench_traffic_balance.cpp.o"
+  "CMakeFiles/bench_traffic_balance.dir/bench_traffic_balance.cpp.o.d"
+  "bench_traffic_balance"
+  "bench_traffic_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traffic_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

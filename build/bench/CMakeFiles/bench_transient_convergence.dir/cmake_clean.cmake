@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transient_convergence.dir/bench_transient_convergence.cpp.o"
+  "CMakeFiles/bench_transient_convergence.dir/bench_transient_convergence.cpp.o.d"
+  "bench_transient_convergence"
+  "bench_transient_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transient_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

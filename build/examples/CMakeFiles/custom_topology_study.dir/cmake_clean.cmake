@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_topology_study.dir/custom_topology_study.cpp.o"
+  "CMakeFiles/custom_topology_study.dir/custom_topology_study.cpp.o.d"
+  "custom_topology_study"
+  "custom_topology_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_topology_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

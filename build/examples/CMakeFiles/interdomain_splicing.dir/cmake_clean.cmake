@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interdomain_splicing.dir/interdomain_splicing.cpp.o"
+  "CMakeFiles/interdomain_splicing.dir/interdomain_splicing.cpp.o.d"
+  "interdomain_splicing"
+  "interdomain_splicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interdomain_splicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

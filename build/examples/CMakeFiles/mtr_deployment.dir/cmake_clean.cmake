@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtr_deployment.dir/mtr_deployment.cpp.o"
+  "CMakeFiles/mtr_deployment.dir/mtr_deployment.cpp.o.d"
+  "mtr_deployment"
+  "mtr_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtr_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

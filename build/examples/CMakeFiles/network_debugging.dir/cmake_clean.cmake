@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_debugging.dir/network_debugging.cpp.o"
+  "CMakeFiles/network_debugging.dir/network_debugging.cpp.o.d"
+  "network_debugging"
+  "network_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

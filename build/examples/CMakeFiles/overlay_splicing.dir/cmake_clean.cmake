@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_splicing.dir/overlay_splicing.cpp.o"
+  "CMakeFiles/overlay_splicing.dir/overlay_splicing.cpp.o.d"
+  "overlay_splicing"
+  "overlay_splicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_splicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

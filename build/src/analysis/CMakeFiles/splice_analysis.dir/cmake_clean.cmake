@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_analysis.dir/advisor.cpp.o"
+  "CMakeFiles/splice_analysis.dir/advisor.cpp.o.d"
+  "libsplice_analysis.a"
+  "libsplice_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/network.cpp" "src/dataplane/CMakeFiles/splice_dataplane.dir/network.cpp.o" "gcc" "src/dataplane/CMakeFiles/splice_dataplane.dir/network.cpp.o.d"
+  "/root/repo/src/dataplane/splice_header.cpp" "src/dataplane/CMakeFiles/splice_dataplane.dir/splice_header.cpp.o" "gcc" "src/dataplane/CMakeFiles/splice_dataplane.dir/splice_header.cpp.o.d"
+  "/root/repo/src/dataplane/trace_log.cpp" "src/dataplane/CMakeFiles/splice_dataplane.dir/trace_log.cpp.o" "gcc" "src/dataplane/CMakeFiles/splice_dataplane.dir/trace_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/splice_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/splice_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/splice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

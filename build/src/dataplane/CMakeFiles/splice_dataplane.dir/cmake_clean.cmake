@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_dataplane.dir/network.cpp.o"
+  "CMakeFiles/splice_dataplane.dir/network.cpp.o.d"
+  "CMakeFiles/splice_dataplane.dir/splice_header.cpp.o"
+  "CMakeFiles/splice_dataplane.dir/splice_header.cpp.o.d"
+  "CMakeFiles/splice_dataplane.dir/trace_log.cpp.o"
+  "CMakeFiles/splice_dataplane.dir/trace_log.cpp.o.d"
+  "libsplice_dataplane.a"
+  "libsplice_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

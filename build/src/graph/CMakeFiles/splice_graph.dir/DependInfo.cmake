@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bellman_ford.cpp" "src/graph/CMakeFiles/splice_graph.dir/bellman_ford.cpp.o" "gcc" "src/graph/CMakeFiles/splice_graph.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/graph/CMakeFiles/splice_graph.dir/connectivity.cpp.o" "gcc" "src/graph/CMakeFiles/splice_graph.dir/connectivity.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/splice_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/splice_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/graph/CMakeFiles/splice_graph.dir/dijkstra.cpp.o" "gcc" "src/graph/CMakeFiles/splice_graph.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/splice_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/splice_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/splice_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/splice_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/splice_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/splice_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/maxflow.cpp" "src/graph/CMakeFiles/splice_graph.dir/maxflow.cpp.o" "gcc" "src/graph/CMakeFiles/splice_graph.dir/maxflow.cpp.o.d"
+  "/root/repo/src/graph/mincut.cpp" "src/graph/CMakeFiles/splice_graph.dir/mincut.cpp.o" "gcc" "src/graph/CMakeFiles/splice_graph.dir/mincut.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/graph/CMakeFiles/splice_graph.dir/properties.cpp.o" "gcc" "src/graph/CMakeFiles/splice_graph.dir/properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/splice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

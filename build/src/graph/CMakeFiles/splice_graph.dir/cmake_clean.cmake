@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_graph.dir/bellman_ford.cpp.o"
+  "CMakeFiles/splice_graph.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/splice_graph.dir/connectivity.cpp.o"
+  "CMakeFiles/splice_graph.dir/connectivity.cpp.o.d"
+  "CMakeFiles/splice_graph.dir/digraph.cpp.o"
+  "CMakeFiles/splice_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/splice_graph.dir/dijkstra.cpp.o"
+  "CMakeFiles/splice_graph.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/splice_graph.dir/generators.cpp.o"
+  "CMakeFiles/splice_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/splice_graph.dir/graph.cpp.o"
+  "CMakeFiles/splice_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/splice_graph.dir/io.cpp.o"
+  "CMakeFiles/splice_graph.dir/io.cpp.o.d"
+  "CMakeFiles/splice_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/splice_graph.dir/maxflow.cpp.o.d"
+  "CMakeFiles/splice_graph.dir/mincut.cpp.o"
+  "CMakeFiles/splice_graph.dir/mincut.cpp.o.d"
+  "CMakeFiles/splice_graph.dir/properties.cpp.o"
+  "CMakeFiles/splice_graph.dir/properties.cpp.o.d"
+  "libsplice_graph.a"
+  "libsplice_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interdomain/as_graph.cpp" "src/interdomain/CMakeFiles/splice_interdomain.dir/as_graph.cpp.o" "gcc" "src/interdomain/CMakeFiles/splice_interdomain.dir/as_graph.cpp.o.d"
+  "/root/repo/src/interdomain/bgp.cpp" "src/interdomain/CMakeFiles/splice_interdomain.dir/bgp.cpp.o" "gcc" "src/interdomain/CMakeFiles/splice_interdomain.dir/bgp.cpp.o.d"
+  "/root/repo/src/interdomain/bgp_dynamics.cpp" "src/interdomain/CMakeFiles/splice_interdomain.dir/bgp_dynamics.cpp.o" "gcc" "src/interdomain/CMakeFiles/splice_interdomain.dir/bgp_dynamics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/splice_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/splice_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/splice_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/splice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

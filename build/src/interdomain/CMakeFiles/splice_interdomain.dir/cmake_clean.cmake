@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_interdomain.dir/as_graph.cpp.o"
+  "CMakeFiles/splice_interdomain.dir/as_graph.cpp.o.d"
+  "CMakeFiles/splice_interdomain.dir/bgp.cpp.o"
+  "CMakeFiles/splice_interdomain.dir/bgp.cpp.o.d"
+  "CMakeFiles/splice_interdomain.dir/bgp_dynamics.cpp.o"
+  "CMakeFiles/splice_interdomain.dir/bgp_dynamics.cpp.o.d"
+  "libsplice_interdomain.a"
+  "libsplice_interdomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_interdomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_overlay.dir/overlay.cpp.o"
+  "CMakeFiles/splice_overlay.dir/overlay.cpp.o.d"
+  "libsplice_overlay.a"
+  "libsplice_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/coverage.cpp" "src/routing/CMakeFiles/splice_routing.dir/coverage.cpp.o" "gcc" "src/routing/CMakeFiles/splice_routing.dir/coverage.cpp.o.d"
+  "/root/repo/src/routing/flooding.cpp" "src/routing/CMakeFiles/splice_routing.dir/flooding.cpp.o" "gcc" "src/routing/CMakeFiles/splice_routing.dir/flooding.cpp.o.d"
+  "/root/repo/src/routing/mtr_config.cpp" "src/routing/CMakeFiles/splice_routing.dir/mtr_config.cpp.o" "gcc" "src/routing/CMakeFiles/splice_routing.dir/mtr_config.cpp.o.d"
+  "/root/repo/src/routing/multi_instance.cpp" "src/routing/CMakeFiles/splice_routing.dir/multi_instance.cpp.o" "gcc" "src/routing/CMakeFiles/splice_routing.dir/multi_instance.cpp.o.d"
+  "/root/repo/src/routing/perturbation.cpp" "src/routing/CMakeFiles/splice_routing.dir/perturbation.cpp.o" "gcc" "src/routing/CMakeFiles/splice_routing.dir/perturbation.cpp.o.d"
+  "/root/repo/src/routing/routing_instance.cpp" "src/routing/CMakeFiles/splice_routing.dir/routing_instance.cpp.o" "gcc" "src/routing/CMakeFiles/splice_routing.dir/routing_instance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/splice_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/splice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

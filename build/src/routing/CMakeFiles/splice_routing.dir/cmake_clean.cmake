@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_routing.dir/coverage.cpp.o"
+  "CMakeFiles/splice_routing.dir/coverage.cpp.o.d"
+  "CMakeFiles/splice_routing.dir/flooding.cpp.o"
+  "CMakeFiles/splice_routing.dir/flooding.cpp.o.d"
+  "CMakeFiles/splice_routing.dir/mtr_config.cpp.o"
+  "CMakeFiles/splice_routing.dir/mtr_config.cpp.o.d"
+  "CMakeFiles/splice_routing.dir/multi_instance.cpp.o"
+  "CMakeFiles/splice_routing.dir/multi_instance.cpp.o.d"
+  "CMakeFiles/splice_routing.dir/perturbation.cpp.o"
+  "CMakeFiles/splice_routing.dir/perturbation.cpp.o.d"
+  "CMakeFiles/splice_routing.dir/routing_instance.cpp.o"
+  "CMakeFiles/splice_routing.dir/routing_instance.cpp.o.d"
+  "libsplice_routing.a"
+  "libsplice_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

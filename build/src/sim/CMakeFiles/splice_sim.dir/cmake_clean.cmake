@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/splice_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/splice_sim.dir/exact.cpp.o"
+  "CMakeFiles/splice_sim.dir/exact.cpp.o.d"
+  "CMakeFiles/splice_sim.dir/experiments.cpp.o"
+  "CMakeFiles/splice_sim.dir/experiments.cpp.o.d"
+  "CMakeFiles/splice_sim.dir/extensions.cpp.o"
+  "CMakeFiles/splice_sim.dir/extensions.cpp.o.d"
+  "CMakeFiles/splice_sim.dir/failure.cpp.o"
+  "CMakeFiles/splice_sim.dir/failure.cpp.o.d"
+  "CMakeFiles/splice_sim.dir/transient.cpp.o"
+  "CMakeFiles/splice_sim.dir/transient.cpp.o.d"
+  "libsplice_sim.a"
+  "libsplice_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

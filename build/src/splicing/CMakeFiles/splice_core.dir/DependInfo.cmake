@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/splicing/bit_budget.cpp" "src/splicing/CMakeFiles/splice_core.dir/bit_budget.cpp.o" "gcc" "src/splicing/CMakeFiles/splice_core.dir/bit_budget.cpp.o.d"
+  "/root/repo/src/splicing/metrics.cpp" "src/splicing/CMakeFiles/splice_core.dir/metrics.cpp.o" "gcc" "src/splicing/CMakeFiles/splice_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/splicing/path_enum.cpp" "src/splicing/CMakeFiles/splice_core.dir/path_enum.cpp.o" "gcc" "src/splicing/CMakeFiles/splice_core.dir/path_enum.cpp.o.d"
+  "/root/repo/src/splicing/recovery.cpp" "src/splicing/CMakeFiles/splice_core.dir/recovery.cpp.o" "gcc" "src/splicing/CMakeFiles/splice_core.dir/recovery.cpp.o.d"
+  "/root/repo/src/splicing/reliability.cpp" "src/splicing/CMakeFiles/splice_core.dir/reliability.cpp.o" "gcc" "src/splicing/CMakeFiles/splice_core.dir/reliability.cpp.o.d"
+  "/root/repo/src/splicing/splicer.cpp" "src/splicing/CMakeFiles/splice_core.dir/splicer.cpp.o" "gcc" "src/splicing/CMakeFiles/splice_core.dir/splicer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/splice_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/splice_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/splice_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/splice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

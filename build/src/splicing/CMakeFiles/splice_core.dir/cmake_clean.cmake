@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_core.dir/bit_budget.cpp.o"
+  "CMakeFiles/splice_core.dir/bit_budget.cpp.o.d"
+  "CMakeFiles/splice_core.dir/metrics.cpp.o"
+  "CMakeFiles/splice_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/splice_core.dir/path_enum.cpp.o"
+  "CMakeFiles/splice_core.dir/path_enum.cpp.o.d"
+  "CMakeFiles/splice_core.dir/recovery.cpp.o"
+  "CMakeFiles/splice_core.dir/recovery.cpp.o.d"
+  "CMakeFiles/splice_core.dir/reliability.cpp.o"
+  "CMakeFiles/splice_core.dir/reliability.cpp.o.d"
+  "CMakeFiles/splice_core.dir/splicer.cpp.o"
+  "CMakeFiles/splice_core.dir/splicer.cpp.o.d"
+  "libsplice_core.a"
+  "libsplice_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_topo.dir/datasets.cpp.o"
+  "CMakeFiles/splice_topo.dir/datasets.cpp.o.d"
+  "libsplice_topo.a"
+  "libsplice_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_traffic.dir/capacity.cpp.o"
+  "CMakeFiles/splice_traffic.dir/capacity.cpp.o.d"
+  "CMakeFiles/splice_traffic.dir/demand.cpp.o"
+  "CMakeFiles/splice_traffic.dir/demand.cpp.o.d"
+  "CMakeFiles/splice_traffic.dir/load.cpp.o"
+  "CMakeFiles/splice_traffic.dir/load.cpp.o.d"
+  "libsplice_traffic.a"
+  "libsplice_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

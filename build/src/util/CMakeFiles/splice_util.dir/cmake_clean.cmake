@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_util.dir/flags.cpp.o"
+  "CMakeFiles/splice_util.dir/flags.cpp.o.d"
+  "CMakeFiles/splice_util.dir/stats.cpp.o"
+  "CMakeFiles/splice_util.dir/stats.cpp.o.d"
+  "CMakeFiles/splice_util.dir/table.cpp.o"
+  "CMakeFiles/splice_util.dir/table.cpp.o.d"
+  "libsplice_util.a"
+  "libsplice_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

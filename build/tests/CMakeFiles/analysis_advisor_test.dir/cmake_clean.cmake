@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_advisor_test.dir/analysis_advisor_test.cpp.o"
+  "CMakeFiles/analysis_advisor_test.dir/analysis_advisor_test.cpp.o.d"
+  "analysis_advisor_test"
+  "analysis_advisor_test.pdb"
+  "analysis_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_header_test.dir/dataplane_header_test.cpp.o"
+  "CMakeFiles/dataplane_header_test.dir/dataplane_header_test.cpp.o.d"
+  "dataplane_header_test"
+  "dataplane_header_test.pdb"
+  "dataplane_header_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_header_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

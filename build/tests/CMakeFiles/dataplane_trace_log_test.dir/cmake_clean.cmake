@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_trace_log_test.dir/dataplane_trace_log_test.cpp.o"
+  "CMakeFiles/dataplane_trace_log_test.dir/dataplane_trace_log_test.cpp.o.d"
+  "dataplane_trace_log_test"
+  "dataplane_trace_log_test.pdb"
+  "dataplane_trace_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_trace_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

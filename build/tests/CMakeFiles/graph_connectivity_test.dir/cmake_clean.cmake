@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_connectivity_test.dir/graph_connectivity_test.cpp.o"
+  "CMakeFiles/graph_connectivity_test.dir/graph_connectivity_test.cpp.o.d"
+  "graph_connectivity_test"
+  "graph_connectivity_test.pdb"
+  "graph_connectivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_connectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_cut_flow_test.dir/graph_cut_flow_test.cpp.o"
+  "CMakeFiles/graph_cut_flow_test.dir/graph_cut_flow_test.cpp.o.d"
+  "graph_cut_flow_test"
+  "graph_cut_flow_test.pdb"
+  "graph_cut_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_cut_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

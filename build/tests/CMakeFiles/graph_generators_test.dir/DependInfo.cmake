@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_generators_test.cpp" "tests/CMakeFiles/graph_generators_test.dir/graph_generators_test.cpp.o" "gcc" "tests/CMakeFiles/graph_generators_test.dir/graph_generators_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/splice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/splicing/CMakeFiles/splice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/splice_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/splice_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/splice_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/splice_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/splice_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/splice_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/interdomain/CMakeFiles/splice_interdomain.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/splice_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/splice_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_shortest_path_test.dir/graph_shortest_path_test.cpp.o"
+  "CMakeFiles/graph_shortest_path_test.dir/graph_shortest_path_test.cpp.o.d"
+  "graph_shortest_path_test"
+  "graph_shortest_path_test.pdb"
+  "graph_shortest_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_shortest_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interdomain_dynamics_test.dir/interdomain_dynamics_test.cpp.o"
+  "CMakeFiles/interdomain_dynamics_test.dir/interdomain_dynamics_test.cpp.o.d"
+  "interdomain_dynamics_test"
+  "interdomain_dynamics_test.pdb"
+  "interdomain_dynamics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interdomain_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interdomain_test.dir/interdomain_test.cpp.o"
+  "CMakeFiles/interdomain_test.dir/interdomain_test.cpp.o.d"
+  "interdomain_test"
+  "interdomain_test.pdb"
+  "interdomain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interdomain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

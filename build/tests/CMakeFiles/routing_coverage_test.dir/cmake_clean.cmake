@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_coverage_test.dir/routing_coverage_test.cpp.o"
+  "CMakeFiles/routing_coverage_test.dir/routing_coverage_test.cpp.o.d"
+  "routing_coverage_test"
+  "routing_coverage_test.pdb"
+  "routing_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_flooding_test.dir/routing_flooding_test.cpp.o"
+  "CMakeFiles/routing_flooding_test.dir/routing_flooding_test.cpp.o.d"
+  "routing_flooding_test"
+  "routing_flooding_test.pdb"
+  "routing_flooding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_flooding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_instance_test.dir/routing_instance_test.cpp.o"
+  "CMakeFiles/routing_instance_test.dir/routing_instance_test.cpp.o.d"
+  "routing_instance_test"
+  "routing_instance_test.pdb"
+  "routing_instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_mtr_config_test.dir/routing_mtr_config_test.cpp.o"
+  "CMakeFiles/routing_mtr_config_test.dir/routing_mtr_config_test.cpp.o.d"
+  "routing_mtr_config_test"
+  "routing_mtr_config_test.pdb"
+  "routing_mtr_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_mtr_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

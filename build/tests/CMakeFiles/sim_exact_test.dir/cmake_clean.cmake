@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_exact_test.dir/sim_exact_test.cpp.o"
+  "CMakeFiles/sim_exact_test.dir/sim_exact_test.cpp.o.d"
+  "sim_exact_test"
+  "sim_exact_test.pdb"
+  "sim_exact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_experiments_test.dir/sim_experiments_test.cpp.o"
+  "CMakeFiles/sim_experiments_test.dir/sim_experiments_test.cpp.o.d"
+  "sim_experiments_test"
+  "sim_experiments_test.pdb"
+  "sim_experiments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_experiments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

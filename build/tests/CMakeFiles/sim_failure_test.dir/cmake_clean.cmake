@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_failure_test.dir/sim_failure_test.cpp.o"
+  "CMakeFiles/sim_failure_test.dir/sim_failure_test.cpp.o.d"
+  "sim_failure_test"
+  "sim_failure_test.pdb"
+  "sim_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splicing_bit_budget_test.dir/splicing_bit_budget_test.cpp.o"
+  "CMakeFiles/splicing_bit_budget_test.dir/splicing_bit_budget_test.cpp.o.d"
+  "splicing_bit_budget_test"
+  "splicing_bit_budget_test.pdb"
+  "splicing_bit_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splicing_bit_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splicing_metrics_test.dir/splicing_metrics_test.cpp.o"
+  "CMakeFiles/splicing_metrics_test.dir/splicing_metrics_test.cpp.o.d"
+  "splicing_metrics_test"
+  "splicing_metrics_test.pdb"
+  "splicing_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splicing_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

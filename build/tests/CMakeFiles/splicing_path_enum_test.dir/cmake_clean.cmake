@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splicing_path_enum_test.dir/splicing_path_enum_test.cpp.o"
+  "CMakeFiles/splicing_path_enum_test.dir/splicing_path_enum_test.cpp.o.d"
+  "splicing_path_enum_test"
+  "splicing_path_enum_test.pdb"
+  "splicing_path_enum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splicing_path_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

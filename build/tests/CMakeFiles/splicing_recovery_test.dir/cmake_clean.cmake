@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splicing_recovery_test.dir/splicing_recovery_test.cpp.o"
+  "CMakeFiles/splicing_recovery_test.dir/splicing_recovery_test.cpp.o.d"
+  "splicing_recovery_test"
+  "splicing_recovery_test.pdb"
+  "splicing_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splicing_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

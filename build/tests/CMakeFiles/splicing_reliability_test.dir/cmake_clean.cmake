@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splicing_reliability_test.dir/splicing_reliability_test.cpp.o"
+  "CMakeFiles/splicing_reliability_test.dir/splicing_reliability_test.cpp.o.d"
+  "splicing_reliability_test"
+  "splicing_reliability_test.pdb"
+  "splicing_reliability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splicing_reliability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

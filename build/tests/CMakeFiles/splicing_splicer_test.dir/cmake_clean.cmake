@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splicing_splicer_test.dir/splicing_splicer_test.cpp.o"
+  "CMakeFiles/splicing_splicer_test.dir/splicing_splicer_test.cpp.o.d"
+  "splicing_splicer_test"
+  "splicing_splicer_test.pdb"
+  "splicing_splicer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splicing_splicer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

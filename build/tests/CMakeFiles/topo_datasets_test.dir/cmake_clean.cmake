@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_datasets_test.dir/topo_datasets_test.cpp.o"
+  "CMakeFiles/topo_datasets_test.dir/topo_datasets_test.cpp.o.d"
+  "topo_datasets_test"
+  "topo_datasets_test.pdb"
+  "topo_datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
