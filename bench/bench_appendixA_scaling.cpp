@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
 #include "sim/experiments.h"
@@ -20,6 +21,7 @@ int run(const Flags& flags) {
   cfg.tolerance = flags.get_double("tolerance", 0.005);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   cfg.perturbation = bench::perturbation_from_flags(flags);
+  cfg.threads = bench::threads_from_flags(flags);
   if (flags.has("sizes")) {
     cfg.sizes.clear();
     std::string spec = flags.get_string("sizes", "");
@@ -39,16 +41,25 @@ int run(const Flags& flags) {
   std::cout << "failure p=" << cfg.p << " trials=" << cfg.trials
             << " tolerance=" << cfg.tolerance << " (additive)\n\n";
 
+  const bench::Stopwatch wall;
   const auto points = run_scaling_experiment(cfg);
   Table table({"n", "links", "k_needed", "log2(n)", "best_possible",
-               "achieved"});
+               "achieved", "build_ms"});
   for (const auto& pt : points) {
     table.add_row({fmt_int(pt.n), fmt_int(pt.edges), fmt_int(pt.k_needed),
                    fmt_double(std::log2(static_cast<double>(pt.n)), 2),
                    fmt_double(pt.best_possible, 5),
-                   fmt_double(pt.achieved, 5)});
+                   fmt_double(pt.achieved, 5), fmt_double(pt.build_ms, 3)});
   }
-  bench::emit(flags, table);
+  bench::BenchMeta meta;
+  meta.bench = "bench_appendixA_scaling";
+  meta.topo = "waxman-sweep";
+  meta.params = "p=" + std::to_string(cfg.p) +
+                " trials=" + std::to_string(cfg.trials) +
+                " max_k=" + std::to_string(cfg.max_k) +
+                " threads=" + std::to_string(cfg.threads);
+  meta.wall_ms = wall.elapsed_ms();
+  bench::emit(flags, table, meta);
   std::cout << "\ntheorem: k_needed should grow no faster than c * log n; "
                "compare the k_needed column against log2(n).\n";
   return EXIT_SUCCESS;

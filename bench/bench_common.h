@@ -1,5 +1,5 @@
 // Shared plumbing for the experiment binaries: flag conventions, table
-// printing, optional CSV output.
+// printing, optional CSV/JSON output.
 //
 // Common flags across benches:
 //   --topo=<geant|sprint|abilene|figure1|path>   topology (default sprint)
@@ -8,9 +8,20 @@
 //   --perturb=<none|uniform|degree>              perturbation kind
 //   --a=X --b=Y                                  Weight(a, b) endpoints
 //   --csv=path                                   also write the table as CSV
+//   --json=path                                  also write machine-readable
+//                                                {bench, topo, params, rows,
+//                                                wall_ms} for the perf
+//                                                trajectory (BENCH_*.json)
+//   --threads=N                                  control-plane build workers
+//                                                (0 = hardware concurrency;
+//                                                results are identical for
+//                                                every value)
 #pragma once
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -40,8 +51,101 @@ inline PerturbationConfig perturbation_from_flags(const Flags& flags) {
   return cfg;
 }
 
-/// Prints the table and honors --csv.
-inline void emit(const Flags& flags, const Table& table) {
+/// --threads for ControlPlaneConfig::threads (0 ⇒ default_thread_count()).
+inline int threads_from_flags(const Flags& flags) {
+  return static_cast<int>(flags.get_int("threads", 0));
+}
+
+/// Wall-clock stopwatch for build-time metrics.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Identity of one bench run, recorded in the JSON envelope.
+struct BenchMeta {
+  std::string bench;   ///< bench name (defaults to the binary name)
+  std::string topo;    ///< topology identifier
+  std::string params;  ///< free-form parameter summary
+  double wall_ms = 0.0;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Emits a table cell as a raw JSON number when it parses as one (so the
+/// trajectory tooling gets numbers, not strings), quoted otherwise.
+inline std::string json_cell(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size() && std::isfinite(v)) return cell;
+  }
+  return "\"" + json_escape(cell) + "\"";
+}
+
+/// Renders `{bench, topo, params, rows, wall_ms}` with one object per table
+/// row, keyed by column header.
+inline std::string to_json(const Table& table, const BenchMeta& meta) {
+  std::string out = "{\n";
+  out += "  \"bench\": \"" + json_escape(meta.bench) + "\",\n";
+  out += "  \"topo\": \"" + json_escape(meta.topo) + "\",\n";
+  out += "  \"params\": \"" + json_escape(meta.params) + "\",\n";
+  out += "  \"rows\": [\n";
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    out += "    {";
+    for (std::size_t c = 0; c < table.columns(); ++c) {
+      if (c > 0) out += ", ";
+      out += "\"" + json_escape(table.header()[c]) +
+             "\": " + json_cell(table.row(r)[c]);
+    }
+    out += r + 1 < table.rows() ? "},\n" : "}\n";
+  }
+  out += "  ],\n";
+  char wall[32];
+  std::snprintf(wall, sizeof wall, "%.3f", meta.wall_ms);
+  out += std::string("  \"wall_ms\": ") + wall + "\n}\n";
+  return out;
+}
+
+/// Prints the table and honors --csv and --json.
+inline void emit(const Flags& flags, const Table& table,
+                 const BenchMeta& meta) {
   table.print(std::cout);
   if (const auto csv = flags.get("csv")) {
     if (write_file(*csv, table.to_csv())) {
@@ -50,6 +154,20 @@ inline void emit(const Flags& flags, const Table& table) {
       std::cerr << "failed to write csv: " << *csv << "\n";
     }
   }
+  if (const auto json = flags.get("json")) {
+    BenchMeta resolved = meta;
+    if (resolved.bench.empty()) resolved.bench = flags.program();
+    if (resolved.topo.empty()) resolved.topo = flags.get_string("topo", "");
+    if (write_file(*json, to_json(table, resolved))) {
+      std::cout << "\n[json written to " << *json << "]\n";
+    } else {
+      std::cerr << "failed to write json: " << *json << "\n";
+    }
+  }
+}
+
+inline void emit(const Flags& flags, const Table& table) {
+  emit(flags, table, BenchMeta{});
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

@@ -1,13 +1,28 @@
 // Graph-substrate microbenchmarks (google-benchmark): the primitives every
 // experiment leans on — Dijkstra, reachability, min cut, max flow, random
-// generation — measured on the evaluation topologies.
+// generation — measured on the evaluation topologies, plus the control-plane
+// fast path (CSR snapshot, workspace-reusing Dijkstra, parallel
+// multi-instance build, incremental SPT repair).
+//
+// Two modes:
+//   * default: the usual google-benchmark registrations.
+//   * --json=path [--n=600 --k=8 --threads=0 --events=12 --seed=7]: runs the
+//     SPT-construction comparison — legacy per-destination Dijkstra build
+//     vs. the CSR/workspace/parallel fast path, and incremental
+//     recompute_edge vs. a full per-destination rebuild after a link event —
+//     and writes the rows as machine-readable JSON for the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+
+#include "bench_common.h"
 #include "graph/connectivity.h"
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
 #include "graph/maxflow.h"
 #include "graph/mincut.h"
+#include "routing/multi_instance.h"
 #include "routing/perturbation.h"
 #include "sim/failure.h"
 #include "topo/datasets.h"
@@ -51,6 +66,64 @@ void BM_DijkstraScaling(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_DijkstraScaling)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+void BM_CsrSnapshotBuild(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrGraph(g));
+  }
+}
+BENCHMARK(BM_CsrSnapshotBuild);
+
+// The fast path a control-plane build takes per destination: CSR adjacency,
+// reused workspace, zero allocations. Compare against BM_DijkstraSprint.
+void BM_DijkstraIntoCsrSprint(benchmark::State& state) {
+  const Graph g = topo::sprint();
+  const CsrGraph csr(g);
+  DijkstraWorkspace ws;
+  DijkstraOptions opts;
+  NodeId src = 0;
+  for (auto _ : state) {
+    dijkstra_into(csr, src, opts, ws);
+    benchmark::DoNotOptimize(ws.dist.data());
+    src = (src + 1) % csr.node_count();
+  }
+}
+BENCHMARK(BM_DijkstraIntoCsrSprint);
+
+// Full k-slice control-plane build on the Appendix-A synthetic topology.
+void BM_MultiInstanceBuildAppendixA(benchmark::State& state) {
+  Graph g = waxman(600, 0.9, 4.0 / 600.0 + 0.03, 7);
+  make_connected(g, 8);
+  ControlPlaneConfig cfg;
+  cfg.slices = 8;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiInstanceRouting(g, cfg));
+  }
+}
+BENCHMARK(BM_MultiInstanceBuildAppendixA)
+    ->Arg(1)
+    ->Arg(0)  // 0 = hardware concurrency
+    ->Unit(benchmark::kMillisecond);
+
+// One link event: incremental repair of all trees of one slice.
+void BM_RecomputeEdgeSingleEvent(benchmark::State& state) {
+  Graph g = waxman(600, 0.9, 4.0 / 600.0 + 0.03, 7);
+  make_connected(g, 8);
+  RoutingInstance inst(g, g.weights());
+  Rng rng(11);
+  for (auto _ : state) {
+    const auto e = static_cast<EdgeId>(
+        rng.below(static_cast<std::uint64_t>(g.edge_count())));
+    const Weight old_w = inst.weights()[static_cast<std::size_t>(e)];
+    benchmark::DoNotOptimize(inst.recompute_edge(e, 1e18));
+    benchmark::DoNotOptimize(inst.recompute_edge(e, old_w));
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_RecomputeEdgeSingleEvent)->Unit(benchmark::kMillisecond);
 
 void BM_ReachabilityUnderMask(benchmark::State& state) {
   const Graph g = topo::sprint();
@@ -110,7 +183,189 @@ void BM_FailureMaskSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_FailureMaskSampling);
 
+// ---------------------------------------------------------------------------
+// --json mode: SPT-construction comparison for the perf trajectory.
+// ---------------------------------------------------------------------------
+
+/// The pre-fast-path control-plane build, kept as the comparison baseline:
+/// one fresh allocating Dijkstra per destination over the pointer-chasing
+/// Graph adjacency, results scattered into node-major tables.
+struct LegacyInstance {
+  NodeId n;
+  std::vector<NodeId> next_hop;
+  std::vector<EdgeId> next_edge;
+  std::vector<Weight> dist;
+
+  LegacyInstance(const Graph& g, std::vector<Weight> weights)
+      : n(g.node_count()) {
+    const auto cells =
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    next_hop.assign(cells, kInvalidNode);
+    next_edge.assign(cells, kInvalidEdge);
+    dist.assign(cells, kInfiniteWeight);
+    DijkstraOptions opts;
+    opts.weight_override = weights;
+    for (NodeId dst = 0; dst < n; ++dst) {
+      const ShortestPaths sp = dijkstra(g, dst, opts);
+      for (NodeId v = 0; v < n; ++v) {
+        const std::size_t cell =
+            static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(dst);
+        dist[cell] = sp.dist[static_cast<std::size_t>(v)];
+        if (v != dst && sp.reached(v)) {
+          next_hop[cell] = sp.parent[static_cast<std::size_t>(v)];
+          next_edge[cell] = sp.parent_edge[static_cast<std::size_t>(v)];
+        }
+      }
+    }
+  }
+};
+
+int run_spt_compare(const Flags& flags) {
+  const auto n = static_cast<NodeId>(flags.get_int("n", 600));
+  const auto k = static_cast<SliceId>(flags.get_int("k", 8));
+  const int threads = bench::threads_from_flags(flags);
+  const int events = static_cast<int>(flags.get_int("events", 12));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  bench::banner("Control-plane SPT fast path",
+                "build-time microbenchmark (Appendix-A synthetic topology)");
+  Graph g = waxman(n, 0.9, 4.0 / static_cast<double>(n) + 0.03, seed);
+  make_connected(g, seed + 1);
+  std::cout << "n=" << g.node_count() << " links=" << g.edge_count()
+            << " k=" << k << " threads=" << threads << " events=" << events
+            << "\n\n";
+
+  // Identical per-slice weights for both implementations.
+  const PerturbationConfig pcfg{PerturbationKind::kDegreeBased, 0.0, 3.0};
+  std::vector<std::vector<Weight>> slice_weights;
+  Rng master(seed);
+  for (SliceId s = 0; s < k; ++s) {
+    Rng slice_rng = master.fork(static_cast<std::uint64_t>(s));
+    slice_weights.push_back(s == 0 ? g.weights()
+                                   : perturb_weights(g, pcfg, slice_rng));
+  }
+
+  const bench::Stopwatch wall;
+
+  // Legacy build: k independent allocating per-destination Dijkstras.
+  const bench::Stopwatch legacy_clock;
+  std::vector<LegacyInstance> legacy;
+  for (SliceId s = 0; s < k; ++s) {
+    legacy.emplace_back(g, slice_weights[static_cast<std::size_t>(s)]);
+  }
+  const double legacy_ms = legacy_clock.elapsed_ms();
+
+  // Fast build: shared CSR snapshot, reused workspaces, parallel
+  // (slice, destination) fan-out.
+  const bench::Stopwatch fast_clock;
+  const MultiInstanceRouting mir(g, slice_weights, threads);
+  const double fast_ms = fast_clock.elapsed_ms();
+
+  // The two builds must agree entry for entry.
+  for (SliceId s = 0; s < k; ++s) {
+    const RoutingInstance& inst = mir.slice(s);
+    const LegacyInstance& ref = legacy[static_cast<std::size_t>(s)];
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId dst = 0; dst < n; ++dst) {
+        const std::size_t cell =
+            static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(dst);
+        if (inst.next_hop(v, dst) != ref.next_hop[cell] ||
+            inst.next_hop_edge(v, dst) != ref.next_edge[cell] ||
+            inst.distance(v, dst) != ref.dist[cell]) {
+          std::cerr << "FATAL: fast build diverges from legacy build at "
+                    << "slice=" << s << " v=" << v << " dst=" << dst << "\n";
+          return EXIT_FAILURE;
+        }
+      }
+    }
+  }
+
+  // Link events: incremental repair vs. full per-destination rebuild.
+  Rng event_rng(seed ^ 0xfeedULL);
+  double repair_ms = 0.0;
+  double rebuild_ms = 0.0;
+  RepairStats stats_total;
+  for (int i = 0; i < events; ++i) {
+    const auto e = static_cast<EdgeId>(
+        event_rng.below(static_cast<std::uint64_t>(g.edge_count())));
+    MultiInstanceRouting repaired(mir);  // copy outside the timed region
+    const bench::Stopwatch repair_clock;
+    RepairStats stats = repaired.apply_edge_event(e, 1e18);
+    repair_ms += repair_clock.elapsed_ms();
+    stats_total.add(stats);
+
+    std::vector<std::vector<Weight>> dead_weights = slice_weights;
+    for (auto& w : dead_weights) w[static_cast<std::size_t>(e)] = 1e18;
+    const bench::Stopwatch rebuild_clock;
+    const MultiInstanceRouting rebuilt(g, std::move(dead_weights), threads);
+    rebuild_ms += rebuild_clock.elapsed_ms();
+
+    for (SliceId s = 0; s < k; ++s) {
+      for (NodeId v = 0; v < n; ++v) {
+        for (NodeId dst = 0; dst < n; ++dst) {
+          if (repaired.slice(s).next_hop(v, dst) !=
+                  rebuilt.slice(s).next_hop(v, dst) ||
+              repaired.slice(s).distance(v, dst) !=
+                  rebuilt.slice(s).distance(v, dst)) {
+            std::cerr << "FATAL: incremental repair diverges from rebuild at "
+                      << "slice=" << s << " v=" << v << " dst=" << dst
+                      << "\n";
+            return EXIT_FAILURE;
+          }
+        }
+      }
+    }
+  }
+  const double repair_per_event = repair_ms / events;
+  const double rebuild_per_event = rebuild_ms / events;
+
+  Table table({"phase", "impl", "n", "links", "k", "threads", "ms",
+               "speedup"});
+  table.add_row({"build", "legacy", fmt_int(n), fmt_int(g.edge_count()),
+                 fmt_int(k), "1", fmt_double(legacy_ms, 3), "1.00"});
+  table.add_row({"build", "fast", fmt_int(n), fmt_int(g.edge_count()),
+                 fmt_int(k), fmt_int(threads), fmt_double(fast_ms, 3),
+                 fmt_double(legacy_ms / fast_ms, 2)});
+  table.add_row({"link_event", "rebuild", fmt_int(n), fmt_int(g.edge_count()),
+                 fmt_int(k), fmt_int(threads),
+                 fmt_double(rebuild_per_event, 3), "1.00"});
+  table.add_row({"link_event", "incremental", fmt_int(n),
+                 fmt_int(g.edge_count()), fmt_int(k), fmt_int(threads),
+                 fmt_double(repair_per_event, 3),
+                 fmt_double(rebuild_per_event / repair_per_event, 2)});
+
+  bench::BenchMeta meta;
+  meta.bench = "bench_micro_graph/spt_compare";
+  meta.topo = "waxman";
+  meta.params = "n=" + std::to_string(n) + " k=" + std::to_string(k) +
+                " threads=" + std::to_string(threads) +
+                " events=" + std::to_string(events) +
+                " repaired_nodes_per_event=" +
+                std::to_string(stats_total.nodes_touched /
+                               (events * static_cast<long long>(k)));
+  meta.wall_ms = wall.elapsed_ms();
+  bench::emit(flags, table, meta);
+  std::cout << "\nrepair telemetry: " << stats_total.trees_repaired
+            << " trees repaired, " << stats_total.trees_rebuilt
+            << " rebuilt, " << stats_total.trees_untouched
+            << " untouched across " << events << " events x " << k
+            << " slices\n";
+  return EXIT_SUCCESS;
+}
+
 }  // namespace
 }  // namespace splice
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--json", 0) == 0) {
+      return splice::run_spt_compare(splice::Flags(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

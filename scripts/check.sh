@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Repository check script: the tier-1 build + test gate, then a
+# ThreadSanitizer pass over the concurrency-sensitive targets (the parallel
+# control-plane build/repair and the parallel trial runner).
+#
+# Usage: scripts/check.sh [--no-tsan]
+#   SPLICE_SANITIZE=thread|address  override the sanitizer for the second
+#                                   pass (default thread; `address` swaps in
+#                                   an ASan build of the same targets)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> tier-1: configure + build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$run_tsan" != 1 ]]; then
+  echo "==> sanitizer pass skipped (--no-tsan)"
+  exit 0
+fi
+
+sanitizer="${SPLICE_SANITIZE:-thread}"
+san_dir="build-${sanitizer}san"
+san_tests=(util_parallel_test routing_multi_instance_test routing_repair_test
+           determinism_test)
+
+echo "==> ${sanitizer} sanitizer: configure + build"
+cmake -B "$san_dir" -S . -DSPLICE_SANITIZE="$sanitizer" >/dev/null
+cmake --build "$san_dir" -j --target "${san_tests[@]}"
+
+echo "==> ${sanitizer} sanitizer: running ${san_tests[*]}"
+for test in "${san_tests[@]}"; do
+  "./$san_dir/tests/$test"
+done
+
+echo "==> all checks passed"

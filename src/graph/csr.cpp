@@ -1,0 +1,26 @@
+#include "graph/csr.h"
+
+namespace splice {
+
+CsrGraph::CsrGraph(const Graph& g) : n_(g.node_count()) {
+  edges_.assign(g.edges().begin(), g.edges().end());
+  offsets_.resize(static_cast<std::size_t>(n_) + 1, 0);
+  packed_.reserve(2 * edges_.size());
+  for (NodeId v = 0; v < n_; ++v) {
+    offsets_[static_cast<std::size_t>(v)] =
+        static_cast<std::uint32_t>(packed_.size());
+    const auto inc = g.neighbors(v);
+    packed_.insert(packed_.end(), inc.begin(), inc.end());
+  }
+  offsets_[static_cast<std::size_t>(n_)] =
+      static_cast<std::uint32_t>(packed_.size());
+}
+
+std::vector<Weight> CsrGraph::weights() const {
+  std::vector<Weight> out;
+  out.reserve(edges_.size());
+  for (const Edge& e : edges_) out.push_back(e.weight);
+  return out;
+}
+
+}  // namespace splice

@@ -1,0 +1,69 @@
+// Flat CSR (compressed sparse row) snapshot of a Graph's adjacency.
+//
+// The mutable Graph stores adjacency as vector<vector<Incidence>>, which is
+// convenient while building a topology but pointer-chasing to traverse: each
+// node's incidence list is a separate heap allocation. Hot paths that run
+// many shortest-path computations over a fixed topology (the control plane's
+// k × n SPT builds, incremental repair, the Monte Carlo harnesses) take a
+// CsrGraph snapshot once and iterate packed arrays instead.
+//
+// The snapshot preserves the Graph's incidence order exactly (each per-node
+// list is in edge-insertion order, i.e. ascending edge id), so algorithms
+// with order-sensitive deterministic tie-breaking produce bit-identical
+// results over either representation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/assert.h"
+
+namespace splice {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Snapshots `g`'s nodes, edges and adjacency. The snapshot is immutable
+  /// and independent of the source graph's lifetime.
+  explicit CsrGraph(const Graph& g);
+
+  NodeId node_count() const noexcept { return n_; }
+  EdgeId edge_count() const noexcept {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  bool valid_node(NodeId v) const noexcept { return v >= 0 && v < n_; }
+
+  /// Incident edges (and neighbors) of `v`, in the same order as
+  /// Graph::neighbors(v).
+  std::span<const Incidence> neighbors(NodeId v) const noexcept {
+    SPLICE_EXPECTS(valid_node(v));
+    const auto lo = offsets_[static_cast<std::size_t>(v)];
+    const auto hi = offsets_[static_cast<std::size_t>(v) + 1];
+    return {packed_.data() + lo, packed_.data() + hi};
+  }
+
+  int degree(NodeId v) const noexcept {
+    return static_cast<int>(neighbors(v).size());
+  }
+
+  const Edge& edge(EdgeId e) const noexcept {
+    SPLICE_EXPECTS(e >= 0 && e < edge_count());
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// Weights of all edges in edge-id order (the snapshot's base weights).
+  std::vector<Weight> weights() const;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::uint32_t> offsets_;  // n + 1 entries into packed_
+  std::vector<Incidence> packed_;       // 2m incidences, grouped by node
+  std::vector<Edge> edges_;             // endpoints + base weight, by edge id
+};
+
+}  // namespace splice

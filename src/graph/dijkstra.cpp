@@ -1,7 +1,6 @@
 #include "graph/dijkstra.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "util/assert.h"
 
@@ -20,8 +19,14 @@ std::vector<NodeId> ShortestPaths::path_to(NodeId v) const {
   return path;
 }
 
-ShortestPaths dijkstra(const Graph& g, NodeId source,
-                       const DijkstraOptions& opts) {
+namespace {
+
+// Shared core over either adjacency representation (Graph or CsrGraph —
+// both expose node_count/edge_count/neighbors/edge with the same incidence
+// order, so results are bit-identical across the two).
+template <typename AnyGraph>
+void dijkstra_core(const AnyGraph& g, NodeId source,
+                   const DijkstraOptions& opts, DijkstraWorkspace& ws) {
   SPLICE_EXPECTS(g.valid_node(source));
   const auto n = static_cast<std::size_t>(g.node_count());
   const auto m = static_cast<std::size_t>(g.edge_count());
@@ -29,11 +34,10 @@ ShortestPaths dijkstra(const Graph& g, NodeId source,
                  opts.weight_override.size() == m);
   SPLICE_EXPECTS(opts.edge_alive.empty() || opts.edge_alive.size() == m);
 
-  ShortestPaths out;
-  out.source = source;
-  out.dist.assign(n, kInfiniteWeight);
-  out.parent.assign(n, kInvalidNode);
-  out.parent_edge.assign(n, kInvalidEdge);
+  ws.dist.assign(n, kInfiniteWeight);
+  ws.parent.assign(n, kInvalidNode);
+  ws.parent_edge.assign(n, kInvalidEdge);
+  ws.heap.clear();
 
   auto weight_of = [&](EdgeId e) -> Weight {
     return opts.weight_override.empty()
@@ -46,33 +50,60 @@ ShortestPaths dijkstra(const Graph& g, NodeId source,
   };
 
   using Entry = std::pair<Weight, NodeId>;  // (distance, node)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  out.dist[static_cast<std::size_t>(source)] = 0.0;
-  heap.emplace(0.0, source);
+  const auto cmp = std::greater<Entry>{};
+  ws.dist[static_cast<std::size_t>(source)] = 0.0;
+  ws.heap.emplace_back(0.0, source);
 
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d > out.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+  while (!ws.heap.empty()) {
+    const auto [d, u] = ws.heap.front();
+    std::pop_heap(ws.heap.begin(), ws.heap.end(), cmp);
+    ws.heap.pop_back();
+    if (d > ws.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
     for (const Incidence& inc : g.neighbors(u)) {
       if (!alive(inc.edge)) continue;
       const Weight w = weight_of(inc.edge);
       SPLICE_ASSERT(w >= 0.0);
       const Weight nd = d + w;
-      auto& dv = out.dist[static_cast<std::size_t>(inc.neighbor)];
+      auto& dv = ws.dist[static_cast<std::size_t>(inc.neighbor)];
       const bool improves = nd < dv;
       const bool tie_break =
           opts.deterministic_ties && nd == dv &&
-          out.parent[static_cast<std::size_t>(inc.neighbor)] != kInvalidNode &&
-          u < out.parent[static_cast<std::size_t>(inc.neighbor)];
+          ws.parent[static_cast<std::size_t>(inc.neighbor)] != kInvalidNode &&
+          u < ws.parent[static_cast<std::size_t>(inc.neighbor)];
       if (improves || tie_break) {
         dv = nd;
-        out.parent[static_cast<std::size_t>(inc.neighbor)] = u;
-        out.parent_edge[static_cast<std::size_t>(inc.neighbor)] = inc.edge;
-        if (improves) heap.emplace(nd, inc.neighbor);
+        ws.parent[static_cast<std::size_t>(inc.neighbor)] = u;
+        ws.parent_edge[static_cast<std::size_t>(inc.neighbor)] = inc.edge;
+        if (improves) {
+          ws.heap.emplace_back(nd, inc.neighbor);
+          std::push_heap(ws.heap.begin(), ws.heap.end(), cmp);
+        }
       }
     }
   }
+}
+
+}  // namespace
+
+void dijkstra_into(const Graph& g, NodeId source, const DijkstraOptions& opts,
+                   DijkstraWorkspace& ws) {
+  dijkstra_core(g, source, opts, ws);
+}
+
+void dijkstra_into(const CsrGraph& g, NodeId source,
+                   const DijkstraOptions& opts, DijkstraWorkspace& ws) {
+  dijkstra_core(g, source, opts, ws);
+}
+
+ShortestPaths dijkstra(const Graph& g, NodeId source,
+                       const DijkstraOptions& opts) {
+  DijkstraWorkspace ws;
+  dijkstra_into(g, source, opts, ws);
+  ShortestPaths out;
+  out.source = source;
+  out.dist = std::move(ws.dist);
+  out.parent = std::move(ws.parent);
+  out.parent_edge = std::move(ws.parent_edge);
   return out;
 }
 

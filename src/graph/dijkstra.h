@@ -2,11 +2,21 @@
 // (a) overriding edge weights with an external weight vector — this is how
 //     routing slices evaluate perturbed weights without copying the graph —
 // (b) masking out failed edges, for post-failure "best possible" analysis.
+//
+// Two entry points share one core:
+//   * dijkstra()      — convenience wrapper returning a fresh ShortestPaths.
+//   * dijkstra_into() — reuses a caller-owned DijkstraWorkspace (distance /
+//     parent buffers and the heap), so the k × n SPT builds of the control
+//     plane pay zero allocations after the first run. Overloads accept
+//     either a Graph or a flat CsrGraph snapshot; results are bit-identical
+//     across all entry points.
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -41,7 +51,30 @@ struct DijkstraOptions {
   bool deterministic_ties = true;
 };
 
-/// Runs Dijkstra from `source`. Weights must be non-negative.
+/// Reusable scratch space for dijkstra_into(): the result buffers plus the
+/// binary heap's backing vector. Reusing one workspace across many runs
+/// amortizes all allocation; buffers are (re)sized on each run.
+struct DijkstraWorkspace {
+  std::vector<Weight> dist;
+  std::vector<NodeId> parent;
+  std::vector<EdgeId> parent_edge;
+  /// (distance, node) min-heap storage; cleared at the start of each run.
+  std::vector<std::pair<Weight, NodeId>> heap;
+
+  bool reached(NodeId v) const noexcept {
+    return dist[static_cast<std::size_t>(v)] < kInfiniteWeight;
+  }
+};
+
+/// Runs Dijkstra from `source` into `ws` (dist/parent/parent_edge).
+/// Weights must be non-negative. Bit-identical to dijkstra().
+void dijkstra_into(const Graph& g, NodeId source, const DijkstraOptions& opts,
+                   DijkstraWorkspace& ws);
+void dijkstra_into(const CsrGraph& g, NodeId source,
+                   const DijkstraOptions& opts, DijkstraWorkspace& ws);
+
+/// Runs Dijkstra from `source`. Weights must be non-negative. Thin wrapper
+/// over dijkstra_into() that allocates fresh result buffers.
 ShortestPaths dijkstra(const Graph& g, NodeId source,
                        const DijkstraOptions& opts = {});
 

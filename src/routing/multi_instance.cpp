@@ -1,33 +1,70 @@
 #include "routing/multi_instance.h"
 
+#include <algorithm>
+#include <memory>
+#include <utility>
+
 #include "util/assert.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace splice {
+
+namespace {
+
+int resolve_threads(int threads) {
+  return threads > 0 ? threads : default_thread_count();
+}
+
+}  // namespace
 
 MultiInstanceRouting::MultiInstanceRouting(const Graph& g,
                                            const ControlPlaneConfig& cfg)
     : cfg_(cfg) {
   SPLICE_EXPECTS(cfg.slices >= 1);
+  const auto csr = std::make_shared<const CsrGraph>(g);
   instances_.reserve(static_cast<std::size_t>(cfg.slices));
+  // Weight draws stay sequential and seed-derived, independent of threads.
   Rng master(cfg.seed);
   for (SliceId s = 0; s < cfg.slices; ++s) {
     Rng slice_rng = master.fork(static_cast<std::uint64_t>(s));
     const bool plain = s == 0 && !cfg.perturb_first_slice;
     std::vector<Weight> weights =
         plain ? g.weights() : perturb_weights(g, cfg.perturbation, slice_rng);
-    instances_.emplace_back(g, std::move(weights));
+    instances_.push_back(RoutingInstance(csr, std::move(weights),
+                                         RoutingInstance::DeferBuildTag{}));
   }
+  build_instances(resolve_threads(cfg.threads));
 }
 
 MultiInstanceRouting::MultiInstanceRouting(
-    const Graph& g, std::vector<std::vector<Weight>> slice_weights) {
+    const Graph& g, std::vector<std::vector<Weight>> slice_weights,
+    int threads) {
   SPLICE_EXPECTS(!slice_weights.empty());
   cfg_.slices = static_cast<SliceId>(slice_weights.size());
+  cfg_.threads = threads;
+  const auto csr = std::make_shared<const CsrGraph>(g);
   instances_.reserve(slice_weights.size());
   for (auto& weights : slice_weights) {
-    instances_.emplace_back(g, std::move(weights));
+    instances_.push_back(RoutingInstance(csr, std::move(weights),
+                                         RoutingInstance::DeferBuildTag{}));
   }
+  build_instances(resolve_threads(threads));
+}
+
+void MultiInstanceRouting::build_instances(int threads) {
+  const int n = static_cast<int>(instances_.front().node_count());
+  const int slices = static_cast<int>(instances_.size());
+  const int jobs = slices * n;
+  if (n == 0) return;
+  const int workers = std::max(1, std::min(threads, jobs));
+  std::vector<DijkstraWorkspace> ws(static_cast<std::size_t>(workers));
+  // Each (slice, destination) item writes only its own table column, so the
+  // result is byte-identical for every worker count.
+  parallel_for(jobs, threads, [&](int worker, int job) {
+    instances_[static_cast<std::size_t>(job / n)].build_destination(
+        static_cast<NodeId>(job % n), ws[static_cast<std::size_t>(worker)]);
+  });
 }
 
 FibSet MultiInstanceRouting::build_fibs() const {
@@ -45,6 +82,28 @@ FibSet MultiInstanceRouting::build_fibs() const {
     }
   }
   return fibs;
+}
+
+RepairStats MultiInstanceRouting::apply_edge_event(EdgeId e,
+                                                   Weight new_weight) {
+  const int slices = static_cast<int>(instances_.size());
+  std::vector<RepairStats> per_slice(static_cast<std::size_t>(slices));
+  // Slices are independent; repairs write only their own instance.
+  parallel_for(slices, resolve_threads(cfg_.threads), [&](int, int s) {
+    per_slice[static_cast<std::size_t>(s)] =
+        instances_[static_cast<std::size_t>(s)].recompute_edge(e, new_weight);
+  });
+  RepairStats total;
+  for (const RepairStats& st : per_slice) total.add(st);
+  return total;
+}
+
+MultiInstanceRouting MultiInstanceRouting::with_edge_event(
+    EdgeId e, Weight new_weight, RepairStats* stats) const {
+  MultiInstanceRouting out(*this);
+  const RepairStats total = out.apply_edge_event(e, new_weight);
+  if (stats) *stats = total;
+  return out;
 }
 
 }  // namespace splice

@@ -1,6 +1,13 @@
 // The path-splicing control plane (§3.1): k routing-protocol instances over
 // one topology, each with its own perturbed link weights, materialized into
 // a FibSet the data plane can forward on.
+//
+// Construction is parallelized across (slice, destination) work items: the
+// topology is snapshotted once into a shared CsrGraph, per-slice weight
+// vectors are drawn sequentially from the seeded RNG (so the weights never
+// depend on the thread count), and then every destination's SPT — a fully
+// independent rooted Dijkstra writing to its own table column — is built by
+// a worker pool. FIBs are bit-identical for every `threads` value.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +31,9 @@ struct ControlPlaneConfig {
   /// on the *original* weights so that k=1 is "normal" shortest-path
   /// routing; perturbed slices start at index 1.
   bool perturb_first_slice = false;
+  /// Worker threads for SPT construction and repair; 0 (default) resolves
+  /// to default_thread_count(). Results are identical for every value.
+  int threads = 0;
 };
 
 /// Builds and owns the k routing instances.
@@ -34,9 +44,11 @@ class MultiInstanceRouting {
   /// Builds from explicit per-slice weight vectors (each indexed by edge
   /// id; an empty vector means the graph's original weights). Used by
   /// alternate slicing mechanisms (§5) that choose weights deliberately
-  /// rather than by independent random perturbation.
+  /// rather than by independent random perturbation. `threads` as in
+  /// ControlPlaneConfig::threads.
   MultiInstanceRouting(const Graph& g,
-                       std::vector<std::vector<Weight>> slice_weights);
+                       std::vector<std::vector<Weight>> slice_weights,
+                       int threads = 0);
 
   SliceId slice_count() const noexcept {
     return static_cast<SliceId>(instances_.size());
@@ -52,7 +64,21 @@ class MultiInstanceRouting {
   /// Flattens every slice's next hops into forwarding tables.
   FibSet build_fibs() const;
 
+  /// Applies one link event to every slice — edge `e` takes `new_weight`,
+  /// kInfiniteWeight (or an inflated sentinel) meaning the link died — and
+  /// returns the reconverged control plane, repairing each slice's SPTs
+  /// incrementally instead of rebuilding k × n trees from scratch. The
+  /// result is bit-identical to rebuilding with the updated weight vectors.
+  /// Aggregated repair telemetry lands in `stats` when non-null.
+  MultiInstanceRouting with_edge_event(EdgeId e, Weight new_weight,
+                                       RepairStats* stats = nullptr) const;
+
+  /// In-place variant of with_edge_event().
+  RepairStats apply_edge_event(EdgeId e, Weight new_weight);
+
  private:
+  void build_instances(int threads);
+
   ControlPlaneConfig cfg_;
   std::vector<RoutingInstance> instances_;
 };

@@ -1,35 +1,62 @@
 #include "routing/routing_instance.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/assert.h"
+#include "util/parallel.h"
 
 namespace splice {
 
 RoutingInstance::RoutingInstance(const Graph& g, std::vector<Weight> weights)
-    : n_(g.node_count()), weights_(std::move(weights)) {
-  SPLICE_EXPECTS(weights_.empty() ||
-                 weights_.size() == static_cast<std::size_t>(g.edge_count()));
-  if (weights_.empty()) weights_ = g.weights();
+    : RoutingInstance(std::make_shared<const CsrGraph>(g), std::move(weights),
+                      1) {}
 
-  const auto cells = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+RoutingInstance::RoutingInstance(const Graph& g, std::vector<Weight> weights,
+                                 int threads)
+    : RoutingInstance(std::make_shared<const CsrGraph>(g), std::move(weights),
+                      threads) {}
+
+RoutingInstance::RoutingInstance(std::shared_ptr<const CsrGraph> csr,
+                                 std::vector<Weight> weights, DeferBuildTag)
+    : n_(csr->node_count()), csr_(std::move(csr)), weights_(std::move(weights)) {
+  SPLICE_EXPECTS(weights_.empty() ||
+                 weights_.size() ==
+                     static_cast<std::size_t>(csr_->edge_count()));
+  if (weights_.empty()) weights_ = csr_->weights();
+  const auto cells =
+      static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
   next_hop_.assign(cells, kInvalidNode);
   next_edge_.assign(cells, kInvalidEdge);
   dist_.assign(cells, kInfiniteWeight);
+}
 
+RoutingInstance::RoutingInstance(std::shared_ptr<const CsrGraph> csr,
+                                 std::vector<Weight> weights, int threads)
+    : RoutingInstance(std::move(csr), std::move(weights), DeferBuildTag{}) {
+  build_all(threads);
+}
+
+void RoutingInstance::build_all(int threads) {
+  const int workers = std::max(1, std::min(threads, static_cast<int>(n_)));
+  std::vector<DijkstraWorkspace> ws(static_cast<std::size_t>(workers));
+  parallel_for(static_cast<int>(n_), threads, [&](int worker, int dst) {
+    build_destination(static_cast<NodeId>(dst),
+                      ws[static_cast<std::size_t>(worker)]);
+  });
+}
+
+void RoutingInstance::build_destination(NodeId dst, DijkstraWorkspace& ws) {
+  // Tree rooted at the destination; a node's next hop toward dst is its
+  // parent in this tree (weights are symmetric).
   DijkstraOptions opts;
   opts.weight_override = weights_;
-  for (NodeId dst = 0; dst < n_; ++dst) {
-    // Tree rooted at the destination; a node's next hop toward dst is its
-    // parent in this tree (weights are symmetric).
-    const ShortestPaths sp = dijkstra(g, dst, opts);
-    for (NodeId v = 0; v < n_; ++v) {
-      const std::size_t cell = index(v, dst);
-      dist_[cell] = sp.dist[static_cast<std::size_t>(v)];
-      if (v != dst && sp.reached(v)) {
-        next_hop_[cell] = sp.parent[static_cast<std::size_t>(v)];
-        next_edge_[cell] = sp.parent_edge[static_cast<std::size_t>(v)];
-      }
-    }
-  }
+  dijkstra_into(*csr_, dst, opts, ws);
+  const std::size_t col = index(0, dst);
+  std::copy(ws.dist.begin(), ws.dist.end(), dist_.begin() + col);
+  std::copy(ws.parent.begin(), ws.parent.end(), next_hop_.begin() + col);
+  std::copy(ws.parent_edge.begin(), ws.parent_edge.end(),
+            next_edge_.begin() + col);
 }
 
 std::vector<NodeId> RoutingInstance::path(NodeId src, NodeId dst) const {
@@ -71,6 +98,257 @@ std::vector<EdgeId> RoutingInstance::tree_edges(NodeId dst) const {
     if (e != kInvalidEdge) out.push_back(e);
   }
   return out;
+}
+
+void RoutingInstance::set_repair_rebuild_threshold(double fraction) {
+  SPLICE_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  rebuild_threshold_ = fraction;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental SPT repair (Ramalingam–Reps-style dynamic Dijkstra).
+//
+// Invariant exploited throughout: with deterministic tie-breaking, the
+// output of dijkstra() is a pure function of the settled distances — for a
+// reached non-root node v, next_hop(v) is the lowest-id neighbor u with
+// dist(u) + w(u,v) == dist(v), entered over the lowest-id such edge. So a
+// repair only has to (a) fix the distances of nodes the event can affect
+// and (b) re-derive parents from distances over the affected region with
+// set_canonical_parent(); everything else is provably unchanged and the
+// result matches a from-scratch rebuild bit for bit.
+// ---------------------------------------------------------------------------
+
+struct RoutingInstance::RepairScratch {
+  /// Membership flags, always reset to zero after each tree's repair.
+  std::vector<char> flag;
+  /// Affected-subtree / renormalization node list.
+  std::vector<NodeId> nodes;
+  /// Decrease case: nodes whose distance actually changed.
+  std::vector<NodeId> touched;
+  /// (distance, node) min-heap storage.
+  std::vector<std::pair<Weight, NodeId>> heap;
+
+  explicit RepairScratch(NodeId n) : flag(static_cast<std::size_t>(n), 0) {}
+
+  void heap_push(Weight d, NodeId v) {
+    heap.emplace_back(d, v);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+  }
+  std::pair<Weight, NodeId> heap_pop() {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto top = heap.back();
+    heap.pop_back();
+    return top;
+  }
+};
+
+RepairStats RoutingInstance::recompute_edge(EdgeId e, Weight new_weight) {
+  SPLICE_EXPECTS(e >= 0 && e < csr_->edge_count());
+  SPLICE_EXPECTS(new_weight >= 0.0);
+  RepairStats stats;
+  const Weight old_weight = weights_[static_cast<std::size_t>(e)];
+  if (new_weight == old_weight) {
+    stats.trees_untouched = n_;
+    return stats;
+  }
+  weights_[static_cast<std::size_t>(e)] = new_weight;
+
+  RepairScratch scratch(n_);
+  DijkstraWorkspace ws;
+  const bool increase = new_weight > old_weight;
+  for (NodeId dst = 0; dst < n_; ++dst) {
+    if (increase) {
+      repair_tree_increase(dst, e, scratch, ws, stats);
+    } else {
+      repair_tree_decrease(dst, e, scratch, stats);
+    }
+  }
+  return stats;
+}
+
+void RoutingInstance::set_canonical_parent(std::size_t col, NodeId v,
+                                           NodeId dst) {
+  auto& nh = next_hop_[col + static_cast<std::size_t>(v)];
+  auto& ne = next_edge_[col + static_cast<std::size_t>(v)];
+  nh = kInvalidNode;
+  ne = kInvalidEdge;
+  if (v == dst) return;
+  const Weight dv = dist_[col + static_cast<std::size_t>(v)];
+  if (!(dv < kInfiniteWeight)) return;
+  for (const Incidence& inc : csr_->neighbors(v)) {
+    const NodeId u = inc.neighbor;
+    // Incidence lists are in ascending edge-id order, so the first
+    // qualifying incidence per neighbor already has the lowest edge id.
+    if (nh != kInvalidNode && u >= nh) continue;
+    if (dist_[col + static_cast<std::size_t>(u)] +
+            weights_[static_cast<std::size_t>(inc.edge)] ==
+        dv) {
+      nh = u;
+      ne = inc.edge;
+    }
+  }
+  SPLICE_ASSERT(nh != kInvalidNode);
+}
+
+void RoutingInstance::repair_tree_increase(NodeId dst, EdgeId e,
+                                           RepairScratch& scratch,
+                                           DijkstraWorkspace& ws,
+                                           RepairStats& stats) {
+  const std::size_t col = index(0, dst);
+  const Edge& ed = csr_->edge(e);
+
+  // A weight increase on a non-tree edge cannot shorten anything and its
+  // candidates were already losing; the tree is untouched.
+  NodeId c = kInvalidNode;
+  if (next_edge_[col + static_cast<std::size_t>(ed.u)] == e) {
+    c = ed.u;
+  } else if (next_edge_[col + static_cast<std::size_t>(ed.v)] == e) {
+    c = ed.v;
+  }
+  if (c == kInvalidNode) {
+    ++stats.trees_untouched;
+    return;
+  }
+
+  // Collect the affected region: the subtree hanging below the tree edge.
+  // Children of x are exactly the neighbors whose next hop is x, so the
+  // walk costs O(volume of the subtree), not O(n).
+  auto& flag = scratch.flag;
+  auto& sub = scratch.nodes;
+  sub.clear();
+  sub.push_back(c);
+  flag[static_cast<std::size_t>(c)] = 1;
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    const NodeId x = sub[i];
+    for (const Incidence& inc : csr_->neighbors(x)) {
+      const NodeId t = inc.neighbor;
+      if (flag[static_cast<std::size_t>(t)]) continue;
+      if (next_hop_[col + static_cast<std::size_t>(t)] != x) continue;
+      flag[static_cast<std::size_t>(t)] = 1;
+      sub.push_back(t);
+    }
+  }
+
+  // Large subtree: a full rooted Dijkstra is cheaper than repairing most of
+  // the tree node by node.
+  if (static_cast<double>(sub.size()) >
+      rebuild_threshold_ * static_cast<double>(n_)) {
+    for (const NodeId x : sub) flag[static_cast<std::size_t>(x)] = 0;
+    build_destination(dst, ws);
+    ++stats.trees_rebuilt;
+    stats.nodes_touched += n_;
+    return;
+  }
+
+  // Seed every affected node with its best re-attachment through the
+  // unaffected frontier, then settle the affected region with a Dijkstra
+  // restricted to it. Distances outside the region are provably unchanged.
+  for (const NodeId x : sub) {
+    dist_[col + static_cast<std::size_t>(x)] = kInfiniteWeight;
+  }
+  scratch.heap.clear();
+  for (const NodeId x : sub) {
+    Weight best = kInfiniteWeight;
+    for (const Incidence& inc : csr_->neighbors(x)) {
+      if (flag[static_cast<std::size_t>(inc.neighbor)]) continue;
+      const Weight nd =
+          dist_[col + static_cast<std::size_t>(inc.neighbor)] +
+          weights_[static_cast<std::size_t>(inc.edge)];
+      if (nd < best) best = nd;
+    }
+    if (best < kInfiniteWeight) {
+      dist_[col + static_cast<std::size_t>(x)] = best;
+      scratch.heap_push(best, x);
+    }
+  }
+  while (!scratch.heap.empty()) {
+    const auto [d, x] = scratch.heap_pop();
+    if (d > dist_[col + static_cast<std::size_t>(x)]) continue;  // stale
+    for (const Incidence& inc : csr_->neighbors(x)) {
+      const NodeId t = inc.neighbor;
+      if (!flag[static_cast<std::size_t>(t)]) continue;
+      const Weight nd = d + weights_[static_cast<std::size_t>(inc.edge)];
+      if (nd < dist_[col + static_cast<std::size_t>(t)]) {
+        dist_[col + static_cast<std::size_t>(t)] = nd;
+        scratch.heap_push(nd, t);
+      }
+    }
+  }
+
+  for (const NodeId x : sub) set_canonical_parent(col, x, dst);
+  for (const NodeId x : sub) flag[static_cast<std::size_t>(x)] = 0;
+  ++stats.trees_repaired;
+  stats.nodes_touched += static_cast<long long>(sub.size());
+}
+
+void RoutingInstance::repair_tree_decrease(NodeId dst, EdgeId e,
+                                           RepairScratch& scratch,
+                                           RepairStats& stats) {
+  const std::size_t col = index(0, dst);
+  const Edge& ed = csr_->edge(e);
+  const Weight w = weights_[static_cast<std::size_t>(e)];
+  const Weight da = dist_[col + static_cast<std::size_t>(ed.u)];
+  const Weight db = dist_[col + static_cast<std::size_t>(ed.v)];
+
+  scratch.heap.clear();
+  auto& touched = scratch.touched;
+  touched.clear();
+  // At most one endpoint can improve (w >= 0); improvements then cascade.
+  if (da + w < db) {
+    dist_[col + static_cast<std::size_t>(ed.v)] = da + w;
+    scratch.heap_push(da + w, ed.v);
+  } else if (db + w < da) {
+    dist_[col + static_cast<std::size_t>(ed.u)] = db + w;
+    scratch.heap_push(db + w, ed.u);
+  }
+
+  if (scratch.heap.empty()) {
+    // No distance changes — but the cheaper edge may create new equal-cost
+    // parent candidates at its endpoints.
+    set_canonical_parent(col, ed.u, dst);
+    set_canonical_parent(col, ed.v, dst);
+    ++stats.trees_untouched;
+    return;
+  }
+
+  auto& flag = scratch.flag;
+  while (!scratch.heap.empty()) {
+    const auto [d, x] = scratch.heap_pop();
+    if (d > dist_[col + static_cast<std::size_t>(x)]) continue;  // stale
+    if (!flag[static_cast<std::size_t>(x)]) {
+      flag[static_cast<std::size_t>(x)] = 1;
+      touched.push_back(x);
+    }
+    for (const Incidence& inc : csr_->neighbors(x)) {
+      const NodeId t = inc.neighbor;
+      const Weight nd = d + weights_[static_cast<std::size_t>(inc.edge)];
+      if (nd < dist_[col + static_cast<std::size_t>(t)]) {
+        dist_[col + static_cast<std::size_t>(t)] = nd;
+        scratch.heap_push(nd, t);
+      }
+    }
+  }
+
+  // Parents can change wherever an input of the canonical-parent rule
+  // changed: the changed nodes, their neighbors, and the edge's endpoints.
+  auto& renorm = scratch.nodes;
+  renorm.clear();
+  for (const NodeId x : touched) renorm.push_back(x);
+  auto add = [&](NodeId v) {
+    if (!flag[static_cast<std::size_t>(v)]) {
+      flag[static_cast<std::size_t>(v)] = 1;
+      renorm.push_back(v);
+    }
+  };
+  add(ed.u);
+  add(ed.v);
+  for (const NodeId x : touched) {
+    for (const Incidence& inc : csr_->neighbors(x)) add(inc.neighbor);
+  }
+  for (const NodeId v : renorm) set_canonical_parent(col, v, dst);
+  for (const NodeId v : renorm) flag[static_cast<std::size_t>(v)] = 0;
+  ++stats.trees_repaired;
+  stats.nodes_touched += static_cast<long long>(renorm.size());
 }
 
 }  // namespace splice

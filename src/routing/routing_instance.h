@@ -6,22 +6,67 @@
 // Link weights are symmetric, so the tree toward destination t is obtained
 // from a single Dijkstra rooted at t; next_hop(v, t) is v's parent-direction
 // neighbor in that tree.
+//
+// Performance notes:
+//  * The instance snapshots the topology into a flat CsrGraph (shared across
+//    slices when built by MultiInstanceRouting) and runs all SPT builds
+//    through dijkstra_into() with reusable workspaces — no per-destination
+//    allocation.
+//  * Tables are destination-major: each destination's column is contiguous,
+//    so per-tree construction and incremental repair touch consecutive
+//    memory.
+//  * recompute_edge() applies a single link event (weight change or death)
+//    with Ramalingam–Reps-style incremental SPT repair per destination,
+//    falling back to a full per-destination rebuild when the affected
+//    subtree is large. Results are bit-identical to a from-scratch build.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/dijkstra.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
 namespace splice {
 
+/// Telemetry from one recompute_edge() call, summed across destinations
+/// (and, at the MultiInstanceRouting level, across slices).
+struct RepairStats {
+  /// Destination trees the event provably did not change.
+  long long trees_untouched = 0;
+  /// Trees repaired incrementally (only the affected region recomputed).
+  long long trees_repaired = 0;
+  /// Trees whose affected subtree exceeded the rebuild threshold and were
+  /// recomputed with a full Dijkstra.
+  long long trees_rebuilt = 0;
+  /// Total table slots recomputed (nodes across all touched trees).
+  long long nodes_touched = 0;
+
+  void add(const RepairStats& o) noexcept {
+    trees_untouched += o.trees_untouched;
+    trees_repaired += o.trees_repaired;
+    trees_rebuilt += o.trees_rebuilt;
+    nodes_touched += o.nodes_touched;
+  }
+};
+
 class RoutingInstance {
  public:
   /// Computes all shortest-path trees eagerly (n Dijkstra runs).
   /// `weights` is indexed by edge id; empty means graph weights.
   RoutingInstance(const Graph& g, std::vector<Weight> weights);
+
+  /// Same, but the n per-destination builds run across `threads` workers
+  /// (threads <= 1 ⇒ sequential; results are identical either way).
+  RoutingInstance(const Graph& g, std::vector<Weight> weights, int threads);
+
+  /// Builds over an existing topology snapshot (shared across the slices of
+  /// one control plane).
+  RoutingInstance(std::shared_ptr<const CsrGraph> csr,
+                  std::vector<Weight> weights, int threads);
 
   NodeId node_count() const noexcept { return n_; }
 
@@ -44,6 +89,9 @@ class RoutingInstance {
   /// The perturbed weight vector this slice routes on.
   std::span<const Weight> weights() const noexcept { return weights_; }
 
+  /// The shared topology snapshot this slice routes over.
+  const CsrGraph& topology() const noexcept { return *csr_; }
+
   /// Path node sequence src..dst following next hops (empty if unreachable).
   std::vector<NodeId> path(NodeId src, NodeId dst) const;
 
@@ -54,20 +102,65 @@ class RoutingInstance {
   /// Edge ids of the tree toward `dst` (up to n-1 edges).
   std::vector<EdgeId> tree_edges(NodeId dst) const;
 
+  /// Applies one link event — edge `e` takes weight `new_weight`, where
+  /// kInfiniteWeight (or any weight no path can afford) means the link is
+  /// dead — and repairs every destination tree incrementally: only nodes in
+  /// the affected region are recomputed. Falls back to a full per-tree
+  /// Dijkstra when the affected subtree exceeds repair_rebuild_threshold()
+  /// of the nodes. The repaired tables (next hops, next-hop edges and
+  /// distances, including the deterministic tie-breaking rule) are
+  /// bit-identical to rebuilding the instance from scratch with the updated
+  /// weight vector.
+  RepairStats recompute_edge(EdgeId e, Weight new_weight);
+
+  /// Affected-subtree fraction above which recompute_edge() rebuilds a
+  /// destination tree from scratch instead of repairing it.
+  double repair_rebuild_threshold() const noexcept {
+    return rebuild_threshold_;
+  }
+  void set_repair_rebuild_threshold(double fraction);
+
  private:
+  friend class MultiInstanceRouting;
+
+  struct DeferBuildTag {};
+  /// Allocates tables without computing them; MultiInstanceRouting fills
+  /// them via build_destination() from its own (slice × destination)
+  /// parallel loop.
+  RoutingInstance(std::shared_ptr<const CsrGraph> csr,
+                  std::vector<Weight> weights, DeferBuildTag);
+
+  void build_all(int threads);
+  /// Runs one rooted Dijkstra and installs the destination's column.
+  void build_destination(NodeId dst, DijkstraWorkspace& ws);
+
+  /// Scratch buffers shared by the per-destination repairs of one event.
+  struct RepairScratch;
+  void repair_tree_increase(NodeId dst, EdgeId e, RepairScratch& scratch,
+                            DijkstraWorkspace& ws, RepairStats& stats);
+  void repair_tree_decrease(NodeId dst, EdgeId e, RepairScratch& scratch,
+                            RepairStats& stats);
+  /// Recomputes next_hop/next_edge for `v` toward `dst` from the settled
+  /// distance tables, applying the same deterministic tie-breaking rule as
+  /// dijkstra() (lowest parent id, then lowest edge id).
+  void set_canonical_parent(std::size_t col, NodeId v, NodeId dst);
+
   std::size_t index(NodeId node, NodeId dst) const noexcept {
     SPLICE_EXPECTS(node >= 0 && node < n_);
     SPLICE_EXPECTS(dst >= 0 && dst < n_);
-    return static_cast<std::size_t>(node) * static_cast<std::size_t>(n_) +
-           static_cast<std::size_t>(dst);
+    // Destination-major: column `dst` is contiguous.
+    return static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(node);
   }
 
   NodeId n_ = 0;
+  std::shared_ptr<const CsrGraph> csr_;
   std::vector<Weight> weights_;
-  // Flattened [node][dst] tables.
+  // Flattened [dst][node] tables (see index()).
   std::vector<NodeId> next_hop_;
   std::vector<EdgeId> next_edge_;
   std::vector<Weight> dist_;
+  double rebuild_threshold_ = 0.25;
 };
 
 }  // namespace splice

@@ -1,6 +1,7 @@
 #include "sim/experiments.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "dataplane/network.h"
@@ -337,10 +338,15 @@ std::vector<ScalingPoint> run_scaling_experiment(const ScalingConfig& cfg) {
                      master.fork(static_cast<std::uint64_t>(n))());
     make_connected(g, master.fork(static_cast<std::uint64_t>(n) + 1)());
 
+    const auto build_start = std::chrono::steady_clock::now();
     const MultiInstanceRouting mir(
         g, ControlPlaneConfig{cfg.max_k, cfg.perturbation,
                               master.fork(static_cast<std::uint64_t>(n) + 2)(),
-                              false});
+                              false, cfg.threads});
+    const double build_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - build_start)
+            .count();
     const SplicedReliabilityAnalyzer analyzer(g, mir);
 
     // Shared failure masks across all k.
@@ -361,6 +367,7 @@ std::vector<ScalingPoint> run_scaling_experiment(const ScalingConfig& cfg) {
     pt.n = n;
     pt.edges = g.edge_count();
     pt.best_possible = best_mean;
+    pt.build_ms = build_ms;
     pt.k_needed = cfg.max_k + 1;
     for (SliceId k = 1; k <= cfg.max_k; ++k) {
       double mean = 0.0;

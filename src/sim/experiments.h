@@ -137,6 +137,9 @@ struct ScalingConfig {
   SliceId max_k = 32;
   PerturbationConfig perturbation{PerturbationKind::kDegreeBased, 0.0, 3.0};
   std::uint64_t seed = 7;
+  /// Control-plane build workers (0 ⇒ default_thread_count()); results are
+  /// identical for every value, only build_ms changes.
+  int threads = 0;
 };
 
 struct ScalingPoint {
@@ -145,6 +148,8 @@ struct ScalingPoint {
   SliceId k_needed = 0;  ///< max_k + 1 when tolerance was never met
   double best_possible = 0.0;
   double achieved = 0.0;
+  /// Wall time to build the max_k-slice control plane at this size.
+  double build_ms = 0.0;
 };
 
 std::vector<ScalingPoint> run_scaling_experiment(const ScalingConfig& cfg);

@@ -73,16 +73,10 @@ std::vector<TransientPoint> run_transient_experiment(
     // except that the dead link's weight is inflated beyond any path cost,
     // so no reconverged tree uses it. (If the failure physically cuts the
     // graph, the inflated link may still appear in a tree; forward_mixed
-    // refuses to cross it and correctly reports a blackhole.)
-    std::vector<std::vector<Weight>> after_weights;
-    after_weights.reserve(static_cast<std::size_t>(cfg.slices));
-    for (SliceId s = 0; s < cfg.slices; ++s) {
-      std::vector<Weight> w(before.slice(s).weights().begin(),
-                            before.slice(s).weights().end());
-      w[static_cast<std::size_t>(dead_edge)] = 1e18;
-      after_weights.push_back(std::move(w));
-    }
-    const MultiInstanceRouting after(g, std::move(after_weights));
+    // refuses to cross it and correctly reports a blackhole.) Reconvergence
+    // repairs the pre-failure SPTs incrementally instead of rebuilding
+    // k × n trees from scratch; the tables are bit-identical either way.
+    const MultiInstanceRouting after = before.with_edge_event(dead_edge, 1e18);
 
     // Per-node update times, uniform in the window.
     std::vector<double> update_time(static_cast<std::size_t>(n));

@@ -1,13 +1,21 @@
-// Deterministic parallel trial runner for the Monte Carlo harnesses.
+// Deterministic parallel primitives: the Monte Carlo trial runner and a
+// disjoint-slot parallel-for used by the control-plane builders.
 //
-// Trials are striped across workers (worker w runs trials w, w+T, w+2T,
-// ...), each worker accumulates into its own state, and the per-worker
-// states are merged in worker-index order. Because every trial derives its
-// randomness from its own trial index (all experiment code forks the RNG
-// per trial), results are reproducible bit-for-bit for a fixed thread
-// count, and statistically identical across thread counts.
+// parallel_trials: trials are striped across workers (worker w runs trials
+// w, w+T, w+2T, ...), each worker accumulates into its own state, and the
+// per-worker states are merged in worker-index order. Because every trial
+// derives its randomness from its own trial index (all experiment code
+// forks the RNG per trial), results are reproducible bit-for-bit for a
+// fixed thread count, and statistically identical across thread counts.
+//
+// Regression note (false sharing): per-worker accumulators used to live
+// directly in a std::vector<Acc>, so small Acc types (counters, OnlineStats)
+// shared cache lines between adjacent workers and every accumulation ping-
+// ponged the line across cores. Each accumulator now lives in its own
+// cache-line-aligned slot; keep it that way.
 #pragma once
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -34,22 +42,53 @@ Acc parallel_trials(int trials, int threads, Fn&& fn, Merge&& merge) {
     return acc;
   }
   const int workers = std::min(threads, trials);
-  std::vector<Acc> accs(static_cast<std::size_t>(workers));
+  // Cache-line-aligned so adjacent workers never false-share an accumulator.
+  struct alignas(64) Slot {
+    Acc acc{};
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(workers));
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     pool.emplace_back([&, w]() {
       for (int t = w; t < trials; t += workers) {
-        fn(t, accs[static_cast<std::size_t>(w)]);
+        fn(t, slots[static_cast<std::size_t>(w)].acc);
       }
     });
   }
   for (std::thread& th : pool) th.join();
-  Acc result = std::move(accs.front());
+  Acc result = std::move(slots.front().acc);
   for (int w = 1; w < workers; ++w) {
-    merge(result, accs[static_cast<std::size_t>(w)]);
+    merge(result, slots[static_cast<std::size_t>(w)].acc);
   }
   return result;
+}
+
+/// Runs `fn(worker, i)` for i in [0, count) across up to `threads` workers.
+/// Work is striped: worker w handles i = w, w+W, w+2W, ... The worker index
+/// (in [0, workers)) lets callers keep per-worker scratch, e.g. a reusable
+/// DijkstraWorkspace per worker.
+///
+/// Determinism contract: `fn` must write its results only to slots indexed
+/// by `i` (disjoint across iterations) and must not read other iterations'
+/// output; then the combined result is byte-identical for every thread
+/// count. With threads <= 1 the loop runs inline.
+template <typename Fn>
+void parallel_for(int count, int threads, Fn&& fn) {
+  SPLICE_EXPECTS(count >= 0);
+  const int workers = std::max(1, std::min(threads, count));
+  if (workers <= 1) {
+    for (int i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w]() {
+      for (int i = w; i < count; i += workers) fn(w, i);
+    });
+  }
+  for (std::thread& th : pool) th.join();
 }
 
 }  // namespace splice

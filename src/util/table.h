@@ -21,6 +21,11 @@ class Table {
   std::size_t rows() const noexcept { return rows_.size(); }
   std::size_t columns() const noexcept { return header_.size(); }
 
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const noexcept {
+    return rows_[i];
+  }
+
   /// Renders with columns padded to their widest cell.
   std::string to_text() const;
   /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).

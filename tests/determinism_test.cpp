@@ -135,6 +135,85 @@ TEST(Determinism, SliceBudgetAdvisor) {
   EXPECT_EQ(a.per_k, b.per_k);
 }
 
+TEST(Determinism, ControlPlaneBuildIndependentOfThreadCount) {
+  // The parallel (slice, destination) build writes disjoint table slots and
+  // draws all weights sequentially, so FIBs and distance tables must be
+  // byte-identical for every thread count.
+  const Graph g = topo::geant();
+  ControlPlaneConfig cfg;
+  cfg.slices = 4;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  cfg.seed = 3;
+  cfg.threads = 1;
+  const MultiInstanceRouting seq(g, cfg);
+  cfg.threads = 4;
+  const MultiInstanceRouting par(g, cfg);
+
+  const FibSet fib_seq = seq.build_fibs();
+  const FibSet fib_par = par.build_fibs();
+  for (SliceId s = 0; s < cfg.slices; ++s) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+        ASSERT_EQ(fib_seq.lookup(s, v, dst).next_hop,
+                  fib_par.lookup(s, v, dst).next_hop);
+        ASSERT_EQ(fib_seq.lookup(s, v, dst).edge,
+                  fib_par.lookup(s, v, dst).edge);
+        // Bit-identical, not just close: same additions in the same order.
+        ASSERT_EQ(seq.slice(s).distance(v, dst),
+                  par.slice(s).distance(v, dst));
+      }
+    }
+  }
+}
+
+TEST(Determinism, ExplicitWeightsBuildIndependentOfThreadCount) {
+  const Graph g = topo::sprint();
+  Rng rng(17);
+  std::vector<std::vector<Weight>> slice_weights;
+  slice_weights.push_back({});
+  for (int s = 1; s < 3; ++s) {
+    Rng fork = rng.fork(static_cast<std::uint64_t>(s));
+    slice_weights.push_back(perturb_weights(
+        g, {PerturbationKind::kUniform, 0.0, 2.0}, fork));
+  }
+  const MultiInstanceRouting seq(g, slice_weights, 1);
+  const MultiInstanceRouting par(g, slice_weights, 4);
+  for (SliceId s = 0; s < seq.slice_count(); ++s) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+        ASSERT_EQ(seq.slice(s).next_hop(v, dst),
+                  par.slice(s).next_hop(v, dst));
+        ASSERT_EQ(seq.slice(s).distance(v, dst),
+                  par.slice(s).distance(v, dst));
+      }
+    }
+  }
+}
+
+TEST(Determinism, EdgeEventRepairIndependentOfThreadCount) {
+  const Graph g = topo::geant();
+  ControlPlaneConfig cfg;
+  cfg.slices = 3;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  cfg.seed = 5;
+  cfg.threads = 1;
+  MultiInstanceRouting seq(g, cfg);
+  cfg.threads = 4;
+  MultiInstanceRouting par(g, cfg);
+  seq.apply_edge_event(2, 1e18);
+  par.apply_edge_event(2, 1e18);
+  for (SliceId s = 0; s < cfg.slices; ++s) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+        ASSERT_EQ(seq.slice(s).next_hop(v, dst),
+                  par.slice(s).next_hop(v, dst));
+        ASSERT_EQ(seq.slice(s).distance(v, dst),
+                  par.slice(s).distance(v, dst));
+      }
+    }
+  }
+}
+
 TEST(Determinism, RecoveryTimingSim) {
   const Graph g = topo::geant();
   const MultiInstanceRouting mir(

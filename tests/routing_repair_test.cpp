@@ -1,0 +1,213 @@
+// Incremental SPT repair tests: randomized link-event sequences (weight
+// increases, decreases, kills and resurrections) must leave every table of
+// RoutingInstance::recompute_edge() bit-identical to a from-scratch build
+// with the same weight vector, with distances cross-checked against the
+// independent Bellman-Ford oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bellman_ford.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "routing/multi_instance.h"
+#include "routing/routing_instance.h"
+#include "topo/datasets.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+/// Every (node, dst) table entry of `repaired` must equal `fresh` exactly —
+/// same bits for distances, same next hops, same next-hop edges. Equality
+/// (not tolerance) is the contract: repair renormalizes parents with the
+/// same deterministic tie-breaking rule the full Dijkstra uses.
+void expect_identical(const RoutingInstance& repaired,
+                      const RoutingInstance& fresh) {
+  const NodeId n = fresh.node_count();
+  ASSERT_EQ(repaired.node_count(), n);
+  for (NodeId dst = 0; dst < n; ++dst) {
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(repaired.distance(v, dst), fresh.distance(v, dst))
+          << "v=" << v << " dst=" << dst;
+      ASSERT_EQ(repaired.next_hop(v, dst), fresh.next_hop(v, dst))
+          << "v=" << v << " dst=" << dst;
+      ASSERT_EQ(repaired.next_hop_edge(v, dst), fresh.next_hop_edge(v, dst))
+          << "v=" << v << " dst=" << dst;
+    }
+  }
+}
+
+/// Second oracle: distances must match Bellman-Ford under the same weights.
+void expect_matches_bellman_ford(const Graph& g, const RoutingInstance& inst,
+                                 const std::vector<Weight>& weights) {
+  const NodeId n = g.node_count();
+  for (NodeId dst = 0; dst < n; ++dst) {
+    const auto oracle = bellman_ford_distances(g, dst, weights);
+    for (NodeId v = 0; v < n; ++v) {
+      const Weight got = inst.distance(v, dst);
+      const Weight want = oracle[static_cast<std::size_t>(v)];
+      if (want >= kInfiniteWeight) {
+        EXPECT_EQ(got, want) << "v=" << v << " dst=" << dst;
+      } else {
+        EXPECT_NEAR(got, want, 1e-9) << "v=" << v << " dst=" << dst;
+      }
+    }
+  }
+}
+
+/// Drives `events` random link events on `g`, checking after each one.
+void run_event_sequence(const Graph& g, std::uint64_t seed, int events,
+                        double rebuild_threshold) {
+  RoutingInstance inst(g, {});
+  inst.set_repair_rebuild_threshold(rebuild_threshold);
+  std::vector<Weight> weights = g.weights();
+  Rng rng(seed);
+  RepairStats total;
+  for (int i = 0; i < events; ++i) {
+    const auto e = static_cast<EdgeId>(
+        rng.below(static_cast<std::uint64_t>(g.edge_count())));
+    const auto se = static_cast<std::size_t>(e);
+    Weight w;
+    switch (rng.below(5)) {
+      case 0:  // kill (clean infinity)
+        w = kInfiniteWeight;
+        break;
+      case 1:  // kill (transient.cpp's inflated sentinel)
+        w = 1e18;
+        break;
+      case 2:  // resurrect / restore the original weight
+        w = g.edge(e).weight;
+        break;
+      case 3:  // increase
+        w = weights[se] >= kInfiniteWeight ? g.edge(e).weight * 2.0
+                                           : weights[se] * 1.75;
+        break;
+      default:  // decrease
+        w = weights[se] >= kInfiniteWeight ? g.edge(e).weight
+                                           : weights[se] * 0.4;
+        break;
+    }
+    weights[se] = w;
+    const RepairStats stats = inst.recompute_edge(e, w);
+    total.add(stats);
+    // Every destination tree is accounted for exactly once per event.
+    EXPECT_EQ(stats.trees_untouched + stats.trees_repaired +
+                  stats.trees_rebuilt,
+              static_cast<long long>(g.node_count()))
+        << "event " << i;
+    const RoutingInstance fresh(g, weights);
+    expect_identical(inst, fresh);
+  }
+  expect_matches_bellman_ford(g, inst, weights);
+  // A random sequence of this length exercises the repair path, not just
+  // the untouched early-outs.
+  EXPECT_GT(total.trees_repaired + total.trees_rebuilt, 0);
+}
+
+TEST(RoutingRepair, RandomEventsOnErdosRenyi) {
+  Graph g = erdos_renyi(40, 0.12, 21);
+  make_connected(g, 22);
+  run_event_sequence(g, /*seed=*/101, /*events=*/40,
+                     /*rebuild_threshold=*/0.25);
+}
+
+TEST(RoutingRepair, RandomEventsOnGeant) {
+  run_event_sequence(topo::geant(), /*seed=*/7, /*events=*/40,
+                     /*rebuild_threshold=*/0.25);
+}
+
+TEST(RoutingRepair, RepairOnlyNoRebuildFallback) {
+  // threshold = 1.0 forces the incremental path even for huge subtrees.
+  Graph g = erdos_renyi(32, 0.15, 5);
+  make_connected(g, 6);
+  run_event_sequence(g, /*seed=*/13, /*events=*/30,
+                     /*rebuild_threshold=*/1.0);
+}
+
+TEST(RoutingRepair, RebuildOnlyThresholdZero) {
+  // threshold = 0 makes every touched tree take the full-rebuild fallback;
+  // results must not depend on which path ran.
+  run_event_sequence(topo::abilene(), /*seed=*/3, /*events=*/25,
+                     /*rebuild_threshold=*/0.0);
+}
+
+TEST(RoutingRepair, DeterministicTieBreakingOnEqualWeightGrid) {
+  // A unit-weight grid is saturated with equal-cost ties; repair must pick
+  // the same canonical parents (lowest id, then lowest edge id) as a full
+  // build at every step.
+  const Graph g = grid(5, 5);
+  run_event_sequence(g, /*seed=*/55, /*events=*/30,
+                     /*rebuild_threshold=*/0.25);
+}
+
+TEST(RoutingRepair, KillAndResurrectBridgeEdge) {
+  // line 0-1-2: killing an edge partitions the graph; repair must produce
+  // the same unreachable markers as a fresh build, and resurrection must
+  // restore the original tables.
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  RoutingInstance inst(g, {});
+  const RoutingInstance before(g, {});
+
+  inst.recompute_edge(e01, kInfiniteWeight);
+  std::vector<Weight> dead = g.weights();
+  dead[static_cast<std::size_t>(e01)] = kInfiniteWeight;
+  expect_identical(inst, RoutingInstance(g, dead));
+  EXPECT_EQ(inst.distance(0, 2), kInfiniteWeight);
+  EXPECT_EQ(inst.next_hop(0, 2), kInvalidNode);
+  EXPECT_EQ(inst.next_hop_edge(0, 2), kInvalidEdge);
+
+  inst.recompute_edge(e01, 1.0);
+  expect_identical(inst, before);
+}
+
+TEST(RoutingRepair, NoOpEventTouchesNothing) {
+  const Graph g = topo::abilene();
+  RoutingInstance inst(g, {});
+  const RepairStats stats = inst.recompute_edge(0, g.edge(0).weight);
+  EXPECT_EQ(stats.trees_untouched, static_cast<long long>(g.node_count()));
+  EXPECT_EQ(stats.trees_repaired, 0);
+  EXPECT_EQ(stats.trees_rebuilt, 0);
+  EXPECT_EQ(stats.nodes_touched, 0);
+  expect_identical(inst, RoutingInstance(g, {}));
+}
+
+TEST(RoutingRepair, MultiInstanceEdgeEventMatchesRebuild) {
+  const Graph g = topo::geant();
+  ControlPlaneConfig cfg;
+  cfg.slices = 4;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  cfg.seed = 11;
+  const MultiInstanceRouting before(g, cfg);
+
+  Rng rng(77);
+  for (int i = 0; i < 4; ++i) {
+    const auto e = static_cast<EdgeId>(
+        rng.below(static_cast<std::uint64_t>(g.edge_count())));
+    RepairStats stats;
+    const MultiInstanceRouting after = before.with_edge_event(e, 1e18, &stats);
+    EXPECT_EQ(stats.trees_untouched + stats.trees_repaired +
+                  stats.trees_rebuilt,
+              static_cast<long long>(cfg.slices) * g.node_count());
+
+    // Oracle: rebuild each slice from scratch on the post-event weights.
+    for (SliceId s = 0; s < cfg.slices; ++s) {
+      std::vector<Weight> weights(before.slice(s).weights().begin(),
+                                  before.slice(s).weights().end());
+      weights[static_cast<std::size_t>(e)] = 1e18;
+      expect_identical(after.slice(s), RoutingInstance(g, weights));
+    }
+    // The original control plane is untouched by with_edge_event.
+    for (SliceId s = 0; s < cfg.slices; ++s) {
+      std::vector<Weight> weights(before.slice(s).weights().begin(),
+                                  before.slice(s).weights().end());
+      expect_identical(before.slice(s), RoutingInstance(g, weights));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splice

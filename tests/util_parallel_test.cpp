@@ -87,6 +87,51 @@ TEST(DefaultThreadCount, AtLeastOne) {
   EXPECT_GE(default_thread_count(), 1);
 }
 
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7, 64}) {
+    std::vector<std::atomic<int>> hits(200);
+    parallel_for(200, threads,
+                 [&](int, int i) { hits[static_cast<std::size_t>(i)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << threads;
+  }
+}
+
+TEST(ParallelFor, DisjointSlotWritesMatchSequential) {
+  // The determinism contract: iteration i writes only slot i, so results
+  // are identical for every thread count.
+  auto run = [](int threads) {
+    std::vector<long long> out(500);
+    parallel_for(500, threads, [&](int, int i) {
+      out[static_cast<std::size_t>(i)] = static_cast<long long>(i) * i + 7;
+    });
+    return out;
+  };
+  const auto expect = run(1);
+  for (int threads : {2, 3, 8}) EXPECT_EQ(run(threads), expect);
+}
+
+TEST(ParallelFor, ZeroCount) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 4, [&](int, int) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, WorkerIndexInBounds) {
+  // Workers are capped at min(threads, count); worker ids index per-worker
+  // scratch (e.g. DijkstraWorkspace pools), so they must stay in range.
+  constexpr int kThreads = 5;
+  constexpr int kCount = 3;
+  std::vector<std::atomic<int>> used(kCount);
+  parallel_for(kCount, kThreads, [&](int worker, int) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, kCount);  // capped by count, not threads
+    used[static_cast<std::size_t>(worker)]++;
+  });
+  int total = 0;
+  for (auto& u : used) total += u.load();
+  EXPECT_EQ(total, kCount);
+}
+
 TEST(ThreadedReliability, MatchesSequentialMeans) {
   // Per-trial randomness depends only on (seed, p, trial), so the threaded
   // run must produce exactly the same set of per-trial samples — identical
