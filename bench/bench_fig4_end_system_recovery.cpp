@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 #include "sim/experiments.h"
+#include "util/parallel.h"
 
 namespace splice {
 namespace {
@@ -22,13 +23,17 @@ int run(const Flags& flags) {
   cfg.recovery.scheme = RecoveryScheme::kEndSystemCoinFlip;
   cfg.recovery.max_trials = static_cast<int>(flags.get_int("max-trials", 5));
   cfg.recovery.header_hops = static_cast<int>(flags.get_int("hops", 20));
+  // Results are bit-identical at every thread count.
+  cfg.threads =
+      static_cast<int>(flags.get_int("threads", default_thread_count()));
 
   bench::banner("End-system recovery",
                 "Figure 4 — coin-flip header re-randomization, 20-hop "
                 "header, <= 5 trials, Sprint topology");
   std::cout << "topology=" << flags.get_string("topo", "sprint")
             << " trials=" << cfg.trials << " retry budget "
-            << cfg.recovery.max_trials << "\n\n";
+            << cfg.recovery.max_trials << " threads=" << cfg.threads
+            << "\n\n";
 
   const auto points = run_recovery_experiment(g, cfg);
 

@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "sim/experiments.h"
+#include "util/parallel.h"
 
 namespace splice {
 namespace {
@@ -19,12 +20,16 @@ int run(const Flags& flags) {
   cfg.perturbation = bench::perturbation_from_flags(flags);
   cfg.pair_sample = static_cast<int>(flags.get_int("pair-sample", 0));
   cfg.recovery.scheme = RecoveryScheme::kNetworkDeflection;
+  // Results are bit-identical at every thread count.
+  cfg.threads =
+      static_cast<int>(flags.get_int("threads", default_thread_count()));
 
   bench::banner("Network-based recovery",
                 "Figure 5 — in-network deflection to an alternate slice with "
                 "a live next hop, Sprint topology");
   std::cout << "topology=" << flags.get_string("topo", "sprint")
-            << " trials=" << cfg.trials << "\n\n";
+            << " trials=" << cfg.trials << " threads=" << cfg.threads
+            << "\n\n";
 
   const auto points = run_recovery_experiment(g, cfg);
 

@@ -1,11 +1,38 @@
 // Data-plane microbenchmarks (google-benchmark): per-hop header operations,
 // Algorithm 1 FIB lookups, full packet forwards, header generation —
 // the costs a router/end host pays per packet under path splicing.
+//
+// Two modes:
+//   * default: the usual google-benchmark registrations.
+//   * --json=path [--packets=4000 --reps=30 --k=8 --trials=48 --fail=0.12
+//     --heavy_fail=0.2 --loop_reps=3 --seed=5 --topo=sprint --large_n=900
+//     --large_packets=24000 --large_reps=3]: runs the forwarding fast-path
+//     comparison — the
+//     legacy allocating forward() (FibSet::lookup per hop, Delivery vector
+//     per packet, separate trace_cost pass) against forward_fast(),
+//     forward_stats() and the wavefront forward_stats_batch(), on
+//     the paper's topology and on a large random graph whose FIBs dwarf
+//     the caches; the full per-packet statistics pipeline (forward + cost
+//     + loop/revisit census) legacy vs. fast, both at the fig-5 failure
+//     rate and in the §4.4 loop-census regime (heavy failures, where
+//     undeliverable packets loop until TTL expiry and the legacy
+//     O(hops^2) revisit scan dominates); the legacy O(deg^2)
+//     reliability-analyzer build against the CSR build; and a TrialEngine
+//     scenario batch across thread counts — with built-in bit-identity
+//     checks, written as machine-readable JSON for the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <string_view>
+
+#include "bench_common.h"
 #include "dataplane/network.h"
+#include "graph/generators.h"
 #include "routing/multi_instance.h"
+#include "sim/trial_engine.h"
 #include "splicing/recovery.h"
+#include "splicing/reliability.h"
 #include "topo/datasets.h"
 #include "util/rng.h"
 
@@ -15,6 +42,13 @@ namespace {
 struct Env {
   explicit Env(SliceId k)
       : g(topo::sprint()),
+        mir(g, ControlPlaneConfig{
+                   k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false}),
+        fibs(mir.build_fibs()),
+        net(g, fibs) {}
+
+  Env(Graph graph, SliceId k)
+      : g(std::move(graph)),
         mir(g, ControlPlaneConfig{
                    k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false}),
         fibs(mir.build_fibs()),
@@ -89,6 +123,27 @@ void BM_ForwardPacket(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardPacket)->Arg(1)->Arg(2)->Arg(5)->Arg(10);
 
+// The allocation-free twin of BM_ForwardPacket: same packets, summary only.
+void BM_ForwardPacketStats(benchmark::State& state) {
+  const auto k = static_cast<SliceId>(state.range(0));
+  const Env env(k);
+  Rng rng(5);
+  const auto n = static_cast<std::uint64_t>(env.g.node_count());
+  std::int64_t hops = 0;
+  for (auto _ : state) {
+    Packet p;
+    p.src = static_cast<NodeId>(rng.below(n));
+    p.dst = static_cast<NodeId>(rng.below(n));
+    if (p.src == p.dst) p.dst = (p.dst + 1) % static_cast<NodeId>(n);
+    p.header = SpliceHeader::random(k, 20, rng);
+    const ForwardSummary s = env.net.forward_stats(p);
+    hops += s.hops;
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(hops);
+}
+BENCHMARK(BM_ForwardPacketStats)->Arg(1)->Arg(2)->Arg(5)->Arg(10);
+
 void BM_RecoveryEpisode(benchmark::State& state) {
   Env env(5);
   // Fail 8 random links so some recoveries actually retry.
@@ -111,7 +166,725 @@ void BM_RecoveryEpisode(benchmark::State& state) {
 }
 BENCHMARK(BM_RecoveryEpisode);
 
+// Workspace-reusing recovery: the per-episode cost the TrialEngine pays.
+void BM_RecoveryEpisodeFast(benchmark::State& state) {
+  Env env(5);
+  Rng fail_rng(6);
+  for (int i = 0; i < 8; ++i) {
+    env.net.set_link_state(
+        static_cast<EdgeId>(fail_rng.below(
+            static_cast<std::uint64_t>(env.g.edge_count()))),
+        false);
+  }
+  Rng rng(7);
+  ForwardWorkspace ws;
+  const auto n = static_cast<std::uint64_t>(env.g.node_count());
+  for (auto _ : state) {
+    const auto src = static_cast<NodeId>(rng.below(n));
+    auto dst = static_cast<NodeId>(rng.below(n));
+    if (src == dst) dst = (dst + 1) % static_cast<NodeId>(n);
+    benchmark::DoNotOptimize(
+        attempt_recovery_fast(env.net, src, dst, RecoveryConfig{}, rng, ws));
+  }
+}
+BENCHMARK(BM_RecoveryEpisodeFast);
+
+// ---------------------------------------------------------------------------
+// --json mode: data-plane fast-path comparison for the perf trajectory.
+// ---------------------------------------------------------------------------
+
+/// The pre-fast-path forward(), kept as the comparison baseline and oracle:
+/// FibSet::lookup (with its per-call contract checks) at every hop, a fresh
+/// Delivery vector per packet.
+Delivery legacy_forward(const FibSet& fibs, std::span<const char> link_alive,
+                        const Packet& packet, const ForwardingPolicy& policy) {
+  const auto alive = [&](EdgeId e) {
+    return link_alive[static_cast<std::size_t>(e)] != 0;
+  };
+  const auto default_slice = [&](NodeId src, NodeId dst) {
+    return static_cast<SliceId>(
+        hash_mix(static_cast<std::uint64_t>(src),
+                 static_cast<std::uint64_t>(dst)) %
+        static_cast<std::uint64_t>(fibs.slice_count()));
+  };
+  Delivery out;
+  if (packet.src == packet.dst) {
+    out.outcome = ForwardOutcome::kDelivered;
+    return out;
+  }
+  const SliceId k = fibs.slice_count();
+  SpliceHeader header = packet.header;
+  CounterHeader counter = packet.counter;
+  SliceId current = default_slice(packet.src, packet.dst);
+  NodeId node = packet.src;
+  int ttl = packet.ttl;
+  while (ttl-- > 0) {
+    SliceId slice = current;
+    if (const auto popped = header.pop(); popped.has_value()) {
+      slice = static_cast<SliceId>(*popped % k);
+    } else if (policy.exhaust == ExhaustPolicy::kHashDefault) {
+      slice = default_slice(packet.src, packet.dst);
+    }
+    if (counter.active()) slice = counter.deflect(slice, k);
+
+    FibEntry entry = fibs.lookup(slice, node, packet.dst);
+    bool deflected = false;
+    const bool usable = entry.valid() && alive(entry.edge);
+    if (!usable) {
+      if (policy.local_recovery == LocalRecovery::kDeflect) {
+        for (SliceId s = 0; s < k && !deflected; ++s) {
+          if (s == slice) continue;
+          const FibEntry alt = fibs.lookup(s, node, packet.dst);
+          if (alt.valid() && alive(alt.edge)) {
+            entry = alt;
+            slice = s;
+            deflected = true;
+          }
+        }
+      }
+      if (!deflected) {
+        out.outcome = ForwardOutcome::kDeadEnd;
+        return out;
+      }
+    }
+    out.hops.push_back(
+        HopRecord{node, entry.next_hop, entry.edge, slice, deflected});
+    node = entry.next_hop;
+    current = slice;
+    if (node == packet.dst) {
+      out.outcome = ForwardOutcome::kDelivered;
+      return out;
+    }
+  }
+  out.outcome = ForwardOutcome::kTtlExpired;
+  return out;
+}
+
+/// The pre-CSR reliability-analyzer build (nested per-destination adjacency
+/// vectors, O(deg^2) dedup) and its BFS, kept as baseline and oracle.
+struct LegacyAnalyzer {
+  struct Adj {
+    NodeId other;
+    EdgeId edge;
+    SliceId slice;
+    bool incoming;
+  };
+
+  NodeId n;
+  SliceId k_max;
+  std::vector<std::vector<std::vector<Adj>>> adj;
+
+  LegacyAnalyzer(const Graph& g, const MultiInstanceRouting& mir)
+      : n(g.node_count()), k_max(mir.slice_count()) {
+    adj.assign(static_cast<std::size_t>(n),
+               std::vector<std::vector<Adj>>(static_cast<std::size_t>(n)));
+    for (NodeId dst = 0; dst < n; ++dst) {
+      auto& adj_dst = adj[static_cast<std::size_t>(dst)];
+      for (SliceId s = 0; s < k_max; ++s) {
+        const RoutingInstance& inst = mir.slice(s);
+        for (NodeId v = 0; v < n; ++v) {
+          if (v == dst) continue;
+          const NodeId nh = inst.next_hop(v, dst);
+          if (nh == kInvalidNode) continue;
+          const EdgeId e = inst.next_hop_edge(v, dst);
+          auto& at_head = adj_dst[static_cast<std::size_t>(nh)];
+          bool duplicate = false;
+          for (const Adj& a : at_head) {
+            if (a.incoming && a.other == v && a.edge == e) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (duplicate) continue;
+          at_head.push_back(Adj{v, e, s, true});
+          adj_dst[static_cast<std::size_t>(v)].push_back(
+              Adj{nh, e, s, false});
+        }
+      }
+    }
+  }
+
+  long long disconnected_pairs(SliceId k, std::span<const char> edge_alive,
+                               UnionSemantics semantics) const {
+    const bool undirected = semantics == UnionSemantics::kUndirectedLinks;
+    long long disconnected = 0;
+    std::vector<char> seen;
+    std::vector<NodeId> stack;
+    for (NodeId dst = 0; dst < n; ++dst) {
+      seen.assign(static_cast<std::size_t>(n), 0);
+      seen[static_cast<std::size_t>(dst)] = 1;
+      stack.assign(1, dst);
+      const auto& adj_dst = adj[static_cast<std::size_t>(dst)];
+      while (!stack.empty()) {
+        const NodeId u = stack.back();
+        stack.pop_back();
+        for (const Adj& a : adj_dst[static_cast<std::size_t>(u)]) {
+          if (a.slice >= k) continue;
+          if (!undirected && !a.incoming) continue;
+          if (!edge_alive.empty() &&
+              !edge_alive[static_cast<std::size_t>(a.edge)])
+            continue;
+          auto& mark = seen[static_cast<std::size_t>(a.other)];
+          if (!mark) {
+            mark = 1;
+            stack.push_back(a.other);
+          }
+        }
+      }
+      for (NodeId src = 0; src < n; ++src) {
+        if (src != dst && !seen[static_cast<std::size_t>(src)])
+          ++disconnected;
+      }
+    }
+    return disconnected;
+  }
+};
+
+/// The pre-fast-path node-revisit census: a fresh `seen` vector per call
+/// and an O(hops^2) containment scan — the per-packet trace-statistics cost
+/// the Monte Carlo loops paid before the timestamped workspace variant.
+int legacy_count_node_revisits(const Delivery& d) {
+  int revisits = 0;
+  std::vector<NodeId> seen;
+  seen.reserve(d.hops.size() + 1);
+  auto visit = [&](NodeId v) {
+    for (NodeId s : seen) {
+      if (s == v) {
+        ++revisits;
+        return;
+      }
+    }
+    seen.push_back(v);
+  };
+  if (!d.hops.empty()) visit(d.hops.front().node);
+  for (const HopRecord& hop : d.hops) visit(hop.next);
+  return revisits;
+}
+
+/// The pre-fast-path two-hop-loop test over an allocated Delivery trace.
+bool legacy_has_two_hop_loop(const Delivery& d) {
+  for (std::size_t i = 0; i + 1 < d.hops.size(); ++i) {
+    if (d.hops[i].node == d.hops[i + 1].next) return true;
+  }
+  return false;
+}
+
+/// Order-stable checksum of a forwarding sweep: identical across
+/// implementations iff outcomes, hop counts and costs all match, with the
+/// cost sum accumulated in packet order (so doubles compare bit-exact).
+struct SweepChecksum {
+  long long delivered = 0;
+  long long hops = 0;
+  double cost = 0.0;
+
+  bool operator==(const SweepChecksum&) const = default;
+};
+
+int run_dataplane_compare(const Flags& flags) {
+  const auto k = static_cast<SliceId>(flags.get_int("k", 8));
+  const int packets = static_cast<int>(flags.get_int("packets", 4000));
+  const int reps = static_cast<int>(flags.get_int("reps", 30));
+  const int trials = static_cast<int>(flags.get_int("trials", 48));
+  const double p_fail = flags.get_double("fail", 0.12);
+  // §4.4 loop-census regime: enough failed links that a visible share of
+  // packets never reaches the destination and loops until TTL expiry.
+  const double p_heavy = flags.get_double("heavy_fail", 0.2);
+  const int loop_reps = static_cast<int>(flags.get_int("loop_reps", 3));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  // The large regime needs a packet set whose hop footprint exceeds the
+  // cache hierarchy, so per-hop FIB loads are real memory accesses instead
+  // of replaying a warm working set.
+  const int large_n = static_cast<int>(flags.get_int("large_n", 900));
+  const int large_packets =
+      static_cast<int>(flags.get_int("large_packets", 24000));
+  const int large_reps = static_cast<int>(flags.get_int("large_reps", 3));
+
+  bench::banner("Data-plane fast path",
+                "forwarding/analyzer microbenchmark (Algorithm 1 hot loop)");
+  Env env(bench::load_topology_flag(flags), k);
+  std::cout << "topology=" << flags.get_string("topo", "sprint")
+            << " n=" << env.g.node_count() << " links=" << env.g.edge_count()
+            << " k=" << k << " packets=" << packets << " reps=" << reps
+            << " trials=" << trials << "\n\n";
+
+  // Fixed packet sets shared by every implementation.
+  Rng rng(seed);
+  const auto make_workload = [&](const Env& e, int count) {
+    const auto nodes = static_cast<std::uint64_t>(e.g.node_count());
+    std::vector<Packet> wl;
+    wl.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      Packet p;
+      p.src = static_cast<NodeId>(rng.below(nodes));
+      p.dst = static_cast<NodeId>(rng.below(nodes));
+      if (p.src == p.dst) p.dst = (p.dst + 1) % static_cast<NodeId>(nodes);
+      p.header = SpliceHeader::random(k, 20, rng);
+      wl.push_back(p);
+    }
+    return wl;
+  };
+  const std::vector<Packet> workload = make_workload(env, packets);
+
+  const auto degraded_mask = [&](const Env& e, std::uint64_t mask_seed,
+                                 double p_down) {
+    std::vector<char> mask(static_cast<std::size_t>(e.g.edge_count()), 1);
+    Rng mask_rng(mask_seed);
+    for (auto& m : mask) m = mask_rng.uniform() < p_down ? 0 : 1;
+    return mask;
+  };
+  const std::vector<char> failed_mask =
+      degraded_mask(env, seed ^ 0xf417ULL, p_fail);
+  const std::vector<char> healthy_mask(
+      static_cast<std::size_t>(env.g.edge_count()), 1);
+
+  // Bit-identity gate, untimed: every implementation must agree hop for hop
+  // on every packet, under healthy and degraded masks, with and without
+  // deflection.
+  const auto bit_identical = [&](Env& e, const std::vector<Packet>& wl,
+                                 const std::vector<char>& healthy,
+                                 const std::vector<char>& degraded) {
+    ForwardWorkspace gate_ws;
+    std::vector<ForwardSummary> gate_batch(wl.size());
+    for (const auto* mask : {&healthy, &degraded}) {
+      e.net.set_link_mask(*mask);
+      for (const LocalRecovery recovery :
+           {LocalRecovery::kNone, LocalRecovery::kDeflect}) {
+        const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                      recovery};
+        e.net.forward_stats_batch(wl, policy, gate_batch);
+        for (std::size_t i = 0; i < wl.size(); ++i) {
+          const Packet& p = wl[i];
+          const Delivery want =
+              legacy_forward(e.fibs, e.net.link_mask(), p, policy);
+          const ForwardSummary fast = e.net.forward_fast(p, policy, gate_ws);
+          const ForwardSummary stats = e.net.forward_stats(p, policy);
+          const ForwardSummary& batched = gate_batch[i];
+          bool hops_match = gate_ws.hops.size() == want.hops.size();
+          for (std::size_t h = 0; hops_match && h < want.hops.size(); ++h) {
+            const HopRecord& a = gate_ws.hops[h];
+            const HopRecord& b = want.hops[h];
+            hops_match = a.node == b.node && a.next == b.next &&
+                         a.edge == b.edge && a.slice == b.slice &&
+                         a.deflected == b.deflected;
+          }
+          if (fast.outcome != want.outcome || !hops_match ||
+              fast.hops != want.hop_count() ||
+              fast.cost != trace_cost(e.g, want) ||
+              stats.outcome != fast.outcome || stats.hops != fast.hops ||
+              stats.cost != fast.cost || batched.outcome != fast.outcome ||
+              batched.hops != fast.hops || batched.cost != fast.cost ||
+              batched.deflected != fast.deflected) {
+            std::cerr << "FATAL: fast forwarding diverges from legacy at "
+                      << "src=" << p.src << " dst=" << p.dst << " deflect="
+                      << (recovery == LocalRecovery::kDeflect) << "\n";
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  };
+  if (!bit_identical(env, workload, healthy_mask, failed_mask)) {
+    return EXIT_FAILURE;
+  }
+
+  const bench::Stopwatch wall;
+
+  // Timed forwarding regimes: fig-4 style (healthy network, no deflection)
+  // and fig-5 style (degraded network, in-network deflection) — the two
+  // workloads the Monte Carlo loops actually run. Per regime, four
+  // implementations over the identical packet set:
+  //   legacy      allocating forward() + trace_cost() pass (pre-change cost)
+  //   fast_trace  forward_fast() into the reused workspace
+  //   fast_stats  forward_stats(), no trace at all
+  //   fast_batch  forward_stats_batch(), wavefront batched walks
+  struct Phase {
+    double legacy_ms = 0.0;
+    double trace_ms = 0.0;
+    double stats_ms = 0.0;
+    double batch_ms = 0.0;
+    SweepChecksum sum;
+  };
+  bool phase_ok = true;
+  const auto time_phase = [&](Env& e, const std::vector<Packet>& wl,
+                              const std::vector<char>& mask,
+                              const ForwardingPolicy& policy, int n_reps) {
+    Phase ph;
+    e.net.set_link_mask(mask);
+    ForwardWorkspace phase_ws;
+    std::vector<ForwardSummary> batch_out(wl.size());
+
+    SweepChecksum legacy_sum;
+    const bench::Stopwatch legacy_clock;
+    for (int r = 0; r < n_reps; ++r) {
+      for (const Packet& p : wl) {
+        const Delivery d =
+            legacy_forward(e.fibs, e.net.link_mask(), p, policy);
+        legacy_sum.delivered += d.delivered() ? 1 : 0;
+        legacy_sum.hops += d.hop_count();
+        legacy_sum.cost += trace_cost(e.g, d);
+      }
+    }
+    ph.legacy_ms = legacy_clock.elapsed_ms();
+
+    SweepChecksum trace_sum;
+    const bench::Stopwatch trace_clock;
+    for (int r = 0; r < n_reps; ++r) {
+      for (const Packet& p : wl) {
+        const ForwardSummary s = e.net.forward_fast(p, policy, phase_ws);
+        trace_sum.delivered += s.delivered() ? 1 : 0;
+        trace_sum.hops += s.hops;
+        trace_sum.cost += s.cost;
+      }
+    }
+    ph.trace_ms = trace_clock.elapsed_ms();
+
+    SweepChecksum stats_sum;
+    const bench::Stopwatch stats_clock;
+    for (int r = 0; r < n_reps; ++r) {
+      for (const Packet& p : wl) {
+        const ForwardSummary s = e.net.forward_stats(p, policy);
+        stats_sum.delivered += s.delivered() ? 1 : 0;
+        stats_sum.hops += s.hops;
+        stats_sum.cost += s.cost;
+      }
+    }
+    ph.stats_ms = stats_clock.elapsed_ms();
+
+    SweepChecksum batch_sum;
+    const bench::Stopwatch batch_clock;
+    for (int r = 0; r < n_reps; ++r) {
+      e.net.forward_stats_batch(wl, policy, batch_out);
+      for (const ForwardSummary& s : batch_out) {
+        batch_sum.delivered += s.delivered() ? 1 : 0;
+        batch_sum.hops += s.hops;
+        batch_sum.cost += s.cost;
+      }
+    }
+    ph.batch_ms = batch_clock.elapsed_ms();
+
+    if (trace_sum != legacy_sum || stats_sum != legacy_sum ||
+        batch_sum != legacy_sum) {
+      phase_ok = false;
+    }
+    ph.sum = legacy_sum;
+    return ph;
+  };
+
+  const Phase fig4 = time_phase(
+      env, workload, healthy_mask,
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kNone}, reps);
+  const Phase fig5 = time_phase(
+      env, workload, failed_mask,
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kDeflect}, reps);
+
+  // Per-packet statistics pipeline: what the fig-4/fig-5 experiments run per
+  // forwarded packet — forwarding plus path cost, two-hop-loop test and the
+  // node-revisit census. Legacy pays an allocated Delivery, a second
+  // trace_cost() pass and the O(hops^2) allocating revisit scan; the fast
+  // pipeline reads the workspace trace and the timestamped visit buffer.
+  struct PipelineChecksum {
+    long long delivered = 0;
+    long long hops = 0;
+    long long loops = 0;
+    long long revisits = 0;
+    double cost = 0.0;
+
+    bool operator==(const PipelineChecksum&) const = default;
+  };
+  struct PipelinePhase {
+    double legacy_ms = 0.0;
+    double fast_ms = 0.0;
+    PipelineChecksum sum;
+  };
+  const auto time_pipeline = [&](Env& e, const std::vector<Packet>& wl,
+                                 const std::vector<std::vector<char>>& masks,
+                                 const ForwardingPolicy& policy, int n_reps) {
+    PipelinePhase ph;
+    const NodeId nodes = e.g.node_count();
+    ForwardWorkspace pipe_ws;
+
+    PipelineChecksum legacy_sum;
+    const bench::Stopwatch legacy_clock;
+    for (int r = 0; r < n_reps; ++r) {
+      for (const auto& mask : masks) {
+        e.net.set_link_mask(mask);
+        for (const Packet& p : wl) {
+          const Delivery d =
+              legacy_forward(e.fibs, e.net.link_mask(), p, policy);
+          legacy_sum.delivered += d.delivered() ? 1 : 0;
+          legacy_sum.hops += d.hop_count();
+          legacy_sum.cost += trace_cost(e.g, d);
+          legacy_sum.loops += legacy_has_two_hop_loop(d) ? 1 : 0;
+          legacy_sum.revisits += legacy_count_node_revisits(d);
+        }
+      }
+    }
+    ph.legacy_ms = legacy_clock.elapsed_ms();
+
+    PipelineChecksum fast_sum;
+    const bench::Stopwatch fast_clock;
+    for (int r = 0; r < n_reps; ++r) {
+      for (const auto& mask : masks) {
+        e.net.set_link_mask(mask);
+        for (const Packet& p : wl) {
+          const ForwardSummary s = e.net.forward_fast(p, policy, pipe_ws);
+          fast_sum.delivered += s.delivered() ? 1 : 0;
+          fast_sum.hops += s.hops;
+          fast_sum.cost += s.cost;
+          fast_sum.loops += has_two_hop_loop(pipe_ws.hops) ? 1 : 0;
+          fast_sum.revisits +=
+              count_node_revisits(pipe_ws.hops, nodes, pipe_ws);
+        }
+      }
+    }
+    ph.fast_ms = fast_clock.elapsed_ms();
+
+    if (fast_sum != legacy_sum) phase_ok = false;
+    ph.sum = legacy_sum;
+    return ph;
+  };
+  const PipelinePhase pipe5 = time_pipeline(
+      env, workload, {failed_mask},
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kDeflect}, reps);
+
+  // §4.4 loop census: with a heavy failure mask and in-network deflection,
+  // the packets that cannot reach their destination keep deflecting and
+  // loop until the 255-hop TTL expires. These long traces are where the
+  // legacy pipeline's costs compound — the Delivery vector reallocates as
+  // it grows and the revisit scan walks its seen-set once per hop — while
+  // the fast pipeline stays O(hops) via the timestamped visit buffer.
+  // Whether a given mask strands loopers (rather than dead-ending them) is
+  // high-variance, so the census aggregates several masks like the real
+  // multi-trial experiments do.
+  std::vector<std::vector<char>> heavy_masks;
+  for (int i = 0; i < 8; ++i) {
+    heavy_masks.push_back(degraded_mask(
+        env, seed ^ (0x5e4fULL + static_cast<std::uint64_t>(i)), p_heavy));
+  }
+  if (!bit_identical(env, workload, heavy_masks.front(),
+                     heavy_masks.back())) {
+    return EXIT_FAILURE;
+  }
+  const PipelinePhase pipe_loops = time_pipeline(
+      env, workload, heavy_masks,
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kDeflect}, loop_reps);
+
+  // Large-topology regime: a sparse random graph big enough that the k
+  // forwarding tables dwarf the cache hierarchy, so every hop is a memory
+  // access — the regime where the wavefront batch kernel turns load
+  // latency into throughput. Monte Carlo sweeps over synthetic graphs of
+  // this size are exactly the fig-3 style experiments at scale.
+  Graph big = erdos_renyi(static_cast<NodeId>(large_n),
+                          5.0 / std::max(1, large_n - 1), seed ^ 0xb16ULL);
+  make_connected(big, seed ^ 0xb17ULL);
+  Env large_env(std::move(big), k);
+  const std::vector<Packet> large_workload =
+      make_workload(large_env, large_packets);
+  const std::vector<char> large_failed =
+      degraded_mask(large_env, seed ^ 0x1a46eULL, p_fail);
+  const std::vector<char> large_healthy(
+      static_cast<std::size_t>(large_env.g.edge_count()), 1);
+  if (!bit_identical(large_env, large_workload, large_healthy,
+                     large_failed)) {
+    return EXIT_FAILURE;
+  }
+  const Phase large = time_phase(
+      large_env, large_workload, large_failed,
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kDeflect}, large_reps);
+
+  if (!phase_ok) {
+    std::cerr << "FATAL: fast forwarding checksum diverges from legacy\n";
+    return EXIT_FAILURE;
+  }
+
+  // Analyzer build: legacy nested-vector O(deg^2) dedup vs. the CSR
+  // stamped-dedup + counting-scatter build. Several constructions each so
+  // the ms-scale numbers are stable.
+  constexpr int kBuildReps = 5;
+  const bench::Stopwatch legacy_build_clock;
+  for (int r = 0; r < kBuildReps; ++r) {
+    const LegacyAnalyzer rebuilt(env.g, env.mir);
+    benchmark::DoNotOptimize(rebuilt.n);
+  }
+  const double legacy_build_ms = legacy_build_clock.elapsed_ms();
+  const bench::Stopwatch csr_build_clock;
+  for (int r = 0; r < kBuildReps; ++r) {
+    const SplicedReliabilityAnalyzer rebuilt(env.g, env.mir);
+    benchmark::DoNotOptimize(rebuilt.node_count());
+  }
+  const double csr_build_ms = csr_build_clock.elapsed_ms();
+  const LegacyAnalyzer legacy_analyzer(env.g, env.mir);
+  const SplicedReliabilityAnalyzer analyzer(env.g, env.mir);
+
+  // Analyzer queries: full disconnected-pair sweeps under failure masks.
+  std::vector<std::vector<char>> query_masks;
+  Rng qrng(seed ^ 0x9e37ULL);
+  for (int i = 0; i < 32; ++i) {
+    auto mask = healthy_mask;
+    for (auto& m : mask) m = qrng.uniform() < p_fail ? 0 : 1;
+    query_masks.push_back(std::move(mask));
+  }
+  long long legacy_pairs = 0;
+  const bench::Stopwatch legacy_query_clock;
+  for (const auto& mask : query_masks) {
+    for (SliceId kk = 1; kk <= k; ++kk) {
+      legacy_pairs += legacy_analyzer.disconnected_pairs(
+          kk, mask, UnionSemantics::kUndirectedLinks);
+    }
+  }
+  const double legacy_query_ms = legacy_query_clock.elapsed_ms();
+  long long csr_pairs = 0;
+  ReachWorkspace reach_ws;
+  const bench::Stopwatch csr_query_clock;
+  for (const auto& mask : query_masks) {
+    for (SliceId kk = 1; kk <= k; ++kk) {
+      csr_pairs += analyzer.disconnected_pairs(
+          kk, mask, UnionSemantics::kUndirectedLinks, reach_ws);
+    }
+  }
+  const double csr_query_ms = csr_query_clock.elapsed_ms();
+  if (csr_pairs != legacy_pairs) {
+    std::cerr << "FATAL: CSR analyzer diverges from legacy adjacency build\n";
+    return EXIT_FAILURE;
+  }
+
+  // TrialEngine scenario batch: per-trial failure mask + full packet sweep
+  // with deflection, per-thread scratch. The trial-ordered reduce makes the
+  // checksum bit-identical at every thread count.
+  struct Scratch {
+    DataPlaneNetwork net;
+    std::vector<ForwardSummary> out;
+    std::vector<char> mask;
+  };
+  const ForwardingPolicy trial_policy{ExhaustPolicy::kStayInCurrent,
+                                      LocalRecovery::kDeflect};
+  const auto run_batch = [&](int threads) {
+    const TrialEngine<Scratch> engine(threads);
+    const auto results = engine.run<SweepChecksum>(
+        trials,
+        [&] {
+          return Scratch{DataPlaneNetwork(env.g, env.fibs),
+                         std::vector<ForwardSummary>(workload.size()),
+                         {}};
+        },
+        [&](int trial, Scratch& sc) {
+          Rng trial_rng(
+              trial_substream_seed(seed, static_cast<std::uint64_t>(trial)));
+          sc.mask.assign(static_cast<std::size_t>(env.g.edge_count()), 1);
+          for (auto& m : sc.mask) m = trial_rng.uniform() < p_fail ? 0 : 1;
+          sc.net.set_link_mask(sc.mask);
+          sc.net.forward_stats_batch(workload, trial_policy, sc.out);
+          SweepChecksum sum;
+          for (const ForwardSummary& s : sc.out) {
+            sum.delivered += s.delivered() ? 1 : 0;
+            sum.hops += s.hops;
+            sum.cost += s.cost;
+          }
+          return sum;
+        });
+    SweepChecksum total;
+    for (const SweepChecksum& r : results) {
+      total.delivered += r.delivered;
+      total.hops += r.hops;
+      total.cost += r.cost;
+    }
+    return total;
+  };
+  const int hw = default_thread_count();
+  const bench::Stopwatch batch1_clock;
+  const SweepChecksum batch1 = run_batch(1);
+  const double batch1_ms = batch1_clock.elapsed_ms();
+  const bench::Stopwatch batchn_clock;
+  const SweepChecksum batchn = run_batch(hw);
+  const double batchn_ms = batchn_clock.elapsed_ms();
+  if (batch1 != batchn) {
+    std::cerr << "FATAL: trial batch checksum diverges across thread counts\n";
+    return EXIT_FAILURE;
+  }
+
+  Table table({"phase", "impl", "threads", "ms", "Mhops_s", "speedup"});
+  const auto add_phase_rows = [&](const std::string& phase, const Phase& ph) {
+    const double total_hops = static_cast<double>(ph.sum.hops);
+    const auto mhops = [&](double ms) { return total_hops / ms / 1e3; };
+    table.add_row({phase, "legacy", "1", fmt_double(ph.legacy_ms, 3),
+                   fmt_double(mhops(ph.legacy_ms), 2), "1.00"});
+    table.add_row({phase, "fast_trace", "1", fmt_double(ph.trace_ms, 3),
+                   fmt_double(mhops(ph.trace_ms), 2),
+                   fmt_double(ph.legacy_ms / ph.trace_ms, 2)});
+    table.add_row({phase, "fast_stats", "1", fmt_double(ph.stats_ms, 3),
+                   fmt_double(mhops(ph.stats_ms), 2),
+                   fmt_double(ph.legacy_ms / ph.stats_ms, 2)});
+    table.add_row({phase, "fast_batch", "1", fmt_double(ph.batch_ms, 3),
+                   fmt_double(mhops(ph.batch_ms), 2),
+                   fmt_double(ph.legacy_ms / ph.batch_ms, 2)});
+  };
+  add_phase_rows("forward_fig4", fig4);
+  add_phase_rows("forward_fig5", fig5);
+  const auto add_pipeline_rows = [&](const std::string& phase,
+                                     const PipelinePhase& ph) {
+    const double pipe_hops = static_cast<double>(ph.sum.hops);
+    table.add_row({phase, "legacy", "1", fmt_double(ph.legacy_ms, 3),
+                   fmt_double(pipe_hops / ph.legacy_ms / 1e3, 2), "1.00"});
+    table.add_row({phase, "fast", "1", fmt_double(ph.fast_ms, 3),
+                   fmt_double(pipe_hops / ph.fast_ms / 1e3, 2),
+                   fmt_double(ph.legacy_ms / ph.fast_ms, 2)});
+  };
+  add_pipeline_rows("pipeline_fig5", pipe5);
+  add_pipeline_rows("pipeline_loops", pipe_loops);
+  add_phase_rows("forward_large", large);
+  table.add_row({"analyzer_build", "legacy", "1",
+                 fmt_double(legacy_build_ms, 3), "", "1.00"});
+  table.add_row({"analyzer_build", "csr", "1", fmt_double(csr_build_ms, 3),
+                 "", fmt_double(legacy_build_ms / csr_build_ms, 2)});
+  table.add_row({"analyzer_query", "legacy", "1",
+                 fmt_double(legacy_query_ms, 3), "", "1.00"});
+  table.add_row({"analyzer_query", "csr", "1", fmt_double(csr_query_ms, 3),
+                 "", fmt_double(legacy_query_ms / csr_query_ms, 2)});
+  table.add_row({"trial_batch", "engine", "1", fmt_double(batch1_ms, 3), "",
+                 "1.00"});
+  table.add_row({"trial_batch", "engine", fmt_int(hw),
+                 fmt_double(batchn_ms, 3), "",
+                 fmt_double(batch1_ms / batchn_ms, 2)});
+
+  bench::BenchMeta meta;
+  meta.bench = "bench_micro_dataplane/dataplane_compare";
+  meta.topo = flags.get_string("topo", "sprint");
+  meta.params = "k=" + std::to_string(k) +
+                " packets=" + std::to_string(packets) +
+                " reps=" + std::to_string(reps) +
+                " trials=" + std::to_string(trials) +
+                " heavy_fail=" + fmt_double(p_heavy, 2) +
+                " large_n=" + std::to_string(large_env.g.node_count()) +
+                " large_links=" + std::to_string(large_env.g.edge_count()) +
+                " large_packets=" + std::to_string(large_packets) +
+                " hw_threads=" + std::to_string(hw);
+  meta.wall_ms = wall.elapsed_ms();
+  bench::emit(flags, table, meta);
+  std::cout << "\nchecksums: fig4 delivered=" << fig4.sum.delivered
+            << " hops=" << fig4.sum.hops
+            << ", fig5 delivered=" << fig5.sum.delivered
+            << " hops=" << fig5.sum.hops << " (revisits=" << pipe5.sum.revisits
+            << "), loops delivered=" << pipe_loops.sum.delivered
+            << " hops=" << pipe_loops.sum.hops
+            << " (revisits=" << pipe_loops.sum.revisits
+            << "), large delivered=" << large.sum.delivered
+            << " hops=" << large.sum.hops
+            << " (identical across all implementations and thread counts)\n";
+  return EXIT_SUCCESS;
+}
+
 }  // namespace
 }  // namespace splice
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--json", 0) == 0) {
+      return splice::run_dataplane_compare(splice::Flags(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

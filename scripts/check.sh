@@ -1,20 +1,21 @@
 #!/usr/bin/env bash
-# Repository check script: the tier-1 build + test gate, then a
-# ThreadSanitizer pass over the concurrency-sensitive targets (the parallel
-# control-plane build/repair and the parallel trial runner).
+# Repository check script: the tier-1 build + test gate, then two sanitizer
+# passes — ThreadSanitizer over the concurrency-sensitive targets (parallel
+# control-plane build/repair, the parallel trial runner and the TrialEngine
+# experiments) and AddressSanitizer over the data-plane/sim fast-path
+# targets (raw-pointer FIB views, CSR adjacency, reused workspaces).
 #
-# Usage: scripts/check.sh [--no-tsan]
-#   SPLICE_SANITIZE=thread|address  override the sanitizer for the second
-#                                   pass (default thread; `address` swaps in
-#                                   an ASan build of the same targets)
+# Usage: scripts/check.sh [--no-tsan] [--no-asan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=1
+run_asan=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
+    --no-asan) run_asan=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -24,23 +25,34 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-if [[ "$run_tsan" != 1 ]]; then
-  echo "==> sanitizer pass skipped (--no-tsan)"
-  exit 0
+run_sanitizer() {
+  local sanitizer="$1"
+  shift
+  local san_dir="build-${sanitizer}san"
+  echo "==> ${sanitizer} sanitizer: configure + build"
+  cmake -B "$san_dir" -S . -DSPLICE_SANITIZE="$sanitizer" >/dev/null
+  cmake --build "$san_dir" -j --target "$@"
+  echo "==> ${sanitizer} sanitizer: running $*"
+  local test
+  for test in "$@"; do
+    "./$san_dir/tests/$test"
+  done
+}
+
+if [[ "$run_tsan" == 1 ]]; then
+  run_sanitizer thread \
+    util_parallel_test routing_multi_instance_test routing_repair_test \
+    determinism_test dataplane_fastpath_test
+else
+  echo "==> thread sanitizer pass skipped (--no-tsan)"
 fi
 
-sanitizer="${SPLICE_SANITIZE:-thread}"
-san_dir="build-${sanitizer}san"
-san_tests=(util_parallel_test routing_multi_instance_test routing_repair_test
-           determinism_test)
-
-echo "==> ${sanitizer} sanitizer: configure + build"
-cmake -B "$san_dir" -S . -DSPLICE_SANITIZE="$sanitizer" >/dev/null
-cmake --build "$san_dir" -j --target "${san_tests[@]}"
-
-echo "==> ${sanitizer} sanitizer: running ${san_tests[*]}"
-for test in "${san_tests[@]}"; do
-  "./$san_dir/tests/$test"
-done
+if [[ "$run_asan" == 1 ]]; then
+  run_sanitizer address \
+    dataplane_fastpath_test dataplane_network_test splicing_reliability_test \
+    splicing_recovery_test sim_experiments_test
+else
+  echo "==> address sanitizer pass skipped (--no-asan)"
+fi
 
 echo "==> all checks passed"

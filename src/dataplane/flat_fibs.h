@@ -1,0 +1,68 @@
+// Flat forwarding-table view for the data-plane fast path.
+//
+// FibSet already stores its entries in one slice-major array; FlatFibs
+// caches the raw pointer and the precomputed strides so a per-hop lookup is
+// a single indexed load with no pointer indirection and no per-lookup
+// contract checks (the view is validated once at construction). It also
+// precomputes the slice-selection reduction of Algorithm 1: when k is a
+// power of two, the defensive `raw % k` on popped forwarding bits becomes a
+// mask, removing the per-hop integer division.
+//
+// FlatFibs is a non-owning view: the FibSet it was built from must outlive
+// it (DataPlaneNetwork already imposes the same lifetime rule on its FibSet).
+#pragma once
+
+#include "routing/fib.h"
+
+namespace splice {
+
+class FlatFibs {
+ public:
+  FlatFibs() = default;
+
+  explicit FlatFibs(const FibSet& fibs)
+      : entries_(fibs.data().data()),
+        nodes_(fibs.node_count()),
+        slices_(fibs.slice_count()),
+        slice_stride_(static_cast<std::size_t>(fibs.node_count()) *
+                      static_cast<std::size_t>(fibs.node_count())),
+        pow2_mask_(static_cast<std::uint32_t>(fibs.slice_count() - 1)),
+        slices_pow2_((fibs.slice_count() &
+                      (fibs.slice_count() - 1)) == 0) {
+    SPLICE_EXPECTS(fibs.slice_count() >= 1);
+  }
+
+  NodeId node_count() const noexcept { return nodes_; }
+  SliceId slice_count() const noexcept { return slices_; }
+
+  /// Flat cell index of (node, dst) — hoist it out of per-slice scans.
+  std::size_t cell(NodeId node, NodeId dst) const noexcept {
+    return static_cast<std::size_t>(node) *
+               static_cast<std::size_t>(nodes_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  /// One indexed load; `cell` comes from cell().
+  const FibEntry& at(SliceId slice, std::size_t cell) const noexcept {
+    return entries_[static_cast<std::size_t>(slice) * slice_stride_ + cell];
+  }
+
+  /// Reduces a raw popped bit value to a slice index: `raw % k`, with the
+  /// division replaced by a mask when k is a power of two (identical value).
+  SliceId reduce_slice(std::uint32_t raw) const noexcept {
+    return slices_pow2_
+               ? static_cast<SliceId>(raw & pow2_mask_)
+               : static_cast<SliceId>(raw %
+                                      static_cast<std::uint32_t>(slices_));
+  }
+
+ private:
+  const FibEntry* entries_ = nullptr;
+  NodeId nodes_ = 0;
+  SliceId slices_ = 1;
+  std::size_t slice_stride_ = 0;
+  std::uint32_t pow2_mask_ = 0;
+  bool slices_pow2_ = true;
+};
+
+}  // namespace splice

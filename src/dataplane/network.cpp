@@ -1,15 +1,59 @@
 #include "dataplane/network.h"
 
+#include <algorithm>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 #include "util/assert.h"
 #include "util/rng.h"
 
 namespace splice {
 
+namespace {
+
+/// Asks the kernel to back a large read-mostly table with transparent
+/// hugepages. Per-hop FIB lookups are single random loads, so once the
+/// table outgrows the TLB's 4 KiB-page reach every hop pays a page walk —
+/// and page walks serialize, defeating the wavefront batch kernel's
+/// memory-level parallelism. Collapsing to 2 MiB pages keeps the whole
+/// table TLB-resident. Best effort: any failure (old kernel, THP disabled,
+/// fragmentation) is ignored and the code runs correctly on 4 KiB pages.
+void advise_hugepages(const void* data, std::size_t bytes) {
+#if defined(__linux__)
+#ifndef MADV_COLLAPSE
+#define MADV_COLLAPSE 25
+#endif
+  constexpr std::uintptr_t kPage = 4096;
+  const auto addr = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t lo = (addr + kPage - 1) & ~(kPage - 1);
+  const std::uintptr_t hi = (addr + bytes) & ~(kPage - 1);
+  if (hi > lo) {
+    void* base = reinterpret_cast<void*>(lo);
+    (void)madvise(base, hi - lo, MADV_HUGEPAGE);
+    (void)madvise(base, hi - lo, MADV_COLLAPSE);
+  }
+#else
+  (void)data;
+  (void)bytes;
+#endif
+}
+
+}  // namespace
+
 DataPlaneNetwork::DataPlaneNetwork(const Graph& g, const FibSet& fibs)
     : graph_(&g),
       fibs_(&fibs),
+      flat_(fibs),
+      edge_weight_(static_cast<std::size_t>(g.edge_count())),
       link_alive_(static_cast<std::size_t>(g.edge_count()), 1) {
   SPLICE_EXPECTS(fibs.node_count() == g.node_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    edge_weight_[static_cast<std::size_t>(e)] = g.edge(e).weight;
+  }
+  advise_hugepages(fibs.data().data(), fibs.data().size_bytes());
 }
 
 void DataPlaneNetwork::restore_all_links() {
@@ -23,7 +67,7 @@ void DataPlaneNetwork::set_link_state(EdgeId e, bool alive) {
 
 void DataPlaneNetwork::set_link_mask(std::span<const char> alive) {
   SPLICE_EXPECTS(alive.size() == link_alive_.size());
-  link_alive_.assign(alive.begin(), alive.end());
+  std::copy(alive.begin(), alive.end(), link_alive_.begin());
 }
 
 SliceId DataPlaneNetwork::default_slice(NodeId src, NodeId dst) const noexcept {
@@ -33,50 +77,79 @@ SliceId DataPlaneNetwork::default_slice(NodeId src, NodeId dst) const noexcept {
                               k);
 }
 
-Delivery DataPlaneNetwork::forward(const Packet& packet,
-                                   const ForwardingPolicy& policy) const {
+template <bool kTrace>
+ForwardSummary DataPlaneNetwork::forward_core(const Packet& packet,
+                                              const ForwardingPolicy& policy,
+                                              ForwardWorkspace* ws) const {
   SPLICE_EXPECTS(graph_->valid_node(packet.src));
   SPLICE_EXPECTS(graph_->valid_node(packet.dst));
+  if constexpr (kTrace) ws->hops.clear();
 
-  Delivery out;
+  ForwardSummary out;
   if (packet.src == packet.dst) {
     out.outcome = ForwardOutcome::kDelivered;
     return out;
   }
 
-  const SliceId k = fibs_->slice_count();
-  SpliceHeader header = packet.header;  // consumed copy
+  const SliceId k = flat_.slice_count();
+  const NodeId dst = packet.dst;
+
+  // The header's bit payload lives in two registers; pops happen inline with
+  // SpliceHeader::pop semantics (a value — possibly 0 — while splice hops
+  // remain and the header has k > 1, exhausted afterwards). The header may
+  // have been built for a different k than this network: pop with the
+  // header's own bit width, reduce modulo the network's k.
+  std::uint64_t bits_lo = packet.header.stream().lo();
+  std::uint64_t bits_hi = packet.header.stream().hi();
+  const int hdr_bpp = bits_per_hop(packet.header.slice_count());
+  int bits_left =
+      packet.header.slice_count() > 1 ? packet.header.remaining_hops() : 0;
+  const std::uint32_t hdr_mask =
+      hdr_bpp > 0 ? ((1u << hdr_bpp) - 1u) : 0u;
+
   CounterHeader counter = packet.counter;
-  SliceId current = default_slice(packet.src, packet.dst);
+  const SliceId def = default_slice(packet.src, dst);
+  SliceId current = def;
   NodeId node = packet.src;
   int ttl = packet.ttl;
+
+  const char* alive = link_alive_.data();
+  const Weight* weight = edge_weight_.data();
 
   while (ttl-- > 0) {
     // Algorithm 1: read the rightmost lg(k) bits if any remain; otherwise
     // apply the exhaust policy.
     SliceId slice = current;
-    if (const auto popped = header.pop(); popped.has_value()) {
+    if (bits_left > 0) {
+      --bits_left;
+      const std::uint32_t raw =
+          static_cast<std::uint32_t>(bits_lo) & hdr_mask;
+      bits_lo = (bits_lo >> hdr_bpp) | (bits_hi << (64 - hdr_bpp));
+      bits_hi >>= hdr_bpp;
       // Headers are opaque; defensive mod protects against bit patterns
       // that encode a value >= k when k is not a power of two.
-      slice = static_cast<SliceId>(*popped % k);
+      slice = flat_.reduce_slice(raw);
     } else if (policy.exhaust == ExhaustPolicy::kHashDefault) {
-      slice = default_slice(packet.src, packet.dst);
+      slice = def;
     }
     // Counter-based deflection (§5): a non-zero counter overrides the slice
     // deterministically and decrements.
     if (counter.active()) slice = counter.deflect(slice, k);
 
-    FibEntry entry = fibs_->lookup(slice, node, packet.dst);
+    const std::size_t cell = flat_.cell(node, dst);
+    FibEntry entry = flat_.at(slice, cell);
     bool deflected = false;
-    const bool usable = entry.valid() && link_alive(entry.edge);
+    const bool usable =
+        entry.valid() && alive[static_cast<std::size_t>(entry.edge)] != 0;
     if (!usable) {
       if (policy.local_recovery == LocalRecovery::kDeflect) {
         // Network-based recovery (§4.3): scan the other forwarding tables
         // for a next hop whose incident link is alive.
         for (SliceId s = 0; s < k && !deflected; ++s) {
           if (s == slice) continue;
-          const FibEntry alt = fibs_->lookup(s, node, packet.dst);
-          if (alt.valid() && link_alive(alt.edge)) {
+          const FibEntry alt = flat_.at(s, cell);
+          if (alt.valid() &&
+              alive[static_cast<std::size_t>(alt.edge)] != 0) {
             entry = alt;
             slice = s;
             deflected = true;
@@ -89,11 +162,16 @@ Delivery DataPlaneNetwork::forward(const Packet& packet,
       }
     }
 
-    out.hops.push_back(HopRecord{node, entry.next_hop, entry.edge, slice,
-                                 deflected});
+    if constexpr (kTrace) {
+      ws->hops.push_back(
+          HopRecord{node, entry.next_hop, entry.edge, slice, deflected});
+    }
+    ++out.hops;
+    out.cost += weight[static_cast<std::size_t>(entry.edge)];
+    out.deflected = out.deflected || deflected;
     node = entry.next_hop;
     current = slice;
-    if (node == packet.dst) {
+    if (node == dst) {
       out.outcome = ForwardOutcome::kDelivered;
       return out;
     }
@@ -102,35 +180,214 @@ Delivery DataPlaneNetwork::forward(const Packet& packet,
   return out;
 }
 
+Delivery DataPlaneNetwork::forward(const Packet& packet,
+                                   const ForwardingPolicy& policy) const {
+  ForwardWorkspace ws;
+  const ForwardSummary summary = forward_core<true>(packet, policy, &ws);
+  Delivery out;
+  out.outcome = summary.outcome;
+  out.hops = std::move(ws.hops);
+  return out;
+}
+
+ForwardSummary DataPlaneNetwork::forward_fast(const Packet& packet,
+                                              const ForwardingPolicy& policy,
+                                              ForwardWorkspace& ws) const {
+  return forward_core<true>(packet, policy, &ws);
+}
+
+ForwardSummary DataPlaneNetwork::forward_stats(
+    const Packet& packet, const ForwardingPolicy& policy) const {
+  return forward_core<false>(packet, policy, nullptr);
+}
+
+void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
+                                           const ForwardingPolicy& policy,
+                                           std::span<ForwardSummary> out) const {
+  SPLICE_EXPECTS(out.size() == packets.size());
+
+  // Wavefront kernel: every still-in-flight walk advances one hop per sweep
+  // over a compact state array. Consecutive sweep iterations touch different
+  // packets, so their next-hop FIB loads carry no data dependence on each
+  // other — the out-of-order core issues them together and the dependent
+  // per-walk load chains of many packets overlap in the memory system.
+  // Walk state streams sequentially (hardware-prefetch friendly); finished
+  // walks are swap-removed, which reorders processing but not results —
+  // each walk runs the exact per-hop logic of forward_core and walks are
+  // mutually independent, so out[i] is bit-identical to forward_stats
+  // regardless of sweep order.
+  struct Walk {
+    std::uint64_t bits_lo;
+    std::uint64_t bits_hi;
+    ForwardSummary sum;
+    CounterHeader counter;
+    std::uint32_t idx;
+    std::uint32_t hdr_mask;
+    NodeId node;
+    NodeId dst;
+    SliceId current;
+    SliceId def;
+    std::int32_t ttl;
+    std::int32_t bits_left;
+    std::int32_t hdr_bpp;
+  };
+
+  const SliceId k = flat_.slice_count();
+  const char* alive = link_alive_.data();
+  const Weight* weight = edge_weight_.data();
+
+  // Per-call scratch: one allocation per sweep of the whole packet set,
+  // amortized over every hop of every walk (the per-packet path stays
+  // allocation-free).
+  std::vector<Walk> walks;
+  walks.reserve(packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const Packet& p = packets[i];
+    SPLICE_EXPECTS(graph_->valid_node(p.src));
+    SPLICE_EXPECTS(graph_->valid_node(p.dst));
+    if (p.src == p.dst) {
+      out[i] = ForwardSummary{};
+      out[i].outcome = ForwardOutcome::kDelivered;
+      continue;
+    }
+    Walk w;
+    w.bits_lo = p.header.stream().lo();
+    w.bits_hi = p.header.stream().hi();
+    w.sum = ForwardSummary{};
+    w.counter = p.counter;
+    w.idx = static_cast<std::uint32_t>(i);
+    w.hdr_bpp = bits_per_hop(p.header.slice_count());
+    w.hdr_mask = w.hdr_bpp > 0 ? ((1u << w.hdr_bpp) - 1u) : 0u;
+    w.bits_left = p.header.slice_count() > 1 ? p.header.remaining_hops() : 0;
+    w.def = default_slice(p.src, p.dst);
+    w.current = w.def;
+    w.node = p.src;
+    w.dst = p.dst;
+    w.ttl = p.ttl;
+    walks.push_back(w);
+  }
+
+  std::size_t live = walks.size();
+  while (live > 0) {
+    for (std::size_t j = 0; j < live;) {
+      Walk& w = walks[j];
+      bool terminal = false;
+      if (w.ttl-- <= 0) {
+        w.sum.outcome = ForwardOutcome::kTtlExpired;
+        terminal = true;
+      } else {
+        SliceId slice = w.current;
+        if (w.bits_left > 0) {
+          --w.bits_left;
+          const std::uint32_t raw =
+              static_cast<std::uint32_t>(w.bits_lo) & w.hdr_mask;
+          w.bits_lo =
+              (w.bits_lo >> w.hdr_bpp) | (w.bits_hi << (64 - w.hdr_bpp));
+          w.bits_hi >>= w.hdr_bpp;
+          slice = flat_.reduce_slice(raw);
+        } else if (policy.exhaust == ExhaustPolicy::kHashDefault) {
+          slice = w.def;
+        }
+        if (w.counter.active()) slice = w.counter.deflect(slice, k);
+
+        const std::size_t cell = flat_.cell(w.node, w.dst);
+        FibEntry entry = flat_.at(slice, cell);
+        bool deflected = false;
+        const bool usable =
+            entry.valid() && alive[static_cast<std::size_t>(entry.edge)] != 0;
+        if (!usable) {
+          if (policy.local_recovery == LocalRecovery::kDeflect) {
+            for (SliceId s = 0; s < k && !deflected; ++s) {
+              if (s == slice) continue;
+              const FibEntry alt = flat_.at(s, cell);
+              if (alt.valid() &&
+                  alive[static_cast<std::size_t>(alt.edge)] != 0) {
+                entry = alt;
+                slice = s;
+                deflected = true;
+              }
+            }
+          }
+          if (!deflected) {
+            w.sum.outcome = ForwardOutcome::kDeadEnd;
+            terminal = true;
+          }
+        }
+        if (!terminal) {
+          ++w.sum.hops;
+          w.sum.cost += weight[static_cast<std::size_t>(entry.edge)];
+          w.sum.deflected = w.sum.deflected || deflected;
+          w.node = entry.next_hop;
+          w.current = slice;
+          if (w.node == w.dst) {
+            w.sum.outcome = ForwardOutcome::kDelivered;
+            terminal = true;
+          }
+        }
+      }
+      if (terminal) {
+        out[w.idx] = w.sum;
+        walks[j] = walks[--live];
+      } else {
+        ++j;
+      }
+    }
+  }
+}
+
 Weight trace_cost(const Graph& g, const Delivery& d) {
   Weight cost = 0.0;
   for (const HopRecord& hop : d.hops) cost += g.edge(hop.edge).weight;
   return cost;
 }
 
-int count_node_revisits(const Delivery& d) {
+int count_node_revisits(std::span<const HopRecord> hops, NodeId node_count,
+                        ForwardWorkspace& ws) {
+  if (hops.empty()) return 0;
+  if (ws.visit_stamp.size() < static_cast<std::size_t>(node_count)) {
+    ws.visit_stamp.assign(static_cast<std::size_t>(node_count), 0);
+    ws.visit_epoch = 0;
+  }
+  if (++ws.visit_epoch == 0) {
+    // Epoch wrapped: one full clear, then restart from 1.
+    std::fill(ws.visit_stamp.begin(), ws.visit_stamp.end(), 0);
+    ws.visit_epoch = 1;
+  }
+  const std::uint32_t epoch = ws.visit_epoch;
   int revisits = 0;
-  std::vector<NodeId> seen;
-  seen.reserve(d.hops.size() + 1);
   auto visit = [&](NodeId v) {
-    for (NodeId s : seen) {
-      if (s == v) {
-        ++revisits;
-        return;
-      }
+    SPLICE_EXPECTS(v >= 0 && v < node_count);
+    std::uint32_t& stamp = ws.visit_stamp[static_cast<std::size_t>(v)];
+    if (stamp == epoch) {
+      ++revisits;
+    } else {
+      stamp = epoch;
     }
-    seen.push_back(v);
   };
-  if (!d.hops.empty()) visit(d.hops.front().node);
-  for (const HopRecord& hop : d.hops) visit(hop.next);
+  visit(hops.front().node);
+  for (const HopRecord& hop : hops) visit(hop.next);
   return revisits;
 }
 
-bool has_two_hop_loop(const Delivery& d) {
-  for (std::size_t i = 0; i + 1 < d.hops.size(); ++i) {
-    if (d.hops[i].node == d.hops[i + 1].next) return true;
+int count_node_revisits(const Delivery& d) {
+  if (d.hops.empty()) return 0;
+  NodeId max_id = d.hops.front().node;
+  for (const HopRecord& hop : d.hops) {
+    max_id = std::max(max_id, std::max(hop.node, hop.next));
+  }
+  ForwardWorkspace ws;
+  return count_node_revisits(d.hops, max_id + 1, ws);
+}
+
+bool has_two_hop_loop(std::span<const HopRecord> hops) {
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (hops[i].node == hops[i + 1].next) return true;
   }
   return false;
+}
+
+bool has_two_hop_loop(const Delivery& d) {
+  return has_two_hop_loop(std::span<const HopRecord>(d.hops));
 }
 
 }  // namespace splice

@@ -8,11 +8,21 @@
 // perform network-based recovery (local deflection to a slice whose next
 // hop is reachable over an alive link) when the selected next hop's link is
 // down.
+//
+// Two entry points share one forwarding core:
+//   * forward()      — allocates and returns the full Delivery trace; the
+//                      convenient API for tests, examples and cold paths.
+//   * forward_fast() — allocation-free: hop records land in a caller-owned
+//                      ForwardWorkspace (trace mode) or nowhere at all
+//                      (forward_stats(), for statistics-only Monte Carlo
+//                      loops). Bit-identical outcomes, hop sequences and
+//                      costs to forward().
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "dataplane/flat_fibs.h"
 #include "dataplane/packet.h"
 #include "graph/graph.h"
 #include "routing/fib.h"
@@ -41,6 +51,36 @@ struct ForwardingPolicy {
   LocalRecovery local_recovery = LocalRecovery::kNone;
 };
 
+/// Caller-owned scratch for the allocation-free forwarding path. Reused
+/// across packets: the hop buffer keeps its capacity, and the visit-stamp
+/// array backs O(hops) loop/revisit queries without a per-call clear.
+/// One workspace per thread; never shared concurrently.
+struct ForwardWorkspace {
+  /// Trace buffer: forward_fast() writes the hop sequence here (cleared on
+  /// entry, capacity retained).
+  std::vector<HopRecord> hops;
+  /// Node -> epoch of last visit; see count_node_revisits(hops, n, ws).
+  std::vector<std::uint32_t> visit_stamp;
+  std::uint32_t visit_epoch = 0;
+};
+
+/// Statistics-only result of one forwarded packet: everything the Monte
+/// Carlo loops need without materializing a trace.
+struct ForwardSummary {
+  ForwardOutcome outcome = ForwardOutcome::kDeadEnd;
+  /// Hops taken (equals the trace length forward() would have returned).
+  int hops = 0;
+  /// Path latency under original graph weights, accumulated hop by hop in
+  /// trace order — bit-identical to trace_cost() on the equivalent trace.
+  Weight cost = 0.0;
+  /// True iff any hop used §4.3 network-based deflection.
+  bool deflected = false;
+
+  bool delivered() const noexcept {
+    return outcome == ForwardOutcome::kDelivered;
+  }
+};
+
 class DataPlaneNetwork {
  public:
   /// The network keeps references: graph and fibs must outlive it.
@@ -56,6 +96,7 @@ class DataPlaneNetwork {
   void set_link_state(EdgeId e, bool alive);
 
   /// Installs a full liveness mask (indexed by edge id; 1 = alive).
+  /// Copies into the existing storage — no reallocation per scenario.
   void set_link_mask(std::span<const char> alive);
 
   bool link_alive(EdgeId e) const noexcept {
@@ -70,24 +111,66 @@ class DataPlaneNetwork {
   SliceId default_slice(NodeId src, NodeId dst) const noexcept;
 
   /// Forwards one packet from packet.src toward packet.dst; returns the
-  /// full trace. Does not mutate the network.
+  /// full trace. Does not mutate the network. Thin wrapper over
+  /// forward_fast() — one Delivery allocation per call.
   Delivery forward(const Packet& packet,
                    const ForwardingPolicy& policy = {}) const;
 
+  /// Allocation-free forwarding: the hop trace lands in ws.hops (cleared on
+  /// entry; on dead end / TTL expiry it holds the partial trace, exactly as
+  /// forward()'s Delivery would). Reuse one workspace per thread.
+  ForwardSummary forward_fast(const Packet& packet,
+                              const ForwardingPolicy& policy,
+                              ForwardWorkspace& ws) const;
+
+  /// No-trace mode: outcome, hop count and original-weight path cost only.
+  /// Zero allocations, zero stores outside the returned summary.
+  ForwardSummary forward_stats(const Packet& packet,
+                               const ForwardingPolicy& policy = {}) const;
+
+  /// Statistics for a batch of independent packets: out[i] is exactly
+  /// forward_stats(packets[i], policy). Advances all in-flight packets in
+  /// wavefront sweeps so their per-hop FIB loads overlap instead of
+  /// serializing on one packet's dependent load chain — the throughput
+  /// kernel for Monte Carlo scenario sweeps.
+  void forward_stats_batch(std::span<const Packet> packets,
+                           const ForwardingPolicy& policy,
+                           std::span<ForwardSummary> out) const;
+
  private:
+  template <bool kTrace>
+  ForwardSummary forward_core(const Packet& packet,
+                              const ForwardingPolicy& policy,
+                              ForwardWorkspace* ws) const;
+
   const Graph* graph_;
   const FibSet* fibs_;
+  FlatFibs flat_;
+  /// Edge weights in edge-id order, copied out of the Graph once so the
+  /// per-hop cost accumulation is one contiguous load.
+  std::vector<Weight> edge_weight_;
   std::vector<char> link_alive_;
 };
 
 /// Path latency under original graph weights for a delivery trace.
 Weight trace_cost(const Graph& g, const Delivery& d);
 
-/// Number of revisited nodes in the trace (0 for loop-free paths).
+/// Number of revisited nodes in the trace (0 for loop-free paths). Linear
+/// in the trace length (allocates one visit buffer per call; hot loops use
+/// the workspace overload below).
 int count_node_revisits(const Delivery& d);
+
+/// Allocation-free variant over a raw hop span: `node_count` bounds the
+/// node ids in the trace, `ws.visit_stamp` is the reused timestamped visit
+/// buffer (no per-call clear).
+int count_node_revisits(std::span<const HopRecord> hops, NodeId node_count,
+                        ForwardWorkspace& ws);
 
 /// True iff the trace contains a two-hop loop (u -> v -> u), the loop type
 /// §4.4 reports as the common case.
 bool has_two_hop_loop(const Delivery& d);
+
+/// Span variant for workspace-held traces.
+bool has_two_hop_loop(std::span<const HopRecord> hops);
 
 }  // namespace splice

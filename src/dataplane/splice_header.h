@@ -106,6 +106,12 @@ class SpliceHeader {
   std::vector<SliceId> slices() const;
 
   SliceId slice_count() const noexcept { return k_; }
+
+  /// Read-only view of the remaining bit payload (already shifted past any
+  /// consumed hops). The data-plane fast path copies lo/hi into registers
+  /// and pops inline instead of mutating a header copy per packet.
+  const BitStream& stream() const noexcept { return bits_; }
+
   int hops() const noexcept { return hops_; }
   int remaining_hops() const noexcept { return hops_ - cursor_; }
   bool has_bits() const noexcept { return k_ > 1 && remaining_hops() > 0; }

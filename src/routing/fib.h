@@ -3,6 +3,7 @@
 // O(1) per-hop lookup by Algorithm 1.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/types.h"
@@ -42,6 +43,11 @@ class FibSet {
   void set(SliceId slice, NodeId node, NodeId dst, FibEntry entry) noexcept {
     entries_[index(slice, node, dst)] = entry;
   }
+
+  /// The backing slice-major entry array (slice, node, dst) — the layout the
+  /// data plane's FlatFibs view indexes directly. Stable for the lifetime of
+  /// this FibSet.
+  std::span<const FibEntry> data() const noexcept { return entries_; }
 
   /// Total number of installed (valid) entries — the routing-state metric
   /// the paper argues grows only linearly in k.

@@ -10,6 +10,7 @@
 #include "graph/generators.h"
 #include "routing/multi_instance.h"
 #include "sim/failure.h"
+#include "sim/trial_engine.h"
 #include "splicing/metrics.h"
 #include "splicing/reliability.h"
 #include "util/assert.h"
@@ -59,13 +60,20 @@ ReliabilityCurves run_reliability_experiment(const Graph& g,
 
   ReliabilityCurves out;
 
+  struct Scratch {
+    ReachWorkspace reach;
+  };
+  /// One trial's raw samples; reduced in trial order below.
+  struct TrialSample {
+    std::vector<double> per_k;
+    double best = 0.0;
+    bool has = false;  ///< false when every pair's endpoint died
+  };
+  const TrialEngine<Scratch> engine(cfg.threads);
+
   for (double p : p_values) {
-    struct Acc {
-      std::vector<OnlineStats> per_k;
-      OnlineStats best;
-    };
-    const auto run_trial = [&](int trial, Acc& acc) {
-      if (acc.per_k.empty()) acc.per_k.resize(cfg.k_values.size());
+    const auto run_trial = [&](int trial, Scratch& sc) {
+      TrialSample sample;
       // Trial randomness is a pure function of (seed, p, trial) so the
       // Monte Carlo loop parallelizes deterministically.
       Rng trial_rng(hash_mix(cfg.seed ^ 0xfa11fa11ULL,
@@ -101,37 +109,43 @@ ReliabilityCurves run_reliability_experiment(const Graph& g,
         live_total = (n - dead) * (n - dead - 1);
       }
       if (live_total > 0) {
-        for (std::size_t i = 0; i < cfg.k_values.size(); ++i) {
+        sample.has = true;
+        sample.per_k.reserve(cfg.k_values.size());
+        for (const SliceId k : cfg.k_values) {
           const long long disc =
-              analyzer.disconnected_pairs(cfg.k_values[i], alive,
-                                          cfg.semantics) -
+              analyzer.disconnected_pairs(k, alive, cfg.semantics, sc.reach) -
               dead_pairs;
-          acc.per_k[i].add(static_cast<double>(disc) /
-                           static_cast<double>(live_total));
+          sample.per_k.push_back(static_cast<double>(disc) /
+                                 static_cast<double>(live_total));
         }
-        const double best_frac =
+        sample.best =
             static_cast<double>(disconnected_ordered_pairs(g, alive) -
                                 dead_pairs) /
             static_cast<double>(live_total);
-        acc.best.add(best_frac);
       }
+      return sample;
     };
-    const Acc merged = parallel_trials<Acc>(
-        cfg.trials, cfg.threads, run_trial, [](Acc& into, const Acc& from) {
-          if (into.per_k.empty()) into.per_k.resize(from.per_k.size());
-          for (std::size_t i = 0; i < from.per_k.size(); ++i)
-            into.per_k[i].merge(from.per_k[i]);
-          into.best.merge(from.best);
-        });
+    const std::vector<TrialSample> samples = engine.run<TrialSample>(
+        cfg.trials, [] { return Scratch{}; }, run_trial);
+
+    // Trial-ordered reduction: the same add sequence as the serial loop, so
+    // the stats are bit-identical at every thread count.
+    std::vector<OnlineStats> per_k(cfg.k_values.size());
+    OnlineStats best;
+    for (const TrialSample& sample : samples) {
+      if (!sample.has) continue;
+      for (std::size_t i = 0; i < per_k.size(); ++i)
+        per_k[i].add(sample.per_k[i]);
+      best.add(sample.best);
+    }
 
     for (std::size_t i = 0; i < cfg.k_values.size(); ++i) {
-      const OnlineStats stats =
-          merged.per_k.empty() ? OnlineStats{} : merged.per_k[i];
-      out.points.push_back(ReliabilityPoint{cfg.k_values[i], p, stats.mean(),
-                                            stats.ci95_halfwidth()});
+      out.points.push_back(ReliabilityPoint{cfg.k_values[i], p,
+                                            per_k[i].mean(),
+                                            per_k[i].ci95_halfwidth()});
     }
-    out.best_possible.push_back(ReliabilityPoint{
-        0, p, merged.best.mean(), merged.best.ci95_halfwidth()});
+    out.best_possible.push_back(
+        ReliabilityPoint{0, p, best.mean(), best.ci95_halfwidth()});
   }
   return out;
 }
@@ -159,28 +173,61 @@ std::vector<RecoveryPoint> run_recovery_experiment(
 
   const NodeId n = g.node_count();
   std::vector<RecoveryPoint> out;
+
+  // Historical substream chain: the serial implementation forked `master`
+  // once per (p, trial) in loop order, and a fork consumes one parent draw.
+  // Precompute the whole chain serially so trials can run on any worker
+  // while seeing the exact Rng the serial loop would have handed them.
   Rng master(cfg.seed ^ 0x4ec04e41ULL);
-
-  for (double p : p_values) {
-    // Accumulators per k.
-    struct Acc {
-      long long pairs = 0;
-      long long initial_broken = 0;
-      long long unrecovered = 0;
-      long long disconnected = 0;
-      OnlineStats trials;
-      OnlineStats stretch;
-      OnlineStats hop_inflation;
-      std::vector<double> stretches;
-      long long recovered_paths = 0;
-      long long two_hop_loops = 0;
-      long long revisits = 0;
-    };
-    std::vector<Acc> acc(cfg.k_values.size());
-
+  std::vector<std::vector<Rng>> trial_rngs;
+  trial_rngs.reserve(p_values.size());
+  for (const double p : p_values) {
+    std::vector<Rng> row;
+    row.reserve(static_cast<std::size_t>(cfg.trials));
     for (int trial = 0; trial < cfg.trials; ++trial) {
-      Rng trial_rng = master.fork(static_cast<std::uint64_t>(trial) * 999983 +
-                                  static_cast<std::uint64_t>(p * 1e6));
+      row.push_back(
+          master.fork(static_cast<std::uint64_t>(trial) * 999983 +
+                      static_cast<std::uint64_t>(p * 1e6)));
+    }
+    trial_rngs.push_back(std::move(row));
+  }
+
+  /// One trial's contribution for one k: counters, plus every value the
+  /// serial loop would have pushed into the per-k OnlineStats accumulators,
+  /// in pair order — replayed trial-by-trial below so the final statistics
+  /// are the serial loop's, bit for bit, at every thread count.
+  struct PerKTrial {
+    long long pairs = 0;
+    long long initial_broken = 0;
+    long long unrecovered = 0;
+    long long disconnected = 0;
+    std::vector<double> trials_add;
+    std::vector<double> stretch_add;
+    std::vector<double> hop_add;
+    long long recovered_paths = 0;
+    long long two_hop_loops = 0;
+    long long revisits = 0;
+  };
+  using TrialResult = std::vector<PerKTrial>;  // one entry per k
+
+  struct Scratch {
+    std::vector<DataPlaneNetwork> nets;  ///< private copies: masks mutate
+    ForwardWorkspace fwd;
+    ReachWorkspace reach;
+  };
+  const auto make_scratch = [&] {
+    Scratch sc;
+    sc.nets = nets;
+    return sc;
+  };
+  const TrialEngine<Scratch> engine(cfg.threads);
+
+  for (std::size_t pi = 0; pi < p_values.size(); ++pi) {
+    const double p = p_values[pi];
+
+    const auto run_trial = [&](int trial, Scratch& sc) {
+      TrialResult res(cfg.k_values.size());
+      Rng trial_rng = trial_rngs[pi][static_cast<std::size_t>(trial)];
       std::vector<char> dead_nodes;
       std::vector<char> alive;
       switch (cfg.failure) {
@@ -214,16 +261,16 @@ std::vector<RecoveryPoint> run_recovery_experiment(
 
       for (std::size_t ki = 0; ki < cfg.k_values.size(); ++ki) {
         const SliceId k = cfg.k_values[ki];
-        DataPlaneNetwork& net = nets[ki];
+        DataPlaneNetwork& net = sc.nets[ki];
         net.set_link_mask(alive);
-        Acc& a = acc[ki];
+        PerKTrial& a = res[ki];
 
         RecoveryConfig rcfg = cfg.recovery;
         rcfg.header_hops =
             std::min(rcfg.header_hops, 128 / std::max(1, bits_per_hop(k)));
 
         auto run_pair = [&](NodeId src, NodeId dst,
-                            const std::vector<char>& reach_dst_set) {
+                            std::span<const char> reach_dst_set) {
           ++a.pairs;
           const bool spliced_ok =
               reach_dst_set[static_cast<std::size_t>(src)] != 0;
@@ -232,19 +279,18 @@ std::vector<RecoveryPoint> run_recovery_experiment(
           Rng pair_rng = trial_rng.fork(
               static_cast<std::uint64_t>(src) * 131071 +
               static_cast<std::uint64_t>(dst) + static_cast<std::uint64_t>(k));
-          RecoveryResult r;
+          FastRecoveryResult r;
           if (k == 1) {
             // "No splicing": a broken shortest path cannot be recovered.
             Packet probe;
             probe.src = src;
             probe.dst = dst;
             probe.ttl = rcfg.ttl;
-            const Delivery d = net.forward(probe, ForwardingPolicy{});
+            const ForwardSummary d = net.forward_stats(probe);
             r.initially_connected = d.delivered();
             r.delivered = d.delivered();
-            if (d.delivered()) r.delivery = d;
           } else {
-            r = attempt_recovery(net, src, dst, rcfg, pair_rng);
+            r = attempt_recovery_fast(net, src, dst, rcfg, pair_rng, sc.fwd);
           }
 
           if (!r.initially_connected) {
@@ -253,21 +299,23 @@ std::vector<RecoveryPoint> run_recovery_experiment(
               ++a.unrecovered;
             } else {
               // Recovered after an initial failure: collect §4.3 metrics.
+              // (Unreachable for k == 1, where initially_connected equals
+              // delivered — the successful trace in sc.fwd.hops is only
+              // consulted on this path.)
               if (r.trials_used > 0)
-                a.trials.add(static_cast<double>(r.trials_used));
+                a.trials_add.push_back(static_cast<double>(r.trials_used));
               const Weight base = oracle.distance(src, dst);
               const int base_hops = oracle.hops(src, dst);
-              if (base > 0.0 && base < kInfiniteWeight) {
-                const double st = trace_stretch(g, r.delivery, base);
-                a.stretch.add(st);
-                a.stretches.push_back(st);
-              }
+              if (base > 0.0 && base < kInfiniteWeight)
+                a.stretch_add.push_back(r.summary.cost / base);
               if (base_hops > 0)
-                a.hop_inflation.add(
-                    trace_hop_inflation(r.delivery, base_hops));
+                a.hop_add.push_back(static_cast<double>(r.summary.hops) /
+                                    static_cast<double>(base_hops));
               ++a.recovered_paths;
-              if (has_two_hop_loop(r.delivery)) ++a.two_hop_loops;
-              if (count_node_revisits(r.delivery) > 0) ++a.revisits;
+              if (has_two_hop_loop(std::span<const HopRecord>(sc.fwd.hops)))
+                ++a.two_hop_loops;
+              if (count_node_revisits(sc.fwd.hops, n, sc.fwd) > 0)
+                ++a.revisits;
             }
           }
         };
@@ -276,20 +324,61 @@ std::vector<RecoveryPoint> run_recovery_experiment(
           // Group sampled pairs by destination to share reverse BFS runs.
           for (const auto& [src, dst] : pairs) {
             if (endpoint_dead(src) || endpoint_dead(dst)) continue;
-            const auto reach =
-                analyzer.reachable_sources(dst, k, alive, cfg.semantics);
-            run_pair(src, dst, reach);
+            analyzer.reachable_sources_into(dst, k, alive, cfg.semantics,
+                                            sc.reach);
+            run_pair(src, dst, sc.reach.seen);
           }
         } else {
           for (NodeId dst = 0; dst < n; ++dst) {
             if (endpoint_dead(dst)) continue;
-            const auto reach =
-                analyzer.reachable_sources(dst, k, alive, cfg.semantics);
+            analyzer.reachable_sources_into(dst, k, alive, cfg.semantics,
+                                            sc.reach);
             for (NodeId src = 0; src < n; ++src) {
-              if (src != dst && !endpoint_dead(src)) run_pair(src, dst, reach);
+              if (src != dst && !endpoint_dead(src))
+                run_pair(src, dst, sc.reach.seen);
             }
           }
         }
+      }
+      return res;
+    };
+
+    const std::vector<TrialResult> results =
+        engine.run<TrialResult>(cfg.trials, make_scratch, run_trial);
+
+    // Accumulators per k, filled by replaying trials in order — exactly the
+    // serial loop's accumulation sequence.
+    struct Acc {
+      long long pairs = 0;
+      long long initial_broken = 0;
+      long long unrecovered = 0;
+      long long disconnected = 0;
+      OnlineStats trials;
+      OnlineStats stretch;
+      OnlineStats hop_inflation;
+      std::vector<double> stretches;
+      long long recovered_paths = 0;
+      long long two_hop_loops = 0;
+      long long revisits = 0;
+    };
+    std::vector<Acc> acc(cfg.k_values.size());
+    for (const TrialResult& res : results) {
+      for (std::size_t ki = 0; ki < cfg.k_values.size(); ++ki) {
+        const PerKTrial& t = res[ki];
+        Acc& a = acc[ki];
+        a.pairs += t.pairs;
+        a.initial_broken += t.initial_broken;
+        a.unrecovered += t.unrecovered;
+        a.disconnected += t.disconnected;
+        for (const double v : t.trials_add) a.trials.add(v);
+        for (const double v : t.stretch_add) {
+          a.stretch.add(v);
+          a.stretches.push_back(v);
+        }
+        for (const double v : t.hop_add) a.hop_inflation.add(v);
+        a.recovered_paths += t.recovered_paths;
+        a.two_hop_loops += t.two_hop_loops;
+        a.revisits += t.revisits;
       }
     }
 

@@ -36,9 +36,10 @@ struct ReliabilityConfig {
   /// directed variant measures exact forwarding reachability instead.
   UnionSemantics semantics = UnionSemantics::kUndirectedLinks;
   FailureKind failure = FailureKind::kLink;
-  /// Worker threads for the Monte Carlo loop (1 = sequential). Results are
-  /// reproducible for a fixed thread count; each trial's randomness comes
-  /// only from (seed, p, trial index).
+  /// Worker threads for the Monte Carlo loop (1 = sequential). Each trial's
+  /// randomness comes only from (seed, p, trial index) and per-trial samples
+  /// are reduced in trial order, so results are bit-identical at every
+  /// thread count.
   int threads = 1;
 };
 
@@ -79,6 +80,11 @@ struct RecoveryExperimentConfig {
   /// Link failures (paper) or whole-node failures; under node failures,
   /// pairs with a dead endpoint are skipped entirely.
   FailureKind failure = FailureKind::kLink;
+  /// Worker threads for the Monte Carlo loop (1 = sequential). Trials run
+  /// on precomputed per-trial substreams and reduce in trial order, so
+  /// results are bit-identical at every thread count — including to the
+  /// historical serial implementation.
+  int threads = 1;
 };
 
 struct RecoveryPoint {

@@ -1,0 +1,83 @@
+// TrialEngine: deterministic Monte Carlo scenario batching.
+//
+// Wraps util/parallel.h's parallel_trials with the two things every
+// experiment loop needs:
+//
+//  * per-worker scratch — each worker thread lazily builds one Scratch
+//    (ForwardWorkspace, ReachWorkspace, private DataPlaneNetwork copies,
+//    ...) and reuses it across all its trials, so the hot loop allocates
+//    nothing;
+//  * trial-ordered results — run() returns one Result per trial, in trial
+//    order, regardless of how trials were striped across workers. Reducing
+//    that sequence is therefore the *same* floating-point computation as
+//    the serial loop: statistics come out bit-identical at every thread
+//    count, including 1.
+//
+// Determinism contract: a trial's randomness must be a pure function of its
+// trial index — either trial_substream_seed(stream, trial) below, or a seed
+// table the caller precomputed serially (sim/experiments.cpp does the
+// latter to preserve its historical master-fork chains). Trials must not
+// communicate; everything shared is read-only.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace splice {
+
+/// Counter-derived SplitMix64 substream seed: a pure function of (stream,
+/// trial), so any worker can seed trial t's Rng without a sequential draw
+/// chain. Distinct streams come from distinct `stream` tags.
+inline std::uint64_t trial_substream_seed(std::uint64_t stream,
+                                          std::uint64_t trial) noexcept {
+  std::uint64_t s = stream ^ (trial * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+template <typename Scratch>
+class TrialEngine {
+ public:
+  /// threads <= 1 runs trials inline on the caller's thread.
+  explicit TrialEngine(int threads) noexcept : threads_(threads) {}
+
+  int threads() const noexcept { return threads_; }
+
+  /// Runs fn(trial, scratch) for trial in [0, trials) and returns the
+  /// results in trial order. `factory()` builds one Scratch per worker, on
+  /// that worker's first trial.
+  template <typename Result, typename Factory, typename Fn>
+  std::vector<Result> run(int trials, Factory&& factory, Fn&& fn) const {
+    struct Acc {
+      std::unique_ptr<Scratch> scratch;
+      std::vector<std::pair<int, Result>> done;
+    };
+    Acc merged = parallel_trials<Acc>(
+        trials, threads_,
+        [&](int trial, Acc& acc) {
+          if (!acc.scratch)
+            acc.scratch = std::make_unique<Scratch>(factory());
+          acc.done.emplace_back(trial, fn(trial, *acc.scratch));
+        },
+        [](Acc& into, Acc& from) {
+          into.done.insert(into.done.end(),
+                           std::make_move_iterator(from.done.begin()),
+                           std::make_move_iterator(from.done.end()));
+        });
+    std::sort(merged.done.begin(), merged.done.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<Result> out;
+    out.reserve(merged.done.size());
+    for (auto& [trial, result] : merged.done) out.push_back(std::move(result));
+    return out;
+  }
+
+ private:
+  int threads_ = 1;
+};
+
+}  // namespace splice

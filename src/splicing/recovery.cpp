@@ -48,19 +48,21 @@ RecoveryScheme parse_recovery_scheme(const std::string& name) {
 
 namespace {
 
+/// Header pinned to slice 0 for every hop — all slots zero, which is
+/// exactly what the plain (k, hops) constructor builds.
 SpliceHeader pinned_slice0(SliceId k, int hops) {
-  const std::vector<SliceId> zeros(static_cast<std::size_t>(hops), 0);
-  return SpliceHeader::from_slices(k, zeros);
+  return SpliceHeader(k, hops);
 }
 
 }  // namespace
 
-RecoveryResult attempt_recovery(const DataPlaneNetwork& net, NodeId src,
-                                NodeId dst, const RecoveryConfig& cfg,
-                                Rng& rng) {
+FastRecoveryResult attempt_recovery_fast(const DataPlaneNetwork& net,
+                                         NodeId src, NodeId dst,
+                                         const RecoveryConfig& cfg, Rng& rng,
+                                         ForwardWorkspace& ws) {
   SPLICE_EXPECTS(cfg.max_trials >= 0);
   const SliceId k = net.slice_count();
-  RecoveryResult result;
+  FastRecoveryResult result;
 
   // Initial attempt: normal shortest-path forwarding (slice 0 everywhere).
   Packet initial;
@@ -76,21 +78,20 @@ RecoveryResult attempt_recovery(const DataPlaneNetwork& net, NodeId src,
   if (cfg.scheme == RecoveryScheme::kNetworkDeflection)
     initial_policy.local_recovery = LocalRecovery::kDeflect;
 
-  Delivery d = net.forward(initial, initial_policy);
-  if (d.delivered()) {
+  ForwardSummary s = net.forward_fast(initial, initial_policy, ws);
+  if (s.delivered()) {
+    // With deflection on, "initially connected" means no deflection was
+    // needed anywhere along the path.
     result.initially_connected =
-        cfg.scheme != RecoveryScheme::kNetworkDeflection ||
-        // With deflection on, "initially connected" means no deflection was
-        // needed anywhere along the path.
-        std::none_of(d.hops.begin(), d.hops.end(),
-                     [](const HopRecord& h) { return h.deflected; });
+        cfg.scheme != RecoveryScheme::kNetworkDeflection || !s.deflected;
     result.delivered = true;
-    result.delivery = std::move(d);
+    result.summary = s;
     return result;
   }
 
   if (cfg.scheme == RecoveryScheme::kNetworkDeflection) {
     // Routers already tried everything they could; the packet dead-ended.
+    result.summary = s;
     return result;
   }
 
@@ -129,13 +130,31 @@ RecoveryResult attempt_recovery(const DataPlaneNetwork& net, NodeId src,
     }
     p.header = next;
     result.trials_used = trial;
-    Delivery attempt = net.forward(p, ForwardingPolicy{});
-    if (attempt.delivered()) {
+    s = net.forward_fast(p, ForwardingPolicy{}, ws);
+    if (s.delivered()) {
       result.delivered = true;
-      result.delivery = std::move(attempt);
+      result.summary = s;
       return result;
     }
     previous = std::move(next);
+  }
+  result.summary = s;
+  return result;
+}
+
+RecoveryResult attempt_recovery(const DataPlaneNetwork& net, NodeId src,
+                                NodeId dst, const RecoveryConfig& cfg,
+                                Rng& rng) {
+  ForwardWorkspace ws;
+  const FastRecoveryResult fast =
+      attempt_recovery_fast(net, src, dst, cfg, rng, ws);
+  RecoveryResult result;
+  result.initially_connected = fast.initially_connected;
+  result.delivered = fast.delivered;
+  result.trials_used = fast.trials_used;
+  if (fast.delivered) {
+    result.delivery.outcome = ForwardOutcome::kDelivered;
+    result.delivery.hops = std::move(ws.hops);
   }
   return result;
 }

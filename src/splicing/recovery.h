@@ -65,11 +65,35 @@ struct RecoveryResult {
   Delivery delivery;
 };
 
+/// Allocation-free recovery result: the trace of the successful attempt
+/// lives in the caller's ForwardWorkspace, not in a per-episode vector.
+struct FastRecoveryResult {
+  /// Did the *initial* (slice-0 / default path) attempt already succeed?
+  bool initially_connected = false;
+  /// Did any attempt (initial or retry) deliver?
+  bool delivered = false;
+  /// Number of retries used after the initial failure (0 when the initial
+  /// attempt succeeded; counts only attempts actually sent).
+  int trials_used = 0;
+  /// Summary of the last attempt sent; meaningful when delivered.
+  ForwardSummary summary;
+};
+
 /// Runs one recovery episode for (src, dst) on the given (possibly failed)
 /// network. The initial attempt forwards on slice 0 — normal shortest-path
 /// routing; retries follow the configured scheme.
 RecoveryResult attempt_recovery(const DataPlaneNetwork& net, NodeId src,
                                 NodeId dst, const RecoveryConfig& cfg,
                                 Rng& rng);
+
+/// Same episode, no forwarding allocations: each attempt's trace lands in
+/// `ws.hops` (so on return with delivered == true, ws.hops is the successful
+/// trace; otherwise it holds the last failed attempt's partial trace and
+/// should be ignored). Consumes `rng` identically to attempt_recovery — the
+/// two produce bit-identical episodes from equal rng states.
+FastRecoveryResult attempt_recovery_fast(const DataPlaneNetwork& net,
+                                         NodeId src, NodeId dst,
+                                         const RecoveryConfig& cfg, Rng& rng,
+                                         ForwardWorkspace& ws);
 
 }  // namespace splice

@@ -1,16 +1,57 @@
 #include "splicing/reliability.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "util/assert.h"
 
 namespace splice {
 
+namespace {
+
+/// Unpacked arc used only while building one destination's bucket list.
+struct BuildRec {
+  NodeId node;     ///< the node whose bucket this record belongs to
+  NodeId other;
+  EdgeId edge;
+  SliceId slice;
+  std::uint8_t incoming;
+};
+
+}  // namespace
+
 SplicedReliabilityAnalyzer::SplicedReliabilityAnalyzer(
     const Graph& g, const MultiInstanceRouting& mir)
     : n_(g.node_count()), k_max_(mir.slice_count()) {
-  adj_.assign(static_cast<std::size_t>(n_),
-              std::vector<std::vector<Adj>>(static_cast<std::size_t>(n_)));
+  const auto nn = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  offsets_.assign(nn + 1, 0);
+  arcs_.reserve(nn);  // lower bound: one tree (2 arcs/edge) per destination
+
+  // Per-destination O(arcs) build. Duplicates (the same directed arc
+  // installed by several slices) are filtered with an epoch-stamped table
+  // keyed by (edge, incoming, orientation); slices are visited in ascending
+  // order, so the surviving record carries the smallest installing slice —
+  // the same keep-lowest-slice rule as the old O(deg^2) per-insertion scan.
+  // A stable per-node counting scatter then lays each bucket out
+  // slice-ascending, which is all the first-k BFS truncation needs.
+  std::vector<std::uint32_t> stamp(
+      4 * static_cast<std::size_t>(g.edge_count()), 0);
+  std::vector<BuildRec> recs;
+  std::vector<std::uint32_t> bucket_pos(static_cast<std::size_t>(n_) + 1, 0);
   for (NodeId dst = 0; dst < n_; ++dst) {
-    auto& adj_dst = adj_[static_cast<std::size_t>(dst)];
+    const auto epoch = static_cast<std::uint32_t>(dst) + 1;
+    recs.clear();
+    std::fill(bucket_pos.begin(), bucket_pos.end(), 0);
+    auto emit = [&](NodeId node, NodeId other, EdgeId e, SliceId s,
+                    std::uint8_t incoming) {
+      const std::size_t key =
+          (static_cast<std::size_t>(e) * 2 + incoming) * 2 +
+          (node < other ? 0 : 1);
+      if (stamp[key] == epoch) return;  // an earlier slice installed it
+      stamp[key] = epoch;
+      recs.push_back(BuildRec{node, other, e, s, incoming});
+      ++bucket_pos[static_cast<std::size_t>(node) + 1];
+    };
     for (SliceId s = 0; s < k_max_; ++s) {
       const RoutingInstance& inst = mir.slice(s);
       for (NodeId v = 0; v < n_; ++v) {
@@ -18,72 +59,87 @@ SplicedReliabilityAnalyzer::SplicedReliabilityAnalyzer(
         const NodeId nh = inst.next_hop(v, dst);
         if (nh == kInvalidNode) continue;
         const EdgeId e = inst.next_hop_edge(v, dst);
-        // Dedup identical arcs installed by multiple slices: keep the
-        // lowest slice index so first-k queries see each arc at the
-        // earliest k where some slice provides it. (Slices are processed in
-        // ascending order, so the first occurrence wins.)
-        auto& at_head = adj_dst[static_cast<std::size_t>(nh)];
-        bool duplicate = false;
-        for (const Adj& a : at_head) {
-          if (a.incoming && a.other == v && a.edge == e) {
-            duplicate = true;
-            break;
-          }
-        }
-        if (duplicate) continue;
-        at_head.push_back(Adj{v, e, s, true});
-        adj_dst[static_cast<std::size_t>(v)].push_back(Adj{nh, e, s, false});
+        emit(nh, v, e, s, 1);
+        emit(v, nh, e, s, 0);
       }
     }
+    const std::size_t base = arcs_.size();
+    SPLICE_ASSERT(base + recs.size() <=
+                  std::numeric_limits<std::uint32_t>::max());
+    for (NodeId v = 0; v < n_; ++v) {
+      bucket_pos[static_cast<std::size_t>(v) + 1] +=
+          bucket_pos[static_cast<std::size_t>(v)];
+      offsets_[bucket(dst, v)] = static_cast<std::uint32_t>(
+          base + bucket_pos[static_cast<std::size_t>(v)]);
+    }
+    arcs_.resize(base + recs.size());
+    for (const BuildRec& rec : recs) {
+      const std::size_t slot =
+          base + bucket_pos[static_cast<std::size_t>(rec.node)]++;
+      arcs_[slot] = Arc{rec.other, rec.edge,
+                        (static_cast<std::uint32_t>(rec.slice) << 1) |
+                            static_cast<std::uint32_t>(rec.incoming)};
+    }
   }
+  SPLICE_ASSERT(arcs_.size() <= std::numeric_limits<std::uint32_t>::max());
+  offsets_[nn] = static_cast<std::uint32_t>(arcs_.size());
 }
 
 void SplicedReliabilityAnalyzer::reach_dst(NodeId dst, SliceId k,
                                            std::span<const char> edge_alive,
                                            UnionSemantics semantics,
-                                           std::vector<char>& seen,
-                                           std::vector<NodeId>& stack) const {
+                                           ReachWorkspace& ws) const {
   const bool undirected = semantics == UnionSemantics::kUndirectedLinks;
-  seen.assign(static_cast<std::size_t>(n_), 0);
-  seen[static_cast<std::size_t>(dst)] = 1;
-  stack.assign(1, dst);
-  const auto& adj_dst = adj_[static_cast<std::size_t>(dst)];
+  ws.seen.assign(static_cast<std::size_t>(n_), 0);
+  ws.seen[static_cast<std::size_t>(dst)] = 1;
+  ws.stack.clear();
+  ws.stack.push_back(dst);
+  const char* alive = edge_alive.empty() ? nullptr : edge_alive.data();
+  const Arc* arcs = arcs_.data();
+  const std::uint32_t* off = offsets_.data() + bucket(dst, 0);
+  const std::uint32_t limit = static_cast<std::uint32_t>(k) << 1;
   // BFS outward from dst. In directed semantics we may only cross arcs
   // whose forward direction points toward dst's side (incoming arcs,
   // walked in reverse); in undirected semantics any surviving union link
   // may be crossed.
-  while (!stack.empty()) {
-    const NodeId u = stack.back();
-    stack.pop_back();
-    for (const Adj& a : adj_dst[static_cast<std::size_t>(u)]) {
-      if (a.slice >= k) continue;
-      if (!undirected && !a.incoming) continue;
-      if (!edge_alive.empty() &&
-          !edge_alive[static_cast<std::size_t>(a.edge)])
-        continue;
-      auto& mark = seen[static_cast<std::size_t>(a.other)];
+  while (!ws.stack.empty()) {
+    const NodeId u = ws.stack.back();
+    ws.stack.pop_back();
+    const std::uint32_t end = off[static_cast<std::size_t>(u) + 1];
+    for (std::uint32_t i = off[static_cast<std::size_t>(u)]; i < end; ++i) {
+      const Arc& a = arcs[i];
+      if (a.slice_dir >= limit) break;  // slice-sorted: rest are > first k
+      if (!undirected && (a.slice_dir & 1u) == 0) continue;
+      if (alive && !alive[static_cast<std::size_t>(a.edge)]) continue;
+      char& mark = ws.seen[static_cast<std::size_t>(a.other)];
       if (!mark) {
         mark = 1;
-        stack.push_back(a.other);
+        ws.stack.push_back(a.other);
       }
     }
   }
 }
 
 long long SplicedReliabilityAnalyzer::disconnected_pairs(
-    SliceId k, std::span<const char> edge_alive,
-    UnionSemantics semantics) const {
+    SliceId k, std::span<const char> edge_alive, UnionSemantics semantics,
+    ReachWorkspace& ws) const {
   SPLICE_EXPECTS(k >= 1 && k <= k_max_);
   long long disconnected = 0;
-  std::vector<char> seen;
-  std::vector<NodeId> stack;
   for (NodeId dst = 0; dst < n_; ++dst) {
-    reach_dst(dst, k, edge_alive, semantics, seen, stack);
+    reach_dst(dst, k, edge_alive, semantics, ws);
     for (NodeId src = 0; src < n_; ++src) {
-      if (src != dst && !seen[static_cast<std::size_t>(src)]) ++disconnected;
+      if (src != dst && !ws.seen[static_cast<std::size_t>(src)])
+        ++disconnected;
     }
   }
   return disconnected;
+}
+
+long long SplicedReliabilityAnalyzer::disconnected_pairs(
+    SliceId k, std::span<const char> edge_alive,
+    UnionSemantics semantics) const {
+  ReachWorkspace ws;
+  return disconnected_pairs(k, edge_alive, semantics, ws);
 }
 
 double SplicedReliabilityAnalyzer::disconnected_fraction(
@@ -96,15 +152,20 @@ double SplicedReliabilityAnalyzer::disconnected_fraction(
          static_cast<double>(total);
 }
 
+void SplicedReliabilityAnalyzer::reachable_sources_into(
+    NodeId dst, SliceId k, std::span<const char> edge_alive,
+    UnionSemantics semantics, ReachWorkspace& ws) const {
+  SPLICE_EXPECTS(dst >= 0 && dst < n_);
+  SPLICE_EXPECTS(k >= 1 && k <= k_max_);
+  reach_dst(dst, k, edge_alive, semantics, ws);
+}
+
 std::vector<char> SplicedReliabilityAnalyzer::reachable_sources(
     NodeId dst, SliceId k, std::span<const char> edge_alive,
     UnionSemantics semantics) const {
-  SPLICE_EXPECTS(dst >= 0 && dst < n_);
-  SPLICE_EXPECTS(k >= 1 && k <= k_max_);
-  std::vector<char> seen;
-  std::vector<NodeId> stack;
-  reach_dst(dst, k, edge_alive, semantics, seen, stack);
-  return seen;
+  ReachWorkspace ws;
+  reachable_sources_into(dst, k, edge_alive, semantics, ws);
+  return std::move(ws.seen);
 }
 
 bool SplicedReliabilityAnalyzer::connected(NodeId src, NodeId dst, SliceId k,
@@ -113,10 +174,9 @@ bool SplicedReliabilityAnalyzer::connected(NodeId src, NodeId dst, SliceId k,
   SPLICE_EXPECTS(src >= 0 && src < n_);
   SPLICE_EXPECTS(dst >= 0 && dst < n_);
   if (src == dst) return true;
-  std::vector<char> seen;
-  std::vector<NodeId> stack;
-  reach_dst(dst, k, edge_alive, semantics, seen, stack);
-  return seen[static_cast<std::size_t>(src)] != 0;
+  ReachWorkspace ws;
+  reach_dst(dst, k, edge_alive, semantics, ws);
+  return ws.seen[static_cast<std::size_t>(src)] != 0;
 }
 
 }  // namespace splice

@@ -18,8 +18,15 @@
 // with slice index and underlying link, so a Monte Carlo trial answers "how
 // many ordered pairs are disconnected with the first k slices under this
 // failure mask?" with one BFS per destination.
+//
+// Storage is one CSR structure over all destinations: a flat arc array and
+// an (n*n + 1)-entry offset table indexed by (dst, node). Arcs within a
+// (dst, node) bucket are sorted by slice, so restricting a query to the
+// first k slices is a prefix truncation of the bucket — the `slice >= k`
+// filter never touches the excluded arcs.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -32,6 +39,13 @@ namespace splice {
 enum class UnionSemantics {
   kUndirectedLinks,     ///< paper's §4.2 reliability construction
   kDirectedForwarding,  ///< exact forwarding reachability
+};
+
+/// Caller-owned scratch for the analyzer's BFS: the seen/stack buffers keep
+/// their capacity across queries. One workspace per thread.
+struct ReachWorkspace {
+  std::vector<char> seen;
+  std::vector<NodeId> stack;
 };
 
 class SplicedReliabilityAnalyzer {
@@ -47,6 +61,11 @@ class SplicedReliabilityAnalyzer {
   long long disconnected_pairs(
       SliceId k, std::span<const char> edge_alive = {},
       UnionSemantics semantics = UnionSemantics::kUndirectedLinks) const;
+
+  /// Allocation-free variant for Monte Carlo loops.
+  long long disconnected_pairs(SliceId k, std::span<const char> edge_alive,
+                               UnionSemantics semantics,
+                               ReachWorkspace& ws) const;
 
   /// Fraction of ordered pairs disconnected (0 when the graph has < 2
   /// nodes).
@@ -66,23 +85,36 @@ class SplicedReliabilityAnalyzer {
       NodeId dst, SliceId k, std::span<const char> edge_alive = {},
       UnionSemantics semantics = UnionSemantics::kUndirectedLinks) const;
 
+  /// Same BFS into a reusable workspace: on return ws.seen is the membership
+  /// vector (size node_count()). No allocations after warm-up.
+  void reachable_sources_into(
+      NodeId dst, SliceId k, std::span<const char> edge_alive,
+      UnionSemantics semantics, ReachWorkspace& ws) const;
+
  private:
-  struct Adj {
-    NodeId other;    ///< the node on the far side of this union arc
-    EdgeId edge;     ///< underlying undirected link
-    SliceId slice;   ///< smallest slice index that installs the arc
-    bool incoming;   ///< true when the forward arc points *into* this node
+  /// One packed union arc. `slice_dir` encodes (slice << 1) | incoming, so
+  /// bucket order by slice_dir is slice-ascending and the first-k filter is
+  /// `slice_dir < (k << 1)` — a prefix of the bucket.
+  struct Arc {
+    NodeId other;            ///< the node on the far side of this union arc
+    EdgeId edge;             ///< underlying undirected link
+    std::uint32_t slice_dir; ///< smallest installing slice, and direction bit
   };
 
+  std::size_t bucket(NodeId dst, NodeId node) const noexcept {
+    return static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(node);
+  }
+
   void reach_dst(NodeId dst, SliceId k, std::span<const char> edge_alive,
-                 UnionSemantics semantics, std::vector<char>& seen,
-                 std::vector<NodeId>& stack) const;
+                 UnionSemantics semantics, ReachWorkspace& ws) const;
 
   NodeId n_ = 0;
   SliceId k_max_ = 0;
-  /// adj_[dst][node] = union arcs incident to `node` in the union toward
-  /// dst, both directions listed.
-  std::vector<std::vector<std::vector<Adj>>> adj_;
+  /// CSR offsets: arcs of (dst, node) live in
+  /// arcs_[offsets_[dst*n + node] .. offsets_[dst*n + node + 1]).
+  std::vector<std::uint32_t> offsets_;
+  std::vector<Arc> arcs_;
 };
 
 }  // namespace splice

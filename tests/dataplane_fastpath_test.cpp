@@ -1,0 +1,608 @@
+// Equivalence suite for the data-plane fast path: the allocation-free
+// forwarding core (forward_fast / forward_stats), the CSR reliability
+// analyzer, the workspace loop metrics and the parallel TrialEngine-backed
+// experiments must be bit-identical to the straightforward implementations
+// they replaced. The legacy algorithms are kept here verbatim as oracles.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "dataplane/network.h"
+#include "graph/generators.h"
+#include "routing/multi_instance.h"
+#include "sim/experiments.h"
+#include "splicing/recovery.h"
+#include "splicing/reliability.h"
+#include "topo/datasets.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Legacy oracles (pre-fast-path implementations, copied verbatim).
+// ---------------------------------------------------------------------------
+
+SliceId legacy_default_slice(const FibSet& fibs, NodeId src, NodeId dst) {
+  const auto k = static_cast<std::uint64_t>(fibs.slice_count());
+  return static_cast<SliceId>(hash_mix(static_cast<std::uint64_t>(src),
+                                       static_cast<std::uint64_t>(dst)) %
+                              k);
+}
+
+/// The pre-fast-path DataPlaneNetwork::forward: FibSet::lookup per hop,
+/// Delivery vector grown per hop, header consumed via SpliceHeader::pop.
+Delivery legacy_forward(const FibSet& fibs, std::span<const char> link_alive,
+                        const Packet& packet, const ForwardingPolicy& policy) {
+  const auto alive = [&](EdgeId e) {
+    return link_alive[static_cast<std::size_t>(e)] != 0;
+  };
+  Delivery out;
+  if (packet.src == packet.dst) {
+    out.outcome = ForwardOutcome::kDelivered;
+    return out;
+  }
+
+  const SliceId k = fibs.slice_count();
+  SpliceHeader header = packet.header;  // consumed copy
+  CounterHeader counter = packet.counter;
+  SliceId current = legacy_default_slice(fibs, packet.src, packet.dst);
+  NodeId node = packet.src;
+  int ttl = packet.ttl;
+
+  while (ttl-- > 0) {
+    SliceId slice = current;
+    if (const auto popped = header.pop(); popped.has_value()) {
+      slice = static_cast<SliceId>(*popped % k);
+    } else if (policy.exhaust == ExhaustPolicy::kHashDefault) {
+      slice = legacy_default_slice(fibs, packet.src, packet.dst);
+    }
+    if (counter.active()) slice = counter.deflect(slice, k);
+
+    FibEntry entry = fibs.lookup(slice, node, packet.dst);
+    bool deflected = false;
+    const bool usable = entry.valid() && alive(entry.edge);
+    if (!usable) {
+      if (policy.local_recovery == LocalRecovery::kDeflect) {
+        for (SliceId s = 0; s < k && !deflected; ++s) {
+          if (s == slice) continue;
+          const FibEntry alt = fibs.lookup(s, node, packet.dst);
+          if (alt.valid() && alive(alt.edge)) {
+            entry = alt;
+            slice = s;
+            deflected = true;
+          }
+        }
+      }
+      if (!deflected) {
+        out.outcome = ForwardOutcome::kDeadEnd;
+        return out;
+      }
+    }
+
+    out.hops.push_back(
+        HopRecord{node, entry.next_hop, entry.edge, slice, deflected});
+    node = entry.next_hop;
+    current = slice;
+    if (node == packet.dst) {
+      out.outcome = ForwardOutcome::kDelivered;
+      return out;
+    }
+  }
+  out.outcome = ForwardOutcome::kTtlExpired;
+  return out;
+}
+
+/// The pre-CSR SplicedReliabilityAnalyzer: per-destination nested adjacency
+/// vectors with the O(deg^2) incoming-scan dedup, plus its BFS.
+struct LegacyAnalyzer {
+  struct Adj {
+    NodeId other;
+    EdgeId edge;
+    SliceId slice;
+    bool incoming;
+  };
+
+  NodeId n;
+  SliceId k_max;
+  std::vector<std::vector<std::vector<Adj>>> adj;
+
+  LegacyAnalyzer(const Graph& g, const MultiInstanceRouting& mir)
+      : n(g.node_count()), k_max(mir.slice_count()) {
+    adj.assign(static_cast<std::size_t>(n),
+               std::vector<std::vector<Adj>>(static_cast<std::size_t>(n)));
+    for (NodeId dst = 0; dst < n; ++dst) {
+      auto& adj_dst = adj[static_cast<std::size_t>(dst)];
+      for (SliceId s = 0; s < k_max; ++s) {
+        const RoutingInstance& inst = mir.slice(s);
+        for (NodeId v = 0; v < n; ++v) {
+          if (v == dst) continue;
+          const NodeId nh = inst.next_hop(v, dst);
+          if (nh == kInvalidNode) continue;
+          const EdgeId e = inst.next_hop_edge(v, dst);
+          auto& at_head = adj_dst[static_cast<std::size_t>(nh)];
+          bool duplicate = false;
+          for (const Adj& a : at_head) {
+            if (a.incoming && a.other == v && a.edge == e) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (duplicate) continue;
+          at_head.push_back(Adj{v, e, s, true});
+          adj_dst[static_cast<std::size_t>(v)].push_back(
+              Adj{nh, e, s, false});
+        }
+      }
+    }
+  }
+
+  std::vector<char> reach(NodeId dst, SliceId k,
+                          std::span<const char> edge_alive,
+                          UnionSemantics semantics) const {
+    const bool undirected = semantics == UnionSemantics::kUndirectedLinks;
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    seen[static_cast<std::size_t>(dst)] = 1;
+    std::vector<NodeId> stack{dst};
+    const auto& adj_dst = adj[static_cast<std::size_t>(dst)];
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const Adj& a : adj_dst[static_cast<std::size_t>(u)]) {
+        if (a.slice >= k) continue;
+        if (!undirected && !a.incoming) continue;
+        if (!edge_alive.empty() &&
+            !edge_alive[static_cast<std::size_t>(a.edge)])
+          continue;
+        auto& mark = seen[static_cast<std::size_t>(a.other)];
+        if (!mark) {
+          mark = 1;
+          stack.push_back(a.other);
+        }
+      }
+    }
+    return seen;
+  }
+
+  long long disconnected_pairs(SliceId k, std::span<const char> edge_alive,
+                               UnionSemantics semantics) const {
+    long long disconnected = 0;
+    for (NodeId dst = 0; dst < n; ++dst) {
+      const auto seen = reach(dst, k, edge_alive, semantics);
+      for (NodeId src = 0; src < n; ++src) {
+        if (src != dst && !seen[static_cast<std::size_t>(src)])
+          ++disconnected;
+      }
+    }
+    return disconnected;
+  }
+};
+
+/// The pre-workspace count_node_revisits: quadratic scan over a seen-list.
+int legacy_count_node_revisits(const Delivery& d) {
+  int revisits = 0;
+  std::vector<NodeId> seen;
+  seen.reserve(d.hops.size() + 1);
+  auto visit = [&](NodeId v) {
+    for (NodeId s : seen) {
+      if (s == v) {
+        ++revisits;
+        return;
+      }
+    }
+    seen.push_back(v);
+  };
+  if (!d.hops.empty()) visit(d.hops.front().node);
+  for (const HopRecord& hop : d.hops) visit(hop.next);
+  return revisits;
+}
+
+// ---------------------------------------------------------------------------
+// Shared environment.
+// ---------------------------------------------------------------------------
+
+struct Env {
+  Graph g;
+  MultiInstanceRouting mir;
+  FibSet fibs;
+  DataPlaneNetwork net;
+
+  Env(Graph graph, SliceId k)
+      : g(std::move(graph)),
+        mir(g, ControlPlaneConfig{
+                   k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false}),
+        fibs(mir.build_fibs()),
+        net(g, fibs) {}
+};
+
+std::vector<Graph> evaluation_topologies() {
+  std::vector<Graph> out;
+  out.push_back(topo::geant());
+  out.push_back(topo::sprint());
+  Graph er = erdos_renyi(36, 0.12, 42);
+  make_connected(er, 43);
+  out.push_back(std::move(er));
+  return out;
+}
+
+std::vector<char> random_mask(const Graph& g, double p_fail, Rng& rng) {
+  std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 1);
+  for (auto& m : mask) m = rng.uniform() < p_fail ? 0 : 1;
+  return mask;
+}
+
+void expect_hops_equal(std::span<const HopRecord> got,
+                       const std::vector<HopRecord>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].node, want[i].node) << "hop " << i;
+    EXPECT_EQ(got[i].next, want[i].next) << "hop " << i;
+    EXPECT_EQ(got[i].edge, want[i].edge) << "hop " << i;
+    EXPECT_EQ(got[i].slice, want[i].slice) << "hop " << i;
+    EXPECT_EQ(got[i].deflected, want[i].deflected) << "hop " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(ForwardFastPath, MatchesLegacyForwardEverywhere) {
+  const ForwardingPolicy policies[] = {
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kNone},
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kDeflect},
+      {ExhaustPolicy::kHashDefault, LocalRecovery::kNone},
+      {ExhaustPolicy::kHashDefault, LocalRecovery::kDeflect},
+  };
+  for (Graph& g : evaluation_topologies()) {
+    for (const SliceId k : {SliceId{1}, SliceId{2}, SliceId{5}, SliceId{8}}) {
+      Env env(g, k);
+      Rng rng(1000 + static_cast<std::uint64_t>(k));
+      const auto n = static_cast<std::uint64_t>(env.g.node_count());
+      ForwardWorkspace ws;
+      for (const double p_fail : {0.0, 0.1, 0.35}) {
+        env.net.set_link_mask(random_mask(env.g, p_fail, rng));
+        for (int i = 0; i < 60; ++i) {
+          Packet p;
+          p.src = static_cast<NodeId>(rng.below(n));
+          p.dst = static_cast<NodeId>(rng.below(n));
+          switch (i % 4) {
+            case 0:
+              p.header = SpliceHeader::random(k, 20, rng);
+              break;
+            case 1:
+              break;  // empty header: default slice every hop
+            case 2:
+              p.header = SpliceHeader::random(k, 3, rng);  // exhausts early
+              break;
+            case 3:
+              p.header = SpliceHeader::random(k, 20, rng);
+              p.counter =
+                  CounterHeader(static_cast<std::uint32_t>(rng.below(6)));
+              break;
+          }
+          if (i % 7 == 0) p.ttl = 4;  // exercise TTL expiry
+          for (const ForwardingPolicy& policy : policies) {
+            const Delivery want =
+                legacy_forward(env.fibs, env.net.link_mask(), p, policy);
+
+            const Delivery via_forward = env.net.forward(p, policy);
+            EXPECT_EQ(via_forward.outcome, want.outcome);
+            expect_hops_equal(via_forward.hops, want.hops);
+
+            const ForwardSummary fast = env.net.forward_fast(p, policy, ws);
+            EXPECT_EQ(fast.outcome, want.outcome);
+            EXPECT_EQ(fast.hops, want.hop_count());
+            EXPECT_EQ(fast.cost, trace_cost(env.g, want));
+            expect_hops_equal(ws.hops, want.hops);
+
+            const ForwardSummary stats = env.net.forward_stats(p, policy);
+            EXPECT_EQ(stats.outcome, fast.outcome);
+            EXPECT_EQ(stats.hops, fast.hops);
+            EXPECT_EQ(stats.cost, fast.cost);
+            EXPECT_EQ(stats.deflected, fast.deflected);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ForwardFastPath, BatchMatchesScalarStats) {
+  const ForwardingPolicy policies[] = {
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kNone},
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kDeflect},
+      {ExhaustPolicy::kHashDefault, LocalRecovery::kDeflect},
+  };
+  for (Graph& g : evaluation_topologies()) {
+    for (const SliceId k : {SliceId{1}, SliceId{4}, SliceId{8}}) {
+      Env env(g, k);
+      Rng rng(9000 + static_cast<std::uint64_t>(k));
+      const auto n = static_cast<std::uint64_t>(env.g.node_count());
+      for (const double p_fail : {0.0, 0.25}) {
+        env.net.set_link_mask(random_mask(env.g, p_fail, rng));
+        // Batch sizes straddling the lane width, including 0 and src==dst
+        // packets mixed into the workload.
+        for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                        std::size_t{7}, std::size_t{8},
+                                        std::size_t{9}, std::size_t{61}}) {
+          std::vector<Packet> batch(count);
+          for (std::size_t i = 0; i < count; ++i) {
+            Packet& p = batch[i];
+            p.src = static_cast<NodeId>(rng.below(n));
+            p.dst = i % 5 == 4 ? p.src  // src==dst short-circuit
+                               : static_cast<NodeId>(rng.below(n));
+            if (i % 3 != 1) p.header = SpliceHeader::random(k, 20, rng);
+            if (i % 4 == 3) {
+              p.counter =
+                  CounterHeader(static_cast<std::uint32_t>(rng.below(6)));
+            }
+            if (i % 7 == 0) p.ttl = 4;
+          }
+          std::vector<ForwardSummary> got(count);
+          for (const ForwardingPolicy& policy : policies) {
+            env.net.forward_stats_batch(batch, policy, got);
+            for (std::size_t i = 0; i < count; ++i) {
+              const ForwardSummary want = env.net.forward_stats(batch[i],
+                                                                policy);
+              EXPECT_EQ(got[i].outcome, want.outcome) << "packet " << i;
+              EXPECT_EQ(got[i].hops, want.hops) << "packet " << i;
+              EXPECT_EQ(got[i].cost, want.cost) << "packet " << i;
+              EXPECT_EQ(got[i].deflected, want.deflected) << "packet " << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ForwardFastPath, LoopMetricsMatchLegacy) {
+  Env env(topo::sprint(), 5);
+  Rng rng(7);
+  const auto n = static_cast<std::uint64_t>(env.g.node_count());
+  ForwardWorkspace ws;
+  ForwardWorkspace metric_ws;
+  const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                LocalRecovery::kDeflect};
+  env.net.set_link_mask(random_mask(env.g, 0.2, rng));
+  int nonempty = 0;
+  for (int i = 0; i < 300; ++i) {
+    Packet p;
+    p.src = static_cast<NodeId>(rng.below(n));
+    p.dst = static_cast<NodeId>(rng.below(n));
+    p.header = SpliceHeader::random(5, 20, rng);
+    const Delivery d = env.net.forward(p, policy);
+    env.net.forward_fast(p, policy, ws);
+    nonempty += d.hops.empty() ? 0 : 1;
+    EXPECT_EQ(count_node_revisits(ws.hops, env.g.node_count(), metric_ws),
+              legacy_count_node_revisits(d));
+    EXPECT_EQ(count_node_revisits(d), legacy_count_node_revisits(d));
+    EXPECT_EQ(has_two_hop_loop(std::span<const HopRecord>(ws.hops)),
+              has_two_hop_loop(d));
+  }
+  EXPECT_GT(nonempty, 0);
+}
+
+TEST(ForwardFastPath, VisitStampEpochSurvivesWraparound) {
+  Env env(topo::geant(), 3);
+  Rng rng(9);
+  const auto n = static_cast<std::uint64_t>(env.g.node_count());
+  ForwardWorkspace ws;
+  ForwardWorkspace metric_ws;
+  // Force an epoch wrap: the counter is 32-bit, so plant it near the top.
+  metric_ws.visit_epoch = 0xffffffffu - 3;
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.src = static_cast<NodeId>(rng.below(n));
+    p.dst = static_cast<NodeId>(rng.below(n));
+    p.header = SpliceHeader::random(3, 20, rng);
+    const Delivery d = env.net.forward(p);
+    env.net.forward_fast(p, {}, ws);
+    EXPECT_EQ(count_node_revisits(ws.hops, env.g.node_count(), metric_ws),
+              legacy_count_node_revisits(d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryFastPath, MatchesLegacyAcrossSchemes) {
+  const RecoveryScheme schemes[] = {
+      RecoveryScheme::kEndSystemCoinFlip,
+      RecoveryScheme::kEndSystemFresh,
+      RecoveryScheme::kEndSystemNoRevisit,
+      RecoveryScheme::kEndSystemBoundedSwitches,
+      RecoveryScheme::kEndSystemFirstHopBiased,
+      RecoveryScheme::kEndSystemCounter,
+      RecoveryScheme::kNetworkDeflection,
+  };
+  Env env(topo::sprint(), 5);
+  const auto n = static_cast<std::uint64_t>(env.g.node_count());
+  for (const RecoveryScheme scheme : schemes) {
+    RecoveryConfig cfg;
+    cfg.scheme = scheme;
+    Rng mask_rng(31 + static_cast<std::uint64_t>(scheme));
+    env.net.set_link_mask(random_mask(env.g, 0.15, mask_rng));
+    Rng legacy_rng(77);
+    Rng fast_rng(77);
+    ForwardWorkspace ws;
+    for (int i = 0; i < 120; ++i) {
+      const auto src = static_cast<NodeId>(mask_rng.below(n));
+      auto dst = static_cast<NodeId>(mask_rng.below(n));
+      if (src == dst) dst = (dst + 1) % env.g.node_count();
+
+      const RecoveryResult want =
+          attempt_recovery(env.net, src, dst, cfg, legacy_rng);
+      const FastRecoveryResult got =
+          attempt_recovery_fast(env.net, src, dst, cfg, fast_rng, ws);
+
+      EXPECT_EQ(got.initially_connected, want.initially_connected);
+      EXPECT_EQ(got.delivered, want.delivered);
+      EXPECT_EQ(got.trials_used, want.trials_used);
+      if (want.delivered) {
+        EXPECT_EQ(got.summary.hops, want.delivery.hop_count());
+        EXPECT_EQ(got.summary.cost, trace_cost(env.g, want.delivery));
+        expect_hops_equal(ws.hops, want.delivery.hops);
+      }
+      // Both must have consumed the rng identically.
+      EXPECT_EQ(legacy_rng(), fast_rng());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliability-analyzer equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(CsrAnalyzer, MatchesLegacyAdjacencyBuild) {
+  for (Graph& g : evaluation_topologies()) {
+    const SliceId k_max = 5;
+    MultiInstanceRouting mir(
+        g, ControlPlaneConfig{
+               k_max, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false});
+    const SplicedReliabilityAnalyzer analyzer(g, mir);
+    const LegacyAnalyzer legacy(g, mir);
+    Rng rng(5);
+    for (const double p_fail : {0.0, 0.08, 0.3}) {
+      const auto mask = random_mask(g, p_fail, rng);
+      const std::span<const char> mask_view =
+          p_fail == 0.0 ? std::span<const char>{} : mask;
+      for (SliceId k = 1; k <= k_max; ++k) {
+        for (const UnionSemantics sem : {UnionSemantics::kUndirectedLinks,
+                                         UnionSemantics::kDirectedForwarding}) {
+          EXPECT_EQ(analyzer.disconnected_pairs(k, mask_view, sem),
+                    legacy.disconnected_pairs(k, mask_view, sem))
+              << "k=" << k;
+          for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+            EXPECT_EQ(analyzer.reachable_sources(dst, k, mask_view, sem),
+                      legacy.reach(dst, k, mask_view, sem))
+                << "dst=" << dst << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CsrAnalyzer, WorkspaceEntryPointsMatchAllocatingOnes) {
+  Graph g = topo::geant();
+  MultiInstanceRouting mir(
+      g, ControlPlaneConfig{
+             4, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false});
+  const SplicedReliabilityAnalyzer analyzer(g, mir);
+  Rng rng(8);
+  ReachWorkspace ws;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto mask = random_mask(g, 0.15, rng);
+    for (SliceId k = 1; k <= 4; ++k) {
+      for (const UnionSemantics sem : {UnionSemantics::kUndirectedLinks,
+                                       UnionSemantics::kDirectedForwarding}) {
+        EXPECT_EQ(analyzer.disconnected_pairs(k, mask, sem, ws),
+                  analyzer.disconnected_pairs(k, mask, sem));
+        for (NodeId dst = 0; dst < g.node_count(); dst += 5) {
+          analyzer.reachable_sources_into(dst, k, mask, sem, ws);
+          EXPECT_EQ(ws.seen, analyzer.reachable_sources(dst, k, mask, sem));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment-level determinism: bit-identical at every thread count.
+// ---------------------------------------------------------------------------
+
+TEST(TrialEngineExperiments, ReliabilityBitIdenticalAcrossThreadCounts) {
+  Graph g = erdos_renyi(26, 0.18, 11);
+  make_connected(g, 12);
+  ReliabilityConfig cfg;
+  cfg.k_values = {1, 2, 3};
+  cfg.p_values = {0.05, 0.12};
+  cfg.trials = 12;
+  cfg.seed = 3;
+
+  cfg.threads = 1;
+  const ReliabilityCurves serial = run_reliability_experiment(g, cfg);
+  const int hw = default_thread_count();
+  for (const int threads : {2, hw > 1 ? hw : 3}) {
+    cfg.threads = threads;
+    const ReliabilityCurves parallel = run_reliability_experiment(g, cfg);
+    ASSERT_EQ(parallel.points.size(), serial.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      EXPECT_EQ(parallel.points[i].k, serial.points[i].k);
+      EXPECT_EQ(parallel.points[i].p, serial.points[i].p);
+      EXPECT_EQ(parallel.points[i].mean_disconnected,
+                serial.points[i].mean_disconnected);
+      EXPECT_EQ(parallel.points[i].ci95, serial.points[i].ci95);
+    }
+    ASSERT_EQ(parallel.best_possible.size(), serial.best_possible.size());
+    for (std::size_t i = 0; i < serial.best_possible.size(); ++i) {
+      EXPECT_EQ(parallel.best_possible[i].mean_disconnected,
+                serial.best_possible[i].mean_disconnected);
+      EXPECT_EQ(parallel.best_possible[i].ci95, serial.best_possible[i].ci95);
+    }
+  }
+}
+
+void expect_recovery_points_equal(const std::vector<RecoveryPoint>& got,
+                                  const std::vector<RecoveryPoint>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].k, want[i].k);
+    EXPECT_EQ(got[i].p, want[i].p);
+    EXPECT_EQ(got[i].frac_unrecovered, want[i].frac_unrecovered);
+    EXPECT_EQ(got[i].frac_disconnected, want[i].frac_disconnected);
+    EXPECT_EQ(got[i].frac_initial_broken, want[i].frac_initial_broken);
+    EXPECT_EQ(got[i].mean_trials, want[i].mean_trials);
+    EXPECT_EQ(got[i].mean_stretch, want[i].mean_stretch);
+    EXPECT_EQ(got[i].mean_hop_inflation, want[i].mean_hop_inflation);
+    EXPECT_EQ(got[i].p99_stretch, want[i].p99_stretch);
+    EXPECT_EQ(got[i].two_hop_loop_rate, want[i].two_hop_loop_rate);
+    EXPECT_EQ(got[i].revisit_rate, want[i].revisit_rate);
+  }
+}
+
+TEST(TrialEngineExperiments, RecoveryBitIdenticalAcrossThreadCounts) {
+  const Graph g = topo::geant();
+  for (const RecoveryScheme scheme : {RecoveryScheme::kEndSystemCoinFlip,
+                                      RecoveryScheme::kNetworkDeflection}) {
+    RecoveryExperimentConfig cfg;
+    cfg.k_values = {1, 3};
+    cfg.p_values = {0.05, 0.1};
+    cfg.trials = 6;
+    cfg.seed = 4;
+    cfg.pair_sample = 30;
+    cfg.recovery.scheme = scheme;
+
+    cfg.threads = 1;
+    const auto serial = run_recovery_experiment(g, cfg);
+    const int hw = default_thread_count();
+    for (const int threads : {2, hw > 1 ? hw : 3}) {
+      cfg.threads = threads;
+      expect_recovery_points_equal(run_recovery_experiment(g, cfg), serial);
+    }
+  }
+}
+
+TEST(TrialEngineExperiments, ExhaustivePairsRecoveryThreadInvariant) {
+  // pair_sample = 0 walks every ordered pair — the Figs. 4/5 configuration.
+  const Graph g = topo::abilene();
+  RecoveryExperimentConfig cfg;
+  cfg.k_values = {1, 3};
+  cfg.p_values = {0.1};
+  cfg.trials = 5;
+  cfg.seed = 6;
+  cfg.pair_sample = 0;
+
+  cfg.threads = 1;
+  const auto serial = run_recovery_experiment(g, cfg);
+  cfg.threads = 4;
+  expect_recovery_points_equal(run_recovery_experiment(g, cfg), serial);
+}
+
+}  // namespace
+}  // namespace splice
