@@ -16,6 +16,13 @@
 //                                                (0 = hardware concurrency;
 //                                                results are identical for
 //                                                every value)
+//   --metrics=path                               enable the obs registry and
+//                                                write a RunReport next to
+//                                                the table (".prom" path =>
+//                                                Prometheus text, else JSON)
+//   --obs                                        enable the obs registry
+//                                                without writing a report
+//                                                (the text report prints)
 #pragma once
 
 #include <chrono>
@@ -26,6 +33,8 @@
 #include <string>
 
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "routing/perturbation.h"
 #include "topo/datasets.h"
 #include "util/flags.h"
@@ -54,6 +63,15 @@ inline PerturbationConfig perturbation_from_flags(const Flags& flags) {
 /// --threads for ControlPlaneConfig::threads (0 ⇒ default_thread_count()).
 inline int threads_from_flags(const Flags& flags) {
   return static_cast<int>(flags.get_int("threads", 0));
+}
+
+/// Turns the telemetry registry on when --metrics/--obs is present. Call
+/// before the instrumented work; emit() then writes/prints the RunReport.
+/// Returns whether telemetry is on.
+inline bool obs_from_flags(const Flags& flags) {
+  const bool on = flags.has("metrics") || flags.get_bool("obs", false);
+  if (on) obs::MetricsRegistry::set_enabled(true);
+  return on;
 }
 
 /// Wall-clock stopwatch for build-time metrics.
@@ -162,6 +180,27 @@ inline void emit(const Flags& flags, const Table& table,
       std::cout << "\n[json written to " << *json << "]\n";
     } else {
       std::cerr << "failed to write json: " << *json << "\n";
+    }
+  }
+  if (obs::MetricsRegistry::enabled()) {
+    obs::RunReport report = obs::RunReport::capture(
+        meta.bench.empty() ? flags.program() : meta.bench);
+    report.add_param("topo", meta.topo.empty()
+                                 ? flags.get_string("topo", "")
+                                 : meta.topo);
+    report.add_param("params", meta.params);
+    const auto path = flags.get("metrics");
+    if (path && !path->empty() && *path != "true") {
+      if (*path == "-") {
+        std::cout << "\n" << report.to_json();
+      } else if (write_run_report(report, *path)) {
+        std::cout << "\n[metrics written to " << *path << "]\n";
+      } else {
+        std::cerr << "failed to write metrics: " << *path << "\n";
+      }
+    } else {
+      // bare --obs (or valueless --metrics): print the human report
+      std::cout << "\n" << report.to_text();
     }
   }
 }

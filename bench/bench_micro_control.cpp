@@ -1,14 +1,29 @@
-// Control-plane microbenchmarks (google-benchmark): per-slice SPT
-// construction, k-instance control-plane builds, FIB materialization and
-// spliced-union reliability queries — the costs paid at (re)configuration
-// time, which the paper argues grow only linearly in k.
+// Control-plane microbenchmarks: per-slice SPT construction, k-instance
+// control-plane builds, FIB materialization and spliced-union reliability
+// queries — the costs paid at (re)configuration time, which the paper
+// argues grow only linearly in k.
+//
+// Two modes, like bench_micro_dataplane:
+//   * default             — google-benchmark suite (BM_* below);
+//   * --json=PATH [...]   — self-contained compare mode: serial-vs-parallel
+//                           slice builds, FIB materialization, incremental
+//                           repair vs full rebuild, analyzer CSR build; each
+//                           row carries a table checksum so the perf gate
+//                           also re-verifies bit-identical results.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "bench_common.h"
 #include "routing/multi_instance.h"
 #include "sim/failure.h"
 #include "splicing/reliability.h"
 #include "splicing/splicer.h"
 #include "topo/datasets.h"
+#include "util/parallel.h"
+#include "util/rng.h"
 
 namespace splice {
 namespace {
@@ -82,7 +97,207 @@ void BM_PerturbationDraw(benchmark::State& state) {
 }
 BENCHMARK(BM_PerturbationDraw);
 
+/// FNV-ish digest over every slice's next-hop/next-edge tables — equal
+/// digests mean bit-identical forwarding state.
+std::uint64_t fib_tables_checksum(const MultiInstanceRouting& mir) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  const NodeId n = mir.slice(0).node_count();
+  for (SliceId s = 0; s < mir.slice_count(); ++s) {
+    const RoutingInstance& inst = mir.slice(s);
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId dst = 0; dst < n; ++dst) {
+        if (v == dst) continue;
+        h = hash_mix(h, static_cast<std::uint64_t>(inst.next_hop(v, dst)),
+                     static_cast<std::uint64_t>(inst.next_hop_edge(v, dst)));
+      }
+    }
+  }
+  return h;
+}
+
+std::uint64_t fibset_checksum(const FibSet& fibs, NodeId n) {
+  std::uint64_t h = 0x452821e638d01377ULL;
+  for (SliceId s = 0; s < fibs.slice_count(); ++s) {
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId dst = 0; dst < n; ++dst) {
+        if (v == dst) continue;
+        const FibEntry e = fibs.lookup(s, v, dst);
+        h = hash_mix(h, static_cast<std::uint64_t>(e.next_hop),
+                     static_cast<std::uint64_t>(e.edge));
+      }
+    }
+  }
+  return h;
+}
+
+/// Digest of analyzer answers over a deterministic mask set: covers the CSR
+/// build *and* the first-k truncated reach queries.
+std::uint64_t analyzer_checksum(const Graph& g,
+                                const SplicedReliabilityAnalyzer& analyzer,
+                                SliceId k_max, std::uint64_t seed) {
+  std::uint64_t h = 0x13198a2e03707344ULL;
+  Rng rng(seed);
+  for (int m = 0; m < 4; ++m) {
+    const auto alive = sample_alive_mask(g.edge_count(), 0.08, rng);
+    for (SliceId k = 1; k <= k_max; ++k) {
+      h = hash_mix(h, static_cast<std::uint64_t>(
+                          analyzer.disconnected_pairs(k, alive)),
+                   static_cast<std::uint64_t>(k));
+    }
+  }
+  return h;
+}
+
+/// Checksums render as "x"-prefixed hex strings: the prefix keeps
+/// bench_common's json_cell from treating them as numbers (strtod would
+/// parse "0x..." as a C99 hex float), so they emit as quoted strings and
+/// key the perf-gate rows exactly.
+std::string fmt_checksum(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "x%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Minimum over `reps` timed runs — the usual low-noise estimator for
+/// gate-stable microbench numbers.
+template <typename Fn>
+double best_ms(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const bench::Stopwatch sw;
+    fn();
+    best = std::min(best, sw.elapsed_ms());
+  }
+  return best;
+}
+
+int run_control_compare(const Flags& flags) {
+  bench::obs_from_flags(flags);
+  const bench::Stopwatch wall;
+  const Graph g = bench::load_topology_flag(flags);
+  const auto k = static_cast<SliceId>(flags.get_int("k", 8));
+  const int reps = static_cast<int>(flags.get_int("reps", 5));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const int hw = default_thread_count();
+
+  ControlPlaneConfig cfg;
+  cfg.slices = k;
+  cfg.perturbation = {PerturbationKind::kDegreeBased, 0.0, 3.0};
+  cfg.seed = seed;
+
+  // --- slice_build: identical weight draws, 1 worker vs all of them. -----
+  ControlPlaneConfig cfg1 = cfg;
+  cfg1.threads = 1;
+  ControlPlaneConfig cfgn = cfg;
+  cfgn.threads = hw;
+  const double serial_ms = best_ms(reps, [&] {
+    const MultiInstanceRouting mir(g, cfg1);
+    benchmark::DoNotOptimize(&mir);
+  });
+  const double parallel_ms = best_ms(reps, [&] {
+    const MultiInstanceRouting mir(g, cfgn);
+    benchmark::DoNotOptimize(&mir);
+  });
+  const MultiInstanceRouting mir1(g, cfg1);
+  const MultiInstanceRouting mirn(g, cfgn);
+  const std::uint64_t build_sum1 = fib_tables_checksum(mir1);
+  const std::uint64_t build_sumn = fib_tables_checksum(mirn);
+  if (build_sum1 != build_sumn) {
+    std::cerr << "FATAL: parallel slice build diverged from serial\n";
+    return EXIT_FAILURE;
+  }
+
+  // --- fib_build: FibSet materialization from the built instances. -------
+  const double fib_ms = best_ms(reps, [&] {
+    const FibSet fibs = mirn.build_fibs();
+    benchmark::DoNotOptimize(&fibs);
+  });
+  const std::uint64_t fib_sum =
+      fibset_checksum(mirn.build_fibs(), g.node_count());
+
+  // --- repair: one link-weight event, incremental vs full rebuild. -------
+  // A weight *drop* pulls shortest paths onto the edge, so the repair has
+  // real work to do in every slice (an increase on an unused edge is free).
+  const EdgeId event_edge = g.edge_count() / 2;
+  const Weight new_weight = g.edge(event_edge).weight * 0.25;
+  std::vector<std::vector<Weight>> rebuilt_weights;
+  rebuilt_weights.reserve(static_cast<std::size_t>(k));
+  for (SliceId s = 0; s < k; ++s) {
+    const auto w = mir1.slice(s).weights();
+    rebuilt_weights.emplace_back(w.begin(), w.end());
+    rebuilt_weights.back()[static_cast<std::size_t>(event_edge)] = new_weight;
+  }
+  const double rebuild_ms = best_ms(reps, [&] {
+    auto weights = rebuilt_weights;
+    const MultiInstanceRouting rebuilt(g, std::move(weights), 1);
+    benchmark::DoNotOptimize(&rebuilt);
+  });
+  double repair_ms = 1e300;
+  std::uint64_t repair_sum = 0;
+  for (int r = 0; r < reps; ++r) {
+    MultiInstanceRouting repaired = mir1;
+    const bench::Stopwatch sw;
+    repaired.apply_edge_event(event_edge, new_weight);
+    repair_ms = std::min(repair_ms, sw.elapsed_ms());
+    repair_sum = fib_tables_checksum(repaired);
+  }
+  const MultiInstanceRouting rebuilt(
+      g, std::vector<std::vector<Weight>>(rebuilt_weights), 1);
+  const std::uint64_t rebuild_sum = fib_tables_checksum(rebuilt);
+  if (repair_sum != rebuild_sum) {
+    std::cerr << "FATAL: incremental repair diverged from full rebuild\n";
+    return EXIT_FAILURE;
+  }
+
+  // --- analyzer_build: spliced-union CSR construction + probe queries. ---
+  const double analyzer_ms = best_ms(reps, [&] {
+    const SplicedReliabilityAnalyzer analyzer(g, mirn);
+    benchmark::DoNotOptimize(&analyzer);
+  });
+  const SplicedReliabilityAnalyzer analyzer(g, mirn);
+  const std::uint64_t analyzer_sum = analyzer_checksum(g, analyzer, k, seed);
+
+  Table table({"phase", "impl", "threads", "ms", "checksum", "speedup"});
+  table.add_row({"slice_build", "serial", "1", fmt_double(serial_ms, 3),
+                 fmt_checksum(build_sum1), "1.00"});
+  // threads cell is the literal "hw" so the row key is machine-stable.
+  table.add_row({"slice_build", "parallel", "hw", fmt_double(parallel_ms, 3),
+                 fmt_checksum(build_sumn),
+                 fmt_double(serial_ms / parallel_ms, 2)});
+  table.add_row({"fib_build", "loop", "1", fmt_double(fib_ms, 3),
+                 fmt_checksum(fib_sum), ""});
+  table.add_row({"repair", "rebuild", "1", fmt_double(rebuild_ms, 3),
+                 fmt_checksum(rebuild_sum), "1.00"});
+  table.add_row({"repair", "incremental", "1", fmt_double(repair_ms, 3),
+                 fmt_checksum(repair_sum),
+                 fmt_double(rebuild_ms / repair_ms, 2)});
+  table.add_row({"analyzer_build", "csr", "1", fmt_double(analyzer_ms, 3),
+                 fmt_checksum(analyzer_sum), ""});
+
+  bench::BenchMeta meta;
+  meta.bench = "bench_micro_control/control_compare";
+  meta.topo = flags.get_string("topo", "sprint");
+  meta.params = "k=" + std::to_string(k) + " reps=" + std::to_string(reps) +
+                " seed=" + std::to_string(seed) +
+                " hw_threads=" + std::to_string(hw);
+  meta.wall_ms = wall.elapsed_ms();
+  bench::emit(flags, table, meta);
+  return EXIT_SUCCESS;
+}
+
 }  // namespace
 }  // namespace splice
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--json", 0) == 0) {
+      return splice::run_control_compare(splice::Flags(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

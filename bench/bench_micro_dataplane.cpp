@@ -381,6 +381,7 @@ struct SweepChecksum {
 };
 
 int run_dataplane_compare(const Flags& flags) {
+  bench::obs_from_flags(flags);
   const auto k = static_cast<SliceId>(flags.get_int("k", 8));
   const int packets = static_cast<int>(flags.get_int("packets", 4000));
   const int reps = static_cast<int>(flags.get_int("reps", 30));
@@ -843,7 +844,9 @@ int run_dataplane_compare(const Flags& flags) {
                  "", fmt_double(legacy_query_ms / csr_query_ms, 2)});
   table.add_row({"trial_batch", "engine", "1", fmt_double(batch1_ms, 3), "",
                  "1.00"});
-  table.add_row({"trial_batch", "engine", fmt_int(hw),
+  // The threads cell is the literal "hw", not the hardware thread count:
+  // the row key must be stable across machines for perf_gate.py matching.
+  table.add_row({"trial_batch", "engine", "hw",
                  fmt_double(batchn_ms, 3), "",
                  fmt_double(batch1_ms / batchn_ms, 2)});
 

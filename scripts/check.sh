@@ -1,21 +1,34 @@
 #!/usr/bin/env bash
 # Repository check script: the tier-1 build + test gate, then two sanitizer
 # passes — ThreadSanitizer over the concurrency-sensitive targets (parallel
-# control-plane build/repair, the parallel trial runner and the TrialEngine
-# experiments) and AddressSanitizer over the data-plane/sim fast-path
-# targets (raw-pointer FIB views, CSR adjacency, reused workspaces).
+# control-plane build/repair, the parallel trial runner, the TrialEngine
+# experiments and the sharded obs metrics registry) and AddressSanitizer
+# over the data-plane/sim fast-path targets (raw-pointer FIB views, CSR
+# adjacency, reused workspaces).
 #
-# Usage: scripts/check.sh [--no-tsan] [--no-asan]
+# --bench-smoke additionally runs the micro benches with small fixed
+# parameters and gates the result against the committed bench/baselines/
+# snapshots via scripts/perf_gate.py: checksums and counters must match
+# exactly; speedup ratios may not regress by more than the gate tolerance.
+# Wall-times are machine-dependent and are never gated here.
+# --rebaseline regenerates the committed baselines (run on the reference
+# machine after an intentional perf change, then commit the diff).
+#
+# Usage: scripts/check.sh [--no-tsan] [--no-asan] [--bench-smoke] [--rebaseline]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_asan=1
+bench_smoke=0
+rebaseline=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --no-asan) run_asan=0 ;;
+    --bench-smoke) bench_smoke=1 ;;
+    --rebaseline) bench_smoke=1; rebaseline=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -42,7 +55,7 @@ run_sanitizer() {
 if [[ "$run_tsan" == 1 ]]; then
   run_sanitizer thread \
     util_parallel_test routing_multi_instance_test routing_repair_test \
-    determinism_test dataplane_fastpath_test
+    determinism_test dataplane_fastpath_test obs_metrics_test
 else
   echo "==> thread sanitizer pass skipped (--no-tsan)"
 fi
@@ -53,6 +66,54 @@ if [[ "$run_asan" == 1 ]]; then
     splicing_recovery_test sim_experiments_test
 else
   echo "==> address sanitizer pass skipped (--no-asan)"
+fi
+
+if [[ "$bench_smoke" == 1 ]]; then
+  echo "==> perf gate: self-test"
+  python3 scripts/perf_gate.py --self-test
+
+  # Fixed small parameters: the smoke run must finish in seconds and its
+  # row keys / checksums / counters must be reproducible on any machine.
+  smoke_dir="build/bench-smoke"
+  mkdir -p "$smoke_dir" bench/baselines
+  declare -A smoke_cmd=(
+    [micro_control]="./build/bench/bench_micro_control --json=$smoke_dir/BENCH_micro_control.json --reps=5 --k=8 --seed=7"
+    [micro_dataplane]="./build/bench/bench_micro_dataplane --json=$smoke_dir/BENCH_micro_dataplane.json --packets=2000 --reps=10 --trials=24 --large_n=300 --large_packets=6000 --seed=5"
+  )
+  declare -A smoke_metrics=(
+    [micro_control]="--metrics=$smoke_dir/METRICS_micro_control.json"
+    [micro_dataplane]="--metrics=$smoke_dir/METRICS_micro_dataplane.json"
+  )
+  gate_failed=0
+  for name in micro_control micro_dataplane; do
+    echo "==> bench smoke: $name"
+    ${smoke_cmd[$name]} ${smoke_metrics[$name]} >/dev/null
+    for kind in BENCH METRICS; do
+      current="$smoke_dir/${kind}_${name}.json"
+      baseline="bench/baselines/${kind}_${name}.json"
+      if [[ "$rebaseline" == 1 ]]; then
+        cp "$current" "$baseline"
+        echo "    rebaselined $baseline"
+      elif [[ -f "$baseline" ]]; then
+        # Checksums/counters/histogram bins gate exactly at any tolerance;
+        # the tolerance only loosens the speedup/throughput ratio gate.
+        # Observed run-to-run swings on sub-ms phases reach ~60% on a
+        # shared single-core machine, so the default (75%) only catches
+        # order-of-magnitude collapses (a broken fast path); tighten with
+        # SMOKE_TOL=0.1 on a quiet reference machine.
+        python3 scripts/perf_gate.py "$baseline" "$current" --quiet \
+          --tolerance="${SMOKE_TOL:-0.75}" || gate_failed=1
+      else
+        echo "    no baseline $baseline (run --rebaseline)" >&2
+        gate_failed=1
+      fi
+    done
+  done
+  if [[ "$gate_failed" == 1 ]]; then
+    echo "==> bench smoke FAILED" >&2
+    exit 1
+  fi
+  echo "==> bench smoke passed"
 fi
 
 echo "==> all checks passed"

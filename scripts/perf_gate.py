@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff two bench JSON files with per-metric tolerances.
+
+Accepts both telemetry formats this repo emits:
+
+  * bench tables   -- {bench, topo, params, rows: [{col: val}, ...], wall_ms}
+                      written by the bench binaries' --json flag;
+  * run reports    -- {report, params, counters, gauges, histograms, spans}
+                      written by --metrics (obs::RunReport::to_json).
+
+Metrics are classified by column/metric name:
+
+  HIGHER_BETTER  name contains speedup / mhops / throughput / per_s
+                 -> fail if current < baseline * (1 - tolerance)
+  TIME           name contains ms / _ns / _us / wall / seconds
+                 -> gated only with --gate-time (wall time is machine-
+                    dependent); then fail if current > baseline * (1 + tol)
+  EXACT          everything else (checksums, outcome counts, hop totals,
+                 registry counters, histogram bins...) -> any mismatch fails
+
+Bench-table rows are keyed by their string-valued cells (phase, impl,
+checksum columns emit as strings), so rows match across runs regardless of
+row order; a baseline row with no matching current row is a failure.
+
+Usage:
+  perf_gate.py BASELINE CURRENT [--tolerance=0.10] [--gate-time] [--quiet]
+  perf_gate.py --self-test
+
+Exit status: 0 = pass, 1 = regression or format error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+HIGHER_BETTER_MARKERS = ("speedup", "mhops", "throughput", "per_s")
+TIME_MARKERS = ("ms", "_ns", "_us", "wall", "seconds")
+
+
+def classify(name: str) -> str:
+    low = name.lower()
+    # Order matters: "Mhops_s" contains "hops" and "_s"; higher-better
+    # markers win over everything else.
+    if any(m in low for m in HIGHER_BETTER_MARKERS):
+        return "higher_better"
+    if any(m in low for m in TIME_MARKERS):
+        return "time"
+    return "exact"
+
+
+def is_run_report(doc: dict) -> bool:
+    return "counters" in doc or "report" in doc
+
+
+def flatten_run_report(doc: dict) -> dict:
+    """RunReport -> {metric_key: (class, value)}."""
+    out = {}
+    for name, value in doc.get("counters", {}).items():
+        out[f"counter:{name}"] = ("exact", value)
+    for name, value in doc.get("gauges", {}).items():
+        out[f"gauge:{name}"] = (classify(name), value)
+    for name, hist in doc.get("histograms", {}).items():
+        out[f"hist:{name}:total"] = ("exact", hist.get("total"))
+        out[f"hist:{name}:sum"] = (classify(name), hist.get("sum"))
+        for i, c in enumerate(hist.get("counts", [])):
+            out[f"hist:{name}:bin{i}"] = ("exact", c)
+    # Span counts vary with worker count (per-worker scratch construction)
+    # and span times are wall-clock: only total_ns is diffable, as TIME.
+    for span in doc.get("spans", []):
+        out[f"span:{span['path']}:total_ns"] = ("time", span.get("total_ns"))
+    return out
+
+
+def flatten_bench_rows(doc: dict) -> dict:
+    """Bench table -> {metric_key: (class, value)}. Row key = string cells."""
+    out = {}
+    seen = {}
+    for row in doc.get("rows", []):
+        key_cells = [str(v) for v in row.values() if isinstance(v, str) and v]
+        key = "|".join(key_cells) or "row"
+        n = seen.get(key, 0)
+        seen[key] = n + 1
+        if n:
+            key = f"{key}#{n}"
+        for col, value in row.items():
+            if isinstance(value, str):
+                continue  # part of the key
+            out[f"{key}:{col}"] = (classify(col), value)
+    out["wall_ms"] = ("time", doc.get("wall_ms"))
+    return out
+
+
+def flatten(doc: dict) -> dict:
+    return flatten_run_report(doc) if is_run_report(doc) else flatten_bench_rows(doc)
+
+
+def compare(base: dict, cur: dict, tolerance: float, gate_time: bool,
+            quiet: bool = False) -> list[str]:
+    """Returns a list of failure messages (empty = gate passes)."""
+    failures = []
+    base_m = flatten(base)
+    cur_m = flatten(cur)
+    for key in sorted(base_m):
+        cls, bv = base_m[key]
+        if key not in cur_m:
+            failures.append(f"MISSING  {key} (present in baseline)")
+            continue
+        cv = cur_m[key][1]
+        if bv is None or cv is None:
+            continue
+        if cls == "exact":
+            if bv != cv:
+                failures.append(f"CHANGED  {key}: {bv} -> {cv}")
+            continue
+        if not isinstance(bv, (int, float)) or not isinstance(cv, (int, float)):
+            if bv != cv:
+                failures.append(f"CHANGED  {key}: {bv} -> {cv}")
+            continue
+        if cls == "time":
+            if not gate_time:
+                continue
+            if bv > 0 and cv > bv * (1.0 + tolerance):
+                failures.append(
+                    f"SLOWER   {key}: {bv:g} -> {cv:g} "
+                    f"(+{(cv / bv - 1) * 100:.1f}% > {tolerance * 100:.0f}%)")
+            continue
+        # higher_better
+        if bv > 0 and cv < bv * (1.0 - tolerance):
+            failures.append(
+                f"REGRESSED {key}: {bv:g} -> {cv:g} "
+                f"(-{(1 - cv / bv) * 100:.1f}% > {tolerance * 100:.0f}%)")
+    for key in sorted(set(cur_m) - set(base_m)):
+        if not quiet:
+            print(f"note: new metric not in baseline: {key}")
+    return failures
+
+
+def self_test() -> int:
+    """Synthetic fixtures: the gate must flag a 20% regression and pass an
+    identical pair; exact mismatches must always fail."""
+    baseline = {
+        "bench": "fixture",
+        "topo": "sprint",
+        "params": "k=8",
+        "rows": [
+            {"phase": "forward", "impl": "fast", "threads": 1,
+             "ms": 10.0, "Mhops_s": 50.0, "speedup": 2.0,
+             "checksum": "xdeadbeef"},
+            {"phase": "trial_batch", "impl": "engine", "threads": "hw",
+             "ms": 5.0, "Mhops_s": 100.0, "speedup": 4.0,
+             "checksum": "xfeedface"},
+        ],
+        "wall_ms": 100.0,
+    }
+    same = json.loads(json.dumps(baseline))
+    if compare(baseline, same, 0.10, gate_time=True, quiet=True):
+        print("self-test FAILED: identical runs did not pass")
+        return 1
+
+    # 20% speedup regression on one row must be flagged at 10% tolerance.
+    regressed = json.loads(json.dumps(baseline))
+    regressed["rows"][1]["speedup"] = 3.2     # 4.0 -> 3.2 = -20%
+    regressed["rows"][1]["Mhops_s"] = 80.0    # -20%
+    fails = compare(baseline, regressed, 0.10, gate_time=False, quiet=True)
+    if len(fails) != 2 or not all(f.startswith("REGRESSED") for f in fails):
+        print(f"self-test FAILED: 20% regression not flagged: {fails}")
+        return 1
+
+    # ...and must pass at 25% tolerance.
+    if compare(baseline, regressed, 0.25, gate_time=False, quiet=True):
+        print("self-test FAILED: 20% regression flagged at 25% tolerance")
+        return 1
+
+    # A checksum flip is an exact failure at any tolerance.
+    corrupt = json.loads(json.dumps(baseline))
+    corrupt["rows"][0]["checksum"] = "x0bad0bad"
+    fails = compare(baseline, corrupt, 1e9, gate_time=False, quiet=True)
+    if not any(f.startswith("MISSING") for f in fails):
+        print(f"self-test FAILED: checksum flip not caught: {fails}")
+        return 1
+
+    # Time gating: +20% wall only fails with --gate-time.
+    slower = json.loads(json.dumps(baseline))
+    slower["rows"][0]["ms"] = 12.0
+    if compare(baseline, slower, 0.10, gate_time=False, quiet=True):
+        print("self-test FAILED: time gated without --gate-time")
+        return 1
+    if not compare(baseline, slower, 0.10, gate_time=True, quiet=True):
+        print("self-test FAILED: +20% time not flagged with --gate-time")
+        return 1
+
+    # RunReport format: a counter drift is an exact failure.
+    report = {"report": "fixture", "params": {},
+              "counters": {"sim.trials": 1000}, "gauges": {},
+              "histograms": {"hops": {"lo": 0.0, "hi": 8.0, "total": 3,
+                                      "sum": 6.0, "counts": [1, 2]}},
+              "spans": [{"path": "a/b", "depth": 1, "count": 2,
+                         "total_ns": 5000}]}
+    drifted = json.loads(json.dumps(report))
+    drifted["counters"]["sim.trials"] = 999
+    fails = compare(report, drifted, 0.10, gate_time=False, quiet=True)
+    if len(fails) != 1 or "sim.trials" not in fails[0]:
+        print(f"self-test FAILED: counter drift not caught: {fails}")
+        return 1
+
+    print("perf_gate self-test OK")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    tolerance = 0.10
+    gate_time = False
+    quiet = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--self-test":
+            return self_test()
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg == "--gate-time":
+            gate_time = True
+        elif arg == "--quiet":
+            quiet = True
+        elif arg.startswith("--"):
+            print(f"unknown flag: {arg}", file=sys.stderr)
+            return 1
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    try:
+        with open(paths[0]) as f:
+            base = json.load(f)
+        with open(paths[1]) as f:
+            cur = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_gate: cannot load input: {e}", file=sys.stderr)
+        return 1
+    failures = compare(base, cur, tolerance, gate_time, quiet)
+    if failures:
+        print(f"perf_gate: FAIL ({paths[0]} -> {paths[1]})")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    if not quiet:
+        print(f"perf_gate: OK ({paths[0]} -> {paths[1]}, "
+              f"tolerance={tolerance:.0%}, gate_time={gate_time})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

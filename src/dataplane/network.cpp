@@ -7,6 +7,8 @@
 #include <sys/mman.h>
 #endif
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/assert.h"
 #include "util/rng.h"
 
@@ -49,6 +51,10 @@ DataPlaneNetwork::DataPlaneNetwork(const Graph& g, const FibSet& fibs)
       flat_(fibs),
       edge_weight_(static_cast<std::size_t>(g.edge_count())),
       link_alive_(static_cast<std::size_t>(g.edge_count()), 1) {
+  // Span only — no counter: TrialEngine workers construct scratch copies of
+  // this object lazily, so a build counter would vary with thread count and
+  // break the snapshot determinism contract.
+  SPLICE_OBS_SPAN("dataplane.network_build");
   SPLICE_EXPECTS(fibs.node_count() == g.node_count());
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     edge_weight_[static_cast<std::size_t>(e)] = g.edge(e).weight;
@@ -333,6 +339,53 @@ void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
       }
     }
   }
+
+#if SPLICE_OBS
+  // Telemetry tail, outside the kernel: per-packet work is a pure function
+  // of the packet set, so these totals are thread-count-invariant no matter
+  // how the batches are partitioned across TrialEngine workers.
+  if (obs::MetricsRegistry::enabled()) {
+    long long delivered = 0, dead_end = 0, ttl_expired = 0;
+    long long hops = 0, deflected = 0;
+    constexpr int kHopBins = 64;
+    constexpr double kHopLo = 0.0, kHopHi = 256.0;
+    static obs::HistogramMetric& hops_hist =
+        obs::MetricsRegistry::global().histogram("dataplane.batch.hops_hist",
+                                                 kHopLo, kHopHi, kHopBins);
+    // Bin locally, flush once: per-sample atomics here cost ~20% of the
+    // kernel; one batched flush is noise. Hops are non-negative integers
+    // and the bin width (kHopHi / kHopBins = 4) is a power of two, so
+    // `min(hops >> 2, kHopBins - 1)` reproduces Histogram::bin_index
+    // exactly without the per-packet double divide.
+    static_assert(kHopLo == 0.0 && kHopHi / kHopBins == 4.0);
+    long long hop_bins[kHopBins] = {};
+    for (const ForwardSummary& s : out) {
+      switch (s.outcome) {
+        case ForwardOutcome::kDelivered:
+          ++delivered;
+          break;
+        case ForwardOutcome::kDeadEnd:
+          ++dead_end;
+          break;
+        case ForwardOutcome::kTtlExpired:
+          ++ttl_expired;
+          break;
+      }
+      hops += s.hops;
+      deflected += s.deflected ? 1 : 0;
+      ++hop_bins[std::min(s.hops >> 2, kHopBins - 1)];
+    }
+    // The sample sum of integer hops is exact as a double (hops < 2^53).
+    hops_hist.observe_binned(hop_bins, kHopBins, static_cast<double>(hops));
+    SPLICE_OBS_COUNT("dataplane.batch.packets",
+                     static_cast<long long>(out.size()));
+    SPLICE_OBS_COUNT("dataplane.batch.delivered", delivered);
+    SPLICE_OBS_COUNT("dataplane.batch.dead_end", dead_end);
+    SPLICE_OBS_COUNT("dataplane.batch.ttl_expired", ttl_expired);
+    SPLICE_OBS_COUNT("dataplane.batch.hops", hops);
+    SPLICE_OBS_COUNT("dataplane.batch.deflected_packets", deflected);
+  }
+#endif  // SPLICE_OBS
 }
 
 Weight trace_cost(const Graph& g, const Delivery& d) {

@@ -1,9 +1,11 @@
 #include "dataplane/trace_log.h"
 
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
 #include "dataplane/network.h"
+#include "obs/metrics.h"
 #include "util/assert.h"
 
 namespace splice {
@@ -42,6 +44,15 @@ std::vector<std::string> split_csv(const std::string& text) {
   return out;
 }
 
+/// Shortest decimal representation that parses back to exactly `v`, so
+/// cost= survives a format/parse round trip bit for bit (the previous
+/// ostream default truncated to 6 significant digits).
+std::string shortest_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
 /// Value of "key=value" if the token has that key.
 bool take_kv(const std::string& token, const char* key, std::string& value) {
   const std::string prefix = std::string(key) + "=";
@@ -59,7 +70,7 @@ std::string format_trace(const Graph& g, NodeId src, NodeId dst,
   std::ostringstream out;
   out << outcome_token(d.outcome) << " src=" << node_label(g, src)
       << " dst=" << node_label(g, dst) << " hops=" << d.hop_count()
-      << " cost=" << trace_cost(g, d);
+      << " cost=" << shortest_double(trace_cost(g, d));
 
   out << " slices=";
   for (std::size_t i = 0; i < d.hops.size(); ++i) {
@@ -139,16 +150,30 @@ void TraceLog::record(NodeId src, NodeId dst, const Delivery& d) {
   switch (d.outcome) {
     case ForwardOutcome::kDelivered:
       ++delivered_;
+      SPLICE_OBS_COUNT("dataplane.trace.delivered", 1);
       break;
     case ForwardOutcome::kDeadEnd:
       ++dead_ends_;
+      SPLICE_OBS_COUNT("dataplane.trace.dead_end", 1);
       break;
     case ForwardOutcome::kTtlExpired:
       ++ttl_expired_;
+      SPLICE_OBS_COUNT("dataplane.trace.ttl_expired", 1);
       break;
   }
-  total_hops_ += d.hop_count();
-  for (const HopRecord& hop : d.hops) deflections_ += hop.deflected ? 1 : 0;
+  const int hops = d.hop_count();
+  int deflections = 0;
+  for (const HopRecord& hop : d.hops) deflections += hop.deflected ? 1 : 0;
+  total_hops_ += hops;
+  deflections_ += deflections;
+  // Mirror the summary stats into the registry so TraceLog::render() and
+  // telemetry exports cannot drift apart.
+  SPLICE_OBS_COUNT("dataplane.trace.records", 1);
+  SPLICE_OBS_COUNT("dataplane.trace.hops", hops);
+  SPLICE_OBS_COUNT("dataplane.trace.deflections", deflections);
+  SPLICE_OBS_OBSERVE("dataplane.trace.hops_hist", 0.0, 256.0, 64, hops);
+  SPLICE_OBS_OBSERVE("dataplane.trace.deflections_per_packet", 0.0, 32.0, 32,
+                     deflections);
 }
 
 std::string TraceLog::render() const {

@@ -1,0 +1,192 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace splice::obs {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-' || c == '/') c = '_';
+  }
+  return out;
+}
+
+std::string hist_summary(const Histogram& h) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "n=%lld sum=%.6g p50<=%.6g p99<=%.6g",
+                h.total(), h.sum(), h.quantile_edge(0.5),
+                h.quantile_edge(0.99));
+  return buf;
+}
+
+}  // namespace
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  std::string s(buf, res.ptr);
+  // Bare integers round-trip fine, but keep them unambiguous as doubles.
+  if (s.find_first_of(".eEn") == std::string::npos) s += ".0";
+  return s;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+Table metrics_table(const MetricsSnapshot& snap) {
+  Table t({"metric", "type", "value"});
+  for (const CounterSample& c : snap.counters) {
+    t.add_row({c.name, "counter", fmt_int(c.value)});
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    t.add_row({g.name, "gauge", fmt_double(g.value)});
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    t.add_row({h.name, "histogram", hist_summary(h.hist)});
+  }
+  return t;
+}
+
+Table spans_table(const SpanSnapshot& snap) {
+  Table t({"phase", "count", "total_ms", "mean_us"});
+  for (const SpanStat& s : snap.stats) {
+    std::string label(static_cast<std::size_t>(s.depth) * 2, ' ');
+    label += s.name;
+    const double total_ms = static_cast<double>(s.total_ns) * 1e-6;
+    const double mean_us =
+        s.count == 0 ? 0.0
+                     : static_cast<double>(s.total_ns) * 1e-3 /
+                           static_cast<double>(s.count);
+    t.add_row({std::move(label), fmt_int(s.count), fmt_double(total_ms, 3),
+               fmt_double(mean_us, 3)});
+  }
+  return t;
+}
+
+std::string metrics_json_body(const MetricsSnapshot& snap) {
+  std::string out = "\"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += json_quote(snap.counters[i].name);
+    out += ": ";
+    out += std::to_string(snap.counters[i].value);
+  }
+  out += "}, \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += json_quote(snap.gauges[i].name);
+    out += ": ";
+    out += json_double(snap.gauges[i].value);
+  }
+  out += "}, \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const Histogram& h = snap.histograms[i].hist;
+    if (i != 0) out += ", ";
+    out += json_quote(snap.histograms[i].name);
+    out += ": {\"lo\": ";
+    out += json_double(h.lo());
+    out += ", \"hi\": ";
+    out += json_double(h.hi());
+    out += ", \"total\": ";
+    out += std::to_string(h.total());
+    out += ", \"sum\": ";
+    out += json_double(h.sum());
+    out += ", \"counts\": [";
+    for (int b = 0; b < h.bins(); ++b) {
+      if (b != 0) out += ", ";
+      out += std::to_string(h.count(b));
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string spans_json_body(const SpanSnapshot& snap) {
+  std::string out = "\"spans\": [";
+  for (std::size_t i = 0; i < snap.stats.size(); ++i) {
+    const SpanStat& s = snap.stats[i];
+    if (i != 0) out += ", ";
+    out += "{\"path\": ";
+    out += json_quote(s.path);
+    out += ", \"depth\": ";
+    out += std::to_string(s.depth);
+    out += ", \"count\": ";
+    out += std::to_string(s.count);
+    out += ", \"total_ns\": ";
+    out += std::to_string(s.total_ns);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          const SpanSnapshot& spans) {
+  std::string out;
+  for (const CounterSample& c : snap.counters) {
+    const std::string name = "splice_" + sanitize(c.name) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    const std::string name = "splice_" + sanitize(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + json_double(g.value) + "\n";
+  }
+  for (const HistogramSample& hs : snap.histograms) {
+    const Histogram& h = hs.hist;
+    const std::string name = "splice_" + sanitize(hs.name);
+    out += "# TYPE " + name + " histogram\n";
+    for (int b = 0; b < h.bins(); ++b) {
+      out += name + "_bucket{le=\"" + json_double(h.bin_hi(b)) + "\"} " +
+             std::to_string(h.cumulative(b)) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.total()) + "\n";
+    out += name + "_sum " + json_double(h.sum()) + "\n";
+    out += name + "_count " + std::to_string(h.total()) + "\n";
+  }
+  for (const SpanStat& s : spans.stats) {
+    out += "splice_span_seconds_sum{path=\"" + s.path + "\"} " +
+           json_double(static_cast<double>(s.total_ns) * 1e-9) + "\n";
+    out += "splice_span_seconds_count{path=\"" + s.path + "\"} " +
+           std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace splice::obs

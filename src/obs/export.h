@@ -1,0 +1,39 @@
+// Snapshot exporters: render a MetricsSnapshot / SpanSnapshot as an aligned
+// util/table report, a JSON object body, or Prometheus text exposition.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/table.h"
+
+namespace splice::obs {
+
+/// "metric | type | value" rows, histograms summarized as
+/// total/sum/p50/p99 edges.
+Table metrics_table(const MetricsSnapshot& snap);
+
+/// "phase | count | total_ms | mean_us" rows, indented by tree depth.
+Table spans_table(const SpanSnapshot& snap);
+
+/// JSON object *bodies* (no surrounding braces), so callers can splice them
+/// into larger documents. Doubles use shortest-round-trip formatting.
+///
+///   "counters": {..}, "gauges": {..}, "histograms": {..}
+std::string metrics_json_body(const MetricsSnapshot& snap);
+///   "spans": [{"path":.., "count":.., "total_ns":..}, ..]
+std::string spans_json_body(const SpanSnapshot& snap);
+
+/// Prometheus text exposition format. Metric names are sanitized
+/// ('.', '-', '/' -> '_') and prefixed with "splice_"; histograms expand to
+/// cumulative _bucket{le=...} series plus _sum and _count; span totals
+/// export as splice_span_seconds_{sum,count}{path="..."}.
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          const SpanSnapshot& spans);
+
+/// JSON-escapes and double-formats shared with bench output.
+std::string json_quote(const std::string& s);
+std::string json_double(double v);
+
+}  // namespace splice::obs

@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+namespace splice::obs {
+
+namespace {
+
+std::size_t counters_per_line() noexcept {
+  return 64 / sizeof(std::atomic<long long>);
+}
+
+}  // namespace
+
+int this_thread_shard() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local int shard =
+      static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<unsigned>(kShards));
+  return shard;
+}
+
+HistogramMetric::HistogramMetric(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), bins_(bins) {
+  SPLICE_EXPECTS(bins >= 1);
+  SPLICE_EXPECTS(hi > lo);
+  const std::size_t per_line = counters_per_line();
+  stride_ = (static_cast<std::size_t>(bins) + per_line - 1) / per_line *
+            per_line;
+  counts_ = std::make_unique<std::atomic<long long>[]>(
+      stride_ * static_cast<std::size_t>(kShards));
+  reset();
+}
+
+Histogram HistogramMetric::merged() const {
+  Histogram out(lo_, hi_, bins_);
+  for (int shard = 0; shard < kShards; ++shard) {
+    std::vector<long long> counts(static_cast<std::size_t>(bins_));
+    for (int i = 0; i < bins_; ++i) {
+      counts[static_cast<std::size_t>(i)] =
+          counts_[static_cast<std::size_t>(shard) * stride_ +
+                  static_cast<std::size_t>(i)]
+              .load(std::memory_order_relaxed);
+    }
+    out.merge(Histogram::from_counts(
+        lo_, hi_, std::move(counts),
+        sums_[shard].v.load(std::memory_order_relaxed)));
+  }
+  return out;
+}
+
+void HistogramMetric::reset() noexcept {
+  for (std::size_t i = 0; i < stride_ * static_cast<std::size_t>(kShards);
+       ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  for (PaddedSum& s : sums_) s.v.store(0.0, std::memory_order_relaxed);
+}
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            double lo, double hi, int bins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<HistogramMetric>(lo, hi, bins);
+  } else {
+    SPLICE_EXPECTS(slot->lo() == lo && slot->hi() == hi &&
+                   slot->bins() == bins);
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h->merged()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace splice::obs

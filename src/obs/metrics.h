@@ -1,0 +1,264 @@
+// Low-overhead metrics registry: named counters, gauges and fixed-bin
+// histograms the whole stack reports through.
+//
+// Hot-path design. Counters and histograms are sharded across
+// cache-line-aligned cells; a thread picks its shard once (thread-local)
+// and increments with relaxed atomics, so instrumented code on the
+// parallel_for / TrialEngine hot paths never contends on a shared line.
+// snapshot() merges the shards in fixed shard order into plain values.
+//
+// Cost when off. Every instrumentation macro starts with a single relaxed
+// load + branch (`MetricsRegistry::enabled()`); compiling with
+// -DSPLICE_OBS=0 removes even that (the macros expand to nothing). Handles
+// are resolved once per call site via a function-local static, so the
+// registry's mutex is touched only on the first enabled hit of each site.
+//
+// Determinism contract. For a fixed workload whose events are a pure
+// function of the work items (not of the worker threads executing them),
+// counter values, histogram bin counts and histogram sums over
+// integer-valued samples are bit-identical at every thread count: integer
+// sums are associative, and doubles summing integers below 2^53 are exact.
+// Gauges are last-writer-wins and belong on single-threaded control paths.
+// Wall-clock timing never enters the registry — it lives in obs/span.h,
+// outside this contract.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/histogram.h"
+
+#ifndef SPLICE_OBS
+#define SPLICE_OBS 1
+#endif
+
+namespace splice::obs {
+
+/// Number of independent cells per metric. A thread is assigned one shard
+/// for its lifetime; distinct threads may share a shard (relaxed atomics
+/// keep that correct), they just contend a little.
+inline constexpr int kShards = 16;
+
+/// This thread's shard index in [0, kShards), assigned round-robin on
+/// first use.
+int this_thread_shard() noexcept;
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  void add(long long n) noexcept {
+    cells_[this_thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Merged value across shards (fixed shard order; exact regardless).
+  long long value() const noexcept {
+    long long total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<long long> v{0};
+  };
+  Cell cells_[kShards];
+};
+
+/// Last-writer-wins scalar; set from control paths, not hot loops.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Fixed-bin histogram with per-shard cells. Binning matches
+/// Histogram::bin_index bit for bit, so the merged snapshot equals a serial
+/// Histogram fed the same samples.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, int bins);
+
+  void observe(double x) noexcept {
+    const int shard = this_thread_shard();
+    const int idx = Histogram::bin_index(lo_, hi_, bins_, x);
+    counts_[static_cast<std::size_t>(shard) * stride_ +
+            static_cast<std::size_t>(idx)]
+        .fetch_add(1, std::memory_order_relaxed);
+    atomic_add(sums_[shard].v, x);
+  }
+
+  /// Flushes a pre-binned batch in one pass: one relaxed add per non-empty
+  /// bin plus one sum add, instead of per-sample atomics. `counts` must
+  /// have been binned with Histogram::bin_index over this metric's bounds,
+  /// and `sum` must be the plain left-to-right sum of the batch — then the
+  /// merged result is bit-identical to per-sample observe() for
+  /// integer-valued samples.
+  void observe_binned(const long long* counts, int n_bins,
+                      double sum) noexcept {
+    SPLICE_EXPECTS(n_bins == bins_);
+    const int shard = this_thread_shard();
+    std::atomic<long long>* row =
+        counts_.get() + static_cast<std::size_t>(shard) * stride_;
+    for (int i = 0; i < n_bins; ++i) {
+      if (counts[i] != 0) row[i].fetch_add(counts[i], std::memory_order_relaxed);
+    }
+    atomic_add(sums_[shard].v, sum);
+  }
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  int bins() const noexcept { return bins_; }
+
+  /// Deterministic merge: shard 0's histogram, then merge() of shards
+  /// 1..kShards-1 in order.
+  Histogram merged() const;
+
+  void reset() noexcept;
+
+ private:
+  static void atomic_add(std::atomic<double>& a, double x) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + x,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+
+  struct alignas(64) PaddedSum {
+    std::atomic<double> v{0.0};
+  };
+
+  double lo_;
+  double hi_;
+  int bins_;
+  std::size_t stride_;  ///< bins rounded up to a cache line of counters
+  std::unique_ptr<std::atomic<long long>[]> counts_;
+  PaddedSum sums_[kShards];
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots: plain merged values, name-sorted, ready for the exporters.
+// ---------------------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  long long value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Histogram hist;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// The process-wide registry. Metric handles returned by counter()/gauge()/
+/// histogram() are stable for the registry's lifetime; reset() zeroes
+/// values but never invalidates handles.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Runtime switch consulted by every instrumentation macro. Off by
+  /// default; benches enable it via --metrics/--obs, tests explicitly.
+  static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create. Thread-safe; call once per site and cache the handle.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Bounds must match on every lookup of the same name.
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             int bins);
+
+  /// Deterministic merge of every metric, name-sorted.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes all values (handles stay valid). Use at run boundaries.
+  void reset();
+
+ private:
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace splice::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. One relaxed load + branch when the registry is
+// disabled; nothing at all under -DSPLICE_OBS=0. `name` must be a string
+// usable as a std::string (typically a literal).
+// ---------------------------------------------------------------------------
+
+#if SPLICE_OBS
+
+#define SPLICE_OBS_COUNT(name, n)                                       \
+  do {                                                                  \
+    if (::splice::obs::MetricsRegistry::enabled()) {                    \
+      static ::splice::obs::Counter& splice_obs_counter_ =              \
+          ::splice::obs::MetricsRegistry::global().counter(name);       \
+      splice_obs_counter_.add(static_cast<long long>(n));               \
+    }                                                                   \
+  } while (0)
+
+#define SPLICE_OBS_GAUGE_SET(name, v)                                   \
+  do {                                                                  \
+    if (::splice::obs::MetricsRegistry::enabled()) {                    \
+      static ::splice::obs::Gauge& splice_obs_gauge_ =                  \
+          ::splice::obs::MetricsRegistry::global().gauge(name);         \
+      splice_obs_gauge_.set(static_cast<double>(v));                    \
+    }                                                                   \
+  } while (0)
+
+#define SPLICE_OBS_OBSERVE(name, lo, hi, bins, x)                       \
+  do {                                                                  \
+    if (::splice::obs::MetricsRegistry::enabled()) {                    \
+      static ::splice::obs::HistogramMetric& splice_obs_hist_ =         \
+          ::splice::obs::MetricsRegistry::global().histogram(name, lo,  \
+                                                             hi, bins); \
+      splice_obs_hist_.observe(static_cast<double>(x));                 \
+    }                                                                   \
+  } while (0)
+
+#else
+
+#define SPLICE_OBS_COUNT(name, n) ((void)0)
+#define SPLICE_OBS_GAUGE_SET(name, v) ((void)0)
+#define SPLICE_OBS_OBSERVE(name, lo, hi, bins, x) ((void)0)
+
+#endif  // SPLICE_OBS

@@ -1,0 +1,55 @@
+#include "obs/run_report.h"
+
+#include "util/table.h"
+
+namespace splice::obs {
+
+RunReport RunReport::capture(std::string name) {
+  RunReport r;
+  r.name = std::move(name);
+  r.metrics = MetricsRegistry::global().snapshot();
+  r.spans = SpanCollector::global().snapshot();
+  return r;
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\"report\": ";
+  out += json_quote(name);
+  out += ", \"params\": {";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += json_quote(params[i].first);
+    out += ": ";
+    out += json_quote(params[i].second);
+  }
+  out += "}, ";
+  out += metrics_json_body(metrics);
+  out += ", ";
+  out += spans_json_body(spans);
+  out += "}\n";
+  return out;
+}
+
+std::string RunReport::to_prometheus() const {
+  return obs::to_prometheus(metrics, spans);
+}
+
+std::string RunReport::to_text() const {
+  std::string out = "== run report: " + name + " ==\n";
+  for (const auto& [k, v] : params) out += "  " + k + " = " + v + "\n";
+  out += "\n-- metrics --\n";
+  out += metrics_table(metrics).to_text();
+  if (!spans.stats.empty()) {
+    out += "\n-- phases --\n";
+    out += spans_table(spans).to_text();
+  }
+  return out;
+}
+
+bool write_run_report(const RunReport& report, const std::string& path) {
+  const bool prom =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  return write_file(path, prom ? report.to_prometheus() : report.to_json());
+}
+
+}  // namespace splice::obs

@@ -1,0 +1,43 @@
+// RunReport: one self-describing telemetry document per bench/experiment
+// run — the captured metrics snapshot and span tree plus run parameters —
+// serializable as JSON (default), Prometheus text (".prom" paths), or an
+// aligned text report.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace splice::obs {
+
+struct RunReport {
+  std::string name;  ///< e.g. the bench name
+  /// Run parameters worth diffing (topology, trials, threads, seed, ...).
+  std::vector<std::pair<std::string, std::string>> params;
+  MetricsSnapshot metrics;
+  SpanSnapshot spans;
+
+  /// Snapshots the global registry and span collector.
+  static RunReport capture(std::string name);
+
+  void add_param(std::string key, std::string value) {
+    params.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// {"report": name, "params": {..}, "counters": {..}, "gauges": {..},
+  ///  "histograms": {..}, "spans": [..]}
+  std::string to_json() const;
+  std::string to_prometheus() const;
+  /// metrics_table + spans_table, titled.
+  std::string to_text() const;
+};
+
+/// Writes the report to `path`: Prometheus exposition if the path ends in
+/// ".prom", JSON otherwise. Returns false on I/O failure.
+bool write_run_report(const RunReport& report, const std::string& path);
+
+}  // namespace splice::obs

@@ -1,0 +1,118 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string_view>
+
+namespace splice::obs {
+
+std::uint64_t MonotonicClock::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SpanCollector& SpanCollector::global() {
+  static SpanCollector collector;
+  return collector;
+}
+
+SpanCollector::SpanCollector() : clock_(&monotonic_) {}
+
+void SpanCollector::set_clock(const Clock* clock) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock != nullptr ? clock : &monotonic_;
+}
+
+const Clock& SpanCollector::clock() const noexcept { return *clock_; }
+
+void SpanCollector::record(const std::string& path, int depth,
+                           std::uint64_t elapsed_ns) {
+  (void)depth;  // depth is recomputed from the path at snapshot time
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& node = nodes_[path];
+  ++node.count;
+  node.total_ns += elapsed_ns;
+}
+
+SpanSnapshot SpanCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanSnapshot snap;
+  snap.stats.reserve(nodes_.size());
+  for (const auto& [path, node] : nodes_) {
+    SpanStat stat;
+    stat.path = path;
+    const auto slash = path.rfind('/');
+    stat.name = slash == std::string::npos ? path : path.substr(slash + 1);
+    stat.depth = static_cast<int>(
+        std::count(path.begin(), path.end(), '/'));
+    stat.count = node.count;
+    stat.total_ns = node.total_ns;
+    snap.stats.push_back(std::move(stat));
+  }
+  // Preorder with name-sorted siblings. Raw lexicographic path order is
+  // not quite preorder (span names contain '.', which sorts before '/'),
+  // so compare componentwise: a parent path is a proper prefix of its
+  // children's component sequences and sorts immediately before them.
+  std::sort(snap.stats.begin(), snap.stats.end(),
+            [](const SpanStat& a, const SpanStat& b) {
+              std::size_t ai = 0, bi = 0;
+              while (ai < a.path.size() && bi < b.path.size()) {
+                const auto ae = a.path.find('/', ai);
+                const auto be = b.path.find('/', bi);
+                const std::string_view ac(
+                    a.path.data() + ai,
+                    (ae == std::string::npos ? a.path.size() : ae) - ai);
+                const std::string_view bc(
+                    b.path.data() + bi,
+                    (be == std::string::npos ? b.path.size() : be) - bi);
+                if (ac != bc) return ac < bc;
+                if (ae == std::string::npos || be == std::string::npos) break;
+                ai = ae + 1;
+                bi = be + 1;
+              }
+              return a.path.size() < b.path.size();
+            });
+  return snap;
+}
+
+void SpanCollector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.clear();
+}
+
+thread_local ObsSpan* ObsSpan::t_current_ = nullptr;
+
+ObsSpan::ObsSpan(const char* name)
+    : name_(name),
+      parent_(nullptr),
+      start_ns_(0),
+      active_(MetricsRegistry::enabled()) {
+  if (!active_) return;
+  parent_ = t_current_;
+  t_current_ = this;
+  start_ns_ = SpanCollector::global().clock().now_ns();
+}
+
+ObsSpan::~ObsSpan() {
+  if (!active_) return;
+  const std::uint64_t end_ns = SpanCollector::global().clock().now_ns();
+  t_current_ = parent_;
+  // Build the "/"-joined path root..self by walking the parent chain.
+  int depth = 0;
+  for (const ObsSpan* s = parent_; s != nullptr; s = s->parent_) ++depth;
+  std::string path;
+  std::vector<const char*> names(static_cast<std::size_t>(depth) + 1);
+  int i = depth;
+  for (const ObsSpan* s = this; s != nullptr; s = s->parent_) {
+    names[static_cast<std::size_t>(i--)] = s->name_;
+  }
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    if (j != 0) path += '/';
+    path += names[j];
+  }
+  SpanCollector::global().record(path, depth, end_ns - start_ns_);
+}
+
+}  // namespace splice::obs

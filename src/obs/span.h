@@ -1,0 +1,138 @@
+// Phase spans: RAII scoped timers forming a lightweight trace tree over the
+// control-plane and data-plane phases (slice builds, repair events, FlatFibs
+// construction, analyzer CSR builds, trial batches).
+//
+// A span is cheap but not free (two clock reads + one mutex-guarded tree
+// update at destruction), so spans wrap *phases* — milliseconds of work —
+// never per-packet or per-node inner loops. When the registry is disabled a
+// span construct/destruct is one relaxed load + branch each.
+//
+// Nesting is tracked per thread via a thread_local parent pointer, so spans
+// opened on worker threads root their own trees (worker spans do not attach
+// to a parent on a different thread). Aggregation is by name path: every
+// (parent path, name) pair is one node accumulating count and total time.
+//
+// Timing comes from a Clock interface; tests install a ManualClock for
+// deterministic durations. Span timings are wall-clock and therefore outside
+// the metrics registry's bit-identical determinism contract — the tree
+// *shape* and *counts* are deterministic for a deterministic workload, the
+// nanoseconds are not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace splice::obs {
+
+/// Time source for spans.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  virtual std::uint64_t now_ns() const noexcept = 0;
+};
+
+/// Real time: std::chrono::steady_clock.
+class MonotonicClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const noexcept override;
+};
+
+/// Test clock: advances only when told to.
+class ManualClock final : public Clock {
+ public:
+  void advance_ns(std::uint64_t ns) noexcept { now_ += ns; }
+  std::uint64_t now_ns() const noexcept override { return now_; }
+
+ private:
+  std::uint64_t now_ = 0;
+};
+
+/// One aggregated node of the span tree, in snapshot form.
+struct SpanStat {
+  std::string path;   ///< "/"-joined name path from the root, e.g. "a/b"
+  std::string name;   ///< leaf name
+  int depth = 0;      ///< 0 for roots
+  long long count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// Preorder flattening of the aggregate tree; siblings sorted by name.
+struct SpanSnapshot {
+  std::vector<SpanStat> stats;
+};
+
+/// Process-wide span aggregator. Spans report here on destruction.
+class SpanCollector {
+ public:
+  static SpanCollector& global();
+
+  /// Replaces the time source (nullptr restores the monotonic clock).
+  /// Install before opening spans; not synchronized against live spans.
+  void set_clock(const Clock* clock) noexcept;
+  const Clock& clock() const noexcept;
+
+  /// Accumulates one completed span under `path` ("/"-joined names).
+  void record(const std::string& path, int depth, std::uint64_t elapsed_ns);
+
+  SpanSnapshot snapshot() const;
+  void reset();
+
+ private:
+  SpanCollector();
+
+  struct Node {
+    long long count = 0;
+    std::uint64_t total_ns = 0;
+  };
+
+  MonotonicClock monotonic_;
+  const Clock* clock_;  ///< guarded by mu_ for writes; read lock-free
+  mutable std::mutex mu_;
+  /// path -> aggregate. std::map keeps snapshot order deterministic; the
+  /// preorder flattening falls out of the path sort.
+  std::map<std::string, Node> nodes_;
+};
+
+/// RAII phase timer. Construct to open, destruct to close-and-record.
+/// Inert (no clock reads, no registration) when the registry is disabled at
+/// construction time.
+class ObsSpan {
+ public:
+  explicit ObsSpan(const char* name);
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  const char* name_;
+  ObsSpan* parent_;
+  std::uint64_t start_ns_;
+  bool active_;
+
+  static thread_local ObsSpan* t_current_;
+};
+
+}  // namespace splice::obs
+
+#if SPLICE_OBS
+
+#define SPLICE_OBS_CONCAT_INNER_(a, b) a##b
+#define SPLICE_OBS_CONCAT_(a, b) SPLICE_OBS_CONCAT_INNER_(a, b)
+
+/// Opens a span for the rest of the enclosing scope.
+#define SPLICE_OBS_SPAN(name) \
+  ::splice::obs::ObsSpan SPLICE_OBS_CONCAT_(splice_obs_span_, __LINE__)(name)
+
+#else
+
+#define SPLICE_OBS_SPAN(name) ((void)0)
+
+#endif  // SPLICE_OBS

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/assert.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -53,10 +55,12 @@ MultiInstanceRouting::MultiInstanceRouting(
 }
 
 void MultiInstanceRouting::build_instances(int threads) {
+  SPLICE_OBS_SPAN("control.build_slices");
   const int n = static_cast<int>(instances_.front().node_count());
   const int slices = static_cast<int>(instances_.size());
   const int jobs = slices * n;
   if (n == 0) return;
+  SPLICE_OBS_COUNT("control.spt_builds", jobs);
   const int workers = std::max(1, std::min(threads, jobs));
   std::vector<DijkstraWorkspace> ws(static_cast<std::size_t>(workers));
   // Each (slice, destination) item writes only its own table column, so the
@@ -68,6 +72,7 @@ void MultiInstanceRouting::build_instances(int threads) {
 }
 
 FibSet MultiInstanceRouting::build_fibs() const {
+  SPLICE_OBS_SPAN("control.build_fibs");
   SPLICE_EXPECTS(!instances_.empty());
   const NodeId n = instances_.front().node_count();
   FibSet fibs(slice_count(), n);
@@ -86,6 +91,7 @@ FibSet MultiInstanceRouting::build_fibs() const {
 
 RepairStats MultiInstanceRouting::apply_edge_event(EdgeId e,
                                                    Weight new_weight) {
+  SPLICE_OBS_SPAN("control.repair_event");
   const int slices = static_cast<int>(instances_.size());
   std::vector<RepairStats> per_slice(static_cast<std::size_t>(slices));
   // Slices are independent; repairs write only their own instance.
@@ -95,6 +101,11 @@ RepairStats MultiInstanceRouting::apply_edge_event(EdgeId e,
   });
   RepairStats total;
   for (const RepairStats& st : per_slice) total.add(st);
+  SPLICE_OBS_COUNT("control.repair.events", 1);
+  SPLICE_OBS_COUNT("control.repair.trees_untouched", total.trees_untouched);
+  SPLICE_OBS_COUNT("control.repair.trees_repaired", total.trees_repaired);
+  SPLICE_OBS_COUNT("control.repair.trees_rebuilt", total.trees_rebuilt);
+  SPLICE_OBS_COUNT("control.repair.nodes_touched", total.nodes_touched);
   return total;
 }
 

@@ -6,6 +6,8 @@
 
 #include "dataplane/network.h"
 #include "graph/connectivity.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
 #include "routing/multi_instance.h"
@@ -48,6 +50,7 @@ SliceId max_of(const std::vector<SliceId>& ks) {
 
 ReliabilityCurves run_reliability_experiment(const Graph& g,
                                              const ReliabilityConfig& cfg) {
+  SPLICE_OBS_SPAN("experiment.reliability");
   SPLICE_EXPECTS(cfg.trials >= 1);
   const std::vector<double> p_values =
       cfg.p_values.empty() ? paper_p_grid() : cfg.p_values;
@@ -152,6 +155,7 @@ ReliabilityCurves run_reliability_experiment(const Graph& g,
 
 std::vector<RecoveryPoint> run_recovery_experiment(
     const Graph& g, const RecoveryExperimentConfig& cfg) {
+  SPLICE_OBS_SPAN("experiment.recovery");
   SPLICE_EXPECTS(cfg.trials >= 1);
   const std::vector<double> p_values =
       cfg.p_values.empty() ? paper_p_grid() : cfg.p_values;
@@ -457,6 +461,7 @@ std::vector<ScalingPoint> run_scaling_experiment(const ScalingConfig& cfg) {
     pt.edges = g.edge_count();
     pt.best_possible = best_mean;
     pt.build_ms = build_ms;
+    SPLICE_OBS_GAUGE_SET("experiment.slice_build_ms", build_ms);
     pt.k_needed = cfg.max_k + 1;
     for (SliceId k = 1; k <= cfg.max_k; ++k) {
       double mean = 0.0;

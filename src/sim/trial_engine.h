@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -52,6 +54,8 @@ class TrialEngine {
   /// that worker's first trial.
   template <typename Result, typename Factory, typename Fn>
   std::vector<Result> run(int trials, Factory&& factory, Fn&& fn) const {
+    SPLICE_OBS_SPAN("sim.trial_batch");
+    SPLICE_OBS_COUNT("sim.trials", trials);
     struct Acc {
       std::unique_ptr<Scratch> scratch;
       std::vector<std::pair<int, Result>> done;

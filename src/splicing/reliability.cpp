@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace splice {
@@ -23,6 +25,7 @@ struct BuildRec {
 SplicedReliabilityAnalyzer::SplicedReliabilityAnalyzer(
     const Graph& g, const MultiInstanceRouting& mir)
     : n_(g.node_count()), k_max_(mir.slice_count()) {
+  SPLICE_OBS_SPAN("analyzer.csr_build");
   const auto nn = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
   offsets_.assign(nn + 1, 0);
   arcs_.reserve(nn);  // lower bound: one tree (2 arcs/edge) per destination
@@ -83,6 +86,8 @@ SplicedReliabilityAnalyzer::SplicedReliabilityAnalyzer(
   }
   SPLICE_ASSERT(arcs_.size() <= std::numeric_limits<std::uint32_t>::max());
   offsets_[nn] = static_cast<std::uint32_t>(arcs_.size());
+  SPLICE_OBS_COUNT("analyzer.builds", 1);
+  SPLICE_OBS_GAUGE_SET("analyzer.arcs", static_cast<double>(arcs_.size()));
 }
 
 void SplicedReliabilityAnalyzer::reach_dst(NodeId dst, SliceId k,

@@ -1,11 +1,16 @@
 // Fixed-bin histogram with CDF rendering, used by the timing benches to
 // print distribution rows (the recovery-time CDFs) without external
-// plotting. Header-only.
+// plotting, and by the obs metrics registry as the merge target of sharded
+// histogram cells. Header-only.
+//
+// Not thread-safe — including the const accessors, which refresh a cached
+// prefix-sum on demand. Concurrent use goes through obs::HistogramMetric.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/assert.h"
@@ -22,17 +27,55 @@ class Histogram {
     SPLICE_EXPECTS(hi > lo);
   }
 
-  void add(double x) noexcept {
-    const double t = (x - lo_) / (hi_ - lo_);
-    const auto bins = static_cast<long long>(counts_.size());
+  /// Rebuilds a histogram from externally accumulated bin counts (the obs
+  /// registry merges per-thread shards this way). `sum` is the sum of the
+  /// original samples; total is derived from the counts.
+  static Histogram from_counts(double lo, double hi,
+                               std::vector<long long> counts, double sum) {
+    Histogram h(lo, hi, static_cast<int>(counts.size()));
+    h.counts_ = std::move(counts);
+    for (long long c : h.counts_) {
+      SPLICE_EXPECTS(c >= 0);
+      h.total_ += c;
+    }
+    h.sum_ = sum;
+    return h;
+  }
+
+  /// Bin index sample `x` lands in — the single binning rule shared by
+  /// add() and the lock-free obs cells (which must agree bit for bit).
+  static int bin_index(double lo, double hi, int bins, double x) noexcept {
+    const double t = (x - lo) / (hi - lo);
     auto idx = static_cast<long long>(std::floor(t * static_cast<double>(bins)));
-    idx = std::clamp<long long>(idx, 0, bins - 1);
-    ++counts_[static_cast<std::size_t>(idx)];
+    return static_cast<int>(std::clamp<long long>(idx, 0, bins - 1));
+  }
+
+  void add(double x) noexcept {
+    ++counts_[static_cast<std::size_t>(
+        bin_index(lo_, hi_, bins(), x))];
     ++total_;
+    sum_ += x;
+    prefix_valid_ = false;
+  }
+
+  /// Merges another histogram into this one. Bounds and bin counts must be
+  /// identical — merging differently-binned histograms is a logic error.
+  void merge(const Histogram& o) {
+    SPLICE_EXPECTS(o.lo_ == lo_ && o.hi_ == hi_);
+    SPLICE_EXPECTS(o.counts_.size() == counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    sum_ += o.sum_;
+    prefix_valid_ = false;
   }
 
   long long total() const noexcept { return total_; }
+  /// Sum of all samples as observed (not clamped). Exact for integer-valued
+  /// samples; order-dependent in the last bits otherwise.
+  double sum() const noexcept { return sum_; }
   int bins() const noexcept { return static_cast<int>(counts_.size()); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
 
   /// Lower edge of bin i.
   double bin_lo(int i) const noexcept {
@@ -45,13 +88,19 @@ class Histogram {
     return counts_[static_cast<std::size_t>(i)];
   }
 
-  /// Cumulative fraction of samples at or below bin i's upper edge.
-  double cdf_at(int i) const noexcept {
+  /// Cumulative count of samples at or below bin i's upper edge.
+  long long cumulative(int i) const noexcept {
     SPLICE_EXPECTS(i >= 0 && i < bins());
-    long long cum = 0;
-    for (int b = 0; b <= i; ++b) cum += counts_[static_cast<std::size_t>(b)];
+    ensure_prefix();
+    return prefix_[static_cast<std::size_t>(i)];
+  }
+
+  /// Cumulative fraction of samples at or below bin i's upper edge. O(1)
+  /// after the prefix sums are refreshed (once per batch of adds), so
+  /// rendering a full CDF row is O(bins), not O(bins^2).
+  double cdf_at(int i) const noexcept {
     return total_ == 0 ? 0.0
-                       : static_cast<double>(cum) /
+                       : static_cast<double>(cumulative(i)) /
                              static_cast<double>(total_);
   }
 
@@ -84,10 +133,24 @@ class Histogram {
   }
 
  private:
+  void ensure_prefix() const noexcept {
+    if (prefix_valid_) return;
+    prefix_.resize(counts_.size());
+    long long cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cum += counts_[i];
+      prefix_[i] = cum;
+    }
+    prefix_valid_ = true;
+  }
+
   double lo_;
   double hi_;
   std::vector<long long> counts_;
   long long total_ = 0;
+  double sum_ = 0.0;
+  mutable std::vector<long long> prefix_;
+  mutable bool prefix_valid_ = false;
 };
 
 }  // namespace splice

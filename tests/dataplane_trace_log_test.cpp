@@ -5,9 +5,12 @@
 
 #include <stdexcept>
 
+#include "dataplane/network.h"
+#include "obs/metrics.h"
 #include "routing/multi_instance.h"
 #include "splicing/splicer.h"
 #include "topo/datasets.h"
+#include "util/rng.h"
 
 namespace splice {
 namespace {
@@ -135,6 +138,150 @@ TEST(TraceLog, AccumulatesStatistics) {
     start = end + 1;
   }
   EXPECT_EQ(parsed, sent);
+}
+
+/// Builds a syntactically valid Delivery from a random walk on `g` —
+/// arbitrary outcome, slice labels and deflection patterns, so the
+/// round-trip test covers combinations the simulator reaches rarely.
+Delivery random_walk_delivery(const Graph& g, NodeId src, int max_hops,
+                              ForwardOutcome outcome, Rng& rng) {
+  Delivery d;
+  d.outcome = outcome;
+  NodeId at = src;
+  for (int h = 0; h < max_hops; ++h) {
+    const auto& inc = g.neighbors(at);
+    if (inc.empty()) break;
+    const Incidence& step =
+        inc[static_cast<std::size_t>(rng.below(inc.size()))];
+    HopRecord hop;
+    hop.node = at;
+    hop.next = step.neighbor;
+    hop.edge = step.edge;
+    hop.slice = static_cast<SliceId>(rng.below(5));
+    hop.deflected = rng.below(3) == 0;
+    d.hops.push_back(hop);
+    at = step.neighbor;
+  }
+  return d;
+}
+
+void expect_exact_round_trip(const Graph& g, NodeId src, NodeId dst,
+                             const Delivery& d) {
+  const std::string line = format_trace(g, src, dst, d);
+  const ParsedTrace t = parse_trace(line);
+  EXPECT_EQ(t.outcome, d.outcome);
+  EXPECT_EQ(t.hops, d.hop_count());
+  // Cost round-trips bit for bit: format_trace writes the shortest
+  // representation that parses back to the exact double.
+  EXPECT_EQ(t.cost, trace_cost(g, d)) << line;
+  auto label = [&](NodeId v) {
+    return g.name(v).empty() ? std::to_string(v) : g.name(v);
+  };
+  EXPECT_EQ(t.src, label(src));
+  EXPECT_EQ(t.dst, label(dst));
+  ASSERT_EQ(t.path.size(), d.hops.size() + 1);
+  EXPECT_EQ(t.path[0], label(src));
+  std::vector<int> expect_deflected;
+  for (std::size_t h = 0; h < d.hops.size(); ++h) {
+    EXPECT_EQ(t.slices[h], d.hops[h].slice);
+    EXPECT_EQ(t.path[h + 1], label(d.hops[h].next));
+    if (d.hops[h].deflected) expect_deflected.push_back(static_cast<int>(h));
+  }
+  EXPECT_EQ(t.deflected_hops, expect_deflected);
+}
+
+TEST(ParseTrace, ExactRoundTripRandomizedAllOutcomes) {
+  // Fractional weights make trace costs non-representable sums — the case
+  // the old 6-significant-digit cost formatting truncated.
+  Graph named;
+  for (int i = 0; i < 8; ++i) named.add_node("n" + std::to_string(i));
+  Graph unnamed(8);
+  Rng wrng(3);
+  for (Graph* g : {&named, &unnamed}) {
+    for (NodeId u = 0; u < 8; ++u) {
+      for (NodeId v = u + 1; v < 8; ++v) {
+        if (wrng.below(2) == 0) {
+          g->add_edge(u, v, 0.1 + 0.3 * static_cast<double>(wrng.below(10)));
+        }
+      }
+    }
+  }
+  constexpr ForwardOutcome kOutcomes[] = {ForwardOutcome::kDelivered,
+                                          ForwardOutcome::kDeadEnd,
+                                          ForwardOutcome::kTtlExpired};
+  Rng rng(17);
+  for (const Graph* g : {&named, &unnamed}) {
+    for (int i = 0; i < 200; ++i) {
+      const auto src = static_cast<NodeId>(rng.below(8));
+      const auto dst = static_cast<NodeId>(rng.below(8));
+      const ForwardOutcome outcome = kOutcomes[rng.below(3)];
+      const int max_hops = static_cast<int>(rng.below(6));
+      expect_exact_round_trip(*g, src, dst,
+                              random_walk_delivery(*g, src, max_hops,
+                                                   outcome, rng));
+    }
+  }
+}
+
+TEST(ParseTrace, ZeroHopDeliveryRoundTrips) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.5);
+  Delivery d;
+  d.outcome = ForwardOutcome::kDelivered;
+  expect_exact_round_trip(g, 2, 2, d);
+  const ParsedTrace t = parse_trace(format_trace(g, 2, 2, d));
+  EXPECT_EQ(t.hops, 0);
+  EXPECT_EQ(t.cost, 0.0);
+  EXPECT_TRUE(t.slices.empty());
+  EXPECT_TRUE(t.deflected_hops.empty());
+}
+
+TEST(TraceLog, RecordFeedsMetricsRegistry) {
+  obs::MetricsRegistry::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  TraceFixture f;
+  const Graph& g = f.splicer.graph();
+  // Mixed outcomes: sends on the intact network, then toward an isolated
+  // node.
+  TraceLog log(g);
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    const auto src = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(g.node_count())));
+    auto dst = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(g.node_count())));
+    if (src == dst) dst = (dst + 1) % g.node_count();
+    log.record(src, dst, f.splicer.send(src, dst, f.splicer.make_random_header(rng)));
+  }
+  for (const Incidence& inc : g.neighbors(5)) {
+    f.splicer.network().set_link_state(inc.edge, false);
+  }
+  for (NodeId src = 0; src < g.node_count(); ++src) {
+    if (src == 5) continue;
+    log.record(src, 5, f.splicer.send(src, 5, f.splicer.make_pinned_header(0)));
+  }
+
+  // Registry mirrors the summary counters exactly — they are fed from the
+  // same record() call, so they cannot drift apart.
+  auto& reg = obs::MetricsRegistry::global();
+  EXPECT_EQ(reg.counter("dataplane.trace.records").value(),
+            static_cast<long long>(log.size()));
+  EXPECT_EQ(reg.counter("dataplane.trace.delivered").value(),
+            log.delivered());
+  EXPECT_EQ(reg.counter("dataplane.trace.dead_end").value(), log.dead_ends());
+  EXPECT_EQ(reg.counter("dataplane.trace.ttl_expired").value(),
+            log.ttl_expired());
+  EXPECT_EQ(reg.counter("dataplane.trace.hops").value(), log.total_hops());
+  EXPECT_EQ(reg.counter("dataplane.trace.deflections").value(),
+            log.deflections());
+  const Histogram hops_hist =
+      reg.histogram("dataplane.trace.hops_hist", 0.0, 256.0, 64).merged();
+  EXPECT_EQ(hops_hist.total(), static_cast<long long>(log.size()));
+  EXPECT_EQ(hops_hist.sum(), static_cast<double>(log.total_hops()));
+
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::set_enabled(false);
 }
 
 TEST(TraceLog, CountsDeadEndsUnderFailures) {

@@ -1,0 +1,227 @@
+// Metrics registry tests: sharded-counter determinism across thread
+// counts, histogram merge vs a serial oracle, snapshot stability,
+// enable/disable gating.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace splice::obs {
+namespace {
+
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::set_enabled(true);
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::global().reset();
+    MetricsRegistry::set_enabled(false);
+  }
+};
+
+/// Splits `items` work items across `threads` real threads (round-robin) and
+/// runs fn(item) — the sharded-cell contention pattern the registry is
+/// built for.
+template <typename Fn>
+void run_threaded(int items, int threads, Fn fn) {
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = t; i < items; i += threads) fn(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+TEST_F(ObsMetricsTest, CounterTotalsIdenticalAcrossThreadCounts) {
+  constexpr int kItems = 20000;
+  long long expect = 0;
+  for (int i = 0; i < kItems; ++i) expect += 1 + i % 7;
+
+  for (int threads : {1, 2, 8}) {
+    Counter& c = MetricsRegistry::global().counter("test.ctr");
+    c.reset();
+    run_threaded(kItems, threads,
+                 [&](int i) { c.add(1 + i % 7); });
+    EXPECT_EQ(c.value(), expect) << "threads=" << threads;
+  }
+}
+
+TEST_F(ObsMetricsTest, HistogramMergeMatchesSerialOracle) {
+  // Integer-valued samples: the sharded double sums must be exact, so the
+  // merged histogram equals the serial Histogram bit for bit.
+  constexpr int kItems = 20000;
+  Rng rng(11);
+  std::vector<double> samples;
+  samples.reserve(kItems);
+  for (int i = 0; i < kItems; ++i) {
+    samples.push_back(static_cast<double>(rng.below(300)));  // clamps too
+  }
+  Histogram oracle(0.0, 256.0, 64);
+  for (double x : samples) oracle.add(x);
+
+  for (int threads : {1, 2, 8}) {
+    HistogramMetric& h =
+        MetricsRegistry::global().histogram("test.hist", 0.0, 256.0, 64);
+    h.reset();
+    run_threaded(kItems, threads,
+                 [&](int i) { h.observe(samples[static_cast<std::size_t>(i)]); });
+    const Histogram merged = h.merged();
+    ASSERT_EQ(merged.bins(), oracle.bins());
+    EXPECT_EQ(merged.total(), oracle.total()) << "threads=" << threads;
+    EXPECT_EQ(merged.sum(), oracle.sum()) << "threads=" << threads;
+    for (int b = 0; b < oracle.bins(); ++b) {
+      ASSERT_EQ(merged.count(b), oracle.count(b))
+          << "threads=" << threads << " bin=" << b;
+    }
+  }
+}
+
+TEST_F(ObsMetricsTest, ObserveBinnedMatchesPerSampleObserve) {
+  // The batch-flush path (used by the forwarding kernel) must produce
+  // byte-identical snapshots to per-sample observe() for integer samples.
+  constexpr int kItems = 5000;
+  Rng rng(23);
+  std::vector<double> samples;
+  for (int i = 0; i < kItems; ++i) {
+    samples.push_back(static_cast<double>(rng.below(300)));
+  }
+
+  HistogramMetric& per_sample =
+      MetricsRegistry::global().histogram("binned.a", 0.0, 256.0, 64);
+  for (double x : samples) per_sample.observe(x);
+
+  HistogramMetric& batched =
+      MetricsRegistry::global().histogram("binned.b", 0.0, 256.0, 64);
+  // Flush in several chunks, as successive kernel batches would.
+  for (int chunk = 0; chunk < 5; ++chunk) {
+    long long bins[64] = {};
+    double sum = 0.0;
+    for (int i = chunk; i < kItems; i += 5) {
+      ++bins[Histogram::bin_index(0.0, 256.0, 64, samples[
+          static_cast<std::size_t>(i)])];
+      sum += samples[static_cast<std::size_t>(i)];
+    }
+    batched.observe_binned(bins, 64, sum);
+  }
+
+  const Histogram a = per_sample.merged();
+  const Histogram b = batched.merged();
+  EXPECT_EQ(a.total(), b.total());
+  EXPECT_EQ(a.sum(), b.sum());  // exact: integer-valued samples
+  for (int i = 0; i < a.bins(); ++i) {
+    ASSERT_EQ(a.count(i), b.count(i)) << "bin " << i;
+  }
+}
+
+TEST_F(ObsMetricsTest, SnapshotBitIdenticalAcrossThreadCounts) {
+  // The acceptance contract: for a fixed workload, the *rendered* snapshot
+  // (every counter, every bin, every sum byte) is identical at 1/2/8
+  // threads.
+  constexpr int kItems = 8192;
+  std::vector<std::string> rendered;
+  for (int threads : {1, 2, 8}) {
+    MetricsRegistry::global().reset();
+    Counter& c = MetricsRegistry::global().counter("snap.packets");
+    HistogramMetric& h =
+        MetricsRegistry::global().histogram("snap.hops", 0.0, 64.0, 32);
+    MetricsRegistry::global().gauge("snap.arcs").set(1234.0);
+    run_threaded(kItems, threads, [&](int i) {
+      c.add(i % 3);
+      h.observe(static_cast<double>(i % 61));
+    });
+    rendered.push_back(metrics_json_body(MetricsRegistry::global().snapshot()));
+  }
+  EXPECT_EQ(rendered[0], rendered[1]);
+  EXPECT_EQ(rendered[0], rendered[2]);
+}
+
+TEST_F(ObsMetricsTest, SnapshotIsNameSorted) {
+  MetricsRegistry::global().counter("b.second").add(2);
+  MetricsRegistry::global().counter("a.first").add(1);
+  MetricsRegistry::global().counter("c.third").add(3);
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  std::vector<std::string> names;
+  for (const CounterSample& s : snap.counters) names.push_back(s.name);
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST_F(ObsMetricsTest, MacrosNoOpWhenDisabled) {
+  MetricsRegistry::set_enabled(false);
+  SPLICE_OBS_COUNT("disabled.ctr", 5);
+  SPLICE_OBS_GAUGE_SET("disabled.gauge", 7.0);
+  SPLICE_OBS_OBSERVE("disabled.hist", 0.0, 10.0, 10, 3.0);
+  MetricsRegistry::set_enabled(true);
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  for (const CounterSample& s : snap.counters) {
+    EXPECT_TRUE(s.name.rfind("disabled.", 0) != 0) << s.name;
+  }
+  for (const GaugeSample& s : snap.gauges) {
+    EXPECT_TRUE(s.name.rfind("disabled.", 0) != 0) << s.name;
+  }
+  for (const HistogramSample& s : snap.histograms) {
+    EXPECT_TRUE(s.name.rfind("disabled.", 0) != 0) << s.name;
+  }
+}
+
+TEST_F(ObsMetricsTest, MacrosRecordWhenEnabled) {
+  SPLICE_OBS_COUNT("macro.ctr", 2);
+  SPLICE_OBS_COUNT("macro.ctr", 3);
+  SPLICE_OBS_GAUGE_SET("macro.gauge", 2.5);
+  SPLICE_OBS_OBSERVE("macro.hist", 0.0, 10.0, 10, 7.0);
+  EXPECT_EQ(MetricsRegistry::global().counter("macro.ctr").value(), 5);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().gauge("macro.gauge").value(),
+                   2.5);
+  const Histogram h =
+      MetricsRegistry::global().histogram("macro.hist", 0.0, 10.0, 10)
+          .merged();
+  EXPECT_EQ(h.total(), 1);
+  EXPECT_EQ(h.count(7), 1);
+}
+
+TEST_F(ObsMetricsTest, ResetZeroesButKeepsHandles) {
+  Counter& c = MetricsRegistry::global().counter("reset.ctr");
+  c.add(42);
+  MetricsRegistry::global().reset();
+  EXPECT_EQ(c.value(), 0);  // same handle, zeroed
+  c.add(7);
+  EXPECT_EQ(c.value(), 7);
+}
+
+TEST_F(ObsMetricsTest, GaugeLastWriterWins) {
+  Gauge& g = MetricsRegistry::global().gauge("gauge.v");
+  g.set(1.0);
+  g.set(-3.75);
+  EXPECT_DOUBLE_EQ(g.value(), -3.75);
+}
+
+TEST_F(ObsMetricsTest, HistogramBinningMatchesHistogramRule) {
+  // The metric and the plain Histogram must share one binning rule,
+  // including clamping below lo and above hi.
+  HistogramMetric& h =
+      MetricsRegistry::global().histogram("rule.hist", 0.0, 10.0, 5);
+  Histogram oracle(0.0, 10.0, 5);
+  for (double x : {-1.0, 0.0, 1.9, 2.0, 9.999, 10.0, 50.0}) {
+    h.observe(x);
+    oracle.add(x);
+  }
+  const Histogram merged = h.merged();
+  for (int b = 0; b < oracle.bins(); ++b) {
+    EXPECT_EQ(merged.count(b), oracle.count(b)) << "bin " << b;
+  }
+  EXPECT_EQ(merged.sum(), oracle.sum());
+}
+
+}  // namespace
+}  // namespace splice::obs

@@ -1,0 +1,177 @@
+// Span tests: deterministic timing via ManualClock, nesting/aggregation by
+// name path, snapshot preorder, exporters, disabled inertness.
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/run_report.h"
+
+namespace splice::obs {
+namespace {
+
+class ObsSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::set_enabled(true);
+    MetricsRegistry::global().reset();
+    SpanCollector::global().reset();
+    SpanCollector::global().set_clock(&clock_);
+  }
+  void TearDown() override {
+    SpanCollector::global().set_clock(nullptr);
+    SpanCollector::global().reset();
+    MetricsRegistry::global().reset();
+    MetricsRegistry::set_enabled(false);
+  }
+  ManualClock clock_;
+};
+
+TEST_F(ObsSpanTest, SingleSpanRecordsElapsed) {
+  {
+    ObsSpan span("build");
+    clock_.advance_ns(1500);
+  }
+  const SpanSnapshot snap = SpanCollector::global().snapshot();
+  ASSERT_EQ(snap.stats.size(), 1u);
+  EXPECT_EQ(snap.stats[0].path, "build");
+  EXPECT_EQ(snap.stats[0].name, "build");
+  EXPECT_EQ(snap.stats[0].depth, 0);
+  EXPECT_EQ(snap.stats[0].count, 1);
+  EXPECT_EQ(snap.stats[0].total_ns, 1500u);
+}
+
+TEST_F(ObsSpanTest, NestedSpansFormTree) {
+  {
+    ObsSpan outer("experiment");
+    clock_.advance_ns(100);
+    {
+      ObsSpan inner("slice_build");
+      clock_.advance_ns(40);
+    }
+    {
+      ObsSpan inner("analyzer");
+      clock_.advance_ns(10);
+    }
+    clock_.advance_ns(5);
+  }
+  const SpanSnapshot snap = SpanCollector::global().snapshot();
+  ASSERT_EQ(snap.stats.size(), 3u);
+  // Preorder, siblings name-sorted: root first, then analyzer < slice_build.
+  EXPECT_EQ(snap.stats[0].path, "experiment");
+  EXPECT_EQ(snap.stats[0].depth, 0);
+  EXPECT_EQ(snap.stats[0].total_ns, 155u);  // outer includes both inners
+  EXPECT_EQ(snap.stats[1].path, "experiment/analyzer");
+  EXPECT_EQ(snap.stats[1].depth, 1);
+  EXPECT_EQ(snap.stats[1].total_ns, 10u);
+  EXPECT_EQ(snap.stats[2].path, "experiment/slice_build");
+  EXPECT_EQ(snap.stats[2].depth, 1);
+  EXPECT_EQ(snap.stats[2].total_ns, 40u);
+}
+
+TEST_F(ObsSpanTest, RepeatedSpansAggregateByPath) {
+  for (int i = 0; i < 3; ++i) {
+    ObsSpan outer("batch");
+    {
+      ObsSpan inner("trial");
+      clock_.advance_ns(7);
+    }
+  }
+  const SpanSnapshot snap = SpanCollector::global().snapshot();
+  ASSERT_EQ(snap.stats.size(), 2u);
+  EXPECT_EQ(snap.stats[0].path, "batch");
+  EXPECT_EQ(snap.stats[0].count, 3);
+  EXPECT_EQ(snap.stats[1].path, "batch/trial");
+  EXPECT_EQ(snap.stats[1].count, 3);
+  EXPECT_EQ(snap.stats[1].total_ns, 21u);
+}
+
+TEST_F(ObsSpanTest, PreorderSurvivesDotNames) {
+  // '.' sorts before '/', so raw lexicographic path order would put
+  // "control.x" between a parent "control" and its children — the snapshot
+  // must still come out parent-before-children.
+  {
+    ObsSpan a("control");
+    { ObsSpan child("zzz"); clock_.advance_ns(1); }
+  }
+  { ObsSpan b("control.x"); clock_.advance_ns(1); }
+  const SpanSnapshot snap = SpanCollector::global().snapshot();
+  ASSERT_EQ(snap.stats.size(), 3u);
+  EXPECT_EQ(snap.stats[0].path, "control");
+  EXPECT_EQ(snap.stats[1].path, "control/zzz");
+  EXPECT_EQ(snap.stats[2].path, "control.x");
+}
+
+TEST_F(ObsSpanTest, MacroOpensScopeSpan) {
+  {
+    SPLICE_OBS_SPAN("macro_phase");
+    clock_.advance_ns(9);
+  }
+  const SpanSnapshot snap = SpanCollector::global().snapshot();
+  ASSERT_EQ(snap.stats.size(), 1u);
+  EXPECT_EQ(snap.stats[0].path, "macro_phase");
+  EXPECT_EQ(snap.stats[0].total_ns, 9u);
+}
+
+TEST_F(ObsSpanTest, DisabledSpansAreInert) {
+  MetricsRegistry::set_enabled(false);
+  {
+    ObsSpan span("ghost");
+    clock_.advance_ns(100);
+  }
+  MetricsRegistry::set_enabled(true);
+  EXPECT_TRUE(SpanCollector::global().snapshot().stats.empty());
+}
+
+TEST_F(ObsSpanTest, SpansTableIndentsByDepth) {
+  {
+    ObsSpan outer("a");
+    { ObsSpan inner("b"); clock_.advance_ns(1000); }
+  }
+  const Table t = spans_table(SpanCollector::global().snapshot());
+  ASSERT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.row(0)[0], "a");
+  EXPECT_EQ(t.row(1)[0], "  b");
+}
+
+TEST_F(ObsSpanTest, ExportersRenderSpans) {
+  {
+    ObsSpan span("phase");
+    clock_.advance_ns(2000);
+  }
+  MetricsRegistry::global().counter("pkts").add(3);
+  const MetricsSnapshot metrics = MetricsRegistry::global().snapshot();
+  const SpanSnapshot spans = SpanCollector::global().snapshot();
+
+  const std::string json = spans_json_body(spans);
+  EXPECT_NE(json.find("\"path\": \"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\": 2000"), std::string::npos);
+
+  const std::string prom = to_prometheus(metrics, spans);
+  EXPECT_NE(prom.find("splice_pkts_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("splice_span_seconds_count{path=\"phase\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(ObsSpanTest, RunReportCapturesBoth) {
+  {
+    ObsSpan span("capture_phase");
+    clock_.advance_ns(10);
+  }
+  SPLICE_OBS_COUNT("capture.ctr", 4);
+  RunReport report = RunReport::capture("unit_test");
+  report.add_param("topo", "abilene");
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"report\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"topo\": \"abilene\""), std::string::npos);
+  EXPECT_NE(json.find("\"capture.ctr\": 4"), std::string::npos);
+  EXPECT_NE(json.find("capture_phase"), std::string::npos);
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("capture.ctr"), std::string::npos);
+  EXPECT_NE(text.find("capture_phase"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace splice::obs

@@ -63,6 +63,86 @@ TEST(Histogram, EmptyCdfIsZero) {
   EXPECT_DOUBLE_EQ(h.quantile_edge(0.5), 1.0);  // never reached -> hi
 }
 
+TEST(Histogram, CumulativeMatchesBruteForceUnderInterleavedAdds) {
+  // The cached prefix sums must stay coherent when adds and cdf queries
+  // interleave (every add invalidates the cache).
+  Histogram h(0.0, 50.0, 25);
+  Rng rng(7);
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 30; ++i) h.add(rng.uniform() * 60.0 - 5.0);
+    for (int b = 0; b < h.bins(); ++b) {
+      long long brute = 0;
+      for (int j = 0; j <= b; ++j) brute += h.count(j);
+      ASSERT_EQ(h.cumulative(b), brute) << "round " << round << " bin " << b;
+      ASSERT_DOUBLE_EQ(h.cdf_at(b),
+                       static_cast<double>(brute) /
+                           static_cast<double>(h.total()));
+    }
+  }
+}
+
+TEST(Histogram, TracksSampleSum) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(-4.0);   // clamped into bin 0, but the sum sees the raw value
+  h.add(25.5);
+  EXPECT_DOUBLE_EQ(h.sum(), 22.5);
+}
+
+TEST(Histogram, MergeAddsCountsTotalsAndSums) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  Rng rng(3);
+  Histogram serial(0.0, 10.0, 5);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform() * 12.0 - 1.0;
+    (i % 2 ? a : b).add(x);
+    serial.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), serial.total());
+  for (int i = 0; i < serial.bins(); ++i) {
+    EXPECT_EQ(a.count(i), serial.count(i)) << "bin " << i;
+    EXPECT_EQ(a.cumulative(i), serial.cumulative(i)) << "bin " << i;
+  }
+  // Sums differ only by addition order; for half/half interleaving of
+  // bounded values the difference must be tiny.
+  EXPECT_NEAR(a.sum(), serial.sum(), 1e-9 * std::abs(serial.sum()));
+}
+
+TEST(Histogram, MergeAfterCdfQueryInvalidatesPrefix) {
+  Histogram a(0.0, 4.0, 4);
+  Histogram b(0.0, 4.0, 4);
+  a.add(0.5);
+  EXPECT_EQ(a.cumulative(3), 1);  // builds the prefix cache
+  b.add(3.5);
+  a.merge(b);
+  EXPECT_EQ(a.cumulative(2), 1);
+  EXPECT_EQ(a.cumulative(3), 2);  // cache refreshed after merge
+}
+
+TEST(Histogram, FromCountsRebuildsDerivedState) {
+  const Histogram h = Histogram::from_counts(0.0, 8.0, {1, 0, 2, 5}, 19.0);
+  EXPECT_EQ(h.bins(), 4);
+  EXPECT_EQ(h.total(), 8);
+  EXPECT_DOUBLE_EQ(h.sum(), 19.0);
+  EXPECT_EQ(h.cumulative(3), 8);
+  EXPECT_DOUBLE_EQ(h.cdf_at(1), 1.0 / 8.0);
+}
+
+TEST(Histogram, BinIndexSharedRuleClampsAndSplitsEdges) {
+  EXPECT_EQ(Histogram::bin_index(0.0, 10.0, 5, -1.0), 0);
+  EXPECT_EQ(Histogram::bin_index(0.0, 10.0, 5, 0.0), 0);
+  EXPECT_EQ(Histogram::bin_index(0.0, 10.0, 5, 2.0), 1);  // edges go up
+  EXPECT_EQ(Histogram::bin_index(0.0, 10.0, 5, 9.999), 4);
+  EXPECT_EQ(Histogram::bin_index(0.0, 10.0, 5, 10.0), 4);
+  EXPECT_EQ(Histogram::bin_index(0.0, 10.0, 5, 1e9), 4);
+  // add() must agree with the static rule.
+  Histogram h(0.0, 10.0, 5);
+  h.add(2.0);
+  EXPECT_EQ(h.count(Histogram::bin_index(0.0, 10.0, 5, 2.0)), 1);
+}
+
 TEST(Histogram, RenderContainsRows) {
   Histogram h(0.0, 10.0, 2);
   h.add(1.0);
