@@ -15,6 +15,7 @@ namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 300));
   const double p = flags.get_double("p", 0.05);

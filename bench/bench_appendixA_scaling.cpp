@@ -14,6 +14,7 @@ namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   ScalingConfig cfg;
   cfg.trials = static_cast<int>(flags.get_int("trials", 40));
   cfg.p = flags.get_double("p", 0.05);

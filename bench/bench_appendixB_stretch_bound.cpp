@@ -11,6 +11,7 @@ namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   StretchBoundConfig cfg;
   cfg.c = flags.get_double("c", 0.5);

@@ -23,6 +23,16 @@
 //   --obs                                        enable the obs registry
 //                                                without writing a report
 //                                                (the text report prints)
+//   --trace=path                                 enable the full obs stack
+//                                                (metrics, flight recorder,
+//                                                anomaly ledger) and write a
+//                                                Chrome trace-event JSON;
+//                                                inspect with splice_inspect
+//                                                or ui.perfetto.dev
+//   --trace-sample=N                             capture 1 in N sampled
+//                                                packet walks (default 64)
+//   --trace-ring=N                               per-thread recorder ring
+//                                                capacity in events
 #pragma once
 
 #include <chrono>
@@ -33,8 +43,12 @@
 #include <string>
 
 #include "graph/io.h"
+#include "obs/anomaly.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/run_report.h"
+#include "obs/trace_export.h"
 #include "routing/perturbation.h"
 #include "topo/datasets.h"
 #include "util/flags.h"
@@ -72,6 +86,26 @@ inline bool obs_from_flags(const Flags& flags) {
   const bool on = flags.has("metrics") || flags.get_bool("obs", false);
   if (on) obs::MetricsRegistry::set_enabled(true);
   return on;
+}
+
+/// Turns the full observability stack on when --trace=PATH is present:
+/// metrics registry (phase spans), flight recorder (event rings + sampled
+/// packet walks) and anomaly ledger. emit() then writes the trace-event
+/// JSON to PATH. Call before the instrumented work — every bench does this
+/// first thing in run(). Returns whether tracing is on.
+inline bool trace_from_flags(const Flags& flags) {
+  const auto path = flags.get("trace");
+  if (!path || path->empty() || *path == "true") return false;
+  obs::MetricsRegistry::set_enabled(true);
+  if (const auto ring = flags.get("trace-ring")) {
+    obs::FlightRecorder::global().set_ring_capacity(
+        static_cast<std::size_t>(std::strtoull(ring->c_str(), nullptr, 10)));
+  }
+  obs::FlightRecorder::global().set_walk_sample_every(
+      static_cast<std::uint64_t>(flags.get_int("trace-sample", 64)));
+  obs::FlightRecorder::set_enabled(true);
+  obs::AnomalyLedger::set_enabled(true);
+  return true;
 }
 
 /// Wall-clock stopwatch for build-time metrics.
@@ -201,6 +235,28 @@ inline void emit(const Flags& flags, const Table& table,
     } else {
       // bare --obs (or valueless --metrics): print the human report
       std::cout << "\n" << report.to_text();
+    }
+  }
+  const auto trace = flags.get("trace");
+  if (trace && !trace->empty() && *trace != "true" &&
+      obs::FlightRecorder::enabled()) {
+    obs::TraceInputs in = obs::capture_trace_inputs();
+    in.meta.emplace_back("bench",
+                         meta.bench.empty() ? flags.program() : meta.bench);
+    in.meta.emplace_back("topo", meta.topo.empty()
+                                     ? flags.get_string("topo", "")
+                                     : meta.topo);
+    in.meta.emplace_back("params", meta.params);
+    char wall[32];
+    std::snprintf(wall, sizeof wall, "%.3f", meta.wall_ms);
+    in.meta.emplace_back("wall_ms", wall);
+    for (const auto& [key, value] : obs::build_provenance()) {
+      in.meta.emplace_back("build." + key, value);
+    }
+    if (obs::write_trace(in, *trace)) {
+      std::cout << "\n[trace written to " << *trace << "]\n";
+    } else {
+      std::cerr << "failed to write trace: " << *trace << "\n";
     }
   }
 }

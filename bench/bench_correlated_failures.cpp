@@ -18,6 +18,7 @@ namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   const int trials = static_cast<int>(flags.get_int("trials", 400));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));

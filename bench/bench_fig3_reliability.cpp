@@ -24,6 +24,7 @@ std::vector<SliceId> parse_k_set(const std::string& spec) {
 }
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   bench::obs_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   ReliabilityConfig cfg;

@@ -12,6 +12,7 @@ namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   bench::obs_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   RecoveryExperimentConfig cfg;

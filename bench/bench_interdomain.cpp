@@ -16,6 +16,7 @@ namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   AsHierarchyConfig hcfg;
   hcfg.tier1 = static_cast<int>(flags.get_int("tier1", 4));
   hcfg.tier2 = static_cast<int>(flags.get_int("tier2", 12));

@@ -2,16 +2,26 @@
 // how often two-hop loops and any-node revisits occur as a function of k,
 // and shows that the loop-avoiding header generators eliminate persistent
 // loops at a small recovery cost.
+//
+// With the obs anomaly ledger on (--trace), the loop census is read back
+// from the ledger — one kTwoHopLoop / kRevisitLoop record per affected
+// recovery — divided by the experiment's recovered-path denominator. The
+// numerators are recorded by the same code path that feeds the historical
+// RecoveryPoint rates, so the table is bit-identical either way; a mismatch
+// would mean the ledger lost or double-counted an anomaly.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
 #include "bench_common.h"
+#include "obs/anomaly.h"
 #include "sim/experiments.h"
 
 namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const int trials = static_cast<int>(flags.get_int("trials", 50));
@@ -21,6 +31,7 @@ int run(const Flags& flags) {
                 "§4.4 — 2-hop loops ~1/100 recoveries at k=2, ~1/10 at "
                 "larger k; loop-free header generators remove them");
 
+  const bool ledger_on = obs::AnomalyLedger::enabled();
   Table table({"scheme", "k", "two_hop_loop_rate", "revisit_rate",
                "unrecovered"});
   for (const auto scheme : {RecoveryScheme::kEndSystemCoinFlip,
@@ -34,10 +45,34 @@ int run(const Flags& flags) {
     cfg.seed = seed;
     cfg.perturbation = bench::perturbation_from_flags(flags);
     cfg.recovery.scheme = scheme;
+    // The experiment opens the next ledger run; remember its index so the
+    // census below reads this scheme's records only.
+    const std::size_t run_index =
+        ledger_on ? obs::AnomalyLedger::global().snapshot().runs.size()
+                  : obs::kAnyRun;
     for (const auto& pt : run_recovery_experiment(g, cfg)) {
+      double two_hop_rate = pt.two_hop_loop_rate;
+      double revisit_rate = pt.revisit_rate;
+      if (ledger_on) {
+        // Census via the ledger (single source of truth for anomalies):
+        // same numerator, same denominator, bit-identical rates.
+        const auto& ledger = obs::AnomalyLedger::global();
+        const auto rec = static_cast<double>(
+            std::max<long long>(1, pt.recovered_paths));
+        two_hop_rate =
+            static_cast<double>(ledger.count(
+                run_index, obs::AnomalyKind::kTwoHopLoop,
+                static_cast<std::uint32_t>(pt.k))) /
+            rec;
+        revisit_rate =
+            static_cast<double>(ledger.count(
+                run_index, obs::AnomalyKind::kRevisitLoop,
+                static_cast<std::uint32_t>(pt.k))) /
+            rec;
+      }
       table.add_row({to_string(scheme), fmt_int(pt.k),
-                     fmt_double(pt.two_hop_loop_rate, 4),
-                     fmt_double(pt.revisit_rate, 4),
+                     fmt_double(two_hop_rate, 4),
+                     fmt_double(revisit_rate, 4),
                      fmt_double(pt.frac_unrecovered, 5)});
     }
   }

@@ -173,6 +173,7 @@ double best_ms(int reps, Fn&& fn) {
 }
 
 int run_control_compare(const Flags& flags) {
+  bench::trace_from_flags(flags);
   bench::obs_from_flags(flags);
   const bench::Stopwatch wall;
   const Graph g = bench::load_topology_flag(flags);

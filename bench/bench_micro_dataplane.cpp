@@ -381,6 +381,7 @@ struct SweepChecksum {
 };
 
 int run_dataplane_compare(const Flags& flags) {
+  bench::trace_from_flags(flags);
   bench::obs_from_flags(flags);
   const auto k = static_cast<SliceId>(flags.get_int("k", 8));
   const int packets = static_cast<int>(flags.get_int("packets", 4000));

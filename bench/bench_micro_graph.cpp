@@ -222,6 +222,7 @@ struct LegacyInstance {
 };
 
 int run_spt_compare(const Flags& flags) {
+  bench::trace_from_flags(flags);
   const auto n = static_cast<NodeId>(flags.get_int("n", 600));
   const auto k = static_cast<SliceId>(flags.get_int("k", 8));
   const int threads = bench::threads_from_flags(flags);

@@ -13,6 +13,7 @@ namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto k = static_cast<SliceId>(flags.get_int("k", 5));

@@ -13,6 +13,7 @@ namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
 
   bench::banner("Splicing vs. IGP reconvergence + Definition 2.2 curve",

@@ -29,6 +29,7 @@ const char* strategy_name(RecoveryStrategy s) {
 }
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   const auto k = static_cast<SliceId>(flags.get_int("k", 5));
   const int trials = static_cast<int>(flags.get_int("trials", 30));

@@ -14,6 +14,7 @@ namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   bench::obs_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));

@@ -12,6 +12,7 @@ namespace splice {
 namespace {
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   ThroughputConfig cfg;
   cfg.pair_sample = static_cast<int>(flags.get_int("pair-sample", 200));

@@ -28,6 +28,7 @@ const char* mode_name(SliceSelection mode) {
 }
 
 int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
   const Graph g = bench::load_topology_flag(flags);
   SplicerConfig scfg;
   scfg.slices = static_cast<SliceId>(flags.get_int("k", 5));

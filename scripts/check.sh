@@ -14,7 +14,15 @@
 # --rebaseline regenerates the committed baselines (run on the reference
 # machine after an intentional perf change, then commit the diff).
 #
-# Usage: scripts/check.sh [--no-tsan] [--no-asan] [--bench-smoke] [--rebaseline]
+# --trace-smoke exercises the flight-recorder pipeline end to end: runs the
+# loop-frequency bench with and without --trace, validates the trace with
+# splice_inspect, replays a recorded anomaly (--check), requires the traced
+# and untraced --json outputs to be bit-identical on every exact metric, and
+# gates the traced wall-time against the untraced run (tracing overhead must
+# stay inside the perf-gate tolerance).
+#
+# Usage: scripts/check.sh [--no-tsan] [--no-asan] [--bench-smoke]
+#                         [--rebaseline] [--trace-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,12 +31,14 @@ run_tsan=1
 run_asan=1
 bench_smoke=0
 rebaseline=0
+trace_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --no-asan) run_asan=0 ;;
     --bench-smoke) bench_smoke=1 ;;
     --rebaseline) bench_smoke=1; rebaseline=1 ;;
+    --trace-smoke) trace_smoke=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -55,7 +65,8 @@ run_sanitizer() {
 if [[ "$run_tsan" == 1 ]]; then
   run_sanitizer thread \
     util_parallel_test routing_multi_instance_test routing_repair_test \
-    determinism_test dataplane_fastpath_test obs_metrics_test
+    determinism_test dataplane_fastpath_test obs_metrics_test \
+    obs_flight_recorder_test sim_replay_test
 else
   echo "==> thread sanitizer pass skipped (--no-tsan)"
 fi
@@ -114,6 +125,40 @@ if [[ "$bench_smoke" == 1 ]]; then
     exit 1
   fi
   echo "==> bench smoke passed"
+fi
+
+if [[ "$trace_smoke" == 1 ]]; then
+  trace_dir="build/trace-smoke"
+  mkdir -p "$trace_dir"
+  trace_bench="./build/bench/bench_loop_frequency --topo=abilene --trials=30 --p=0.05 --seed=1"
+
+  echo "==> trace smoke: untraced baseline run"
+  $trace_bench --json="$trace_dir/plain.json" >/dev/null
+
+  echo "==> trace smoke: traced run"
+  $trace_bench --json="$trace_dir/traced.json" \
+    --trace="$trace_dir/trace.json" --trace-sample=16 >/dev/null
+
+  echo "==> trace smoke: splice_inspect validate"
+  ./build/tools/splice_inspect validate "$trace_dir/trace.json"
+
+  echo "==> trace smoke: splice_inspect anomalies (replay check)"
+  ./build/tools/splice_inspect anomalies "$trace_dir/trace.json" --n=3 --check
+
+  # The recorder/ledger must not perturb results: every exact metric in the
+  # bench output (loop rates, recovery counts, checksums) has to be
+  # bit-identical with tracing on. Wall-times are excluded by default.
+  echo "==> trace smoke: traced vs untraced results bit-identical"
+  ./build/tools/splice_inspect diff "$trace_dir/plain.json" "$trace_dir/traced.json"
+
+  # Overhead gate: with --gate-time the wall_ms rows are compared too. The
+  # recorder budget is "well under the gate tolerance"; the loose default
+  # absorbs shared-machine noise, tighten with TRACE_TOL on a quiet box.
+  echo "==> trace smoke: tracing overhead within tolerance"
+  ./build/tools/splice_inspect diff "$trace_dir/plain.json" "$trace_dir/traced.json" \
+    --tolerance="${TRACE_TOL:-0.75}" --gate-time
+
+  echo "==> trace smoke passed"
 fi
 
 echo "==> all checks passed"

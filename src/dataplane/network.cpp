@@ -7,6 +7,7 @@
 #include <sys/mman.h>
 #endif
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/assert.h"
@@ -122,12 +123,45 @@ ForwardSummary DataPlaneNetwork::forward_core(const Packet& packet,
   const char* alive = link_alive_.data();
   const Weight* weight = edge_weight_.data();
 
+#if SPLICE_OBS
+  // Flight-recorder hook for sampled packet walks: inert (one thread-local
+  // load + branch) unless an enclosing obs::WalkScope armed this thread.
+  // The RAII end-capture reads `out` after whichever return path filled it.
+  struct WalkCapture {
+    const ForwardSummary& out;
+    const bool active;
+    WalkCapture(const ForwardSummary& out, NodeId src, NodeId dst, SliceId k,
+                int header_hops)
+        : out(out), active(obs::walk_capture_active()) {
+      if (active) {
+        obs::walk_packet_begin(static_cast<std::uint32_t>(src),
+                               static_cast<std::uint32_t>(dst),
+                               static_cast<std::uint32_t>(k),
+                               static_cast<std::uint32_t>(header_hops));
+      }
+    }
+    ~WalkCapture() {
+      if (active) {
+        obs::walk_packet_end(static_cast<std::uint32_t>(out.outcome),
+                             static_cast<std::uint32_t>(out.hops), out.cost,
+                             out.deflected);
+      }
+    }
+  } walk_capture(out, packet.src, dst, k, bits_left);
+#endif
+
   while (ttl-- > 0) {
     // Algorithm 1: read the rightmost lg(k) bits if any remain; otherwise
     // apply the exhaust policy.
+#if SPLICE_OBS
+    std::uint32_t hop_bits = 0;
+#endif
     SliceId slice = current;
     if (bits_left > 0) {
       --bits_left;
+#if SPLICE_OBS
+      hop_bits = static_cast<std::uint32_t>(hdr_bpp);
+#endif
       const std::uint32_t raw =
           static_cast<std::uint32_t>(bits_lo) & hdr_mask;
       bits_lo = (bits_lo >> hdr_bpp) | (bits_hi << (64 - hdr_bpp));
@@ -172,6 +206,15 @@ ForwardSummary DataPlaneNetwork::forward_core(const Packet& packet,
       ws->hops.push_back(
           HopRecord{node, entry.next_hop, entry.edge, slice, deflected});
     }
+#if SPLICE_OBS
+    if (walk_capture.active) {
+      obs::walk_hop(static_cast<std::uint32_t>(node),
+                    static_cast<std::uint32_t>(entry.next_hop),
+                    static_cast<std::uint32_t>(slice),
+                    static_cast<std::uint32_t>(entry.edge), deflected,
+                    hop_bits);
+    }
+#endif
     ++out.hops;
     out.cost += weight[static_cast<std::size_t>(entry.edge)];
     out.deflected = out.deflected || deflected;

@@ -1,0 +1,114 @@
+#include "obs/anomaly.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace splice::obs {
+
+#if SPLICE_OBS
+std::atomic<bool> AnomalyLedger::enabled_{false};
+#endif
+
+const char* anomaly_kind_name(AnomalyKind k) noexcept {
+  switch (k) {
+    case AnomalyKind::kTwoHopLoop:
+      return "two_hop_loop";
+    case AnomalyKind::kRevisitLoop:
+      return "revisit_loop";
+    case AnomalyKind::kTtlExpired:
+      return "ttl_expired";
+    case AnomalyKind::kHighStretch:
+      return "high_stretch";
+    case AnomalyKind::kMicroLoop:
+      return "micro_loop";
+    case AnomalyKind::kBlackhole:
+      return "blackhole";
+  }
+  return "unknown";
+}
+
+AnomalyLedger& AnomalyLedger::global() {
+  static AnomalyLedger instance;
+  return instance;
+}
+
+std::uint32_t AnomalyLedger::begin_run(
+    std::vector<std::pair<std::string, std::string>> params) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  AnomalyRun run;
+  run.index = static_cast<std::uint32_t>(runs_.size());
+  run.params = std::move(params);
+  runs_.push_back(std::move(run));
+  current_run_ = runs_.back().index;
+  return current_run_;
+}
+
+void AnomalyLedger::add_context(const std::string& key,
+                                const std::string& value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, v] : context_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  context_.emplace_back(key, value);
+}
+
+void AnomalyLedger::record(const Anomaly& a) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (anomalies_.size() >= capacity_.load(std::memory_order_relaxed)) {
+    ++dropped_;
+    return;
+  }
+  anomalies_.push_back(a);
+  anomalies_.back().run = current_run_;
+}
+
+AnomalySnapshot AnomalyLedger::snapshot() const {
+  AnomalySnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.anomalies = anomalies_;
+    snap.runs = runs_;
+    snap.context = context_;
+    snap.dropped = dropped_;
+  }
+  // Canonical order: a pure function of the anomaly set, not of the
+  // thread interleaving that recorded it.
+  std::stable_sort(snap.anomalies.begin(), snap.anomalies.end(),
+                   [](const Anomaly& x, const Anomaly& y) {
+                     return std::tie(x.run, x.p, x.trial, x.k, x.src, x.dst,
+                                     x.kind, x.variant) <
+                            std::tie(y.run, y.p, y.trial, y.k, y.src, y.dst,
+                                     y.kind, y.variant);
+                   });
+  return snap;
+}
+
+std::size_t AnomalyLedger::count(std::size_t run, AnomalyKind kind,
+                                 std::uint32_t k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Anomaly& a : anomalies_) {
+    if (run != kAnyRun && a.run != run) continue;
+    if (static_cast<std::uint16_t>(kind) != 0 && a.kind != kind) continue;
+    if (k != 0 && a.k != k) continue;
+    ++n;
+  }
+  return n;
+}
+
+void AnomalyLedger::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  anomalies_.clear();
+  runs_.clear();
+  context_.clear();
+  dropped_ = 0;
+  current_run_ = 0;
+}
+
+}  // namespace splice::obs

@@ -1,0 +1,154 @@
+// Anomaly ledger: structured, replayable records of "the paper said this
+// should be rare" events — forwarding loops (§4.4 of Path Splicing),
+// TTL expiries, stretch blowing past threshold, transient micro-loops and
+// blackholes. Aggregate telemetry (obs/metrics.h) counts these; the ledger
+// keeps *which trial* tripped them, with enough context — experiment seed,
+// probability point, trial index, k, (src, dst), final splicing bits — to
+// replay the exact episode via sim/replay.h or the `splice_inspect replay`
+// command line.
+//
+// Recording is mutex-guarded (anomalies are rare by construction; if they
+// are not, the run has bigger problems than lock contention) with a
+// capacity valve: past `capacity()` new anomalies are counted but not
+// stored. snapshot() returns records in a canonical (run, p, trial, k,
+// src, dst, kind) order so the set is bit-identical at every thread count.
+//
+// Runs. A process may host several experiment configurations (e.g.
+// bench_loop_frequency sweeps four recovery schemes). begin_run() opens a
+// tagged scope: subsequent anomalies carry the run index, and the run's
+// params (serialized config) travel with the export so every record is
+// self-describing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace splice::obs {
+
+enum class AnomalyKind : std::uint16_t {
+  kTwoHopLoop = 1,   ///< A->B->A oscillation in a recovered path (§4.4)
+  kRevisitLoop = 2,  ///< node revisited (larger loop / wandering walk)
+  kTtlExpired = 3,   ///< walk hit the hop budget
+  kHighStretch = 4,  ///< delivered path cost / shortest cost > threshold
+  kMicroLoop = 5,    ///< transient loop during reconvergence (sim/transient)
+  kBlackhole = 6,    ///< transient blackhole during reconvergence
+};
+
+const char* anomaly_kind_name(AnomalyKind k) noexcept;
+
+struct Anomaly {
+  AnomalyKind kind = AnomalyKind::kTwoHopLoop;
+  std::uint32_t run = 0;        ///< begin_run() scope index
+  std::uint64_t seed = 0;       ///< experiment config seed
+  double p = 0.0;               ///< failure-probability point
+  std::uint32_t trial = 0;      ///< trial index within the point
+  std::uint32_t k = 0;          ///< slice count
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t bits_lo = 0;    ///< final attempt's splicing header bits
+  std::uint64_t bits_hi = 0;
+  std::uint32_t attempts = 0;   ///< recovery retrials used
+  std::uint32_t hops = 0;       ///< walk length
+  double stretch = 0.0;         ///< path cost / shortest cost (0 if n/a)
+  std::uint64_t aux = 0;        ///< kind-specific (e.g. failed edge id)
+  std::uint32_t variant = 0;    ///< kind-specific (e.g. transient plain=0,
+                                ///< spliced=1)
+};
+
+struct AnomalyRun {
+  std::uint32_t index = 0;
+  /// Serialized experiment config ("seed=42 scheme=coin_flip ...") — the
+  /// payload behind a replay command line.
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+struct AnomalySnapshot {
+  std::vector<Anomaly> anomalies;  ///< canonical order (see header comment)
+  std::vector<AnomalyRun> runs;
+  /// Process-wide context (topology name etc.) set via add_context.
+  std::vector<std::pair<std::string, std::string>> context;
+  std::uint64_t dropped = 0;  ///< recorded past capacity, not stored
+};
+
+class AnomalyLedger {
+ public:
+  static AnomalyLedger& global();
+
+  /// Same gate as the rest of the obs layer: one relaxed load + branch on
+  /// every record site; constant false under -DSPLICE_OBS=OFF.
+  static bool enabled() noexcept {
+#if SPLICE_OBS
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+  static void set_enabled(bool on) noexcept {
+#if SPLICE_OBS
+    enabled_.store(on, std::memory_order_relaxed);
+#else
+    (void)on;
+#endif
+  }
+
+  /// Opens a run scope; anomalies recorded until the next begin_run carry
+  /// the returned index. Safe to call while disabled (returns 0, records
+  /// nothing).
+  std::uint32_t begin_run(
+      std::vector<std::pair<std::string, std::string>> params);
+
+  /// Sets a process-wide context key (last write wins), e.g. topo=abilene.
+  void add_context(const std::string& key, const std::string& value);
+
+  void record(const Anomaly& a);
+
+  /// Stretch above this threshold is recorded as kHighStretch by callers.
+  double stretch_threshold() const noexcept {
+    return stretch_threshold_.load(std::memory_order_relaxed);
+  }
+  void set_stretch_threshold(double t) noexcept {
+    stretch_threshold_.store(t, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  void set_capacity(std::size_t n) noexcept {
+    capacity_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Canonically ordered copy of everything recorded since reset().
+  AnomalySnapshot snapshot() const;
+
+  /// Count of stored anomalies matching (run, kind); pass run == npos or
+  /// kind == 0 to wildcard. For the bench_loop_frequency census.
+  std::size_t count(std::size_t run, AnomalyKind kind,
+                    std::uint32_t k = 0) const;
+
+  void reset();
+
+ private:
+  AnomalyLedger() = default;
+
+#if SPLICE_OBS
+  static std::atomic<bool> enabled_;
+#endif
+
+  mutable std::mutex mu_;
+  std::uint32_t current_run_ = 0;
+  std::vector<Anomaly> anomalies_;
+  std::vector<AnomalyRun> runs_;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::uint64_t dropped_ = 0;
+  std::atomic<std::size_t> capacity_{1u << 20};
+  std::atomic<double> stretch_threshold_{3.0};
+};
+
+inline constexpr std::size_t kAnyRun = static_cast<std::size_t>(-1);
+
+}  // namespace splice::obs

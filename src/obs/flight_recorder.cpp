@@ -1,0 +1,324 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace splice::obs {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+#if SPLICE_OBS
+std::atomic<bool> FlightRecorder::enabled_{false};
+#endif
+
+// SPSC ring: the owning thread is the only producer (push_ advances head
+// with a release store); drain() is the only consumer and holds the
+// registry mutex, so two drains never race. Capacity is a power of two so
+// the index reduce is a mask.
+struct FlightRecorder::Ring {
+  explicit Ring(std::size_t capacity, std::uint32_t tid)
+      : mask(capacity - 1), tid(tid), slots(capacity) {}
+
+  const std::size_t mask;
+  const std::uint32_t tid;
+  std::vector<RecorderEvent> slots;
+  std::atomic<std::uint64_t> head{0};  ///< next write position (producer)
+  std::atomic<std::uint64_t> tail{0};  ///< next read position (consumer)
+  std::atomic<std::uint64_t> dropped{0};
+
+  void push(RecorderEvent ev) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    // Acquire pairs with drain()'s release tail store: the slot at h must
+    // not be overwritten before the consumer has copied it out.
+    if (h - tail.load(std::memory_order_acquire) > mask) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ev.tid = tid;
+    slots[h & mask] = ev;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+FlightRecorder::FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder instance;
+  return instance;
+}
+
+void FlightRecorder::set_ring_capacity(std::size_t events) {
+  ring_capacity_.store(round_up_pow2(std::max<std::size_t>(events, 8)),
+                       std::memory_order_relaxed);
+}
+
+std::size_t FlightRecorder::ring_capacity() const noexcept {
+  return ring_capacity_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_walk_sample_every(std::uint64_t n) noexcept {
+  walk_sample_every_.store(n, std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::walk_sample_every() const noexcept {
+  return walk_sample_every_.load(std::memory_order_relaxed);
+}
+
+bool FlightRecorder::sample_walk(std::uint64_t walk_id) const noexcept {
+  const std::uint64_t every = walk_sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return false;
+  if (every == 1) return true;
+  // One more mix so walk ids whose low bits correlate with (src, dst)
+  // do not bias the sample; pure function of the id, never of the thread.
+  return hash_mix(walk_id, 0x77ca1e5cull) % every == 0;
+}
+
+std::uint32_t FlightRecorder::intern(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+FlightRecorder::Ring& FlightRecorder::local_ring() {
+  thread_local struct Slot {
+    FlightRecorder* owner = nullptr;
+    Ring* ring = nullptr;
+  } slot;
+  if (slot.owner != this) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(std::make_unique<Ring>(
+        ring_capacity_.load(std::memory_order_relaxed),
+        static_cast<std::uint32_t>(rings_.size())));
+    slot.owner = this;
+    slot.ring = rings_.back().get();
+  }
+  return *slot.ring;
+}
+
+void FlightRecorder::record(RecorderEvent ev) noexcept {
+  if (!enabled()) return;
+  local_ring().push(ev);
+}
+
+std::size_t FlightRecorder::ring_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+RecorderSnapshot FlightRecorder::drain() {
+  RecorderSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.names = names_;
+  for (auto& ring : rings_) {
+    const std::uint64_t t = ring->tail.load(std::memory_order_relaxed);
+    // Acquire pairs with push()'s release head store: slot contents are
+    // visible for every published index.
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    for (std::uint64_t i = t; i != h; ++i) {
+      snap.events.push_back(ring->slots[i & ring->mask]);
+    }
+    ring->tail.store(h, std::memory_order_release);
+    snap.dropped += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void FlightRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& ring : rings_) {
+    ring->tail.store(ring->head.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    ring->dropped.store(0, std::memory_order_relaxed);
+  }
+  names_.clear();
+}
+
+void FlightRecorder::phase_begin(std::uint32_t name_id) noexcept {
+  if (!enabled()) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kPhaseBegin);
+  ev.key = name_id;
+  ev.time_ns = now_ns();
+  local_ring().push(ev);
+}
+
+void FlightRecorder::phase_end(std::uint32_t name_id) noexcept {
+  if (!enabled()) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kPhaseEnd);
+  ev.key = name_id;
+  ev.time_ns = now_ns();
+  local_ring().push(ev);
+}
+
+void FlightRecorder::spt_repair(std::uint32_t edge, std::uint32_t repaired,
+                                std::uint32_t rebuilt,
+                                std::uint32_t nodes_touched,
+                                std::uint16_t untouched) noexcept {
+  if (!enabled()) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kSptRepair);
+  ev.key = edge;
+  ev.time_ns = now_ns();
+  ev.a = edge;
+  ev.b = repaired;
+  ev.c = rebuilt;
+  ev.d = nodes_touched;
+  ev.flags = untouched;
+  local_ring().push(ev);
+}
+
+void FlightRecorder::trial_begin(std::uint32_t trial) noexcept {
+  if (!enabled()) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kTrialBegin);
+  ev.key = trial;
+  ev.a = trial;
+  ev.time_ns = now_ns();
+  local_ring().push(ev);
+}
+
+void FlightRecorder::trial_end(std::uint32_t trial) noexcept {
+  if (!enabled()) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kTrialEnd);
+  ev.key = trial;
+  ev.a = trial;
+  ev.time_ns = now_ns();
+  local_ring().push(ev);
+}
+
+void sort_deterministic(std::vector<RecorderEvent>& events) {
+  const auto is_walk = [](const RecorderEvent& e) {
+    return e.type >= static_cast<std::uint16_t>(EventType::kWalkBegin) &&
+           e.type <= static_cast<std::uint16_t>(EventType::kWalkEnd);
+  };
+  std::stable_sort(events.begin(), events.end(),
+                   [&](const RecorderEvent& x, const RecorderEvent& y) {
+                     const bool wx = is_walk(x), wy = is_walk(y);
+                     if (wx != wy) return wx < wy;
+                     if (wx) {
+                       if (x.key != y.key) return x.key < y.key;
+                       return x.seq < y.seq;
+                     }
+                     if (x.time_ns != y.time_ns) return x.time_ns < y.time_ns;
+                     if (x.tid != y.tid) return x.tid < y.tid;
+                     return x.type < y.type;
+                   });
+}
+
+// ---------------------------------------------------------------------------
+// Sampled walk capture.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct WalkState {
+  std::uint64_t id = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t attempt = 0;
+  bool armed = false;
+};
+
+thread_local WalkState t_walk;
+
+}  // namespace
+
+WalkScope::WalkScope(std::uint64_t walk_id) noexcept {
+  prev_id_ = t_walk.id;
+  prev_seq_ = t_walk.seq;
+  prev_attempt_ = t_walk.attempt;
+  prev_armed_ = t_walk.armed;
+  auto& rec = FlightRecorder::global();
+  armed_ = FlightRecorder::enabled() && rec.sample_walk(walk_id);
+  t_walk.id = walk_id;
+  t_walk.seq = 0;
+  t_walk.attempt = 0;
+  t_walk.armed = armed_;
+}
+
+WalkScope::~WalkScope() noexcept {
+  t_walk.id = prev_id_;
+  t_walk.seq = prev_seq_;
+  t_walk.attempt = prev_attempt_;
+  t_walk.armed = prev_armed_;
+}
+
+bool walk_capture_active() noexcept { return t_walk.armed; }
+
+void walk_packet_begin(std::uint32_t src, std::uint32_t dst, std::uint32_t k,
+                       std::uint32_t header_hops) noexcept {
+  if (!t_walk.armed) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kWalkBegin);
+  ev.key = t_walk.id;
+  ev.seq = t_walk.seq++;
+  ev.time_ns = now_ns();
+  ev.flags = static_cast<std::uint16_t>(t_walk.attempt);
+  ev.a = src;
+  ev.b = dst;
+  ev.c = k;
+  ev.d = header_hops;
+  FlightRecorder::global().record(ev);
+}
+
+void walk_hop(std::uint32_t node, std::uint32_t next, std::uint32_t slice,
+              std::uint32_t edge, bool deflected,
+              std::uint32_t bits_consumed) noexcept {
+  if (!t_walk.armed) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kWalkHop);
+  ev.key = t_walk.id;
+  ev.seq = t_walk.seq++;
+  ev.flags = static_cast<std::uint16_t>(
+      (deflected ? kWalkFlagDeflected : 0u) |
+      (bits_consumed << kWalkFlagBitsShift));
+  ev.a = node;
+  ev.b = slice;
+  ev.c = next;
+  ev.d = edge;
+  FlightRecorder::global().record(ev);
+}
+
+void walk_packet_end(std::uint32_t outcome, std::uint32_t hops, double cost,
+                     bool deflected) noexcept {
+  if (!t_walk.armed) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kWalkEnd);
+  ev.key = t_walk.id;
+  ev.seq = t_walk.seq++;
+  ev.time_ns = now_ns();
+  ev.flags = static_cast<std::uint16_t>(
+      (deflected ? kWalkFlagDeflected : 0u) |
+      (static_cast<std::uint32_t>(t_walk.attempt) << kWalkFlagBitsShift));
+  ev.a = outcome;
+  ev.b = hops;
+  std::uint64_t cost_bits = 0;
+  static_assert(sizeof(cost_bits) == sizeof(cost));
+  std::memcpy(&cost_bits, &cost, sizeof(cost));
+  ev.c = static_cast<std::uint32_t>(cost_bits >> 32);
+  ev.d = static_cast<std::uint32_t>(cost_bits & 0xffffffffULL);
+  FlightRecorder::global().record(ev);
+  ++t_walk.attempt;
+}
+
+}  // namespace splice::obs

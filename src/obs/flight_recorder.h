@@ -1,0 +1,211 @@
+// Flight recorder: per-thread fixed-size binary event rings for event-level
+// tracing — the layer below obs/metrics.h's aggregates. Where the registry
+// answers "how many / how long", the recorder answers "which packet, which
+// slice, which hop".
+//
+// Record path. Each recording thread owns one SPSC ring (registered under a
+// mutex on its first event, never touched by another producer). Recording
+// is: one enabled() check, a thread-local ring lookup, one bounds check and
+// a 48-byte store — no locks, no allocation. When the ring is full new
+// events are *dropped* and counted; the recorder never blocks or reallocs
+// on the hot path. When the recorder is disabled every instrumentation
+// site costs one relaxed load + branch, and -DSPLICE_OBS=OFF compiles the
+// hooks out entirely (the class stays available so tooling links).
+//
+// Draining. drain() snapshots and consumes every ring's published events.
+// Producers may keep recording while a drain runs (head is released per
+// event), but the intended discipline is to drain at quiescent points — a
+// bench's emit(), a test's join — where no walk is mid-flight.
+//
+// Determinism contract (sampled packet walks). Whether a walk is captured
+// is a pure function of its deterministic walk id — built from the trial
+// substream seed (sim/trial_engine.h's trial_substream_seed) and the walk's
+// (k, src, dst) — never of the thread running it. So the *set* of sampled
+// walk events is bit-identical at every thread count; only their
+// distribution across rings varies, and sort_deterministic() restores the
+// canonical (key, seq) order. Wall-clock timestamps ride along for the
+// trace view but sit outside the contract, like span timings. Ring
+// overflow drops are the one escape hatch: a drop pattern depends on ring
+// occupancy and therefore on threading — size rings so determinism-gated
+// workloads do not drop (drops are always counted, never silent).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace splice::obs {
+
+/// Binary event record. 48 bytes, POD; field meaning depends on `type`.
+enum class EventType : std::uint16_t {
+  kPhaseBegin = 1,  ///< key=name id, time set, a=unused
+  kPhaseEnd = 2,    ///< key=name id, time set
+  kSptRepair = 3,   ///< a=edge, b=trees repaired, c=trees rebuilt,
+                    ///< d=nodes touched, flags=trees untouched
+  kTrialBegin = 4,  ///< key=a=trial index, time set
+  kTrialEnd = 5,    ///< key=a=trial index, time set
+  kWalkBegin = 6,   ///< key=walk id, a=src, b=dst, c=k, d=header splice
+                    ///< hops, flags=attempt index
+  kWalkHop = 7,     ///< key=walk id, a=node, b=slice, c=next, d=edge,
+                    ///< flags bit0=deflected, bits 1..15=bits consumed
+  kWalkEnd = 8,     ///< key=walk id, a=outcome, b=hops, c|d=cost bits,
+                    ///< flags bit0=deflected, bits 1..15=attempt index
+};
+
+struct RecorderEvent {
+  std::uint64_t key = 0;      ///< deterministic stream key (see EventType)
+  std::uint64_t time_ns = 0;  ///< wall clock; outside the determinism contract
+  std::uint32_t seq = 0;      ///< per-key sequence number (walk events)
+  std::uint32_t tid = 0;      ///< recording ring index (stable per thread)
+  std::uint16_t type = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t a = 0, b = 0, c = 0, d = 0;
+};
+static_assert(sizeof(RecorderEvent) == 48);
+
+/// RecorderEvent::flags encoding for walk hops.
+inline constexpr std::uint16_t kWalkFlagDeflected = 1u;
+inline constexpr int kWalkFlagBitsShift = 1;
+
+struct RecorderSnapshot {
+  /// All drained events, ring by ring in registration order (per-ring
+  /// publication order is preserved within each ring's run).
+  std::vector<RecorderEvent> events;
+  /// Interned phase-name table: names[key] for phase events.
+  std::vector<std::string> names;
+  /// Total events dropped on full rings since the last reset.
+  std::uint64_t dropped = 0;
+};
+
+/// Canonical order for determinism comparisons and export: walk events by
+/// (key, seq), everything else by (time, tid, type). Stable within ties.
+void sort_deterministic(std::vector<RecorderEvent>& events);
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& global();
+
+  /// Runtime switch; every hook opens with this relaxed load + branch.
+  static bool enabled() noexcept {
+#if SPLICE_OBS
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+  static void set_enabled(bool on) noexcept {
+#if SPLICE_OBS
+    enabled_.store(on, std::memory_order_relaxed);
+#else
+    (void)on;
+#endif
+  }
+
+  /// Per-thread ring capacity in events (rounded up to a power of two).
+  /// Applies to rings registered after the call; set before enabling.
+  void set_ring_capacity(std::size_t events);
+  std::size_t ring_capacity() const noexcept;
+
+  /// Sampled-walk rate: capture 1 in `n` walks (1 = every walk, 0 = none).
+  /// The decision is a pure hash of the walk id — see the header comment.
+  void set_walk_sample_every(std::uint64_t n) noexcept;
+  std::uint64_t walk_sample_every() const noexcept;
+  bool sample_walk(std::uint64_t walk_id) const noexcept;
+
+  /// Interns a phase name; ids are dense and stable until reset().
+  std::uint32_t intern(const char* name);
+
+  /// Appends one event to the calling thread's ring (drop + count if full).
+  void record(RecorderEvent ev) noexcept;
+
+  /// Number of registered per-thread rings (test hook: stays 0 while the
+  /// recorder is disabled — the record path must not even allocate a ring).
+  std::size_t ring_count() const;
+
+  /// Snapshots and consumes all published events.
+  RecorderSnapshot drain();
+
+  /// Drops buffered events, drop counts and the name table. Rings stay
+  /// registered (thread-local pointers remain valid).
+  void reset();
+
+  // Phase / repair / trial convenience hooks (timestamped).
+  void phase_begin(std::uint32_t name_id) noexcept;
+  void phase_end(std::uint32_t name_id) noexcept;
+  void spt_repair(std::uint32_t edge, std::uint32_t repaired,
+                  std::uint32_t rebuilt, std::uint32_t nodes_touched,
+                  std::uint16_t untouched) noexcept;
+  void trial_begin(std::uint32_t trial) noexcept;
+  void trial_end(std::uint32_t trial) noexcept;
+
+ private:
+  FlightRecorder();
+
+  struct Ring;
+  Ring& local_ring();
+
+#if SPLICE_OBS
+  static std::atomic<bool> enabled_;
+#endif
+
+  mutable std::mutex mu_;  ///< guards ring registration + name interning
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::string> names_;
+  std::atomic<std::size_t> ring_capacity_{1u << 16};
+  std::atomic<std::uint64_t> walk_sample_every_{64};
+};
+
+// ---------------------------------------------------------------------------
+// Sampled walk capture. The experiment loop arms an episode with WalkScope;
+// while armed, the forwarding core's hooks record per-attempt begin/end and
+// per-hop (node, slice, deflection, bits-consumed) events. Arming state is
+// thread-local, so concurrent trials on other workers are unaffected.
+// ---------------------------------------------------------------------------
+
+/// Deterministic walk id for one (trial, k, src, dst) episode. `trial_key`
+/// must itself be a pure function of the trial (use trial_substream_seed).
+inline std::uint64_t walk_id(std::uint64_t trial_key, std::uint64_t k,
+                             std::uint64_t src, std::uint64_t dst) noexcept {
+  return hash_mix(trial_key, (src << 32) | (dst & 0xffffffffULL), k);
+}
+
+/// True while the current thread has a sampled walk armed. This is the
+/// per-hop guard in the forwarding core: a thread-local load + branch.
+bool walk_capture_active() noexcept;
+
+void walk_packet_begin(std::uint32_t src, std::uint32_t dst, std::uint32_t k,
+                       std::uint32_t header_hops) noexcept;
+void walk_hop(std::uint32_t node, std::uint32_t next, std::uint32_t slice,
+              std::uint32_t edge, bool deflected,
+              std::uint32_t bits_consumed) noexcept;
+void walk_packet_end(std::uint32_t outcome, std::uint32_t hops, double cost,
+                     bool deflected) noexcept;
+
+/// Arms sampled-walk capture for the enclosing scope when the recorder is
+/// enabled and `walk_id` hashes into the sample. Nestable (inner scope
+/// shadows, restores on exit); cheap no-op when the recorder is disabled.
+class WalkScope {
+ public:
+  explicit WalkScope(std::uint64_t walk_id) noexcept;
+  ~WalkScope() noexcept;
+
+  WalkScope(const WalkScope&) = delete;
+  WalkScope& operator=(const WalkScope&) = delete;
+
+  bool armed() const noexcept { return armed_; }
+
+ private:
+  std::uint64_t prev_id_ = 0;
+  std::uint32_t prev_seq_ = 0;
+  std::uint32_t prev_attempt_ = 0;
+  bool prev_armed_ = false;
+  bool armed_ = false;
+};
+
+}  // namespace splice::obs

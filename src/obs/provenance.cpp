@@ -1,0 +1,37 @@
+#include "obs/provenance.h"
+
+#include <thread>
+
+// Baked in by src/obs/CMakeLists.txt; defaults cover builds that bypass it.
+#ifndef SPLICE_GIT_SHA
+#define SPLICE_GIT_SHA "unknown"
+#endif
+#ifndef SPLICE_BUILD_TYPE
+#define SPLICE_BUILD_TYPE "unknown"
+#endif
+#ifndef SPLICE_CXX_FLAGS
+#define SPLICE_CXX_FLAGS ""
+#endif
+#ifndef SPLICE_OBS
+#define SPLICE_OBS 1
+#endif
+
+namespace splice::obs {
+
+std::vector<std::pair<std::string, std::string>> build_provenance() {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back("git_sha", SPLICE_GIT_SHA);
+#if defined(__clang__) || defined(__GNUC__)
+  out.emplace_back("compiler", __VERSION__);
+#else
+  out.emplace_back("compiler", "unknown");
+#endif
+  out.emplace_back("build_type", SPLICE_BUILD_TYPE);
+  out.emplace_back("cxx_flags", SPLICE_CXX_FLAGS);
+  out.emplace_back("splice_obs", SPLICE_OBS ? "on" : "off");
+  out.emplace_back("hardware_threads",
+                   std::to_string(std::thread::hardware_concurrency()));
+  return out;
+}
+
+}  // namespace splice::obs

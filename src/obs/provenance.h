@@ -1,0 +1,18 @@
+// Build/host provenance: the "which binary produced this" block attached to
+// every RunReport so archived baselines in bench/baselines/ are
+// self-describing. Build-time facts (git SHA, compiler, flags, build type,
+// SPLICE_OBS state) are baked in by src/obs/CMakeLists.txt at configure
+// time; host facts (hardware concurrency) are read at capture time.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace splice::obs {
+
+/// Ordered key/value provenance entries: git_sha, compiler, build_type,
+/// cxx_flags, splice_obs, hardware_threads.
+std::vector<std::pair<std::string, std::string>> build_provenance();
+
+}  // namespace splice::obs

@@ -1,5 +1,6 @@
 #include "obs/run_report.h"
 
+#include "obs/provenance.h"
 #include "util/table.h"
 
 namespace splice::obs {
@@ -7,6 +8,7 @@ namespace splice::obs {
 RunReport RunReport::capture(std::string name) {
   RunReport r;
   r.name = std::move(name);
+  r.provenance = build_provenance();
   r.metrics = MetricsRegistry::global().snapshot();
   r.spans = SpanCollector::global().snapshot();
   return r;
@@ -21,6 +23,13 @@ std::string RunReport::to_json() const {
     out += json_quote(params[i].first);
     out += ": ";
     out += json_quote(params[i].second);
+  }
+  out += "}, \"provenance\": {";
+  for (std::size_t i = 0; i < provenance.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += json_quote(provenance[i].first);
+    out += ": ";
+    out += json_quote(provenance[i].second);
   }
   out += "}, ";
   out += metrics_json_body(metrics);
@@ -37,6 +46,9 @@ std::string RunReport::to_prometheus() const {
 std::string RunReport::to_text() const {
   std::string out = "== run report: " + name + " ==\n";
   for (const auto& [k, v] : params) out += "  " + k + " = " + v + "\n";
+  for (const auto& [k, v] : provenance) {
+    out += "  [build] " + k + " = " + v + "\n";
+  }
   out += "\n-- metrics --\n";
   out += metrics_table(metrics).to_text();
   if (!spans.stats.empty()) {

@@ -18,18 +18,23 @@ struct RunReport {
   std::string name;  ///< e.g. the bench name
   /// Run parameters worth diffing (topology, trials, threads, seed, ...).
   std::vector<std::pair<std::string, std::string>> params;
+  /// Build/host provenance (git SHA, compiler, flags, SPLICE_OBS state,
+  /// thread count) — filled by capture() so archived reports are
+  /// self-describing. Comparison tooling treats it as annotation, not data.
+  std::vector<std::pair<std::string, std::string>> provenance;
   MetricsSnapshot metrics;
   SpanSnapshot spans;
 
-  /// Snapshots the global registry and span collector.
+  /// Snapshots the global registry and span collector, and stamps
+  /// build/host provenance.
   static RunReport capture(std::string name);
 
   void add_param(std::string key, std::string value) {
     params.emplace_back(std::move(key), std::move(value));
   }
 
-  /// {"report": name, "params": {..}, "counters": {..}, "gauges": {..},
-  ///  "histograms": {..}, "spans": [..]}
+  /// {"report": name, "params": {..}, "provenance": {..},
+  ///  "counters": {..}, "gauges": {..}, "histograms": {..}, "spans": [..]}
   std::string to_json() const;
   std::string to_prometheus() const;
   /// metrics_table + spans_table, titled.

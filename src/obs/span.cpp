@@ -27,20 +27,46 @@ void SpanCollector::set_clock(const Clock* clock) noexcept {
 
 const Clock& SpanCollector::clock() const noexcept { return *clock_; }
 
+SpanCollector::Buffer& SpanCollector::local_buffer() {
+  thread_local struct Slot {
+    SpanCollector* owner = nullptr;
+    Buffer* buffer = nullptr;
+  } slot;
+  if (slot.owner != this) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    slot.owner = this;
+    slot.buffer = buffers_.back().get();
+  }
+  return *slot.buffer;
+}
+
 void SpanCollector::record(const std::string& path, int depth,
                            std::uint64_t elapsed_ns) {
   (void)depth;  // depth is recomputed from the path at snapshot time
-  std::lock_guard<std::mutex> lock(mu_);
-  Node& node = nodes_[path];
+  Buffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  Node& node = buf.nodes[path];
   ++node.count;
   node.total_ns += elapsed_ns;
 }
 
 SpanSnapshot SpanCollector::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Node> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      for (const auto& [path, node] : buf->nodes) {
+        Node& into = merged[path];
+        into.count += node.count;
+        into.total_ns += node.total_ns;
+      }
+    }
+  }
   SpanSnapshot snap;
-  snap.stats.reserve(nodes_.size());
-  for (const auto& [path, node] : nodes_) {
+  snap.stats.reserve(merged.size());
+  for (const auto& [path, node] : merged) {
     SpanStat stat;
     stat.path = path;
     const auto slash = path.rfind('/');
@@ -78,8 +104,13 @@ SpanSnapshot SpanCollector::snapshot() const {
 }
 
 void SpanCollector::reset() {
+  // Buffers stay registered (thread_local pointers remain valid); only
+  // their contents are dropped.
   std::lock_guard<std::mutex> lock(mu_);
-  nodes_.clear();
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->nodes.clear();
+  }
 }
 
 thread_local ObsSpan* ObsSpan::t_current_ = nullptr;

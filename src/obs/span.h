@@ -2,10 +2,16 @@
 // control-plane and data-plane phases (slice builds, repair events, FlatFibs
 // construction, analyzer CSR builds, trial batches).
 //
-// A span is cheap but not free (two clock reads + one mutex-guarded tree
-// update at destruction), so spans wrap *phases* — milliseconds of work —
-// never per-packet or per-node inner loops. When the registry is disabled a
-// span construct/destruct is one relaxed load + branch each.
+// A span is cheap but not free (two clock reads + one map update in a
+// per-thread buffer at destruction), so spans wrap *phases* — milliseconds
+// of work — never per-packet or per-node inner loops. When the registry is
+// disabled a span construct/destruct is one relaxed load + branch each.
+//
+// Each thread accumulates into its own buffer (registered once, cached in a
+// thread_local), so closing a span never contends with other threads; the
+// buffers are merged under the collector lock only at snapshot()/reset()
+// time. The buffer's own mutex is uncontended on the record path — it
+// exists so a concurrent snapshot can read a consistent map.
 //
 // Nesting is tracked per thread via a thread_local parent pointer, so spans
 // opened on worker threads root their own trees (worker spans do not attach
@@ -78,9 +84,11 @@ class SpanCollector {
   void set_clock(const Clock* clock) noexcept;
   const Clock& clock() const noexcept;
 
-  /// Accumulates one completed span under `path` ("/"-joined names).
+  /// Accumulates one completed span under `path` ("/"-joined names) into
+  /// the calling thread's buffer — no cross-thread contention.
   void record(const std::string& path, int depth, std::uint64_t elapsed_ns);
 
+  /// Merges all per-thread buffers into one aggregate view.
   SpanSnapshot snapshot() const;
   void reset();
 
@@ -92,12 +100,22 @@ class SpanCollector {
     std::uint64_t total_ns = 0;
   };
 
+  /// One thread's accumulator. The mutex is uncontended on the record path
+  /// (only the owning thread writes); snapshot/reset lock it briefly to
+  /// read or clear a consistent map.
+  struct Buffer {
+    std::mutex mu;
+    /// path -> aggregate. std::map keeps merge order deterministic; the
+    /// preorder flattening falls out of the path sort.
+    std::map<std::string, Node> nodes;
+  };
+
+  Buffer& local_buffer();
+
   MonotonicClock monotonic_;
   const Clock* clock_;  ///< guarded by mu_ for writes; read lock-free
-  mutable std::mutex mu_;
-  /// path -> aggregate. std::map keeps snapshot order deterministic; the
-  /// preorder flattening falls out of the path sort.
-  std::map<std::string, Node> nodes_;
+  mutable std::mutex mu_;  ///< guards buffer registration
+  std::vector<std::unique_ptr<Buffer>> buffers_;
 };
 
 /// RAII phase timer. Construct to open, destruct to close-and-record.

@@ -1,0 +1,381 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "obs/export.h"
+#include "util/table.h"
+
+namespace splice::obs {
+
+namespace {
+
+double cost_from_bits(std::uint32_t hi, std::uint32_t lo) {
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(hi) << 32) | static_cast<std::uint64_t>(lo);
+  double cost = 0.0;
+  static_assert(sizeof(bits) == sizeof(cost));
+  std::memcpy(&cost, &bits, sizeof(cost));
+  return cost;
+}
+
+/// Chrome ts is in microseconds; keep sub-µs precision as a fraction.
+std::string ts_us(std::uint64_t ns, std::uint64_t base_ns) {
+  return json_double(static_cast<double>(ns - base_ns) / 1000.0);
+}
+
+std::string u64_str(std::uint64_t v) { return json_quote(std::to_string(v)); }
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::string& out) : out_(out) {}
+
+  void begin_event() {
+    if (!first_) out_ += ",\n";
+    first_ = false;
+    out_ += "  {";
+    first_field_ = true;
+  }
+  void end_event() { out_ += "}"; }
+
+  void field(const char* key, const std::string& raw) {
+    if (!first_field_) out_ += ", ";
+    first_field_ = false;
+    out_ += '"';
+    out_ += key;
+    out_ += "\": ";
+    out_ += raw;
+  }
+  void str_field(const char* key, const std::string& s) {
+    field(key, json_quote(s));
+  }
+  void int_field(const char* key, long long v) {
+    field(key, std::to_string(v));
+  }
+
+ private:
+  std::string& out_;
+  bool first_ = true;
+  bool first_field_ = true;
+};
+
+const char* phase_name(const RecorderSnapshot& rec, std::uint64_t key) {
+  if (key < rec.names.size()) return rec.names[key].c_str();
+  return "?";
+}
+
+const char* outcome_name(std::uint32_t outcome) {
+  switch (outcome) {
+    case 0:
+      return "delivered";
+    case 1:
+      return "dead_end";
+    case 2:
+      return "ttl_expired";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TraceInputs capture_trace_inputs() {
+  TraceInputs in;
+  in.spans = SpanCollector::global().snapshot();
+  in.recorder = FlightRecorder::global().drain();
+  in.anomalies = AnomalyLedger::global().snapshot();
+  return in;
+}
+
+std::string trace_json(const TraceInputs& in) {
+  std::string out = "{\n\"traceEvents\": [\n";
+  EventWriter w(out);
+
+  const auto add_process_name = [&](int pid, const char* name) {
+    w.begin_event();
+    w.str_field("name", "process_name");
+    w.str_field("ph", "M");
+    w.int_field("pid", pid);
+    w.int_field("tid", 0);
+    w.field("args", "{\"name\": " + json_quote(name) + "}");
+    w.end_event();
+  };
+  add_process_name(1, "recorder");
+  add_process_name(2, "spans");
+  add_process_name(3, "walks");
+
+  // Canonical event order first: walk events grouped by (key, seq), the
+  // rest time-ordered. Also establishes the trace's time base.
+  std::vector<RecorderEvent> events = in.recorder.events;
+  sort_deterministic(events);
+  std::uint64_t base_ns = ~0ULL;
+  for (const RecorderEvent& ev : events) {
+    if (ev.time_ns != 0) base_ns = std::min(base_ns, ev.time_ns);
+  }
+  if (base_ns == ~0ULL) base_ns = 0;
+
+  // pid 1: phases, SPT repairs, trial markers — on their recording ring.
+  for (const RecorderEvent& ev : events) {
+    switch (static_cast<EventType>(ev.type)) {
+      case EventType::kPhaseBegin:
+      case EventType::kPhaseEnd: {
+        w.begin_event();
+        w.str_field("name", phase_name(in.recorder, ev.key));
+        w.str_field("ph", ev.type == static_cast<std::uint16_t>(
+                                         EventType::kPhaseBegin)
+                              ? "B"
+                              : "E");
+        w.int_field("pid", 1);
+        w.int_field("tid", ev.tid);
+        w.field("ts", ts_us(ev.time_ns, base_ns));
+        w.end_event();
+        break;
+      }
+      case EventType::kSptRepair: {
+        w.begin_event();
+        w.str_field("name", "spt_repair");
+        w.str_field("ph", "i");
+        w.str_field("s", "t");
+        w.int_field("pid", 1);
+        w.int_field("tid", ev.tid);
+        w.field("ts", ts_us(ev.time_ns, base_ns));
+        w.field("args", "{\"edge\": " + std::to_string(ev.a) +
+                            ", \"trees_repaired\": " + std::to_string(ev.b) +
+                            ", \"trees_rebuilt\": " + std::to_string(ev.c) +
+                            ", \"nodes_touched\": " + std::to_string(ev.d) +
+                            ", \"trees_untouched\": " +
+                            std::to_string(ev.flags) + "}");
+        w.end_event();
+        break;
+      }
+      case EventType::kTrialBegin:
+      case EventType::kTrialEnd: {
+        w.begin_event();
+        w.str_field("name", "trial " + std::to_string(ev.a));
+        w.str_field("ph", ev.type == static_cast<std::uint16_t>(
+                                         EventType::kTrialBegin)
+                              ? "B"
+                              : "E");
+        w.int_field("pid", 1);
+        w.int_field("tid", ev.tid);
+        w.field("ts", ts_us(ev.time_ns, base_ns));
+        w.end_event();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // pid 2: the aggregate span tree laid out in preorder — each node spans
+  // its total, children packed left-to-right from the parent's start.
+  {
+    std::vector<std::uint64_t> cursor(1, 0);
+    for (const SpanStat& s : in.spans.stats) {
+      const auto depth = static_cast<std::size_t>(s.depth);
+      if (cursor.size() <= depth) cursor.resize(depth + 1, 0);
+      const std::uint64_t start = cursor[depth];
+      cursor[depth] = start + s.total_ns;
+      if (cursor.size() <= depth + 1) cursor.resize(depth + 2, 0);
+      cursor[depth + 1] = start;
+      w.begin_event();
+      w.str_field("name", s.name);
+      w.str_field("ph", "X");
+      w.int_field("pid", 2);
+      w.int_field("tid", 0);
+      w.field("ts", ts_us(start, 0));
+      w.field("dur", json_double(static_cast<double>(s.total_ns) / 1000.0));
+      w.field("args", "{\"path\": " + json_quote(s.path) +
+                          ", \"count\": " + std::to_string(s.count) +
+                          ", \"total_ns\": " + std::to_string(s.total_ns) +
+                          "}");
+      w.end_event();
+    }
+  }
+
+  // pid 3: sampled walks, one tid per walk id (dense, in canonical order).
+  {
+    std::map<std::uint64_t, int> walk_tid;
+    const auto is_walk = [](const RecorderEvent& e) {
+      return e.type >= static_cast<std::uint16_t>(EventType::kWalkBegin) &&
+             e.type <= static_cast<std::uint16_t>(EventType::kWalkEnd);
+    };
+    for (const RecorderEvent& ev : events) {
+      if (is_walk(ev)) walk_tid.emplace(ev.key, 0);
+    }
+    int next_tid = 0;
+    for (auto& [key, tid] : walk_tid) tid = next_tid++;
+
+    // One attempt at a time: buffer hops between a begin and its end, then
+    // emit B, interpolated hop instants, E.
+    struct Attempt {
+      RecorderEvent begin;
+      std::vector<RecorderEvent> hops;
+      bool open = false;
+    } cur;
+    const auto flush = [&](const RecorderEvent& end) {
+      const int tid = walk_tid[end.key];
+      const std::uint64_t b_ns = cur.open ? cur.begin.time_ns : end.time_ns;
+      const std::uint64_t e_ns = std::max(end.time_ns, b_ns);
+      if (cur.open) {
+        w.begin_event();
+        w.str_field("name", "walk " + std::to_string(cur.begin.a) + "->" +
+                                std::to_string(cur.begin.b) +
+                                " k=" + std::to_string(cur.begin.c));
+        w.str_field("ph", "B");
+        w.int_field("pid", 3);
+        w.int_field("tid", tid);
+        w.field("ts", ts_us(b_ns, base_ns));
+        w.field("args",
+                "{\"src\": " + std::to_string(cur.begin.a) +
+                    ", \"dst\": " + std::to_string(cur.begin.b) +
+                    ", \"k\": " + std::to_string(cur.begin.c) +
+                    ", \"header_hops\": " + std::to_string(cur.begin.d) +
+                    ", \"attempt\": " + std::to_string(cur.begin.flags) +
+                    ", \"walk_id\": " + u64_str(cur.begin.key) + "}");
+        w.end_event();
+      }
+      // Hops are not timestamped on the record path; spread them evenly
+      // across the attempt for the timeline view.
+      const std::size_t n = cur.hops.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const RecorderEvent& h = cur.hops[i];
+        const std::uint64_t ts =
+            b_ns + (e_ns - b_ns) * (i + 1) / (n + 1);
+        w.begin_event();
+        w.str_field("name", "hop " + std::to_string(h.a) + "->" +
+                                std::to_string(h.c) +
+                                ((h.flags & kWalkFlagDeflected) != 0
+                                     ? " (deflected)"
+                                     : ""));
+        w.str_field("ph", "i");
+        w.str_field("s", "t");
+        w.int_field("pid", 3);
+        w.int_field("tid", tid);
+        w.field("ts", ts_us(ts, base_ns));
+        w.field("args",
+                "{\"node\": " + std::to_string(h.a) +
+                    ", \"slice\": " + std::to_string(h.b) +
+                    ", \"next\": " + std::to_string(h.c) +
+                    ", \"edge\": " + std::to_string(h.d) +
+                    ", \"deflected\": " +
+                    ((h.flags & kWalkFlagDeflected) != 0 ? "true" : "false") +
+                    ", \"bits_consumed\": " +
+                    std::to_string(h.flags >> kWalkFlagBitsShift) + "}");
+        w.end_event();
+      }
+      if (cur.open) {
+        w.begin_event();
+        w.str_field("name", "walk " + std::to_string(cur.begin.a) + "->" +
+                                std::to_string(cur.begin.b) +
+                                " k=" + std::to_string(cur.begin.c));
+        w.str_field("ph", "E");
+        w.int_field("pid", 3);
+        w.int_field("tid", tid);
+        w.field("ts", ts_us(e_ns, base_ns));
+        w.field("args",
+                "{\"outcome\": " +
+                    json_quote(outcome_name(end.a)) +
+                    ", \"hops\": " + std::to_string(end.b) + ", \"cost\": " +
+                    json_double(cost_from_bits(end.c, end.d)) +
+                    ", \"deflected\": " +
+                    ((end.flags & kWalkFlagDeflected) != 0 ? "true"
+                                                           : "false") +
+                    "}");
+        w.end_event();
+      }
+      cur = Attempt{};
+    };
+    for (const RecorderEvent& ev : events) {
+      switch (static_cast<EventType>(ev.type)) {
+        case EventType::kWalkBegin:
+          cur.begin = ev;
+          cur.open = true;
+          break;
+        case EventType::kWalkHop:
+          cur.hops.push_back(ev);
+          break;
+        case EventType::kWalkEnd:
+          flush(ev);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  out += "\n],\n";
+
+  // Exact span aggregates (the pid-2 timeline is synthesized; this is the
+  // ground truth splice_inspect ranks).
+  out += "\"spliceSpans\": [";
+  for (std::size_t i = 0; i < in.spans.stats.size(); ++i) {
+    const SpanStat& s = in.spans.stats[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"path\": " + json_quote(s.path) +
+           ", \"depth\": " + std::to_string(s.depth) +
+           ", \"count\": " + std::to_string(s.count) +
+           ", \"total_ns\": " + std::to_string(s.total_ns) + "}";
+  }
+  out += "\n],\n";
+
+  out += "\"spliceAnomalies\": [";
+  for (std::size_t i = 0; i < in.anomalies.anomalies.size(); ++i) {
+    const Anomaly& a = in.anomalies.anomalies[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"kind\": " + json_quote(anomaly_kind_name(a.kind)) +
+           ", \"run\": " + std::to_string(a.run) +
+           ", \"seed\": " + u64_str(a.seed) + ", \"p\": " + json_double(a.p) +
+           ", \"trial\": " + std::to_string(a.trial) +
+           ", \"k\": " + std::to_string(a.k) +
+           ", \"src\": " + std::to_string(a.src) +
+           ", \"dst\": " + std::to_string(a.dst) +
+           ", \"bits_lo\": " + u64_str(a.bits_lo) +
+           ", \"bits_hi\": " + u64_str(a.bits_hi) +
+           ", \"attempts\": " + std::to_string(a.attempts) +
+           ", \"hops\": " + std::to_string(a.hops) +
+           ", \"stretch\": " + json_double(a.stretch) +
+           ", \"aux\": " + u64_str(a.aux) +
+           ", \"variant\": " + std::to_string(a.variant) + "}";
+  }
+  out += "\n],\n";
+
+  out += "\"spliceRuns\": [";
+  for (std::size_t i = 0; i < in.anomalies.runs.size(); ++i) {
+    const AnomalyRun& r = in.anomalies.runs[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"index\": " + std::to_string(r.index) + ", \"params\": {";
+    for (std::size_t j = 0; j < r.params.size(); ++j) {
+      if (j != 0) out += ", ";
+      out += json_quote(r.params[j].first) + ": " +
+             json_quote(r.params[j].second);
+    }
+    out += "}}";
+  }
+  out += "\n],\n";
+
+  out += "\"spliceMeta\": {";
+  bool first = true;
+  const auto meta_entry = [&](const std::string& k, const std::string& raw) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(k) + ": " + raw;
+  };
+  for (const auto& [k, v] : in.meta) meta_entry(k, json_quote(v));
+  for (const auto& [k, v] : in.anomalies.context) {
+    meta_entry("context." + k, json_quote(v));
+  }
+  meta_entry("recorder_events", std::to_string(in.recorder.events.size()));
+  meta_entry("recorder_dropped", std::to_string(in.recorder.dropped));
+  meta_entry("anomaly_count",
+             std::to_string(in.anomalies.anomalies.size()));
+  meta_entry("anomaly_dropped", std::to_string(in.anomalies.dropped));
+  out += "}\n}\n";
+  return out;
+}
+
+bool write_trace(const TraceInputs& in, const std::string& path) {
+  return write_file(path, trace_json(in));
+}
+
+}  // namespace splice::obs

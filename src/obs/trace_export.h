@@ -1,0 +1,54 @@
+// Trace exporter: renders the span tree, drained flight-recorder events and
+// the anomaly ledger as one Chrome/Perfetto trace-event JSON document
+// (load it at chrome://tracing or ui.perfetto.dev; splice_inspect reads the
+// same file).
+//
+// Layout:
+//   pid 1 "recorder"  — phase begin/end as B/E pairs and SPT repairs /
+//                       trial markers as instants, one tid per ring;
+//   pid 2 "spans"     — the *aggregate* span tree as synthesized X events
+//                       (spans carry totals, not start times, so the
+//                       timeline is a preorder layout: each node spans its
+//                       total, children packed left-to-right inside it);
+//   pid 3 "walks"     — sampled packet walks, one tid per walk, B/E per
+//                       attempt with per-hop instants. Hops are not
+//                       individually timestamped on the record path (too
+//                       hot); their ts interpolates between the attempt's
+//                       begin and end.
+//
+// Chrome ignores unknown top-level keys, so the document carries the full
+// structured payload alongside "traceEvents": "spliceSpans" (exact span
+// aggregates), "spliceAnomalies" + "spliceRuns" (the ledger), and
+// "spliceMeta" (caller params + recorder drop counts). 64-bit values that
+// may exceed 2^53 (seeds, splicing bits) are emitted as decimal strings.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/anomaly.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
+
+namespace splice::obs {
+
+struct TraceInputs {
+  SpanSnapshot spans;
+  RecorderSnapshot recorder;
+  AnomalySnapshot anomalies;
+  /// Free-form metadata for "spliceMeta" (bench name, topology, flags...).
+  std::vector<std::pair<std::string, std::string>> meta;
+};
+
+/// Snapshots the global span collector, drains the global flight recorder
+/// and snapshots the global anomaly ledger.
+TraceInputs capture_trace_inputs();
+
+/// Renders one complete trace-event JSON document.
+std::string trace_json(const TraceInputs& in);
+
+/// trace_json + write_file. Returns false on I/O failure.
+bool write_trace(const TraceInputs& in, const std::string& path);
+
+}  // namespace splice::obs

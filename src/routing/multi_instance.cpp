@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/assert.h"
@@ -106,6 +107,16 @@ RepairStats MultiInstanceRouting::apply_edge_event(EdgeId e,
   SPLICE_OBS_COUNT("control.repair.trees_repaired", total.trees_repaired);
   SPLICE_OBS_COUNT("control.repair.trees_rebuilt", total.trees_rebuilt);
   SPLICE_OBS_COUNT("control.repair.nodes_touched", total.nodes_touched);
+#if SPLICE_OBS
+  if (obs::FlightRecorder::enabled()) {
+    obs::FlightRecorder::global().spt_repair(
+        static_cast<std::uint32_t>(e),
+        static_cast<std::uint32_t>(total.trees_repaired),
+        static_cast<std::uint32_t>(total.trees_rebuilt),
+        static_cast<std::uint32_t>(total.nodes_touched),
+        static_cast<std::uint16_t>(total.trees_untouched));
+  }
+#endif
   return total;
 }
 

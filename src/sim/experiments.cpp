@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 
 #include "dataplane/network.h"
 #include "graph/connectivity.h"
+#include "obs/anomaly.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "graph/dijkstra.h"
@@ -20,9 +24,6 @@
 
 namespace splice {
 
-namespace {
-
-/// Forwarding tables restricted to the first k slices of a control plane.
 FibSet build_fibs_subset(const Graph& g, const MultiInstanceRouting& mir,
                          SliceId k) {
   SPLICE_EXPECTS(k >= 1 && k <= mir.slice_count());
@@ -41,10 +42,72 @@ FibSet build_fibs_subset(const Graph& g, const MultiInstanceRouting& mir,
   return fibs;
 }
 
+namespace {
+
 SliceId max_of(const std::vector<SliceId>& ks) {
   SPLICE_EXPECTS(!ks.empty());
   return *std::max_element(ks.begin(), ks.end());
 }
+
+#if SPLICE_OBS
+
+const char* failure_name(FailureKind f) {
+  switch (f) {
+    case FailureKind::kLink:
+      return "link";
+    case FailureKind::kNode:
+      return "node";
+    case FailureKind::kLengthWeighted:
+      return "length-weighted";
+  }
+  return "?";
+}
+
+const char* semantics_name(UnionSemantics s) {
+  return s == UnionSemantics::kUndirectedLinks ? "undirected" : "directed";
+}
+
+/// Serializes the recovery config into ledger run params — everything
+/// sim/replay.h needs to reconstruct the exact trial. Doubles use
+/// shortest-round-trip formatting so parsing them back is lossless.
+std::vector<std::pair<std::string, std::string>> recovery_run_params(
+    const RecoveryExperimentConfig& cfg, const std::vector<double>& p_values) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back("experiment", "recovery");
+  out.emplace_back("seed", std::to_string(cfg.seed));
+  out.emplace_back("scheme", to_string(cfg.recovery.scheme));
+  std::string ks;
+  for (std::size_t i = 0; i < cfg.k_values.size(); ++i) {
+    if (i != 0) ks += ',';
+    ks += std::to_string(cfg.k_values[i]);
+  }
+  out.emplace_back("k_values", ks);
+  std::string ps;
+  for (std::size_t i = 0; i < p_values.size(); ++i) {
+    if (i != 0) ps += ',';
+    ps += obs::json_double(p_values[i]);
+  }
+  out.emplace_back("p_values", ps);
+  out.emplace_back("trials", std::to_string(cfg.trials));
+  out.emplace_back("pair_sample", std::to_string(cfg.pair_sample));
+  out.emplace_back("perturb", to_string(cfg.perturbation.kind));
+  out.emplace_back("perturb_a", obs::json_double(cfg.perturbation.a));
+  out.emplace_back("perturb_b", obs::json_double(cfg.perturbation.b));
+  out.emplace_back("perturb_first_slice",
+                   cfg.perturb_first_slice ? "1" : "0");
+  out.emplace_back("semantics", semantics_name(cfg.semantics));
+  out.emplace_back("failure", failure_name(cfg.failure));
+  out.emplace_back("max_trials", std::to_string(cfg.recovery.max_trials));
+  out.emplace_back("header_hops", std::to_string(cfg.recovery.header_hops));
+  out.emplace_back("flip_probability",
+                   obs::json_double(cfg.recovery.flip_probability));
+  out.emplace_back("max_switches",
+                   std::to_string(cfg.recovery.max_switches));
+  out.emplace_back("ttl", std::to_string(cfg.recovery.ttl));
+  return out;
+}
+
+#endif  // SPLICE_OBS
 
 }  // namespace
 
@@ -161,6 +224,15 @@ std::vector<RecoveryPoint> run_recovery_experiment(
       cfg.p_values.empty() ? paper_p_grid() : cfg.p_values;
   const SliceId k_max = max_of(cfg.k_values);
 
+#if SPLICE_OBS
+  // Anomalies recorded below carry this run's serialized config, making
+  // each record a self-contained replay recipe (see sim/replay.h).
+  if (obs::AnomalyLedger::enabled()) {
+    obs::AnomalyLedger::global().begin_run(
+        recovery_run_params(cfg, p_values));
+  }
+#endif
+
   const MultiInstanceRouting mir(
       g, ControlPlaneConfig{k_max, cfg.perturbation, cfg.seed,
                             cfg.perturb_first_slice});
@@ -231,6 +303,17 @@ std::vector<RecoveryPoint> run_recovery_experiment(
 
     const auto run_trial = [&](int trial, Scratch& sc) {
       TrialResult res(cfg.k_values.size());
+#if SPLICE_OBS
+      // Hoisted obs gates: one relaxed load each per trial, zero per pair
+      // when disabled. The walk stream key is a pure function of
+      // (seed, p index, trial) — never of the worker thread — so the
+      // sampled-walk set is bit-identical at every thread count.
+      const bool rec_on = obs::FlightRecorder::enabled();
+      const bool ledger_on = obs::AnomalyLedger::enabled();
+      const std::uint64_t trial_key = recovery_walk_key(cfg.seed, pi, trial);
+      const double stretch_thr =
+          ledger_on ? obs::AnomalyLedger::global().stretch_threshold() : 0.0;
+#endif
       Rng trial_rng = trial_rngs[pi][static_cast<std::size_t>(trial)];
       std::vector<char> dead_nodes;
       std::vector<char> alive;
@@ -283,6 +366,17 @@ std::vector<RecoveryPoint> run_recovery_experiment(
           Rng pair_rng = trial_rng.fork(
               static_cast<std::uint64_t>(src) * 131071 +
               static_cast<std::uint64_t>(dst) + static_cast<std::uint64_t>(k));
+#if SPLICE_OBS
+          // Arms sampled packet-walk capture for the forwarding below when
+          // this episode's deterministic walk id hashes into the sample.
+          std::optional<obs::WalkScope> walk;
+          if (rec_on) {
+            walk.emplace(obs::walk_id(trial_key,
+                                      static_cast<std::uint64_t>(k),
+                                      static_cast<std::uint64_t>(src),
+                                      static_cast<std::uint64_t>(dst)));
+          }
+#endif
           FastRecoveryResult r;
           if (k == 1) {
             // "No splicing": a broken shortest path cannot be recovered.
@@ -293,10 +387,14 @@ std::vector<RecoveryPoint> run_recovery_experiment(
             const ForwardSummary d = net.forward_stats(probe);
             r.initially_connected = d.delivered();
             r.delivered = d.delivered();
+            r.summary = d;
           } else {
             r = attempt_recovery_fast(net, src, dst, rcfg, pair_rng, sc.fwd);
           }
 
+          bool rec_two_hop = false;
+          bool rec_revisit = false;
+          double rec_stretch = 0.0;
           if (!r.initially_connected) {
             ++a.initial_broken;
             if (!r.delivered) {
@@ -310,18 +408,55 @@ std::vector<RecoveryPoint> run_recovery_experiment(
                 a.trials_add.push_back(static_cast<double>(r.trials_used));
               const Weight base = oracle.distance(src, dst);
               const int base_hops = oracle.hops(src, dst);
-              if (base > 0.0 && base < kInfiniteWeight)
-                a.stretch_add.push_back(r.summary.cost / base);
+              if (base > 0.0 && base < kInfiniteWeight) {
+                rec_stretch = r.summary.cost / base;
+                a.stretch_add.push_back(rec_stretch);
+              }
               if (base_hops > 0)
                 a.hop_add.push_back(static_cast<double>(r.summary.hops) /
                                     static_cast<double>(base_hops));
               ++a.recovered_paths;
-              if (has_two_hop_loop(std::span<const HopRecord>(sc.fwd.hops)))
-                ++a.two_hop_loops;
-              if (count_node_revisits(sc.fwd.hops, n, sc.fwd) > 0)
-                ++a.revisits;
+              rec_two_hop =
+                  has_two_hop_loop(std::span<const HopRecord>(sc.fwd.hops));
+              if (rec_two_hop) ++a.two_hop_loops;
+              rec_revisit = count_node_revisits(sc.fwd.hops, n, sc.fwd) > 0;
+              if (rec_revisit) ++a.revisits;
             }
           }
+#if SPLICE_OBS
+          if (ledger_on) {
+            obs::Anomaly an;
+            an.seed = cfg.seed;
+            an.p = p;
+            an.trial = static_cast<std::uint32_t>(trial);
+            an.k = static_cast<std::uint32_t>(k);
+            an.src = static_cast<std::uint32_t>(src);
+            an.dst = static_cast<std::uint32_t>(dst);
+            an.bits_lo = r.header.stream().lo();
+            an.bits_hi = r.header.stream().hi();
+            an.attempts = static_cast<std::uint32_t>(r.trials_used);
+            an.hops = static_cast<std::uint32_t>(r.summary.hops);
+            an.stretch = rec_stretch;
+            auto& ledger = obs::AnomalyLedger::global();
+            if (rec_two_hop) {
+              an.kind = obs::AnomalyKind::kTwoHopLoop;
+              ledger.record(an);
+            }
+            if (rec_revisit) {
+              an.kind = obs::AnomalyKind::kRevisitLoop;
+              ledger.record(an);
+            }
+            if (rec_stretch > stretch_thr && stretch_thr > 0.0) {
+              an.kind = obs::AnomalyKind::kHighStretch;
+              ledger.record(an);
+            }
+            if (!r.delivered &&
+                r.summary.outcome == ForwardOutcome::kTtlExpired) {
+              an.kind = obs::AnomalyKind::kTtlExpired;
+              ledger.record(an);
+            }
+          }
+#endif
         };
 
         if (cfg.pair_sample > 0) {
@@ -403,6 +538,7 @@ std::vector<RecoveryPoint> run_recovery_experiment(
           static_cast<double>(std::max<long long>(1, a.recovered_paths));
       pt.two_hop_loop_rate = static_cast<double>(a.two_hop_loops) / rec;
       pt.revisit_rate = static_cast<double>(a.revisits) / rec;
+      pt.recovered_paths = a.recovered_paths;
       out.push_back(pt);
     }
   }

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "routing/multi_instance.h"
 #include "routing/perturbation.h"
+#include "sim/trial_engine.h"
 #include "splicing/recovery.h"
 #include "splicing/reliability.h"
 #include "util/stats.h"
@@ -110,10 +112,35 @@ struct RecoveryPoint {
   double two_hop_loop_rate = 0.0;
   /// Fraction of recovered paths revisiting any node (loops of any length).
   double revisit_rate = 0.0;
+  /// Denominator of the loop rates: paths recovered after an initial
+  /// failure. Exposed so census tooling can cross-check rate numerators
+  /// against the anomaly ledger.
+  long long recovered_paths = 0;
 };
 
+/// When the obs anomaly ledger is enabled, run_recovery_experiment opens a
+/// ledger run tagged with the serialized config and records loop / TTL /
+/// high-stretch anomalies per recovery episode; sampled packet walks arm
+/// the flight recorder keyed by recovery_walk_key below. Disabled, it runs
+/// the exact historical computation (one relaxed load + branch per trial).
 std::vector<RecoveryPoint> run_recovery_experiment(
     const Graph& g, const RecoveryExperimentConfig& cfg);
+
+/// Deterministic flight-recorder stream key of one recovery trial: a pure
+/// function of (config seed, p index, trial), shared by the experiment
+/// loop and sim/replay.h so a replayed episode lands on the same walk ids.
+inline std::uint64_t recovery_walk_key(std::uint64_t seed, std::size_t p_index,
+                                       int trial) noexcept {
+  return trial_substream_seed(seed ^ 0x77a1c5b3ULL,
+                              (static_cast<std::uint64_t>(p_index) << 32) |
+                                  static_cast<std::uint64_t>(trial));
+}
+
+/// Forwarding tables restricted to the first k slices of a control plane.
+/// Shared by the recovery harness and sim/replay.cpp, which must build the
+/// exact network the recorded trial ran on.
+FibSet build_fibs_subset(const Graph& g, const MultiInstanceRouting& mir,
+                         SliceId k);
 
 // ---------------------------------------------------------------------------
 // Per-slice stretch census (§4.3: "99% of all paths in each tree have

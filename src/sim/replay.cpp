@@ -1,0 +1,193 @@
+#include "sim/replay.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "dataplane/network.h"
+#include "graph/dijkstra.h"
+#include "obs/flight_recorder.h"
+#include "routing/multi_instance.h"
+#include "sim/failure.h"
+#include "splicing/reliability.h"
+#include "util/assert.h"
+
+namespace splice {
+
+ReplayResult replay_recovery_episode(const Graph& g,
+                                     const RecoveryExperimentConfig& cfg,
+                                     const ReplayRequest& req) {
+  ReplayResult out;
+  const std::vector<double> p_values =
+      cfg.p_values.empty() ? paper_p_grid() : cfg.p_values;
+
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  std::size_t pi = npos;
+  for (std::size_t i = 0; i < p_values.size(); ++i) {
+    // Exact match: run params serialize p with shortest-round-trip
+    // formatting, so the parsed-back double is bit-identical.
+    if (p_values[i] == req.p) {
+      pi = i;
+      break;
+    }
+  }
+  std::size_t ki_target = npos;
+  for (std::size_t i = 0; i < cfg.k_values.size(); ++i) {
+    if (cfg.k_values[i] == req.k) {
+      ki_target = i;
+      break;
+    }
+  }
+  if (pi == npos || ki_target == npos) return out;
+  if (req.trial < 0 || req.trial >= cfg.trials) return out;
+  if (!g.valid_node(req.src) || !g.valid_node(req.dst) ||
+      req.src == req.dst) {
+    return out;
+  }
+
+  // The control plane depends on k_max, not the requested k: slices are
+  // built once for max(k_values) and truncated per k, so replay must do
+  // the same or slice perturbation streams diverge.
+  const SliceId k_max =
+      *std::max_element(cfg.k_values.begin(), cfg.k_values.end());
+  const MultiInstanceRouting mir(
+      g, ControlPlaneConfig{k_max, cfg.perturbation, cfg.seed,
+                            cfg.perturb_first_slice});
+
+  // Re-walk the serial master-fork chain up to the target (p, trial); each
+  // fork consumes one master draw, so earlier (p, trial) cells must fork in
+  // the original order even though their Rngs are discarded.
+  Rng master(cfg.seed ^ 0x4ec04e41ULL);
+  Rng trial_rng(0);
+  for (std::size_t pj = 0; pj <= pi; ++pj) {
+    const int last_trial = pj == pi ? req.trial : cfg.trials - 1;
+    for (int trial = 0; trial <= last_trial; ++trial) {
+      Rng forked =
+          master.fork(static_cast<std::uint64_t>(trial) * 999983 +
+                      static_cast<std::uint64_t>(p_values[pj] * 1e6));
+      if (pj == pi && trial == req.trial) trial_rng = std::move(forked);
+    }
+  }
+
+  // The trial's failure set and (optional) pair sample, consuming trial_rng
+  // exactly as the experiment loop did.
+  const double p = p_values[pi];
+  std::vector<char> dead_nodes;
+  std::vector<char> alive;
+  switch (cfg.failure) {
+    case FailureKind::kLink:
+      alive = sample_alive_mask(g.edge_count(), p, trial_rng);
+      break;
+    case FailureKind::kNode:
+      alive = sample_node_failure_mask(g, p, trial_rng, &dead_nodes);
+      break;
+    case FailureKind::kLengthWeighted:
+      alive = sample_length_weighted_mask(g, p, trial_rng);
+      break;
+  }
+  const auto endpoint_dead = [&](NodeId v) {
+    return !dead_nodes.empty() && dead_nodes[static_cast<std::size_t>(v)] != 0;
+  };
+  const NodeId n = g.node_count();
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  if (cfg.pair_sample > 0) {
+    pairs.reserve(static_cast<std::size_t>(cfg.pair_sample));
+    while (static_cast<int>(pairs.size()) < cfg.pair_sample) {
+      const auto s = static_cast<NodeId>(
+          trial_rng.below(static_cast<std::uint64_t>(n)));
+      const auto t = static_cast<NodeId>(
+          trial_rng.below(static_cast<std::uint64_t>(n)));
+      if (s != t) pairs.emplace_back(s, t);
+    }
+  }
+  if (endpoint_dead(req.src) || endpoint_dead(req.dst)) return out;
+
+  // Burn one trial_rng fork per pair the experiment evaluated before the
+  // target, in k-outer/pair-inner order (the reachability analysis between
+  // pairs consumes no randomness and is skipped). If the pair sample
+  // contains the target more than once, this replays its first evaluation.
+  Rng pair_rng(0);
+  bool found = false;
+  for (std::size_t ki = 0; ki <= ki_target && !found; ++ki) {
+    const SliceId k = cfg.k_values[ki];
+    const auto eval = [&](NodeId src, NodeId dst) {
+      Rng forked = trial_rng.fork(static_cast<std::uint64_t>(src) * 131071 +
+                                  static_cast<std::uint64_t>(dst) +
+                                  static_cast<std::uint64_t>(k));
+      if (ki == ki_target && src == req.src && dst == req.dst) {
+        pair_rng = std::move(forked);
+        found = true;
+      }
+    };
+    if (cfg.pair_sample > 0) {
+      for (const auto& [s, t] : pairs) {
+        if (endpoint_dead(s) || endpoint_dead(t)) continue;
+        eval(s, t);
+        if (found) break;
+      }
+    } else {
+      for (NodeId dst = 0; dst < n && !found; ++dst) {
+        if (endpoint_dead(dst)) continue;
+        for (NodeId src = 0; src < n; ++src) {
+          if (src == dst || endpoint_dead(src)) continue;
+          eval(src, dst);
+          if (found) break;
+        }
+      }
+    }
+  }
+  if (!found) return out;
+
+  // Rebuild the k-truncated network the episode ran on and rerun it. The
+  // walk scope re-arms the flight recorder under the episode's original
+  // walk id, so a tracing replay emits the same event keys the run did.
+  const FibSet fibs = build_fibs_subset(g, mir, req.k);
+  DataPlaneNetwork net(g, fibs);
+  net.set_link_mask(alive);
+  RecoveryConfig rcfg = cfg.recovery;
+  rcfg.header_hops =
+      std::min(rcfg.header_hops, 128 / std::max(1, bits_per_hop(req.k)));
+
+#if SPLICE_OBS
+  std::optional<obs::WalkScope> walk;
+  if (obs::FlightRecorder::enabled()) {
+    walk.emplace(obs::walk_id(
+        recovery_walk_key(cfg.seed, pi, req.trial),
+        static_cast<std::uint64_t>(req.k),
+        static_cast<std::uint64_t>(req.src),
+        static_cast<std::uint64_t>(req.dst)));
+  }
+#endif
+
+  ForwardWorkspace ws;
+  if (req.k == 1) {
+    Packet probe;
+    probe.src = req.src;
+    probe.dst = req.dst;
+    probe.ttl = rcfg.ttl;
+    const ForwardSummary d = net.forward_stats(probe);
+    out.recovery.initially_connected = d.delivered();
+    out.recovery.delivered = d.delivered();
+    out.recovery.summary = d;
+  } else {
+    out.recovery =
+        attempt_recovery_fast(net, req.src, req.dst, rcfg, pair_rng, ws);
+    out.hops = ws.hops;
+    out.two_hop_loop =
+        has_two_hop_loop(std::span<const HopRecord>(out.hops));
+    out.revisits = count_node_revisits(out.hops, n, ws);
+  }
+  if (out.recovery.delivered) {
+    const ShortestPaths sp = dijkstra(g, req.src);
+    const Weight base = sp.dist[static_cast<std::size_t>(req.dst)];
+    if (base > 0.0 && base < kInfiniteWeight)
+      out.stretch = out.recovery.summary.cost / base;
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (alive[static_cast<std::size_t>(e)] == 0) out.failed_edges.push_back(e);
+  }
+  out.found = true;
+  return out;
+}
+
+}  // namespace splice

@@ -1,0 +1,60 @@
+// Replay: reconstructs one recovery episode of run_recovery_experiment —
+// the exact failure mask, the exact Rng handed to the pair, the exact
+// network — from the coordinates an anomaly record carries: (config, p,
+// trial, k, src, dst). This is what turns an anomaly ledger entry into a
+// debuggable artifact: `splice_inspect anomalies` prints these coordinates
+// as a replay command line, and `splice_inspect replay` calls this.
+//
+// Fidelity contract. run_recovery_experiment's randomness flows through a
+// serial master-fork chain (one fork per (p, trial)), then one trial_rng
+// fork per evaluated pair in k-outer/pair-inner order. Replay re-walks that
+// chain: it rebuilds the (p, trial) fork table, re-samples the trial's
+// failure mask and pair sample, then burns one fork per pair the original
+// loop evaluated before the target — skipping the forwarding itself, which
+// consumes no trial_rng draws — so the target pair receives a bit-identical
+// pair_rng. Any config mismatch (different k_values change the control
+// plane; different pair ordering changes the fork chain) silently replays a
+// *different* episode; tests/sim_replay_test.cpp pins the contract.
+#pragma once
+
+#include <vector>
+
+#include "dataplane/packet.h"
+#include "graph/graph.h"
+#include "sim/experiments.h"
+
+namespace splice {
+
+struct ReplayRequest {
+  double p = 0.0;  ///< failure-probability point (must match a cfg point)
+  int trial = 0;
+  SliceId k = 1;
+  NodeId src = 0;
+  NodeId dst = 0;
+};
+
+struct ReplayResult {
+  /// False when the request does not name an episode the experiment ran:
+  /// p not on the grid, trial/k out of range, pair not evaluated (dead
+  /// endpoint under node failures, or absent from the pair sample).
+  bool found = false;
+  FastRecoveryResult recovery;
+  /// Hop-level trace of the last attempt (the recovered path when
+  /// recovery.delivered, the final failed attempt's partial walk otherwise;
+  /// empty for k == 1, whose probe runs trace-free).
+  std::vector<HopRecord> hops;
+  bool two_hop_loop = false;
+  int revisits = 0;
+  double stretch = 0.0;  ///< path cost / shortest cost; 0 when not delivered
+  std::vector<EdgeId> failed_edges;  ///< the trial's sampled failure set
+};
+
+/// Replays one episode. `cfg` must equal the original experiment config
+/// (see the fidelity contract above). Cost: one control-plane build plus
+/// one cheap fork-chain walk — independent of how late in the run the
+/// episode occurred.
+ReplayResult replay_recovery_episode(const Graph& g,
+                                     const RecoveryExperimentConfig& cfg,
+                                     const ReplayRequest& req);
+
+}  // namespace splice

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/anomaly.h"
 #include "util/assert.h"
 
 namespace splice {
@@ -64,6 +65,24 @@ std::vector<TransientPoint> run_transient_experiment(
   };
   std::vector<Acc> acc(static_cast<std::size_t>(cfg.time_samples));
 
+#if SPLICE_OBS
+  // Transient loops/blackholes flow into the anomaly ledger when it is on:
+  // p carries the sampled instant, trial the failure event index, aux the
+  // dead edge, variant 0 = plain routing, 1 = spliced.
+  const bool ledger_on = obs::AnomalyLedger::enabled();
+  std::size_t ledger_run = 0;
+  if (ledger_on) {
+    ledger_run = obs::AnomalyLedger::global().begin_run(
+        {{"experiment", "transient"},
+         {"seed", std::to_string(cfg.seed)},
+         {"slices", std::to_string(cfg.slices)},
+         {"failures", std::to_string(cfg.failures)},
+         {"time_samples", std::to_string(cfg.time_samples)},
+         {"pair_sample", std::to_string(cfg.pair_sample)},
+         {"ttl", std::to_string(cfg.ttl)}});
+  }
+#endif
+
   Rng master(cfg.seed ^ 0x7245);
   for (int f = 0; f < cfg.failures; ++f) {
     const auto dead_edge = static_cast<EdgeId>(
@@ -91,11 +110,32 @@ std::vector<TransientPoint> run_transient_experiment(
             update_time[static_cast<std::size_t>(v)] <= t ? 1 : 0;
       }
 
+#if SPLICE_OBS
+      const auto note = [&](Outcome o, NodeId src, NodeId dst, bool spliced) {
+        if (!ledger_on || o == Outcome::kDelivered) return;
+        obs::Anomaly an;
+        an.kind = o == Outcome::kLoop ? obs::AnomalyKind::kMicroLoop
+                                      : obs::AnomalyKind::kBlackhole;
+        an.run = static_cast<std::uint32_t>(ledger_run);
+        an.seed = cfg.seed;
+        an.p = t;
+        an.trial = f;
+        an.k = spliced ? cfg.slices : 1;
+        an.src = src;
+        an.dst = dst;
+        an.aux = static_cast<std::uint64_t>(dead_edge);
+        an.variant = spliced ? 1 : 0;
+        obs::AnomalyLedger::global().record(an);
+      };
+#endif
+
       auto sample_pair = [&](NodeId src, NodeId dst) {
         Acc& a = acc[static_cast<std::size_t>(ti)];
         ++a.samples;
-        switch (forward_mixed(before, after, updated, dead_edge, false,
-                              cfg.slices, src, dst, cfg.ttl)) {
+        const Outcome plain = forward_mixed(before, after, updated, dead_edge,
+                                            false, cfg.slices, src, dst,
+                                            cfg.ttl);
+        switch (plain) {
           case Outcome::kDelivered:
             ++a.plain_delivered;
             break;
@@ -106,8 +146,10 @@ std::vector<TransientPoint> run_transient_experiment(
             ++a.plain_blackholes;
             break;
         }
-        switch (forward_mixed(before, after, updated, dead_edge, true,
-                              cfg.slices, src, dst, cfg.ttl)) {
+        const Outcome spliced = forward_mixed(before, after, updated,
+                                              dead_edge, true, cfg.slices, src,
+                                              dst, cfg.ttl);
+        switch (spliced) {
           case Outcome::kDelivered:
             ++a.spliced_delivered;
             break;
@@ -118,6 +160,10 @@ std::vector<TransientPoint> run_transient_experiment(
             ++a.spliced_blackholes;
             break;
         }
+#if SPLICE_OBS
+        note(plain, src, dst, false);
+        note(spliced, src, dst, true);
+#endif
       };
 
       if (cfg.pair_sample <= 0) {

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/parallel.h"
@@ -65,7 +66,20 @@ class TrialEngine {
         [&](int trial, Acc& acc) {
           if (!acc.scratch)
             acc.scratch = std::make_unique<Scratch>(factory());
+          // Flight-recorder trial markers bracket the trial on whichever
+          // worker ran it; the event stream keys on the trial index, so the
+          // marker *set* is thread-count-invariant even though timestamps
+          // and ring assignment are not.
+          const bool rec = obs::FlightRecorder::enabled();
+          if (rec) {
+            obs::FlightRecorder::global().trial_begin(
+                static_cast<std::uint32_t>(trial));
+          }
           acc.done.emplace_back(trial, fn(trial, *acc.scratch));
+          if (rec) {
+            obs::FlightRecorder::global().trial_end(
+                static_cast<std::uint32_t>(trial));
+          }
         },
         [](Acc& into, Acc& from) {
           into.done.insert(into.done.end(),

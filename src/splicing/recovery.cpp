@@ -86,12 +86,14 @@ FastRecoveryResult attempt_recovery_fast(const DataPlaneNetwork& net,
         cfg.scheme != RecoveryScheme::kNetworkDeflection || !s.deflected;
     result.delivered = true;
     result.summary = s;
+    result.header = initial.header;
     return result;
   }
 
   if (cfg.scheme == RecoveryScheme::kNetworkDeflection) {
     // Routers already tried everything they could; the packet dead-ended.
     result.summary = s;
+    result.header = initial.header;
     return result;
   }
 
@@ -134,11 +136,13 @@ FastRecoveryResult attempt_recovery_fast(const DataPlaneNetwork& net,
     if (s.delivered()) {
       result.delivered = true;
       result.summary = s;
+      result.header = std::move(next);
       return result;
     }
     previous = std::move(next);
   }
   result.summary = s;
+  result.header = std::move(previous);
   return result;
 }
 

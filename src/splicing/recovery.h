@@ -77,6 +77,10 @@ struct FastRecoveryResult {
   int trials_used = 0;
   /// Summary of the last attempt sent; meaningful when delivered.
   ForwardSummary summary;
+  /// Splicing header of the last attempt sent (the all-zero slice-0 header
+  /// when no retry happened). Carried so anomaly records can name the exact
+  /// forwarding bits that produced a loop or a blown stretch.
+  SpliceHeader header;
 };
 
 /// Runs one recovery episode for (src, dst) on the given (possibly failed)

@@ -1,0 +1,85 @@
+// Minimal JSON reader for the inspection tooling.
+//
+// The telemetry subsystem *writes* JSON with hand-rolled emitters
+// (obs/export.h, obs/trace_export.h); this is the matching reader used by
+// tools/splice_inspect to load bench tables, RunReports and trace dumps
+// back in. It is a strict recursive-descent parser over the JSON grammar —
+// no extensions, no streaming — sized for telemetry documents (a few MB).
+//
+// Numbers keep both views: the double value and, when the literal was
+// integral and fits, an exact long long (counters and histogram bins are
+// gated exactly, so the integer path must not round-trip through a double).
+// Object member order is preserved (vector of pairs, linear lookup): the
+// documents this parses are small and key order carries meaning in reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace splice {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  double as_double() const;
+  /// True when the literal was an integer that fits a long long exactly.
+  bool is_integer() const noexcept { return kind_ == Kind::kNumber && int_; }
+  long long as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_integer(long long v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(JsonArray a);
+  static JsonValue make_object(JsonObject o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  bool int_ = false;
+  double num_ = 0.0;
+  long long inum_ = 0;
+  std::string str_;
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;       ///< message with offset when !ok
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+JsonParseResult parse_json(const std::string& text);
+
+/// Convenience: reads `path` and parses it. I/O failure reports via error.
+JsonParseResult parse_json_file(const std::string& path);
+
+}  // namespace splice

@@ -1,0 +1,239 @@
+// Flight-recorder unit tests: SPSC ring wraparound against a brute-force
+// oracle, drop accounting, the disabled-mode "no ring even gets allocated"
+// guarantee, deterministic walk sampling, and a multi-thread drain smoke.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace splice::obs {
+namespace {
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::set_enabled(false);
+    FlightRecorder::global().drain();  // discard leftovers from other tests
+    FlightRecorder::global().reset();
+  }
+  void TearDown() override {
+    FlightRecorder::set_enabled(false);
+    FlightRecorder::global().drain();
+    FlightRecorder::global().reset();
+    FlightRecorder::global().set_ring_capacity(1u << 16);
+    FlightRecorder::global().set_walk_sample_every(64);
+  }
+};
+
+#if SPLICE_OBS
+
+RecorderEvent payload_event(std::uint32_t i) {
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kWalkHop);
+  ev.key = 42;
+  ev.a = i;
+  return ev;
+}
+
+TEST_F(FlightRecorderTest, WraparoundMatchesBruteForceOracle) {
+  // One producer thread records randomized batches into a tiny ring; the
+  // oracle is a bounded queue with the same drop-when-full rule. Batches
+  // large enough to wrap the ring many times over; drains happen at batch
+  // boundaries (the intended quiescent-point discipline).
+  constexpr std::size_t kCapacity = 16;
+  auto& rec = FlightRecorder::global();
+  rec.set_ring_capacity(kCapacity);
+  FlightRecorder::set_enabled(true);
+
+  // The whole loop runs on one long-lived thread so every batch lands in
+  // the *same* ring: head/tail march far past the capacity and the
+  // power-of-two index masking gets exercised on every lap.
+  std::uint64_t oracle_dropped = 0;
+  std::thread producer([&] {
+    Rng rng(0xf11f);
+    std::uint32_t next_payload = 0;
+    for (int iter = 0; iter < 50; ++iter) {
+      const auto n = static_cast<std::uint32_t>(rng.below(3 * kCapacity + 1));
+      std::deque<std::uint32_t> oracle;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        rec.record(payload_event(next_payload + i));
+        if (oracle.size() >= kCapacity) {
+          ++oracle_dropped;
+        } else {
+          oracle.push_back(next_payload + i);
+        }
+      }
+      next_payload += n;
+
+      RecorderSnapshot snap = rec.drain();
+      std::vector<std::uint32_t> got;
+      for (const RecorderEvent& ev : snap.events) got.push_back(ev.a);
+      const std::vector<std::uint32_t> want(oracle.begin(), oracle.end());
+      EXPECT_EQ(got, want) << "iteration " << iter;
+      EXPECT_EQ(snap.dropped, oracle_dropped) << "iteration " << iter;
+      if (got != want) return;
+    }
+  });
+  producer.join();
+  EXPECT_GT(oracle_dropped, 0u) << "test never exercised the full-ring path";
+}
+
+TEST_F(FlightRecorderTest, DropCountSurvivesDrainAndClearsOnReset) {
+  constexpr std::size_t kCapacity = 8;
+  auto& rec = FlightRecorder::global();
+  rec.set_ring_capacity(kCapacity);
+  FlightRecorder::set_enabled(true);
+
+  std::thread producer([&] {
+    for (std::uint32_t i = 0; i < 3 * kCapacity; ++i) {
+      rec.record(payload_event(i));
+    }
+  });
+  producer.join();
+
+  RecorderSnapshot snap = rec.drain();
+  EXPECT_EQ(snap.events.size(), kCapacity);
+  EXPECT_EQ(snap.dropped, 2 * kCapacity);
+  // Drain consumed the events but the cumulative drop count persists...
+  snap = rec.drain();
+  EXPECT_TRUE(snap.events.empty());
+  EXPECT_EQ(snap.dropped, 2 * kCapacity);
+  // ...until reset.
+  rec.reset();
+  snap = rec.drain();
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST_F(FlightRecorderTest, DisabledRecordPathAllocatesNoRing) {
+  auto& rec = FlightRecorder::global();
+  const std::size_t rings_before = rec.ring_count();
+  std::thread t([&] {
+    // All hooks, recorder disabled: none may register a ring for this
+    // (brand new) thread.
+    rec.phase_begin(0);
+    rec.phase_end(0);
+    rec.spt_repair(1, 2, 3, 4, 5);
+    rec.trial_begin(7);
+    rec.trial_end(7);
+    rec.record(payload_event(1));
+    WalkScope walk(123);
+    EXPECT_FALSE(walk.armed());
+    walk_hop(1, 2, 0, 3, false, 2);
+  });
+  t.join();
+  EXPECT_EQ(rec.ring_count(), rings_before);
+  EXPECT_TRUE(rec.drain().events.empty());
+}
+
+TEST_F(FlightRecorderTest, WalkSamplingIsAPureFunctionOfWalkId) {
+  auto& rec = FlightRecorder::global();
+  rec.set_walk_sample_every(8);
+  std::vector<bool> first;
+  for (std::uint64_t id = 0; id < 512; ++id) {
+    first.push_back(rec.sample_walk(id));
+  }
+  // Same decisions from another thread (thread identity must not leak in).
+  std::vector<bool> second;
+  std::thread t([&] {
+    for (std::uint64_t id = 0; id < 512; ++id) {
+      second.push_back(rec.sample_walk(id));
+    }
+  });
+  t.join();
+  EXPECT_EQ(first, second);
+  const auto hits = std::count(first.begin(), first.end(), true);
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, 512);
+
+  rec.set_walk_sample_every(1);
+  EXPECT_TRUE(rec.sample_walk(0xdeadbeef));
+  rec.set_walk_sample_every(0);
+  EXPECT_FALSE(rec.sample_walk(0xdeadbeef));
+}
+
+TEST_F(FlightRecorderTest, MultiThreadRecordDrainsEveryEvent) {
+  constexpr int kThreads = 4;
+  constexpr std::uint32_t kPerThread = 500;
+  auto& rec = FlightRecorder::global();
+  rec.set_ring_capacity(1u << 12);
+  FlightRecorder::set_enabled(true);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rec, t] {
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        RecorderEvent ev = payload_event(i);
+        ev.key = static_cast<std::uint64_t>(t);
+        ev.seq = i;
+        rec.record(ev);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RecorderSnapshot snap = rec.drain();
+  EXPECT_EQ(snap.dropped, 0u);
+  ASSERT_EQ(snap.events.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  sort_deterministic(snap.events);
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint32_t i = 0; i < kPerThread; ++i) {
+      const RecorderEvent& ev =
+          snap.events[static_cast<std::size_t>(t) * kPerThread + i];
+      EXPECT_EQ(ev.key, static_cast<std::uint64_t>(t));
+      EXPECT_EQ(ev.seq, i);
+    }
+  }
+}
+
+TEST_F(FlightRecorderTest, SortDeterministicOrdersWalksByKeyAndSeq) {
+  std::vector<RecorderEvent> events;
+  RecorderEvent walk = payload_event(0);
+  walk.key = 2;
+  walk.seq = 1;
+  events.push_back(walk);
+  walk.key = 1;
+  walk.seq = 2;
+  events.push_back(walk);
+  walk.key = 1;
+  walk.seq = 0;
+  events.push_back(walk);
+  RecorderEvent phase;
+  phase.type = static_cast<std::uint16_t>(EventType::kPhaseBegin);
+  phase.time_ns = 999;
+  events.push_back(phase);
+
+  sort_deterministic(events);
+  // Non-walk events first, then walks by (key, seq).
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].type,
+            static_cast<std::uint16_t>(EventType::kPhaseBegin));
+  EXPECT_EQ(events[1].key, 1u);
+  EXPECT_EQ(events[1].seq, 0u);
+  EXPECT_EQ(events[2].key, 1u);
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_EQ(events[3].key, 2u);
+}
+
+#else  // !SPLICE_OBS
+
+TEST_F(FlightRecorderTest, CompiledOutRecorderStaysInert) {
+  auto& rec = FlightRecorder::global();
+  FlightRecorder::set_enabled(true);  // must be a no-op
+  EXPECT_FALSE(FlightRecorder::enabled());
+  rec.phase_begin(0);
+  rec.trial_begin(1);
+  EXPECT_EQ(rec.ring_count(), 0u);
+  EXPECT_TRUE(rec.drain().events.empty());
+}
+
+#endif  // SPLICE_OBS
+
+}  // namespace
+}  // namespace splice::obs

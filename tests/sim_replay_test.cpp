@@ -1,0 +1,251 @@
+// Pins the observability determinism contract and the replay fidelity
+// contract:
+//   * the sampled packet-walk event set of run_recovery_experiment is
+//     bit-identical at 1, 2 and 8 worker threads (timestamps and ring ids
+//     excluded — they are explicitly outside the contract);
+//   * experiment results are unchanged by turning the recorder/ledger on;
+//   * a recorded loop anomaly replays to the exact same episode — same
+//     loop, same final header bits — via sim/replay.h.
+#include "sim/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "obs/anomaly.h"
+#include "obs/flight_recorder.h"
+#include "sim/experiments.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+class ObsDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override {
+    clear();
+    obs::FlightRecorder::global().set_ring_capacity(1u << 16);
+    obs::FlightRecorder::global().set_walk_sample_every(64);
+  }
+  static void clear() {
+    obs::FlightRecorder::set_enabled(false);
+    obs::FlightRecorder::global().drain();
+    obs::FlightRecorder::global().reset();
+    obs::AnomalyLedger::set_enabled(false);
+    obs::AnomalyLedger::global().reset();
+  }
+};
+
+RecoveryExperimentConfig small_config() {
+  RecoveryExperimentConfig cfg;
+  cfg.k_values = {2, 3};
+  cfg.p_values = {0.08};
+  cfg.trials = 8;
+  cfg.seed = 21;
+  return cfg;
+}
+
+#if SPLICE_OBS
+
+/// A config empirically known to produce forwarding-loop anomalies on
+/// abilene (coin-flip retries wander at k >= 3 with this seed).
+RecoveryExperimentConfig loop_config() {
+  RecoveryExperimentConfig cfg;
+  cfg.k_values = {3, 5};
+  cfg.p_values = {0.05};
+  cfg.trials = 12;
+  cfg.seed = 1;
+  return cfg;
+}
+
+/// The determinism-relevant projection of a walk event: everything except
+/// time_ns (wall clock) and tid (which ring recorded it).
+using WalkKey = std::tuple<std::uint64_t, std::uint32_t, std::uint16_t,
+                           std::uint16_t, std::uint32_t, std::uint32_t,
+                           std::uint32_t, std::uint32_t>;
+
+std::vector<WalkKey> sampled_walk_events(const Graph& g,
+                                         RecoveryExperimentConfig cfg,
+                                         int threads) {
+  cfg.threads = threads;
+  auto& rec = obs::FlightRecorder::global();
+  rec.set_ring_capacity(1u << 17);
+  rec.set_walk_sample_every(1);  // capture every walk: the strictest set
+  obs::FlightRecorder::set_enabled(true);
+  run_recovery_experiment(g, cfg);
+  obs::FlightRecorder::set_enabled(false);
+  obs::RecorderSnapshot snap = rec.drain();
+  EXPECT_EQ(snap.dropped, 0u) << "ring too small: drops break the contract";
+  obs::sort_deterministic(snap.events);
+  std::vector<WalkKey> out;
+  for (const obs::RecorderEvent& ev : snap.events) {
+    if (ev.type < static_cast<std::uint16_t>(obs::EventType::kWalkBegin) ||
+        ev.type > static_cast<std::uint16_t>(obs::EventType::kWalkEnd)) {
+      continue;
+    }
+    out.emplace_back(ev.key, ev.seq, ev.type, ev.flags, ev.a, ev.b, ev.c,
+                     ev.d);
+  }
+  return out;
+}
+
+TEST_F(ObsDeterminismTest, SampledWalkEventsBitIdenticalAcrossThreadCounts) {
+  const Graph g = topo::by_name("abilene");
+  const RecoveryExperimentConfig cfg = small_config();
+  const std::vector<WalkKey> one = sampled_walk_events(g, cfg, 1);
+  ASSERT_FALSE(one.empty());
+  const std::vector<WalkKey> two = sampled_walk_events(g, cfg, 2);
+  const std::vector<WalkKey> eight = sampled_walk_events(g, cfg, 8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST_F(ObsDeterminismTest, RecorderAndLedgerDoNotPerturbResults) {
+  const Graph g = topo::by_name("abilene");
+  const RecoveryExperimentConfig cfg = small_config();
+  const std::vector<RecoveryPoint> plain = run_recovery_experiment(g, cfg);
+
+  obs::FlightRecorder::global().set_walk_sample_every(2);
+  obs::FlightRecorder::set_enabled(true);
+  obs::AnomalyLedger::set_enabled(true);
+  obs::AnomalyLedger::global().begin_run({{"experiment", "test"}});
+  const std::vector<RecoveryPoint> traced = run_recovery_experiment(g, cfg);
+  obs::FlightRecorder::set_enabled(false);
+  obs::AnomalyLedger::set_enabled(false);
+
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].k, traced[i].k);
+    EXPECT_EQ(plain[i].frac_unrecovered, traced[i].frac_unrecovered);
+    EXPECT_EQ(plain[i].two_hop_loop_rate, traced[i].two_hop_loop_rate);
+    EXPECT_EQ(plain[i].revisit_rate, traced[i].revisit_rate);
+    EXPECT_EQ(plain[i].mean_stretch, traced[i].mean_stretch);
+    EXPECT_EQ(plain[i].recovered_paths, traced[i].recovered_paths);
+  }
+}
+
+TEST_F(ObsDeterminismTest, LedgerSnapshotBitIdenticalAcrossThreadCounts) {
+  const Graph g = topo::by_name("abilene");
+  RecoveryExperimentConfig cfg = loop_config();
+
+  const auto run_at = [&](int threads) {
+    obs::AnomalyLedger::global().reset();
+    obs::AnomalyLedger::set_enabled(true);
+    cfg.threads = threads;
+    run_recovery_experiment(g, cfg);
+    obs::AnomalyLedger::set_enabled(false);
+    return obs::AnomalyLedger::global().snapshot();
+  };
+  const obs::AnomalySnapshot one = run_at(1);
+  const obs::AnomalySnapshot four = run_at(4);
+  ASSERT_FALSE(one.anomalies.empty());
+  ASSERT_EQ(one.anomalies.size(), four.anomalies.size());
+  for (std::size_t i = 0; i < one.anomalies.size(); ++i) {
+    const obs::Anomaly& a = one.anomalies[i];
+    const obs::Anomaly& b = four.anomalies[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.p, b.p);
+    EXPECT_EQ(a.trial, b.trial);
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.bits_lo, b.bits_lo);
+    EXPECT_EQ(a.bits_hi, b.bits_hi);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.hops, b.hops);
+    EXPECT_EQ(a.stretch, b.stretch);
+  }
+}
+
+TEST_F(ObsDeterminismTest, RecordedLoopAnomalyReplaysToTheSameEpisode) {
+  const Graph g = topo::by_name("abilene");
+  RecoveryExperimentConfig cfg = loop_config();
+  cfg.threads = 2;
+
+  obs::AnomalyLedger::set_enabled(true);
+  run_recovery_experiment(g, cfg);
+  obs::AnomalyLedger::set_enabled(false);
+  const obs::AnomalySnapshot snap = obs::AnomalyLedger::global().snapshot();
+
+  int replayed = 0;
+  for (const obs::Anomaly& a : snap.anomalies) {
+    if (a.kind != obs::AnomalyKind::kTwoHopLoop &&
+        a.kind != obs::AnomalyKind::kRevisitLoop) {
+      continue;
+    }
+    ReplayRequest req;
+    req.p = a.p;
+    req.trial = static_cast<int>(a.trial);
+    req.k = static_cast<SliceId>(a.k);
+    req.src = static_cast<NodeId>(a.src);
+    req.dst = static_cast<NodeId>(a.dst);
+    const ReplayResult res = replay_recovery_episode(g, cfg, req);
+    ASSERT_TRUE(res.found);
+    // Exact episode: the replayed walk ends with the same header bits the
+    // anomaly recorded, uses the same number of retrials, and shows the
+    // same loop.
+    EXPECT_EQ(res.recovery.header.stream().lo(), a.bits_lo);
+    EXPECT_EQ(res.recovery.header.stream().hi(), a.bits_hi);
+    EXPECT_EQ(static_cast<std::uint32_t>(res.recovery.trials_used),
+              a.attempts);
+    if (a.kind == obs::AnomalyKind::kTwoHopLoop) {
+      EXPECT_TRUE(res.two_hop_loop);
+    } else {
+      EXPECT_GT(res.revisits, 0);
+    }
+    if (++replayed >= 5) break;
+  }
+  EXPECT_GT(replayed, 0) << "config produced no loop anomalies to replay";
+}
+
+TEST_F(ObsDeterminismTest, ReplayRejectsOffGridRequests) {
+  const Graph g = topo::by_name("abilene");
+  const RecoveryExperimentConfig cfg = small_config();
+  ReplayRequest req;
+  req.p = 0.5;  // not on the grid
+  req.trial = 0;
+  req.k = 2;
+  req.src = 0;
+  req.dst = 1;
+  EXPECT_FALSE(replay_recovery_episode(g, cfg, req).found);
+  req.p = 0.08;
+  req.trial = cfg.trials;  // out of range
+  EXPECT_FALSE(replay_recovery_episode(g, cfg, req).found);
+  req.trial = 0;
+  req.k = 4;  // not a configured k
+  EXPECT_FALSE(replay_recovery_episode(g, cfg, req).found);
+}
+
+#endif  // SPLICE_OBS
+
+TEST_F(ObsDeterminismTest, ReplayMatchesDirectExperimentEpisode) {
+  // Independent of the obs layer: replaying every (k, src, dst) of one
+  // trial must agree with what the experiment measured in aggregate. Here:
+  // a delivered episode's stretch can never be below 1.
+  const Graph g = topo::by_name("abilene");
+  const RecoveryExperimentConfig cfg = small_config();
+  ReplayRequest req;
+  req.p = 0.08;
+  req.trial = 3;
+  req.k = 3;
+  int found = 0;
+  for (NodeId src = 0; src < g.node_count() && found < 20; ++src) {
+    for (NodeId dst = 0; dst < g.node_count() && found < 20; ++dst) {
+      if (src == dst) continue;
+      req.src = src;
+      req.dst = dst;
+      const ReplayResult res = replay_recovery_episode(g, cfg, req);
+      if (!res.found) continue;
+      ++found;
+      if (res.recovery.delivered && res.stretch > 0.0) {
+        EXPECT_GE(res.stretch, 1.0);
+      }
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+}  // namespace
+}  // namespace splice

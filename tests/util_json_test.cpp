@@ -1,0 +1,98 @@
+// util/json reader tests: grammar coverage, exact-integer preservation
+// (u64-as-string round trips through the telemetry emitters), member order,
+// and error reporting.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace splice {
+namespace {
+
+TEST(UtilJsonTest, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").value.is_null());
+  EXPECT_TRUE(parse_json("true").value.as_bool());
+  EXPECT_FALSE(parse_json("false").value.as_bool());
+  EXPECT_EQ(parse_json("42").value.as_int(), 42);
+  EXPECT_EQ(parse_json("-17").value.as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse_json("2.5e3").value.as_double(), 2500.0);
+  EXPECT_EQ(parse_json("\"hi\"").value.as_string(), "hi");
+}
+
+TEST(UtilJsonTest, IntegerLiteralsKeepExactValues) {
+  // 2^63 - 1 does not round-trip through a double; the integer view must.
+  const JsonParseResult r = parse_json("9223372036854775807");
+  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.value.is_integer());
+  EXPECT_EQ(r.value.as_int(), 9223372036854775807LL);
+  // A fractional literal is a plain number.
+  EXPECT_FALSE(parse_json("1.5").value.is_integer());
+  EXPECT_FALSE(parse_json("1e3").value.is_integer());
+}
+
+TEST(UtilJsonTest, ParsesNestedStructures) {
+  const JsonParseResult r = parse_json(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": -0.5})");
+  ASSERT_TRUE(r.ok) << r.error;
+  const JsonValue& v = r.value;
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[0].as_int(), 1);
+  EXPECT_EQ(a->as_array()[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(v.find("d")->find("e")->is_null());
+  EXPECT_DOUBLE_EQ(v.find("f")->as_double(), -0.5);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(UtilJsonTest, PreservesMemberOrder) {
+  const JsonParseResult r = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(r.ok);
+  const JsonObject& obj = r.value.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(UtilJsonTest, DecodesStringEscapes) {
+  const JsonParseResult r =
+      parse_json(R"("line\nbreak \"quoted\" back\\slash A")");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.as_string(), "line\nbreak \"quoted\" back\\slash A");
+}
+
+TEST(UtilJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_json("").ok);
+  EXPECT_FALSE(parse_json("{").ok);
+  EXPECT_FALSE(parse_json("[1, 2,]").ok);
+  EXPECT_FALSE(parse_json("{\"a\" 1}").ok);
+  EXPECT_FALSE(parse_json("\"unterminated").ok);
+  EXPECT_FALSE(parse_json("{} trailing").ok);
+  EXPECT_FALSE(parse_json("nul").ok);
+  // Errors carry a position.
+  const JsonParseResult r = parse_json("{\"a\": }");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("offset"), std::string::npos);
+}
+
+TEST(UtilJsonTest, U64StringsSurviveTheRoundTrip) {
+  // The trace exporter writes 64-bit values as decimal strings precisely
+  // because 2^53-plus values do not survive a double. Make sure a seed-
+  // sized value comes back byte-for-byte.
+  const std::string doc = R"({"seed": "18446744073709551615"})";
+  const JsonParseResult r = parse_json(doc);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value.find("seed")->as_string(), "18446744073709551615");
+}
+
+TEST(UtilJsonTest, ParseFileReportsIoFailure) {
+  const JsonParseResult r = parse_json_file("/nonexistent/telemetry.json");
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+}  // namespace
+}  // namespace splice

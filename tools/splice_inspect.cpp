@@ -1,0 +1,799 @@
+// splice_inspect: reads the telemetry artifacts the benches write — trace
+// dumps (--trace), bench tables (--json) and RunReports (--metrics) — and
+// answers the questions a run raises, without a browser or Python:
+//
+//   splice_inspect validate FILE
+//       structural check of a trace dump: parses, B/E balance per lane,
+//       anomaly/run cross-references, drop counters. Exit 1 on violation.
+//   splice_inspect top FILE [--n=10]
+//       top-N slowest phases from the exact span aggregates.
+//   splice_inspect anomalies FILE [--n=10] [--check]
+//       per-kind anomaly summary plus a runnable `splice_inspect replay`
+//       command line per record; --check re-runs the first loop anomaly
+//       through sim/replay and verifies the loop reproduces.
+//   splice_inspect replay --topo=.. --p=.. --trial=.. --k=.. --src=..
+//                         --dst=.. [config flags]
+//       replays one recovery episode (exact failure set, exact RNG) and
+//       prints the hop-by-hop walk. Config flags default to the
+//       RecoveryExperimentConfig defaults and use the ledger's run-param
+//       names (--scheme, --k_values, --p_values, --trials, --pair_sample,
+//       --perturb, --perturb_a, --perturb_b, --perturb_first_slice,
+//       --failure, --max_trials, --header_hops, --flip_probability,
+//       --max_switches, --ttl).
+//   splice_inspect diff BASELINE CURRENT [--tolerance=0.10] [--gate-time]
+//       scripts/perf_gate.py's comparison, self-contained: higher-better
+//       metrics (speedup/mhops/throughput/per_s) gate at tolerance, time
+//       metrics (ms/_ns/_us/wall/seconds) only with --gate-time, everything
+//       else must match exactly. Exit 1 on regression.
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/io.h"
+#include "obs/anomaly.h"
+#include "obs/export.h"
+#include "sim/experiments.h"
+#include "sim/replay.h"
+#include "splicing/recovery.h"
+#include "topo/datasets.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace splice {
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: splice_inspect <command> [args]\n"
+         "  validate FILE                 check a --trace dump's structure\n"
+         "  top FILE [--n=10]             slowest phases by total time\n"
+         "  anomalies FILE [--n] [--check]  anomaly summary + replay lines\n"
+         "  replay --topo=.. --p=.. --trial=.. --k=.. --src=.. --dst=.. ...\n"
+         "                                replay one recovery episode\n"
+         "  diff BASE CURRENT [--tolerance=0.10] [--gate-time]\n"
+         "                                perf-gate two telemetry files\n";
+  return EXIT_FAILURE;
+}
+
+Graph load_topo(const std::string& name) {
+  for (const auto& known : topo::registry_names()) {
+    if (name == known) return topo::by_name(name);
+  }
+  return load_topology(name);
+}
+
+// ---------------------------------------------------------------------------
+// Shared config plumbing: the replay command line and the ledger's run
+// params use the same key names, so one reader serves both.
+// ---------------------------------------------------------------------------
+
+using KvReader = std::map<std::string, std::string>;
+
+std::vector<double> parse_double_csv(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size() && !csv.empty()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!item.empty()) out.push_back(std::strtod(item.c_str(), nullptr));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<SliceId> parse_slice_csv(const std::string& csv) {
+  std::vector<SliceId> out;
+  for (const double v : parse_double_csv(csv)) {
+    out.push_back(static_cast<SliceId>(v));
+  }
+  return out;
+}
+
+FailureKind parse_failure(const std::string& name) {
+  if (name == "node") return FailureKind::kNode;
+  if (name == "length-weighted") return FailureKind::kLengthWeighted;
+  return FailureKind::kLink;
+}
+
+/// Builds the experiment config from run params / replay flags; keys absent
+/// from `kv` keep the RecoveryExperimentConfig defaults.
+RecoveryExperimentConfig config_from_kv(const KvReader& kv) {
+  RecoveryExperimentConfig cfg;
+  const auto get = [&](const char* key) -> std::optional<std::string> {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return std::nullopt;
+    return it->second;
+  };
+  if (const auto v = get("seed"))
+    cfg.seed = std::strtoull(v->c_str(), nullptr, 10);
+  if (const auto v = get("scheme"))
+    cfg.recovery.scheme = parse_recovery_scheme(*v);
+  if (const auto v = get("k_values")) cfg.k_values = parse_slice_csv(*v);
+  if (const auto v = get("p_values")) cfg.p_values = parse_double_csv(*v);
+  if (const auto v = get("trials"))
+    cfg.trials = static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
+  if (const auto v = get("pair_sample"))
+    cfg.pair_sample = static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
+  if (const auto v = get("perturb"))
+    cfg.perturbation.kind = parse_perturbation_kind(*v);
+  if (const auto v = get("perturb_a"))
+    cfg.perturbation.a = std::strtod(v->c_str(), nullptr);
+  if (const auto v = get("perturb_b"))
+    cfg.perturbation.b = std::strtod(v->c_str(), nullptr);
+  if (const auto v = get("perturb_first_slice"))
+    cfg.perturb_first_slice = *v == "1" || *v == "true";
+  if (const auto v = get("semantics")) {
+    cfg.semantics = *v == "directed" ? UnionSemantics::kDirectedForwarding
+                                     : UnionSemantics::kUndirectedLinks;
+  }
+  if (const auto v = get("failure")) cfg.failure = parse_failure(*v);
+  if (const auto v = get("max_trials"))
+    cfg.recovery.max_trials =
+        static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
+  if (const auto v = get("header_hops"))
+    cfg.recovery.header_hops =
+        static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
+  if (const auto v = get("flip_probability"))
+    cfg.recovery.flip_probability = std::strtod(v->c_str(), nullptr);
+  if (const auto v = get("max_switches"))
+    cfg.recovery.max_switches =
+        static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
+  if (const auto v = get("ttl"))
+    cfg.recovery.ttl = static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Trace-dump access.
+// ---------------------------------------------------------------------------
+
+std::optional<JsonValue> load_json(const std::string& path) {
+  JsonParseResult parsed = parse_json_file(path);
+  if (!parsed.ok) {
+    std::cerr << "splice_inspect: " << path << ": " << parsed.error << "\n";
+    return std::nullopt;
+  }
+  return std::move(parsed.value);
+}
+
+std::string meta_string(const JsonValue& doc, const std::string& key) {
+  const JsonValue* meta = doc.find("spliceMeta");
+  if (meta == nullptr) return "";
+  const JsonValue* v = meta->find(key);
+  if (v == nullptr || !v->is_string()) return "";
+  return v->as_string();
+}
+
+KvReader run_params(const JsonValue& doc, long long run_index) {
+  KvReader out;
+  const JsonValue* runs = doc.find("spliceRuns");
+  if (runs == nullptr || !runs->is_array()) return out;
+  for (const JsonValue& run : runs->as_array()) {
+    const JsonValue* idx = run.find("index");
+    if (idx == nullptr || !idx->is_integer() || idx->as_int() != run_index)
+      continue;
+    const JsonValue* params = run.find("params");
+    if (params == nullptr || !params->is_object()) return out;
+    for (const auto& [k, v] : params->as_object()) {
+      if (v.is_string()) out[k] = v.as_string();
+    }
+    return out;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// validate
+// ---------------------------------------------------------------------------
+
+int cmd_validate(const std::string& path) {
+  const auto doc = load_json(path);
+  if (!doc) return EXIT_FAILURE;
+  std::vector<std::string> violations;
+  const auto require = [&](bool ok, const std::string& what) {
+    if (!ok) violations.push_back(what);
+    return ok;
+  };
+
+  const JsonValue* events = doc->find("traceEvents");
+  std::size_t event_count = 0;
+  if (require(events != nullptr && events->is_array(),
+              "traceEvents missing or not an array")) {
+    event_count = events->as_array().size();
+    // Durations must balance: per (pid, tid), every "B" needs its "E".
+    std::map<std::pair<long long, long long>, long long> depth;
+    for (const JsonValue& ev : events->as_array()) {
+      const JsonValue* ph = ev.find("ph");
+      const JsonValue* pid = ev.find("pid");
+      const JsonValue* tid = ev.find("tid");
+      if (!require(ph != nullptr && ph->is_string() && pid != nullptr &&
+                       tid != nullptr,
+                   "event without ph/pid/tid")) {
+        break;
+      }
+      const JsonValue* name = ev.find("name");
+      if (!require(name != nullptr && name->is_string(),
+                   "event without a name")) {
+        break;
+      }
+      const auto lane = std::make_pair(pid->as_int(), tid->as_int());
+      if (ph->as_string() == "B") {
+        ++depth[lane];
+      } else if (ph->as_string() == "E") {
+        if (--depth[lane] < 0) {
+          violations.push_back("unbalanced E on pid " +
+                               std::to_string(lane.first) + " tid " +
+                               std::to_string(lane.second));
+          depth[lane] = 0;
+        }
+      }
+    }
+    for (const auto& [lane, d] : depth) {
+      require(d == 0, "unclosed B events on pid " +
+                          std::to_string(lane.first) + " tid " +
+                          std::to_string(lane.second) + " (" +
+                          std::to_string(d) + " open)");
+    }
+  }
+
+  const JsonValue* spans = doc->find("spliceSpans");
+  if (require(spans != nullptr && spans->is_array(),
+              "spliceSpans missing or not an array")) {
+    for (const JsonValue& s : spans->as_array()) {
+      require(s.find("path") != nullptr && s.find("depth") != nullptr &&
+                  s.find("count") != nullptr && s.find("total_ns") != nullptr,
+              "span row missing path/depth/count/total_ns");
+    }
+  }
+
+  long long max_run = -1;
+  const JsonValue* runs = doc->find("spliceRuns");
+  if (require(runs != nullptr && runs->is_array(),
+              "spliceRuns missing or not an array")) {
+    for (const JsonValue& run : runs->as_array()) {
+      const JsonValue* idx = run.find("index");
+      if (require(idx != nullptr && idx->is_integer(),
+                  "run without integer index")) {
+        max_run = std::max(max_run, idx->as_int());
+      }
+    }
+  }
+
+  const JsonValue* anomalies = doc->find("spliceAnomalies");
+  std::size_t anomaly_count = 0;
+  if (require(anomalies != nullptr && anomalies->is_array(),
+              "spliceAnomalies missing or not an array")) {
+    anomaly_count = anomalies->as_array().size();
+    for (const JsonValue& a : anomalies->as_array()) {
+      const JsonValue* kind = a.find("kind");
+      if (!require(kind != nullptr && kind->is_string(),
+                   "anomaly without kind")) {
+        break;
+      }
+      const JsonValue* run = a.find("run");
+      require(run != nullptr && run->is_integer() &&
+                  run->as_int() <= std::max(max_run, 0LL),
+              "anomaly references unknown run");
+      require(a.find("seed") != nullptr && a.find("p") != nullptr &&
+                  a.find("trial") != nullptr && a.find("k") != nullptr &&
+                  a.find("src") != nullptr && a.find("dst") != nullptr,
+              "anomaly missing replay coordinates");
+    }
+  }
+
+  const JsonValue* meta = doc->find("spliceMeta");
+  require(meta != nullptr && meta->is_object(),
+          "spliceMeta missing or not an object");
+  long long dropped = 0;
+  if (meta != nullptr) {
+    if (const JsonValue* d = meta->find("recorder_dropped");
+        d != nullptr && d->is_integer()) {
+      dropped = d->as_int();
+    }
+  }
+
+  std::cout << path << ": " << event_count << " trace events, "
+            << anomaly_count << " anomalies, " << dropped
+            << " recorder drops\n";
+  if (!violations.empty()) {
+    for (const auto& v : violations) std::cout << "  INVALID: " << v << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "  structure OK\n";
+  return EXIT_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// top
+// ---------------------------------------------------------------------------
+
+int cmd_top(const std::string& path, const Flags& flags) {
+  const auto doc = load_json(path);
+  if (!doc) return EXIT_FAILURE;
+  const JsonValue* spans = doc->find("spliceSpans");
+  if (spans == nullptr || !spans->is_array()) {
+    std::cerr << "splice_inspect: " << path << " carries no spliceSpans\n";
+    return EXIT_FAILURE;
+  }
+  struct Row {
+    std::string path;
+    long long count = 0;
+    long long total_ns = 0;
+  };
+  std::vector<Row> rows;
+  for (const JsonValue& s : spans->as_array()) {
+    Row r;
+    if (const JsonValue* v = s.find("path"); v != nullptr && v->is_string())
+      r.path = v->as_string();
+    if (const JsonValue* v = s.find("count"); v != nullptr && v->is_integer())
+      r.count = v->as_int();
+    if (const JsonValue* v = s.find("total_ns");
+        v != nullptr && v->is_integer())
+      r.total_ns = v->as_int();
+    rows.push_back(std::move(r));
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.total_ns > b.total_ns;
+  });
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 10));
+  if (rows.size() > n) rows.resize(n);
+
+  Table table({"phase", "count", "total_ms", "mean_us"});
+  for (const Row& r : rows) {
+    const double total_ms = static_cast<double>(r.total_ns) / 1e6;
+    const double mean_us = r.count > 0 ? static_cast<double>(r.total_ns) /
+                                             (1e3 * static_cast<double>(
+                                                        r.count))
+                                       : 0.0;
+    table.add_row({r.path, fmt_int(r.count), fmt_double(total_ms, 3),
+                   fmt_double(mean_us, 2)});
+  }
+  table.print(std::cout);
+  return EXIT_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// anomalies
+// ---------------------------------------------------------------------------
+
+struct AnomalyRow {
+  std::string kind;
+  long long run = 0;
+  std::string seed;
+  double p = 0.0;
+  long long trial = 0;
+  long long k = 0;
+  long long src = 0;
+  long long dst = 0;
+  long long attempts = 0;
+  long long hops = 0;
+  double stretch = 0.0;
+  long long variant = 0;
+};
+
+std::vector<AnomalyRow> anomaly_rows(const JsonValue& doc) {
+  std::vector<AnomalyRow> out;
+  const JsonValue* anomalies = doc.find("spliceAnomalies");
+  if (anomalies == nullptr || !anomalies->is_array()) return out;
+  for (const JsonValue& a : anomalies->as_array()) {
+    AnomalyRow r;
+    const auto ints = [&](const char* key, long long& field) {
+      if (const JsonValue* v = a.find(key); v != nullptr && v->is_integer())
+        field = v->as_int();
+    };
+    if (const JsonValue* v = a.find("kind"); v != nullptr && v->is_string())
+      r.kind = v->as_string();
+    if (const JsonValue* v = a.find("seed"); v != nullptr && v->is_string())
+      r.seed = v->as_string();
+    if (const JsonValue* v = a.find("p"); v != nullptr && v->is_number())
+      r.p = v->as_double();
+    if (const JsonValue* v = a.find("stretch");
+        v != nullptr && v->is_number())
+      r.stretch = v->as_double();
+    ints("run", r.run);
+    ints("trial", r.trial);
+    ints("k", r.k);
+    ints("src", r.src);
+    ints("dst", r.dst);
+    ints("attempts", r.attempts);
+    ints("hops", r.hops);
+    ints("variant", r.variant);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool is_recovery_run(const KvReader& params) {
+  const auto it = params.find("experiment");
+  return it != params.end() && it->second == "recovery";
+}
+
+std::string replay_command(const JsonValue& doc, const AnomalyRow& a) {
+  const KvReader params = run_params(doc, a.run);
+  if (!is_recovery_run(params)) return "";
+  std::string topo = meta_string(doc, "topo");
+  if (topo.empty()) topo = meta_string(doc, "context.topo");
+  std::string cmd = "splice_inspect replay";
+  cmd += " --topo=" + (topo.empty() ? std::string("sprint") : topo);
+  cmd += " --p=" + obs::json_double(a.p);
+  cmd += " --trial=" + std::to_string(a.trial);
+  cmd += " --k=" + std::to_string(a.k);
+  cmd += " --src=" + std::to_string(a.src);
+  cmd += " --dst=" + std::to_string(a.dst);
+  for (const auto& [key, value] : params) {
+    if (key == "experiment") continue;
+    cmd += " --" + key + "=" + value;
+  }
+  return cmd;
+}
+
+int cmd_anomalies(const std::string& path, const Flags& flags) {
+  const auto doc = load_json(path);
+  if (!doc) return EXIT_FAILURE;
+  const std::vector<AnomalyRow> rows = anomaly_rows(*doc);
+
+  std::map<std::string, long long> by_kind;
+  for (const AnomalyRow& r : rows) ++by_kind[r.kind];
+  std::cout << rows.size() << " anomalies";
+  if (!by_kind.empty()) {
+    std::cout << " (";
+    bool first = true;
+    for (const auto& [kind, count] : by_kind) {
+      if (!first) std::cout << ", ";
+      first = false;
+      std::cout << kind << ": " << count;
+    }
+    std::cout << ")";
+  }
+  std::cout << "\n";
+
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 10));
+  for (std::size_t i = 0; i < rows.size() && i < n; ++i) {
+    const AnomalyRow& a = rows[i];
+    std::cout << "\n[" << i << "] " << a.kind << " run=" << a.run
+              << " p=" << obs::json_double(a.p) << " trial=" << a.trial
+              << " k=" << a.k << " " << a.src << "->" << a.dst
+              << " attempts=" << a.attempts << " hops=" << a.hops;
+    if (a.stretch > 0.0)
+      std::cout << " stretch=" << fmt_double(a.stretch, 3);
+    std::cout << "\n";
+    const std::string cmd = replay_command(*doc, a);
+    if (!cmd.empty()) std::cout << "    " << cmd << "\n";
+  }
+  if (rows.size() > n) {
+    std::cout << "\n(" << rows.size() - n << " more; raise --n to list)\n";
+  }
+
+  if (!flags.has("check")) return EXIT_SUCCESS;
+
+  // --check: replay the first loop anomaly and confirm it reproduces.
+  for (const AnomalyRow& a : rows) {
+    if (a.kind != "two_hop_loop" && a.kind != "revisit_loop") continue;
+    const KvReader params = run_params(*doc, a.run);
+    if (!is_recovery_run(params)) continue;
+    std::string topo = meta_string(*doc, "topo");
+    if (topo.empty()) topo = meta_string(*doc, "context.topo");
+    if (topo.empty()) {
+      std::cerr << "check: trace carries no topology name\n";
+      return EXIT_FAILURE;
+    }
+    const Graph g = load_topo(topo);
+    const RecoveryExperimentConfig cfg = config_from_kv(params);
+    ReplayRequest req;
+    req.p = a.p;
+    req.trial = static_cast<int>(a.trial);
+    req.k = static_cast<SliceId>(a.k);
+    req.src = static_cast<NodeId>(a.src);
+    req.dst = static_cast<NodeId>(a.dst);
+    const ReplayResult res = replay_recovery_episode(g, cfg, req);
+    if (!res.found) {
+      std::cout << "\ncheck: FAILED — episode not found in replay\n";
+      return EXIT_FAILURE;
+    }
+    const bool reproduced =
+        a.kind == "two_hop_loop" ? res.two_hop_loop : res.revisits > 0;
+    std::cout << "\ncheck: " << a.kind << " " << a.src << "->" << a.dst
+              << " p=" << obs::json_double(a.p) << " trial=" << a.trial
+              << " k=" << a.k << ": "
+              << (reproduced ? "reproduced" : "NOT reproduced") << " ("
+              << res.hops.size() << " hops, revisits=" << res.revisits
+              << ")\n";
+    return reproduced ? EXIT_SUCCESS : EXIT_FAILURE;
+  }
+  std::cout << "\ncheck: no loop anomaly with a recovery run to replay\n";
+  return EXIT_FAILURE;
+}
+
+// ---------------------------------------------------------------------------
+// replay
+// ---------------------------------------------------------------------------
+
+int cmd_replay(const Flags& flags) {
+  const auto topo = flags.get("topo");
+  if (!topo) {
+    std::cerr << "replay: --topo is required\n";
+    return EXIT_FAILURE;
+  }
+  KvReader kv;
+  for (const char* key :
+       {"seed", "scheme", "k_values", "p_values", "trials", "pair_sample",
+        "perturb", "perturb_a", "perturb_b", "perturb_first_slice",
+        "semantics", "failure", "max_trials", "header_hops",
+        "flip_probability", "max_switches", "ttl"}) {
+    if (const auto v = flags.get(key)) kv[key] = *v;
+  }
+  const RecoveryExperimentConfig cfg = config_from_kv(kv);
+  ReplayRequest req;
+  req.p = flags.get_double("p", 0.0);
+  req.trial = static_cast<int>(flags.get_int("trial", 0));
+  req.k = static_cast<SliceId>(flags.get_int("k", 1));
+  req.src = static_cast<NodeId>(flags.get_int("src", 0));
+  req.dst = static_cast<NodeId>(flags.get_int("dst", 0));
+
+  const Graph g = load_topo(*topo);
+  const ReplayResult res = replay_recovery_episode(g, cfg, req);
+  if (!res.found) {
+    std::cerr << "replay: episode not found — p off the grid, trial/k out "
+                 "of range, or pair not evaluated by this config\n";
+    return EXIT_FAILURE;
+  }
+
+  std::cout << "episode " << req.src << "->" << req.dst << " p="
+            << obs::json_double(req.p) << " trial=" << req.trial
+            << " k=" << req.k << " scheme="
+            << to_string(cfg.recovery.scheme) << "\n"
+            << "  failed links: " << res.failed_edges.size() << " of "
+            << g.edge_count() << "\n"
+            << "  initially connected: "
+            << (res.recovery.initially_connected ? "yes" : "no") << "\n"
+            << "  delivered: " << (res.recovery.delivered ? "yes" : "no")
+            << " after " << res.recovery.trials_used << " retrials\n";
+  if (res.recovery.delivered) {
+    std::cout << "  cost: " << fmt_double(res.recovery.summary.cost, 3);
+    if (res.stretch > 0.0)
+      std::cout << "  stretch: " << fmt_double(res.stretch, 3);
+    std::cout << "\n";
+  }
+  std::cout << "  two-hop loop: " << (res.two_hop_loop ? "yes" : "no")
+            << "  node revisits: " << res.revisits << "\n";
+  if (!res.hops.empty()) {
+    std::cout << "  walk (" << res.hops.size() << " hops):\n";
+    for (const HopRecord& h : res.hops) {
+      std::cout << "    " << h.node << " -> " << h.next << "  slice "
+                << h.slice << "  edge " << h.edge
+                << (h.deflected ? "  (deflected)" : "") << "\n";
+    }
+  }
+  return EXIT_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// diff — scripts/perf_gate.py's comparison, ported 1:1.
+// ---------------------------------------------------------------------------
+
+enum class MetricClass { kExact, kTime, kHigherBetter };
+
+MetricClass classify(const std::string& name) {
+  std::string low = name;
+  std::transform(low.begin(), low.end(), low.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  // Order matters: "Mhops_s" contains "hops" and "_s"; higher-better
+  // markers win over everything else.
+  for (const char* m : {"speedup", "mhops", "throughput", "per_s"}) {
+    if (low.find(m) != std::string::npos) return MetricClass::kHigherBetter;
+  }
+  for (const char* m : {"ms", "_ns", "_us", "wall", "seconds"}) {
+    if (low.find(m) != std::string::npos) return MetricClass::kTime;
+  }
+  return MetricClass::kExact;
+}
+
+struct Metric {
+  MetricClass cls = MetricClass::kExact;
+  JsonValue value;
+};
+
+using MetricMap = std::map<std::string, Metric>;
+
+std::string value_repr(const JsonValue& v) {
+  if (v.is_integer()) return std::to_string(v.as_int());
+  if (v.is_number()) return obs::json_double(v.as_double());
+  if (v.is_string()) return v.as_string();
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  return "null";
+}
+
+bool values_equal(const JsonValue& a, const JsonValue& b) {
+  if (a.is_number() && b.is_number()) {
+    if (a.is_integer() && b.is_integer()) return a.as_int() == b.as_int();
+    return a.as_double() == b.as_double();
+  }
+  if (a.is_string() && b.is_string()) return a.as_string() == b.as_string();
+  if (a.is_bool() && b.is_bool()) return a.as_bool() == b.as_bool();
+  return a.is_null() && b.is_null();
+}
+
+bool is_run_report(const JsonValue& doc) {
+  return doc.find("counters") != nullptr || doc.find("report") != nullptr;
+}
+
+MetricMap flatten_run_report(const JsonValue& doc) {
+  MetricMap out;
+  if (const JsonValue* counters = doc.find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->as_object()) {
+      out["counter:" + name] = {MetricClass::kExact, value};
+    }
+  }
+  if (const JsonValue* gauges = doc.find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->as_object()) {
+      out["gauge:" + name] = {classify(name), value};
+    }
+  }
+  if (const JsonValue* hists = doc.find("histograms");
+      hists != nullptr && hists->is_object()) {
+    for (const auto& [name, hist] : hists->as_object()) {
+      if (const JsonValue* v = hist.find("total"); v != nullptr)
+        out["hist:" + name + ":total"] = {MetricClass::kExact, *v};
+      if (const JsonValue* v = hist.find("sum"); v != nullptr)
+        out["hist:" + name + ":sum"] = {classify(name), *v};
+      if (const JsonValue* counts = hist.find("counts");
+          counts != nullptr && counts->is_array()) {
+        const JsonArray& arr = counts->as_array();
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+          out["hist:" + name + ":bin" + std::to_string(i)] = {
+              MetricClass::kExact, arr[i]};
+        }
+      }
+    }
+  }
+  // Span counts vary with worker count and span times are wall-clock:
+  // only total_ns is diffable, as TIME.
+  if (const JsonValue* spans = doc.find("spans");
+      spans != nullptr && spans->is_array()) {
+    for (const JsonValue& span : spans->as_array()) {
+      const JsonValue* p = span.find("path");
+      const JsonValue* t = span.find("total_ns");
+      if (p != nullptr && p->is_string() && t != nullptr) {
+        out["span:" + p->as_string() + ":total_ns"] = {MetricClass::kTime,
+                                                       *t};
+      }
+    }
+  }
+  return out;
+}
+
+MetricMap flatten_bench_rows(const JsonValue& doc) {
+  MetricMap out;
+  std::map<std::string, int> seen;
+  if (const JsonValue* rows = doc.find("rows");
+      rows != nullptr && rows->is_array()) {
+    for (const JsonValue& row : rows->as_array()) {
+      if (!row.is_object()) continue;
+      std::string key;
+      for (const auto& [col, value] : row.as_object()) {
+        if (value.is_string() && !value.as_string().empty()) {
+          if (!key.empty()) key += "|";
+          key += value.as_string();
+        }
+      }
+      if (key.empty()) key = "row";
+      const int n = seen[key]++;
+      if (n != 0) key += "#" + std::to_string(n);
+      for (const auto& [col, value] : row.as_object()) {
+        if (value.is_string()) continue;  // part of the key
+        out[key + ":" + col] = {classify(col), value};
+      }
+    }
+  }
+  if (const JsonValue* wall = doc.find("wall_ms"); wall != nullptr) {
+    out["wall_ms"] = {MetricClass::kTime, *wall};
+  }
+  return out;
+}
+
+MetricMap flatten(const JsonValue& doc) {
+  return is_run_report(doc) ? flatten_run_report(doc)
+                            : flatten_bench_rows(doc);
+}
+
+int cmd_diff(const std::string& base_path, const std::string& cur_path,
+             const Flags& flags) {
+  const auto base = load_json(base_path);
+  const auto cur = load_json(cur_path);
+  if (!base || !cur) return EXIT_FAILURE;
+  const double tolerance = flags.get_double("tolerance", 0.10);
+  const bool gate_time = flags.has("gate-time");
+
+  const MetricMap base_m = flatten(*base);
+  const MetricMap cur_m = flatten(*cur);
+  std::vector<std::string> failures;
+  for (const auto& [key, bm] : base_m) {
+    const auto it = cur_m.find(key);
+    if (it == cur_m.end()) {
+      failures.push_back("MISSING  " + key + " (present in baseline)");
+      continue;
+    }
+    const JsonValue& bv = bm.value;
+    const JsonValue& cv = it->second.value;
+    if (bv.is_null() || cv.is_null()) continue;
+    if (bm.cls == MetricClass::kExact || !bv.is_number() ||
+        !cv.is_number()) {
+      if (!values_equal(bv, cv)) {
+        failures.push_back("CHANGED  " + key + ": " + value_repr(bv) +
+                           " -> " + value_repr(cv));
+      }
+      continue;
+    }
+    const double b = bv.as_double();
+    const double c = cv.as_double();
+    if (bm.cls == MetricClass::kTime) {
+      if (!gate_time) continue;
+      if (b > 0 && c > b * (1.0 + tolerance)) {
+        failures.push_back("SLOWER   " + key + ": " + value_repr(bv) +
+                           " -> " + value_repr(cv) + " (+" +
+                           fmt_double((c / b - 1.0) * 100.0, 1) + "% > " +
+                           fmt_double(tolerance * 100.0, 0) + "%)");
+      }
+      continue;
+    }
+    if (b > 0 && c < b * (1.0 - tolerance)) {
+      failures.push_back("REGRESSED " + key + ": " + value_repr(bv) +
+                         " -> " + value_repr(cv) + " (-" +
+                         fmt_double((1.0 - c / b) * 100.0, 1) + "% > " +
+                         fmt_double(tolerance * 100.0, 0) + "%)");
+    }
+  }
+  for (const auto& [key, cm] : cur_m) {
+    if (base_m.find(key) == base_m.end()) {
+      std::cout << "note: new metric not in baseline: " << key << "\n";
+    }
+  }
+  if (!failures.empty()) {
+    std::cout << "diff: FAIL (" << base_path << " -> " << cur_path << ")\n";
+    for (const auto& f : failures) std::cout << "  " << f << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "diff: OK (" << base_path << " -> " << cur_path
+            << ", tolerance=" << fmt_double(tolerance * 100.0, 0)
+            << "%, gate_time=" << (gate_time ? "true" : "false") << ")\n";
+  return EXIT_SUCCESS;
+}
+
+int dispatch(const Flags& flags) {
+  const auto& pos = flags.positional();
+  if (pos.empty()) return usage();
+  const std::string& cmd = pos[0];
+  if (cmd == "validate" && pos.size() == 2) return cmd_validate(pos[1]);
+  if (cmd == "top" && pos.size() == 2) return cmd_top(pos[1], flags);
+  if (cmd == "anomalies" && pos.size() == 2)
+    return cmd_anomalies(pos[1], flags);
+  if (cmd == "replay" && pos.size() == 1) return cmd_replay(flags);
+  if (cmd == "diff" && pos.size() == 3)
+    return cmd_diff(pos[1], pos[2], flags);
+  return usage();
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  try {
+    return splice::dispatch(splice::Flags(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "splice_inspect: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
