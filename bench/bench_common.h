@@ -33,6 +33,20 @@
 //                                                packet walks (default 64)
 //   --trace-ring=N                               per-thread recorder ring
 //                                                capacity in events
+//   --profile=path                               enable the resource
+//                                                profiler (per-span alloc
+//                                                accounting + hardware
+//                                                counters, rusage fallback)
+//                                                and the wall-clock sampler;
+//                                                writes a folded-stack
+//                                                flamegraph to path (read
+//                                                with splice_inspect profile
+//                                                or flamegraph.pl). Implies
+//                                                --obs; span resource deltas
+//                                                land in the RunReport.
+//   --profile-hz=N                               sampler frequency (default
+//                                                97; 0 disables sampling but
+//                                                keeps resource deltas)
 #pragma once
 
 #include <chrono>
@@ -46,7 +60,9 @@
 #include "obs/anomaly.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profile_sampler.h"
 #include "obs/provenance.h"
+#include "obs/resprof.h"
 #include "obs/run_report.h"
 #include "obs/trace_export.h"
 #include "routing/perturbation.h"
@@ -88,12 +104,31 @@ inline bool obs_from_flags(const Flags& flags) {
   return on;
 }
 
+/// Turns the resource profiler on when --profile=PATH is present: span
+/// resource deltas (allocs/bytes/peak, hardware counters on the kPerf
+/// tier), the process rusage summary in the RunReport, and — unless
+/// --profile-hz=0 — the wall-clock sampling profiler whose folded stacks
+/// emit() writes to PATH. Implies the metrics registry so spans exist to
+/// attribute to. Call before the instrumented work (trace_from_flags does
+/// it for every bench). Returns whether profiling is on.
+inline bool profile_from_flags(const Flags& flags) {
+  const auto path = flags.get("profile");
+  if (!path || path->empty() || *path == "true") return false;
+  obs::MetricsRegistry::set_enabled(true);
+  obs::ResourceProfiler::set_enabled(true);
+  const int hz = static_cast<int>(flags.get_int("profile-hz", 97));
+  if (hz > 0) obs::ProfileSampler::global().start(hz);
+  return true;
+}
+
 /// Turns the full observability stack on when --trace=PATH is present:
 /// metrics registry (phase spans), flight recorder (event rings + sampled
 /// packet walks) and anomaly ledger. emit() then writes the trace-event
 /// JSON to PATH. Call before the instrumented work — every bench does this
-/// first thing in run(). Returns whether tracing is on.
+/// first thing in run(), which is also why --profile is handled here: one
+/// call wires both flags into all benches. Returns whether tracing is on.
 inline bool trace_from_flags(const Flags& flags) {
+  profile_from_flags(flags);
   const auto path = flags.get("trace");
   if (!path || path->empty() || *path == "true") return false;
   obs::MetricsRegistry::set_enabled(true);
@@ -257,6 +292,19 @@ inline void emit(const Flags& flags, const Table& table,
       std::cout << "\n[trace written to " << *trace << "]\n";
     } else {
       std::cerr << "failed to write trace: " << *trace << "\n";
+    }
+  }
+  const auto profile = flags.get("profile");
+  if (profile && !profile->empty() && *profile != "true" &&
+      obs::ResourceProfiler::enabled()) {
+    obs::ProfileSampler& sampler = obs::ProfileSampler::global();
+    sampler.stop();
+    if (write_file(*profile, sampler.folded())) {
+      std::cout << "\n[profile written to " << *profile << " ("
+                << sampler.sample_count() << " samples, tier "
+                << obs::to_string(obs::ResourceProfiler::tier()) << ")]\n";
+    } else {
+      std::cerr << "failed to write profile: " << *profile << "\n";
     }
   }
 }

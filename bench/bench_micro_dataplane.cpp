@@ -554,9 +554,10 @@ int run_dataplane_compare(const Flags& flags) {
     ph.stats_ms = stats_clock.elapsed_ms();
 
     SweepChecksum batch_sum;
+    ForwardWorkspace batch_ws;
     const bench::Stopwatch batch_clock;
     for (int r = 0; r < n_reps; ++r) {
-      e.net.forward_stats_batch(wl, policy, batch_out);
+      e.net.forward_stats_batch(wl, policy, batch_out, batch_ws);
       for (const ForwardSummary& s : batch_out) {
         batch_sum.delivered += s.delivered() ? 1 : 0;
         batch_sum.hops += s.hops;
@@ -758,6 +759,7 @@ int run_dataplane_compare(const Flags& flags) {
     DataPlaneNetwork net;
     std::vector<ForwardSummary> out;
     std::vector<char> mask;
+    ForwardWorkspace ws;
   };
   const ForwardingPolicy trial_policy{ExhaustPolicy::kStayInCurrent,
                                       LocalRecovery::kDeflect};
@@ -768,6 +770,7 @@ int run_dataplane_compare(const Flags& flags) {
         [&] {
           return Scratch{DataPlaneNetwork(env.g, env.fibs),
                          std::vector<ForwardSummary>(workload.size()),
+                         {},
                          {}};
         },
         [&](int trial, Scratch& sc) {
@@ -776,7 +779,7 @@ int run_dataplane_compare(const Flags& flags) {
           sc.mask.assign(static_cast<std::size_t>(env.g.edge_count()), 1);
           for (auto& m : sc.mask) m = trial_rng.uniform() < p_fail ? 0 : 1;
           sc.net.set_link_mask(sc.mask);
-          sc.net.forward_stats_batch(workload, trial_policy, sc.out);
+          sc.net.forward_stats_batch(workload, trial_policy, sc.out, sc.ws);
           SweepChecksum sum;
           for (const ForwardSummary& s : sc.out) {
             sum.delivered += s.delivered() ? 1 : 0;

@@ -21,8 +21,22 @@
 # gates the traced wall-time against the untraced run (tracing overhead must
 # stay inside the perf-gate tolerance).
 #
+# --profile-smoke exercises the resource-attribution profiler end to end:
+# runs the dataplane micro bench with --profile (native tier: perf counters
+# when the container allows perf_event_open, rusage otherwise), validates
+# the folded stacks and per-span resource columns with `splice_inspect
+# profile`, re-runs with SPLICE_RESPROF_TIER=rusage to prove the
+# graceful-degradation ladder (the forced tier must land in RunReport
+# provenance), requires profiled bench output to match the unprofiled run
+# on every exact metric, gates the per-span allocation counts against the
+# committed bench/baselines/METRICS_micro_dataplane_profiled.json snapshot
+# (the zero-alloc contract: counts gate exactly; --rebaseline regenerates
+# it on the reference machine — span alloc counts include main-thread
+# worker spawning, so the snapshot is thread-count specific), and gates
+# profiling overhead like --trace-smoke gates tracing overhead.
+#
 # Usage: scripts/check.sh [--no-tsan] [--no-asan] [--bench-smoke]
-#                         [--rebaseline] [--trace-smoke]
+#                         [--rebaseline] [--trace-smoke] [--profile-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +46,7 @@ run_asan=1
 bench_smoke=0
 rebaseline=0
 trace_smoke=0
+profile_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
@@ -39,6 +54,7 @@ for arg in "$@"; do
     --bench-smoke) bench_smoke=1 ;;
     --rebaseline) bench_smoke=1; rebaseline=1 ;;
     --trace-smoke) trace_smoke=1 ;;
+    --profile-smoke) profile_smoke=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -159,6 +175,73 @@ if [[ "$trace_smoke" == 1 ]]; then
     --tolerance="${TRACE_TOL:-0.75}" --gate-time
 
   echo "==> trace smoke passed"
+fi
+
+if [[ "$profile_smoke" == 1 ]]; then
+  prof_dir="build/profile-smoke"
+  mkdir -p "$prof_dir" bench/baselines
+  prof_bench="./build/bench/bench_micro_dataplane --packets=2000 --reps=10 --trials=24 --large_n=300 --large_packets=6000 --seed=5"
+
+  echo "==> profile smoke: unprofiled baseline run"
+  $prof_bench --json="$prof_dir/plain.json" >/dev/null
+
+  echo "==> profile smoke: profiled run (native tier)"
+  $prof_bench --json="$prof_dir/profiled.json" \
+    --profile="$prof_dir/profile.folded" --profile-hz=197 \
+    --metrics="$prof_dir/METRICS_profiled.json" >/dev/null
+
+  echo "==> profile smoke: splice_inspect profile (spans + folded stacks)"
+  ./build/tools/splice_inspect profile "$prof_dir/METRICS_profiled.json" \
+    --folded="$prof_dir/profile.folded" --n=5
+
+  # Profiling must not perturb results: checksums, outcome counts and hop
+  # totals in the bench table have to be bit-identical with profiling on
+  # (exact metrics gate exactly at any tolerance; the loose tolerance only
+  # covers the machine-dependent throughput ratios, as in --bench-smoke).
+  echo "==> profile smoke: profiled vs unprofiled results bit-identical"
+  ./build/tools/splice_inspect diff "$prof_dir/plain.json" \
+    "$prof_dir/profiled.json" --tolerance="${SMOKE_TOL:-0.75}"
+
+  # Graceful degradation: a denied perf_event_open must not error — force
+  # the rusage tier and require the run to succeed, record its tier in the
+  # RunReport provenance, and still match the unprofiled results. Sampler
+  # off (--profile-hz=0) so the span allocation columns are deterministic
+  # for the baseline gate below.
+  echo "==> profile smoke: forced rusage fallback (perf denied)"
+  SPLICE_RESPROF_TIER=rusage $prof_bench --json="$prof_dir/fallback.json" \
+    --profile="$prof_dir/fallback.folded" --profile-hz=0 \
+    --metrics="$prof_dir/METRICS_fallback.json" >/dev/null
+  grep -q '"resource_tier": "rusage"' "$prof_dir/METRICS_fallback.json" || {
+    echo "    forced rusage tier missing from RunReport provenance" >&2
+    exit 1
+  }
+  ./build/tools/splice_inspect diff "$prof_dir/plain.json" \
+    "$prof_dir/fallback.json" --tolerance="${SMOKE_TOL:-0.75}"
+
+  # Zero-alloc contract gate: per-span allocation counts must match the
+  # committed snapshot exactly; byte totals / rusage rows get the NOISY
+  # tolerance band.
+  prof_baseline="bench/baselines/METRICS_micro_dataplane_profiled.json"
+  if [[ "$rebaseline" == 1 ]]; then
+    cp "$prof_dir/METRICS_fallback.json" "$prof_baseline"
+    echo "    rebaselined $prof_baseline"
+  elif [[ -f "$prof_baseline" ]]; then
+    echo "==> profile smoke: span alloc counts vs baseline"
+    python3 scripts/perf_gate.py "$prof_baseline" \
+      "$prof_dir/METRICS_fallback.json" --quiet \
+      --tolerance="${SMOKE_TOL:-0.75}"
+  else
+    echo "    no baseline $prof_baseline (run --profile-smoke --rebaseline)" >&2
+    exit 1
+  fi
+
+  # Overhead gate: profiled wall-times vs the unprofiled run. Loose by
+  # default for shared machines; tighten with PROFILE_TOL on a quiet box.
+  echo "==> profile smoke: profiling overhead within tolerance"
+  ./build/tools/splice_inspect diff "$prof_dir/plain.json" \
+    "$prof_dir/profiled.json" --tolerance="${PROFILE_TOL:-0.75}" --gate-time
+
+  echo "==> profile smoke passed"
 fi
 
 echo "==> all checks passed"

@@ -12,11 +12,20 @@ Metrics are classified by column/metric name:
 
   HIGHER_BETTER  name contains speedup / mhops / throughput / per_s
                  -> fail if current < baseline * (1 - tolerance)
+  NOISY          name contains alloc_bytes / heap_peak / rss / ipc /
+                 cache_miss / branch_miss / cycles / instruction / fault /
+                 cpu_user / cpu_sys (resource-profiler output; checked
+                 before TIME so cpu_user_seconds doesn't read as TIME)
+                 -> fail if current drifts outside baseline * (1 +/- tol);
+                    two-sided because a large drop means the workload
+                    changed, not that it got better
+  EXACT          allocation *counts* (allocs / frees — the zero-alloc
+                 paths must stay zero-alloc) and everything else
+                 (checksums, outcome counts, hop totals, registry
+                 counters, histogram bins...) -> any mismatch fails
   TIME           name contains ms / _ns / _us / wall / seconds
                  -> gated only with --gate-time (wall time is machine-
                     dependent); then fail if current > baseline * (1 + tol)
-  EXACT          everything else (checksums, outcome counts, hop totals,
-                 registry counters, histogram bins...) -> any mismatch fails
 
 Bench-table rows are keyed by their string-valued cells (phase, impl,
 checksum columns emit as strings), so rows match across runs regardless of
@@ -34,16 +43,25 @@ from __future__ import annotations
 import json
 import sys
 
+ALLOC_EXACT_MARKERS = ("allocs", "frees")
 HIGHER_BETTER_MARKERS = ("speedup", "mhops", "throughput", "per_s")
+NOISY_MARKERS = ("alloc_bytes", "heap_peak", "rss", "ipc", "cache_miss",
+                 "branch_miss", "cycles", "instruction", "fault",
+                 "cpu_user", "cpu_sys")
 TIME_MARKERS = ("ms", "_ns", "_us", "wall", "seconds")
 
 
 def classify(name: str) -> str:
     low = name.lower()
     # Order matters: "Mhops_s" contains "hops" and "_s"; higher-better
-    # markers win over everything else.
+    # markers win over everything else, and NOISY must precede TIME
+    # ("cpu_user_seconds" carries a TIME marker).
+    if any(m in low for m in ALLOC_EXACT_MARKERS):
+        return "exact"
     if any(m in low for m in HIGHER_BETTER_MARKERS):
         return "higher_better"
+    if any(m in low for m in NOISY_MARKERS):
+        return "noisy"
     if any(m in low for m in TIME_MARKERS):
         return "time"
     return "exact"
@@ -67,8 +85,24 @@ def flatten_run_report(doc: dict) -> dict:
             out[f"hist:{name}:bin{i}"] = ("exact", c)
     # Span counts vary with worker count (per-worker scratch construction)
     # and span times are wall-clock: only total_ns is diffable, as TIME.
+    # Resource deltas from --profile runs are diffable too: alloc/free
+    # counts exactly (the zero-alloc contract), bytes and hardware
+    # counters as NOISY — classify() sorts them out by field name.
     for span in doc.get("spans", []):
         out[f"span:{span['path']}:total_ns"] = ("time", span.get("total_ns"))
+        for field in ("allocs", "frees", "alloc_bytes", "heap_peak_bytes",
+                      "cycles", "instructions", "cache_misses",
+                      "branch_misses", "ipc"):
+            if field in span:
+                out[f"span:{span['path']}:{field}"] = (classify(field),
+                                                       span[field])
+    # Process rusage summary: numeric rows diff as NOISY; string rows
+    # (tier, alloc_hooks) are environment annotations, skipped.
+    for name, value in doc.get("resources", {}).items():
+        try:
+            out[f"res:{name}"] = ("noisy", float(value))
+        except (TypeError, ValueError):
+            pass
     return out
 
 
@@ -124,6 +158,14 @@ def compare(base: dict, cur: dict, tolerance: float, gate_time: bool,
                 failures.append(
                     f"SLOWER   {key}: {bv:g} -> {cv:g} "
                     f"(+{(cv / bv - 1) * 100:.1f}% > {tolerance * 100:.0f}%)")
+            continue
+        if cls == "noisy":
+            if bv > 0 and not (bv * (1.0 - tolerance) <= cv
+                               <= bv * (1.0 + tolerance)):
+                failures.append(
+                    f"DRIFTED  {key}: {bv:g} -> {cv:g} "
+                    f"({(cv / bv - 1) * 100:+.1f}% vs "
+                    f"±{tolerance * 100:.0f}%)")
             continue
         # higher_better
         if bv > 0 and cv < bv * (1.0 - tolerance):
@@ -202,6 +244,52 @@ def self_test() -> int:
     fails = compare(report, drifted, 0.10, gate_time=False, quiet=True)
     if len(fails) != 1 or "sim.trials" not in fails[0]:
         print(f"self-test FAILED: counter drift not caught: {fails}")
+        return 1
+
+    # Profiled RunReport: a span that gains allocations on a zero-alloc
+    # path is an exact failure at ANY tolerance, while byte totals and
+    # hardware counters only fail when they drift outside the (two-sided)
+    # tolerance band.
+    profiled = {"report": "fixture", "params": {},
+                "provenance": {"resource_tier": "perf"},
+                "resources": {"tier": "perf", "max_rss_bytes": "1000000",
+                              "cpu_user_seconds": "0.50"},
+                "counters": {}, "gauges": {}, "histograms": {},
+                "spans": [{"path": "forward/batch", "depth": 1, "count": 64,
+                           "total_ns": 5000, "allocs": 0, "frees": 0,
+                           "alloc_bytes": 0, "heap_peak_bytes": 0,
+                           "cycles": 100000, "instructions": 250000,
+                           "cache_misses": 1200, "branch_misses": 40,
+                           "ipc": 2.5}]}
+    alloc_regressed = json.loads(json.dumps(profiled))
+    alloc_regressed["spans"][0]["allocs"] = 3
+    alloc_regressed["spans"][0]["frees"] = 3
+    fails = compare(profiled, alloc_regressed, 1e9, gate_time=False,
+                    quiet=True)
+    if (len(fails) != 2
+            or not all(f.startswith("CHANGED") for f in fails)
+            or not any(":allocs" in f for f in fails)
+            or not any(":frees" in f for f in fails)):
+        print(f"self-test FAILED: alloc regression not caught: {fails}")
+        return 1
+
+    # Hardware-counter wobble inside the band passes; outside it fails
+    # in either direction.
+    wobbled = json.loads(json.dumps(profiled))
+    wobbled["spans"][0]["cycles"] = 108000         # +8%
+    wobbled["spans"][0]["cache_misses"] = 1100     # -8.3%
+    wobbled["resources"]["max_rss_bytes"] = "1050000"
+    if compare(profiled, wobbled, 0.10, gate_time=False, quiet=True):
+        print("self-test FAILED: in-band counter wobble flagged")
+        return 1
+    spiked = json.loads(json.dumps(profiled))
+    spiked["spans"][0]["cache_misses"] = 2400      # +100%
+    spiked["spans"][0]["ipc"] = 1.0                # -60%
+    fails = compare(profiled, spiked, 0.10, gate_time=False, quiet=True)
+    if (len(fails) != 2
+            or not all(f.startswith("DRIFTED") for f in fails)):
+        print(f"self-test FAILED: counter drift not flagged two-sided: "
+              f"{fails}")
         return 1
 
     print("perf_gate self-test OK")

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <new>
+#include <type_traits>
 
 #if defined(__linux__)
 #include <sys/mman.h>
@@ -250,9 +252,41 @@ ForwardSummary DataPlaneNetwork::forward_stats(
   return forward_core<false>(packet, policy, nullptr);
 }
 
+namespace {
+
+/// Per-packet in-flight state of the wavefront batch kernel. Trivially
+/// copyable/destructible so it can live in a workspace's raw word buffer.
+struct Walk {
+  std::uint64_t bits_lo;
+  std::uint64_t bits_hi;
+  ForwardSummary sum;
+  CounterHeader counter;
+  std::uint32_t idx;
+  std::uint32_t hdr_mask;
+  NodeId node;
+  NodeId dst;
+  SliceId current;
+  SliceId def;
+  std::int32_t ttl;
+  std::int32_t bits_left;
+  std::int32_t hdr_bpp;
+};
+static_assert(std::is_trivially_copyable_v<Walk> &&
+              std::is_trivially_destructible_v<Walk>);
+
+}  // namespace
+
 void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
                                            const ForwardingPolicy& policy,
                                            std::span<ForwardSummary> out) const {
+  ForwardWorkspace ws;
+  forward_stats_batch(packets, policy, out, ws);
+}
+
+void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
+                                           const ForwardingPolicy& policy,
+                                           std::span<ForwardSummary> out,
+                                           ForwardWorkspace& ws) const {
   SPLICE_EXPECTS(out.size() == packets.size());
 
   // Wavefront kernel: every still-in-flight walk advances one hop per sweep
@@ -265,31 +299,21 @@ void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
   // each walk runs the exact per-hop logic of forward_core and walks are
   // mutually independent, so out[i] is bit-identical to forward_stats
   // regardless of sweep order.
-  struct Walk {
-    std::uint64_t bits_lo;
-    std::uint64_t bits_hi;
-    ForwardSummary sum;
-    CounterHeader counter;
-    std::uint32_t idx;
-    std::uint32_t hdr_mask;
-    NodeId node;
-    NodeId dst;
-    SliceId current;
-    SliceId def;
-    std::int32_t ttl;
-    std::int32_t bits_left;
-    std::int32_t hdr_bpp;
-  };
-
   const SliceId k = flat_.slice_count();
   const char* alive = link_alive_.data();
   const Weight* weight = edge_weight_.data();
 
-  // Per-call scratch: one allocation per sweep of the whole packet set,
-  // amortized over every hop of every walk (the per-packet path stays
-  // allocation-free).
-  std::vector<Walk> walks;
-  walks.reserve(packets.size());
+  // Walk state lives in the workspace's word buffer: grown to the largest
+  // batch once, then every later batch through this workspace runs
+  // allocation-free (the zero-alloc contract the resprof gates enforce).
+  const std::size_t needed_words =
+      (packets.size() * sizeof(Walk) + sizeof(std::uint64_t) - 1) /
+      sizeof(std::uint64_t);
+  if (ws.batch_scratch.size() < needed_words) {
+    ws.batch_scratch.resize(needed_words);
+  }
+  Walk* const walks = reinterpret_cast<Walk*>(ws.batch_scratch.data());
+  std::size_t n_walks = 0;
   for (std::size_t i = 0; i < packets.size(); ++i) {
     const Packet& p = packets[i];
     SPLICE_EXPECTS(graph_->valid_node(p.src));
@@ -313,10 +337,10 @@ void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
     w.node = p.src;
     w.dst = p.dst;
     w.ttl = p.ttl;
-    walks.push_back(w);
+    new (walks + n_walks++) Walk(w);
   }
 
-  std::size_t live = walks.size();
+  std::size_t live = n_walks;
   while (live > 0) {
     for (std::size_t j = 0; j < live;) {
       Walk& w = walks[j];

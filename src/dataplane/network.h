@@ -62,6 +62,11 @@ struct ForwardWorkspace {
   /// Node -> epoch of last visit; see count_node_revisits(hops, n, ws).
   std::vector<std::uint32_t> visit_stamp;
   std::uint32_t visit_epoch = 0;
+  /// Walk-state storage for forward_stats_batch (opaque: the kernel's
+  /// internal per-packet state lives here between sweeps, sized in 8-byte
+  /// words). Grows to the largest batch seen, then steady-state reuse is
+  /// allocation-free.
+  std::vector<std::uint64_t> batch_scratch;
 };
 
 /// Statistics-only result of one forwarded packet: everything the Monte
@@ -136,6 +141,15 @@ class DataPlaneNetwork {
   void forward_stats_batch(std::span<const Packet> packets,
                            const ForwardingPolicy& policy,
                            std::span<ForwardSummary> out) const;
+
+  /// Workspace variant: walk state lives in ws.batch_scratch, so repeated
+  /// batches through one workspace are allocation-free once the scratch has
+  /// grown to the batch size. Results are bit-identical to the allocating
+  /// overload.
+  void forward_stats_batch(std::span<const Packet> packets,
+                           const ForwardingPolicy& policy,
+                           std::span<ForwardSummary> out,
+                           ForwardWorkspace& ws) const;
 
  private:
   template <bool kTrace>

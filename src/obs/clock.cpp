@@ -1,0 +1,41 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace splice::obs {
+
+namespace {
+
+MonotonicClock& monotonic_instance() noexcept {
+  static MonotonicClock clock;
+  return clock;
+}
+
+std::atomic<const Clock*>& clock_slot() noexcept {
+  // Starts null; null means "the monotonic clock". Keeping the sentinel
+  // inside the accessor avoids any static-init ordering on first use.
+  static std::atomic<const Clock*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+std::uint64_t MonotonicClock::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const Clock& global_clock() noexcept {
+  const Clock* clock = clock_slot().load(std::memory_order_relaxed);
+  return clock != nullptr ? *clock : monotonic_instance();
+}
+
+void set_global_clock(const Clock* clock) noexcept {
+  clock_slot().store(clock, std::memory_order_relaxed);
+}
+
+std::uint64_t clock_now_ns() noexcept { return global_clock().now_ns(); }
+
+}  // namespace splice::obs

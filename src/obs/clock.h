@@ -1,0 +1,54 @@
+// The one observability timebase. Spans (obs/span.h), flight-recorder
+// events (obs/flight_recorder.h) and profiler samples (obs/profile_sampler.h)
+// all read the same process-global Clock, so their timestamps align in the
+// merged trace export and a test-injected ManualClock steers every layer at
+// once.
+//
+// The global clock is stored as one relaxed atomic pointer: reading it is a
+// single load, safe from any thread and from within signal handlers (the
+// MonotonicClock path is one clock_gettime). Injection is test-only and must
+// happen before the timed work starts — it is not synchronized against
+// concurrent readers beyond the atomic pointer swap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace splice::obs {
+
+/// Time source interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  virtual std::uint64_t now_ns() const noexcept = 0;
+};
+
+/// Real time: std::chrono::steady_clock.
+class MonotonicClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const noexcept override;
+};
+
+/// Test clock: advances only when told to.
+class ManualClock final : public Clock {
+ public:
+  void advance_ns(std::uint64_t ns) noexcept { now_ += ns; }
+  std::uint64_t now_ns() const noexcept override { return now_; }
+
+ private:
+  std::uint64_t now_ = 0;
+};
+
+/// The process-wide time source (defaults to a MonotonicClock).
+const Clock& global_clock() noexcept;
+
+/// Replaces the global time source (nullptr restores the monotonic clock).
+/// Install before opening spans / recording events; not synchronized
+/// against in-flight timed regions.
+void set_global_clock(const Clock* clock) noexcept;
+
+/// global_clock().now_ns() — the shared timestamp every obs layer uses.
+std::uint64_t clock_now_ns() noexcept;
+
+}  // namespace splice::obs

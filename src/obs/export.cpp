@@ -16,6 +16,36 @@ std::string sanitize(const std::string& name) {
   return out;
 }
 
+// Prometheus label *values* keep their raw characters but must escape
+// backslash, double-quote and newline (exposition-format rules) — distinct
+// from sanitize(), which rewrites metric *names*.
+std::string prom_label_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void prom_header(std::string& out, const std::string& name,
+                 const char* type, const char* help) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " " + type + "\n";
+}
+
 std::string hist_summary(const Histogram& h) {
   char buf[128];
   std::snprintf(buf, sizeof(buf), "n=%lld sum=%.6g p50<=%.6g p99<=%.6g",
@@ -149,6 +179,33 @@ std::string spans_json_body(const SpanSnapshot& snap) {
     out += std::to_string(s.count);
     out += ", \"total_ns\": ";
     out += std::to_string(s.total_ns);
+    // Resource deltas appear only when the profiler captured something, so
+    // non-profiled runs emit byte-identical span records.
+    if (s.res.any()) {
+      out += ", \"allocs\": ";
+      out += std::to_string(s.res.allocs);
+      out += ", \"frees\": ";
+      out += std::to_string(s.res.frees);
+      out += ", \"alloc_bytes\": ";
+      out += std::to_string(s.res.alloc_bytes);
+      out += ", \"heap_peak_bytes\": ";
+      out += std::to_string(s.res.peak_bytes);
+      if (s.res.hw_valid) {
+        out += ", \"cycles\": ";
+        out += std::to_string(s.res.cycles);
+        out += ", \"instructions\": ";
+        out += std::to_string(s.res.instructions);
+        out += ", \"cache_misses\": ";
+        out += std::to_string(s.res.cache_misses);
+        out += ", \"branch_misses\": ";
+        out += std::to_string(s.res.branch_misses);
+        out += ", \"ipc\": ";
+        out += json_double(s.res.cycles > 0
+                               ? static_cast<double>(s.res.instructions) /
+                                     static_cast<double>(s.res.cycles)
+                               : 0.0);
+      }
+    }
     out += "}";
   }
   out += "]";
@@ -160,18 +217,18 @@ std::string to_prometheus(const MetricsSnapshot& snap,
   std::string out;
   for (const CounterSample& c : snap.counters) {
     const std::string name = "splice_" + sanitize(c.name) + "_total";
-    out += "# TYPE " + name + " counter\n";
+    prom_header(out, name, "counter", "Cumulative event count.");
     out += name + " " + std::to_string(c.value) + "\n";
   }
   for (const GaugeSample& g : snap.gauges) {
     const std::string name = "splice_" + sanitize(g.name);
-    out += "# TYPE " + name + " gauge\n";
+    prom_header(out, name, "gauge", "Last-set value.");
     out += name + " " + json_double(g.value) + "\n";
   }
   for (const HistogramSample& hs : snap.histograms) {
     const Histogram& h = hs.hist;
     const std::string name = "splice_" + sanitize(hs.name);
-    out += "# TYPE " + name + " histogram\n";
+    prom_header(out, name, "histogram", "Fixed-bin value distribution.");
     for (int b = 0; b < h.bins(); ++b) {
       out += name + "_bucket{le=\"" + json_double(h.bin_hi(b)) + "\"} " +
              std::to_string(h.cumulative(b)) + "\n";
@@ -180,11 +237,74 @@ std::string to_prometheus(const MetricsSnapshot& snap,
     out += name + "_sum " + json_double(h.sum()) + "\n";
     out += name + "_count " + std::to_string(h.total()) + "\n";
   }
+  if (!spans.stats.empty()) {
+    prom_header(out, "splice_span_seconds", "summary",
+                "Wall time spent inside each phase span.");
+  }
   for (const SpanStat& s : spans.stats) {
-    out += "splice_span_seconds_sum{path=\"" + s.path + "\"} " +
+    const std::string label = "{path=\"" + prom_label_escape(s.path) + "\"}";
+    out += "splice_span_seconds_sum" + label + " " +
            json_double(static_cast<double>(s.total_ns) * 1e-9) + "\n";
-    out += "splice_span_seconds_count{path=\"" + s.path + "\"} " +
+    out += "splice_span_seconds_count" + label + " " +
            std::to_string(s.count) + "\n";
+  }
+  // Resource-attribution series (profiler enabled): unit-suffixed names
+  // per exposition-format conventions, one labeled sample per span path.
+  bool any_alloc = false;
+  bool any_hw = false;
+  for (const SpanStat& s : spans.stats) {
+    any_alloc = any_alloc || s.res.any();
+    any_hw = any_hw || s.res.hw_valid;
+  }
+  if (any_alloc) {
+    prom_header(out, "splice_span_allocations_total", "counter",
+                "Heap allocations performed inside the span.");
+    prom_header(out, "splice_span_alloc_bytes_total", "counter",
+                "Usable bytes allocated inside the span.");
+    prom_header(out, "splice_span_heap_peak_bytes", "gauge",
+                "Peak live-heap growth above span entry.");
+    for (const SpanStat& s : spans.stats) {
+      if (!s.res.any()) continue;
+      const std::string label =
+          "{path=\"" + prom_label_escape(s.path) + "\"}";
+      out += "splice_span_allocations_total" + label + " " +
+             std::to_string(s.res.allocs) + "\n";
+      out += "splice_span_alloc_bytes_total" + label + " " +
+             std::to_string(s.res.alloc_bytes) + "\n";
+      out += "splice_span_heap_peak_bytes" + label + " " +
+             std::to_string(s.res.peak_bytes) + "\n";
+    }
+  }
+  if (any_hw) {
+    prom_header(out, "splice_span_cpu_cycles_total", "counter",
+                "CPU cycles retired inside the span (perf tier).");
+    prom_header(out, "splice_span_instructions_total", "counter",
+                "Instructions retired inside the span (perf tier).");
+    prom_header(out, "splice_span_cache_misses_total", "counter",
+                "Last-level cache misses inside the span (perf tier).");
+    prom_header(out, "splice_span_branch_misses_total", "counter",
+                "Branch mispredictions inside the span (perf tier).");
+    prom_header(out, "splice_span_ipc", "gauge",
+                "Instructions per cycle over the span's lifetime.");
+    for (const SpanStat& s : spans.stats) {
+      if (!s.res.hw_valid) continue;
+      const std::string label =
+          "{path=\"" + prom_label_escape(s.path) + "\"}";
+      out += "splice_span_cpu_cycles_total" + label + " " +
+             std::to_string(s.res.cycles) + "\n";
+      out += "splice_span_instructions_total" + label + " " +
+             std::to_string(s.res.instructions) + "\n";
+      out += "splice_span_cache_misses_total" + label + " " +
+             std::to_string(s.res.cache_misses) + "\n";
+      out += "splice_span_branch_misses_total" + label + " " +
+             std::to_string(s.res.branch_misses) + "\n";
+      out += "splice_span_ipc" + label + " " +
+             json_double(s.res.cycles > 0
+                             ? static_cast<double>(s.res.instructions) /
+                                   static_cast<double>(s.res.cycles)
+                             : 0.0) +
+             "\n";
+    }
   }
   return out;
 }

@@ -1,19 +1,18 @@
 #include "obs/flight_recorder.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
+
+#include "obs/clock.h"
 
 namespace splice::obs {
 
 namespace {
 
-std::uint64_t now_ns() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+// Shared obs timebase — recorder events align with span timings and
+// profiler samples in the merged trace, and a test-injected ManualClock
+// steers all three at once.
+std::uint64_t now_ns() noexcept { return clock_now_ns(); }
 
 std::size_t round_up_pow2(std::size_t n) noexcept {
   std::size_t p = 1;

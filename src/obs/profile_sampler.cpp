@@ -1,0 +1,243 @@
+#include "obs/profile_sampler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+
+#if defined(__linux__) && SPLICE_OBS
+#define SPLICE_SAMPLER_IMPL 1
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#else
+#define SPLICE_SAMPLER_IMPL 0
+#endif
+
+namespace splice::obs {
+
+namespace {
+
+#if SPLICE_SAMPLER_IMPL
+
+constexpr std::size_t kMaxDepth = 64;
+constexpr std::size_t kMaxSamples = 1 << 16;
+// backtrace() inside the handler sees: the handler frame itself, the libc
+// signal trampoline (__restore_rt), then the interrupted function.
+constexpr int kHandlerFrames = 2;
+
+struct Sample {
+  std::uint32_t first = 0;  ///< index into g_frames
+  std::uint16_t depth = 0;
+  std::uint64_t time_ns = 0;
+};
+
+// All handler-visible state is plain data, allocated before the timer is
+// armed and only released after it is disarmed.
+std::vector<void*> g_frames;
+std::vector<Sample> g_samples;
+std::atomic<std::size_t> g_next{0};
+std::atomic<std::size_t> g_dropped{0};
+std::atomic<bool> g_running{false};
+struct sigaction g_old_action;
+
+void sampler_handler(int) {
+  if (!g_running.load(std::memory_order_relaxed)) return;
+  const std::size_t slot = g_next.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxSamples) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  void* raw[kMaxDepth + kHandlerFrames];
+  const int got =
+      backtrace(raw, static_cast<int>(kMaxDepth + kHandlerFrames));
+  const int useful = got > kHandlerFrames ? got - kHandlerFrames : 0;
+  Sample& s = g_samples[slot];
+  s.first = static_cast<std::uint32_t>(slot * kMaxDepth);
+  s.depth = static_cast<std::uint16_t>(useful);
+  s.time_ns = clock_now_ns();
+  for (int i = 0; i < useful; ++i) {
+    g_frames[s.first + static_cast<std::size_t>(i)] =
+        raw[i + kHandlerFrames];
+  }
+}
+
+/// Best-effort name for a return address: dladdr symbol (demangled when it
+/// mangles) or the raw address.
+std::string symbolize(void* addr) {
+  Dl_info info;
+  if (dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // Folded format delimiters; keep frames single-token.
+    for (char& c : name) {
+      if (c == ';' || c == ' ' || c == '\n') c = '_';
+    }
+    return name;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%zx",
+                reinterpret_cast<std::size_t>(addr));
+  return buf;
+}
+
+#endif  // SPLICE_SAMPLER_IMPL
+
+}  // namespace
+
+ProfileSampler& ProfileSampler::global() {
+  static ProfileSampler sampler;
+  return sampler;
+}
+
+bool ProfileSampler::start(int hz) {
+#if SPLICE_SAMPLER_IMPL
+  if (g_running.load(std::memory_order_relaxed)) return false;
+  hz = std::clamp(hz, 1, 1000);
+
+  g_frames.assign(kMaxSamples * kMaxDepth, nullptr);
+  g_samples.assign(kMaxSamples, Sample{});
+  g_next.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+
+  // Prime backtrace(): its first call may dlopen libgcc, which is not
+  // async-signal-safe — do it here, outside the handler.
+  void* prime[4];
+  (void)backtrace(prime, 4);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &sampler_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGALRM, &action, &g_old_action) != 0) return false;
+
+  g_running.store(true, std::memory_order_relaxed);
+
+  itimerval timer;
+  const long usec = 1000000L / hz;
+  timer.it_interval.tv_sec = usec / 1000000L;
+  timer.it_interval.tv_usec = usec % 1000000L;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_REAL, &timer, nullptr) != 0) {
+    g_running.store(false, std::memory_order_relaxed);
+    sigaction(SIGALRM, &g_old_action, nullptr);
+    return false;
+  }
+  return true;
+#else
+  (void)hz;
+  return false;
+#endif
+}
+
+void ProfileSampler::stop() {
+#if SPLICE_SAMPLER_IMPL
+  if (!g_running.load(std::memory_order_relaxed)) return;
+  itimerval timer;
+  std::memset(&timer, 0, sizeof(timer));
+  setitimer(ITIMER_REAL, &timer, nullptr);
+  g_running.store(false, std::memory_order_relaxed);
+  sigaction(SIGALRM, &g_old_action, nullptr);
+#endif
+}
+
+bool ProfileSampler::running() const noexcept {
+#if SPLICE_SAMPLER_IMPL
+  return g_running.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+std::size_t ProfileSampler::sample_count() const noexcept {
+#if SPLICE_SAMPLER_IMPL
+  return std::min(g_next.load(std::memory_order_relaxed), kMaxSamples);
+#else
+  return 0;
+#endif
+}
+
+std::size_t ProfileSampler::dropped() const noexcept {
+#if SPLICE_SAMPLER_IMPL
+  return g_dropped.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t ProfileSampler::sample_time_ns(std::size_t i) const noexcept {
+#if SPLICE_SAMPLER_IMPL
+  if (i >= sample_count()) return 0;
+  return g_samples[i].time_ns;
+#else
+  (void)i;
+  return 0;
+#endif
+}
+
+std::string ProfileSampler::folded() const {
+#if SPLICE_SAMPLER_IMPL
+  const std::size_t n = sample_count();
+  // Symbolize each unique address once.
+  std::map<void*, std::string> names;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = g_samples[i];
+    for (std::uint16_t d = 0; d < s.depth; ++d) {
+      void* addr = g_frames[s.first + d];
+      if (names.find(addr) == names.end()) names[addr] = symbolize(addr);
+    }
+  }
+  std::map<std::string, std::uint64_t> folded_counts;
+  std::string stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = g_samples[i];
+    if (s.depth == 0) continue;
+    stack.clear();
+    // backtrace() is innermost-first; folded format wants root-first.
+    for (int d = s.depth - 1; d >= 0; --d) {
+      if (!stack.empty()) stack += ';';
+      stack += names[g_frames[s.first + static_cast<std::size_t>(d)]];
+    }
+    ++folded_counts[stack];
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> rows(
+      folded_counts.begin(), folded_counts.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::string out;
+  for (const auto& [key, count] : rows) {
+    out += key;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+#else
+  return std::string();
+#endif
+}
+
+void ProfileSampler::reset() {
+#if SPLICE_SAMPLER_IMPL
+  if (g_running.load(std::memory_order_relaxed)) return;
+  g_next.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+#endif
+}
+
+}  // namespace splice::obs

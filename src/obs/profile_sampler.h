@@ -1,0 +1,65 @@
+// Wall-clock sampling profiler: a POSIX interval timer (SIGALRM) fires at a
+// fixed rate and the signal handler captures a backtrace into storage that
+// was preallocated at start() — the handler itself never allocates, locks,
+// or calls anything beyond backtrace() and the shared obs clock (both
+// async-signal-safe after priming). Samples are symbolized lazily at dump
+// time (dladdr + __cxa_demangle) and folded into the standard flamegraph
+// format, one "root;child;leaf count" line per unique stack.
+//
+// This is a *wall-clock* profiler of the whole process: SIGALRM is delivered
+// to one thread chosen by the kernel (in practice whichever is running), so
+// the sample distribution approximates where wall time goes. Sample
+// timestamps come from the shared obs::Clock, aligning them with span and
+// flight-recorder timelines.
+//
+// Under -DSPLICE_OBS=OFF start() refuses and the profiler is inert.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#ifndef SPLICE_OBS
+#define SPLICE_OBS 1
+#endif
+
+namespace splice::obs {
+
+/// Process-wide sampling profiler. One instance; start/stop from one thread.
+class ProfileSampler {
+ public:
+  static ProfileSampler& global();
+
+  /// Arms the timer at `hz` samples/second (clamped to [1, 1000]) after
+  /// preallocating sample storage and priming backtrace(). Returns false if
+  /// already running or compiled out.
+  bool start(int hz);
+
+  /// Disarms the timer and restores the previous SIGALRM disposition.
+  /// Captured samples remain available to folded()/sample_count().
+  void stop();
+
+  bool running() const noexcept;
+
+  /// Samples captured so far (drops — buffer full — are not counted; see
+  /// dropped()).
+  std::size_t sample_count() const noexcept;
+
+  /// Samples that arrived after the preallocated buffer filled.
+  std::size_t dropped() const noexcept;
+
+  /// Symbolized folded-stack dump ("a;b;c 42" lines, root first), sorted by
+  /// descending count then lexicographic stack. Call after stop().
+  std::string folded() const;
+
+  /// Timestamp (shared obs clock) of sample `i`; for trace alignment.
+  std::uint64_t sample_time_ns(std::size_t i) const noexcept;
+
+  /// Discards captured samples (keeps the profiler stopped).
+  void reset();
+
+ private:
+  ProfileSampler() = default;
+};
+
+}  // namespace splice::obs

@@ -1,0 +1,410 @@
+#include "obs/resprof.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+// The allocation hooks replace the global operator new/delete, which
+// sanitizer runtimes also do — their interceptors own the allocator there,
+// so the hooks bow out and alloc_hooks_compiled() reports false.
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if SPLICE_OBS && defined(__GLIBC__) && !defined(__SANITIZE_ADDRESS__) && \
+    !defined(__SANITIZE_THREAD__) && !__has_feature(address_sanitizer) &&  \
+    !__has_feature(thread_sanitizer) && !__has_feature(memory_sanitizer)
+#define SPLICE_RESPROF_HOOKS 1
+#else
+#define SPLICE_RESPROF_HOOKS 0
+#endif
+
+namespace splice::obs {
+
+namespace {
+
+// Plain thread_local, constant-initialized: the hooks may run before any
+// dynamic initializer and must not themselves allocate.
+thread_local constinit AllocCounters t_alloc;
+
+constinit std::atomic<int> g_tier{static_cast<int>(ResourceTier::kOff)};
+
+// ---------------------------------------------------------------------------
+// perf_event_open counter groups (Linux only; tier kPerf).
+// ---------------------------------------------------------------------------
+
+#if defined(__linux__)
+
+constexpr std::uint64_t kPerfConfigs[4] = {
+    PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+
+int perf_open_one(std::uint64_t config, int group_fd) noexcept {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+/// One per-thread group of the four hardware counters, read in a single
+/// syscall on the leader. Closed when the thread exits.
+struct PerfGroup {
+  int leader = -1;
+  int fds[4] = {-1, -1, -1, -1};
+  bool tried = false;
+
+  bool open() noexcept {
+    tried = true;
+    for (int i = 0; i < 4; ++i) {
+      fds[i] = perf_open_one(kPerfConfigs[i], i == 0 ? -1 : leader);
+      if (fds[i] < 0) {
+        close();
+        return false;
+      }
+      if (i == 0) leader = fds[0];
+    }
+    ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    return true;
+  }
+
+  void close() noexcept {
+    for (int& fd : fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    leader = -1;
+  }
+
+  bool read_counters(std::uint64_t out[4]) noexcept {
+    if (leader < 0 && !tried) {
+      if (!open()) return false;
+    }
+    if (leader < 0) return false;
+    struct {
+      std::uint64_t nr;
+      std::uint64_t values[4];
+    } buf;
+    const ssize_t got = ::read(leader, &buf, sizeof(buf));
+    if (got < static_cast<ssize_t>(sizeof(std::uint64_t) * 5) || buf.nr != 4)
+      return false;
+    for (int i = 0; i < 4; ++i) out[i] = buf.values[i];
+    return true;
+  }
+
+  ~PerfGroup() { close(); }
+};
+
+thread_local PerfGroup t_perf;
+
+/// Probe: can this process open a counter group, and does it actually
+/// count? (Some VMs let the open succeed against a dead PMU.)
+bool perf_probe() noexcept {
+  PerfGroup probe;
+  if (!probe.open()) return false;
+  // Burn a few thousand cycles so a live PMU cannot legitimately read 0.
+  volatile std::uint64_t sink = 1;
+  for (int i = 0; i < 4096; ++i) sink = sink * 6364136223846793005ULL + 1;
+  std::uint64_t counts[4] = {0, 0, 0, 0};
+  const bool ok = probe.read_counters(counts) && counts[0] > 0;
+  return ok;
+}
+
+#endif  // __linux__
+
+ResourceTier probe_tier() noexcept {
+  if (const char* forced = std::getenv("SPLICE_RESPROF_TIER")) {
+    if (std::strcmp(forced, "rusage") == 0) return ResourceTier::kRusage;
+#if defined(__linux__)
+    if (std::strcmp(forced, "perf") == 0) return ResourceTier::kPerf;
+#endif
+  }
+#if defined(__linux__)
+  if (perf_probe()) return ResourceTier::kPerf;
+#endif
+  return ResourceTier::kRusage;
+}
+
+}  // namespace
+
+#if SPLICE_OBS
+std::atomic<bool> ResourceProfiler::enabled_{false};
+#endif
+
+const char* to_string(ResourceTier tier) noexcept {
+  switch (tier) {
+    case ResourceTier::kPerf:
+      return "perf";
+    case ResourceTier::kRusage:
+      return "rusage";
+    case ResourceTier::kOff:
+      break;
+  }
+  return "off";
+}
+
+bool alloc_hooks_compiled() noexcept { return SPLICE_RESPROF_HOOKS != 0; }
+
+const AllocCounters& thread_alloc_counters() noexcept { return t_alloc; }
+
+void ResourceProfiler::set_enabled(bool on) {
+#if SPLICE_OBS
+  if (on && g_tier.load(std::memory_order_relaxed) ==
+                static_cast<int>(ResourceTier::kOff)) {
+    g_tier.store(static_cast<int>(probe_tier()), std::memory_order_relaxed);
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+ResourceTier ResourceProfiler::tier() noexcept {
+  if (!enabled()) return ResourceTier::kOff;
+  return static_cast<ResourceTier>(g_tier.load(std::memory_order_relaxed));
+}
+
+void ResourceProfiler::reprobe_tier() {
+#if SPLICE_OBS
+  g_tier.store(static_cast<int>(probe_tier()), std::memory_order_relaxed);
+#endif
+}
+
+void ResourceProfiler::mark(ResourceMark& m) noexcept {
+  AllocCounters& c = t_alloc;
+  m.allocs = c.allocs;
+  m.frees = c.frees;
+  m.bytes = c.bytes;
+  m.live = c.live_bytes;
+  m.saved_peak = c.peak_bytes;
+  c.peak_bytes = c.live_bytes;  // open this region's watermark
+  m.hw_valid = false;
+#if defined(__linux__)
+  if (tier() == ResourceTier::kPerf) m.hw_valid = t_perf.read_counters(m.hw);
+#endif
+}
+
+ResourceDelta ResourceProfiler::delta(const ResourceMark& m) noexcept {
+  ResourceDelta d;
+  AllocCounters& c = t_alloc;
+  d.allocs = static_cast<long long>(c.allocs - m.allocs);
+  d.frees = static_cast<long long>(c.frees - m.frees);
+  d.alloc_bytes = static_cast<long long>(c.bytes - m.bytes);
+  const long long peak = c.peak_bytes - m.live;
+  d.peak_bytes = peak > 0 ? peak : 0;
+  // Restore the enclosing region's watermark (it must also see any peak
+  // reached inside this region).
+  c.peak_bytes = m.saved_peak > c.peak_bytes ? m.saved_peak : c.peak_bytes;
+#if defined(__linux__)
+  if (m.hw_valid) {
+    std::uint64_t now[4];
+    if (t_perf.read_counters(now)) {
+      d.hw_valid = true;
+      d.cycles = static_cast<long long>(now[0] - m.hw[0]);
+      d.instructions = static_cast<long long>(now[1] - m.hw[1]);
+      d.cache_misses = static_cast<long long>(now[2] - m.hw[2]);
+      d.branch_misses = static_cast<long long>(now[3] - m.hw[3]);
+    }
+  }
+#endif
+  return d;
+}
+
+ProcessResources capture_process_resources() noexcept {
+  ProcessResources out;
+#if defined(__linux__)
+  rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    out.ok = true;
+    out.user_seconds = static_cast<double>(ru.ru_utime.tv_sec) +
+                       static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    out.sys_seconds = static_cast<double>(ru.ru_stime.tv_sec) +
+                      static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    out.max_rss_bytes = static_cast<long long>(ru.ru_maxrss) * 1024;
+    out.minor_faults = static_cast<long long>(ru.ru_minflt);
+    out.major_faults = static_cast<long long>(ru.ru_majflt);
+  }
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long long pages_total = 0, pages_resident = 0;
+    if (std::fscanf(f, "%lld %lld", &pages_total, &pages_resident) == 2) {
+      out.current_rss_bytes =
+          pages_resident * static_cast<long long>(sysconf(_SC_PAGESIZE));
+    }
+    std::fclose(f);
+  }
+#endif
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> resource_report() {
+  std::vector<std::pair<std::string, std::string>> rows;
+  if (!ResourceProfiler::enabled()) return rows;
+  rows.emplace_back("tier", to_string(ResourceProfiler::tier()));
+  rows.emplace_back("alloc_hooks",
+                    alloc_hooks_compiled() ? "compiled" : "absent");
+  const ProcessResources pr = capture_process_resources();
+  if (pr.ok) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", pr.user_seconds);
+    rows.emplace_back("cpu_user_seconds", buf);
+    std::snprintf(buf, sizeof(buf), "%.6f", pr.sys_seconds);
+    rows.emplace_back("cpu_sys_seconds", buf);
+    rows.emplace_back("max_rss_bytes", std::to_string(pr.max_rss_bytes));
+    rows.emplace_back("current_rss_bytes",
+                      std::to_string(pr.current_rss_bytes));
+    rows.emplace_back("minor_faults", std::to_string(pr.minor_faults));
+    rows.emplace_back("major_faults", std::to_string(pr.major_faults));
+  }
+  return rows;
+}
+
+namespace resprof_detail {
+
+// Out-of-line hook bodies: the operators below stay branch + tail-call.
+void note_alloc(void* p) noexcept {
+#if SPLICE_RESPROF_HOOKS
+  AllocCounters& c = t_alloc;
+  ++c.allocs;
+  const auto sz = static_cast<std::uint64_t>(malloc_usable_size(p));
+  c.bytes += sz;
+  c.live_bytes += static_cast<long long>(sz);
+  if (c.live_bytes > c.peak_bytes) c.peak_bytes = c.live_bytes;
+#else
+  (void)p;
+#endif
+}
+
+void note_free(void* p) noexcept {
+#if SPLICE_RESPROF_HOOKS
+  AllocCounters& c = t_alloc;
+  ++c.frees;
+  c.live_bytes -= static_cast<long long>(malloc_usable_size(p));
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace resprof_detail
+
+}  // namespace splice::obs
+
+#if SPLICE_RESPROF_HOOKS
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacements. Every path funnels through
+// malloc/free with usable-size accounting, so the sized and unsized delete
+// overloads agree. Cost when the profiler is disabled: one relaxed load and
+// a branch on top of malloc/free.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline void* resprof_alloc(std::size_t size, std::size_t align) {
+  void* p = nullptr;
+  if (align > alignof(std::max_align_t)) {
+    if (posix_memalign(&p, align, size ? size : align) != 0) p = nullptr;
+  } else {
+    p = std::malloc(size ? size : 1);
+  }
+  if (p != nullptr && splice::obs::ResourceProfiler::enabled()) {
+    splice::obs::resprof_detail::note_alloc(p);
+  }
+  return p;
+}
+
+inline void resprof_free(void* p) noexcept {
+  if (p == nullptr) return;
+  if (splice::obs::ResourceProfiler::enabled()) {
+    splice::obs::resprof_detail::note_free(p);
+  }
+  std::free(p);
+}
+
+[[noreturn]] void resprof_throw_bad_alloc() { throw std::bad_alloc(); }
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = resprof_alloc(size, 0);
+  if (p == nullptr) resprof_throw_bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = resprof_alloc(size, 0);
+  if (p == nullptr) resprof_throw_bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return resprof_alloc(size, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return resprof_alloc(size, 0);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = resprof_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) resprof_throw_bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = resprof_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) resprof_throw_bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return resprof_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return resprof_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { resprof_free(p); }
+void operator delete[](void* p) noexcept { resprof_free(p); }
+void operator delete(void* p, std::size_t) noexcept { resprof_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { resprof_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { resprof_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  resprof_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  resprof_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  resprof_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  resprof_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  resprof_free(p);
+}
+
+#endif  // SPLICE_RESPROF_HOOKS

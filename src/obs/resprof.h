@@ -1,0 +1,212 @@
+// Resource-attribution profiler: turns "this phase is fast" into measured,
+// gateable numbers. Three layers, each independently degradable:
+//
+//  1. Allocation accounting. Global operator new/delete hooks (defined in
+//     resprof.cpp, linked into every binary that uses the obs library)
+//     update plain thread_local counters — allocation count, cumulative
+//     bytes, live bytes and a peak-live watermark. When the profiler is
+//     disabled each hook costs one relaxed load + branch; under
+//     -DSPLICE_OBS=OFF (or a sanitizer build, whose runtime owns
+//     new/delete) the hooks are not compiled at all and
+//     alloc_hooks_compiled() reports false so gates can skip.
+//
+//  2. Hardware counters. A per-thread perf_event_open group (cycles,
+//     instructions, cache misses, branch misses — IPC derives from the
+//     first two) read at span boundaries. Containers routinely deny the
+//     syscall, so the first enable *probes*: perf available -> kPerf tier;
+//     denied (or forced via SPLICE_RESPROF_TIER=rusage) -> kRusage tier,
+//     where per-span hardware deltas are skipped and only the process-wide
+//     getrusage/statm summary is reported. The active tier is recorded in
+//     RunReport provenance so archived numbers are interpretable.
+//
+//  3. Process summary. capture_process_resources() reads getrusage +
+//     /proc/self/statm (user/sys CPU seconds, peak/current RSS, page
+//     faults) — available on every tier, attached to every profiled
+//     RunReport.
+//
+// Determinism note: allocation *counts* on the fast paths are a pure
+// function of the workload and gate exactly (the zero-alloc contract);
+// bytes depend on malloc's usable-size rounding (stable per libc), and
+// hardware counters are inherently noisy — the perf gate applies
+// tolerances, never exact comparison, to those.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef SPLICE_OBS
+#define SPLICE_OBS 1
+#endif
+
+namespace splice::obs {
+
+/// Which resource-counter tier is live (the graceful-degradation ladder).
+enum class ResourceTier {
+  kOff = 0,     ///< profiler disabled — no per-span resource capture
+  kRusage = 1,  ///< perf_event_open denied: process rusage summary only
+  kPerf = 2,    ///< hardware counter groups per thread
+};
+
+const char* to_string(ResourceTier tier) noexcept;
+
+/// One thread's allocation counters, updated by the new/delete hooks while
+/// the profiler is enabled. live/peak use malloc_usable_size accounting; a
+/// cross-thread free is attributed to the *freeing* thread, which can drive
+/// its live_bytes negative — counts and cumulative bytes are the robust,
+/// gateable fields.
+struct AllocCounters {
+  std::uint64_t allocs = 0;  ///< operator new calls
+  std::uint64_t frees = 0;   ///< operator delete calls (non-null)
+  std::uint64_t bytes = 0;   ///< cumulative usable bytes allocated
+  long long live_bytes = 0;  ///< currently live usable bytes
+  long long peak_bytes = 0;  ///< high-water mark of live_bytes (resettable
+                             ///< by ResourceMark region accounting)
+};
+
+/// True when the global operator new/delete hooks are compiled into this
+/// binary (SPLICE_OBS on, not a sanitizer build). Zero-alloc gates skip
+/// when false.
+bool alloc_hooks_compiled() noexcept;
+
+/// The calling thread's counters (stable address for the thread lifetime).
+const AllocCounters& thread_alloc_counters() noexcept;
+
+/// Point-in-time capture opening a measured region on the calling thread.
+/// Opening a mark resets the thread's peak watermark to its current live
+/// bytes (saving the old watermark); closing it via ResourceProfiler::
+/// delta() restores the enclosing region's watermark, so nested regions
+/// each see their own peak.
+struct ResourceMark {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes = 0;
+  long long live = 0;
+  long long saved_peak = 0;
+  std::uint64_t hw[4] = {0, 0, 0, 0};  ///< cycles, instr, cache-m, branch-m
+  bool hw_valid = false;
+};
+
+/// Resource consumption of one measured region (or the accumulation over
+/// many regions with the same span path).
+struct ResourceDelta {
+  long long allocs = 0;
+  long long frees = 0;
+  long long alloc_bytes = 0;
+  long long peak_bytes = 0;  ///< max live-heap growth above region entry
+  long long cycles = 0;
+  long long instructions = 0;
+  long long cache_misses = 0;
+  long long branch_misses = 0;
+  bool hw_valid = false;  ///< hardware fields populated (kPerf tier)
+
+  bool any() const noexcept {
+    return allocs != 0 || frees != 0 || alloc_bytes != 0 || peak_bytes != 0 ||
+           hw_valid;
+  }
+
+  /// Sums counts, maxes the peak; for span aggregation across recordings.
+  void accumulate(const ResourceDelta& d) noexcept {
+    allocs += d.allocs;
+    frees += d.frees;
+    alloc_bytes += d.alloc_bytes;
+    peak_bytes = peak_bytes > d.peak_bytes ? peak_bytes : d.peak_bytes;
+    cycles += d.cycles;
+    instructions += d.instructions;
+    cache_misses += d.cache_misses;
+    branch_misses += d.branch_misses;
+    hw_valid = hw_valid || d.hw_valid;
+  }
+};
+
+/// Master switch for resource attribution. Independent of the metrics
+/// registry: --metrics alone never pays a counter-read syscall; --profile
+/// turns this on and spans start carrying deltas.
+class ResourceProfiler {
+ public:
+  static bool enabled() noexcept {
+#if SPLICE_OBS
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+
+  /// Enables/disables resource capture. The first enable probes the
+  /// hardware tier (see header comment); SPLICE_RESPROF_TIER=rusage forces
+  /// the fallback, =perf skips the sanity probe. No-op under
+  /// -DSPLICE_OBS=OFF.
+  static void set_enabled(bool on);
+
+  /// The active tier (kOff while disabled).
+  static ResourceTier tier() noexcept;
+
+  /// Re-runs the tier probe (test hook: lets a test flip
+  /// SPLICE_RESPROF_TIER and observe the forced fallback). Only meaningful
+  /// while enabled.
+  static void reprobe_tier();
+
+  /// Opens a measured region on the calling thread. Cheap when the tier is
+  /// not kPerf (a few thread-local loads/stores); kPerf adds one group-read
+  /// syscall.
+  static void mark(ResourceMark& m) noexcept;
+
+  /// Closes a region: returns consumption since `m` and restores the
+  /// enclosing region's peak watermark. Call exactly once per mark, on the
+  /// marking thread.
+  static ResourceDelta delta(const ResourceMark& m) noexcept;
+
+ private:
+#if SPLICE_OBS
+  static std::atomic<bool> enabled_;
+#endif
+};
+
+/// RAII measured region for tests and gates:
+///
+///   ResourceScope scope;
+///   hot_path();
+///   const ResourceDelta d = scope.finish();
+///   EXPECT_EQ(d.allocs, 0);
+class ResourceScope {
+ public:
+  ResourceScope() noexcept { ResourceProfiler::mark(mark_); }
+  ~ResourceScope() {
+    if (!finished_) (void)ResourceProfiler::delta(mark_);
+  }
+
+  ResourceScope(const ResourceScope&) = delete;
+  ResourceScope& operator=(const ResourceScope&) = delete;
+
+  /// Closes the region (once) and returns its delta.
+  ResourceDelta finish() noexcept {
+    finished_ = true;
+    return ResourceProfiler::delta(mark_);
+  }
+
+ private:
+  ResourceMark mark_;
+  bool finished_ = false;
+};
+
+/// Process-wide resource summary (getrusage + /proc/self/statm). Available
+/// on every tier.
+struct ProcessResources {
+  double user_seconds = 0.0;
+  double sys_seconds = 0.0;
+  long long max_rss_bytes = 0;
+  long long current_rss_bytes = 0;  ///< 0 when /proc/self/statm is absent
+  long long minor_faults = 0;
+  long long major_faults = 0;
+  bool ok = false;
+};
+
+ProcessResources capture_process_resources() noexcept;
+
+/// ProcessResources + tier as ordered key/value rows for RunReport's
+/// "resources" block (empty when the profiler is disabled).
+std::vector<std::pair<std::string, std::string>> resource_report();
+
+}  // namespace splice::obs

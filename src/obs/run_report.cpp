@@ -1,6 +1,7 @@
 #include "obs/run_report.h"
 
 #include "obs/provenance.h"
+#include "obs/resprof.h"
 #include "util/table.h"
 
 namespace splice::obs {
@@ -9,6 +10,14 @@ RunReport RunReport::capture(std::string name) {
   RunReport r;
   r.name = std::move(name);
   r.provenance = build_provenance();
+  if (ResourceProfiler::enabled()) {
+    // The tier is provenance in the strict sense: archived hardware-counter
+    // numbers are only interpretable knowing which ladder rung produced
+    // them (kPerf counters vs. rusage-only fallback).
+    r.provenance.emplace_back("resource_tier",
+                              to_string(ResourceProfiler::tier()));
+    r.resources = resource_report();
+  }
   r.metrics = MetricsRegistry::global().snapshot();
   r.spans = SpanCollector::global().snapshot();
   return r;
@@ -32,6 +41,16 @@ std::string RunReport::to_json() const {
     out += json_quote(provenance[i].second);
   }
   out += "}, ";
+  if (!resources.empty()) {
+    out += "\"resources\": {";
+    for (std::size_t i = 0; i < resources.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += json_quote(resources[i].first);
+      out += ": ";
+      out += json_quote(resources[i].second);
+    }
+    out += "}, ";
+  }
   out += metrics_json_body(metrics);
   out += ", ";
   out += spans_json_body(spans);
@@ -48,6 +67,9 @@ std::string RunReport::to_text() const {
   for (const auto& [k, v] : params) out += "  " + k + " = " + v + "\n";
   for (const auto& [k, v] : provenance) {
     out += "  [build] " + k + " = " + v + "\n";
+  }
+  for (const auto& [k, v] : resources) {
+    out += "  [res] " + k + " = " + v + "\n";
   }
   out += "\n-- metrics --\n";
   out += metrics_table(metrics).to_text();

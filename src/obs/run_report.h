@@ -22,11 +22,17 @@ struct RunReport {
   /// thread count) — filled by capture() so archived reports are
   /// self-describing. Comparison tooling treats it as annotation, not data.
   std::vector<std::pair<std::string, std::string>> provenance;
+  /// Process resource summary (resource_report(): tier, CPU seconds, RSS,
+  /// faults) — empty unless the resource profiler was enabled. Like
+  /// provenance, diff tooling treats it as noisy annotation, except alloc
+  /// counts which gate exactly.
+  std::vector<std::pair<std::string, std::string>> resources;
   MetricsSnapshot metrics;
   SpanSnapshot spans;
 
   /// Snapshots the global registry and span collector, and stamps
-  /// build/host provenance.
+  /// build/host provenance (plus the resource summary and active resource
+  /// tier when the profiler is enabled).
   static RunReport capture(std::string name);
 
   void add_param(std::string key, std::string value) {
@@ -34,7 +40,8 @@ struct RunReport {
   }
 
   /// {"report": name, "params": {..}, "provenance": {..},
-  ///  "counters": {..}, "gauges": {..}, "histograms": {..}, "spans": [..]}
+  ///  ["resources": {..},] "counters": {..}, "gauges": {..},
+  ///  "histograms": {..}, "spans": [..]}
   std::string to_json() const;
   std::string to_prometheus() const;
   /// metrics_table + spans_table, titled.

@@ -1,31 +1,22 @@
 #include "obs/span.h"
 
 #include <algorithm>
-#include <chrono>
 #include <string_view>
 
 namespace splice::obs {
-
-std::uint64_t MonotonicClock::now_ns() const noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 SpanCollector& SpanCollector::global() {
   static SpanCollector collector;
   return collector;
 }
 
-SpanCollector::SpanCollector() : clock_(&monotonic_) {}
+SpanCollector::SpanCollector() = default;
 
 void SpanCollector::set_clock(const Clock* clock) noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
-  clock_ = clock != nullptr ? clock : &monotonic_;
+  set_global_clock(clock);
 }
 
-const Clock& SpanCollector::clock() const noexcept { return *clock_; }
+const Clock& SpanCollector::clock() const noexcept { return global_clock(); }
 
 SpanCollector::Buffer& SpanCollector::local_buffer() {
   thread_local struct Slot {
@@ -51,6 +42,18 @@ void SpanCollector::record(const std::string& path, int depth,
   node.total_ns += elapsed_ns;
 }
 
+void SpanCollector::record(const std::string& path, int depth,
+                           std::uint64_t elapsed_ns,
+                           const ResourceDelta& res) {
+  (void)depth;
+  Buffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  Node& node = buf.nodes[path];
+  ++node.count;
+  node.total_ns += elapsed_ns;
+  node.res.accumulate(res);
+}
+
 SpanSnapshot SpanCollector::snapshot() const {
   std::map<std::string, Node> merged;
   {
@@ -61,6 +64,7 @@ SpanSnapshot SpanCollector::snapshot() const {
         Node& into = merged[path];
         into.count += node.count;
         into.total_ns += node.total_ns;
+        into.res.accumulate(node.res);
       }
     }
   }
@@ -75,6 +79,7 @@ SpanSnapshot SpanCollector::snapshot() const {
         std::count(path.begin(), path.end(), '/'));
     stat.count = node.count;
     stat.total_ns = node.total_ns;
+    stat.res = node.res;
     snap.stats.push_back(std::move(stat));
   }
   // Preorder with name-sorted siblings. Raw lexicographic path order is
@@ -119,16 +124,24 @@ ObsSpan::ObsSpan(const char* name)
     : name_(name),
       parent_(nullptr),
       start_ns_(0),
-      active_(MetricsRegistry::enabled()) {
+      active_(MetricsRegistry::enabled()),
+      profiled_(false) {
   if (!active_) return;
   parent_ = t_current_;
   t_current_ = this;
-  start_ns_ = SpanCollector::global().clock().now_ns();
+  profiled_ = ResourceProfiler::enabled();
+  if (profiled_) ResourceProfiler::mark(mark_);
+  start_ns_ = clock_now_ns();
 }
 
 ObsSpan::~ObsSpan() {
   if (!active_) return;
-  const std::uint64_t end_ns = SpanCollector::global().clock().now_ns();
+  const std::uint64_t end_ns = clock_now_ns();
+  // Close the resource region *before* the path/record bookkeeping below:
+  // its own allocations then land in the parent span's delta, keeping the
+  // measured region tight around the span body.
+  ResourceDelta res;
+  if (profiled_) res = ResourceProfiler::delta(mark_);
   t_current_ = parent_;
   // Build the "/"-joined path root..self by walking the parent chain.
   int depth = 0;
@@ -143,7 +156,11 @@ ObsSpan::~ObsSpan() {
     if (j != 0) path += '/';
     path += names[j];
   }
-  SpanCollector::global().record(path, depth, end_ns - start_ns_);
+  if (profiled_) {
+    SpanCollector::global().record(path, depth, end_ns - start_ns_, res);
+  } else {
+    SpanCollector::global().record(path, depth, end_ns - start_ns_);
+  }
 }
 
 }  // namespace splice::obs

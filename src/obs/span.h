@@ -18,11 +18,17 @@
 // to a parent on a different thread). Aggregation is by name path: every
 // (parent path, name) pair is one node accumulating count and total time.
 //
-// Timing comes from a Clock interface; tests install a ManualClock for
-// deterministic durations. Span timings are wall-clock and therefore outside
-// the metrics registry's bit-identical determinism contract — the tree
-// *shape* and *counts* are deterministic for a deterministic workload, the
-// nanoseconds are not.
+// Timing comes from the shared obs::Clock timebase (obs/clock.h); tests
+// install a ManualClock for deterministic durations. Span timings are
+// wall-clock and therefore outside the metrics registry's bit-identical
+// determinism contract — the tree *shape* and *counts* are deterministic for
+// a deterministic workload, the nanoseconds are not.
+//
+// When the resource profiler (obs/resprof.h) is enabled, each span also
+// carries a ResourceDelta — allocations, bytes, peak heap growth and (on the
+// kPerf tier) hardware counters — accumulated per aggregate node. The delta
+// is captured at the *start* of the destructor, so the span's own path/record
+// bookkeeping allocations are attributed to the parent span, not the child.
 #pragma once
 
 #include <cstdint>
@@ -32,33 +38,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/resprof.h"
 
 namespace splice::obs {
-
-/// Time source for spans.
-class Clock {
- public:
-  virtual ~Clock() = default;
-  /// Monotonic nanoseconds since an arbitrary epoch.
-  virtual std::uint64_t now_ns() const noexcept = 0;
-};
-
-/// Real time: std::chrono::steady_clock.
-class MonotonicClock final : public Clock {
- public:
-  std::uint64_t now_ns() const noexcept override;
-};
-
-/// Test clock: advances only when told to.
-class ManualClock final : public Clock {
- public:
-  void advance_ns(std::uint64_t ns) noexcept { now_ += ns; }
-  std::uint64_t now_ns() const noexcept override { return now_; }
-
- private:
-  std::uint64_t now_ = 0;
-};
 
 /// One aggregated node of the span tree, in snapshot form.
 struct SpanStat {
@@ -67,6 +51,7 @@ struct SpanStat {
   int depth = 0;      ///< 0 for roots
   long long count = 0;
   std::uint64_t total_ns = 0;
+  ResourceDelta res;  ///< all-zero unless the resource profiler was enabled
 };
 
 /// Preorder flattening of the aggregate tree; siblings sorted by name.
@@ -79,14 +64,20 @@ class SpanCollector {
  public:
   static SpanCollector& global();
 
-  /// Replaces the time source (nullptr restores the monotonic clock).
-  /// Install before opening spans; not synchronized against live spans.
+  /// Replaces the shared obs time source (nullptr restores the monotonic
+  /// clock). Forwards to set_global_clock() — spans, flight-recorder events
+  /// and profiler samples all follow. Install before opening spans; not
+  /// synchronized against live spans.
   void set_clock(const Clock* clock) noexcept;
   const Clock& clock() const noexcept;
 
   /// Accumulates one completed span under `path` ("/"-joined names) into
   /// the calling thread's buffer — no cross-thread contention.
   void record(const std::string& path, int depth, std::uint64_t elapsed_ns);
+
+  /// As above, also folding a resource delta into the aggregate node.
+  void record(const std::string& path, int depth, std::uint64_t elapsed_ns,
+              const ResourceDelta& res);
 
   /// Merges all per-thread buffers into one aggregate view.
   SpanSnapshot snapshot() const;
@@ -98,6 +89,7 @@ class SpanCollector {
   struct Node {
     long long count = 0;
     std::uint64_t total_ns = 0;
+    ResourceDelta res;
   };
 
   /// One thread's accumulator. The mutex is uncontended on the record path
@@ -112,8 +104,6 @@ class SpanCollector {
 
   Buffer& local_buffer();
 
-  MonotonicClock monotonic_;
-  const Clock* clock_;  ///< guarded by mu_ for writes; read lock-free
   mutable std::mutex mu_;  ///< guards buffer registration
   std::vector<std::unique_ptr<Buffer>> buffers_;
 };
@@ -134,6 +124,8 @@ class ObsSpan {
   ObsSpan* parent_;
   std::uint64_t start_ns_;
   bool active_;
+  bool profiled_;      ///< resource profiler was enabled at open
+  ResourceMark mark_;  ///< open-side resource capture (when profiled_)
 
   static thread_local ObsSpan* t_current_;
 };

@@ -190,6 +190,34 @@ std::string trace_json(const TraceInputs& in) {
                           ", \"total_ns\": " + std::to_string(s.total_ns) +
                           "}");
       w.end_event();
+      // Resource counter tracks (profiled runs): step to the span's value
+      // at its start and back to zero at its end, so the track reads as
+      // per-span attribution rather than a running total.
+      if (s.res.any()) {
+        const auto counter = [&](const char* track, const char* series,
+                                 long long value, std::uint64_t at) {
+          w.begin_event();
+          w.str_field("name", track);
+          w.str_field("ph", "C");
+          w.int_field("pid", 2);
+          w.int_field("tid", 0);
+          w.field("ts", ts_us(at, 0));
+          w.field("args", std::string("{\"") + series +
+                              "\": " + std::to_string(value) + "}");
+          w.end_event();
+        };
+        const std::uint64_t end = start + s.total_ns;
+        counter("span alloc_bytes", "bytes", s.res.alloc_bytes, start);
+        counter("span alloc_bytes", "bytes", 0, end);
+        counter("span allocs", "allocs", s.res.allocs, start);
+        counter("span allocs", "allocs", 0, end);
+        if (s.res.hw_valid) {
+          counter("span cache_misses", "misses", s.res.cache_misses, start);
+          counter("span cache_misses", "misses", 0, end);
+          counter("span cycles", "cycles", s.res.cycles, start);
+          counter("span cycles", "cycles", 0, end);
+        }
+      }
     }
   }
 
@@ -315,7 +343,19 @@ std::string trace_json(const TraceInputs& in) {
     out += "\n  {\"path\": " + json_quote(s.path) +
            ", \"depth\": " + std::to_string(s.depth) +
            ", \"count\": " + std::to_string(s.count) +
-           ", \"total_ns\": " + std::to_string(s.total_ns) + "}";
+           ", \"total_ns\": " + std::to_string(s.total_ns);
+    if (s.res.any()) {
+      out += ", \"allocs\": " + std::to_string(s.res.allocs) +
+             ", \"alloc_bytes\": " + std::to_string(s.res.alloc_bytes) +
+             ", \"heap_peak_bytes\": " + std::to_string(s.res.peak_bytes);
+      if (s.res.hw_valid) {
+        out += ", \"cycles\": " + std::to_string(s.res.cycles) +
+               ", \"instructions\": " + std::to_string(s.res.instructions) +
+               ", \"cache_misses\": " + std::to_string(s.res.cache_misses) +
+               ", \"branch_misses\": " + std::to_string(s.res.branch_misses);
+      }
+    }
+    out += "}";
   }
   out += "\n],\n";
 

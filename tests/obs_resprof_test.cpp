@@ -1,0 +1,449 @@
+// Resource-attribution profiler tests: a brute-force oracle for the
+// allocation hooks, the nested peak-watermark contract, tier degradation,
+// span integration — and the zero-alloc gates this subsystem exists to
+// enforce: forward_fast, the forward_stats_batch workspace overload, the
+// reliability analyzer's workspace path and TrialEngine steady-state trials
+// must perform ZERO heap allocations, at 1, 2 and 8 threads.
+//
+// Every hook-dependent test skips when alloc_hooks_compiled() is false
+// (-DSPLICE_OBS=OFF or a sanitizer build, whose runtime owns new/delete).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "dataplane/network.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/resprof.h"
+#include "obs/span.h"
+#include "routing/multi_instance.h"
+#include "sim/trial_engine.h"
+#include "splicing/reliability.h"
+#include "topo/datasets.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+using obs::ResourceDelta;
+using obs::ResourceProfiler;
+using obs::ResourceScope;
+using obs::ResourceTier;
+
+class ResprofTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResourceProfiler::set_enabled(true); }
+  void TearDown() override {
+    ResourceProfiler::set_enabled(false);
+    obs::SpanCollector::global().reset();
+    obs::MetricsRegistry::set_enabled(false);
+  }
+
+  static bool hooks() { return obs::alloc_hooks_compiled(); }
+
+  // False under -DSPLICE_OBS=OFF, where set_enabled() is a no-op: tier
+  // tests skip there (the tier is contractually kOff in that build).
+  static bool profiler_on() { return ResourceProfiler::enabled(); }
+};
+
+// ---------------------------------------------------------------------------
+// Allocation-hook oracle.
+// ---------------------------------------------------------------------------
+
+TEST_F(ResprofTest, CountsExactlyTheAllocationsInTheRegion) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  constexpr int kAllocs = 50;
+  std::size_t requested = 0;
+  ResourceScope scope;
+  char* blocks[kAllocs];
+  for (int i = 0; i < kAllocs; ++i) {
+    const std::size_t size = static_cast<std::size_t>(i + 1) * 16;
+    blocks[i] = new char[size];
+    requested += size;
+  }
+  for (char* b : blocks) delete[] b;
+  const ResourceDelta d = scope.finish();
+  EXPECT_EQ(d.allocs, kAllocs);
+  EXPECT_EQ(d.frees, kAllocs);
+  // Usable size >= requested size; malloc rounds up, never down.
+  EXPECT_GE(d.alloc_bytes, static_cast<long long>(requested));
+  EXPECT_TRUE(d.any());
+}
+
+TEST_F(ResprofTest, EmptyRegionHasNoAllocDelta) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  ResourceScope scope;
+  const ResourceDelta d = scope.finish();
+  EXPECT_EQ(d.allocs, 0);
+  EXPECT_EQ(d.frees, 0);
+  EXPECT_EQ(d.alloc_bytes, 0);
+  EXPECT_EQ(d.peak_bytes, 0);
+}
+
+// The negative control behind every zero-alloc gate below: a region that
+// does allocate must be seen to allocate, so a deliberately inserted
+// allocation on a gated path fails its test rather than slipping through.
+TEST_F(ResprofTest, DetectsADeliberateAllocation) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  ResourceScope scope;
+  std::vector<int> v(100, 7);
+  const int sink = v[99];
+  const ResourceDelta d = scope.finish();
+  EXPECT_EQ(sink, 7);
+  EXPECT_GE(d.allocs, 1);
+  EXPECT_GE(d.alloc_bytes, static_cast<long long>(100 * sizeof(int)));
+}
+
+TEST_F(ResprofTest, NestedRegionsEachSeeTheirOwnPeak) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  constexpr std::size_t kBig = 1 << 20;
+  constexpr std::size_t kSmall = 2048;
+  ResourceScope outer;
+  {
+    char* big = new char[kBig];
+    big[0] = 1;
+    delete[] big;
+  }
+  ResourceScope inner;
+  {
+    char* small = new char[kSmall];
+    small[0] = 1;
+    delete[] small;
+  }
+  const ResourceDelta di = inner.finish();
+  const ResourceDelta douter = outer.finish();
+  // The inner region's peak reflects only its own allocation, not the
+  // 1 MiB the outer region saw before the inner mark opened.
+  EXPECT_GE(di.peak_bytes, static_cast<long long>(kSmall));
+  EXPECT_LT(di.peak_bytes, static_cast<long long>(kBig / 2));
+  // Closing the inner region restored the outer watermark.
+  EXPECT_GE(douter.peak_bytes, static_cast<long long>(kBig));
+}
+
+TEST_F(ResprofTest, CountersAreThreadLocal) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  ResourceDelta worker_delta;
+  std::thread t([&] {
+    ResourceProfiler::set_enabled(true);  // idempotent; fixture owns it
+    ResourceScope scope;
+    for (int i = 0; i < 1000; ++i) {
+      char* p = new char[64];
+      p[0] = 1;
+      delete[] p;
+    }
+    worker_delta = scope.finish();
+  });
+  t.join();
+  EXPECT_EQ(worker_delta.allocs, 1000);
+  EXPECT_EQ(worker_delta.frees, 1000);
+  // The worker's traffic never lands on this thread's counters.
+  ResourceScope scope;
+  const ResourceDelta here = scope.finish();
+  EXPECT_EQ(here.allocs, 0);
+}
+
+TEST_F(ResprofTest, DisabledProfilerRecordsNothing) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  ResourceProfiler::set_enabled(false);
+  ResourceScope scope;
+  char* p = new char[4096];
+  p[0] = 1;
+  delete[] p;
+  const ResourceDelta d = scope.finish();
+  EXPECT_EQ(d.allocs, 0);
+  EXPECT_EQ(d.alloc_bytes, 0);
+  EXPECT_FALSE(d.any());
+}
+
+// ---------------------------------------------------------------------------
+// Tier ladder.
+// ---------------------------------------------------------------------------
+
+TEST_F(ResprofTest, EnabledProfilerIsNeverOnTheOffTier) {
+  if (!profiler_on()) GTEST_SKIP() << "profiler compiled out (SPLICE_OBS=OFF)";
+  EXPECT_NE(ResourceProfiler::tier(), ResourceTier::kOff);
+  ResourceProfiler::set_enabled(false);
+  EXPECT_EQ(ResourceProfiler::tier(), ResourceTier::kOff);
+}
+
+TEST_F(ResprofTest, ForcedRusageTierDropsHardwareCounters) {
+  if (!profiler_on()) GTEST_SKIP() << "profiler compiled out (SPLICE_OBS=OFF)";
+  ASSERT_EQ(setenv("SPLICE_RESPROF_TIER", "rusage", 1), 0);
+  ResourceProfiler::reprobe_tier();
+  EXPECT_EQ(ResourceProfiler::tier(), ResourceTier::kRusage);
+  ResourceScope scope;
+  const ResourceDelta d = scope.finish();
+  EXPECT_FALSE(d.hw_valid);
+  EXPECT_EQ(d.cycles, 0);
+  ASSERT_EQ(unsetenv("SPLICE_RESPROF_TIER"), 0);
+  ResourceProfiler::reprobe_tier();
+  EXPECT_NE(ResourceProfiler::tier(), ResourceTier::kOff);
+}
+
+TEST_F(ResprofTest, ProcessResourcesAreAvailableOnEveryTier) {
+  const obs::ProcessResources pr = obs::capture_process_resources();
+  ASSERT_TRUE(pr.ok);
+  EXPECT_GT(pr.max_rss_bytes, 0);
+  EXPECT_GE(pr.user_seconds + pr.sys_seconds, 0.0);
+
+  // resource_report() is keyed to the profiler being enabled — which a
+  // SPLICE_OBS=OFF build never is; capture_process_resources() above works
+  // on every tier regardless.
+  if (!profiler_on()) return;
+  const auto rows = obs::resource_report();
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.front().first, "tier");
+  bool has_rss = false;
+  for (const auto& [k, v] : rows) has_rss |= k == "max_rss_bytes";
+  EXPECT_TRUE(has_rss);
+}
+
+// ---------------------------------------------------------------------------
+// Clock unification + span integration.
+// ---------------------------------------------------------------------------
+
+TEST_F(ResprofTest, GlobalClockSteersEveryTimestamp) {
+  obs::ManualClock manual;
+  obs::set_global_clock(&manual);
+  EXPECT_EQ(obs::clock_now_ns(), 0u);
+  manual.advance_ns(250);
+  EXPECT_EQ(obs::clock_now_ns(), 250u);
+  EXPECT_EQ(obs::global_clock().now_ns(), 250u);
+  obs::set_global_clock(nullptr);
+  // Monotonic clock restored: time moves again.
+  const std::uint64_t a = obs::clock_now_ns();
+  EXPECT_GT(a, 250u);
+}
+
+TEST_F(ResprofTest, SpansCarryResourceDeltas) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  obs::MetricsRegistry::set_enabled(true);
+  obs::SpanCollector::global().reset();
+  {
+    SPLICE_OBS_SPAN("resprof_test.alloc_phase");
+    char* p = new char[512];
+    p[0] = 1;
+    delete[] p;
+  }
+  const obs::SpanSnapshot snap = obs::SpanCollector::global().snapshot();
+  bool found = false;
+  for (const obs::SpanStat& s : snap.stats) {
+    if (s.path != "resprof_test.alloc_phase") continue;
+    found = true;
+    EXPECT_GE(s.res.allocs, 1);
+    EXPECT_GE(s.res.alloc_bytes, 512);
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-alloc gates.
+// ---------------------------------------------------------------------------
+
+struct GateEnv {
+  Graph g;
+  MultiInstanceRouting mir;
+  FibSet fibs;
+  DataPlaneNetwork net;
+  SplicedReliabilityAnalyzer analyzer;
+
+  explicit GateEnv(SliceId k = 5)
+      : g(topo::by_name("abilene")),
+        mir(g, ControlPlaneConfig{
+                   k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false}),
+        fibs(mir.build_fibs()),
+        net(g, fibs),
+        analyzer(g, mir) {}
+};
+
+std::vector<Packet> gate_packets(const Graph& g, SliceId k, int count) {
+  Rng rng(2026);
+  std::vector<Packet> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const auto n = static_cast<std::uint64_t>(g.node_count());
+  for (int i = 0; i < count; ++i) {
+    Packet p;
+    p.src = static_cast<NodeId>(rng.below(n));
+    p.dst = static_cast<NodeId>(rng.below(n));
+    if (i % 3 != 1) p.header = SpliceHeader::random(k, 20, rng);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<char> gate_mask(const Graph& g, double p_fail, Rng& rng) {
+  std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 1);
+  for (auto& m : mask) m = rng.uniform() < p_fail ? 0 : 1;
+  return mask;
+}
+
+TEST_F(ResprofTest, ForwardFastIsZeroAlloc) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  GateEnv env;
+  const std::vector<Packet> packets = gate_packets(env.g, 5, 64);
+  const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                LocalRecovery::kDeflect};
+  ForwardWorkspace ws;
+  // Warm-up grows the hop buffer and visit stamps to steady-state size.
+  for (const Packet& p : packets) {
+    (void)env.net.forward_fast(p, policy, ws);
+    (void)count_node_revisits(ws.hops, env.g.node_count(), ws);
+  }
+
+  ResourceScope scope;
+  int delivered = 0;
+  for (const Packet& p : packets) {
+    const ForwardSummary s = env.net.forward_fast(p, policy, ws);
+    delivered += s.delivered() ? 1 : 0;
+    (void)count_node_revisits(ws.hops, env.g.node_count(), ws);
+  }
+  const ResourceDelta d = scope.finish();
+  EXPECT_EQ(d.allocs, 0) << "forward_fast allocated on the hot path";
+  EXPECT_EQ(d.frees, 0);
+  EXPECT_GT(delivered, 0);
+
+  // forward_stats: the no-trace mode is equally clean.
+  ResourceScope stats_scope;
+  for (const Packet& p : packets) (void)env.net.forward_stats(p, policy);
+  EXPECT_EQ(stats_scope.finish().allocs, 0);
+}
+
+TEST_F(ResprofTest, ForwardStatsBatchWorkspaceOverloadIsZeroAlloc) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  GateEnv env;
+  const std::vector<Packet> packets = gate_packets(env.g, 5, 256);
+  const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                LocalRecovery::kDeflect};
+  std::vector<ForwardSummary> out(packets.size());
+  ForwardWorkspace ws;
+  env.net.forward_stats_batch(packets, policy, out, ws);  // grows scratch
+
+  ResourceScope scope;
+  for (int rep = 0; rep < 8; ++rep) {
+    env.net.forward_stats_batch(packets, policy, out, ws);
+  }
+  const ResourceDelta d = scope.finish();
+  EXPECT_EQ(d.allocs, 0) << "batch kernel allocated in steady state";
+  EXPECT_EQ(d.frees, 0);
+
+  // And the workspace results match the allocating overload bit-for-bit.
+  std::vector<ForwardSummary> plain(packets.size());
+  env.net.forward_stats_batch(packets, policy, plain);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(plain[i].outcome, out[i].outcome);
+    EXPECT_EQ(plain[i].hops, out[i].hops);
+    EXPECT_EQ(plain[i].cost, out[i].cost);
+    EXPECT_EQ(plain[i].deflected, out[i].deflected);
+  }
+}
+
+TEST_F(ResprofTest, ReliabilityAnalyzerWorkspacePathIsZeroAlloc) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  GateEnv env;
+  Rng rng(7);
+  const std::vector<char> mask = gate_mask(env.g, 0.2, rng);
+  ReachWorkspace ws;
+  (void)env.analyzer.disconnected_pairs(
+      5, mask, UnionSemantics::kUndirectedLinks, ws);  // warm-up
+
+  ResourceScope scope;
+  long long total = 0;
+  for (int rep = 0; rep < 8; ++rep) {
+    total += env.analyzer.disconnected_pairs(
+        5, mask, UnionSemantics::kUndirectedLinks, ws);
+    total += env.analyzer.disconnected_pairs(
+        3, mask, UnionSemantics::kDirectedForwarding, ws);
+  }
+  const ResourceDelta d = scope.finish();
+  EXPECT_EQ(d.allocs, 0) << "analyzer allocated with a warm workspace";
+  EXPECT_EQ(d.frees, 0);
+  EXPECT_GE(total, 0);
+}
+
+// TrialEngine: each worker's first trial may grow its scratch; every later
+// trial on that worker must allocate nothing. The per-trial delta is the
+// trial's *result*, so the engine's own bookkeeping (result vectors, the
+// scratch unique_ptr) stays outside the measured region.
+void run_trial_engine_gate(int threads) {
+  GateEnv env;
+  const std::vector<Packet> packets = gate_packets(env.g, 5, 128);
+  const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                LocalRecovery::kDeflect};
+  constexpr int kTrials = 48;
+
+  struct Scratch {
+    DataPlaneNetwork net;
+    std::vector<char> mask;
+    std::vector<ForwardSummary> out;
+    ForwardWorkspace fwd;
+    ReachWorkspace reach;
+  };
+  const TrialEngine<Scratch> engine(threads);
+  const std::vector<ResourceDelta> deltas =
+      engine.run<ResourceDelta>(
+          kTrials,
+          [&] {
+            ResourceProfiler::set_enabled(true);  // fresh worker threads
+            Scratch sc{env.net,
+                       std::vector<char>(
+                           static_cast<std::size_t>(env.g.edge_count()), 1),
+                       std::vector<ForwardSummary>(packets.size()),
+                       ForwardWorkspace{},
+                       ReachWorkspace{}};
+            // Warm the workspaces to steady-state capacity: batch scratch
+            // grows to the batch size, the BFS seen/stack buffers to the
+            // node count (a BFS never holds more than n entries, so this
+            // covers every mask a trial can draw).
+            const auto n =
+                static_cast<std::size_t>(env.g.node_count());
+            sc.reach.seen.reserve(n);
+            sc.reach.stack.reserve(n);
+            sc.net.forward_stats_batch(packets, policy, sc.out, sc.fwd);
+            (void)env.analyzer.disconnected_pairs(
+                5, sc.mask, UnionSemantics::kUndirectedLinks, sc.reach);
+            return sc;
+          },
+          [&](int trial, Scratch& sc) {
+            ResourceScope scope;
+            Rng rng(trial_substream_seed(99, static_cast<std::uint64_t>(
+                                                 trial)));
+            for (auto& m : sc.mask) m = rng.uniform() < 0.15 ? 0 : 1;
+            sc.net.set_link_mask(sc.mask);
+            sc.net.forward_stats_batch(packets, policy, sc.out, sc.fwd);
+            (void)env.analyzer.disconnected_pairs(
+                5, sc.mask, UnionSemantics::kUndirectedLinks, sc.reach);
+            return scope.finish();
+          });
+
+  ASSERT_EQ(deltas.size(), static_cast<std::size_t>(kTrials));
+  // With the factory warming every workspace, no trial — first or later —
+  // may touch the heap.
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_EQ(deltas[i].allocs, 0)
+        << "trial " << i << " allocated at threads=" << threads;
+    EXPECT_EQ(deltas[i].frees, 0)
+        << "trial " << i << " freed at threads=" << threads;
+  }
+}
+
+TEST_F(ResprofTest, TrialEngineSteadyStateIsZeroAllocAt1Thread) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  run_trial_engine_gate(1);
+}
+
+TEST_F(ResprofTest, TrialEngineSteadyStateIsZeroAllocAt2Threads) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  run_trial_engine_gate(2);
+}
+
+TEST_F(ResprofTest, TrialEngineSteadyStateIsZeroAllocAt8Threads) {
+  if (!hooks()) GTEST_SKIP() << "alloc hooks not compiled into this build";
+  run_trial_engine_gate(8);
+}
+
+}  // namespace
+}  // namespace splice

@@ -23,12 +23,20 @@
 //   splice_inspect diff BASELINE CURRENT [--tolerance=0.10] [--gate-time]
 //       scripts/perf_gate.py's comparison, self-contained: higher-better
 //       metrics (speedup/mhops/throughput/per_s) gate at tolerance, time
-//       metrics (ms/_ns/_us/wall/seconds) only with --gate-time, everything
-//       else must match exactly. Exit 1 on regression.
+//       metrics (ms/_ns/_us/wall/seconds) only with --gate-time, noisy
+//       resource metrics (rss/ipc/cache-miss/cycles/faults/alloc bytes)
+//       two-sided at tolerance, alloc *counts* and everything else must
+//       match exactly. Exit 1 on regression.
+//   splice_inspect profile FILE [--n=10] [--folded=PATH]
+//       resource-attribution report from a profiled RunReport (--metrics
+//       with --profile) or trace dump: top spans by self time, allocated
+//       bytes and cache misses; --folded also validates and summarizes a
+//       folded-stack flamegraph file (--profile=PATH output).
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -59,7 +67,12 @@ int usage() {
          "  replay --topo=.. --p=.. --trial=.. --k=.. --src=.. --dst=.. ...\n"
          "                                replay one recovery episode\n"
          "  diff BASE CURRENT [--tolerance=0.10] [--gate-time]\n"
-         "                                perf-gate two telemetry files\n";
+         "                                perf-gate two telemetry files\n"
+         "  profile FILE [--n=10] [--folded=PATH]\n"
+         "                                resource attribution: top spans by\n"
+         "                                self time / alloc bytes / cache\n"
+         "                                misses; --folded checks a\n"
+         "                                flamegraph file\n";
   return EXIT_FAILURE;
 }
 
@@ -581,7 +594,7 @@ int cmd_replay(const Flags& flags) {
 // diff — scripts/perf_gate.py's comparison, ported 1:1.
 // ---------------------------------------------------------------------------
 
-enum class MetricClass { kExact, kTime, kHigherBetter };
+enum class MetricClass { kExact, kTime, kHigherBetter, kNoisy };
 
 MetricClass classify(const std::string& name) {
   std::string low = name;
@@ -589,9 +602,21 @@ MetricClass classify(const std::string& name) {
     return static_cast<char>(std::tolower(c));
   });
   // Order matters: "Mhops_s" contains "hops" and "_s"; higher-better
-  // markers win over everything else.
+  // markers win over everything else. Allocation *counts* are exact — the
+  // zero-alloc paths must stay zero-alloc — while byte totals, hardware
+  // counters and process rusage wobble run-to-run, so they gate two-sided
+  // at tolerance (kNoisy) and must be classified before the time markers
+  // ("cpu_user_seconds" would otherwise read as TIME).
+  for (const char* m : {"allocs", "frees"}) {
+    if (low.find(m) != std::string::npos) return MetricClass::kExact;
+  }
   for (const char* m : {"speedup", "mhops", "throughput", "per_s"}) {
     if (low.find(m) != std::string::npos) return MetricClass::kHigherBetter;
+  }
+  for (const char* m : {"alloc_bytes", "heap_peak", "rss", "ipc",
+                        "cache_miss", "branch_miss", "cycles", "instruction",
+                        "fault", "cpu_user", "cpu_sys"}) {
+    if (low.find(m) != std::string::npos) return MetricClass::kNoisy;
   }
   for (const char* m : {"ms", "_ns", "_us", "wall", "seconds"}) {
     if (low.find(m) != std::string::npos) return MetricClass::kTime;
@@ -660,16 +685,40 @@ MetricMap flatten_run_report(const JsonValue& doc) {
     }
   }
   // Span counts vary with worker count and span times are wall-clock:
-  // only total_ns is diffable, as TIME.
+  // only total_ns is diffable, as TIME. Resource deltas from --profile are
+  // diffable too: alloc/free counts exactly (the zero-alloc contract),
+  // bytes and hardware counters as NOISY.
   if (const JsonValue* spans = doc.find("spans");
       spans != nullptr && spans->is_array()) {
     for (const JsonValue& span : spans->as_array()) {
       const JsonValue* p = span.find("path");
-      const JsonValue* t = span.find("total_ns");
-      if (p != nullptr && p->is_string() && t != nullptr) {
+      if (p == nullptr || !p->is_string()) continue;
+      if (const JsonValue* t = span.find("total_ns"); t != nullptr) {
         out["span:" + p->as_string() + ":total_ns"] = {MetricClass::kTime,
                                                        *t};
       }
+      for (const char* field :
+           {"allocs", "frees", "alloc_bytes", "heap_peak_bytes", "cycles",
+            "instructions", "cache_misses", "branch_misses", "ipc"}) {
+        if (const JsonValue* v = span.find(field); v != nullptr) {
+          out["span:" + p->as_string() + ":" + field] = {classify(field),
+                                                         *v};
+        }
+      }
+    }
+  }
+  // Process-wide rusage summary ("resources" block): numeric rows diff as
+  // NOISY, string rows (tier, alloc_hooks) are environment annotations and
+  // are skipped.
+  if (const JsonValue* res = doc.find("resources");
+      res != nullptr && res->is_object()) {
+    for (const auto& [name, value] : res->as_object()) {
+      if (!value.is_string()) continue;
+      const std::string& s = value.as_string();
+      char* end = nullptr;
+      const double v = std::strtod(s.c_str(), &end);
+      if (s.empty() || end != s.c_str() + s.size()) continue;
+      out["res:" + name] = {MetricClass::kNoisy, JsonValue::make_number(v)};
     }
   }
   return out;
@@ -749,6 +798,18 @@ int cmd_diff(const std::string& base_path, const std::string& cur_path,
       }
       continue;
     }
+    if (bm.cls == MetricClass::kNoisy) {
+      // Two-sided: a cache-miss or RSS drop this large is as suspicious as
+      // a rise — it usually means the workload changed, not that it got
+      // better.
+      if (b > 0 && (c > b * (1.0 + tolerance) || c < b * (1.0 - tolerance))) {
+        failures.push_back("DRIFTED  " + key + ": " + value_repr(bv) +
+                           " -> " + value_repr(cv) + " (" +
+                           fmt_double((c / b - 1.0) * 100.0, 1) + "% vs ±" +
+                           fmt_double(tolerance * 100.0, 0) + "%)");
+      }
+      continue;
+    }
     if (b > 0 && c < b * (1.0 - tolerance)) {
       failures.push_back("REGRESSED " + key + ": " + value_repr(bv) +
                          " -> " + value_repr(cv) + " (-" +
@@ -772,6 +833,232 @@ int cmd_diff(const std::string& base_path, const std::string& cur_path,
   return EXIT_SUCCESS;
 }
 
+// ---------------------------------------------------------------------------
+// profile — resource attribution from a profiled RunReport or trace dump.
+// ---------------------------------------------------------------------------
+
+struct ProfileRow {
+  std::string path;
+  long long count = 0;
+  long long total_ns = 0;
+  long long self_ns = 0;  ///< total_ns minus direct children's total_ns
+  long long allocs = 0;
+  long long frees = 0;
+  long long alloc_bytes = 0;
+  long long heap_peak = 0;
+  long long cycles = 0;
+  long long instructions = 0;
+  long long cache_misses = 0;
+  bool hw = false;
+  bool res = false;
+};
+
+long long json_int(const JsonValue& v) {
+  if (v.is_integer()) return v.as_int();
+  if (v.is_number()) return static_cast<long long>(v.as_double());
+  return 0;
+}
+
+/// Validates and summarizes a folded-stack file (`--profile=PATH` output):
+/// every line must be "frame;frame;... count". Prints the top-n stacks.
+int check_folded(const std::string& path, std::size_t n) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "profile: cannot read folded stacks: " << path << "\n";
+    return EXIT_FAILURE;
+  }
+  std::vector<std::pair<std::string, long long>> stacks;
+  long long total = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    char* end = nullptr;
+    const long long count =
+        space == std::string::npos
+            ? 0
+            : std::strtoll(line.c_str() + space + 1, &end, 10);
+    if (space == std::string::npos || space == 0 || count <= 0 ||
+        end != line.c_str() + line.size()) {
+      std::cerr << "profile: " << path << ":" << lineno
+                << ": not a \"stack count\" line: " << line << "\n";
+      return EXIT_FAILURE;
+    }
+    stacks.emplace_back(line.substr(0, space), count);
+    total += count;
+  }
+  if (stacks.empty()) {
+    std::cerr << "profile: " << path
+              << " holds no samples — was the sampler on (--profile-hz>0) "
+                 "and the run long enough?\n";
+    return EXIT_FAILURE;
+  }
+  std::stable_sort(stacks.begin(), stacks.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  std::cout << "\n-- sampled stacks (" << path << ": " << stacks.size()
+            << " stacks, " << total << " samples) --\n";
+  for (std::size_t i = 0; i < stacks.size() && i < n; ++i) {
+    const auto& [stack, count] = stacks[i];
+    // Print leaf-first: the hot frame is what the reader scans for.
+    std::string display = stack;
+    const std::size_t leaf = display.rfind(';');
+    if (leaf != std::string::npos) {
+      display = display.substr(leaf + 1) + "  [" +
+                display.substr(0, leaf) + "]";
+    }
+    std::cout << "  " << fmt_double(100.0 * static_cast<double>(count) /
+                                        static_cast<double>(total),
+                                    1)
+              << "%  " << count << "  " << display << "\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+int cmd_profile(const std::string& path, const Flags& flags) {
+  const auto doc = load_json(path);
+  if (!doc) return EXIT_FAILURE;
+  const JsonValue* spans = doc->find("spans");
+  if (spans == nullptr || !spans->is_array())
+    spans = doc->find("spliceSpans");
+  if (spans == nullptr || !spans->is_array()) {
+    std::cerr << "splice_inspect: " << path
+              << " carries no spans (write it with --metrics or --trace "
+                 "plus --profile)\n";
+    return EXIT_FAILURE;
+  }
+
+  std::vector<ProfileRow> rows;
+  std::map<std::string, std::size_t> index;
+  for (const JsonValue& s : spans->as_array()) {
+    ProfileRow r;
+    if (const JsonValue* v = s.find("path"); v != nullptr && v->is_string())
+      r.path = v->as_string();
+    const auto geti = [&](const char* key, long long& field) {
+      if (const JsonValue* v = s.find(key); v != nullptr && v->is_number()) {
+        field = json_int(*v);
+        return true;
+      }
+      return false;
+    };
+    geti("count", r.count);
+    geti("total_ns", r.total_ns);
+    r.res |= geti("allocs", r.allocs);
+    r.res |= geti("frees", r.frees);
+    r.res |= geti("alloc_bytes", r.alloc_bytes);
+    r.res |= geti("heap_peak_bytes", r.heap_peak);
+    r.hw |= geti("cycles", r.cycles);
+    r.hw |= geti("instructions", r.instructions);
+    r.hw |= geti("cache_misses", r.cache_misses);
+    r.self_ns = r.total_ns;
+    index[r.path] = rows.size();
+    rows.push_back(std::move(r));
+  }
+  // Self time: subtract each span's total from its parent ("a/b" rolls up
+  // into "a"). Paths are unique in both span tables, so one pass suffices.
+  for (const ProfileRow& r : rows) {
+    const std::size_t slash = r.path.rfind('/');
+    if (slash == std::string::npos) continue;
+    const auto parent = index.find(r.path.substr(0, slash));
+    if (parent != index.end()) rows[parent->second].self_ns -= r.total_ns;
+  }
+
+  const bool any_res =
+      std::any_of(rows.begin(), rows.end(),
+                  [](const ProfileRow& r) { return r.res; });
+  const bool any_hw = std::any_of(rows.begin(), rows.end(),
+                                  [](const ProfileRow& r) { return r.hw; });
+  if (!any_res) {
+    std::cerr << "splice_inspect: " << path
+              << " has spans but no resource deltas — was --profile on?\n";
+    return EXIT_FAILURE;
+  }
+
+  // Tier annotation (RunReport provenance carries it).
+  if (const JsonValue* prov = doc->find("provenance");
+      prov != nullptr && prov->is_object()) {
+    if (const JsonValue* tier = prov->find("resource_tier");
+        tier != nullptr && tier->is_string()) {
+      std::cout << "resource tier: " << tier->as_string() << "\n";
+    }
+  }
+
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 10));
+  const auto top = [&](const char* title,
+                       auto key, auto keep,
+                       const std::vector<std::string>& header,
+                       auto to_cells) {
+    std::vector<const ProfileRow*> picked;
+    for (const ProfileRow& r : rows)
+      if (keep(r)) picked.push_back(&r);
+    if (picked.empty()) return;
+    std::stable_sort(picked.begin(), picked.end(),
+                     [&](const ProfileRow* a, const ProfileRow* b) {
+                       return key(*a) > key(*b);
+                     });
+    if (picked.size() > n) picked.resize(n);
+    std::cout << "\n-- " << title << " --\n";
+    Table table(header);
+    for (const ProfileRow* r : picked) table.add_row(to_cells(*r));
+    table.print(std::cout);
+  };
+
+  top("hot spans (self time)",
+      [](const ProfileRow& r) { return r.self_ns; },
+      [](const ProfileRow& r) { return r.total_ns > 0; },
+      {"phase", "count", "self_ms", "total_ms"},
+      [](const ProfileRow& r) {
+        return std::vector<std::string>{
+            r.path, fmt_int(r.count),
+            fmt_double(static_cast<double>(r.self_ns) / 1e6, 3),
+            fmt_double(static_cast<double>(r.total_ns) / 1e6, 3)};
+      });
+  top("allocators (alloc bytes)",
+      [](const ProfileRow& r) { return r.alloc_bytes; },
+      [](const ProfileRow& r) {
+        return r.res && (r.allocs | r.frees | r.alloc_bytes) != 0;
+      },
+      {"phase", "allocs", "frees", "alloc_bytes", "heap_peak"},
+      [](const ProfileRow& r) {
+        return std::vector<std::string>{
+            r.path, fmt_int(r.allocs), fmt_int(r.frees),
+            fmt_int(r.alloc_bytes), fmt_int(r.heap_peak)};
+      });
+  if (any_hw) {
+    top("cache misses",
+        [](const ProfileRow& r) { return r.cache_misses; },
+        [](const ProfileRow& r) { return r.hw; },
+        {"phase", "cycles", "instructions", "cache_misses", "ipc"},
+        [](const ProfileRow& r) {
+          const double ipc =
+              r.cycles > 0 ? static_cast<double>(r.instructions) /
+                                 static_cast<double>(r.cycles)
+                           : 0.0;
+          return std::vector<std::string>{
+              r.path, fmt_int(r.cycles), fmt_int(r.instructions),
+              fmt_int(r.cache_misses), fmt_double(ipc, 2)};
+        });
+  }
+
+  // Process-wide rusage summary, when the file is a profiled RunReport.
+  if (const JsonValue* res = doc->find("resources");
+      res != nullptr && res->is_object() && !res->as_object().empty()) {
+    std::cout << "\n-- process --\n";
+    for (const auto& [k, v] : res->as_object()) {
+      if (v.is_string())
+        std::cout << "  " << k << " = " << v.as_string() << "\n";
+    }
+  }
+
+  if (const auto folded = flags.get("folded")) {
+    return check_folded(*folded, n);
+  }
+  return EXIT_SUCCESS;
+}
+
 int dispatch(const Flags& flags) {
   const auto& pos = flags.positional();
   if (pos.empty()) return usage();
@@ -783,6 +1070,8 @@ int dispatch(const Flags& flags) {
   if (cmd == "replay" && pos.size() == 1) return cmd_replay(flags);
   if (cmd == "diff" && pos.size() == 3)
     return cmd_diff(pos[1], pos[2], flags);
+  if (cmd == "profile" && pos.size() == 2)
+    return cmd_profile(pos[1], flags);
   return usage();
 }
 
