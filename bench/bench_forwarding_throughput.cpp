@@ -1,0 +1,450 @@
+// Batch forwarding throughput: the SoA wavefront kernel (scalar and AVX2
+// gather), and the destination-sharded pipeline, against the retired AoS
+// swap-remove kernel that forward_stats_batch shipped with before the SIMD
+// rework — kept here verbatim as the comparison baseline and oracle.
+//
+// Workload: the fig-5 Monte Carlo regime — per-trial Bernoulli link-failure
+// masks with §4.3 in-network deflection, deterministic packet batches from
+// the ScenarioBatchFeed (so every implementation forwards bit-identical
+// input). Two targets per run: the --topo topology (Sprint-52 by default,
+// FIBs cache-resident) and a synthetic sparse expander sized by
+// --expander_n, whose k forwarding tables dwarf the cache hierarchy so
+// every hop is a memory access — the regime where gather-based wavefronts
+// and per-shard FIB replicas pay off.
+//
+// Reported per implementation: wall ms, Mpkts/s, Mhops/s, Mlookups/s
+// (primary FIB loads: one per committed hop plus one per dead-end terminal
+// attempt; §4.3 deflection-scan loads are excluded since their count is
+// data-dependent), speedup vs the legacy AoS kernel, and an order-stable
+// checksum over (outcome, hops, deflected, cost bits) of every summary.
+// The bench FAILS if any implementation's checksum diverges — the same
+// bit-identity contract the differential tests enforce, self-gated here so
+// a perf number can never come from a wrong kernel.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "dataplane/flat_fibs.h"
+#include "obs/span.h"
+#include "dataplane/forward_kernel.h"
+#include "dataplane/network.h"
+#include "dataplane/shard_pipeline.h"
+#include "graph/generators.h"
+#include "routing/multi_instance.h"
+#include "sim/batch_feed.h"
+
+namespace splice {
+namespace {
+
+struct Env {
+  Env(Graph graph, SliceId k)
+      : g(std::move(graph)),
+        mir(g, ControlPlaneConfig{
+                   k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false}),
+        fibs(mir.build_fibs()),
+        net(g, fibs) {}
+
+  Graph g;
+  MultiInstanceRouting mir;
+  FibSet fibs;
+  DataPlaneNetwork net;
+};
+
+// ---------------------------------------------------------------------------
+// Legacy AoS wavefront kernel (pre-SIMD forward_stats_batch), verbatim.
+// ---------------------------------------------------------------------------
+
+/// Per-packet in-flight state of the retired AoS batch kernel.
+struct Walk {
+  std::uint64_t bits_lo;
+  std::uint64_t bits_hi;
+  ForwardSummary sum;
+  CounterHeader counter;
+  std::uint32_t idx;
+  std::uint32_t hdr_mask;
+  NodeId node;
+  NodeId dst;
+  SliceId current;
+  SliceId def;
+  std::int32_t ttl;
+  std::int32_t bits_left;
+  std::int32_t hdr_bpp;
+};
+
+/// The AoS swap-remove sweep exactly as DataPlaneNetwork::forward_stats_batch
+/// ran it before the SoA/SIMD kernel: one interleaved Walk record per packet,
+/// finished walks swap-removed mid-sweep.
+void legacy_forward_stats_batch(const DataPlaneNetwork& net,
+                                const FlatFibs& flat,
+                                std::span<const Weight> weight,
+                                std::span<const Packet> packets,
+                                const ForwardingPolicy& policy,
+                                std::span<ForwardSummary> out,
+                                std::vector<Walk>& walks) {
+  const SliceId k = flat.slice_count();
+  const char* alive = net.link_mask().data();
+
+  if (walks.size() < packets.size()) walks.resize(packets.size());
+  std::size_t n_walks = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const Packet& p = packets[i];
+    if (p.src == p.dst) {
+      out[i] = ForwardSummary{};
+      out[i].outcome = ForwardOutcome::kDelivered;
+      continue;
+    }
+    Walk w;
+    w.bits_lo = p.header.stream().lo();
+    w.bits_hi = p.header.stream().hi();
+    w.sum = ForwardSummary{};
+    w.counter = p.counter;
+    w.idx = static_cast<std::uint32_t>(i);
+    w.hdr_bpp = bits_per_hop(p.header.slice_count());
+    w.hdr_mask = w.hdr_bpp > 0 ? ((1u << w.hdr_bpp) - 1u) : 0u;
+    w.bits_left = p.header.slice_count() > 1 ? p.header.remaining_hops() : 0;
+    w.def = net.default_slice(p.src, p.dst);
+    w.current = w.def;
+    w.node = p.src;
+    w.dst = p.dst;
+    w.ttl = p.ttl;
+    walks[n_walks++] = w;
+  }
+
+  std::size_t live = n_walks;
+  while (live > 0) {
+    for (std::size_t j = 0; j < live;) {
+      Walk& w = walks[j];
+      bool terminal = false;
+      if (w.ttl-- <= 0) {
+        w.sum.outcome = ForwardOutcome::kTtlExpired;
+        terminal = true;
+      } else {
+        SliceId slice = w.current;
+        if (w.bits_left > 0) {
+          --w.bits_left;
+          const std::uint32_t raw =
+              static_cast<std::uint32_t>(w.bits_lo) & w.hdr_mask;
+          w.bits_lo =
+              (w.bits_lo >> w.hdr_bpp) | (w.bits_hi << (64 - w.hdr_bpp));
+          w.bits_hi >>= w.hdr_bpp;
+          slice = flat.reduce_slice(raw);
+        } else if (policy.exhaust == ExhaustPolicy::kHashDefault) {
+          slice = w.def;
+        }
+        if (w.counter.active()) slice = w.counter.deflect(slice, k);
+
+        const std::size_t cell = flat.cell(w.node, w.dst);
+        FibEntry entry = flat.at(slice, cell);
+        bool deflected = false;
+        const bool usable =
+            entry.valid() && alive[static_cast<std::size_t>(entry.edge)] != 0;
+        if (!usable) {
+          if (policy.local_recovery == LocalRecovery::kDeflect) {
+            for (SliceId s = 0; s < k && !deflected; ++s) {
+              if (s == slice) continue;
+              const FibEntry alt = flat.at(s, cell);
+              if (alt.valid() &&
+                  alive[static_cast<std::size_t>(alt.edge)] != 0) {
+                entry = alt;
+                slice = s;
+                deflected = true;
+              }
+            }
+          }
+          if (!deflected) {
+            w.sum.outcome = ForwardOutcome::kDeadEnd;
+            terminal = true;
+          }
+        }
+        if (!terminal) {
+          ++w.sum.hops;
+          w.sum.cost += weight[static_cast<std::size_t>(entry.edge)];
+          w.sum.deflected = w.sum.deflected || deflected;
+          w.node = entry.next_hop;
+          w.current = slice;
+          if (w.node == w.dst) {
+            w.sum.outcome = ForwardOutcome::kDelivered;
+            terminal = true;
+          }
+        }
+      }
+      if (terminal) {
+        out[w.idx] = w.sum;
+        walks[j] = walks[--live];
+      } else {
+        ++j;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over every summary's (outcome, hops, deflected, cost bits) in
+/// packet order; equal across implementations iff the sweeps are
+/// bit-identical (doubles are hashed by representation, not compared with
+/// a tolerance).
+std::uint64_t sweep_checksum(std::uint64_t h,
+                             std::span<const ForwardSummary> out) {
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const ForwardSummary& s : out) {
+    std::uint64_t cost_bits;
+    std::memcpy(&cost_bits, &s.cost, sizeof cost_bits);
+    mix(static_cast<std::uint64_t>(s.outcome));
+    mix(static_cast<std::uint64_t>(s.hops));
+    mix(s.deflected ? 1 : 0);
+    mix(cost_bits);
+  }
+  return h;
+}
+
+struct SweepResult {
+  double ms = 0.0;
+  long long packets = 0;
+  long long hops = 0;
+  long long dead_ends = 0;
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+/// One pre-generated trial: its failure mask and packet batch.
+struct Trial {
+  std::vector<char> mask;
+  std::vector<Packet> packets;
+};
+
+/// Runs `reps` full passes over the trial set and keeps the fastest pass
+/// (per-rep work is identical, so min-of-reps cuts scheduler noise on
+/// shared machines; work counters and the checksum cover one pass).
+/// set_mask installs a trial's liveness mask into whichever object owns it
+/// (network or pipeline); forward runs the implementation under test into
+/// `out`.
+template <typename SetMask, typename Forward>
+SweepResult time_sweep(const std::vector<Trial>& trials, int reps,
+                       std::vector<ForwardSummary>& out, SetMask&& set_mask,
+                       Forward&& forward) {
+  SweepResult r;
+  for (int rep = 0; rep < reps; ++rep) {
+    const bench::Stopwatch clock;
+    for (const Trial& t : trials) {
+      set_mask(t.mask);
+      forward(std::span<const Packet>(t.packets),
+              std::span<ForwardSummary>(out.data(), t.packets.size()));
+    }
+    const double ms = clock.elapsed_ms();
+    if (rep == 0 || ms < r.ms) r.ms = ms;
+    if (rep > 0) continue;
+    // Work counters and checksum from the first pass only — every pass
+    // forwards identical input, so totals are per-pass by construction.
+    for (const Trial& t : trials) {
+      set_mask(t.mask);
+      const std::span<ForwardSummary> span(out.data(), t.packets.size());
+      forward(std::span<const Packet>(t.packets), span);
+      r.checksum = sweep_checksum(r.checksum, span);
+      r.packets += static_cast<long long>(t.packets.size());
+      for (const ForwardSummary& s : span) {
+        r.hops += s.hops;
+        if (s.outcome == ForwardOutcome::kDeadEnd) ++r.dead_ends;
+      }
+    }
+  }
+  return r;
+}
+
+int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
+  bench::obs_from_flags(flags);
+  const auto k = static_cast<SliceId>(flags.get_int("k", 5));
+  const int packets = static_cast<int>(flags.get_int("packets", 4096));
+  const int trials = static_cast<int>(flags.get_int("trials", 8));
+  const int reps = static_cast<int>(flags.get_int("reps", 5));
+  const double p_fail = flags.get_double("fail", 0.05);
+  const double counter_frac = flags.get_double("counter-frac", 0.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  const int expander_n = static_cast<int>(flags.get_int("expander_n", 900));
+  const int workers = static_cast<int>(flags.get_int("pipe-workers", 2));
+
+  bench::banner("Batch forwarding throughput",
+                "Algorithm 1 hot loop — SoA wavefront + AVX2 gather kernel "
+                "and destination-sharded pipeline vs the retired AoS kernel");
+  const bool have_avx2 = fwdk::kernel_supported(fwdk::Kernel::kAvx2);
+  std::cout << "kernels: scalar"
+            << (have_avx2 ? ", avx2 (runtime-dispatch supported)"
+                          : " only (no AVX2 at runtime — avx2 rows skipped)")
+            << "; pipeline workers=" << workers << "\n\n";
+
+  const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                LocalRecovery::kDeflect};
+  Table table({"config", "impl", "ms", "Mpkts_per_s", "Mhops_per_s",
+               "Mlookups_per_s", "speedup", "checksum"});
+  const bench::Stopwatch wall;
+  bool identical = true;
+  std::string params;
+
+  const auto run_target = [&](const std::string& name, Env& env) {
+    // Deterministic per-trial batches: identical input for every
+    // implementation, independent of which one consumes it.
+    BatchFeedConfig feed;
+    feed.packets_per_trial = packets;
+    feed.header_k = k;
+    feed.failure_p = p_fail;
+    feed.counter_fraction = counter_frac;
+    std::vector<Trial> batch(static_cast<std::size_t>(trials));
+    for (int t = 0; t < trials; ++t) {
+      auto& trial = batch[static_cast<std::size_t>(t)];
+      fill_trial_batch(env.g, feed, seed, t, trial.mask, trial.packets);
+    }
+
+    const FlatFibs flat(env.fibs);
+    std::vector<Weight> weight(static_cast<std::size_t>(env.g.edge_count()));
+    for (EdgeId e = 0; e < env.g.edge_count(); ++e) {
+      weight[static_cast<std::size_t>(e)] = env.g.edge(e).weight;
+    }
+    std::vector<ForwardSummary> out(static_cast<std::size_t>(packets));
+    std::vector<Walk> walks;
+    ForwardWorkspace ws;
+
+    const auto net_mask = [&](const std::vector<char>& m) {
+      env.net.set_link_mask(m);
+    };
+
+    // Warm pass (untimed): grows every workspace to its steady-state size
+    // and faults the FIB pages in, so the timed passes measure forwarding,
+    // not first-touch costs.
+    legacy_forward_stats_batch(env.net, flat, weight, batch[0].packets,
+                               policy, out, walks);
+    env.net.forward_stats_batch(batch[0].packets, policy, out, ws);
+
+    // Each implementation's timed sweep runs under a phase span, so a
+    // --profile run attributes per-impl resources (allocs for the
+    // zero-alloc contract, IPC / cache misses on the perf tier — the
+    // per-hop budgets check.sh --profile-smoke gates, normalized by the
+    // deterministic hop totals in the table).
+    const SweepResult legacy = [&] {
+      SPLICE_OBS_SPAN("fwd_bench.legacy_aos");
+      return time_sweep(
+          batch, reps, out, net_mask,
+          [&](std::span<const Packet> p, std::span<ForwardSummary> o) {
+            legacy_forward_stats_batch(env.net, flat, weight, p, policy, o,
+                                       walks);
+          });
+    }();
+    const SweepResult scalar = [&] {
+      SPLICE_OBS_SPAN("fwd_bench.scalar");
+      return time_sweep(
+          batch, reps, out, net_mask,
+          [&](std::span<const Packet> p, std::span<ForwardSummary> o) {
+            env.net.forward_stats_batch(p, policy, o, ws,
+                                        fwdk::Kernel::kScalar);
+          });
+    }();
+    SweepResult avx2;
+    if (have_avx2) {
+      avx2 = [&] {
+        SPLICE_OBS_SPAN("fwd_bench.avx2");
+        return time_sweep(
+            batch, reps, out, net_mask,
+            [&](std::span<const Packet> p, std::span<ForwardSummary> o) {
+              env.net.forward_stats_batch(p, policy, o, ws,
+                                          fwdk::Kernel::kAvx2);
+            });
+      }();
+    }
+    // Pipeline construction (worker spawn + per-shard replica build) is a
+    // per-scenario-sweep cost, excluded like the FIB build itself; one warm
+    // batch faults the replicas in.
+    ShardPipeline pipe(env.net, workers, fwdk::active_kernel());
+    pipe.forward_stats_batch(batch[0].packets, policy,
+                             {out.data(), batch[0].packets.size()});
+    const SweepResult piped = [&] {
+      SPLICE_OBS_SPAN("fwd_bench.pipeline");
+      return time_sweep(
+          batch, reps, out,
+          [&](const std::vector<char>& m) { pipe.set_link_mask(m); },
+          [&](std::span<const Packet> p, std::span<ForwardSummary> o) {
+            pipe.forward_stats_batch(p, policy, o);
+          });
+    }();
+
+    const auto add_row = [&](const std::string& impl, const SweepResult& r) {
+      if (r.checksum != legacy.checksum || r.hops != legacy.hops) {
+        std::cerr << "FATAL: " << name << "/" << impl
+                  << " diverges from the legacy AoS kernel (checksum "
+                  << std::hex << r.checksum << " vs " << legacy.checksum
+                  << std::dec << ")\n";
+        identical = false;
+      }
+      // Primary FIB loads: one per committed hop, one per dead-end
+      // terminal attempt (deflection-scan loads excluded, see header).
+      const double lookups = static_cast<double>(r.hops + r.dead_ends);
+      char sum[24];
+      std::snprintf(sum, sizeof sum, "x%016llx",
+                    static_cast<unsigned long long>(r.checksum));
+      table.add_row({name, impl, fmt_double(r.ms, 3),
+                     fmt_double(static_cast<double>(r.packets) / r.ms / 1e3, 3),
+                     fmt_double(static_cast<double>(r.hops) / r.ms / 1e3, 2),
+                     fmt_double(lookups / r.ms / 1e3, 2),
+                     fmt_double(legacy.ms / r.ms, 2), sum});
+    };
+    add_row("legacy_aos", legacy);
+    add_row("scalar", scalar);
+    if (have_avx2) add_row("avx2", avx2);
+    add_row("pipeline_w" + std::to_string(pipe.worker_count()), piped);
+
+    params += (params.empty() ? "" : " ") + name +
+              "_n=" + std::to_string(env.g.node_count()) +
+              " " + name + "_links=" + std::to_string(env.g.edge_count());
+  };
+
+  const std::string topo_name = flags.get_string("topo", "sprint");
+  if (topo_name != "none") {  // --topo none: expander-only run
+    Env topo_env(bench::load_topology_flag(flags), k);
+    run_target(topo_name, topo_env);
+  }
+
+  // Sparse expander whose k FIB tables exceed the cache hierarchy: the
+  // memory-bound regime the gather kernel and sharded replicas target.
+  Graph big = erdos_renyi(static_cast<NodeId>(expander_n),
+                          5.0 / std::max(1, expander_n - 1), seed ^ 0xb16ULL);
+  make_connected(big, seed ^ 0xb17ULL);
+  Env expander_env(std::move(big), k);
+  run_target("expander", expander_env);
+
+  if (!identical) return EXIT_FAILURE;
+
+  bench::BenchMeta meta;
+  meta.bench = "bench_forwarding_throughput";
+  meta.topo = flags.get_string("topo", "sprint");
+  meta.params = "k=" + std::to_string(k) +
+                " packets=" + std::to_string(packets) +
+                " trials=" + std::to_string(trials) +
+                " reps=" + std::to_string(reps) + " fail=" +
+                fmt_double(p_fail, 2) + " workers=" + std::to_string(workers) +
+                " " + params;
+  meta.wall_ms = wall.elapsed_ms();
+  bench::emit(flags, table, meta);
+  std::cout << "\nreading: Mlookups_per_s counts primary per-hop FIB loads; "
+               "speedup is wall-time vs the legacy AoS kernel on identical "
+               "batches (checksum column proves bit-identity). "
+               "SPLICE_FORWARD_KERNEL=scalar|avx2 pins the dispatched "
+               "kernel process-wide; this bench pins per row explicitly.\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

@@ -6,15 +6,36 @@
 // contract checks (the view is validated once at construction). It also
 // precomputes the slice-selection reduction of Algorithm 1: when k is a
 // power of two, the defensive `raw % k` on popped forwarding bits becomes a
-// mask, removing the per-hop integer division.
+// mask; otherwise a precomputed Lemire multiply-shift constant replaces the
+// per-hop integer division with two multiplies (exact for every 32-bit raw
+// value — see fastmod_u32 below).
 //
 // FlatFibs is a non-owning view: the FibSet it was built from must outlive
 // it (DataPlaneNetwork already imposes the same lifetime rule on its FibSet).
 #pragma once
 
+#include <cstdint>
+
 #include "routing/fib.h"
 
 namespace splice {
+
+/// Lemire fast-mod magic for divisor d >= 1: ceil(2^64 / d), wrapped to 0
+/// for d == 1 (where every remainder is 0 and fastmod_u32 still returns 0).
+constexpr std::uint64_t fastmod_magic(std::uint32_t d) noexcept {
+  return UINT64_MAX / d + 1;
+}
+
+/// a % d via the precomputed magic: exact for all 32-bit a and d >= 1
+/// (Lemire & Kaser, "Faster Remainder by Direct Computation", 2019). The
+/// low 64 bits of magic * a hold the fractional part of a/d scaled by 2^64;
+/// multiplying by d and taking the high half recovers the remainder.
+constexpr std::uint32_t fastmod_u32(std::uint32_t a, std::uint64_t magic,
+                                    std::uint32_t d) noexcept {
+  const std::uint64_t lowbits = magic * a;
+  return static_cast<std::uint32_t>(
+      (static_cast<unsigned __int128>(lowbits) * d) >> 64);
+}
 
 class FlatFibs {
  public:
@@ -26,6 +47,8 @@ class FlatFibs {
         slices_(fibs.slice_count()),
         slice_stride_(static_cast<std::size_t>(fibs.node_count()) *
                       static_cast<std::size_t>(fibs.node_count())),
+        mod_magic_(fastmod_magic(
+            static_cast<std::uint32_t>(fibs.slice_count()))),
         pow2_mask_(static_cast<std::uint32_t>(fibs.slice_count() - 1)),
         slices_pow2_((fibs.slice_count() &
                       (fibs.slice_count() - 1)) == 0) {
@@ -48,19 +71,29 @@ class FlatFibs {
   }
 
   /// Reduces a raw popped bit value to a slice index: `raw % k`, with the
-  /// division replaced by a mask when k is a power of two (identical value).
+  /// division replaced by a mask when k is a power of two and by the
+  /// Lemire multiply-shift otherwise (identical value either way).
   SliceId reduce_slice(std::uint32_t raw) const noexcept {
     return slices_pow2_
                ? static_cast<SliceId>(raw & pow2_mask_)
-               : static_cast<SliceId>(raw %
-                                      static_cast<std::uint32_t>(slices_));
+               : static_cast<SliceId>(fastmod_u32(
+                     raw, mod_magic_,
+                     static_cast<std::uint32_t>(slices_)));
   }
+
+  /// Raw geometry for the batch kernel's FibView.
+  const FibEntry* entries() const noexcept { return entries_; }
+  std::size_t slice_stride() const noexcept { return slice_stride_; }
+  bool slices_pow2() const noexcept { return slices_pow2_; }
+  std::uint32_t pow2_mask() const noexcept { return pow2_mask_; }
+  std::uint64_t mod_magic() const noexcept { return mod_magic_; }
 
  private:
   const FibEntry* entries_ = nullptr;
   NodeId nodes_ = 0;
   SliceId slices_ = 1;
   std::size_t slice_stride_ = 0;
+  std::uint64_t mod_magic_ = 0;
   std::uint32_t pow2_mask_ = 0;
   bool slices_pow2_ = true;
 };

@@ -1,0 +1,751 @@
+#include "dataplane/forward_kernel.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "dataplane/flat_fibs.h"
+
+// AVX2 availability is decided here, not by the project's -march (which
+// stays at the x86-64 baseline): the vector bodies carry function-level
+// target("avx2") attributes and are only ever called after a CPUID check.
+// -DSPLICE_FORWARD_AVX2=0 (CMake option SPLICE_FORWARD_AVX2=OFF) compiles
+// them out entirely — the no-AVX2 CI leg builds that way to prove the
+// scalar fallback is self-sufficient.
+#ifndef SPLICE_FORWARD_AVX2
+#define SPLICE_FORWARD_AVX2 1
+#endif
+#if SPLICE_FORWARD_AVX2 && defined(__x86_64__) && defined(__GNUC__)
+#define SPLICE_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#else
+#define SPLICE_HAVE_AVX2_KERNEL 0
+#endif
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace splice::fwdk {
+
+void advise_hugepages(const void* data, std::size_t bytes) noexcept {
+#if defined(__linux__)
+#ifndef MADV_COLLAPSE
+#define MADV_COLLAPSE 25
+#endif
+  constexpr std::uintptr_t kPage = 4096;
+  const auto addr = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t lo = (addr + kPage - 1) & ~(kPage - 1);
+  const std::uintptr_t hi = (addr + bytes) & ~(kPage - 1);
+  if (hi > lo) {
+    void* base = reinterpret_cast<void*>(lo);
+    (void)madvise(base, hi - lo, MADV_HUGEPAGE);
+    (void)madvise(base, hi - lo, MADV_COLLAPSE);
+  }
+#else
+  (void)data;
+  (void)bytes;
+#endif
+}
+
+namespace {
+
+/// Replicates FlatFibs::reduce_slice for a kernel FibView.
+inline SliceId reduce_slice(const FibView& f, std::uint32_t raw) noexcept {
+  return f.k_pow2
+             ? static_cast<SliceId>(raw & f.k_mask)
+             : static_cast<SliceId>(fastmod_u32(
+                   raw, f.mod_magic, static_cast<std::uint32_t>(f.k)));
+}
+
+/// Writes lane j's summary to its output slot.
+inline void finish_lane(const BatchLanes& L, std::size_t j,
+                        ForwardOutcome outcome,
+                        std::span<ForwardSummary> out) noexcept {
+  ForwardSummary& s = out[L.idx[j]];
+  s.outcome = outcome;
+  s.hops = L.hops[j];
+  s.cost = L.cost[j];
+  s.deflected = L.deflected[j] != 0;
+}
+
+/// resolve_lane's L.nslice sentinel for "TTL expired before the hop" (real
+/// slices are non-negative).
+inline constexpr std::int32_t kStagedExpired = -1;
+
+/// Phase 1a of the per-hop semantics: TTL decrement, header bit-pop, slice
+/// reduction, counter deflection, and the flat-index computation for the
+/// primary FIB load. The staged slice lands in L.nslice[j] (kStagedExpired
+/// when the TTL ran out first — then nothing is popped, exactly the early
+/// return of the fused reference, and the index parks on cell 0 so the
+/// gather loop stays in bounds), the flat index in L.fidx[j].
+///
+/// Deliberately free of FIB accesses: sweep_scalar runs this resolve loop,
+/// then the two-instruction gather loop (phase 1b), then the commit loop
+/// (phase 2). Each lane's FIB address depends only on last sweep's state,
+/// so the gather loop's loads are mutually independent — and at ~5 uops
+/// per lane the out-of-order window spans dozens of them, keeping a line-
+/// fill-buffer's worth of cache misses in flight. Fused into the
+/// ~100-instruction single-loop hop body the window reaches two or three
+/// lanes and a DRAM-resident FIB costs one full memory latency per hop;
+/// even fused with just this resolve half (~45 instructions) it reaches
+/// four or five.
+__attribute__((always_inline)) inline void resolve_lane(
+    const FibView& f, const ForwardingPolicy& policy, BatchLanes& L,
+    std::size_t j) noexcept {
+  if (L.ttl[j]-- <= 0) {
+    L.nslice[j] = kStagedExpired;
+    L.fidx[j] = 0;
+    return;
+  }
+  SliceId slice = static_cast<SliceId>(L.cur[j]);
+  if (L.bits_left[j] > 0) {
+    --L.bits_left[j];
+    const std::uint32_t raw =
+        static_cast<std::uint32_t>(L.bits_lo[j]) & L.mask[j];
+    const int bpp = static_cast<int>(L.bpp[j]);
+    L.bits_lo[j] = (L.bits_lo[j] >> bpp) | (L.bits_hi[j] << (64 - bpp));
+    L.bits_hi[j] >>= bpp;
+    slice = reduce_slice(f, raw);
+  } else if (policy.exhaust == ExhaustPolicy::kHashDefault) {
+    slice = static_cast<SliceId>(L.def[j]);
+  }
+  // Counter-based deflection (§5): CounterHeader::deflect semantics — a
+  // non-zero counter overrides the slice deterministically and decrements,
+  // except when k == 1 (nothing to deflect to; the counter is untouched).
+  if (L.counter[j] > 0 && f.k > 1) {
+    const SliceId offset =
+        static_cast<SliceId>(L.counter[j] %
+                             static_cast<std::uint32_t>(f.k - 1)) +
+        1;
+    --L.counter[j];
+    slice = static_cast<SliceId>((slice + offset) % f.k);
+  }
+  L.nslice[j] = slice;
+  L.fidx[j] = static_cast<std::uint64_t>(slice) * f.slice_stride +
+              static_cast<std::size_t>(L.node[j]) * f.row_stride +
+              static_cast<std::size_t>(L.dst_col[j]);
+}
+
+/// Phase 2: liveness test, §4.3 deflection scan, summary accumulation and
+/// the hop commit, consuming lane j's staged slice and entry. Returns true
+/// while the walk is still in flight; on termination the summary lands in
+/// out[L.idx[j]].
+__attribute__((always_inline)) inline bool commit_lane(
+    const FibView& f, const ForwardingPolicy& policy, BatchLanes& L,
+    std::size_t j, std::span<ForwardSummary> out) noexcept {
+  if (L.nslice[j] == kStagedExpired) {
+    finish_lane(L, j, ForwardOutcome::kTtlExpired, out);
+    return false;
+  }
+  SliceId slice = static_cast<SliceId>(L.nslice[j]);
+  // L.node is not updated until the commit below, so the cell recomputed
+  // here is the one the gather loop loaded from.
+  const std::size_t cell =
+      static_cast<std::size_t>(L.node[j]) * f.row_stride +
+      static_cast<std::size_t>(L.dst_col[j]);
+  FibEntry entry = L.ent[j];
+  bool deflected = false;
+  const bool usable =
+      entry.valid() && f.alive[static_cast<std::size_t>(entry.edge)] != 0;
+  if (!usable) {
+    if (policy.local_recovery == LocalRecovery::kDeflect) {
+      // Network-based recovery (§4.3): scan the other forwarding tables
+      // for a next hop whose incident link is alive. (sweep_scalar's
+      // pre-scan loop has already issued these cells as overlapping
+      // demand loads when the FIB is not cache-resident.)
+      for (SliceId s = 0; s < f.k && !deflected; ++s) {
+        if (s == slice) continue;
+        const FibEntry alt =
+            f.entries[static_cast<std::size_t>(s) * f.slice_stride + cell];
+        if (alt.valid() &&
+            f.alive[static_cast<std::size_t>(alt.edge)] != 0) {
+          entry = alt;
+          slice = s;
+          deflected = true;
+        }
+      }
+    }
+    if (!deflected) {
+      finish_lane(L, j, ForwardOutcome::kDeadEnd, out);
+      return false;
+    }
+  }
+
+  ++L.hops[j];
+  L.cost[j] += f.weight[static_cast<std::size_t>(entry.edge)];
+  L.deflected[j] = static_cast<std::uint8_t>(L.deflected[j] | deflected);
+  L.node[j] = entry.next_hop;
+  L.cur[j] = slice;
+  if (entry.next_hop == L.dst[j]) {
+    finish_lane(L, j, ForwardOutcome::kDelivered, out);
+    return false;
+  }
+  return true;
+}
+
+/// Moves lane `from` into slot `to` (swap-remove compaction step).
+inline void move_lane(BatchLanes& L, std::size_t from, std::size_t to) noexcept {
+  L.bits_lo[to] = L.bits_lo[from];
+  L.bits_hi[to] = L.bits_hi[from];
+  L.node[to] = L.node[from];
+  L.dst[to] = L.dst[from];
+  L.dst_col[to] = L.dst_col[from];
+  L.cur[to] = L.cur[from];
+  L.def[to] = L.def[from];
+  L.ttl[to] = L.ttl[from];
+  L.bits_left[to] = L.bits_left[from];
+  L.hops[to] = L.hops[from];
+  L.bpp[to] = L.bpp[from];
+  L.mask[to] = L.mask[from];
+  L.counter[to] = L.counter[from];
+  L.idx[to] = L.idx[from];
+  L.cost[to] = L.cost[from];
+  L.deflected[to] = L.deflected[from];
+  L.ent[to] = L.ent[from];
+  L.nslice[to] = L.nslice[from];
+}
+
+/// Phase 1b, shared by the scalar and AVX2 sweeps: the FIB gather over the
+/// resolved flat indices, then the dead-entry pre-scan.
+///
+/// The gather is the hot loop of the whole kernel and it is deliberately
+/// three instructions per lane: every lane's address is already sitting in
+/// L.fidx, the loads are mutually independent, and at this size the
+/// out-of-order window spans dozens of them — a line-fill-buffer's worth
+/// of cache misses stays in flight, so a DRAM-resident FIB costs ~one
+/// memory latency per ~dozen hops instead of one per hop.
+///
+/// The pre-scan covers the §4.3 deflection path: lanes whose staged entry
+/// is invalid or points at a dead link will re-read the same cell in up to
+/// k-1 other slices, walked by a dependent loop in commit. Issue those
+/// cells here as overlapping demand loads, across all dead lanes at once.
+/// Volatile because a prefetcht0 that misses the dTLB is dropped by the
+/// hardware, and on the non-cache-resident FIBs this gate selects nearly
+/// every access misses the dTLB.
+void stage_gather(const FibView& f, const ForwardingPolicy& policy,
+                  BatchLanes& L, std::size_t live_n) {
+  {
+    const FibEntry* __restrict entries = f.entries;
+    const std::uint64_t* __restrict fidx = L.fidx.data();
+    FibEntry* __restrict ent = L.ent.data();
+    for (std::size_t j = 0; j < live_n; ++j) ent[j] = entries[fidx[j]];
+  }
+  if (f.prefetch && policy.local_recovery == LocalRecovery::kDeflect &&
+      f.k > 1) {
+    const FibEntry* __restrict entries = f.entries;
+    const char* __restrict alive = f.alive;
+    for (std::size_t j = 0; j < live_n; ++j) {
+      if (L.nslice[j] == kStagedExpired) continue;
+      const FibEntry e = L.ent[j];
+      if (e.valid() && alive[static_cast<std::size_t>(e.edge)] != 0) {
+        continue;
+      }
+      const std::uint64_t cell =
+          L.fidx[j] - static_cast<std::uint64_t>(L.nslice[j]) *
+                          f.slice_stride;
+      for (SliceId s = 0; s < f.k; ++s) {
+        if (s == static_cast<SliceId>(L.nslice[j])) continue;
+        (void)static_cast<const volatile FibEntry*>(
+            entries + static_cast<std::size_t>(s) * f.slice_stride + cell)
+            ->edge;
+      }
+    }
+  }
+}
+
+/// One scalar sweep: the resolve loop, the shared gather + pre-scan, then
+/// the commit loop fused with swap-remove compaction — a terminated lane is
+/// replaced by the last live lane (whose staged entry and slice travel with
+/// it in move_lane and are then committed at the same slot), so moves are
+/// paid once per termination, not once per surviving lane per sweep. Walks
+/// are independent, so neither the phase split nor the compaction order can
+/// affect any per-walk result.
+std::size_t sweep_scalar(const FibView& f, const ForwardingPolicy& policy,
+                         BatchLanes& L, std::span<ForwardSummary> out,
+                         std::size_t live_n) {
+  for (std::size_t j = 0; j < live_n; ++j) resolve_lane(f, policy, L, j);
+  stage_gather(f, policy, L, live_n);
+  for (std::size_t j = 0; j < live_n;) {
+    if (commit_lane(f, policy, L, j, out)) {
+      ++j;
+    } else {
+      --live_n;
+      if (j != live_n) move_lane(L, live_n, j);
+    }
+  }
+  return live_n;
+}
+
+#if SPLICE_HAVE_AVX2_KERNEL
+
+/// Packs the even (low-dword) 32-bit elements of two 4x64 vectors into one
+/// 8x32 vector, lane order preserved: out[i] = low32(a64[i]) for i < 4,
+/// low32(b64[i-4]) for i >= 4.
+__attribute__((target("avx2"))) inline __m256i pack_even32(__m256i a,
+                                                           __m256i b) {
+  const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const __m256i pa = _mm256_permutevar8x32_epi32(a, idx);
+  const __m256i pb = _mm256_permutevar8x32_epi32(b, idx);
+  return _mm256_permute2x128_si256(pa, pb, 0x20);
+}
+
+/// Same for the odd (high-dword) elements: out[i] = high32 of each 64-bit
+/// lane.
+__attribute__((target("avx2"))) inline __m256i pack_odd32(__m256i a,
+                                                          __m256i b) {
+  const __m256i idx = _mm256_setr_epi32(1, 3, 5, 7, 1, 3, 5, 7);
+  const __m256i pa = _mm256_permutevar8x32_epi32(a, idx);
+  const __m256i pb = _mm256_permutevar8x32_epi32(b, idx);
+  return _mm256_permute2x128_si256(pa, pb, 0x20);
+}
+
+/// Phase 1a, vectorized: eight lanes per group through the resolve body —
+/// TTL check, header bit-pop (64-bit variable shifts), slice reduction
+/// (mask / mod-table gather) and the flat-index computation. Rare lanes
+/// (active §5 counter header, raw slice value >= 256 on non-power-of-two
+/// k) are excluded from the vector stores — the blends write their
+/// original values back — and resolved afterwards by resolve_lane on that
+/// untouched state. TTL-expired lanes stay vector: nslice parks at the
+/// kStagedExpired sentinel, fidx at 0, the TTL still decrements and
+/// nothing pops, exactly resolve_lane's early return. Ragged tail scalar.
+__attribute__((target("avx2"))) void resolve_avx2(
+    const FibView& f, const ForwardingPolicy& policy, BatchLanes& L,
+    std::size_t live_n) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i all1 = _mm256_set1_epi32(-1);
+  const __m256i one32 = _mm256_set1_epi32(1);
+  const __m256i c64 = _mm256_set1_epi64x(64);
+  const __m256i byte_mask = _mm256_set1_epi32(0xff);
+  const __m256i row_stride32 =
+      _mm256_set1_epi32(static_cast<std::int32_t>(f.row_stride));
+  const __m256i slice_stride32 =
+      _mm256_set1_epi32(static_cast<std::int32_t>(f.slice_stride));
+  const __m256i kmask32 = _mm256_set1_epi32(
+      static_cast<std::int32_t>(f.k_mask));
+  const bool hash_default = policy.exhaust == ExhaustPolicy::kHashDefault;
+  const std::int32_t* mod_table = L.mod_table.data();
+
+  const std::size_t groups = live_n / 8;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t base = g * 8;
+    const __m256i ttl = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.ttl.data() + base));
+    const __m256i not_expired = _mm256_cmpgt_epi32(ttl, zero);
+    const __m256i expired = _mm256_xor_si256(not_expired, all1);
+    const __m256i bl = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.bits_left.data() + base));
+    const __m256i has_bits = _mm256_cmpgt_epi32(bl, zero);
+
+    // Header bit-pop, computed for all lanes, committed only where
+    // has_bits (bpp >= 1 is guaranteed on exactly those lanes).
+    const __m256i lo0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.bits_lo.data() + base));
+    const __m256i lo1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.bits_lo.data() + base + 4));
+    const __m256i hi0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.bits_hi.data() + base));
+    const __m256i hi1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.bits_hi.data() + base + 4));
+    const __m256i bpp32 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.bpp.data() + base));
+    const __m256i bpp64_0 =
+        _mm256_cvtepu32_epi64(_mm256_castsi256_si128(bpp32));
+    const __m256i bpp64_1 =
+        _mm256_cvtepu32_epi64(_mm256_extracti128_si256(bpp32, 1));
+    const __m256i mask32 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.mask.data() + base));
+    const __m256i raw =
+        _mm256_and_si256(pack_even32(lo0, lo1), mask32);
+    const __m256i new_lo0 = _mm256_or_si256(
+        _mm256_srlv_epi64(lo0, bpp64_0),
+        _mm256_sllv_epi64(hi0, _mm256_sub_epi64(c64, bpp64_0)));
+    const __m256i new_lo1 = _mm256_or_si256(
+        _mm256_srlv_epi64(lo1, bpp64_1),
+        _mm256_sllv_epi64(hi1, _mm256_sub_epi64(c64, bpp64_1)));
+    const __m256i new_hi0 = _mm256_srlv_epi64(hi0, bpp64_0);
+    const __m256i new_hi1 = _mm256_srlv_epi64(hi1, bpp64_1);
+
+    // Slice reduction: mask for power-of-two k; mod-table gather otherwise
+    // (raw <= 255 — larger values, only possible with headers built for
+    // k > 256, take the scalar fixup).
+    __m256i red;
+    __m256i raw_oob = zero;
+    if (f.k_pow2) {
+      red = _mm256_and_si256(raw, kmask32);
+    } else {
+      raw_oob = _mm256_cmpgt_epi32(raw, byte_mask);
+      const __m256i clamped = _mm256_min_epu32(raw, byte_mask);
+      red = _mm256_i32gather_epi32(mod_table, clamped, 4);
+    }
+    const __m256i curv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.cur.data() + base));
+    const __m256i nopop =
+        hash_default ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                           L.def.data() + base))
+                     : curv;
+    const __m256i slice = _mm256_blendv_epi8(nopop, red, has_bits);
+
+    // Lanes needing the rare scalar resolve (counter deflection, oob raw).
+    // k == 1 disables the counter path entirely, matching resolve_lane.
+    const __m256i cnt = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.counter.data() + base));
+    const __m256i cnt_active =
+        f.k > 1 ? _mm256_xor_si256(_mm256_cmpeq_epi32(cnt, zero), all1)
+                : zero;
+    const __m256i rare = _mm256_and_si256(
+        _mm256_or_si256(cnt_active, _mm256_and_si256(has_bits, raw_oob)),
+        not_expired);
+    const __m256i vecm = _mm256_xor_si256(rare, all1);
+
+    // Vector stores, rare lanes blended back to their original values so
+    // the scalar resolve below reads pristine state. Pops commit where the
+    // lane popped (has_bits, not expired, not rare); the TTL decrements on
+    // every vector lane including expired ones (resolve_lane
+    // post-decrements before its early return).
+    const __m256i commit_bits = _mm256_and_si256(
+        has_bits, _mm256_and_si256(not_expired, vecm));
+    const __m256i cb64_0 =
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(commit_bits));
+    const __m256i cb64_1 =
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(commit_bits, 1));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.bits_lo.data() + base),
+        _mm256_blendv_epi8(lo0, new_lo0, cb64_0));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.bits_lo.data() + base + 4),
+        _mm256_blendv_epi8(lo1, new_lo1, cb64_1));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.bits_hi.data() + base),
+        _mm256_blendv_epi8(hi0, new_hi0, cb64_0));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.bits_hi.data() + base + 4),
+        _mm256_blendv_epi8(hi1, new_hi1, cb64_1));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.bits_left.data() + base),
+        _mm256_blendv_epi8(bl, _mm256_sub_epi32(bl, one32), commit_bits));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.ttl.data() + base),
+        _mm256_blendv_epi8(ttl, _mm256_sub_epi32(ttl, one32), vecm));
+
+    // Staged slice and flat index. Rare lanes get garbage here; the scalar
+    // resolve overwrites them before anything reads these arrays.
+    const __m256i nslice_v = _mm256_blendv_epi8(slice, all1, expired);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.nslice.data() + base), nslice_v);
+    const __m256i nodev = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.node.data() + base));
+    const __m256i dcol = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.dst_col.data() + base));
+    const __m256i cell = _mm256_add_epi32(
+        _mm256_mullo_epi32(nodev, row_stride32), dcol);
+    // Index fits 32 bits (run_batch guards); expired lanes park at 0.
+    const __m256i fidx32 = _mm256_and_si256(
+        _mm256_add_epi32(_mm256_mullo_epi32(slice, slice_stride32), cell),
+        not_expired);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.fidx.data() + base),
+        _mm256_cvtepu32_epi64(_mm256_castsi256_si128(fidx32)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.fidx.data() + base + 4),
+        _mm256_cvtepu32_epi64(_mm256_extracti128_si256(fidx32, 1)));
+
+    unsigned mrare = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(rare)));
+    while (mrare != 0) {
+      const unsigned lane = static_cast<unsigned>(
+          __builtin_ctz(mrare));
+      mrare &= mrare - 1;
+      resolve_lane(f, policy, L, base + lane);
+    }
+  }
+
+  for (std::size_t j = groups * 8; j < live_n; ++j) {
+    resolve_lane(f, policy, L, j);
+  }
+}
+
+/// Phase 2, vectorized: liveness test, delivered test and hop commit, eight
+/// lanes per group, consuming the entries the shared gather loop staged in
+/// L.ent. Lanes the vector body cannot finish — expired TTL, invalid/dead
+/// entry (dead end or §4.3 deflection scan) — go through commit_lane on
+/// their staged state; vector-delivered lanes finish inline after the
+/// stores. Fills L.live; the caller compacts.
+__attribute__((target("avx2"))) void commit_avx2(
+    const FibView& f, const ForwardingPolicy& policy, BatchLanes& L,
+    std::span<ForwardSummary> out, std::size_t live_n) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i all1 = _mm256_set1_epi32(-1);
+  const __m256i byte_mask = _mm256_set1_epi32(0xff);
+
+  const std::size_t groups = live_n / 8;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t base = g * 8;
+    const __m256i nsl = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.nslice.data() + base));
+    const __m256i expired = _mm256_cmpeq_epi32(nsl, all1);
+    static_assert(sizeof(FibEntry) == 8 &&
+                  offsetof(FibEntry, next_hop) == 0 &&
+                  offsetof(FibEntry, edge) == 4);
+    const __m256i ent0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.ent.data() + base));
+    const __m256i ent1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.ent.data() + base + 4));
+    const __m256i nh = pack_even32(ent0, ent1);
+    const __m256i edge = pack_odd32(ent0, ent1);
+    const __m256i valid =
+        _mm256_xor_si256(_mm256_cmpeq_epi32(nh, all1), all1);
+
+    // Liveness: one byte per edge, gathered as 32-bit loads at byte
+    // offsets (the mask's kAlivePad tail bytes make the over-read safe).
+    const __m256i av_mask = _mm256_andnot_si256(expired, valid);
+    const __m256i av = _mm256_and_si256(
+        _mm256_mask_i32gather_epi32(
+            zero, reinterpret_cast<const int*>(f.alive), edge, av_mask, 1),
+        byte_mask);
+    const __m256i alive_ok =
+        _mm256_xor_si256(_mm256_cmpeq_epi32(av, zero), all1);
+    const __m256i vec_ok = _mm256_and_si256(av_mask, alive_ok);
+    const __m256i dstv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.dst.data() + base));
+    const __m256i delivered =
+        _mm256_and_si256(_mm256_cmpeq_epi32(nh, dstv), vec_ok);
+
+    // Commit the hop for vec_ok lanes (delivered ones finish below, after
+    // the stores put this hop into their summary fields). Vector lanes
+    // never deflect, so L.deflected is untouched.
+    const __m256i nodev = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.node.data() + base));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.node.data() + base),
+        _mm256_blendv_epi8(nodev, nh, vec_ok));
+    const __m256i curv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.cur.data() + base));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.cur.data() + base),
+        _mm256_blendv_epi8(curv, nsl, vec_ok));
+    const __m256i hopsv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(L.hops.data() + base));
+    // Masks are 0 / -1, so subtracting vec_ok increments exactly the
+    // committed lanes.
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(L.hops.data() + base),
+        _mm256_sub_epi32(hopsv, vec_ok));
+
+    // Per-lane cost accumulation: gather this hop's edge weight and add it
+    // to exactly the committed lanes — same one-add-per-hop sequence as
+    // the scalar path, so the doubles come out bit-identical.
+    const __m256d cm0 = _mm256_castsi256_pd(
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(vec_ok)));
+    const __m256d cm1 = _mm256_castsi256_pd(
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(vec_ok, 1)));
+    const __m256d cost0 = _mm256_loadu_pd(L.cost.data() + base);
+    const __m256d cost1 = _mm256_loadu_pd(L.cost.data() + base + 4);
+    const __m256d wt0 = _mm256_mask_i32gather_pd(
+        _mm256_setzero_pd(), f.weight, _mm256_castsi256_si128(edge), cm0, 8);
+    const __m256d wt1 = _mm256_mask_i32gather_pd(
+        _mm256_setzero_pd(), f.weight, _mm256_extracti128_si256(edge, 1),
+        cm1, 8);
+    _mm256_storeu_pd(L.cost.data() + base,
+                     _mm256_blendv_pd(cost0, _mm256_add_pd(cost0, wt0), cm0));
+    _mm256_storeu_pd(
+        L.cost.data() + base + 4,
+        _mm256_blendv_pd(cost1, _mm256_add_pd(cost1, wt1), cm1));
+
+    const unsigned mv = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(vec_ok)));
+    const unsigned md = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(delivered)));
+    if (mv == 0xffu && md == 0) {
+      std::memset(L.live.data() + base, 1, 8);
+      continue;
+    }
+    for (unsigned lane = 0; lane < 8; ++lane) {
+      const std::size_t j = base + lane;
+      const unsigned bit = 1u << lane;
+      if (!(mv & bit)) {
+        L.live[j] =
+            commit_lane(f, policy, L, j, out) ? std::uint8_t{1}
+                                              : std::uint8_t{0};
+      } else if (md & bit) {
+        finish_lane(L, j, ForwardOutcome::kDelivered, out);
+        L.live[j] = 0;
+      } else {
+        L.live[j] = 1;
+      }
+    }
+  }
+
+  // Ragged tail: fewer than 8 lanes left over — pure scalar reference.
+  for (std::size_t j = groups * 8; j < live_n; ++j) {
+    L.live[j] = commit_lane(f, policy, L, j, out) ? std::uint8_t{1}
+                                                  : std::uint8_t{0};
+  }
+}
+
+/// Swap-remove compaction over L.live after a vector sweep. Dead lanes are
+/// filled from the back (the filler's own live flag travels with it and is
+/// re-checked), so moves are paid per termination, not per survivor.
+std::size_t compact_lanes(BatchLanes& L, std::size_t live_n) {
+  for (std::size_t j = 0; j < live_n;) {
+    if (L.live[j]) {
+      ++j;
+    } else {
+      --live_n;
+      if (j != live_n) {
+        move_lane(L, live_n, j);
+        L.live[j] = L.live[live_n];
+      }
+    }
+  }
+  return live_n;
+}
+
+#endif  // SPLICE_HAVE_AVX2_KERNEL
+
+Kernel resolve_kernel() noexcept {
+  if (const char* env = std::getenv("SPLICE_FORWARD_KERNEL");
+      env != nullptr && *env != '\0') {
+    const std::string_view v(env);
+    if (v == "scalar") return Kernel::kScalar;
+    if (v == "avx2") {
+      if (kernel_supported(Kernel::kAvx2)) return Kernel::kAvx2;
+      std::fprintf(stderr,
+                   "splice: SPLICE_FORWARD_KERNEL=avx2 requested but %s; "
+                   "using scalar\n",
+                   kernel_compiled(Kernel::kAvx2)
+                       ? "this CPU lacks AVX2"
+                       : "the AVX2 kernel was not compiled in");
+      return Kernel::kScalar;
+    }
+    std::fprintf(stderr,
+                 "splice: unknown SPLICE_FORWARD_KERNEL '%s' "
+                 "(want scalar|avx2); using the default\n",
+                 env);
+  }
+  return kernel_supported(Kernel::kAvx2) ? Kernel::kAvx2 : Kernel::kScalar;
+}
+
+}  // namespace
+
+const char* to_string(Kernel kernel) noexcept {
+  switch (kernel) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool kernel_compiled(Kernel kernel) noexcept {
+  switch (kernel) {
+    case Kernel::kScalar:
+      return true;
+    case Kernel::kAvx2:
+      return SPLICE_HAVE_AVX2_KERNEL != 0;
+  }
+  return false;
+}
+
+bool kernel_supported(Kernel kernel) noexcept {
+#if SPLICE_HAVE_AVX2_KERNEL
+  if (kernel == Kernel::kAvx2) {
+    static const bool cpu_ok = __builtin_cpu_supports("avx2") != 0;
+    return cpu_ok;
+  }
+#endif
+  return kernel == Kernel::kScalar;
+}
+
+Kernel active_kernel() noexcept {
+  static const Kernel kernel = resolve_kernel();
+  return kernel;
+}
+
+bool prefetch_enabled(std::size_t fib_bytes) noexcept {
+  // -1 = forced off, +1 = forced on, 0 = auto (table-size heuristic).
+  static const int forced = [] {
+    const char* env = std::getenv("SPLICE_FORWARD_PREFETCH");
+    if (env == nullptr || *env == '\0') return 0;
+    return std::string_view(env) == "0" ? -1 : +1;
+  }();
+  if (forced != 0) return forced > 0;
+  // While the whole table sits in the fast cache levels the prefetch is
+  // pure instruction overhead (the load would hit anyway); once it
+  // outgrows them, hiding the per-hop load latency dominates. 1 MiB ~
+  // typical per-core L2 reach.
+  constexpr std::size_t kCacheResidentBytes = std::size_t{1} << 20;
+  return fib_bytes > kCacheResidentBytes;
+}
+
+void BatchLanes::resize(std::size_t n) {
+  bits_lo.resize(n);
+  bits_hi.resize(n);
+  node.resize(n);
+  dst.resize(n);
+  dst_col.resize(n);
+  cur.resize(n);
+  def.resize(n);
+  ttl.resize(n);
+  bits_left.resize(n);
+  hops.resize(n);
+  bpp.resize(n);
+  mask.resize(n);
+  counter.resize(n);
+  idx.resize(n);
+  cost.resize(n);
+  deflected.resize(n);
+  live.resize(n);
+  fidx.resize(n);
+  ent.resize(n);
+  nslice.resize(n);
+  size = n;
+}
+
+void run_batch(const FibView& fib, const ForwardingPolicy& policy,
+               BatchLanes& lanes, std::span<ForwardSummary> out,
+               Kernel kernel) {
+  SPLICE_EXPECTS(fib.entries != nullptr || lanes.size == 0);
+  std::size_t live_n = lanes.size;
+  if (live_n == 0) return;
+
+#if SPLICE_HAVE_AVX2_KERNEL
+  // The AVX2 path indexes the FIB with 32-bit gather lanes; a table too
+  // large for that (>= 2^31 entries, i.e. >= 16 GiB) silently falls back
+  // to scalar, which carries full size_t indexing.
+  const bool use_avx2 =
+      kernel == Kernel::kAvx2 && kernel_supported(Kernel::kAvx2) &&
+      static_cast<std::uint64_t>(fib.slice_stride) *
+              static_cast<std::uint64_t>(fib.k) <
+          (1ull << 31) &&
+      fib.row_stride < (1ull << 31);
+  if (use_avx2) {
+    if (!fib.k_pow2 && lanes.mod_table_k != fib.k) {
+      lanes.mod_table.resize(256);
+      for (std::int32_t r = 0; r < 256; ++r) {
+        lanes.mod_table[static_cast<std::size_t>(r)] =
+            r % static_cast<std::int32_t>(fib.k);
+      }
+      lanes.mod_table_k = fib.k;
+    }
+    while (live_n > 0) {
+      resolve_avx2(fib, policy, lanes, live_n);
+      stage_gather(fib, policy, lanes, live_n);
+      commit_avx2(fib, policy, lanes, out, live_n);
+      live_n = compact_lanes(lanes, live_n);
+    }
+    return;
+  }
+#else
+  (void)kernel;
+#endif
+
+  while (live_n > 0) {
+    live_n = sweep_scalar(fib, policy, lanes, out, live_n);
+  }
+}
+
+}  // namespace splice::fwdk

@@ -1,0 +1,198 @@
+// Batch forwarding kernel: the structure-of-arrays wavefront that advances
+// every in-flight walk one hop per sweep (Algorithm 1's per-hop loop, W
+// walks at a time).
+//
+// Every sweep runs in three phases — resolve (ALU-only: TTL, header
+// bit-pop, slice reduction, counter deflection, flat FIB index), gather
+// (ent[j] = entries[fidx[j]], a ~5-uop loop whose mutually independent
+// loads overlap in the out-of-order window, keeping a line-fill-buffer's
+// worth of cache misses in flight on DRAM-resident FIBs), then commit
+// (liveness test, §4.3 deflection, summary accumulation, compaction). Two
+// implementations of the resolve and commit phases sit behind one dispatch
+// point (the gather loop is shared):
+//
+//   * kScalar — the reference. resolve_lane/commit_lane in the .cpp are
+//     the single source of per-hop semantics; every other path (the AVX2
+//     bodies' rare-lane fixups, the ragged tails, the sharded pipeline's
+//     workers) ends up in this exact code, so "bit-identical to
+//     forward_stats" is an argument about two functions.
+//   * kAvx2   — AVX2 implementation of the common-case resolve (64-bit
+//     variable-shift bit-pop, mask / mod-table slice reduction, index
+//     computation) and commit (liveness-byte gather, delivered test,
+//     per-lane cost accumulation), eight lanes per group. Lanes needing a
+//     rare path (active counter header, raw slice value >= 256 on
+//     non-power-of-two k, expired TTL at commit, dead end / §4.3
+//     deflection scan) fall through to the scalar lane functions on their
+//     staged state. Compiled with a function-level target("avx2")
+//     attribute so the translation unit itself builds at the project's
+//     baseline -march; selected at runtime via CPUID.
+//
+// Dispatch: active_kernel() resolves once per process — the AVX2 path when
+// compiled in and the CPU supports it, overridable with
+// SPLICE_FORWARD_KERNEL=scalar|avx2 (an unsatisfiable force falls back to
+// scalar with a one-line warning). Between gather and commit sits the
+// dead-entry pre-scan: lanes whose staged entry is invalid or dead will
+// walk up to k-1 alternate slices in commit's §4.3 scan, so their cells
+// are issued first as overlapping demand loads (volatile — a prefetcht0
+// that misses the dTLB is dropped). The pre-scan is gated by table size
+// (pure overhead while the FIB is cache-resident, a large win once per-hop
+// loads leave the fast levels — the resprof cache-miss budgets in check.sh
+// --profile-smoke watch this trade); SPLICE_FORWARD_PREFETCH=0 forces it
+// off, =1 forces it on.
+//
+// Determinism: lanes never interact; each lane's state transitions replicate
+// resolve_lane + commit_lane exactly (same shifts, same reduction, same
+// per-lane floating-point accumulation order), so out[idx] is bit-identical
+// to forward_stats for every kernel, batch size, sweep order and worker
+// count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataplane/forward_types.h"
+#include "dataplane/packet.h"
+#include "dataplane/splice_header.h"
+#include "routing/fib.h"
+#include "util/assert.h"
+
+namespace splice::fwdk {
+
+enum class Kernel {
+  kScalar,
+  kAvx2,
+};
+
+const char* to_string(Kernel kernel) noexcept;
+
+/// True when the implementation was compiled into this binary.
+bool kernel_compiled(Kernel kernel) noexcept;
+
+/// True when compiled in AND the running CPU can execute it.
+bool kernel_supported(Kernel kernel) noexcept;
+
+/// Process-wide kernel choice: SPLICE_FORWARD_KERNEL override if set and
+/// satisfiable, else the widest supported implementation. Resolved once.
+Kernel active_kernel() noexcept;
+
+/// Whether a kernel walking a table of `fib_bytes` should issue next-sweep
+/// FIB-cell prefetches. Auto mode (no env override) enables them once the
+/// table outgrows the cache-resident regime; SPLICE_FORWARD_PREFETCH=0
+/// forces off, =1 forces on. Env resolved once per process.
+bool prefetch_enabled(std::size_t fib_bytes) noexcept;
+
+/// Asks the kernel to back a large read-mostly table with transparent
+/// hugepages (best effort, no-op off Linux). Shared by DataPlaneNetwork's
+/// FIB and the sharded pipeline's per-worker replicas: per-hop lookups are
+/// single random loads, and 2 MiB pages keep the table TLB-resident.
+void advise_hugepages(const void* data, std::size_t bytes) noexcept;
+
+/// Geometry + liveness view of the forwarding state a kernel walks. Plain
+/// pointers so the same kernel serves FlatFibs (row_stride == node count)
+/// and the sharded pipeline's compacted per-worker replicas (row_stride ==
+/// shard destination width).
+struct FibView {
+  const FibEntry* entries = nullptr;  ///< slice-major [slice][node][dst_col]
+  std::size_t slice_stride = 0;       ///< entries per slice
+  std::size_t row_stride = 0;         ///< entries per node row
+  SliceId k = 1;
+  bool k_pow2 = true;
+  std::uint32_t k_mask = 0;           ///< k - 1 when k_pow2
+  std::uint64_t mod_magic = 0;        ///< fastmod_magic(k) when !k_pow2
+  /// Liveness bytes indexed by edge id. The AVX2 path gathers 32-bit loads
+  /// at byte granularity, so at least kAlivePad readable bytes must follow
+  /// the last edge (DataPlaneNetwork and the pipeline pad their masks).
+  const char* alive = nullptr;
+  const Weight* weight = nullptr;     ///< edge weights indexed by edge id
+  bool prefetch = true;               ///< next-sweep FIB-cell prefetch
+};
+
+/// Bytes of zero padding liveness masks carry past their last edge so the
+/// AVX2 32-bit liveness gathers never read unmapped memory.
+inline constexpr std::size_t kAlivePad = 4;
+
+/// Per-walk state, one contiguous lane array per field. Grown to the
+/// largest batch seen and then reused allocation-free (the zero-alloc
+/// contract the resprof gates enforce). Replaces the old packed-AoS
+/// `batch_scratch` word buffer and its reinterpret_cast aliasing hazard:
+/// every field lives in a properly typed, properly aligned vector.
+struct BatchLanes {
+  std::vector<std::uint64_t> bits_lo, bits_hi;
+  std::vector<std::int32_t> node;      ///< current node (global id)
+  std::vector<std::int32_t> dst;       ///< destination (global id)
+  std::vector<std::int32_t> dst_col;   ///< destination column in the FIB row
+  std::vector<std::int32_t> cur;       ///< slice used for the previous hop
+  std::vector<std::int32_t> def;       ///< Hash(src,dst) default slice
+  std::vector<std::int32_t> ttl;
+  std::vector<std::int32_t> bits_left;
+  std::vector<std::int32_t> hops;
+  std::vector<std::uint32_t> bpp;      ///< header bits per hop
+  std::vector<std::uint32_t> mask;     ///< (1 << bpp) - 1
+  std::vector<std::uint32_t> counter;  ///< §5 counter header value
+  std::vector<std::uint32_t> idx;      ///< output slot
+  std::vector<double> cost;
+  std::vector<std::uint8_t> deflected;
+  std::vector<std::uint8_t> live;      ///< per-sweep survivor flags
+  /// Staged per-hop state between a sweep's phases: the flat FIB index each
+  /// lane's resolve half computed, the entry the gather loop loaded from
+  /// it, and the slice it resolved (-1: TTL expired). Splitting the gather
+  /// loop out of the resolve and commit loops is what lets the per-hop FIB
+  /// loads — mutually independent across lanes — overlap in the
+  /// out-of-order window instead of costing a full memory latency each.
+  std::vector<std::uint64_t> fidx;
+  std::vector<FibEntry> ent;
+  std::vector<std::int32_t> nslice;
+  std::size_t size = 0;
+
+  /// Mod-table cache for the AVX2 non-power-of-two slice reduction:
+  /// table[r] = r % k for r < 256 (raw values above 255 take the scalar
+  /// fixup path). Rebuilt only when k changes.
+  std::vector<std::int32_t> mod_table;
+  SliceId mod_table_k = 0;
+
+  void resize(std::size_t n);
+};
+
+/// Initializes lane `slot` from a packet that is NOT the src==dst
+/// short-circuit (callers handle that case and skip the kernel, exactly as
+/// forward_stats does). `def_slice` is the caller-computed
+/// Hash(src,dst) % k default; `dst_col` is the destination's column in the
+/// FIB view's row (== p.dst for FlatFibs, shard-local for replicas).
+inline void init_lane(BatchLanes& L, std::size_t slot, const Packet& p,
+                      std::uint32_t out_idx, SliceId def_slice,
+                      std::int32_t dst_col) {
+  const int hdr_bpp = bits_per_hop(p.header.slice_count());
+  L.bits_lo[slot] = p.header.stream().lo();
+  L.bits_hi[slot] = p.header.stream().hi();
+  L.node[slot] = p.src;
+  L.dst[slot] = p.dst;
+  L.dst_col[slot] = dst_col;
+  L.cur[slot] = def_slice;
+  L.def[slot] = def_slice;
+  L.ttl[slot] = p.ttl;
+  L.bits_left[slot] =
+      p.header.slice_count() > 1 ? p.header.remaining_hops() : 0;
+  L.hops[slot] = 0;
+  L.bpp[slot] = static_cast<std::uint32_t>(hdr_bpp);
+  L.mask[slot] = hdr_bpp > 0 ? ((1u << hdr_bpp) - 1u) : 0u;
+  L.counter[slot] = p.counter.value();
+  L.idx[slot] = out_idx;
+  L.cost[slot] = 0.0;
+  L.deflected[slot] = 0;
+}
+
+/// Runs every lane of `lanes` to completion and writes each lane's summary
+/// to out[lanes.idx[j]]. `out` is indexed by the init_lane out_idx values;
+/// slots not covered by any lane are untouched. Lane state is consumed.
+void run_batch(const FibView& fib, const ForwardingPolicy& policy,
+               BatchLanes& lanes, std::span<ForwardSummary> out,
+               Kernel kernel);
+
+/// Convenience: run_batch with active_kernel().
+inline void run_batch(const FibView& fib, const ForwardingPolicy& policy,
+                      BatchLanes& lanes, std::span<ForwardSummary> out) {
+  run_batch(fib, policy, lanes, out, active_kernel());
+}
+
+}  // namespace splice::fwdk

@@ -1,0 +1,53 @@
+// Shared result/policy types of the forwarding data plane.
+//
+// Split out of network.h so the batch forwarding kernel
+// (dataplane/forward_kernel.h) and the sharded pipeline can name them
+// without pulling in the full DataPlaneNetwork interface; network.h
+// re-exports everything here, so existing includes keep working.
+#pragma once
+
+#include "graph/types.h"
+#include "dataplane/packet.h"
+
+namespace splice {
+
+/// What a node does when the splicing header has no bits left (§4.4
+/// discusses both behaviors).
+enum class ExhaustPolicy {
+  /// Remain in the slice used for the previous hop (paper's §4.4 reading:
+  /// "traffic will remain in its current tree en route to the destination").
+  kStayInCurrent,
+  /// Re-derive the default slice from Hash(src, dst) every hop (literal
+  /// Algorithm 1 fallback).
+  kHashDefault,
+};
+
+/// Whether intermediate nodes may deflect around locally failed links.
+enum class LocalRecovery {
+  kNone,     ///< drop to dead end when the chosen slice's link is down
+  kDeflect,  ///< §4.3 network-based recovery: try other slices' next hops
+};
+
+struct ForwardingPolicy {
+  ExhaustPolicy exhaust = ExhaustPolicy::kStayInCurrent;
+  LocalRecovery local_recovery = LocalRecovery::kNone;
+};
+
+/// Statistics-only result of one forwarded packet: everything the Monte
+/// Carlo loops need without materializing a trace.
+struct ForwardSummary {
+  ForwardOutcome outcome = ForwardOutcome::kDeadEnd;
+  /// Hops taken (equals the trace length forward() would have returned).
+  int hops = 0;
+  /// Path latency under original graph weights, accumulated hop by hop in
+  /// trace order — bit-identical to trace_cost() on the equivalent trace.
+  Weight cost = 0.0;
+  /// True iff any hop used §4.3 network-based deflection.
+  bool deflected = false;
+
+  bool delivered() const noexcept {
+    return outcome == ForwardOutcome::kDelivered;
+  }
+};
+
+}  // namespace splice

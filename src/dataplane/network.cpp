@@ -2,12 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <new>
-#include <type_traits>
-
-#if defined(__linux__)
-#include <sys/mman.h>
-#endif
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -17,43 +11,14 @@
 
 namespace splice {
 
-namespace {
-
-/// Asks the kernel to back a large read-mostly table with transparent
-/// hugepages. Per-hop FIB lookups are single random loads, so once the
-/// table outgrows the TLB's 4 KiB-page reach every hop pays a page walk —
-/// and page walks serialize, defeating the wavefront batch kernel's
-/// memory-level parallelism. Collapsing to 2 MiB pages keeps the whole
-/// table TLB-resident. Best effort: any failure (old kernel, THP disabled,
-/// fragmentation) is ignored and the code runs correctly on 4 KiB pages.
-void advise_hugepages(const void* data, std::size_t bytes) {
-#if defined(__linux__)
-#ifndef MADV_COLLAPSE
-#define MADV_COLLAPSE 25
-#endif
-  constexpr std::uintptr_t kPage = 4096;
-  const auto addr = reinterpret_cast<std::uintptr_t>(data);
-  const std::uintptr_t lo = (addr + kPage - 1) & ~(kPage - 1);
-  const std::uintptr_t hi = (addr + bytes) & ~(kPage - 1);
-  if (hi > lo) {
-    void* base = reinterpret_cast<void*>(lo);
-    (void)madvise(base, hi - lo, MADV_HUGEPAGE);
-    (void)madvise(base, hi - lo, MADV_COLLAPSE);
-  }
-#else
-  (void)data;
-  (void)bytes;
-#endif
-}
-
-}  // namespace
-
 DataPlaneNetwork::DataPlaneNetwork(const Graph& g, const FibSet& fibs)
     : graph_(&g),
       fibs_(&fibs),
       flat_(fibs),
       edge_weight_(static_cast<std::size_t>(g.edge_count())),
-      link_alive_(static_cast<std::size_t>(g.edge_count()), 1) {
+      link_alive_(static_cast<std::size_t>(g.edge_count()) + fwdk::kAlivePad,
+                  1),
+      links_(static_cast<std::size_t>(g.edge_count())) {
   // Span only — no counter: TrialEngine workers construct scratch copies of
   // this object lazily, so a build counter would vary with thread count and
   // break the snapshot determinism contract.
@@ -62,20 +27,25 @@ DataPlaneNetwork::DataPlaneNetwork(const Graph& g, const FibSet& fibs)
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     edge_weight_[static_cast<std::size_t>(e)] = g.edge(e).weight;
   }
-  advise_hugepages(fibs.data().data(), fibs.data().size_bytes());
+  // The kAlivePad tail bytes exist only to keep the AVX2 liveness gathers
+  // in bounds; they are never edges, so keep them permanently zero.
+  std::fill(link_alive_.begin() + static_cast<std::ptrdiff_t>(links_),
+            link_alive_.end(), 0);
+  fwdk::advise_hugepages(fibs.data().data(), fibs.data().size_bytes());
 }
 
 void DataPlaneNetwork::restore_all_links() {
-  std::fill(link_alive_.begin(), link_alive_.end(), 1);
+  std::fill(link_alive_.begin(),
+            link_alive_.begin() + static_cast<std::ptrdiff_t>(links_), 1);
 }
 
 void DataPlaneNetwork::set_link_state(EdgeId e, bool alive) {
-  SPLICE_EXPECTS(e >= 0 && static_cast<std::size_t>(e) < link_alive_.size());
+  SPLICE_EXPECTS(e >= 0 && static_cast<std::size_t>(e) < links_);
   link_alive_[static_cast<std::size_t>(e)] = alive ? 1 : 0;
 }
 
 void DataPlaneNetwork::set_link_mask(std::span<const char> alive) {
-  SPLICE_EXPECTS(alive.size() == link_alive_.size());
+  SPLICE_EXPECTS(alive.size() == links_);
   std::copy(alive.begin(), alive.end(), link_alive_.begin());
 }
 
@@ -252,29 +222,22 @@ ForwardSummary DataPlaneNetwork::forward_stats(
   return forward_core<false>(packet, policy, nullptr);
 }
 
-namespace {
-
-/// Per-packet in-flight state of the wavefront batch kernel. Trivially
-/// copyable/destructible so it can live in a workspace's raw word buffer.
-struct Walk {
-  std::uint64_t bits_lo;
-  std::uint64_t bits_hi;
-  ForwardSummary sum;
-  CounterHeader counter;
-  std::uint32_t idx;
-  std::uint32_t hdr_mask;
-  NodeId node;
-  NodeId dst;
-  SliceId current;
-  SliceId def;
-  std::int32_t ttl;
-  std::int32_t bits_left;
-  std::int32_t hdr_bpp;
-};
-static_assert(std::is_trivially_copyable_v<Walk> &&
-              std::is_trivially_destructible_v<Walk>);
-
-}  // namespace
+fwdk::FibView DataPlaneNetwork::fib_view() const noexcept {
+  fwdk::FibView v;
+  v.entries = flat_.entries();
+  v.slice_stride = flat_.slice_stride();
+  v.row_stride = static_cast<std::size_t>(flat_.node_count());
+  v.k = flat_.slice_count();
+  v.k_pow2 = flat_.slices_pow2();
+  v.k_mask = flat_.pow2_mask();
+  v.mod_magic = flat_.mod_magic();
+  v.alive = link_alive_.data();
+  v.weight = edge_weight_.data();
+  v.prefetch = fwdk::prefetch_enabled(
+      static_cast<std::size_t>(v.slice_stride) *
+      static_cast<std::size_t>(v.k) * sizeof(FibEntry));
+  return v;
+}
 
 void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
                                            const ForwardingPolicy& policy,
@@ -287,33 +250,26 @@ void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
                                            const ForwardingPolicy& policy,
                                            std::span<ForwardSummary> out,
                                            ForwardWorkspace& ws) const {
+  forward_stats_batch(packets, policy, out, ws, fwdk::active_kernel());
+}
+
+void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
+                                           const ForwardingPolicy& policy,
+                                           std::span<ForwardSummary> out,
+                                           ForwardWorkspace& ws,
+                                           fwdk::Kernel kernel) const {
   SPLICE_EXPECTS(out.size() == packets.size());
 
-  // Wavefront kernel: every still-in-flight walk advances one hop per sweep
-  // over a compact state array. Consecutive sweep iterations touch different
-  // packets, so their next-hop FIB loads carry no data dependence on each
-  // other — the out-of-order core issues them together and the dependent
-  // per-walk load chains of many packets overlap in the memory system.
-  // Walk state streams sequentially (hardware-prefetch friendly); finished
-  // walks are swap-removed, which reorders processing but not results —
-  // each walk runs the exact per-hop logic of forward_core and walks are
-  // mutually independent, so out[i] is bit-identical to forward_stats
-  // regardless of sweep order.
-  const SliceId k = flat_.slice_count();
-  const char* alive = link_alive_.data();
-  const Weight* weight = edge_weight_.data();
-
-  // Walk state lives in the workspace's word buffer: grown to the largest
-  // batch once, then every later batch through this workspace runs
+  // SoA wavefront kernel (dataplane/forward_kernel.h): every still-in-flight
+  // walk advances one hop per sweep over per-field lane arrays, so the
+  // next-hop FIB loads of consecutive lanes carry no data dependence and
+  // overlap in the memory system — and the AVX2 path turns eight of them
+  // into one gather. Lane state lives in the workspace: grown to the
+  // largest batch once, then every later batch through this workspace runs
   // allocation-free (the zero-alloc contract the resprof gates enforce).
-  const std::size_t needed_words =
-      (packets.size() * sizeof(Walk) + sizeof(std::uint64_t) - 1) /
-      sizeof(std::uint64_t);
-  if (ws.batch_scratch.size() < needed_words) {
-    ws.batch_scratch.resize(needed_words);
-  }
-  Walk* const walks = reinterpret_cast<Walk*>(ws.batch_scratch.data());
-  std::size_t n_walks = 0;
+  fwdk::BatchLanes& lanes = ws.batch;
+  if (lanes.bits_lo.size() < packets.size()) lanes.resize(packets.size());
+  std::size_t n_lanes = 0;
   for (std::size_t i = 0; i < packets.size(); ++i) {
     const Packet& p = packets[i];
     SPLICE_EXPECTS(graph_->valid_node(p.src));
@@ -323,94 +279,20 @@ void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
       out[i].outcome = ForwardOutcome::kDelivered;
       continue;
     }
-    Walk w;
-    w.bits_lo = p.header.stream().lo();
-    w.bits_hi = p.header.stream().hi();
-    w.sum = ForwardSummary{};
-    w.counter = p.counter;
-    w.idx = static_cast<std::uint32_t>(i);
-    w.hdr_bpp = bits_per_hop(p.header.slice_count());
-    w.hdr_mask = w.hdr_bpp > 0 ? ((1u << w.hdr_bpp) - 1u) : 0u;
-    w.bits_left = p.header.slice_count() > 1 ? p.header.remaining_hops() : 0;
-    w.def = default_slice(p.src, p.dst);
-    w.current = w.def;
-    w.node = p.src;
-    w.dst = p.dst;
-    w.ttl = p.ttl;
-    new (walks + n_walks++) Walk(w);
+    fwdk::init_lane(lanes, n_lanes++, p, static_cast<std::uint32_t>(i),
+                    default_slice(p.src, p.dst), p.dst);
   }
+  lanes.size = n_lanes;
+  fwdk::run_batch(fib_view(), policy, lanes, out, kernel);
+  observe_batch_summaries(out);
+}
 
-  std::size_t live = n_walks;
-  while (live > 0) {
-    for (std::size_t j = 0; j < live;) {
-      Walk& w = walks[j];
-      bool terminal = false;
-      if (w.ttl-- <= 0) {
-        w.sum.outcome = ForwardOutcome::kTtlExpired;
-        terminal = true;
-      } else {
-        SliceId slice = w.current;
-        if (w.bits_left > 0) {
-          --w.bits_left;
-          const std::uint32_t raw =
-              static_cast<std::uint32_t>(w.bits_lo) & w.hdr_mask;
-          w.bits_lo =
-              (w.bits_lo >> w.hdr_bpp) | (w.bits_hi << (64 - w.hdr_bpp));
-          w.bits_hi >>= w.hdr_bpp;
-          slice = flat_.reduce_slice(raw);
-        } else if (policy.exhaust == ExhaustPolicy::kHashDefault) {
-          slice = w.def;
-        }
-        if (w.counter.active()) slice = w.counter.deflect(slice, k);
-
-        const std::size_t cell = flat_.cell(w.node, w.dst);
-        FibEntry entry = flat_.at(slice, cell);
-        bool deflected = false;
-        const bool usable =
-            entry.valid() && alive[static_cast<std::size_t>(entry.edge)] != 0;
-        if (!usable) {
-          if (policy.local_recovery == LocalRecovery::kDeflect) {
-            for (SliceId s = 0; s < k && !deflected; ++s) {
-              if (s == slice) continue;
-              const FibEntry alt = flat_.at(s, cell);
-              if (alt.valid() &&
-                  alive[static_cast<std::size_t>(alt.edge)] != 0) {
-                entry = alt;
-                slice = s;
-                deflected = true;
-              }
-            }
-          }
-          if (!deflected) {
-            w.sum.outcome = ForwardOutcome::kDeadEnd;
-            terminal = true;
-          }
-        }
-        if (!terminal) {
-          ++w.sum.hops;
-          w.sum.cost += weight[static_cast<std::size_t>(entry.edge)];
-          w.sum.deflected = w.sum.deflected || deflected;
-          w.node = entry.next_hop;
-          w.current = slice;
-          if (w.node == w.dst) {
-            w.sum.outcome = ForwardOutcome::kDelivered;
-            terminal = true;
-          }
-        }
-      }
-      if (terminal) {
-        out[w.idx] = w.sum;
-        walks[j] = walks[--live];
-      } else {
-        ++j;
-      }
-    }
-  }
-
+void observe_batch_summaries(std::span<const ForwardSummary> out) {
 #if SPLICE_OBS
   // Telemetry tail, outside the kernel: per-packet work is a pure function
   // of the packet set, so these totals are thread-count-invariant no matter
-  // how the batches are partitioned across TrialEngine workers.
+  // how the batches are partitioned across TrialEngine workers (or the
+  // sharded pipeline's destination shards).
   if (obs::MetricsRegistry::enabled()) {
     long long delivered = 0, dead_end = 0, ttl_expired = 0;
     long long hops = 0, deflected = 0;
@@ -452,6 +334,8 @@ void DataPlaneNetwork::forward_stats_batch(std::span<const Packet> packets,
     SPLICE_OBS_COUNT("dataplane.batch.hops", hops);
     SPLICE_OBS_COUNT("dataplane.batch.deflected_packets", deflected);
   }
+#else
+  (void)out;
 #endif  // SPLICE_OBS
 }
 

@@ -23,33 +23,13 @@
 #include <vector>
 
 #include "dataplane/flat_fibs.h"
+#include "dataplane/forward_kernel.h"
+#include "dataplane/forward_types.h"
 #include "dataplane/packet.h"
 #include "graph/graph.h"
 #include "routing/fib.h"
 
 namespace splice {
-
-/// What a node does when the splicing header has no bits left (§4.4
-/// discusses both behaviors).
-enum class ExhaustPolicy {
-  /// Remain in the slice used for the previous hop (paper's §4.4 reading:
-  /// "traffic will remain in its current tree en route to the destination").
-  kStayInCurrent,
-  /// Re-derive the default slice from Hash(src, dst) every hop (literal
-  /// Algorithm 1 fallback).
-  kHashDefault,
-};
-
-/// Whether intermediate nodes may deflect around locally failed links.
-enum class LocalRecovery {
-  kNone,     ///< drop to dead end when the chosen slice's link is down
-  kDeflect,  ///< §4.3 network-based recovery: try other slices' next hops
-};
-
-struct ForwardingPolicy {
-  ExhaustPolicy exhaust = ExhaustPolicy::kStayInCurrent;
-  LocalRecovery local_recovery = LocalRecovery::kNone;
-};
 
 /// Caller-owned scratch for the allocation-free forwarding path. Reused
 /// across packets: the hop buffer keeps its capacity, and the visit-stamp
@@ -62,28 +42,10 @@ struct ForwardWorkspace {
   /// Node -> epoch of last visit; see count_node_revisits(hops, n, ws).
   std::vector<std::uint32_t> visit_stamp;
   std::uint32_t visit_epoch = 0;
-  /// Walk-state storage for forward_stats_batch (opaque: the kernel's
-  /// internal per-packet state lives here between sweeps, sized in 8-byte
-  /// words). Grows to the largest batch seen, then steady-state reuse is
-  /// allocation-free.
-  std::vector<std::uint64_t> batch_scratch;
-};
-
-/// Statistics-only result of one forwarded packet: everything the Monte
-/// Carlo loops need without materializing a trace.
-struct ForwardSummary {
-  ForwardOutcome outcome = ForwardOutcome::kDeadEnd;
-  /// Hops taken (equals the trace length forward() would have returned).
-  int hops = 0;
-  /// Path latency under original graph weights, accumulated hop by hop in
-  /// trace order — bit-identical to trace_cost() on the equivalent trace.
-  Weight cost = 0.0;
-  /// True iff any hop used §4.3 network-based deflection.
-  bool deflected = false;
-
-  bool delivered() const noexcept {
-    return outcome == ForwardOutcome::kDelivered;
-  }
+  /// Walk state of forward_stats_batch: typed per-field SoA lanes (the old
+  /// reinterpret_cast'd word buffer is gone). Lane vectors grow to the
+  /// largest batch seen, then steady-state reuse is allocation-free.
+  fwdk::BatchLanes batch;
 };
 
 class DataPlaneNetwork {
@@ -105,12 +67,14 @@ class DataPlaneNetwork {
   void set_link_mask(std::span<const char> alive);
 
   bool link_alive(EdgeId e) const noexcept {
-    SPLICE_EXPECTS(e >= 0 &&
-                   static_cast<std::size_t>(e) < link_alive_.size());
+    SPLICE_EXPECTS(e >= 0 && static_cast<std::size_t>(e) < links_);
     return link_alive_[static_cast<std::size_t>(e)] != 0;
   }
 
-  std::span<const char> link_mask() const noexcept { return link_alive_; }
+  /// One byte per edge (the fwdk::kAlivePad tail padding is not exposed).
+  std::span<const char> link_mask() const noexcept {
+    return std::span<const char>(link_alive_.data(), links_);
+  }
 
   /// Default slice for a flow with no forwarding bits: Hash(src, dst) mod k.
   SliceId default_slice(NodeId src, NodeId dst) const noexcept;
@@ -142,14 +106,26 @@ class DataPlaneNetwork {
                            const ForwardingPolicy& policy,
                            std::span<ForwardSummary> out) const;
 
-  /// Workspace variant: walk state lives in ws.batch_scratch, so repeated
-  /// batches through one workspace are allocation-free once the scratch has
-  /// grown to the batch size. Results are bit-identical to the allocating
-  /// overload.
+  /// Workspace variant: walk state lives in ws.batch (SoA lanes), so
+  /// repeated batches through one workspace are allocation-free once the
+  /// lanes have grown to the batch size. Results are bit-identical to the
+  /// allocating overload.
   void forward_stats_batch(std::span<const Packet> packets,
                            const ForwardingPolicy& policy,
                            std::span<ForwardSummary> out,
                            ForwardWorkspace& ws) const;
+
+  /// Explicit-kernel variant for differential tests and benchmarks; the
+  /// overloads above use fwdk::active_kernel().
+  void forward_stats_batch(std::span<const Packet> packets,
+                           const ForwardingPolicy& policy,
+                           std::span<ForwardSummary> out,
+                           ForwardWorkspace& ws, fwdk::Kernel kernel) const;
+
+  /// Kernel-facing view of this network's forwarding state (full FIB:
+  /// row_stride == node count). Liveness pointer tracks link mask updates;
+  /// rebuild per batch, not per scenario.
+  fwdk::FibView fib_view() const noexcept;
 
  private:
   template <bool kTrace>
@@ -163,8 +139,17 @@ class DataPlaneNetwork {
   /// Edge weights in edge-id order, copied out of the Graph once so the
   /// per-hop cost accumulation is one contiguous load.
   std::vector<Weight> edge_weight_;
+  /// Liveness bytes, one per edge, plus fwdk::kAlivePad zero tail bytes so
+  /// the AVX2 kernel's 32-bit liveness gathers stay in bounds.
   std::vector<char> link_alive_;
+  std::size_t links_ = 0;
 };
+
+/// Batch-level obs telemetry over completed summaries (packet/outcome/hop
+/// counters + hop histogram). forward_stats_batch calls it internally; the
+/// sharded pipeline calls it once per merged batch. No-op when obs is
+/// compiled out or disabled.
+void observe_batch_summaries(std::span<const ForwardSummary> out);
 
 /// Path latency under original graph weights for a delivery trace.
 Weight trace_cost(const Graph& g, const Delivery& d);

@@ -1,0 +1,265 @@
+#include "dataplane/shard_pipeline.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "util/assert.h"
+
+namespace splice {
+
+namespace {
+
+/// SPSC ring commands. The ring only ever holds the in-flight job plus a
+/// final stop token, but the ring structure (rather than a single flag)
+/// keeps push non-blocking and the idiom reusable.
+constexpr std::uint32_t kCmdBatch = 1;
+constexpr std::uint32_t kCmdStop = 2;
+
+}  // namespace
+
+/// One destination shard: a worker thread, its compacted FIB replica, its
+/// private liveness copy, its lane workspace, and the SPSC command ring
+/// that feeds it. The jthread is the last member so destruction joins the
+/// thread before any state it touches is torn down.
+struct ShardPipeline::Worker {
+  ShardPipeline* pipe = nullptr;
+  int id = 0;
+  NodeId dst_lo = 0;
+  NodeId dst_hi = 0;  ///< exclusive
+
+  /// Compacted replica [slice][node][dst_local], row stride = shard width.
+  /// Built on the worker thread (first-touch placement).
+  std::vector<FibEntry> entries;
+  /// Private liveness copy (links + kAlivePad zero tail), refreshed lazily
+  /// from the master mask when the epoch is stale.
+  std::vector<char> alive;
+  std::uint64_t mask_epoch = 0;
+  fwdk::FibView view{};
+  fwdk::BatchLanes lanes;
+
+  /// SPSC command ring: the dispatcher releases writes at tail, the worker
+  /// acquires them at head and sleeps on the tail word (C++20 atomic wait).
+  static constexpr std::uint32_t kCap = 8;
+  std::array<std::uint32_t, kCap> ring{};
+  std::atomic<std::uint32_t> head{0};
+  std::atomic<std::uint32_t> tail{0};
+
+  /// Jobs completed (worker-released); the dispatcher waits for it to
+  /// catch up with jobs_pushed.
+  std::atomic<std::uint64_t> jobs_done{0};
+  std::uint64_t jobs_pushed = 0;
+  std::atomic<int> ready{0};
+
+  std::jthread thread;
+
+  void push(std::uint32_t cmd) {
+    const std::uint32_t t = tail.load(std::memory_order_relaxed);
+    SPLICE_EXPECTS(t - head.load(std::memory_order_acquire) < kCap);
+    ring[t % kCap] = cmd;
+    tail.store(t + 1, std::memory_order_release);
+    tail.notify_one();
+  }
+
+  std::uint32_t pop() {
+    const std::uint32_t h = head.load(std::memory_order_relaxed);
+    while (tail.load(std::memory_order_acquire) == h) {
+      tail.wait(h, std::memory_order_acquire);
+    }
+    const std::uint32_t cmd = ring[h % kCap];
+    head.store(h + 1, std::memory_order_release);
+    return cmd;
+  }
+};
+
+ShardPipeline::ShardPipeline(const DataPlaneNetwork& net, int workers,
+                             fwdk::Kernel kernel)
+    : net_(&net), kernel_(kernel) {
+  const auto n = static_cast<std::size_t>(net.graph().node_count());
+  SPLICE_EXPECTS(n >= 1);
+  const std::span<const char> mask = net.link_mask();
+  links_ = mask.size();
+  mask_.assign(links_ + fwdk::kAlivePad, 0);
+  std::memcpy(mask_.data(), mask.data(), links_);
+
+  const auto requested = static_cast<std::size_t>(std::max(workers, 1));
+  span_ = (n + requested - 1) / requested;
+  workers_ = static_cast<int>((n + span_ - 1) / span_);
+  if (workers_ <= 1) {
+    workers_ = 1;
+    return;
+  }
+
+  shard_items_.resize(static_cast<std::size_t>(workers_));
+  pool_.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->pipe = this;
+    worker->id = w;
+    worker->dst_lo = static_cast<NodeId>(static_cast<std::size_t>(w) * span_);
+    worker->dst_hi = static_cast<NodeId>(
+        std::min(n, (static_cast<std::size_t>(w) + 1) * span_));
+    pool_.push_back(std::move(worker));
+  }
+  for (auto& w : pool_) {
+    Worker* raw = w.get();
+    raw->thread = std::jthread([this, raw] { worker_main(*raw); });
+  }
+  for (auto& w : pool_) {
+    while (w->ready.load(std::memory_order_acquire) == 0) {
+      w->ready.wait(0, std::memory_order_acquire);
+    }
+  }
+}
+
+ShardPipeline::~ShardPipeline() {
+  for (auto& w : pool_) w->push(kCmdStop);
+  pool_.clear();  // jthread destructors join
+}
+
+void ShardPipeline::worker_main(Worker& w) {
+  // Replica build, on this thread so first-touch places the pages here: a
+  // verbatim copy of this shard's destination columns, [slice][node]
+  // [dst_local], then the same hugepage advice the master FIB gets.
+  const fwdk::FibView master = net_->fib_view();
+  const auto n = static_cast<std::size_t>(net_->graph().node_count());
+  const auto width =
+      static_cast<std::size_t>(w.dst_hi) - static_cast<std::size_t>(w.dst_lo);
+  const auto k = static_cast<std::size_t>(master.k);
+  w.entries.resize(k * n * width);
+  for (std::size_t s = 0; s < k; ++s) {
+    for (std::size_t node = 0; node < n; ++node) {
+      std::memcpy(w.entries.data() + (s * n + node) * width,
+                  master.entries + s * master.slice_stride +
+                      node * master.row_stride +
+                      static_cast<std::size_t>(w.dst_lo),
+                  width * sizeof(FibEntry));
+    }
+  }
+  fwdk::advise_hugepages(w.entries.data(),
+                         w.entries.size() * sizeof(FibEntry));
+  w.alive.assign(links_ + fwdk::kAlivePad, 0);
+  w.view = master;
+  w.view.entries = w.entries.data();
+  w.view.slice_stride = n * width;
+  w.view.row_stride = width;
+  w.view.alive = w.alive.data();
+  // The replica is smaller than the master FIB by the shard factor; gate
+  // its prefetch on its own footprint, not the master's.
+  w.view.prefetch =
+      fwdk::prefetch_enabled(w.entries.size() * sizeof(FibEntry));
+  w.ready.store(1, std::memory_order_release);
+  w.ready.notify_one();
+
+  for (;;) {
+    const std::uint32_t cmd = w.pop();
+    if (cmd == kCmdStop) return;
+    // The ring pop acquired everything the dispatcher wrote before the
+    // push: batch spans, shard item lists, and any mask update + epoch.
+    if (w.mask_epoch != mask_epoch_) {
+      std::memcpy(w.alive.data(), mask_.data(), links_);
+      w.mask_epoch = mask_epoch_;
+    }
+    const std::vector<std::uint32_t>& items =
+        shard_items_[static_cast<std::size_t>(w.id)];
+    if (w.lanes.bits_lo.size() < items.size()) w.lanes.resize(items.size());
+    std::size_t nl = 0;
+    for (const std::uint32_t i : items) {
+      const Packet& p = cur_packets_[i];
+      fwdk::init_lane(w.lanes, nl++, p, i,
+                      net_->default_slice(p.src, p.dst), p.dst - w.dst_lo);
+    }
+    w.lanes.size = nl;
+    fwdk::run_batch(w.view, cur_policy_, w.lanes, cur_out_, kernel_);
+    w.jobs_done.fetch_add(1, std::memory_order_release);
+    w.jobs_done.notify_one();
+  }
+}
+
+void ShardPipeline::forward_stats_batch(std::span<const Packet> packets,
+                                        const ForwardingPolicy& policy,
+                                        std::span<ForwardSummary> out) {
+  SPLICE_EXPECTS(out.size() == packets.size());
+  if (workers_ == 1) {
+    forward_inline(packets, policy, out);
+    return;
+  }
+
+  for (auto& items : shard_items_) items.clear();
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const Packet& p = packets[i];
+    SPLICE_EXPECTS(net_->graph().valid_node(p.src));
+    SPLICE_EXPECTS(net_->graph().valid_node(p.dst));
+    if (p.src == p.dst) {
+      out[i] = ForwardSummary{};
+      out[i].outcome = ForwardOutcome::kDelivered;
+      continue;
+    }
+    shard_items_[shard_of(p.dst)].push_back(static_cast<std::uint32_t>(i));
+  }
+  cur_packets_ = packets;
+  cur_out_ = out;
+  cur_policy_ = policy;
+
+  for (auto& w : pool_) {
+    if (shard_items_[static_cast<std::size_t>(w->id)].empty()) continue;
+    ++w->jobs_pushed;
+    w->push(kCmdBatch);
+  }
+  for (auto& w : pool_) {
+    std::uint64_t done;
+    while ((done = w->jobs_done.load(std::memory_order_acquire)) !=
+           w->jobs_pushed) {
+      w->jobs_done.wait(done, std::memory_order_acquire);
+    }
+  }
+  observe_batch_summaries(out);
+}
+
+void ShardPipeline::forward_inline(std::span<const Packet> packets,
+                                   const ForwardingPolicy& policy,
+                                   std::span<ForwardSummary> out) {
+  fwdk::FibView view = net_->fib_view();
+  view.alive = mask_.data();  // pipeline-owned liveness, not the network's
+  if (inline_lanes_.bits_lo.size() < packets.size()) {
+    inline_lanes_.resize(packets.size());
+  }
+  std::size_t nl = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const Packet& p = packets[i];
+    SPLICE_EXPECTS(net_->graph().valid_node(p.src));
+    SPLICE_EXPECTS(net_->graph().valid_node(p.dst));
+    if (p.src == p.dst) {
+      out[i] = ForwardSummary{};
+      out[i].outcome = ForwardOutcome::kDelivered;
+      continue;
+    }
+    fwdk::init_lane(inline_lanes_, nl++, p, static_cast<std::uint32_t>(i),
+                    net_->default_slice(p.src, p.dst), p.dst);
+  }
+  inline_lanes_.size = nl;
+  fwdk::run_batch(view, policy, inline_lanes_, out, kernel_);
+  observe_batch_summaries(out);
+}
+
+void ShardPipeline::set_link_mask(std::span<const char> alive) {
+  SPLICE_EXPECTS(alive.size() == links_);
+  std::memcpy(mask_.data(), alive.data(), links_);
+  ++mask_epoch_;
+}
+
+void ShardPipeline::set_link_state(EdgeId e, bool alive) {
+  SPLICE_EXPECTS(e >= 0 && static_cast<std::size_t>(e) < links_);
+  mask_[static_cast<std::size_t>(e)] = alive ? 1 : 0;
+  ++mask_epoch_;
+}
+
+void ShardPipeline::restore_all_links() {
+  std::fill(mask_.begin(),
+            mask_.begin() + static_cast<std::ptrdiff_t>(links_), 1);
+  ++mask_epoch_;
+}
+
+}  // namespace splice

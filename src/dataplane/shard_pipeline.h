@@ -1,0 +1,119 @@
+// Destination-sharded multi-core forwarding pipeline.
+//
+// Scaling the batch kernel across cores without sacrificing its determinism
+// contract: destinations are split into contiguous ranges, one per worker,
+// and each worker owns a compacted FIB replica holding exactly its
+// destination columns — [slice][node][dst_local] with row stride equal to
+// the shard width. Replicas are built ON the worker's own thread
+// (first-touch placement, so on NUMA machines each replica lands in the
+// worker's local memory) and carry the same transparent-hugepage advice as
+// the master FIB. A packet is routed to the worker that owns its
+// destination; since a walk's destination never changes, a walk never
+// leaves its shard, workers share nothing hot, and each worker's FIB
+// working set shrinks by the shard factor.
+//
+// Work distribution is run-to-completion: the dispatching thread partitions
+// a batch by destination shard, publishes the batch spans, and pushes one
+// job token into each participating worker's SPSC ring (the flight-recorder
+// single-writer ring idiom: release-published tail, acquire-consumed head,
+// C++20 atomic wait instead of spinning). Workers forward their share with
+// the same fwdk kernel, write summaries straight into the caller's `out`
+// span — per-packet slots are disjoint, so the "merge" is free and the
+// result order is the caller's packet order — and bump a completion
+// counter the dispatcher waits on.
+//
+// Liveness is pipeline-owned: the pipeline snapshots the network's link
+// mask at construction and set_link_mask()/set_link_state()/
+// restore_all_links() mutate the pipeline's copy under a mask epoch.
+// Workers lazily re-copy the master mask at the start of their next job
+// when their epoch is stale (the ring push/pop pair orders the mask write
+// before the copy), so mask updates are only legal between batches —
+// exactly the single-producer contract the scenario loops already follow.
+//
+// Determinism: out[i] is exactly forward_stats(packets[i]) bit for bit —
+// walks are independent, each worker replays the same per-lane kernel
+// semantics against the same FIB values (the replica is a verbatim copy of
+// its columns), and out slots are disjoint — so results are invariant
+// under worker count, shard geometry and kernel choice.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dataplane/forward_kernel.h"
+#include "dataplane/network.h"
+
+namespace splice {
+
+class ShardPipeline {
+ public:
+  /// Builds `workers` destination shards over `net` (clamped to [1, node
+  /// count]). workers <= 1 degrades to an inline single-threaded path with
+  /// no worker threads and no replicas. The network must outlive the
+  /// pipeline; its link mask is snapshotted here and evolves independently
+  /// afterwards. `kernel` pins the hop kernel (defaults to the process-wide
+  /// choice).
+  ShardPipeline(const DataPlaneNetwork& net, int workers,
+                fwdk::Kernel kernel = fwdk::active_kernel());
+  ~ShardPipeline();
+
+  ShardPipeline(const ShardPipeline&) = delete;
+  ShardPipeline& operator=(const ShardPipeline&) = delete;
+
+  int worker_count() const noexcept { return workers_; }
+  fwdk::Kernel kernel() const noexcept { return kernel_; }
+
+  /// Forwards a batch across the shards: out[i] is bit-identical to
+  /// net.forward_stats(packets[i], policy) under the pipeline's current
+  /// link mask. Blocks until every summary is written. Not reentrant —
+  /// one batch at a time, from one thread.
+  void forward_stats_batch(std::span<const Packet> packets,
+                           const ForwardingPolicy& policy,
+                           std::span<ForwardSummary> out);
+
+  /// Between batches only (single-producer contract).
+  void set_link_mask(std::span<const char> alive);
+  void set_link_state(EdgeId e, bool alive);
+  void restore_all_links();
+
+ private:
+  struct Worker;
+
+  /// Shard owning destination `dst` (contiguous ranges of width span_).
+  std::size_t shard_of(NodeId dst) const noexcept {
+    return static_cast<std::size_t>(dst) / span_;
+  }
+
+  const DataPlaneNetwork* net_;
+  fwdk::Kernel kernel_;
+  int workers_ = 1;
+  std::size_t span_ = 1;  ///< destinations per shard
+  std::size_t links_ = 0;
+
+  /// Master liveness mask (links_ bytes + fwdk::kAlivePad zero tail) and
+  /// its epoch; workers re-copy when stale.
+  std::vector<char> mask_;
+  std::uint64_t mask_epoch_ = 1;
+
+  /// Per-shard packet-index lists, rebuilt each batch (capacity reused).
+  std::vector<std::vector<std::uint32_t>> shard_items_;
+
+  /// Published batch state, valid while a batch is in flight; the ring
+  /// push/pop release/acquire pair orders these writes before worker reads.
+  std::span<const Packet> cur_packets_;
+  std::span<ForwardSummary> cur_out_;
+  ForwardingPolicy cur_policy_;
+
+  std::vector<std::unique_ptr<Worker>> pool_;
+
+  /// Inline path state (workers_ == 1).
+  fwdk::BatchLanes inline_lanes_;
+
+  void forward_inline(std::span<const Packet> packets,
+                      const ForwardingPolicy& policy,
+                      std::span<ForwardSummary> out);
+  void worker_main(Worker& w);
+};
+
+}  // namespace splice

@@ -1,0 +1,72 @@
+// Deterministic batch feed for throughput benchmarks and kernel tests.
+//
+// TrialEngine's determinism contract says a trial's randomness must be a
+// pure function of its trial index; ScenarioBatchFeed packages that contract
+// for the batch forwarding consumers: trial t of stream S always produces
+// the same link-failure mask and the same packet batch (sources,
+// destinations, splicing headers, occasional counter headers), regardless
+// of which thread, kernel or pipeline shard consumes it. Benchmarks use it
+// to feed identical work to every kernel/pipeline configuration under
+// comparison, and the differential tests use it to diff kernels on
+// bit-identical inputs.
+//
+// Header-only; the packet buffer is caller-owned and reused across trials
+// (capacity retained), the mask is replaced per trial — per-trial costs,
+// never per-packet ones.
+#pragma once
+
+#include <vector>
+
+#include "dataplane/packet.h"
+#include "graph/graph.h"
+#include "sim/failure.h"
+#include "sim/trial_engine.h"
+#include "util/rng.h"
+
+namespace splice {
+
+struct BatchFeedConfig {
+  int packets_per_trial = 1024;
+  /// Slice count the splicing headers are built for (usually the network's
+  /// k; headers for a different k exercise the defensive reduction).
+  SliceId header_k = 1;
+  int header_hops = SpliceHeader::kDefaultHops;
+  /// Per-edge Bernoulli failure probability of each trial's link mask.
+  double failure_p = 0.0;
+  /// Fraction of packets carrying a §5 counter deflection header.
+  double counter_fraction = 0.0;
+  int ttl = 255;
+};
+
+/// Fills `mask` and `packets` for trial `trial` of stream `stream`:
+/// mask = Bernoulli(p) liveness over g's edges, packets = uniform random
+/// src != dst pairs with fresh random splicing headers. Deterministic in
+/// (g, cfg, stream, trial) alone.
+inline void fill_trial_batch(const Graph& g, const BatchFeedConfig& cfg,
+                             std::uint64_t stream, int trial,
+                             std::vector<char>& mask,
+                             std::vector<Packet>& packets) {
+  Rng rng(trial_substream_seed(stream, static_cast<std::uint64_t>(trial)));
+  mask = sample_alive_mask(g.edge_count(), cfg.failure_p, rng);
+  packets.clear();
+  packets.reserve(static_cast<std::size_t>(cfg.packets_per_trial));
+  const auto n = static_cast<std::uint64_t>(g.node_count());
+  for (int i = 0; i < cfg.packets_per_trial; ++i) {
+    Packet p;
+    p.src = static_cast<NodeId>(rng.below(n));
+    do {
+      p.dst = static_cast<NodeId>(rng.below(n));
+    } while (p.dst == p.src && n > 1);
+    if (cfg.header_k > 1) {
+      p.header = SpliceHeader::random(cfg.header_k, cfg.header_hops, rng);
+    }
+    if (cfg.counter_fraction > 0.0 && rng.bernoulli(cfg.counter_fraction)) {
+      p.counter = CounterHeader(
+          static_cast<std::uint32_t>(rng.below(8) + 1));
+    }
+    p.ttl = cfg.ttl;
+    packets.push_back(p);
+  }
+}
+
+}  // namespace splice

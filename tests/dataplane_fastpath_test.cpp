@@ -8,8 +8,11 @@
 #include <span>
 #include <vector>
 
+#include "dataplane/forward_kernel.h"
 #include "dataplane/network.h"
+#include "dataplane/shard_pipeline.h"
 #include "graph/generators.h"
+#include "sim/batch_feed.h"
 #include "routing/multi_instance.h"
 #include "sim/experiments.h"
 #include "splicing/recovery.h"
@@ -403,6 +406,191 @@ TEST(ForwardFastPath, VisitStampEpochSurvivesWraparound) {
     env.net.forward_fast(p, {}, ws);
     EXPECT_EQ(count_node_revisits(ws.hops, env.g.node_count(), metric_ws),
               legacy_count_node_revisits(d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-kernel dispatch: Lemire fast-mod exactness, scalar/AVX2 bit
+// identity, and worker-count invariance of the sharded pipeline.
+// ---------------------------------------------------------------------------
+
+TEST(ForwardKernel, FastmodMatchesModuloExhaustively) {
+  // Every divisor the slice reduction can see (k <= 256 covers all paper
+  // configurations with room to spare) against edge-case and random raws.
+  std::vector<std::uint32_t> raws = {0,          1,          2,
+                                     254,        255,        256,
+                                     257,        0x7fffffffu, 0x80000000u,
+                                     0xfffffffeu, 0xffffffffu};
+  Rng rng(424242);
+  for (int i = 0; i < 5000; ++i) {
+    raws.push_back(static_cast<std::uint32_t>(rng()));
+  }
+  for (std::uint32_t k = 1; k <= 256; ++k) {
+    const std::uint64_t magic = fastmod_magic(k);
+    for (const std::uint32_t raw : raws) {
+      ASSERT_EQ(fastmod_u32(raw, magic, k), raw % k)
+          << "raw=" << raw << " k=" << k;
+    }
+  }
+}
+
+TEST(ForwardKernel, ReduceSliceMatchesModulo) {
+  for (const SliceId k : {SliceId{1}, SliceId{2}, SliceId{3}, SliceId{5},
+                          SliceId{7}, SliceId{8}, SliceId{12}, SliceId{64}}) {
+    FibSet fibs(k, 4);
+    const FlatFibs flat(fibs);
+    Rng rng(17 + static_cast<std::uint64_t>(k));
+    for (int i = 0; i < 2000; ++i) {
+      const auto raw = static_cast<std::uint32_t>(rng());
+      ASSERT_EQ(flat.reduce_slice(raw),
+                static_cast<SliceId>(raw % static_cast<std::uint32_t>(k)))
+          << "raw=" << raw << " k=" << k;
+    }
+  }
+}
+
+void expect_summaries_equal(std::span<const ForwardSummary> got,
+                            std::span<const ForwardSummary> want,
+                            const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].outcome, want[i].outcome) << what << " packet " << i;
+    EXPECT_EQ(got[i].hops, want[i].hops) << what << " packet " << i;
+    EXPECT_EQ(got[i].cost, want[i].cost) << what << " packet " << i;
+    EXPECT_EQ(got[i].deflected, want[i].deflected) << what << " packet " << i;
+  }
+}
+
+/// Scalar vs AVX2 element-wise bit identity, with forward_stats as the
+/// per-element oracle: all four policy combinations, counter headers,
+/// ragged batch sizes straddling the 8-lane group width (0, 1, W-1, W,
+/// W+1), power-of-two and non-power-of-two k, healthy and heavily failed
+/// masks. When the CPU (or build) lacks AVX2, the AVX2 leg degrades to
+/// scalar dispatch and the test still validates the oracle equivalence.
+TEST(ForwardKernel, ScalarAvx2BitIdenticalToForwardStats) {
+  const ForwardingPolicy policies[] = {
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kNone},
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kDeflect},
+      {ExhaustPolicy::kHashDefault, LocalRecovery::kNone},
+      {ExhaustPolicy::kHashDefault, LocalRecovery::kDeflect},
+  };
+  const bool have_avx2 = fwdk::kernel_supported(fwdk::Kernel::kAvx2);
+  for (Graph& g : evaluation_topologies()) {
+    for (const SliceId k :
+         {SliceId{1}, SliceId{3}, SliceId{4}, SliceId{5}, SliceId{8}}) {
+      Env env(g, k);
+      BatchFeedConfig feed;
+      feed.header_k = k;
+      feed.counter_fraction = 0.3;
+      std::vector<char> mask;
+      std::vector<Packet> packets;
+      ForwardWorkspace ws_scalar;
+      ForwardWorkspace ws_avx2;
+      for (const double p_fail : {0.0, 0.3}) {
+        feed.failure_p = p_fail;
+        int trial = 0;
+        for (const std::size_t count :
+             {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+              std::size_t{9}, std::size_t{70}}) {
+          feed.packets_per_trial = static_cast<int>(count);
+          fill_trial_batch(env.g, feed, 0xfeed0000u + static_cast<int>(k),
+                           trial++, mask, packets);
+          // A few src==dst short-circuits and short TTLs in the mix.
+          for (std::size_t i = 0; i < count; ++i) {
+            if (i % 5 == 4) packets[i].dst = packets[i].src;
+            if (i % 7 == 0) packets[i].ttl = 4;
+          }
+          env.net.set_link_mask(mask);
+          std::vector<ForwardSummary> want(count);
+          std::vector<ForwardSummary> scalar(count);
+          std::vector<ForwardSummary> avx2(count);
+          for (const ForwardingPolicy& policy : policies) {
+            for (std::size_t i = 0; i < count; ++i) {
+              want[i] = env.net.forward_stats(packets[i], policy);
+            }
+            env.net.forward_stats_batch(packets, policy, scalar, ws_scalar,
+                                        fwdk::Kernel::kScalar);
+            env.net.forward_stats_batch(packets, policy, avx2, ws_avx2,
+                                        fwdk::Kernel::kAvx2);
+            expect_summaries_equal(scalar, want, "scalar");
+            expect_summaries_equal(avx2, want, "avx2");
+          }
+        }
+      }
+    }
+  }
+  // The differential half of this test is only meaningful when the two
+  // dispatches actually diverge; record that in the test output.
+  if (!have_avx2) {
+    GTEST_LOG_(INFO) << "AVX2 unavailable: both legs ran the scalar kernel";
+  }
+}
+
+/// The sharded pipeline must be invariant under worker count and kernel:
+/// out[i] bit-identical to the single-threaded batch for every shard
+/// geometry, including mask updates between batches.
+TEST(ForwardKernel, ShardPipelineWorkerCountInvariant) {
+  const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                LocalRecovery::kDeflect};
+  for (Graph& g : evaluation_topologies()) {
+    const SliceId k = 5;
+    Env env(g, k);
+    BatchFeedConfig feed;
+    feed.header_k = k;
+    feed.packets_per_trial = 257;  // not a multiple of anything convenient
+    feed.failure_p = 0.15;
+    feed.counter_fraction = 0.2;
+    std::vector<char> mask;
+    std::vector<Packet> packets;
+    for (int trial = 0; trial < 3; ++trial) {
+      fill_trial_batch(env.g, feed, 0xabcdef, trial, mask, packets);
+      env.net.set_link_mask(mask);
+      std::vector<ForwardSummary> want(packets.size());
+      env.net.forward_stats_batch(packets, policy, want);
+      for (const int workers : {1, 2, 3, 5}) {
+        for (const fwdk::Kernel kernel :
+             {fwdk::Kernel::kScalar, fwdk::Kernel::kAvx2}) {
+          ShardPipeline pipe(env.net, workers, kernel);
+          ASSERT_LE(pipe.worker_count(), std::max(workers, 1));
+          std::vector<ForwardSummary> got(packets.size());
+          pipe.forward_stats_batch(packets, policy, got);
+          expect_summaries_equal(got, want, "pipeline");
+          // Mask update between batches: flip to all-alive and diff again.
+          pipe.restore_all_links();
+          env.net.restore_all_links();
+          std::vector<ForwardSummary> want_up(packets.size());
+          env.net.forward_stats_batch(packets, policy, want_up);
+          pipe.forward_stats_batch(packets, policy, got);
+          expect_summaries_equal(got, want_up, "pipeline-after-mask");
+          env.net.set_link_mask(mask);  // restore for the next config
+        }
+      }
+    }
+  }
+}
+
+/// One long-lived pipeline across many batches and mask epochs (the
+/// scenario-loop usage pattern), exercising the lazy mask rebroadcast.
+TEST(ForwardKernel, ShardPipelineMaskEpochsAcrossBatches) {
+  Env env(topo::sprint(), 4);
+  const ForwardingPolicy policy{ExhaustPolicy::kHashDefault,
+                                LocalRecovery::kDeflect};
+  BatchFeedConfig feed;
+  feed.header_k = 4;
+  feed.packets_per_trial = 128;
+  feed.failure_p = 0.2;
+  ShardPipeline pipe(env.net, 3);
+  std::vector<char> mask;
+  std::vector<Packet> packets;
+  for (int trial = 0; trial < 8; ++trial) {
+    fill_trial_batch(env.g, feed, 0x5eed, trial, mask, packets);
+    env.net.set_link_mask(mask);
+    pipe.set_link_mask(mask);
+    std::vector<ForwardSummary> want(packets.size());
+    std::vector<ForwardSummary> got(packets.size());
+    env.net.forward_stats_batch(packets, policy, want);
+    pipe.forward_stats_batch(packets, policy, got);
+    expect_summaries_equal(got, want, "epoch");
   }
 }
 
