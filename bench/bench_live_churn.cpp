@@ -1,0 +1,339 @@
+// Live-churn republication bench: the FibPublisher pipeline end to end —
+// one control thread replaying a deterministic churn trace (flaps, SRLG
+// bursts, maintenance windows) at max rate through incremental repair +
+// touched-destination patching + epoch-RCU snapshot swaps, while N reader
+// threads forward deterministic packet batches wait-free against whatever
+// snapshot they pin.
+//
+// Reported per (config, mode) row:
+//   events_per_s        publication rate: full events -> grace completion
+//   reconv_p50/p99/max  the reconvergence-latency SLO (event ingest ->
+//     _us               every reader observing the new epoch), percentiles
+//                       over the per-event PublishStats samples
+//   Mlookups_per_s      aggregate read-side primary FIB loads (committed
+//                       hops + dead-end terminal attempts) — mode "churn"
+//                       measures lookups while the publisher swaps, mode
+//                       "frozen" is the publication-off comparator: the
+//                       same readers for the same wall time with zero
+//                       publishes, so the delta is the full read-side cost
+//                       of live publication
+//   publish_work_us     mean control-side publish cost (repair + patch +
+//                       swap, excluding the grace wait — grace is paid by
+//                       any republication scheme and is scheduler-bound
+//                       when cores are oversubscribed)
+//   republish_speedup   full build_fibs() wall / mean publish_work — what
+//                       incremental repair + touched-destination patching
+//                       buys over rebuild-and-swap republication
+//   fib_checksum        FNV-1a over the quiescent published table bytes +
+//                       liveness (the trace closes every window, so this
+//                       must equal the pristine control plane's checksum;
+//                       exact-gated by check.sh --bench-smoke)
+//
+// Self-gating: after the replay the published table is compared byte for
+// byte against a from-scratch control plane built at the same weight
+// state; any divergence is FATAL and the bench exits nonzero — a perf
+// number can never come from a wrong table.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "dataplane/fib_publisher.h"
+#include "dataplane/network.h"
+#include "graph/generators.h"
+#include "obs/span.h"
+#include "routing/multi_instance.h"
+#include "sim/batch_feed.h"
+#include "sim/churn.h"
+
+namespace splice {
+namespace {
+
+std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Quiescent-state checksum: published table bytes + liveness mask.
+std::uint64_t published_checksum(const FibPublisher& pub) {
+  const auto entries = pub.published_fibs().data();
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv_bytes(h, entries.data(), entries.size() * sizeof(FibEntry));
+  const auto mask = pub.published_net().link_mask();
+  return fnv_bytes(h, mask.data(), mask.size());
+}
+
+struct ReaderTotals {
+  long long lookups = 0;  ///< committed hops + dead-end terminal attempts
+  long long batches = 0;
+};
+
+/// N reader threads spinning pin -> forward batch -> unpin against the
+/// live publisher until stopped. Packet batches are deterministic
+/// (ScenarioBatchFeed), rotated per iteration; the counts are wall-clock
+/// dependent and only ever feed throughput columns, never exact ones.
+class ReaderPool {
+ public:
+  ReaderPool(FibPublisher& pub, const Graph& g, SliceId k, int readers,
+             int packets, std::uint64_t seed)
+      : totals_(static_cast<std::size_t>(readers)) {
+    threads_.reserve(static_cast<std::size_t>(readers));
+    for (int r = 0; r < readers; ++r) {
+      threads_.emplace_back([&pub, &g, k, packets, seed, r, this] {
+        FibPublisher::Reader reader(pub);
+        BatchFeedConfig feed;
+        feed.header_k = k;
+        feed.packets_per_trial = packets;
+        constexpr int kPool = 4;
+        std::vector<char> mask;
+        std::vector<std::vector<Packet>> pool(kPool);
+        for (int t = 0; t < kPool; ++t) {
+          fill_trial_batch(g, feed, seed + static_cast<std::uint64_t>(r), t,
+                           mask, pool[static_cast<std::size_t>(t)]);
+        }
+        std::vector<ForwardSummary> out(
+            static_cast<std::size_t>(packets));
+        ForwardWorkspace ws;
+        const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                      LocalRecovery::kDeflect};
+        ReaderTotals& mine = totals_[static_cast<std::size_t>(r)];
+        int t = 0;
+        while (!stop_.load(std::memory_order_acquire)) {
+          const std::vector<Packet>& packets_in =
+              pool[static_cast<std::size_t>(t)];
+          t = (t + 1) % kPool;
+          const DataPlaneNetwork& net = reader.pin();
+          net.forward_stats_batch(packets_in, policy, out, ws);
+          reader.unpin();
+          for (const ForwardSummary& s : out) {
+            mine.lookups += s.hops +
+                            (s.outcome == ForwardOutcome::kDeadEnd ? 1 : 0);
+          }
+          ++mine.batches;
+        }
+      });
+    }
+  }
+
+  ReaderTotals stop_and_join() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& t : threads_) t.join();
+    ReaderTotals sum;
+    for (const ReaderTotals& t : totals_) {
+      sum.lookups += t.lookups;
+      sum.batches += t.batches;
+    }
+    return sum;
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::vector<ReaderTotals> totals_;
+  std::vector<std::thread> threads_;
+};
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int run(const Flags& flags) {
+  bench::trace_from_flags(flags);
+  bench::obs_from_flags(flags);
+  const auto k = static_cast<SliceId>(flags.get_int("k", 5));
+  const int events = static_cast<int>(flags.get_int("events", 200));
+  const int packets = static_cast<int>(flags.get_int("packets", 512));
+  const int readers = static_cast<int>(flags.get_int("readers", 2));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const int expander_n = static_cast<int>(flags.get_int("expander_n", 900));
+
+  bench::banner("Live churn republication",
+                "epoch-RCU FIB publication under a trace-driven link-event "
+                "stream, with wait-free readers and the reconvergence SLO");
+  std::cout << "readers=" << readers << " events=" << events
+            << " packets/batch=" << packets << "\n\n";
+
+  Table table({"config", "mode", "readers", "events", "events_per_s",
+               "reconv_p50_us", "reconv_p99_us", "reconv_max_us",
+               "publish_work_us", "Mlookups_per_s", "republish_speedup",
+               "fib_checksum"});
+  const bench::Stopwatch wall;
+  bool identical = true;
+  std::string params;
+
+  const auto run_target = [&](const std::string& name, const Graph& g) {
+    const ControlPlaneConfig cp{
+        k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false};
+    FibPublisher pub(g, cp);
+
+    ChurnConfig ccfg;
+    ccfg.incidents = events;
+    ccfg.seed = seed;
+    const auto trace = generate_churn_trace(g, ccfg);
+
+    // Full-rebuild comparator: what one republication costs without the
+    // incremental path — rebuild every slice's SPTs from scratch and
+    // flatten them (the swap + grace are the same either way and excluded
+    // from both sides).
+    double full_ms;
+    {
+      std::vector<std::vector<Weight>> weights(
+          static_cast<std::size_t>(pub.control().slice_count()));
+      for (SliceId s = 0; s < pub.control().slice_count(); ++s) {
+        const auto w = pub.control().slice(s).weights();
+        weights[static_cast<std::size_t>(s)].assign(w.begin(), w.end());
+      }
+      SPLICE_OBS_SPAN("live_churn.full_rebuild");
+      const bench::Stopwatch sw;
+      const MultiInstanceRouting fresh(g, std::move(weights), 0);
+      const FibSet full = fresh.build_fibs();
+      full_ms = sw.elapsed_ms();
+      if (full.data().size() != pub.published_fibs().data().size()) {
+        std::cerr << "FATAL: rebuild geometry mismatch\n";
+        identical = false;
+      }
+    }
+
+    const auto checksum_cell = [&] {
+      char sum[24];
+      std::snprintf(sum, sizeof sum, "x%016llx",
+                    static_cast<unsigned long long>(published_checksum(pub)));
+      return std::string(sum);
+    };
+
+    // -- mode "churn": max-rate replay against live readers ---------------
+    double churn_ms;
+    {
+      ReaderPool pool(pub, g, k, readers, packets, seed ^ 0xfeedULL);
+      std::vector<double> lat_us;
+      lat_us.reserve(trace.size());
+      double work_us_sum = 0.0;
+      const bench::Stopwatch sw;
+      {
+        SPLICE_OBS_SPAN("live_churn.publish_loop");
+        for (const LinkEvent& ev : trace) {
+          const PublishStats st = apply_churn_event(pub, ev);
+          lat_us.push_back(static_cast<double>(st.latency_ns) * 1e-3);
+          work_us_sum += static_cast<double>(st.work_ns) * 1e-3;
+        }
+      }
+      churn_ms = sw.elapsed_ms();
+      const ReaderTotals totals = pool.stop_and_join();
+      pub.quiesce();
+
+      // Self-gate: the published table must equal a from-scratch control
+      // plane at the same (restored) weight state, byte for byte.
+      {
+        std::vector<std::vector<Weight>> weights(
+            static_cast<std::size_t>(pub.control().slice_count()));
+        for (SliceId s = 0; s < pub.control().slice_count(); ++s) {
+          const auto w = pub.control().slice(s).weights();
+          weights[static_cast<std::size_t>(s)].assign(w.begin(), w.end());
+        }
+        const MultiInstanceRouting fresh(g, std::move(weights), 0);
+        const FibSet want = fresh.build_fibs();
+        const auto got = pub.published_fibs().data();
+        if (got.size() != want.data().size() ||
+            std::memcmp(got.data(), want.data().data(),
+                        got.size() * sizeof(FibEntry)) != 0) {
+          std::cerr << "FATAL: " << name
+                    << " published table diverges from a from-scratch "
+                       "rebuild after the churn replay\n";
+          identical = false;
+        }
+      }
+
+      std::vector<double> sorted = lat_us;
+      std::sort(sorted.begin(), sorted.end());
+      const double mean_work_us =
+          work_us_sum /
+          static_cast<double>(std::max<std::size_t>(1, lat_us.size()));
+      table.add_row(
+          {name, "churn", std::to_string(readers),
+           std::to_string(trace.size()),
+           fmt_double(static_cast<double>(trace.size()) / churn_ms * 1e3, 1),
+           fmt_double(percentile(sorted, 0.50), 2),
+           fmt_double(percentile(sorted, 0.99), 2),
+           fmt_double(sorted.empty() ? 0.0 : sorted.back(), 2),
+           fmt_double(mean_work_us, 2),
+           fmt_double(static_cast<double>(totals.lookups) / churn_ms / 1e3,
+                      2),
+           fmt_double(full_ms / (mean_work_us * 1e-3), 1), checksum_cell()});
+    }
+
+    // -- mode "frozen": publication-off comparator, same wall time --------
+    {
+      ReaderPool pool(pub, g, k, readers, packets, seed ^ 0xfeedULL);
+      const bench::Stopwatch sw;
+      while (sw.elapsed_ms() < churn_ms) std::this_thread::yield();
+      const double frozen_ms = sw.elapsed_ms();
+      const ReaderTotals totals = pool.stop_and_join();
+      table.add_row(
+          {name, "frozen", std::to_string(readers), "0", "-", "-", "-", "-",
+           "-",
+           fmt_double(static_cast<double>(totals.lookups) / frozen_ms / 1e3,
+                      2),
+           "-", checksum_cell()});
+    }
+
+    params += (params.empty() ? "" : " ") + name +
+              "_n=" + std::to_string(g.node_count()) + " " + name +
+              "_links=" + std::to_string(g.edge_count());
+  };
+
+  const std::string topo_name = flags.get_string("topo", "sprint");
+  if (topo_name != "none") {  // --topo none: expander-only run
+    const Graph topo_g = bench::load_topology_flag(flags);
+    run_target(topo_name, topo_g);
+  }
+
+  // Sparse expander scaled by --expander_n: at 10k nodes the k tables
+  // dwarf the cache hierarchy and per-event patching is the only way a
+  // publish stays sub-rebuild (the EXPERIMENTS.md headline regime).
+  Graph big = erdos_renyi(static_cast<NodeId>(expander_n),
+                          5.0 / std::max(1, expander_n - 1), seed ^ 0xb16ULL);
+  make_connected(big, seed ^ 0xb17ULL);
+  run_target("expander", big);
+
+  if (!identical) return EXIT_FAILURE;
+
+  bench::BenchMeta meta;
+  meta.bench = "bench_live_churn";
+  meta.topo = topo_name;
+  meta.params = "k=" + std::to_string(k) + " events=" +
+                std::to_string(events) + " packets=" +
+                std::to_string(packets) + " readers=" +
+                std::to_string(readers) + " expander_n=" +
+                std::to_string(expander_n) + " " + params;
+  meta.wall_ms = wall.elapsed_ms();
+  bench::emit(flags, table, meta);
+  std::cout
+      << "\nreading: reconv_*_us is the SLO (event ingest -> every reader "
+         "observing the new epoch); mode frozen runs the same readers for "
+         "the same wall time with publication off, so the Mlookups_per_s "
+         "delta is the read-side cost of live churn. republish_speedup = "
+         "full build_fibs() wall / mean publish_work (grace excluded: any "
+         "republication scheme pays it). fib_checksum is quiescent state "
+         "and gates exactly.\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  return splice::run(splice::Flags(argc, argv));
+}

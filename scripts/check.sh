@@ -103,7 +103,8 @@ if [[ "$run_tsan" == 1 ]]; then
   run_sanitizer thread \
     util_parallel_test routing_multi_instance_test routing_repair_test \
     determinism_test dataplane_fastpath_test obs_metrics_test \
-    obs_flight_recorder_test sim_replay_test
+    obs_flight_recorder_test sim_replay_test dataplane_epoch_test \
+    dataplane_publisher_test
 else
   echo "==> thread sanitizer pass skipped (--no-tsan)"
 fi
@@ -176,6 +177,27 @@ if [[ "$bench_smoke" == 1 ]]; then
       fi
     done
   done
+  # Live-churn smoke gates the BENCH table only: the quiescent fib_checksum
+  # and event counts are exact, the throughput/speedup ratios gate at the
+  # smoke tolerance, and the reconvergence-latency columns are TIME (never
+  # gated here — grace waits are scheduler-bound). No METRICS gate: the
+  # reader-side counters are wall-clock dependent by construction.
+  echo "==> bench smoke: live_churn"
+  ./build/bench/bench_live_churn --json="$smoke_dir/BENCH_live_churn.json" \
+    --events=40 --packets=256 --readers=2 --expander_n=240 --seed=7 >/dev/null
+  live_baseline="bench/baselines/BENCH_live_churn.json"
+  if [[ "$rebaseline" == 1 ]]; then
+    cp "$smoke_dir/BENCH_live_churn.json" "$live_baseline"
+    echo "    rebaselined $live_baseline"
+  elif [[ -f "$live_baseline" ]]; then
+    python3 scripts/perf_gate.py "$live_baseline" \
+      "$smoke_dir/BENCH_live_churn.json" --quiet \
+      --tolerance="${SMOKE_TOL:-0.75}" || gate_failed=1
+  else
+    echo "    no baseline $live_baseline (run --rebaseline)" >&2
+    gate_failed=1
+  fi
+
   if [[ "$gate_failed" == 1 ]]; then
     echo "==> bench smoke FAILED" >&2
     exit 1

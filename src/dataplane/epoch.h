@@ -1,0 +1,167 @@
+// Epoch-based RCU reclamation for live FIB publication.
+//
+// The publisher swaps an atomic snapshot pointer and must know when every
+// reader has let go of the *previous* snapshot before it may reuse its
+// storage (the two-rotating-shadow-table scheme in fib_publisher.h patches
+// the retired table in place). Readers must stay wait-free and
+// allocation-free: pinning an epoch is two stores and one fence, no CAS
+// loops, no locks, no per-packet atomics.
+//
+// Protocol. A fixed array of kMaxReaders cache-line-aligned slots, one per
+// registered reader thread. The global epoch counter starts at 1 and is
+// advanced (seq_cst fetch_add) once per publication. To enter a read-side
+// critical section a reader:
+//
+//   1. loads the global epoch e (seq_cst),
+//   2. stores e into its slot (seq_cst — the store's implied full barrier
+//      is the read side's only ordering cost, once per batch),
+//   3. loads the snapshot pointer (seq_cst, done by the caller).
+//
+// To publish, the writer stores the new snapshot pointer (seq_cst
+// exchange), advances the global epoch to E (seq_cst), then spins until
+// every active slot holds 0 (quiescent) or a value >= E. Every operation
+// in the handshake is seq_cst, so the classic Dekker argument runs in the
+// single total order S with no fence subtleties (and TSan models it
+// exactly):
+//
+//   * If the writer's scan does NOT observe a reader's slot store, the
+//     store is ordered after the scan in S; the reader's later pointer
+//     load is then ordered after the pointer swap — the reader sees the
+//     NEW snapshot, and the writer was right not to wait for it.
+//   * If the scan DOES observe a slot value < E, the reader may still be
+//     using the old snapshot and the writer waits for the slot to clear or
+//     move forward.
+//   * A slot value >= E means the reader pinned after the advance; its
+//     pointer load is ordered after the swap, so it reads the new table.
+//
+// Unpin is a single release store of 0, ordering every read of the
+// snapshot before the slot clear the writer's scan observes (this
+// release/acquire pair is also the happens-before edge that makes the
+// writer's subsequent in-place patch of the retired table race-free).
+//
+// wait_for_grace() therefore returns only when no reader can still be
+// dereferencing the pre-swap snapshot: its completion timestamp IS the
+// "all readers observe the new epoch" end point of the reconvergence SLO.
+//
+// Registration is slot-grabbing (CAS on an in_use flag), so readers can
+// come and go while the publisher runs; a slot freed mid-scan reads 0 and
+// satisfies the grace predicate. Readers must unpin between batches —
+// grace periods are bounded by the longest read-side critical section.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "util/assert.h"
+
+namespace splice {
+
+class EpochDomain {
+ public:
+  /// Maximum concurrently registered reader threads.
+  static constexpr int kMaxReaders = 64;
+
+  /// A registered reader's slot index; pass to pin/unpin/unregister.
+  using ReaderSlot = int;
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Claims a reader slot. Thread-safe; aborts (assert) when more than
+  /// kMaxReaders readers are registered at once.
+  ReaderSlot register_reader() noexcept {
+    for (int i = 0; i < kMaxReaders; ++i) {
+      std::uint32_t expected = 0;
+      if (slots_[i].in_use.compare_exchange_strong(
+              expected, 1, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        slots_[i].epoch.store(0, std::memory_order_relaxed);
+        return i;
+      }
+    }
+    SPLICE_ASSERT(false && "EpochDomain: out of reader slots");
+    return -1;
+  }
+
+  /// Releases a slot (must be unpinned). Safe while the publisher scans.
+  void unregister_reader(ReaderSlot slot) noexcept {
+    SPLICE_EXPECTS(slot >= 0 && slot < kMaxReaders);
+    SPLICE_EXPECTS(slots_[slot].epoch.load(std::memory_order_relaxed) == 0);
+    slots_[slot].in_use.store(0, std::memory_order_release);
+  }
+
+  /// Enters a read-side critical section: publishes the reader's presence
+  /// and returns the pinned epoch. Wait-free — one load and one store.
+  /// The caller's snapshot-pointer load must come AFTER this call and must
+  /// itself be seq_cst (see the protocol argument in the header comment).
+  std::uint64_t pin(ReaderSlot slot) noexcept {
+    const std::uint64_t e = global_.load(std::memory_order_seq_cst);
+    slots_[slot].epoch.store(e, std::memory_order_seq_cst);
+    return e;
+  }
+
+  /// Leaves the critical section. Release: every snapshot read in the
+  /// section happens-before a writer observing the cleared slot.
+  void unpin(ReaderSlot slot) noexcept {
+    slots_[slot].epoch.store(0, std::memory_order_release);
+  }
+
+  /// True while `slot` is inside a read-side critical section.
+  bool pinned(ReaderSlot slot) const noexcept {
+    return slots_[slot].epoch.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Writer side: advances the global epoch after the new snapshot pointer
+  /// has been stored. Returns the new epoch value to pass to
+  /// wait_for_grace(). The seq_cst RMW doubles as the writer's fence.
+  std::uint64_t advance() noexcept {
+    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  std::uint64_t current() const noexcept {
+    return global_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until no reader can still hold a snapshot retired before
+  /// `epoch` (every active slot is quiescent or has observed `epoch`).
+  /// Returns the number of slot spins that found a lagging reader — 0
+  /// means the grace period was free.
+  std::uint64_t wait_for_grace(std::uint64_t epoch) const noexcept {
+    std::uint64_t waits = 0;
+    for (int i = 0; i < kMaxReaders; ++i) {
+      if (slots_[i].in_use.load(std::memory_order_acquire) == 0) continue;
+      for (;;) {
+        const std::uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+        if (e == 0 || e >= epoch) break;
+        ++waits;
+        std::this_thread::yield();
+      }
+    }
+    return waits;
+  }
+
+  /// Registered readers right now (diagnostics / tests).
+  int reader_count() const noexcept {
+    int count = 0;
+    for (int i = 0; i < kMaxReaders; ++i) {
+      if (slots_[i].in_use.load(std::memory_order_acquire) != 0) ++count;
+    }
+    return count;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    /// 0 = quiescent; otherwise the epoch the reader pinned.
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint32_t> in_use{0};
+  };
+
+  /// Epoch 0 is reserved as the quiescent slot value, so the counter
+  /// starts at 1.
+  std::atomic<std::uint64_t> global_{1};
+  Slot slots_[kMaxReaders];
+};
+
+}  // namespace splice

@@ -1,0 +1,177 @@
+#include "dataplane/fib_publisher.h"
+
+#include <algorithm>
+
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "util/assert.h"
+
+namespace splice {
+
+FibPublisher::FibPublisher(const Graph& g, const ControlPlaneConfig& cfg)
+    : graph_(&g), mir_(g, cfg) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  const auto edges = static_cast<std::size_t>(g.edge_count());
+  const auto k = static_cast<std::size_t>(mir_.slice_count());
+
+  original_weights_.resize(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    const auto w = mir_.slice(static_cast<SliceId>(s)).weights();
+    original_weights_[s].assign(w.begin(), w.end());
+    SPLICE_ASSERT(original_weights_[s].size() == edges);
+  }
+
+  FibSet fibs = mir_.build_fibs();
+  snap_a_ = std::make_unique<Snapshot>(g, fibs);  // copy
+  snap_b_ = std::make_unique<Snapshot>(g, std::move(fibs));
+  snap_a_->version = version_;
+  snap_b_->version = version_;
+  published_.store(snap_a_.get(), std::memory_order_release);
+  shadow_ = snap_b_.get();
+
+  prev_touched_.assign(n, 0);
+  cur_touched_.assign(n, 0);
+  weight_scratch_.assign(k, 0.0);
+}
+
+FibPublisher::~FibPublisher() = default;
+
+std::uint64_t FibPublisher::published_version() const noexcept {
+  return published_.load(std::memory_order_acquire)->version;
+}
+
+const DataPlaneNetwork& FibPublisher::published_net() const noexcept {
+  return published_.load(std::memory_order_acquire)->net;
+}
+
+const FibSet& FibPublisher::published_fibs() const noexcept {
+  return published_.load(std::memory_order_acquire)->fibs;
+}
+
+void FibPublisher::original_weights(EdgeId e, std::vector<Weight>& out) const {
+  SPLICE_EXPECTS(e >= 0 && e < graph_->edge_count());
+  out.resize(original_weights_.size());
+  for (std::size_t s = 0; s < original_weights_.size(); ++s) {
+    out[s] = original_weights_[s][static_cast<std::size_t>(e)];
+  }
+}
+
+PublishStats FibPublisher::publish_link_down(EdgeId e) {
+  std::fill(weight_scratch_.begin(), weight_scratch_.end(), kInfiniteWeight);
+  return publish_weights(e, weight_scratch_, /*alive=*/false);
+}
+
+PublishStats FibPublisher::publish_link_restore(EdgeId e) {
+  SPLICE_EXPECTS(e >= 0 && e < graph_->edge_count());
+  for (std::size_t s = 0; s < original_weights_.size(); ++s) {
+    weight_scratch_[s] = original_weights_[s][static_cast<std::size_t>(e)];
+  }
+  return publish_weights(e, weight_scratch_, /*alive=*/true);
+}
+
+PublishStats FibPublisher::publish_weight_scale(EdgeId e, double factor) {
+  SPLICE_EXPECTS(e >= 0 && e < graph_->edge_count());
+  SPLICE_EXPECTS(factor > 0.0);
+  for (std::size_t s = 0; s < original_weights_.size(); ++s) {
+    weight_scratch_[s] =
+        original_weights_[s][static_cast<std::size_t>(e)] * factor;
+  }
+  return publish_weights(e, weight_scratch_, /*alive=*/true);
+}
+
+PublishStats FibPublisher::publish_weights(EdgeId e,
+                                           std::span<const Weight> per_slice,
+                                           bool alive) {
+  const std::uint64_t t0 = obs::clock_now_ns();
+  Snapshot* shadow = shadow_;
+
+  // 1. Catch the shadow up to the published state: replay the previous
+  //    event's touched columns from the current control tables. (The
+  //    control plane is still at state N here — the new event has not been
+  //    applied — so the patch lands exactly the published contents.)
+  if (have_prev_) {
+    mir_.patch_fibs(shadow->fibs, prev_touched_);
+    shadow->net.set_link_state(prev_edge_, prev_alive_ != 0);
+  }
+
+  // 2. Repair the control plane, collecting this event's touched set.
+  std::fill(cur_touched_.begin(), cur_touched_.end(), 0);
+  PublishStats out;
+  out.repair = mir_.apply_edge_weights(e, per_slice, &cur_touched_);
+
+  // 3. Patch the shadow to the new state.
+  out.dsts_patched = mir_.patch_fibs(shadow->fibs, cur_touched_);
+  shadow->net.set_link_state(e, alive);
+  shadow->version = ++version_;
+
+  // 4. Publish: swap the snapshot pointer, advance the epoch.
+  Snapshot* retired = published_.exchange(shadow, std::memory_order_seq_cst);
+  const std::uint64_t target = domain_.advance();
+
+#if SPLICE_OBS
+  if (obs::FlightRecorder::enabled()) {
+    obs::FlightRecorder::global().epoch_publish(
+        target, static_cast<std::uint32_t>(e),
+        static_cast<std::uint32_t>(out.dsts_patched),
+        static_cast<std::uint32_t>(out.repair.trees_repaired +
+                                   out.repair.trees_rebuilt),
+        alive);
+  }
+#endif
+
+  // 5. Grace: once every reader is quiescent or on the new epoch, the
+  //    retired table is ours again. This completion point is the SLO's
+  //    "all readers observe the new epoch" timestamp.
+  out.work_ns = obs::clock_now_ns() - t0;
+  out.grace_spins = domain_.wait_for_grace(target);
+  const std::uint64_t t1 = obs::clock_now_ns();
+  out.epoch = target;
+  out.latency_ns = t1 - t0;
+  shadow_ = retired;
+
+  prev_touched_.swap(cur_touched_);
+  prev_edge_ = e;
+  prev_alive_ = alive ? 1 : 0;
+  have_prev_ = true;
+
+  SPLICE_OBS_COUNT("publisher.events", 1);
+  SPLICE_OBS_COUNT("publisher.dsts_patched", out.dsts_patched);
+  SPLICE_OBS_OBSERVE("publisher.reconv_latency_us", 0.0, 10000.0, 64,
+                     static_cast<double>(out.latency_ns) * 1e-3);
+#if SPLICE_OBS
+  if (obs::FlightRecorder::enabled()) {
+    obs::FlightRecorder::global().epoch_grace(target, out.latency_ns,
+                                              out.grace_spins);
+  }
+#endif
+  return out;
+}
+
+void FibPublisher::quiesce() {
+  if (!have_prev_) return;
+  Snapshot* shadow = shadow_;
+  mir_.patch_fibs(shadow->fibs, prev_touched_);
+  shadow->net.set_link_state(prev_edge_, prev_alive_ != 0);
+  shadow->version = version_;
+  std::fill(prev_touched_.begin(), prev_touched_.end(), 0);
+  have_prev_ = false;
+}
+
+const DataPlaneNetwork& FibPublisher::Reader::pin() {
+  pub_->domain_.pin(slot_);
+  pinned_ = true;
+  const Snapshot* snap = pub_->published_.load(std::memory_order_seq_cst);
+  if (snap->version != last_version_) {
+    last_version_ = snap->version;
+#if SPLICE_OBS
+    if (obs::FlightRecorder::enabled()) {
+      obs::FlightRecorder::global().epoch_adopt(
+          snap->version, static_cast<std::uint32_t>(slot_));
+    }
+#endif
+  }
+  return snap->net;
+}
+
+}  // namespace splice

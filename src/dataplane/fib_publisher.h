@@ -1,0 +1,201 @@
+// Live FIB publication: the control/data-plane split that makes incremental
+// SPT repair pay off as *republication latency under churn* instead of a
+// batch-rebuild speedup.
+//
+// One control thread ingests link events (fail / restore / weight change),
+// repairs the k routing instances in place (RoutingInstance::recompute_edge
+// via MultiInstanceRouting::apply_edge_weights, which reports exactly which
+// destination columns may have changed), patches only those destinations in
+// a shadow FibSet (MultiInstanceRouting::patch_destination rewrites k·n
+// entries per touched destination instead of k·n² for the table), and
+// publishes the shadow by swapping an atomic snapshot pointer under
+// epoch-based RCU (dataplane/epoch.h).
+//
+// Storage rotates between exactly two snapshots, each a FibSet plus the
+// DataPlaneNetwork that fronts it, both built once at construction:
+//
+//   publish(event N):
+//     1. catch the shadow up to event N-1 by replaying the previous
+//        event's touched-destination patch from the current control state
+//        (the shadow always lags the published table by exactly one event,
+//        so one replay suffices),
+//     2. apply event N to the control plane, collecting the new touched
+//        set,
+//     3. patch the shadow's touched columns + its liveness byte,
+//     4. swap the snapshot pointer, advance the epoch,
+//     5. wait for the grace period — after which the retired table has no
+//        readers and becomes the next shadow.
+//
+// Steady-state publication therefore never allocates table storage: the two
+// FibSets, the two liveness masks and the two touched bitmaps are permanent
+// and mutated in place. (The control-plane repair itself uses its own
+// scratch heaps; the *publication* path — patch, swap, grace — is
+// allocation-free, and the read side is allocation-free outright.)
+//
+// Read side. Each forwarding thread owns a FibPublisher::Reader. Per batch:
+// pin() (one seq_cst load+store pair in EpochDomain::pin plus one seq_cst
+// pointer load) returns a DataPlaneNetwork reference that is guaranteed
+// stable until unpin(); the thread runs any number of forward_stats_batch
+// calls against it with zero locks, zero allocation and zero per-packet
+// atomics, then unpin()s (one release store). Readers must unpin between
+// batches — the grace period is bounded by the longest pinned section.
+//
+// Reconvergence-latency SLO. publish() timestamps event ingest (t0) and
+// grace completion (t1) with the shared obs clock; latency_ns = t1 - t0 is
+// the per-event "event-ingest → all readers observing the new epoch"
+// figure. It is exported three ways: in the returned PublishStats (bench
+// histograms), as the obs histogram "publisher.reconv_latency_us", and as
+// kEpochPublish/kEpochGrace flight-recorder events (rendered by
+// splice_inspect epochs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dataplane/epoch.h"
+#include "dataplane/network.h"
+#include "graph/graph.h"
+#include "routing/multi_instance.h"
+
+namespace splice {
+
+/// Telemetry from one publish: the repair, the patch width, and the SLO
+/// measurement.
+struct PublishStats {
+  std::uint64_t epoch = 0;       ///< epoch readers must observe
+  RepairStats repair;            ///< control-plane repair telemetry
+  int dsts_patched = 0;          ///< destination columns rewritten
+  std::uint64_t latency_ns = 0;  ///< event ingest -> grace complete (SLO)
+  /// Event ingest -> snapshot swapped (repair + patch + swap, excluding
+  /// the grace wait — the part a full-rebuild republication would replace
+  /// with a k*n^2 rebuild; grace is paid either way).
+  std::uint64_t work_ns = 0;
+  std::uint64_t grace_spins = 0; ///< reader-lag spins during the grace wait
+};
+
+class FibPublisher {
+ public:
+  /// Builds the control plane and both snapshots (the only allocations of
+  /// the publisher's lifetime). The graph must outlive the publisher.
+  FibPublisher(const Graph& g, const ControlPlaneConfig& cfg);
+
+  FibPublisher(const FibPublisher&) = delete;
+  FibPublisher& operator=(const FibPublisher&) = delete;
+  ~FibPublisher();
+
+  // -- control side (single publisher thread) ------------------------------
+
+  /// Link failure: every slice takes kInfiniteWeight for `e`, liveness
+  /// drops. Repeated failure of a dead link publishes a no-op epoch.
+  PublishStats publish_link_down(EdgeId e);
+
+  /// Link repair: every slice gets back its ORIGINAL perturbed weight for
+  /// `e` (a uniform weight cannot express this — each slice routes on its
+  /// own draw), liveness returns.
+  PublishStats publish_link_restore(EdgeId e);
+
+  /// Maintenance cost-out: every slice takes `factor` × its original
+  /// perturbed weight for `e` (factor 1.0 restores). The link stays alive.
+  PublishStats publish_weight_scale(EdgeId e, double factor);
+
+  /// Generic form: per-slice weights for `e` plus the liveness bit.
+  PublishStats publish_weights(EdgeId e, std::span<const Weight> per_slice,
+                               bool alive);
+
+  /// Brings the shadow table up to date so BOTH snapshots equal the
+  /// current control state (the quiescent point the differential tests
+  /// compare at). Call only while no publish is in flight.
+  void quiesce();
+
+  // -- introspection (quiescent points / single publisher thread) ----------
+
+  std::uint64_t epoch() const noexcept { return domain_.current(); }
+  std::uint64_t published_version() const noexcept;
+  const MultiInstanceRouting& control() const noexcept { return mir_; }
+  const Graph& graph() const noexcept { return *graph_; }
+  EpochDomain& domain() noexcept { return domain_; }
+
+  /// The currently published snapshot. Only meaningful from the publisher
+  /// thread or at quiescent points; readers use Reader::pin().
+  const DataPlaneNetwork& published_net() const noexcept;
+  const FibSet& published_fibs() const noexcept;
+
+  /// Per-slice original (perturbed) weights for edge `e`, as captured at
+  /// construction — what publish_link_restore() reinstalls.
+  void original_weights(EdgeId e, std::vector<Weight>& out) const;
+
+  // -- read side ------------------------------------------------------------
+
+  /// One per forwarding thread. Registers an epoch slot on construction;
+  /// pin() is wait-free and allocation-free.
+  class Reader {
+   public:
+    explicit Reader(FibPublisher& pub)
+        : pub_(&pub), slot_(pub.domain_.register_reader()) {}
+    ~Reader() {
+      if (pinned_) unpin();
+      pub_->domain_.unregister_reader(slot_);
+    }
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+
+    /// Enters a read-side critical section and returns the snapshot to
+    /// forward against; stable until unpin(). Records a kEpochAdopt
+    /// flight-recorder event the first time this reader observes a new
+    /// snapshot version (when the recorder is enabled).
+    const DataPlaneNetwork& pin();
+    void unpin() {
+      pub_->domain_.unpin(slot_);
+      pinned_ = false;
+    }
+
+    /// Snapshot version this reader most recently observed.
+    std::uint64_t adopted_version() const noexcept { return last_version_; }
+    EpochDomain::ReaderSlot slot() const noexcept { return slot_; }
+
+   private:
+    FibPublisher* pub_;
+    EpochDomain::ReaderSlot slot_;
+    std::uint64_t last_version_ = 0;
+    bool pinned_ = false;
+  };
+
+ private:
+  friend class Reader;
+
+  /// A FibSet and the network view fronting it. The network references the
+  /// FibSet by pointer and the FibSet's entry array never reallocates, so
+  /// in-place column patches keep the view valid.
+  struct Snapshot {
+    FibSet fibs;
+    DataPlaneNetwork net;
+    std::uint64_t version = 0;
+
+    Snapshot(const Graph& g, FibSet f)
+        : fibs(std::move(f)), net(g, fibs) {}
+  };
+
+  const Graph* graph_;
+  MultiInstanceRouting mir_;
+  EpochDomain domain_;
+  std::unique_ptr<Snapshot> snap_a_, snap_b_;
+  std::atomic<Snapshot*> published_;
+  Snapshot* shadow_;
+
+  /// [slice][edge] weights at construction; restore/scale source.
+  std::vector<std::vector<Weight>> original_weights_;
+  /// Rotating touched-destination bitmaps: cur_ collects this event's
+  /// columns, prev_ replays the previous event onto the incoming shadow.
+  std::vector<char> prev_touched_, cur_touched_;
+  /// Per-event per-slice weight scratch (k entries, reused).
+  std::vector<Weight> weight_scratch_;
+  EdgeId prev_edge_ = kInvalidEdge;
+  char prev_alive_ = 1;
+  bool have_prev_ = false;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace splice

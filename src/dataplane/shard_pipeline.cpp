@@ -37,6 +37,7 @@ struct ShardPipeline::Worker {
   /// from the master mask when the epoch is stale.
   std::vector<char> alive;
   std::uint64_t mask_epoch = 0;
+  std::uint64_t fib_epoch = 0;
   fwdk::FibView view{};
   fwdk::BatchLanes lanes;
 
@@ -83,6 +84,7 @@ ShardPipeline::ShardPipeline(const DataPlaneNetwork& net, int workers,
   links_ = mask.size();
   mask_.assign(links_ + fwdk::kAlivePad, 0);
   std::memcpy(mask_.data(), mask.data(), links_);
+  master_fib_ = net.fib_view();
 
   const auto requested = static_cast<std::size_t>(std::max(workers, 1));
   span_ = (n + requested - 1) / requested;
@@ -119,11 +121,11 @@ ShardPipeline::~ShardPipeline() {
   pool_.clear();  // jthread destructors join
 }
 
-void ShardPipeline::worker_main(Worker& w) {
-  // Replica build, on this thread so first-touch places the pages here: a
-  // verbatim copy of this shard's destination columns, [slice][node]
-  // [dst_local], then the same hugepage advice the master FIB gets.
-  const fwdk::FibView master = net_->fib_view();
+void ShardPipeline::copy_replica(Worker& w) {
+  // A verbatim copy of this shard's destination columns, [slice][node]
+  // [dst_local]. Runs on the worker's own thread so the first copy's
+  // first-touch places the pages there; refreshes reuse the storage.
+  const fwdk::FibView& master = master_fib_;
   const auto n = static_cast<std::size_t>(net_->graph().node_count());
   const auto width =
       static_cast<std::size_t>(w.dst_hi) - static_cast<std::size_t>(w.dst_lo);
@@ -138,10 +140,20 @@ void ShardPipeline::worker_main(Worker& w) {
                   width * sizeof(FibEntry));
     }
   }
+  w.fib_epoch = fib_epoch_;
+}
+
+void ShardPipeline::worker_main(Worker& w) {
+  // Replica build (first-touch placement), then the same hugepage advice
+  // the master FIB gets.
+  copy_replica(w);
+  const auto n = static_cast<std::size_t>(net_->graph().node_count());
+  const auto width =
+      static_cast<std::size_t>(w.dst_hi) - static_cast<std::size_t>(w.dst_lo);
   fwdk::advise_hugepages(w.entries.data(),
                          w.entries.size() * sizeof(FibEntry));
   w.alive.assign(links_ + fwdk::kAlivePad, 0);
-  w.view = master;
+  w.view = master_fib_;
   w.view.entries = w.entries.data();
   w.view.slice_stride = n * width;
   w.view.row_stride = width;
@@ -157,11 +169,12 @@ void ShardPipeline::worker_main(Worker& w) {
     const std::uint32_t cmd = w.pop();
     if (cmd == kCmdStop) return;
     // The ring pop acquired everything the dispatcher wrote before the
-    // push: batch spans, shard item lists, and any mask update + epoch.
+    // push: batch spans, shard item lists, and any mask/FIB update + epoch.
     if (w.mask_epoch != mask_epoch_) {
       std::memcpy(w.alive.data(), mask_.data(), links_);
       w.mask_epoch = mask_epoch_;
     }
+    if (w.fib_epoch != fib_epoch_) copy_replica(w);
     const std::vector<std::uint32_t>& items =
         shard_items_[static_cast<std::size_t>(w.id)];
     if (w.lanes.bits_lo.size() < items.size()) w.lanes.resize(items.size());
@@ -221,7 +234,7 @@ void ShardPipeline::forward_stats_batch(std::span<const Packet> packets,
 void ShardPipeline::forward_inline(std::span<const Packet> packets,
                                    const ForwardingPolicy& policy,
                                    std::span<ForwardSummary> out) {
-  fwdk::FibView view = net_->fib_view();
+  fwdk::FibView view = master_fib_;
   view.alive = mask_.data();  // pipeline-owned liveness, not the network's
   if (inline_lanes_.bits_lo.size() < packets.size()) {
     inline_lanes_.resize(packets.size());
@@ -260,6 +273,18 @@ void ShardPipeline::restore_all_links() {
   std::fill(mask_.begin(),
             mask_.begin() + static_cast<std::ptrdiff_t>(links_), 1);
   ++mask_epoch_;
+}
+
+void ShardPipeline::refresh_fib(const fwdk::FibView& master) {
+  SPLICE_EXPECTS(master.entries != nullptr);
+  // Same geometry only — shards and replica storage are sized for it.
+  SPLICE_EXPECTS(master.k == master_fib_.k);
+  SPLICE_EXPECTS(master.slice_stride == master_fib_.slice_stride);
+  SPLICE_EXPECTS(master.row_stride == master_fib_.row_stride);
+  const char* alive = master_fib_.alive;  // liveness stays pipeline-owned
+  master_fib_ = master;
+  master_fib_.alive = alive;
+  ++fib_epoch_;
 }
 
 }  // namespace splice

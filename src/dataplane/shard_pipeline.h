@@ -77,6 +77,16 @@ class ShardPipeline {
   void set_link_state(EdgeId e, bool alive);
   void restore_all_links();
 
+  /// Between batches only: repoints the pipeline at new FIB contents with
+  /// the same geometry (k, strides, node count) — e.g. the snapshot a
+  /// FibPublisher epoch swap just published — under a FIB epoch. Workers
+  /// re-copy their destination columns lazily at the start of their next
+  /// job (the ring push/pop pair orders the repoint before the copy), the
+  /// inline path re-reads the view directly; the first batch after a
+  /// refresh is bit-identical to forwarding on the new table. `master`'s
+  /// liveness pointer is ignored — liveness stays pipeline-owned.
+  void refresh_fib(const fwdk::FibView& master);
+
  private:
   struct Worker;
 
@@ -96,6 +106,11 @@ class ShardPipeline {
   std::vector<char> mask_;
   std::uint64_t mask_epoch_ = 1;
 
+  /// Master FIB view (entries + geometry; liveness pointer unused) and its
+  /// epoch; workers re-copy their replica columns when stale.
+  fwdk::FibView master_fib_{};
+  std::uint64_t fib_epoch_ = 1;
+
   /// Per-shard packet-index lists, rebuilt each batch (capacity reused).
   std::vector<std::vector<std::uint32_t>> shard_items_;
 
@@ -114,6 +129,9 @@ class ShardPipeline {
                       const ForwardingPolicy& policy,
                       std::span<ForwardSummary> out);
   void worker_main(Worker& w);
+  /// Copies this worker's destination columns out of master_fib_ and stamps
+  /// its fib epoch. Runs on the worker's own thread.
+  void copy_replica(Worker& w);
 };
 
 }  // namespace splice

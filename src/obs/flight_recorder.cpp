@@ -206,6 +206,47 @@ void FlightRecorder::trial_end(std::uint32_t trial) noexcept {
   local_ring().push(ev);
 }
 
+void FlightRecorder::epoch_publish(std::uint64_t epoch, std::uint32_t edge,
+                                   std::uint32_t dsts_patched,
+                                   std::uint32_t trees_touched,
+                                   bool alive) noexcept {
+  if (!enabled()) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kEpochPublish);
+  ev.key = epoch;
+  ev.time_ns = now_ns();
+  ev.a = edge;
+  ev.b = dsts_patched;
+  ev.c = trees_touched;
+  ev.flags = alive ? 1 : 0;
+  local_ring().push(ev);
+}
+
+void FlightRecorder::epoch_adopt(std::uint64_t epoch,
+                                 std::uint32_t reader_slot) noexcept {
+  if (!enabled()) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kEpochAdopt);
+  ev.key = epoch;
+  ev.time_ns = now_ns();
+  ev.a = reader_slot;
+  local_ring().push(ev);
+}
+
+void FlightRecorder::epoch_grace(std::uint64_t epoch, std::uint64_t latency_ns,
+                                 std::uint64_t grace_spins) noexcept {
+  if (!enabled()) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kEpochGrace);
+  ev.key = epoch;
+  ev.time_ns = now_ns();
+  ev.a = static_cast<std::uint32_t>(latency_ns);
+  ev.b = static_cast<std::uint32_t>(latency_ns >> 32);
+  ev.c = static_cast<std::uint32_t>(
+      grace_spins > 0xffffffffULL ? 0xffffffffULL : grace_spins);
+  local_ring().push(ev);
+}
+
 void sort_deterministic(std::vector<RecorderEvent>& events) {
   const auto is_walk = [](const RecorderEvent& e) {
     return e.type >= static_cast<std::uint16_t>(EventType::kWalkBegin) &&

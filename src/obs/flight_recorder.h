@@ -56,6 +56,11 @@ enum class EventType : std::uint16_t {
                     ///< flags bit0=deflected, bits 1..15=bits consumed
   kWalkEnd = 8,     ///< key=walk id, a=outcome, b=hops, c|d=cost bits,
                     ///< flags bit0=deflected, bits 1..15=attempt index
+  kEpochPublish = 9,  ///< key=epoch, a=edge, b=dsts patched, c=trees
+                      ///< repaired+rebuilt, flags bit0=link alive
+  kEpochAdopt = 10,   ///< key=epoch (snapshot version), a=reader slot
+  kEpochGrace = 11,   ///< key=epoch, a|b=lo|hi latency_ns (ingest->grace),
+                      ///< c=grace spins
 };
 
 struct RecorderEvent {
@@ -143,6 +148,16 @@ class FlightRecorder {
                   std::uint16_t untouched) noexcept;
   void trial_begin(std::uint32_t trial) noexcept;
   void trial_end(std::uint32_t trial) noexcept;
+
+  // Live-publication hooks (timestamped; see fib_publisher.h). The epoch
+  // value doubles as the snapshot version — the publisher advances both in
+  // lockstep, so adopt events match publish events by key.
+  void epoch_publish(std::uint64_t epoch, std::uint32_t edge,
+                     std::uint32_t dsts_patched, std::uint32_t trees_touched,
+                     bool alive) noexcept;
+  void epoch_adopt(std::uint64_t epoch, std::uint32_t reader_slot) noexcept;
+  void epoch_grace(std::uint64_t epoch, std::uint64_t latency_ns,
+                   std::uint64_t grace_spins) noexcept;
 
  private:
   FlightRecorder();

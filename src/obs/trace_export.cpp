@@ -148,6 +148,55 @@ std::string trace_json(const TraceInputs& in) {
         w.end_event();
         break;
       }
+      case EventType::kEpochPublish: {
+        w.begin_event();
+        w.str_field("name", "epoch_publish");
+        w.str_field("ph", "i");
+        w.str_field("s", "t");
+        w.int_field("pid", 1);
+        w.int_field("tid", ev.tid);
+        w.field("ts", ts_us(ev.time_ns, base_ns));
+        w.field("args",
+                "{\"epoch\": " + u64_str(ev.key) +
+                    ", \"edge\": " + std::to_string(ev.a) +
+                    ", \"dsts_patched\": " + std::to_string(ev.b) +
+                    ", \"trees_touched\": " + std::to_string(ev.c) +
+                    ", \"alive\": " +
+                    ((ev.flags & 1u) != 0 ? "true" : "false") + "}");
+        w.end_event();
+        break;
+      }
+      case EventType::kEpochGrace: {
+        const std::uint64_t lat =
+            static_cast<std::uint64_t>(ev.a) |
+            (static_cast<std::uint64_t>(ev.b) << 32);
+        w.begin_event();
+        w.str_field("name", "epoch_grace");
+        w.str_field("ph", "i");
+        w.str_field("s", "t");
+        w.int_field("pid", 1);
+        w.int_field("tid", ev.tid);
+        w.field("ts", ts_us(ev.time_ns, base_ns));
+        w.field("args", "{\"epoch\": " + u64_str(ev.key) +
+                            ", \"latency_ns\": " + u64_str(lat) +
+                            ", \"grace_spins\": " + std::to_string(ev.c) +
+                            "}");
+        w.end_event();
+        break;
+      }
+      case EventType::kEpochAdopt: {
+        w.begin_event();
+        w.str_field("name", "epoch_adopt");
+        w.str_field("ph", "i");
+        w.str_field("s", "t");
+        w.int_field("pid", 1);
+        w.int_field("tid", ev.tid);
+        w.field("ts", ts_us(ev.time_ns, base_ns));
+        w.field("args", "{\"epoch\": " + u64_str(ev.key) +
+                            ", \"reader\": " + std::to_string(ev.a) + "}");
+        w.end_event();
+        break;
+      }
       case EventType::kTrialBegin:
       case EventType::kTrialEnd: {
         w.begin_event();
@@ -358,6 +407,57 @@ std::string trace_json(const TraceInputs& in) {
     out += "}";
   }
   out += "\n],\n";
+
+  // Per-epoch publication records: publish and grace events joined by
+  // epoch key, reader adoptions counted per epoch. The ground truth for
+  // splice_inspect epochs.
+  {
+    struct EpochRec {
+      const RecorderEvent* pub = nullptr;
+      const RecorderEvent* grace = nullptr;
+      int adopts = 0;
+    };
+    std::map<std::uint64_t, EpochRec> epochs;
+    for (const RecorderEvent& ev : events) {
+      switch (static_cast<EventType>(ev.type)) {
+        case EventType::kEpochPublish:
+          epochs[ev.key].pub = &ev;
+          break;
+        case EventType::kEpochGrace:
+          epochs[ev.key].grace = &ev;
+          break;
+        case EventType::kEpochAdopt:
+          ++epochs[ev.key].adopts;
+          break;
+        default:
+          break;
+      }
+    }
+    out += "\"spliceEpochs\": [";
+    bool first_epoch = true;
+    for (const auto& [epoch, rec] : epochs) {
+      if (!first_epoch) out += ",";
+      first_epoch = false;
+      out += "\n  {\"epoch\": " + u64_str(epoch);
+      if (rec.pub != nullptr) {
+        out += ", \"publish_ts_ns\": " + u64_str(rec.pub->time_ns) +
+               ", \"edge\": " + std::to_string(rec.pub->a) +
+               ", \"dsts_patched\": " + std::to_string(rec.pub->b) +
+               ", \"trees_touched\": " + std::to_string(rec.pub->c) +
+               ", \"alive\": " +
+               ((rec.pub->flags & 1u) != 0 ? "true" : "false");
+      }
+      if (rec.grace != nullptr) {
+        const std::uint64_t lat =
+            static_cast<std::uint64_t>(rec.grace->a) |
+            (static_cast<std::uint64_t>(rec.grace->b) << 32);
+        out += ", \"latency_ns\": " + u64_str(lat) +
+               ", \"grace_spins\": " + std::to_string(rec.grace->c);
+      }
+      out += ", \"adopts\": " + std::to_string(rec.adopts) + "}";
+    }
+    out += "\n],\n";
+  }
 
   out += "\"spliceAnomalies\": [";
   for (std::size_t i = 0; i < in.anomalies.anomalies.size(); ++i) {

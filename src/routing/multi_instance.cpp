@@ -90,16 +90,73 @@ FibSet MultiInstanceRouting::build_fibs() const {
   return fibs;
 }
 
-RepairStats MultiInstanceRouting::apply_edge_event(EdgeId e,
-                                                   Weight new_weight) {
+void MultiInstanceRouting::patch_destination(FibSet& fibs, NodeId dst) const {
+  SPLICE_EXPECTS(!instances_.empty());
+  const NodeId n = instances_.front().node_count();
+  SPLICE_EXPECTS(fibs.slice_count() == slice_count());
+  SPLICE_EXPECTS(fibs.node_count() == n);
+  SPLICE_EXPECTS(dst >= 0 && dst < n);
+  for (SliceId s = 0; s < slice_count(); ++s) {
+    const RoutingInstance& inst = slice(s);
+    for (NodeId v = 0; v < n; ++v) {
+      fibs.set(s, v, dst,
+               v == dst ? FibEntry{}
+                        : FibEntry{inst.next_hop(v, dst),
+                                   inst.next_hop_edge(v, dst)});
+    }
+  }
+}
+
+int MultiInstanceRouting::patch_fibs(FibSet& fibs,
+                                     std::span<const char> touched_dsts) const {
+  SPLICE_EXPECTS(!instances_.empty());
+  const NodeId n = instances_.front().node_count();
+  SPLICE_EXPECTS(touched_dsts.size() == static_cast<std::size_t>(n));
+  int patched = 0;
+  for (NodeId dst = 0; dst < n; ++dst) {
+    if (!touched_dsts[static_cast<std::size_t>(dst)]) continue;
+    patch_destination(fibs, dst);
+    ++patched;
+  }
+  return patched;
+}
+
+RepairStats MultiInstanceRouting::apply_edge_event(
+    EdgeId e, Weight new_weight, std::vector<char>* touched_dsts) {
+  const std::vector<Weight> uniform(instances_.size(), new_weight);
+  return apply_edge_weights(e, uniform, touched_dsts);
+}
+
+RepairStats MultiInstanceRouting::apply_edge_weights(
+    EdgeId e, std::span<const Weight> per_slice_weight,
+    std::vector<char>* touched_dsts) {
   SPLICE_OBS_SPAN("control.repair_event");
   const int slices = static_cast<int>(instances_.size());
+  SPLICE_EXPECTS(per_slice_weight.size() == static_cast<std::size_t>(slices));
+  const auto n = static_cast<std::size_t>(instances_.front().node_count());
+  SPLICE_EXPECTS(!touched_dsts || touched_dsts->size() == n);
   std::vector<RepairStats> per_slice(static_cast<std::size_t>(slices));
-  // Slices are independent; repairs write only their own instance.
+  // Slices are independent; repairs write only their own instance. Touched
+  // bitmaps are per-slice too (concurrent writes to one shared byte array
+  // would race) and unioned sequentially below.
+  std::vector<std::vector<char>> per_slice_touched;
+  if (touched_dsts) {
+    per_slice_touched.assign(static_cast<std::size_t>(slices),
+                             std::vector<char>(n, 0));
+  }
   parallel_for(slices, resolve_threads(cfg_.threads), [&](int, int s) {
-    per_slice[static_cast<std::size_t>(s)] =
-        instances_[static_cast<std::size_t>(s)].recompute_edge(e, new_weight);
+    const auto si = static_cast<std::size_t>(s);
+    per_slice[si] = instances_[si].recompute_edge(
+        e, per_slice_weight[si],
+        touched_dsts ? &per_slice_touched[si] : nullptr);
   });
+  if (touched_dsts) {
+    for (const auto& t : per_slice_touched) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (t[i]) (*touched_dsts)[i] = 1;
+      }
+    }
+  }
   RepairStats total;
   for (const RepairStats& st : per_slice) total.add(st);
   SPLICE_OBS_COUNT("control.repair.events", 1);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -64,6 +65,19 @@ class MultiInstanceRouting {
   /// Flattens every slice's next hops into forwarding tables.
   FibSet build_fibs() const;
 
+  /// Rewrites destination `dst`'s column in every slice of an existing
+  /// FibSet from the current routing state (including the (dst, dst)
+  /// identity cell, reset to the invalid entry exactly as build_fibs()
+  /// leaves it). After a repair that touched only a few destinations this
+  /// patches k·n entries per destination instead of rebuilding k·n² — the
+  /// incremental-republication path of the live publisher. `fibs` must have
+  /// this control plane's geometry.
+  void patch_destination(FibSet& fibs, NodeId dst) const;
+
+  /// patch_destination() for every dst with touched_dsts[dst] != 0.
+  /// Returns the number of destinations patched.
+  int patch_fibs(FibSet& fibs, std::span<const char> touched_dsts) const;
+
   /// Applies one link event to every slice — edge `e` takes `new_weight`,
   /// kInfiniteWeight (or an inflated sentinel) meaning the link died — and
   /// returns the reconverged control plane, repairing each slice's SPTs
@@ -73,8 +87,21 @@ class MultiInstanceRouting {
   MultiInstanceRouting with_edge_event(EdgeId e, Weight new_weight,
                                        RepairStats* stats = nullptr) const;
 
-  /// In-place variant of with_edge_event().
-  RepairStats apply_edge_event(EdgeId e, Weight new_weight);
+  /// In-place variant of with_edge_event(). When `touched_dsts` is
+  /// non-null (node_count() entries) the repair ORs in a 1 for every
+  /// destination whose FIB column may differ in ANY slice — the exact set
+  /// patch_fibs() needs to republish incrementally (see
+  /// RoutingInstance::recompute_edge).
+  RepairStats apply_edge_event(EdgeId e, Weight new_weight,
+                               std::vector<char>* touched_dsts = nullptr);
+
+  /// Per-slice-weight variant: slice s takes per_slice_weight[s] for edge
+  /// `e`. This is how a repaired link comes back with its original
+  /// *perturbed* weights — a uniform apply_edge_event() cannot express a
+  /// restore, because every slice routes on its own draw.
+  RepairStats apply_edge_weights(EdgeId e,
+                                 std::span<const Weight> per_slice_weight,
+                                 std::vector<char>* touched_dsts = nullptr);
 
  private:
   void build_instances(int threads);

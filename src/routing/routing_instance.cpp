@@ -142,9 +142,12 @@ struct RoutingInstance::RepairScratch {
   }
 };
 
-RepairStats RoutingInstance::recompute_edge(EdgeId e, Weight new_weight) {
+RepairStats RoutingInstance::recompute_edge(EdgeId e, Weight new_weight,
+                                            std::vector<char>* touched_dsts) {
   SPLICE_EXPECTS(e >= 0 && e < csr_->edge_count());
   SPLICE_EXPECTS(new_weight >= 0.0);
+  SPLICE_EXPECTS(!touched_dsts ||
+                 touched_dsts->size() == static_cast<std::size_t>(n_));
   RepairStats stats;
   const Weight old_weight = weights_[static_cast<std::size_t>(e)];
   if (new_weight == old_weight) {
@@ -157,10 +160,11 @@ RepairStats RoutingInstance::recompute_edge(EdgeId e, Weight new_weight) {
   DijkstraWorkspace ws;
   const bool increase = new_weight > old_weight;
   for (NodeId dst = 0; dst < n_; ++dst) {
-    if (increase) {
-      repair_tree_increase(dst, e, scratch, ws, stats);
-    } else {
-      repair_tree_decrease(dst, e, scratch, stats);
+    const bool changed =
+        increase ? repair_tree_increase(dst, e, scratch, ws, stats)
+                 : repair_tree_decrease(dst, e, scratch, stats);
+    if (changed && touched_dsts) {
+      (*touched_dsts)[static_cast<std::size_t>(dst)] = 1;
     }
   }
   return stats;
@@ -190,7 +194,7 @@ void RoutingInstance::set_canonical_parent(std::size_t col, NodeId v,
   SPLICE_ASSERT(nh != kInvalidNode);
 }
 
-void RoutingInstance::repair_tree_increase(NodeId dst, EdgeId e,
+bool RoutingInstance::repair_tree_increase(NodeId dst, EdgeId e,
                                            RepairScratch& scratch,
                                            DijkstraWorkspace& ws,
                                            RepairStats& stats) {
@@ -207,7 +211,7 @@ void RoutingInstance::repair_tree_increase(NodeId dst, EdgeId e,
   }
   if (c == kInvalidNode) {
     ++stats.trees_untouched;
-    return;
+    return false;
   }
 
   // Collect the affected region: the subtree hanging below the tree edge.
@@ -237,7 +241,7 @@ void RoutingInstance::repair_tree_increase(NodeId dst, EdgeId e,
     build_destination(dst, ws);
     ++stats.trees_rebuilt;
     stats.nodes_touched += n_;
-    return;
+    return true;
   }
 
   // Seed every affected node with its best re-attachment through the
@@ -279,9 +283,10 @@ void RoutingInstance::repair_tree_increase(NodeId dst, EdgeId e,
   for (const NodeId x : sub) flag[static_cast<std::size_t>(x)] = 0;
   ++stats.trees_repaired;
   stats.nodes_touched += static_cast<long long>(sub.size());
+  return true;
 }
 
-void RoutingInstance::repair_tree_decrease(NodeId dst, EdgeId e,
+bool RoutingInstance::repair_tree_decrease(NodeId dst, EdgeId e,
                                            RepairScratch& scratch,
                                            RepairStats& stats) {
   const std::size_t col = index(0, dst);
@@ -304,11 +309,18 @@ void RoutingInstance::repair_tree_decrease(NodeId dst, EdgeId e,
 
   if (scratch.heap.empty()) {
     // No distance changes — but the cheaper edge may create new equal-cost
-    // parent candidates at its endpoints.
+    // parent candidates at its endpoints, so the endpoints' entries can
+    // change even in the "untouched" case. Compare before/after so
+    // touched-destination tracking catches exactly those flips.
+    const auto iu = col + static_cast<std::size_t>(ed.u);
+    const auto iv = col + static_cast<std::size_t>(ed.v);
+    const NodeId old_nh_u = next_hop_[iu], old_nh_v = next_hop_[iv];
+    const EdgeId old_ne_u = next_edge_[iu], old_ne_v = next_edge_[iv];
     set_canonical_parent(col, ed.u, dst);
     set_canonical_parent(col, ed.v, dst);
     ++stats.trees_untouched;
-    return;
+    return next_hop_[iu] != old_nh_u || next_edge_[iu] != old_ne_u ||
+           next_hop_[iv] != old_nh_v || next_edge_[iv] != old_ne_v;
   }
 
   auto& flag = scratch.flag;
@@ -349,6 +361,7 @@ void RoutingInstance::repair_tree_decrease(NodeId dst, EdgeId e,
   for (const NodeId v : renorm) flag[static_cast<std::size_t>(v)] = 0;
   ++stats.trees_repaired;
   stats.nodes_touched += static_cast<long long>(renorm.size());
+  return true;
 }
 
 }  // namespace splice

@@ -111,7 +111,15 @@ class RoutingInstance {
   /// distances, including the deterministic tie-breaking rule) are
   /// bit-identical to rebuilding the instance from scratch with the updated
   /// weight vector.
-  RepairStats recompute_edge(EdgeId e, Weight new_weight);
+  ///
+  /// When `touched_dsts` is non-null it must have node_count() entries; the
+  /// repair sets touched_dsts[dst] = 1 for every destination whose table
+  /// column (next hop or next-hop edge anywhere in the column) may have
+  /// changed, and leaves other entries alone (callers union across slices).
+  /// The set is conservative but tight enough to drive incremental FIB
+  /// republication: a destination left unmarked is guaranteed unchanged.
+  RepairStats recompute_edge(EdgeId e, Weight new_weight,
+                             std::vector<char>* touched_dsts = nullptr);
 
   /// Affected-subtree fraction above which recompute_edge() rebuilds a
   /// destination tree from scratch instead of repairing it.
@@ -135,10 +143,12 @@ class RoutingInstance {
   void build_destination(NodeId dst, DijkstraWorkspace& ws);
 
   /// Scratch buffers shared by the per-destination repairs of one event.
+  /// The repair helpers return true when the destination's column may have
+  /// changed (false ⇒ provably bit-identical to before the event).
   struct RepairScratch;
-  void repair_tree_increase(NodeId dst, EdgeId e, RepairScratch& scratch,
+  bool repair_tree_increase(NodeId dst, EdgeId e, RepairScratch& scratch,
                             DijkstraWorkspace& ws, RepairStats& stats);
-  void repair_tree_decrease(NodeId dst, EdgeId e, RepairScratch& scratch,
+  bool repair_tree_decrease(NodeId dst, EdgeId e, RepairScratch& scratch,
                             RepairStats& stats);
   /// Recomputes next_hop/next_edge for `v` toward `dst` from the settled
   /// distance tables, applying the same deterministic tie-breaking rule as

@@ -1,0 +1,143 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataplane/fib_publisher.h"
+#include "sim/failure.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace splice {
+
+namespace {
+
+/// Exponential draw with the given mean (inverse-CDF on a uniform).
+double draw_exp(Rng& rng, double mean) {
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+}  // namespace
+
+std::vector<LinkEvent> generate_churn_trace(const Graph& g,
+                                            const ChurnConfig& cfg) {
+  SPLICE_EXPECTS(cfg.incidents >= 0);
+  SPLICE_EXPECTS(cfg.mean_gap_ms > 0.0 && cfg.mean_hold_ms > 0.0);
+  SPLICE_EXPECTS(cfg.maint_factor > 0.0);
+  const auto edges = static_cast<std::size_t>(g.edge_count());
+  std::vector<LinkEvent> out;
+  if (edges == 0 || cfg.incidents == 0) return out;
+
+  const SrlgModel srlg = srlg_by_shared_endpoint(g);
+  Rng rng(cfg.seed);
+
+  const double wsum = cfg.flap_weight + cfg.srlg_weight + cfg.maint_weight;
+  SPLICE_EXPECTS(wsum > 0.0);
+  const double p_flap = cfg.flap_weight / wsum;
+  const double p_srlg = cfg.srlg_weight / wsum;
+
+  // A link is eligible for a new incident only after its previous window
+  // closed; incident start times are non-decreasing, so one timestamp per
+  // edge suffices to keep the stream per-link-consistent by construction.
+  std::vector<double> busy_until(edges, -1.0);
+  // End-of-trace restores pair with the window-open bookkeeping below.
+  std::vector<double> close_at(edges, 0.0);
+  std::vector<LinkEventKind> close_kind(edges, LinkEventKind::kUp);
+  std::vector<char> open_window(edges, 0);
+
+  double t = 0.0;
+  auto open = [&](EdgeId e, double at, double hold, LinkEventKind kind,
+                  double factor) {
+    const auto ei = static_cast<std::size_t>(e);
+    out.push_back(LinkEvent{at, e, kind, factor});
+    busy_until[ei] = at + hold;
+    close_at[ei] = at + hold;
+    close_kind[ei] =
+        kind == LinkEventKind::kDown ? LinkEventKind::kUp : LinkEventKind::kScale;
+    open_window[ei] = 1;
+  };
+  auto flush_closes_before = [&](double now) {
+    // Emit the restore of every window that closed by `now`, so eligible
+    // links come back before later incidents consider them.
+    for (std::size_t e = 0; e < edges; ++e) {
+      if (open_window[e] && close_at[e] <= now) {
+        out.push_back(LinkEvent{close_at[e], static_cast<EdgeId>(e),
+                                close_kind[e], 1.0});
+        open_window[e] = 0;
+      }
+    }
+  };
+
+  for (int i = 0; i < cfg.incidents; ++i) {
+    t += draw_exp(rng, cfg.mean_gap_ms);
+    flush_closes_before(t);
+    const double kind_draw = rng.uniform();
+    if (kind_draw < p_flap + p_srlg && kind_draw >= p_flap &&
+        !srlg.groups.empty()) {
+      // Correlated burst: every eligible member of one shared-risk group
+      // fails, slightly staggered.
+      const auto& group =
+          srlg.groups[static_cast<std::size_t>(rng.below(srlg.groups.size()))];
+      const double hold = draw_exp(rng, cfg.mean_hold_ms);
+      int member = 0;
+      for (const EdgeId e : group) {
+        if (t <= busy_until[static_cast<std::size_t>(e)]) continue;
+        open(e, t + member * cfg.srlg_stagger_ms, hold, LinkEventKind::kDown,
+             1.0);
+        ++member;
+      }
+      continue;
+    }
+    // Single-link incident: draw an eligible edge (bounded retries keep the
+    // draw deterministic and the generator total even when most links are
+    // already in a window).
+    EdgeId e = kInvalidEdge;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const auto cand = static_cast<EdgeId>(rng.below(edges));
+      if (t > busy_until[static_cast<std::size_t>(cand)]) {
+        e = cand;
+        break;
+      }
+    }
+    if (e == kInvalidEdge) continue;
+    const double hold = draw_exp(rng, cfg.mean_hold_ms);
+    if (kind_draw < p_flap) {
+      open(e, t, hold, LinkEventKind::kDown, 1.0);
+    } else {
+      open(e, t, hold, LinkEventKind::kScale, cfg.maint_factor);
+    }
+  }
+  flush_closes_before(t + 1e12);  // close everything still open
+
+  // One deterministic timeline: stable sort by time, ties by (edge, kind)
+  // so equal-time events replay in a fixed order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LinkEvent& a, const LinkEvent& b) {
+                     if (a.at_ms != b.at_ms) return a.at_ms < b.at_ms;
+                     if (a.edge != b.edge) return a.edge < b.edge;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return out;
+}
+
+PublishStats apply_churn_event(FibPublisher& pub, const LinkEvent& ev) {
+  switch (ev.kind) {
+    case LinkEventKind::kDown:
+      return pub.publish_link_down(ev.edge);
+    case LinkEventKind::kUp:
+      return pub.publish_link_restore(ev.edge);
+    case LinkEventKind::kScale:
+      return pub.publish_weight_scale(ev.edge, ev.factor);
+  }
+  SPLICE_ASSERT(false && "unreachable");
+  return PublishStats{};
+}
+
+int count_events(const std::vector<LinkEvent>& trace, LinkEventKind kind) {
+  int count = 0;
+  for (const LinkEvent& ev : trace) count += ev.kind == kind ? 1 : 0;
+  return count;
+}
+
+}  // namespace splice

@@ -1,0 +1,73 @@
+// Trace-driven link-churn generation for the live publication pipeline:
+// turns the static failure models of sim/failure.h and sim/transient.cpp
+// into a continuous, deterministic link-event stream the control thread can
+// replay — single-link flaps, correlated SRLG bursts (every member of a
+// shared-risk group dies together), and maintenance windows (a link is
+// costed out by a weight multiplier without failing).
+//
+// Consistency contract: per link, events never overlap — a kDown is always
+// followed by its kUp before the link is eligible again, every kScale
+// window closes with a factor-1.0 restore, and every window still open at
+// the end of the draw is closed by an appended restore event. The final
+// link state therefore equals the initial one, so a full replay is
+// checksum-comparable against the pristine control plane. The stream is a
+// pure function of (graph, config): same seed, same trace, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace splice {
+
+class FibPublisher;
+struct PublishStats;
+
+enum class LinkEventKind : std::uint8_t {
+  kDown = 0,   ///< link fails: every slice sees kInfiniteWeight, liveness drops
+  kUp = 1,     ///< repair: original per-slice perturbed weights return
+  kScale = 2,  ///< maintenance: original weights × factor, link stays alive
+};
+
+struct LinkEvent {
+  double at_ms = 0.0;  ///< offset from stream start (paced replay; max-rate
+                       ///< consumers ignore it and drain back to back)
+  EdgeId edge = kInvalidEdge;
+  LinkEventKind kind = LinkEventKind::kDown;
+  double factor = 1.0;  ///< kScale only; 1.0 closes the window
+};
+
+struct ChurnConfig {
+  /// Incidents to draw; each expands to >= 2 events (down+up / open+close),
+  /// an SRLG burst to 2× the group size.
+  int incidents = 64;
+  /// Mean exponential gap between incident starts, milliseconds.
+  double mean_gap_ms = 1.0;
+  /// Mean exponential outage / maintenance-window duration, milliseconds.
+  double mean_hold_ms = 5.0;
+  /// Incident-kind mix (weights, normalized internally).
+  double flap_weight = 0.6;
+  double srlg_weight = 0.25;
+  double maint_weight = 0.15;
+  /// Maintenance cost-out multiplier on the original per-slice weights.
+  double maint_factor = 10.0;
+  /// Per-member stagger inside an SRLG burst, milliseconds (the members of
+  /// a shared conduit do not report down in the same instant).
+  double srlg_stagger_ms = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Draws a deterministic, time-sorted, per-link-consistent event trace.
+std::vector<LinkEvent> generate_churn_trace(const Graph& g,
+                                            const ChurnConfig& cfg);
+
+/// Replays one trace event into the live publisher (the single shared
+/// interpretation of LinkEventKind: kDown -> publish_link_down, kUp ->
+/// publish_link_restore, kScale -> publish_weight_scale).
+PublishStats apply_churn_event(FibPublisher& pub, const LinkEvent& ev);
+
+/// Number of events of `kind` in a trace (test/report helper).
+int count_events(const std::vector<LinkEvent>& trace, LinkEventKind kind);
+
+}  // namespace splice

@@ -1,0 +1,340 @@
+// Live-publication differential tests: every epoch the FibPublisher
+// publishes must be bit-identical to a from-scratch control plane built at
+// the same link state — at quiescent points with 1/2/8 concurrent reader
+// threads, and after every single event when replayed serially. The
+// incremental patch path (patch_destination / patch_fibs over the touched
+// set apply_edge_weights reports) is checked against full build_fibs()
+// rebuilds byte for byte and by forwarding equality across policies, and
+// ShardPipeline::refresh_fib must leave the sharded pipeline bit-identical
+// to the freshly published table across an epoch swap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "dataplane/fib_publisher.h"
+#include "dataplane/network.h"
+#include "dataplane/shard_pipeline.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "routing/multi_instance.h"
+#include "sim/batch_feed.h"
+#include "sim/churn.h"
+#include "topo/datasets.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+ControlPlaneConfig make_cfg(SliceId k) {
+  return ControlPlaneConfig{
+      k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false};
+}
+
+/// From-scratch control plane at the live weight state of `mir` (the
+/// differential oracle: repair + patch must equal rebuild, bit for bit).
+MultiInstanceRouting rebuild_from_live(const Graph& g,
+                                       const MultiInstanceRouting& mir) {
+  std::vector<std::vector<Weight>> weights(
+      static_cast<std::size_t>(mir.slice_count()));
+  for (SliceId s = 0; s < mir.slice_count(); ++s) {
+    const auto w = mir.slice(s).weights();
+    weights[static_cast<std::size_t>(s)].assign(w.begin(), w.end());
+  }
+  return MultiInstanceRouting(g, std::move(weights), /*threads=*/1);
+}
+
+void expect_fibs_identical(const FibSet& got, const FibSet& want,
+                           const char* what) {
+  ASSERT_EQ(got.slice_count(), want.slice_count()) << what;
+  ASSERT_EQ(got.node_count(), want.node_count()) << what;
+  const auto a = got.data();
+  const auto b = want.data();
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(FibEntry)), 0)
+      << what;
+}
+
+void expect_summaries_equal(std::span<const ForwardSummary> got,
+                            std::span<const ForwardSummary> want,
+                            const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i].outcome, want[i].outcome) << what << " packet " << i;
+    ASSERT_EQ(got[i].hops, want[i].hops) << what << " packet " << i;
+    ASSERT_EQ(got[i].cost, want[i].cost) << what << " packet " << i;
+    ASSERT_EQ(got[i].deflected, want[i].deflected) << what << " packet " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quiescent-point differential under concurrent readers.
+// ---------------------------------------------------------------------------
+
+TEST(FibPublisher, QuiescentTableBitIdenticalAt1_2_8Readers) {
+  const Graph g = topo::abilene();
+  for (const int readers : {1, 2, 8}) {
+    FibPublisher pub(g, make_cfg(3));
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(readers));
+    for (int r = 0; r < readers; ++r) {
+      pool.emplace_back([&, r] {
+        FibPublisher::Reader reader(pub);
+        BatchFeedConfig feed;
+        feed.header_k = 3;
+        feed.packets_per_trial = 48;
+        std::vector<char> mask;
+        std::vector<Packet> packets;
+        fill_trial_batch(g, feed, 0x9e000 + static_cast<std::uint64_t>(r), 0,
+                         mask, packets);
+        std::vector<ForwardSummary> out(packets.size());
+        ForwardWorkspace ws;
+        while (!stop.load(std::memory_order_acquire)) {
+          const DataPlaneNetwork& net = reader.pin();
+          net.forward_stats_batch(packets, {}, out, ws);
+          reader.unpin();
+        }
+      });
+    }
+
+    ChurnConfig cfg;
+    cfg.incidents = 40;
+    cfg.seed = 11 + static_cast<std::uint64_t>(readers);
+    const auto trace = generate_churn_trace(g, cfg);
+    for (const LinkEvent& ev : trace) apply_churn_event(pub, ev);
+    stop.store(true, std::memory_order_release);
+    for (auto& t : pool) t.join();
+
+    pub.quiesce();
+    // The trace closes every window, so the live weights equal the
+    // originals and every link is back up.
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_TRUE(pub.published_net().link_alive(e)) << "edge " << e;
+    }
+    MultiInstanceRouting fresh = rebuild_from_live(g, pub.control());
+    const FibSet want = fresh.build_fibs();
+    expect_fibs_identical(pub.published_fibs(), want, "quiescent");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial replay: every published epoch equals a from-scratch build.
+// ---------------------------------------------------------------------------
+
+TEST(FibPublisher, EveryPublishedEpochMatchesScratchRebuild) {
+  Graph g = erdos_renyi(24, 0.18, 5);
+  make_connected(g, 6);
+  FibPublisher pub(g, make_cfg(3));
+  ChurnConfig cfg;
+  cfg.incidents = 24;
+  cfg.seed = 3;
+  const auto trace = generate_churn_trace(g, cfg);
+  ASSERT_FALSE(trace.empty());
+
+  std::uint64_t version = pub.published_version();
+  for (const LinkEvent& ev : trace) {
+    const PublishStats st = apply_churn_event(pub, ev);
+    EXPECT_EQ(st.epoch, pub.epoch());
+    EXPECT_EQ(pub.published_version(), version + 1);
+    version = pub.published_version();
+    // The epoch counter and the snapshot version advance in lockstep.
+    EXPECT_EQ(pub.epoch(), version);
+    EXPECT_GT(st.latency_ns, 0u);
+
+    MultiInstanceRouting fresh = rebuild_from_live(g, pub.control());
+    const FibSet want = fresh.build_fibs();
+    expect_fibs_identical(pub.published_fibs(), want, "per-event");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental patch vs full rebuild.
+// ---------------------------------------------------------------------------
+
+TEST(MultiInstanceRouting, PatchedFibsMatchFullRebuildAcrossEventKinds) {
+  for (Graph& g : std::vector<Graph>{topo::abilene(), topo::geant()}) {
+    MultiInstanceRouting mir(g, make_cfg(4));
+    FibSet fibs = mir.build_fibs();
+    const auto n = static_cast<std::size_t>(g.node_count());
+    const std::vector<Weight> original = g.weights();
+    Rng rng(17);
+
+    for (int i = 0; i < 12; ++i) {
+      const auto e = static_cast<EdgeId>(
+          rng.below(static_cast<std::uint64_t>(g.edge_count())));
+      Weight w;
+      switch (rng.below(3)) {
+        case 0:
+          w = kInfiniteWeight;  // kill
+          break;
+        case 1:
+          w = original[static_cast<std::size_t>(e)] * 7.0;  // cost-out
+          break;
+        default:
+          w = original[static_cast<std::size_t>(e)];  // restore
+          break;
+      }
+      std::vector<char> touched(n, 0);
+      mir.apply_edge_event(e, w, &touched);
+      const int patched = mir.patch_fibs(fibs, touched);
+      EXPECT_GE(patched, 0);
+      const FibSet want = mir.build_fibs();
+      expect_fibs_identical(fibs, want, "patched-vs-rebuilt");
+    }
+  }
+}
+
+TEST(MultiInstanceRouting, PatchDestinationRestoresACorruptedColumn) {
+  const Graph g = topo::abilene();
+  MultiInstanceRouting mir(g, make_cfg(3));
+  FibSet fibs = mir.build_fibs();
+  const FibSet want = mir.build_fibs();
+
+  const NodeId dst = 4;
+  for (SliceId s = 0; s < mir.slice_count(); ++s) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      fibs.set(s, v, dst, FibEntry{0, 0});  // garbage, including (dst, dst)
+    }
+  }
+  mir.patch_destination(fibs, dst);
+  expect_fibs_identical(fibs, want, "column-restore");
+  // The identity cell is reset to the invalid entry, like build_fibs().
+  EXPECT_FALSE(fibs.lookup(0, dst, dst).valid());
+}
+
+TEST(MultiInstanceRouting, PatchedTablesForwardIdenticallyAcrossPolicies) {
+  const Graph g = topo::geant();
+  MultiInstanceRouting mir(g, make_cfg(4));
+  FibSet patched = mir.build_fibs();
+
+  // A couple of events, patched incrementally into `patched`.
+  const auto n = static_cast<std::size_t>(g.node_count());
+  for (const EdgeId e : {EdgeId{2}, EdgeId{9}}) {
+    std::vector<char> touched(n, 0);
+    mir.apply_edge_event(e, kInfiniteWeight, &touched);
+    mir.patch_fibs(patched, touched);
+  }
+  const FibSet rebuilt = mir.build_fibs();
+
+  DataPlaneNetwork net_patched(g, patched);
+  DataPlaneNetwork net_rebuilt(g, rebuilt);
+  net_patched.set_link_state(2, false);
+  net_patched.set_link_state(9, false);
+  net_rebuilt.set_link_state(2, false);
+  net_rebuilt.set_link_state(9, false);
+
+  BatchFeedConfig feed;
+  feed.header_k = 4;
+  feed.packets_per_trial = 256;
+  feed.failure_p = 0.1;
+  std::vector<char> mask;
+  std::vector<Packet> packets;
+  fill_trial_batch(g, feed, 0xbeef, 1, mask, packets);
+  std::vector<ForwardSummary> got(packets.size());
+  std::vector<ForwardSummary> want(packets.size());
+  for (const ExhaustPolicy exhaust :
+       {ExhaustPolicy::kStayInCurrent, ExhaustPolicy::kHashDefault}) {
+    for (const LocalRecovery recovery :
+         {LocalRecovery::kNone, LocalRecovery::kDeflect}) {
+      const ForwardingPolicy policy{exhaust, recovery};
+      net_patched.forward_stats_batch(packets, policy, got);
+      net_rebuilt.forward_stats_batch(packets, policy, want);
+      expect_summaries_equal(got, want, "policy-equivalence");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event-kind round trips through the publisher.
+// ---------------------------------------------------------------------------
+
+TEST(FibPublisher, DownRestoreRoundTripRecoversTheOriginalTable) {
+  const Graph g = topo::abilene();
+  FibPublisher pub(g, make_cfg(3));
+  const FibSet before = pub.published_fibs();  // copy
+
+  const EdgeId e = 1;
+  pub.publish_link_down(e);
+  EXPECT_FALSE(pub.published_net().link_alive(e));
+  pub.publish_link_restore(e);
+  EXPECT_TRUE(pub.published_net().link_alive(e));
+
+  pub.quiesce();
+  expect_fibs_identical(pub.published_fibs(), before, "down-restore");
+  EXPECT_EQ(pub.published_version(), 3u);
+}
+
+TEST(FibPublisher, WeightScaleMatchesScratchAndScalesBack) {
+  const Graph g = topo::abilene();
+  FibPublisher pub(g, make_cfg(3));
+  const FibSet before = pub.published_fibs();  // copy
+
+  const EdgeId e = 5;
+  pub.publish_weight_scale(e, 10.0);
+  {
+    MultiInstanceRouting fresh = rebuild_from_live(g, pub.control());
+    const FibSet want = fresh.build_fibs();
+    expect_fibs_identical(pub.published_fibs(), want, "scaled");
+    // The scaled weight really is original x 10 in every slice.
+    std::vector<Weight> originals;
+    pub.original_weights(e, originals);
+    for (SliceId s = 0; s < pub.control().slice_count(); ++s) {
+      EXPECT_EQ(pub.control().slice(s).weights()[static_cast<std::size_t>(e)],
+                originals[static_cast<std::size_t>(s)] * 10.0);
+    }
+  }
+  pub.publish_weight_scale(e, 1.0);
+  pub.quiesce();
+  expect_fibs_identical(pub.published_fibs(), before, "scale-back");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded pipeline across an epoch swap.
+// ---------------------------------------------------------------------------
+
+TEST(ShardPipeline, RefreshFibBitIdenticalAcrossAnEpochSwap) {
+  const Graph g = topo::geant();
+  FibPublisher pub(g, make_cfg(4));
+
+  BatchFeedConfig feed;
+  feed.header_k = 4;
+  feed.packets_per_trial = 192;
+  std::vector<char> mask;
+  std::vector<Packet> packets;
+  fill_trial_batch(g, feed, 0x51ead, 0, mask, packets);
+  std::vector<ForwardSummary> got(packets.size());
+  std::vector<ForwardSummary> want(packets.size());
+  const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                LocalRecovery::kDeflect};
+
+  for (const int workers : {1, 3}) {
+    FibPublisher::Reader reader(pub);
+    const DataPlaneNetwork& net0 = reader.pin();
+    ShardPipeline pipe(net0, workers);
+
+    // Pre-swap: pipeline matches the published network.
+    net0.forward_stats_batch(packets, policy, want);
+    pipe.forward_stats_batch(packets, policy, got);
+    expect_summaries_equal(got, want, "pre-swap");
+    reader.unpin();
+
+    // Two publishes (a failure and a cost-out) — an epoch swap per event.
+    pub.publish_link_down(3);
+    pub.publish_weight_scale(7, 5.0);
+
+    // Adopt: repoint the pipeline at the newly published table + liveness.
+    const DataPlaneNetwork& net1 = reader.pin();
+    pipe.refresh_fib(net1.fib_view());
+    pipe.set_link_mask(net1.link_mask());
+    net1.forward_stats_batch(packets, policy, want);
+    pipe.forward_stats_batch(packets, policy, got);
+    expect_summaries_equal(got, want, "post-swap");
+    reader.unpin();
+  }
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,167 @@
+// Churn-trace generator tests: the link-event stream must be a pure
+// function of (graph, config), time-sorted, and per-link consistent — no
+// overlapping windows, every failure paired with a restore, every
+// maintenance window closed with a factor-1.0 event — so that a full
+// replay returns the network to its initial state and the quiescent
+// differential tests can compare against the pristine control plane.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/fib_publisher.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "sim/churn.h"
+#include "topo/datasets.h"
+
+namespace splice {
+namespace {
+
+ControlPlaneConfig make_cfg(SliceId k) {
+  return ControlPlaneConfig{
+      k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false};
+}
+
+bool traces_equal(const std::vector<LinkEvent>& a,
+                  const std::vector<LinkEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].at_ms != b[i].at_ms || a[i].edge != b[i].edge ||
+        a[i].kind != b[i].kind || a[i].factor != b[i].factor) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ChurnTrace, PureFunctionOfGraphAndConfig) {
+  const Graph g = topo::geant();
+  ChurnConfig cfg;
+  cfg.incidents = 80;
+  cfg.seed = 42;
+  const auto a = generate_churn_trace(g, cfg);
+  const auto b = generate_churn_trace(g, cfg);
+  ASSERT_FALSE(a.empty());
+  EXPECT_TRUE(traces_equal(a, b));
+
+  cfg.seed = 43;
+  const auto c = generate_churn_trace(g, cfg);
+  EXPECT_FALSE(traces_equal(a, c));
+}
+
+TEST(ChurnTrace, TimeSortedAndPerLinkConsistent) {
+  const Graph g = topo::geant();
+  ChurnConfig cfg;
+  cfg.incidents = 120;
+  cfg.seed = 7;
+  const auto trace = generate_churn_trace(g, cfg);
+  ASSERT_FALSE(trace.empty());
+
+  enum class LinkState { kUp, kDown, kScaled };
+  std::vector<LinkState> state(static_cast<std::size_t>(g.edge_count()),
+                               LinkState::kUp);
+  double prev_t = -1.0;
+  for (const LinkEvent& ev : trace) {
+    EXPECT_GE(ev.at_ms, prev_t);
+    prev_t = ev.at_ms;
+    ASSERT_GE(ev.edge, 0);
+    ASSERT_LT(ev.edge, g.edge_count());
+    auto& s = state[static_cast<std::size_t>(ev.edge)];
+    switch (ev.kind) {
+      case LinkEventKind::kDown:
+        EXPECT_EQ(s, LinkState::kUp) << "overlapping window on " << ev.edge;
+        s = LinkState::kDown;
+        break;
+      case LinkEventKind::kUp:
+        EXPECT_EQ(s, LinkState::kDown) << "unpaired restore on " << ev.edge;
+        EXPECT_EQ(ev.factor, 1.0);
+        s = LinkState::kUp;
+        break;
+      case LinkEventKind::kScale:
+        if (ev.factor == 1.0) {
+          EXPECT_EQ(s, LinkState::kScaled) << "unpaired close on " << ev.edge;
+          s = LinkState::kUp;
+        } else {
+          EXPECT_EQ(s, LinkState::kUp) << "overlapping window on " << ev.edge;
+          EXPECT_EQ(ev.factor, cfg.maint_factor);
+          s = LinkState::kScaled;
+        }
+        break;
+    }
+  }
+  // Every window the trace opened is closed by its end.
+  for (std::size_t e = 0; e < state.size(); ++e) {
+    EXPECT_EQ(state[e], LinkState::kUp) << "edge " << e << " left open";
+  }
+  EXPECT_EQ(count_events(trace, LinkEventKind::kDown),
+            count_events(trace, LinkEventKind::kUp));
+  EXPECT_EQ(count_events(trace, LinkEventKind::kScale) % 2, 0);
+}
+
+TEST(ChurnTrace, KindWeightsSelectEventMix) {
+  const Graph g = topo::geant();
+  ChurnConfig cfg;
+  cfg.incidents = 60;
+  cfg.seed = 9;
+
+  // Flaps only: no maintenance windows.
+  cfg.flap_weight = 1.0;
+  cfg.srlg_weight = 0.0;
+  cfg.maint_weight = 0.0;
+  auto trace = generate_churn_trace(g, cfg);
+  EXPECT_GT(count_events(trace, LinkEventKind::kDown), 0);
+  EXPECT_EQ(count_events(trace, LinkEventKind::kScale), 0);
+
+  // Maintenance only: no failures.
+  cfg.flap_weight = 0.0;
+  cfg.maint_weight = 1.0;
+  trace = generate_churn_trace(g, cfg);
+  EXPECT_EQ(count_events(trace, LinkEventKind::kDown), 0);
+  EXPECT_GT(count_events(trace, LinkEventKind::kScale), 0);
+
+  // SRLG bursts only: correlated failures — more downs than incidents,
+  // since each burst fails a whole shared-risk group.
+  cfg.srlg_weight = 1.0;
+  cfg.maint_weight = 0.0;
+  trace = generate_churn_trace(g, cfg);
+  EXPECT_GT(count_events(trace, LinkEventKind::kDown), cfg.incidents);
+  EXPECT_EQ(count_events(trace, LinkEventKind::kDown),
+            count_events(trace, LinkEventKind::kUp));
+}
+
+TEST(ChurnTrace, EmptyInputsYieldEmptyTraces) {
+  const Graph g = topo::abilene();
+  ChurnConfig cfg;
+  cfg.incidents = 0;
+  EXPECT_TRUE(generate_churn_trace(g, cfg).empty());
+}
+
+TEST(ChurnTrace, FullReplayRoundTripsThePublisher) {
+  Graph g = erdos_renyi(18, 0.22, 13);
+  make_connected(g, 14);
+  FibPublisher pub(g, make_cfg(2));
+  const FibSet before = pub.published_fibs();  // copy of the pristine table
+
+  ChurnConfig cfg;
+  cfg.incidents = 32;
+  cfg.seed = 99;
+  const auto trace = generate_churn_trace(g, cfg);
+  ASSERT_FALSE(trace.empty());
+  for (const LinkEvent& ev : trace) apply_churn_event(pub, ev);
+  pub.quiesce();
+
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_TRUE(pub.published_net().link_alive(e)) << "edge " << e;
+  }
+  const auto got = pub.published_fibs().data();
+  const auto want = before.data();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].next_hop, want[i].next_hop) << "entry " << i;
+    ASSERT_EQ(got[i].edge, want[i].edge) << "entry " << i;
+  }
+}
+
+}  // namespace
+}  // namespace splice

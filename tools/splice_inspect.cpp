@@ -32,6 +32,11 @@
 //       with --profile) or trace dump: top spans by self time, allocated
 //       bytes and cache misses; --folded also validates and summarizes a
 //       folded-stack flamegraph file (--profile=PATH output).
+//   splice_inspect epochs FILE [--n=10]
+//       FIB epoch-swap ledger from the live publication pipeline's
+//       recorder events: per-publish edge, patched-destination count,
+//       reconvergence latency and reader adoptions, plus a p50/p99/max
+//       latency summary.
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
@@ -72,7 +77,10 @@ int usage() {
          "                                resource attribution: top spans by\n"
          "                                self time / alloc bytes / cache\n"
          "                                misses; --folded checks a\n"
-         "                                flamegraph file\n";
+         "                                flamegraph file\n"
+         "  epochs FILE [--n=10]          FIB epoch-swap ledger: per-publish\n"
+         "                                edge/patch counts, reconvergence\n"
+         "                                latency with p50/p99/max summary\n";
   return EXIT_FAILURE;
 }
 
@@ -1059,6 +1067,107 @@ int cmd_profile(const std::string& path, const Flags& flags) {
   return EXIT_SUCCESS;
 }
 
+// ---------------------------------------------------------------------------
+// epochs: per-publish ledger of the live FIB publication pipeline, from the
+// spliceEpochs array the trace exporter assembles out of kEpochPublish /
+// kEpochGrace / kEpochAdopt recorder events.
+// ---------------------------------------------------------------------------
+
+int cmd_epochs(const std::string& path, const Flags& flags) {
+  const auto doc = load_json(path);
+  if (!doc) return EXIT_FAILURE;
+  const JsonValue* epochs = doc->find("spliceEpochs");
+  if (epochs == nullptr || !epochs->is_array() ||
+      epochs->as_array().empty()) {
+    std::cout << "no epoch events in " << path
+              << " (trace predates the publisher, or no publishes ran)\n";
+    return EXIT_SUCCESS;
+  }
+
+  struct Row {
+    long long epoch = 0;
+    long long edge = -1;
+    long long alive = 1;
+    long long dsts = 0;
+    long long trees = 0;
+    long long latency_ns = -1;  ///< -1: no grace record for this epoch
+    long long spins = 0;
+    long long adopts = 0;
+  };
+  std::vector<Row> rows;
+  std::vector<double> latencies_us;
+  for (const JsonValue& e : epochs->as_array()) {
+    Row r;
+    // uint64 fields (epoch, latency_ns, ...) are exported as JSON strings
+    // to avoid double-precision truncation; small counts are plain numbers
+    // and liveness is a bool. Accept all three.
+    auto get = [&e](const char* key, long long fallback) -> long long {
+      const JsonValue* v = e.find(key);
+      if (v == nullptr) return fallback;
+      if (v->is_integer()) return v->as_int();
+      if (v->is_bool()) return v->as_bool() ? 1 : 0;
+      if (v->is_string()) {
+        try {
+          return std::stoll(v->as_string());
+        } catch (const std::exception&) {
+          return fallback;
+        }
+      }
+      return fallback;
+    };
+    r.epoch = get("epoch", 0);
+    r.edge = get("edge", -1);
+    r.alive = get("alive", 1);
+    r.dsts = get("dsts_patched", 0);
+    r.trees = get("trees_touched", 0);
+    r.latency_ns = get("latency_ns", -1);
+    r.spins = get("grace_spins", 0);
+    r.adopts = get("adopts", 0);
+    if (r.latency_ns >= 0) {
+      latencies_us.push_back(static_cast<double>(r.latency_ns) / 1e3);
+    }
+    rows.push_back(r);
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.epoch < b.epoch; });
+
+  const auto total = rows.size();
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 10));
+  if (rows.size() > n) rows.resize(n);
+
+  Table table({"epoch", "edge", "event", "dsts_patched", "trees_touched",
+               "latency_us", "grace_spins", "adopts"});
+  for (const Row& r : rows) {
+    table.add_row(
+        {fmt_int(r.epoch), fmt_int(r.edge),
+         r.alive != 0 ? "restore/scale" : "down", fmt_int(r.dsts),
+         fmt_int(r.trees),
+         r.latency_ns >= 0
+             ? fmt_double(static_cast<double>(r.latency_ns) / 1e3, 2)
+             : "-",
+         fmt_int(r.spins), fmt_int(r.adopts)});
+  }
+  table.print(std::cout);
+  if (total > rows.size()) {
+    std::cout << "(showing " << rows.size() << " of " << total
+              << " epochs; --n=N for more)\n";
+  }
+
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    auto pct = [&latencies_us](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(latencies_us.size() - 1) + 0.5);
+      return latencies_us[std::min(idx, latencies_us.size() - 1)];
+    };
+    std::cout << "\nreconvergence latency over " << latencies_us.size()
+              << " publishes: p50 " << fmt_double(pct(0.50), 2) << " us, p99 "
+              << fmt_double(pct(0.99), 2) << " us, max "
+              << fmt_double(latencies_us.back(), 2) << " us\n";
+  }
+  return EXIT_SUCCESS;
+}
+
 int dispatch(const Flags& flags) {
   const auto& pos = flags.positional();
   if (pos.empty()) return usage();
@@ -1072,6 +1181,7 @@ int dispatch(const Flags& flags) {
     return cmd_diff(pos[1], pos[2], flags);
   if (cmd == "profile" && pos.size() == 2)
     return cmd_profile(pos[1], flags);
+  if (cmd == "epochs" && pos.size() == 2) return cmd_epochs(pos[1], flags);
   return usage();
 }
 
