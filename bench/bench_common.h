@@ -58,8 +58,11 @@
 
 #include "graph/io.h"
 #include "obs/anomaly.h"
+#include "obs/clock.h"
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/profile_sampler.h"
 #include "obs/provenance.h"
 #include "obs/resprof.h"
@@ -141,6 +144,40 @@ inline bool trace_from_flags(const Flags& flags) {
   obs::FlightRecorder::set_enabled(true);
   obs::AnomalyLedger::set_enabled(true);
   return true;
+}
+
+/// Turns the live route-health scorer + SLO burn-rate engine on when
+/// --health (or --health-snapshot=PATH) is present. n_dsts sizes the
+/// per-destination series — pass the current target's node count; calling
+/// again re-arms the windows for the next target. Returns whether health
+/// telemetry is on.
+inline bool health_from_flags(const Flags& flags, std::uint32_t n_dsts) {
+  const bool on =
+      flags.get_bool("health", false) || flags.get("health-snapshot").has_value();
+  if (!on) return false;
+  obs::RouteHealth::global().configure(n_dsts);
+  obs::RouteHealth::set_enabled(true);
+  obs::SloEngine::global().configure();
+  obs::SloEngine::set_enabled(true);
+  return true;
+}
+
+/// Writes the splice_top snapshot file when --health-snapshot=PATH is set:
+/// the health + SLO state at one clock reading, in the same keys the trace
+/// export uses. Call after the instrumented work (and before any reset).
+inline void health_snapshot_from_flags(const Flags& flags) {
+  const auto path = flags.get("health-snapshot");
+  if (!path || path->empty() || *path == "true") return;
+  if (!obs::RouteHealth::enabled()) return;
+  const std::uint64_t now = obs::clock_now_ns();
+  const std::string doc = obs::health_snapshot_document(
+      obs::RouteHealth::global().snapshot_at(now),
+      obs::SloEngine::global().peek(now));
+  if (write_file(*path, doc)) {
+    std::cout << "health snapshot: " << *path << "\n";
+  } else {
+    std::cerr << "warning: could not write health snapshot " << *path << "\n";
+  }
 }
 
 /// Wall-clock stopwatch for build-time metrics.

@@ -116,6 +116,7 @@ class ReaderPool {
           const DataPlaneNetwork& net = reader.pin();
           net.forward_stats_batch(packets_in, policy, out, ws);
           reader.unpin();
+          fold_route_health(packets_in, out);
           for (const ForwardSummary& s : out) {
             mine.lookups += s.hops +
                             (s.outcome == ForwardOutcome::kDeadEnd ? 1 : 0);
@@ -175,6 +176,13 @@ int run(const Flags& flags) {
   std::string params;
 
   const auto run_target = [&](const std::string& name, const Graph& g) {
+    // Live health telemetry (--health / --health-snapshot): per-destination
+    // scoring sized to this target, re-armed per target so destination ids
+    // never mix across topologies. The readers fold their batches, the
+    // publish loop feeds reconvergence latencies, and the SLO engine is
+    // evaluated once per churn event.
+    const bool health_on = bench::health_from_flags(
+        flags, static_cast<std::uint32_t>(g.node_count()));
     const ControlPlaneConfig cp{
         k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false};
     FibPublisher pub(g, cp);
@@ -228,11 +236,20 @@ int run(const Flags& flags) {
           const PublishStats st = apply_churn_event(pub, ev);
           lat_us.push_back(static_cast<double>(st.latency_ns) * 1e-3);
           work_us_sum += static_cast<double>(st.work_ns) * 1e-3;
+          // Burn-rate watchdog cadence: once per control event, never per
+          // packet (the publisher already fed the scorer from its own hook).
+          if (health_on) {
+            obs::SloEngine::global().evaluate(obs::clock_now_ns());
+          }
         }
       }
       churn_ms = sw.elapsed_ms();
       const ReaderTotals totals = pool.stop_and_join();
       pub.quiesce();
+      // Snapshot here, while the window still holds the churn replay's
+      // publishes and reader traffic (the frozen comparator below would
+      // age them out). Last target wins the file.
+      if (health_on) bench::health_snapshot_from_flags(flags);
 
       // Self-gate: the published table must equal a from-scratch control
       // plane at the same (restored) weight state, byte for byte.

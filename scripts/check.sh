@@ -51,9 +51,20 @@
 # dominates). --rebaseline combined with --bench-deep regenerates its
 # baseline too.
 #
+# --health-smoke exercises the route-health telemetry stack end to end:
+# runs the live-churn bench with --health + --health-snapshot, renders the
+# snapshot with `splice_top --once` and validates the --json digest schema,
+# requires the health-on and health-off bench outputs to be bit-identical on
+# every exact metric (fib checksums, event counts — scoring must observe,
+# never perturb), and gates the health-on wall-time against the plain run
+# (the <2% scoring budget hides far inside the gate tolerance; tighten with
+# HEALTH_TOL on a quiet reference machine). It also gates the health-on
+# BENCH table against bench/baselines/BENCH_live_churn_health.json;
+# --rebaseline regenerates that snapshot too.
+#
 # Usage: scripts/check.sh [--no-tsan] [--no-asan] [--no-noavx2]
 #                         [--bench-smoke] [--bench-deep] [--rebaseline]
-#                         [--trace-smoke] [--profile-smoke]
+#                         [--trace-smoke] [--profile-smoke] [--health-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -66,6 +77,7 @@ bench_deep=0
 rebaseline=0
 trace_smoke=0
 profile_smoke=0
+health_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
@@ -76,6 +88,7 @@ for arg in "$@"; do
     --rebaseline) bench_smoke=1; rebaseline=1 ;;
     --trace-smoke) trace_smoke=1 ;;
     --profile-smoke) profile_smoke=1 ;;
+    --health-smoke) health_smoke=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -104,7 +117,7 @@ if [[ "$run_tsan" == 1 ]]; then
     util_parallel_test routing_multi_instance_test routing_repair_test \
     determinism_test dataplane_fastpath_test obs_metrics_test \
     obs_flight_recorder_test sim_replay_test dataplane_epoch_test \
-    dataplane_publisher_test
+    dataplane_publisher_test obs_timeseries_test obs_health_test
 else
   echo "==> thread sanitizer pass skipped (--no-tsan)"
 fi
@@ -359,6 +372,95 @@ if [[ "$profile_smoke" == 1 ]]; then
   fi
 
   echo "==> profile smoke passed"
+fi
+
+if [[ "$health_smoke" == 1 ]]; then
+  health_dir="build/health-smoke"
+  mkdir -p "$health_dir" bench/baselines
+  health_bench="./build/bench/bench_live_churn --events=40 --packets=256 --readers=2 --expander_n=240 --topo=none --seed=7"
+
+  echo "==> health smoke: plain baseline run"
+  $health_bench --json="$health_dir/plain.json" >/dev/null
+
+  echo "==> health smoke: health-on run (+snapshot)"
+  $health_bench --json="$health_dir/health.json" --health \
+    --health-snapshot="$health_dir/snapshot.json" >/dev/null
+
+  echo "==> health smoke: splice_top renders the snapshot"
+  ./build/tools/splice_top "$health_dir/snapshot.json" --once >/dev/null
+
+  # The --json digest is the machine-readable surface downstream dashboards
+  # consume; its schema is a contract, so validate it field by field.
+  echo "==> health smoke: splice_top --json digest schema"
+  ./build/tools/splice_top "$health_dir/snapshot.json" --once --json \
+    >"$health_dir/digest.json"
+  python3 - "$health_dir/digest.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+def need(obj, key, kinds, where):
+    assert key in obj, f"{where}: missing key {key!r}"
+    assert isinstance(obj[key], kinds), \
+        f"{where}.{key}: {type(obj[key]).__name__}, want {kinds}"
+need(d, "now_ns", str, "digest")
+need(d, "window", dict, "digest")
+need(d["window"], "bucket_ns", int, "window")
+need(d["window"], "buckets", int, "window")
+need(d, "publishes", int, "digest")
+need(d, "active_dsts", int, "digest")
+need(d, "reconv_latency_us", dict, "digest")
+for q in ("p50", "p99", "p999"):
+    need(d["reconv_latency_us"], q, (int, float), "reconv_latency_us")
+need(d, "slos", list, "digest")
+assert d["slos"], "digest.slos: empty — the two default SLOs must be present"
+for s in d["slos"]:
+    for k, t in (("name", str), ("state", str), ("fast_burn", (int, float)),
+                 ("slow_burn", (int, float)),
+                 ("budget_remaining", (int, float))):
+        need(s, k, t, f"slo {s.get('name', '?')}")
+    assert s["state"] in ("ok", "warn", "page"), s["state"]
+need(d, "top", list, "digest")
+assert d["top"], "digest.top: empty — the churn replay must leave active dsts"
+for row in d["top"]:
+    for k in ("dst", "score", "sent", "delivered", "anomalies", "churn"):
+        need(row, k, int, "top row")
+    assert 0 <= row["score"] <= 100, row
+print(f"    digest ok: {len(d['top'])} dsts, {len(d['slos'])} slos, "
+      f"{d['publishes']} publishes in window")
+PY
+
+  # Scoring must observe, never perturb: every exact metric in the bench
+  # table (quiescent fib checksums, event/publish counts) has to be
+  # bit-identical with health scoring on. The loose tolerance only covers
+  # the machine-dependent reader-throughput ratios (exact metrics gate
+  # exactly at any tolerance, as in --profile-smoke).
+  echo "==> health smoke: health-on vs health-off results bit-identical"
+  ./build/tools/splice_inspect diff "$health_dir/plain.json" \
+    "$health_dir/health.json" --tolerance="${SMOKE_TOL:-0.75}"
+
+  # Overhead gate: with --gate-time the wall_ms rows are compared too. The
+  # scoring budget is <2% of publish latency — far inside the loose default
+  # that absorbs shared-machine noise; tighten with HEALTH_TOL on a quiet
+  # box.
+  echo "==> health smoke: scoring overhead within tolerance"
+  ./build/tools/splice_inspect diff "$health_dir/plain.json" \
+    "$health_dir/health.json" --tolerance="${HEALTH_TOL:-0.75}" --gate-time
+
+  # Committed baseline for the health-on run: checksums and counters gate
+  # exactly, ratios at the smoke tolerance (as in --bench-smoke).
+  health_baseline="bench/baselines/BENCH_live_churn_health.json"
+  if [[ "$rebaseline" == 1 ]]; then
+    cp "$health_dir/health.json" "$health_baseline"
+    echo "    rebaselined $health_baseline"
+  elif [[ -f "$health_baseline" ]]; then
+    echo "==> health smoke: health-on BENCH table vs baseline"
+    python3 scripts/perf_gate.py "$health_baseline" \
+      "$health_dir/health.json" --quiet --tolerance="${SMOKE_TOL:-0.75}"
+  else
+    echo "    no baseline $health_baseline (run --health-smoke --rebaseline)" >&2
+    exit 1
+  fi
+
+  echo "==> health smoke passed"
 fi
 
 echo "==> all checks passed"

@@ -4,6 +4,7 @@
 
 #include "obs/clock.h"
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "util/assert.h"
 
@@ -143,6 +144,14 @@ PublishStats FibPublisher::publish_weights(EdgeId e,
   if (obs::FlightRecorder::enabled()) {
     obs::FlightRecorder::global().epoch_grace(target, out.latency_ns,
                                               out.grace_spins);
+    obs::FlightRecorder::global().epoch_work(target, out.work_ns);
+  }
+  // Health fold sits after t1 so the scorer's own cost never lands in this
+  // event's latency sample; prev_touched_ still holds this event's
+  // per-destination patch set (swapped above).
+  if (obs::RouteHealth::enabled()) {
+    obs::RouteHealth::global().record_publish(t1, out.latency_ns,
+                                              out.work_ns, prev_touched_);
   }
 #endif
   return out;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/clock.h"
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/assert.h"
@@ -335,6 +337,30 @@ void observe_batch_summaries(std::span<const ForwardSummary> out) {
     SPLICE_OBS_COUNT("dataplane.batch.deflected_packets", deflected);
   }
 #else
+  (void)out;
+#endif  // SPLICE_OBS
+}
+
+void fold_route_health(std::span<const Packet> packets,
+                       std::span<const ForwardSummary> out) {
+#if SPLICE_OBS
+  if (!obs::RouteHealth::enabled()) return;
+  SPLICE_EXPECTS(out.size() == packets.size());
+  // One clock read per batch: all the batch's samples land in the same
+  // window bucket, which is also what keeps gated workloads deterministic
+  // (the ManualClock advances only between batches).
+  const std::uint64_t now = obs::clock_now_ns();
+  obs::RouteHealth& health = obs::RouteHealth::global();
+  std::uint64_t errors = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const bool ok = out[i].outcome == ForwardOutcome::kDelivered;
+    if (!ok) ++errors;
+    health.record_outcome(now, static_cast<std::uint32_t>(packets[i].dst),
+                          ok);
+  }
+  health.record_fwd_batch(now, packets.size(), errors);
+#else
+  (void)packets;
   (void)out;
 #endif  // SPLICE_OBS
 }

@@ -151,6 +151,13 @@ class DataPlaneNetwork {
 /// compiled out or disabled.
 void observe_batch_summaries(std::span<const ForwardSummary> out);
 
+/// Folds one completed batch into the route-health scorer (obs/health.h):
+/// per-destination delivered/sent ticks plus the batch-level totals the SLO
+/// engine consumes. One clock read per batch; no-op unless RouteHealth is
+/// enabled. `packets` and `out` are the spans the batch forwarded with.
+void fold_route_health(std::span<const Packet> packets,
+                       std::span<const ForwardSummary> out);
+
 /// Path latency under original graph weights for a delivery trace.
 Weight trace_cost(const Graph& g, const Delivery& d);
 

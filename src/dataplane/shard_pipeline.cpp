@@ -229,6 +229,7 @@ void ShardPipeline::forward_stats_batch(std::span<const Packet> packets,
     }
   }
   observe_batch_summaries(out);
+  fold_route_health(packets, out);
 }
 
 void ShardPipeline::forward_inline(std::span<const Packet> packets,
@@ -255,6 +256,7 @@ void ShardPipeline::forward_inline(std::span<const Packet> packets,
   inline_lanes_.size = nl;
   fwdk::run_batch(view, policy, inline_lanes_, out, kernel_);
   observe_batch_summaries(out);
+  fold_route_health(packets, out);
 }
 
 void ShardPipeline::set_link_mask(std::span<const char> alive) {

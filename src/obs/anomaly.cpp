@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/clock.h"
+#include "obs/health.h"
+
 namespace splice::obs {
 
 #if SPLICE_OBS
@@ -59,6 +62,12 @@ void AnomalyLedger::add_context(const std::string& key,
 
 void AnomalyLedger::record(const Anomaly& a) {
   if (!enabled()) return;
+  // Live health hook: every anomaly kind degrades its destination's route
+  // health, so the ledger's single entry point doubles as the scorer's
+  // anomaly feed (kept outside the ledger mutex — the hook is lock-free).
+  if (RouteHealth::enabled()) {
+    RouteHealth::global().record_anomaly(clock_now_ns(), a.dst);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (anomalies_.size() >= capacity_.load(std::memory_order_relaxed)) {
     ++dropped_;

@@ -229,7 +229,13 @@ std::string to_prometheus(const MetricsSnapshot& snap,
     const Histogram& h = hs.hist;
     const std::string name = "splice_" + sanitize(hs.name);
     prom_header(out, name, "histogram", "Fixed-bin value distribution.");
-    for (int b = 0; b < h.bins(); ++b) {
+    // Finite buckets stop below the top bin: samples past `hi` are clamped
+    // into the last bin (util/histogram.h), so a le="hi" bucket would
+    // falsely claim them as <= hi. The +Inf bucket covers the last bin —
+    // cumulative counts stay truthful and _count == +Inf by construction.
+    // (Under-range clamping into bin 0 is safe: those samples really are
+    // below bin 0's upper edge.)
+    for (int b = 0; b + 1 < h.bins(); ++b) {
       out += name + "_bucket{le=\"" + json_double(h.bin_hi(b)) + "\"} " +
              std::to_string(h.cumulative(b)) + "\n";
     }

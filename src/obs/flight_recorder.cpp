@@ -247,6 +247,37 @@ void FlightRecorder::epoch_grace(std::uint64_t epoch, std::uint64_t latency_ns,
   local_ring().push(ev);
 }
 
+void FlightRecorder::epoch_work(std::uint64_t epoch,
+                                std::uint64_t work_ns) noexcept {
+  if (!enabled()) return;
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(EventType::kEpochWork);
+  ev.key = epoch;
+  ev.time_ns = now_ns();
+  ev.a = static_cast<std::uint32_t>(work_ns);
+  ev.b = static_cast<std::uint32_t>(work_ns >> 32);
+  local_ring().push(ev);
+}
+
+void FlightRecorder::slo_burn(bool page, std::uint32_t slo, double fast_burn,
+                              double slow_burn) noexcept {
+  if (!enabled()) return;
+  const auto milli = [](double burn) {
+    const double m = burn * 1000.0;
+    if (m <= 0.0) return std::uint32_t{0};
+    if (m >= 4294967295.0) return std::uint32_t{0xffffffffu};
+    return static_cast<std::uint32_t>(m);
+  };
+  RecorderEvent ev;
+  ev.type = static_cast<std::uint16_t>(page ? EventType::kSloBurnPage
+                                            : EventType::kSloBurnWarn);
+  ev.key = slo;
+  ev.time_ns = now_ns();
+  ev.a = milli(fast_burn);
+  ev.b = milli(slow_burn);
+  local_ring().push(ev);
+}
+
 void sort_deterministic(std::vector<RecorderEvent>& events) {
   const auto is_walk = [](const RecorderEvent& e) {
     return e.type >= static_cast<std::uint16_t>(EventType::kWalkBegin) &&

@@ -61,6 +61,10 @@ enum class EventType : std::uint16_t {
   kEpochAdopt = 10,   ///< key=epoch (snapshot version), a=reader slot
   kEpochGrace = 11,   ///< key=epoch, a|b=lo|hi latency_ns (ingest->grace),
                       ///< c=grace spins
+  kEpochWork = 12,    ///< key=epoch, a|b=lo|hi work_ns (publish work,
+                      ///< grace wait excluded)
+  kSloBurnWarn = 13,  ///< key=slo index, a=fast burn (milli), b=slow burn
+  kSloBurnPage = 14,  ///< same encoding; page threshold crossed
 };
 
 struct RecorderEvent {
@@ -158,6 +162,12 @@ class FlightRecorder {
   void epoch_adopt(std::uint64_t epoch, std::uint32_t reader_slot) noexcept;
   void epoch_grace(std::uint64_t epoch, std::uint64_t latency_ns,
                    std::uint64_t grace_spins) noexcept;
+  void epoch_work(std::uint64_t epoch, std::uint64_t work_ns) noexcept;
+
+  /// SLO burn alert (obs/slo.h): burn rates carried in milli-units,
+  /// saturated at ~4.3M× so the u32 encoding never wraps.
+  void slo_burn(bool page, std::uint32_t slo, double fast_burn,
+                double slow_burn) noexcept;
 
  private:
   FlightRecorder();

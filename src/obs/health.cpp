@@ -1,0 +1,205 @@
+#include "obs/health.h"
+
+#include <algorithm>
+
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/slo.h"
+#include "util/assert.h"
+
+namespace splice::obs {
+
+#if SPLICE_OBS
+std::atomic<bool> RouteHealth::enabled_{false};
+#endif
+
+RouteHealth& RouteHealth::global() {
+  static RouteHealth instance;
+  return instance;
+}
+
+void RouteHealth::configure(std::uint32_t n_dsts, const HealthConfig& cfg) {
+  SPLICE_EXPECTS(cfg.window.bucket_ns > 0);
+  SPLICE_EXPECTS(cfg.window.buckets >= 1);
+  cfg_ = cfg;
+  n_dsts_ = n_dsts;
+  dst_sent_.configure(n_dsts, cfg.window);
+  dst_delivered_.configure(n_dsts, cfg.window);
+  dst_anomalies_.configure(n_dsts, cfg.window);
+  dst_churn_.configure(n_dsts, cfg.window);
+  sent_.configure(cfg.window);
+  delivered_.configure(cfg.window);
+  anomalies_.configure(cfg.window);
+  publishes_.configure(cfg.window);
+  reconv_latency_us_.configure(cfg.window, cfg.latency_lo_us,
+                               cfg.latency_hi_us, cfg.latency_bins);
+  publish_work_us_.configure(cfg.window, cfg.latency_lo_us, cfg.latency_hi_us,
+                             cfg.latency_bins);
+}
+
+void RouteHealth::record_outcome(std::uint64_t now_ns, std::uint32_t dst,
+                                 bool delivered) noexcept {
+  if (dst >= n_dsts_) return;
+  dst_sent_.add(dst, now_ns, 1);
+  if (delivered) dst_delivered_.add(dst, now_ns, 1);
+}
+
+void RouteHealth::record_fwd_batch(std::uint64_t now_ns, std::uint64_t total,
+                                   std::uint64_t errors) noexcept {
+  if (n_dsts_ == 0) return;
+  sent_.add(now_ns, total);
+  delivered_.add(now_ns, total - errors);
+  if (SloEngine::enabled()) {
+    SloEngine::global().record_fwd(now_ns, total, errors);
+  }
+}
+
+void RouteHealth::record_anomaly(std::uint64_t now_ns,
+                                 std::uint32_t dst) noexcept {
+  if (n_dsts_ == 0) return;
+  anomalies_.add(now_ns, 1);
+  if (dst < n_dsts_) dst_anomalies_.add(dst, now_ns, 1);
+}
+
+void RouteHealth::record_publish(std::uint64_t now_ns,
+                                 std::uint64_t latency_ns,
+                                 std::uint64_t work_ns,
+                                 std::span<const char> touched) noexcept {
+  if (n_dsts_ == 0) return;
+  publishes_.add(now_ns, 1);
+  reconv_latency_us_.observe(now_ns, static_cast<double>(latency_ns) * 1e-3);
+  publish_work_us_.observe(now_ns, static_cast<double>(work_ns) * 1e-3);
+  const std::size_t n =
+      std::min<std::size_t>(touched.size(), static_cast<std::size_t>(n_dsts_));
+  for (std::size_t d = 0; d < n; ++d) {
+    if (touched[d] != 0) dst_churn_.add(d, now_ns, 1);
+  }
+  if (SloEngine::enabled()) {
+    SloEngine::global().record_publish(now_ns, latency_ns);
+  }
+}
+
+int RouteHealth::score(std::uint64_t sent, std::uint64_t delivered,
+                       std::uint64_t anomalies,
+                       std::uint64_t churn) noexcept {
+  std::uint64_t penalty = 0;
+  if (sent > 0) {
+    const std::uint64_t lost = sent > delivered ? sent - delivered : 0;
+    penalty += 60 * lost / sent;
+  }
+  penalty += std::min<std::uint64_t>(25, 5 * anomalies);
+  penalty += std::min<std::uint64_t>(15, 3 * churn);
+  return penalty >= 100 ? 0 : static_cast<int>(100 - penalty);
+}
+
+HealthSnapshot RouteHealth::snapshot_at(std::uint64_t now_ns) const {
+  HealthSnapshot snap;
+  snap.now_ns = now_ns;
+  snap.window = cfg_.window;
+  if (n_dsts_ == 0) {
+    snap.reconv_latency_us =
+        Histogram(cfg_.latency_lo_us, cfg_.latency_hi_us, cfg_.latency_bins);
+    snap.publish_work_us =
+        Histogram(cfg_.latency_lo_us, cfg_.latency_hi_us, cfg_.latency_bins);
+    return snap;
+  }
+  for (std::uint32_t d = 0; d < n_dsts_; ++d) {
+    DstHealth row;
+    row.dst = d;
+    row.sent = dst_sent_.total(d, now_ns);
+    row.delivered = dst_delivered_.total(d, now_ns);
+    row.anomalies = dst_anomalies_.total(d, now_ns);
+    row.churn = dst_churn_.total(d, now_ns);
+    if (row.sent == 0 && row.anomalies == 0 && row.churn == 0) continue;
+    row.score = score(row.sent, row.delivered, row.anomalies, row.churn);
+    dst_sent_.sample(d, now_ns, row.sent_buckets);
+    dst_delivered_.sample(d, now_ns, row.delivered_buckets);
+    snap.dsts.push_back(std::move(row));
+  }
+  sent_.sample(now_ns, snap.sent_buckets);
+  delivered_.sample(now_ns, snap.delivered_buckets);
+  anomalies_.sample(now_ns, snap.anomaly_buckets);
+  publishes_.sample(now_ns, snap.publish_buckets);
+  snap.reconv_latency_us = reconv_latency_us_.merged(now_ns);
+  snap.publish_work_us = publish_work_us_.merged(now_ns);
+  snap.publishes = publishes_.total(now_ns);
+  return snap;
+}
+
+HealthSnapshot RouteHealth::snapshot() const {
+  return snapshot_at(clock_now_ns());
+}
+
+void RouteHealth::reset() {
+  if (n_dsts_ == 0) return;
+  dst_sent_.reset();
+  dst_delivered_.reset();
+  dst_anomalies_.reset();
+  dst_churn_.reset();
+  sent_.reset();
+  delivered_.reset();
+  anomalies_.reset();
+  publishes_.reset();
+  reconv_latency_us_.reset();
+  publish_work_us_.reset();
+}
+
+namespace {
+
+std::string u64_str(std::uint64_t v) { return json_quote(std::to_string(v)); }
+
+std::string bucket_array(const std::vector<std::uint64_t>& buckets) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(buckets[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string hist_body(const Histogram& h) {
+  std::string out = "{\"lo\": " + json_double(h.lo()) +
+                    ", \"hi\": " + json_double(h.hi()) +
+                    ", \"total\": " + std::to_string(h.total()) +
+                    ", \"counts\": [";
+  for (int b = 0; b < h.bins(); ++b) {
+    if (b != 0) out += ", ";
+    out += std::to_string(h.count(b));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string health_json_body(const HealthSnapshot& snap) {
+  std::string out = "\"now_ns\": " + u64_str(snap.now_ns) +
+                    ",\n\"window\": {\"bucket_ns\": " +
+                    std::to_string(snap.window.bucket_ns) +
+                    ", \"buckets\": " + std::to_string(snap.window.buckets) +
+                    "},\n\"dsts\": [";
+  for (std::size_t i = 0; i < snap.dsts.size(); ++i) {
+    const DstHealth& d = snap.dsts[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"dst\": " + std::to_string(d.dst) +
+           ", \"score\": " + std::to_string(d.score) +
+           ", \"sent\": " + std::to_string(d.sent) +
+           ", \"delivered\": " + std::to_string(d.delivered) +
+           ", \"anomalies\": " + std::to_string(d.anomalies) +
+           ", \"churn\": " + std::to_string(d.churn) +
+           ", \"sent_buckets\": " + bucket_array(d.sent_buckets) +
+           ", \"delivered_buckets\": " + bucket_array(d.delivered_buckets) +
+           "}";
+  }
+  out += "\n],\n\"sent_buckets\": " + bucket_array(snap.sent_buckets) +
+         ",\n\"delivered_buckets\": " + bucket_array(snap.delivered_buckets) +
+         ",\n\"anomaly_buckets\": " + bucket_array(snap.anomaly_buckets) +
+         ",\n\"publish_buckets\": " + bucket_array(snap.publish_buckets) +
+         ",\n\"publishes\": " + std::to_string(snap.publishes) +
+         ",\n\"reconv_latency_us\": " + hist_body(snap.reconv_latency_us) +
+         ",\n\"publish_work_us\": " + hist_body(snap.publish_work_us);
+  return out;
+}
+
+}  // namespace splice::obs

@@ -1,0 +1,175 @@
+// Per-destination route-health scoring over rolling windows — the live
+// feedback signal Path Splicing's end systems need (and ROADMAP item 5's
+// adaptive slice selection will consume). Folds three planes into one
+// windowed view per destination:
+//
+//   data plane    — forwarding outcomes (delivered vs dead-end/TTL) fed by
+//                   shard_pipeline / the live-churn reader pool;
+//   anomaly plane — loop / blackhole / stretch records, hooked off the
+//                   AnomalyLedger's single record() entry point;
+//   control plane — per-destination FIB churn (which destinations the last
+//                   publishes repatched) plus reconvergence latency / work
+//                   histograms from PublishStats.
+//
+// Record paths are the rolling-series CAS (obs/timeseries.h): lock-free,
+// relaxed, one cell per (destination, bucket). Every hook is gated the
+// standard way — callers check RouteHealth::enabled() (one relaxed load +
+// branch; constant false under -DSPLICE_OBS=OFF) before touching anything.
+//
+// Scoring is pure integer arithmetic over window totals (see score()), so
+// a snapshot at a given clock reading is bit-identical at every writer
+// thread count — the same determinism contract the metrics registry and
+// flight recorder carry, test-enforced at 1/2/8 threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+#include "util/histogram.h"
+
+namespace splice::obs {
+
+struct HealthConfig {
+  /// Window geometry shared by every health series.
+  WindowConfig window{250'000'000, 8};  ///< 8 × 250 ms = 2 s
+  /// Reconvergence-latency histogram bounds (µs) for windowed percentiles.
+  /// The ceiling covers oversubscribed-host grace waits (tens of ms);
+  /// overflow clamps into the last bin, so percentiles beyond it read as
+  /// ">= hi" rather than lying low.
+  double latency_lo_us = 0.0;
+  double latency_hi_us = 50'000.0;
+  int latency_bins = 100;
+};
+
+/// One destination's window totals plus its score. `*_buckets` carry the
+/// per-bucket delivered/sent values (oldest first) for sparkline rendering.
+struct DstHealth {
+  std::uint32_t dst = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t anomalies = 0;
+  std::uint64_t churn = 0;  ///< publishes that repatched this destination
+  int score = 100;          ///< 0 (dead) .. 100 (healthy)
+  std::vector<std::uint64_t> sent_buckets;
+  std::vector<std::uint64_t> delivered_buckets;
+};
+
+struct HealthSnapshot {
+  std::uint64_t now_ns = 0;
+  WindowConfig window{};
+  /// Destinations with any window activity, ascending dst (canonical).
+  std::vector<DstHealth> dsts;
+  /// Global per-bucket series (oldest first) for the top-line sparklines.
+  std::vector<std::uint64_t> sent_buckets;
+  std::vector<std::uint64_t> delivered_buckets;
+  std::vector<std::uint64_t> anomaly_buckets;
+  std::vector<std::uint64_t> publish_buckets;
+  /// Windowed control-plane latency distributions (µs).
+  Histogram reconv_latency_us{0.0, 1.0, 1};
+  Histogram publish_work_us{0.0, 1.0, 1};
+  std::uint64_t publishes = 0;  ///< publish events in the window
+};
+
+class RouteHealth {
+ public:
+  static RouteHealth& global();
+
+  /// Runtime switch consulted (by callers) before every hook.
+  static bool enabled() noexcept {
+#if SPLICE_OBS
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+  static void set_enabled(bool on) noexcept {
+#if SPLICE_OBS
+    enabled_.store(on, std::memory_order_relaxed);
+#else
+    (void)on;
+#endif
+  }
+
+  /// Sizes the per-destination series. Not thread-safe — call before
+  /// enabling, at run setup. Destinations >= n_dsts are ignored by the
+  /// record hooks (the valve for workloads that never configured).
+  void configure(std::uint32_t n_dsts, const HealthConfig& cfg = {});
+  std::uint32_t n_dsts() const noexcept { return n_dsts_; }
+  const HealthConfig& config() const noexcept { return cfg_; }
+
+  // -- hot-path hooks (lock-free; caller checks enabled()) -----------------
+
+  /// One forwarding outcome for `dst` at `now_ns` (a clock_now_ns() read
+  /// the caller amortizes over its batch).
+  void record_outcome(std::uint64_t now_ns, std::uint32_t dst,
+                      bool delivered) noexcept;
+
+  /// Batch-level totals for the global success series and the SLO engine:
+  /// call once per forwarded batch with the batch's size and error count.
+  void record_fwd_batch(std::uint64_t now_ns, std::uint64_t total,
+                        std::uint64_t errors) noexcept;
+
+  /// One anomaly (loop/blackhole/stretch/TTL) attributed to `dst`.
+  void record_anomaly(std::uint64_t now_ns, std::uint32_t dst) noexcept;
+
+  /// One FIB publication: reconvergence latency + publish work, plus one
+  /// churn tick for every destination set in `touched` (the publisher's
+  /// per-destination patch bitmap).
+  void record_publish(std::uint64_t now_ns, std::uint64_t latency_ns,
+                      std::uint64_t work_ns,
+                      std::span<const char> touched) noexcept;
+
+  // -- read side -----------------------------------------------------------
+
+  /// Canonical snapshot of the window ending at `now_ns`. Lock-free reads;
+  /// bit-identical across writer thread counts at quiescent points.
+  HealthSnapshot snapshot_at(std::uint64_t now_ns) const;
+  /// snapshot_at(clock_now_ns()).
+  HealthSnapshot snapshot() const;
+
+  /// The deterministic score: pure integer function of window totals.
+  ///   start at 100;
+  ///   loss     — subtract floor(60 * (sent - delivered) / sent);
+  ///   anomaly  — subtract min(25, 5 * anomalies);
+  ///   churn    — subtract min(15, 3 * churn);
+  ///   clamp at 0. No traffic and no anomalies reads as healthy (100).
+  static int score(std::uint64_t sent, std::uint64_t delivered,
+                   std::uint64_t anomalies, std::uint64_t churn) noexcept;
+
+  /// Zeroes every series (not thread-safe against writers).
+  void reset();
+
+ private:
+  RouteHealth() = default;
+
+#if SPLICE_OBS
+  static std::atomic<bool> enabled_;
+#endif
+
+  HealthConfig cfg_{};
+  std::uint32_t n_dsts_ = 0;
+
+  // Per-destination series (index = dst).
+  RollingSeriesArray dst_sent_;
+  RollingSeriesArray dst_delivered_;
+  RollingSeriesArray dst_anomalies_;
+  RollingSeriesArray dst_churn_;
+
+  // Global series.
+  RollingCounter sent_;
+  RollingCounter delivered_;
+  RollingCounter anomalies_;
+  RollingCounter publishes_;
+  RollingHistogram reconv_latency_us_;
+  RollingHistogram publish_work_us_;
+};
+
+/// JSON object *body* (no surrounding braces) for a HealthSnapshot — the
+/// payload behind the trace export's "spliceHealth" section and the
+/// splice_top snapshot file. u64s that may exceed 2^53 are decimal strings.
+std::string health_json_body(const HealthSnapshot& snap);
+
+}  // namespace splice::obs

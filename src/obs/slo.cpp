@@ -1,0 +1,177 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "util/assert.h"
+
+namespace splice::obs {
+
+#if SPLICE_OBS
+std::atomic<bool> SloEngine::enabled_{false};
+#endif
+
+const char* slo_state_name(SloState s) noexcept {
+  switch (s) {
+    case SloState::kOk:
+      return "ok";
+    case SloState::kWarn:
+      return "warn";
+    case SloState::kPage:
+      return "page";
+  }
+  return "?";
+}
+
+SloEngine& SloEngine::global() {
+  static SloEngine instance;
+  return instance;
+}
+
+void SloEngine::configure(const SloConfig& cfg) {
+  SPLICE_EXPECTS(cfg.fwd_objective > 0.0 && cfg.fwd_objective < 1.0);
+  SPLICE_EXPECTS(cfg.reconv_objective > 0.0 && cfg.reconv_objective < 1.0);
+  SPLICE_EXPECTS(cfg.fast_buckets >= 1 && cfg.fast_buckets <= cfg.slow.buckets);
+  SPLICE_EXPECTS(cfg.warn_burn > 0.0 && cfg.page_burn >= cfg.warn_burn);
+  cfg_ = cfg;
+  for (std::size_t s = 0; s < kSloCount; ++s) {
+    totals_[s].configure(cfg.slow);
+    errors_[s].configure(cfg.slow);
+    last_state_[s] = SloState::kOk;
+  }
+}
+
+void SloEngine::record_fwd(std::uint64_t now_ns, std::uint64_t total,
+                           std::uint64_t errors) noexcept {
+  if (!totals_[0].configured()) return;
+  totals_[0].add(now_ns, total);
+  if (errors != 0) errors_[0].add(now_ns, errors);
+}
+
+void SloEngine::record_publish(std::uint64_t now_ns,
+                               std::uint64_t latency_ns) noexcept {
+  if (!totals_[1].configured()) return;
+  totals_[1].add(now_ns, 1);
+  if (latency_ns > cfg_.reconv_threshold_ns) errors_[1].add(now_ns, 1);
+}
+
+namespace {
+
+/// Sum of a series' last `n` buckets ending at now_ns (the fast suffix of
+/// the slow ring).
+std::uint64_t suffix_total(const RollingCounter& c, std::uint64_t now_ns,
+                           int n) {
+  std::vector<std::uint64_t> buckets;
+  c.sample(now_ns, buckets);
+  std::uint64_t sum = 0;
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(n), buckets.size());
+  for (std::size_t i = buckets.size() - take; i < buckets.size(); ++i) {
+    sum += buckets[i];
+  }
+  return sum;
+}
+
+double burn_rate(std::uint64_t errors, std::uint64_t total, double budget) {
+  if (total == 0) return 0.0;
+  return (static_cast<double>(errors) / static_cast<double>(total)) / budget;
+}
+
+}  // namespace
+
+SloStatus SloEngine::status_of(std::size_t slo, std::uint64_t now_ns) const {
+  SloStatus st;
+  st.name = slo == 0 ? "fwd_success" : "reconv_latency";
+  st.objective = slo == 0 ? cfg_.fwd_objective : cfg_.reconv_objective;
+  const double budget = 1.0 - st.objective;
+  st.slow_total = totals_[slo].total(now_ns);
+  st.slow_errors = errors_[slo].total(now_ns);
+  st.fast_total = suffix_total(totals_[slo], now_ns, cfg_.fast_buckets);
+  st.fast_errors = suffix_total(errors_[slo], now_ns, cfg_.fast_buckets);
+  st.fast_burn = burn_rate(st.fast_errors, st.fast_total, budget);
+  st.slow_burn = burn_rate(st.slow_errors, st.slow_total, budget);
+  st.budget_remaining = 1.0 - burn_rate(st.slow_errors, st.slow_total, budget);
+  // Both windows must agree: the fast window proves the burn is current,
+  // the slow window proves it is material.
+  if (st.fast_burn >= cfg_.page_burn && st.slow_burn >= cfg_.page_burn) {
+    st.state = SloState::kPage;
+  } else if (st.fast_burn >= cfg_.warn_burn &&
+             st.slow_burn >= cfg_.warn_burn) {
+    st.state = SloState::kWarn;
+  } else {
+    st.state = SloState::kOk;
+  }
+  return st;
+}
+
+SloSnapshot SloEngine::peek(std::uint64_t now_ns) const {
+  SloSnapshot snap;
+  snap.now_ns = now_ns;
+  if (!totals_[0].configured()) return snap;
+  for (std::size_t s = 0; s < kSloCount; ++s) {
+    snap.slos.push_back(status_of(s, now_ns));
+  }
+  return snap;
+}
+
+SloSnapshot SloEngine::evaluate(std::uint64_t now_ns) {
+  SloSnapshot snap = peek(now_ns);
+  for (std::size_t s = 0; s < snap.slos.size(); ++s) {
+    const SloState cur = snap.slos[s].state;
+    // Alert on upward transitions only; recovery clears silently so a
+    // flapping burn does not spam the recorder.
+    if (cur > last_state_[s]) {
+#if SPLICE_OBS
+      if (FlightRecorder::enabled()) {
+        FlightRecorder::global().slo_burn(cur == SloState::kPage,
+                                          static_cast<std::uint32_t>(s),
+                                          snap.slos[s].fast_burn,
+                                          snap.slos[s].slow_burn);
+      }
+#endif
+    }
+    last_state_[s] = cur;
+  }
+  return snap;
+}
+
+void SloEngine::reset() {
+  if (!totals_[0].configured()) return;
+  for (std::size_t s = 0; s < kSloCount; ++s) {
+    totals_[s].reset();
+    errors_[s].reset();
+    last_state_[s] = SloState::kOk;
+  }
+}
+
+std::string slo_json_body(const SloSnapshot& snap) {
+  std::string out =
+      "\"now_ns\": " + json_quote(std::to_string(snap.now_ns)) +
+      ",\n\"slos\": [";
+  for (std::size_t i = 0; i < snap.slos.size(); ++i) {
+    const SloStatus& s = snap.slos[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"name\": " + json_quote(s.name) +
+           ", \"objective\": " + json_double(s.objective) +
+           ", \"state\": " + json_quote(slo_state_name(s.state)) +
+           ", \"fast_total\": " + std::to_string(s.fast_total) +
+           ", \"fast_errors\": " + std::to_string(s.fast_errors) +
+           ", \"slow_total\": " + std::to_string(s.slow_total) +
+           ", \"slow_errors\": " + std::to_string(s.slow_errors) +
+           ", \"fast_burn\": " + json_double(s.fast_burn) +
+           ", \"slow_burn\": " + json_double(s.slow_burn) +
+           ", \"budget_remaining\": " + json_double(s.budget_remaining) + "}";
+  }
+  out += "\n]";
+  return out;
+}
+
+std::string health_snapshot_document(const HealthSnapshot& health,
+                                     const SloSnapshot& slo) {
+  return "{\n\"spliceHealth\": {\n" + health_json_body(health) +
+         "\n},\n\"spliceSlo\": {\n" + slo_json_body(slo) + "\n}\n}\n";
+}
+
+}  // namespace splice::obs

@@ -1,0 +1,149 @@
+// Multi-window burn-rate SLO engine over the rolling series — the watchdog
+// that turns the health layer's windowed counts into budget alerts while
+// the live daemon runs.
+//
+// Two SLOs ship by default:
+//   fwd_success    — fraction of forwarded packets delivered;
+//   reconv_latency — fraction of FIB publishes whose reader-visible
+//                    reconvergence latency stays under the threshold.
+//
+// Burn-rate math (the standard multi-window form). An objective o leaves
+// an error budget b = 1 - o. Over a window, burn = error_rate / b: burn 1
+// consumes the budget exactly at the sustainable rate; burn 10 exhausts a
+// day's budget in 2.4 hours. One window alone is either too twitchy
+// (short) or too slow to clear (long), so each SLO is judged on a fast and
+// a slow window simultaneously and alerts only when BOTH exceed the
+// threshold — the fast window proves the problem is current, the slow one
+// proves it is material. kWarn at warn_burn, kPage at page_burn; state
+// transitions emit kSloBurnWarn / kSloBurnPage flight-recorder events so
+// pages land on the same timeline as the epoch ledger.
+//
+// Determinism: burns are doubles, but each is a single division of two
+// window-total integers by a constant budget, so evaluations at a given
+// clock reading are bit-identical at every writer thread count (same
+// contract as obs/health.h, test-enforced).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace splice::obs {
+
+struct SloConfig {
+  double fwd_objective = 0.99;     ///< delivered fraction objective
+  double reconv_objective = 0.99;  ///< in-threshold publish fraction
+  std::uint64_t reconv_threshold_ns = 5'000'000;  ///< 5 ms reader-visible
+  /// Slow window geometry; the fast window is the suffix of the same ring.
+  WindowConfig slow{250'000'000, 24};  ///< 6 s
+  int fast_buckets = 4;                ///< 1 s fast window
+  double warn_burn = 2.0;
+  double page_burn = 8.0;
+};
+
+enum class SloState : std::uint8_t { kOk = 0, kWarn = 1, kPage = 2 };
+
+const char* slo_state_name(SloState s) noexcept;
+
+/// One SLO's evaluation at a clock reading.
+struct SloStatus {
+  std::string name;
+  double objective = 0.0;
+  std::uint64_t fast_total = 0;
+  std::uint64_t fast_errors = 0;
+  std::uint64_t slow_total = 0;
+  std::uint64_t slow_errors = 0;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  /// 1 - slow_error_rate / budget: fraction of the slow window's budget
+  /// still unspent (negative once overspent).
+  double budget_remaining = 1.0;
+  SloState state = SloState::kOk;
+};
+
+struct SloSnapshot {
+  std::uint64_t now_ns = 0;
+  std::vector<SloStatus> slos;
+};
+
+class SloEngine {
+ public:
+  static SloEngine& global();
+
+  static bool enabled() noexcept {
+#if SPLICE_OBS
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+  static void set_enabled(bool on) noexcept {
+#if SPLICE_OBS
+    enabled_.store(on, std::memory_order_relaxed);
+#else
+    (void)on;
+#endif
+  }
+
+  /// Re-arms the engine with a config. Not thread-safe; call before
+  /// enabling. Resets series and alert state.
+  void configure(const SloConfig& cfg = {});
+  const SloConfig& config() const noexcept { return cfg_; }
+
+  // -- hot-path hooks (lock-free; caller checks enabled()) -----------------
+
+  /// Batch of forwarding outcomes: `total` packets, `errors` not delivered.
+  void record_fwd(std::uint64_t now_ns, std::uint64_t total,
+                  std::uint64_t errors) noexcept;
+
+  /// One FIB publish with its reader-visible reconvergence latency.
+  void record_publish(std::uint64_t now_ns,
+                      std::uint64_t latency_ns) noexcept;
+
+  // -- evaluation ----------------------------------------------------------
+
+  /// Evaluates both SLOs over the windows ending at `now_ns`, emits
+  /// kSloBurnWarn / kSloBurnPage flight-recorder events on upward state
+  /// transitions (per SLO), and returns the full status. Call from control
+  /// paths (per churn event / refresh tick), not per packet.
+  SloSnapshot evaluate(std::uint64_t now_ns);
+
+  /// evaluate() without the alert edge-detection side effects (read-only;
+  /// usable from const contexts and tooling).
+  SloSnapshot peek(std::uint64_t now_ns) const;
+
+  void reset();
+
+ private:
+  SloEngine() = default;
+
+  SloStatus status_of(std::size_t slo, std::uint64_t now_ns) const;
+
+#if SPLICE_OBS
+  static std::atomic<bool> enabled_;
+#endif
+
+  SloConfig cfg_{};
+  // Series index: 0 = fwd_success, 1 = reconv_latency.
+  static constexpr std::size_t kSloCount = 2;
+  RollingCounter totals_[kSloCount];
+  RollingCounter errors_[kSloCount];
+  SloState last_state_[kSloCount] = {SloState::kOk, SloState::kOk};
+};
+
+/// JSON object *body* (no braces) for the "spliceSlo" trace section and
+/// the splice_top snapshot file.
+std::string slo_json_body(const SloSnapshot& snap);
+
+struct HealthSnapshot;  // obs/health.h
+
+/// Standalone snapshot document for splice_top: the health and SLO bodies
+/// under the same keys the trace export uses, so the tool reads a live
+/// snapshot file and a full trace identically.
+///   {"spliceHealth": {...}, "spliceSlo": {...}}
+std::string health_snapshot_document(const HealthSnapshot& health,
+                                     const SloSnapshot& slo);
+
+}  // namespace splice::obs

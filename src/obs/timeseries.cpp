@@ -1,0 +1,109 @@
+#include "obs/timeseries.h"
+
+namespace splice::obs {
+
+namespace {
+
+/// First absolute bucket of the window ending at `abs_now` (clamped at the
+/// epoch so early reads never wrap below zero).
+std::uint64_t window_start(std::uint64_t abs_now, int buckets) noexcept {
+  const auto span = static_cast<std::uint64_t>(buckets - 1);
+  return abs_now >= span ? abs_now - span : 0;
+}
+
+}  // namespace
+
+void RollingSeriesArray::configure(std::size_t n, const WindowConfig& cfg) {
+  SPLICE_EXPECTS(cfg.bucket_ns > 0);
+  SPLICE_EXPECTS(cfg.buckets >= 1);
+  cfg_ = cfg;
+  n_ = n;
+  const std::size_t cells = n * static_cast<std::size_t>(cfg.buckets);
+  cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t RollingSeriesArray::total(std::size_t i,
+                                        std::uint64_t now_ns) const noexcept {
+  SPLICE_EXPECTS(i < n_);
+  const std::uint64_t abs_now = now_ns / cfg_.bucket_ns;
+  std::uint64_t sum = 0;
+  for (std::uint64_t abs = window_start(abs_now, cfg_.buckets);
+       abs <= abs_now; ++abs) {
+    sum += ts_detail::cell_read(cell(i, abs), abs);
+  }
+  return sum;
+}
+
+void RollingSeriesArray::sample(std::size_t i, std::uint64_t now_ns,
+                                std::vector<std::uint64_t>& out) const {
+  SPLICE_EXPECTS(i < n_);
+  const std::uint64_t abs_now = now_ns / cfg_.bucket_ns;
+  out.assign(static_cast<std::size_t>(cfg_.buckets), 0);
+  const std::uint64_t start = window_start(abs_now, cfg_.buckets);
+  for (std::uint64_t abs = start; abs <= abs_now; ++abs) {
+    // Oldest first; buckets before the epoch stay zero.
+    const std::size_t slot =
+        out.size() - 1 - static_cast<std::size_t>(abs_now - abs);
+    out[slot] = ts_detail::cell_read(cell(i, abs), abs);
+  }
+}
+
+void RollingSeriesArray::reset() noexcept {
+  const std::size_t cells = n_ * static_cast<std::size_t>(cfg_.buckets);
+  for (std::size_t i = 0; i < cells; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void RollingHistogram::configure(const WindowConfig& cfg, double lo,
+                                 double hi, int bins) {
+  SPLICE_EXPECTS(cfg.bucket_ns > 0);
+  SPLICE_EXPECTS(cfg.buckets >= 1);
+  SPLICE_EXPECTS(bins >= 1);
+  SPLICE_EXPECTS(hi > lo);
+  cfg_ = cfg;
+  lo_ = lo;
+  hi_ = hi;
+  bins_ = bins;
+  const std::size_t cells = static_cast<std::size_t>(cfg.buckets) *
+                            static_cast<std::size_t>(bins);
+  cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram RollingHistogram::merged(std::uint64_t now_ns) const {
+  SPLICE_EXPECTS(bins_ >= 1);
+  const std::uint64_t abs_now = now_ns / cfg_.bucket_ns;
+  std::vector<long long> counts(static_cast<std::size_t>(bins_), 0);
+  for (std::uint64_t abs = window_start(abs_now, cfg_.buckets);
+       abs <= abs_now; ++abs) {
+    for (int b = 0; b < bins_; ++b) {
+      counts[static_cast<std::size_t>(b)] += static_cast<long long>(
+          ts_detail::cell_read(cell(abs, b), abs));
+    }
+  }
+  // Midpoint-reconstructed sum: deterministic, and percentile queries (the
+  // only consumers of rolling windows) never read it.
+  double sum = 0.0;
+  const double width = (hi_ - lo_) / static_cast<double>(bins_);
+  for (int b = 0; b < bins_; ++b) {
+    sum += static_cast<double>(counts[static_cast<std::size_t>(b)]) *
+           (lo_ + width * (static_cast<double>(b) + 0.5));
+  }
+  return Histogram::from_counts(lo_, hi_, std::move(counts), sum);
+}
+
+void RollingHistogram::reset() noexcept {
+  const std::size_t cells = static_cast<std::size_t>(cfg_.buckets) *
+                            static_cast<std::size_t>(bins_);
+  for (std::size_t i = 0; i < cells; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace splice::obs

@@ -1,0 +1,233 @@
+// Rolling time-windowed series: the streaming layer under obs/health.h and
+// obs/slo.h. Where the metrics registry (obs/metrics.h) accumulates since
+// reset, a rolling series answers "over the last W seconds" while the
+// workload is still running — the signal a live watchdog needs.
+//
+// Shape. A series is a ring of fixed-width time buckets. Time is quantized
+// into absolute bucket indices (now_ns / bucket_ns); bucket index `abs`
+// lives in ring slot `abs % buckets`. A slot is one 64-bit atomic packing
+// (abs-index tag << 32 | count): the write path is a single CAS loop that
+// either adds to the current bucket (tag matches) or atomically
+// resets-and-seeds the slot for the new bucket (tag stale). Packing the tag
+// and count into one word is what makes rollover lock-free and lossless —
+// with a separate epoch word, an increment can land between a winner's tag
+// swap and its zeroing store and be silently lost. Reads reconstruct the
+// window by checking each slot's tag against the expected absolute index;
+// a stale slot simply reads as zero, so expiry needs no sweeper thread.
+//
+// Costs and limits. Writes are one relaxed load + one relaxed CAS per
+// sample (uncontended: one cache line, same order as a registry
+// fetch_add). Counts saturate at 2^32-1 per bucket; the tag aliases only
+// after 2^32 buckets (decades at any realistic width). Timestamps come
+// from the caller, who reads the injectable obs::Clock — a ManualClock
+// makes every rollover test-deterministic.
+//
+// Determinism contract. For workloads whose samples are a pure function of
+// the work items and whose clock advances only at quiescent points (the
+// ManualClock discipline; gated benches advance per event on one thread),
+// every writer sees the same bucket tag, integer adds commute, and
+// sample()/total() at a given now_ns are bit-identical at every thread
+// count. Like the registry, wall-clock (MonotonicClock) runs sit outside
+// the gated contract.
+//
+// Compiled out: the hot-path hooks that feed these series (health/SLO) are
+// gated on SPLICE_OBS like every other obs layer; the classes themselves
+// stay available so tooling links.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/histogram.h"
+
+#ifndef SPLICE_OBS
+#define SPLICE_OBS 1
+#endif
+
+namespace splice::obs {
+
+/// Geometry of one rolling window: `buckets` ring slots of `bucket_ns`
+/// each, covering a window of bucket_ns * buckets.
+struct WindowConfig {
+  std::uint64_t bucket_ns = 250'000'000;  ///< 250 ms buckets
+  int buckets = 8;                        ///< 2 s window
+
+  std::uint64_t window_ns() const noexcept {
+    return bucket_ns * static_cast<std::uint64_t>(buckets);
+  }
+};
+
+namespace ts_detail {
+
+inline constexpr std::uint64_t kCountMask = 0xffffffffULL;
+
+inline std::uint64_t pack(std::uint64_t abs_bucket,
+                          std::uint64_t count) noexcept {
+  return (abs_bucket << 32) | count;
+}
+
+/// Adds `n` (saturating at 2^32-1) into `cell` for absolute bucket
+/// `abs_bucket`, atomically resetting the slot first when it still holds an
+/// older bucket's tally.
+inline void cell_add(std::atomic<std::uint64_t>& cell,
+                     std::uint64_t abs_bucket, std::uint64_t n) noexcept {
+  const std::uint64_t tag = abs_bucket & kCountMask;
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  for (;;) {
+    std::uint64_t count = (cur >> 32) == tag ? (cur & kCountMask) + n : n;
+    if (count > kCountMask) count = kCountMask;
+    if (cell.compare_exchange_weak(cur, pack(tag, count),
+                                   std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+/// The slot's count if it holds `abs_bucket`'s tally, else 0 (stale or
+/// never written).
+inline std::uint64_t cell_read(const std::atomic<std::uint64_t>& cell,
+                               std::uint64_t abs_bucket) noexcept {
+  const std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  return (cur >> 32) == (abs_bucket & kCountMask) ? (cur & kCountMask) : 0;
+}
+
+}  // namespace ts_detail
+
+/// `n` independent rolling counters sharing one WindowConfig in a single
+/// flat allocation — the storage form for per-destination series, where a
+/// vector of individually-allocated counters would fragment. Series i,
+/// ring slot b lives at cells_[i * buckets + b].
+class RollingSeriesArray {
+ public:
+  RollingSeriesArray() = default;
+
+  /// Allocates n series. Not thread-safe; call before any writer starts.
+  void configure(std::size_t n, const WindowConfig& cfg);
+
+  std::size_t size() const noexcept { return n_; }
+  const WindowConfig& config() const noexcept { return cfg_; }
+  bool configured() const noexcept { return cells_ != nullptr; }
+
+  /// Adds `v` to series `i`'s bucket containing `now_ns`. Lock-free;
+  /// callers pass a clock_now_ns() (or ManualClock) timestamp.
+  void add(std::size_t i, std::uint64_t now_ns, std::uint64_t v) noexcept {
+    SPLICE_EXPECTS(i < n_);
+    ts_detail::cell_add(cell(i, now_ns / cfg_.bucket_ns), now_ns / cfg_.bucket_ns,
+                        v);
+  }
+
+  /// Sum of series `i` over the window ending at `now_ns` (the partial
+  /// current bucket included).
+  std::uint64_t total(std::size_t i, std::uint64_t now_ns) const noexcept;
+
+  /// Per-bucket values, oldest first, for the window ending at `now_ns`.
+  /// `out` is resized to cfg().buckets.
+  void sample(std::size_t i, std::uint64_t now_ns,
+              std::vector<std::uint64_t>& out) const;
+
+  /// Zeroes every slot (not thread-safe against writers).
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t>& cell(std::size_t i,
+                                   std::uint64_t abs_bucket) noexcept {
+    return cells_[i * static_cast<std::size_t>(cfg_.buckets) +
+                  static_cast<std::size_t>(
+                      abs_bucket % static_cast<std::uint64_t>(cfg_.buckets))];
+  }
+  const std::atomic<std::uint64_t>& cell(
+      std::size_t i, std::uint64_t abs_bucket) const noexcept {
+    return cells_[i * static_cast<std::size_t>(cfg_.buckets) +
+                  static_cast<std::size_t>(
+                      abs_bucket % static_cast<std::uint64_t>(cfg_.buckets))];
+  }
+
+  WindowConfig cfg_{};
+  std::size_t n_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+};
+
+/// One rolling counter (a RollingSeriesArray of size 1).
+class RollingCounter {
+ public:
+  RollingCounter() = default;
+  explicit RollingCounter(const WindowConfig& cfg) { configure(cfg); }
+
+  void configure(const WindowConfig& cfg) { arr_.configure(1, cfg); }
+  const WindowConfig& config() const noexcept { return arr_.config(); }
+  bool configured() const noexcept { return arr_.configured(); }
+
+  void add(std::uint64_t now_ns, std::uint64_t v) noexcept {
+    arr_.add(0, now_ns, v);
+  }
+  std::uint64_t total(std::uint64_t now_ns) const noexcept {
+    return arr_.total(0, now_ns);
+  }
+  void sample(std::uint64_t now_ns, std::vector<std::uint64_t>& out) const {
+    arr_.sample(0, now_ns, out);
+  }
+  void reset() noexcept { arr_.reset(); }
+
+ private:
+  RollingSeriesArray arr_;
+};
+
+/// Rolling fixed-bin histogram: per ring bucket, `bins` packed cells binned
+/// with Histogram::bin_index (the one shared binning rule). merged() folds
+/// the live window into a util Histogram for percentile queries; the sum is
+/// reconstructed from bin midpoints (deterministic, approximate — rolling
+/// percentiles never need the exact sum).
+class RollingHistogram {
+ public:
+  RollingHistogram() = default;
+  RollingHistogram(const WindowConfig& cfg, double lo, double hi, int bins) {
+    configure(cfg, lo, hi, bins);
+  }
+
+  /// Not thread-safe; call before any writer starts.
+  void configure(const WindowConfig& cfg, double lo, double hi, int bins);
+
+  const WindowConfig& config() const noexcept { return cfg_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  int bins() const noexcept { return bins_; }
+
+  void observe(std::uint64_t now_ns, double x) noexcept {
+    const std::uint64_t abs = now_ns / cfg_.bucket_ns;
+    const int bin = Histogram::bin_index(lo_, hi_, bins_, x);
+    ts_detail::cell_add(cell(abs, bin), abs, 1);
+  }
+
+  /// The live window's distribution ending at `now_ns`.
+  Histogram merged(std::uint64_t now_ns) const;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t>& cell(std::uint64_t abs_bucket,
+                                   int bin) noexcept {
+    return cells_[static_cast<std::size_t>(
+                      abs_bucket % static_cast<std::uint64_t>(cfg_.buckets)) *
+                      static_cast<std::size_t>(bins_) +
+                  static_cast<std::size_t>(bin)];
+  }
+  const std::atomic<std::uint64_t>& cell(std::uint64_t abs_bucket,
+                                         int bin) const noexcept {
+    return cells_[static_cast<std::size_t>(
+                      abs_bucket % static_cast<std::uint64_t>(cfg_.buckets)) *
+                      static_cast<std::size_t>(bins_) +
+                  static_cast<std::size_t>(bin)];
+  }
+
+  WindowConfig cfg_{};
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  int bins_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+};
+
+}  // namespace splice::obs

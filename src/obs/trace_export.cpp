@@ -4,7 +4,10 @@
 #include <cstring>
 #include <map>
 
+#include "obs/clock.h"
 #include "obs/export.h"
+#include "obs/health.h"
+#include "obs/slo.h"
 #include "util/table.h"
 
 namespace splice::obs {
@@ -84,6 +87,13 @@ TraceInputs capture_trace_inputs() {
   in.spans = SpanCollector::global().snapshot();
   in.recorder = FlightRecorder::global().drain();
   in.anomalies = AnomalyLedger::global().snapshot();
+  if (RouteHealth::enabled()) {
+    in.health_body = health_json_body(RouteHealth::global().snapshot());
+  }
+  if (SloEngine::enabled()) {
+    in.slo_body =
+        slo_json_body(SloEngine::global().peek(clock_now_ns()));
+  }
   return in;
 }
 
@@ -181,6 +191,41 @@ std::string trace_json(const TraceInputs& in) {
                             ", \"latency_ns\": " + u64_str(lat) +
                             ", \"grace_spins\": " + std::to_string(ev.c) +
                             "}");
+        w.end_event();
+        break;
+      }
+      case EventType::kEpochWork: {
+        const std::uint64_t work =
+            static_cast<std::uint64_t>(ev.a) |
+            (static_cast<std::uint64_t>(ev.b) << 32);
+        w.begin_event();
+        w.str_field("name", "epoch_work");
+        w.str_field("ph", "i");
+        w.str_field("s", "t");
+        w.int_field("pid", 1);
+        w.int_field("tid", ev.tid);
+        w.field("ts", ts_us(ev.time_ns, base_ns));
+        w.field("args", "{\"epoch\": " + u64_str(ev.key) +
+                            ", \"work_ns\": " + u64_str(work) + "}");
+        w.end_event();
+        break;
+      }
+      case EventType::kSloBurnWarn:
+      case EventType::kSloBurnPage: {
+        const bool page =
+            ev.type == static_cast<std::uint16_t>(EventType::kSloBurnPage);
+        w.begin_event();
+        w.str_field("name", page ? "slo_burn_page" : "slo_burn_warn");
+        w.str_field("ph", "i");
+        w.str_field("s", "g");
+        w.int_field("pid", 1);
+        w.int_field("tid", ev.tid);
+        w.field("ts", ts_us(ev.time_ns, base_ns));
+        w.field("args",
+                "{\"slo\": " + u64_str(ev.key) + ", \"fast_burn\": " +
+                    json_double(static_cast<double>(ev.a) / 1000.0) +
+                    ", \"slow_burn\": " +
+                    json_double(static_cast<double>(ev.b) / 1000.0) + "}");
         w.end_event();
         break;
       }
@@ -415,6 +460,7 @@ std::string trace_json(const TraceInputs& in) {
     struct EpochRec {
       const RecorderEvent* pub = nullptr;
       const RecorderEvent* grace = nullptr;
+      const RecorderEvent* work = nullptr;
       int adopts = 0;
     };
     std::map<std::uint64_t, EpochRec> epochs;
@@ -425,6 +471,9 @@ std::string trace_json(const TraceInputs& in) {
           break;
         case EventType::kEpochGrace:
           epochs[ev.key].grace = &ev;
+          break;
+        case EventType::kEpochWork:
+          epochs[ev.key].work = &ev;
           break;
         case EventType::kEpochAdopt:
           ++epochs[ev.key].adopts;
@@ -453,6 +502,12 @@ std::string trace_json(const TraceInputs& in) {
             (static_cast<std::uint64_t>(rec.grace->b) << 32);
         out += ", \"latency_ns\": " + u64_str(lat) +
                ", \"grace_spins\": " + std::to_string(rec.grace->c);
+      }
+      if (rec.work != nullptr) {
+        const std::uint64_t work =
+            static_cast<std::uint64_t>(rec.work->a) |
+            (static_cast<std::uint64_t>(rec.work->b) << 32);
+        out += ", \"work_ns\": " + u64_str(work);
       }
       out += ", \"adopts\": " + std::to_string(rec.adopts) + "}";
     }
@@ -493,6 +548,13 @@ std::string trace_json(const TraceInputs& in) {
     out += "}}";
   }
   out += "\n],\n";
+
+  if (!in.health_body.empty()) {
+    out += "\"spliceHealth\": {\n" + in.health_body + "\n},\n";
+  }
+  if (!in.slo_body.empty()) {
+    out += "\"spliceSlo\": {\n" + in.slo_body + "\n},\n";
+  }
 
   out += "\"spliceMeta\": {";
   bool first = true;

@@ -39,10 +39,15 @@ struct TraceInputs {
   AnomalySnapshot anomalies;
   /// Free-form metadata for "spliceMeta" (bench name, topology, flags...).
   std::vector<std::pair<std::string, std::string>> meta;
+  /// JSON object bodies for "spliceHealth" / "spliceSlo" (obs/health.h,
+  /// obs/slo.h); empty strings omit the sections.
+  std::string health_body;
+  std::string slo_body;
 };
 
 /// Snapshots the global span collector, drains the global flight recorder
-/// and snapshots the global anomaly ledger.
+/// and snapshots the global anomaly ledger. When the route-health scorer /
+/// SLO engine are enabled, their snapshots ride along as JSON bodies.
 TraceInputs capture_trace_inputs();
 
 /// Renders one complete trace-event JSON document.

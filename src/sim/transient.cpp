@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "obs/anomaly.h"
+#include "obs/clock.h"
+#include "obs/health.h"
 #include "util/assert.h"
 
 namespace splice {
@@ -111,6 +113,14 @@ std::vector<TransientPoint> run_transient_experiment(
       }
 
 #if SPLICE_OBS
+      // Live health fold for the churn path: spliced outcomes per
+      // destination, one clock read per time sample (all its pairs share a
+      // window bucket — the determinism discipline).
+      const bool health_on = obs::RouteHealth::enabled();
+      const std::uint64_t health_now = health_on ? obs::clock_now_ns() : 0;
+      std::uint64_t health_total = 0;
+      std::uint64_t health_errors = 0;
+
       const auto note = [&](Outcome o, NodeId src, NodeId dst, bool spliced) {
         if (!ledger_on || o == Outcome::kDelivered) return;
         obs::Anomaly an;
@@ -161,6 +171,13 @@ std::vector<TransientPoint> run_transient_experiment(
             break;
         }
 #if SPLICE_OBS
+        if (health_on) {
+          const bool ok = spliced == Outcome::kDelivered;
+          obs::RouteHealth::global().record_outcome(
+              health_now, static_cast<std::uint32_t>(dst), ok);
+          ++health_total;
+          if (!ok) ++health_errors;
+        }
         note(plain, src, dst, false);
         note(spliced, src, dst, true);
 #endif
@@ -182,6 +199,12 @@ std::vector<TransientPoint> run_transient_experiment(
           sample_pair(src, dst);
         }
       }
+#if SPLICE_OBS
+      if (health_on && health_total != 0) {
+        obs::RouteHealth::global().record_fwd_batch(health_now, health_total,
+                                                    health_errors);
+      }
+#endif
     }
   }
 

@@ -1,0 +1,164 @@
+// Prometheus exposition-format conformance for the metrics exporter. The
+// histogram contract: `le` edges strictly increasing and all strictly
+// below the histogram's `hi` bound (samples past `hi` clamp into the last
+// bin, so a le="hi" bucket would falsely claim them); cumulative counts
+// monotone non-decreasing; the +Inf bucket equals _count exactly; every
+// sample line belongs to a # TYPE'd family.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/histogram.h"
+
+namespace splice::obs {
+namespace {
+
+MetricsSnapshot snapshot_with_histogram(const Histogram& h) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"dataplane.batch.packets", 12345});
+  snap.gauges.push_back({"bench.wall_ms", 17.5});
+  snap.histograms.push_back({"dataplane.batch.hops_hist", h});
+  return snap;
+}
+
+struct Bucket {
+  double le = 0.0;
+  bool inf = false;
+  long long count = 0;
+};
+
+/// Pulls one histogram family's bucket lines, _sum and _count out of the
+/// exposition text.
+struct HistFamily {
+  std::vector<Bucket> buckets;
+  long long count = -1;
+  bool saw_sum = false;
+};
+
+HistFamily parse_family(const std::string& text, const std::string& name) {
+  HistFamily fam;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + "_bucket{le=\"", 0) == 0) {
+      const std::size_t open = line.find('"');
+      const std::size_t close = line.find('"', open + 1);
+      const std::string le = line.substr(open + 1, close - open - 1);
+      Bucket b;
+      if (le == "+Inf") {
+        b.inf = true;
+      } else {
+        b.le = std::strtod(le.c_str(), nullptr);
+      }
+      b.count = std::strtoll(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+      fam.buckets.push_back(b);
+    } else if (line.rfind(name + "_count ", 0) == 0) {
+      fam.count =
+          std::strtoll(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+    } else if (line.rfind(name + "_sum ", 0) == 0) {
+      fam.saw_sum = true;
+    }
+  }
+  return fam;
+}
+
+TEST(ObsExportTest, HistogramBucketsAreCumulativeAndTruthful) {
+  // 4 bins over [0, 100): bin edges 25/50/75/100. The 250 and 1e6 samples
+  // clamp into the last bin; the -5 clamps into bin 0 (still truthfully
+  // <= 25).
+  Histogram h(0.0, 100.0, 4);
+  for (const double x : {-5.0, 10.0, 30.0, 60.0, 80.0, 250.0, 1e6}) h.add(x);
+
+  const std::string text =
+      to_prometheus(snapshot_with_histogram(h), SpanSnapshot{});
+  const HistFamily fam =
+      parse_family(text, "splice_dataplane_batch_hops_hist");
+
+  // Finite edges strictly increasing, all strictly below hi, then +Inf
+  // last.
+  ASSERT_GE(fam.buckets.size(), 2u);
+  ASSERT_TRUE(fam.buckets.back().inf);
+  double prev_le = -1e300;
+  long long prev_count = 0;
+  for (std::size_t i = 0; i + 1 < fam.buckets.size(); ++i) {
+    const Bucket& b = fam.buckets[i];
+    ASSERT_FALSE(b.inf) << "+Inf bucket not last";
+    EXPECT_GT(b.le, prev_le) << "le edges not strictly increasing";
+    EXPECT_LT(b.le, h.hi())
+        << "a finite le >= hi would falsely claim clamped overflow samples";
+    EXPECT_GE(b.count, prev_count) << "cumulative counts decreased";
+    prev_le = b.le;
+    prev_count = b.count;
+  }
+  // +Inf == _count == total observations, clamped ones included.
+  EXPECT_EQ(fam.buckets.back().count, 7);
+  EXPECT_EQ(fam.count, 7);
+  EXPECT_TRUE(fam.saw_sum);
+  // The overflow samples must NOT be claimed by the last finite bucket:
+  // only -5, 10, 30 and 60 are truly at or below 75 (80, 250 and 1e6 all
+  // live in the clamped top bin, covered by +Inf alone).
+  EXPECT_EQ(fam.buckets[fam.buckets.size() - 2].count, 4)
+      << "le=\"75\" must hold only the 4 samples truly at or below 75";
+}
+
+TEST(ObsExportTest, SingleBinHistogramDegeneratesToInfOnly) {
+  // bins == 1: no finite bucket can be emitted truthfully (everything
+  // clamps into the one bin); the family is just +Inf + _sum + _count.
+  Histogram h(0.0, 10.0, 1);
+  h.add(5.0);
+  h.add(500.0);
+  const std::string text =
+      to_prometheus(snapshot_with_histogram(h), SpanSnapshot{});
+  const HistFamily fam =
+      parse_family(text, "splice_dataplane_batch_hops_hist");
+  ASSERT_EQ(fam.buckets.size(), 1u);
+  EXPECT_TRUE(fam.buckets[0].inf);
+  EXPECT_EQ(fam.buckets[0].count, 2);
+  EXPECT_EQ(fam.count, 2);
+}
+
+TEST(ObsExportTest, EverySampleLineBelongsToATypedFamily) {
+  Histogram h(0.0, 100.0, 4);
+  h.add(50.0);
+  const std::string text =
+      to_prometheus(snapshot_with_histogram(h), SpanSnapshot{});
+
+  // Collect declared families, then verify each sample line's metric name
+  // (family name or family + {_bucket,_sum,_count,_total}) was declared.
+  std::vector<std::string> families;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      families.push_back(line.substr(7, sp - 7));
+    }
+  }
+  in.clear();
+  in.str(text);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << "malformed line: " << line;
+    const std::string metric = line.substr(0, name_end);
+    bool declared = false;
+    for (const std::string& fam : families) {
+      if (metric == fam || metric == fam + "_bucket" ||
+          metric == fam + "_sum" || metric == fam + "_count") {
+        declared = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(declared) << "undeclared sample line: " << line;
+  }
+}
+
+}  // namespace
+}  // namespace splice::obs

@@ -1,0 +1,290 @@
+// Route-health scorer + SLO burn-rate engine tests: the pure-integer score
+// formula, snapshot bit-identity across writer thread counts (the
+// determinism contract the telemetry stack carries), publish folding
+// (churn bitmap + latency histograms), the multi-window alert rule (both
+// windows must burn), and upward-transition-only recorder events.
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
+#include "util/rng.h"
+
+namespace splice::obs {
+namespace {
+
+class ObsHealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RouteHealth::set_enabled(false);
+    SloEngine::set_enabled(false);
+    FlightRecorder::set_enabled(false);
+    FlightRecorder::global().drain();
+    FlightRecorder::global().reset();
+  }
+  void TearDown() override {
+    RouteHealth::set_enabled(false);
+    SloEngine::set_enabled(false);
+    FlightRecorder::set_enabled(false);
+    FlightRecorder::global().drain();
+    FlightRecorder::global().reset();
+    set_global_clock(nullptr);
+  }
+};
+
+template <typename Fn>
+void run_threaded(int items, int threads, Fn fn) {
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = t; i < items; i += threads) fn(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+TEST_F(ObsHealthTest, ScoreIsThePublishedFormula) {
+  // Healthy: no traffic, no anomalies reads 100.
+  EXPECT_EQ(RouteHealth::score(0, 0, 0, 0), 100);
+  EXPECT_EQ(RouteHealth::score(100, 100, 0, 0), 100);
+  // Loss: floor(60 * lost / sent).
+  EXPECT_EQ(RouteHealth::score(100, 50, 0, 0), 70);
+  EXPECT_EQ(RouteHealth::score(100, 0, 0, 0), 40);
+  EXPECT_EQ(RouteHealth::score(3, 2, 0, 0), 80);  // floor(60/3) = 20
+  // Anomalies: 5 each, capped at 25.
+  EXPECT_EQ(RouteHealth::score(10, 10, 1, 0), 95);
+  EXPECT_EQ(RouteHealth::score(10, 10, 100, 0), 75);
+  // Churn: 3 each, capped at 15.
+  EXPECT_EQ(RouteHealth::score(10, 10, 0, 2), 94);
+  EXPECT_EQ(RouteHealth::score(10, 10, 0, 100), 85);
+  // Everything at once clamps at 0.
+  EXPECT_EQ(RouteHealth::score(100, 0, 100, 100), 0);
+}
+
+TEST_F(ObsHealthTest, SnapshotSkipsIdleDestinations) {
+  RouteHealth& health = RouteHealth::global();
+  health.configure(64);
+  health.record_outcome(0, 7, true);
+  health.record_outcome(0, 11, false);
+  const HealthSnapshot snap = health.snapshot_at(0);
+  ASSERT_EQ(snap.dsts.size(), 2u);
+  EXPECT_EQ(snap.dsts[0].dst, 7u);
+  EXPECT_EQ(snap.dsts[0].score, 100);
+  EXPECT_EQ(snap.dsts[1].dst, 11u);
+  EXPECT_EQ(snap.dsts[1].score, 40);  // 1 sent, 0 delivered
+}
+
+TEST_F(ObsHealthTest, SnapshotJsonBitIdenticalAcrossThreadCounts) {
+  // Same multiset of outcome/anomaly records, partitioned across 1, 2 and
+  // 8 threads — the serialized snapshot must be byte-equal, scores and
+  // sparkline buckets included.
+  constexpr int kOps = 30000;
+  constexpr std::uint32_t kDsts = 48;
+  HealthConfig cfg;
+  cfg.window.bucket_ns = 1000;
+  cfg.window.buckets = 8;
+  const std::uint64_t now = 7 * cfg.window.bucket_ns;
+
+  struct Op {
+    std::uint64_t t;
+    std::uint32_t dst;
+    std::uint8_t kind;  // 0 delivered, 1 lost, 2 anomaly
+  };
+  std::vector<Op> ops;
+  Rng rng(0x4ea17);
+  ops.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    ops.push_back({rng.below(now + 1),
+                   static_cast<std::uint32_t>(rng.below(kDsts)),
+                   static_cast<std::uint8_t>(rng.below(16) == 0  ? 2
+                                             : rng.below(8) == 0 ? 1
+                                                                 : 0)});
+  }
+
+  std::string reference;
+  for (const int threads : {1, 2, 8}) {
+    RouteHealth& health = RouteHealth::global();
+    health.configure(kDsts, cfg);
+    run_threaded(kOps, threads, [&](int i) {
+      const Op& op = ops[static_cast<std::size_t>(i)];
+      if (op.kind == 2) {
+        health.record_anomaly(op.t, op.dst);
+      } else {
+        health.record_outcome(op.t, op.dst, op.kind == 0);
+      }
+    });
+    const std::string body = health_json_body(health.snapshot_at(now));
+    if (reference.empty()) {
+      reference = body;
+    } else {
+      ASSERT_EQ(body, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ObsHealthTest, PublishFoldsChurnBitmapAndLatency) {
+  HealthConfig cfg;
+  cfg.window.bucket_ns = 1000;
+  cfg.window.buckets = 4;
+  RouteHealth& health = RouteHealth::global();
+  health.configure(8, cfg);
+
+  const std::vector<char> touched = {0, 1, 1, 0, 0, 0, 0, 1};
+  health.record_publish(0, 2'000'000, 500'000, touched);  // 2 ms, 0.5 ms
+  health.record_publish(0, 3'000'000, 700'000, touched);
+
+  const HealthSnapshot snap = health.snapshot_at(0);
+  EXPECT_EQ(snap.publishes, 2u);
+  EXPECT_EQ(snap.reconv_latency_us.total(), 2);
+  EXPECT_EQ(snap.publish_work_us.total(), 2);
+  ASSERT_EQ(snap.dsts.size(), 3u);  // dsts 1, 2, 7 — churn only
+  for (const DstHealth& d : snap.dsts) {
+    EXPECT_EQ(d.churn, 2u) << "dst " << d.dst;
+    EXPECT_EQ(d.score, 94);  // 2 churn ticks: 100 - 3*2
+  }
+}
+
+TEST_F(ObsHealthTest, SloPageRequiresBothWindows) {
+  SloConfig cfg;
+  cfg.slow.bucket_ns = 1000;
+  cfg.slow.buckets = 8;
+  cfg.fast_buckets = 2;
+  SloEngine& slo = SloEngine::global();
+  slo.configure(cfg);
+
+  // Burn only in the OLD part of the slow window: slow burns, fast clean —
+  // the problem is not current, no alert.
+  slo.record_fwd(0, 1000, 500);
+  const std::uint64_t now = 7 * cfg.slow.bucket_ns;
+  slo.record_fwd(now, 1000, 0);
+  SloSnapshot snap = slo.evaluate(now);
+  ASSERT_EQ(snap.slos.size(), 2u);
+  EXPECT_EQ(snap.slos[0].name, "fwd_success");
+  EXPECT_GT(snap.slos[0].slow_burn, cfg.page_burn);
+  EXPECT_EQ(snap.slos[0].fast_burn, 0.0);
+  EXPECT_EQ(snap.slos[0].state, SloState::kOk);
+
+  // Now burn the fast window too: both agree, page.
+  slo.record_fwd(now, 1000, 500);
+  snap = slo.evaluate(now);
+  EXPECT_GE(snap.slos[0].fast_burn, cfg.page_burn);
+  EXPECT_EQ(snap.slos[0].state, SloState::kPage);
+}
+
+TEST_F(ObsHealthTest, ReconvLatencySloCountsThresholdBreaches) {
+  SloConfig cfg;
+  cfg.slow.bucket_ns = 1000;
+  cfg.slow.buckets = 4;
+  cfg.fast_buckets = 2;
+  cfg.reconv_threshold_ns = 1'000'000;
+  SloEngine& slo = SloEngine::global();
+  slo.configure(cfg);
+
+  slo.record_publish(0, 500'000);    // under threshold
+  slo.record_publish(0, 2'000'000);  // over
+  const SloSnapshot snap = slo.peek(0);
+  ASSERT_EQ(snap.slos.size(), 2u);
+  EXPECT_EQ(snap.slos[1].name, "reconv_latency");
+  EXPECT_EQ(snap.slos[1].slow_total, 2u);
+  EXPECT_EQ(snap.slos[1].slow_errors, 1u);
+}
+
+#if SPLICE_OBS
+
+TEST_F(ObsHealthTest, SloEmitsRecorderEventsOnUpwardTransitionsOnly) {
+  SloConfig cfg;
+  cfg.slow.bucket_ns = 1000;
+  cfg.slow.buckets = 4;
+  cfg.fast_buckets = 2;
+  SloEngine& slo = SloEngine::global();
+  slo.configure(cfg);
+  FlightRecorder::set_enabled(true);
+
+  // Sustained 100% loss: burn saturates both windows, state jumps straight
+  // to page — exactly one kSloBurnPage event for SLO 0.
+  slo.record_fwd(0, 1000, 1000);
+  slo.evaluate(0);
+  slo.evaluate(0);  // steady state: no second event
+  slo.evaluate(0);
+
+  const RecorderSnapshot rec = FlightRecorder::global().drain();
+  int pages = 0, warns = 0;
+  for (const RecorderEvent& ev : rec.events) {
+    if (ev.type == static_cast<std::uint16_t>(EventType::kSloBurnPage)) {
+      ++pages;
+      EXPECT_EQ(ev.key, 0u);  // fwd_success
+      EXPECT_GT(ev.a, 0u);    // fast burn (milli)
+      EXPECT_GT(ev.b, 0u);    // slow burn (milli)
+    }
+    if (ev.type == static_cast<std::uint16_t>(EventType::kSloBurnWarn)) {
+      ++warns;
+    }
+  }
+  EXPECT_EQ(pages, 1);
+  EXPECT_EQ(warns, 0);  // jumped over warn, never emitted it
+}
+
+TEST_F(ObsHealthTest, HealthForwardsBatchesToSloEngine) {
+  // RouteHealth::record_fwd_batch is the single entry point the data plane
+  // uses; with the SLO engine enabled it must feed both layers.
+  HealthConfig hcfg;
+  hcfg.window.bucket_ns = 1000;
+  hcfg.window.buckets = 4;
+  RouteHealth& health = RouteHealth::global();
+  health.configure(4, hcfg);
+  SloConfig scfg;
+  scfg.slow.bucket_ns = 1000;
+  scfg.slow.buckets = 4;
+  scfg.fast_buckets = 2;
+  SloEngine::global().configure(scfg);
+  SloEngine::set_enabled(true);
+
+  health.record_fwd_batch(0, 100, 25);
+  const SloSnapshot snap = SloEngine::global().peek(0);
+  EXPECT_EQ(snap.slos[0].slow_total, 100u);
+  EXPECT_EQ(snap.slos[0].slow_errors, 25u);
+}
+
+#endif  // SPLICE_OBS
+
+TEST_F(ObsHealthTest, SloSnapshotDeterministicAcrossThreadCounts) {
+  constexpr int kOps = 20000;
+  SloConfig cfg;
+  cfg.slow.bucket_ns = 1000;
+  cfg.slow.buckets = 8;
+  cfg.fast_buckets = 3;
+  const std::uint64_t now = 7 * cfg.slow.bucket_ns;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops;  // (t, errors)
+  Rng rng(0x510);
+  ops.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    ops.emplace_back(rng.below(now + 1), rng.below(4));
+  }
+
+  std::string reference;
+  for (const int threads : {1, 2, 8}) {
+    SloEngine& slo = SloEngine::global();
+    slo.configure(cfg);
+    run_threaded(kOps, threads, [&](int i) {
+      const auto& [t, errors] = ops[static_cast<std::size_t>(i)];
+      slo.record_fwd(t, 10, errors);
+    });
+    const std::string body = slo_json_body(slo.peek(now));
+    if (reference.empty()) {
+      reference = body;
+    } else {
+      ASSERT_EQ(body, reference) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splice::obs

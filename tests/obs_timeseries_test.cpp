@@ -1,0 +1,258 @@
+// Rolling time-series tests: bucket expiry against a brute-force oracle,
+// ring wraparound across many windows, large-gap staleness, count
+// saturation, and the bit-identity contract — snapshots taken at a fixed
+// clock reading are byte-equal no matter how many writer threads fed them.
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace splice::obs {
+namespace {
+
+/// Splits `items` across `threads` round-robin — the writer pattern the
+/// packed-cell CAS must keep commutative.
+template <typename Fn>
+void run_threaded(int items, int threads, Fn fn) {
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = t; i < items; i += threads) fn(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+TEST(ObsTimeseriesTest, ExpiryMatchesBruteForceOracle) {
+  // Monotone writer (the determinism discipline all producers follow):
+  // time only moves forward, queries run at the latest write time. The
+  // oracle keeps every bucket's exact sum; the window total must equal the
+  // oracle's sum over the in-window buckets — expired buckets drop out the
+  // moment the window slides past them, stale ring slots read as zero.
+  WindowConfig cfg;
+  cfg.bucket_ns = 100;
+  cfg.buckets = 4;
+  RollingCounter series;
+  series.configure(cfg);
+
+  Rng rng(0x715e);
+  std::map<std::uint64_t, std::uint64_t> oracle;  // bucket -> sum
+  std::uint64_t now = 0;
+  for (int step = 0; step < 2000; ++step) {
+    now += rng.below(250);  // 0..2.5 buckets forward per step
+    const std::uint64_t v = 1 + rng.below(9);
+    series.add(now, v);
+    oracle[now / cfg.bucket_ns] += v;
+
+    const std::uint64_t abs_now = now / cfg.bucket_ns;
+    const std::uint64_t start =
+        abs_now >= static_cast<std::uint64_t>(cfg.buckets - 1)
+            ? abs_now - static_cast<std::uint64_t>(cfg.buckets - 1)
+            : 0;
+    std::uint64_t want = 0;
+    for (std::uint64_t b = start; b <= abs_now; ++b) {
+      const auto it = oracle.find(b);
+      if (it != oracle.end()) want += it->second;
+    }
+    ASSERT_EQ(series.total(now), want) << "step " << step << " now " << now;
+  }
+}
+
+TEST(ObsTimeseriesTest, SampleMatchesOraclePerBucket) {
+  WindowConfig cfg;
+  cfg.bucket_ns = 50;
+  cfg.buckets = 6;
+  RollingCounter series;
+  series.configure(cfg);
+
+  Rng rng(0xabcd);
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  std::uint64_t now = 0;
+  std::vector<std::uint64_t> got;
+  for (int step = 0; step < 500; ++step) {
+    now += rng.below(120);
+    const std::uint64_t v = 1 + rng.below(5);
+    series.add(now, v);
+    oracle[now / cfg.bucket_ns] += v;
+
+    series.sample(now, got);
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(cfg.buckets));
+    const std::uint64_t abs_now = now / cfg.bucket_ns;
+    for (int s = 0; s < cfg.buckets; ++s) {
+      // got[] is oldest-first: slot buckets-1 is the current bucket.
+      const std::uint64_t age =
+          static_cast<std::uint64_t>(cfg.buckets - 1 - s);
+      if (age > abs_now) {
+        ASSERT_EQ(got[static_cast<std::size_t>(s)], 0u);  // before epoch
+        continue;
+      }
+      const auto it = oracle.find(abs_now - age);
+      const std::uint64_t want = it == oracle.end() ? 0 : it->second;
+      ASSERT_EQ(got[static_cast<std::size_t>(s)], want)
+          << "step " << step << " slot " << s;
+    }
+  }
+}
+
+TEST(ObsTimeseriesTest, WraparoundAcrossManyWindows) {
+  // One add per bucket for 64 full ring laps: every slot gets re-tagged
+  // hundreds of times and the window total must stay exactly `buckets`.
+  WindowConfig cfg;
+  cfg.bucket_ns = 10;
+  cfg.buckets = 8;
+  RollingCounter series;
+  series.configure(cfg);
+
+  for (std::uint64_t bucket = 0; bucket < 64 * 8; ++bucket) {
+    const std::uint64_t now = bucket * cfg.bucket_ns;
+    series.add(now, 1);
+    const std::uint64_t in_window =
+        std::min<std::uint64_t>(bucket + 1,
+                                static_cast<std::uint64_t>(cfg.buckets));
+    ASSERT_EQ(series.total(now), in_window) << "bucket " << bucket;
+  }
+}
+
+TEST(ObsTimeseriesTest, LargeGapExpiresEverything) {
+  WindowConfig cfg;
+  cfg.bucket_ns = 100;
+  cfg.buckets = 8;
+  RollingCounter series;
+  series.configure(cfg);
+
+  series.add(0, 41);
+  series.add(250, 17);
+  EXPECT_EQ(series.total(250), 58u);
+  // A jump of 1000 windows: every ring slot holds a stale tag and must
+  // read as zero without any sweeper having run.
+  const std::uint64_t far = 1000 * cfg.bucket_ns *
+                            static_cast<std::uint64_t>(cfg.buckets);
+  EXPECT_EQ(series.total(far), 0u);
+  series.add(far, 5);
+  EXPECT_EQ(series.total(far), 5u);
+}
+
+TEST(ObsTimeseriesTest, CountSaturatesInsteadOfOverflowing) {
+  // Per-(bucket) counts are 32-bit; overflow must clamp, never carry into
+  // the tag word (which would corrupt expiry).
+  WindowConfig cfg;
+  cfg.bucket_ns = 100;
+  cfg.buckets = 2;
+  RollingCounter series;
+  series.configure(cfg);
+  const std::uint64_t kMax = 0xffffffffu;
+  series.add(0, kMax);
+  series.add(0, kMax);
+  EXPECT_EQ(series.total(0), kMax);
+  // The saturated bucket still expires normally.
+  EXPECT_EQ(series.total(5 * cfg.bucket_ns), 0u);
+}
+
+TEST(ObsTimeseriesTest, ArraySnapshotBitIdenticalAcrossThreadCounts) {
+  // The determinism contract: the same multiset of (series, time, value)
+  // writes produces byte-identical samples at 1, 2 and 8 writer threads.
+  constexpr std::size_t kSeries = 32;
+  constexpr int kOps = 20000;
+  WindowConfig cfg;
+  cfg.bucket_ns = 100;
+  cfg.buckets = 8;
+  const std::uint64_t now = 7 * cfg.bucket_ns + 3;
+
+  // Fixed op list: all times within the queried window (quiescent-point
+  // discipline — writers never race the window edge).
+  struct Op {
+    std::size_t series;
+    std::uint64_t t;
+    std::uint64_t v;
+  };
+  std::vector<Op> ops;
+  Rng rng(0x5eed);
+  ops.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    ops.push_back({rng.below(kSeries), rng.below(now + 1), 1 + rng.below(7)});
+  }
+
+  std::vector<std::vector<std::uint64_t>> reference;
+  for (const int threads : {1, 2, 8}) {
+    RollingSeriesArray arr;
+    arr.configure(kSeries, cfg);
+    run_threaded(kOps, threads, [&](int i) {
+      const Op& op = ops[static_cast<std::size_t>(i)];
+      arr.add(op.series, op.t, op.v);
+    });
+    std::vector<std::vector<std::uint64_t>> got(kSeries);
+    for (std::size_t s = 0; s < kSeries; ++s) {
+      arr.sample(s, now, got[s]);
+    }
+    if (reference.empty()) {
+      reference = std::move(got);
+    } else {
+      ASSERT_EQ(got, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ObsTimeseriesTest, RollingHistogramMergesWindowOnly) {
+  WindowConfig cfg;
+  cfg.bucket_ns = 100;
+  cfg.buckets = 4;
+  RollingHistogram rh;
+  rh.configure(cfg, 0.0, 100.0, 10);
+
+  // Out-of-window observation, then three in-window ones.
+  rh.observe(0, 55.0);
+  const std::uint64_t now = 10 * cfg.bucket_ns;
+  rh.observe(now - 2 * cfg.bucket_ns, 15.0);
+  rh.observe(now - cfg.bucket_ns, 15.0);
+  rh.observe(now, 95.0);
+
+  const Histogram h = rh.merged(now);
+  EXPECT_EQ(h.total(), 3);
+  EXPECT_EQ(h.count(1), 2);  // the two 15s
+  EXPECT_EQ(h.count(9), 1);  // the 95
+  EXPECT_EQ(h.count(5), 0);  // the expired 55
+}
+
+TEST(ObsTimeseriesTest, HistogramBitIdenticalAcrossThreadCounts) {
+  constexpr int kOps = 20000;
+  WindowConfig cfg;
+  cfg.bucket_ns = 100;
+  cfg.buckets = 8;
+  const std::uint64_t now = 9 * cfg.bucket_ns;
+
+  std::vector<std::pair<std::uint64_t, double>> ops;
+  Rng rng(0x900d);
+  ops.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    ops.emplace_back(now - rng.below(cfg.bucket_ns * 8),
+                     static_cast<double>(rng.below(1000)) / 10.0);
+  }
+
+  std::vector<long long> reference;
+  for (const int threads : {1, 2, 8}) {
+    RollingHistogram rh;
+    rh.configure(cfg, 0.0, 100.0, 32);
+    run_threaded(kOps, threads, [&](int i) {
+      const auto& [t, x] = ops[static_cast<std::size_t>(i)];
+      rh.observe(t, x);
+    });
+    const Histogram h = rh.merged(now);
+    std::vector<long long> counts;
+    for (int b = 0; b < h.bins(); ++b) counts.push_back(h.count(b));
+    if (reference.empty()) {
+      reference = std::move(counts);
+    } else {
+      ASSERT_EQ(counts, reference) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splice::obs

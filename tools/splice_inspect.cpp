@@ -1091,11 +1091,13 @@ int cmd_epochs(const std::string& path, const Flags& flags) {
     long long dsts = 0;
     long long trees = 0;
     long long latency_ns = -1;  ///< -1: no grace record for this epoch
+    long long work_ns = -1;     ///< -1: no work record for this epoch
     long long spins = 0;
     long long adopts = 0;
   };
   std::vector<Row> rows;
   std::vector<double> latencies_us;
+  std::vector<double> works_us;
   for (const JsonValue& e : epochs->as_array()) {
     Row r;
     // uint64 fields (epoch, latency_ns, ...) are exported as JSON strings
@@ -1121,10 +1123,14 @@ int cmd_epochs(const std::string& path, const Flags& flags) {
     r.dsts = get("dsts_patched", 0);
     r.trees = get("trees_touched", 0);
     r.latency_ns = get("latency_ns", -1);
+    r.work_ns = get("work_ns", -1);
     r.spins = get("grace_spins", 0);
     r.adopts = get("adopts", 0);
     if (r.latency_ns >= 0) {
       latencies_us.push_back(static_cast<double>(r.latency_ns) / 1e3);
+    }
+    if (r.work_ns >= 0) {
+      works_us.push_back(static_cast<double>(r.work_ns) / 1e3);
     }
     rows.push_back(r);
   }
@@ -1136,7 +1142,7 @@ int cmd_epochs(const std::string& path, const Flags& flags) {
   if (rows.size() > n) rows.resize(n);
 
   Table table({"epoch", "edge", "event", "dsts_patched", "trees_touched",
-               "latency_us", "grace_spins", "adopts"});
+               "latency_us", "work_us", "grace_spins", "adopts"});
   for (const Row& r : rows) {
     table.add_row(
         {fmt_int(r.epoch), fmt_int(r.edge),
@@ -1144,6 +1150,9 @@ int cmd_epochs(const std::string& path, const Flags& flags) {
          fmt_int(r.trees),
          r.latency_ns >= 0
              ? fmt_double(static_cast<double>(r.latency_ns) / 1e3, 2)
+             : "-",
+         r.work_ns >= 0
+             ? fmt_double(static_cast<double>(r.work_ns) / 1e3, 2)
              : "-",
          fmt_int(r.spins), fmt_int(r.adopts)});
   }
@@ -1153,18 +1162,23 @@ int cmd_epochs(const std::string& path, const Flags& flags) {
               << " epochs; --n=N for more)\n";
   }
 
-  if (!latencies_us.empty()) {
-    std::sort(latencies_us.begin(), latencies_us.end());
-    auto pct = [&latencies_us](double q) {
+  const auto summarize = [](const char* label, std::vector<double>& us) {
+    if (us.empty()) return;
+    std::sort(us.begin(), us.end());
+    const auto pct = [&us](double q) {
       const auto idx = static_cast<std::size_t>(
-          q * static_cast<double>(latencies_us.size() - 1) + 0.5);
-      return latencies_us[std::min(idx, latencies_us.size() - 1)];
+          q * static_cast<double>(us.size() - 1) + 0.5);
+      return us[std::min(idx, us.size() - 1)];
     };
-    std::cout << "\nreconvergence latency over " << latencies_us.size()
-              << " publishes: p50 " << fmt_double(pct(0.50), 2) << " us, p99 "
-              << fmt_double(pct(0.99), 2) << " us, max "
-              << fmt_double(latencies_us.back(), 2) << " us\n";
-  }
+    std::cout << label << " over " << us.size() << " publishes: p50 "
+              << fmt_double(pct(0.50), 2) << " us, p99 "
+              << fmt_double(pct(0.99), 2) << " us, p99.9 "
+              << fmt_double(pct(0.999), 2) << " us, max "
+              << fmt_double(us.back(), 2) << " us\n";
+  };
+  std::cout << "\n";
+  summarize("reconvergence latency", latencies_us);
+  summarize("publish work", works_us);
   return EXIT_SUCCESS;
 }
 

@@ -1,0 +1,407 @@
+// splice_top: live view of route health — the operator's first screen when
+// a churn storm hits. Reads the health/SLO state written by any bench or
+// daemon running with --health-snapshot=PATH (or a full --trace dump; both
+// carry the same spliceHealth/spliceSlo keys) and renders:
+//
+//   * SLO budget state: per SLO, ok/warn/page, fast + slow burn rates and
+//     the fraction of the slow window's error budget still unspent;
+//   * epoch-publish latency percentiles (p50/p99/p99.9) over the window's
+//     reconvergence-latency and publish-work histograms;
+//   * global traffic sparklines (sent / delivered / anomalies / publishes
+//     per window bucket, oldest first);
+//   * the top-N unhealthiest destinations with per-destination delivery
+//     sparklines — worst score first, ties broken by traffic.
+//
+//   splice_top FILE [--once] [--json] [--n=15]
+//   splice_top FILE --follow [--interval-ms=500]
+//       re-reads FILE each tick and redraws in place; a half-written file
+//       (the producer rewrites it wholesale) skips the tick. Ctrl-C exits.
+//
+// --json prints a machine-readable digest of the same view (one object per
+// invocation; in --follow mode one object per tick, newline-delimited) —
+// the schema scripts/check.sh --health-smoke validates.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "util/flags.h"
+#include "util/histogram.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace splice {
+namespace {
+
+int usage() {
+  std::cerr << "usage: splice_top FILE [--once|--follow] [--json] [--n=15]\n"
+               "                  [--interval-ms=500]\n"
+               "  FILE: a --health-snapshot file or a --trace dump (both\n"
+               "  carry spliceHealth/spliceSlo)\n";
+  return EXIT_FAILURE;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot model, decoded from JSON.
+// ---------------------------------------------------------------------------
+
+struct DstRow {
+  long long dst = 0;
+  long long score = 100;
+  long long sent = 0;
+  long long delivered = 0;
+  long long anomalies = 0;
+  long long churn = 0;
+  std::vector<long long> sent_buckets;
+  std::vector<long long> delivered_buckets;
+};
+
+struct SloRow {
+  std::string name;
+  std::string state;
+  double objective = 0.0;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  double budget_remaining = 1.0;
+  long long fast_total = 0;
+  long long fast_errors = 0;
+  long long slow_total = 0;
+  long long slow_errors = 0;
+};
+
+struct TopView {
+  std::string now_ns;
+  long long bucket_ns = 0;
+  long long buckets = 0;
+  long long publishes = 0;
+  long long active_dsts = 0;
+  std::vector<long long> sent_buckets;
+  std::vector<long long> delivered_buckets;
+  std::vector<long long> anomaly_buckets;
+  std::vector<long long> publish_buckets;
+  Histogram reconv_latency_us{0.0, 1.0, 1};
+  Histogram publish_work_us{0.0, 1.0, 1};
+  std::vector<DstRow> dsts;  ///< worst first
+  std::vector<SloRow> slos;
+};
+
+long long get_int(const JsonValue& obj, const char* key, long long fb = 0) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fb;
+  if (v->is_integer()) return v->as_int();
+  if (v->is_number()) return static_cast<long long>(v->as_double());
+  if (v->is_string()) {
+    try {
+      return std::stoll(v->as_string());
+    } catch (const std::exception&) {
+      return fb;
+    }
+  }
+  return fb;
+}
+
+double get_double(const JsonValue& obj, const char* key, double fb = 0.0) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fb;
+}
+
+std::string get_string(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : "";
+}
+
+std::vector<long long> get_buckets(const JsonValue& obj, const char* key) {
+  std::vector<long long> out;
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_array()) return out;
+  for (const JsonValue& b : v->as_array()) {
+    out.push_back(b.is_integer() ? b.as_int() : 0);
+  }
+  return out;
+}
+
+Histogram get_hist(const JsonValue& obj, const char* key) {
+  const JsonValue* h = obj.find(key);
+  if (h == nullptr || !h->is_object()) return Histogram(0.0, 1.0, 1);
+  const double lo = get_double(*h, "lo", 0.0);
+  const double hi = get_double(*h, "hi", 1.0);
+  std::vector<long long> counts;
+  if (const JsonValue* c = h->find("counts"); c != nullptr && c->is_array()) {
+    for (const JsonValue& b : c->as_array()) {
+      counts.push_back(b.is_integer() ? b.as_int() : 0);
+    }
+  }
+  if (counts.empty() || hi <= lo) return Histogram(0.0, 1.0, 1);
+  return Histogram::from_counts(lo, hi, std::move(counts), 0.0);
+}
+
+bool decode(const JsonValue& doc, TopView& view, std::string& error) {
+  const JsonValue* health = doc.find("spliceHealth");
+  if (health == nullptr || !health->is_object()) {
+    error = "no spliceHealth section (run the producer with --health)";
+    return false;
+  }
+  view = TopView{};
+  view.now_ns = get_string(*health, "now_ns");
+  if (const JsonValue* w = health->find("window");
+      w != nullptr && w->is_object()) {
+    view.bucket_ns = get_int(*w, "bucket_ns");
+    view.buckets = get_int(*w, "buckets");
+  }
+  view.publishes = get_int(*health, "publishes");
+  view.sent_buckets = get_buckets(*health, "sent_buckets");
+  view.delivered_buckets = get_buckets(*health, "delivered_buckets");
+  view.anomaly_buckets = get_buckets(*health, "anomaly_buckets");
+  view.publish_buckets = get_buckets(*health, "publish_buckets");
+  view.reconv_latency_us = get_hist(*health, "reconv_latency_us");
+  view.publish_work_us = get_hist(*health, "publish_work_us");
+
+  if (const JsonValue* dsts = health->find("dsts");
+      dsts != nullptr && dsts->is_array()) {
+    view.active_dsts = static_cast<long long>(dsts->as_array().size());
+    for (const JsonValue& d : dsts->as_array()) {
+      if (!d.is_object()) continue;
+      DstRow row;
+      row.dst = get_int(d, "dst");
+      row.score = get_int(d, "score", 100);
+      row.sent = get_int(d, "sent");
+      row.delivered = get_int(d, "delivered");
+      row.anomalies = get_int(d, "anomalies");
+      row.churn = get_int(d, "churn");
+      row.sent_buckets = get_buckets(d, "sent_buckets");
+      row.delivered_buckets = get_buckets(d, "delivered_buckets");
+      view.dsts.push_back(std::move(row));
+    }
+  }
+  // Worst first; ties by traffic so a busy sick destination outranks an
+  // idle one, then by id for a stable display.
+  std::stable_sort(view.dsts.begin(), view.dsts.end(),
+                   [](const DstRow& a, const DstRow& b) {
+                     if (a.score != b.score) return a.score < b.score;
+                     if (a.sent != b.sent) return a.sent > b.sent;
+                     return a.dst < b.dst;
+                   });
+
+  if (const JsonValue* slo = doc.find("spliceSlo");
+      slo != nullptr && slo->is_object()) {
+    if (const JsonValue* slos = slo->find("slos");
+        slos != nullptr && slos->is_array()) {
+      for (const JsonValue& s : slos->as_array()) {
+        if (!s.is_object()) continue;
+        SloRow row;
+        row.name = get_string(s, "name");
+        row.state = get_string(s, "state");
+        row.objective = get_double(s, "objective");
+        row.fast_burn = get_double(s, "fast_burn");
+        row.slow_burn = get_double(s, "slow_burn");
+        row.budget_remaining = get_double(s, "budget_remaining", 1.0);
+        row.fast_total = get_int(s, "fast_total");
+        row.fast_errors = get_int(s, "fast_errors");
+        row.slow_total = get_int(s, "slow_total");
+        row.slow_errors = get_int(s, "slow_errors");
+        view.slos.push_back(std::move(row));
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+/// Eight-level block sparkline, oldest bucket first. Zero renders as the
+/// lowest block so the window shape stays visible; an empty series is "-".
+std::string sparkline(const std::vector<long long>& values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (values.empty()) return "-";
+  long long max = 0;
+  for (const long long v : values) max = std::max(max, v);
+  std::string out;
+  for (const long long v : values) {
+    const int level =
+        max == 0 ? 0
+                 : static_cast<int>((v * 7 + max - 1) / max);  // ceil to 1..7
+    out += kLevels[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+/// Per-bucket delivery-rate sparkline: full block = all delivered, low
+/// block = all lost; buckets without traffic render as '.'.
+std::string delivery_sparkline(const std::vector<long long>& sent,
+                               const std::vector<long long>& delivered) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (sent.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    if (sent[i] == 0) {
+      out += ".";
+      continue;
+    }
+    const long long d = i < delivered.size() ? delivered[i] : 0;
+    const auto level = static_cast<int>((d * 7) / sent[i]);
+    out += kLevels[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+double loss_pct(long long sent, long long delivered) {
+  if (sent <= 0) return 0.0;
+  return 100.0 * static_cast<double>(sent - delivered) /
+         static_cast<double>(sent);
+}
+
+void render_text(const TopView& view, std::size_t n) {
+  const double window_s = static_cast<double>(view.bucket_ns) *
+                          static_cast<double>(view.buckets) / 1e9;
+  std::cout << "splice_top — window " << view.buckets << " x "
+            << fmt_double(static_cast<double>(view.bucket_ns) / 1e6, 0)
+            << " ms (" << fmt_double(window_s, 1) << " s), now_ns="
+            << (view.now_ns.empty() ? "?" : view.now_ns) << "\n\n";
+
+  if (!view.slos.empty()) {
+    Table slo({"slo", "state", "budget_left", "fast_burn", "slow_burn",
+               "fast_err/total", "slow_err/total"});
+    for (const SloRow& s : view.slos) {
+      slo.add_row({s.name, s.state,
+                   fmt_double(s.budget_remaining * 100.0, 1) + "%",
+                   fmt_double(s.fast_burn, 2), fmt_double(s.slow_burn, 2),
+                   fmt_int(s.fast_errors) + "/" + fmt_int(s.fast_total),
+                   fmt_int(s.slow_errors) + "/" + fmt_int(s.slow_total)});
+    }
+    slo.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "traffic    sent " << sparkline(view.sent_buckets)
+            << "  delivered " << sparkline(view.delivered_buckets)
+            << "  anomalies " << sparkline(view.anomaly_buckets)
+            << "  publishes " << sparkline(view.publish_buckets) << "\n";
+  if (view.reconv_latency_us.total() > 0) {
+    const Histogram& lat = view.reconv_latency_us;
+    const Histogram& work = view.publish_work_us;
+    std::cout << "publishes  " << view.publishes << " in window; reconv p50 "
+              << fmt_double(lat.quantile_edge(0.50), 1) << " us, p99 "
+              << fmt_double(lat.quantile_edge(0.99), 1) << " us, p99.9 "
+              << fmt_double(lat.quantile_edge(0.999), 1) << " us; work p50 "
+              << fmt_double(work.quantile_edge(0.50), 1) << " us, p99 "
+              << fmt_double(work.quantile_edge(0.99), 1) << " us\n";
+  } else {
+    std::cout << "publishes  none in window\n";
+  }
+  std::cout << "\n";
+
+  Table top({"dst", "score", "loss_pct", "sent", "delivered", "anomalies",
+             "churn", "delivery"});
+  std::size_t shown = 0;
+  for (const DstRow& d : view.dsts) {
+    if (shown++ >= n) break;
+    top.add_row({fmt_int(d.dst), fmt_int(d.score),
+                 fmt_double(loss_pct(d.sent, d.delivered), 2),
+                 fmt_int(d.sent), fmt_int(d.delivered), fmt_int(d.anomalies),
+                 fmt_int(d.churn),
+                 delivery_sparkline(d.sent_buckets, d.delivered_buckets)});
+  }
+  top.print(std::cout);
+  if (view.active_dsts > static_cast<long long>(n)) {
+    std::cout << "(showing " << n << " of " << view.active_dsts
+              << " active destinations; --n=N for more)\n";
+  }
+}
+
+void render_json(const TopView& view, std::size_t n) {
+  std::string out = "{\"now_ns\": " + obs::json_quote(view.now_ns) +
+                    ", \"window\": {\"bucket_ns\": " +
+                    std::to_string(view.bucket_ns) +
+                    ", \"buckets\": " + std::to_string(view.buckets) +
+                    "}, \"publishes\": " + std::to_string(view.publishes) +
+                    ", \"active_dsts\": " + std::to_string(view.active_dsts);
+  // An empty histogram's quantile_edge degenerates to the hi bound; report
+  // zeros so "no publishes in window" is unambiguous downstream.
+  const Histogram& lat = view.reconv_latency_us;
+  const auto pct = [&lat](double q) {
+    return lat.total() > 0 ? lat.quantile_edge(q) : 0.0;
+  };
+  out += ", \"reconv_latency_us\": {\"p50\": " + obs::json_double(pct(0.50)) +
+         ", \"p99\": " + obs::json_double(pct(0.99)) +
+         ", \"p999\": " + obs::json_double(pct(0.999)) + "}";
+  out += ", \"slos\": [";
+  for (std::size_t i = 0; i < view.slos.size(); ++i) {
+    const SloRow& s = view.slos[i];
+    if (i != 0) out += ", ";
+    out += "{\"name\": " + obs::json_quote(s.name) + ", \"state\": " +
+           obs::json_quote(s.state) + ", \"fast_burn\": " +
+           obs::json_double(s.fast_burn) + ", \"slow_burn\": " +
+           obs::json_double(s.slow_burn) + ", \"budget_remaining\": " +
+           obs::json_double(s.budget_remaining) + "}";
+  }
+  out += "], \"top\": [";
+  for (std::size_t i = 0; i < view.dsts.size() && i < n; ++i) {
+    const DstRow& d = view.dsts[i];
+    if (i != 0) out += ", ";
+    out += "{\"dst\": " + std::to_string(d.dst) + ", \"score\": " +
+           std::to_string(d.score) + ", \"sent\": " + std::to_string(d.sent) +
+           ", \"delivered\": " + std::to_string(d.delivered) +
+           ", \"anomalies\": " + std::to_string(d.anomalies) +
+           ", \"churn\": " + std::to_string(d.churn) + "}";
+  }
+  out += "]}";
+  std::cout << out << "\n";
+}
+
+int run(const Flags& flags) {
+  const auto& pos = flags.positional();
+  if (pos.size() != 1) return usage();
+  const std::string& path = pos[0];
+  const bool follow = flags.has("follow");
+  const bool json = flags.has("json");
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 15));
+  const auto interval_ms = flags.get_int("interval-ms", 500);
+
+  bool ever_rendered = false;
+  for (;;) {
+    JsonParseResult parsed = parse_json_file(path);
+    TopView view;
+    std::string error;
+    const bool ok =
+        parsed.ok ? decode(parsed.value, view, error)
+                  : (error = parsed.error, false);
+    if (!ok) {
+      // In follow mode the producer rewrites the file wholesale, so a
+      // transient parse failure just skips the tick.
+      if (!follow) {
+        std::cerr << "splice_top: " << path << ": " << error << "\n";
+        return EXIT_FAILURE;
+      }
+    } else {
+      if (json) {
+        render_json(view, n);
+      } else {
+        if (follow) std::cout << "\033[H\033[2J";  // home + clear
+        render_text(view, n);
+      }
+      ever_rendered = true;
+    }
+    if (!follow) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return ever_rendered ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace splice
+
+int main(int argc, char** argv) {
+  try {
+    return splice::run(splice::Flags(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "splice_top: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
