@@ -61,6 +61,7 @@
 #include "obs/clock.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
+#include "obs/linkstats.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
 #include "obs/profile_sampler.h"
@@ -162,21 +163,69 @@ inline bool health_from_flags(const Flags& flags, std::uint32_t n_dsts) {
   return true;
 }
 
+/// Turns the per-link × per-slice topology attribution on when --links (or
+/// --links-snapshot=PATH) is present. Sizes the accumulator planes from the
+/// current target and records edge endpoints/weights so snapshots carry
+/// topology metadata; calling again re-arms for the next target. Returns
+/// whether attribution is on.
+inline bool links_from_flags(const Flags& flags, const Graph& g, int k) {
+  const bool on =
+      flags.get_bool("links", false) || flags.get("links-snapshot").has_value();
+  if (!on) return false;
+  obs::LinkStats& stats = obs::LinkStats::global();
+  stats.configure(g.edge_count(), static_cast<std::uint32_t>(k));
+  std::vector<std::int32_t> src(g.edge_count());
+  std::vector<std::int32_t> dst(g.edge_count());
+  std::vector<double> weight(g.edge_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    src[e] = static_cast<std::int32_t>(g.edge(static_cast<EdgeId>(e)).u);
+    dst[e] = static_cast<std::int32_t>(g.edge(static_cast<EdgeId>(e)).v);
+    weight[e] = g.edge(static_cast<EdgeId>(e)).weight;
+  }
+  stats.set_topology(src, dst, weight);
+  obs::LinkStats::set_enabled(true);
+  return true;
+}
+
 /// Writes the splice_top snapshot file when --health-snapshot=PATH is set:
 /// the health + SLO state at one clock reading, in the same keys the trace
-/// export uses. Call after the instrumented work (and before any reset).
+/// export uses (plus the spliceLinks section when attribution is armed).
+/// Call after the instrumented work (and before any reset). The write is
+/// atomic (temp + rename) so a concurrent `splice_top --follow` never reads
+/// a torn document.
 inline void health_snapshot_from_flags(const Flags& flags) {
   const auto path = flags.get("health-snapshot");
   if (!path || path->empty() || *path == "true") return;
   if (!obs::RouteHealth::enabled()) return;
   const std::uint64_t now = obs::clock_now_ns();
+  const std::string links_body =
+      obs::LinkStats::enabled()
+          ? obs::links_json_body(obs::LinkStats::global().snapshot_at(now))
+          : std::string();
   const std::string doc = obs::health_snapshot_document(
       obs::RouteHealth::global().snapshot_at(now),
-      obs::SloEngine::global().peek(now));
-  if (write_file(*path, doc)) {
+      obs::SloEngine::global().peek(now), links_body);
+  if (write_file_atomic(*path, doc)) {
     std::cout << "health snapshot: " << *path << "\n";
   } else {
     std::cerr << "warning: could not write health snapshot " << *path << "\n";
+  }
+}
+
+/// Writes a standalone per-link attribution snapshot when
+/// --links-snapshot=PATH is set: the spliceLinks document at one clock
+/// reading, atomically (temp + rename). Call after the instrumented work.
+inline void links_snapshot_from_flags(const Flags& flags) {
+  const auto path = flags.get("links-snapshot");
+  if (!path || path->empty() || *path == "true") return;
+  if (!obs::LinkStats::enabled()) return;
+  const std::string doc =
+      "{\n" + obs::links_json_body(obs::LinkStats::global().snapshot()) +
+      "\n}\n";
+  if (write_file_atomic(*path, doc)) {
+    std::cout << "links snapshot: " << *path << "\n";
+  } else {
+    std::cerr << "warning: could not write links snapshot " << *path << "\n";
   }
 }
 

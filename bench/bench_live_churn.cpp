@@ -86,11 +86,11 @@ struct ReaderTotals {
 class ReaderPool {
  public:
   ReaderPool(FibPublisher& pub, const Graph& g, SliceId k, int readers,
-             int packets, std::uint64_t seed)
+             int packets, std::uint64_t seed, std::uint32_t run_idx = 0)
       : totals_(static_cast<std::size_t>(readers)) {
     threads_.reserve(static_cast<std::size_t>(readers));
     for (int r = 0; r < readers; ++r) {
-      threads_.emplace_back([&pub, &g, k, packets, seed, r, this] {
+      threads_.emplace_back([&pub, &g, k, packets, seed, r, run_idx, this] {
         FibPublisher::Reader reader(pub);
         BatchFeedConfig feed;
         feed.header_k = k;
@@ -110,8 +110,9 @@ class ReaderPool {
         ReaderTotals& mine = totals_[static_cast<std::size_t>(r)];
         int t = 0;
         while (!stop_.load(std::memory_order_acquire)) {
+          const int trial = t;
           const std::vector<Packet>& packets_in =
-              pool[static_cast<std::size_t>(t)];
+              pool[static_cast<std::size_t>(trial)];
           t = (t + 1) % kPool;
           const DataPlaneNetwork& net = reader.pin();
           net.forward_stats_batch(packets_in, policy, out, ws);
@@ -122,6 +123,35 @@ class ReaderPool {
                             (s.outcome == ForwardOutcome::kDeadEnd ? 1 : 0);
           }
           ++mine.batches;
+          // Root-cause breadcrumbs: at most one failed packet per batch,
+          // carrying the FIB epoch the reader forwarded under (the causal
+          // join key of obs/causal.h) and the exact (stream, trial, aux)
+          // coordinates `splice_inspect why --check` needs to replay it.
+          if (obs::AnomalyLedger::enabled()) {
+            for (std::size_t i = 0; i < out.size(); ++i) {
+              const ForwardSummary& s = out[i];
+              if (s.delivered()) continue;
+              const Packet& pkt = packets_in[i];
+              obs::Anomaly a;
+              a.kind = s.outcome == ForwardOutcome::kTtlExpired
+                           ? obs::AnomalyKind::kTtlExpired
+                           : obs::AnomalyKind::kBlackhole;
+              a.run = run_idx;
+              a.seed = seed + static_cast<std::uint64_t>(r);
+              a.trial = static_cast<std::uint32_t>(trial);
+              a.k = static_cast<std::uint32_t>(k);
+              a.src = pkt.src;
+              a.dst = pkt.dst;
+              a.bits_lo = pkt.header.stream().lo();
+              a.bits_hi = pkt.header.stream().hi();
+              a.hops = static_cast<std::uint32_t>(s.hops);
+              a.aux = i;
+              a.t_ns = obs::clock_now_ns();
+              a.fib_epoch = reader.adopted_version();
+              obs::AnomalyLedger::global().record(a);
+              break;
+            }
+          }
         }
       });
     }
@@ -183,6 +213,26 @@ int run(const Flags& flags) {
     // evaluated once per churn event.
     const bool health_on = bench::health_from_flags(
         flags, static_cast<std::uint32_t>(g.node_count()));
+    // Topology attribution (--links / --links-snapshot): per-link × per-slice
+    // accumulators sized to this target, re-armed (and zeroed) per target so
+    // edge ids never mix across topologies.
+    const bool links_on =
+        bench::links_from_flags(flags, g, static_cast<int>(k));
+    // Tag this target's anomalies with a replayable run scope: everything
+    // `splice_inspect why` needs to reconstruct the exact batch is here.
+    std::uint32_t run_idx = 0;
+    if (obs::AnomalyLedger::enabled()) {
+      run_idx = obs::AnomalyLedger::global().begin_run(
+          {{"experiment", "live_churn"},
+           {"target", name},
+           {"topo", flags.get_string("topo", "sprint")},
+           {"expander_n", std::to_string(expander_n)},
+           {"k", std::to_string(k)},
+           {"events", std::to_string(events)},
+           {"packets", std::to_string(packets)},
+           {"readers", std::to_string(readers)},
+           {"seed", std::to_string(seed)}});
+    }
     const ControlPlaneConfig cp{
         k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false};
     FibPublisher pub(g, cp);
@@ -225,7 +275,8 @@ int run(const Flags& flags) {
     // -- mode "churn": max-rate replay against live readers ---------------
     double churn_ms;
     {
-      ReaderPool pool(pub, g, k, readers, packets, seed ^ 0xfeedULL);
+      ReaderPool pool(pub, g, k, readers, packets, seed ^ 0xfeedULL,
+                      run_idx);
       std::vector<double> lat_us;
       lat_us.reserve(trace.size());
       double work_us_sum = 0.0;
@@ -250,6 +301,7 @@ int run(const Flags& flags) {
       // publishes and reader traffic (the frozen comparator below would
       // age them out). Last target wins the file.
       if (health_on) bench::health_snapshot_from_flags(flags);
+      if (links_on) bench::links_snapshot_from_flags(flags);
 
       // Self-gate: the published table must equal a from-scratch control
       // plane at the same (restored) weight state, byte for byte.
@@ -293,7 +345,8 @@ int run(const Flags& flags) {
 
     // -- mode "frozen": publication-off comparator, same wall time --------
     {
-      ReaderPool pool(pub, g, k, readers, packets, seed ^ 0xfeedULL);
+      ReaderPool pool(pub, g, k, readers, packets, seed ^ 0xfeedULL,
+                      run_idx);
       const bench::Stopwatch sw;
       while (sw.elapsed_ms() < churn_ms) std::this_thread::yield();
       const double frozen_ms = sw.elapsed_ms();

@@ -62,9 +62,24 @@
 # BENCH table against bench/baselines/BENCH_live_churn_health.json;
 # --rebaseline regenerates that snapshot too.
 #
+# --attrib-smoke exercises the per-link attribution + root-cause stack end
+# to end: runs the live-churn bench with --links + --links-snapshot +
+# --trace, renders the snapshot with `splice_top links` and validates the
+# --json heatmap digest schema, requires the attribution-on and -off bench
+# outputs to be bit-identical on every exact metric (the hooks observe,
+# never perturb) with the wall-time inside the gate tolerance
+# (--gate-time), resolves a recorded anomaly to its causing churn publish
+# with `splice_inspect why` and replays it (--check), validates the
+# `splice_inspect epochs --json` surface (including the clean empty-ledger
+# exit), follows the links snapshot across atomic rewrites (torn reads
+# would surface as unparseable ticks), and gates the attribution-on BENCH
+# table against bench/baselines/BENCH_live_churn_attrib.json; --rebaseline
+# regenerates that snapshot too.
+#
 # Usage: scripts/check.sh [--no-tsan] [--no-asan] [--no-noavx2]
 #                         [--bench-smoke] [--bench-deep] [--rebaseline]
 #                         [--trace-smoke] [--profile-smoke] [--health-smoke]
+#                         [--attrib-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -78,6 +93,7 @@ rebaseline=0
 trace_smoke=0
 profile_smoke=0
 health_smoke=0
+attrib_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
@@ -89,6 +105,7 @@ for arg in "$@"; do
     --trace-smoke) trace_smoke=1 ;;
     --profile-smoke) profile_smoke=1 ;;
     --health-smoke) health_smoke=1 ;;
+    --attrib-smoke) attrib_smoke=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -117,7 +134,8 @@ if [[ "$run_tsan" == 1 ]]; then
     util_parallel_test routing_multi_instance_test routing_repair_test \
     determinism_test dataplane_fastpath_test obs_metrics_test \
     obs_flight_recorder_test sim_replay_test dataplane_epoch_test \
-    dataplane_publisher_test obs_timeseries_test obs_health_test
+    dataplane_publisher_test obs_timeseries_test obs_health_test \
+    obs_linkstats_test obs_causal_test
 else
   echo "==> thread sanitizer pass skipped (--no-tsan)"
 fi
@@ -461,6 +479,143 @@ PY
   fi
 
   echo "==> health smoke passed"
+fi
+
+if [[ "$attrib_smoke" == 1 ]]; then
+  attrib_dir="build/attrib-smoke"
+  mkdir -p "$attrib_dir" bench/baselines
+  attrib_bench="./build/bench/bench_live_churn --events=40 --packets=256 --readers=2 --expander_n=240 --topo=none --seed=7"
+
+  echo "==> attrib smoke: plain baseline run"
+  $attrib_bench --json="$attrib_dir/plain.json" >/dev/null
+
+  echo "==> attrib smoke: attribution-on run (+links snapshot, trace)"
+  $attrib_bench --json="$attrib_dir/attrib.json" --links \
+    --links-snapshot="$attrib_dir/links.json" \
+    --trace="$attrib_dir/trace.json" >/dev/null
+
+  echo "==> attrib smoke: splice_top renders the links heatmap"
+  ./build/tools/splice_top "$attrib_dir/links.json" links --once >/dev/null
+
+  # The links --json digest is the dashboard surface; its schema is a
+  # contract, so validate it field by field.
+  echo "==> attrib smoke: splice_top links --json digest schema"
+  ./build/tools/splice_top "$attrib_dir/links.json" links --once --json \
+    >"$attrib_dir/links_digest.json"
+  python3 - "$attrib_dir/links_digest.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+def need(obj, key, kinds, where):
+    assert key in obj, f"{where}: missing key {key!r}"
+    assert isinstance(obj[key], kinds), \
+        f"{where}.{key}: {type(obj[key]).__name__}, want {kinds}"
+need(d, "now_ns", str, "digest")
+need(d, "window", dict, "digest")
+need(d["window"], "bucket_ns", int, "window")
+need(d["window"], "buckets", int, "window")
+for key in ("k", "links_total", "links_active"):
+    need(d, key, int, "digest")
+need(d, "totals", dict, "digest")
+for key in ("traversals", "deflections", "drops"):
+    need(d["totals"], key, int, "totals")
+assert d["totals"]["traversals"] > 0, "no traversals attributed"
+need(d, "hot", list, "digest")
+assert d["hot"], "digest.hot: empty — the churn run must traverse links"
+for row in d["hot"]:
+    for key in ("edge", "src", "dst", "traversals", "deflections", "drops"):
+        need(row, key, int, "hot row")
+    need(row, "cost", (int, float), "hot row")
+    need(row, "slice_traversals", list, "hot row")
+    assert len(row["slice_traversals"]) == d["k"], row
+need(d, "lossy", list, "digest")
+print(f"    links digest ok: {d['links_active']}/{d['links_total']} links "
+      f"active, {d['totals']['traversals']} traversals")
+PY
+
+  # Attribution must observe, never perturb: every exact metric in the
+  # bench table (quiescent fib checksums, event/publish counts) has to be
+  # bit-identical with the hooks armed; --gate-time additionally holds the
+  # attribution-on wall-time inside the gate tolerance (tighten with
+  # ATTRIB_TOL on a quiet reference machine).
+  echo "==> attrib smoke: attribution-on vs -off results bit-identical"
+  ./build/tools/splice_inspect diff "$attrib_dir/plain.json" \
+    "$attrib_dir/attrib.json" --tolerance="${SMOKE_TOL:-0.75}"
+  echo "==> attrib smoke: attribution overhead within tolerance"
+  ./build/tools/splice_inspect diff "$attrib_dir/plain.json" \
+    "$attrib_dir/attrib.json" --tolerance="${ATTRIB_TOL:-0.75}" --gate-time
+
+  # Root-cause engine: the trace must contain at least one anomaly that
+  # resolves to its causing churn publish, and the replay command the tool
+  # prints must reproduce the anomaly from first principles.
+  echo "==> attrib smoke: splice_inspect why resolves a root cause"
+  why_out="$(./build/tools/splice_inspect why "$attrib_dir/trace.json")"
+  printf '%s\n' "$why_out" | sed 's/^/    /'
+  why_idx="$(printf '%s\n' "$why_out" |
+    sed -n 's/^[[:space:]]*replay: splice_inspect why .* \([0-9][0-9]*\) --check$/\1/p')"
+  if [[ -z "$why_idx" ]]; then
+    echo "    why output carried no replay command" >&2
+    exit 1
+  fi
+  echo "==> attrib smoke: replaying anomaly $why_idx (--check)"
+  ./build/tools/splice_inspect why "$attrib_dir/trace.json" "$why_idx" --check
+
+  # Epoch ledger surfaces: populated --json from the trace, and the clean
+  # zero-count exit on a document with no spliceEpochs section.
+  echo "==> attrib smoke: splice_inspect epochs --json"
+  ./build/tools/splice_inspect epochs "$attrib_dir/trace.json" --json \
+    >"$attrib_dir/epochs.json"
+  ./build/tools/splice_inspect epochs "$attrib_dir/plain.json" --json \
+    >"$attrib_dir/epochs_empty.json"
+  python3 - "$attrib_dir/epochs.json" "$attrib_dir/epochs_empty.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["count"] == len(d["epochs"]) > 0, "trace carried no epoch rows"
+for row in d["epochs"]:
+    assert "epoch" in row, row
+empty = json.load(open(sys.argv[2]))
+assert empty["count"] == 0 and empty["epochs"] == [], empty
+print(f"    epochs ok: {d['count']} rows; empty ledger exits clean")
+PY
+
+  # Follow mode across atomic rewrites: a reader polling the snapshot while
+  # the producer rewrites it must never observe a torn document — every
+  # rendered tick has to parse. (write_file_atomic stages to a temp file
+  # and rename(2)s it into place; a plain write here would fail this.)
+  echo "==> attrib smoke: follow mode over atomic rewrites"
+  ./build/tools/splice_top "$attrib_dir/links.json" links --follow --json \
+    --interval-ms=40 --ticks=60 >"$attrib_dir/follow.jsonl" &
+  follow_pid=$!
+  for i in 1 2; do
+    $attrib_bench --json="$attrib_dir/rewrite$i.json" --links \
+      --links-snapshot="$attrib_dir/links.json" >/dev/null
+  done
+  wait "$follow_pid"
+  python3 - "$attrib_dir/follow.jsonl" <<'PY'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "follow mode rendered nothing"
+for i, line in enumerate(lines):
+    d = json.loads(line)  # a torn read would surface as a parse failure
+    assert "totals" in d and "hot" in d, f"tick {i}: not a links digest"
+print(f"    follow ok: {len(lines)} ticks, all parseable")
+PY
+
+  # Committed baseline for the attribution-on run: checksums and counters
+  # gate exactly, ratios at the smoke tolerance (as in --bench-smoke).
+  attrib_baseline="bench/baselines/BENCH_live_churn_attrib.json"
+  if [[ "$rebaseline" == 1 ]]; then
+    cp "$attrib_dir/attrib.json" "$attrib_baseline"
+    echo "    rebaselined $attrib_baseline"
+  elif [[ -f "$attrib_baseline" ]]; then
+    echo "==> attrib smoke: attribution-on BENCH table vs baseline"
+    python3 scripts/perf_gate.py "$attrib_baseline" \
+      "$attrib_dir/attrib.json" --quiet --tolerance="${SMOKE_TOL:-0.75}"
+  else
+    echo "    no baseline $attrib_baseline (run --attrib-smoke --rebaseline)" >&2
+    exit 1
+  fi
+
+  echo "==> attrib smoke passed"
 fi
 
 echo "==> all checks passed"

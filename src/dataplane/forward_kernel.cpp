@@ -7,6 +7,8 @@
 #include <string_view>
 
 #include "dataplane/flat_fibs.h"
+#include "obs/clock.h"
+#include "obs/linkstats.h"
 
 // AVX2 availability is decided here, not by the project's -march (which
 // stays at the x86-64 baseline): the vector bodies carry function-level
@@ -132,10 +134,12 @@ __attribute__((always_inline)) inline void resolve_lane(
 /// Phase 2: liveness test, §4.3 deflection scan, summary accumulation and
 /// the hop commit, consuming lane j's staged slice and entry. Returns true
 /// while the walk is still in flight; on termination the summary lands in
-/// out[L.idx[j]].
+/// out[L.idx[j]]. `ls` is the thread's link-attribution scratch (nullptr
+/// when attribution is off); it never alters the walk.
 __attribute__((always_inline)) inline bool commit_lane(
     const FibView& f, const ForwardingPolicy& policy, BatchLanes& L,
-    std::size_t j, std::span<ForwardSummary> out) noexcept {
+    std::size_t j, std::span<ForwardSummary> out,
+    obs::LinkScratch* ls) noexcept {
   if (L.nslice[j] == kStagedExpired) {
     finish_lane(L, j, ForwardOutcome::kTtlExpired, out);
     return false;
@@ -169,6 +173,13 @@ __attribute__((always_inline)) inline bool commit_lane(
       }
     }
     if (!deflected) {
+      // Dead end: attribute the drop to the staged slice's dead primary
+      // link (entry/slice are untouched on this path). An invalid primary
+      // has no link to blame and stays unattributed.
+      if (ls != nullptr && entry.valid()) {
+        ls->drop(static_cast<std::uint32_t>(slice),
+                 static_cast<std::uint32_t>(entry.edge));
+      }
       finish_lane(L, j, ForwardOutcome::kDeadEnd, out);
       return false;
     }
@@ -179,6 +190,10 @@ __attribute__((always_inline)) inline bool commit_lane(
   L.deflected[j] = static_cast<std::uint8_t>(L.deflected[j] | deflected);
   L.node[j] = entry.next_hop;
   L.cur[j] = slice;
+  if (ls != nullptr) {
+    ls->hit(static_cast<std::uint32_t>(slice),
+            static_cast<std::uint32_t>(entry.edge), deflected);
+  }
   if (entry.next_hop == L.dst[j]) {
     finish_lane(L, j, ForwardOutcome::kDelivered, out);
     return false;
@@ -265,11 +280,11 @@ void stage_gather(const FibView& f, const ForwardingPolicy& policy,
 /// affect any per-walk result.
 std::size_t sweep_scalar(const FibView& f, const ForwardingPolicy& policy,
                          BatchLanes& L, std::span<ForwardSummary> out,
-                         std::size_t live_n) {
+                         std::size_t live_n, obs::LinkScratch* ls) {
   for (std::size_t j = 0; j < live_n; ++j) resolve_lane(f, policy, L, j);
   stage_gather(f, policy, L, live_n);
   for (std::size_t j = 0; j < live_n;) {
-    if (commit_lane(f, policy, L, j, out)) {
+    if (commit_lane(f, policy, L, j, out, ls)) {
       ++j;
     } else {
       --live_n;
@@ -475,7 +490,8 @@ __attribute__((target("avx2"))) void resolve_avx2(
 /// stores. Fills L.live; the caller compacts.
 __attribute__((target("avx2"))) void commit_avx2(
     const FibView& f, const ForwardingPolicy& policy, BatchLanes& L,
-    std::span<ForwardSummary> out, std::size_t live_n) {
+    std::span<ForwardSummary> out, std::size_t live_n,
+    obs::LinkScratch* ls) {
   const __m256i zero = _mm256_setzero_si256();
   const __m256i all1 = _mm256_set1_epi32(-1);
   const __m256i byte_mask = _mm256_set1_epi32(0xff);
@@ -558,6 +574,23 @@ __attribute__((target("avx2"))) void commit_avx2(
         _mm256_movemask_ps(_mm256_castsi256_ps(vec_ok)));
     const unsigned md = static_cast<unsigned>(
         _mm256_movemask_ps(_mm256_castsi256_ps(delivered)));
+    // Link attribution for the vector-committed hops, before the fast-path
+    // continue: vec_ok lanes never deflect, so (staged slice, gathered
+    // edge) is exactly what commit_lane would have recorded. Non-vec lanes
+    // go through commit_lane below and record there.
+    if (ls != nullptr && mv != 0) {
+      alignas(32) std::int32_t sl[8];
+      alignas(32) std::int32_t ed[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(sl), nsl);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(ed), edge);
+      unsigned m = mv;
+      while (m != 0) {
+        const unsigned lane = static_cast<unsigned>(__builtin_ctz(m));
+        m &= m - 1;
+        ls->hit(static_cast<std::uint32_t>(sl[lane]),
+                static_cast<std::uint32_t>(ed[lane]), false);
+      }
+    }
     if (mv == 0xffu && md == 0) {
       std::memset(L.live.data() + base, 1, 8);
       continue;
@@ -567,8 +600,8 @@ __attribute__((target("avx2"))) void commit_avx2(
       const unsigned bit = 1u << lane;
       if (!(mv & bit)) {
         L.live[j] =
-            commit_lane(f, policy, L, j, out) ? std::uint8_t{1}
-                                              : std::uint8_t{0};
+            commit_lane(f, policy, L, j, out, ls) ? std::uint8_t{1}
+                                                  : std::uint8_t{0};
       } else if (md & bit) {
         finish_lane(L, j, ForwardOutcome::kDelivered, out);
         L.live[j] = 0;
@@ -580,8 +613,8 @@ __attribute__((target("avx2"))) void commit_avx2(
 
   // Ragged tail: fewer than 8 lanes left over — pure scalar reference.
   for (std::size_t j = groups * 8; j < live_n; ++j) {
-    L.live[j] = commit_lane(f, policy, L, j, out) ? std::uint8_t{1}
-                                                  : std::uint8_t{0};
+    L.live[j] = commit_lane(f, policy, L, j, out, ls) ? std::uint8_t{1}
+                                                      : std::uint8_t{0};
   }
 }
 
@@ -712,6 +745,11 @@ void run_batch(const FibView& fib, const ForwardingPolicy& policy,
   std::size_t live_n = lanes.size;
   if (live_n == 0) return;
 
+  // Per-link attribution scratch: resolved once per batch (one relaxed
+  // load when disabled), flushed once after the last sweep under a single
+  // clock reading — the observe_binned discipline.
+  obs::LinkScratch* const ls = obs::LinkScratch::acquire();
+
 #if SPLICE_HAVE_AVX2_KERNEL
   // The AVX2 path indexes the FIB with 32-bit gather lanes; a table too
   // large for that (>= 2^31 entries, i.e. >= 16 GiB) silently falls back
@@ -734,9 +772,10 @@ void run_batch(const FibView& fib, const ForwardingPolicy& policy,
     while (live_n > 0) {
       resolve_avx2(fib, policy, lanes, live_n);
       stage_gather(fib, policy, lanes, live_n);
-      commit_avx2(fib, policy, lanes, out, live_n);
+      commit_avx2(fib, policy, lanes, out, live_n, ls);
       live_n = compact_lanes(lanes, live_n);
     }
+    if (ls != nullptr) ls->flush(obs::clock_now_ns());
     return;
   }
 #else
@@ -744,8 +783,9 @@ void run_batch(const FibView& fib, const ForwardingPolicy& policy,
 #endif
 
   while (live_n > 0) {
-    live_n = sweep_scalar(fib, policy, lanes, out, live_n);
+    live_n = sweep_scalar(fib, policy, lanes, out, live_n, ls);
   }
+  if (ls != nullptr) ls->flush(obs::clock_now_ns());
 }
 
 }  // namespace splice::fwdk

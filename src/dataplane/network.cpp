@@ -6,6 +6,7 @@
 #include "obs/clock.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
+#include "obs/linkstats.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/assert.h"
@@ -97,6 +98,18 @@ ForwardSummary DataPlaneNetwork::forward_core(const Packet& packet,
   const char* alive = link_alive_.data();
   const Weight* weight = edge_weight_.data();
 
+  // Per-link attribution: one scratch resolve per walk (nullptr when off;
+  // the per-hop hooks are then one dead branch), flushed by RAII so every
+  // return path pays one clock read at most. Single walks are their own
+  // "batch"; the batch kernel amortizes the same flush over run_batch.
+  obs::LinkScratch* const ls = obs::LinkScratch::acquire();
+  struct LinkFlush {
+    obs::LinkScratch* ls;
+    ~LinkFlush() {
+      if (ls != nullptr) ls->flush(obs::clock_now_ns());
+    }
+  } link_flush{ls};
+
 #if SPLICE_OBS
   // Flight-recorder hook for sampled packet walks: inert (one thread-local
   // load + branch) unless an enclosing obs::WalkScope armed this thread.
@@ -171,6 +184,13 @@ ForwardSummary DataPlaneNetwork::forward_core(const Packet& packet,
         }
       }
       if (!deflected) {
+        // entry/slice are untouched on this path: attribute the drop to
+        // the staged slice's dead primary link (invalid primaries have no
+        // link to blame).
+        if (ls != nullptr && entry.valid()) {
+          ls->drop(static_cast<std::uint32_t>(slice),
+                   static_cast<std::uint32_t>(entry.edge));
+        }
         out.outcome = ForwardOutcome::kDeadEnd;
         return out;
       }
@@ -194,6 +214,10 @@ ForwardSummary DataPlaneNetwork::forward_core(const Packet& packet,
     out.deflected = out.deflected || deflected;
     node = entry.next_hop;
     current = slice;
+    if (ls != nullptr) {
+      ls->hit(static_cast<std::uint32_t>(slice),
+              static_cast<std::uint32_t>(entry.edge), deflected);
+    }
     if (node == dst) {
       out.outcome = ForwardOutcome::kDelivered;
       return out;

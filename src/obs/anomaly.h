@@ -58,6 +58,11 @@ struct Anomaly {
   std::uint64_t aux = 0;        ///< kind-specific (e.g. failed edge id)
   std::uint32_t variant = 0;    ///< kind-specific (e.g. transient plain=0,
                                 ///< spliced=1)
+  std::uint64_t t_ns = 0;       ///< clock_now_ns() at record (0 = unknown);
+                                ///< NOT part of the canonical sort key
+  std::uint64_t fib_epoch = 0;  ///< FIB snapshot version the packet was
+                                ///< forwarded under (0 = n/a) — the causal
+                                ///< join key of obs/causal.h
 };
 
 struct AnomalyRun {

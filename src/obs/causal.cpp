@@ -1,0 +1,93 @@
+#include "obs/causal.h"
+
+#include <algorithm>
+
+namespace splice::obs {
+
+std::vector<CausalChain> correlate(std::span<const EpochRecord> epochs,
+                                   std::span<const AnomalyRef> anomalies) {
+  // Epoch-sorted view (indices into `epochs`): binary-search join plus an
+  // ordered forward scan for the repair row.
+  std::vector<std::size_t> order(epochs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return epochs[a].epoch < epochs[b].epoch;
+                   });
+
+  const auto find_epoch = [&](std::uint64_t epoch) -> std::ptrdiff_t {
+    auto it = std::lower_bound(order.begin(), order.end(), epoch,
+                               [&](std::size_t i, std::uint64_t e) {
+                                 return epochs[i].epoch < e;
+                               });
+    if (it == order.end() || epochs[*it].epoch != epoch) return -1;
+    return static_cast<std::ptrdiff_t>(it - order.begin());
+  };
+
+  std::vector<CausalChain> chains;
+  chains.reserve(anomalies.size());
+  for (std::size_t ai = 0; ai < anomalies.size(); ++ai) {
+    const AnomalyRef& a = anomalies[ai];
+    CausalChain c;
+    c.anomaly_index = ai;
+    c.fib_epoch = a.fib_epoch;
+    const std::ptrdiff_t pos = a.fib_epoch != 0 ? find_epoch(a.fib_epoch) : -1;
+    if (pos >= 0 && epochs[order[static_cast<std::size_t>(pos)]].has_publish) {
+      const EpochRecord& e = epochs[order[static_cast<std::size_t>(pos)]];
+      c.cause_found = true;
+      c.cause_edge = e.edge;
+      c.cause_down = !e.alive;
+      c.publish_ts_ns = e.publish_ts_ns;
+      if (e.has_latency) c.reconv_latency_ns = e.latency_ns;
+      if (a.t_ns != 0 && a.t_ns >= e.publish_ts_ns) {
+        c.has_lag = true;
+        c.lag_ns = a.t_ns - e.publish_ts_ns;
+      }
+      // Repair: the first later publish that brings the same edge back.
+      for (std::size_t j = static_cast<std::size_t>(pos) + 1;
+           j < order.size(); ++j) {
+        const EpochRecord& r = epochs[order[j]];
+        if (!r.has_publish || r.edge != e.edge) continue;
+        if (!r.alive) continue;
+        c.repaired = true;
+        c.repair_epoch = r.epoch;
+        c.repair_ts_ns = r.publish_ts_ns;
+        if (r.publish_ts_ns >= e.publish_ts_ns) {
+          c.has_window = true;
+          c.window_ns = r.publish_ts_ns - e.publish_ts_ns;
+        }
+        break;
+      }
+    }
+    chains.push_back(c);
+  }
+  return chains;
+}
+
+std::string causal_chains_json(std::span<const CausalChain> chains) {
+  const auto u64 = [](std::uint64_t v) {
+    return "\"" + std::to_string(v) + "\"";
+  };
+  const auto b = [](bool v) { return v ? "true" : "false"; };
+  std::string out = "[";
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    const CausalChain& c = chains[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"anomaly\": " + std::to_string(c.anomaly_index) +
+           ", \"fib_epoch\": " + u64(c.fib_epoch) +
+           ", \"cause_found\": " + b(c.cause_found) +
+           ", \"cause_edge\": " + std::to_string(c.cause_edge) +
+           ", \"cause_down\": " + b(c.cause_down) +
+           ", \"publish_ts_ns\": " + u64(c.publish_ts_ns) +
+           ", \"reconv_latency_ns\": " + u64(c.reconv_latency_ns) +
+           ", \"has_lag\": " + b(c.has_lag) + ", \"lag_ns\": " + u64(c.lag_ns) +
+           ", \"repaired\": " + b(c.repaired) +
+           ", \"repair_epoch\": " + u64(c.repair_epoch) +
+           ", \"has_window\": " + b(c.has_window) +
+           ", \"window_ns\": " + u64(c.window_ns) + "}";
+  }
+  out += "\n]";
+  return out;
+}
+
+}  // namespace splice::obs

@@ -1,0 +1,80 @@
+// Churn -> anomaly root-cause correlation: the pure join over the three
+// ledgers the live pipeline already exports —
+//
+//   spliceAnomalies — what failed (AnomalyLedger; each record now carries
+//                     t_ns and the FIB epoch it was forwarded under);
+//   spliceEpochs    — when each FIB snapshot was published and which edge
+//                     event produced it (flight-recorder publication rows);
+//   churn trace     — the generating event stream (recoverable from the
+//                     run params, since generate_churn_trace is pure).
+//
+// correlate() resolves each anomaly to a CausalChain:
+//   anomaly -> the epoch it was forwarded under -> the publish row (edge,
+//   liveness, timestamp) that created that epoch -> the observation lag
+//   (anomaly time - publish time) -> the repair epoch (first later publish
+//   restoring the same edge) and the exposure window between them.
+//
+// Everything here is a pure function of its inputs: no clocks, no globals,
+// no floating point — so chains are bit-identical across thread counts and
+// replays whenever the input ledgers are (test-enforced). Rendering lives
+// in splice_inspect why; this header stays tool- and graph-free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace splice::obs {
+
+/// One spliceEpochs publication row (decoded; fields absent in the trace
+/// keep their has_* flag false).
+struct EpochRecord {
+  std::uint64_t epoch = 0;
+  bool has_publish = false;
+  std::uint64_t publish_ts_ns = 0;
+  std::int64_t edge = -1;
+  bool alive = false;  ///< link state the publish installed
+  std::uint32_t dsts_patched = 0;
+  bool has_latency = false;
+  std::uint64_t latency_ns = 0;  ///< ingest -> grace complete (SLO)
+};
+
+/// The anomaly-side join key (decoded from one spliceAnomalies row).
+struct AnomalyRef {
+  std::uint64_t t_ns = 0;      ///< record() timestamp (0 = unknown)
+  std::uint64_t fib_epoch = 0; ///< snapshot version forwarded under (0 = n/a)
+};
+
+struct CausalChain {
+  std::size_t anomaly_index = 0;  ///< position in the canonical anomaly order
+  std::uint64_t fib_epoch = 0;
+  /// False when the epoch has no publish row (fib_epoch 0, the initial
+  /// pre-churn FIB, or a trace that predates the publisher).
+  bool cause_found = false;
+  std::int64_t cause_edge = -1;
+  bool cause_down = false;  ///< the causing publish took the edge down
+  std::uint64_t publish_ts_ns = 0;
+  std::uint64_t reconv_latency_ns = 0;
+  /// Observation lag: anomaly t_ns - publish_ts_ns (valid when has_lag).
+  bool has_lag = false;
+  std::uint64_t lag_ns = 0;
+  /// First later epoch whose publish restored the same edge.
+  bool repaired = false;
+  std::uint64_t repair_epoch = 0;
+  std::uint64_t repair_ts_ns = 0;
+  /// Exposure window: causing publish -> repairing publish.
+  bool has_window = false;
+  std::uint64_t window_ns = 0;
+};
+
+/// Joins anomalies to epochs. `epochs` need not be sorted (an internal
+/// index is built); chains come back in anomaly input order, one per
+/// anomaly, so output is canonical whenever the input order is.
+std::vector<CausalChain> correlate(std::span<const EpochRecord> epochs,
+                                   std::span<const AnomalyRef> anomalies);
+
+/// Canonical JSON array of chains (determinism fixture + tooling payload).
+std::string causal_chains_json(std::span<const CausalChain> chains);
+
+}  // namespace splice::obs

@@ -34,6 +34,8 @@ class MonotonicClock final : public Clock {
 class ManualClock final : public Clock {
  public:
   void advance_ns(std::uint64_t ns) noexcept { now_ += ns; }
+  /// Absolute (possibly backwards) jump — for non-monotonicity tests.
+  void set_ns(std::uint64_t ns) noexcept { now_ = ns; }
   std::uint64_t now_ns() const noexcept override { return now_; }
 
  private:

@@ -1,0 +1,246 @@
+#include "obs/linkstats.h"
+
+#include <algorithm>
+
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "util/assert.h"
+
+namespace splice::obs {
+
+#if SPLICE_OBS
+std::atomic<bool> LinkStats::enabled_{false};
+#endif
+
+LinkStats& LinkStats::global() {
+  static LinkStats instance;
+  return instance;
+}
+
+void LinkStats::configure(std::uint32_t n_links, std::uint32_t k,
+                          const LinkStatsConfig& cfg) {
+  SPLICE_EXPECTS(k >= 1);
+  cfg_ = cfg;
+  n_links_ = n_links;
+  k_ = k;
+  const std::size_t cells =
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(n_links);
+  traversals_ = std::make_unique<std::atomic<std::uint64_t>[]>(cells);
+  deflections_ = std::make_unique<std::atomic<std::uint64_t>[]>(cells);
+  drops_ = std::make_unique<std::atomic<std::uint64_t>[]>(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    traversals_[i].store(0, std::memory_order_relaxed);
+    deflections_[i].store(0, std::memory_order_relaxed);
+    drops_[i].store(0, std::memory_order_relaxed);
+  }
+  trav_series_.configure(n_links, cfg.window);
+  drop_series_.configure(n_links, cfg.window);
+  edge_src_.clear();
+  edge_dst_.clear();
+  edge_weight_.clear();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void LinkStats::set_topology(std::span<const std::int32_t> edge_src,
+                             std::span<const std::int32_t> edge_dst,
+                             std::span<const double> edge_weight) {
+  edge_src_.assign(edge_src.begin(), edge_src.end());
+  edge_dst_.assign(edge_dst.begin(), edge_dst.end());
+  edge_weight_.assign(edge_weight.begin(), edge_weight.end());
+}
+
+void LinkStats::merge_cell(std::size_t idx, std::uint64_t traversals,
+                           std::uint64_t deflections,
+                           std::uint64_t drops) noexcept {
+  if (traversals != 0) {
+    traversals_[idx].fetch_add(traversals, std::memory_order_relaxed);
+  }
+  if (deflections != 0) {
+    deflections_[idx].fetch_add(deflections, std::memory_order_relaxed);
+  }
+  if (drops != 0) {
+    drops_[idx].fetch_add(drops, std::memory_order_relaxed);
+  }
+}
+
+void LinkStats::series_add(std::uint32_t edge, std::uint64_t now_ns,
+                           std::uint64_t traversals,
+                           std::uint64_t drops) noexcept {
+  if (traversals != 0) trav_series_.add(edge, now_ns, traversals);
+  if (drops != 0) drop_series_.add(edge, now_ns, drops);
+}
+
+LinkSnapshot LinkStats::snapshot_at(std::uint64_t now_ns) const {
+  LinkSnapshot snap;
+  snap.now_ns = now_ns;
+  snap.window = cfg_.window;
+  snap.k = k_;
+  snap.n_links = n_links_;
+  if (n_links_ == 0 || !traversals_) return snap;
+  std::vector<std::uint64_t> per_slice(k_);
+  for (std::uint32_t e = 0; e < n_links_; ++e) {
+    std::uint64_t trav = 0, defl = 0, drop = 0;
+    for (std::uint32_t s = 0; s < k_; ++s) {
+      const std::size_t i =
+          static_cast<std::size_t>(s) * n_links_ + e;
+      per_slice[s] = traversals_[i].load(std::memory_order_relaxed);
+      trav += per_slice[s];
+      defl += deflections_[i].load(std::memory_order_relaxed);
+      drop += drops_[i].load(std::memory_order_relaxed);
+    }
+    snap.total_traversals += trav;
+    snap.total_deflections += defl;
+    snap.total_drops += drop;
+    if (trav == 0 && defl == 0 && drop == 0) continue;
+    LinkRow row;
+    row.edge = e;
+    if (e < edge_src_.size()) row.src = edge_src_[e];
+    if (e < edge_dst_.size()) row.dst = edge_dst_[e];
+    if (e < edge_weight_.size()) row.weight = edge_weight_[e];
+    row.traversals = trav;
+    row.deflections = defl;
+    row.drops = drop;
+    // Exact: one constant weight per edge, so the product equals the
+    // hop-by-hop accumulation without per-hop FP state.
+    row.cost = row.weight * static_cast<double>(trav);
+    row.slice_traversals.assign(per_slice.begin(), per_slice.end());
+    trav_series_.sample(e, now_ns, row.trav_buckets);
+    drop_series_.sample(e, now_ns, row.drop_buckets);
+    snap.links.push_back(std::move(row));
+  }
+  return snap;
+}
+
+LinkSnapshot LinkStats::snapshot() const { return snapshot_at(clock_now_ns()); }
+
+void LinkStats::reset() {
+  const std::size_t cells =
+      static_cast<std::size_t>(k_) * static_cast<std::size_t>(n_links_);
+  for (std::size_t i = 0; i < cells && traversals_; ++i) {
+    traversals_[i].store(0, std::memory_order_relaxed);
+    deflections_[i].store(0, std::memory_order_relaxed);
+    drops_[i].store(0, std::memory_order_relaxed);
+  }
+  trav_series_.reset();
+  drop_series_.reset();
+}
+
+LinkScratch* LinkScratch::acquire() {
+  if (!LinkStats::enabled()) return nullptr;
+  thread_local LinkScratch scratch;
+  scratch.sync_generation();
+  return &scratch;
+}
+
+void LinkScratch::sync_generation() {
+  const LinkStats& g = LinkStats::global();
+  const std::uint64_t gen = g.generation();
+  if (gen == generation_) return;
+  n_links_ = g.n_links();
+  k_ = g.k();
+  const std::size_t cells =
+      static_cast<std::size_t>(k_) * static_cast<std::size_t>(n_links_);
+  trav_.assign(cells, 0);
+  defl_.assign(cells, 0);
+  drop_.assign(cells, 0);
+  touched_.clear();
+  touched_.reserve(std::min<std::size_t>(cells, 4096));
+  generation_ = gen;
+}
+
+void LinkScratch::flush(std::uint64_t now_ns) noexcept {
+  if (touched_.empty()) return;
+  LinkStats& g = LinkStats::global();
+  for (const std::uint32_t i : touched_) {
+    g.merge_cell(i, trav_[i], defl_[i], drop_[i]);
+    g.series_add(i % n_links_, now_ns, trav_[i], drop_[i]);
+    trav_[i] = 0;
+    defl_[i] = 0;
+    drop_[i] = 0;
+  }
+  touched_.clear();
+}
+
+std::string links_json_body(const LinkSnapshot& snap) {
+  const auto u64_str = [](std::uint64_t v) {
+    return json_quote(std::to_string(v));
+  };
+  const auto bucket_array = [](const std::vector<std::uint64_t>& b) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(b[i]);
+    }
+    out += "]";
+    return out;
+  };
+  std::string out;
+  out += "  \"now_ns\": " + u64_str(snap.now_ns) + ",\n";
+  out += "  \"window\": {\"bucket_ns\": " +
+         std::to_string(snap.window.bucket_ns) +
+         ", \"buckets\": " + std::to_string(snap.window.buckets) + "},\n";
+  out += "  \"k\": " + std::to_string(snap.k) + ",\n";
+  out += "  \"links_total\": " + std::to_string(snap.n_links) + ",\n";
+  out += "  \"totals\": {\"traversals\": " +
+         std::to_string(snap.total_traversals) +
+         ", \"deflections\": " + std::to_string(snap.total_deflections) +
+         ", \"drops\": " + std::to_string(snap.total_drops) + "},\n";
+  out += "  \"links\": [";
+  for (std::size_t i = 0; i < snap.links.size(); ++i) {
+    const LinkRow& r = snap.links[i];
+    if (i != 0) out += ",";
+    out += "\n    {\"edge\": " + std::to_string(r.edge) +
+           ", \"src\": " + std::to_string(r.src) +
+           ", \"dst\": " + std::to_string(r.dst) +
+           ", \"weight\": " + json_double(r.weight) +
+           ", \"traversals\": " + std::to_string(r.traversals) +
+           ", \"deflections\": " + std::to_string(r.deflections) +
+           ", \"drops\": " + std::to_string(r.drops) +
+           ", \"cost\": " + json_double(r.cost) +
+           ", \"slice_traversals\": " + bucket_array(r.slice_traversals) +
+           ", \"trav_buckets\": " + bucket_array(r.trav_buckets) +
+           ", \"drop_buckets\": " + bucket_array(r.drop_buckets) + "}";
+  }
+  out += "\n  ]";
+  return out;
+}
+
+std::string links_prometheus(const LinkSnapshot& snap) {
+  const auto labels = [](const LinkRow& r) {
+    return "{edge=\"" + std::to_string(r.edge) + "\",src=\"" +
+           std::to_string(r.src) + "\",dst=\"" + std::to_string(r.dst) +
+           "\"}";
+  };
+  std::string out;
+  out +=
+      "# HELP splice_link_traversals_total Committed hops that crossed the "
+      "link.\n# TYPE splice_link_traversals_total counter\n";
+  for (const LinkRow& r : snap.links) {
+    out += "splice_link_traversals_total" + labels(r) + " " +
+           std::to_string(r.traversals) + "\n";
+  }
+  out +=
+      "# HELP splice_link_deflections_total Hops that landed on the link via "
+      "network-based recovery.\n# TYPE splice_link_deflections_total "
+      "counter\n";
+  for (const LinkRow& r : snap.links) {
+    out += "splice_link_deflections_total" + labels(r) + " " +
+           std::to_string(r.deflections) + "\n";
+  }
+  out +=
+      "# HELP splice_link_drops_total Dead ends whose primary FIB entry "
+      "pointed at the (dead) link.\n# TYPE splice_link_drops_total counter\n";
+  for (const LinkRow& r : snap.links) {
+    out += "splice_link_drops_total" + labels(r) + " " +
+           std::to_string(r.drops) + "\n";
+  }
+  out +=
+      "# HELP splice_link_cost Stretch-sum contribution: link weight x "
+      "traversals.\n# TYPE splice_link_cost gauge\n";
+  for (const LinkRow& r : snap.links) {
+    out += "splice_link_cost" + labels(r) + " " + json_double(r.cost) + "\n";
+  }
+  return out;
+}
+
+}  // namespace splice::obs

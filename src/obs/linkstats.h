@@ -1,0 +1,230 @@
+// Per-link × per-slice topology attribution on the forwarding hot path —
+// the "where" layer of the observability stack. Route health (obs/health.h)
+// scores destinations; this layer attributes every committed hop, every
+// §4.3 deflection and every dead-end drop to the (slice, link) that carried
+// or killed it, which is the signal Path Splicing's load-balance/hotspot
+// evaluation needs and ROADMAP item 5's adaptive slice selection will
+// consume.
+//
+// Record path. Forwarding threads do NOT touch shared state per hop.
+// Each thread owns a LinkScratch: cache-aligned dense arrays of plain
+// 32-bit counters indexed by slice * n_links + edge (the CSR arc id),
+// plus a touched-cell list so a flush visits only the cells the batch
+// wrote. The kernels call hit()/drop() per committed hop — two or three
+// stores on thread-private lines — and flush() once per batch (the
+// observe_binned discipline): each touched cell is merged into the global
+// k × n_links atomic accumulators with relaxed fetch_adds and folded into
+// the per-edge rolling series under one clock reading. Steady state is
+// allocation-free: the scratch grows once to k × n_links and is reused.
+//
+// Determinism contract. The global accumulators are integers and merges
+// are commutative, so window totals and snapshot_at(now) at a quiescent
+// point are bit-identical at every writer thread count (test-enforced at
+// 1/2/8 threads). Per-link cost ("stretch-sum") is NOT accumulated as a
+// double on the hot path — it is derived at snapshot time as
+// weight[edge] × traversals, which equals the hop-by-hop sum exactly
+// (one constant weight per edge) without admitting FP reassociation.
+//
+// Gating. Callers check LinkStats::enabled() (one relaxed load + branch;
+// constant false under -DSPLICE_OBS=OFF, so the kernel hooks fold away).
+// configure() before set_enabled(true), at run setup, never concurrently
+// with writers. Hooks on out-of-range ids are dropped by the same valve
+// the health scorer uses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace splice::obs {
+
+struct LinkStatsConfig {
+  /// Window geometry of the per-edge traversal/drop sparkline series.
+  WindowConfig window{250'000'000, 8};  ///< 8 × 250 ms = 2 s
+};
+
+/// One link's attribution totals. `slice_traversals` has one entry per
+/// slice; `trav_buckets`/`drop_buckets` carry the rolling window (oldest
+/// first) for sparkline rendering.
+struct LinkRow {
+  std::uint32_t edge = 0;
+  std::int32_t src = -1;  ///< endpoint node ids (-1 when no topology set)
+  std::int32_t dst = -1;
+  double weight = 0.0;
+  std::uint64_t traversals = 0;
+  std::uint64_t deflections = 0;  ///< hops that landed here via §4.3 recovery
+  std::uint64_t drops = 0;        ///< dead ends where this was the dead primary
+  /// Stretch-sum contribution: weight × traversals (see header comment).
+  double cost = 0.0;
+  std::vector<std::uint64_t> slice_traversals;
+  std::vector<std::uint64_t> trav_buckets;
+  std::vector<std::uint64_t> drop_buckets;
+};
+
+struct LinkSnapshot {
+  std::uint64_t now_ns = 0;
+  WindowConfig window{};
+  std::uint32_t k = 0;
+  std::uint32_t n_links = 0;
+  std::uint64_t total_traversals = 0;
+  std::uint64_t total_deflections = 0;
+  std::uint64_t total_drops = 0;
+  /// Links with any recorded activity, ascending edge id (canonical).
+  std::vector<LinkRow> links;
+};
+
+class LinkStats {
+ public:
+  static LinkStats& global();
+
+  /// Runtime switch consulted (by callers) before every hook.
+  static bool enabled() noexcept {
+#if SPLICE_OBS
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+  static void set_enabled(bool on) noexcept {
+#if SPLICE_OBS
+    enabled_.store(on, std::memory_order_relaxed);
+#else
+    (void)on;
+#endif
+  }
+
+  /// Sizes the k × n_links accumulators and the per-edge series. Not
+  /// thread-safe — call before enabling, at run setup. Hooks with
+  /// edge >= n_links or slice >= k are ignored (the unconfigured valve).
+  void configure(std::uint32_t n_links, std::uint32_t k,
+                 const LinkStatsConfig& cfg = {});
+
+  /// Edge endpoint/weight metadata for snapshots (copied; spans sized
+  /// n_links or empty). Obs stays graph-free: callers pass raw arrays.
+  void set_topology(std::span<const std::int32_t> edge_src,
+                    std::span<const std::int32_t> edge_dst,
+                    std::span<const double> edge_weight);
+
+  std::uint32_t n_links() const noexcept { return n_links_; }
+  std::uint32_t k() const noexcept { return k_; }
+  const LinkStatsConfig& config() const noexcept { return cfg_; }
+  /// Bumped by configure(); LinkScratch instances resize lazily when their
+  /// cached generation goes stale.
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // -- merge path (called by LinkScratch::flush) ---------------------------
+
+  /// Relaxed commutative adds into cell `idx` = slice * n_links + edge.
+  void merge_cell(std::size_t idx, std::uint64_t traversals,
+                  std::uint64_t deflections, std::uint64_t drops) noexcept;
+  /// Folds one batch's per-edge totals into the rolling sparkline series.
+  void series_add(std::uint32_t edge, std::uint64_t now_ns,
+                  std::uint64_t traversals, std::uint64_t drops) noexcept;
+
+  // -- read side -----------------------------------------------------------
+
+  /// Canonical snapshot of everything recorded since reset(), window ending
+  /// at `now_ns`. Bit-identical across writer thread counts at quiescent
+  /// points.
+  LinkSnapshot snapshot_at(std::uint64_t now_ns) const;
+  /// snapshot_at(clock_now_ns()).
+  LinkSnapshot snapshot() const;
+
+  /// Zeroes every accumulator and series (not thread-safe against writers;
+  /// flush all scratches first).
+  void reset();
+
+ private:
+  LinkStats() = default;
+
+#if SPLICE_OBS
+  static std::atomic<bool> enabled_;
+#endif
+
+  LinkStatsConfig cfg_{};
+  std::uint32_t n_links_ = 0;
+  std::uint32_t k_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
+
+  // cell = slice * n_links + edge; three planes of k × n_links counters.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> traversals_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> deflections_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> drops_;
+
+  RollingSeriesArray trav_series_;  // per edge
+  RollingSeriesArray drop_series_;  // per edge
+
+  std::vector<std::int32_t> edge_src_;
+  std::vector<std::int32_t> edge_dst_;
+  std::vector<double> edge_weight_;
+};
+
+/// Per-thread batch accumulator for the forwarding kernels. Obtain via
+/// acquire() at batch start (nullptr when attribution is off — the hooks
+/// then cost one branch), call hit()/drop() per hop, flush() once at batch
+/// end with a single clock reading.
+class alignas(64) LinkScratch {
+ public:
+  /// The calling thread's scratch, resized to the current LinkStats
+  /// configuration; nullptr when LinkStats is disabled.
+  static LinkScratch* acquire();
+
+  void hit(std::uint32_t slice, std::uint32_t edge, bool deflected) noexcept {
+    const std::size_t i =
+        static_cast<std::size_t>(slice) * n_links_ + edge;
+    if (slice >= k_ || edge >= n_links_) return;
+    if ((trav_[i] | defl_[i] | drop_[i]) == 0) {
+      touched_.push_back(static_cast<std::uint32_t>(i));
+    }
+    ++trav_[i];
+    if (deflected) ++defl_[i];
+  }
+
+  /// A dead end whose primary (pre-recovery) FIB entry pointed at `edge`
+  /// in `slice` — the dead link the packet was dropped on.
+  void drop(std::uint32_t slice, std::uint32_t edge) noexcept {
+    const std::size_t i =
+        static_cast<std::size_t>(slice) * n_links_ + edge;
+    if (slice >= k_ || edge >= n_links_) return;
+    if ((trav_[i] | defl_[i] | drop_[i]) == 0) {
+      touched_.push_back(static_cast<std::uint32_t>(i));
+    }
+    ++drop_[i];
+  }
+
+  /// Merges every touched cell into the global accumulators and the rolling
+  /// series (all under the one `now_ns`), then zeroes the scratch.
+  void flush(std::uint64_t now_ns) noexcept;
+
+ private:
+  void sync_generation();
+
+  std::uint32_t n_links_ = 0;
+  std::uint32_t k_ = 0;
+  std::uint64_t generation_ = ~0ULL;
+  std::vector<std::uint32_t> trav_;
+  std::vector<std::uint32_t> defl_;
+  std::vector<std::uint32_t> drop_;
+  std::vector<std::uint32_t> touched_;
+};
+
+/// JSON object *body* (no surrounding braces) for a LinkSnapshot — the
+/// payload behind the trace export's "spliceLinks" section and the
+/// splice_top links snapshot file. u64s that may exceed 2^53 are decimal
+/// strings.
+std::string links_json_body(const LinkSnapshot& snap);
+
+/// Prometheus exposition families (splice_link_traversals_total,
+/// splice_link_deflections_total, splice_link_drops_total, splice_link_cost)
+/// labeled by edge id and endpoints. Appended to the .prom export when
+/// LinkStats is enabled.
+std::string links_prometheus(const LinkSnapshot& snap);
+
+}  // namespace splice::obs

@@ -1,5 +1,6 @@
 #include "obs/run_report.h"
 
+#include "obs/linkstats.h"
 #include "obs/provenance.h"
 #include "obs/resprof.h"
 #include "util/table.h"
@@ -59,7 +60,13 @@ std::string RunReport::to_json() const {
 }
 
 std::string RunReport::to_prometheus() const {
-  return obs::to_prometheus(metrics, spans);
+  std::string out = obs::to_prometheus(metrics, spans);
+  // Topology attribution rides along when armed: per-link counter families
+  // labeled by edge id and endpoints (obs/linkstats.h).
+  if (LinkStats::enabled()) {
+    out += links_prometheus(LinkStats::global().snapshot());
+  }
+  return out;
 }
 
 std::string RunReport::to_text() const {

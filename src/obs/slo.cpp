@@ -169,9 +169,15 @@ std::string slo_json_body(const SloSnapshot& snap) {
 }
 
 std::string health_snapshot_document(const HealthSnapshot& health,
-                                     const SloSnapshot& slo) {
-  return "{\n\"spliceHealth\": {\n" + health_json_body(health) +
-         "\n},\n\"spliceSlo\": {\n" + slo_json_body(slo) + "\n}\n}\n";
+                                     const SloSnapshot& slo,
+                                     const std::string& links_body) {
+  std::string out = "{\n\"spliceHealth\": {\n" + health_json_body(health) +
+                    "\n},\n\"spliceSlo\": {\n" + slo_json_body(slo) + "\n}";
+  if (!links_body.empty()) {
+    out += ",\n\"spliceLinks\": {\n" + links_body + "\n}";
+  }
+  out += "\n}\n";
+  return out;
 }
 
 }  // namespace splice::obs

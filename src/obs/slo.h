@@ -141,9 +141,11 @@ struct HealthSnapshot;  // obs/health.h
 
 /// Standalone snapshot document for splice_top: the health and SLO bodies
 /// under the same keys the trace export uses, so the tool reads a live
-/// snapshot file and a full trace identically.
-///   {"spliceHealth": {...}, "spliceSlo": {...}}
+/// snapshot file and a full trace identically. A non-empty `links_body`
+/// (obs/linkstats.h links_json_body) rides along as "spliceLinks".
+///   {"spliceHealth": {...}, "spliceSlo": {...}[, "spliceLinks": {...}]}
 std::string health_snapshot_document(const HealthSnapshot& health,
-                                     const SloSnapshot& slo);
+                                     const SloSnapshot& slo,
+                                     const std::string& links_body = "");
 
 }  // namespace splice::obs

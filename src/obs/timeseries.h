@@ -71,13 +71,27 @@ inline std::uint64_t pack(std::uint64_t abs_bucket,
 
 /// Adds `n` (saturating at 2^32-1) into `cell` for absolute bucket
 /// `abs_bucket`, atomically resetting the slot first when it still holds an
-/// older bucket's tally.
+/// older bucket's tally. Tag comparison is a signed 32-bit ordinal: a slot
+/// is reseeded only for a *newer* bucket, so a sample timestamped before
+/// the slot's current bucket (a regressing injectable clock, or a wall
+/// clock stepping across threads) is dropped instead of destroying the
+/// newer bucket's tally.
 inline void cell_add(std::atomic<std::uint64_t>& cell,
                      std::uint64_t abs_bucket, std::uint64_t n) noexcept {
   const std::uint64_t tag = abs_bucket & kCountMask;
   std::uint64_t cur = cell.load(std::memory_order_relaxed);
   for (;;) {
-    std::uint64_t count = (cur >> 32) == tag ? (cur & kCountMask) + n : n;
+    const std::uint64_t cur_tag = cur >> 32;
+    std::uint64_t count;
+    if (cur_tag == tag) {
+      count = (cur & kCountMask) + n;
+    } else if (static_cast<std::int32_t>(static_cast<std::uint32_t>(tag) -
+                                         static_cast<std::uint32_t>(cur_tag)) >
+               0) {
+      count = n;
+    } else {
+      return;
+    }
     if (count > kCountMask) count = kCountMask;
     if (cell.compare_exchange_weak(cur, pack(tag, count),
                                    std::memory_order_relaxed,

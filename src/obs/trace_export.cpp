@@ -7,6 +7,7 @@
 #include "obs/clock.h"
 #include "obs/export.h"
 #include "obs/health.h"
+#include "obs/linkstats.h"
 #include "obs/slo.h"
 #include "util/table.h"
 
@@ -93,6 +94,9 @@ TraceInputs capture_trace_inputs() {
   if (SloEngine::enabled()) {
     in.slo_body =
         slo_json_body(SloEngine::global().peek(clock_now_ns()));
+  }
+  if (LinkStats::enabled()) {
+    in.links_body = links_json_body(LinkStats::global().snapshot());
   }
   return in;
 }
@@ -531,7 +535,9 @@ std::string trace_json(const TraceInputs& in) {
            ", \"hops\": " + std::to_string(a.hops) +
            ", \"stretch\": " + json_double(a.stretch) +
            ", \"aux\": " + u64_str(a.aux) +
-           ", \"variant\": " + std::to_string(a.variant) + "}";
+           ", \"variant\": " + std::to_string(a.variant) +
+           ", \"t_ns\": " + u64_str(a.t_ns) +
+           ", \"fib_epoch\": " + u64_str(a.fib_epoch) + "}";
   }
   out += "\n],\n";
 
@@ -554,6 +560,9 @@ std::string trace_json(const TraceInputs& in) {
   }
   if (!in.slo_body.empty()) {
     out += "\"spliceSlo\": {\n" + in.slo_body + "\n},\n";
+  }
+  if (!in.links_body.empty()) {
+    out += "\"spliceLinks\": {\n" + in.links_body + "\n},\n";
   }
 
   out += "\"spliceMeta\": {";

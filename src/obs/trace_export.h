@@ -39,10 +39,12 @@ struct TraceInputs {
   AnomalySnapshot anomalies;
   /// Free-form metadata for "spliceMeta" (bench name, topology, flags...).
   std::vector<std::pair<std::string, std::string>> meta;
-  /// JSON object bodies for "spliceHealth" / "spliceSlo" (obs/health.h,
-  /// obs/slo.h); empty strings omit the sections.
+  /// JSON object bodies for "spliceHealth" / "spliceSlo" / "spliceLinks"
+  /// (obs/health.h, obs/slo.h, obs/linkstats.h); empty strings omit the
+  /// sections.
   std::string health_body;
   std::string slo_body;
+  std::string links_body;
 };
 
 /// Snapshots the global span collector, drains the global flight recorder

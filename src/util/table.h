@@ -47,4 +47,11 @@ std::string fmt_int(long long v);
 /// false (and leaves the filesystem untouched) on failure.
 bool write_file(const std::string& path, std::string_view content);
 
+/// Atomic variant for files with concurrent readers (live snapshot files a
+/// `splice_top --follow` is polling): writes `path + ".tmp"` then
+/// rename(2)s it over `path`, so a reader sees either the old or the new
+/// complete document, never a torn prefix. The temp file is removed on
+/// failure.
+bool write_file_atomic(const std::string& path, std::string_view content);
+
 }  // namespace splice

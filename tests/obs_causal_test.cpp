@@ -1,0 +1,146 @@
+// Churn -> anomaly correlation engine: correlate() is a pure join, so its
+// semantics pin down exactly — cause resolution through the epoch index,
+// observation lag only when the anomaly timestamp is known and not before
+// the publish, repair as the first LATER publish restoring the SAME edge,
+// and unresolvable epochs (0, unknown, or publish-less) left unresolved.
+// Chains and their JSON rendering must be canonical: invariant under the
+// epoch input order, one chain per anomaly in anomaly order.
+#include "obs/causal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace splice::obs {
+namespace {
+
+EpochRecord publish(std::uint64_t epoch, std::uint64_t ts, std::int64_t edge,
+                    bool alive, std::uint64_t latency_ns = 0) {
+  EpochRecord e;
+  e.epoch = epoch;
+  e.has_publish = true;
+  e.publish_ts_ns = ts;
+  e.edge = edge;
+  e.alive = alive;
+  if (latency_ns != 0) {
+    e.has_latency = true;
+    e.latency_ns = latency_ns;
+  }
+  return e;
+}
+
+TEST(ObsCausalTest, ResolvesCauseLagAndRepair) {
+  std::vector<EpochRecord> epochs = {
+      publish(5, 1000, 7, false, 50),  // edge 7 down: the cause
+      publish(6, 2000, 3, false),      // unrelated edge
+      publish(7, 6000, 7, true),       // edge 7 restored: the repair
+  };
+  std::vector<AnomalyRef> anomalies = {
+      {1500, 5},  // lag 500 after the publish
+      {0, 5},     // unknown timestamp: cause yes, lag no
+      {900, 5},   // recorded before the publish: no (negative) lag
+  };
+  const auto chains = correlate(epochs, anomalies);
+  ASSERT_EQ(chains.size(), 3u);
+
+  const CausalChain& c0 = chains[0];
+  EXPECT_EQ(c0.anomaly_index, 0u);
+  EXPECT_EQ(c0.fib_epoch, 5u);
+  EXPECT_TRUE(c0.cause_found);
+  EXPECT_EQ(c0.cause_edge, 7);
+  EXPECT_TRUE(c0.cause_down);
+  EXPECT_EQ(c0.publish_ts_ns, 1000u);
+  EXPECT_EQ(c0.reconv_latency_ns, 50u);
+  EXPECT_TRUE(c0.has_lag);
+  EXPECT_EQ(c0.lag_ns, 500u);
+  EXPECT_TRUE(c0.repaired);
+  EXPECT_EQ(c0.repair_epoch, 7u);
+  EXPECT_EQ(c0.repair_ts_ns, 6000u);
+  EXPECT_TRUE(c0.has_window);
+  EXPECT_EQ(c0.window_ns, 5000u);
+
+  EXPECT_TRUE(chains[1].cause_found);
+  EXPECT_FALSE(chains[1].has_lag);
+  EXPECT_TRUE(chains[2].cause_found);
+  EXPECT_FALSE(chains[2].has_lag);
+}
+
+TEST(ObsCausalTest, UnresolvableEpochsStayUnresolved) {
+  std::vector<EpochRecord> epochs = {publish(5, 1000, 7, false)};
+  EpochRecord bare;  // an epoch row with no publish fields
+  bare.epoch = 9;
+  epochs.push_back(bare);
+
+  const std::vector<AnomalyRef> anomalies = {
+      {100, 0},   // fib_epoch 0: pre-churn FIB, nothing to join
+      {100, 4},   // unknown epoch
+      {100, 9},   // known epoch, no publish row
+  };
+  const auto chains = correlate(epochs, anomalies);
+  ASSERT_EQ(chains.size(), 3u);
+  for (const CausalChain& c : chains) {
+    EXPECT_FALSE(c.cause_found);
+    EXPECT_FALSE(c.repaired);
+    EXPECT_FALSE(c.has_lag);
+    EXPECT_FALSE(c.has_window);
+  }
+  EXPECT_EQ(chains[0].fib_epoch, 0u);
+  EXPECT_EQ(chains[2].fib_epoch, 9u);
+}
+
+TEST(ObsCausalTest, RepairSkipsOtherEdgesAndRepeatedDowns) {
+  const std::vector<EpochRecord> epochs = {
+      publish(2, 1000, 7, false),  // cause
+      publish(3, 1500, 7, false),  // the same edge flapping down again
+      publish(4, 1600, 9, true),   // a different edge coming up
+      publish(5, 2000, 7, true),   // the actual repair
+  };
+  const std::vector<AnomalyRef> anomalies = {{1200, 2}};
+  const auto chains = correlate(epochs, anomalies);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_TRUE(chains[0].repaired);
+  EXPECT_EQ(chains[0].repair_epoch, 5u);
+  EXPECT_TRUE(chains[0].has_window);
+  EXPECT_EQ(chains[0].window_ns, 1000u);
+}
+
+TEST(ObsCausalTest, NeverRepairedLeavesWindowOpen) {
+  const std::vector<EpochRecord> epochs = {publish(2, 1000, 7, false)};
+  const auto chains = correlate(epochs, {{{1200, 2}}});
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_TRUE(chains[0].cause_found);
+  EXPECT_FALSE(chains[0].repaired);
+  EXPECT_FALSE(chains[0].has_window);
+}
+
+TEST(ObsCausalTest, CanonicalUnderEpochInputOrder) {
+  std::vector<EpochRecord> epochs = {
+      publish(2, 1000, 7, false),
+      publish(3, 1500, 3, false),
+      publish(4, 2000, 7, true),
+      publish(5, 2500, 3, true),
+  };
+  const std::vector<AnomalyRef> anomalies = {{1800, 2}, {1700, 3}, {0, 0}};
+
+  const auto want = correlate(epochs, anomalies);
+  const std::string want_json = causal_chains_json(want);
+
+  std::reverse(epochs.begin(), epochs.end());
+  const auto got = correlate(epochs, anomalies);
+  EXPECT_EQ(causal_chains_json(got), want_json);
+
+  // Chains come back one per anomaly, in anomaly order.
+  ASSERT_EQ(got.size(), anomalies.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].anomaly_index, i);
+    EXPECT_EQ(got[i].fib_epoch, anomalies[i].fib_epoch);
+  }
+
+  // The JSON array is stable, parseable shape with quoted u64s.
+  EXPECT_NE(want_json.find("\"fib_epoch\": \"2\""), std::string::npos);
+  EXPECT_NE(want_json.find("\"cause_found\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace splice::obs

@@ -1,0 +1,468 @@
+// Per-link × per-slice attribution equivalence suite. The batch kernels'
+// hit()/drop() hooks must reproduce, exactly, what a straightforward
+// per-hop walk of the legacy forwarding algorithm attributes: every
+// committed hop to its (slice, edge) cell, every §4.3 deflection flagged,
+// every dead end charged to the staged slice's dead primary link (invalid
+// primaries stay unattributed). On top of the oracle:
+//
+//   * attribution on vs off must not perturb forwarding outcomes (the
+//     hooks never alter the walk — bit-identical summaries);
+//   * snapshots are byte-equal across 1/2/8 pipeline workers and across
+//     the scalar/AVX2 kernels (the determinism contract);
+//   * all-alive traversal counts equal the offline traffic/load.h
+//     accumulation for the same demand set, edge by edge.
+#include "obs/linkstats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dataplane/forward_kernel.h"
+#include "dataplane/network.h"
+#include "dataplane/shard_pipeline.h"
+#include "graph/generators.h"
+#include "obs/clock.h"
+#include "routing/multi_instance.h"
+#include "sim/batch_feed.h"
+#include "splicing/splicer.h"
+#include "topo/datasets.h"
+#include "traffic/demand.h"
+#include "traffic/load.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Oracle: the pre-fast-path forwarding walk (dataplane_fastpath_test's
+// legacy_forward) extended to attribute each hop and drop the way the
+// kernel hooks specify.
+// ---------------------------------------------------------------------------
+
+struct CellCounts {
+  std::uint64_t traversals = 0;
+  std::uint64_t deflections = 0;
+  std::uint64_t drops = 0;
+  bool operator==(const CellCounts&) const = default;
+};
+
+/// (slice, edge) -> counts. std::map so equality is order-canonical.
+using CellMap = std::map<std::pair<std::uint32_t, std::uint32_t>, CellCounts>;
+
+SliceId oracle_default_slice(const FibSet& fibs, NodeId src, NodeId dst) {
+  const auto k = static_cast<std::uint64_t>(fibs.slice_count());
+  return static_cast<SliceId>(hash_mix(static_cast<std::uint64_t>(src),
+                                       static_cast<std::uint64_t>(dst)) %
+                              k);
+}
+
+void oracle_walk(const FibSet& fibs, std::span<const char> link_alive,
+                 const Packet& packet, const ForwardingPolicy& policy,
+                 CellMap& cells) {
+  const auto alive = [&](EdgeId e) {
+    return link_alive[static_cast<std::size_t>(e)] != 0;
+  };
+  if (packet.src == packet.dst) return;
+
+  const SliceId k = fibs.slice_count();
+  SpliceHeader header = packet.header;
+  CounterHeader counter = packet.counter;
+  SliceId current = oracle_default_slice(fibs, packet.src, packet.dst);
+  NodeId node = packet.src;
+  int ttl = packet.ttl;
+
+  while (ttl-- > 0) {
+    SliceId slice = current;
+    if (const auto popped = header.pop(); popped.has_value()) {
+      slice = static_cast<SliceId>(*popped % k);
+    } else if (policy.exhaust == ExhaustPolicy::kHashDefault) {
+      slice = oracle_default_slice(fibs, packet.src, packet.dst);
+    }
+    if (counter.active()) slice = counter.deflect(slice, k);
+
+    FibEntry entry = fibs.lookup(slice, node, packet.dst);
+    bool deflected = false;
+    const bool usable = entry.valid() && alive(entry.edge);
+    if (!usable) {
+      if (policy.local_recovery == LocalRecovery::kDeflect) {
+        for (SliceId s = 0; s < k && !deflected; ++s) {
+          if (s == slice) continue;
+          const FibEntry alt = fibs.lookup(s, node, packet.dst);
+          if (alt.valid() && alive(alt.edge)) {
+            entry = alt;
+            slice = s;
+            deflected = true;
+          }
+        }
+      }
+      if (!deflected) {
+        // Dead end: entry/slice are still the staged slice's primary.
+        if (entry.valid()) {
+          ++cells[{static_cast<std::uint32_t>(slice),
+                   static_cast<std::uint32_t>(entry.edge)}]
+                .drops;
+        }
+        return;
+      }
+    }
+
+    CellCounts& cell = cells[{static_cast<std::uint32_t>(slice),
+                              static_cast<std::uint32_t>(entry.edge)}];
+    ++cell.traversals;
+    if (deflected) ++cell.deflections;
+    node = entry.next_hop;
+    current = slice;
+    if (node == packet.dst) return;
+  }
+  // TTL expiry attributes nothing beyond the hops already committed.
+}
+
+struct EdgeTotals {
+  std::uint64_t traversals = 0;
+  std::uint64_t deflections = 0;
+  std::uint64_t drops = 0;
+  bool operator==(const EdgeTotals&) const = default;
+};
+
+std::map<std::uint32_t, EdgeTotals> edge_fold(const CellMap& cells) {
+  std::map<std::uint32_t, EdgeTotals> out;
+  for (const auto& [key, c] : cells) {
+    EdgeTotals& t = out[key.second];
+    t.traversals += c.traversals;
+    t.deflections += c.deflections;
+    t.drops += c.drops;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared environment (mirrors dataplane_fastpath_test).
+// ---------------------------------------------------------------------------
+
+struct Env {
+  Graph g;
+  MultiInstanceRouting mir;
+  FibSet fibs;
+  DataPlaneNetwork net;
+
+  Env(Graph graph, SliceId k)
+      : g(std::move(graph)),
+        mir(g, ControlPlaneConfig{
+                   k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false}),
+        fibs(mir.build_fibs()),
+        net(g, fibs) {}
+};
+
+std::vector<Graph> evaluation_topologies() {
+  std::vector<Graph> out;
+  out.push_back(topo::geant());
+  out.push_back(topo::sprint());
+  Graph er = erdos_renyi(36, 0.12, 42);
+  make_connected(er, 43);
+  out.push_back(std::move(er));
+  return out;
+}
+
+class LinkStatsTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kNow = 5'000'000'000ull;
+
+  void SetUp() override {
+    clock_.set_ns(kNow);
+    obs::set_global_clock(&clock_);
+  }
+  void TearDown() override {
+    obs::LinkStats::set_enabled(false);
+    obs::set_global_clock(nullptr);
+  }
+
+  /// Sizes and arms the global LinkStats for `g`; skips the test when the
+  /// build compiled the instrumentation away (-DSPLICE_OBS=OFF).
+  static void arm(const Graph& g, SliceId k) {
+    obs::LinkStats& stats = obs::LinkStats::global();
+    stats.configure(static_cast<std::uint32_t>(g.edge_count()),
+                    static_cast<std::uint32_t>(k));
+    std::vector<std::int32_t> src(static_cast<std::size_t>(g.edge_count()));
+    std::vector<std::int32_t> dst(src.size());
+    std::vector<double> weight(src.size());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      src[static_cast<std::size_t>(e)] = static_cast<std::int32_t>(g.edge(e).u);
+      dst[static_cast<std::size_t>(e)] = static_cast<std::int32_t>(g.edge(e).v);
+      weight[static_cast<std::size_t>(e)] = g.edge(e).weight;
+    }
+    stats.set_topology(src, dst, weight);
+    obs::LinkStats::set_enabled(true);
+    if (!obs::LinkStats::enabled()) {
+      GTEST_SKIP() << "SPLICE_OBS=OFF: attribution compiled out";
+    }
+  }
+
+  obs::ManualClock clock_;
+};
+
+void expect_summaries_equal(std::span<const ForwardSummary> got,
+                            std::span<const ForwardSummary> want,
+                            const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].outcome, want[i].outcome) << what << " packet " << i;
+    EXPECT_EQ(got[i].hops, want[i].hops) << what << " packet " << i;
+    EXPECT_EQ(got[i].cost, want[i].cost) << what << " packet " << i;
+    EXPECT_EQ(got[i].deflected, want[i].deflected) << what << " packet " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gating: a disabled LinkStats records nothing and hands out no scratch.
+// ---------------------------------------------------------------------------
+
+TEST_F(LinkStatsTest, DisabledRecordsNothing) {
+  obs::LinkStats::set_enabled(false);
+  EXPECT_EQ(obs::LinkScratch::acquire(), nullptr);
+
+  Env env(topo::geant(), 3);
+  BatchFeedConfig feed;
+  feed.header_k = 3;
+  feed.packets_per_trial = 64;
+  std::vector<char> mask;
+  std::vector<Packet> packets;
+  fill_trial_batch(env.g, feed, 0xd15ab1ed, 0, mask, packets);
+  env.net.set_link_mask(mask);
+  std::vector<ForwardSummary> out(packets.size());
+  env.net.forward_stats_batch(
+      packets, {ExhaustPolicy::kStayInCurrent, LocalRecovery::kDeflect}, out);
+
+  const obs::LinkSnapshot snap = obs::LinkStats::global().snapshot_at(kNow);
+  EXPECT_EQ(snap.total_traversals, 0u);
+  EXPECT_EQ(snap.total_deflections, 0u);
+  EXPECT_EQ(snap.total_drops, 0u);
+  EXPECT_TRUE(snap.links.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Oracle equivalence: every topology, both kernels, healthy and failed
+// masks, deflection on and off — and attribution on/off never changes a
+// forwarding outcome.
+// ---------------------------------------------------------------------------
+
+TEST_F(LinkStatsTest, BatchCountsMatchOracleWalkEverywhere) {
+  const ForwardingPolicy policies[] = {
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kNone},
+      {ExhaustPolicy::kStayInCurrent, LocalRecovery::kDeflect},
+      {ExhaustPolicy::kHashDefault, LocalRecovery::kDeflect},
+  };
+  for (Graph& g : evaluation_topologies()) {
+    for (const SliceId k : {SliceId{2}, SliceId{5}}) {
+      Env env(g, k);
+      arm(env.g, k);
+      if (::testing::Test::IsSkipped()) return;
+
+      BatchFeedConfig feed;
+      feed.header_k = k;
+      feed.packets_per_trial = 96;
+      feed.counter_fraction = 0.25;
+      std::vector<char> mask;
+      std::vector<Packet> packets;
+      ForwardWorkspace ws;
+      int trial = 0;
+      for (const double p_fail : {0.0, 0.35}) {
+        feed.failure_p = p_fail;
+        fill_trial_batch(env.g, feed, 0x11bb5 + static_cast<int>(k), trial++,
+                         mask, packets);
+        // src==dst short-circuits and TTL expiries in the mix: both must
+        // attribute exactly what the walk committed, nothing more.
+        for (std::size_t i = 0; i < packets.size(); ++i) {
+          if (i % 11 == 10) packets[i].dst = packets[i].src;
+          if (i % 7 == 0) packets[i].ttl = 4;
+        }
+        env.net.set_link_mask(mask);
+
+        for (const ForwardingPolicy& policy : policies) {
+          CellMap want_cells;
+          for (const Packet& p : packets) {
+            oracle_walk(env.fibs, env.net.link_mask(), p, policy, want_cells);
+          }
+          const auto want_edges = edge_fold(want_cells);
+
+          // Off-run first: the outcome baseline attribution must not move.
+          obs::LinkStats::set_enabled(false);
+          std::vector<ForwardSummary> want(packets.size());
+          env.net.forward_stats_batch(packets, policy, want, ws,
+                                      fwdk::Kernel::kScalar);
+          obs::LinkStats::set_enabled(true);
+
+          for (const fwdk::Kernel kernel :
+               {fwdk::Kernel::kScalar, fwdk::Kernel::kAvx2}) {
+            obs::LinkStats::global().reset();
+            std::vector<ForwardSummary> got(packets.size());
+            env.net.forward_stats_batch(packets, policy, got, ws, kernel);
+            expect_summaries_equal(got, want, fwdk::to_string(kernel));
+
+            const obs::LinkSnapshot snap =
+                obs::LinkStats::global().snapshot_at(kNow);
+
+            // Per-(slice, edge) traversals.
+            CellMap got_trav;
+            std::map<std::uint32_t, EdgeTotals> got_edges;
+            std::uint64_t total_trav = 0, total_defl = 0, total_drop = 0;
+            for (const obs::LinkRow& row : snap.links) {
+              ASSERT_EQ(row.slice_traversals.size(),
+                        static_cast<std::size_t>(snap.k));
+              std::uint64_t row_sum = 0;
+              for (std::uint32_t s = 0; s < snap.k; ++s) {
+                const std::uint64_t trav = row.slice_traversals[s];
+                row_sum += trav;
+                if (trav != 0) got_trav[{s, row.edge}].traversals = trav;
+              }
+              EXPECT_EQ(row_sum, row.traversals) << "edge " << row.edge;
+              got_edges[row.edge] = EdgeTotals{row.traversals,
+                                               row.deflections, row.drops};
+              // Cost is derived, never accumulated: weight × traversals.
+              EXPECT_EQ(row.cost,
+                        row.weight * static_cast<double>(row.traversals))
+                  << "edge " << row.edge;
+              // One batch, one flush, one clock reading: the whole window
+              // sits in the newest sparkline bucket.
+              EXPECT_EQ(row.trav_buckets.back(), row.traversals);
+              EXPECT_EQ(row.drop_buckets.back(), row.drops);
+              total_trav += row.traversals;
+              total_defl += row.deflections;
+              total_drop += row.drops;
+            }
+            CellMap want_trav;
+            for (const auto& [key, c] : want_cells) {
+              if (c.traversals != 0) want_trav[key].traversals = c.traversals;
+            }
+            std::map<std::uint32_t, EdgeTotals> want_edges_nz;
+            for (const auto& [e, t] : want_edges) {
+              if (t != EdgeTotals{}) want_edges_nz[e] = t;
+            }
+            EXPECT_EQ(got_trav, want_trav)
+                << fwdk::to_string(kernel) << " k=" << k
+                << " p_fail=" << p_fail;
+            EXPECT_EQ(got_edges, want_edges_nz)
+                << fwdk::to_string(kernel) << " k=" << k
+                << " p_fail=" << p_fail;
+            EXPECT_EQ(snap.total_traversals, total_trav);
+            EXPECT_EQ(snap.total_deflections, total_defl);
+            EXPECT_EQ(snap.total_drops, total_drop);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the JSON snapshot is byte-identical at 1/2/8 pipeline
+// workers and across kernels — the relaxed merges are commutative integers
+// and cost is derived, so no schedule can reorder a result into view.
+// ---------------------------------------------------------------------------
+
+TEST_F(LinkStatsTest, SnapshotBitIdenticalAcrossWorkerCountsAndKernels) {
+  Env env(topo::sprint(), 5);
+  arm(env.g, 5);
+  if (::testing::Test::IsSkipped()) return;
+
+  const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                LocalRecovery::kDeflect};
+  BatchFeedConfig feed;
+  feed.header_k = 5;
+  feed.packets_per_trial = 1024;
+  feed.failure_p = 0.2;
+  feed.counter_fraction = 0.2;
+
+  std::string reference;
+  for (const fwdk::Kernel kernel :
+       {fwdk::Kernel::kScalar, fwdk::Kernel::kAvx2}) {
+    for (const int workers : {1, 2, 8}) {
+      obs::LinkStats::global().reset();
+      ShardPipeline pipe(env.net, workers, kernel);
+      std::vector<char> mask;
+      std::vector<Packet> packets;
+      for (int t = 0; t < 3; ++t) {
+        fill_trial_batch(env.g, feed, 0xca11ab1e, t, mask, packets);
+        pipe.set_link_mask(mask);
+        std::vector<ForwardSummary> out(packets.size());
+        pipe.forward_stats_batch(packets, policy, out);
+      }
+      const std::string body =
+          obs::links_json_body(obs::LinkStats::global().snapshot_at(kNow));
+      if (reference.empty()) {
+        reference = body;
+        EXPECT_NE(body.find("\"links\""), std::string::npos);
+      } else {
+        EXPECT_EQ(body, reference)
+            << fwdk::to_string(kernel) << " workers=" << workers;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Offline cross-check: with every link alive, per-edge traversal counts
+// equal traffic/load.h's route_demands accumulation for unit demands over
+// all ordered pairs (same tables, same empty-header Algorithm 1 walk).
+// ---------------------------------------------------------------------------
+
+TEST_F(LinkStatsTest, AllAliveCountsMatchRouteDemands) {
+  SplicerConfig cfg;
+  cfg.slices = 5;
+  cfg.seed = 11;
+  Splicer splicer(topo::geant(), cfg);
+  const NodeId n = splicer.graph().node_count();
+
+  TrafficMatrix demands(n);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s != d) demands.set_demand(s, d, 1.0);
+    }
+  }
+  // Offline pass while attribution is off (kHashSpread never touches the
+  // rng, so the shared Rng cannot skew the comparison).
+  obs::LinkStats::set_enabled(false);
+  Rng rng(1);
+  const LinkLoads loads =
+      route_demands(splicer, demands, SliceSelection::kHashSpread, rng);
+  EXPECT_EQ(loads.undelivered, 0.0);
+
+  arm(splicer.graph(), cfg.slices);
+  if (::testing::Test::IsSkipped()) return;
+  obs::LinkStats::global().reset();
+
+  std::vector<Packet> packets;
+  packets.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      Packet p;
+      p.src = s;
+      p.dst = d;  // empty header: Hash(src, dst) every hop, as kHashSpread
+      packets.push_back(p);
+    }
+  }
+  std::vector<ForwardSummary> out(packets.size());
+  splicer.network().forward_stats_batch(packets, ForwardingPolicy{}, out);
+  for (const ForwardSummary& s : out) {
+    ASSERT_EQ(s.outcome, ForwardOutcome::kDelivered);
+  }
+
+  const obs::LinkSnapshot snap = obs::LinkStats::global().snapshot_at(kNow);
+  EXPECT_EQ(snap.total_deflections, 0u);
+  EXPECT_EQ(snap.total_drops, 0u);
+
+  std::vector<std::uint64_t> got(loads.load.size(), 0);
+  for (const obs::LinkRow& row : snap.links) {
+    got[row.edge] = row.traversals;
+  }
+  for (std::size_t e = 0; e < loads.load.size(); ++e) {
+    EXPECT_EQ(static_cast<double>(got[e]), loads.load[e]) << "edge " << e;
+  }
+}
+
+}  // namespace
+}  // namespace splice

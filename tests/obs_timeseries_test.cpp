@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/clock.h"
+
 #include <map>
 #include <thread>
 #include <vector>
@@ -197,6 +199,50 @@ TEST(ObsTimeseriesTest, ArraySnapshotBitIdenticalAcrossThreadCounts) {
       ASSERT_EQ(got, reference) << "threads=" << threads;
     }
   }
+}
+
+TEST(ObsTimeseriesTest, RegressingClockDoesNotDestroyNewerBuckets) {
+  // A backwards clock step (an injectable ManualClock jumped back, or a
+  // cross-thread wall-clock skew) maps a sample to an absolute bucket
+  // OLDER than what its ring slot currently holds. The slot must keep the
+  // newer bucket's tally and drop the stale sample — before the ordinal
+  // tag compare, the old-tag path reseeded the slot and the future
+  // bucket's count was destroyed.
+  WindowConfig cfg;
+  cfg.bucket_ns = 100;
+  cfg.buckets = 8;
+  RollingCounter series;
+  series.configure(cfg);
+
+  ManualClock clock;
+  clock.set_ns(1050);  // abs bucket 10 -> ring slot 2
+  series.add(clock.now_ns(), 7);
+  const std::uint64_t t_future = clock.now_ns();
+  ASSERT_EQ(series.total(t_future), 7u);
+
+  // Regress a full ring below: abs bucket 2 shares slot 2 with bucket 10.
+  clock.set_ns(250);
+  series.add(clock.now_ns(), 5);
+
+  // The future bucket survives untouched; the stale write vanished (it is
+  // outside the window ending at t_future anyway, but the slot must not
+  // have been reseeded to bucket 2's tally either).
+  EXPECT_EQ(series.total(t_future), 7u);
+  std::vector<std::uint64_t> buckets;
+  series.sample(t_future, buckets);
+  EXPECT_EQ(buckets.back(), 7u);
+
+  // A stale write to an *empty* slot is seeded (ordinal compare accepts
+  // any tag on a fresh slot): bucket 1 (slot 1) takes the 9, but it sits
+  // below the window [3, 10] ending at t_future, so the total is unchanged.
+  clock.set_ns(150);
+  series.add(clock.now_ns(), 9);
+  EXPECT_EQ(series.total(t_future), 7u);
+
+  // Time resumes forward: the same slot accepts the genuinely newer bucket.
+  clock.set_ns(1850);  // abs bucket 18 -> slot 2 again
+  series.add(clock.now_ns(), 3);
+  EXPECT_EQ(series.total(clock.now_ns()), 3u);
 }
 
 TEST(ObsTimeseriesTest, RollingHistogramMergesWindowOnly) {

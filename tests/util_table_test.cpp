@@ -82,5 +82,33 @@ TEST(WriteFile, FailsOnBadPath) {
   EXPECT_FALSE(write_file("/nonexistent-dir/xyz/file.txt", "x"));
 }
 
+TEST(WriteFileAtomic, RoundTripsAndLeavesNoTemp) {
+  const std::string path = ::testing::TempDir() + "/splice_atomic_test.json";
+  ASSERT_TRUE(write_file_atomic(path, "{\"a\": 1}\n"));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "{\"a\": 1}\n");
+  // The temp file must be gone after the rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, OverwritesExistingContent) {
+  const std::string path = ::testing::TempDir() + "/splice_atomic_over.json";
+  ASSERT_TRUE(write_file_atomic(path, "old old old old"));
+  ASSERT_TRUE(write_file_atomic(path, "new"));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "new");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, FailsOnBadPathWithoutTempResidue) {
+  EXPECT_FALSE(write_file_atomic("/nonexistent-dir/xyz/file.json", "x"));
+}
+
 }  // namespace
 }  // namespace splice

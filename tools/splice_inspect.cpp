@@ -32,11 +32,21 @@
 //       with --profile) or trace dump: top spans by self time, allocated
 //       bytes and cache misses; --folded also validates and summarizes a
 //       folded-stack flamegraph file (--profile=PATH output).
-//   splice_inspect epochs FILE [--n=10]
+//   splice_inspect epochs FILE [--n=10] [--json]
 //       FIB epoch-swap ledger from the live publication pipeline's
 //       recorder events: per-publish edge, patched-destination count,
 //       reconvergence latency and reader adoptions, plus a p50/p99/max
-//       latency summary.
+//       latency summary. --json emits every row machine-readably; an
+//       empty or absent ledger is {"count": 0} and exit 0.
+//   splice_inspect why FILE [IDX] [--check]
+//       root-cause chain for anomaly IDX (default: the first one that
+//       resolves): anomaly -> FIB epoch forwarded under -> the publish
+//       row (edge, down/restore, timestamp) that created it -> the
+//       generating churn event -> observation lag and the exposure
+//       window until the repairing epoch. Prints a runnable replay
+//       command; --check re-runs the exact batch against the rebuilt
+//       epoch and verifies the outcome reproduces. Exit 1 when the
+//       anomaly cannot be resolved to a causing publish.
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
@@ -49,9 +59,16 @@
 #include <utility>
 #include <vector>
 
+#include "dataplane/fib_publisher.h"
+#include "dataplane/network.h"
+#include "graph/generators.h"
 #include "graph/io.h"
 #include "obs/anomaly.h"
+#include "obs/causal.h"
 #include "obs/export.h"
+#include "routing/multi_instance.h"
+#include "sim/batch_feed.h"
+#include "sim/churn.h"
 #include "sim/experiments.h"
 #include "sim/replay.h"
 #include "splicing/recovery.h"
@@ -78,9 +95,13 @@ int usage() {
          "                                self time / alloc bytes / cache\n"
          "                                misses; --folded checks a\n"
          "                                flamegraph file\n"
-         "  epochs FILE [--n=10]          FIB epoch-swap ledger: per-publish\n"
+         "  epochs FILE [--n=10] [--json] FIB epoch-swap ledger: per-publish\n"
          "                                edge/patch counts, reconvergence\n"
-         "                                latency with p50/p99/max summary\n";
+         "                                latency with p50/p99/max summary\n"
+         "  why FILE [IDX] [--check]      root-cause chain for one anomaly:\n"
+         "                                causing publish + churn event, lag\n"
+         "                                and exposure window; --check\n"
+         "                                replays the batch and verifies\n";
   return EXIT_FAILURE;
 }
 
@@ -193,6 +214,24 @@ std::string meta_string(const JsonValue& doc, const std::string& key) {
   const JsonValue* v = meta->find(key);
   if (v == nullptr || !v->is_string()) return "";
   return v->as_string();
+}
+
+/// Integer field that may arrive as a JSON number, a quoted u64 decimal
+/// string (the exporter's >2^53 convention) or a bool.
+long long tolerant_int(const JsonValue& obj, const char* key,
+                       long long fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->is_integer()) return v->as_int();
+  if (v->is_bool()) return v->as_bool() ? 1 : 0;
+  if (v->is_string()) {
+    try {
+      return std::stoll(v->as_string());
+    } catch (const std::exception&) {
+      return fallback;
+    }
+  }
+  return fallback;
 }
 
 KvReader run_params(const JsonValue& doc, long long run_index) {
@@ -400,6 +439,9 @@ struct AnomalyRow {
   long long hops = 0;
   double stretch = 0.0;
   long long variant = 0;
+  long long aux = 0;
+  long long t_ns = 0;      ///< record() timestamp (0 = unknown)
+  long long fib_epoch = 0; ///< FIB snapshot forwarded under (0 = n/a)
 };
 
 std::vector<AnomalyRow> anomaly_rows(const JsonValue& doc) {
@@ -429,6 +471,10 @@ std::vector<AnomalyRow> anomaly_rows(const JsonValue& doc) {
     ints("attempts", r.attempts);
     ints("hops", r.hops);
     ints("variant", r.variant);
+    // u64s exported as quoted decimal strings.
+    r.aux = tolerant_int(a, "aux", 0);
+    r.t_ns = tolerant_int(a, "t_ns", 0);
+    r.fib_epoch = tolerant_int(a, "fib_epoch", 0);
     out.push_back(std::move(r));
   }
   return out;
@@ -1076,11 +1122,16 @@ int cmd_profile(const std::string& path, const Flags& flags) {
 int cmd_epochs(const std::string& path, const Flags& flags) {
   const auto doc = load_json(path);
   if (!doc) return EXIT_FAILURE;
+  const bool json = flags.has("json");
   const JsonValue* epochs = doc->find("spliceEpochs");
   if (epochs == nullptr || !epochs->is_array() ||
       epochs->as_array().empty()) {
-    std::cout << "no epoch events in " << path
-              << " (trace predates the publisher, or no publishes ran)\n";
+    if (json) {
+      std::cout << "{\"count\": 0, \"epochs\": []}\n";
+    } else {
+      std::cout << "no epoch events in " << path
+                << " (trace predates the publisher, or no publishes ran)\n";
+    }
     return EXIT_SUCCESS;
   }
 
@@ -1090,8 +1141,9 @@ int cmd_epochs(const std::string& path, const Flags& flags) {
     long long alive = 1;
     long long dsts = 0;
     long long trees = 0;
-    long long latency_ns = -1;  ///< -1: no grace record for this epoch
-    long long work_ns = -1;     ///< -1: no work record for this epoch
+    long long publish_ts_ns = -1;  ///< -1: no publish record for this epoch
+    long long latency_ns = -1;     ///< -1: no grace record for this epoch
+    long long work_ns = -1;        ///< -1: no work record for this epoch
     long long spins = 0;
     long long adopts = 0;
   };
@@ -1102,30 +1154,17 @@ int cmd_epochs(const std::string& path, const Flags& flags) {
     Row r;
     // uint64 fields (epoch, latency_ns, ...) are exported as JSON strings
     // to avoid double-precision truncation; small counts are plain numbers
-    // and liveness is a bool. Accept all three.
-    auto get = [&e](const char* key, long long fallback) -> long long {
-      const JsonValue* v = e.find(key);
-      if (v == nullptr) return fallback;
-      if (v->is_integer()) return v->as_int();
-      if (v->is_bool()) return v->as_bool() ? 1 : 0;
-      if (v->is_string()) {
-        try {
-          return std::stoll(v->as_string());
-        } catch (const std::exception&) {
-          return fallback;
-        }
-      }
-      return fallback;
-    };
-    r.epoch = get("epoch", 0);
-    r.edge = get("edge", -1);
-    r.alive = get("alive", 1);
-    r.dsts = get("dsts_patched", 0);
-    r.trees = get("trees_touched", 0);
-    r.latency_ns = get("latency_ns", -1);
-    r.work_ns = get("work_ns", -1);
-    r.spins = get("grace_spins", 0);
-    r.adopts = get("adopts", 0);
+    // and liveness is a bool. tolerant_int accepts all three.
+    r.epoch = tolerant_int(e, "epoch", 0);
+    r.edge = tolerant_int(e, "edge", -1);
+    r.alive = tolerant_int(e, "alive", 1);
+    r.dsts = tolerant_int(e, "dsts_patched", 0);
+    r.trees = tolerant_int(e, "trees_touched", 0);
+    r.publish_ts_ns = tolerant_int(e, "publish_ts_ns", -1);
+    r.latency_ns = tolerant_int(e, "latency_ns", -1);
+    r.work_ns = tolerant_int(e, "work_ns", -1);
+    r.spins = tolerant_int(e, "grace_spins", 0);
+    r.adopts = tolerant_int(e, "adopts", 0);
     if (r.latency_ns >= 0) {
       latencies_us.push_back(static_cast<double>(r.latency_ns) / 1e3);
     }
@@ -1136,6 +1175,48 @@ int cmd_epochs(const std::string& path, const Flags& flags) {
   }
   std::stable_sort(rows.begin(), rows.end(),
                    [](const Row& a, const Row& b) { return a.epoch < b.epoch; });
+
+  if (json) {
+    // Machine-readable: every row (no --n truncation), u64-ish fields as
+    // plain numbers (they fit: these are session-relative ids and counts).
+    std::string out = "{\"count\": " + std::to_string(rows.size()) +
+                      ", \"epochs\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      if (i != 0) out += ", ";
+      out += "{\"epoch\": " + std::to_string(r.epoch) +
+             ", \"edge\": " + std::to_string(r.edge) +
+             ", \"alive\": " + (r.alive != 0 ? "true" : "false") +
+             ", \"dsts_patched\": " + std::to_string(r.dsts) +
+             ", \"trees_touched\": " + std::to_string(r.trees) +
+             ", \"publish_ts_ns\": " + std::to_string(r.publish_ts_ns) +
+             ", \"latency_ns\": " + std::to_string(r.latency_ns) +
+             ", \"work_ns\": " + std::to_string(r.work_ns) +
+             ", \"grace_spins\": " + std::to_string(r.spins) +
+             ", \"adopts\": " + std::to_string(r.adopts) + "}";
+    }
+    out += "]";
+    const auto pct_block = [](std::vector<double> us) {
+      std::sort(us.begin(), us.end());
+      const auto pct = [&us](double q) {
+        const auto idx = static_cast<std::size_t>(
+            q * static_cast<double>(us.size() - 1) + 0.5);
+        return us[std::min(idx, us.size() - 1)];
+      };
+      return "{\"p50\": " + obs::json_double(pct(0.50)) +
+             ", \"p99\": " + obs::json_double(pct(0.99)) +
+             ", \"max\": " + obs::json_double(us.back()) + "}";
+    };
+    if (!latencies_us.empty()) {
+      out += ", \"reconv_latency_us\": " + pct_block(latencies_us);
+    }
+    if (!works_us.empty()) {
+      out += ", \"publish_work_us\": " + pct_block(works_us);
+    }
+    out += "}";
+    std::cout << out << "\n";
+    return EXIT_SUCCESS;
+  }
 
   const auto total = rows.size();
   const auto n = static_cast<std::size_t>(flags.get_int("n", 10));
@@ -1182,6 +1263,265 @@ int cmd_epochs(const std::string& path, const Flags& flags) {
   return EXIT_SUCCESS;
 }
 
+// ---------------------------------------------------------------------------
+// why: churn -> anomaly root-cause chains, the obs/causal.h join rendered.
+// ---------------------------------------------------------------------------
+
+std::vector<obs::EpochRecord> epoch_records(const JsonValue& doc) {
+  std::vector<obs::EpochRecord> out;
+  const JsonValue* epochs = doc.find("spliceEpochs");
+  if (epochs == nullptr || !epochs->is_array()) return out;
+  for (const JsonValue& e : epochs->as_array()) {
+    obs::EpochRecord r;
+    r.epoch = static_cast<std::uint64_t>(tolerant_int(e, "epoch", 0));
+    if (e.find("publish_ts_ns") != nullptr) {
+      r.has_publish = true;
+      r.publish_ts_ns =
+          static_cast<std::uint64_t>(tolerant_int(e, "publish_ts_ns", 0));
+      r.edge = tolerant_int(e, "edge", -1);
+      r.alive = tolerant_int(e, "alive", 1) != 0;
+      r.dsts_patched =
+          static_cast<std::uint32_t>(tolerant_int(e, "dsts_patched", 0));
+    }
+    if (e.find("latency_ns") != nullptr) {
+      r.has_latency = true;
+      r.latency_ns =
+          static_cast<std::uint64_t>(tolerant_int(e, "latency_ns", 0));
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+/// The live_churn bench's deterministic inputs, rebuilt from a run's
+/// params — enough to regenerate the churn trace (generate_churn_trace is
+/// pure) and replay any recorded packet batch.
+struct LiveChurnContext {
+  bool ok = false;
+  Graph g;
+  SliceId k = 5;
+  int events = 0;
+  int packets = 0;
+  std::uint64_t seed = 0;
+  std::string target;
+};
+
+LiveChurnContext live_churn_context(const JsonValue& doc, long long run) {
+  LiveChurnContext ctx;
+  const KvReader params = run_params(doc, run);
+  const auto it = params.find("experiment");
+  if (it == params.end() || it->second != "live_churn") return ctx;
+  const auto get = [&params](const char* key,
+                             const char* fb) -> std::string {
+    const auto p = params.find(key);
+    return p == params.end() ? fb : p->second;
+  };
+  ctx.target = get("target", "");
+  ctx.k = static_cast<SliceId>(std::strtol(get("k", "5").c_str(), nullptr, 10));
+  ctx.events =
+      static_cast<int>(std::strtol(get("events", "200").c_str(), nullptr, 10));
+  ctx.packets =
+      static_cast<int>(std::strtol(get("packets", "512").c_str(), nullptr, 10));
+  ctx.seed = std::strtoull(get("seed", "7").c_str(), nullptr, 10);
+  if (ctx.target == "expander") {
+    const int n = static_cast<int>(
+        std::strtol(get("expander_n", "900").c_str(), nullptr, 10));
+    ctx.g = erdos_renyi(static_cast<NodeId>(n), 5.0 / std::max(1, n - 1),
+                        ctx.seed ^ 0xb16ULL);
+    make_connected(ctx.g, ctx.seed ^ 0xb17ULL);
+  } else if (!ctx.target.empty()) {
+    ctx.g = load_topo(ctx.target);
+  } else {
+    return ctx;
+  }
+  ctx.ok = true;
+  return ctx;
+}
+
+const char* churn_kind_name(LinkEventKind kind) {
+  switch (kind) {
+    case LinkEventKind::kDown:
+      return "down";
+    case LinkEventKind::kUp:
+      return "up";
+    case LinkEventKind::kScale:
+      return "weight-scale";
+  }
+  return "?";
+}
+
+int cmd_why(const std::string& path, long long want_idx, const Flags& flags) {
+  const auto doc = load_json(path);
+  if (!doc) return EXIT_FAILURE;
+  const std::vector<AnomalyRow> rows = anomaly_rows(*doc);
+  if (rows.empty()) {
+    std::cerr << "why: no anomalies in " << path << "\n";
+    return EXIT_FAILURE;
+  }
+  const std::vector<obs::EpochRecord> epochs = epoch_records(*doc);
+  std::vector<obs::AnomalyRef> refs;
+  refs.reserve(rows.size());
+  for (const AnomalyRow& a : rows) {
+    refs.push_back({static_cast<std::uint64_t>(a.t_ns),
+                    static_cast<std::uint64_t>(a.fib_epoch)});
+  }
+  const std::vector<obs::CausalChain> chains = obs::correlate(epochs, refs);
+
+  long long idx = want_idx;
+  if (idx < 0) {
+    for (const obs::CausalChain& c : chains) {
+      if (c.cause_found) {
+        idx = static_cast<long long>(c.anomaly_index);
+        break;
+      }
+    }
+    if (idx < 0) {
+      std::cerr << "why: none of the " << rows.size()
+                << " anomalies resolves to a publish row (no spliceEpochs, "
+                   "or all were forwarded under the pre-churn FIB)\n";
+      return EXIT_FAILURE;
+    }
+  }
+  if (idx >= static_cast<long long>(rows.size())) {
+    std::cerr << "why: anomaly index " << idx << " out of range (0.."
+              << rows.size() - 1 << ")\n";
+    return EXIT_FAILURE;
+  }
+  const AnomalyRow& a = rows[static_cast<std::size_t>(idx)];
+  const obs::CausalChain& c = chains[static_cast<std::size_t>(idx)];
+
+  std::cout << "[" << idx << "] " << a.kind << " " << a.src << "->" << a.dst
+            << " run=" << a.run << " stream_seed=" << a.seed
+            << " trial=" << a.trial << " packet=" << a.aux << " k=" << a.k
+            << " hops=" << a.hops << "\n"
+            << "    forwarded under FIB epoch " << a.fib_epoch
+            << ", recorded at t_ns=" << a.t_ns << "\n";
+  if (!c.cause_found) {
+    std::cout << "    cause: UNRESOLVED — no publish row for epoch "
+              << a.fib_epoch
+              << " (pre-churn FIB, or the epoch ledger is absent)\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "    cause: epoch " << c.fib_epoch << " published at t_ns="
+            << c.publish_ts_ns << " — edge " << c.cause_edge
+            << (c.cause_down ? " DOWN" : " restored/rescaled") << "\n";
+  if (c.reconv_latency_ns > 0) {
+    std::cout << "      reconvergence latency "
+              << fmt_double(static_cast<double>(c.reconv_latency_ns) / 1e3, 2)
+              << " us\n";
+  }
+  if (c.has_lag) {
+    std::cout << "      observation lag (publish -> anomaly) "
+              << fmt_double(static_cast<double>(c.lag_ns) / 1e3, 2)
+              << " us\n";
+  }
+  if (c.repaired) {
+    std::cout << "      repaired by epoch " << c.repair_epoch << " at t_ns="
+              << c.repair_ts_ns;
+    if (c.has_window) {
+      std::cout << " (exposure window "
+                << fmt_double(static_cast<double>(c.window_ns) / 1e3, 2)
+                << " us)";
+    }
+    std::cout << "\n";
+  } else {
+    std::cout << "      no repairing publish for edge " << c.cause_edge
+              << " within the trace\n";
+  }
+
+  // Resolve the generating churn event: the trace is a pure function of
+  // (graph, config), and event i's publish lands as epoch i + 2 (the
+  // initial build is epoch 1).
+  const LiveChurnContext ctx = live_churn_context(*doc, a.run);
+  std::vector<LinkEvent> trace;
+  if (ctx.ok) {
+    ChurnConfig ccfg;
+    ccfg.incidents = ctx.events;
+    ccfg.seed = ctx.seed;
+    trace = generate_churn_trace(ctx.g, ccfg);
+    const long long ev_idx = static_cast<long long>(c.fib_epoch) - 2;
+    if (ev_idx >= 0 && ev_idx < static_cast<long long>(trace.size())) {
+      const LinkEvent& ev = trace[static_cast<std::size_t>(ev_idx)];
+      std::cout << "    churn event #" << ev_idx << ": edge " << ev.edge
+                << " " << churn_kind_name(ev.kind) << " at t="
+                << fmt_double(ev.at_ms, 3) << " ms"
+                << (static_cast<long long>(ev.edge) == c.cause_edge
+                        ? ""
+                        : "  (WARNING: edge differs from publish row)")
+                << "\n";
+    }
+  }
+  std::cout << "    replay: splice_inspect why " << path << " " << idx
+            << " --check\n";
+
+  if (!flags.has("check")) return EXIT_SUCCESS;
+
+  // --check: rebuild the publisher, replay churn up to the anomaly's
+  // epoch, regenerate the exact packet batch and verify the outcome.
+  if (!ctx.ok) {
+    std::cerr << "check: run " << a.run
+              << " is not a live_churn run — cannot replay\n";
+    return EXIT_FAILURE;
+  }
+  const ControlPlaneConfig cp{
+      ctx.k, {PerturbationKind::kDegreeBased, 0.0, 3.0}, 1, false};
+  FibPublisher pub(ctx.g, cp);
+  for (const LinkEvent& ev : trace) {
+    if (pub.published_version() >=
+        static_cast<std::uint64_t>(a.fib_epoch)) {
+      break;
+    }
+    apply_churn_event(pub, ev);
+  }
+  pub.quiesce();
+  if (pub.published_version() != static_cast<std::uint64_t>(a.fib_epoch)) {
+    std::cerr << "check: FAILED — cannot reach epoch " << a.fib_epoch
+              << " by replaying the churn trace (reached "
+              << pub.published_version() << ")\n";
+    return EXIT_FAILURE;
+  }
+  BatchFeedConfig feed;
+  feed.header_k = ctx.k;
+  feed.packets_per_trial = ctx.packets;
+  std::vector<char> mask;
+  std::vector<Packet> batch;
+  fill_trial_batch(ctx.g, feed,
+                   std::strtoull(a.seed.c_str(), nullptr, 10),
+                   static_cast<int>(a.trial), mask, batch);
+  if (a.aux < 0 || a.aux >= static_cast<long long>(batch.size())) {
+    std::cerr << "check: FAILED — packet index " << a.aux
+              << " out of range for a " << batch.size() << "-packet batch\n";
+    return EXIT_FAILURE;
+  }
+  const Packet& pkt = batch[static_cast<std::size_t>(a.aux)];
+  if (static_cast<long long>(pkt.src) != a.src ||
+      static_cast<long long>(pkt.dst) != a.dst) {
+    std::cerr << "check: FAILED — regenerated packet is " << pkt.src << "->"
+              << pkt.dst << ", anomaly recorded " << a.src << "->" << a.dst
+              << "\n";
+    return EXIT_FAILURE;
+  }
+  std::vector<ForwardSummary> out(batch.size());
+  ForwardWorkspace ws;
+  const ForwardingPolicy policy{ExhaustPolicy::kStayInCurrent,
+                                LocalRecovery::kDeflect};
+  pub.published_net().forward_stats_batch(batch, policy, out, ws);
+  const ForwardSummary& s = out[static_cast<std::size_t>(a.aux)];
+  const ForwardOutcome expected = a.kind == "ttl_expired"
+                                      ? ForwardOutcome::kTtlExpired
+                                      : ForwardOutcome::kDeadEnd;
+  const bool reproduced = s.outcome == expected;
+  std::cout << "\ncheck: " << a.kind << " " << a.src << "->" << a.dst
+            << " under epoch " << a.fib_epoch << ": "
+            << (reproduced ? "reproduced" : "NOT reproduced") << " (outcome "
+            << (s.delivered()
+                    ? "delivered"
+                    : s.outcome == ForwardOutcome::kTtlExpired ? "ttl_expired"
+                                                               : "dead_end")
+            << ", " << s.hops << " hops)\n";
+  return reproduced ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
 int dispatch(const Flags& flags) {
   const auto& pos = flags.positional();
   if (pos.empty()) return usage();
@@ -1196,6 +1536,11 @@ int dispatch(const Flags& flags) {
   if (cmd == "profile" && pos.size() == 2)
     return cmd_profile(pos[1], flags);
   if (cmd == "epochs" && pos.size() == 2) return cmd_epochs(pos[1], flags);
+  if (cmd == "why" && (pos.size() == 2 || pos.size() == 3)) {
+    const long long idx =
+        pos.size() == 3 ? std::strtoll(pos[2].c_str(), nullptr, 10) : -1;
+    return cmd_why(pos[1], idx, flags);
+  }
   return usage();
 }
 

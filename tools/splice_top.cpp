@@ -13,13 +13,21 @@
 //     sparklines — worst score first, ties broken by traffic.
 //
 //   splice_top FILE [--once] [--json] [--n=15]
-//   splice_top FILE --follow [--interval-ms=500]
+//   splice_top FILE links [--json] [--n=15]
+//       the network heatmap: top-N hot links (traversal share, per-slice
+//       split, §4.3 deflections, rolling sparkline) and top-N lossy links
+//       (dead-end drops attributed to the dead primary edge). Reads the
+//       spliceLinks section a producer running with --links writes into
+//       its --health-snapshot / --trace output, or a standalone
+//       --links-snapshot file.
+//   splice_top FILE [links] --follow [--interval-ms=500] [--ticks=N]
 //       re-reads FILE each tick and redraws in place; a half-written file
-//       (the producer rewrites it wholesale) skips the tick. Ctrl-C exits.
+//       (the producer rewrites it wholesale) skips the tick. --ticks bounds
+//       the number of ticks (0 = until Ctrl-C).
 //
 // --json prints a machine-readable digest of the same view (one object per
 // invocation; in --follow mode one object per tick, newline-delimited) —
-// the schema scripts/check.sh --health-smoke validates.
+// the schema scripts/check.sh --health-smoke/--attrib-smoke validates.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -39,10 +47,13 @@ namespace splice {
 namespace {
 
 int usage() {
-  std::cerr << "usage: splice_top FILE [--once|--follow] [--json] [--n=15]\n"
-               "                  [--interval-ms=500]\n"
+  std::cerr << "usage: splice_top FILE [links] [--once|--follow] [--json]\n"
+               "                  [--n=15] [--interval-ms=500] [--ticks=N]\n"
                "  FILE: a --health-snapshot file or a --trace dump (both\n"
-               "  carry spliceHealth/spliceSlo)\n";
+               "  carry spliceHealth/spliceSlo)\n"
+               "  links: per-link heatmap view — needs the spliceLinks\n"
+               "  section (producer ran with --links) or a --links-snapshot\n"
+               "  file\n";
   return EXIT_FAILURE;
 }
 
@@ -212,6 +223,92 @@ bool decode(const JsonValue& doc, TopView& view, std::string& error) {
 }
 
 // ---------------------------------------------------------------------------
+// Links (heatmap) view model.
+// ---------------------------------------------------------------------------
+
+struct LinkViewRow {
+  long long edge = 0;
+  long long src = -1;
+  long long dst = -1;
+  double weight = 0.0;
+  long long traversals = 0;
+  long long deflections = 0;
+  long long drops = 0;
+  double cost = 0.0;
+  std::vector<long long> slice_traversals;
+  std::vector<long long> trav_buckets;
+  std::vector<long long> drop_buckets;
+};
+
+struct LinksView {
+  std::string now_ns;
+  long long bucket_ns = 0;
+  long long buckets = 0;
+  long long k = 0;
+  long long links_total = 0;
+  long long total_traversals = 0;
+  long long total_deflections = 0;
+  long long total_drops = 0;
+  std::vector<LinkViewRow> links;  ///< hottest first
+};
+
+bool decode_links(const JsonValue& doc, LinksView& view, std::string& error) {
+  // The section lives under "spliceLinks" in a health snapshot or trace
+  // dump; a standalone --links-snapshot file IS the section.
+  const JsonValue* links = doc.find("spliceLinks");
+  if (links == nullptr || !links->is_object()) {
+    links = doc.find("links") != nullptr ? &doc : nullptr;
+  }
+  if (links == nullptr) {
+    error = "no spliceLinks section (run the producer with --links)";
+    return false;
+  }
+  view = LinksView{};
+  view.now_ns = get_string(*links, "now_ns");
+  if (const JsonValue* w = links->find("window");
+      w != nullptr && w->is_object()) {
+    view.bucket_ns = get_int(*w, "bucket_ns");
+    view.buckets = get_int(*w, "buckets");
+  }
+  view.k = get_int(*links, "k");
+  view.links_total = get_int(*links, "links_total");
+  if (const JsonValue* t = links->find("totals");
+      t != nullptr && t->is_object()) {
+    view.total_traversals = get_int(*t, "traversals");
+    view.total_deflections = get_int(*t, "deflections");
+    view.total_drops = get_int(*t, "drops");
+  }
+  if (const JsonValue* rows = links->find("links");
+      rows != nullptr && rows->is_array()) {
+    for (const JsonValue& r : rows->as_array()) {
+      if (!r.is_object()) continue;
+      LinkViewRow row;
+      row.edge = get_int(r, "edge");
+      row.src = get_int(r, "src", -1);
+      row.dst = get_int(r, "dst", -1);
+      row.weight = get_double(r, "weight");
+      row.traversals = get_int(r, "traversals");
+      row.deflections = get_int(r, "deflections");
+      row.drops = get_int(r, "drops");
+      row.cost = get_double(r, "cost");
+      row.slice_traversals = get_buckets(r, "slice_traversals");
+      row.trav_buckets = get_buckets(r, "trav_buckets");
+      row.drop_buckets = get_buckets(r, "drop_buckets");
+      view.links.push_back(std::move(row));
+    }
+  }
+  // Hottest first; ties by drops then edge id for a stable display.
+  std::stable_sort(view.links.begin(), view.links.end(),
+                   [](const LinkViewRow& a, const LinkViewRow& b) {
+                     if (a.traversals != b.traversals)
+                       return a.traversals > b.traversals;
+                     if (a.drops != b.drops) return a.drops > b.drops;
+                     return a.edge < b.edge;
+                   });
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Rendering.
 // ---------------------------------------------------------------------------
 
@@ -355,23 +452,163 @@ void render_json(const TopView& view, std::size_t n) {
   std::cout << out << "\n";
 }
 
+double share_pct(long long part, long long whole) {
+  if (whole <= 0) return 0.0;
+  return 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+/// "s0 27/s1 12/..." per-slice share of this link's traversals, percent.
+std::string slice_share_cell(const LinkViewRow& row) {
+  if (row.slice_traversals.empty() || row.traversals <= 0) return "-";
+  std::string out;
+  for (std::size_t s = 0; s < row.slice_traversals.size(); ++s) {
+    if (s != 0) out += "/";
+    out += fmt_double(share_pct(row.slice_traversals[s], row.traversals), 0);
+  }
+  return out;
+}
+
+std::string endpoints_cell(const LinkViewRow& row) {
+  if (row.src < 0 || row.dst < 0) return "-";
+  return fmt_int(row.src) + "->" + fmt_int(row.dst);
+}
+
+void render_links_text(const LinksView& view, std::size_t n) {
+  const double window_s = static_cast<double>(view.bucket_ns) *
+                          static_cast<double>(view.buckets) / 1e9;
+  std::cout << "splice_top links — k=" << view.k << ", "
+            << view.links.size() << " of " << view.links_total
+            << " links active, window " << view.buckets << " x "
+            << fmt_double(static_cast<double>(view.bucket_ns) / 1e6, 0)
+            << " ms (" << fmt_double(window_s, 1) << " s), now_ns="
+            << (view.now_ns.empty() ? "?" : view.now_ns) << "\n";
+  std::cout << "totals     traversals " << fmt_int(view.total_traversals)
+            << "  deflections " << fmt_int(view.total_deflections)
+            << "  drops " << fmt_int(view.total_drops) << "\n\n";
+
+  Table hot({"edge", "link", "trav", "share_pct", "defl", "drops", "cost",
+             "slice_pct", "traffic"});
+  std::size_t shown = 0;
+  for (const LinkViewRow& r : view.links) {
+    if (shown++ >= n) break;
+    hot.add_row({fmt_int(r.edge), endpoints_cell(r), fmt_int(r.traversals),
+                 fmt_double(share_pct(r.traversals, view.total_traversals), 2),
+                 fmt_int(r.deflections), fmt_int(r.drops),
+                 fmt_double(r.cost, 1), slice_share_cell(r),
+                 sparkline(r.trav_buckets)});
+  }
+  std::cout << "hot links (by traversals)\n";
+  hot.print(std::cout);
+
+  std::vector<const LinkViewRow*> lossy;
+  for (const LinkViewRow& r : view.links) {
+    if (r.drops > 0 || r.deflections > 0) lossy.push_back(&r);
+  }
+  std::stable_sort(lossy.begin(), lossy.end(),
+                   [](const LinkViewRow* a, const LinkViewRow* b) {
+                     if (a->drops != b->drops) return a->drops > b->drops;
+                     if (a->deflections != b->deflections)
+                       return a->deflections > b->deflections;
+                     return a->edge < b->edge;
+                   });
+  std::cout << "\nlossy links (by attributed drops, then deflections)\n";
+  if (lossy.empty()) {
+    std::cout << "(none in window)\n";
+  } else {
+    Table bad({"edge", "link", "drops", "drop_share_pct", "defl", "trav",
+               "drops_spark"});
+    shown = 0;
+    for (const LinkViewRow* r : lossy) {
+      if (shown++ >= n) break;
+      bad.add_row({fmt_int(r->edge), endpoints_cell(*r), fmt_int(r->drops),
+                   fmt_double(share_pct(r->drops, view.total_drops), 2),
+                   fmt_int(r->deflections), fmt_int(r->traversals),
+                   sparkline(r->drop_buckets)});
+    }
+    bad.print(std::cout);
+  }
+  if (view.links_total > static_cast<long long>(view.links.size())) {
+    std::cout << "(" << view.links_total - static_cast<long long>(
+                            view.links.size())
+              << " links had no recorded activity)\n";
+  }
+}
+
+void render_links_json(const LinksView& view, std::size_t n) {
+  std::string out =
+      "{\"now_ns\": " + obs::json_quote(view.now_ns) +
+      ", \"window\": {\"bucket_ns\": " + std::to_string(view.bucket_ns) +
+      ", \"buckets\": " + std::to_string(view.buckets) +
+      "}, \"k\": " + std::to_string(view.k) +
+      ", \"links_total\": " + std::to_string(view.links_total) +
+      ", \"links_active\": " + std::to_string(view.links.size()) +
+      ", \"totals\": {\"traversals\": " +
+      std::to_string(view.total_traversals) +
+      ", \"deflections\": " + std::to_string(view.total_deflections) +
+      ", \"drops\": " + std::to_string(view.total_drops) + "}";
+  const auto emit_row = [](const LinkViewRow& r) {
+    std::string o = "{\"edge\": " + std::to_string(r.edge) +
+                    ", \"src\": " + std::to_string(r.src) +
+                    ", \"dst\": " + std::to_string(r.dst) +
+                    ", \"traversals\": " + std::to_string(r.traversals) +
+                    ", \"deflections\": " + std::to_string(r.deflections) +
+                    ", \"drops\": " + std::to_string(r.drops) +
+                    ", \"cost\": " + obs::json_double(r.cost) +
+                    ", \"slice_traversals\": [";
+    for (std::size_t s = 0; s < r.slice_traversals.size(); ++s) {
+      if (s != 0) o += ", ";
+      o += std::to_string(r.slice_traversals[s]);
+    }
+    o += "]}";
+    return o;
+  };
+  out += ", \"hot\": [";
+  for (std::size_t i = 0; i < view.links.size() && i < n; ++i) {
+    if (i != 0) out += ", ";
+    out += emit_row(view.links[i]);
+  }
+  out += "], \"lossy\": [";
+  std::vector<const LinkViewRow*> lossy;
+  for (const LinkViewRow& r : view.links) {
+    if (r.drops > 0) lossy.push_back(&r);
+  }
+  std::stable_sort(lossy.begin(), lossy.end(),
+                   [](const LinkViewRow* a, const LinkViewRow* b) {
+                     if (a->drops != b->drops) return a->drops > b->drops;
+                     return a->edge < b->edge;
+                   });
+  for (std::size_t i = 0; i < lossy.size() && i < n; ++i) {
+    if (i != 0) out += ", ";
+    out += emit_row(*lossy[i]);
+  }
+  out += "]}";
+  std::cout << out << "\n";
+}
+
 int run(const Flags& flags) {
   const auto& pos = flags.positional();
-  if (pos.size() != 1) return usage();
+  if (pos.empty() || pos.size() > 2) return usage();
   const std::string& path = pos[0];
+  const bool links_view = pos.size() == 2 && pos[1] == "links";
+  if (pos.size() == 2 && !links_view) return usage();
   const bool follow = flags.has("follow");
   const bool json = flags.has("json");
   const auto n = static_cast<std::size_t>(flags.get_int("n", 15));
   const auto interval_ms = flags.get_int("interval-ms", 500);
+  const long long ticks = flags.get_int("ticks", 0);  // 0 = unbounded
 
   bool ever_rendered = false;
-  for (;;) {
+  for (long long tick = 0;; ++tick) {
     JsonParseResult parsed = parse_json_file(path);
-    TopView view;
     std::string error;
-    const bool ok =
-        parsed.ok ? decode(parsed.value, view, error)
-                  : (error = parsed.error, false);
+    bool ok = parsed.ok;
+    if (!ok) error = parsed.error;
+    TopView view;
+    LinksView links;
+    if (ok) {
+      ok = links_view ? decode_links(parsed.value, links, error)
+                      : decode(parsed.value, view, error);
+    }
     if (!ok) {
       // In follow mode the producer rewrites the file wholesale, so a
       // transient parse failure just skips the tick.
@@ -380,15 +617,16 @@ int run(const Flags& flags) {
         return EXIT_FAILURE;
       }
     } else {
-      if (json) {
-        render_json(view, n);
+      if (!json && follow) std::cout << "\033[H\033[2J";  // home + clear
+      if (links_view) {
+        json ? render_links_json(links, n) : render_links_text(links, n);
       } else {
-        if (follow) std::cout << "\033[H\033[2J";  // home + clear
-        render_text(view, n);
+        json ? render_json(view, n) : render_text(view, n);
       }
       ever_rendered = true;
     }
     if (!follow) break;
+    if (ticks > 0 && tick + 1 >= ticks) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
   }
   return ever_rendered ? EXIT_SUCCESS : EXIT_FAILURE;
