@@ -47,6 +47,19 @@
 //   --profile-hz=N                               sampler frequency (default
 //                                                97; 0 disables sampling but
 //                                                keeps resource deltas)
+//   --telemetry=SINKS                            start the in-process
+//                                                telemetry agent: comma-
+//                                                separated shm:PATH (mmap
+//                                                segment for `splice_top
+//                                                attach`) and/or tcp:PORT
+//                                                (loopback Prometheus scrape
+//                                                endpoint; port 0 picks an
+//                                                ephemeral port). The agent
+//                                                only reads, so metrics are
+//                                                bit-identical with it on
+//                                                or off.
+//   --telemetry-period-ms=N                      agent publish period
+//                                                (default 250)
 #pragma once
 
 #include <chrono>
@@ -57,6 +70,7 @@
 #include <string>
 
 #include "graph/io.h"
+#include "obs/agent.h"
 #include "obs/anomaly.h"
 #include "obs/clock.h"
 #include "obs/flight_recorder.h"
@@ -125,6 +139,44 @@ inline bool profile_from_flags(const Flags& flags) {
   return true;
 }
 
+/// Starts the in-process telemetry agent when --telemetry=SPEC is present
+/// (comma-separated sinks: shm:PATH — the mmap segment `splice_top attach`
+/// reads live — and/or tcp:PORT — a loopback Prometheus scrape endpoint;
+/// port 0 = ephemeral, the chosen port is printed and advertised in the
+/// segment header). --telemetry-period-ms sets the publish period. A bad
+/// spec or a failed start is fatal: a bench silently running without the
+/// telemetry it was asked for would invalidate the run. Returns whether
+/// the agent started. emit() stops it (final flush included).
+inline bool telemetry_from_flags(const Flags& flags) {
+  const auto spec = flags.get("telemetry");
+  if (!spec || spec->empty() || *spec == "true") return false;
+  obs::TelemetryConfig cfg;
+  cfg.period_ms =
+      static_cast<std::uint32_t>(flags.get_int("telemetry-period-ms", 250));
+  std::string error;
+  if (!obs::parse_telemetry_spec(*spec, cfg, &error)) {
+    std::cerr << "bad --telemetry: " << error << "\n";
+    std::exit(EXIT_FAILURE);
+  }
+  if (!obs::TelemetryAgent::global().start(cfg, &error)) {
+    std::cerr << "telemetry agent failed to start: " << error << "\n";
+    std::exit(EXIT_FAILURE);
+  }
+  if (!cfg.shm_path.empty()) {
+    std::cout << "[telemetry] segment " << cfg.shm_path << " (splice_top attach "
+              << cfg.shm_path << ")\n";
+  }
+  if (cfg.tcp) {
+    std::cout << "[telemetry] scrape endpoint http://127.0.0.1:"
+              << obs::TelemetryAgent::global().scrape_port() << "/metrics\n";
+  }
+  // Flush now: harnesses (check.sh --live-smoke) read the segment path /
+  // port from a redirected log while the bench is still running, and
+  // block-buffered stdout would sit on these lines until exit.
+  std::cout.flush();
+  return true;
+}
+
 /// Turns the full observability stack on when --trace=PATH is present:
 /// metrics registry (phase spans), flight recorder (event rings + sampled
 /// packet walks) and anomaly ledger. emit() then writes the trace-event
@@ -133,6 +185,7 @@ inline bool profile_from_flags(const Flags& flags) {
 /// call wires both flags into all benches. Returns whether tracing is on.
 inline bool trace_from_flags(const Flags& flags) {
   profile_from_flags(flags);
+  telemetry_from_flags(flags);
   const auto path = flags.get("trace");
   if (!path || path->empty() || *path == "true") return false;
   obs::MetricsRegistry::set_enabled(true);
@@ -156,6 +209,9 @@ inline bool health_from_flags(const Flags& flags, std::uint32_t n_dsts) {
   const bool on =
       flags.get_bool("health", false) || flags.get("health-snapshot").has_value();
   if (!on) return false;
+  // Configure under the telemetry agent's flush lock: re-arming swaps the
+  // series storage, and an agent snapshot racing that reads freed memory.
+  const auto lock = obs::TelemetryAgent::global().reconfigure_lock();
   obs::RouteHealth::global().configure(n_dsts);
   obs::RouteHealth::set_enabled(true);
   obs::SloEngine::global().configure();
@@ -172,6 +228,8 @@ inline bool links_from_flags(const Flags& flags, const Graph& g, int k) {
   const bool on =
       flags.get_bool("links", false) || flags.get("links-snapshot").has_value();
   if (!on) return false;
+  // Same reconfigure-vs-flush serialization as health_from_flags.
+  const auto lock = obs::TelemetryAgent::global().reconfigure_lock();
   obs::LinkStats& stats = obs::LinkStats::global();
   stats.configure(g.edge_count(), static_cast<std::uint32_t>(k));
   std::vector<std::int32_t> src(g.edge_count());
@@ -319,6 +377,13 @@ inline std::string to_json(const Table& table, const BenchMeta& meta) {
 /// Prints the table and honors --csv and --json.
 inline void emit(const Flags& flags, const Table& table,
                  const BenchMeta& meta) {
+  // Stop the telemetry agent first: its final flush freezes the segment
+  // with everything the run recorded, so a post-mortem `splice_top attach`
+  // sees the complete picture.
+  if (obs::TelemetryAgent::global().running()) {
+    obs::TelemetryAgent::global().stop();
+    std::cout << "[telemetry] agent stopped (final publish flushed)\n";
+  }
   table.print(std::cout);
   if (const auto csv = flags.get("csv")) {
     if (write_file(*csv, table.to_csv())) {

@@ -33,6 +33,11 @@
 // byte against a from-scratch control plane built at the same weight
 // state; any divergence is FATAL and the bench exits nonzero — a perf
 // number can never come from a wrong table.
+//
+// --hold-ms=N keeps the churn-mode reader pool (and the --telemetry
+// agent's live window) running for N extra ms after the replay drains, so
+// an external `splice_top attach` / scrape has a live process to watch;
+// Mlookups_per_s divides by the actual active time either way.
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -190,6 +195,7 @@ int run(const Flags& flags) {
   const int readers = static_cast<int>(flags.get_int("readers", 2));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const int expander_n = static_cast<int>(flags.get_int("expander_n", 900));
+  const int hold_ms = static_cast<int>(flags.get_int("hold-ms", 0));
 
   bench::banner("Live churn republication",
                 "epoch-RCU FIB publication under a trace-driven link-event "
@@ -295,6 +301,14 @@ int run(const Flags& flags) {
         }
       }
       churn_ms = sw.elapsed_ms();
+      if (hold_ms > 0) {
+        // Live-attach window: the readers keep forwarding and the
+        // telemetry agent keeps publishing while an external splice_top /
+        // scrape watches. Excluded from events_per_s (replay is done);
+        // the lookup rate below divides by the actual active time.
+        std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+      }
+      const double active_ms = sw.elapsed_ms();
       const ReaderTotals totals = pool.stop_and_join();
       pub.quiesce();
       // Snapshot here, while the window still holds the churn replay's
@@ -338,7 +352,7 @@ int run(const Flags& flags) {
            fmt_double(percentile(sorted, 0.99), 2),
            fmt_double(sorted.empty() ? 0.0 : sorted.back(), 2),
            fmt_double(mean_work_us, 2),
-           fmt_double(static_cast<double>(totals.lookups) / churn_ms / 1e3,
+           fmt_double(static_cast<double>(totals.lookups) / active_ms / 1e3,
                       2),
            fmt_double(full_ms / (mean_work_us * 1e-3), 1), checksum_cell()});
     }

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Aggregate per-bench BENCH_*.json tables into one top-level summary.
+
+scripts/check.sh --bench-smoke runs each micro bench into its own
+BENCH_<name>.json; this script folds those tables into a single
+BENCH_summary.json (name -> headline metrics + provenance) so the perf
+trajectory across PRs is machine-readable from one committed file instead
+of N per-bench snapshots.
+
+Headline selection: throughput / speedup columns aggregate as the max over
+rows (the best configuration is the headline); raw wall-times are excluded
+(machine-dependent, never gated). Checksums are collected as a sorted
+unique list — they are the exact-reproducibility fingerprint, so a summary
+diff across PRs immediately shows whether results changed or only speed.
+
+Usage: bench_summary.py --out BENCH_summary.json DIR [DIR ...]
+Directories are scanned for BENCH_*.json; when the same bench name appears
+in several directories the EARLIEST directory on the command line wins
+(pass the fresh smoke dir first, committed baselines last as fallback).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Bigger-is-better columns worth tracking across PRs. Aggregated as max.
+HEADLINE_MAX = (
+    "speedup",
+    "republish_speedup",
+    "Mlookups_per_s",
+    "Mpkts_per_s",
+    "Mhops_per_s",
+    "Mhops_s",
+    "events_per_s",
+)
+
+# Exact-value fingerprint columns: any change means the results changed.
+CHECKSUM_KEYS = ("checksum", "fib_checksum")
+
+
+def numeric(value):
+    """Return float(value) for real numbers, None for '-', '' and text."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def summarize_file(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("rows", [])
+    headline = {}
+    checksums = set()
+    for row in rows:
+        for key in HEADLINE_MAX:
+            val = numeric(row.get(key))
+            if val is None:
+                continue
+            if key not in headline or val > headline[key]:
+                headline[key] = val
+        for key in CHECKSUM_KEYS:
+            val = row.get(key)
+            if isinstance(val, str) and val:
+                checksums.add(val)
+    entry = {
+        "bench": doc.get("bench", "?"),
+        "topo": doc.get("topo", ""),
+        "params": doc.get("params", ""),
+        "rows": len(rows),
+        "headline": {k: headline[k] for k in sorted(headline)},
+        "checksums": sorted(checksums),
+        "provenance": {"file": path, "wall_ms": doc.get("wall_ms")},
+    }
+    return entry
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", required=True, help="summary JSON to write")
+    ap.add_argument("dirs", nargs="+", help="directories with BENCH_*.json")
+    args = ap.parse_args()
+
+    benches = {}
+    for directory in args.dirs:
+        for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+            base = os.path.basename(path)
+            name = base[len("BENCH_"):-len(".json")]
+            if name == "summary" or name in benches:
+                continue  # earliest directory wins; never self-ingest
+            try:
+                benches[name] = summarize_file(path)
+            except (OSError, ValueError, KeyError) as err:
+                print(f"bench_summary: skipping {path}: {err}",
+                      file=sys.stderr)
+                return 1
+
+    if not benches:
+        print("bench_summary: no BENCH_*.json found", file=sys.stderr)
+        return 1
+
+    summary = {
+        "schema": "splice-bench-summary-v1",
+        "benches": {name: benches[name] for name in sorted(benches)},
+    }
+    tmp = args.out + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=False)
+        f.write("\n")
+    os.replace(tmp, args.out)
+    print(f"bench_summary: {len(benches)} benches -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

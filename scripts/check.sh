@@ -13,7 +13,11 @@
 # parameters and gates the result against the committed bench/baselines/
 # snapshots via scripts/perf_gate.py: checksums and counters must match
 # exactly; speedup ratios may not regress by more than the gate tolerance.
-# Wall-times are machine-dependent and are never gated here.
+# Wall-times are machine-dependent and are never gated here. After the
+# gates pass, the per-bench tables are folded into the top-level
+# BENCH_summary.json (name -> headline metrics + provenance) via
+# scripts/bench_summary.py, so the perf trajectory across PRs is
+# machine-readable from one file; commit the diff alongside a rebaseline.
 # --rebaseline regenerates the committed baselines (run on the reference
 # machine after an intentional perf change, then commit the diff).
 #
@@ -76,10 +80,25 @@
 # table against bench/baselines/BENCH_live_churn_attrib.json; --rebaseline
 # regenerates that snapshot too.
 #
+# --live-smoke exercises the live telemetry plane end to end: starts the
+# live-churn bench with --telemetry=shm:...,tcp:0 (in-process agent thread
+# publishing into the shared-memory segment and serving the Prometheus
+# exposition on an ephemeral loopback port) plus a --hold-ms quiet window,
+# attaches `splice_top attach --json --follow` to the *running* process and
+# validates the live ticks (generation monotonically increasing, heartbeat
+# age under one agent period at least once, writer alive, never stale),
+# pulls one exposition with `splice_inspect scrape` (linted with the same
+# conformance rules obs_export_test enforces), then requires the
+# telemetry-on and telemetry-off bench outputs to be bit-identical on
+# every exact metric (the agent observes, never perturbs) with the
+# wall-time inside the gate tolerance (--gate-time; tighten with LIVE_TOL
+# on a quiet reference machine). The telemetry-off baseline runs with the
+# same --hold-ms so the wall-time gate compares like with like.
+#
 # Usage: scripts/check.sh [--no-tsan] [--no-asan] [--no-noavx2]
 #                         [--bench-smoke] [--bench-deep] [--rebaseline]
 #                         [--trace-smoke] [--profile-smoke] [--health-smoke]
-#                         [--attrib-smoke]
+#                         [--attrib-smoke] [--live-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -94,6 +113,7 @@ trace_smoke=0
 profile_smoke=0
 health_smoke=0
 attrib_smoke=0
+live_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
@@ -106,6 +126,7 @@ for arg in "$@"; do
     --profile-smoke) profile_smoke=1 ;;
     --health-smoke) health_smoke=1 ;;
     --attrib-smoke) attrib_smoke=1 ;;
+    --live-smoke) live_smoke=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -135,7 +156,7 @@ if [[ "$run_tsan" == 1 ]]; then
     determinism_test dataplane_fastpath_test obs_metrics_test \
     obs_flight_recorder_test sim_replay_test dataplane_epoch_test \
     dataplane_publisher_test obs_timeseries_test obs_health_test \
-    obs_linkstats_test obs_causal_test
+    obs_linkstats_test obs_causal_test obs_shm_test obs_agent_test
 else
   echo "==> thread sanitizer pass skipped (--no-tsan)"
 fi
@@ -233,6 +254,13 @@ if [[ "$bench_smoke" == 1 ]]; then
     echo "==> bench smoke FAILED" >&2
     exit 1
   fi
+
+  # Fold the per-bench tables into the committed top-level summary: fresh
+  # smoke results first, committed baselines as fallback for benches this
+  # leg does not run (the deep expander regime, health/attrib variants).
+  echo "==> bench smoke: aggregate BENCH_summary.json"
+  python3 scripts/bench_summary.py --out BENCH_summary.json \
+    "$smoke_dir" bench/baselines
   echo "==> bench smoke passed"
 fi
 
@@ -616,6 +644,136 @@ PY
   fi
 
   echo "==> attrib smoke passed"
+fi
+
+if [[ "$live_smoke" == 1 ]]; then
+  live_dir="build/live-smoke"
+  mkdir -p "$live_dir"
+  # Same smoke configuration as --health-smoke/--attrib-smoke, plus a
+  # --hold-ms quiet window after churn so the attach happens against a
+  # steady, heartbeat-only writer too (both runs get the hold so the
+  # --gate-time comparison is like with like).
+  # --health --links on BOTH runs so the segment carries live health/SLO
+  # and link-heatmap sections (the full operator surface) and the diff
+  # below compares like with like — the only delta is the agent itself.
+  live_bench="./build/bench/bench_live_churn --events=40 --packets=256 --readers=2 --expander_n=240 --topo=none --seed=7 --hold-ms=2500 --health --links"
+  live_seg="$live_dir/live.tel"
+
+  echo "==> live smoke: telemetry-off baseline run"
+  $live_bench --json="$live_dir/plain.json" >/dev/null
+
+  echo "==> live smoke: bench with live telemetry plane (backgrounded)"
+  rm -f "$live_seg"
+  $live_bench --json="$live_dir/telemetry.json" \
+    --telemetry="shm:$live_seg,tcp:0" --telemetry-period-ms=50 \
+    >"$live_dir/bench.log" 2>&1 &
+  live_pid=$!
+
+  # Wait for the agent to come up: the segment file plus the advertised
+  # ephemeral scrape port in the bench log.
+  live_ready=0
+  for _ in $(seq 1 200); do
+    if [[ -s "$live_seg" ]] &&
+       grep -q "scrape endpoint http://127.0.0.1:" "$live_dir/bench.log"; then
+      live_ready=1
+      break
+    fi
+    if ! kill -0 "$live_pid" 2>/dev/null; then
+      break
+    fi
+    sleep 0.05
+  done
+  if [[ "$live_ready" != 1 ]]; then
+    echo "    bench never advertised its telemetry plane" >&2
+    cat "$live_dir/bench.log" >&2
+    kill "$live_pid" 2>/dev/null || true
+    wait "$live_pid" 2>/dev/null || true
+    exit 1
+  fi
+  live_port="$(sed -n \
+    's,.*scrape endpoint http://127\.0\.0\.1:\([0-9][0-9]*\)/metrics.*,\1,p' \
+    "$live_dir/bench.log" | head -n1)"
+
+  # Zero-copy live attach against the RUNNING process: every tick must be a
+  # parseable digest carrying a segment status block; generations must be
+  # monotone and actually advance (the agent is publishing underneath us);
+  # the writer must report alive and never stale; and at least one tick
+  # must observe a heartbeat younger than one agent period — the end-to-end
+  # freshness bound of the acceptance criteria.
+  echo "==> live smoke: splice_top attach --json live ticks"
+  ./build/tools/splice_top attach "$live_seg" --follow --json \
+    --interval-ms=60 --ticks=12 >"$live_dir/attach.jsonl"
+  python3 - "$live_dir/attach.jsonl" <<'PY'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) >= 2, f"attach rendered {len(lines)} ticks, want >= 2"
+gens, fresh = [], 0
+for i, line in enumerate(lines):
+    d = json.loads(line)  # a torn segment read would fail to parse
+    assert "top" in d and "slos" in d, f"tick {i}: not a health digest"
+    seg = d.get("segment")
+    assert seg, f"tick {i}: no segment status block"
+    assert seg["writer_alive"] is True, f"tick {i}: writer not alive"
+    assert seg["stale"] is False, f"tick {i}: segment reported stale"
+    assert seg["period_ns"] > 0, f"tick {i}: agent period not advertised"
+    gens.append(seg["generation"])
+    fresh += seg["heartbeat_age_ns"] < seg["period_ns"]
+assert gens == sorted(gens), f"generations went backwards: {gens}"
+assert gens[-1] > gens[0], f"no live updates observed: {gens}"
+assert fresh > 0, "no tick saw a heartbeat younger than one agent period"
+assert any(len(json.loads(l)["top"]) > 0 for l in lines), \
+    "no tick carried live per-destination health rows"
+print(f"    attach ok: {len(lines)} ticks, gen {gens[0]} -> {gens[-1]}, "
+      f"{fresh} tick(s) under one period")
+PY
+
+  # The same segment also serves the link-heatmap view live.
+  echo "==> live smoke: splice_top attach links --json live ticks"
+  ./build/tools/splice_top attach "$live_seg" links --follow --json \
+    --interval-ms=60 --ticks=4 >"$live_dir/attach_links.jsonl"
+  python3 - "$live_dir/attach_links.jsonl" <<'PY'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "links attach rendered nothing"
+last = json.loads(lines[-1])
+assert last["totals"]["traversals"] > 0, "no live traversals attributed"
+assert last["hot"], "links digest carried no hot rows"
+seg = last["segment"]
+assert seg["writer_alive"] is True and seg["stale"] is False, seg
+print(f"    links attach ok: {len(lines)} ticks, "
+      f"{last['totals']['traversals']} traversals live")
+PY
+
+  # One exposition pulled over loopback from the running process.
+  # splice_inspect scrape lints the body with the same conformance rules
+  # obs_export_test enforces (prometheus_lint) before reporting success.
+  echo "==> live smoke: splice_inspect scrape (port $live_port)"
+  ./build/tools/splice_inspect scrape "http://127.0.0.1:$live_port/metrics" \
+    --out="$live_dir/exposition.txt"
+  if [[ "$(grep -c '^# TYPE' "$live_dir/exposition.txt")" -lt 2 ]]; then
+    echo "    exposition missing the link-stats families" >&2
+    exit 1
+  fi
+
+  wait "$live_pid"
+  grep -q "\[telemetry\] agent stopped" "$live_dir/bench.log" || {
+    echo "    bench exited without stopping the agent cleanly" >&2
+    exit 1
+  }
+
+  # The agent observes, never perturbs: every exact metric in the bench
+  # table (quiescent fib checksums, event/publish counts) must be
+  # bit-identical with the telemetry plane on, and --gate-time holds the
+  # telemetry-on wall-time inside the gate tolerance (tighten with
+  # LIVE_TOL on a quiet reference machine).
+  echo "==> live smoke: telemetry-on vs -off results bit-identical"
+  ./build/tools/splice_inspect diff "$live_dir/plain.json" \
+    "$live_dir/telemetry.json" --tolerance="${SMOKE_TOL:-0.75}"
+  echo "==> live smoke: telemetry overhead within tolerance"
+  ./build/tools/splice_inspect diff "$live_dir/plain.json" \
+    "$live_dir/telemetry.json" --tolerance="${LIVE_TOL:-0.75}" --gate-time
+
+  echo "==> live smoke passed"
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,178 @@
+#include "obs/agent.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/span.h"
+
+namespace splice::obs {
+
+bool parse_telemetry_spec(const std::string& spec, TelemetryConfig& cfg,
+                          std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (spec.empty()) return fail("empty --telemetry spec");
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    if (token.rfind("shm:", 0) == 0) {
+      const std::string path = token.substr(4);
+      if (path.empty()) return fail("shm: sink needs a path");
+      cfg.shm_path = path;
+    } else if (token.rfind("tcp:", 0) == 0) {
+      char* endp = nullptr;
+      const long port = std::strtol(token.c_str() + 4, &endp, 10);
+      if (endp == token.c_str() + 4 || *endp != '\0' || port < 0 ||
+          port > 65535) {
+        return fail("tcp: sink needs a port in [0, 65535]");
+      }
+      cfg.tcp = true;
+      cfg.tcp_port = static_cast<std::uint16_t>(port);
+    } else {
+      return fail("unknown telemetry sink '" + token +
+                  "' (want shm:PATH or tcp:PORT)");
+    }
+  }
+  if (!cfg.any_sink()) return fail("no telemetry sink in spec");
+  return true;
+}
+
+void build_telemetry_document(TelemetryWorkspace& ws, std::uint64_t now_ns) {
+  ws.doc.clear();
+  ws.doc += "{\n\"spliceHealth\": {\n";
+  RouteHealth::global().snapshot_into(now_ns, ws.health);
+  health_json_append(ws.doc, ws.health);
+  ws.doc += "\n},\n\"spliceSlo\": {\n";
+  SloEngine::global().peek_into(now_ns, ws.slo);
+  slo_json_append(ws.doc, ws.slo);
+  ws.doc += "\n}";
+  if (LinkStats::enabled()) {
+    ws.doc += ",\n\"spliceLinks\": {\n";
+    LinkStats::global().snapshot_into(now_ns, ws.links);
+    links_json_append(ws.doc, ws.links);
+    ws.doc += "\n}";
+  }
+  if (MetricsRegistry::enabled()) {
+    ws.doc += ",\n\"spliceMetrics\": {";
+    MetricsRegistry::global().snapshot_into(ws.metrics);
+    metrics_json_append(ws.doc, ws.metrics);
+    ws.doc += "}";
+  }
+  ws.doc += "\n}\n";
+}
+
+std::string render_scrape_exposition() {
+  const MetricsSnapshot metrics = MetricsRegistry::enabled()
+                                      ? MetricsRegistry::global().snapshot()
+                                      : MetricsSnapshot{};
+  // No span data: SpanCollector's per-thread buffers are only merge-safe
+  // at run end (see header comment).
+  std::string out = to_prometheus(metrics, SpanSnapshot{});
+  if (LinkStats::enabled()) {
+    out += links_prometheus(LinkStats::global().snapshot());
+  }
+  if (out.empty()) {
+    // A scrape of a process with everything disabled still has to be a
+    // valid exposition; advertise the agent itself.
+    out =
+        "# HELP splice_telemetry_up Telemetry agent is serving.\n"
+        "# TYPE splice_telemetry_up gauge\n"
+        "splice_telemetry_up 1\n";
+  }
+  return out;
+}
+
+TelemetryAgent& TelemetryAgent::global() {
+  static TelemetryAgent instance;
+  return instance;
+}
+
+bool TelemetryAgent::start(const TelemetryConfig& cfg, std::string* error) {
+  if (running_) {
+    if (error) *error = "telemetry agent already running";
+    return false;
+  }
+  if (!cfg.any_sink()) {
+    if (error) *error = "telemetry config has no sink";
+    return false;
+  }
+  if (cfg.period_ms == 0) {
+    if (error) *error = "telemetry period must be >= 1 ms";
+    return false;
+  }
+  cfg_ = cfg;
+  if (!cfg_.shm_path.empty()) {
+    if (!writer_.create(cfg_.shm_path, cfg_.shm_capacity, error)) {
+      return false;
+    }
+    writer_.set_period_ns(static_cast<std::uint64_t>(cfg_.period_ms) *
+                          1'000'000ULL);
+  }
+  if (cfg_.tcp) {
+    if (!scrape_.start(cfg_.tcp_port, [] { return render_scrape_exposition(); },
+                       error)) {
+      writer_.close();
+      return false;
+    }
+    writer_.set_scrape_port(scrape_.port());
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = false;
+  }
+  // Publish generation 2 immediately so an attach right after start sees
+  // data instead of kEmpty for a full period.
+  flush_now();
+  running_ = true;
+  thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void TelemetryAgent::run_loop() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_requested_) {
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(cfg_.period_ms),
+                      [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    flush_now();
+    lock.lock();
+  }
+}
+
+bool TelemetryAgent::flush_now() {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  return flush_locked(clock_now_ns());
+}
+
+bool TelemetryAgent::flush_locked(std::uint64_t now_ns) {
+  build_telemetry_document(ws_, now_ns);
+  if (!writer_.valid()) return true;  // tcp-only agent: nothing to publish
+  return writer_.publish(ws_.doc.data(), ws_.doc.size(), now_ns);
+}
+
+void TelemetryAgent::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+  // Final flush so the last recorded work is visible post-mortem, then
+  // freeze: the segment file stays behind with a stopped heartbeat.
+  flush_now();
+  scrape_.stop();
+  writer_.close();
+  running_ = false;
+}
+
+}  // namespace splice::obs

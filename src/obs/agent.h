@@ -1,0 +1,128 @@
+// In-process telemetry agent: the optional background thread that turns
+// the passive obs layers (metrics registry, route health, SLO engine, link
+// stats) into a *live* telemetry plane. Every period it snapshots the
+// stack into one JSON document — the same schema as
+// health_snapshot_document(), plus a "spliceMetrics" section — and
+// publishes it into a shared-memory segment (obs/shm_segment.h) for
+// splice_top's zero-copy attach; optionally it also serves the Prometheus
+// text exposition over a loopback scrape endpoint (obs/scrape_server.h).
+//
+// Invariants the agent must not break:
+//   - Bit-identical experiment metrics with the agent on or off: the agent
+//     only *reads* (lock-free snapshots of atomics; the registry's mutex),
+//     it never records, so enabling it cannot perturb any counter.
+//   - Zero allocations on the publish path in steady state: snapshots are
+//     rebuilt in place via the *_into APIs, the document is serialized
+//     with the json_append_* primitives into one reusable buffer, and the
+//     segment publish is a word-wise store loop (resprof-enforced in
+//     obs_agent_test). Scrapes allocate freely — they're an operator
+//     surface, not the publish path.
+//   - Span data is excluded from the live exposition: SpanCollector's
+//     per-thread buffers are only merge-safe at run end, and racing them
+//     from the agent thread would trade a TSan report for a lie.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <condition_variable>
+
+#include "obs/health.h"
+#include "obs/linkstats.h"
+#include "obs/metrics.h"
+#include "obs/shm_segment.h"
+#include "obs/scrape_server.h"
+#include "obs/slo.h"
+
+namespace splice::obs {
+
+struct TelemetryConfig {
+  std::string shm_path;  ///< empty = no segment
+  std::size_t shm_capacity = kShmDefaultCapacity;
+  bool tcp = false;      ///< serve a scrape endpoint
+  std::uint16_t tcp_port = 0;  ///< 0 = ephemeral
+  std::uint32_t period_ms = 250;
+
+  bool any_sink() const noexcept { return !shm_path.empty() || tcp; }
+};
+
+/// Parses the --telemetry flag value: comma-separated sinks, each
+/// "shm:PATH" or "tcp:PORT" (port 0 = ephemeral). At least one sink is
+/// required. Returns false with a message in *error on malformed specs.
+bool parse_telemetry_spec(const std::string& spec, TelemetryConfig& cfg,
+                          std::string* error = nullptr);
+
+/// Reusable snapshot + serialization storage for one publisher. All the
+/// *_into APIs write into this, so a steady-state publish touches no heap.
+struct TelemetryWorkspace {
+  HealthSnapshot health;
+  SloSnapshot slo;
+  LinkSnapshot links;
+  MetricsSnapshot metrics;
+  std::string doc;
+};
+
+/// Serializes the whole obs stack's state at `now_ns` into ws.doc — the
+/// health_snapshot_document() schema ("spliceHealth"/"spliceSlo", plus
+/// "spliceLinks" when link stats are enabled and "spliceMetrics" when the
+/// registry is), so splice_top decodes segment reads and snapshot files
+/// identically. Exposed standalone so tests exercise the document without
+/// a thread.
+void build_telemetry_document(TelemetryWorkspace& ws, std::uint64_t now_ns);
+
+/// The Prometheus exposition a live scrape serves: registry metrics plus
+/// link families when enabled; no span data (see file comment). Allocates.
+std::string render_scrape_exposition();
+
+class TelemetryAgent {
+ public:
+  static TelemetryAgent& global();
+
+  /// Creates the configured sinks and starts the publish thread. The
+  /// scrape endpoint (when configured) is bound synchronously — port() is
+  /// valid once start() returns true.
+  bool start(const TelemetryConfig& cfg, std::string* error = nullptr);
+
+  /// Final flush, then stops the thread and tears the sinks down. The
+  /// segment file stays behind (heartbeat frozen) for post-mortem attach.
+  void stop();
+
+  bool running() const noexcept { return running_; }
+  const TelemetryConfig& config() const noexcept { return cfg_; }
+  /// The scrape endpoint's bound port; 0 when none.
+  std::uint16_t scrape_port() const noexcept { return scrape_.port(); }
+  std::uint64_t publishes() const noexcept { return writer_.flushes(); }
+
+  /// One synchronous snapshot + publish on the calling thread (shares the
+  /// workspace with the agent thread under the flush mutex). The
+  /// steady-state zero-allocation contract is enforced on this path.
+  bool flush_now();
+
+  /// Serializes obs-layer reconfiguration against agent flushes. The
+  /// benches re-arm RouteHealth/LinkStats mid-run (configure() swaps the
+  /// backing storage wholesale); a snapshot racing that would read freed
+  /// memory. Hold this lock around any configure() once the agent may be
+  /// running — uncontended and cheap when it is not.
+  std::unique_lock<std::mutex> reconfigure_lock() {
+    return std::unique_lock<std::mutex>(flush_mu_);
+  }
+
+ private:
+  TelemetryAgent() = default;
+  void run_loop();
+  bool flush_locked(std::uint64_t now_ns);
+
+  TelemetryConfig cfg_{};
+  ShmSegmentWriter writer_;
+  ScrapeServer scrape_;
+  TelemetryWorkspace ws_;
+  std::mutex flush_mu_;   ///< serializes flush_now() vs the agent thread
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace splice::obs

@@ -3,6 +3,9 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
 
 namespace splice::obs {
 
@@ -56,18 +59,33 @@ std::string hist_summary(const Histogram& h) {
 
 }  // namespace
 
-std::string json_double(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[64];
+void json_append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
   const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  std::string s(buf, res.ptr);
-  // Bare integers round-trip fine, but keep them unambiguous as doubles.
-  if (s.find_first_of(".eEn") == std::string::npos) s += ".0";
-  return s;
+  out.append(buf, static_cast<std::size_t>(res.ptr - buf));
 }
 
-std::string json_quote(const std::string& s) {
-  std::string out = "\"";
+void json_append_i64(std::string& out, long long v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(res.ptr - buf));
+}
+
+void json_append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  const std::string_view s(buf, static_cast<std::size_t>(res.ptr - buf));
+  out += s;
+  // Bare integers round-trip fine, but keep them unambiguous as doubles.
+  if (s.find_first_of(".eEn") == std::string_view::npos) out += ".0";
+}
+
+void json_append_quoted(std::string& out, std::string_view s) {
+  out += '"';
   for (char c : s) {
     switch (c) {
       case '"':
@@ -94,6 +112,17 @@ std::string json_quote(const std::string& s) {
     }
   }
   out += '"';
+}
+
+std::string json_double(double v) {
+  std::string out;
+  json_append_double(out, v);
+  return out;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  json_append_quoted(out, s);
   return out;
 }
 
@@ -127,42 +156,47 @@ Table spans_table(const SpanSnapshot& snap) {
   return t;
 }
 
-std::string metrics_json_body(const MetricsSnapshot& snap) {
-  std::string out = "\"counters\": {";
+void metrics_json_append(std::string& out, const MetricsSnapshot& snap) {
+  out += "\"counters\": {";
   for (std::size_t i = 0; i < snap.counters.size(); ++i) {
     if (i != 0) out += ", ";
-    out += json_quote(snap.counters[i].name);
+    json_append_quoted(out, snap.counters[i].name);
     out += ": ";
-    out += std::to_string(snap.counters[i].value);
+    json_append_i64(out, snap.counters[i].value);
   }
   out += "}, \"gauges\": {";
   for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
     if (i != 0) out += ", ";
-    out += json_quote(snap.gauges[i].name);
+    json_append_quoted(out, snap.gauges[i].name);
     out += ": ";
-    out += json_double(snap.gauges[i].value);
+    json_append_double(out, snap.gauges[i].value);
   }
   out += "}, \"histograms\": {";
   for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
     const Histogram& h = snap.histograms[i].hist;
     if (i != 0) out += ", ";
-    out += json_quote(snap.histograms[i].name);
+    json_append_quoted(out, snap.histograms[i].name);
     out += ": {\"lo\": ";
-    out += json_double(h.lo());
+    json_append_double(out, h.lo());
     out += ", \"hi\": ";
-    out += json_double(h.hi());
+    json_append_double(out, h.hi());
     out += ", \"total\": ";
-    out += std::to_string(h.total());
+    json_append_i64(out, h.total());
     out += ", \"sum\": ";
-    out += json_double(h.sum());
+    json_append_double(out, h.sum());
     out += ", \"counts\": [";
     for (int b = 0; b < h.bins(); ++b) {
       if (b != 0) out += ", ";
-      out += std::to_string(h.count(b));
+      json_append_i64(out, h.count(b));
     }
     out += "]}";
   }
   out += "}";
+}
+
+std::string metrics_json_body(const MetricsSnapshot& snap) {
+  std::string out;
+  metrics_json_append(out, snap);
   return out;
 }
 
@@ -313,6 +347,197 @@ std::string to_prometheus(const MetricsSnapshot& snap,
     }
   }
   return out;
+}
+
+namespace {
+
+/// Splits a sample line into (name, labels-body, value token). Returns
+/// false on lines that cannot be split that way.
+bool split_sample(std::string_view line, std::string_view& name,
+                  std::string_view& labels, std::string_view& value) {
+  const std::size_t brace = line.find('{');
+  const std::size_t space = line.find(' ');
+  if (brace != std::string_view::npos &&
+      (space == std::string_view::npos || brace < space)) {
+    const std::size_t close = line.find('}', brace);
+    if (close == std::string_view::npos) return false;
+    name = line.substr(0, brace);
+    labels = line.substr(brace + 1, close - brace - 1);
+    std::size_t v = close + 1;
+    while (v < line.size() && line[v] == ' ') ++v;
+    value = line.substr(v);
+  } else {
+    if (space == std::string_view::npos) return false;
+    name = line.substr(0, space);
+    labels = {};
+    std::size_t v = space;
+    while (v < line.size() && line[v] == ' ') ++v;
+    value = line.substr(v);
+  }
+  return !name.empty() && !value.empty();
+}
+
+bool parse_number(std::string_view token, double& out) {
+  if (token == "+Inf") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  const std::string s(token);
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+/// Removes the le="..." pair from a label body so buckets of one series
+/// group under one key regardless of their edges.
+std::string labels_without_le(std::string_view labels, std::string& le_out) {
+  std::string key;
+  std::size_t pos = 0;
+  while (pos < labels.size()) {
+    std::size_t end = labels.find(',', pos);
+    if (end == std::string_view::npos) end = labels.size();
+    const std::string_view pair = labels.substr(pos, end - pos);
+    if (pair.substr(0, 4) == "le=\"") {
+      le_out = std::string(pair.substr(4, pair.size() - 5));
+    } else if (!pair.empty()) {
+      if (!key.empty()) key += ',';
+      key += pair;
+    }
+    pos = end + 1;
+  }
+  return key;
+}
+
+}  // namespace
+
+bool prometheus_lint(const std::string& exposition, std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  std::map<std::string, std::string> family_type;
+  struct BucketSeries {
+    std::vector<double> edges;
+    std::vector<double> counts;
+  };
+  // Keyed by family + "|" + labels-minus-le so multi-labeled histograms
+  // (none today, but the format allows them) validate per series.
+  std::map<std::string, BucketSeries> bucket_series;
+  std::map<std::string, double> count_samples;
+  std::size_t lineno = 0;
+  std::size_t samples = 0;
+  std::size_t pos = 0;
+  while (pos <= exposition.size()) {
+    std::size_t eol = exposition.find('\n', pos);
+    if (eol == std::string::npos) eol = exposition.size();
+    const std::string_view line(exposition.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.substr(0, 7) == "# TYPE ") {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          return fail("malformed # TYPE line" + where);
+        }
+        family_type[std::string(rest.substr(0, sp))] =
+            std::string(rest.substr(sp + 1));
+      }
+      continue;
+    }
+    std::string_view name, labels, value_token;
+    if (!split_sample(line, name, labels, value_token)) {
+      return fail("unparsable sample line" + where);
+    }
+    double value = 0.0;
+    if (!parse_number(value_token, value)) {
+      return fail("unparsable sample value '" + std::string(value_token) +
+                  "'" + where);
+    }
+    ++samples;
+    // Attribute the sample to a #TYPE'd family: exact name, or a
+    // histogram/summary component suffix of a typed base family.
+    const std::string sname(name);
+    std::string family;
+    auto typed = [&](const std::string& f) {
+      return family_type.find(f) != family_type.end();
+    };
+    auto strip = [&](const char* suffix) -> std::string {
+      const std::size_t n = std::string(suffix).size();
+      if (sname.size() > n && sname.compare(sname.size() - n, n, suffix) == 0) {
+        return sname.substr(0, sname.size() - n);
+      }
+      return {};
+    };
+    if (typed(sname)) {
+      family = sname;
+    } else {
+      const std::string bucket_base = strip("_bucket");
+      const std::string sum_base = strip("_sum");
+      const std::string count_base = strip("_count");
+      if (!bucket_base.empty() && typed(bucket_base) &&
+          family_type[bucket_base] == "histogram") {
+        family = bucket_base;
+      } else if (!sum_base.empty() && typed(sum_base) &&
+                 (family_type[sum_base] == "histogram" ||
+                  family_type[sum_base] == "summary")) {
+        family = sum_base;
+      } else if (!count_base.empty() && typed(count_base) &&
+                 (family_type[count_base] == "histogram" ||
+                  family_type[count_base] == "summary")) {
+        family = count_base;
+      } else {
+        return fail("sample '" + sname + "' belongs to no # TYPE'd family" +
+                    where);
+      }
+    }
+    if (family_type[family] != "histogram") continue;
+    std::string le;
+    const std::string series_key =
+        family + "|" + labels_without_le(labels, le);
+    if (sname.size() > 7 &&
+        sname.compare(sname.size() - 7, 7, "_bucket") == 0) {
+      if (le.empty()) {
+        return fail("histogram bucket without le label" + where);
+      }
+      double edge = 0.0;
+      if (!parse_number(le, edge)) {
+        return fail("unparsable le edge '" + le + "'" + where);
+      }
+      BucketSeries& bs = bucket_series[series_key];
+      if (!bs.edges.empty() && edge <= bs.edges.back()) {
+        return fail("histogram '" + family +
+                    "' bucket edges not strictly increasing" + where);
+      }
+      if (!bs.counts.empty() && value < bs.counts.back()) {
+        return fail("histogram '" + family +
+                    "' cumulative counts decrease" + where);
+      }
+      bs.edges.push_back(edge);
+      bs.counts.push_back(value);
+    } else if (sname.size() > 6 &&
+               sname.compare(sname.size() - 6, 6, "_count") == 0) {
+      count_samples[series_key] = value;
+    }
+  }
+  if (samples == 0) return fail("exposition contains no samples");
+  for (const auto& [key, bs] : bucket_series) {
+    const std::string family = key.substr(0, key.find('|'));
+    if (!std::isinf(bs.edges.back())) {
+      return fail("histogram '" + family + "' last bucket is not le=\"+Inf\"");
+    }
+    const auto count = count_samples.find(key);
+    if (count == count_samples.end()) {
+      return fail("histogram '" + family + "' has buckets but no _count");
+    }
+    if (bs.counts.back() != count->second) {
+      return fail("histogram '" + family + "' +Inf bucket != _count");
+    }
+  }
+  if (error) error->clear();
+  return true;
 }
 
 }  // namespace splice::obs

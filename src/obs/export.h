@@ -2,7 +2,9 @@
 // util/table report, a JSON object body, or Prometheus text exposition.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -35,5 +37,30 @@ std::string to_prometheus(const MetricsSnapshot& snap,
 /// JSON-escapes and double-formats shared with bench output.
 std::string json_quote(const std::string& s);
 std::string json_double(double v);
+
+// ---------------------------------------------------------------------------
+// Allocation-free append primitives. The telemetry agent's publish path
+// (obs/agent.h) serializes every snapshot through these into one reusable
+// buffer: numbers go through std::to_chars into stack arrays, so once the
+// destination string's capacity is warm a flush never touches the heap.
+// Byte-compatible with json_quote/json_double/std::to_string.
+// ---------------------------------------------------------------------------
+
+void json_append_u64(std::string& out, std::uint64_t v);
+void json_append_i64(std::string& out, long long v);
+void json_append_double(std::string& out, double v);    // json_double bytes
+void json_append_quoted(std::string& out, std::string_view s);  // json_quote
+
+/// metrics_json_body, appended in place (same bytes).
+void metrics_json_append(std::string& out, const MetricsSnapshot& snap);
+
+/// Validates Prometheus text-exposition conformance — the same rules
+/// obs_export_test enforces on to_prometheus() output: every sample line
+/// belongs to a #TYPE-declared family; per histogram series, finite bucket
+/// edges strictly increase, cumulative counts never decrease, the +Inf
+/// bucket comes last and equals the family's _count sample. Used by
+/// `splice_inspect scrape` to validate a live endpoint. Returns true when
+/// clean; otherwise false with the first violation in *error.
+bool prometheus_lint(const std::string& exposition, std::string* error);
 
 }  // namespace splice::obs

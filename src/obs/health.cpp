@@ -92,37 +92,57 @@ int RouteHealth::score(std::uint64_t sent, std::uint64_t delivered,
   return penalty >= 100 ? 0 : static_cast<int>(100 - penalty);
 }
 
-HealthSnapshot RouteHealth::snapshot_at(std::uint64_t now_ns) const {
-  HealthSnapshot snap;
-  snap.now_ns = now_ns;
-  snap.window = cfg_.window;
+void RouteHealth::snapshot_into(std::uint64_t now_ns,
+                                HealthSnapshot& out) const {
+  out.now_ns = now_ns;
+  out.window = cfg_.window;
   if (n_dsts_ == 0) {
-    snap.reconv_latency_us =
-        Histogram(cfg_.latency_lo_us, cfg_.latency_hi_us, cfg_.latency_bins);
-    snap.publish_work_us =
-        Histogram(cfg_.latency_lo_us, cfg_.latency_hi_us, cfg_.latency_bins);
-    return snap;
+    out.dsts.clear();
+    out.sent_buckets.clear();
+    out.delivered_buckets.clear();
+    out.anomaly_buckets.clear();
+    out.publish_buckets.clear();
+    out.reconv_latency_us.reset_shape(cfg_.latency_lo_us, cfg_.latency_hi_us,
+                                      cfg_.latency_bins);
+    out.publish_work_us.reset_shape(cfg_.latency_lo_us, cfg_.latency_hi_us,
+                                    cfg_.latency_bins);
+    out.publishes = 0;
+    return;
   }
+  // Grow-or-reuse row storage: under a stable active destination set the
+  // loop rewrites rows in place and never allocates.
+  std::size_t rows = 0;
   for (std::uint32_t d = 0; d < n_dsts_; ++d) {
-    DstHealth row;
+    const std::uint64_t sent = dst_sent_.total(d, now_ns);
+    const std::uint64_t delivered = dst_delivered_.total(d, now_ns);
+    const std::uint64_t anomalies = dst_anomalies_.total(d, now_ns);
+    const std::uint64_t churn = dst_churn_.total(d, now_ns);
+    if (sent == 0 && anomalies == 0 && churn == 0) continue;
+    if (rows == out.dsts.size()) out.dsts.emplace_back();
+    DstHealth& row = out.dsts[rows];
     row.dst = d;
-    row.sent = dst_sent_.total(d, now_ns);
-    row.delivered = dst_delivered_.total(d, now_ns);
-    row.anomalies = dst_anomalies_.total(d, now_ns);
-    row.churn = dst_churn_.total(d, now_ns);
-    if (row.sent == 0 && row.anomalies == 0 && row.churn == 0) continue;
-    row.score = score(row.sent, row.delivered, row.anomalies, row.churn);
+    row.sent = sent;
+    row.delivered = delivered;
+    row.anomalies = anomalies;
+    row.churn = churn;
+    row.score = score(sent, delivered, anomalies, churn);
     dst_sent_.sample(d, now_ns, row.sent_buckets);
     dst_delivered_.sample(d, now_ns, row.delivered_buckets);
-    snap.dsts.push_back(std::move(row));
+    ++rows;
   }
-  sent_.sample(now_ns, snap.sent_buckets);
-  delivered_.sample(now_ns, snap.delivered_buckets);
-  anomalies_.sample(now_ns, snap.anomaly_buckets);
-  publishes_.sample(now_ns, snap.publish_buckets);
-  snap.reconv_latency_us = reconv_latency_us_.merged(now_ns);
-  snap.publish_work_us = publish_work_us_.merged(now_ns);
-  snap.publishes = publishes_.total(now_ns);
+  if (out.dsts.size() > rows) out.dsts.resize(rows);
+  sent_.sample(now_ns, out.sent_buckets);
+  delivered_.sample(now_ns, out.delivered_buckets);
+  anomalies_.sample(now_ns, out.anomaly_buckets);
+  publishes_.sample(now_ns, out.publish_buckets);
+  reconv_latency_us_.merged_into(now_ns, out.reconv_latency_us);
+  publish_work_us_.merged_into(now_ns, out.publish_work_us);
+  out.publishes = publishes_.total(now_ns);
+}
+
+HealthSnapshot RouteHealth::snapshot_at(std::uint64_t now_ns) const {
+  HealthSnapshot snap;
+  snapshot_into(now_ns, snap);
   return snap;
 }
 
@@ -146,59 +166,87 @@ void RouteHealth::reset() {
 
 namespace {
 
-std::string u64_str(std::uint64_t v) { return json_quote(std::to_string(v)); }
-
-std::string bucket_array(const std::vector<std::uint64_t>& buckets) {
-  std::string out = "[";
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    if (i != 0) out += ", ";
-    out += std::to_string(buckets[i]);
-  }
-  out += "]";
-  return out;
+void append_u64_str(std::string& out, std::uint64_t v) {
+  out += '"';
+  json_append_u64(out, v);
+  out += '"';
 }
 
-std::string hist_body(const Histogram& h) {
-  std::string out = "{\"lo\": " + json_double(h.lo()) +
-                    ", \"hi\": " + json_double(h.hi()) +
-                    ", \"total\": " + std::to_string(h.total()) +
-                    ", \"counts\": [";
+void append_bucket_array(std::string& out,
+                         const std::vector<std::uint64_t>& buckets) {
+  out += "[";
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (i != 0) out += ", ";
+    json_append_u64(out, buckets[i]);
+  }
+  out += "]";
+}
+
+void append_hist_body(std::string& out, const Histogram& h) {
+  out += "{\"lo\": ";
+  json_append_double(out, h.lo());
+  out += ", \"hi\": ";
+  json_append_double(out, h.hi());
+  out += ", \"total\": ";
+  json_append_i64(out, h.total());
+  out += ", \"counts\": [";
   for (int b = 0; b < h.bins(); ++b) {
     if (b != 0) out += ", ";
-    out += std::to_string(h.count(b));
+    json_append_i64(out, h.count(b));
   }
   out += "]}";
-  return out;
 }
 
 }  // namespace
 
-std::string health_json_body(const HealthSnapshot& snap) {
-  std::string out = "\"now_ns\": " + u64_str(snap.now_ns) +
-                    ",\n\"window\": {\"bucket_ns\": " +
-                    std::to_string(snap.window.bucket_ns) +
-                    ", \"buckets\": " + std::to_string(snap.window.buckets) +
-                    "},\n\"dsts\": [";
+void health_json_append(std::string& out, const HealthSnapshot& snap) {
+  out += "\"now_ns\": ";
+  append_u64_str(out, snap.now_ns);
+  out += ",\n\"window\": {\"bucket_ns\": ";
+  json_append_u64(out, snap.window.bucket_ns);
+  out += ", \"buckets\": ";
+  json_append_i64(out, snap.window.buckets);
+  out += "},\n\"dsts\": [";
   for (std::size_t i = 0; i < snap.dsts.size(); ++i) {
     const DstHealth& d = snap.dsts[i];
     if (i != 0) out += ",";
-    out += "\n  {\"dst\": " + std::to_string(d.dst) +
-           ", \"score\": " + std::to_string(d.score) +
-           ", \"sent\": " + std::to_string(d.sent) +
-           ", \"delivered\": " + std::to_string(d.delivered) +
-           ", \"anomalies\": " + std::to_string(d.anomalies) +
-           ", \"churn\": " + std::to_string(d.churn) +
-           ", \"sent_buckets\": " + bucket_array(d.sent_buckets) +
-           ", \"delivered_buckets\": " + bucket_array(d.delivered_buckets) +
-           "}";
+    out += "\n  {\"dst\": ";
+    json_append_u64(out, d.dst);
+    out += ", \"score\": ";
+    json_append_i64(out, d.score);
+    out += ", \"sent\": ";
+    json_append_u64(out, d.sent);
+    out += ", \"delivered\": ";
+    json_append_u64(out, d.delivered);
+    out += ", \"anomalies\": ";
+    json_append_u64(out, d.anomalies);
+    out += ", \"churn\": ";
+    json_append_u64(out, d.churn);
+    out += ", \"sent_buckets\": ";
+    append_bucket_array(out, d.sent_buckets);
+    out += ", \"delivered_buckets\": ";
+    append_bucket_array(out, d.delivered_buckets);
+    out += "}";
   }
-  out += "\n],\n\"sent_buckets\": " + bucket_array(snap.sent_buckets) +
-         ",\n\"delivered_buckets\": " + bucket_array(snap.delivered_buckets) +
-         ",\n\"anomaly_buckets\": " + bucket_array(snap.anomaly_buckets) +
-         ",\n\"publish_buckets\": " + bucket_array(snap.publish_buckets) +
-         ",\n\"publishes\": " + std::to_string(snap.publishes) +
-         ",\n\"reconv_latency_us\": " + hist_body(snap.reconv_latency_us) +
-         ",\n\"publish_work_us\": " + hist_body(snap.publish_work_us);
+  out += "\n],\n\"sent_buckets\": ";
+  append_bucket_array(out, snap.sent_buckets);
+  out += ",\n\"delivered_buckets\": ";
+  append_bucket_array(out, snap.delivered_buckets);
+  out += ",\n\"anomaly_buckets\": ";
+  append_bucket_array(out, snap.anomaly_buckets);
+  out += ",\n\"publish_buckets\": ";
+  append_bucket_array(out, snap.publish_buckets);
+  out += ",\n\"publishes\": ";
+  json_append_u64(out, snap.publishes);
+  out += ",\n\"reconv_latency_us\": ";
+  append_hist_body(out, snap.reconv_latency_us);
+  out += ",\n\"publish_work_us\": ";
+  append_hist_body(out, snap.publish_work_us);
+}
+
+std::string health_json_body(const HealthSnapshot& snap) {
+  std::string out;
+  health_json_append(out, snap);
   return out;
 }
 

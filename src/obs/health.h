@@ -130,6 +130,11 @@ class RouteHealth {
   /// snapshot_at(clock_now_ns()).
   HealthSnapshot snapshot() const;
 
+  /// snapshot_at(), rebuilt into `out` reusing its vectors and histogram
+  /// storage — same values, allocation-free once the active destination set
+  /// is stable (the telemetry agent's steady-state publish path).
+  void snapshot_into(std::uint64_t now_ns, HealthSnapshot& out) const;
+
   /// The deterministic score: pure integer function of window totals.
   ///   start at 100;
   ///   loss     — subtract floor(60 * (sent - delivered) / sent);
@@ -171,5 +176,9 @@ class RouteHealth {
 /// payload behind the trace export's "spliceHealth" section and the
 /// splice_top snapshot file. u64s that may exceed 2^53 are decimal strings.
 std::string health_json_body(const HealthSnapshot& snap);
+
+/// health_json_body, appended in place (same bytes; allocation-free once
+/// `out`'s capacity is warm).
+void health_json_append(std::string& out, const HealthSnapshot& snap);
 
 }  // namespace splice::obs

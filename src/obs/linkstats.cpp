@@ -70,14 +70,23 @@ void LinkStats::series_add(std::uint32_t edge, std::uint64_t now_ns,
   if (drops != 0) drop_series_.add(edge, now_ns, drops);
 }
 
-LinkSnapshot LinkStats::snapshot_at(std::uint64_t now_ns) const {
-  LinkSnapshot snap;
-  snap.now_ns = now_ns;
-  snap.window = cfg_.window;
-  snap.k = k_;
-  snap.n_links = n_links_;
-  if (n_links_ == 0 || !traversals_) return snap;
-  std::vector<std::uint64_t> per_slice(k_);
+void LinkStats::snapshot_into(std::uint64_t now_ns, LinkSnapshot& out) const {
+  out.now_ns = now_ns;
+  out.window = cfg_.window;
+  out.k = k_;
+  out.n_links = n_links_;
+  out.total_traversals = 0;
+  out.total_deflections = 0;
+  out.total_drops = 0;
+  if (n_links_ == 0 || !traversals_) {
+    out.links.clear();
+    return;
+  }
+  // Thread-local slice scratch + grow-or-reuse rows: under a stable active
+  // link set a steady-state refresh performs zero allocations.
+  thread_local std::vector<std::uint64_t> per_slice;
+  per_slice.assign(k_, 0);
+  std::size_t rows = 0;
   for (std::uint32_t e = 0; e < n_links_; ++e) {
     std::uint64_t trav = 0, defl = 0, drop = 0;
     for (std::uint32_t s = 0; s < k_; ++s) {
@@ -88,15 +97,16 @@ LinkSnapshot LinkStats::snapshot_at(std::uint64_t now_ns) const {
       defl += deflections_[i].load(std::memory_order_relaxed);
       drop += drops_[i].load(std::memory_order_relaxed);
     }
-    snap.total_traversals += trav;
-    snap.total_deflections += defl;
-    snap.total_drops += drop;
+    out.total_traversals += trav;
+    out.total_deflections += defl;
+    out.total_drops += drop;
     if (trav == 0 && defl == 0 && drop == 0) continue;
-    LinkRow row;
+    if (rows == out.links.size()) out.links.emplace_back();
+    LinkRow& row = out.links[rows];
     row.edge = e;
-    if (e < edge_src_.size()) row.src = edge_src_[e];
-    if (e < edge_dst_.size()) row.dst = edge_dst_[e];
-    if (e < edge_weight_.size()) row.weight = edge_weight_[e];
+    row.src = e < edge_src_.size() ? edge_src_[e] : -1;
+    row.dst = e < edge_dst_.size() ? edge_dst_[e] : -1;
+    row.weight = e < edge_weight_.size() ? edge_weight_[e] : 0.0;
     row.traversals = trav;
     row.deflections = defl;
     row.drops = drop;
@@ -106,8 +116,14 @@ LinkSnapshot LinkStats::snapshot_at(std::uint64_t now_ns) const {
     row.slice_traversals.assign(per_slice.begin(), per_slice.end());
     trav_series_.sample(e, now_ns, row.trav_buckets);
     drop_series_.sample(e, now_ns, row.drop_buckets);
-    snap.links.push_back(std::move(row));
+    ++rows;
   }
+  if (out.links.size() > rows) out.links.resize(rows);
+}
+
+LinkSnapshot LinkStats::snapshot_at(std::uint64_t now_ns) const {
+  LinkSnapshot snap;
+  snapshot_into(now_ns, snap);
   return snap;
 }
 
@@ -161,47 +177,71 @@ void LinkScratch::flush(std::uint64_t now_ns) noexcept {
   touched_.clear();
 }
 
-std::string links_json_body(const LinkSnapshot& snap) {
-  const auto u64_str = [](std::uint64_t v) {
-    return json_quote(std::to_string(v));
-  };
-  const auto bucket_array = [](const std::vector<std::uint64_t>& b) {
-    std::string out = "[";
-    for (std::size_t i = 0; i < b.size(); ++i) {
-      if (i != 0) out += ", ";
-      out += std::to_string(b[i]);
-    }
-    out += "]";
-    return out;
-  };
-  std::string out;
-  out += "  \"now_ns\": " + u64_str(snap.now_ns) + ",\n";
-  out += "  \"window\": {\"bucket_ns\": " +
-         std::to_string(snap.window.bucket_ns) +
-         ", \"buckets\": " + std::to_string(snap.window.buckets) + "},\n";
-  out += "  \"k\": " + std::to_string(snap.k) + ",\n";
-  out += "  \"links_total\": " + std::to_string(snap.n_links) + ",\n";
-  out += "  \"totals\": {\"traversals\": " +
-         std::to_string(snap.total_traversals) +
-         ", \"deflections\": " + std::to_string(snap.total_deflections) +
-         ", \"drops\": " + std::to_string(snap.total_drops) + "},\n";
-  out += "  \"links\": [";
+namespace {
+
+void append_bucket_array(std::string& out,
+                         const std::vector<std::uint64_t>& b) {
+  out += "[";
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (i != 0) out += ", ";
+    json_append_u64(out, b[i]);
+  }
+  out += "]";
+}
+
+}  // namespace
+
+void links_json_append(std::string& out, const LinkSnapshot& snap) {
+  out += "  \"now_ns\": \"";
+  json_append_u64(out, snap.now_ns);
+  out += "\",\n  \"window\": {\"bucket_ns\": ";
+  json_append_u64(out, snap.window.bucket_ns);
+  out += ", \"buckets\": ";
+  json_append_i64(out, snap.window.buckets);
+  out += "},\n  \"k\": ";
+  json_append_u64(out, snap.k);
+  out += ",\n  \"links_total\": ";
+  json_append_u64(out, snap.n_links);
+  out += ",\n  \"totals\": {\"traversals\": ";
+  json_append_u64(out, snap.total_traversals);
+  out += ", \"deflections\": ";
+  json_append_u64(out, snap.total_deflections);
+  out += ", \"drops\": ";
+  json_append_u64(out, snap.total_drops);
+  out += "},\n  \"links\": [";
   for (std::size_t i = 0; i < snap.links.size(); ++i) {
     const LinkRow& r = snap.links[i];
     if (i != 0) out += ",";
-    out += "\n    {\"edge\": " + std::to_string(r.edge) +
-           ", \"src\": " + std::to_string(r.src) +
-           ", \"dst\": " + std::to_string(r.dst) +
-           ", \"weight\": " + json_double(r.weight) +
-           ", \"traversals\": " + std::to_string(r.traversals) +
-           ", \"deflections\": " + std::to_string(r.deflections) +
-           ", \"drops\": " + std::to_string(r.drops) +
-           ", \"cost\": " + json_double(r.cost) +
-           ", \"slice_traversals\": " + bucket_array(r.slice_traversals) +
-           ", \"trav_buckets\": " + bucket_array(r.trav_buckets) +
-           ", \"drop_buckets\": " + bucket_array(r.drop_buckets) + "}";
+    out += "\n    {\"edge\": ";
+    json_append_u64(out, r.edge);
+    out += ", \"src\": ";
+    json_append_i64(out, r.src);
+    out += ", \"dst\": ";
+    json_append_i64(out, r.dst);
+    out += ", \"weight\": ";
+    json_append_double(out, r.weight);
+    out += ", \"traversals\": ";
+    json_append_u64(out, r.traversals);
+    out += ", \"deflections\": ";
+    json_append_u64(out, r.deflections);
+    out += ", \"drops\": ";
+    json_append_u64(out, r.drops);
+    out += ", \"cost\": ";
+    json_append_double(out, r.cost);
+    out += ", \"slice_traversals\": ";
+    append_bucket_array(out, r.slice_traversals);
+    out += ", \"trav_buckets\": ";
+    append_bucket_array(out, r.trav_buckets);
+    out += ", \"drop_buckets\": ";
+    append_bucket_array(out, r.drop_buckets);
+    out += "}";
   }
   out += "\n  ]";
+}
+
+std::string links_json_body(const LinkSnapshot& snap) {
+  std::string out;
+  links_json_append(out, snap);
   return out;
 }
 

@@ -137,6 +137,11 @@ class LinkStats {
   /// snapshot_at(clock_now_ns()).
   LinkSnapshot snapshot() const;
 
+  /// snapshot_at(), rebuilt into `out` reusing its row storage — same
+  /// values, allocation-free once the active link set is stable (the
+  /// telemetry agent's steady-state publish path).
+  void snapshot_into(std::uint64_t now_ns, LinkSnapshot& out) const;
+
   /// Zeroes every accumulator and series (not thread-safe against writers;
   /// flush all scratches first).
   void reset();
@@ -220,6 +225,10 @@ class alignas(64) LinkScratch {
 /// splice_top links snapshot file. u64s that may exceed 2^53 are decimal
 /// strings.
 std::string links_json_body(const LinkSnapshot& snap);
+
+/// links_json_body, appended in place (same bytes; allocation-free once
+/// `out`'s capacity is warm).
+void links_json_append(std::string& out, const LinkSnapshot& snap);
 
 /// Prometheus exposition families (splice_link_traversals_total,
 /// splice_link_deflections_total, splice_link_drops_total, splice_link_cost)

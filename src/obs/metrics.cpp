@@ -30,20 +30,26 @@ HistogramMetric::HistogramMetric(double lo, double hi, int bins)
   reset();
 }
 
+void HistogramMetric::merged_into(Histogram& out) const {
+  out.reset_shape(lo_, hi_, bins_);
+  // Same deterministic merge order as merged(): counts are commutative
+  // integer adds; the sum accumulates shard 0..kShards-1 left to right.
+  double sum = 0.0;
+  for (int shard = 0; shard < kShards; ++shard) {
+    for (int i = 0; i < bins_; ++i) {
+      const long long c = counts_[static_cast<std::size_t>(shard) * stride_ +
+                                  static_cast<std::size_t>(i)]
+                              .load(std::memory_order_relaxed);
+      if (c != 0) out.add_count(i, c);
+    }
+    sum += sums_[shard].v.load(std::memory_order_relaxed);
+  }
+  out.set_sum(sum);
+}
+
 Histogram HistogramMetric::merged() const {
   Histogram out(lo_, hi_, bins_);
-  for (int shard = 0; shard < kShards; ++shard) {
-    std::vector<long long> counts(static_cast<std::size_t>(bins_));
-    for (int i = 0; i < bins_; ++i) {
-      counts[static_cast<std::size_t>(i)] =
-          counts_[static_cast<std::size_t>(shard) * stride_ +
-                  static_cast<std::size_t>(i)]
-              .load(std::memory_order_relaxed);
-    }
-    out.merge(Histogram::from_counts(
-        lo_, hi_, std::move(counts),
-        sums_[shard].v.load(std::memory_order_relaxed)));
-  }
+  merged_into(out);
   return out;
 }
 
@@ -105,6 +111,34 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.histograms.push_back({name, h->merged()});
   }
   return snap;
+}
+
+void MetricsRegistry::snapshot_into(MetricsSnapshot& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Grow-or-reuse: vectors only ever resize up while the metric set grows
+  // (registries never shrink), and string assignment reuses capacity, so a
+  // steady-state refresh performs zero allocations.
+  out.counters.resize(counters_.size());
+  std::size_t i = 0;
+  for (const auto& [name, c] : counters_) {
+    out.counters[i].name = name;
+    out.counters[i].value = c->value();
+    ++i;
+  }
+  out.gauges.resize(gauges_.size());
+  i = 0;
+  for (const auto& [name, g] : gauges_) {
+    out.gauges[i].name = name;
+    out.gauges[i].value = g->value();
+    ++i;
+  }
+  out.histograms.resize(histograms_.size());
+  i = 0;
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[i].name = name;
+    h->merged_into(out.histograms[i].hist);
+    ++i;
+  }
 }
 
 void MetricsRegistry::reset() {

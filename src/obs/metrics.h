@@ -132,6 +132,10 @@ class HistogramMetric {
   /// 1..kShards-1 in order.
   Histogram merged() const;
 
+  /// merged(), rebuilt in place via Histogram::reset_shape — same bytes,
+  /// allocation-free once `out`'s bin storage is warm.
+  void merged_into(Histogram& out) const;
+
   void reset() noexcept;
 
  private:
@@ -170,7 +174,9 @@ struct GaugeSample {
 
 struct HistogramSample {
   std::string name;
-  Histogram hist;
+  /// Placeholder shape so samples are default-constructible (the in-place
+  /// snapshot_into path resizes sample vectors); merged_into() reshapes.
+  Histogram hist{0.0, 1.0, 1};
 };
 
 struct MetricsSnapshot {
@@ -204,6 +210,11 @@ class MetricsRegistry {
 
   /// Deterministic merge of every metric, name-sorted.
   MetricsSnapshot snapshot() const;
+
+  /// snapshot(), rebuilt into `out` reusing its vectors, strings and bin
+  /// storage — allocation-free once the metric set is stable (the telemetry
+  /// agent's steady-state publish path).
+  void snapshot_into(MetricsSnapshot& out) const;
 
   /// Zeroes all values (handles stay valid). Use at run boundaries.
   void reset();

@@ -1,0 +1,165 @@
+#include "obs/scrape_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace splice::obs {
+
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+ScrapeServer::~ScrapeServer() { stop(); }
+
+bool ScrapeServer::start(std::uint16_t port, Handler handler,
+                         std::string* error) {
+  stop();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = errno_message("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error) *error = errno_message("bind");
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 8) != 0) {
+    if (error) *error = errno_message("listen");
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    if (error) *error = errno_message("getsockname");
+    ::close(fd);
+    return false;
+  }
+  if (::pipe(wake_fds_) != 0) {
+    if (error) *error = errno_message("pipe");
+    ::close(fd);
+    wake_fds_[0] = wake_fds_[1] = -1;
+    return false;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  handler_ = std::move(handler);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void ScrapeServer::serve_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    serve_one(conn);
+    ::close(conn);
+  }
+}
+
+void ScrapeServer::serve_one(int fd) {
+  // Read until the end of the request headers (or 4 KiB — scrape requests
+  // are tiny). A short poll keeps a stalled client from wedging the loop.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 4096 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 2000) <= 0) return;
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    request.append(buf, static_cast<std::size_t>(r));
+  }
+  const std::size_t eol = request.find('\n');
+  if (eol == std::string::npos) return;
+  std::string line = request.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? line : line.substr(0, sp1);
+  const std::string target =
+      sp1 == std::string::npos
+          ? ""
+          : line.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                          : sp2 - sp1 - 1);
+  std::string status;
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "method not allowed\n";
+  } else if (target == "/metrics" || target == "/") {
+    status = "200 OK";
+    body = handler_ ? handler_() : "";
+    // The Prometheus text exposition format version we emit.
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else {
+    status = "404 Not Found";
+    body = "only /metrics is served here\n";
+  }
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  write_all(fd, response.data(), response.size());
+}
+
+void ScrapeServer::stop() {
+  if (!thread_.joinable()) return;
+  running_.store(false, std::memory_order_relaxed);
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t w = ::write(wake_fds_[1], &byte, 1);
+  thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  listen_fd_ = -1;
+  wake_fds_[0] = wake_fds_[1] = -1;
+  port_ = 0;
+  handler_ = nullptr;
+}
+
+}  // namespace splice::obs

@@ -1,0 +1,58 @@
+// Minimal HTTP/1.0 scrape endpoint for the telemetry agent: loopback TCP,
+// blocking accept loop on one background thread, no third-party deps. One
+// request per connection (Connection: close), GET /metrics serves whatever
+// the handler renders (Prometheus text exposition in practice); everything
+// else is 404. Binding port 0 picks an ephemeral port, reported by port()
+// after start() returns — start() binds synchronously, so the endpoint is
+// connectable before the caller proceeds.
+//
+// This is an operator surface, not a hot path: a scrape allocates freely.
+// The stop path is a self-pipe wakeup into the poll() the accept loop
+// blocks on, so shutdown is prompt without timeouts or signals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace splice::obs {
+
+class ScrapeServer {
+ public:
+  /// Renders the response body for GET /metrics. Called on the server
+  /// thread; must be thread-safe against the process's writers.
+  using Handler = std::function<std::string()>;
+
+  ScrapeServer() = default;
+  ~ScrapeServer();
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  bool start(std::uint16_t port, Handler handler,
+             std::string* error = nullptr);
+
+  /// The bound port (resolved when `port` was 0); 0 when not running.
+  std::uint16_t port() const noexcept { return port_; }
+  bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  /// Wakes the accept loop, joins the thread and closes the socket.
+  void stop();
+
+ private:
+  void serve_loop();
+  void serve_one(int fd);
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  Handler handler_;
+  std::thread thread_;
+};
+
+}  // namespace splice::obs

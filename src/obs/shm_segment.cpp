@@ -1,0 +1,308 @@
+#include "obs/shm_segment.h"
+
+// glibc's <fcntl.h> declares the splice(2) syscall under _GNU_SOURCE,
+// which collides with `namespace splice`. We never call it; rename the
+// declaration out of the way for this TU.
+#define splice splice_glibc_syscall_
+#include <fcntl.h>
+#undef splice
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace splice::obs {
+
+namespace {
+
+/// Retry budget for a read colliding with writes. The writer's critical
+/// section is a few hundred microseconds at most (one memcpy sweep), so a
+/// still-odd generation after this many attempts means a wedged writer,
+/// not contention.
+constexpr int kReadRetries = 64;
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+ShmSegmentWriter::~ShmSegmentWriter() { close(); }
+
+bool ShmSegmentWriter::create(const std::string& path, std::size_t capacity,
+                              std::string* error) {
+  close();
+  if (capacity == 0 || capacity % sizeof(std::uint64_t) != 0) {
+    if (error) *error = "capacity must be a positive multiple of 8";
+    return false;
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error) *error = errno_message("open");
+    return false;
+  }
+  const std::size_t bytes = kShmHeaderBytes + capacity;
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    if (error) *error = errno_message("ftruncate");
+    ::close(fd);
+    return false;
+  }
+  void* map =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    if (error) *error = errno_message("mmap");
+    return false;
+  }
+  map_ = map;
+  map_bytes_ = bytes;
+  capacity_ = capacity;
+  path_ = path;
+  header_ = reinterpret_cast<ShmHeader*>(map);
+  words_ = reinterpret_cast<std::atomic<std::uint64_t>*>(
+      static_cast<char*>(map) + kShmHeaderBytes);
+  // ftruncate zero-filled the file; publish the plain header fields first,
+  // then release the magic so attachers never see a half-built header.
+  header_->abi_version = kShmAbiVersion;
+  header_->header_bytes = static_cast<std::uint32_t>(kShmHeaderBytes);
+  header_->capacity = capacity;
+  header_->writer_pid = static_cast<std::uint64_t>(::getpid());
+  header_->generation.store(0, std::memory_order_relaxed);
+  header_->payload_bytes.store(0, std::memory_order_relaxed);
+  header_->heartbeat_ns.store(0, std::memory_order_relaxed);
+  header_->period_ns.store(0, std::memory_order_relaxed);
+  header_->flushes.store(0, std::memory_order_relaxed);
+  header_->dropped.store(0, std::memory_order_relaxed);
+  header_->scrape_port.store(0, std::memory_order_relaxed);
+  header_->magic.store(kShmMagic, std::memory_order_release);
+  return true;
+}
+
+bool ShmSegmentWriter::publish(const char* data, std::size_t n,
+                               std::uint64_t now_ns) noexcept {
+  if (header_ == nullptr) return false;
+  header_->flushes.fetch_add(1, std::memory_order_relaxed);
+  if (n > capacity_) {
+    // The previous generation stays readable; the drop is visible to
+    // readers so silent truncation can't masquerade as coverage.
+    header_->dropped.fetch_add(1, std::memory_order_relaxed);
+    header_->heartbeat_ns.store(now_ns, std::memory_order_relaxed);
+    return false;
+  }
+  const std::uint64_t g = header_->generation.load(std::memory_order_relaxed);
+  header_->generation.store(g + 1, std::memory_order_relaxed);
+  // Pairs with the reader's acquire fence: any payload word stored after
+  // this fence implies the odd generation above is visible, so a read that
+  // overlapped this write cannot pass its generation check.
+  std::atomic_thread_fence(std::memory_order_release);
+  const std::size_t full = n / sizeof(std::uint64_t);
+  for (std::size_t i = 0; i < full; ++i) {
+    std::uint64_t w;
+    std::memcpy(&w, data + i * sizeof(std::uint64_t), sizeof(w));
+    words_[i].store(w, std::memory_order_relaxed);
+  }
+  const std::size_t tail = n - full * sizeof(std::uint64_t);
+  if (tail != 0) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, data + full * sizeof(std::uint64_t), tail);
+    words_[full].store(w, std::memory_order_relaxed);
+  }
+  header_->payload_bytes.store(n, std::memory_order_relaxed);
+  header_->generation.store(g + 2, std::memory_order_release);
+  header_->heartbeat_ns.store(now_ns, std::memory_order_relaxed);
+  return true;
+}
+
+void ShmSegmentWriter::heartbeat(std::uint64_t now_ns) noexcept {
+  if (header_ == nullptr) return;
+  header_->heartbeat_ns.store(now_ns, std::memory_order_relaxed);
+}
+
+void ShmSegmentWriter::set_period_ns(std::uint64_t period_ns) noexcept {
+  if (header_ == nullptr) return;
+  header_->period_ns.store(period_ns, std::memory_order_relaxed);
+}
+
+void ShmSegmentWriter::set_scrape_port(std::uint16_t port) noexcept {
+  if (header_ == nullptr) return;
+  header_->scrape_port.store(port, std::memory_order_relaxed);
+}
+
+std::uint64_t ShmSegmentWriter::generation() const noexcept {
+  return header_ == nullptr
+             ? 0
+             : header_->generation.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShmSegmentWriter::flushes() const noexcept {
+  return header_ == nullptr
+             ? 0
+             : header_->flushes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShmSegmentWriter::dropped() const noexcept {
+  return header_ == nullptr
+             ? 0
+             : header_->dropped.load(std::memory_order_relaxed);
+}
+
+void ShmSegmentWriter::close() noexcept {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_bytes_);
+    map_ = nullptr;
+  }
+  header_ = nullptr;
+  words_ = nullptr;
+  capacity_ = 0;
+  map_bytes_ = 0;
+  path_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+const char* shm_read_result_name(ShmReadResult r) noexcept {
+  switch (r) {
+    case ShmReadResult::kOk:
+      return "ok";
+    case ShmReadResult::kEmpty:
+      return "empty";
+    case ShmReadResult::kTorn:
+      return "torn";
+    case ShmReadResult::kNotAttached:
+      return "not-attached";
+  }
+  return "?";
+}
+
+bool shm_writer_alive(const ShmSegmentInfo& info) noexcept {
+  if (info.writer_pid == 0) return false;
+  if (::kill(static_cast<pid_t>(info.writer_pid), 0) == 0) return true;
+  // EPERM still proves the pid exists (owned by someone else).
+  return errno == EPERM;
+}
+
+ShmSegmentReader::~ShmSegmentReader() { detach(); }
+
+bool ShmSegmentReader::attach(const std::string& path, std::string* error) {
+  detach();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error) *error = errno_message("open");
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    if (error) *error = errno_message("fstat");
+    ::close(fd);
+    return false;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kShmHeaderBytes) {
+    if (error) *error = "not a telemetry segment (file smaller than header)";
+    ::close(fd);
+    return false;
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    if (error) *error = errno_message("mmap");
+    return false;
+  }
+  const auto* header = reinterpret_cast<const ShmHeader*>(map);
+  if (header->magic.load(std::memory_order_acquire) != kShmMagic) {
+    if (error) *error = "not a telemetry segment (bad magic)";
+    ::munmap(map, size);
+    return false;
+  }
+  if (header->abi_version != kShmAbiVersion) {
+    if (error) {
+      *error = "telemetry segment ABI v" +
+               std::to_string(header->abi_version) + " != expected v" +
+               std::to_string(kShmAbiVersion);
+    }
+    ::munmap(map, size);
+    return false;
+  }
+  if (header->header_bytes != kShmHeaderBytes ||
+      header->capacity > size - kShmHeaderBytes) {
+    if (error) *error = "telemetry segment geometry is inconsistent";
+    ::munmap(map, size);
+    return false;
+  }
+  map_ = map;
+  map_bytes_ = size;
+  header_ = header;
+  capacity_ = header->capacity;
+  words_ = reinterpret_cast<const std::atomic<std::uint64_t>*>(
+      static_cast<const char*>(map) + kShmHeaderBytes);
+  return true;
+}
+
+ShmReadResult ShmSegmentReader::read(std::string& out,
+                                     ShmSegmentInfo* info) const noexcept {
+  if (header_ == nullptr) return ShmReadResult::kNotAttached;
+  for (int attempt = 0; attempt < kReadRetries; ++attempt) {
+    const std::uint64_t g1 =
+        header_->generation.load(std::memory_order_acquire);
+    if (g1 == 0) return ShmReadResult::kEmpty;
+    if ((g1 & 1) != 0) continue;  // mid-write; retry
+    const std::uint64_t n =
+        header_->payload_bytes.load(std::memory_order_relaxed);
+    if (n > capacity_) continue;  // torn header; retry
+    const std::size_t full = static_cast<std::size_t>(n) / sizeof(std::uint64_t);
+    const std::size_t tail = static_cast<std::size_t>(n) % sizeof(std::uint64_t);
+    out.resize(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < full; ++i) {
+      const std::uint64_t w = words_[i].load(std::memory_order_relaxed);
+      std::memcpy(out.data() + i * sizeof(std::uint64_t), &w, sizeof(w));
+    }
+    if (tail != 0) {
+      const std::uint64_t w = words_[full].load(std::memory_order_relaxed);
+      std::memcpy(out.data() + full * sizeof(std::uint64_t), &w, tail);
+    }
+    // Pairs with the writer's release fence (see header comment): if any
+    // word above came from a newer write, g2 must differ from g1.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t g2 =
+        header_->generation.load(std::memory_order_relaxed);
+    if (g1 != g2) continue;
+    if (info != nullptr) {
+      info->generation = g1;
+      info->payload_bytes = n;
+      info->heartbeat_ns =
+          header_->heartbeat_ns.load(std::memory_order_relaxed);
+      info->period_ns = header_->period_ns.load(std::memory_order_relaxed);
+      info->flushes = header_->flushes.load(std::memory_order_relaxed);
+      info->dropped = header_->dropped.load(std::memory_order_relaxed);
+      info->scrape_port =
+          header_->scrape_port.load(std::memory_order_relaxed);
+      info->writer_pid = header_->writer_pid;
+      info->capacity = capacity_;
+    }
+    return ShmReadResult::kOk;
+  }
+  return ShmReadResult::kTorn;
+}
+
+void ShmSegmentReader::detach() noexcept {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_bytes_);
+    map_ = nullptr;
+  }
+  header_ = nullptr;
+  words_ = nullptr;
+  capacity_ = 0;
+  map_bytes_ = 0;
+}
+
+}  // namespace splice::obs

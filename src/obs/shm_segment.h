@@ -1,0 +1,189 @@
+// Versioned, mmap-backed shared-memory telemetry segment — the transport
+// under the live telemetry plane (obs/agent.h). A writer process (the
+// bench / daemon) publishes a serialized snapshot document into the
+// segment; reader processes (splice_top attach) map the same file and read
+// it with zero copies of the file into kernel pipes — the only copy is the
+// word-wise gather out of the mapping into the reader's buffer.
+//
+// Concurrency protocol: a cross-process seqlock in the fib_publisher
+// idiom, with the payload stored as an array of word-sized atomics so the
+// copy loops are formally data-race-free (TSan-clean by construction, not
+// by suppression):
+//
+//   writer:  gen.store(g+1, relaxed)            // odd = write in progress
+//            fence(release)
+//            relaxed word stores of the payload
+//            payload_bytes.store(n, relaxed)
+//            gen.store(g+2, release)            // even = stable
+//            heartbeat_ns.store(now, relaxed)
+//   reader:  g1 = gen.load(acquire)             // reject odd
+//            relaxed word loads of the payload
+//            fence(acquire)
+//            g2 = gen.load(relaxed)             // accept iff g1 == g2
+//
+// The release fence before the payload stores pairs with the reader's
+// acquire fence: a reader that observed any post-fence payload word is
+// guaranteed to observe the odd generation (or a later one) at g2, so a
+// torn read can never be accepted. Bounded retries turn a persistently
+// odd/moving generation into kTorn instead of a livelock.
+//
+// Staleness and liveness: the writer refreshes heartbeat_ns (an
+// obs::MonotonicClock reading — CLOCK_MONOTONIC, machine-wide epoch, so
+// cross-process age math is meaningful) on every publish and idle beat,
+// and records its publish period and pid in the header; readers judge
+// "stale" as heartbeat age >> period and probe the pid for liveness.
+//
+// Versioning: a magic word (stored last, release, on create — a reader
+// never sees a half-initialized header) plus an ABI version; mismatches
+// are rejected at attach, which is also how splice_top distinguishes a
+// segment from a plain snapshot file and falls back to file polling.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace splice::obs {
+
+/// "SPLTEL" + 2-digit layout revision, as a big-endian word.
+inline constexpr std::uint64_t kShmMagic = 0x53504C54454C3031ULL;
+inline constexpr std::uint32_t kShmAbiVersion = 1;
+/// Header page; payload words start at this offset.
+inline constexpr std::size_t kShmHeaderBytes = 4096;
+inline constexpr std::size_t kShmDefaultCapacity = std::size_t{4} << 20;
+
+/// The segment's first page. All cross-process fields are word-sized
+/// atomics (lock-free on every supported target); plain fields are written
+/// once before the magic is released and read-only afterwards.
+struct ShmHeader {
+  std::atomic<std::uint64_t> magic;
+  std::uint32_t abi_version;
+  std::uint32_t header_bytes;
+  std::uint64_t capacity;     ///< payload bytes available past the header
+  std::uint64_t writer_pid;
+  std::atomic<std::uint64_t> generation;     ///< seqlock; odd = mid-write
+  std::atomic<std::uint64_t> payload_bytes;  ///< valid bytes of the payload
+  std::atomic<std::uint64_t> heartbeat_ns;   ///< writer clock at last beat
+  std::atomic<std::uint64_t> period_ns;      ///< agent publish period
+  std::atomic<std::uint64_t> flushes;        ///< publish attempts
+  std::atomic<std::uint64_t> dropped;        ///< oversize publishes skipped
+  std::atomic<std::uint64_t> scrape_port;    ///< loopback port; 0 = none
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shm seqlock needs lock-free word atomics");
+static_assert(sizeof(ShmHeader) <= kShmHeaderBytes,
+              "header must fit its reserved page");
+
+/// Writer endpoint: creates (truncates) the segment file and publishes
+/// snapshot documents. One writer per segment; publish() and heartbeat()
+/// may be called from one thread at a time (the telemetry agent's).
+class ShmSegmentWriter {
+ public:
+  ShmSegmentWriter() = default;
+  ~ShmSegmentWriter();
+  ShmSegmentWriter(const ShmSegmentWriter&) = delete;
+  ShmSegmentWriter& operator=(const ShmSegmentWriter&) = delete;
+
+  /// Creates `path` (replacing any previous segment), sizes it to one
+  /// header page + `capacity` payload bytes and maps it shared. The magic
+  /// word is stored last (release), so a concurrent attach never observes
+  /// a half-built header.
+  bool create(const std::string& path,
+              std::size_t capacity = kShmDefaultCapacity,
+              std::string* error = nullptr);
+
+  bool valid() const noexcept { return header_ != nullptr; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Publishes one document under the seqlock (see file comment).
+  /// Allocation-free; oversize documents are counted in `dropped` and the
+  /// previous generation stays readable. `now_ns` refreshes the heartbeat.
+  bool publish(const char* data, std::size_t n, std::uint64_t now_ns) noexcept;
+
+  /// Refreshes the heartbeat without publishing (idle beat).
+  void heartbeat(std::uint64_t now_ns) noexcept;
+
+  /// Advertises the agent's publish period / scrape port to readers.
+  void set_period_ns(std::uint64_t period_ns) noexcept;
+  void set_scrape_port(std::uint16_t port) noexcept;
+
+  std::uint64_t generation() const noexcept;
+  std::uint64_t flushes() const noexcept;
+  std::uint64_t dropped() const noexcept;
+
+  /// Unmaps and closes. The file stays behind for post-mortem attach.
+  void close() noexcept;
+
+ private:
+  ShmHeader* header_ = nullptr;
+  std::atomic<std::uint64_t>* words_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t map_bytes_ = 0;
+  void* map_ = nullptr;
+  std::string path_;
+};
+
+enum class ShmReadResult : std::uint8_t {
+  kOk = 0,
+  kEmpty,        ///< attached, but nothing published yet
+  kTorn,         ///< retries exhausted mid-write (writer wedged or racing)
+  kNotAttached,
+};
+
+const char* shm_read_result_name(ShmReadResult r) noexcept;
+
+/// Header fields sampled alongside a successful read, for freshness /
+/// liveness rendering.
+struct ShmSegmentInfo {
+  std::uint64_t generation = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t heartbeat_ns = 0;
+  std::uint64_t period_ns = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t scrape_port = 0;
+  std::uint64_t writer_pid = 0;
+  std::uint64_t capacity = 0;
+};
+
+/// True when the recorded writer pid still names a live process (readers'
+/// liveness probe; complements heartbeat age).
+bool shm_writer_alive(const ShmSegmentInfo& info) noexcept;
+
+/// Reader endpoint: maps an existing segment read-only and performs
+/// generation-gated reads. Any number of readers may attach concurrently
+/// with the writer.
+class ShmSegmentReader {
+ public:
+  ShmSegmentReader() = default;
+  ~ShmSegmentReader();
+  ShmSegmentReader(const ShmSegmentReader&) = delete;
+  ShmSegmentReader& operator=(const ShmSegmentReader&) = delete;
+
+  /// Maps `path` and validates magic / ABI version / geometry. On failure
+  /// returns false with the reason in *error (magic mismatch is the cue
+  /// for splice_top's snapshot-file fallback).
+  bool attach(const std::string& path, std::string* error = nullptr);
+
+  bool attached() const noexcept { return header_ != nullptr; }
+
+  /// One generation-gated read into `out` (resized to the payload).
+  /// Retries a bounded number of times across writer collisions before
+  /// reporting kTorn. On kOk, *info (when given) carries the header sample
+  /// taken with the accepted generation.
+  ShmReadResult read(std::string& out,
+                     ShmSegmentInfo* info = nullptr) const noexcept;
+
+  void detach() noexcept;
+
+ private:
+  const ShmHeader* header_ = nullptr;
+  const std::atomic<std::uint64_t>* words_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t map_bytes_ = 0;
+  void* map_ = nullptr;
+};
+
+}  // namespace splice::obs

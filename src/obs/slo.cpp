@@ -60,10 +60,11 @@ void SloEngine::record_publish(std::uint64_t now_ns,
 namespace {
 
 /// Sum of a series' last `n` buckets ending at now_ns (the fast suffix of
-/// the slow ring).
+/// the slow ring). The sample scratch is thread-local so evaluations from
+/// the telemetry agent's steady-state publish path stay allocation-free.
 std::uint64_t suffix_total(const RollingCounter& c, std::uint64_t now_ns,
                            int n) {
-  std::vector<std::uint64_t> buckets;
+  thread_local std::vector<std::uint64_t> buckets;
   c.sample(now_ns, buckets);
   std::uint64_t sum = 0;
   const std::size_t take =
@@ -81,8 +82,8 @@ double burn_rate(std::uint64_t errors, std::uint64_t total, double budget) {
 
 }  // namespace
 
-SloStatus SloEngine::status_of(std::size_t slo, std::uint64_t now_ns) const {
-  SloStatus st;
+void SloEngine::status_into(std::size_t slo, std::uint64_t now_ns,
+                            SloStatus& st) const {
   st.name = slo == 0 ? "fwd_success" : "reconv_latency";
   st.objective = slo == 0 ? cfg_.fwd_objective : cfg_.reconv_objective;
   const double budget = 1.0 - st.objective;
@@ -103,16 +104,23 @@ SloStatus SloEngine::status_of(std::size_t slo, std::uint64_t now_ns) const {
   } else {
     st.state = SloState::kOk;
   }
-  return st;
+}
+
+void SloEngine::peek_into(std::uint64_t now_ns, SloSnapshot& out) const {
+  out.now_ns = now_ns;
+  if (!totals_[0].configured()) {
+    out.slos.clear();
+    return;
+  }
+  out.slos.resize(kSloCount);
+  for (std::size_t s = 0; s < kSloCount; ++s) {
+    status_into(s, now_ns, out.slos[s]);
+  }
 }
 
 SloSnapshot SloEngine::peek(std::uint64_t now_ns) const {
   SloSnapshot snap;
-  snap.now_ns = now_ns;
-  if (!totals_[0].configured()) return snap;
-  for (std::size_t s = 0; s < kSloCount; ++s) {
-    snap.slos.push_back(status_of(s, now_ns));
-  }
+  peek_into(now_ns, snap);
   return snap;
 }
 
@@ -146,25 +154,41 @@ void SloEngine::reset() {
   }
 }
 
-std::string slo_json_body(const SloSnapshot& snap) {
-  std::string out =
-      "\"now_ns\": " + json_quote(std::to_string(snap.now_ns)) +
-      ",\n\"slos\": [";
+void slo_json_append(std::string& out, const SloSnapshot& snap) {
+  out += "\"now_ns\": \"";
+  json_append_u64(out, snap.now_ns);
+  out += "\",\n\"slos\": [";
   for (std::size_t i = 0; i < snap.slos.size(); ++i) {
     const SloStatus& s = snap.slos[i];
     if (i != 0) out += ",";
-    out += "\n  {\"name\": " + json_quote(s.name) +
-           ", \"objective\": " + json_double(s.objective) +
-           ", \"state\": " + json_quote(slo_state_name(s.state)) +
-           ", \"fast_total\": " + std::to_string(s.fast_total) +
-           ", \"fast_errors\": " + std::to_string(s.fast_errors) +
-           ", \"slow_total\": " + std::to_string(s.slow_total) +
-           ", \"slow_errors\": " + std::to_string(s.slow_errors) +
-           ", \"fast_burn\": " + json_double(s.fast_burn) +
-           ", \"slow_burn\": " + json_double(s.slow_burn) +
-           ", \"budget_remaining\": " + json_double(s.budget_remaining) + "}";
+    out += "\n  {\"name\": ";
+    json_append_quoted(out, s.name);
+    out += ", \"objective\": ";
+    json_append_double(out, s.objective);
+    out += ", \"state\": ";
+    json_append_quoted(out, slo_state_name(s.state));
+    out += ", \"fast_total\": ";
+    json_append_u64(out, s.fast_total);
+    out += ", \"fast_errors\": ";
+    json_append_u64(out, s.fast_errors);
+    out += ", \"slow_total\": ";
+    json_append_u64(out, s.slow_total);
+    out += ", \"slow_errors\": ";
+    json_append_u64(out, s.slow_errors);
+    out += ", \"fast_burn\": ";
+    json_append_double(out, s.fast_burn);
+    out += ", \"slow_burn\": ";
+    json_append_double(out, s.slow_burn);
+    out += ", \"budget_remaining\": ";
+    json_append_double(out, s.budget_remaining);
+    out += "}";
   }
   out += "\n]";
+}
+
+std::string slo_json_body(const SloSnapshot& snap) {
+  std::string out;
+  slo_json_append(out, snap);
   return out;
 }
 

@@ -114,12 +114,18 @@ class SloEngine {
   /// usable from const contexts and tooling).
   SloSnapshot peek(std::uint64_t now_ns) const;
 
+  /// peek(), rebuilt into `out` reusing its storage — same values,
+  /// allocation-free after the first call on a thread (the SLO names fit
+  /// SSO; the bucket scratch is thread-local).
+  void peek_into(std::uint64_t now_ns, SloSnapshot& out) const;
+
   void reset();
 
  private:
   SloEngine() = default;
 
-  SloStatus status_of(std::size_t slo, std::uint64_t now_ns) const;
+  void status_into(std::size_t slo, std::uint64_t now_ns,
+                   SloStatus& st) const;
 
 #if SPLICE_OBS
   static std::atomic<bool> enabled_;
@@ -136,6 +142,10 @@ class SloEngine {
 /// JSON object *body* (no braces) for the "spliceSlo" trace section and
 /// the splice_top snapshot file.
 std::string slo_json_body(const SloSnapshot& snap);
+
+/// slo_json_body, appended in place (same bytes; allocation-free once
+/// `out`'s capacity is warm).
+void slo_json_append(std::string& out, const SloSnapshot& snap);
 
 struct HealthSnapshot;  // obs/health.h
 

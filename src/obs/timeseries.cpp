@@ -76,15 +76,17 @@ void RollingHistogram::configure(const WindowConfig& cfg, double lo,
   }
 }
 
-Histogram RollingHistogram::merged(std::uint64_t now_ns) const {
+void RollingHistogram::merged_into(std::uint64_t now_ns,
+                                   Histogram& out) const {
   SPLICE_EXPECTS(bins_ >= 1);
+  out.reset_shape(lo_, hi_, bins_);
   const std::uint64_t abs_now = now_ns / cfg_.bucket_ns;
-  std::vector<long long> counts(static_cast<std::size_t>(bins_), 0);
   for (std::uint64_t abs = window_start(abs_now, cfg_.buckets);
        abs <= abs_now; ++abs) {
     for (int b = 0; b < bins_; ++b) {
-      counts[static_cast<std::size_t>(b)] += static_cast<long long>(
-          ts_detail::cell_read(cell(abs, b), abs));
+      const auto c =
+          static_cast<long long>(ts_detail::cell_read(cell(abs, b), abs));
+      if (c != 0) out.add_count(b, c);
     }
   }
   // Midpoint-reconstructed sum: deterministic, and percentile queries (the
@@ -92,10 +94,16 @@ Histogram RollingHistogram::merged(std::uint64_t now_ns) const {
   double sum = 0.0;
   const double width = (hi_ - lo_) / static_cast<double>(bins_);
   for (int b = 0; b < bins_; ++b) {
-    sum += static_cast<double>(counts[static_cast<std::size_t>(b)]) *
+    sum += static_cast<double>(out.count(b)) *
            (lo_ + width * (static_cast<double>(b) + 0.5));
   }
-  return Histogram::from_counts(lo_, hi_, std::move(counts), sum);
+  out.set_sum(sum);
+}
+
+Histogram RollingHistogram::merged(std::uint64_t now_ns) const {
+  Histogram out(lo_, hi_, bins_);
+  merged_into(now_ns, out);
+  return out;
 }
 
 void RollingHistogram::reset() noexcept {

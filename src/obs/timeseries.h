@@ -219,6 +219,11 @@ class RollingHistogram {
   /// The live window's distribution ending at `now_ns`.
   Histogram merged(std::uint64_t now_ns) const;
 
+  /// merged(), rebuilt in place via Histogram::reset_shape — same bytes,
+  /// no allocation once `out`'s bin storage is warm (the telemetry agent's
+  /// steady-state publish path).
+  void merged_into(std::uint64_t now_ns, Histogram& out) const;
+
   void reset() noexcept;
 
  private:

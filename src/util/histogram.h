@@ -58,6 +58,34 @@ class Histogram {
     prefix_valid_ = false;
   }
 
+  /// Re-shapes in place to `bins` zeroed bins over [lo, hi), reusing the
+  /// count storage — the allocation-free counterpart of constructing fresh.
+  /// The telemetry agent's merged_into() paths rebuild snapshots through
+  /// this so a steady-state publish never touches the heap.
+  void reset_shape(double lo, double hi, int bins) {
+    SPLICE_EXPECTS(bins >= 1);
+    SPLICE_EXPECTS(hi > lo);
+    lo_ = lo;
+    hi_ = hi;
+    counts_.assign(static_cast<std::size_t>(bins), 0);
+    total_ = 0;
+    sum_ = 0.0;
+    prefix_valid_ = false;
+  }
+
+  /// Adds `c` externally accumulated observations into bin `i` (no sample
+  /// sum; pair with set_sum()). The in-place analogue of from_counts().
+  void add_count(int i, long long c) noexcept {
+    SPLICE_EXPECTS(i >= 0 && i < bins());
+    SPLICE_EXPECTS(c >= 0);
+    counts_[static_cast<std::size_t>(i)] += c;
+    total_ += c;
+    prefix_valid_ = false;
+  }
+
+  /// Overwrites the sample sum (used with add_count() by in-place merges).
+  void set_sum(double s) noexcept { sum_ = s; }
+
   /// Merges another histogram into this one. Bounds and bin counts must be
   /// identical — merging differently-binned histograms is a logic error.
   void merge(const Histogram& o) {

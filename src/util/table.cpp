@@ -1,5 +1,15 @@
 #include "util/table.h"
 
+// glibc's <fcntl.h> declares the splice(2) syscall under _GNU_SOURCE,
+// which collides with `namespace splice`. We never call it; rename the
+// declaration out of the way for this TU.
+#define splice splice_glibc_syscall_
+#include <fcntl.h>
+#undef splice
+
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -104,21 +114,40 @@ bool write_file(const std::string& path, std::string_view content) {
 
 bool write_file_atomic(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    // The stream must be flushed and closed before the rename; a failed
-    // write leaves no temp file behind.
-    if (!out) {
-      out.close();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t w = ::write(fd, content.data() + off, content.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
       std::remove(tmp.c_str());
       return false;
     }
+    off += static_cast<std::size_t>(w);
+  }
+  // fsync before the rename: rename(2) is atomic with respect to readers,
+  // but only a durable temp file guarantees the *new* content (not a
+  // zero-length husk) is what survives a crash straight after the rename.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return false;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return false;
+  }
+  // fsync the parent directory so the rename itself (the name -> inode
+  // update) is durable too. Best-effort: the data is already safe, and
+  // some filesystems refuse directory fsync.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int dfd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   return true;
 }

@@ -1,0 +1,302 @@
+// In-process telemetry agent tests (obs/agent.h): --telemetry spec
+// parsing, the document builder's byte-identity with the legacy snapshot
+// path, the agent lifecycle against a real segment, the scrape endpoint's
+// exposition (linted with the same rules obs_export_test enforces), and
+// the steady-state zero-allocation contract on the publish path
+// (resprof-enforced).
+#include "obs/agent.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/health.h"
+#include "obs/linkstats.h"
+#include "obs/metrics.h"
+#include "obs/resprof.h"
+#include "obs/shm_segment.h"
+#include "obs/slo.h"
+#include "util/json.h"
+
+namespace splice::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class ObsAgentTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm(); }
+  void TearDown() override {
+    if (TelemetryAgent::global().running()) TelemetryAgent::global().stop();
+    disarm();
+    set_global_clock(nullptr);
+  }
+
+  static void disarm() {
+    RouteHealth::set_enabled(false);
+    SloEngine::set_enabled(false);
+    LinkStats::set_enabled(false);
+    MetricsRegistry::set_enabled(false);
+    MetricsRegistry::global().reset();
+    ResourceProfiler::set_enabled(false);
+  }
+
+  /// Arms health + SLO with a little deterministic traffic under a manual
+  /// clock reading of `now_ns`, so documents have non-trivial content.
+  void arm_health(std::uint64_t now_ns) {
+    RouteHealth::global().configure(8);
+    RouteHealth::set_enabled(true);
+    SloEngine::global().configure();
+    SloEngine::set_enabled(true);
+    for (std::uint32_t d = 0; d < 8; ++d) {
+      RouteHealth::global().record_outcome(now_ns, d, d % 3 != 0);
+    }
+    RouteHealth::global().record_fwd_batch(now_ns, 64, 5);
+  }
+};
+
+TEST_F(ObsAgentTest, ParseTelemetrySpec) {
+  TelemetryConfig cfg;
+  std::string error;
+  EXPECT_TRUE(parse_telemetry_spec("shm:/tmp/x.tel", cfg, &error)) << error;
+  EXPECT_EQ(cfg.shm_path, "/tmp/x.tel");
+  EXPECT_FALSE(cfg.tcp);
+
+  cfg = {};
+  EXPECT_TRUE(parse_telemetry_spec("tcp:0", cfg, &error)) << error;
+  EXPECT_TRUE(cfg.tcp);
+  EXPECT_EQ(cfg.tcp_port, 0);
+  EXPECT_TRUE(cfg.shm_path.empty());
+
+  cfg = {};
+  EXPECT_TRUE(parse_telemetry_spec("shm:/a/b.tel,tcp:9123", cfg, &error));
+  EXPECT_EQ(cfg.shm_path, "/a/b.tel");
+  EXPECT_TRUE(cfg.tcp);
+  EXPECT_EQ(cfg.tcp_port, 9123);
+
+  for (const char* bad :
+       {"", "shm:", "tcp:", "tcp:abc", "tcp:70000", "tcp:-1", "file:/x",
+        ","}) {
+    cfg = {};
+    EXPECT_FALSE(parse_telemetry_spec(bad, cfg, &error)) << bad;
+  }
+}
+
+TEST_F(ObsAgentTest, DocumentMatchesLegacySnapshotPathByteForByte) {
+  ManualClock clock;
+  clock.set_ns(5'000'000'000ULL);
+  set_global_clock(&clock);
+  arm_health(clock.now_ns());
+
+  // With the registry off, the agent's document must be byte-identical to
+  // health_snapshot_document() over the legacy allocating snapshot calls —
+  // the contract that lets splice_top decode segment reads and snapshot
+  // files with the same code.
+  const std::uint64_t now = clock.now_ns();
+  TelemetryWorkspace ws;
+  build_telemetry_document(ws, now);
+  const std::string legacy = health_snapshot_document(
+      RouteHealth::global().snapshot_at(now), SloEngine::global().peek(now));
+  EXPECT_EQ(ws.doc, legacy);
+
+  // And it is a deterministic function of (state, now): rebuilding into a
+  // warm workspace changes nothing.
+  const std::string first = ws.doc;
+  build_telemetry_document(ws, now);
+  EXPECT_EQ(ws.doc, first);
+
+  // With the registry on, the document grows a spliceMetrics section and
+  // still parses.
+  MetricsRegistry::set_enabled(true);
+  MetricsRegistry::global().counter("agent_test_events").add(3);
+  build_telemetry_document(ws, now);
+  EXPECT_NE(ws.doc.find("\"spliceMetrics\""), std::string::npos);
+  const JsonParseResult parsed = parse_json(ws.doc);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_NE(parsed.value.find("spliceHealth"), nullptr);
+  EXPECT_NE(parsed.value.find("spliceSlo"), nullptr);
+  EXPECT_NE(parsed.value.find("spliceMetrics"), nullptr);
+}
+
+TEST_F(ObsAgentTest, LifecyclePublishesIntoSegmentAndFreezesOnStop) {
+  arm_health(clock_now_ns());
+  const std::string path = temp_path("agent_lifecycle.tel");
+
+  TelemetryConfig cfg;
+  cfg.shm_path = path;
+  cfg.period_ms = 20;
+  std::string error;
+  TelemetryAgent& agent = TelemetryAgent::global();
+  ASSERT_TRUE(agent.start(cfg, &error)) << error;
+  EXPECT_TRUE(agent.running());
+  EXPECT_FALSE(agent.start(cfg, &error));  // double start rejected
+
+  // The initial flush means an attach right after start() sees data.
+  ShmSegmentReader reader;
+  ASSERT_TRUE(reader.attach(path, &error)) << error;
+  std::string doc;
+  ShmSegmentInfo info;
+  ASSERT_EQ(reader.read(doc, &info), ShmReadResult::kOk);
+  EXPECT_GE(info.generation, 2u);
+  EXPECT_EQ(info.period_ns, 20'000'000u);
+  EXPECT_EQ(info.writer_pid, static_cast<std::uint64_t>(::getpid()));
+  const JsonParseResult parsed = parse_json(doc);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_NE(parsed.value.find("spliceHealth"), nullptr);
+
+  // flush_now() bumps the generation synchronously.
+  const std::uint64_t before = info.generation;
+  ASSERT_TRUE(agent.flush_now());
+  ASSERT_EQ(reader.read(doc, &info), ShmReadResult::kOk);
+  EXPECT_GT(info.generation, before);
+
+  // stop(): final flush, then the segment freezes but stays attachable.
+  agent.stop();
+  EXPECT_FALSE(agent.running());
+  ASSERT_EQ(reader.read(doc, &info), ShmReadResult::kOk);
+  const std::uint64_t frozen_gen = info.generation;
+  const std::uint64_t frozen_beat = info.heartbeat_ns;
+  ASSERT_EQ(reader.read(doc, &info), ShmReadResult::kOk);
+  EXPECT_EQ(info.generation, frozen_gen);
+  EXPECT_EQ(info.heartbeat_ns, frozen_beat);
+  std::remove(path.c_str());
+}
+
+/// Minimal loopback HTTP GET for the scrape test (mirrors what a real
+/// scraper does; splice_inspect scrape is the operator-facing twin).
+bool loopback_get(std::uint16_t port, const std::string& target,
+                  std::string& response) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string req =
+      "GET " + target + " HTTP/1.0\r\nConnection: close\r\n\r\n";
+  if (::write(fd, req.data(), req.size()) !=
+      static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return false;
+  }
+  char buf[4096];
+  ssize_t r;
+  while ((r = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return true;
+}
+
+TEST_F(ObsAgentTest, ScrapeEndpointServesLintCleanExposition) {
+  MetricsRegistry::set_enabled(true);
+  MetricsRegistry::global().counter("agent_scrape_events").add(7);
+  MetricsRegistry::global().histogram("agent_scrape_us", 0.0, 100.0, 4).observe(
+      12.0);
+
+  TelemetryConfig cfg;
+  cfg.tcp = true;
+  cfg.tcp_port = 0;  // ephemeral
+  std::string error;
+  TelemetryAgent& agent = TelemetryAgent::global();
+  if (!agent.start(cfg, &error)) {
+    GTEST_SKIP() << "cannot bind loopback here: " << error;
+  }
+  const std::uint16_t port = agent.scrape_port();
+  ASSERT_NE(port, 0);
+
+  std::string response;
+  ASSERT_TRUE(loopback_get(port, "/metrics", response));
+  ASSERT_NE(response.find(" 200 "), std::string::npos) << response;
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  EXPECT_NE(body.find("agent_scrape_events"), std::string::npos);
+
+  // The exposition must satisfy the same conformance rules obs_export_test
+  // enforces on the file exporter.
+  std::string lint_error;
+  EXPECT_TRUE(prometheus_lint(body, &lint_error)) << lint_error;
+
+  // Unknown paths 404, non-GET 405 — and neither kills the serve loop.
+  std::string missing;
+  ASSERT_TRUE(loopback_get(port, "/nope", missing));
+  EXPECT_NE(missing.find(" 404 "), std::string::npos);
+  std::string again;
+  ASSERT_TRUE(loopback_get(port, "/metrics", again));
+  EXPECT_NE(again.find(" 200 "), std::string::npos);
+
+  agent.stop();
+}
+
+TEST_F(ObsAgentTest, SteadyStatePublishPathIsAllocationFree) {
+  if (!alloc_hooks_compiled()) {
+    GTEST_SKIP() << "allocation hooks not compiled in this build";
+  }
+  arm_health(clock_now_ns());
+  MetricsRegistry::set_enabled(true);
+  MetricsRegistry::global().counter("agent_zeroalloc_events").add(11);
+  MetricsRegistry::global()
+      .histogram("agent_zeroalloc_us", 0.0, 50.0, 8)
+      .observe(3.0);
+
+  TelemetryConfig cfg;
+  cfg.shm_path = temp_path("agent_zeroalloc.tel");
+  cfg.period_ms = 10'000;  // the agent thread stays parked; we drive flushes
+  std::string error;
+  TelemetryAgent& agent = TelemetryAgent::global();
+  ASSERT_TRUE(agent.start(cfg, &error)) << error;
+
+  // Two warmup flushes on THIS thread: the workspace vectors, the document
+  // buffer and the thread_local serializer scratches all reach their
+  // steady-state capacity.
+  ASSERT_TRUE(agent.flush_now());
+  ASSERT_TRUE(agent.flush_now());
+
+  ResourceProfiler::set_enabled(true);
+  {
+    ResourceScope scope;
+    ASSERT_TRUE(agent.flush_now());
+    const ResourceDelta d = scope.finish();
+    EXPECT_EQ(d.allocs, 0) << "telemetry publish path allocated";
+  }
+  ResourceProfiler::set_enabled(false);
+  agent.stop();
+  std::remove(cfg.shm_path.c_str());
+}
+
+TEST_F(ObsAgentTest, StartValidatesConfig) {
+  TelemetryAgent& agent = TelemetryAgent::global();
+  std::string error;
+  TelemetryConfig none;
+  EXPECT_FALSE(agent.start(none, &error));  // no sink
+
+  TelemetryConfig zero_period;
+  zero_period.shm_path = temp_path("agent_zero_period.tel");
+  zero_period.period_ms = 0;
+  EXPECT_FALSE(agent.start(zero_period, &error));
+
+  TelemetryConfig bad_path;
+  bad_path.shm_path = "/nonexistent-dir/xyz/agent.tel";
+  EXPECT_FALSE(agent.start(bad_path, &error));
+  EXPECT_FALSE(agent.running());
+}
+
+}  // namespace
+}  // namespace splice::obs

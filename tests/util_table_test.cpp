@@ -110,5 +110,26 @@ TEST(WriteFileAtomic, FailsOnBadPathWithoutTempResidue) {
   EXPECT_FALSE(write_file_atomic("/nonexistent-dir/xyz/file.json", "x"));
 }
 
+TEST(WriteFileAtomic, ContentAfterRenameIsExactlyWhatWasWritten) {
+  const std::string path = ::testing::TempDir() + "/splice_atomic_fsync.bin";
+  // Binary payload with embedded NULs and a size that is no power-of-two
+  // multiple: what rename(2) publishes must be byte-for-byte the input —
+  // the temp file is fsync'd before the rename (and the directory after),
+  // so the published name can never refer to a short or empty file.
+  std::string content;
+  content.reserve(70001);
+  for (int i = 0; i < 70001; ++i) {
+    content.push_back(static_cast<char>(i % 251));
+  }
+  ASSERT_TRUE(write_file_atomic(path, content));
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), content);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace splice

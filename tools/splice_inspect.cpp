@@ -47,10 +47,26 @@
 //       command; --check re-runs the exact batch against the rebuilt
 //       epoch and verifies the outcome reproduces. Exit 1 when the
 //       anomaly cannot be resolved to a causing publish.
+//   splice_inspect scrape URL [--out=PATH]
+//       pulls one Prometheus text exposition from a running process's
+//       --telemetry=tcp:PORT scrape endpoint (plain HTTP/1.0 GET, no
+//       third-party client) and validates it against the exposition-format
+//       rules obs_export_test enforces (every sample typed, histogram
+//       buckets cumulative and +Inf-terminated). URL forms: a bare port,
+//       HOST:PORT, or http://HOST:PORT/path. --out saves the body. Exit 1
+//       on connect failure, non-200 status or lint violation.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -101,7 +117,11 @@ int usage() {
          "  why FILE [IDX] [--check]      root-cause chain for one anomaly:\n"
          "                                causing publish + churn event, lag\n"
          "                                and exposure window; --check\n"
-         "                                replays the batch and verifies\n";
+         "                                replays the batch and verifies\n"
+         "  scrape URL [--out=PATH]       GET one Prometheus exposition from\n"
+         "                                a --telemetry=tcp:PORT endpoint and\n"
+         "                                lint it (URL: PORT, HOST:PORT or\n"
+         "                                http://HOST:PORT/path)\n";
   return EXIT_FAILURE;
 }
 
@@ -1522,6 +1542,172 @@ int cmd_why(const std::string& path, long long want_idx, const Flags& flags) {
   return reproduced ? EXIT_SUCCESS : EXIT_FAILURE;
 }
 
+// ---------------------------------------------------------------------------
+// scrape: pull one exposition from a live agent's endpoint and lint it.
+// ---------------------------------------------------------------------------
+
+struct ScrapeUrl {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string path = "/metrics";
+};
+
+/// Accepts "PORT", "HOST:PORT", "HOST:PORT/path" and the same with an
+/// "http://" prefix. Only numeric IPv4 hosts (plus "localhost") — the
+/// scrape server binds loopback, so a resolver would be dead weight.
+bool parse_scrape_url(const std::string& url, ScrapeUrl& out,
+                      std::string& error) {
+  std::string rest = url;
+  if (rest.rfind("http://", 0) == 0) rest = rest.substr(7);
+  if (const std::size_t slash = rest.find('/'); slash != std::string::npos) {
+    out.path = rest.substr(slash);
+    rest = rest.substr(0, slash);
+  }
+  std::string port_str = rest;
+  if (const std::size_t colon = rest.rfind(':'); colon != std::string::npos) {
+    out.host = rest.substr(0, colon);
+    port_str = rest.substr(colon + 1);
+  }
+  if (out.host == "localhost") out.host = "127.0.0.1";
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (port_str.empty() || end == port_str.c_str() || *end != '\0' ||
+      port <= 0 || port > 65535) {
+    error = "bad port in scrape URL '" + url + "'";
+    return false;
+  }
+  out.port = static_cast<int>(port);
+  return true;
+}
+
+/// One HTTP/1.0 GET: send the request, read to EOF (the server closes).
+bool http_get(const ScrapeUrl& url, std::string& response,
+              std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = "socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(url.port));
+  if (::inet_pton(AF_INET, url.host.c_str(), &addr.sin_addr) != 1) {
+    error = "bad host '" + url.host + "' (numeric IPv4 or localhost only)";
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    error = "connect " + url.host + ":" + std::to_string(url.port) + ": " +
+            std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + url.path +
+                              " HTTP/1.0\r\nHost: " + url.host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t w = ::write(fd, request.data() + off, request.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      error = "write: " + std::string(std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 5000);
+    if (pr <= 0) {
+      error = pr == 0 ? "scrape timed out after 5 s"
+                      : "poll: " + std::string(std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      error = "read: " + std::string(std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    if (r == 0) break;
+    response.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return true;
+}
+
+int cmd_scrape(const std::string& url_arg, const Flags& flags) {
+  ScrapeUrl url;
+  std::string error;
+  if (!parse_scrape_url(url_arg, url, error)) {
+    std::cerr << "scrape: " << error << "\n";
+    return EXIT_FAILURE;
+  }
+  std::string response;
+  if (!http_get(url, response, error)) {
+    std::cerr << "scrape: " << error << "\n";
+    return EXIT_FAILURE;
+  }
+  std::size_t header_end = response.find("\r\n\r\n");
+  std::size_t body_at = header_end + 4;
+  if (header_end == std::string::npos) {
+    header_end = response.find("\n\n");
+    body_at = header_end + 2;
+  }
+  if (header_end == std::string::npos) {
+    std::cerr << "scrape: malformed HTTP response (no header terminator)\n";
+    return EXIT_FAILURE;
+  }
+  const std::size_t eol = response.find('\n');
+  std::string status_line = response.substr(0, eol);
+  if (!status_line.empty() && status_line.back() == '\r')
+    status_line.pop_back();
+  if (status_line.find(" 200 ") == std::string::npos) {
+    std::cerr << "scrape: " << status_line << "\n";
+    return EXIT_FAILURE;
+  }
+  const std::string body = response.substr(body_at);
+  std::string lint_error;
+  if (!obs::prometheus_lint(body, &lint_error)) {
+    std::cerr << "scrape: exposition INVALID: " << lint_error << "\n";
+    return EXIT_FAILURE;
+  }
+  // Family/sample tallies so a "valid" verdict over an empty body is
+  // visible for what it is.
+  std::size_t families = 0;
+  std::size_t samples = 0;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t line_end = body.find('\n', pos);
+    if (line_end == std::string::npos) line_end = body.size();
+    const std::string line = body.substr(pos, line_end - pos);
+    pos = line_end + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++families;
+    } else if (line[0] != '#') {
+      ++samples;
+    }
+  }
+  if (const std::string out_path = flags.get_string("out", "");
+      !out_path.empty()) {
+    if (!write_file_atomic(out_path, body)) {
+      std::cerr << "scrape: cannot write " << out_path << "\n";
+      return EXIT_FAILURE;
+    }
+  }
+  std::cout << "scrape http://" << url.host << ":" << url.port << url.path
+            << ": 200 OK, " << body.size() << " bytes\n"
+            << "exposition: valid (" << families << " families, " << samples
+            << " samples)\n";
+  return EXIT_SUCCESS;
+}
+
 int dispatch(const Flags& flags) {
   const auto& pos = flags.positional();
   if (pos.empty()) return usage();
@@ -1541,6 +1727,7 @@ int dispatch(const Flags& flags) {
         pos.size() == 3 ? std::strtoll(pos[2].c_str(), nullptr, 10) : -1;
     return cmd_why(pos[1], idx, flags);
   }
+  if (cmd == "scrape" && pos.size() == 2) return cmd_scrape(pos[1], flags);
   return usage();
 }
 

@@ -24,12 +24,28 @@
 //       re-reads FILE each tick and redraws in place; a half-written file
 //       (the producer rewrites it wholesale) skips the tick. --ticks bounds
 //       the number of ticks (0 = until Ctrl-C).
+//   splice_top attach SEGMENT [links] [--follow] ...
+//       zero-copy live attach: maps the shared-memory telemetry segment a
+//       process running with --telemetry=shm:PATH publishes into and does
+//       generation-gated seqlock reads instead of file polling — no torn
+//       frames, no rewrite races, and a freshness/liveness line (segment
+//       generation, heartbeat age vs publish period, writer pid probe).
+//       If SEGMENT turns out to be a plain JSON snapshot file, falls back
+//       to today's file-polling mode with a note on stderr.
+//
+// In --follow (and attach) mode SIGINT/SIGTERM restore the terminal state
+// (cursor visibility) before exiting, so Ctrl-C mid-frame cannot leave the
+// operator's shell with a hidden cursor.
 //
 // --json prints a machine-readable digest of the same view (one object per
 // invocation; in --follow mode one object per tick, newline-delimited) —
 // the schema scripts/check.sh --health-smoke/--attrib-smoke validates.
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -37,7 +53,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/clock.h"
 #include "obs/export.h"
+#include "obs/shm_segment.h"
 #include "util/flags.h"
 #include "util/histogram.h"
 #include "util/json.h"
@@ -49,12 +67,148 @@ namespace {
 int usage() {
   std::cerr << "usage: splice_top FILE [links] [--once|--follow] [--json]\n"
                "                  [--n=15] [--interval-ms=500] [--ticks=N]\n"
+               "       splice_top attach SEGMENT [links] [same flags]\n"
                "  FILE: a --health-snapshot file or a --trace dump (both\n"
                "  carry spliceHealth/spliceSlo)\n"
+               "  SEGMENT: a --telemetry=shm:PATH shared-memory segment;\n"
+               "  live seqlock reads replace file polling (a plain JSON\n"
+               "  snapshot file falls back to polling)\n"
                "  links: per-link heatmap view — needs the spliceLinks\n"
                "  section (producer ran with --links) or a --links-snapshot\n"
                "  file\n";
   return EXIT_FAILURE;
+}
+
+// ---------------------------------------------------------------------------
+// Signal handling + terminal state.
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_cursor_hidden = 0;
+
+void on_stop_signal(int /*signo*/) {
+  if (g_cursor_hidden != 0) {
+    // Restore the cursor with a raw write(2) — the only terminal repair
+    // that is async-signal-safe. Without this, Ctrl-C between the hide
+    // escape and the guard's destructor leaves the shell cursorless.
+    constexpr char kShowCursor[] = "\033[?25h\n";
+    [[maybe_unused]] const ssize_t w =
+        ::write(STDOUT_FILENO, kShowCursor, sizeof(kShowCursor) - 1);
+    g_cursor_hidden = 0;
+  }
+  g_stop = 1;
+}
+
+/// SIGINT/SIGTERM end the follow loop cleanly. No SA_RESTART: the tick
+/// sleep must come back early so the loop notices the flag.
+void install_stop_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = on_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// Hides the cursor for flicker-free in-place redraws and shows it again
+/// on every exit path (normal return via the destructor, signal via the
+/// handler above — whichever runs first clears the flag).
+class TerminalGuard {
+ public:
+  explicit TerminalGuard(bool active) : active_(active) {
+    if (!active_) return;
+    std::cout << "\033[?25l" << std::flush;
+    g_cursor_hidden = 1;
+  }
+  ~TerminalGuard() {
+    if (!active_ || g_cursor_hidden == 0) return;
+    std::cout << "\033[?25h" << std::flush;
+    g_cursor_hidden = 0;
+  }
+  TerminalGuard(const TerminalGuard&) = delete;
+  TerminalGuard& operator=(const TerminalGuard&) = delete;
+
+ private:
+  bool active_;
+};
+
+/// Naps in short slices so a stop signal ends the tick wait promptly
+/// (sleep_for retries EINTR internally and would otherwise absorb it).
+void sleep_interruptible_ms(long long ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (g_stop == 0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    std::this_thread::sleep_for(
+        std::min(left, std::chrono::milliseconds(25)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Segment freshness/liveness status (attach mode).
+// ---------------------------------------------------------------------------
+
+struct SegmentStatus {
+  obs::ShmSegmentInfo info;
+  std::uint64_t read_ns = 0;  ///< reader's monotonic clock at the read
+  bool writer_alive = false;
+  bool stale = false;
+
+  std::uint64_t heartbeat_age_ns() const {
+    return read_ns > info.heartbeat_ns ? read_ns - info.heartbeat_ns : 0;
+  }
+};
+
+SegmentStatus make_segment_status(const obs::ShmSegmentInfo& info) {
+  SegmentStatus st;
+  st.info = info;
+  // MonotonicClock directly (not global_clock): heartbeat age math only
+  // works against the writer's CLOCK_MONOTONIC timebase.
+  static const obs::MonotonicClock kClock;
+  st.read_ns = kClock.now_ns();
+  st.writer_alive = obs::shm_writer_alive(info);
+  // Stale = the writer missed several beats: heartbeat age well past the
+  // advertised period (or past 2 s when the writer never advertised one).
+  const std::uint64_t age = st.heartbeat_age_ns();
+  st.stale = info.period_ns > 0 ? age > 5 * info.period_ns
+                                : age > 2'000'000'000ULL;
+  return st;
+}
+
+std::string segment_status_json(const SegmentStatus& st) {
+  std::string out = ", \"segment\": {\"generation\": " +
+                    std::to_string(st.info.generation) +
+                    ", \"heartbeat_age_ns\": " +
+                    std::to_string(st.heartbeat_age_ns()) +
+                    ", \"period_ns\": " + std::to_string(st.info.period_ns) +
+                    ", \"writer_alive\": " +
+                    (st.writer_alive ? "true" : "false") +
+                    ", \"stale\": " + (st.stale ? "true" : "false") +
+                    ", \"flushes\": " + std::to_string(st.info.flushes) +
+                    ", \"dropped\": " + std::to_string(st.info.dropped) +
+                    ", \"scrape_port\": " +
+                    std::to_string(st.info.scrape_port) + "}";
+  return out;
+}
+
+void print_segment_status(const SegmentStatus& st) {
+  std::cout << "segment    gen " << st.info.generation << ", heartbeat age "
+            << fmt_double(static_cast<double>(st.heartbeat_age_ns()) / 1e6, 0)
+            << " ms (period "
+            << fmt_double(static_cast<double>(st.info.period_ns) / 1e6, 0)
+            << " ms), writer pid " << st.info.writer_pid << " "
+            << (st.writer_alive ? "alive" : "gone")
+            << (st.stale ? " [STALE]" : "");
+  if (st.info.dropped > 0) {
+    std::cout << ", dropped " << st.info.dropped;
+  }
+  if (st.info.scrape_port > 0) {
+    std::cout << ", scrape :" << st.info.scrape_port;
+  }
+  std::cout << "\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -412,7 +566,8 @@ void render_text(const TopView& view, std::size_t n) {
   }
 }
 
-void render_json(const TopView& view, std::size_t n) {
+void render_json(const TopView& view, std::size_t n,
+                 const std::string& extra = std::string()) {
   std::string out = "{\"now_ns\": " + obs::json_quote(view.now_ns) +
                     ", \"window\": {\"bucket_ns\": " +
                     std::to_string(view.bucket_ns) +
@@ -448,7 +603,9 @@ void render_json(const TopView& view, std::size_t n) {
            ", \"anomalies\": " + std::to_string(d.anomalies) +
            ", \"churn\": " + std::to_string(d.churn) + "}";
   }
-  out += "]}";
+  out += "]";
+  out += extra;
+  out += "}";
   std::cout << out << "\n";
 }
 
@@ -534,7 +691,8 @@ void render_links_text(const LinksView& view, std::size_t n) {
   }
 }
 
-void render_links_json(const LinksView& view, std::size_t n) {
+void render_links_json(const LinksView& view, std::size_t n,
+                       const std::string& extra = std::string()) {
   std::string out =
       "{\"now_ns\": " + obs::json_quote(view.now_ns) +
       ", \"window\": {\"bucket_ns\": " + std::to_string(view.bucket_ns) +
@@ -581,28 +739,76 @@ void render_links_json(const LinksView& view, std::size_t n) {
     if (i != 0) out += ", ";
     out += emit_row(*lossy[i]);
   }
-  out += "]}";
+  out += "]";
+  out += extra;
+  out += "}";
   std::cout << out << "\n";
 }
 
 int run(const Flags& flags) {
   const auto& pos = flags.positional();
-  if (pos.empty() || pos.size() > 2) return usage();
-  const std::string& path = pos[0];
-  const bool links_view = pos.size() == 2 && pos[1] == "links";
-  if (pos.size() == 2 && !links_view) return usage();
+  bool attach_mode = !pos.empty() && pos[0] == "attach";
+  const std::size_t base = attach_mode ? 1 : 0;
+  if (pos.size() <= base || pos.size() > base + 2) return usage();
+  const std::string& path = pos[base];
+  const bool links_view = pos.size() == base + 2 && pos[base + 1] == "links";
+  if (pos.size() == base + 2 && !links_view) return usage();
   const bool follow = flags.has("follow");
   const bool json = flags.has("json");
   const auto n = static_cast<std::size_t>(flags.get_int("n", 15));
   const auto interval_ms = flags.get_int("interval-ms", 500);
   const long long ticks = flags.get_int("ticks", 0);  // 0 = unbounded
 
-  bool ever_rendered = false;
-  for (long long tick = 0;; ++tick) {
-    JsonParseResult parsed = parse_json_file(path);
+  obs::ShmSegmentReader reader;
+  if (attach_mode) {
     std::string error;
-    bool ok = parsed.ok;
-    if (!ok) error = parsed.error;
+    if (!reader.attach(path, &error)) {
+      // A plain JSON snapshot (or trace) file is not an error: fall back
+      // to file polling so `attach` also works on --health-snapshot output.
+      JsonParseResult probe = parse_json_file(path);
+      if (!probe.ok) {
+        std::cerr << "splice_top: attach " << path << ": " << error << "\n";
+        return EXIT_FAILURE;
+      }
+      std::cerr << "splice_top: " << path
+                << ": not a telemetry segment; falling back to "
+                   "snapshot-file polling\n";
+      attach_mode = false;
+    }
+  }
+
+  if (follow) install_stop_handlers();
+  TerminalGuard cursor(follow && !json);
+
+  std::string payload;
+  bool ever_rendered = false;
+  std::uint64_t last_generation = 0;
+  for (long long tick = 0; g_stop == 0; ++tick) {
+    std::string error;
+    bool ok = false;
+    JsonParseResult parsed;
+    SegmentStatus seg;
+    bool have_segment = false;
+    if (attach_mode) {
+      obs::ShmSegmentInfo info;
+      const obs::ShmReadResult r = reader.read(payload, &info);
+      if (r == obs::ShmReadResult::kOk) {
+        seg = make_segment_status(info);
+        have_segment = true;
+        parsed = parse_json(payload);
+        ok = parsed.ok;
+        if (!ok) error = parsed.error;
+      } else if (r == obs::ShmReadResult::kEmpty) {
+        error = "segment attached, nothing published yet";
+      } else {
+        error = std::string("segment read ") + shm_read_result_name(r) +
+                " (writer wedged mid-publish?)";
+      }
+    } else {
+      parsed = parse_json_file(path);
+      ok = parsed.ok;
+      if (!ok) error = parsed.error;
+    }
     TopView view;
     LinksView links;
     if (ok) {
@@ -610,24 +816,34 @@ int run(const Flags& flags) {
                       : decode(parsed.value, view, error);
     }
     if (!ok) {
-      // In follow mode the producer rewrites the file wholesale, so a
-      // transient parse failure just skips the tick.
+      // In follow mode the producer rewrites the file wholesale (or the
+      // segment is mid-publish / not yet published), so a transient
+      // failure just skips the tick.
       if (!follow) {
         std::cerr << "splice_top: " << path << ": " << error << "\n";
         return EXIT_FAILURE;
       }
+    } else if (attach_mode && follow && !json && ever_rendered &&
+               seg.info.generation == last_generation) {
+      // Generation-gated redraw: nothing new was published; leave the
+      // frame (and its heartbeat line) as-is instead of flickering.
     } else {
+      std::string extra;
+      if (have_segment) extra = segment_status_json(seg);
       if (!json && follow) std::cout << "\033[H\033[2J";  // home + clear
+      if (!json && have_segment) print_segment_status(seg);
       if (links_view) {
-        json ? render_links_json(links, n) : render_links_text(links, n);
+        json ? render_links_json(links, n, extra)
+             : render_links_text(links, n);
       } else {
-        json ? render_json(view, n) : render_text(view, n);
+        json ? render_json(view, n, extra) : render_text(view, n);
       }
       ever_rendered = true;
+      last_generation = seg.info.generation;
     }
     if (!follow) break;
     if (ticks > 0 && tick + 1 >= ticks) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    sleep_interruptible_ms(interval_ms);
   }
   return ever_rendered ? EXIT_SUCCESS : EXIT_FAILURE;
 }
